@@ -1,0 +1,116 @@
+// google-benchmark micro-benchmarks of the engine models themselves:
+// how many simulated operations per wall-clock second the framework
+// sustains (the practical limit on sweep sizes), plus plan-construction
+// and dbgen throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "hive/engine.h"
+#include "pdw/optimizer.h"
+#include "sim/simulation.h"
+#include "sqlkv/engine.h"
+#include "tpch/dbgen.h"
+#include "tpch/dss_benchmark.h"
+
+using namespace elephant;
+
+static void BM_SqlEngineReadOp(benchmark::State& state) {
+  sim::Simulation sim;
+  cluster::Node node(&sim, 0, cluster::NodeConfig{});
+  sqlkv::SqlEngine engine(&sim, &node, sqlkv::SqlEngineOptions{});
+  for (uint64_t k = 0; k < 100000; ++k) {
+    (void)engine.LoadRecord(k, 1024);
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    sqlkv::OpOutcome out;
+    sim::Latch done(&sim, 1);
+    engine.Read(rng.Uniform(100000), &out, &done);
+    sim.Run();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SqlEngineReadOp);
+
+static void BM_SqlEngineUpdateOp(benchmark::State& state) {
+  sim::Simulation sim;
+  cluster::Node node(&sim, 0, cluster::NodeConfig{});
+  sqlkv::SqlEngine engine(&sim, &node, sqlkv::SqlEngineOptions{});
+  for (uint64_t k = 0; k < 100000; ++k) {
+    (void)engine.LoadRecord(k, 1024);
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    sqlkv::OpOutcome out;
+    sim::Latch done(&sim, 1);
+    engine.Update(rng.Uniform(100000), 100, &out, &done);
+    sim.Run();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SqlEngineUpdateOp);
+
+static void BM_HivePlanConstruction(benchmark::State& state) {
+  hive::HiveCatalog catalog;
+  hive::HiveOptions options;
+  int q = 1;
+  for (auto _ : state) {
+    auto jobs = hive::BuildHiveJobs(q, 1000, catalog, options);
+    benchmark::DoNotOptimize(jobs);
+    q = q % 22 + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HivePlanConstruction);
+
+static void BM_PdwOptimizerSixWayJoin(benchmark::State& state) {
+  using pdw::OptJoin;
+  using pdw::OptRelation;
+  std::vector<OptRelation> rels = {
+      {"lineitem", 6e9, 725e9, "l_orderkey"},
+      {"orders", 1.5e9, 160e9, "o_orderkey"},
+      {"customer", 150e6, 25e9, "c_custkey"},
+      {"supplier", 10e6, 1.4e9, "s_suppkey"},
+      {"nation", 25, 1e3, "", true},
+      {"region", 5, 1e2, "", true}};
+  std::vector<OptJoin> joins = {
+      {2, 1, "c_custkey", "o_custkey", 1.0 / 150e6},
+      {1, 0, "o_orderkey", "l_orderkey", 1.0 / 1.5e9},
+      {0, 3, "l_suppkey", "s_suppkey", 1.0 / 10e6},
+      {3, 4, "s_nationkey", "n_nationkey", 1.0 / 25},
+      {4, 5, "n_regionkey", "r_regionkey", 1.0 / 5}};
+  for (auto _ : state) {
+    auto plan = pdw::Optimize(rels, joins);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PdwOptimizerSixWayJoin);
+
+static void BM_DbgenLineitems(benchmark::State& state) {
+  for (auto _ : state) {
+    tpch::TpchDatabase db = tpch::GenerateDatabase(0.001);
+    benchmark::DoNotOptimize(db.lineitem.num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * 6000);
+}
+BENCHMARK(BM_DbgenLineitems);
+
+static void BM_DssQuerySimulation(benchmark::State& state) {
+  tpch::DssBenchmark bench;
+  int q = 1;
+  for (auto _ : state) {
+    auto h = bench.RunHive(q, 1000);
+    auto p = bench.RunPdw(q, 1000);
+    benchmark::DoNotOptimize(h.total + p.total);
+    q = q % 22 + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DssQuerySimulation);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// google-benchmark micro-benchmarks for the hot substrate paths: the
+// DES event queue, the B+tree, the buffer pool, the YCSB generators,
+// the latency histogram and the relational executor.
+
+#include <benchmark/benchmark.h>
+
+#include "common/distributions.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "exec/operators.h"
+#include "sim/simulation.h"
+#include "sqlkv/btree.h"
+#include "sqlkv/buffer_pool.h"
+
+using namespace elephant;
+
+static void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    for (int i = 0; i < 1024; ++i) {
+      sim.ScheduleCall((i * 7919) % 1000, [] {});
+    }
+    benchmark::DoNotOptimize(sim.Run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueue);
+
+static void BM_BTreeInsertAscending(benchmark::State& state) {
+  for (auto _ : state) {
+    sqlkv::BTree tree(8192);
+    for (uint64_t k = 0; k < 4096; ++k) {
+      benchmark::DoNotOptimize(tree.Insert(k, {"", 1024}));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_BTreeInsertAscending);
+
+static void BM_BTreeGet(benchmark::State& state) {
+  sqlkv::BTree tree(8192);
+  for (uint64_t k = 0; k < 100000; ++k) (void)tree.Insert(k, {"", 1024});
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Get(rng.Uniform(100000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeGet);
+
+static void BM_BufferPoolTouch(benchmark::State& state) {
+  sqlkv::BufferPool pool(64 * kMB, 8192);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.Touch(rng.Uniform(20000), false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolTouch);
+
+static void BM_ScrambledZipfian(benchmark::State& state) {
+  ScrambledZipfianGenerator gen(1000000);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next(&rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScrambledZipfian);
+
+static void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  Rng rng(4);
+  for (auto _ : state) {
+    h.Record(static_cast<int64_t>(rng.Uniform(1000000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+static void BM_ExecHashJoin(benchmark::State& state) {
+  exec::Table left({{"k", exec::ValueType::kInt}});
+  exec::Table right({{"k", exec::ValueType::kInt}});
+  for (int64_t i = 0; i < 10000; ++i) {
+    left.AddRow({exec::Value{i}});
+    right.AddRow({exec::Value{i % 1000}});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::HashJoin(left, right, {0}, {0}));
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_ExecHashJoin);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Regenerates Figure 1 of the paper: arithmetic and geometric means of
+// the TPC-H response times (AM-9/GM-9, excluding Q9), normalized to PDW
+// at SF 250.
+
+#include <cstdio>
+
+#include "tpch/dss_benchmark.h"
+
+using namespace elephant;
+
+int main() {
+  tpch::DssBenchmark bench;
+  auto rows = bench.RunAll(tpch::kPaperScaleFactors);
+  auto hive = tpch::DssBenchmark::SummarizeHive(rows);
+  auto pdw = tpch::DssBenchmark::SummarizePdw(rows);
+
+  double am_base = pdw.am9[0];
+  double gm_base = pdw.gm9[0];
+
+  printf("Figure 1 (a): normalized arithmetic mean (AM-9, PDW@250 = 1)\n");
+  printf("%-8s | %-10s | %-10s\n", "SF", "HIVE", "PDW");
+  printf("(paper:    22/48/148/500      1/4/17/72)\n");
+  for (size_t i = 0; i < tpch::kPaperScaleFactors.size(); ++i) {
+    printf("%-8.0f | %10.1f | %10.1f\n", tpch::kPaperScaleFactors[i],
+           hive.am9[i] / am_base, pdw.am9[i] / am_base);
+  }
+
+  printf("\nFigure 1 (b): normalized geometric mean (GM-9, PDW@250 = 1)\n");
+  printf("%-8s | %-10s | %-10s\n", "SF", "HIVE", "PDW");
+  printf("(paper:    26/52/144/474      1/5/18/72)\n");
+  for (size_t i = 0; i < tpch::kPaperScaleFactors.size(); ++i) {
+    printf("%-8.0f | %10.1f | %10.1f\n", tpch::kPaperScaleFactors[i],
+           hive.gm9[i] / gm_base, pdw.gm9[i] / gm_base);
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Regenerates Table 3 of the paper: per-query Hive and PDW times at the
+// four TPC-H scale factors, PDW-over-Hive speedups, per-4x scaling
+// factors, and the AM/GM summary rows. Prints the model's numbers next
+// to the paper's published values.
+
+#include <cstdio>
+
+#include "common/units.h"
+#include "tpch/dss_benchmark.h"
+#include "tpch/paper_reference.h"
+#include "tpch/queries.h"
+
+using namespace elephant;
+
+int main() {
+  tpch::DssBenchmark bench;
+  std::vector<tpch::DssQueryRow> rows =
+      bench.RunAll(tpch::kPaperScaleFactors);
+
+  printf("Table 3: TPC-H on Hive and PDW at SF 250 / 1000 / 4000 / 16000\n");
+  printf("(model seconds, with the paper's measurements in parentheses; "
+         "'--' = out of disk)\n\n");
+  printf("%-4s | %-34s | %-34s | %-23s | %-11s | %-11s\n", "Q",
+         "HIVE sec (paper)", "PDW sec (paper)", "Speedup (paper)",
+         "HIVE scaling", "PDW scaling");
+  printf("-----+------------------------------------+----------------------"
+         "--------------+-------------------------+-------------+--------"
+         "-----\n");
+
+  for (const auto& row : rows) {
+    int q = row.query;
+    char hive[160] = "", pdw[160] = "", speed[128] = "", hs[64] = "",
+         ps[64] = "";
+    char* hp = hive;
+    char* pp = pdw;
+    char* sp = speed;
+    for (size_t i = 0; i < tpch::kPaperScaleFactors.size(); ++i) {
+      double paper_h = tpch::PaperReference::kHiveSeconds[q - 1][i];
+      double paper_p = tpch::PaperReference::kPdwSeconds[q - 1][i];
+      if (row.hive_failed[i]) {
+        hp += snprintf(hp, 24, "--(--) ");
+      } else {
+        hp += snprintf(hp, 24, "%.0f(%.0f) ", row.hive_seconds[i], paper_h);
+      }
+      pp += snprintf(pp, 24, "%.0f(%.0f) ", row.pdw_seconds[i], paper_p);
+      double paper_speed =
+          paper_h > 0 && paper_p > 0 ? paper_h / paper_p : 0;
+      if (row.hive_failed[i]) {
+        sp += snprintf(sp, 24, "--  ");
+      } else {
+        sp += snprintf(sp, 24, "%.1f(%.1f) ", row.Speedup(i), paper_speed);
+      }
+    }
+    // Per-4x scaling factors across adjacent SFs.
+    char* hsp = hs;
+    char* psp = ps;
+    for (size_t i = 1; i < tpch::kPaperScaleFactors.size(); ++i) {
+      if (row.hive_failed[i] || row.hive_failed[i - 1]) {
+        hsp += snprintf(hsp, 12, "--  ");
+      } else {
+        hsp += snprintf(hsp, 12, "%.1f ",
+                        row.hive_seconds[i] / row.hive_seconds[i - 1]);
+      }
+      psp += snprintf(psp, 12, "%.1f ",
+                      row.pdw_seconds[i] / row.pdw_seconds[i - 1]);
+    }
+    printf("Q%-3d | %-34s | %-34s | %-23s | %-11s | %-11s\n", q, hive, pdw,
+           speed, hs, ps);
+  }
+
+  tpch::DssSummary hive_sum = tpch::DssBenchmark::SummarizeHive(rows);
+  tpch::DssSummary pdw_sum = tpch::DssBenchmark::SummarizePdw(rows);
+  printf("\nSummary rows (model):\n");
+  auto print_summary = [&](const char* name, const std::vector<double>& h,
+                           const std::vector<double>& p) {
+    printf("%-5s HIVE:", name);
+    for (double v : h) printf(" %8.0f", v);
+    printf("   PDW:");
+    for (double v : p) printf(" %8.0f", v);
+    printf("\n");
+  };
+  print_summary("AM", hive_sum.am, pdw_sum.am);
+  print_summary("GM", hive_sum.gm, pdw_sum.gm);
+  print_summary("AM-9", hive_sum.am9, pdw_sum.am9);
+  print_summary("GM-9", hive_sum.gm9, pdw_sum.gm9);
+
+  printf("\nAverage per-query speedup of PDW over Hive:");
+  for (size_t i = 0; i < tpch::kPaperScaleFactors.size(); ++i) {
+    double sum = 0;
+    int n = 0;
+    for (const auto& row : rows) {
+      if (!row.hive_failed[i]) {
+        sum += row.Speedup(i);
+        n++;
+      }
+    }
+    printf(" SF%.0f=%.1fx", tpch::kPaperScaleFactors[i],
+           n ? sum / n : 0.0);
+  }
+  printf("  (paper: 35.3x / 13.6x / 10.4x / 9.0x)\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Regenerates Figure 4 of the paper: workload A (50% reads / 50%
+// updates), update and read latency vs throughput, plus the §3.4.3
+// isolation-level side experiment (READ UNCOMMITTED at 40 Kops/s).
+//
+// Paper anchors: MongoDB's global write lock is held 25-45% of the time
+// per mongod; SQL-CS's READ COMMITTED shared locks inflate read
+// latencies; with READ UNCOMMITTED at 40 Kops/s the update latency was
+// 69 ms and the read latency dropped to 15 ms.
+
+#include "ycsb_bench_util.h"
+
+using namespace elephant;
+using namespace elephant::ycsb;
+
+int main() {
+  RunFigure("Figure 4", WorkloadSpec::A(),
+            {1000, 2000, 5000, 10000, 20000, 40000},
+            {OpType::kUpdate, OpType::kRead},
+            "paper: mongo latencies blow up by 40K; write lock 25-45%");
+
+  // Isolation side-experiment, run where SQL-CS is contended (the
+  // model's SQL-CS is still comfortable at the paper's 40 Kops/s point,
+  // so the lock-wait effect shows at its own saturation knee instead).
+  DriverOptions opt = BenchOptions();
+  RunResult rc = RunOnePoint(SystemKind::kSqlCs, WorkloadSpec::A(), 120000,
+                             opt, /*read_uncommitted=*/false);
+  RunResult ru = RunOnePoint(SystemKind::kSqlCs, WorkloadSpec::A(), 120000,
+                             opt, /*read_uncommitted=*/true);
+  printf("SQL-CS isolation at 120 Kops/s (paper ran this at 40 Kops/s: RU "
+         "cuts read latency because reads stop blocking on writers):\n");
+  printf("  READ COMMITTED:   read %.2f ms, update %.2f ms\n",
+         rc.MeanLatencyMs(OpType::kRead), rc.MeanLatencyMs(OpType::kUpdate));
+  printf("  READ UNCOMMITTED: read %.2f ms, update %.2f ms\n",
+         ru.MeanLatencyMs(OpType::kRead), ru.MeanLatencyMs(OpType::kUpdate));
+
+  // The paper's mongostat observation on the global lock.
+  {
+    DriverOptions o = BenchOptions();
+    o.target_throughput = 20000;
+    OltpTestbed tb;
+    MongoAsSystem::Options m;
+    int64_t mem = static_cast<int64_t>(o.record_count * o.record_bytes /
+                                       OltpTestbed::kServerNodes /
+                                       o.data_to_memory_ratio);
+    m.mongod.memory_bytes = mem / 16;
+    m.node_cache_bytes =
+        static_cast<int64_t>(mem * o.mongo_cache_fraction_as);
+    MongoAsSystem sys(&tb, m);
+    YcsbDriver driver(&tb, &sys, WorkloadSpec::A(), o);
+    (void)driver.Prepare();
+    (void)driver.Run();
+    printf("Mongo-AS global write-lock occupancy at 20 Kops/s: %.1f%% "
+           "(paper's mongostat: 25-45%%)\n",
+           100.0 * sys.MeanWriteLockFraction());
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Regenerates Figure 5 of the paper: workload D (95% reads of the
+// latest keys / 5% appends), append and read latency vs throughput.
+//
+// Paper anchors: SQL-CS is CPU-bound and serves nearly all reads from
+// the buffer pool (99.5% hits). Mongo-CS peaks at 224,271 ops/s.
+// Mongo-AS's range partitioning sends every append AND every
+// read-latest to the shard owning the last chunk: at 20 Kops/s its
+// append latency is 320 ms (off the chart) and above 20 Kops/s the
+// server stops responding (socket exceptions) and throughput drops to
+// zero.
+
+#include "ycsb_bench_util.h"
+
+using namespace elephant;
+using namespace elephant::ycsb;
+
+int main() {
+  RunFigure("Figure 5", WorkloadSpec::D(),
+            {20000, 40000, 80000, 160000, 320000, 640000},
+            {OpType::kInsert, OpType::kRead},
+            "paper: Mongo-AS crashes above 20K; Mongo-CS peaks at 224K");
+  return 0;
+}

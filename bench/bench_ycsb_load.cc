@@ -1,0 +1,92 @@
+// Regenerates the §3.4.2 load-time comparison: loading the YCSB dataset
+// into Mongo-AS (with the paper's manual chunk pre-splitting), SQL-CS
+// (every insert its own transaction — no bulk API), and Mongo-CS.
+// Also runs the pre-split ablation: without it, the balancer migrates
+// chunks while the load races against it.
+//
+// Paper: Mongo-AS 114 min, SQL-CS 146 min, Mongo-CS 45 min (640 M
+// records). Model times are scaled to 640 M records for comparison.
+
+#include <cstdio>
+#include <memory>
+
+#include "tpch/paper_reference.h"
+#include "ycsb/driver.h"
+
+using namespace elephant;
+using namespace elephant::ycsb;
+
+namespace {
+
+double LoadMinutesAt640M(SystemKind kind, bool presplit,
+                         const DriverOptions& opt) {
+  OltpTestbed testbed;
+  int64_t data_per_node = opt.record_count * opt.record_bytes /
+                          OltpTestbed::kServerNodes;
+  int64_t mem =
+      static_cast<int64_t>(data_per_node / opt.data_to_memory_ratio);
+  std::unique_ptr<DataServingSystem> system;
+  switch (kind) {
+    case SystemKind::kSqlCs: {
+      sqlkv::SqlEngineOptions sql;
+      sql.memory_bytes = mem;
+      system = std::make_unique<SqlCsSystem>(&testbed, sql);
+      break;
+    }
+    case SystemKind::kMongoCs: {
+      docstore::MongodOptions m;
+      m.memory_bytes = mem / 16;
+      system = std::make_unique<MongoCsSystem>(&testbed, m);
+      break;
+    }
+    case SystemKind::kMongoAs: {
+      MongoAsSystem::Options m;
+      m.mongod.memory_bytes = mem / 16;
+      m.presplit_chunks = presplit;
+      m.config.max_chunk_bytes = 256 * 1024;
+      auto sys = std::make_unique<MongoAsSystem>(&testbed, m);
+      if (presplit) {
+        // Define the empty chunk boundaries up front (§3.4.2), sized so
+        // no chunk outgrows the split threshold during the load.
+        int chunks = static_cast<int>(opt.record_count * opt.record_bytes /
+                                      m.config.max_chunk_bytes) *
+                         4 +
+                     128;
+        sys->config().PreSplit(opt.record_count * 2, chunks);
+      }
+      system = std::move(sys);
+      break;
+    }
+  }
+  YcsbDriver driver(&testbed, system.get(), WorkloadSpec::C(), opt);
+  SimTime t = driver.SimulateTimedLoad(/*loader_threads=*/128);
+  double scale = 640e6 / static_cast<double>(opt.record_count);
+  return SimTimeToSeconds(t) * scale / 60.0;
+}
+
+}  // namespace
+
+int main() {
+  DriverOptions opt;
+  opt.record_count = 400000;  // timed loads are insert-bound; keep small
+
+  printf("YCSB load times, scaled to the paper's 640 M records "
+         "(model minutes, paper in parentheses):\n\n");
+  double mongo_as = LoadMinutesAt640M(SystemKind::kMongoAs, true, opt);
+  printf("  Mongo-AS (pre-split chunks): %6.0f  (%3.0f)\n", mongo_as,
+         tpch::PaperReference::kMongoAsLoadMinutes);
+  double sql = LoadMinutesAt640M(SystemKind::kSqlCs, true, opt);
+  printf("  SQL-CS (per-row transactions): %4.0f  (%3.0f)\n", sql,
+         tpch::PaperReference::kSqlCsLoadMinutes);
+  double mongo_cs = LoadMinutesAt640M(SystemKind::kMongoCs, true, opt);
+  printf("  Mongo-CS:                    %6.0f  (%3.0f)\n", mongo_cs,
+         tpch::PaperReference::kMongoCsLoadMinutes);
+
+  printf("\nAblation - Mongo-AS without pre-splitting (the balancer "
+         "migrates chunks during the load):\n");
+  double cold = LoadMinutesAt640M(SystemKind::kMongoAs, false, opt);
+  printf("  Mongo-AS (cold balancer):    %6.0f  (%.1fx the pre-split "
+         "load)\n",
+         cold, cold / mongo_as);
+  return 0;
+}

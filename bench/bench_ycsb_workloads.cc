@@ -1,0 +1,35 @@
+// Regenerates Table 6 of the paper: the YCSB workload definitions.
+
+#include <cstdio>
+
+#include "ycsb/workload.h"
+
+using namespace elephant::ycsb;
+
+int main() {
+  printf("Table 6: YCSB benchmark workloads\n\n");
+  printf("%-22s | %-40s | %-12s\n", "Workload", "Operations",
+         "Distribution");
+  printf("-----------------------+------------------------------------------"
+         "+-------------\n");
+  for (char name : {'A', 'B', 'C', 'D', 'E'}) {
+    WorkloadSpec w = WorkloadSpec::ByName(name);
+    char ops[128] = "";
+    char* p = ops;
+    if (w.read > 0) p += snprintf(p, 32, "Read: %.0f%% ", w.read * 100);
+    if (w.update > 0) p += snprintf(p, 32, "Update: %.0f%% ", w.update * 100);
+    if (w.insert > 0) p += snprintf(p, 32, "Append: %.0f%% ", w.insert * 100);
+    if (w.scan > 0) p += snprintf(p, 32, "Scan: %.0f%% ", w.scan * 100);
+    const char* dist = w.distribution == Distribution::kLatest
+                           ? "latest"
+                           : (w.distribution == Distribution::kUniform
+                                  ? "uniform"
+                                  : "zipfian");
+    printf("%c - %-18s | %-40s | %-12s\n", name, w.description.c_str(), ops,
+           dist);
+  }
+  printf("\nScans read at most %d records (the paper's 1000, scaled to the "
+         "model keyspace).\n",
+         WorkloadSpec::E().max_scan_len);
+  return 0;
+}

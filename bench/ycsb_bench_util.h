@@ -1,0 +1,101 @@
+#ifndef ELEPHANT_BENCH_YCSB_BENCH_UTIL_H_
+#define ELEPHANT_BENCH_YCSB_BENCH_UTIL_H_
+
+// Shared printing helpers for the YCSB figure benches (Figures 2-6 of
+// the paper): latency-vs-throughput curves for Mongo-AS, Mongo-CS and
+// SQL-CS.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ycsb/driver.h"
+
+namespace elephant::ycsb {
+
+inline DriverOptions BenchOptions() {
+  DriverOptions opt;  // calibrated defaults (see DriverOptions docs)
+  opt.warmup = 2 * kSecond;
+  opt.measure = 4 * kSecond;
+  return opt;
+}
+
+/// Runs the three systems across the target list and prints one table
+/// per operation type of interest. When the ELEPHANT_CSV_DIR
+/// environment variable is set, also writes
+/// `<dir>/<figure>_<system>.csv` rows (target, achieved, per-op mean
+/// latencies in ms) for plotting.
+inline void RunFigure(const char* figure, const WorkloadSpec& workload,
+                      const std::vector<int64_t>& targets,
+                      const std::vector<OpType>& op_types,
+                      const char* paper_note,
+                      const DriverOptions& base = BenchOptions()) {
+  printf("%s: YCSB workload %s (%s: %s)\n", figure, workload.name.c_str(),
+         workload.description.c_str(), paper_note);
+  printf("Latency vs throughput; '--' marks a crashed run "
+         "(paper protocol: avg over trailing windows, +/- std error)\n\n");
+
+  static const SystemKind kKinds[] = {SystemKind::kMongoAs,
+                                      SystemKind::kMongoCs,
+                                      SystemKind::kSqlCs};
+  const char* csv_dir = getenv("ELEPHANT_CSV_DIR");
+  for (SystemKind kind : kKinds) {
+    FILE* csv = nullptr;
+    if (csv_dir != nullptr) {
+      std::string path = std::string(csv_dir) + "/" + figure + "_" +
+                         SystemKindName(kind) + ".csv";
+      for (char& c : path) {
+        if (c == ' ') c = '_';
+      }
+      csv = fopen(path.c_str(), "w");
+      if (csv != nullptr) {
+        fprintf(csv, "target,achieved");
+        for (OpType t : op_types) fprintf(csv, ",%s_ms", OpTypeName(t));
+        fprintf(csv, "\n");
+      }
+    }
+    printf("-- %s --\n", SystemKindName(kind));
+    printf("%10s %12s", "target", "achieved");
+    for (OpType t : op_types) printf(" %18s", OpTypeName(t));
+    printf("\n");
+    for (int64_t target : targets) {
+      RunResult r = RunOnePoint(kind, workload, target, base);
+      if (r.crashed && r.achieved_ops_per_sec < target / 10.0) {
+        printf("%10lld %12s", static_cast<long long>(target), "--");
+        for (size_t i = 0; i < op_types.size(); ++i) printf(" %18s", "--");
+        printf("   (crashed: socket errors)\n");
+        continue;
+      }
+      if (csv != nullptr) {
+        fprintf(csv, "%lld,%.1f", static_cast<long long>(target),
+                r.achieved_ops_per_sec);
+        for (OpType t : op_types) {
+          fprintf(csv, ",%.3f", r.MeanLatencyMs(t));
+        }
+        fprintf(csv, "\n");
+      }
+      printf("%10lld %12.0f", static_cast<long long>(target),
+             r.achieved_ops_per_sec);
+      for (OpType t : op_types) {
+        auto it = r.per_op.find(t);
+        if (it == r.per_op.end() || it->second.count == 0) {
+          printf(" %18s", "-");
+        } else {
+          char buf[32];
+          snprintf(buf, sizeof(buf), "%.1f+/-%.1f ms",
+                   it->second.mean_latency_ms,
+                   it->second.latency_stderr_ms);
+          printf(" %18s", buf);
+        }
+      }
+      printf("\n");
+    }
+    printf("\n");
+    if (csv != nullptr) fclose(csv);
+  }
+}
+
+}  // namespace elephant::ycsb
+
+#endif  // ELEPHANT_BENCH_YCSB_BENCH_UTIL_H_

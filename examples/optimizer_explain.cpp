@@ -1,0 +1,90 @@
+// EXPLAIN for the parallel optimizer: builds the join graph of a
+// TPC-H-shaped query from *measured* statistics of a freshly generated
+// database, runs the cost-based optimizer, and prints the movement plan
+// next to the script-order plan — the §3.3.4.1 comparison, derived
+// rather than asserted.
+//
+//   $ ./optimizer_explain
+
+#include <cstdio>
+
+#include "exec/statistics.h"
+#include "pdw/optimizer.h"
+#include "tpch/dbgen.h"
+
+using namespace elephant;
+
+namespace {
+
+void PrintPlan(const char* title, const pdw::JoinPlan& plan,
+               const std::vector<pdw::OptRelation>& rels) {
+  printf("%s (network: %.2f GB-equivalent):\n", title,
+         plan.network_bytes / 1e9);
+  for (const auto& step : plan.steps) {
+    printf("  join %-10s via %-18s moves %10.3f GB -> %.2e rows\n",
+           rels[step.right_rel].name.c_str(),
+           pdw::MovementName(step.movement), step.network_bytes / 1e9,
+           step.output_rows);
+  }
+}
+
+}  // namespace
+
+int main() {
+  // Measure real relation statistics at mini scale, then express them at
+  // SF 1000 (TPC-H scales linearly).
+  const double kMiniSf = 0.01;
+  const double kTargetSf = 1000;
+  const double scale = kTargetSf / kMiniSf;
+  tpch::TpchDatabase db = tpch::GenerateDatabase(kMiniSf);
+
+  auto rows = [&](const exec::Table& t) {
+    return static_cast<double>(t.num_rows()) * scale;
+  };
+  auto bytes = [&](const exec::Table& t, double width) {
+    return rows(t) * width;
+  };
+
+  // Q5's join graph: customer - orders - lineitem - supplier (+
+  // replicated nation/region folded into supplier's width).
+  std::vector<pdw::OptRelation> rels = {
+      {"customer", rows(db.customer), bytes(db.customer, 30),
+       "c_custkey"},
+      {"orders", rows(db.orders), bytes(db.orders, 21), "o_orderkey"},
+      {"lineitem", rows(db.lineitem), bytes(db.lineitem, 40),
+       "l_orderkey"},
+      {"supplier", rows(db.supplier), bytes(db.supplier, 30),
+       "s_suppkey"},
+  };
+  std::vector<pdw::OptJoin> joins = {
+      {0, 1, "c_custkey", "o_custkey",
+       exec::JoinMatchFraction(db.orders, db.customer, "o_custkey",
+                               "c_custkey") /
+           rows(db.customer)},
+      {1, 2, "o_orderkey", "l_orderkey", 1.0 / rows(db.orders)},
+      {2, 3, "l_suppkey", "s_suppkey", 1.0 / rows(db.supplier)},
+  };
+
+  printf("TPC-H Q5-shaped join graph at SF %.0f, statistics measured on "
+         "dbgen data at SF %.2f:\n\n",
+         kTargetSf, kMiniSf);
+  auto smart = pdw::Optimize(rels, joins);
+  if (!smart.ok()) {
+    fprintf(stderr, "optimize failed: %s\n",
+            smart.status().ToString().c_str());
+    return 1;
+  }
+  PrintPlan("Cost-based plan (PDW)", smart.value(), rels);
+
+  pdw::OptimizerOptions naive;
+  naive.cost_based = false;
+  auto script = pdw::Optimize(rels, joins, naive);
+  printf("\n");
+  PrintPlan("Script-order plan (Hive-style common joins)",
+            script.value(), rels);
+
+  printf("\nThe cost-based plan moves %.1fx less data — the paper's "
+         "\"cost-based methods that minimize network transfers\".\n",
+         script.value().network_bytes / smart.value().network_bytes);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Anatomy of MongoDB auto-sharding versus client-side hashing — the
+// §2.4 mechanics of the paper made visible: chunk splits as a
+// collection grows, the balancer redistributing chunks, and why range
+// partitioning answers short scans from one shard while hash
+// partitioning must ask every shard.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "docstore/sharding.h"
+
+using namespace elephant;
+using namespace elephant::docstore;
+
+int main() {
+  // A small auto-sharded cluster: 8 shards, 64 KB chunks, 1 KB docs.
+  ConfigServer::Options opt;
+  opt.max_chunk_bytes = 64 * 1024;
+  opt.migration_threshold = 2;
+  ConfigServer config(8, opt);
+
+  printf("Inserting 4,000 documents into one initial chunk...\n");
+  for (uint64_t key = 0; key < 4000; ++key) {
+    config.NoteInsert(key, 1024);
+  }
+  printf("  chunks after splits: %zu (splits: %lld)\n", config.num_chunks(),
+         static_cast<long long>(config.splits()));
+  auto counts = config.ChunksPerShard();
+  printf("  chunks per shard before balancing:");
+  for (int c : counts) printf(" %d", c);
+  printf("\n");
+
+  printf("\nRunning the balancer until the cluster is balanced...\n");
+  int rounds = 0;
+  while (!config.BalanceOnce().empty()) rounds++;
+  counts = config.ChunksPerShard();
+  printf("  %d migrations; chunks per shard now:", rounds);
+  for (int c : counts) printf(" %d", c);
+  printf("\n");
+
+  // Short scans: range partitioning vs hashing.
+  printf("\nShort scans of 100 keys (the paper's workload E insight):\n");
+  Rng rng(7);
+  double range_shards = 0, hash_shards = 0;
+  const int kTrials = 1000;
+  for (int i = 0; i < kTrials; ++i) {
+    uint64_t start = rng.Uniform(3900);
+    range_shards += config.RouteRange(start, start + 100).size();
+    // Hash partitioning: keys of the range scatter over all shards.
+    std::vector<bool> hit(8, false);
+    for (uint64_t k = start; k < start + 100; ++k) {
+      hit[Fnv1a64(k) % 8] = true;
+    }
+    int n = 0;
+    for (bool h : hit) n += h;
+    hash_shards += n;
+  }
+  printf("  range partitioning touches %.2f shards per scan on average\n",
+         range_shards / kTrials);
+  printf("  hash partitioning touches  %.2f shards per scan on average\n",
+         hash_shards / kTrials);
+
+  // Appends: the flip side of range partitioning.
+  printf("\nAppends of 100 new max keys:\n");
+  std::vector<int> append_hits(8, 0);
+  for (uint64_t k = 4000; k < 4100; ++k) {
+    append_hits[config.Route(k)]++;
+  }
+  printf("  range partitioning sends them to shards:");
+  for (int c : append_hits) printf(" %d", c);
+  printf("  <- one hot shard\n");
+  std::vector<int> hash_hits(8, 0);
+  for (uint64_t k = 4000; k < 4100; ++k) {
+    hash_hits[Fnv1a64(k) % 8]++;
+  }
+  printf("  hash partitioning sends them to shards: ");
+  for (int c : hash_hits) printf(" %d", c);
+  printf("  <- spread out\n");
+  return 0;
+}

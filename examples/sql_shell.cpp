@@ -1,0 +1,53 @@
+// An interactive SQL shell over a freshly generated TPC-H database —
+// the library as a miniature analytics engine.
+//
+//   $ ./sql_shell [scale_factor]
+//   tpch> SELECT l_returnflag, COUNT(*) AS n FROM lineitem
+//         GROUP BY l_returnflag ORDER BY l_returnflag
+//
+// Supports the dialect of sql::Parse (SELECT [*]/JOIN/WHERE/GROUP BY/
+// HAVING/ORDER BY/LIMIT, aggregates, LIKE, BETWEEN, DATE literals).
+// One statement per line; empty line or EOF exits.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sql/engine.h"
+#include "tpch/dbgen.h"
+
+using namespace elephant;
+
+int main(int argc, char** argv) {
+  double sf = argc > 1 ? atof(argv[1]) : 0.01;
+  printf("Generating TPC-H at SF %.3f...\n", sf);
+  tpch::TpchDatabase db = tpch::GenerateDatabase(sf);
+  sql::Database catalog;
+  catalog.RegisterTpch(db);
+  printf("Tables: region nation supplier part partsupp customer orders "
+         "lineitem (%zu lineitems)\n",
+         db.lineitem.num_rows());
+  printf("Example: SELECT o_orderpriority, COUNT(*) AS n FROM orders "
+         "GROUP BY o_orderpriority ORDER BY o_orderpriority\n\n");
+
+  std::string line;
+  char buf[4096];
+  for (;;) {
+    printf("tpch> ");
+    fflush(stdout);
+    if (fgets(buf, sizeof(buf), stdin) == nullptr) break;
+    line = buf;
+    while (!line.empty() && (line.back() == '\n' || line.back() == ';')) {
+      line.pop_back();
+    }
+    if (line.empty()) break;
+    auto result = catalog.Query(line);
+    if (!result.ok()) {
+      printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    printf("%s(%zu rows)\n", result.value().ToString(25).c_str(),
+           result.value().num_rows());
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// A miniature TPC-H console: generates a real (scaled-down) TPC-H
+// database with the built-in dbgen, executes real queries through the
+// relational executor, prints their answers, and then shows what the
+// simulated Hive and PDW clusters would take for the same query at the
+// paper's scale factors.
+//
+//   $ ./tpch_console [query_number] [scale_factor]
+//   $ ./tpch_console 5 0.01
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "tpch/dbgen.h"
+#include "tpch/dss_benchmark.h"
+#include "tpch/queries.h"
+
+using namespace elephant;
+
+int main(int argc, char** argv) {
+  int query = argc > 1 ? atoi(argv[1]) : 5;
+  double sf = argc > 2 ? atof(argv[2]) : 0.01;
+  if (query < 1 || query > tpch::kNumQueries) {
+    fprintf(stderr, "query must be 1..22\n");
+    return 1;
+  }
+
+  printf("Generating TPC-H at SF %.3f...\n", sf);
+  tpch::TpchDatabase db = tpch::GenerateDatabase(sf);
+  printf("  %zu orders, %zu lineitems, %zu customers\n",
+         db.orders.num_rows(), db.lineitem.num_rows(),
+         db.customer.num_rows());
+
+  printf("\nQ%d: %s\n", query, tpch::QueryName(query));
+  exec::Table result = tpch::RunQuery(query, db);
+  printf("%s\n", result.ToString(10).c_str());
+
+  printf("Same query on the simulated 16-node cluster:\n");
+  printf("%-8s | %-12s | %-12s | %-9s\n", "SF (GB)", "Hive (s)", "PDW (s)",
+         "speedup");
+  tpch::DssBenchmark bench;
+  for (double scale : tpch::kPaperScaleFactors) {
+    hive::HiveQueryResult h = bench.RunHive(query, scale);
+    pdw::PdwQueryResult p = bench.RunPdw(query, scale);
+    if (h.failed_out_of_disk) {
+      printf("%-8.0f | %-12s | %12.0f | %-9s\n", scale, "out of disk",
+             SimTimeToSeconds(p.total), "--");
+    } else {
+      printf("%-8.0f | %12.0f | %12.0f | %8.1fx\n", scale,
+             SimTimeToSeconds(h.total), SimTimeToSeconds(p.total),
+             static_cast<double>(h.total) / p.total);
+    }
+  }
+
+  // Show the stage-level anatomy at SF 1000.
+  printf("\nHive job breakdown at SF 1000:\n");
+  hive::HiveQueryResult h = bench.RunHive(query, 1000);
+  for (const auto& job : h.jobs) {
+    printf("  %-32s %8.1f s (map %.0f s, %d waves)\n", job.name.c_str(),
+           SimTimeToSeconds(job.stats.total),
+           SimTimeToSeconds(job.stats.map_phase), job.stats.map_waves);
+  }
+  printf("PDW step breakdown at SF 1000:\n");
+  pdw::PdwQueryResult p = bench.RunPdw(query, 1000);
+  for (const auto& [label, t] : p.steps) {
+    printf("  %-36s %8.1f s\n", label.c_str(), SimTimeToSeconds(t));
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "cluster/cluster.h"
+
+#include "common/string_util.h"
+
+namespace elephant::cluster {
+
+DiskGroup::DiskGroup(sim::Simulation* sim, const sim::Disk::Config& config,
+                     int num_disks, std::string name)
+    : config_(config),
+      num_disks_(num_disks),
+      server_(sim, num_disks, std::move(name)) {}
+
+SimTime DiskGroup::ServiceTime(int64_t bytes, bool sequential) const {
+  double transfer_s = static_cast<double>(bytes) / (config_.seq_mbps * 1e6);
+  SimTime t = SecondsToSimTime(transfer_s);
+  if (!sequential) t += config_.position_time;
+  return t;
+}
+
+sim::Server::Awaiter DiskGroup::RandomRead(int64_t bytes) {
+  bytes_read_ += bytes;
+  return server_.Acquire(ServiceTime(bytes, /*sequential=*/false));
+}
+
+sim::Server::Awaiter DiskGroup::RandomWrite(int64_t bytes) {
+  bytes_written_ += bytes;
+  return server_.Acquire(ServiceTime(bytes, /*sequential=*/false));
+}
+
+sim::Server::Awaiter DiskGroup::SeqRead(int64_t bytes) {
+  bytes_read_ += bytes;
+  return server_.Acquire(ServiceTime(bytes, /*sequential=*/true));
+}
+
+sim::Server::Awaiter DiskGroup::SeqWrite(int64_t bytes) {
+  bytes_written_ += bytes;
+  return server_.Acquire(ServiceTime(bytes, /*sequential=*/true));
+}
+
+double DiskGroup::AggregateSeqBytesPerSec() const {
+  return config_.seq_mbps * 1e6 * num_disks_;
+}
+
+double DiskGroup::AggregateRandomIops(int64_t bytes) const {
+  double per_req_s = SimTimeToSeconds(ServiceTime(bytes, false));
+  return num_disks_ / per_req_s;
+}
+
+Node::Node(sim::Simulation* sim, int id, const NodeConfig& config)
+    : id_(id),
+      config_(config),
+      cpu_(sim, config.hardware_threads, StrFormat("node%d.cpu", id)),
+      data_disks_(sim, config.disk, config.data_disks,
+                  StrFormat("node%d.data", id)),
+      log_disk_(sim, config.disk, StrFormat("node%d.log", id)),
+      nic_tx_(sim, config.nic, StrFormat("node%d.tx", id)),
+      nic_rx_(sim, config.nic, StrFormat("node%d.rx", id)) {}
+
+Cluster::Cluster(sim::Simulation* sim, int num_nodes,
+                 const NodeConfig& config)
+    : sim_(sim), config_(config) {
+  nodes_.reserve(num_nodes);
+  for (int i = 0; i < num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(sim, i, config));
+  }
+}
+
+sim::Task Cluster::Transfer(int from, int to, int64_t bytes,
+                            sim::Latch* done) {
+  if (from != to) {
+    co_await nodes_[from]->nic_tx().Send(bytes);
+    co_await nodes_[to]->nic_rx().server().Acquire(
+        nodes_[to]->nic_rx().TransferTime(bytes) -
+        config_.nic.per_message_latency);
+  }
+  done->CountDown();
+}
+
+SimTime Cluster::ShuffleTime(int64_t total_bytes, int participants) const {
+  if (participants <= 1) return 0;
+  // Each node sends total/n bytes, of which (n-1)/n crosses the network;
+  // egress and ingress proceed in parallel, so per-node NIC drain time is
+  // the bound.
+  double per_node_bytes = static_cast<double>(total_bytes) / participants *
+                          (participants - 1) / participants;
+  double seconds = per_node_bytes * 8.0 / (config_.nic.gbps * 1e9);
+  return SecondsToSimTime(seconds);
+}
+
+SimTime Cluster::BroadcastTime(int64_t bytes, int participants) const {
+  if (participants <= 1) return 0;
+  double seconds = static_cast<double>(bytes) * (participants - 1) * 8.0 /
+                   (config_.nic.gbps * 1e9);
+  return SecondsToSimTime(seconds);
+}
+
+}  // namespace elephant::cluster

@@ -1,0 +1,135 @@
+#ifndef ELEPHANT_CLUSTER_CLUSTER_H_
+#define ELEPHANT_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/resources.h"
+#include "sim/simulation.h"
+
+namespace elephant::cluster {
+
+/// Hardware description of one node. Defaults reproduce the paper's
+/// testbed (§3.1): dual Intel Xeon L5630 quad-core @ 2.13 GHz
+/// (16 hyper-threads), 32 GB RAM, 10 SAS 10K RPM disks of which 8 hold
+/// data, 1 GbE through an HP Procurve switch.
+struct NodeConfig {
+  int hardware_threads = 16;
+  int64_t memory_bytes = 32LL * kGB;
+  int data_disks = 8;
+  sim::Disk::Config disk;        ///< per-spindle characteristics
+  sim::Link::Config nic;         ///< one direction of the full-duplex NIC
+  /// Relative CPU speed multiplier (1.0 = the paper's 2.13 GHz Xeon).
+  double cpu_speed = 1.0;
+};
+
+/// A group of identical spindles treated as one storage volume. With
+/// `data_disks` spindles, up to that many requests are in service
+/// concurrently, so aggregate sequential bandwidth is
+/// data_disks * seq_mbps (the paper: 8 disks ≈ 800 MB/s aggregate).
+/// Covers both the RAID-0 layout (Hive/MongoDB) and the
+/// one-volume-per-disk layout (PDW/SQL Server): both expose the same
+/// spindle-level parallelism to the model.
+class DiskGroup {
+ public:
+  DiskGroup(sim::Simulation* sim, const sim::Disk::Config& config,
+            int num_disks, std::string name);
+
+  /// Random-access read/write of one request of `bytes`.
+  sim::Server::Awaiter RandomRead(int64_t bytes);
+  sim::Server::Awaiter RandomWrite(int64_t bytes);
+  /// Streaming read/write of `bytes` as one request (no positioning).
+  sim::Server::Awaiter SeqRead(int64_t bytes);
+  sim::Server::Awaiter SeqWrite(int64_t bytes);
+
+  /// Aggregate sequential bandwidth in bytes/sec.
+  double AggregateSeqBytesPerSec() const;
+  /// Aggregate random-read throughput in requests/sec for `bytes` pages.
+  double AggregateRandomIops(int64_t bytes) const;
+
+  sim::Server& server() { return server_; }
+  int num_disks() const { return num_disks_; }
+  int64_t bytes_read() const { return bytes_read_; }
+  int64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  SimTime ServiceTime(int64_t bytes, bool sequential) const;
+
+  sim::Disk::Config config_;
+  int num_disks_;
+  sim::Server server_;
+  int64_t bytes_read_ = 0;
+  int64_t bytes_written_ = 0;
+};
+
+/// One simulated machine: CPU slots, memory accounting, a data volume, a
+/// dedicated log disk, and a full-duplex NIC.
+class Node {
+ public:
+  Node(sim::Simulation* sim, int id, const NodeConfig& config);
+
+  int id() const { return id_; }
+  const NodeConfig& config() const { return config_; }
+
+  /// CPU: capacity = hardware threads; Acquire with the work's duration.
+  sim::Server& cpu() { return cpu_; }
+  /// Scales a CPU-work duration by this node's speed.
+  SimTime CpuWork(SimTime work) const {
+    return static_cast<SimTime>(static_cast<double>(work) /
+                                config_.cpu_speed);
+  }
+
+  DiskGroup& data_disks() { return data_disks_; }
+  sim::Disk& log_disk() { return log_disk_; }
+  sim::Link& nic_tx() { return nic_tx_; }
+  sim::Link& nic_rx() { return nic_rx_; }
+
+  int64_t memory_bytes() const { return config_.memory_bytes; }
+
+ private:
+  int id_;
+  NodeConfig config_;
+  sim::Server cpu_;
+  DiskGroup data_disks_;
+  sim::Disk log_disk_;
+  sim::Link nic_tx_;
+  sim::Link nic_rx_;
+};
+
+/// A rack of nodes behind one non-blocking switch (the paper's HP
+/// Procurve 2510G); each node's ingress/egress is limited by its own
+/// 1 Gb/s NIC.
+class Cluster {
+ public:
+  Cluster(sim::Simulation* sim, int num_nodes, const NodeConfig& config);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  Node& node(int i) { return *nodes_[i]; }
+  sim::Simulation* simulation() { return sim_; }
+  const NodeConfig& node_config() const { return config_; }
+
+  /// Point-to-point message: charges the sender's egress and the
+  /// receiver's ingress. Returns a coroutine task completing the latch
+  /// when both directions have drained.
+  sim::Task Transfer(int from, int to, int64_t bytes, sim::Latch* done);
+
+  /// Analytical time for an all-to-all shuffle of `total_bytes` spread
+  /// evenly over the participating nodes (every node both sends and
+  /// receives total/n bytes; bottleneck is the per-node NIC).
+  SimTime ShuffleTime(int64_t total_bytes, int participants) const;
+
+  /// Analytical time to broadcast `bytes` from one node to all others
+  /// (sender NIC-bound: (n-1) * bytes / bandwidth).
+  SimTime BroadcastTime(int64_t bytes, int participants) const;
+
+ private:
+  sim::Simulation* sim_;
+  NodeConfig config_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace elephant::cluster
+
+#endif  // ELEPHANT_CLUSTER_CLUSTER_H_

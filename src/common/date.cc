@@ -1,0 +1,90 @@
+#include "common/date.h"
+
+#include <cstdio>
+
+namespace elephant {
+
+namespace {
+
+bool IsLeap(int y) {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+int DaysInMonth(int y, int m) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (m == 2 && IsLeap(y)) return 29;
+  return kDays[m - 1];
+}
+
+}  // namespace
+
+DateCode MakeDate(int y, int m, int d) {
+  // Howard Hinnant's days_from_civil.
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(d) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<DateCode>(era * 146097 + static_cast<int>(doe) -
+                               719468);
+}
+
+void CivilFromDate(DateCode date, int* year, int* month, int* day) {
+  // Howard Hinnant's civil_from_days.
+  int z = date + 719468;
+  const int era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int y = static_cast<int>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  *year = y + (m <= 2);
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+DateCode ParseDate(const std::string& s) {
+  int y = 0, m = 0, d = 0;
+  sscanf(s.c_str(), "%d-%d-%d", &y, &m, &d);
+  return MakeDate(y, m, d);
+}
+
+std::string FormatDate(DateCode date) {
+  int y, m, d;
+  CivilFromDate(date, &y, &m, &d);
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+DateCode AddMonths(DateCode date, int months) {
+  int y, m, d;
+  CivilFromDate(date, &y, &m, &d);
+  int total = (y * 12 + (m - 1)) + months;
+  int ny = total / 12;
+  int nm = total % 12 + 1;
+  if (nm <= 0) {
+    nm += 12;
+    ny -= 1;
+  }
+  int nd = d;
+  int dim = DaysInMonth(ny, nm);
+  if (nd > dim) nd = dim;
+  return MakeDate(ny, nm, nd);
+}
+
+DateCode AddYears(DateCode date, int years) {
+  return AddMonths(date, years * 12);
+}
+
+int YearOf(DateCode date) {
+  int y, m, d;
+  CivilFromDate(date, &y, &m, &d);
+  return y;
+}
+
+}  // namespace elephant

@@ -1,0 +1,38 @@
+#ifndef ELEPHANT_COMMON_DATE_H_
+#define ELEPHANT_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace elephant {
+
+/// Calendar dates stored as days since 1970-01-01 (can be negative).
+/// TPC-H data spans 1992-01-01 .. 1998-12-31; queries do date arithmetic
+/// in days, months and years.
+using DateCode = int32_t;
+
+/// days_from_civil (Hinnant's algorithm): y/m/d -> days since epoch.
+DateCode MakeDate(int year, int month, int day);
+
+/// Inverse of MakeDate.
+void CivilFromDate(DateCode date, int* year, int* month, int* day);
+
+/// Parses "YYYY-MM-DD".
+DateCode ParseDate(const std::string& s);
+
+/// Formats as "YYYY-MM-DD".
+std::string FormatDate(DateCode date);
+
+/// Adds calendar months, clamping the day to the target month's length
+/// (SQL interval semantics: 1996-01-31 + 1 month = 1996-02-29).
+DateCode AddMonths(DateCode date, int months);
+
+/// Adds calendar years.
+DateCode AddYears(DateCode date, int years);
+
+/// Extracts the year.
+int YearOf(DateCode date);
+
+}  // namespace elephant
+
+#endif  // ELEPHANT_COMMON_DATE_H_

@@ -1,0 +1,111 @@
+#include "common/distributions.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace elephant {
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta), computed_n_(0) {
+  assert(n > 0);
+  Recompute();
+}
+
+double ZipfianGenerator::Zeta(uint64_t from, uint64_t to, double theta,
+                              double seed) {
+  double sum = seed;
+  for (uint64_t i = from; i < to; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  return sum;
+}
+
+void ZipfianGenerator::Recompute() {
+  if (computed_n_ == 0) {
+    zetan_ = Zeta(0, n_, theta_, 0.0);
+  } else if (n_ > computed_n_) {
+    zetan_ = Zeta(computed_n_, n_, theta_, zetan_);
+  } else if (n_ < computed_n_) {
+    zetan_ = Zeta(0, n_, theta_, 0.0);
+  }
+  computed_n_ = n_;
+  zeta2_ = Zeta(0, 2, theta_, 0.0);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t ZipfianGenerator::Next(Rng* rng) {
+  double u = rng->NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  uint64_t v = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (v >= n_) v = n_ - 1;
+  return v;
+}
+
+void ZipfianGenerator::SetLastValue(uint64_t max) {
+  if (max + 1 != n_) {
+    n_ = max + 1;
+    Recompute();
+  }
+}
+
+ScrambledZipfianGenerator::ScrambledZipfianGenerator(uint64_t n,
+                                                     double theta)
+    : n_(n), zipf_(n, theta) {}
+
+uint64_t ScrambledZipfianGenerator::Next(Rng* rng) {
+  uint64_t rank = zipf_.Next(rng);
+  return Fnv1a64(rank) % n_;
+}
+
+void ScrambledZipfianGenerator::SetLastValue(uint64_t max) {
+  n_ = max + 1;
+  // YCSB keeps the zipfian over the original item count and only expands
+  // the hash range; we follow the same approach for stability.
+}
+
+LatestGenerator::LatestGenerator(uint64_t n, double theta)
+    : last_(n - 1), zipf_(n, theta) {}
+
+uint64_t LatestGenerator::Next(Rng* rng) {
+  uint64_t offset = zipf_.Next(rng);
+  if (offset > last_) return 0;
+  return last_ - offset;
+}
+
+void LatestGenerator::SetLastValue(uint64_t max) {
+  // Completions can arrive out of order; only ever grow (shrinking
+  // would also force a full zeta recomputation).
+  if (max <= last_) return;
+  last_ = max;
+  zipf_.SetLastValue(max);
+}
+
+void DiscreteGenerator::Add(int value, double weight) {
+  if (weight <= 0) return;
+  entries_.emplace_back(value, weight);
+  total_ += weight;
+}
+
+int DiscreteGenerator::Next(Rng* rng) const {
+  assert(!entries_.empty());
+  double u = rng->NextDouble() * total_;
+  for (const auto& [value, weight] : entries_) {
+    if (u < weight) return value;
+    u -= weight;
+  }
+  return entries_.back().first;
+}
+
+double DiscreteGenerator::WeightOf(int value) const {
+  for (const auto& [v, w] : entries_) {
+    if (v == value) return w / total_;
+  }
+  return 0.0;
+}
+
+}  // namespace elephant

@@ -1,0 +1,131 @@
+#ifndef ELEPHANT_COMMON_DISTRIBUTIONS_H_
+#define ELEPHANT_COMMON_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace elephant {
+
+/// Key-request distribution interface, matching the generator family used
+/// by the YCSB benchmark (Cooper et al., SoCC 2010) that the paper's OLTP
+/// evaluation is built on.
+class IntegerGenerator {
+ public:
+  virtual ~IntegerGenerator() = default;
+
+  /// Draws the next value.
+  virtual uint64_t Next(Rng* rng) = 0;
+
+  /// Informs the generator that keys [0, max] now exist (used by
+  /// insert-following distributions such as Latest).
+  virtual void SetLastValue(uint64_t max) { (void)max; }
+
+  virtual std::string name() const = 0;
+};
+
+/// Uniform over [lo, hi].
+class UniformGenerator : public IntegerGenerator {
+ public:
+  UniformGenerator(uint64_t lo, uint64_t hi) : lo_(lo), hi_(hi) {}
+  uint64_t Next(Rng* rng) override {
+    return lo_ + rng->Uniform(hi_ - lo_ + 1);
+  }
+  void SetLastValue(uint64_t max) override { hi_ = max; }
+  std::string name() const override { return "uniform"; }
+
+ private:
+  uint64_t lo_;
+  uint64_t hi_;
+};
+
+/// Zipfian over [0, n) with the YCSB incremental-zeta algorithm
+/// (Gray et al., "Quickly Generating Billion-Record Synthetic Databases").
+/// Item 0 is the most popular.
+class ZipfianGenerator : public IntegerGenerator {
+ public:
+  static constexpr double kDefaultTheta = 0.99;
+
+  explicit ZipfianGenerator(uint64_t n, double theta = kDefaultTheta);
+
+  uint64_t Next(Rng* rng) override;
+  void SetLastValue(uint64_t max) override;
+  std::string name() const override { return "zipfian"; }
+
+  uint64_t item_count() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t from, uint64_t to, double theta, double seed);
+  void Recompute();
+
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+  uint64_t computed_n_;  ///< n the zetan_ was computed for
+};
+
+/// Zipfian popularity spread over the whole keyspace via hashing, so hot
+/// keys are scattered instead of clustered at the low end. This is YCSB's
+/// default request distribution for workloads A, B, C and E.
+class ScrambledZipfianGenerator : public IntegerGenerator {
+ public:
+  explicit ScrambledZipfianGenerator(uint64_t n,
+                                     double theta = ZipfianGenerator::kDefaultTheta);
+  uint64_t Next(Rng* rng) override;
+  void SetLastValue(uint64_t max) override;
+  std::string name() const override { return "scrambled_zipfian"; }
+
+ private:
+  uint64_t n_;
+  ZipfianGenerator zipf_;
+};
+
+/// "Latest" distribution: recently inserted keys are most popular
+/// (workload D's read side). Draws a zipfian-distributed distance from the
+/// most recent insert.
+class LatestGenerator : public IntegerGenerator {
+ public:
+  explicit LatestGenerator(uint64_t n,
+                           double theta = ZipfianGenerator::kDefaultTheta);
+  uint64_t Next(Rng* rng) override;
+  void SetLastValue(uint64_t max) override;
+  std::string name() const override { return "latest"; }
+
+ private:
+  uint64_t last_;
+  ZipfianGenerator zipf_;
+};
+
+/// Uniform scan-length generator for workload E (YCSB default: uniform in
+/// [1, max_len]; the paper caps scans at 1000 records).
+class ScanLengthGenerator {
+ public:
+  explicit ScanLengthGenerator(uint64_t max_len) : max_len_(max_len) {}
+  uint64_t Next(Rng* rng) { return 1 + rng->Uniform(max_len_); }
+  uint64_t max_len() const { return max_len_; }
+
+ private:
+  uint64_t max_len_;
+};
+
+/// Weighted choice over a small fixed set of operation types.
+class DiscreteGenerator {
+ public:
+  void Add(int value, double weight);
+  int Next(Rng* rng) const;
+  double WeightOf(int value) const;
+
+ private:
+  std::vector<std::pair<int, double>> entries_;
+  double total_ = 0;
+};
+
+}  // namespace elephant
+
+#endif  // ELEPHANT_COMMON_DISTRIBUTIONS_H_

@@ -1,0 +1,115 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace elephant {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) { Reset(); }
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = INT64_MAX;
+  max_ = 0;
+  sum_ = 0;
+  sum_squares_ = 0;
+}
+
+int Histogram::BucketFor(int64_t value) {
+  if (value < 0) value = 0;
+  // First 64 buckets are linear [0..64), then log-linear: 8 sub-buckets
+  // per power of two.
+  if (value < 64) return static_cast<int>(value);
+  int log2 = 63 - __builtin_clzll(static_cast<uint64_t>(value));
+  int sub = static_cast<int>((value >> (log2 - 3)) & 7);
+  int bucket = 64 + (log2 - 6) * 8 + sub;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+int64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket < 64) return bucket;
+  int idx = bucket - 64;
+  int log2 = idx / 8 + 6;
+  int sub = idx % 8;
+  return (1LL << log2) + static_cast<int64_t>(sub + 1) * (1LL << (log2 - 3)) -
+         1;
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[BucketFor(value)]++;
+  count_++;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  double v = static_cast<double>(value);
+  sum_ += v;
+  sum_squares_ += v * v;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  sum_squares_ += other.sum_squares_;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::StdDev() const {
+  if (count_ < 2) return 0.0;
+  double n = static_cast<double>(count_);
+  double var = (sum_squares_ - sum_ * sum_ / n) / (n - 1);
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+int64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  double target = p / 100.0 * static_cast<double>(count_);
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << Mean() << " min=" << min()
+     << " max=" << max_ << " p50=" << Percentile(50) << " p95="
+     << Percentile(95) << " p99=" << Percentile(99);
+  return os.str();
+}
+
+double WindowedSeries::MeanOfLast(size_t n) const {
+  if (values_.empty()) return 0.0;
+  size_t start = values_.size() > n ? values_.size() - n : 0;
+  double sum = 0;
+  for (size_t i = start; i < values_.size(); ++i) sum += values_[i];
+  return sum / static_cast<double>(values_.size() - start);
+}
+
+double WindowedSeries::StdErrorOfLast(size_t n) const {
+  if (values_.empty()) return 0.0;
+  size_t start = values_.size() > n ? values_.size() - n : 0;
+  size_t m = values_.size() - start;
+  if (m < 2) return 0.0;
+  double mean = MeanOfLast(n);
+  double ss = 0;
+  for (size_t i = start; i < values_.size(); ++i) {
+    double d = values_[i] - mean;
+    ss += d * d;
+  }
+  double var = ss / static_cast<double>(m - 1);
+  return std::sqrt(var / static_cast<double>(m));
+}
+
+}  // namespace elephant

@@ -1,0 +1,70 @@
+#ifndef ELEPHANT_COMMON_HISTOGRAM_H_
+#define ELEPHANT_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elephant {
+
+/// Log-linear latency histogram (HdrHistogram-style), recording int64
+/// values (we use microseconds). Constant memory, O(1) record, percentile
+/// queries by bucket walk. Bucket boundaries grow ~12.5% per step.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(int64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  int64_t min() const { return count_ ? min_ : 0; }
+  int64_t max() const { return max_; }
+  double Mean() const;
+  double StdDev() const;
+  /// Value at percentile p in [0, 100].
+  int64_t Percentile(double p) const;
+  int64_t Median() const { return Percentile(50.0); }
+
+  /// Multi-line summary ("count=... mean=... p50=... p99=...").
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 512;
+  static int BucketFor(int64_t value);
+  static int64_t BucketUpperBound(int bucket);
+
+  std::vector<int64_t> buckets_;
+  int64_t count_;
+  int64_t min_;
+  int64_t max_;
+  double sum_;
+  double sum_squares_;
+};
+
+/// Accumulates a mean and its standard error across fixed windows — the
+/// paper reports "average values over the last 10 minutes of execution,
+/// measured every 10 second interval" with standard errors across the 60
+/// measurements. WindowedSeries captures exactly that protocol.
+class WindowedSeries {
+ public:
+  void AddWindow(double value) { values_.push_back(value); }
+
+  size_t size() const { return values_.size(); }
+
+  /// Mean over the last `n` windows (all windows if n >= size).
+  double MeanOfLast(size_t n) const;
+
+  /// Standard error of the mean over the last `n` windows.
+  double StdErrorOfLast(size_t n) const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace elephant
+
+#endif  // ELEPHANT_COMMON_HISTOGRAM_H_

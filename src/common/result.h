@@ -1,0 +1,74 @@
+#ifndef ELEPHANT_COMMON_RESULT_H_
+#define ELEPHANT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace elephant {
+
+/// Holds either a value of type T or a non-OK Status.
+///
+///   Result<int> r = ParsePort(text);
+///   if (!r.ok()) return r.status();
+///   int port = r.value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit by design, mirroring
+  /// arrow::Result).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status. Calling this with an OK status is a
+  /// programming error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the error (or OK if a value is held).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates the error of a Result expression, otherwise assigns its
+/// value to `lhs` (which must be a declaration or lvalue).
+#define ELEPHANT_CONCAT_INNER_(a, b) a##b
+#define ELEPHANT_CONCAT_(a, b) ELEPHANT_CONCAT_INNER_(a, b)
+#define ELEPHANT_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto&& var = (expr);                                  \
+  if (!var.ok()) return var.status();                   \
+  lhs = std::move(var).value();
+#define ELEPHANT_ASSIGN_OR_RETURN(lhs, expr) \
+  ELEPHANT_ASSIGN_OR_RETURN_IMPL_(ELEPHANT_CONCAT_(_res_, __LINE__), lhs, \
+                                  expr)
+
+}  // namespace elephant
+
+#endif  // ELEPHANT_COMMON_RESULT_H_

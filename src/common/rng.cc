@@ -1,0 +1,126 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace elephant {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Exponential(double mean) {
+  double u = NextDouble();
+  if (u <= 0.0) u = 1e-18;
+  return -mean * std::log(u);
+}
+
+uint64_t TpchRandom::NextBits() {
+  seed_ = (seed_ * kMultiplier + kIncrement) & kMask48;
+  return seed_;
+}
+
+int32_t TpchRandom::Random32(int64_t low, int64_t high) {
+  // Reproduces dbgen's RANDOM: the range (high - low + 1) is held in a
+  // 32-bit signed int, so ranges above INT32_MAX wrap to negative values
+  // and the resulting "uniform" draw can be negative. This is the bug the
+  // paper observed for partkey/custkey in mk_order at SF 16000.
+  int32_t range = static_cast<int32_t>(high - low + 1);
+  uint64_t bits = NextBits() >> 16;  // top 32 bits of the 48-bit state
+  if (range <= 0) {
+    // Overflowed range: dbgen computes (seed % range) with range negative
+    // or zero, producing garbage. We model the observable symptom the
+    // paper reports: negative key values.
+    uint32_t m = static_cast<uint32_t>(-static_cast<int64_t>(range));
+    if (m == 0) m = 1;
+    return -static_cast<int32_t>(bits % m) - 1;
+  }
+  return static_cast<int32_t>(low + static_cast<int64_t>(
+                                        bits % static_cast<uint32_t>(range)));
+}
+
+int64_t TpchRandom::Random64(int64_t low, int64_t high) {
+  uint64_t range = static_cast<uint64_t>(high - low + 1);
+  // One 48-bit draw, passed through a finalizer: the raw LCG's low bits
+  // have tiny periods, which would skew `% range` badly.
+  uint64_t state = NextBits();
+  uint64_t bits = SplitMix64(&state);
+  return low + static_cast<int64_t>(bits % range);
+}
+
+void TpchRandom::Advance(int64_t count) {
+  // O(log n) LCG skip-ahead via modular exponentiation of the update.
+  uint64_t mult = kMultiplier;
+  uint64_t add = kIncrement;
+  uint64_t n = static_cast<uint64_t>(count);
+  uint64_t acc_mult = 1;
+  uint64_t acc_add = 0;
+  while (n > 0) {
+    if (n & 1) {
+      acc_mult = (acc_mult * mult) & kMask48;
+      acc_add = (acc_add * mult + add) & kMask48;
+    }
+    add = ((mult + 1) * add) & kMask48;
+    mult = (mult * mult) & kMask48;
+    n >>= 1;
+  }
+  seed_ = (acc_mult * seed_ + acc_add) & kMask48;
+}
+
+uint64_t Fnv1a64(const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+uint64_t Fnv1a64(uint64_t value) {
+  return Fnv1a64(&value, sizeof(value));
+}
+
+}  // namespace elephant

@@ -1,0 +1,83 @@
+#ifndef ELEPHANT_COMMON_RNG_H_
+#define ELEPHANT_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace elephant {
+
+/// Splits a 64-bit seed into a well-mixed stream (Steele et al.,
+/// SplitMix64). Used to seed other generators deterministically.
+uint64_t SplitMix64(uint64_t* state);
+
+/// General-purpose deterministic PRNG (xoshiro256**). All randomized
+/// behaviour in the library flows from explicitly seeded instances of this
+/// class so that every benchmark and test is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  double Exponential(double mean);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// The TPC-H dbgen random stream: a 48-bit linear congruential generator
+/// equivalent to the one shipped with dbgen. Each column has its own
+/// stream; dbgen advances streams deterministically so that rows can be
+/// generated independently and in parallel.
+class TpchRandom {
+ public:
+  explicit TpchRandom(uint64_t seed) : seed_(seed & kMask48) {}
+
+  /// dbgen's RANDOM(low, high): uniform integer in [low, high], computed
+  /// with *32-bit* range arithmetic. At TPC-H scale factor 16000 the
+  /// partkey/custkey ranges exceed INT32_MAX and this overflows to
+  /// negative values — the exact bug the paper reports in §3.3.1.
+  int32_t Random32(int64_t low, int64_t high);
+
+  /// The paper's RANDOM64 fix: same stream, 64-bit range arithmetic; never
+  /// overflows for TPC-H ranges.
+  int64_t Random64(int64_t low, int64_t high);
+
+  /// Advances the stream by `count` values without generating them
+  /// (dbgen's row-skipping used for parallel generation).
+  void Advance(int64_t count);
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  static constexpr uint64_t kMask48 = (1ULL << 48) - 1;
+  static constexpr uint64_t kMultiplier = 0x5DEECE66DULL;
+  static constexpr uint64_t kIncrement = 0xBULL;
+
+  uint64_t NextBits();
+
+  uint64_t seed_;
+};
+
+/// 64-bit FNV-1a, the hash used for client-side sharding (SQL-CS and
+/// Mongo-CS home-node selection) and for Hive bucket assignment.
+uint64_t Fnv1a64(const void* data, size_t len);
+uint64_t Fnv1a64(uint64_t value);
+
+}  // namespace elephant
+
+#endif  // ELEPHANT_COMMON_RNG_H_

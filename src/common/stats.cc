@@ -1,0 +1,35 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+namespace elephant {
+
+double ArithmeticMean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double GeometricMean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0;
+  for (double x : xs) {
+    if (x <= 0) return 0.0;
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  sum_ += x;
+  count_++;
+}
+
+}  // namespace elephant

@@ -1,0 +1,35 @@
+#ifndef ELEPHANT_COMMON_STATS_H_
+#define ELEPHANT_COMMON_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace elephant {
+
+/// Arithmetic mean of a sample. Returns 0 for an empty sample.
+double ArithmeticMean(const std::vector<double>& xs);
+
+/// Geometric mean of a positive sample. Returns 0 for an empty sample.
+/// Used for Table 3's GM rows (computed in log space for stability).
+double GeometricMean(const std::vector<double>& xs);
+
+/// Simple online accumulator for count/mean/min/max.
+class RunningStat {
+ public:
+  void Add(double x);
+  int64_t count() const { return count_; }
+  double mean() const { return count_ ? sum_ / count_ : 0.0; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  int64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace elephant
+
+#endif  // ELEPHANT_COMMON_STATS_H_

@@ -1,0 +1,79 @@
+#include "common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace elephant {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int len = vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (len > 0) {
+    out.resize(static_cast<size_t>(len));
+    vsnprintf(out.data(), static_cast<size_t>(len) + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::vector<std::string> StrSplit(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string HumanBytes(int64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 5) {
+    v /= 1024.0;
+    ++u;
+  }
+  if (u == 0) return StrFormat("%lld B", static_cast<long long>(bytes));
+  return StrFormat("%.1f %s", v, units[u]);
+}
+
+std::string HumanMicros(int64_t micros) {
+  if (micros >= 60LL * 1000 * 1000) {
+    return StrFormat("%.1f min",
+                     static_cast<double>(micros) / (60.0 * 1e6));
+  }
+  if (micros >= 1000 * 1000) {
+    return StrFormat("%.1f s", static_cast<double>(micros) / 1e6);
+  }
+  if (micros >= 1000) {
+    return StrFormat("%.1f ms", static_cast<double>(micros) / 1e3);
+  }
+  return StrFormat("%lld us", static_cast<long long>(micros));
+}
+
+std::string ZeroPadKey(uint64_t n, int width) {
+  std::string digits = std::to_string(n);
+  if (static_cast<int>(digits.size()) >= width) return digits;
+  return std::string(static_cast<size_t>(width) - digits.size(), '0') +
+         digits;
+}
+
+}  // namespace elephant

@@ -1,0 +1,34 @@
+#ifndef ELEPHANT_COMMON_STRING_UTIL_H_
+#define ELEPHANT_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elephant {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins pieces with a separator: {"a","b"} + "," -> "a,b".
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    const std::string& sep);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> StrSplit(const std::string& s, char delim);
+
+/// "1.5 GB", "337 MB", "42 KB", "17 B".
+std::string HumanBytes(int64_t bytes);
+
+/// "2512 min", "86.4 s", "12.3 ms" from microseconds.
+std::string HumanMicros(int64_t micros);
+
+/// Left-pads with '0' to `width` — the YCSB key format the paper uses
+/// ("the string representation of the integer prefixed with a sequence of
+/// '0' so the total length of the key is 24 bytes").
+std::string ZeroPadKey(uint64_t n, int width);
+
+}  // namespace elephant
+
+#endif  // ELEPHANT_COMMON_STRING_UTIL_H_

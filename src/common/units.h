@@ -1,0 +1,40 @@
+#ifndef ELEPHANT_COMMON_UNITS_H_
+#define ELEPHANT_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace elephant {
+
+/// Simulated time is measured in integer microseconds from simulation
+/// start. All engine models and the DES kernel use this type.
+using SimTime = int64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000;
+constexpr SimTime kSecond = 1000 * 1000;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+
+/// Converts seconds (possibly fractional) to SimTime.
+constexpr SimTime SecondsToSimTime(double seconds) {
+  return static_cast<SimTime>(seconds * static_cast<double>(kSecond));
+}
+
+/// Converts SimTime to fractional seconds.
+constexpr double SimTimeToSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Converts SimTime to fractional milliseconds.
+constexpr double SimTimeToMillis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+constexpr int64_t kKB = 1024;
+constexpr int64_t kMB = 1024 * kKB;
+constexpr int64_t kGB = 1024 * kMB;
+constexpr int64_t kTB = 1024 * kGB;
+
+}  // namespace elephant
+
+#endif  // ELEPHANT_COMMON_UNITS_H_

@@ -1,0 +1,103 @@
+#include "dfs/dfs.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace elephant::dfs {
+
+DistributedFileSystem::DistributedFileSystem(cluster::Cluster* cluster,
+                                             const DfsOptions& options)
+    : cluster_(cluster), options_(options) {}
+
+Status DistributedFileSystem::CreateFile(const std::string& path,
+                                         int64_t bytes, int writer_node) {
+  if (files_.count(path)) {
+    return Status::AlreadyExists(path);
+  }
+  FileInfo info;
+  info.path = path;
+  info.bytes = bytes;
+  int n = cluster_->num_nodes();
+  int64_t remaining = bytes;
+  do {
+    BlockInfo block;
+    block.bytes = std::min(remaining, options_.block_size);
+    int first = writer_node >= 0 ? writer_node : next_node_++ % n;
+    for (int r = 0; r < std::min(options_.replication, n); ++r) {
+      block.replicas.push_back((first + r * (1 + next_node_ % (n - 1 > 0
+                                                                   ? n - 1
+                                                                   : 1))) %
+                               n);
+    }
+    std::sort(block.replicas.begin(), block.replicas.end());
+    block.replicas.erase(
+        std::unique(block.replicas.begin(), block.replicas.end()),
+        block.replicas.end());
+    info.blocks.push_back(std::move(block));
+    remaining -= block.bytes;
+  } while (remaining > 0);
+  total_bytes_ += bytes;
+  files_.emplace(path, std::move(info));
+  return Status::OK();
+}
+
+Status DistributedFileSystem::CreateDistributedFiles(
+    const std::string& prefix, int64_t bytes_per_node) {
+  for (int i = 0; i < cluster_->num_nodes(); ++i) {
+    ELEPHANT_RETURN_NOT_OK(CreateFile(
+        StrFormat("%s.part%03d", prefix.c_str(), i), bytes_per_node, i));
+  }
+  return Status::OK();
+}
+
+Status DistributedFileSystem::DeleteFile(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  total_bytes_ -= it->second.bytes;
+  files_.erase(it);
+  return Status::OK();
+}
+
+Result<FileInfo> DistributedFileSystem::GetFile(
+    const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  return it->second;
+}
+
+bool DistributedFileSystem::Exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+std::vector<BlockInfo> DistributedFileSystem::Splits(
+    const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return {};
+  return it->second.blocks;
+}
+
+SimTime DistributedFileSystem::ParallelWriteTime(int64_t bytes) const {
+  int n = cluster_->num_nodes();
+  double per_node = static_cast<double>(bytes) / n;
+  const cluster::NodeConfig& cfg = cluster_->node_config();
+  // Disk: each node writes `replication` copies' worth spread over the
+  // cluster; per node that is replication * share.
+  double disk_bytes = per_node * options_.replication;
+  double disk_s =
+      disk_bytes / (cfg.disk.seq_mbps * 1e6 * cfg.data_disks);
+  // Network: replication-1 copies leave each node.
+  double net_bytes = per_node * (options_.replication - 1);
+  double net_s = net_bytes * 8.0 / (cfg.nic.gbps * 1e9);
+  return SecondsToSimTime(std::max(disk_s, net_s));
+}
+
+SimTime DistributedFileSystem::ParallelReadTime(int64_t bytes) const {
+  int n = cluster_->num_nodes();
+  const cluster::NodeConfig& cfg = cluster_->node_config();
+  double per_node = static_cast<double>(bytes) / n;
+  double disk_s = per_node / (cfg.disk.seq_mbps * 1e6 * cfg.data_disks);
+  return SecondsToSimTime(disk_s);
+}
+
+}  // namespace elephant::dfs

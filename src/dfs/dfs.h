@@ -1,0 +1,92 @@
+#ifndef ELEPHANT_DFS_DFS_H_
+#define ELEPHANT_DFS_DFS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace elephant::dfs {
+
+/// HDFS-style configuration. Defaults match the paper's Hadoop setup
+/// (§3.2.1): 256 MB block size, replication factor 3.
+struct DfsOptions {
+  int64_t block_size = 256 * kMB;
+  int replication = 3;
+};
+
+/// One block of a file: its size and the nodes holding replicas.
+struct BlockInfo {
+  int64_t bytes = 0;
+  std::vector<int> replicas;
+};
+
+/// File metadata as kept by the namenode.
+struct FileInfo {
+  std::string path;
+  int64_t bytes = 0;
+  std::vector<BlockInfo> blocks;
+};
+
+/// A simulated distributed filesystem: namenode metadata plus the cost
+/// model for reads/writes. Placement is round-robin with the pipeline
+/// write pattern (first replica local, remaining on other nodes), which
+/// matches the write amplification Hadoop pays during loads: every byte
+/// is written to `replication` disks and crosses the network
+/// `replication - 1` times.
+class DistributedFileSystem {
+ public:
+  DistributedFileSystem(cluster::Cluster* cluster, const DfsOptions& options);
+
+  /// Creates a file of `bytes`, placing blocks round-robin starting at
+  /// `writer_node` (-1 = spread the first replica too).
+  Status CreateFile(const std::string& path, int64_t bytes,
+                    int writer_node = -1);
+
+  /// Creates one file per node, each of `bytes_per_node` (parallel load
+  /// pattern: each node copies its local chunk into HDFS).
+  Status CreateDistributedFiles(const std::string& prefix,
+                                int64_t bytes_per_node);
+
+  Status DeleteFile(const std::string& path);
+  Result<FileInfo> GetFile(const std::string& path) const;
+  bool Exists(const std::string& path) const;
+
+  /// Splits for a MapReduce job: one per block (Hadoop's default
+  /// FileInputFormat). Zero-byte files still produce one (empty) split —
+  /// the source of the paper's empty-bucket map tasks.
+  std::vector<BlockInfo> Splits(const std::string& path) const;
+
+  int64_t TotalBytes() const { return total_bytes_; }
+  int64_t used_capacity_bytes() const {
+    return total_bytes_ * options_.replication;
+  }
+
+  /// Analytical write time for loading `bytes` spread evenly over all
+  /// nodes in parallel: each node writes its share to the local disk and
+  /// pipelines replication-1 copies through its NIC.
+  SimTime ParallelWriteTime(int64_t bytes) const;
+
+  /// Analytical time for all nodes reading `bytes` total, data-local
+  /// (aggregate disk bandwidth of the cluster).
+  SimTime ParallelReadTime(int64_t bytes) const;
+
+  const DfsOptions& options() const { return options_; }
+  cluster::Cluster* cluster() { return cluster_; }
+
+ private:
+  cluster::Cluster* cluster_;
+  DfsOptions options_;
+  std::map<std::string, FileInfo> files_;
+  int64_t total_bytes_ = 0;
+  int next_node_ = 0;
+};
+
+}  // namespace elephant::dfs
+
+#endif  // ELEPHANT_DFS_DFS_H_

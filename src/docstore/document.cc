@@ -1,0 +1,175 @@
+#include "docstore/document.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace elephant::docstore {
+
+namespace {
+
+constexpr char kTagInt = 'i';
+constexpr char kTagDouble = 'd';
+constexpr char kTagString = 's';
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+bool ReadU32(const std::string& in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, 4);
+  *pos += 4;
+  return true;
+}
+
+}  // namespace
+
+void Document::Set(const std::string& name, FieldValue value) {
+  for (auto& [n, v] : fields_) {
+    if (n == name) {
+      v = std::move(value);
+      return;
+    }
+  }
+  fields_.emplace_back(name, std::move(value));
+}
+
+Result<FieldValue> Document::Get(const std::string& name) const {
+  for (const auto& [n, v] : fields_) {
+    if (n == name) return v;
+  }
+  return Status::NotFound("field " + name);
+}
+
+bool Document::Has(const std::string& name) const {
+  for (const auto& [n, v] : fields_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+Status Document::Remove(const std::string& name) {
+  for (auto it = fields_.begin(); it != fields_.end(); ++it) {
+    if (it->first == name) {
+      fields_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("field " + name);
+}
+
+int32_t Document::SerializedBytes() const {
+  int32_t bytes = 4;  // header
+  for (const auto& [name, value] : fields_) {
+    bytes += 1 + 4 + static_cast<int32_t>(name.size());
+    if (std::holds_alternative<int64_t>(value)) {
+      bytes += 8;
+    } else if (std::holds_alternative<double>(value)) {
+      bytes += 8;
+    } else {
+      bytes += 4 + static_cast<int32_t>(std::get<std::string>(value).size());
+    }
+  }
+  return bytes;
+}
+
+std::string Document::Serialize() const {
+  std::string out;
+  AppendU32(&out, static_cast<uint32_t>(fields_.size()));
+  for (const auto& [name, value] : fields_) {
+    if (const auto* i = std::get_if<int64_t>(&value)) {
+      out.push_back(kTagInt);
+      AppendU32(&out, static_cast<uint32_t>(name.size()));
+      out += name;
+      char buf[8];
+      std::memcpy(buf, i, 8);
+      out.append(buf, 8);
+    } else if (const auto* d = std::get_if<double>(&value)) {
+      out.push_back(kTagDouble);
+      AppendU32(&out, static_cast<uint32_t>(name.size()));
+      out += name;
+      char buf[8];
+      std::memcpy(buf, d, 8);
+      out.append(buf, 8);
+    } else {
+      const std::string& s = std::get<std::string>(value);
+      out.push_back(kTagString);
+      AppendU32(&out, static_cast<uint32_t>(name.size()));
+      out += name;
+      AppendU32(&out, static_cast<uint32_t>(s.size()));
+      out += s;
+    }
+  }
+  return out;
+}
+
+Result<Document> Document::Parse(const std::string& bytes) {
+  Document doc;
+  size_t pos = 0;
+  uint32_t count = 0;
+  if (!ReadU32(bytes, &pos, &count)) {
+    return Status::InvalidArgument("truncated document header");
+  }
+  for (uint32_t f = 0; f < count; ++f) {
+    if (pos >= bytes.size()) {
+      return Status::InvalidArgument("truncated field tag");
+    }
+    char tag = bytes[pos++];
+    uint32_t name_len = 0;
+    if (!ReadU32(bytes, &pos, &name_len) ||
+        pos + name_len > bytes.size()) {
+      return Status::InvalidArgument("truncated field name");
+    }
+    std::string name = bytes.substr(pos, name_len);
+    pos += name_len;
+    switch (tag) {
+      case kTagInt: {
+        if (pos + 8 > bytes.size()) {
+          return Status::InvalidArgument("truncated int field");
+        }
+        int64_t v;
+        std::memcpy(&v, bytes.data() + pos, 8);
+        pos += 8;
+        doc.Set(name, v);
+        break;
+      }
+      case kTagDouble: {
+        if (pos + 8 > bytes.size()) {
+          return Status::InvalidArgument("truncated double field");
+        }
+        double v;
+        std::memcpy(&v, bytes.data() + pos, 8);
+        pos += 8;
+        doc.Set(name, v);
+        break;
+      }
+      case kTagString: {
+        uint32_t len = 0;
+        if (!ReadU32(bytes, &pos, &len) || pos + len > bytes.size()) {
+          return Status::InvalidArgument("truncated string field");
+        }
+        doc.Set(name, bytes.substr(pos, len));
+        pos += len;
+        break;
+      }
+      default:
+        return Status::InvalidArgument(
+            StrFormat("unknown field tag '%c'", tag));
+    }
+  }
+  return doc;
+}
+
+Document Document::YcsbRecord(int fields, int field_bytes) {
+  Document doc;
+  for (int f = 0; f < fields; ++f) {
+    doc.Set(StrFormat("field%d", f),
+            std::string(static_cast<size_t>(field_bytes), 'x'));
+  }
+  return doc;
+}
+
+}  // namespace elephant::docstore

@@ -1,0 +1,58 @@
+#ifndef ELEPHANT_DOCSTORE_DOCUMENT_H_
+#define ELEPHANT_DOCSTORE_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace elephant::docstore {
+
+/// A BSON-style field value.
+using FieldValue = std::variant<int64_t, double, std::string>;
+
+/// A schemaless document: an ordered list of named fields, as MongoDB
+/// stores them. Documents in the same collection may have entirely
+/// different structures — the flexible data model §2.4 of the paper
+/// contrasts with SQL Server's rigid schema.
+class Document {
+ public:
+  Document() = default;
+
+  /// Sets (or replaces) a field, preserving first-insertion order.
+  void Set(const std::string& name, FieldValue value);
+
+  /// Field lookup; NotFound when absent.
+  Result<FieldValue> Get(const std::string& name) const;
+  bool Has(const std::string& name) const;
+
+  /// Removes a field; NotFound when absent.
+  Status Remove(const std::string& name);
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const std::vector<std::pair<std::string, FieldValue>>& fields() const {
+    return fields_;
+  }
+
+  /// Serialized (BSON-like) size in bytes: per field a type tag, a
+  /// length-prefixed name and the value payload, plus a 4-byte header.
+  int32_t SerializedBytes() const;
+
+  /// Binary round trip (tag | name-len | name | value)*.
+  std::string Serialize() const;
+  static Result<Document> Parse(const std::string& bytes);
+
+  /// The YCSB record shape: `fields` fields named field0.. of
+  /// `field_bytes` bytes each.
+  static Document YcsbRecord(int fields, int field_bytes);
+
+ private:
+  std::vector<std::pair<std::string, FieldValue>> fields_;
+};
+
+}  // namespace elephant::docstore
+
+#endif  // ELEPHANT_DOCSTORE_DOCUMENT_H_

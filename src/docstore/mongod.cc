@@ -1,0 +1,256 @@
+#include "docstore/mongod.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace elephant::docstore {
+
+Mongod::Mongod(sim::Simulation* sim, cluster::Node* node,
+               const MongodOptions& options, std::string name,
+               sqlkv::BufferPool* shared_pool, uint64_t pool_namespace)
+    : sim_(sim),
+      node_(node),
+      options_(options),
+      name_(std::move(name)),
+      btree_(options.cache_page_bytes),
+      own_pool_(options.memory_bytes, options.cache_page_bytes),
+      pool_(shared_pool != nullptr ? shared_pool : &own_pool_),
+      pool_ns_(pool_namespace << 40),
+      global_lock_(sim),
+      dispatcher_(sim, 1, name_ + ".dispatch"),
+      rng_(Fnv1a64(name_.data(), name_.size())) {}
+
+Status Mongod::LoadDocument(uint64_t key, int32_t logical_bytes) {
+  sqlkv::Record record;
+  record.logical_bytes = logical_bytes;
+  return btree_.Insert(key, std::move(record));
+}
+
+void Mongod::Start() {
+  if (running_) return;
+  running_ = true;
+  Flusher();
+}
+
+double Mongod::WriteLockFraction() const {
+  if (sim_->now() <= 0) return 0;
+  return static_cast<double>(global_lock_.writer_held_time()) /
+         static_cast<double>(sim_->now());
+}
+
+bool Mongod::CheckOverload() {
+  if (crashed_) return true;
+  if (inflight_ > options_.crash_inflight_limit) {
+    crashed_ = true;  // socket errors; clients stop getting responses
+  }
+  return crashed_;
+}
+
+namespace {
+/// OS writeback of a stolen dirty page: occupies the disk but nobody
+/// waits for it.
+sim::Task AsyncWriteback(cluster::Node* node, int64_t bytes) {
+  co_await node->data_disks().RandomWrite(bytes);
+}
+}  // namespace
+
+sim::Task Mongod::Fault(uint64_t page_id, bool dirty, bool newly_allocated,
+                        sim::Latch* faulted) {
+  sqlkv::BufferPool::Access access = pool_->Touch(pool_ns_ | page_id, dirty);
+  if (!access.hit) {
+    // Dirty mmap victims are written back asynchronously by the OS.
+    if (access.evicted_dirty) {
+      AsyncWriteback(node_, options_.fault_bytes);
+    }
+    if (!newly_allocated) {
+      faults_++;
+      int64_t bytes = options_.fault_bytes;
+      co_await node_->data_disks().RandomRead(bytes);
+      if (options_.fault_position_penalty > 0) {
+        // Stripe-crossing + readahead: a fraction of one extra
+        // positioning delay of disk occupancy.
+        SimTime extra = static_cast<SimTime>(
+            options_.fault_position_penalty *
+            node_->config().disk.position_time);
+        co_await node_->data_disks().server().Acquire(extra);
+      }
+    }
+  }
+  faulted->CountDown();
+}
+
+sim::Task Mongod::Read(uint64_t key, sqlkv::OpOutcome* out,
+                       sim::Latch* done) {
+  if (CheckOverload()) {
+    done->CountDown();
+    co_return;
+  }
+  inflight_++;
+  co_await dispatcher_.Acquire(options_.dispatch_cpu);
+  co_await node_->cpu().Acquire(node_->CpuWork(options_.read_cpu));
+  co_await global_lock_.AcquireShared();
+  auto lookup = btree_.Get(key);
+  if (lookup.ok()) {
+    sim::Latch faulted(sim_, 1);
+    if (options_.yield_on_fault) {
+      // v2.0 semantics: drop the lock across the fault.
+      global_lock_.Release(/*exclusive=*/false);
+      Fault(lookup.value().page_id, false, false, &faulted);
+      co_await faulted.Wait();
+      co_await global_lock_.AcquireShared();
+    } else {
+      // v1.8: the fault happens while the lock is held.
+      Fault(lookup.value().page_id, false, false, &faulted);
+      co_await faulted.Wait();
+    }
+    out->ok = true;
+    out->records = 1;
+  }
+  global_lock_.Release(/*exclusive=*/false);
+  inflight_--;
+  ops_served_++;
+  done->CountDown();
+}
+
+sim::Task Mongod::Update(uint64_t key, int32_t field_bytes,
+                         sqlkv::OpOutcome* out, sim::Latch* done) {
+  (void)field_bytes;
+  if (CheckOverload()) {
+    done->CountDown();
+    co_return;
+  }
+  inflight_++;
+  co_await dispatcher_.Acquire(options_.dispatch_cpu);
+  co_await node_->cpu().Acquire(node_->CpuWork(options_.write_cpu));
+  co_await global_lock_.AcquireExclusive();
+  auto lookup = btree_.Get(key);
+  if (lookup.ok()) {
+    sim::Latch faulted(sim_, 1);
+    if (options_.yield_on_fault) {
+      global_lock_.Release(/*exclusive=*/true);
+      Fault(lookup.value().page_id, true, false, &faulted);
+      co_await faulted.Wait();
+      co_await global_lock_.AcquireExclusive();
+    } else {
+      Fault(lookup.value().page_id, /*dirty=*/true,
+            /*newly_allocated=*/false, &faulted);
+      co_await faulted.Wait();
+    }
+    if (rng_.Bernoulli(options_.update_move_fraction)) {
+      // Document outgrew its slot: relocate to a new extent (random
+      // write) while still holding the exclusive lock.
+      co_await node_->data_disks().RandomWrite(options_.fault_bytes);
+    }
+    writes_since_flush_++;
+    out->ok = true;
+    out->records = 1;
+  }
+  global_lock_.Release(/*exclusive=*/true);
+  inflight_--;
+  ops_served_++;
+  done->CountDown();
+}
+
+sim::Task Mongod::Insert(uint64_t key, int32_t logical_bytes,
+                         sqlkv::OpOutcome* out, sim::Latch* done) {
+  if (CheckOverload()) {
+    done->CountDown();
+    co_return;
+  }
+  inflight_++;
+  co_await dispatcher_.Acquire(options_.dispatch_cpu);
+  co_await node_->cpu().Acquire(node_->CpuWork(options_.insert_cpu));
+  co_await global_lock_.AcquireExclusive();
+  sqlkv::Record record;
+  record.logical_bytes = logical_bytes;
+  Status st = btree_.Insert(key, std::move(record));
+  if (st.ok()) {
+    auto lookup = btree_.Get(key);
+    sim::Latch faulted(sim_, 1);
+    Fault(lookup.value().page_id, /*dirty=*/true,
+          /*newly_allocated=*/true, &faulted);
+    co_await faulted.Wait();
+    writes_since_flush_++;
+    out->ok = true;
+    out->records = 1;
+  }
+  global_lock_.Release(/*exclusive=*/true);
+  inflight_--;
+  ops_served_++;
+  done->CountDown();
+}
+
+sim::Task Mongod::Scan(uint64_t start_key, int max_records,
+                       sqlkv::OpOutcome* out, sim::Latch* done) {
+  if (crashed_) {
+    done->CountDown();
+    co_return;
+  }
+  co_await dispatcher_.Acquire(options_.dispatch_cpu);
+  co_await node_->cpu().Acquire(node_->CpuWork(
+      options_.scan_cpu_per_record * std::max(1, max_records)));
+  co_await global_lock_.AcquireShared();
+  std::vector<uint64_t> pages;
+  int found = btree_.Scan(start_key, max_records,
+                          [&pages](uint64_t, const sqlkv::Record&,
+                                   uint64_t page) {
+                            if (pages.empty() || pages.back() != page) {
+                              pages.push_back(page);
+                            }
+                          });
+  bool first_miss = true;
+  for (uint64_t page : pages) {
+    sqlkv::BufferPool::Access access = pool_->Touch(pool_ns_ | page, false);
+    if (!access.hit) {
+      faults_++;
+      if (access.evicted_dirty) {
+        AsyncWriteback(node_, options_.fault_bytes);
+      }
+      if (first_miss) {
+        co_await node_->data_disks().RandomRead(options_.fault_bytes);
+        first_miss = false;
+      } else {
+        co_await node_->data_disks().SeqRead(options_.fault_bytes);
+      }
+    }
+  }
+  global_lock_.Release(/*exclusive=*/false);
+  out->ok = true;
+  out->records = found;
+  ops_served_++;
+  done->CountDown();
+}
+
+sim::Task Mongod::StallExclusive(SimTime duration) {
+  co_await global_lock_.AcquireExclusive();
+  co_await sim_->Delay(duration);
+  global_lock_.Release(/*exclusive=*/true);
+}
+
+sim::Task Mongod::Flusher() {
+  while (running_) {
+    co_await sim_->Delay(options_.flush_interval);
+    if (!running_) break;
+    std::vector<uint64_t> dirty = pool_->DirtyPages();
+    for (size_t i = 0; i < dirty.size(); i += 32) {
+      int64_t batch =
+          std::min<size_t>(32, dirty.size() - i) * options_.fault_bytes;
+      co_await node_->data_disks().SeqWrite(batch);
+      for (size_t j = i; j < std::min(dirty.size(), i + 32); ++j) {
+        pool_->MarkClean(dirty[j]);
+      }
+    }
+    writes_since_flush_ = 0;
+  }
+}
+
+int64_t Mongod::SimulateCrashAndRecover() {
+  // No journal: everything acknowledged since the last mmap flush is
+  // gone. (MongoDB 1.8's optional journaling flushed every 100 ms and
+  // the paper disabled even that.)
+  int64_t lost = writes_since_flush_;
+  writes_since_flush_ = 0;
+  return lost;
+}
+
+}  // namespace elephant::docstore

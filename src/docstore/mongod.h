@@ -1,0 +1,154 @@
+#ifndef ELEPHANT_DOCSTORE_MONGOD_H_
+#define ELEPHANT_DOCSTORE_MONGOD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "sim/resources.h"
+#include "sim/simulation.h"
+#include "sqlkv/btree.h"
+#include "sqlkv/buffer_pool.h"
+#include "sqlkv/op_outcome.h"
+
+namespace elephant::docstore {
+
+/// Configuration of one "mongod" process (MongoDB 1.8.2 semantics).
+struct MongodOptions {
+  /// Memory share of this process (mmap'd pages kept warm).
+  int64_t memory_bytes = 20 * kMB;
+  /// OS page-cache granularity (mmap storage caches 4 KB pages).
+  int32_t cache_page_bytes = 4096;
+  /// Disk I/O per fault: readahead makes MongoDB pull ~32 KB from disk
+  /// per request versus SQL Server's 8 KB (§3.4.3, WL C) — wasted
+  /// bandwidth, since the workload is random access.
+  int32_t fault_bytes = 32 * 1024;
+  /// Extra positioning fraction per fault: 32 KB faults cross RAID-0
+  /// stripe boundaries and trigger readahead the workload never uses.
+  double fault_position_penalty = 0.05;
+  /// Per-operation CPU.
+  SimTime read_cpu = 80;
+  SimTime write_cpu = 110;
+  SimTime insert_cpu = 130;
+  SimTime scan_cpu_per_record = 4;
+  /// Single connection-dispatch path: every operation passes through a
+  /// serial listener before touching data (per-mongod throughput cap).
+  SimTime dispatch_cpu = 45;
+  /// mmap flush cadence (no journaling — the paper disables durability).
+  SimTime flush_interval = 60 * kSecond;
+  /// MongoDB 2.0's yield-on-page-fault: release the global lock while
+  /// faulting and reacquire afterwards (the footnote in §3.2.3; the
+  /// paper found it unreliable and benchmarked 1.8 semantics, i.e.
+  /// false). Exposed for the lock-granularity ablation bench.
+  bool yield_on_fault = false;
+  /// MongoDB 1.8 updates documents in place; when the new version does
+  /// not fit its slot, the document moves to a new extent — an extra
+  /// random write performed while the exclusive lock is held. This is
+  /// the write amplification behind the paper's 25-45% write-lock
+  /// occupancy on workload A.
+  double update_move_fraction = 0.12;
+  /// When this many point operations (reads/updates/inserts; scans are
+  /// fan-out sub-requests and excluded) are in flight on the process,
+  /// its connection handling collapses and it stops answering — the
+  /// socket exceptions that crash Mongo-AS on workload D above
+  /// 20 Kops/s (§3.4.3).
+  int64_t crash_inflight_limit = 620;
+};
+
+/// An executable model of one MongoDB 1.8 shard-server process: a
+/// collection stored in a from-scratch B+tree over 32 KB mmap units, a
+/// *global* process-wide readers-writer lock (writes block everything,
+/// and the lock is held across page faults — v1.8 had no
+/// yield-on-fault), a serial connection dispatcher, and a periodic
+/// dirty-page flusher. No write-ahead log: the paper runs MongoDB
+/// without durability.
+class Mongod {
+ public:
+  /// `shared_pool` models the OS page cache shared by every mongod on
+  /// the node (mmap storage); pass nullptr to give the process a
+  /// private pool of options.memory_bytes. `pool_namespace` keeps page
+  /// ids of different processes distinct inside a shared pool.
+  Mongod(sim::Simulation* sim, cluster::Node* node,
+         const MongodOptions& options, std::string name,
+         sqlkv::BufferPool* shared_pool = nullptr,
+         uint64_t pool_namespace = 0);
+
+  /// Bulk-load (no simulated time).
+  Status LoadDocument(uint64_t key, int32_t logical_bytes);
+
+  void Start();
+  void Stop() { running_ = false; }
+
+  // --- simulated operations ---
+  sim::Task Read(uint64_t key, sqlkv::OpOutcome* out, sim::Latch* done);
+  sim::Task Update(uint64_t key, int32_t field_bytes, sqlkv::OpOutcome* out,
+                   sim::Latch* done);
+  sim::Task Insert(uint64_t key, int32_t logical_bytes,
+                   sqlkv::OpOutcome* out, sim::Latch* done);
+  sim::Task Scan(uint64_t start_key, int max_records, sqlkv::OpOutcome* out,
+                 sim::Latch* done);
+
+  /// Zero-time page-cache touch (driver warm start).
+  void TouchPage(uint64_t page_id) {
+    pool_->Touch(pool_ns_ | page_id, /*mark_dirty=*/false);
+  }
+
+  /// Holds the global lock exclusively for `duration` (chunk split /
+  /// migration critical sections). Everything else on the process
+  /// queues behind it — the Mongo-AS append stalls of workload E.
+  sim::Task StallExclusive(SimTime duration);
+
+  /// The durability gap the paper highlights (§3.4.1: "the MongoDB
+  /// experiments were run without durability support"): acknowledged
+  /// writes whose pages have not yet been flushed by the 60 s mmap
+  /// flusher. All of them are lost on a crash.
+  int64_t UnflushedAcknowledgedWrites() const {
+    return writes_since_flush_;
+  }
+  /// Simulates a process crash: returns how many acknowledged writes
+  /// were lost, and restarts with a cold cache.
+  int64_t SimulateCrashAndRecover();
+
+  bool crashed() const { return crashed_; }
+  const std::string& name() const { return name_; }
+  const sqlkv::BTree& collection() const { return btree_; }
+  sqlkv::BufferPool& pool() { return *pool_; }
+  /// Fraction of elapsed time the global lock was write-held — the
+  /// paper's mongostat observation (25%-45% on workload A).
+  double WriteLockFraction() const;
+  int64_t ops_served() const { return ops_served_; }
+  int64_t faults() const { return faults_; }
+  int64_t docs() const { return static_cast<int64_t>(btree_.size()); }
+
+ private:
+  /// Loads the mmap unit holding a document, charging disk time. Called
+  /// WITH the global lock held (1.8 semantics).
+  sim::Task Fault(uint64_t page_id, bool dirty, bool newly_allocated,
+                  sim::Latch* faulted);
+  sim::Task Flusher();
+  bool CheckOverload();
+
+  sim::Simulation* sim_;
+  cluster::Node* node_;
+  MongodOptions options_;
+  std::string name_;
+  sqlkv::BTree btree_;
+  sqlkv::BufferPool own_pool_;
+  sqlkv::BufferPool* pool_;
+  uint64_t pool_ns_;
+  sim::RwLock global_lock_;
+  sim::Server dispatcher_;
+  Rng rng_;
+  bool running_ = false;
+  bool crashed_ = false;
+  int64_t ops_served_ = 0;
+  int64_t faults_ = 0;
+  int64_t inflight_ = 0;
+  int64_t writes_since_flush_ = 0;
+};
+
+}  // namespace elephant::docstore
+
+#endif  // ELEPHANT_DOCSTORE_MONGOD_H_

@@ -1,0 +1,117 @@
+#include "docstore/sharding.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace elephant::docstore {
+
+ConfigServer::ConfigServer(int num_shards, const Options& options)
+    : num_shards_(num_shards), options_(options) {
+  // One chunk covering everything, on shard 0.
+  Chunk all;
+  all.min_key = 0;
+  all.max_key = std::numeric_limits<uint64_t>::max();
+  all.shard = 0;
+  chunks_[0] = all;
+}
+
+void ConfigServer::PreSplit(uint64_t max_key, int num_chunks) {
+  chunks_.clear();
+  uint64_t span = max_key / num_chunks + 1;
+  for (int i = 0; i < num_chunks; ++i) {
+    Chunk c;
+    c.min_key = i * span;
+    c.max_key = i + 1 == num_chunks
+                    ? std::numeric_limits<uint64_t>::max()
+                    : (i + 1) * span;
+    c.shard = i % num_shards_;  // spread round-robin, evenly
+    chunks_[c.min_key] = c;
+  }
+}
+
+std::map<uint64_t, Chunk>::iterator ConfigServer::FindChunk(uint64_t key) {
+  auto it = chunks_.upper_bound(key);
+  assert(it != chunks_.begin());
+  --it;
+  return it;
+}
+
+int ConfigServer::Route(uint64_t key) const {
+  return const_cast<ConfigServer*>(this)->FindChunk(key)->second.shard;
+}
+
+const Chunk& ConfigServer::ChunkFor(uint64_t key) const {
+  return const_cast<ConfigServer*>(this)->FindChunk(key)->second;
+}
+
+std::vector<int> ConfigServer::RouteRange(uint64_t start,
+                                          uint64_t end) const {
+  std::vector<int> shards;
+  auto it = const_cast<ConfigServer*>(this)->FindChunk(start);
+  for (; it != chunks_.end() && it->second.min_key < end; ++it) {
+    int s = it->second.shard;
+    if (std::find(shards.begin(), shards.end(), s) == shards.end()) {
+      shards.push_back(s);
+    }
+  }
+  return shards;
+}
+
+bool ConfigServer::NoteInsert(uint64_t key, int64_t bytes) {
+  auto it = FindChunk(key);
+  Chunk& c = it->second;
+  c.docs++;
+  c.bytes += bytes;
+  if (c.bytes <= options_.max_chunk_bytes || c.max_key - c.min_key < 2) {
+    return false;
+  }
+  // Split at the key midpoint (mongos splits at the median key; the
+  // midpoint is equivalent for near-uniform chunks).
+  splits_++;
+  uint64_t mid = c.min_key + (c.max_key - c.min_key) / 2;
+  if (mid <= key && key < c.max_key && mid <= c.min_key + 1) return false;
+  Chunk right;
+  right.min_key = mid;
+  right.max_key = c.max_key;
+  right.shard = c.shard;
+  right.docs = c.docs / 2;
+  right.bytes = c.bytes / 2;
+  c.max_key = mid;
+  c.docs -= right.docs;
+  c.bytes -= right.bytes;
+  chunks_[right.min_key] = right;
+  return true;
+}
+
+std::vector<int> ConfigServer::ChunksPerShard() const {
+  std::vector<int> counts(num_shards_, 0);
+  for (const auto& [k, c] : chunks_) counts[c.shard]++;
+  return counts;
+}
+
+std::vector<ConfigServer::Migration> ConfigServer::BalanceOnce() {
+  std::vector<Migration> migrations;
+  std::vector<int> counts = ChunksPerShard();
+  auto max_it = std::max_element(counts.begin(), counts.end());
+  auto min_it = std::min_element(counts.begin(), counts.end());
+  if (*max_it - *min_it < options_.migration_threshold) return migrations;
+  int from = static_cast<int>(max_it - counts.begin());
+  int to = static_cast<int>(min_it - counts.begin());
+  // Move the first chunk of the overloaded shard.
+  for (auto& [k, c] : chunks_) {
+    if (c.shard == from) {
+      Migration m;
+      m.chunk = c;
+      m.from = from;
+      m.to = to;
+      c.shard = to;
+      migrations_++;
+      migrations.push_back(m);
+      break;
+    }
+  }
+  return migrations;
+}
+
+}  // namespace elephant::docstore

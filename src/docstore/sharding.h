@@ -1,0 +1,80 @@
+#ifndef ELEPHANT_DOCSTORE_SHARDING_H_
+#define ELEPHANT_DOCSTORE_SHARDING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace elephant::docstore {
+
+/// One range chunk of the sharded keyspace: [min_key, max_key) lives on
+/// `shard`.
+struct Chunk {
+  uint64_t min_key = 0;
+  uint64_t max_key = 0;
+  int shard = 0;
+  int64_t docs = 0;
+  int64_t bytes = 0;
+};
+
+/// The Mongo-AS "config db": an order-preserving chunk map with
+/// splitting and a balancer. This is the component whose range
+/// partitioning wins workload E's scans and whose append-to-the-last-
+/// chunk hotspot destroys Mongo-AS appends (§3.4.3).
+class ConfigServer {
+ public:
+  struct Options {
+    int64_t max_chunk_bytes = 64 * 1024 * 1024;  ///< split threshold
+    /// Balancer migrates when the chunk-count spread exceeds this.
+    int migration_threshold = 8;
+  };
+
+  ConfigServer(int num_shards, const Options& options);
+
+  /// The paper's load strategy (§3.4.2): define the boundaries of
+  /// initially empty chunks up front and spread them round-robin so the
+  /// expensive migrations never happen.
+  void PreSplit(uint64_t max_key, int num_chunks);
+
+  /// Shard owning a key.
+  int Route(uint64_t key) const;
+
+  /// Shards whose chunks intersect [start, end) in range order.
+  std::vector<int> RouteRange(uint64_t start, uint64_t end) const;
+
+  /// Records an insert; splits the containing chunk when it outgrows
+  /// max_chunk_bytes (both halves stay on the same shard until the
+  /// balancer moves one). Returns true when a split happened.
+  bool NoteInsert(uint64_t key, int64_t bytes);
+
+  /// One balancer round: returns the migrations to perform (the caller
+  /// moves the documents and charges network time) and updates the map.
+  struct Migration {
+    Chunk chunk;
+    int from = 0;
+    int to = 0;
+  };
+  std::vector<Migration> BalanceOnce();
+
+  size_t num_chunks() const { return chunks_.size(); }
+  int num_shards() const { return num_shards_; }
+  int64_t splits() const { return splits_; }
+  int64_t migrations() const { return migrations_; }
+  std::vector<int> ChunksPerShard() const;
+  const Chunk& ChunkFor(uint64_t key) const;
+
+ private:
+  std::map<uint64_t, Chunk>::iterator FindChunk(uint64_t key);
+
+  int num_shards_;
+  Options options_;
+  /// Keyed by min_key.
+  std::map<uint64_t, Chunk> chunks_;
+  int64_t splits_ = 0;
+  int64_t migrations_ = 0;
+};
+
+}  // namespace elephant::docstore
+
+#endif  // ELEPHANT_DOCSTORE_SHARDING_H_

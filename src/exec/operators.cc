@@ -1,0 +1,418 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace elephant::exec {
+
+namespace {
+
+/// Composite key over selected columns, hashable and equality-comparable.
+struct RowKey {
+  std::vector<Value> parts;
+
+  bool operator==(const RowKey& other) const {
+    if (parts.size() != other.parts.size()) return false;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      if (CompareValues(parts[i], other.parts[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+struct RowKeyHash {
+  size_t operator()(const RowKey& k) const {
+    uint64_t h = 0xCBF29CE484222325ULL;
+    for (const Value& v : k.parts) {
+      h ^= HashValue(v);
+      h *= 0x100000001B3ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+RowKey ExtractKey(const Row& row, const std::vector<int>& cols) {
+  RowKey key;
+  key.parts.reserve(cols.size());
+  for (int c : cols) key.parts.push_back(row[c]);
+  return key;
+}
+
+Value DefaultValue(ValueType t) {
+  switch (t) {
+    case ValueType::kInt:
+      return Value{int64_t{0}};
+    case ValueType::kDouble:
+      return Value{0.0};
+    case ValueType::kString:
+      return Value{std::string()};
+  }
+  return Value{int64_t{0}};
+}
+
+std::vector<int> ResolveCols(const Table& t,
+                             const std::vector<std::string>& names) {
+  std::vector<int> out;
+  out.reserve(names.size());
+  for (const auto& n : names) out.push_back(t.ColIndex(n));
+  return out;
+}
+
+}  // namespace
+
+Table Filter(const Table& t, const Predicate& pred) {
+  Table out(t.columns());
+  for (const Row& row : t.rows()) {
+    if (pred(row)) out.AddRow(row);
+  }
+  return out;
+}
+
+Table Project(const Table& t, const std::vector<NamedExpr>& exprs) {
+  std::vector<Column> cols;
+  cols.reserve(exprs.size());
+  for (const auto& e : exprs) cols.push_back({e.name, e.type});
+  Table out(std::move(cols));
+  out.Reserve(t.num_rows());
+  for (const Row& row : t.rows()) {
+    Row projected;
+    projected.reserve(exprs.size());
+    for (const auto& e : exprs) projected.push_back(e.fn(row));
+    out.AddRow(std::move(projected));
+  }
+  return out;
+}
+
+Table HashJoin(const Table& left, const Table& right,
+               const std::vector<int>& left_keys,
+               const std::vector<int>& right_keys, JoinType type) {
+  // Output schema.
+  std::vector<Column> cols = left.columns();
+  if (type == JoinType::kInner || type == JoinType::kLeftOuter) {
+    for (const Column& rc : right.columns()) {
+      Column c = rc;
+      for (const Column& lc : left.columns()) {
+        if (lc.name == c.name) {
+          c.name += "_r";
+          break;
+        }
+      }
+      cols.push_back(std::move(c));
+    }
+  }
+  Table out(std::move(cols));
+
+  // Build side: right.
+  std::unordered_multimap<RowKey, const Row*, RowKeyHash> build;
+  build.reserve(right.num_rows());
+  for (const Row& row : right.rows()) {
+    build.emplace(ExtractKey(row, right_keys), &row);
+  }
+
+  for (const Row& lrow : left.rows()) {
+    RowKey key = ExtractKey(lrow, left_keys);
+    auto [begin, end] = build.equal_range(key);
+    bool matched = begin != end;
+    switch (type) {
+      case JoinType::kLeftSemi:
+        if (matched) out.AddRow(lrow);
+        break;
+      case JoinType::kLeftAnti:
+        if (!matched) out.AddRow(lrow);
+        break;
+      case JoinType::kInner:
+      case JoinType::kLeftOuter: {
+        if (matched) {
+          for (auto it = begin; it != end; ++it) {
+            Row combined = lrow;
+            combined.insert(combined.end(), it->second->begin(),
+                            it->second->end());
+            out.AddRow(std::move(combined));
+          }
+        } else if (type == JoinType::kLeftOuter) {
+          Row combined = lrow;
+          for (const Column& rc : right.columns()) {
+            combined.push_back(DefaultValue(rc.type));
+          }
+          out.AddRow(std::move(combined));
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Table HashJoinOn(const Table& left, const Table& right,
+                 const std::vector<std::string>& left_keys,
+                 const std::vector<std::string>& right_keys, JoinType type) {
+  return HashJoin(left, right, ResolveCols(left, left_keys),
+                  ResolveCols(right, right_keys), type);
+}
+
+namespace {
+
+std::vector<Column> ConcatSchemas(const Table& left, const Table& right) {
+  std::vector<Column> cols = left.columns();
+  for (const Column& rc : right.columns()) {
+    Column c = rc;
+    for (const Column& lc : left.columns()) {
+      if (lc.name == c.name) {
+        c.name += "_r";
+        break;
+      }
+    }
+    cols.push_back(std::move(c));
+  }
+  return cols;
+}
+
+}  // namespace
+
+Table SortMergeJoin(const Table& left, const Table& right, int left_key,
+                    int right_key) {
+  Table out(ConcatSchemas(left, right));
+  // Sort row indexes by key.
+  std::vector<size_t> li(left.num_rows()), ri(right.num_rows());
+  for (size_t i = 0; i < li.size(); ++i) li[i] = i;
+  for (size_t i = 0; i < ri.size(); ++i) ri[i] = i;
+  std::sort(li.begin(), li.end(), [&](size_t a, size_t b) {
+    return CompareValues(left.rows()[a][left_key],
+                         left.rows()[b][left_key]) < 0;
+  });
+  std::sort(ri.begin(), ri.end(), [&](size_t a, size_t b) {
+    return CompareValues(right.rows()[a][right_key],
+                         right.rows()[b][right_key]) < 0;
+  });
+  size_t l = 0, r = 0;
+  while (l < li.size() && r < ri.size()) {
+    const Value& lv = left.rows()[li[l]][left_key];
+    const Value& rv = right.rows()[ri[r]][right_key];
+    int c = CompareValues(lv, rv);
+    if (c < 0) {
+      l++;
+    } else if (c > 0) {
+      r++;
+    } else {
+      // Emit the cross product of the equal runs.
+      size_t r_run_end = r;
+      while (r_run_end < ri.size() &&
+             CompareValues(right.rows()[ri[r_run_end]][right_key], lv) ==
+                 0) {
+        r_run_end++;
+      }
+      while (l < li.size() &&
+             CompareValues(left.rows()[li[l]][left_key], rv) == 0) {
+        for (size_t rr = r; rr < r_run_end; ++rr) {
+          Row combined = left.rows()[li[l]];
+          const Row& rrow = right.rows()[ri[rr]];
+          combined.insert(combined.end(), rrow.begin(), rrow.end());
+          out.AddRow(std::move(combined));
+        }
+        l++;
+      }
+      r = r_run_end;
+    }
+  }
+  return out;
+}
+
+Table NestedLoopJoin(const Table& left, const Table& right,
+                     const std::function<bool(const Row&)>& pred) {
+  Table out(ConcatSchemas(left, right));
+  for (const Row& lrow : left.rows()) {
+    for (const Row& rrow : right.rows()) {
+      Row combined = lrow;
+      combined.insert(combined.end(), rrow.begin(), rrow.end());
+      if (pred(combined)) out.AddRow(std::move(combined));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct AggState {
+  double sum = 0;
+  int64_t count = 0;
+  bool has_value = false;
+  Value min_v;
+  Value max_v;
+  std::set<std::string> distinct;  // serialized values for CountDistinct
+};
+
+std::string SerializeValue(const Value& v) {
+  if (const auto* i = std::get_if<int64_t>(&v)) return "i" + std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&v)) return "d" + std::to_string(*d);
+  return "s" + std::get<std::string>(v);
+}
+
+}  // namespace
+
+Table HashAggregate(const Table& t, const std::vector<int>& group_cols,
+                    const std::vector<AggExpr>& aggs) {
+  std::vector<Column> cols;
+  for (int g : group_cols) cols.push_back(t.columns()[g]);
+  for (const auto& a : aggs) cols.push_back({a.name, a.type});
+  Table out(std::move(cols));
+
+  std::unordered_map<RowKey, std::vector<AggState>, RowKeyHash> groups;
+  std::vector<RowKey> order;  // first-seen order for determinism
+  for (const Row& row : t.rows()) {
+    RowKey key = ExtractKey(row, group_cols);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      it = groups.emplace(key, std::vector<AggState>(aggs.size())).first;
+      order.push_back(key);
+    }
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      AggState& st = it->second[i];
+      const AggExpr& a = aggs[i];
+      if (a.kind == AggKind::kCount) {
+        st.count++;
+        continue;
+      }
+      Value v = a.arg(row);
+      switch (a.kind) {
+        case AggKind::kSum:
+        case AggKind::kAvg:
+          st.sum += AsDouble(v);
+          st.count++;
+          break;
+        case AggKind::kMin:
+          if (!st.has_value || CompareValues(v, st.min_v) < 0) st.min_v = v;
+          st.has_value = true;
+          break;
+        case AggKind::kMax:
+          if (!st.has_value || CompareValues(v, st.max_v) > 0) st.max_v = v;
+          st.has_value = true;
+          break;
+        case AggKind::kCountDistinct:
+          st.distinct.insert(SerializeValue(v));
+          break;
+        case AggKind::kCount:
+          break;
+      }
+    }
+  }
+
+  // Global aggregate over empty input still yields one row of zeros.
+  if (group_cols.empty() && groups.empty()) {
+    RowKey empty;
+    groups.emplace(empty, std::vector<AggState>(aggs.size()));
+    order.push_back(empty);
+  }
+
+  for (const RowKey& key : order) {
+    const std::vector<AggState>& states = groups.at(key);
+    Row row;
+    row.reserve(group_cols.size() + aggs.size());
+    for (const Value& v : key.parts) row.push_back(v);
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      const AggState& st = states[i];
+      const AggExpr& a = aggs[i];
+      switch (a.kind) {
+        case AggKind::kSum:
+          row.push_back(a.type == ValueType::kInt
+                            ? Value{static_cast<int64_t>(st.sum)}
+                            : Value{st.sum});
+          break;
+        case AggKind::kAvg:
+          row.push_back(Value{st.count ? st.sum / st.count : 0.0});
+          break;
+        case AggKind::kCount:
+          row.push_back(Value{st.count});
+          break;
+        case AggKind::kCountDistinct:
+          row.push_back(Value{static_cast<int64_t>(st.distinct.size())});
+          break;
+        case AggKind::kMin:
+          row.push_back(st.has_value ? st.min_v : DefaultValue(a.type));
+          break;
+        case AggKind::kMax:
+          row.push_back(st.has_value ? st.max_v : DefaultValue(a.type));
+          break;
+      }
+    }
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+Table HashAggregateOn(const Table& t,
+                      const std::vector<std::string>& group_cols,
+                      const std::vector<AggExpr>& aggs) {
+  return HashAggregate(t, ResolveCols(t, group_cols), aggs);
+}
+
+Table SortBy(const Table& t, const std::vector<SortKey>& keys) {
+  Table out = t;
+  std::stable_sort(out.mutable_rows().begin(), out.mutable_rows().end(),
+                   [&keys](const Row& a, const Row& b) {
+                     for (const SortKey& k : keys) {
+                       int c = CompareValues(a[k.col], b[k.col]);
+                       if (c != 0) return k.ascending ? c < 0 : c > 0;
+                     }
+                     return false;
+                   });
+  return out;
+}
+
+Table Limit(const Table& t, size_t n) {
+  Table out(t.columns());
+  for (size_t i = 0; i < std::min(n, t.num_rows()); ++i) {
+    out.AddRow(t.rows()[i]);
+  }
+  return out;
+}
+
+Table Distinct(const Table& t) {
+  std::vector<int> all_cols(t.num_cols());
+  for (int i = 0; i < t.num_cols(); ++i) all_cols[i] = i;
+  Table out(t.columns());
+  std::unordered_map<RowKey, bool, RowKeyHash> seen;
+  for (const Row& row : t.rows()) {
+    RowKey key = ExtractKey(row, all_cols);
+    if (seen.emplace(std::move(key), true).second) out.AddRow(row);
+  }
+  return out;
+}
+
+Expr Col(const Table& t, const std::string& name) {
+  int idx = t.ColIndex(name);
+  return [idx](const Row& row) { return row[idx]; };
+}
+
+Expr Lit(Value v) {
+  return [v](const Row&) { return v; };
+}
+
+Expr Mul(Expr a, Expr b) {
+  return [a = std::move(a), b = std::move(b)](const Row& row) {
+    return Value{AsDouble(a(row)) * AsDouble(b(row))};
+  };
+}
+
+Expr Add(Expr a, Expr b) {
+  return [a = std::move(a), b = std::move(b)](const Row& row) {
+    return Value{AsDouble(a(row)) + AsDouble(b(row))};
+  };
+}
+
+Expr Sub(Expr a, Expr b) {
+  return [a = std::move(a), b = std::move(b)](const Row& row) {
+    return Value{AsDouble(a(row)) - AsDouble(b(row))};
+  };
+}
+
+Expr Revenue(const Table& t, const std::string& price_col,
+             const std::string& discount_col) {
+  int p = t.ColIndex(price_col);
+  int d = t.ColIndex(discount_col);
+  return [p, d](const Row& row) {
+    return Value{AsDouble(row[p]) * (1.0 - AsDouble(row[d]))};
+  };
+}
+
+}  // namespace elephant::exec

@@ -1,0 +1,116 @@
+#ifndef ELEPHANT_EXEC_OPERATORS_H_
+#define ELEPHANT_EXEC_OPERATORS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/table.h"
+
+namespace elephant::exec {
+
+/// Row predicate.
+using Predicate = std::function<bool(const Row&)>;
+/// Scalar expression over a row.
+using Expr = std::function<Value(const Row&)>;
+
+/// A named, typed output expression for Project.
+struct NamedExpr {
+  std::string name;
+  ValueType type;
+  Expr fn;
+};
+
+/// Returns the rows of `t` satisfying `pred`. Schema unchanged.
+Table Filter(const Table& t, const Predicate& pred);
+
+/// Evaluates `exprs` per row; output schema is exactly the expr list.
+Table Project(const Table& t, const std::vector<NamedExpr>& exprs);
+
+enum class JoinType {
+  kInner,
+  kLeftOuter,  ///< unmatched left rows padded with type-default values
+  kLeftSemi,   ///< left rows with >=1 match; left schema only
+  kLeftAnti,   ///< left rows with no match; left schema only
+};
+
+/// Hash join on equality of the given key columns (build on right, probe
+/// with left). Inner/outer output schema is left columns followed by
+/// right columns; a right column whose name collides gets a "_r" suffix.
+Table HashJoin(const Table& left, const Table& right,
+               const std::vector<int>& left_keys,
+               const std::vector<int>& right_keys,
+               JoinType type = JoinType::kInner);
+
+/// Convenience overload joining on column names.
+Table HashJoinOn(const Table& left, const Table& right,
+                 const std::vector<std::string>& left_keys,
+                 const std::vector<std::string>& right_keys,
+                 JoinType type = JoinType::kInner);
+
+/// Inner equi-join by sorting both inputs on the key and merging.
+/// Produces the same multiset of rows as the inner HashJoin (property
+/// tests pin this); used when inputs are already ordered or when hash
+/// memory is the concern.
+Table SortMergeJoin(const Table& left, const Table& right, int left_key,
+                    int right_key);
+
+/// Inner join with an arbitrary predicate over the concatenated row —
+/// the fallback for non-equi joins. O(|left| x |right|).
+Table NestedLoopJoin(const Table& left, const Table& right,
+                     const std::function<bool(const Row&)>& pred);
+
+enum class AggKind { kSum, kAvg, kMin, kMax, kCount, kCountDistinct };
+
+/// One aggregate output: `kind` applied to `arg` (ignored for kCount).
+struct AggExpr {
+  AggKind kind;
+  Expr arg;  ///< may be nullptr for kCount
+  std::string name;
+  ValueType type = ValueType::kDouble;
+};
+
+/// Group-by + aggregate. Output schema: the group columns (names
+/// preserved) followed by the aggregates. With no group columns produces
+/// exactly one row (global aggregate), even over empty input.
+Table HashAggregate(const Table& t, const std::vector<int>& group_cols,
+                    const std::vector<AggExpr>& aggs);
+Table HashAggregateOn(const Table& t,
+                      const std::vector<std::string>& group_cols,
+                      const std::vector<AggExpr>& aggs);
+
+/// Sort specification: column index + direction.
+struct SortKey {
+  int col;
+  bool ascending = true;
+};
+
+/// Stable sort by the given keys.
+Table SortBy(const Table& t, const std::vector<SortKey>& keys);
+
+/// First n rows.
+Table Limit(const Table& t, size_t n);
+
+/// Removes duplicate rows (all columns).
+Table Distinct(const Table& t);
+
+// ---- Expression helpers -------------------------------------------------
+
+/// Column reference.
+Expr Col(const Table& t, const std::string& name);
+
+/// Constant.
+Expr Lit(Value v);
+
+/// Arithmetic over doubles.
+Expr Mul(Expr a, Expr b);
+Expr Add(Expr a, Expr b);
+Expr Sub(Expr a, Expr b);
+
+/// Common TPC-H revenue expression: extendedprice * (1 - discount).
+Expr Revenue(const Table& t, const std::string& price_col = "l_extendedprice",
+             const std::string& discount_col = "l_discount");
+
+}  // namespace elephant::exec
+
+#endif  // ELEPHANT_EXEC_OPERATORS_H_

@@ -1,0 +1,62 @@
+#include "exec/statistics.h"
+
+#include <unordered_set>
+
+namespace elephant::exec {
+
+TableStats ComputeStats(const Table& table) {
+  TableStats stats;
+  stats.rows = static_cast<int64_t>(table.num_rows());
+  for (int c = 0; c < table.num_cols(); ++c) {
+    const Column& col = table.columns()[c];
+    ColumnStats cs;
+    cs.type = col.type;
+    std::unordered_set<uint64_t> distinct;
+    bool first = true;
+    for (const Row& row : table.rows()) {
+      const Value& v = row[c];
+      distinct.insert(HashValue(v));
+      if (first) {
+        cs.min = v;
+        cs.max = v;
+        first = false;
+      } else {
+        if (CompareValues(v, cs.min) < 0) cs.min = v;
+        if (CompareValues(v, cs.max) > 0) cs.max = v;
+      }
+      if (const auto* s = std::get_if<std::string>(&v)) {
+        if (s->empty()) cs.null_like++;
+      }
+    }
+    cs.distinct = static_cast<int64_t>(distinct.size());
+    stats.columns.emplace(col.name, std::move(cs));
+  }
+  return stats;
+}
+
+double Selectivity(const Table& table, const Predicate& pred) {
+  if (table.num_rows() == 0) return 0.0;
+  int64_t hits = 0;
+  for (const Row& row : table.rows()) {
+    if (pred(row)) hits++;
+  }
+  return static_cast<double>(hits) / static_cast<double>(table.num_rows());
+}
+
+double JoinMatchFraction(const Table& left, const Table& right,
+                         const std::string& left_key,
+                         const std::string& right_key) {
+  if (left.num_rows() == 0) return 0.0;
+  int rk = right.ColIndex(right_key);
+  std::unordered_set<uint64_t> keys;
+  keys.reserve(right.num_rows());
+  for (const Row& row : right.rows()) keys.insert(HashValue(row[rk]));
+  int lk = left.ColIndex(left_key);
+  int64_t hits = 0;
+  for (const Row& row : left.rows()) {
+    if (keys.count(HashValue(row[lk]))) hits++;
+  }
+  return static_cast<double>(hits) / static_cast<double>(left.num_rows());
+}
+
+}  // namespace elephant::exec

@@ -1,0 +1,48 @@
+#ifndef ELEPHANT_EXEC_STATISTICS_H_
+#define ELEPHANT_EXEC_STATISTICS_H_
+
+#include <map>
+#include <string>
+
+#include "exec/operators.h"
+#include "exec/table.h"
+
+namespace elephant::exec {
+
+/// Per-column statistics of a table.
+struct ColumnStats {
+  ValueType type = ValueType::kInt;
+  Value min;
+  Value max;
+  int64_t distinct = 0;
+  int64_t null_like = 0;  ///< empty strings / zero defaults
+};
+
+/// Statistics of one table: what a cost-based optimizer keeps in its
+/// catalog, and what the reproduction uses to validate the Hive/PDW
+/// plan-volume constants against real dbgen data.
+struct TableStats {
+  int64_t rows = 0;
+  std::map<std::string, ColumnStats> columns;
+
+  const ColumnStats* Find(const std::string& column) const {
+    auto it = columns.find(column);
+    return it == columns.end() ? nullptr : &it->second;
+  }
+};
+
+/// Scans the table once and computes rows / min / max / distinct counts.
+TableStats ComputeStats(const Table& table);
+
+/// Fraction of rows satisfying the predicate (0 for an empty table).
+double Selectivity(const Table& table, const Predicate& pred);
+
+/// Fraction of `left` rows with at least one `right` match on the key —
+/// a join-selectivity probe.
+double JoinMatchFraction(const Table& left, const Table& right,
+                         const std::string& left_key,
+                         const std::string& right_key);
+
+}  // namespace elephant::exec
+
+#endif  // ELEPHANT_EXEC_STATISTICS_H_

@@ -1,0 +1,97 @@
+#include "exec/table.h"
+
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace elephant::exec {
+
+int64_t AsInt(const Value& v) {
+  if (const auto* i = std::get_if<int64_t>(&v)) return *i;
+  if (const auto* d = std::get_if<double>(&v)) return static_cast<int64_t>(*d);
+  assert(false && "string value used as int");
+  return 0;
+}
+
+double AsDouble(const Value& v) {
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  if (const auto* i = std::get_if<int64_t>(&v)) return static_cast<double>(*i);
+  assert(false && "string value used as double");
+  return 0;
+}
+
+const std::string& AsString(const Value& v) {
+  return std::get<std::string>(v);
+}
+
+int CompareValues(const Value& a, const Value& b) {
+  if (std::holds_alternative<std::string>(a)) {
+    const std::string& sa = std::get<std::string>(a);
+    const std::string& sb = std::get<std::string>(b);
+    if (sa < sb) return -1;
+    if (sb < sa) return 1;
+    return 0;
+  }
+  double da = AsDouble(a);
+  double db = AsDouble(b);
+  if (da < db) return -1;
+  if (db < da) return 1;
+  return 0;
+}
+
+uint64_t HashValue(const Value& v) {
+  if (const auto* i = std::get_if<int64_t>(&v)) {
+    return Fnv1a64(static_cast<uint64_t>(*i));
+  }
+  if (const auto* d = std::get_if<double>(&v)) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(*d));
+    __builtin_memcpy(&bits, d, sizeof(bits));
+    return Fnv1a64(bits);
+  }
+  const std::string& s = std::get<std::string>(v);
+  return Fnv1a64(s.data(), s.size());
+}
+
+int Table::ColIndex(const std::string& name) const {
+  int idx = FindCol(name);
+  assert(idx >= 0 && "unknown column");
+  return idx;
+}
+
+int Table::FindCol(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) os << " | ";
+    os << columns_[i].name;
+  }
+  os << "\n";
+  size_t n = std::min(max_rows, rows_.size());
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c) os << " | ";
+      const Value& v = rows_[r][c];
+      if (const auto* i = std::get_if<int64_t>(&v)) {
+        os << *i;
+      } else if (const auto* d = std::get_if<double>(&v)) {
+        os << *d;
+      } else {
+        os << std::get<std::string>(v);
+      }
+    }
+    os << "\n";
+  }
+  if (rows_.size() > n) {
+    os << "... (" << rows_.size() << " rows total)\n";
+  }
+  return os.str();
+}
+
+}  // namespace elephant::exec

@@ -1,0 +1,78 @@
+#ifndef ELEPHANT_EXEC_TABLE_H_
+#define ELEPHANT_EXEC_TABLE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace elephant::exec {
+
+/// Column types supported by the executor. TPC-H decimals are carried as
+/// doubles (sufficient for benchmark validation), dates as int64 day
+/// codes.
+enum class ValueType { kInt, kDouble, kString };
+
+/// A dynamically typed cell.
+using Value = std::variant<int64_t, double, std::string>;
+
+/// Accessors with numeric widening (int -> double).
+int64_t AsInt(const Value& v);
+double AsDouble(const Value& v);
+const std::string& AsString(const Value& v);
+
+/// Three-way comparison consistent across numeric types.
+int CompareValues(const Value& a, const Value& b);
+
+/// Hash for joining/grouping.
+uint64_t HashValue(const Value& v);
+
+struct Column {
+  std::string name;
+  ValueType type;
+};
+
+using Row = std::vector<Value>;
+
+/// An in-memory relation: a schema plus a row vector. This is the
+/// currency of the executor — every operator consumes and produces
+/// Tables. Row storage is row-major; the executor favours clarity over
+/// vectorized speed since its role is validating plans and answers at
+/// mini scale.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  /// Index of a column by name; asserts that it exists (TPC-H column
+  /// names are globally unique, e.g. l_orderkey, o_orderkey).
+  int ColIndex(const std::string& name) const;
+  /// Like ColIndex but returns -1 when missing.
+  int FindCol(const std::string& name) const;
+
+  const std::vector<Column>& columns() const { return columns_; }
+  int num_cols() const { return static_cast<int>(columns_.size()); }
+
+  void AddRow(Row row) {
+    assert(row.size() == columns_.size());
+    rows_.push_back(std::move(row));
+  }
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Pretty-prints up to `max_rows` rows (for examples/debugging).
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace elephant::exec
+
+#endif  // ELEPHANT_EXEC_TABLE_H_

@@ -1,0 +1,103 @@
+#ifndef ELEPHANT_HIVE_ENGINE_H_
+#define ELEPHANT_HIVE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "dfs/dfs.h"
+#include "hive/catalog.h"
+#include "mapreduce/mapreduce.h"
+
+namespace elephant::hive {
+
+/// Hive session configuration. The defaults are the paper's tuned setup
+/// (§3.2.1): map-side aggregation, map joins and bucketed map joins
+/// enabled, 128 reducers per job so all reducers finish in one round,
+/// GZIP RCFile storage, LZO map-output compression.
+struct HiveOptions {
+  bool map_side_aggregation = true;
+  bool map_join = true;
+  /// §3.2.1 enables bucketed map joins; the published script plans end
+  /// up taking common joins at the tested scales anyway (as the paper's
+  /// analyses observe), so this knob is configuration fidelity.
+  bool bucketed_map_join = true;
+  int reducers_per_job = 128;
+  /// Effective in-memory blow-up of a map-join hash table versus the raw
+  /// bytes (Java object headers, boxing). Hash sides larger than
+  /// mr.map_join_memory * this fail with heap errors and fall back to a
+  /// common join after `map_join_failure_time`.
+  double java_hash_blowup = 4.0;
+  SimTime map_join_failure_time = 400 * kSecond;  // §3.3.4.2, Q22
+  /// Scratch space left for intermediates (map spills, reduce merges,
+  /// temp tables) after the database, OS and source text occupy the
+  /// cluster's 38.4 TB of raw disk. Queries whose intermediates exceed
+  /// it fail — at SF 16000 this reproduces Q9's out-of-disk abort
+  /// (§3.3.4, Table 3).
+  int64_t scratch_bytes = 10LL * 1024 * kGB;
+  mapreduce::MrConfig mr;
+};
+
+/// Result of one MapReduce job within a query.
+struct HiveJobResult {
+  std::string name;
+  mapreduce::JobStats stats;
+};
+
+/// Result of a full HiveQL query (a DAG of MR jobs, run serially as the
+/// Hive driver does for the TPC-H scripts).
+struct HiveQueryResult {
+  int query = 0;
+  SimTime total = 0;
+  /// Bytes of scratch the query needs: map spills + reduce-side merge
+  /// copies (2x each shuffle) plus replicated temp-table outputs.
+  int64_t intermediate_bytes = 0;
+  /// True when intermediate_bytes exceeded the configured scratch space
+  /// (the paper's Q9-at-16TB "did not complete ... due to lack of disk
+  /// space").
+  bool failed_out_of_disk = false;
+  std::vector<HiveJobResult> jobs;
+
+  /// Sum of job totals whose name starts with `prefix` (used for the
+  /// Table 5 sub-query breakdown).
+  SimTime TimeOfJobsWithPrefix(const std::string& prefix) const;
+};
+
+/// Executable model of Hive 0.7.1 running the TPC-H scripts of HIVE-600
+/// as tuned by the paper. Each query is compiled to the published
+/// script's stage structure — fixed join order (no cost-based
+/// optimization), common joins repartitioning both inputs, map joins
+/// with heap-failure fallback, map-side pre-aggregation — and each stage
+/// is costed by the MapReduce engine model.
+class HiveEngine {
+ public:
+  HiveEngine(cluster::Cluster* cluster, dfs::DistributedFileSystem* fs,
+             const HiveOptions& options);
+
+  /// Runs TPC-H query `q` (1..22) at scale factor `sf` (in GB, e.g. 250).
+  HiveQueryResult RunQuery(int q, double sf) const;
+
+  /// Table 2: load = parallel text copy into HDFS + conversion job into
+  /// compressed RCFile.
+  SimTime LoadTime(double sf) const;
+
+  const HiveOptions& options() const { return options_; }
+  const HiveCatalog& catalog() const { return catalog_; }
+  const mapreduce::MrEngine& mr() const { return mr_; }
+
+ private:
+  cluster::Cluster* cluster_;
+  dfs::DistributedFileSystem* fs_;
+  HiveOptions options_;
+  HiveCatalog catalog_;
+  mapreduce::MrEngine mr_;
+};
+
+/// Builds the MR job DAG for a query (exposed for tests and ablations).
+std::vector<mapreduce::JobSpec> BuildHiveJobs(int q, double sf,
+                                              const HiveCatalog& catalog,
+                                              const HiveOptions& options);
+
+}  // namespace elephant::hive
+
+#endif  // ELEPHANT_HIVE_ENGINE_H_

@@ -1,0 +1,480 @@
+// The TPC-H query plans as Hive 0.7.1 runs the published HIVE-600
+// scripts (with the paper's tuning: map-side aggregation, map joins,
+// 128 reducers). Each query is a fixed-order list of MapReduce jobs —
+// there is no cost-based optimizer, so join order follows the script
+// text, common joins repartition both inputs, and map joins fall back to
+// common joins when the hash side overflows the task heap (§3.3.4).
+//
+// Stage volumes are expressed per unit scale factor (GB of uncompressed
+// data per SF = 1) and derived from TPC-H selectivities; tests validate
+// key fractions against the real executor at mini scale.
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "hive/engine.h"
+
+namespace elephant::hive {
+
+namespace {
+
+using mapreduce::JobSpec;
+using mapreduce::MapTaskSpec;
+using tpch::TableId;
+
+constexpr double kGB = 1e9;
+
+/// CPU throughput (MB/s per slot) of the different mapper kinds.
+constexpr double kScanAggMapMbps = 20.0;   // scan + filter + map-side agg
+constexpr double kJoinMapMbps = 8.0;       // common-join mapper (tag+LZO)
+constexpr double kReduceOutCompression = 0.5;  // LZO on map outputs
+
+/// Builds a Hive query's MR job list.
+class PlanBuilder {
+ public:
+  PlanBuilder(int query, double sf, const HiveCatalog& catalog,
+              const HiveOptions& options)
+      : query_(query), sf_(sf), catalog_(catalog), options_(options) {}
+
+  /// Uncompressed GB of a base table at this scale factor.
+  double TableGb(TableId t) const {
+    return static_cast<double>(catalog_.TextBytes(t, sf_)) / kGB;
+  }
+
+  /// Map tasks scanning a base table. `out_ratio` = map-output bytes per
+  /// uncompressed input byte (projection x selectivity, LZO'd).
+  std::vector<MapTaskSpec> Scan(TableId t, double out_ratio,
+                                double cpu_mbps) const {
+    auto tasks = catalog_.ScanTasks(t, sf_, out_ratio * kReduceOutCompression);
+    for (auto& task : tasks) task.cpu_mbps = cpu_mbps;
+    return tasks;
+  }
+
+  /// Map tasks scanning a temp table of `gb` uncompressed GB (temps are
+  /// RCFile at ~2:1).
+  std::vector<MapTaskSpec> Temp(double gb, double out_ratio,
+                                double cpu_mbps) const {
+    auto tasks = catalog_.TempScanTasks(
+        static_cast<int64_t>(gb * sf_ * kGB / 2.0), 2.0,
+        out_ratio * kReduceOutCompression);
+    for (auto& task : tasks) task.cpu_mbps = cpu_mbps;
+    return tasks;
+  }
+
+  static std::vector<MapTaskSpec> Concat(
+      std::initializer_list<std::vector<MapTaskSpec>> lists) {
+    std::vector<MapTaskSpec> all;
+    for (const auto& l : lists) all.insert(all.end(), l.begin(), l.end());
+    return all;
+  }
+
+  /// A common-join or shuffle-aggregate job: shuffle = sum of map
+  /// outputs, reduce writes `out_gb` (per SF) as a replicated temp.
+  void Job(const std::string& stage, std::vector<MapTaskSpec> tasks,
+           double out_gb) {
+    JobSpec job;
+    job.name = Name(stage);
+    job.map_tasks = std::move(tasks);
+    job.reduce.num_reducers = options_.reducers_per_job;
+    for (const auto& t : job.map_tasks) {
+      job.reduce.shuffle_bytes += t.output_bytes;
+    }
+    job.reduce.output_bytes = Gb(out_gb);
+    jobs_.push_back(std::move(job));
+  }
+
+  /// A map-only job (e.g. a chain of successful map joins): output is
+  /// written directly by the mappers.
+  void MapOnly(const std::string& stage, std::vector<MapTaskSpec> tasks) {
+    JobSpec job;
+    job.name = Name(stage);
+    job.map_tasks = std::move(tasks);
+    jobs_.push_back(std::move(job));
+  }
+
+  /// A map-join attempt: the hash side (`hash_gb` uncompressed per SF)
+  /// is built on the Hive client and distributed; if the in-memory blow
+  /// up exceeds the task heap, the job fails after
+  /// `map_join_failure_time` and a backup common join runs instead —
+  /// exactly Q22 sub-query 4's behaviour.
+  void MapJoin(const std::string& stage, std::vector<MapTaskSpec> stream,
+               double hash_gb, double out_gb) {
+    double hash_bytes = Gb(hash_gb) * options_.java_hash_blowup;
+    bool fits = options_.map_join &&
+                hash_bytes <= static_cast<double>(
+                                  options_.mr.map_join_memory);
+    if (fits) {
+      // Each map task reloads the hash table from the distributed cache.
+      JobSpec job;
+      job.name = Name(stage + "_mapjoin");
+      job.map_tasks = std::move(stream);
+      SimTime load = SecondsToSimTime(static_cast<double>(Gb(hash_gb)) /
+                                      (200.0 * 1e6));
+      for (auto& t : job.map_tasks) t.input_bytes += Gb(hash_gb) / 4;
+      job.fixed_overhead = load;
+      jobs_.push_back(std::move(job));
+      return;
+    }
+    // Failed attempt + backup common join shuffling both sides.
+    std::vector<MapTaskSpec> tasks = std::move(stream);
+    std::vector<MapTaskSpec> hash_scan =
+        Temp(hash_gb, /*out_ratio=*/1.0, kJoinMapMbps);
+    tasks.insert(tasks.end(), hash_scan.begin(), hash_scan.end());
+    JobSpec job;
+    job.name = Name(stage + "_backup_join");
+    job.map_tasks = std::move(tasks);
+    job.reduce.num_reducers = options_.reducers_per_job;
+    for (const auto& t : job.map_tasks) {
+      job.reduce.shuffle_bytes += t.output_bytes;
+    }
+    job.reduce.output_bytes = Gb(out_gb);
+    job.fixed_overhead =
+        options_.map_join ? options_.map_join_failure_time : 0;
+    jobs_.push_back(std::move(job));
+  }
+
+  /// A small housekeeping job (global aggregation, order-by, filesystem
+  /// consolidation) over final-result-sized data: one short map wave plus
+  /// one reducer. `abs_gb` is absolute (result sizes do not scale with
+  /// SF the way base tables do).
+  void Tiny(const std::string& stage, double abs_gb = 1e-4) {
+    JobSpec job;
+    job.name = Name(stage);
+    job.map_tasks = Temp(sf_ > 0 ? abs_gb / sf_ : abs_gb, 0.5,
+                         kScanAggMapMbps);
+    job.reduce.num_reducers = 1;
+    for (const auto& t : job.map_tasks) {
+      job.reduce.shuffle_bytes += t.output_bytes;
+    }
+    job.reduce.output_bytes = Gb(1e-6);
+    jobs_.push_back(std::move(job));
+  }
+
+  /// Effective map-output ratio for a map-side aggregation: near zero
+  /// when enabled, full selected volume when disabled (ablation).
+  double AggOut(double selected_ratio) const {
+    return options_.map_side_aggregation ? std::min(selected_ratio, 1e-4)
+                                         : selected_ratio;
+  }
+
+  int64_t Gb(double gb) const {
+    return static_cast<int64_t>(std::max(gb, 0.0) * sf_ * kGB);
+  }
+
+  std::vector<JobSpec> Take() { return std::move(jobs_); }
+
+ private:
+  std::string Name(const std::string& stage) const {
+    return "q" + std::to_string(query_) + "_" + stage;
+  }
+
+  int query_;
+  double sf_;
+  const HiveCatalog& catalog_;
+  const HiveOptions& options_;
+  std::vector<JobSpec> jobs_;
+};
+
+}  // namespace
+
+std::vector<JobSpec> BuildHiveJobs(int q, double sf,
+                                   const HiveCatalog& catalog,
+                                   const HiveOptions& options) {
+  PlanBuilder b(q, sf, catalog, options);
+  const double A = kScanAggMapMbps;
+  const double J = kJoinMapMbps;
+  using T = TableId;
+
+  switch (q) {
+    case 1:
+      // One scan+aggregate job over lineitem, then a tiny order-by.
+      b.Job("scan_agg", b.Scan(T::kLineitem, b.AggOut(0.6), A), 1e-6);
+      b.Tiny("orderby");
+      break;
+
+    case 2:
+      // Sub-queries: EU offers, min cost per part, final join, sort.
+      b.Job("cj_ps_supplier",
+            PlanBuilder::Concat({b.Scan(T::kPartsupp, 0.45, J),
+                                 b.Scan(T::kSupplier, 0.6, J)}),
+            0.0115);
+      b.Job("min_cost", b.Temp(0.0115, b.AggOut(0.6), A), 0.006);
+      b.Job("cj_final",
+            PlanBuilder::Concat({b.Temp(0.0115, 1.0, J), b.Temp(0.006, 1.0, J),
+                                 b.Scan(T::kPart, 0.01, J)}),
+            0.0002);
+      b.Tiny("orderby", 0.05);
+      break;
+
+    case 3:
+      b.Job("cj_customer_orders",
+            PlanBuilder::Concat({b.Scan(T::kCustomer, 0.06, J),
+                                 b.Scan(T::kOrders, 0.14, J)}),
+            0.0044);
+      b.Job("cj_lineitem",
+            PlanBuilder::Concat({b.Temp(0.0044, 1.0, J),
+                                 b.Scan(T::kLineitem, 0.135, 11)}),
+            0.0046);
+      b.Tiny("orderby", 0.6);
+      break;
+
+    case 4:
+      b.Job("cj_orders_lineitem",
+            PlanBuilder::Concat({b.Scan(T::kOrders, 0.011, J),
+                                 b.Scan(T::kLineitem, 0.13, 18)}),
+            1e-5);
+      b.Tiny("orderby");
+      break;
+
+    case 5:
+      // The paper's §3.3.4.1 plan: map joins build N⋈R then ⋈S; common
+      // join with lineitem (the monster); then orders; then customer.
+      b.MapJoin("mj_nation_region_supplier", b.Scan(T::kSupplier, 0.2, A),
+                1e-6, 0.0003);
+      b.Job("cj_lineitem",
+            PlanBuilder::Concat({b.Temp(0.0003, 1.0, J),
+                                 b.Scan(T::kLineitem, 0.3, J)}),
+            0.048);
+      b.Job("cj_orders",
+            PlanBuilder::Concat({b.Temp(0.048, 1.0, J),
+                                 b.Scan(T::kOrders, 0.3, J)}),
+            0.0082);
+      b.Job("cj_customer",
+            PlanBuilder::Concat({b.Temp(0.0082, 1.0, J),
+                                 b.Scan(T::kCustomer, 0.15, J)}),
+            1e-5);
+      b.Tiny("global_agg");
+      b.Tiny("orderby");
+      break;
+
+    case 6:
+      b.Job("scan_agg", b.Scan(T::kLineitem, b.AggOut(0.02), 45), 1e-6);
+      break;
+
+    case 7:
+      b.MapJoin("mj_supplier_nation", b.Scan(T::kSupplier, 0.08, A), 1e-6,
+                0.0001);
+      b.Job("cj_lineitem",
+            PlanBuilder::Concat({b.Temp(0.0001, 1.0, J),
+                                 b.Scan(T::kLineitem, 0.107, 6)}),
+            0.0066);
+      b.Job("cj_orders",
+            PlanBuilder::Concat({b.Temp(0.0066, 1.0, J),
+                                 b.Scan(T::kOrders, 0.2, J)}),
+            0.0074);
+      b.Job("cj_customer",
+            PlanBuilder::Concat({b.Temp(0.0074, 1.0, J),
+                                 b.Scan(T::kCustomer, 0.15, J)}),
+            1e-5);
+      b.Tiny("agg");
+      b.Tiny("orderby");
+      break;
+
+    case 8:
+      b.Job("cj_lineitem_part",
+            PlanBuilder::Concat({b.Scan(T::kLineitem, 0.3, J),
+                                 b.Scan(T::kPart, 0.003, J)}),
+            0.002);
+      b.Job("cj_orders",
+            PlanBuilder::Concat({b.Temp(0.002, 1.0, J),
+                                 b.Scan(T::kOrders, 0.3, J)}),
+            0.0007);
+      b.Job("cj_customer",
+            PlanBuilder::Concat({b.Temp(0.0007, 1.0, J),
+                                 b.Scan(T::kCustomer, 0.15, J)}),
+            0.0003);
+      b.Job("cj_supplier",
+            PlanBuilder::Concat({b.Temp(0.0003, 1.0, J),
+                                 b.Scan(T::kSupplier, 0.5, J)}),
+            1e-5);
+      b.Tiny("agg");
+      b.Tiny("orderby");
+      break;
+
+    case 9:
+      // Heaviest query: full lineitem, partsupp and orders repartitions
+      // plus large replicated temps (this is the query that exhausted
+      // Hive's disk at SF 16000 in the paper).
+      b.Job("cj_lineitem_part",
+            PlanBuilder::Concat({b.Scan(T::kLineitem, 0.42, 2),
+                                 b.Scan(T::kPart, 0.1, J)}),
+            0.045);
+      b.Job("cj_partsupp",
+            PlanBuilder::Concat({b.Temp(0.045, 1.0, 4),
+                                 b.Scan(T::kPartsupp, 0.5, 2)}),
+            0.05);
+      b.Job("cj_orders",
+            PlanBuilder::Concat({b.Temp(0.05, 1.0, 4),
+                                 b.Scan(T::kOrders, 0.25, 2)}),
+            0.055);
+      b.Job("cj_supplier",
+            PlanBuilder::Concat({b.Temp(0.055, 1.0, J),
+                                 b.Scan(T::kSupplier, 0.5, J)}),
+            1e-5);
+      b.Tiny("agg");
+      b.Tiny("orderby");
+      break;
+
+    case 10:
+      b.Job("cj_customer_orders",
+            PlanBuilder::Concat({b.Scan(T::kCustomer, 0.6, J),
+                                 b.Scan(T::kOrders, 0.01, J)}),
+            0.0068);
+      b.Job("cj_lineitem",
+            PlanBuilder::Concat({b.Temp(0.0068, 1.0, J),
+                                 b.Scan(T::kLineitem, 0.074, J)}),
+            0.005);
+      b.Tiny("orderby", 0.6);
+      break;
+
+    case 11:
+      b.MapJoin("mj_supplier_nation", b.Scan(T::kSupplier, 0.012, A), 1e-6,
+                2e-5);
+      b.Job("cj_partsupp",
+            PlanBuilder::Concat({b.Temp(2e-5, 1.0, J),
+                                 b.Scan(T::kPartsupp, 0.4, J)}),
+            0.00064);
+      b.Tiny("having_sort", 0.1);
+      break;
+
+    case 12:
+      b.Job("cj_lineitem_orders",
+            PlanBuilder::Concat({b.Scan(T::kLineitem, 0.002, 25),
+                                 b.Scan(T::kOrders, 0.25, J)}),
+            1e-5);
+      b.Tiny("agg");
+      break;
+
+    case 13:
+      b.Job("oj_customer_orders",
+            PlanBuilder::Concat({b.Scan(T::kCustomer, 0.5, J),
+                                 b.Scan(T::kOrders, 0.3, J)}),
+            0.0018);
+      b.Job("distribution", b.Temp(0.0018, b.AggOut(0.8), A), 1e-5);
+      b.Tiny("orderby");
+      break;
+
+    case 14:
+      b.Job("cj_lineitem_part",
+            PlanBuilder::Concat({b.Scan(T::kLineitem, 0.004, 40),
+                                 b.Scan(T::kPart, 0.35, J)}),
+            1e-5);
+      b.Tiny("agg");
+      break;
+
+    case 15:
+      b.Job("revenue_view", b.Scan(T::kLineitem, b.AggOut(0.0075), 35),
+            0.0003);
+      b.Tiny("max_revenue", 0.05);
+      b.Job("join_supplier",
+            PlanBuilder::Concat({b.Temp(0.0003, 1.0, J),
+                                 b.Scan(T::kSupplier, 0.6, J)}),
+            1e-5);
+      b.Tiny("orderby");
+      break;
+
+    case 16:
+      b.Job("cj_partsupp_part",
+            PlanBuilder::Concat({b.Scan(T::kPartsupp, 0.35, 5.5),
+                                 b.Scan(T::kPart, 0.06, 5.5)}),
+            0.006);
+      b.Job("agg_distinct", b.Temp(0.006, 0.9, A), 0.003);
+      b.Tiny("orderby", 0.4);
+      break;
+
+    case 17:
+      b.Job("avg_qty_per_part", b.Scan(T::kLineitem, b.AggOut(0.2), 12),
+            0.004);
+      b.Job("cj_lineitem_part_avg",
+            PlanBuilder::Concat({b.Scan(T::kLineitem, 0.25, 6),
+                                 b.Scan(T::kPart, 0.001, J),
+                                 b.Temp(0.004, 1.0, J)}),
+            1e-5);
+      b.Tiny("agg");
+      break;
+
+    case 18:
+      b.Job("qty_per_order", b.Scan(T::kLineitem, 0.1, 6), 0.024);
+      b.Job("cj_orders_customer",
+            PlanBuilder::Concat({b.Temp(0.024, 1.0, J),
+                                 b.Scan(T::kOrders, 0.35, J),
+                                 b.Scan(T::kCustomer, 0.3, J)}),
+            1e-5);
+      b.Tiny("orderby");
+      break;
+
+    case 19:
+      // §3.3.4.1: Hive redistributes both part and lineitem through a
+      // common join (a map join would not fit the task heap).
+      b.Job("cj_lineitem_part",
+            PlanBuilder::Concat({b.Scan(T::kLineitem, 0.032, 6.5),
+                                 b.Scan(T::kPart, 0.5, 6.5)}),
+            1e-5);
+      b.Tiny("global_agg");
+      break;
+
+    case 20:
+      b.Job("shipped_qty", b.Scan(T::kLineitem, b.AggOut(0.038), A),
+            0.0175);
+      b.Job("cj_partsupp_part",
+            PlanBuilder::Concat({b.Scan(T::kPartsupp, 0.4, 7),
+                                 b.Scan(T::kPart, 0.006, 7)}),
+            0.0013);
+      b.Job("cj_surplus",
+            PlanBuilder::Concat({b.Temp(0.0013, 1.0, J),
+                                 b.Temp(0.0175, 1.0, J)}),
+            0.0001);
+      b.Tiny("join_supplier_sort", 0.02);
+      break;
+
+    case 21:
+      // Three passes over lineitem: the longest Hive query in the paper.
+      b.Job("cj_l1_orders",
+            PlanBuilder::Concat({b.Scan(T::kLineitem, 0.125, J),
+                                 b.Scan(T::kOrders, 0.097, J)}),
+            0.044);
+      b.Job("cj_exists_l2",
+            PlanBuilder::Concat({b.Temp(0.044, 1.0, J),
+                                 b.Scan(T::kLineitem, 0.15, J)}),
+            0.044);
+      b.Job("cj_notexists_l3",
+            PlanBuilder::Concat({b.Temp(0.044, 1.0, J),
+                                 b.Scan(T::kLineitem, 0.075, J)}),
+            0.02);
+      b.Job("cj_supplier",
+            PlanBuilder::Concat({b.Temp(0.02, 1.0, J),
+                                 b.Scan(T::kSupplier, 0.5, J)}),
+            1e-5);
+      b.Tiny("agg");
+      b.Tiny("orderby");
+      break;
+
+    case 22: {
+      // Four sub-queries (Table 5 of the paper).
+      // Sub-query 1: map-only selection on customer + a filesystem job
+      // that consolidates the many small output files.
+      b.MapOnly("sq1_scan_customer", b.Scan(T::kCustomer, 0.084, A));
+      b.Tiny("sq1_fs_job", 0.5);
+      // Sub-query 2: average balance of the selected customers.
+      b.Job("sq2_avg_balance", b.Temp(0.0021, b.AggOut(0.9), A), 1e-6);
+      // Sub-query 3: orders scanned (512 bucket files, 384 empty).
+      b.Job("sq3_orders_per_cust", b.Scan(T::kOrders, b.AggOut(0.15), 12),
+            0.0016);
+      // Sub-query 4: map join always fails -> 400 s penalty + backup
+      // common join; then the second join, group-by and order-by.
+      b.MapJoin("sq4_join1", b.Temp(0.0016, 1.0, J), 0.0021, 0.001);
+      b.MapJoin("sq4_join2", b.Temp(0.001, 1.0, J), 1e-6, 0.0005);
+      b.Tiny("sq4_groupby", 0.1);
+      b.Tiny("sq4_orderby");
+      break;
+    }
+
+    default:
+      assert(false && "query out of range");
+  }
+  return b.Take();
+}
+
+}  // namespace elephant::hive

@@ -1,0 +1,439 @@
+#include "hive/rcfile_format.h"
+
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace elephant::hive {
+
+namespace {
+
+using exec::Row;
+using exec::Table;
+using exec::Value;
+using exec::ValueType;
+
+// ---- primitive encoders ----------------------------------------------
+
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint(const std::string& in, size_t* pos, uint64_t* v) {
+  *v = 0;
+  int shift = 0;
+  while (*pos < in.size()) {
+    uint8_t b = static_cast<uint8_t>(in[(*pos)++]);
+    *v |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return true;
+    shift += 7;
+    if (shift > 63) return false;
+  }
+  return false;
+}
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// Byte-level run-length pass: (literal-len, bytes) / (0, run-len, byte).
+std::string RlePack(const std::string& in) {
+  std::string out;
+  size_t i = 0;
+  while (i < in.size()) {
+    // Find a run.
+    size_t run = 1;
+    while (i + run < in.size() && in[i + run] == in[i] && run < 0x7FFF) {
+      run++;
+    }
+    if (run >= 4) {
+      out.push_back('\0');
+      PutVarint(&out, run);
+      out.push_back(in[i]);
+      i += run;
+      continue;
+    }
+    // Literal stretch until the next long run.
+    size_t lit_start = i;
+    while (i < in.size()) {
+      size_t r = 1;
+      while (i + r < in.size() && in[i + r] == in[i] && r < 4) r++;
+      if (r >= 4) break;
+      i += 1;
+      if (i - lit_start >= 0x7FFF) break;
+    }
+    size_t lit_len = i - lit_start;
+    PutVarint(&out, lit_len);
+    out.append(in, lit_start, lit_len);
+  }
+  return out;
+}
+
+Result<std::string> RleUnpack(const std::string& in, size_t* pos,
+                              size_t packed_len) {
+  std::string out;
+  size_t end = *pos + packed_len;
+  while (*pos < end) {
+    uint64_t head = 0;
+    if (!GetVarint(in, pos, &head)) {
+      return Status::InvalidArgument("truncated RLE stream");
+    }
+    if (head == 0) {
+      uint64_t run = 0;
+      if (!GetVarint(in, pos, &run) || *pos >= in.size()) {
+        return Status::InvalidArgument("truncated RLE run");
+      }
+      out.append(static_cast<size_t>(run), in[(*pos)++]);
+    } else {
+      if (*pos + head > in.size()) {
+        return Status::InvalidArgument("truncated RLE literal");
+      }
+      out.append(in, *pos, static_cast<size_t>(head));
+      *pos += head;
+    }
+  }
+  return out;
+}
+
+// ---- column encoders ---------------------------------------------------
+
+std::string EncodeIntColumn(const Table& t, int col, size_t begin,
+                            size_t end) {
+  std::string out;
+  int64_t prev = 0;
+  for (size_t r = begin; r < end; ++r) {
+    int64_t v = std::get<int64_t>(t.rows()[r][col]);
+    PutVarint(&out, ZigZag(v - prev));
+    prev = v;
+  }
+  return out;
+}
+
+std::string EncodeDoubleColumn(const Table& t, int col, size_t begin,
+                               size_t end) {
+  // TPC-H money/decimal columns are hundredths: when every value in the
+  // group is an integral number of cents, store zigzag-delta varints of
+  // the scaled value (flag 1); otherwise raw 8-byte doubles (flag 0).
+  bool all_cents = true;
+  for (size_t r = begin; r < end; ++r) {
+    double v = std::get<double>(t.rows()[r][col]);
+    double cents = v * 100.0;
+    if (std::abs(cents - std::llround(cents)) > 1e-6 ||
+        std::abs(cents) > 9e15) {
+      all_cents = false;
+      break;
+    }
+  }
+  std::string out;
+  out.push_back(all_cents ? 1 : 0);
+  if (all_cents) {
+    int64_t prev = 0;
+    for (size_t r = begin; r < end; ++r) {
+      int64_t cents =
+          std::llround(std::get<double>(t.rows()[r][col]) * 100.0);
+      PutVarint(&out, ZigZag(cents - prev));
+      prev = cents;
+    }
+  } else {
+    out.reserve(1 + (end - begin) * 8);
+    for (size_t r = begin; r < end; ++r) {
+      double v = std::get<double>(t.rows()[r][col]);
+      char buf[8];
+      std::memcpy(buf, &v, 8);
+      out.append(buf, 8);
+    }
+  }
+  return out;
+}
+
+int BitsFor(uint64_t n) {
+  int bits = 1;
+  while ((1ULL << bits) < n) bits++;
+  return bits;
+}
+
+void PackBits(std::string* out, const std::vector<uint64_t>& values,
+              int bits) {
+  uint64_t acc = 0;
+  int filled = 0;
+  for (uint64_t v : values) {
+    acc |= v << filled;
+    filled += bits;
+    while (filled >= 8) {
+      out->push_back(static_cast<char>(acc & 0xFF));
+      acc >>= 8;
+      filled -= 8;
+    }
+  }
+  if (filled > 0) out->push_back(static_cast<char>(acc & 0xFF));
+}
+
+std::string EncodeStringColumn(const Table& t, int col, size_t begin,
+                               size_t end) {
+  // Per group: dictionary + bit-packed indexes when the column repeats
+  // (flag 1), plain length-prefixed strings otherwise (flag 0).
+  std::unordered_map<std::string, uint64_t> dict;
+  std::vector<const std::string*> order;
+  for (size_t r = begin; r < end; ++r) {
+    const std::string& s = std::get<std::string>(t.rows()[r][col]);
+    if (dict.emplace(s, dict.size()).second) order.push_back(&s);
+  }
+  std::string out;
+  size_t rows = end - begin;
+  if (dict.size() > rows / 2) {
+    out.push_back(0);
+    for (size_t r = begin; r < end; ++r) {
+      const std::string& s = std::get<std::string>(t.rows()[r][col]);
+      PutVarint(&out, s.size());
+      out += s;
+    }
+    return out;
+  }
+  out.push_back(1);
+  PutVarint(&out, dict.size());
+  for (const std::string* s : order) {
+    PutVarint(&out, s->size());
+    out += *s;
+  }
+  int bits = BitsFor(dict.size());
+  out.push_back(static_cast<char>(bits));
+  std::vector<uint64_t> indexes;
+  indexes.reserve(rows);
+  for (size_t r = begin; r < end; ++r) {
+    indexes.push_back(dict[std::get<std::string>(t.rows()[r][col])]);
+  }
+  PackBits(&out, indexes, bits);
+  return out;
+}
+
+}  // namespace
+
+int64_t FlatTextBytes(const Table& table) {
+  int64_t bytes = 0;
+  for (const Row& row : table.rows()) {
+    for (const Value& v : row) {
+      if (const auto* i = std::get_if<int64_t>(&v)) {
+        bytes += static_cast<int64_t>(std::to_string(*i).size());
+      } else if (const auto* d = std::get_if<double>(&v)) {
+        bytes += static_cast<int64_t>(StrFormat("%.2f", *d).size());
+      } else {
+        bytes += static_cast<int64_t>(std::get<std::string>(v).size());
+      }
+      bytes += 1;  // '|' separator / row terminator
+    }
+  }
+  return bytes;
+}
+
+std::string RcfileEncode(const Table& table, int rows_per_group,
+                         RcfileWriteStats* stats) {
+  std::string out;
+  // Header: column count, then (type, name) per column, then row count.
+  PutVarint(&out, static_cast<uint64_t>(table.num_cols()));
+  for (const auto& col : table.columns()) {
+    out.push_back(static_cast<char>(col.type));
+    PutVarint(&out, col.name.size());
+    out += col.name;
+  }
+  PutVarint(&out, table.num_rows());
+  PutVarint(&out, static_cast<uint64_t>(rows_per_group));
+
+  int64_t groups = 0;
+  for (size_t begin = 0; begin < table.num_rows();
+       begin += static_cast<size_t>(rows_per_group)) {
+    size_t end = std::min(table.num_rows(),
+                          begin + static_cast<size_t>(rows_per_group));
+    groups++;
+    for (int c = 0; c < table.num_cols(); ++c) {
+      std::string raw;
+      switch (table.columns()[c].type) {
+        case ValueType::kInt:
+          raw = EncodeIntColumn(table, c, begin, end);
+          break;
+        case ValueType::kDouble:
+          raw = EncodeDoubleColumn(table, c, begin, end);
+          break;
+        case ValueType::kString:
+          raw = EncodeStringColumn(table, c, begin, end);
+          break;
+      }
+      std::string packed = RlePack(raw);
+      PutVarint(&out, packed.size());
+      out += packed;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->rows = static_cast<int64_t>(table.num_rows());
+    stats->row_groups = groups;
+    stats->text_bytes = FlatTextBytes(table);
+    stats->compressed_bytes = static_cast<int64_t>(out.size());
+  }
+  return out;
+}
+
+Result<exec::Table> RcfileDecode(const std::string& bytes) {
+  size_t pos = 0;
+  uint64_t num_cols = 0;
+  if (!GetVarint(bytes, &pos, &num_cols) || num_cols == 0 ||
+      num_cols > 4096) {
+    return Status::InvalidArgument("bad column count");
+  }
+  std::vector<exec::Column> columns;
+  for (uint64_t c = 0; c < num_cols; ++c) {
+    if (pos >= bytes.size()) {
+      return Status::InvalidArgument("truncated schema");
+    }
+    auto type = static_cast<ValueType>(bytes[pos++]);
+    uint64_t name_len = 0;
+    if (!GetVarint(bytes, &pos, &name_len) ||
+        pos + name_len > bytes.size()) {
+      return Status::InvalidArgument("truncated column name");
+    }
+    columns.push_back({bytes.substr(pos, name_len), type});
+    pos += name_len;
+  }
+  uint64_t num_rows = 0, rows_per_group = 0;
+  if (!GetVarint(bytes, &pos, &num_rows) ||
+      !GetVarint(bytes, &pos, &rows_per_group) || rows_per_group == 0) {
+    return Status::InvalidArgument("truncated row counts");
+  }
+
+  Table table(columns);
+  table.Reserve(num_rows);
+  std::vector<Row> rows(num_rows);
+  for (auto& r : rows) r.reserve(num_cols);
+
+  for (uint64_t begin = 0; begin < num_rows; begin += rows_per_group) {
+    uint64_t end = std::min(num_rows, begin + rows_per_group);
+    for (uint64_t c = 0; c < num_cols; ++c) {
+      uint64_t packed_len = 0;
+      if (!GetVarint(bytes, &pos, &packed_len) ||
+          pos + packed_len > bytes.size()) {
+        return Status::InvalidArgument("truncated column chunk");
+      }
+      ELEPHANT_ASSIGN_OR_RETURN(std::string raw,
+                                RleUnpack(bytes, &pos, packed_len));
+      size_t rpos = 0;
+      switch (columns[c].type) {
+        case ValueType::kInt: {
+          int64_t prev = 0;
+          for (uint64_t r = begin; r < end; ++r) {
+            uint64_t zz = 0;
+            if (!GetVarint(raw, &rpos, &zz)) {
+              return Status::InvalidArgument("truncated int column");
+            }
+            prev += UnZigZag(zz);
+            rows[r].push_back(Value{prev});
+          }
+          break;
+        }
+        case ValueType::kDouble: {
+          if (rpos >= raw.size()) {
+            return Status::InvalidArgument("truncated double flag");
+          }
+          bool cents = raw[rpos++] == 1;
+          if (cents) {
+            int64_t prev = 0;
+            for (uint64_t r = begin; r < end; ++r) {
+              uint64_t zz = 0;
+              if (!GetVarint(raw, &rpos, &zz)) {
+                return Status::InvalidArgument("truncated decimal column");
+              }
+              prev += UnZigZag(zz);
+              rows[r].push_back(Value{static_cast<double>(prev) / 100.0});
+            }
+          } else {
+            for (uint64_t r = begin; r < end; ++r) {
+              if (rpos + 8 > raw.size()) {
+                return Status::InvalidArgument("truncated double column");
+              }
+              double v;
+              std::memcpy(&v, raw.data() + rpos, 8);
+              rpos += 8;
+              rows[r].push_back(Value{v});
+            }
+          }
+          break;
+        }
+        case ValueType::kString: {
+          if (rpos >= raw.size()) {
+            return Status::InvalidArgument("truncated string flag");
+          }
+          bool dictionary = raw[rpos++] == 1;
+          if (!dictionary) {
+            for (uint64_t r = begin; r < end; ++r) {
+              uint64_t len = 0;
+              if (!GetVarint(raw, &rpos, &len) ||
+                  rpos + len > raw.size()) {
+                return Status::InvalidArgument("truncated plain string");
+              }
+              rows[r].push_back(Value{raw.substr(rpos, len)});
+              rpos += len;
+            }
+            break;
+          }
+          uint64_t dict_size = 0;
+          if (!GetVarint(raw, &rpos, &dict_size)) {
+            return Status::InvalidArgument("truncated dictionary");
+          }
+          std::vector<std::string> dict;
+          dict.reserve(dict_size);
+          for (uint64_t d = 0; d < dict_size; ++d) {
+            uint64_t len = 0;
+            if (!GetVarint(raw, &rpos, &len) ||
+                rpos + len > raw.size()) {
+              return Status::InvalidArgument("truncated dictionary entry");
+            }
+            dict.push_back(raw.substr(rpos, len));
+            rpos += len;
+          }
+          if (rpos >= raw.size()) {
+            return Status::InvalidArgument("truncated bit width");
+          }
+          int bits = raw[rpos++];
+          if (bits <= 0 || bits > 63) {
+            return Status::InvalidArgument("bad bit width");
+          }
+          uint64_t acc = 0;
+          int filled = 0;
+          for (uint64_t r = begin; r < end; ++r) {
+            while (filled < bits) {
+              if (rpos >= raw.size()) {
+                return Status::InvalidArgument("truncated bit stream");
+              }
+              acc |= static_cast<uint64_t>(
+                         static_cast<uint8_t>(raw[rpos++]))
+                     << filled;
+              filled += 8;
+            }
+            uint64_t idx = acc & ((1ULL << bits) - 1);
+            acc >>= bits;
+            filled -= bits;
+            if (idx >= dict.size()) {
+              return Status::InvalidArgument("bad dictionary index");
+            }
+            rows[r].push_back(Value{dict[idx]});
+          }
+          break;
+        }
+      }
+    }
+  }
+  for (auto& r : rows) table.AddRow(std::move(r));
+  return table;
+}
+
+}  // namespace elephant::hive

@@ -1,0 +1,112 @@
+#ifndef ELEPHANT_MAPREDUCE_MAPREDUCE_H_
+#define ELEPHANT_MAPREDUCE_MAPREDUCE_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/units.h"
+#include "dfs/dfs.h"
+
+namespace elephant::mapreduce {
+
+/// Hadoop runtime configuration. Defaults reproduce the paper's setup
+/// (§3.2.1): 8 map + 8 reduce tasks per node (128 + 128 slots across 16
+/// nodes), 2 GB task JVMs, one reduce round (128 reducers per job).
+struct MrConfig {
+  int map_slots_per_node = 8;
+  int reduce_slots_per_node = 8;
+  /// Fixed per-task cost: JVM start, split localization, commit. The
+  /// paper's empty-bucket map tasks bound this at ~6 s.
+  SimTime task_startup = 6 * kSecond;
+  /// Job submission + scheduling overhead per MapReduce job.
+  SimTime job_setup = 5 * kSecond;
+  /// Per-map-slot CPU throughput pushing *uncompressed* bytes through
+  /// record readers + map function. RCFile+GZIP decode keeps this far
+  /// below disk speed — the paper observes CPU-bound maps at ~70 MB/s
+  /// per node (~9 MB/s compressed per slot).
+  double map_cpu_mbps = 20.0;
+  /// Per-reduce-slot CPU throughput.
+  double reduce_cpu_mbps = 40.0;
+  /// Map-join in-memory hashtable budget per task. Builds larger than
+  /// this fail with Java heap errors (the Q22 failure in §3.3.4.2).
+  int64_t map_join_memory = 400 * kMB;
+};
+
+/// One map task: how many on-disk bytes it reads, how many uncompressed
+/// bytes its map function processes, and how many bytes it emits.
+struct MapTaskSpec {
+  int64_t input_bytes = 0;
+  int64_t uncompressed_bytes = 0;
+  int64_t output_bytes = 0;
+  /// Per-task CPU throughput override in MB/s (0 = config default).
+  /// Common-join mappers (tag + serialize + LZO-compress both sides) are
+  /// markedly slower than scan/aggregate mappers.
+  double cpu_mbps = 0;
+};
+
+/// The reduce side of a job.
+struct ReducePhaseSpec {
+  int num_reducers = 0;  ///< 0 = map-only job
+  int64_t shuffle_bytes = 0;
+  int64_t output_bytes = 0;
+  /// Final job outputs are written to HDFS with 3x replication;
+  /// intermediate temp tables in the paper's scripts are too.
+  bool replicated_output = true;
+};
+
+/// A MapReduce job to simulate.
+struct JobSpec {
+  std::string name;
+  std::vector<MapTaskSpec> map_tasks;
+  ReducePhaseSpec reduce;
+  /// Extra serial time charged before the job proper (e.g. a failed
+  /// map-join attempt that times out and falls back to a common join).
+  SimTime fixed_overhead = 0;
+};
+
+/// Phase breakdown of a simulated job.
+struct JobStats {
+  SimTime map_phase = 0;       ///< makespan of all map waves
+  SimTime shuffle_extra = 0;   ///< shuffle drain remaining after last map
+  SimTime reduce_phase = 0;
+  SimTime total = 0;
+  int map_waves = 0;
+};
+
+/// Analytical Hadoop MapReduce engine over the simulated cluster: a
+/// greedy list scheduler assigns map tasks to slots in submission order
+/// (reproducing the paper's Q1 anomaly where a slot receives two
+/// non-empty bucket files in the first wave), the shuffle overlaps the
+/// map phase, and reducers run in a single round.
+class MrEngine {
+ public:
+  MrEngine(cluster::Cluster* cluster, dfs::DistributedFileSystem* fs,
+           const MrConfig& config);
+
+  /// Simulates one job and returns its phase times.
+  JobStats RunJob(const JobSpec& job) const;
+
+  /// Duration of a single map task under this configuration.
+  SimTime MapTaskTime(const MapTaskSpec& task) const;
+
+  int total_map_slots() const {
+    return config_.map_slots_per_node * cluster_->num_nodes();
+  }
+  int total_reduce_slots() const {
+    return config_.reduce_slots_per_node * cluster_->num_nodes();
+  }
+
+  const MrConfig& config() const { return config_; }
+  cluster::Cluster* cluster() { return cluster_; }
+  dfs::DistributedFileSystem* fs() { return fs_; }
+
+ private:
+  cluster::Cluster* cluster_;
+  dfs::DistributedFileSystem* fs_;
+  MrConfig config_;
+};
+
+}  // namespace elephant::mapreduce
+
+#endif  // ELEPHANT_MAPREDUCE_MAPREDUCE_H_

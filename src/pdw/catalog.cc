@@ -1,0 +1,40 @@
+#include "pdw/catalog.h"
+
+#include <cassert>
+
+namespace elephant::pdw {
+
+using tpch::TableId;
+
+PdwCatalog::PdwCatalog() {
+  layouts_ = {
+      {TableId::kRegion, /*replicated=*/true, ""},
+      {TableId::kNation, /*replicated=*/true, ""},
+      {TableId::kSupplier, false, "s_suppkey"},
+      {TableId::kPart, false, "p_partkey"},
+      {TableId::kPartsupp, false, "ps_partkey"},
+      {TableId::kCustomer, false, "c_custkey"},
+      {TableId::kOrders, false, "o_orderkey"},
+      {TableId::kLineitem, false, "l_orderkey"},
+  };
+}
+
+const PdwTableLayout& PdwCatalog::layout(TableId table) const {
+  for (const auto& l : layouts_) {
+    if (l.table == table) return l;
+  }
+  assert(false && "unknown table");
+  return layouts_[0];
+}
+
+bool PdwCatalog::JoinIsLocal(TableId left, const std::string& left_col,
+                             TableId right,
+                             const std::string& right_col) const {
+  const PdwTableLayout& l = layout(left);
+  const PdwTableLayout& r = layout(right);
+  if (l.replicated || r.replicated) return true;
+  return l.distribution_column == left_col &&
+         r.distribution_column == right_col;
+}
+
+}  // namespace elephant::pdw

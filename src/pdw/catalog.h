@@ -1,0 +1,43 @@
+#ifndef ELEPHANT_PDW_CATALOG_H_
+#define ELEPHANT_PDW_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "tpch/schema.h"
+
+namespace elephant::pdw {
+
+/// How a table is laid out in PDW (the paper's Table 1): either
+/// hash-distributed on a column or replicated to every node. Each
+/// compute node holds 8 distributions (128 across the 16-node cluster).
+struct PdwTableLayout {
+  tpch::TableId table;
+  bool replicated = false;
+  std::string distribution_column;  ///< empty when replicated
+};
+
+/// The PDW catalog used by the paper's TPC-H setup: nation and region
+/// replicated, everything else hash-distributed on its primary key
+/// column; no indexes at all (§3.3.2).
+class PdwCatalog {
+ public:
+  PdwCatalog();
+
+  const PdwTableLayout& layout(tpch::TableId table) const;
+
+  /// True when an equi-join on the given columns is co-located (both
+  /// sides hash-distributed on their join columns, or one side
+  /// replicated) and can run without data movement.
+  bool JoinIsLocal(tpch::TableId left, const std::string& left_col,
+                   tpch::TableId right, const std::string& right_col) const;
+
+  int distributions_per_node() const { return 8; }
+
+ private:
+  std::vector<PdwTableLayout> layouts_;
+};
+
+}  // namespace elephant::pdw
+
+#endif  // ELEPHANT_PDW_CATALOG_H_

@@ -1,0 +1,111 @@
+#ifndef ELEPHANT_PDW_ENGINE_H_
+#define ELEPHANT_PDW_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/units.h"
+#include "pdw/catalog.h"
+
+namespace elephant::pdw {
+
+/// SQL Server PDW execution model parameters, fitted to the testbed
+/// behaviour the paper documents.
+struct PdwOptions {
+  /// Buffer pool per node (§3.2.2: SQL Server capped at 24 GB).
+  int64_t buffer_pool_bytes = 24LL * kGB;
+  /// Sequential scan bandwidth per data disk with SQL Server read-ahead.
+  double disk_scan_mbps = 140.0;
+  /// Per-core CPU throughput for a plain scan + light predicate.
+  double scan_cpu_mbps_per_core = 140.0;
+  /// Per-core hash join throughput (build + probe), rows/s.
+  double join_rows_per_core = 3.0e6;
+  /// Per-core aggregation throughput, rows/s (heavy multi-aggregate
+  /// expressions like Q1 are slower via the step's cpu_weight).
+  double agg_rows_per_core = 6.0e6;
+  /// DMS shuffle: per-node NIC is the floor; DMS adds CPU per byte.
+  double dms_cpu_mbps_per_core = 120.0;
+  /// Control-node overhead per plan step and per query.
+  SimTime step_overhead = 500 * kMillisecond;
+  SimTime query_overhead = 1 * kSecond;
+  /// Ablation: when false, the optimizer keeps the Hive script's join
+  /// order and repartitions both join inputs (no replicate/local
+  /// optimizations) — isolating the value of cost-based optimization.
+  bool cost_based_optimizer = true;
+};
+
+/// Kinds of steps in a PDW parallel plan.
+enum class StepKind {
+  kScan,       ///< parallel scan + filter + projection
+  kShuffle,    ///< DMS repartition of a stream
+  kReplicate,  ///< DMS broadcast of a (small) stream to all nodes
+  kLocalJoin,  ///< co-located hash join
+  kAggregate,  ///< partial/global aggregation
+};
+
+/// One step of a PDW plan with the volumes it processes.
+struct PdwStep {
+  std::string label;
+  StepKind kind = StepKind::kScan;
+  /// Bytes scanned / moved / probed, per unit scale factor (GB at SF=1).
+  double gb_per_sf = 0;
+  /// Rows processed (joined/aggregated), per unit scale factor.
+  double rows_per_sf = 0;
+  /// CPU weight: <1 = heavier per-byte/per-row CPU than the baseline.
+  double cpu_weight = 1.0;
+  /// kLocalJoin only: bytes of the hash build side per unit SF. When a
+  /// node's share exceeds its buffer pool the join becomes a grace hash
+  /// join spilling both inputs to disk (2x I/O on build + probe).
+  double build_gb_per_sf = 0;
+};
+
+/// Timing result of one query.
+struct PdwQueryResult {
+  int query = 0;
+  SimTime total = 0;
+  std::vector<std::pair<std::string, SimTime>> steps;
+};
+
+/// Executable model of SQL Server PDW (AU3) on the simulated cluster:
+/// cost-based plans that shuffle or replicate the cheaper side to make
+/// every join co-located, pipelined local operators, and a shared
+/// buffer pool whose hit rate depends on how much of the database fits
+/// in cluster memory (the root of the paper's 34x-at-250GB vs
+/// 9x-at-16TB speedup narrowing).
+class PdwEngine {
+ public:
+  PdwEngine(cluster::Cluster* cluster, const PdwOptions& options);
+
+  /// Runs TPC-H query `q` (1..22) at scale factor `sf` (GB).
+  PdwQueryResult RunQuery(int q, double sf) const;
+
+  /// Table 2: dwloader pushes the text through the landing node (two
+  /// passes: split, then load/redistribute), bounded by its single NIC.
+  SimTime LoadTime(double sf) const;
+
+  /// Fraction of scans served from the buffer pool at this scale factor.
+  double CacheFraction(double sf) const;
+
+  /// Time for one plan step at a scale factor (exposed for tests).
+  SimTime StepTime(const PdwStep& step, double sf) const;
+
+  const PdwOptions& options() const { return options_; }
+  const PdwCatalog& catalog() const { return catalog_; }
+
+ private:
+  cluster::Cluster* cluster_;
+  PdwOptions options_;
+  PdwCatalog catalog_;
+};
+
+/// Builds the plan for a query (exposed for tests and the ablation
+/// bench). Plans follow the paper's §3.3.4.1 descriptions: replicate
+/// small dimension streams, shuffle the smaller side onto the
+/// partitioning of the larger, keep lineitem joins on l_orderkey local.
+std::vector<PdwStep> BuildPdwPlan(int q, const PdwCatalog& catalog,
+                                  const PdwOptions& options);
+
+}  // namespace elephant::pdw
+
+#endif  // ELEPHANT_PDW_ENGINE_H_

@@ -1,0 +1,215 @@
+#include "pdw/optimizer.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace elephant::pdw {
+
+namespace {
+
+/// The running intermediate stream during planning.
+struct Stream {
+  double rows = 0;
+  double bytes = 0;
+  std::string partition_column;  ///< empty = arbitrary / replicated
+};
+
+struct DpState {
+  bool reachable = false;
+  double cost = std::numeric_limits<double>::infinity();
+  double network_bytes = 0;
+  Stream stream;
+  std::vector<PlannedJoin> steps;
+};
+
+double BytesPerRow(double rows, double bytes) {
+  return rows > 0 ? bytes / rows : 0;
+}
+
+}  // namespace
+
+const char* MovementName(Movement m) {
+  switch (m) {
+    case Movement::kNone:
+      return "local";
+    case Movement::kShuffleLeft:
+      return "shuffle-stream";
+    case Movement::kShuffleRight:
+      return "shuffle-relation";
+    case Movement::kReplicateLeft:
+      return "replicate-stream";
+    case Movement::kReplicateRight:
+      return "replicate-relation";
+  }
+  return "?";
+}
+
+Result<JoinPlan> Optimize(const std::vector<OptRelation>& relations,
+                          const std::vector<OptJoin>& joins,
+                          const OptimizerOptions& options) {
+  const int n = static_cast<int>(relations.size());
+  if (n == 0) return Status::InvalidArgument("no relations");
+  if (n > 20) return Status::InvalidArgument("too many relations");
+  if (joins.size() + 1 < static_cast<size_t>(n)) {
+    return Status::InvalidArgument("join graph is not connected");
+  }
+  for (const OptJoin& j : joins) {
+    if (j.left_rel < 0 || j.left_rel >= n || j.right_rel < 0 ||
+        j.right_rel >= n) {
+      return Status::InvalidArgument("join references unknown relation");
+    }
+  }
+  const double remote_fraction =
+      static_cast<double>(options.num_nodes - 1) / options.num_nodes;
+
+  // Evaluates joining `rel` (by `join`) into `stream`, returning the
+  // cheapest movement.
+  auto best_step = [&](const Stream& stream, int rel_idx,
+                       const OptJoin& join, bool rel_is_right) {
+    const OptRelation& rel = relations[rel_idx];
+    const std::string& stream_col =
+        rel_is_right ? join.left_column : join.right_column;
+    const std::string& rel_col =
+        rel_is_right ? join.right_column : join.left_column;
+
+    bool stream_ok = stream.partition_column == stream_col;
+    bool rel_partitioned_ok = rel.partition_column == rel_col;
+    // A replicated relation joins locally regardless of how the stream
+    // is partitioned.
+    bool co_located =
+        rel.replicated || (stream_ok && rel_partitioned_ok);
+    bool rel_ok = rel.replicated || rel_partitioned_ok;
+
+    struct Option {
+      Movement movement;
+      double net;
+      std::string out_partition;
+      bool valid;
+    };
+    Option options_list[] = {
+        // Already co-located.
+        {Movement::kNone, 0.0,
+         rel.replicated ? stream.partition_column : stream_col,
+         co_located},
+        // Shuffle the stream onto the join column.
+        {Movement::kShuffleLeft, stream.bytes * remote_fraction, stream_col,
+         rel_ok},
+        // Shuffle the relation onto the join column.
+        {Movement::kShuffleRight, rel.bytes * remote_fraction, stream_col,
+         stream_ok && !rel.replicated},
+        // Shuffle both sides (the common-join fallback).
+        {Movement::kShuffleRight,
+         (stream.bytes + rel.bytes) * remote_fraction, stream_col, true},
+        // Replicate the relation everywhere: the stream stays put.
+        {Movement::kReplicateRight,
+         rel.bytes * (options.num_nodes - 1),
+         stream.partition_column, !rel.replicated},
+    };
+    Option best{Movement::kNone, std::numeric_limits<double>::infinity(),
+                "", false};
+    for (const Option& o : options_list) {
+      if (o.valid && o.net < best.net) best = o;
+    }
+    if (!best.valid) {  // only the shuffle-both row can remain
+      best = options_list[3];
+    }
+    return best;
+  };
+
+  auto apply = [&](const Stream& stream, const OptJoin& join, int rel_idx,
+                   bool rel_is_right, DpState* out, double base_cost,
+                   double base_net,
+                   const std::vector<PlannedJoin>& base_steps) {
+    const OptRelation& rel = relations[rel_idx];
+    auto step = best_step(stream, rel_idx, join, rel_is_right);
+    double out_rows = join.selectivity * stream.rows * rel.rows;
+    double out_bytes = out_rows * (BytesPerRow(stream.rows, stream.bytes) +
+                                   BytesPerRow(rel.rows, rel.bytes));
+    double cost = base_cost + options.network_weight * step.net +
+                  options.rows_weight * out_rows;
+    if (cost >= out->cost) return;
+    out->reachable = true;
+    out->cost = cost;
+    out->network_bytes = base_net + step.net;
+    out->stream = {out_rows, out_bytes, step.out_partition};
+    out->steps = base_steps;
+    PlannedJoin planned;
+    planned.left_rel = -1;
+    planned.right_rel = rel_idx;
+    planned.movement = step.movement;
+    planned.network_bytes = step.net;
+    planned.output_rows = out_rows;
+    planned.output_bytes = out_bytes;
+    out->steps.push_back(planned);
+  };
+
+  if (!options.cost_based) {
+    // Script order: fold the joins as written, shuffling both inputs.
+    JoinPlan plan;
+    Stream stream{relations[joins[0].left_rel].rows,
+                  relations[joins[0].left_rel].bytes,
+                  relations[joins[0].left_rel].partition_column};
+    std::vector<bool> in_stream(n, false);
+    in_stream[joins[0].left_rel] = true;
+    for (const OptJoin& join : joins) {
+      int rel_idx = in_stream[join.left_rel] ? join.right_rel
+                                             : join.left_rel;
+      const OptRelation& rel = relations[rel_idx];
+      double net = (stream.bytes + rel.bytes) * remote_fraction;
+      double out_rows = join.selectivity * stream.rows * rel.rows;
+      double out_bytes =
+          out_rows * (BytesPerRow(stream.rows, stream.bytes) +
+                      BytesPerRow(rel.rows, rel.bytes));
+      PlannedJoin planned;
+      planned.left_rel = -1;
+      planned.right_rel = rel_idx;
+      planned.movement = Movement::kShuffleRight;
+      planned.network_bytes = net;
+      planned.output_rows = out_rows;
+      planned.output_bytes = out_bytes;
+      plan.steps.push_back(planned);
+      plan.network_bytes += net;
+      plan.cost += options.network_weight * net +
+                   options.rows_weight * out_rows;
+      stream = {out_rows, out_bytes, join.left_column};
+      in_stream[rel_idx] = true;
+    }
+    return plan;
+  }
+
+  // Left-deep DP over relation subsets.
+  std::vector<DpState> dp(static_cast<size_t>(1) << n);
+  for (int r = 0; r < n; ++r) {
+    DpState& s = dp[1u << r];
+    s.reachable = true;
+    s.cost = 0;
+    s.stream = {relations[r].rows, relations[r].bytes,
+                relations[r].replicated ? ""
+                                        : relations[r].partition_column};
+  }
+  for (uint32_t mask = 1; mask < dp.size(); ++mask) {
+    const DpState base = dp[mask];  // copy: dp reallocation-safe
+    if (!base.reachable) continue;
+    for (const OptJoin& join : joins) {
+      bool left_in = mask & (1u << join.left_rel);
+      bool right_in = mask & (1u << join.right_rel);
+      if (left_in == right_in) continue;  // both or neither
+      int rel_idx = left_in ? join.right_rel : join.left_rel;
+      uint32_t next = mask | (1u << rel_idx);
+      apply(base.stream, join, rel_idx, /*rel_is_right=*/left_in,
+            &dp[next], base.cost, base.network_bytes, base.steps);
+    }
+  }
+
+  const DpState& full = dp[dp.size() - 1];
+  if (!full.reachable) {
+    return Status::InvalidArgument("join graph is not connected");
+  }
+  JoinPlan plan;
+  plan.steps = full.steps;
+  plan.network_bytes = full.network_bytes;
+  plan.cost = full.cost;
+  return plan;
+}
+
+}  // namespace elephant::pdw

@@ -1,0 +1,80 @@
+#ifndef ELEPHANT_PDW_OPTIMIZER_H_
+#define ELEPHANT_PDW_OPTIMIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace elephant::pdw {
+
+/// A relation entering the optimizer: its post-filter size and the
+/// column its rows arrive partitioned on (empty = replicated).
+struct OptRelation {
+  std::string name;
+  double rows = 0;
+  double bytes = 0;
+  std::string partition_column;  ///< current hash-distribution column
+  bool replicated = false;
+};
+
+/// An equi-join edge between two relations.
+struct OptJoin {
+  int left_rel = 0;   ///< index into the relation list
+  int right_rel = 0;
+  std::string left_column;
+  std::string right_column;
+  /// Output cardinality factor: |out| = selectivity * |L| * |R|.
+  double selectivity = 0;
+};
+
+/// How a join input is made co-located.
+enum class Movement { kNone, kShuffleLeft, kShuffleRight, kReplicateLeft,
+                      kReplicateRight };
+
+const char* MovementName(Movement m);
+
+/// One join step of the chosen plan.
+struct PlannedJoin {
+  int left_rel = 0;    ///< relation joined into the running stream (-1 =
+                       ///< the stream itself)
+  int right_rel = 0;
+  Movement movement = Movement::kNone;
+  double network_bytes = 0;  ///< bytes moved by this step
+  double output_rows = 0;
+  double output_bytes = 0;
+};
+
+/// A full join order with its cost.
+struct JoinPlan {
+  std::vector<PlannedJoin> steps;
+  double network_bytes = 0;  ///< total data movement
+  double cost = 0;           ///< network + cpu surrogate
+};
+
+/// Knobs for the search.
+struct OptimizerOptions {
+  int num_nodes = 16;
+  /// Replication beats shuffling when bytes * (n-1) <
+  /// shuffle_bytes_other_side; the optimizer computes this exactly.
+  /// Cost surrogate weights.
+  double network_weight = 1.0;
+  double rows_weight = 1e-6;  ///< intermediate-size pressure
+  /// When false, joins are taken in the order given (the Hive-script
+  /// behaviour) with both sides repartitioned.
+  bool cost_based = true;
+};
+
+/// Chooses a join order and per-join movement strategy for a connected
+/// acyclic join graph (the shape of every TPC-H query), minimizing data
+/// movement: the decision procedure the paper credits for PDW's plans
+/// ("cost-based methods that minimize network transfers", §3.3.4.1).
+/// Left-deep dynamic programming over the relation set.
+Result<JoinPlan> Optimize(const std::vector<OptRelation>& relations,
+                          const std::vector<OptJoin>& joins,
+                          const OptimizerOptions& options = {});
+
+}  // namespace elephant::pdw
+
+#endif  // ELEPHANT_PDW_OPTIMIZER_H_

@@ -1,0 +1,295 @@
+// PDW parallel plans for the 22 TPC-H queries, following the paper's
+// §3.3.4.1 plan descriptions: the cost-based optimizer replicates small
+// (filtered) streams, shuffles the smaller join input onto the
+// partitioning of the larger, and keeps lineitem/orders joins local on
+// l_orderkey/o_orderkey. Volumes are GB (and millions of rows) per unit
+// scale factor, derived from TPC-H selectivities.
+
+#include <cassert>
+#include <vector>
+
+#include "pdw/engine.h"
+#include "tpch/queries.h"
+
+namespace elephant::pdw {
+
+namespace {
+
+using K = StepKind;
+
+constexpr double kM = 1e6;  // rows: millions per SF
+
+// Uncompressed GB per unit scale factor of each base table.
+constexpr double kL = 0.725, kO = 0.1605, kC = 0.0248, kP = 0.023,
+                 kPS = 0.115, kS = 0.0014;
+
+PdwStep Scan(const char* label, double gb, double w = 1.0) {
+  return {label, K::kScan, gb, 0, w, 0};
+}
+PdwStep Shuffle(const char* label, double gb, double w = 1.0) {
+  return {label, K::kShuffle, gb, 0, w, 0};
+}
+PdwStep Replicate(const char* label, double gb) {
+  return {label, K::kReplicate, gb, 0, 1.0, 0};
+}
+PdwStep Join(const char* label, double rows_m, double w = 1.0,
+             double probe_gb = 0, double build_gb = 0) {
+  return {label, K::kLocalJoin, probe_gb, rows_m * kM, w, build_gb};
+}
+PdwStep Agg(const char* label, double rows_m, double w = 1.0) {
+  return {label, K::kAggregate, 0, rows_m * kM, w, 0};
+}
+
+/// The ablation plan: no cost-based optimization — joins stay in script
+/// order and *both* inputs of every join are repartitioned (Hive-style
+/// common joins), with no replication of small tables.
+std::vector<PdwStep> BuildNaivePlan(int q) {
+  std::vector<PdwStep> steps;
+  double join_rows = 0;
+  double join_gb = 0;
+  for (tpch::TableId t : tpch::QueryInputTables(q)) {
+    double gb = 0, rows = 0;
+    switch (t) {
+      case tpch::TableId::kLineitem:
+        gb = kL;
+        rows = 6.0;
+        break;
+      case tpch::TableId::kOrders:
+        gb = kO;
+        rows = 1.5;
+        break;
+      case tpch::TableId::kCustomer:
+        gb = kC;
+        rows = 0.15;
+        break;
+      case tpch::TableId::kPart:
+        gb = kP;
+        rows = 0.2;
+        break;
+      case tpch::TableId::kPartsupp:
+        gb = kPS;
+        rows = 0.8;
+        break;
+      case tpch::TableId::kSupplier:
+        gb = kS;
+        rows = 0.01;
+        break;
+      default:
+        continue;
+    }
+    steps.push_back(Scan("scan", gb, 0.5));
+    steps.push_back(Shuffle("shuffle_both_sides", gb * 0.45));
+    join_rows += rows;
+    join_gb += gb;
+  }
+  // Script-order joins repartition and rejoin full streams; large build
+  // sides spill.
+  steps.push_back(Join("script_order_join", join_rows, 0.2,
+                       join_gb * 0.45, join_gb * 0.4));
+  steps.push_back(Agg("agg", join_rows * 0.2));
+  return steps;
+}
+
+}  // namespace
+
+std::vector<PdwStep> BuildPdwPlan(int q, const PdwCatalog& catalog,
+                                  const PdwOptions& options) {
+  (void)catalog;
+  if (!options.cost_based_optimizer) return BuildNaivePlan(q);
+
+  switch (q) {
+    case 1:
+      return {Scan("scan_lineitem_agg", kL, 0.094),
+              Agg("global_agg", 6.0, 0.5)};
+    case 2:
+      return {Scan("scan_partsupp", kPS),
+              Scan("scan_supplier", kS),
+              Scan("scan_part", kP),
+              Shuffle("shuffle_eu_offers_on_suppkey", 0.03),
+              Join("join_ps_supplier", 1.0, 1.0, 0.03, 0.0005),
+              Agg("min_cost_per_part", 0.16),
+              Join("join_part", 0.2),
+              Agg("sort_top100", 0.01)};
+    case 3:
+      return {Scan("scan_customer", kC),
+              Scan("scan_orders", kO, 0.5),
+              Shuffle("shuffle_orders_on_custkey", 0.032),
+              Join("join_customer_orders", 2.2, 1.0, 0.032, 0.008),
+              Shuffle("shuffle_on_orderkey", 0.0044),
+              Scan("scan_lineitem", kL, 0.28),
+              Join("join_lineitem_local", 3.3, 1.0, 0, 0.0044),
+              Agg("agg_topn", 0.5)};
+    case 4:
+      return {Scan("scan_orders", kO),
+              Scan("scan_lineitem", kL, 0.7),
+              Join("semijoin_local_orderkey", 4.5, 1.0, 0, 0.0018),
+              Agg("agg_priorities", 0.06)};
+    case 5:
+      // §3.3.4.1: shuffle orders on o_custkey; local join with customer
+      // + replicated nation/region; shuffle on o_orderkey; local join
+      // with lineitem; shuffle on l_suppkey; join supplier; aggregate.
+      return {Scan("scan_orders", kO, 0.6),
+              Shuffle("shuffle_orders_on_custkey", 0.032),
+              Scan("scan_customer", kC),
+              Join("join_customer_nation_region", 1.73, 1.0, 0.032, 0.0055),
+              Shuffle("shuffle_on_orderkey", 0.0068),
+              Scan("scan_lineitem", kL, 0.5),
+              Join("join_lineitem_local", 6.2, 1.0, 0, 0.0068),
+              Shuffle("shuffle_on_suppkey", 0.018),
+              Scan("scan_supplier", kS),
+              Join("join_supplier", 0.92, 1.0, 0.018, 0.0014),
+              Agg("partial_global_agg", 0.91)};
+    case 6:
+      return {Scan("scan_lineitem", kL), Agg("global_agg", 0.11)};
+    case 7:
+      return {Scan("scan_supplier", kS),
+              Replicate("replicate_filtered_suppliers", 0.0001),
+              Scan("scan_lineitem", kL, 0.45),
+              Join("join_lineitem_supplier", 6.15),
+              Shuffle("shuffle_on_orderkey", 0.0044),
+              Scan("scan_orders", kO, 0.7),
+              Join("join_orders_local", 1.65, 1.0, 0, 0.0044),
+              Shuffle("shuffle_on_custkey", 0.0042),
+              Scan("scan_customer", kC),
+              Join("join_customer", 0.3),
+              Agg("agg_by_year", 0.15)};
+    case 8:
+      return {Scan("scan_part", kP, 0.8),
+              Replicate("replicate_filtered_part", 0.00004),
+              Scan("scan_lineitem", kL, 0.5),
+              Join("join_lineitem_part", 6.04),
+              Shuffle("shuffle_on_orderkey", 0.0018),
+              Scan("scan_orders", kO, 0.7),
+              Join("join_orders_local", 1.54, 1.0, 0, 0.0018),
+              Shuffle("shuffle_on_custkey", 0.0007),
+              Scan("scan_customer", kC),
+              Join("join_customer_nation_region", 0.16),
+              Shuffle("shuffle_on_suppkey", 0.0003),
+              Scan("scan_supplier", kS),
+              Join("join_supplier_nation", 0.05),
+              Agg("mkt_share_agg", 0.04)};
+    case 9:
+      // The heaviest PDW query: lineitem must be repartitioned on
+      // partkey for the partsupp join, whose build side overflows memory
+      // at large SFs (grace hash join spills).
+      return {Scan("scan_part", kP, 0.9),
+              Scan("scan_lineitem", kL, 0.4),
+              Shuffle("shuffle_lineitem_on_partkey", 0.45),
+              Join("join_part", 6.2, 0.1, 0, 0.0003),
+              Scan("scan_partsupp", kPS),
+              Join("join_partsupp_spilling", 6.5, 0.1, 0.45, 0.115),
+              Shuffle("shuffle_joined_on_orderkey", 0.3),
+              Scan("scan_orders", kO, 0.6),
+              Join("join_orders_spilling", 1.8, 0.3, 0.3, 0.06),
+              Agg("profit_agg", 0.33, 0.1)};
+    case 10:
+      return {Scan("scan_orders", kO),
+              Scan("scan_customer", kC),
+              Shuffle("shuffle_orders_on_custkey", 0.0012),
+              Join("join_customer_orders", 0.72, 1.0, 0.0012, 0.0012),
+              Shuffle("shuffle_on_orderkey", 0.0068),
+              Scan("scan_lineitem", kL, 0.5),
+              Join("join_lineitem_local", 6.2, 1.0, 0, 0.0068),
+              Agg("agg_top20", 0.23)};
+    case 11:
+      return {Scan("scan_partsupp", kPS),
+              Scan("scan_supplier", kS),
+              Replicate("replicate_german_suppliers", 0.00004),
+              Join("join_ps_supplier", 0.84, 0.3),
+              Agg("value_per_part", 0.23, 0.2)};
+    case 12:
+      return {Scan("scan_lineitem", kL, 0.8),
+              Scan("scan_orders", kO, 0.8),
+              Join("join_local_orderkey", 7.5, 1.0, 0, 0.0001),
+              Agg("shipmode_agg", 0.03)};
+    case 13:
+      return {Scan("scan_orders_like_filter", kO, 0.06),
+              Scan("scan_customer", kC),
+              Shuffle("shuffle_orders_on_custkey", 0.032),
+              Join("outer_join", 7.5, 0.15, 0.032, 0.0075),
+              Agg("count_per_customer", 1.65, 0.2),
+              Agg("distribution", 0.15)};
+    case 14:
+      return {Scan("scan_lineitem", kL),
+              Scan("scan_part", kP),
+              Shuffle("shuffle_lineitem_sel_on_partkey", 0.0037),
+              Join("join_part_local", 0.25, 1.0, 0.0037, 0.008),
+              Agg("promo_agg", 0.075)};
+    case 15:
+      return {Scan("scan_lineitem_view1", kL),
+              Shuffle("shuffle_revenue_on_suppkey", 0.0003),
+              Agg("revenue_per_supplier", 0.23),
+              Scan("scan_lineitem_view2", kL),
+              Agg("revenue_per_supplier_again", 0.23),
+              Scan("scan_supplier", kS),
+              Join("join_supplier", 0.02),
+              Agg("max_and_sort", 0.01)};
+    case 16:
+      return {Scan("scan_partsupp", kPS),
+              Scan("scan_part", kP, 0.9),
+              Join("join_local_partkey", 1.0, 0.3, 0, 0.0092),
+              Scan("scan_supplier", kS),
+              Replicate("replicate_complaint_suppliers", 2e-6),
+              Agg("count_distinct", 0.8, 0.012),
+              Agg("sort", 0.03)};
+    case 17:
+      return {Scan("scan_lineitem_pass1", kL, 0.3),
+              Shuffle("shuffle_qty_on_partkey", 0.17),
+              Agg("avg_qty_per_part", 6.0, 0.2),
+              Scan("scan_lineitem_pass2", kL, 0.3),
+              Scan("scan_part", kP),
+              Replicate("replicate_filtered_part", 2e-6),
+              Join("join_and_filter", 6.1, 0.2),
+              Agg("final_agg", 0.01)};
+    case 18:
+      return {Scan("scan_lineitem", kL, 0.35),
+              Agg("qty_per_order_local", 6.0, 0.7),
+              Scan("scan_orders", kO),
+              Join("join_orders_local", 1.5, 1.0, 0, 1e-6),
+              Shuffle("shuffle_on_custkey", 1e-5),
+              Scan("scan_customer", kC),
+              Join("join_customer", 0.15),
+              Agg("sort_top100", 0.001)};
+    case 19:
+      // §3.3.4.1: replicate the (filtered) part table, join lineitem
+      // locally with the complex predicate, aggregate.
+      return {Scan("scan_part", kP),
+              Replicate("replicate_part", 0.0003),
+              Scan("scan_lineitem_join_agg", kL, 0.358),
+              Join("join_local", 6.04, 0.5),
+              Agg("global_agg", 0.001)};
+    case 20:
+      return {Scan("scan_lineitem", kL),
+              Shuffle("shuffle_shipped_on_partkey", 0.0175),
+              Agg("qty_per_part_supp", 0.91),
+              Scan("scan_partsupp", kPS),
+              Scan("scan_part", kP),
+              Join("join_ps_part_local", 0.85, 1.0, 0, 0.0013),
+              Join("join_surplus", 0.1),
+              Scan("scan_supplier", kS),
+              Agg("semijoin_sort", 0.01)};
+    case 21:
+      return {Scan("scan_lineitem_l1", kL, 0.5),
+              Scan("scan_orders", kO, 0.8),
+              Join("join_l1_orders_local", 9.0, 0.5, 0, 0.044),
+              Scan("scan_lineitem_self", kL, 0.5),
+              Join("self_join_local_orderkey", 12.0, 0.2, 0, 0.02),
+              Shuffle("shuffle_on_suppkey", 0.001),
+              Scan("scan_supplier", kS),
+              Join("join_supplier", 0.1),
+              Agg("agg_top100", 0.01)};
+    case 22:
+      return {Scan("scan_customer_avg", kC),
+              Agg("avg_balance", 0.042),
+              Scan("scan_customer_pass2", kC),
+              Scan("scan_orders", kO, 0.5),
+              Shuffle("shuffle_orders_on_custkey", 0.012),
+              Join("anti_join", 1.54, 0.15, 0.012, 0.002),
+              Agg("cntrycode_agg", 0.01)};
+    default:
+      assert(false && "query out of range");
+      return {};
+  }
+}
+
+}  // namespace elephant::pdw

@@ -1,0 +1,122 @@
+#include "sim/resources.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace elephant::sim {
+
+Server::Server(Simulation* sim, int capacity, std::string name)
+    : sim_(sim), capacity_(capacity), name_(std::move(name)) {}
+
+SimTime Server::Admit(SimTime service_time) {
+  if (service_time < 0) service_time = 0;
+  SimTime now = sim_->now();
+  SimTime start = now;
+  if (static_cast<int>(free_at_.size()) >= capacity_) {
+    start = std::max(now, free_at_.top());
+    free_at_.pop();
+  }
+  SimTime done = start + service_time;
+  free_at_.push(done);
+  requests_++;
+  busy_time_ += service_time;
+  wait_time_ += start - now;
+  return done;
+}
+
+void Server::Awaiter::await_suspend(std::coroutine_handle<> h) {
+  SimTime done = server->Admit(service_time);
+  server->sim_->ScheduleResume(done - server->sim_->now(), h);
+}
+
+SimTime Server::PeekCompletion(SimTime service_time) const {
+  SimTime now = sim_->now();
+  SimTime start = now;
+  if (static_cast<int>(free_at_.size()) >= capacity_) {
+    start = std::max(now, free_at_.top());
+  }
+  return start + service_time;
+}
+
+double Server::Utilization() const {
+  SimTime now = sim_->now();
+  if (now <= 0) return 0.0;
+  return static_cast<double>(busy_time_) /
+         (static_cast<double>(now) * capacity_);
+}
+
+void Server::ResetStats() {
+  requests_ = 0;
+  busy_time_ = 0;
+  wait_time_ = 0;
+}
+
+Disk::Disk(Simulation* sim, const Config& config, std::string name)
+    : config_(config), server_(sim, config.queue_depth, std::move(name)) {}
+
+SimTime Disk::ServiceTime(int64_t bytes, bool sequential) const {
+  double transfer_s =
+      static_cast<double>(bytes) / (config_.seq_mbps * 1e6);
+  SimTime t = SecondsToSimTime(transfer_s);
+  if (!sequential) t += config_.position_time;
+  return t;
+}
+
+Link::Link(Simulation* sim, const Config& config, std::string name)
+    : config_(config), server_(sim, 1, std::move(name)) {}
+
+SimTime Link::TransferTime(int64_t bytes) const {
+  double seconds = static_cast<double>(bytes) * 8.0 / (config_.gbps * 1e9);
+  return SecondsToSimTime(seconds) + config_.per_message_latency;
+}
+
+bool RwLock::TryAcquire(bool exclusive) {
+  if (exclusive) {
+    if (writer_ || readers_ > 0 || !waiters_.empty()) return false;
+    writer_ = true;
+    writer_since_ = sim_->now();
+    return true;
+  }
+  // A reader may enter only if no writer holds the lock and no writer is
+  // queued ahead of it (no reader barging).
+  if (writer_) return false;
+  for (const Waiter& w : waiters_) {
+    if (w.exclusive) return false;
+  }
+  readers_++;
+  return true;
+}
+
+void RwLock::Release(bool exclusive) {
+  if (exclusive) {
+    writer_ = false;
+    writer_held_time_ += sim_->now() - writer_since_;
+  } else {
+    readers_--;
+  }
+  GrantWaiters();
+}
+
+void RwLock::GrantWaiters() {
+  // Grant in FIFO order: a writer at the head gets exclusive access once
+  // the lock drains; a run of readers at the head is granted together.
+  while (!waiters_.empty()) {
+    Waiter& head = waiters_.front();
+    if (head.exclusive) {
+      if (writer_ || readers_ > 0) return;
+      writer_ = true;
+      writer_since_ = sim_->now();
+      auto h = head.handle;
+      waiters_.pop_front();
+      sim_->ScheduleResume(0, h);
+      return;
+    }
+    if (writer_) return;
+    readers_++;
+    auto h = head.handle;
+    waiters_.pop_front();
+    sim_->ScheduleResume(0, h);
+  }
+}
+
+}  // namespace elephant::sim

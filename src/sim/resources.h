@@ -1,0 +1,187 @@
+#ifndef ELEPHANT_SIM_RESOURCES_H_
+#define ELEPHANT_SIM_RESOURCES_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/simulation.h"
+
+namespace elephant::sim {
+
+/// A FCFS service station with `capacity` identical servers. Requests
+/// declare their service time on arrival; the awaitable completes when the
+/// request finishes service (queueing delay + service time). This models
+/// disks, NIC directions, CPU slots, and any other rate-limited device.
+class Server {
+ public:
+  Server(Simulation* sim, int capacity, std::string name = "server");
+
+  /// Awaitable: finish after waiting for a free server plus
+  /// `service_time` of service.
+  struct Awaiter {
+    Server* server;
+    SimTime service_time;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+  };
+  Awaiter Acquire(SimTime service_time) { return {this, service_time}; }
+
+  /// The virtual time at which a request arriving now would complete,
+  /// without enqueueing it (used by analytical models).
+  SimTime PeekCompletion(SimTime service_time) const;
+
+  // --- statistics ---
+  int64_t requests() const { return requests_; }
+  SimTime busy_time() const { return busy_time_; }
+  SimTime wait_time() const { return wait_time_; }
+  /// Utilization in [0,1] over the window [0, now].
+  double Utilization() const;
+  const std::string& name() const { return name_; }
+
+  void ResetStats();
+
+ private:
+  friend struct Awaiter;
+  SimTime Admit(SimTime service_time);
+
+  Simulation* sim_;
+  int capacity_;
+  std::string name_;
+  /// Min-heap of times at which each busy server frees up; size <=
+  /// capacity. A request takes the earliest-free server.
+  std::priority_queue<SimTime, std::vector<SimTime>, std::greater<SimTime>>
+      free_at_;
+
+  int64_t requests_ = 0;
+  SimTime busy_time_ = 0;
+  SimTime wait_time_ = 0;
+};
+
+/// Rotating-disk model: sequential streaming at `seq_mbps`, random access
+/// paying a positioning (seek + rotational) delay per request before
+/// transferring at streaming rate. One request in service at a time
+/// (queue_depth 1), matching a 10K RPM SAS drive without NCQ reordering —
+/// the paper's hardware is 10 SAS 10K RPM 300 GB drives per node.
+class Disk {
+ public:
+  struct Config {
+    double seq_mbps = 100.0;      ///< sequential bandwidth, MB/s
+    SimTime position_time = 8 * kMillisecond;  ///< avg seek + rotation
+    int queue_depth = 1;
+  };
+
+  Disk(Simulation* sim, const Config& config, std::string name = "disk");
+
+  /// Service time for a request of `bytes`, including positioning when
+  /// not sequential.
+  SimTime ServiceTime(int64_t bytes, bool sequential) const;
+
+  Server::Awaiter Read(int64_t bytes, bool sequential) {
+    bytes_read_ += bytes;
+    return server_.Acquire(ServiceTime(bytes, sequential));
+  }
+  Server::Awaiter Write(int64_t bytes, bool sequential) {
+    bytes_written_ += bytes;
+    return server_.Acquire(ServiceTime(bytes, sequential));
+  }
+
+  Server& server() { return server_; }
+  const Config& config() const { return config_; }
+  int64_t bytes_read() const { return bytes_read_; }
+  int64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  Config config_;
+  Server server_;
+  int64_t bytes_read_ = 0;
+  int64_t bytes_written_ = 0;
+};
+
+/// One direction of a full-duplex network interface: a single server
+/// draining at `gbps`. A message of b bytes occupies the link for
+/// b / bandwidth. A small per-message latency models switch + stack cost.
+class Link {
+ public:
+  struct Config {
+    double gbps = 1.0;                        ///< 1 GbE per the paper
+    SimTime per_message_latency = 100;        ///< 100 us RPC/switch cost
+  };
+
+  Link(Simulation* sim, const Config& config, std::string name = "link");
+
+  SimTime TransferTime(int64_t bytes) const;
+
+  Server::Awaiter Send(int64_t bytes) {
+    bytes_sent_ += bytes;
+    return server_.Acquire(TransferTime(bytes));
+  }
+
+  Server& server() { return server_; }
+  int64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  Config config_;
+  Server server_;
+  int64_t bytes_sent_ = 0;
+};
+
+/// Readers-writer lock with exclusive writers and FIFO fairness between
+/// arrival groups: a writer blocks all later readers (no reader barging
+/// past a waiting writer). This is the MongoDB 1.8 per-process global
+/// lock semantics the paper analyzes in workload A, and is also used by
+/// the sqlkv lock manager.
+class RwLock {
+ public:
+  explicit RwLock(Simulation* sim) : sim_(sim) {}
+
+  struct Awaiter {
+    RwLock* lock;
+    bool exclusive;
+    bool await_ready() const noexcept { return lock->TryAcquire(exclusive); }
+    void await_suspend(std::coroutine_handle<> h) {
+      lock->waiters_.push_back({h, exclusive});
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Suspends until the lock is granted in the requested mode.
+  Awaiter AcquireShared() { return {this, false}; }
+  Awaiter AcquireExclusive() { return {this, true}; }
+
+  /// Releases one holder in the given mode and wakes eligible waiters.
+  void Release(bool exclusive);
+
+  int readers() const { return readers_; }
+  bool writer_active() const { return writer_; }
+  size_t queue_length() const { return waiters_.size(); }
+
+  /// Cumulative time with a writer holding the lock (for the paper's
+  /// "25%-45% of time spent at the global lock" analysis).
+  SimTime writer_held_time() const { return writer_held_time_; }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    bool exclusive;
+  };
+
+  bool TryAcquire(bool exclusive);
+  void GrantWaiters();
+
+  Simulation* sim_;
+  int readers_ = 0;
+  bool writer_ = false;
+  std::deque<Waiter> waiters_;
+  SimTime writer_since_ = 0;
+  SimTime writer_held_time_ = 0;
+};
+
+}  // namespace elephant::sim
+
+#endif  // ELEPHANT_SIM_RESOURCES_H_

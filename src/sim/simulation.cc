@@ -1,0 +1,48 @@
+#include "sim/simulation.h"
+
+namespace elephant::sim {
+
+void Simulation::ScheduleResume(SimTime delay, std::coroutine_handle<> h) {
+  if (delay < 0) delay = 0;
+  events_.push(Event{now_ + delay, next_seq_++, h, nullptr});
+}
+
+void Simulation::ScheduleCall(SimTime delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  events_.push(Event{now_ + delay, next_seq_++, nullptr, std::move(fn)});
+}
+
+uint64_t Simulation::Run(SimTime until) {
+  uint64_t processed = 0;
+  while (!events_.empty()) {
+    const Event& top = events_.top();
+    if (top.time > until) break;
+    Event ev = top;
+    events_.pop();
+    now_ = ev.time;
+    ++processed;
+    if (ev.handle) {
+      ev.handle.resume();
+    } else if (ev.fn) {
+      ev.fn();
+    }
+  }
+  return processed;
+}
+
+void OneShotEvent::Fire() {
+  if (fired_) return;
+  fired_ = true;
+  for (auto h : waiters_) sim_->ScheduleResume(0, h);
+  waiters_.clear();
+}
+
+void Latch::CountDown(int64_t n) {
+  count_ -= n;
+  if (count_ <= 0) {
+    for (auto h : waiters_) sim_->ScheduleResume(0, h);
+    waiters_.clear();
+  }
+}
+
+}  // namespace elephant::sim

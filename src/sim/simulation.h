@@ -1,0 +1,145 @@
+#ifndef ELEPHANT_SIM_SIMULATION_H_
+#define ELEPHANT_SIM_SIMULATION_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace elephant::sim {
+
+/// Fire-and-forget coroutine type for simulated processes.
+///
+/// A function returning sim::Task begins executing immediately when called
+/// and runs until its first `co_await`; from then on it is driven entirely
+/// by the Simulation event loop. The coroutine frame self-destructs on
+/// completion. Typical use:
+///
+///   sim::Task Client(Simulation* sim, Disk* disk) {
+///     co_await sim->Delay(5 * kMillisecond);
+///     co_await disk->Read(8 * kKB, /*sequential=*/false);
+///   }
+struct Task {
+  struct promise_type {
+    Task get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+};
+
+/// Discrete-event simulation core: a virtual clock and a time-ordered
+/// event queue. Events are either coroutine resumptions or plain
+/// callbacks. Deterministic: ties in time break by insertion order.
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `handle.resume()` at now + delay.
+  void ScheduleResume(SimTime delay, std::coroutine_handle<> handle);
+
+  /// Schedules a plain callback at now + delay.
+  void ScheduleCall(SimTime delay, std::function<void()> fn);
+
+  /// Runs events until the queue is empty or the clock would pass
+  /// `until`. Returns the number of events processed.
+  uint64_t Run(SimTime until = std::numeric_limits<SimTime>::max());
+
+  /// True if no events remain.
+  bool Idle() const { return events_.empty(); }
+
+  /// Awaitable that suspends the current coroutine for `delay`.
+  struct DelayAwaiter {
+    Simulation* sim;
+    SimTime delay;
+    bool await_ready() const noexcept { return delay <= 0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim->ScheduleResume(delay, h);
+    }
+    void await_resume() const noexcept {}
+  };
+  DelayAwaiter Delay(SimTime delay) { return {this, delay}; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::coroutine_handle<> handle;  // either handle...
+    std::function<void()> fn;        // ...or callback
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+};
+
+/// One-shot event: processes co_await Wait() until someone calls Fire().
+/// Waiters registered after Fire() resume immediately.
+class OneShotEvent {
+ public:
+  explicit OneShotEvent(Simulation* sim) : sim_(sim) {}
+
+  bool fired() const { return fired_; }
+  void Fire();
+
+  struct Awaiter {
+    OneShotEvent* ev;
+    bool await_ready() const noexcept { return ev->fired_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      ev->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  Awaiter Wait() { return {this}; }
+
+ private:
+  Simulation* sim_;
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Countdown latch: Wait() suspends until the count reaches zero. Used to
+/// join fan-out (e.g. "wait for all map tasks of this wave").
+class Latch {
+ public:
+  Latch(Simulation* sim, int64_t count) : sim_(sim), count_(count) {}
+
+  void CountDown(int64_t n = 1);
+  int64_t count() const { return count_; }
+
+  struct Awaiter {
+    Latch* latch;
+    bool await_ready() const noexcept { return latch->count_ <= 0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      latch->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  Awaiter Wait() { return {this}; }
+
+ private:
+  Simulation* sim_;
+  int64_t count_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace elephant::sim
+
+#endif  // ELEPHANT_SIM_SIMULATION_H_

@@ -1,0 +1,76 @@
+#ifndef ELEPHANT_SQL_AST_H_
+#define ELEPHANT_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace elephant::sql {
+
+/// Expression node kinds.
+enum class ExprKind {
+  kLiteralInt,
+  kLiteralDouble,
+  kLiteralString,
+  kColumn,
+  kBinary,    ///< op in {+,-,*,/,=,<>,<,<=,>,>=,AND,OR}
+  kNot,
+  kLike,      ///< column-ish LIKE 'pattern' (% wildcards)
+  kBetween,   ///< expr BETWEEN lo AND hi
+  kAggregate, ///< SUM/AVG/MIN/MAX/COUNT over an argument
+};
+
+enum class AggFunc { kSum, kAvg, kMin, kMax, kCount, kCountDistinct };
+
+/// A parsed SQL expression (owning tree).
+struct Expr {
+  ExprKind kind;
+  // Literals.
+  int64_t int_value = 0;
+  double double_value = 0;
+  std::string str_value;   // string literal / column name / binary op
+  // Children: binary -> {lhs, rhs}; not -> {child}; like -> {child}
+  // (pattern in str_value2); between -> {value, lo, hi};
+  // aggregate -> {arg} (empty for COUNT(*)).
+  std::vector<std::unique_ptr<Expr>> children;
+  std::string str_value2;  // LIKE pattern
+  AggFunc agg = AggFunc::kCount;
+  bool agg_distinct = false;
+};
+
+/// One item of the SELECT list.
+struct SelectItem {
+  std::unique_ptr<Expr> expr;
+  std::string alias;  ///< empty = derived from the expression
+};
+
+/// FROM clause: first table plus zero or more equi-joins.
+struct JoinClause {
+  std::string table;
+  std::string left_column;   ///< column from the tables joined so far
+  std::string right_column;  ///< column of `table`
+};
+
+struct OrderItem {
+  std::string column;  ///< output-column name (or select alias)
+  bool ascending = true;
+};
+
+/// A parsed SELECT statement.
+struct SelectStatement {
+  bool select_star = false;             ///< SELECT *
+  std::vector<SelectItem> select_list;
+  std::string from_table;
+  std::vector<JoinClause> joins;
+  std::unique_ptr<Expr> where;          // may be null
+  std::vector<std::string> group_by;    // column names
+  /// HAVING over the aggregate output; reference aggregates by their
+  /// SELECT aliases (dialect restriction).
+  std::unique_ptr<Expr> having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;                   // -1 = no limit
+};
+
+}  // namespace elephant::sql
+
+#endif  // ELEPHANT_SQL_AST_H_

@@ -1,0 +1,391 @@
+#include "sql/engine.h"
+
+#include <functional>
+#include <vector>
+
+#include "common/string_util.h"
+#include "exec/operators.h"
+#include "sql/parser.h"
+
+namespace elephant::sql {
+
+namespace {
+
+using exec::AsDouble;
+using exec::AsString;
+using exec::Row;
+using exec::Table;
+using exec::Value;
+
+bool ContainsAggregate(const Expr& e) {
+  if (e.kind == ExprKind::kAggregate) return true;
+  for (const auto& c : e.children) {
+    if (ContainsAggregate(*c)) return true;
+  }
+  return false;
+}
+
+/// Compiles an AST expression (without aggregates) into an executor
+/// closure over `table`'s schema. Booleans are 1.0 / 0.0 doubles.
+Result<exec::Expr> Compile(const Expr& e, const Table& table) {
+  switch (e.kind) {
+    case ExprKind::kLiteralInt: {
+      Value v{e.int_value};
+      return exec::Expr([v](const Row&) { return v; });
+    }
+    case ExprKind::kLiteralDouble: {
+      Value v{e.double_value};
+      return exec::Expr([v](const Row&) { return v; });
+    }
+    case ExprKind::kLiteralString: {
+      Value v{e.str_value};
+      return exec::Expr([v](const Row&) { return v; });
+    }
+    case ExprKind::kColumn: {
+      int idx = table.FindCol(e.str_value);
+      if (idx < 0) {
+        return Status::InvalidArgument("unknown column " + e.str_value);
+      }
+      return exec::Expr([idx](const Row& row) { return row[idx]; });
+    }
+    case ExprKind::kNot: {
+      ELEPHANT_ASSIGN_OR_RETURN(auto child, Compile(*e.children[0], table));
+      return exec::Expr([child](const Row& row) {
+        return Value{AsDouble(child(row)) != 0.0 ? 0.0 : 1.0};
+      });
+    }
+    case ExprKind::kLike: {
+      ELEPHANT_ASSIGN_OR_RETURN(auto child, Compile(*e.children[0], table));
+      std::string pattern = e.str_value2;
+      return exec::Expr([child, pattern](const Row& row) {
+        return Value{LikeMatch(AsString(child(row)), pattern) ? 1.0 : 0.0};
+      });
+    }
+    case ExprKind::kBetween: {
+      ELEPHANT_ASSIGN_OR_RETURN(auto value, Compile(*e.children[0], table));
+      ELEPHANT_ASSIGN_OR_RETURN(auto lo, Compile(*e.children[1], table));
+      ELEPHANT_ASSIGN_OR_RETURN(auto hi, Compile(*e.children[2], table));
+      return exec::Expr([value, lo, hi](const Row& row) {
+        Value v = value(row);
+        return Value{exec::CompareValues(v, lo(row)) >= 0 &&
+                             exec::CompareValues(v, hi(row)) <= 0
+                         ? 1.0
+                         : 0.0};
+      });
+    }
+    case ExprKind::kBinary: {
+      ELEPHANT_ASSIGN_OR_RETURN(auto lhs, Compile(*e.children[0], table));
+      ELEPHANT_ASSIGN_OR_RETURN(auto rhs, Compile(*e.children[1], table));
+      const std::string& op = e.str_value;
+      if (op == "+") {
+        return exec::Expr([lhs, rhs](const Row& r) {
+          return Value{AsDouble(lhs(r)) + AsDouble(rhs(r))};
+        });
+      }
+      if (op == "-") {
+        return exec::Expr([lhs, rhs](const Row& r) {
+          return Value{AsDouble(lhs(r)) - AsDouble(rhs(r))};
+        });
+      }
+      if (op == "*") {
+        return exec::Expr([lhs, rhs](const Row& r) {
+          return Value{AsDouble(lhs(r)) * AsDouble(rhs(r))};
+        });
+      }
+      if (op == "/") {
+        return exec::Expr([lhs, rhs](const Row& r) {
+          double d = AsDouble(rhs(r));
+          return Value{d == 0 ? 0.0 : AsDouble(lhs(r)) / d};
+        });
+      }
+      if (op == "AND") {
+        return exec::Expr([lhs, rhs](const Row& r) {
+          return Value{AsDouble(lhs(r)) != 0.0 && AsDouble(rhs(r)) != 0.0
+                           ? 1.0
+                           : 0.0};
+        });
+      }
+      if (op == "OR") {
+        return exec::Expr([lhs, rhs](const Row& r) {
+          return Value{AsDouble(lhs(r)) != 0.0 || AsDouble(rhs(r)) != 0.0
+                           ? 1.0
+                           : 0.0};
+        });
+      }
+      // Comparisons.
+      int want_lo = 0, want_hi = 0;
+      if (op == "=") {
+        want_lo = want_hi = 0;
+      } else if (op == "<>") {
+        return exec::Expr([lhs, rhs](const Row& r) {
+          return Value{exec::CompareValues(lhs(r), rhs(r)) != 0 ? 1.0 : 0.0};
+        });
+      } else if (op == "<") {
+        want_lo = want_hi = -1;
+      } else if (op == ">") {
+        want_lo = want_hi = 1;
+      } else if (op == "<=") {
+        want_lo = -1;
+        want_hi = 0;
+      } else if (op == ">=") {
+        want_lo = 0;
+        want_hi = 1;
+      } else {
+        return Status::InvalidArgument("unknown operator " + op);
+      }
+      return exec::Expr([lhs, rhs, want_lo, want_hi](const Row& r) {
+        int c = exec::CompareValues(lhs(r), rhs(r));
+        return Value{c == want_lo || c == want_hi ? 1.0 : 0.0};
+      });
+    }
+    case ExprKind::kAggregate:
+      return Status::InvalidArgument(
+          "aggregate in a non-aggregate position");
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+exec::AggKind ToExecAgg(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum:
+      return exec::AggKind::kSum;
+    case AggFunc::kAvg:
+      return exec::AggKind::kAvg;
+    case AggFunc::kMin:
+      return exec::AggKind::kMin;
+    case AggFunc::kMax:
+      return exec::AggKind::kMax;
+    case AggFunc::kCount:
+      return exec::AggKind::kCount;
+    case AggFunc::kCountDistinct:
+      return exec::AggKind::kCountDistinct;
+  }
+  return exec::AggKind::kCount;
+}
+
+const char* AggName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kCount:
+    case AggFunc::kCountDistinct:
+      return "count";
+  }
+  return "agg";
+}
+
+}  // namespace
+
+bool LikeMatch(const std::string& value, const std::string& pattern) {
+  // Dynamic programming over value x pattern with '%' matching any run.
+  size_t v = 0, p = 0, star_p = std::string::npos, star_v = 0;
+  while (v < value.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == value[v] || pattern[p] == '_')) {
+      v++;
+      p++;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_v = v;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      v = ++star_v;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') p++;
+  return p == pattern.size();
+}
+
+Status Database::Register(const std::string& name,
+                          const exec::Table* table) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  if (!tables_.emplace(name, table).second) {
+    return Status::AlreadyExists(name);
+  }
+  return Status::OK();
+}
+
+const exec::Table* Database::Find(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second;
+}
+
+Result<exec::Table> Database::Query(const std::string& sql) const {
+  ELEPHANT_ASSIGN_OR_RETURN(SelectStatement stmt, Parse(sql));
+  return Execute(stmt);
+}
+
+Result<exec::Table> Database::Execute(const SelectStatement& stmt) const {
+  // --- FROM: base table + equi-joins ---
+  const Table* base = Find(stmt.from_table);
+  if (base == nullptr) {
+    return Status::NotFound("table " + stmt.from_table);
+  }
+  Table current = *base;
+  for (const JoinClause& join : stmt.joins) {
+    const Table* right = Find(join.table);
+    if (right == nullptr) return Status::NotFound("table " + join.table);
+    if (current.FindCol(join.left_column) < 0) {
+      return Status::InvalidArgument("unknown join column " +
+                                     join.left_column);
+    }
+    if (right->FindCol(join.right_column) < 0) {
+      return Status::InvalidArgument("unknown join column " +
+                                     join.right_column);
+    }
+    current = exec::HashJoinOn(current, *right, {join.left_column},
+                               {join.right_column});
+  }
+
+  // --- WHERE ---
+  if (stmt.where != nullptr) {
+    ELEPHANT_ASSIGN_OR_RETURN(auto pred, Compile(*stmt.where, current));
+    current = exec::Filter(current, [pred](const Row& row) {
+      return AsDouble(pred(row)) != 0.0;
+    });
+  }
+
+  // --- SELECT / GROUP BY ---
+  if (stmt.select_star) {
+    if (!stmt.group_by.empty()) {
+      return Status::InvalidArgument("SELECT * cannot be aggregated");
+    }
+    Table output = current;
+    if (!stmt.order_by.empty()) {
+      std::vector<exec::SortKey> keys;
+      for (const OrderItem& item : stmt.order_by) {
+        int idx = output.FindCol(item.column);
+        if (idx < 0) {
+          return Status::InvalidArgument("unknown ORDER BY column " +
+                                         item.column);
+        }
+        keys.push_back({idx, item.ascending});
+      }
+      output = exec::SortBy(output, keys);
+    }
+    if (stmt.limit >= 0) {
+      output = exec::Limit(output, static_cast<size_t>(stmt.limit));
+    }
+    return output;
+  }
+
+  bool has_aggregates = false;
+  for (const SelectItem& item : stmt.select_list) {
+    if (ContainsAggregate(*item.expr)) has_aggregates = true;
+  }
+
+  Table output;
+  if (has_aggregates || !stmt.group_by.empty()) {
+    // Aggregate path: each select item is either a group column or a
+    // top-level aggregate call.
+    std::vector<exec::AggExpr> aggs;
+    struct OutputRef {
+      bool is_group_col;
+      std::string source;  // group column or generated agg name
+      std::string name;    // output name
+    };
+    std::vector<OutputRef> refs;
+    for (size_t i = 0; i < stmt.select_list.size(); ++i) {
+      const SelectItem& item = stmt.select_list[i];
+      if (item.expr->kind == ExprKind::kColumn) {
+        refs.push_back({true, item.expr->str_value,
+                        item.alias.empty() ? item.expr->str_value
+                                           : item.alias});
+        continue;
+      }
+      if (item.expr->kind != ExprKind::kAggregate) {
+        return Status::Unimplemented(
+            "select items must be group columns or aggregates when "
+            "aggregating");
+      }
+      exec::AggExpr agg;
+      agg.kind = ToExecAgg(item.expr->agg);
+      agg.type = agg.kind == exec::AggKind::kCount ||
+                         agg.kind == exec::AggKind::kCountDistinct
+                     ? exec::ValueType::kInt
+                     : exec::ValueType::kDouble;
+      std::string name = item.alias.empty()
+                             ? StrFormat("%s_%zu", AggName(item.expr->agg), i)
+                             : item.alias;
+      agg.name = name;
+      if (!item.expr->children.empty()) {
+        ELEPHANT_ASSIGN_OR_RETURN(
+            auto compiled, Compile(*item.expr->children[0], current));
+        agg.arg = compiled;
+      }
+      aggs.push_back(std::move(agg));
+      refs.push_back({false, name, name});
+    }
+    for (const std::string& g : stmt.group_by) {
+      if (current.FindCol(g) < 0) {
+        return Status::InvalidArgument("unknown group column " + g);
+      }
+    }
+    Table aggregated = exec::HashAggregateOn(current, stmt.group_by, aggs);
+    // Re-project into the select order with the requested names.
+    std::vector<exec::NamedExpr> projected;
+    for (const OutputRef& ref : refs) {
+      int idx = aggregated.FindCol(ref.source);
+      if (idx < 0) {
+        return Status::InvalidArgument(
+            "select column " + ref.source +
+            " is not in GROUP BY and not an aggregate");
+      }
+      projected.push_back({ref.name, aggregated.columns()[idx].type,
+                           [idx](const Row& r) { return r[idx]; }});
+    }
+    output = exec::Project(aggregated, projected);
+    if (stmt.having != nullptr) {
+      ELEPHANT_ASSIGN_OR_RETURN(auto pred, Compile(*stmt.having, output));
+      output = exec::Filter(output, [pred](const Row& row) {
+        return AsDouble(pred(row)) != 0.0;
+      });
+    }
+  } else {
+    // Plain projection.
+    std::vector<exec::NamedExpr> projected;
+    for (size_t i = 0; i < stmt.select_list.size(); ++i) {
+      const SelectItem& item = stmt.select_list[i];
+      ELEPHANT_ASSIGN_OR_RETURN(auto compiled, Compile(*item.expr, current));
+      std::string name = item.alias;
+      exec::ValueType type = exec::ValueType::kDouble;
+      if (item.expr->kind == ExprKind::kColumn) {
+        if (name.empty()) name = item.expr->str_value;
+        type = current.columns()[current.ColIndex(item.expr->str_value)].type;
+      } else if (item.expr->kind == ExprKind::kLiteralString) {
+        type = exec::ValueType::kString;
+      }
+      if (name.empty()) name = StrFormat("expr_%zu", i);
+      projected.push_back({name, type, compiled});
+    }
+    output = exec::Project(current, projected);
+  }
+
+  // --- ORDER BY / LIMIT ---
+  if (!stmt.order_by.empty()) {
+    std::vector<exec::SortKey> keys;
+    for (const OrderItem& item : stmt.order_by) {
+      int idx = output.FindCol(item.column);
+      if (idx < 0) {
+        return Status::InvalidArgument("unknown ORDER BY column " +
+                                       item.column);
+      }
+      keys.push_back({idx, item.ascending});
+    }
+    output = exec::SortBy(output, keys);
+  }
+  if (stmt.limit >= 0) {
+    output = exec::Limit(output, static_cast<size_t>(stmt.limit));
+  }
+  return output;
+}
+
+}  // namespace elephant::sql

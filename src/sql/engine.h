@@ -1,0 +1,59 @@
+#ifndef ELEPHANT_SQL_ENGINE_H_
+#define ELEPHANT_SQL_ENGINE_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "exec/table.h"
+#include "sql/ast.h"
+
+namespace elephant::sql {
+
+/// A name -> table catalog plus a SQL query runner over the exec
+/// operator library. This is the front door a library user queries mini
+/// datasets through:
+///
+///   sql::Database db;
+///   db.Register("lineitem", &tpch_db.lineitem);
+///   auto result = db.Query("SELECT l_returnflag, SUM(l_quantity) "
+///                          "FROM lineitem GROUP BY l_returnflag");
+///
+/// Tables are borrowed, not owned; they must outlive the Database.
+class Database {
+ public:
+  /// Registers a table under a (case-sensitive) name.
+  Status Register(const std::string& name, const exec::Table* table);
+
+  /// Registers all eight tables of a TPC-H database under their
+  /// standard names. `db` must outlive this Database.
+  template <typename TpchDatabaseT>
+  void RegisterTpch(const TpchDatabaseT& db) {
+    (void)Register("region", &db.region);
+    (void)Register("nation", &db.nation);
+    (void)Register("supplier", &db.supplier);
+    (void)Register("part", &db.part);
+    (void)Register("partsupp", &db.partsupp);
+    (void)Register("customer", &db.customer);
+    (void)Register("orders", &db.orders);
+    (void)Register("lineitem", &db.lineitem);
+  }
+
+  /// Parses and executes a SELECT statement.
+  Result<exec::Table> Query(const std::string& sql) const;
+
+  /// Executes an already-parsed statement.
+  Result<exec::Table> Execute(const SelectStatement& stmt) const;
+
+  const exec::Table* Find(const std::string& name) const;
+
+ private:
+  std::map<std::string, const exec::Table*> tables_;
+};
+
+/// SQL LIKE with % wildcards (exposed for tests).
+bool LikeMatch(const std::string& value, const std::string& pattern);
+
+}  // namespace elephant::sql
+
+#endif  // ELEPHANT_SQL_ENGINE_H_

@@ -1,0 +1,465 @@
+#include "sql/parser.h"
+
+#include <cctype>
+#include <utility>
+
+#include "common/date.h"
+#include "common/string_util.h"
+
+namespace elephant::sql {
+
+namespace {
+
+enum class TokenType {
+  kIdent,
+  kInt,
+  kDouble,
+  kString,
+  kSymbol,  // punctuation / operator
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // uppercased for idents/keywords
+  std::string raw;    // original spelling (string literals)
+  int64_t int_value = 0;
+  double double_value = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        pos_++;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tokens.push_back(Identifier());
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        tokens.push_back(Number());
+        continue;
+      }
+      if (c == '\'') {
+        ELEPHANT_ASSIGN_OR_RETURN(Token t, StringLiteral());
+        tokens.push_back(std::move(t));
+        continue;
+      }
+      Token t;
+      t.type = TokenType::kSymbol;
+      // Two-character operators.
+      if (pos_ + 1 < input_.size()) {
+        std::string two = input_.substr(pos_, 2);
+        if (two == "<>" || two == "<=" || two == ">=" || two == "!=") {
+          t.text = two == "!=" ? "<>" : two;
+          pos_ += 2;
+          tokens.push_back(std::move(t));
+          continue;
+        }
+      }
+      static const std::string kSingles = "(),=<>+-*/.";
+      if (kSingles.find(c) == std::string::npos) {
+        return Status::InvalidArgument(
+            StrFormat("unexpected character '%c' at %zu", c, pos_));
+      }
+      t.text = std::string(1, c);
+      pos_++;
+      tokens.push_back(std::move(t));
+    }
+    tokens.push_back(Token{});  // kEnd
+    return tokens;
+  }
+
+ private:
+  Token Identifier() {
+    size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '_')) {
+      pos_++;
+    }
+    Token t;
+    t.type = TokenType::kIdent;
+    t.raw = input_.substr(start, pos_ - start);
+    t.text = t.raw;
+    for (char& ch : t.text) ch = static_cast<char>(std::toupper(ch));
+    return t;
+  }
+
+  Token Number() {
+    size_t start = pos_;
+    bool is_double = false;
+    while (pos_ < input_.size() &&
+           (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '.')) {
+      if (input_[pos_] == '.') is_double = true;
+      pos_++;
+    }
+    Token t;
+    t.raw = input_.substr(start, pos_ - start);
+    if (is_double) {
+      t.type = TokenType::kDouble;
+      t.double_value = atof(t.raw.c_str());
+    } else {
+      t.type = TokenType::kInt;
+      t.int_value = atoll(t.raw.c_str());
+    }
+    return t;
+  }
+
+  Result<Token> StringLiteral() {
+    pos_++;  // opening quote
+    size_t start = pos_;
+    while (pos_ < input_.size() && input_[pos_] != '\'') pos_++;
+    if (pos_ >= input_.size()) {
+      return Status::InvalidArgument("unterminated string literal");
+    }
+    Token t;
+    t.type = TokenType::kString;
+    t.raw = input_.substr(start, pos_ - start);
+    pos_++;  // closing quote
+    return t;
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> ParseSelect() {
+    SelectStatement stmt;
+    ELEPHANT_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    // Select list ('*' or expressions).
+    if (AcceptSymbol("*")) {
+      stmt.select_star = true;
+    } else {
+      do {
+        SelectItem item;
+        ELEPHANT_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("AS")) {
+          if (Peek().type != TokenType::kIdent) {
+            return Status::InvalidArgument("expected alias after AS");
+          }
+          item.alias = Next().raw;
+        }
+        stmt.select_list.push_back(std::move(item));
+      } while (AcceptSymbol(","));
+    }
+
+    ELEPHANT_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    if (Peek().type != TokenType::kIdent) {
+      return Status::InvalidArgument("expected table name after FROM");
+    }
+    stmt.from_table = Next().raw;
+    while (AcceptKeyword("JOIN")) {
+      JoinClause join;
+      if (Peek().type != TokenType::kIdent) {
+        return Status::InvalidArgument("expected table name after JOIN");
+      }
+      join.table = Next().raw;
+      ELEPHANT_RETURN_NOT_OK(ExpectKeyword("ON"));
+      ELEPHANT_ASSIGN_OR_RETURN(join.left_column, ParseColumnName());
+      if (!AcceptSymbol("=")) {
+        return Status::InvalidArgument("JOIN ON requires col = col");
+      }
+      ELEPHANT_ASSIGN_OR_RETURN(join.right_column, ParseColumnName());
+      stmt.joins.push_back(std::move(join));
+    }
+
+    if (AcceptKeyword("WHERE")) {
+      ELEPHANT_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (AcceptKeyword("GROUP")) {
+      ELEPHANT_RETURN_NOT_OK(ExpectKeyword("BY"));
+      do {
+        ELEPHANT_ASSIGN_OR_RETURN(std::string col, ParseColumnName());
+        stmt.group_by.push_back(std::move(col));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("HAVING")) {
+      if (stmt.group_by.empty()) {
+        return Status::InvalidArgument("HAVING requires GROUP BY");
+      }
+      ELEPHANT_ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+    }
+    if (AcceptKeyword("ORDER")) {
+      ELEPHANT_RETURN_NOT_OK(ExpectKeyword("BY"));
+      do {
+        OrderItem item;
+        ELEPHANT_ASSIGN_OR_RETURN(item.column, ParseColumnName());
+        if (AcceptKeyword("DESC")) {
+          item.ascending = false;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        stmt.order_by.push_back(std::move(item));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kInt) {
+        return Status::InvalidArgument("expected integer after LIMIT");
+      }
+      stmt.limit = Next().int_value;
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Status::InvalidArgument("trailing tokens after statement: " +
+                                     Peek().text);
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  Token Next() { return tokens_[pos_++]; }
+
+  bool AcceptKeyword(const std::string& kw) {
+    if (Peek().type == TokenType::kIdent && Peek().text == kw) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(const std::string& s) {
+    if (Peek().type == TokenType::kSymbol && Peek().text == s) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::InvalidArgument("expected " + kw + ", found '" +
+                                     Peek().text + "'");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ParseColumnName() {
+    if (Peek().type != TokenType::kIdent) {
+      return Status::InvalidArgument("expected column name, found '" +
+                                     Peek().text + "'");
+    }
+    return Next().raw;
+  }
+
+  // Precedence climbing: OR < AND < NOT < comparison < additive <
+  // multiplicative < primary.
+  Result<std::unique_ptr<Expr>> ParseExpr() { return ParseOr(); }
+
+  Result<std::unique_ptr<Expr>> ParseOr() {
+    ELEPHANT_ASSIGN_OR_RETURN(auto lhs, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      ELEPHANT_ASSIGN_OR_RETURN(auto rhs, ParseAnd());
+      lhs = MakeBinary("OR", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAnd() {
+    ELEPHANT_ASSIGN_OR_RETURN(auto lhs, ParseNot());
+    while (AcceptKeyword("AND")) {
+      ELEPHANT_ASSIGN_OR_RETURN(auto rhs, ParseNot());
+      lhs = MakeBinary("AND", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      ELEPHANT_ASSIGN_OR_RETURN(auto child, ParseNot());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kNot;
+      e->children.push_back(std::move(child));
+      return e;
+    }
+    return ParseComparison();
+  }
+
+  Result<std::unique_ptr<Expr>> ParseComparison() {
+    ELEPHANT_ASSIGN_OR_RETURN(auto lhs, ParseAdditive());
+    if (AcceptKeyword("BETWEEN")) {
+      ELEPHANT_ASSIGN_OR_RETURN(auto lo, ParseAdditive());
+      ELEPHANT_RETURN_NOT_OK(ExpectKeyword("AND"));
+      ELEPHANT_ASSIGN_OR_RETURN(auto hi, ParseAdditive());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kBetween;
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(std::move(lo));
+      e->children.push_back(std::move(hi));
+      return e;
+    }
+    bool negated = false;
+    if (Peek().type == TokenType::kIdent && Peek().text == "NOT" &&
+        Peek(1).type == TokenType::kIdent && Peek(1).text == "LIKE") {
+      pos_ += 1;
+      negated = true;
+    }
+    if (AcceptKeyword("LIKE")) {
+      if (Peek().type != TokenType::kString) {
+        return Status::InvalidArgument("LIKE requires a string pattern");
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kLike;
+      e->children.push_back(std::move(lhs));
+      e->str_value2 = Next().raw;
+      if (!negated) return e;
+      auto n = std::make_unique<Expr>();
+      n->kind = ExprKind::kNot;
+      n->children.push_back(std::move(e));
+      return n;
+    }
+    for (const char* op : {"=", "<>", "<=", ">=", "<", ">"}) {
+      if (AcceptSymbol(op)) {
+        ELEPHANT_ASSIGN_OR_RETURN(auto rhs, ParseAdditive());
+        return MakeBinary(op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAdditive() {
+    ELEPHANT_ASSIGN_OR_RETURN(auto lhs, ParseMultiplicative());
+    for (;;) {
+      if (AcceptSymbol("+")) {
+        ELEPHANT_ASSIGN_OR_RETURN(auto rhs, ParseMultiplicative());
+        lhs = MakeBinary("+", std::move(lhs), std::move(rhs));
+      } else if (AcceptSymbol("-")) {
+        ELEPHANT_ASSIGN_OR_RETURN(auto rhs, ParseMultiplicative());
+        lhs = MakeBinary("-", std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParseMultiplicative() {
+    ELEPHANT_ASSIGN_OR_RETURN(auto lhs, ParsePrimary());
+    for (;;) {
+      if (AcceptSymbol("*")) {
+        ELEPHANT_ASSIGN_OR_RETURN(auto rhs, ParsePrimary());
+        lhs = MakeBinary("*", std::move(lhs), std::move(rhs));
+      } else if (AcceptSymbol("/")) {
+        ELEPHANT_ASSIGN_OR_RETURN(auto rhs, ParsePrimary());
+        lhs = MakeBinary("/", std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    const Token& t = Peek();
+    auto e = std::make_unique<Expr>();
+    switch (t.type) {
+      case TokenType::kInt:
+        e->kind = ExprKind::kLiteralInt;
+        e->int_value = Next().int_value;
+        return e;
+      case TokenType::kDouble:
+        e->kind = ExprKind::kLiteralDouble;
+        e->double_value = Next().double_value;
+        return e;
+      case TokenType::kString:
+        e->kind = ExprKind::kLiteralString;
+        e->str_value = Next().raw;
+        return e;
+      case TokenType::kSymbol:
+        if (AcceptSymbol("(")) {
+          ELEPHANT_ASSIGN_OR_RETURN(auto inner, ParseExpr());
+          if (!AcceptSymbol(")")) {
+            return Status::InvalidArgument("missing )");
+          }
+          return inner;
+        }
+        if (AcceptSymbol("-")) {  // unary minus
+          ELEPHANT_ASSIGN_OR_RETURN(auto inner, ParsePrimary());
+          auto zero = std::make_unique<Expr>();
+          zero->kind = ExprKind::kLiteralInt;
+          zero->int_value = 0;
+          return MakeBinary("-", std::move(zero), std::move(inner));
+        }
+        return Status::InvalidArgument("unexpected symbol '" + t.text + "'");
+      case TokenType::kIdent:
+        break;
+      case TokenType::kEnd:
+        return Status::InvalidArgument("unexpected end of statement");
+    }
+
+    // DATE 'YYYY-MM-DD' literal -> integer day code.
+    if (t.text == "DATE" && Peek(1).type == TokenType::kString) {
+      Next();
+      e->kind = ExprKind::kLiteralInt;
+      e->int_value = ParseDate(Next().raw);
+      return e;
+    }
+    // Aggregates.
+    static const std::pair<const char*, AggFunc> kAggs[] = {
+        {"SUM", AggFunc::kSum},   {"AVG", AggFunc::kAvg},
+        {"MIN", AggFunc::kMin},   {"MAX", AggFunc::kMax},
+        {"COUNT", AggFunc::kCount}};
+    for (const auto& [name, func] : kAggs) {
+      if (t.text == name && Peek(1).type == TokenType::kSymbol &&
+          Peek(1).text == "(") {
+        Next();  // agg name
+        Next();  // (
+        e->kind = ExprKind::kAggregate;
+        e->agg = func;
+        if (func == AggFunc::kCount && AcceptSymbol("*")) {
+          // COUNT(*)
+        } else {
+          if (func == AggFunc::kCount && AcceptKeyword("DISTINCT")) {
+            e->agg = AggFunc::kCountDistinct;
+          }
+          ELEPHANT_ASSIGN_OR_RETURN(auto arg, ParseExpr());
+          e->children.push_back(std::move(arg));
+        }
+        if (!AcceptSymbol(")")) {
+          return Status::InvalidArgument("missing ) after aggregate");
+        }
+        return e;
+      }
+    }
+    // Plain column reference.
+    e->kind = ExprKind::kColumn;
+    e->str_value = Next().raw;
+    return e;
+  }
+
+  static std::unique_ptr<Expr> MakeBinary(const std::string& op,
+                                          std::unique_ptr<Expr> lhs,
+                                          std::unique_ptr<Expr> rhs) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kBinary;
+    e->str_value = op;
+    e->children.push_back(std::move(lhs));
+    e->children.push_back(std::move(rhs));
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> Parse(const std::string& sql) {
+  Lexer lexer(sql);
+  ELEPHANT_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseSelect();
+}
+
+}  // namespace elephant::sql

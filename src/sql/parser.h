@@ -1,0 +1,29 @@
+#ifndef ELEPHANT_SQL_PARSER_H_
+#define ELEPHANT_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace elephant::sql {
+
+/// Parses one SELECT statement of the dialect the library's query layer
+/// executes (a HiveQL/SQL-92 subset):
+///
+///   SELECT expr [AS name], ...
+///   FROM table [JOIN table ON col = col]...
+///   [WHERE predicate]
+///   [GROUP BY col, ...]
+///   [ORDER BY name [ASC|DESC], ...]
+///   [LIMIT n]
+///
+/// Expressions: integer/decimal/'string'/DATE 'YYYY-MM-DD' literals,
+/// column references, + - * /, comparisons (= <> < <= > >=), AND/OR/NOT,
+/// BETWEEN, LIKE with % wildcards, and the aggregates SUM, AVG, MIN,
+/// MAX, COUNT(*), COUNT(DISTINCT expr).
+Result<SelectStatement> Parse(const std::string& sql);
+
+}  // namespace elephant::sql
+
+#endif  // ELEPHANT_SQL_PARSER_H_

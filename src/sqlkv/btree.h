@@ -1,0 +1,103 @@
+#ifndef ELEPHANT_SQLKV_BTREE_H_
+#define ELEPHANT_SQLKV_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace elephant::sqlkv {
+
+/// A stored record: a real payload (tests and examples store actual
+/// bytes) plus the *logical* on-disk size used by the I/O model. The
+/// YCSB datasets model 1 KB records without materializing a kilobyte of
+/// host memory per record.
+struct Record {
+  std::string payload;
+  int32_t logical_bytes = 0;
+
+  int32_t bytes() const {
+    return logical_bytes > 0 ? logical_bytes
+                             : static_cast<int32_t>(payload.size());
+  }
+};
+
+/// A from-scratch in-memory B+tree with page-structured leaves: each
+/// leaf holds as many records as fit its byte budget (e.g. ~7 x 1 KB
+/// records in an 8 KB SQL Server page, ~31 in a 32 KB MongoDB fault
+/// unit). Leaves carry stable page ids so a buffer pool can model which
+/// pages are memory-resident. Keys are unsigned 64-bit; the YCSB
+/// zero-padded string keys map to them order-preservingly.
+class BTree {
+ public:
+  explicit BTree(int32_t page_bytes = 8192);
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Inserts a new record; AlreadyExists if the key is present.
+  Status Insert(uint64_t key, Record record);
+
+  /// Replaces/updates the record in place; NotFound if absent.
+  Status Update(uint64_t key, const std::function<void(Record*)>& fn);
+
+  /// Looks up a record. Also reports the leaf page id it lives on.
+  struct Lookup {
+    const Record* record = nullptr;
+    uint64_t page_id = 0;
+  };
+  Result<Lookup> Get(uint64_t key) const;
+
+  /// Removes a record; NotFound if absent. (No rebalancing — YCSB has
+  /// no deletes; provided for completeness.)
+  Status Remove(uint64_t key);
+
+  /// Visits up to `count` records in key order starting at the first
+  /// key >= start. Returns the number visited. The callback receives
+  /// (key, record, leaf page id).
+  int Scan(uint64_t start, int count,
+           const std::function<void(uint64_t, const Record&, uint64_t)>&
+               visit) const;
+
+  /// First key >= start, if any.
+  Result<uint64_t> LowerBound(uint64_t start) const;
+
+  /// Largest key in the tree; NotFound when empty.
+  Result<uint64_t> MaxKey() const;
+
+  size_t size() const { return size_; }
+  size_t leaf_count() const { return leaf_count_; }
+  int height() const { return height_; }
+  int32_t page_bytes() const { return page_bytes_; }
+  int64_t logical_bytes() const { return logical_bytes_; }
+
+  /// Validates the B+tree invariants (ordering, separator correctness,
+  /// byte budgets); used by property tests.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct InsertResult;
+
+  InsertResult InsertInto(Node* node, uint64_t key, Record&& record);
+  const Node* FindLeaf(uint64_t key) const;
+  Status CheckNode(const Node* node, uint64_t lo, uint64_t hi,
+                   int depth) const;
+
+  int32_t page_bytes_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  size_t leaf_count_ = 1;
+  int height_ = 1;
+  int64_t logical_bytes_ = 0;
+  uint64_t next_page_id_ = 1;
+};
+
+}  // namespace elephant::sqlkv
+
+#endif  // ELEPHANT_SQLKV_BTREE_H_

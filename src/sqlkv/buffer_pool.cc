@@ -1,0 +1,61 @@
+#include "sqlkv/buffer_pool.h"
+
+#include <algorithm>
+
+namespace elephant::sqlkv {
+
+BufferPool::BufferPool(int64_t capacity_bytes, int32_t page_bytes)
+    : capacity_pages_(static_cast<size_t>(
+          std::max<int64_t>(1, capacity_bytes / page_bytes))) {}
+
+BufferPool::Access BufferPool::Touch(uint64_t page_id, bool mark_dirty) {
+  Access access;
+  auto it = index_.find(page_id);
+  if (it != index_.end()) {
+    access.hit = true;
+    hits_++;
+    if (mark_dirty && !it->second->dirty) {
+      it->second->dirty = true;
+      dirty_count_++;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return access;
+  }
+  misses_++;
+  if (lru_.size() >= capacity_pages_) {
+    Entry& victim = lru_.back();
+    access.evicted = true;
+    access.evicted_dirty = victim.dirty;
+    access.evicted_page = victim.page_id;
+    if (victim.dirty) dirty_count_--;
+    index_.erase(victim.page_id);
+    lru_.pop_back();
+  }
+  lru_.push_front({page_id, mark_dirty});
+  if (mark_dirty) dirty_count_++;
+  index_[page_id] = lru_.begin();
+  return access;
+}
+
+bool BufferPool::Contains(uint64_t page_id) const {
+  return index_.count(page_id) > 0;
+}
+
+void BufferPool::MarkClean(uint64_t page_id) {
+  auto it = index_.find(page_id);
+  if (it != index_.end() && it->second->dirty) {
+    it->second->dirty = false;
+    dirty_count_--;
+  }
+}
+
+std::vector<uint64_t> BufferPool::DirtyPages() const {
+  std::vector<uint64_t> dirty;
+  dirty.reserve(dirty_count_);
+  for (const Entry& e : lru_) {
+    if (e.dirty) dirty.push_back(e.page_id);
+  }
+  return dirty;
+}
+
+}  // namespace elephant::sqlkv

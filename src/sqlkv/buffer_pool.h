@@ -1,0 +1,68 @@
+#ifndef ELEPHANT_SQLKV_BUFFER_POOL_H_
+#define ELEPHANT_SQLKV_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace elephant::sqlkv {
+
+/// An LRU buffer pool over page ids. It tracks which pages are
+/// memory-resident and which are dirty; the engine charges disk I/O for
+/// misses and for dirty evictions. Pure data structure (no simulated
+/// time) so it is unit-testable in isolation.
+class BufferPool {
+ public:
+  BufferPool(int64_t capacity_bytes, int32_t page_bytes);
+
+  /// Result of touching a page.
+  struct Access {
+    bool hit = false;
+    bool evicted = false;
+    bool evicted_dirty = false;
+    uint64_t evicted_page = 0;
+  };
+
+  /// Touches `page_id` (moving it to MRU), loading it on a miss and
+  /// evicting the LRU page if the pool is full.
+  Access Touch(uint64_t page_id, bool mark_dirty);
+
+  /// True if the page is resident (without promoting it).
+  bool Contains(uint64_t page_id) const;
+
+  /// Marks a resident page clean (checkpoint wrote it out).
+  void MarkClean(uint64_t page_id);
+
+  /// All currently dirty pages (checkpoint candidates).
+  std::vector<uint64_t> DirtyPages() const;
+
+  size_t resident_pages() const { return lru_.size(); }
+  size_t capacity_pages() const { return capacity_pages_; }
+  size_t dirty_count() const { return dirty_count_; }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  double HitRate() const {
+    int64_t total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / total : 0.0;
+  }
+  void ResetStats() { hits_ = misses_ = 0; }
+
+ private:
+  struct Entry {
+    uint64_t page_id;
+    bool dirty;
+  };
+
+  size_t capacity_pages_;
+  std::list<Entry> lru_;  // front = MRU
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  size_t dirty_count_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace elephant::sqlkv
+
+#endif  // ELEPHANT_SQLKV_BUFFER_POOL_H_

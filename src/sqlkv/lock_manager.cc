@@ -1,0 +1,24 @@
+#include "sqlkv/lock_manager.h"
+
+namespace elephant::sqlkv {
+
+sim::RwLock& LockManager::LockFor(uint64_t key) {
+  auto it = locks_.find(key);
+  if (it == locks_.end()) {
+    it = locks_.emplace(key, std::make_unique<sim::RwLock>(sim_)).first;
+  }
+  return *it->second;
+}
+
+void LockManager::Release(uint64_t key, bool exclusive) {
+  auto it = locks_.find(key);
+  if (it == locks_.end()) return;
+  sim::RwLock& lock = *it->second;
+  lock.Release(exclusive);
+  if (lock.readers() == 0 && !lock.writer_active() &&
+      lock.queue_length() == 0) {
+    locks_.erase(it);
+  }
+}
+
+}  // namespace elephant::sqlkv

@@ -1,0 +1,17 @@
+#ifndef ELEPHANT_SQLKV_OP_OUTCOME_H_
+#define ELEPHANT_SQLKV_OP_OUTCOME_H_
+
+#include <cstdint>
+
+namespace elephant::sqlkv {
+
+/// Result of one data-serving operation (shared by the SQL Server and
+/// MongoDB engine models).
+struct OpOutcome {
+  bool ok = false;
+  int64_t records = 0;  ///< records returned (scans)
+};
+
+}  // namespace elephant::sqlkv
+
+#endif  // ELEPHANT_SQLKV_OP_OUTCOME_H_

@@ -1,0 +1,45 @@
+#include "sqlkv/wal.h"
+
+namespace elephant::sqlkv {
+
+void GroupCommitLog::Append(int64_t bytes, sim::Latch* done,
+                            LogRecord record) {
+  appends_++;
+  record.lsn = next_lsn_++;
+  pending_.push_back({bytes, done, record});
+  if (!flushing_) {
+    flushing_ = true;
+    FlushLoop();
+  }
+}
+
+std::vector<LogRecord> GroupCommitLog::DurableRecords(
+    int64_t from_lsn) const {
+  std::vector<LogRecord> out;
+  for (const LogRecord& r : durable_) {
+    if (r.lsn >= from_lsn) out.push_back(r);
+  }
+  return out;
+}
+
+sim::Task GroupCommitLog::FlushLoop() {
+  while (!pending_.empty()) {
+    std::vector<Pending> batch = std::move(pending_);
+    pending_.clear();
+    int64_t batch_bytes = 0;
+    for (const Pending& p : batch) batch_bytes += p.bytes;
+    SimTime write_time = SecondsToSimTime(
+        static_cast<double>(batch_bytes) / (options_.write_mbps * 1e6));
+    co_await sim_->Delay(options_.flush_latency + write_time);
+    flushes_++;
+    bytes_written_ += batch_bytes;
+    for (const Pending& p : batch) {
+      durable_.push_back(p.record);
+      p.done->CountDown();
+    }
+    // Commits that arrived during this flush form the next batch.
+  }
+  flushing_ = false;
+}
+
+}  // namespace elephant::sqlkv

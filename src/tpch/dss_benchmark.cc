@@ -1,0 +1,89 @@
+#include "tpch/dss_benchmark.h"
+
+#include "common/stats.h"
+#include "tpch/queries.h"
+
+namespace elephant::tpch {
+
+const std::vector<double> kPaperScaleFactors = {250, 1000, 4000, 16000};
+
+DssBenchmark::DssBenchmark(const DssOptions& options) : options_(options) {
+  cluster_ = std::make_unique<cluster::Cluster>(&sim_, options_.num_nodes,
+                                                options_.node);
+  fs_ = std::make_unique<dfs::DistributedFileSystem>(cluster_.get(),
+                                                     options_.dfs);
+  hive_ = std::make_unique<hive::HiveEngine>(cluster_.get(), fs_.get(),
+                                             options_.hive);
+  pdw_ = std::make_unique<pdw::PdwEngine>(cluster_.get(), options_.pdw);
+}
+
+hive::HiveQueryResult DssBenchmark::RunHive(int query, double sf) {
+  return hive_->RunQuery(query, sf);
+}
+
+pdw::PdwQueryResult DssBenchmark::RunPdw(int query, double sf) {
+  return pdw_->RunQuery(query, sf);
+}
+
+SimTime DssBenchmark::HiveLoadTime(double sf) {
+  return hive_->LoadTime(sf);
+}
+
+SimTime DssBenchmark::PdwLoadTime(double sf) { return pdw_->LoadTime(sf); }
+
+std::vector<DssQueryRow> DssBenchmark::RunAll(
+    const std::vector<double>& sfs) {
+  std::vector<DssQueryRow> rows;
+  for (int q = 1; q <= kNumQueries; ++q) {
+    DssQueryRow row;
+    row.query = q;
+    for (double sf : sfs) {
+      hive::HiveQueryResult h = RunHive(q, sf);
+      pdw::PdwQueryResult p = RunPdw(q, sf);
+      row.hive_seconds.push_back(SimTimeToSeconds(h.total));
+      row.pdw_seconds.push_back(SimTimeToSeconds(p.total));
+      row.hive_failed.push_back(h.failed_out_of_disk);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+namespace {
+
+DssSummary Summarize(const std::vector<DssQueryRow>& rows, bool hive) {
+  DssSummary s;
+  if (rows.empty()) return s;
+  size_t num_sfs = rows[0].hive_seconds.size();
+  for (size_t i = 0; i < num_sfs; ++i) {
+    std::vector<double> all, no9;
+    bool complete = true;
+    for (const auto& row : rows) {
+      double t = hive ? row.hive_seconds[i] : row.pdw_seconds[i];
+      bool failed = hive && row.hive_failed[i];
+      if (failed) {
+        complete = false;
+      } else {
+        all.push_back(t);
+      }
+      if (row.query != 9 && !failed) no9.push_back(t);
+    }
+    s.am.push_back(complete ? ArithmeticMean(all) : 0.0);
+    s.gm.push_back(complete ? GeometricMean(all) : 0.0);
+    s.am9.push_back(ArithmeticMean(no9));
+    s.gm9.push_back(GeometricMean(no9));
+  }
+  return s;
+}
+
+}  // namespace
+
+DssSummary DssBenchmark::SummarizeHive(const std::vector<DssQueryRow>& rows) {
+  return Summarize(rows, true);
+}
+
+DssSummary DssBenchmark::SummarizePdw(const std::vector<DssQueryRow>& rows) {
+  return Summarize(rows, false);
+}
+
+}  // namespace elephant::tpch

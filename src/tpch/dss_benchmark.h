@@ -1,0 +1,85 @@
+#ifndef ELEPHANT_TPCH_DSS_BENCHMARK_H_
+#define ELEPHANT_TPCH_DSS_BENCHMARK_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "dfs/dfs.h"
+#include "hive/engine.h"
+#include "pdw/engine.h"
+#include "sim/simulation.h"
+
+namespace elephant::tpch {
+
+/// The paper's standard DSS scale factors (GB): 250, 1000, 4000, 16000.
+extern const std::vector<double> kPaperScaleFactors;
+
+/// Configuration of the full DSS comparison.
+struct DssOptions {
+  int num_nodes = 16;  ///< the paper's cluster
+  cluster::NodeConfig node;
+  dfs::DfsOptions dfs;
+  hive::HiveOptions hive;
+  pdw::PdwOptions pdw;
+};
+
+/// One Table 3 row: per-SF times for both engines.
+struct DssQueryRow {
+  int query = 0;
+  std::vector<double> hive_seconds;   ///< one per scale factor
+  std::vector<double> pdw_seconds;
+  std::vector<bool> hive_failed;      ///< out-of-disk (Q9 @ 16 TB)
+
+  double Speedup(size_t sf_index) const {
+    return pdw_seconds[sf_index] > 0 && !hive_failed[sf_index]
+               ? hive_seconds[sf_index] / pdw_seconds[sf_index]
+               : 0.0;
+  }
+};
+
+/// Summary statistics for a system across queries (the AM/GM and
+/// AM-9/GM-9 rows of Table 3).
+struct DssSummary {
+  std::vector<double> am;    ///< arithmetic mean per SF (0 if incomplete)
+  std::vector<double> gm;    ///< geometric mean per SF
+  std::vector<double> am9;   ///< excluding Q9
+  std::vector<double> gm9;
+};
+
+/// Facade wiring the simulated cluster, HDFS, Hive and PDW together and
+/// reproducing the paper's DSS evaluation (Tables 2-5, Figure 1).
+class DssBenchmark {
+ public:
+  explicit DssBenchmark(const DssOptions& options = {});
+
+  hive::HiveQueryResult RunHive(int query, double sf);
+  pdw::PdwQueryResult RunPdw(int query, double sf);
+
+  /// Table 2.
+  SimTime HiveLoadTime(double sf);
+  SimTime PdwLoadTime(double sf);
+
+  /// Table 3: all 22 queries at the given scale factors.
+  std::vector<DssQueryRow> RunAll(const std::vector<double>& sfs);
+
+  /// AM/GM rows over a Table 3 result.
+  static DssSummary SummarizeHive(const std::vector<DssQueryRow>& rows);
+  static DssSummary SummarizePdw(const std::vector<DssQueryRow>& rows);
+
+  hive::HiveEngine& hive() { return *hive_; }
+  pdw::PdwEngine& pdw() { return *pdw_; }
+  cluster::Cluster& cluster() { return *cluster_; }
+
+ private:
+  DssOptions options_;
+  sim::Simulation sim_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<dfs::DistributedFileSystem> fs_;
+  std::unique_ptr<hive::HiveEngine> hive_;
+  std::unique_ptr<pdw::PdwEngine> pdw_;
+};
+
+}  // namespace elephant::tpch
+
+#endif  // ELEPHANT_TPCH_DSS_BENCHMARK_H_

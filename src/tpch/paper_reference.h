@@ -1,0 +1,61 @@
+#ifndef ELEPHANT_TPCH_PAPER_REFERENCE_H_
+#define ELEPHANT_TPCH_PAPER_REFERENCE_H_
+
+namespace elephant::tpch {
+
+/// The measurements published in the paper, used by the benchmark
+/// harnesses to print paper-vs-model comparisons and by the shape tests.
+/// Index 0..3 = SF 250 / 1000 / 4000 / 16000. A value of -1 means "did
+/// not complete" (Q9 on Hive at 16 TB ran out of disk).
+struct PaperReference {
+  /// Table 3: Hive seconds per query (rows 0..21 = Q1..Q22).
+  static constexpr double kHiveSeconds[22][4] = {
+      {207, 443, 1376, 5357},   {411, 530, 1081, 3191},
+      {508, 1125, 3789, 11644}, {367, 855, 2120, 6508},
+      {536, 1686, 5481, 19812}, {79, 166, 537, 2131},
+      {1007, 2447, 7694, 24887}, {967, 2003, 6150, 18112},
+      {2033, 7243, 27522, -1},  {489, 1107, 2958, 13195},
+      {242, 258, 695, 1964},    {253, 490, 1597, 5123},
+      {392, 629, 1428, 4577},   {154, 353, 769, 2556},
+      {444, 585, 1145, 2768},   {460, 654, 1732, 5695},
+      {654, 1717, 6334, 25662}, {786, 2249, 8264, 25964},
+      {376, 1069, 4005, 17644}, {606, 1296, 2461, 11041},
+      {1431, 3217, 13071, 40748}, {908, 1145, 1744, 3402}};
+
+  /// Table 3: PDW seconds per query.
+  static constexpr double kPdwSeconds[22][4] = {
+      {54, 212, 864, 3607},  {7, 25, 115, 495},
+      {32, 112, 606, 2572},  {8, 54, 187, 629},
+      {33, 80, 253, 1060},   {5, 41, 142, 526},
+      {19, 80, 240, 955},    {9, 89, 238, 814},
+      {207, 844, 3962, 15494}, {14, 67, 265, 981},
+      {3, 18, 99, 302},      {5, 44, 192, 631},
+      {51, 190, 772, 3061},  {7, 64, 164, 640},
+      {21, 99, 377, 1397},   {36, 71, 223, 549},
+      {93, 406, 1679, 6757}, {20, 103, 482, 2880},
+      {16, 73, 272, 958},    {20, 101, 425, 1611},
+      {31, 138, 927, 4736},  {19, 71, 255, 1270}};
+
+  /// Table 2: load times in minutes.
+  static constexpr double kHiveLoadMinutes[4] = {38, 125, 519, 2512};
+  static constexpr double kPdwLoadMinutes[4] = {79, 313, 1180, 4712};
+
+  /// Table 4: Q1 total map-phase seconds.
+  static constexpr double kQ1MapPhaseSeconds[4] = {148, 339, 1258, 5220};
+
+  /// Table 5: Q22 sub-query seconds (rows = sub-query 1..4).
+  static constexpr double kQ22SubquerySeconds[4][4] = {
+      {85, 104, 169, 263},
+      {38, 51, 51, 63},
+      {109, 236, 658, 2234},
+      {654, 735, 797, 813}};
+
+  /// §3.4.2: YCSB load times in minutes (Mongo-AS / SQL-CS / Mongo-CS).
+  static constexpr double kMongoAsLoadMinutes = 114;
+  static constexpr double kSqlCsLoadMinutes = 146;
+  static constexpr double kMongoCsLoadMinutes = 45;
+};
+
+}  // namespace elephant::tpch
+
+#endif  // ELEPHANT_TPCH_PAPER_REFERENCE_H_

@@ -1,0 +1,935 @@
+#include "tpch/queries.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/date.h"
+#include "exec/operators.h"
+
+namespace elephant::tpch {
+
+namespace {
+
+using exec::AggExpr;
+using exec::AggKind;
+using exec::AsDouble;
+using exec::AsInt;
+using exec::AsString;
+using exec::Col;
+using exec::Expr;
+using exec::Filter;
+using exec::HashAggregateOn;
+using exec::HashJoinOn;
+using exec::JoinType;
+using exec::Limit;
+using exec::NamedExpr;
+using exec::Project;
+using exec::Row;
+using exec::SortBy;
+using exec::SortKey;
+using exec::Table;
+using exec::Value;
+using exec::ValueType;
+
+constexpr ValueType I = ValueType::kInt;
+constexpr ValueType D = ValueType::kDouble;
+constexpr ValueType S = ValueType::kString;
+
+bool StrContains(const std::string& hay, const std::string& needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+bool StrStartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool StrEndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Q1: Pricing Summary Report.
+Table Q1(const TpchDatabase& db) {
+  DateCode cutoff = MakeDate(1998, 12, 1) - 90;
+  const Table& l = db.lineitem;
+  int shipdate = l.ColIndex("l_shipdate");
+  Table filtered = Filter(l, [shipdate, cutoff](const Row& r) {
+    return AsInt(r[shipdate]) <= cutoff;
+  });
+  Expr qty = Col(filtered, "l_quantity");
+  Expr price = Col(filtered, "l_extendedprice");
+  Expr disc = Col(filtered, "l_discount");
+  Expr tax = Col(filtered, "l_tax");
+  Expr disc_price = exec::Mul(price, exec::Sub(exec::Lit(1.0), disc));
+  Expr charge = exec::Mul(disc_price, exec::Add(exec::Lit(1.0), tax));
+  Table agg = HashAggregateOn(
+      filtered, {"l_returnflag", "l_linestatus"},
+      {{AggKind::kSum, qty, "sum_qty", D},
+       {AggKind::kSum, price, "sum_base_price", D},
+       {AggKind::kSum, disc_price, "sum_disc_price", D},
+       {AggKind::kSum, charge, "sum_charge", D},
+       {AggKind::kAvg, qty, "avg_qty", D},
+       {AggKind::kAvg, price, "avg_price", D},
+       {AggKind::kAvg, disc, "avg_disc", D},
+       {AggKind::kCount, nullptr, "count_order", I}});
+  return SortBy(agg, {{agg.ColIndex("l_returnflag"), true},
+                      {agg.ColIndex("l_linestatus"), true}});
+}
+
+// Q2: Minimum Cost Supplier.
+Table Q2(const TpchDatabase& db) {
+  int psize = db.part.ColIndex("p_size");
+  int ptype = db.part.ColIndex("p_type");
+  Table part = Filter(db.part, [psize, ptype](const Row& r) {
+    return AsInt(r[psize]) == 15 && StrEndsWith(AsString(r[ptype]), "BRASS");
+  });
+  int rname = db.region.ColIndex("r_name");
+  Table region = Filter(db.region, [rname](const Row& r) {
+    return AsString(r[rname]) == "EUROPE";
+  });
+  // Suppliers in EUROPE with nation info.
+  Table nr = HashJoinOn(db.nation, region, {"n_regionkey"}, {"r_regionkey"});
+  Table snr = HashJoinOn(db.supplier, nr, {"s_nationkey"}, {"n_nationkey"});
+  // All (part, europe-supplier) offers.
+  Table offers = HashJoinOn(db.partsupp, snr, {"ps_suppkey"}, {"s_suppkey"});
+  // Min supply cost per part over European suppliers.
+  Table mincost = HashAggregateOn(
+      offers, {"ps_partkey"},
+      {{AggKind::kMin, Col(offers, "ps_supplycost"), "min_cost", D}});
+  // Offers matching the min cost, restricted to the selected parts.
+  Table with_min =
+      HashJoinOn(offers, mincost, {"ps_partkey"}, {"ps_partkey"});
+  int cost = with_min.ColIndex("ps_supplycost");
+  int minc = with_min.ColIndex("min_cost");
+  Table best = Filter(with_min, [cost, minc](const Row& r) {
+    return AsDouble(r[cost]) == AsDouble(r[minc]);
+  });
+  Table joined = HashJoinOn(best, part, {"ps_partkey"}, {"p_partkey"});
+  Table projected = Project(
+      joined, {{"s_acctbal", D, Col(joined, "s_acctbal")},
+               {"s_name", S, Col(joined, "s_name")},
+               {"n_name", S, Col(joined, "n_name")},
+               {"p_partkey", I, Col(joined, "p_partkey")},
+               {"p_mfgr", S, Col(joined, "p_mfgr")},
+               {"s_address", S, Col(joined, "s_address")},
+               {"s_phone", S, Col(joined, "s_phone")},
+               {"s_comment", S, Col(joined, "s_comment")}});
+  Table sorted = SortBy(projected, {{0, false}, {2, true}, {1, true},
+                                    {3, true}});
+  return Limit(sorted, 100);
+}
+
+// Q3: Shipping Priority.
+Table Q3(const TpchDatabase& db) {
+  DateCode pivot = MakeDate(1995, 3, 15);
+  int seg = db.customer.ColIndex("c_mktsegment");
+  Table cust = Filter(db.customer, [seg](const Row& r) {
+    return AsString(r[seg]) == "BUILDING";
+  });
+  int odate = db.orders.ColIndex("o_orderdate");
+  Table orders = Filter(db.orders, [odate, pivot](const Row& r) {
+    return AsInt(r[odate]) < pivot;
+  });
+  int sdate = db.lineitem.ColIndex("l_shipdate");
+  Table line = Filter(db.lineitem, [sdate, pivot](const Row& r) {
+    return AsInt(r[sdate]) > pivot;
+  });
+  Table co = HashJoinOn(cust, orders, {"c_custkey"}, {"o_custkey"});
+  Table col = HashJoinOn(co, line, {"o_orderkey"}, {"l_orderkey"});
+  Table agg = HashAggregateOn(
+      col, {"l_orderkey", "o_orderdate", "o_shippriority"},
+      {{AggKind::kSum, exec::Revenue(col), "revenue", D}});
+  Table sorted = SortBy(agg, {{agg.ColIndex("revenue"), false},
+                              {agg.ColIndex("o_orderdate"), true}});
+  return Limit(sorted, 10);
+}
+
+// Q4: Order Priority Checking.
+Table Q4(const TpchDatabase& db) {
+  DateCode lo = MakeDate(1993, 7, 1);
+  DateCode hi = AddMonths(lo, 3);
+  int odate = db.orders.ColIndex("o_orderdate");
+  Table orders = Filter(db.orders, [odate, lo, hi](const Row& r) {
+    int64_t d = AsInt(r[odate]);
+    return d >= lo && d < hi;
+  });
+  int cdate = db.lineitem.ColIndex("l_commitdate");
+  int rdate = db.lineitem.ColIndex("l_receiptdate");
+  Table late = Filter(db.lineitem, [cdate, rdate](const Row& r) {
+    return AsInt(r[cdate]) < AsInt(r[rdate]);
+  });
+  Table semi =
+      HashJoinOn(orders, late, {"o_orderkey"}, {"l_orderkey"},
+                 JoinType::kLeftSemi);
+  Table agg =
+      HashAggregateOn(semi, {"o_orderpriority"},
+                      {{AggKind::kCount, nullptr, "order_count", I}});
+  return SortBy(agg, {{agg.ColIndex("o_orderpriority"), true}});
+}
+
+// Q5: Local Supplier Volume.
+Table Q5(const TpchDatabase& db) {
+  DateCode lo = MakeDate(1994, 1, 1);
+  DateCode hi = AddYears(lo, 1);
+  int rname = db.region.ColIndex("r_name");
+  Table region = Filter(db.region, [rname](const Row& r) {
+    return AsString(r[rname]) == "ASIA";
+  });
+  int odate = db.orders.ColIndex("o_orderdate");
+  Table orders = Filter(db.orders, [odate, lo, hi](const Row& r) {
+    int64_t d = AsInt(r[odate]);
+    return d >= lo && d < hi;
+  });
+  Table nr = HashJoinOn(db.nation, region, {"n_regionkey"}, {"r_regionkey"});
+  Table snr = HashJoinOn(db.supplier, nr, {"s_nationkey"}, {"n_nationkey"});
+  Table co = HashJoinOn(db.customer, orders, {"c_custkey"}, {"o_custkey"});
+  Table col = HashJoinOn(co, db.lineitem, {"o_orderkey"}, {"l_orderkey"});
+  // Join on suppkey AND matching nationkeys (local supplier).
+  Table full = HashJoinOn(col, snr, {"l_suppkey", "c_nationkey"},
+                          {"s_suppkey", "s_nationkey"});
+  Table agg = HashAggregateOn(
+      full, {"n_name"}, {{AggKind::kSum, exec::Revenue(full), "revenue", D}});
+  return SortBy(agg, {{agg.ColIndex("revenue"), false}});
+}
+
+// Q6: Forecasting Revenue Change.
+Table Q6(const TpchDatabase& db) {
+  DateCode lo = MakeDate(1994, 1, 1);
+  DateCode hi = AddYears(lo, 1);
+  const Table& l = db.lineitem;
+  int sdate = l.ColIndex("l_shipdate");
+  int disc = l.ColIndex("l_discount");
+  int qty = l.ColIndex("l_quantity");
+  Table filtered = Filter(l, [=](const Row& r) {
+    int64_t d = AsInt(r[sdate]);
+    double dc = AsDouble(r[disc]);
+    return d >= lo && d < hi && dc >= 0.05 - 1e-9 && dc <= 0.07 + 1e-9 &&
+           AsDouble(r[qty]) < 24;
+  });
+  Expr rev = exec::Mul(Col(filtered, "l_extendedprice"),
+                       Col(filtered, "l_discount"));
+  return HashAggregateOn(filtered, {},
+                         {{AggKind::kSum, rev, "revenue", D}});
+}
+
+// Q7: Volume Shipping.
+Table Q7(const TpchDatabase& db) {
+  DateCode lo = MakeDate(1995, 1, 1);
+  DateCode hi = MakeDate(1996, 12, 31);
+  int nname = db.nation.ColIndex("n_name");
+  Table nations = Filter(db.nation, [nname](const Row& r) {
+    const std::string& n = AsString(r[nname]);
+    return n == "FRANCE" || n == "GERMANY";
+  });
+  // supplier with supp_nation, customer with cust_nation.
+  Table sn = HashJoinOn(db.supplier, nations, {"s_nationkey"},
+                        {"n_nationkey"});
+  Table cn = HashJoinOn(db.customer, nations, {"c_nationkey"},
+                        {"n_nationkey"});
+  int sdate = db.lineitem.ColIndex("l_shipdate");
+  Table line = Filter(db.lineitem, [sdate, lo, hi](const Row& r) {
+    int64_t d = AsInt(r[sdate]);
+    return d >= lo && d <= hi;
+  });
+  Table ls = HashJoinOn(line, sn, {"l_suppkey"}, {"s_suppkey"});
+  Table lso = HashJoinOn(ls, db.orders, {"l_orderkey"}, {"o_orderkey"});
+  Table lsoc = HashJoinOn(lso, cn, {"o_custkey"}, {"c_custkey"});
+  // n_name from supplier side; the customer's nation arrives as n_name_r.
+  int supp_n = lsoc.ColIndex("n_name");
+  int cust_n = lsoc.ColIndex("n_name_r");
+  Table pairs = Filter(lsoc, [supp_n, cust_n](const Row& r) {
+    const std::string& a = AsString(r[supp_n]);
+    const std::string& b = AsString(r[cust_n]);
+    return (a == "FRANCE" && b == "GERMANY") ||
+           (a == "GERMANY" && b == "FRANCE");
+  });
+  int sd = pairs.ColIndex("l_shipdate");
+  Table projected = Project(
+      pairs,
+      {{"supp_nation", S, Col(pairs, "n_name")},
+       {"cust_nation", S, Col(pairs, "n_name_r")},
+       {"l_year", I,
+        [sd](const Row& r) {
+          return Value{static_cast<int64_t>(
+              YearOf(static_cast<DateCode>(AsInt(r[sd]))))};
+        }},
+       {"volume", D, exec::Revenue(pairs)}});
+  Table agg = HashAggregateOn(
+      projected, {"supp_nation", "cust_nation", "l_year"},
+      {{AggKind::kSum, Col(projected, "volume"), "revenue", D}});
+  return SortBy(agg, {{0, true}, {1, true}, {2, true}});
+}
+
+// Q8: National Market Share.
+Table Q8(const TpchDatabase& db) {
+  DateCode lo = MakeDate(1995, 1, 1);
+  DateCode hi = MakeDate(1996, 12, 31);
+  int ptype = db.part.ColIndex("p_type");
+  Table part = Filter(db.part, [ptype](const Row& r) {
+    return AsString(r[ptype]) == "ECONOMY ANODIZED STEEL";
+  });
+  int rname = db.region.ColIndex("r_name");
+  Table region = Filter(db.region, [rname](const Row& r) {
+    return AsString(r[rname]) == "AMERICA";
+  });
+  int odate = db.orders.ColIndex("o_orderdate");
+  Table orders = Filter(db.orders, [odate, lo, hi](const Row& r) {
+    int64_t d = AsInt(r[odate]);
+    return d >= lo && d <= hi;
+  });
+  Table lp = HashJoinOn(db.lineitem, part, {"l_partkey"}, {"p_partkey"});
+  Table lpo = HashJoinOn(lp, orders, {"l_orderkey"}, {"o_orderkey"});
+  // Customer must be in an AMERICA nation.
+  Table nr = HashJoinOn(db.nation, region, {"n_regionkey"}, {"r_regionkey"});
+  Table cnr = HashJoinOn(db.customer, nr, {"c_nationkey"}, {"n_nationkey"});
+  Table lpoc = HashJoinOn(lpo, cnr, {"o_custkey"}, {"c_custkey"});
+  // Supplier nation (any nation) for the share numerator.
+  Table sn = HashJoinOn(db.supplier, db.nation, {"s_nationkey"},
+                        {"n_nationkey"});
+  Table full = HashJoinOn(lpoc, sn, {"l_suppkey"}, {"s_suppkey"});
+  int od = full.ColIndex("o_orderdate");
+  // After joining nation twice, the supplier's nation name is the later
+  // duplicate: n_name from cnr is "n_name", from sn it is "n_name_r".
+  Table vol = Project(
+      full,
+      {{"o_year", I,
+        [od](const Row& r) {
+          return Value{static_cast<int64_t>(
+              YearOf(static_cast<DateCode>(AsInt(r[od]))))};
+        }},
+       {"volume", D, exec::Revenue(full)},
+       {"nation", S, Col(full, "n_name_r")}});
+  int nat = vol.ColIndex("nation");
+  int volume = vol.ColIndex("volume");
+  Expr brazil_vol = [nat, volume](const Row& r) {
+    return Value{AsString(r[nat]) == "BRAZIL" ? AsDouble(r[volume]) : 0.0};
+  };
+  Table agg = HashAggregateOn(
+      vol, {"o_year"},
+      {{AggKind::kSum, brazil_vol, "brazil_volume", D},
+       {AggKind::kSum, Col(vol, "volume"), "total_volume", D}});
+  int bv = agg.ColIndex("brazil_volume");
+  int tv = agg.ColIndex("total_volume");
+  Table share = Project(
+      agg, {{"o_year", I, Col(agg, "o_year")},
+            {"mkt_share", D, [bv, tv](const Row& r) {
+               double t = AsDouble(r[tv]);
+               return Value{t > 0 ? AsDouble(r[bv]) / t : 0.0};
+             }}});
+  return SortBy(share, {{0, true}});
+}
+
+// Q9: Product Type Profit Measure.
+Table Q9(const TpchDatabase& db) {
+  int pname = db.part.ColIndex("p_name");
+  Table part = Filter(db.part, [pname](const Row& r) {
+    return StrContains(AsString(r[pname]), "green");
+  });
+  Table lp = HashJoinOn(db.lineitem, part, {"l_partkey"}, {"p_partkey"});
+  Table lps = HashJoinOn(lp, db.partsupp, {"l_partkey", "l_suppkey"},
+                         {"ps_partkey", "ps_suppkey"});
+  Table lpss = HashJoinOn(lps, db.supplier, {"l_suppkey"}, {"s_suppkey"});
+  Table lpssn =
+      HashJoinOn(lpss, db.nation, {"s_nationkey"}, {"n_nationkey"});
+  Table full = HashJoinOn(lpssn, db.orders, {"l_orderkey"}, {"o_orderkey"});
+  int od = full.ColIndex("o_orderdate");
+  int price = full.ColIndex("l_extendedprice");
+  int disc = full.ColIndex("l_discount");
+  int scost = full.ColIndex("ps_supplycost");
+  int qty = full.ColIndex("l_quantity");
+  Table profit = Project(
+      full,
+      {{"nation", S, Col(full, "n_name")},
+       {"o_year", I,
+        [od](const Row& r) {
+          return Value{static_cast<int64_t>(
+              YearOf(static_cast<DateCode>(AsInt(r[od]))))};
+        }},
+       {"amount", D, [price, disc, scost, qty](const Row& r) {
+          return Value{AsDouble(r[price]) * (1.0 - AsDouble(r[disc])) -
+                       AsDouble(r[scost]) * AsDouble(r[qty])};
+        }}});
+  Table agg = HashAggregateOn(
+      profit, {"nation", "o_year"},
+      {{AggKind::kSum, Col(profit, "amount"), "sum_profit", D}});
+  return SortBy(agg, {{0, true}, {1, false}});
+}
+
+// Q10: Returned Item Reporting.
+Table Q10(const TpchDatabase& db) {
+  DateCode lo = MakeDate(1993, 10, 1);
+  DateCode hi = AddMonths(lo, 3);
+  int odate = db.orders.ColIndex("o_orderdate");
+  Table orders = Filter(db.orders, [odate, lo, hi](const Row& r) {
+    int64_t d = AsInt(r[odate]);
+    return d >= lo && d < hi;
+  });
+  int rf = db.lineitem.ColIndex("l_returnflag");
+  Table returned = Filter(db.lineitem, [rf](const Row& r) {
+    return AsString(r[rf]) == "R";
+  });
+  Table co = HashJoinOn(db.customer, orders, {"c_custkey"}, {"o_custkey"});
+  Table col = HashJoinOn(co, returned, {"o_orderkey"}, {"l_orderkey"});
+  Table coln = HashJoinOn(col, db.nation, {"c_nationkey"}, {"n_nationkey"});
+  Table agg = HashAggregateOn(
+      coln,
+      {"c_custkey", "c_name", "c_acctbal", "c_phone", "n_name", "c_address",
+       "c_comment"},
+      {{AggKind::kSum, exec::Revenue(coln), "revenue", D}});
+  Table sorted = SortBy(agg, {{agg.ColIndex("revenue"), false},
+                              {agg.ColIndex("c_custkey"), true}});
+  return Limit(sorted, 20);
+}
+
+// Q11: Important Stock Identification.
+Table Q11(const TpchDatabase& db) {
+  int nname = db.nation.ColIndex("n_name");
+  Table nation = Filter(db.nation, [nname](const Row& r) {
+    return AsString(r[nname]) == "GERMANY";
+  });
+  Table sn = HashJoinOn(db.supplier, nation, {"s_nationkey"},
+                        {"n_nationkey"});
+  Table ps = HashJoinOn(db.partsupp, sn, {"ps_suppkey"}, {"s_suppkey"});
+  int cost = ps.ColIndex("ps_supplycost");
+  int qty = ps.ColIndex("ps_availqty");
+  Expr value = [cost, qty](const Row& r) {
+    return Value{AsDouble(r[cost]) * AsDouble(r[qty])};
+  };
+  Table total =
+      HashAggregateOn(ps, {}, {{AggKind::kSum, value, "total", D}});
+  double threshold = AsDouble(total.rows()[0][0]) * 0.0001 /
+                     std::max(db.scale_factor, 1e-9) *
+                     std::min(db.scale_factor, 1.0);
+  // The spec fraction is 0.0001/SF; for mini scale factors (<1) we keep
+  // the fraction at 0.0001 to avoid empty results.
+  Table agg = HashAggregateOn(ps, {"ps_partkey"},
+                              {{AggKind::kSum, value, "value", D}});
+  int v = agg.ColIndex("value");
+  Table filtered = Filter(agg, [v, threshold](const Row& r) {
+    return AsDouble(r[v]) > threshold;
+  });
+  return SortBy(filtered, {{v, false}});
+}
+
+// Q12: Shipping Modes and Order Priority.
+Table Q12(const TpchDatabase& db) {
+  DateCode lo = MakeDate(1994, 1, 1);
+  DateCode hi = AddYears(lo, 1);
+  const Table& l = db.lineitem;
+  int mode = l.ColIndex("l_shipmode");
+  int cdate = l.ColIndex("l_commitdate");
+  int rdate = l.ColIndex("l_receiptdate");
+  int sdate = l.ColIndex("l_shipdate");
+  Table line = Filter(l, [=](const Row& r) {
+    const std::string& m = AsString(r[mode]);
+    int64_t rd = AsInt(r[rdate]);
+    return (m == "MAIL" || m == "SHIP") && AsInt(r[cdate]) < rd &&
+           AsInt(r[sdate]) < AsInt(r[cdate]) && rd >= lo && rd < hi;
+  });
+  Table lo_join = HashJoinOn(line, db.orders, {"l_orderkey"}, {"o_orderkey"});
+  int prio = lo_join.ColIndex("o_orderpriority");
+  Expr high = [prio](const Row& r) {
+    const std::string& p = AsString(r[prio]);
+    return Value{p == "1-URGENT" || p == "2-HIGH" ? 1.0 : 0.0};
+  };
+  Expr low = [prio](const Row& r) {
+    const std::string& p = AsString(r[prio]);
+    return Value{p != "1-URGENT" && p != "2-HIGH" ? 1.0 : 0.0};
+  };
+  Table agg = HashAggregateOn(
+      lo_join, {"l_shipmode"},
+      {{AggKind::kSum, high, "high_line_count", I},
+       {AggKind::kSum, low, "low_line_count", I}});
+  return SortBy(agg, {{0, true}});
+}
+
+// Q13: Customer Distribution.
+Table Q13(const TpchDatabase& db) {
+  int comment = db.orders.ColIndex("o_comment");
+  Table orders = Filter(db.orders, [comment](const Row& r) {
+    const std::string& c = AsString(r[comment]);
+    size_t pos = c.find("special");
+    return pos == std::string::npos ||
+           c.find("requests", pos) == std::string::npos;
+  });
+  Table co = HashJoinOn(db.customer, orders, {"c_custkey"}, {"o_custkey"},
+                        JoinType::kLeftOuter);
+  int okey = co.ColIndex("o_orderkey");
+  // Outer-join padding gives o_orderkey = 0; real orderkeys start at 1.
+  Expr matched = [okey](const Row& r) {
+    return Value{AsInt(r[okey]) > 0 ? 1.0 : 0.0};
+  };
+  Table per_cust = HashAggregateOn(
+      co, {"c_custkey"}, {{AggKind::kSum, matched, "c_count", I}});
+  Table dist = HashAggregateOn(
+      per_cust, {"c_count"}, {{AggKind::kCount, nullptr, "custdist", I}});
+  return SortBy(dist, {{dist.ColIndex("custdist"), false},
+                       {dist.ColIndex("c_count"), false}});
+}
+
+// Q14: Promotion Effect.
+Table Q14(const TpchDatabase& db) {
+  DateCode lo = MakeDate(1995, 9, 1);
+  DateCode hi = AddMonths(lo, 1);
+  int sdate = db.lineitem.ColIndex("l_shipdate");
+  Table line = Filter(db.lineitem, [sdate, lo, hi](const Row& r) {
+    int64_t d = AsInt(r[sdate]);
+    return d >= lo && d < hi;
+  });
+  Table lp = HashJoinOn(line, db.part, {"l_partkey"}, {"p_partkey"});
+  int ptype = lp.ColIndex("p_type");
+  Expr rev = exec::Revenue(lp);
+  Expr promo_rev = [ptype, rev](const Row& r) {
+    return Value{StrStartsWith(AsString(r[ptype]), "PROMO")
+                     ? AsDouble(rev(r))
+                     : 0.0};
+  };
+  Table agg = HashAggregateOn(lp, {},
+                              {{AggKind::kSum, promo_rev, "promo", D},
+                               {AggKind::kSum, rev, "total", D}});
+  int promo = agg.ColIndex("promo");
+  int total = agg.ColIndex("total");
+  return Project(agg, {{"promo_revenue", D, [promo, total](const Row& r) {
+                          double t = AsDouble(r[total]);
+                          return Value{t > 0
+                                           ? 100.0 * AsDouble(r[promo]) / t
+                                           : 0.0};
+                        }}});
+}
+
+// Q15: Top Supplier.
+Table Q15(const TpchDatabase& db) {
+  DateCode lo = MakeDate(1996, 1, 1);
+  DateCode hi = AddMonths(lo, 3);
+  int sdate = db.lineitem.ColIndex("l_shipdate");
+  Table line = Filter(db.lineitem, [sdate, lo, hi](const Row& r) {
+    int64_t d = AsInt(r[sdate]);
+    return d >= lo && d < hi;
+  });
+  Table revenue = HashAggregateOn(
+      line, {"l_suppkey"},
+      {{AggKind::kSum, exec::Revenue(line), "total_revenue", D}});
+  Table maxrev = HashAggregateOn(
+      revenue, {},
+      {{AggKind::kMax, Col(revenue, "total_revenue"), "max_revenue", D}});
+  double max_revenue = maxrev.num_rows()
+                           ? AsDouble(maxrev.rows()[0][0])
+                           : 0.0;
+  int tr = revenue.ColIndex("total_revenue");
+  Table top = Filter(revenue, [tr, max_revenue](const Row& r) {
+    return AsDouble(r[tr]) >= max_revenue - 1e-6;
+  });
+  Table joined = HashJoinOn(top, db.supplier, {"l_suppkey"}, {"s_suppkey"});
+  Table projected = Project(joined, {{"s_suppkey", I, Col(joined, "s_suppkey")},
+                                     {"s_name", S, Col(joined, "s_name")},
+                                     {"s_address", S, Col(joined, "s_address")},
+                                     {"s_phone", S, Col(joined, "s_phone")},
+                                     {"total_revenue", D,
+                                      Col(joined, "total_revenue")}});
+  return SortBy(projected, {{0, true}});
+}
+
+// Q16: Parts/Supplier Relationship.
+Table Q16(const TpchDatabase& db) {
+  int brand = db.part.ColIndex("p_brand");
+  int ptype = db.part.ColIndex("p_type");
+  int psize = db.part.ColIndex("p_size");
+  static const int kSizes[] = {49, 14, 23, 45, 19, 3, 36, 9};
+  Table part = Filter(db.part, [brand, ptype, psize](const Row& r) {
+    if (AsString(r[brand]) == "Brand#45") return false;
+    if (StrStartsWith(AsString(r[ptype]), "MEDIUM POLISHED")) return false;
+    int64_t s = AsInt(r[psize]);
+    for (int k : kSizes) {
+      if (s == k) return true;
+    }
+    return false;
+  });
+  int comment = db.supplier.ColIndex("s_comment");
+  Table bad_suppliers = Filter(db.supplier, [comment](const Row& r) {
+    const std::string& c = AsString(r[comment]);
+    size_t pos = c.find("Customer");
+    return pos != std::string::npos &&
+           c.find("Complaints", pos) != std::string::npos;
+  });
+  Table ps = HashJoinOn(db.partsupp, part, {"ps_partkey"}, {"p_partkey"});
+  Table good = HashJoinOn(ps, bad_suppliers, {"ps_suppkey"}, {"s_suppkey"},
+                          JoinType::kLeftAnti);
+  Table agg = HashAggregateOn(
+      good, {"p_brand", "p_type", "p_size"},
+      {{AggKind::kCountDistinct, Col(good, "ps_suppkey"), "supplier_cnt",
+        I}});
+  return SortBy(agg, {{agg.ColIndex("supplier_cnt"), false},
+                      {0, true},
+                      {1, true},
+                      {2, true}});
+}
+
+// Q17: Small-Quantity-Order Revenue.
+Table Q17(const TpchDatabase& db) {
+  int brand = db.part.ColIndex("p_brand");
+  int cont = db.part.ColIndex("p_container");
+  Table part = Filter(db.part, [brand, cont](const Row& r) {
+    return AsString(r[brand]) == "Brand#23" &&
+           AsString(r[cont]) == "MED BOX";
+  });
+  Table avg_qty = HashAggregateOn(
+      db.lineitem, {"l_partkey"},
+      {{AggKind::kAvg, Col(db.lineitem, "l_quantity"), "avg_qty", D}});
+  Table lp = HashJoinOn(db.lineitem, part, {"l_partkey"}, {"p_partkey"});
+  Table lpa = HashJoinOn(lp, avg_qty, {"l_partkey"}, {"l_partkey"});
+  int qty = lpa.ColIndex("l_quantity");
+  int avg = lpa.ColIndex("avg_qty");
+  Table small = Filter(lpa, [qty, avg](const Row& r) {
+    return AsDouble(r[qty]) < 0.2 * AsDouble(r[avg]);
+  });
+  Table sum = HashAggregateOn(
+      small, {},
+      {{AggKind::kSum, Col(small, "l_extendedprice"), "sum_price", D}});
+  int sp = sum.ColIndex("sum_price");
+  return Project(sum, {{"avg_yearly", D, [sp](const Row& r) {
+                          return Value{AsDouble(r[sp]) / 7.0};
+                        }}});
+}
+
+// Q18: Large Volume Customer.
+Table Q18(const TpchDatabase& db) {
+  Table qty_per_order = HashAggregateOn(
+      db.lineitem, {"l_orderkey"},
+      {{AggKind::kSum, Col(db.lineitem, "l_quantity"), "sum_qty", D}});
+  int sq = qty_per_order.ColIndex("sum_qty");
+  Table big = Filter(qty_per_order, [sq](const Row& r) {
+    return AsDouble(r[sq]) > 300.0;
+  });
+  Table ob = HashJoinOn(db.orders, big, {"o_orderkey"}, {"l_orderkey"});
+  Table obc = HashJoinOn(ob, db.customer, {"o_custkey"}, {"c_custkey"});
+  Table projected = Project(
+      obc, {{"c_name", S, Col(obc, "c_name")},
+            {"c_custkey", I, Col(obc, "c_custkey")},
+            {"o_orderkey", I, Col(obc, "o_orderkey")},
+            {"o_orderdate", I, Col(obc, "o_orderdate")},
+            {"o_totalprice", D, Col(obc, "o_totalprice")},
+            {"sum_qty", D, Col(obc, "sum_qty")}});
+  Table sorted = SortBy(projected, {{4, false}, {3, true}});
+  return Limit(sorted, 100);
+}
+
+// Q19: Discounted Revenue.
+Table Q19(const TpchDatabase& db) {
+  Table lp = HashJoinOn(db.lineitem, db.part, {"l_partkey"}, {"p_partkey"});
+  int brand = lp.ColIndex("p_brand");
+  int cont = lp.ColIndex("p_container");
+  int size = lp.ColIndex("p_size");
+  int qty = lp.ColIndex("l_quantity");
+  int mode = lp.ColIndex("l_shipmode");
+  int instr = lp.ColIndex("l_shipinstruct");
+  auto in = [](const std::string& s,
+               std::initializer_list<const char*> set) {
+    for (const char* x : set) {
+      if (s == x) return true;
+    }
+    return false;
+  };
+  Table matched = Filter(lp, [=](const Row& r) {
+    const std::string& m = AsString(r[mode]);
+    if (m != "AIR" && m != "REG AIR") return false;
+    if (AsString(r[instr]) != "DELIVER IN PERSON") return false;
+    const std::string& b = AsString(r[brand]);
+    const std::string& c = AsString(r[cont]);
+    double q = AsDouble(r[qty]);
+    int64_t s = AsInt(r[size]);
+    if (b == "Brand#12" && in(c, {"SM CASE", "SM BOX", "SM PACK", "SM PKG"}) &&
+        q >= 1 && q <= 11 && s >= 1 && s <= 5) {
+      return true;
+    }
+    if (b == "Brand#23" &&
+        in(c, {"MED BAG", "MED BOX", "MED PKG", "MED PACK"}) && q >= 10 &&
+        q <= 20 && s >= 1 && s <= 10) {
+      return true;
+    }
+    if (b == "Brand#34" && in(c, {"LG CASE", "LG BOX", "LG PACK", "LG PKG"}) &&
+        q >= 20 && q <= 30 && s >= 1 && s <= 15) {
+      return true;
+    }
+    return false;
+  });
+  return HashAggregateOn(
+      matched, {}, {{AggKind::kSum, exec::Revenue(matched), "revenue", D}});
+}
+
+// Q20: Potential Part Promotion.
+Table Q20(const TpchDatabase& db) {
+  DateCode lo = MakeDate(1994, 1, 1);
+  DateCode hi = AddYears(lo, 1);
+  int pname = db.part.ColIndex("p_name");
+  Table part = Filter(db.part, [pname](const Row& r) {
+    return StrStartsWith(AsString(r[pname]), "forest");
+  });
+  int sdate = db.lineitem.ColIndex("l_shipdate");
+  Table line = Filter(db.lineitem, [sdate, lo, hi](const Row& r) {
+    int64_t d = AsInt(r[sdate]);
+    return d >= lo && d < hi;
+  });
+  Table shipped = HashAggregateOn(
+      line, {"l_partkey", "l_suppkey"},
+      {{AggKind::kSum, Col(line, "l_quantity"), "shipped_qty", D}});
+  Table ps_part =
+      HashJoinOn(db.partsupp, part, {"ps_partkey"}, {"p_partkey"});
+  Table ps_ship = HashJoinOn(ps_part, shipped, {"ps_partkey", "ps_suppkey"},
+                             {"l_partkey", "l_suppkey"});
+  int avail = ps_ship.ColIndex("ps_availqty");
+  int sqty = ps_ship.ColIndex("shipped_qty");
+  Table surplus = Filter(ps_ship, [avail, sqty](const Row& r) {
+    return AsDouble(r[avail]) > 0.5 * AsDouble(r[sqty]);
+  });
+  int nname = db.nation.ColIndex("n_name");
+  Table canada = Filter(db.nation, [nname](const Row& r) {
+    return AsString(r[nname]) == "CANADA";
+  });
+  Table sn = HashJoinOn(db.supplier, canada, {"s_nationkey"},
+                        {"n_nationkey"});
+  Table qualified = HashJoinOn(sn, surplus, {"s_suppkey"}, {"ps_suppkey"},
+                               JoinType::kLeftSemi);
+  Table projected = Project(qualified,
+                            {{"s_name", S, Col(qualified, "s_name")},
+                             {"s_address", S, Col(qualified, "s_address")}});
+  return SortBy(projected, {{0, true}});
+}
+
+// Q21: Suppliers Who Kept Orders Waiting.
+Table Q21(const TpchDatabase& db) {
+  // For each multi-supplier order with status 'F': find lineitems whose
+  // supplier was the ONLY late supplier on the order.
+  int nname = db.nation.ColIndex("n_name");
+  Table saudi = Filter(db.nation, [nname](const Row& r) {
+    return AsString(r[nname]) == "SAUDI ARABIA";
+  });
+  Table sn = HashJoinOn(db.supplier, saudi, {"s_nationkey"},
+                        {"n_nationkey"});
+
+  int ostatus = db.orders.ColIndex("o_orderstatus");
+  Table forders = Filter(db.orders, [ostatus](const Row& r) {
+    return AsString(r[ostatus]) == "F";
+  });
+
+  // Build per-order supplier sets and late-supplier sets.
+  const Table& l = db.lineitem;
+  int okey = l.ColIndex("l_orderkey");
+  int skey = l.ColIndex("l_suppkey");
+  int cdate = l.ColIndex("l_commitdate");
+  int rdate = l.ColIndex("l_receiptdate");
+  std::unordered_map<int64_t, std::unordered_set<int64_t>> suppliers;
+  std::unordered_map<int64_t, std::unordered_set<int64_t>> late;
+  for (const Row& r : l.rows()) {
+    int64_t o = AsInt(r[okey]);
+    int64_t s = AsInt(r[skey]);
+    suppliers[o].insert(s);
+    if (AsInt(r[rdate]) > AsInt(r[cdate])) late[o].insert(s);
+  }
+
+  std::unordered_set<int64_t> f_orders;
+  int fokey = forders.ColIndex("o_orderkey");
+  for (const Row& r : forders.rows()) f_orders.insert(AsInt(r[fokey]));
+
+  // Qualifying (orderkey, suppkey) pairs.
+  Table pairs(
+      {{"l_orderkey", exec::ValueType::kInt},
+       {"l_suppkey", exec::ValueType::kInt}});
+  for (const auto& [o, late_set] : late) {
+    if (!f_orders.count(o)) continue;
+    const auto& supp_set = suppliers.at(o);
+    if (supp_set.size() < 2) continue;  // needs another supplier
+    if (late_set.size() != 1) continue;  // no OTHER late supplier
+    pairs.AddRow({Value{o}, Value{*late_set.begin()}});
+  }
+
+  Table named = HashJoinOn(pairs, sn, {"l_suppkey"}, {"s_suppkey"});
+  Table agg = HashAggregateOn(
+      named, {"s_name"}, {{AggKind::kCount, nullptr, "numwait", I}});
+  Table sorted =
+      SortBy(agg, {{agg.ColIndex("numwait"), false}, {0, true}});
+  return Limit(sorted, 100);
+}
+
+// Q22: Global Sales Opportunity.
+Table Q22(const TpchDatabase& db) {
+  static const char* kCodes[] = {"13", "31", "23", "29", "30", "18", "17"};
+  int phone = db.customer.ColIndex("c_phone");
+  int bal = db.customer.ColIndex("c_acctbal");
+  auto code_of = [phone](const Row& r) {
+    return AsString(r[phone]).substr(0, 2);
+  };
+  auto in_codes = [&code_of](const Row& r) {
+    std::string c = code_of(r);
+    for (const char* k : kCodes) {
+      if (c == k) return true;
+    }
+    return false;
+  };
+  Table candidates = Filter(db.customer, in_codes);
+  // Average positive balance among candidates.
+  Table positive = Filter(candidates, [bal](const Row& r) {
+    return AsDouble(r[bal]) > 0.0;
+  });
+  Table avg_t = HashAggregateOn(
+      positive, {}, {{AggKind::kAvg, Col(positive, "c_acctbal"), "a", D}});
+  double avg_bal = AsDouble(avg_t.rows()[0][0]);
+  Table rich = Filter(candidates, [bal, avg_bal](const Row& r) {
+    return AsDouble(r[bal]) > avg_bal;
+  });
+  Table no_orders = HashJoinOn(rich, db.orders, {"c_custkey"}, {"o_custkey"},
+                               JoinType::kLeftAnti);
+  Table coded = Project(
+      no_orders, {{"cntrycode", S,
+                   [phone](const Row& r) {
+                     return Value{AsString(r[phone]).substr(0, 2)};
+                   }},
+                  {"c_acctbal", D, Col(no_orders, "c_acctbal")}});
+  Table agg = HashAggregateOn(
+      coded, {"cntrycode"},
+      {{AggKind::kCount, nullptr, "numcust", I},
+       {AggKind::kSum, Col(coded, "c_acctbal"), "totacctbal", D}});
+  return SortBy(agg, {{0, true}});
+}
+
+}  // namespace
+
+const char* QueryName(int q) {
+  static const char* kNames[] = {
+      "Pricing Summary Report",
+      "Minimum Cost Supplier",
+      "Shipping Priority",
+      "Order Priority Checking",
+      "Local Supplier Volume",
+      "Forecasting Revenue Change",
+      "Volume Shipping",
+      "National Market Share",
+      "Product Type Profit Measure",
+      "Returned Item Reporting",
+      "Important Stock Identification",
+      "Shipping Modes and Order Priority",
+      "Customer Distribution",
+      "Promotion Effect",
+      "Top Supplier",
+      "Parts/Supplier Relationship",
+      "Small-Quantity-Order Revenue",
+      "Large Volume Customer",
+      "Discounted Revenue",
+      "Potential Part Promotion",
+      "Suppliers Who Kept Orders Waiting",
+      "Global Sales Opportunity"};
+  assert(q >= 1 && q <= kNumQueries);
+  return kNames[q - 1];
+}
+
+exec::Table RunQuery(int q, const TpchDatabase& db) {
+  switch (q) {
+    case 1:
+      return Q1(db);
+    case 2:
+      return Q2(db);
+    case 3:
+      return Q3(db);
+    case 4:
+      return Q4(db);
+    case 5:
+      return Q5(db);
+    case 6:
+      return Q6(db);
+    case 7:
+      return Q7(db);
+    case 8:
+      return Q8(db);
+    case 9:
+      return Q9(db);
+    case 10:
+      return Q10(db);
+    case 11:
+      return Q11(db);
+    case 12:
+      return Q12(db);
+    case 13:
+      return Q13(db);
+    case 14:
+      return Q14(db);
+    case 15:
+      return Q15(db);
+    case 16:
+      return Q16(db);
+    case 17:
+      return Q17(db);
+    case 18:
+      return Q18(db);
+    case 19:
+      return Q19(db);
+    case 20:
+      return Q20(db);
+    case 21:
+      return Q21(db);
+    case 22:
+      return Q22(db);
+    default:
+      assert(false && "query number out of range");
+      return exec::Table();
+  }
+}
+
+std::vector<TableId> QueryInputTables(int q) {
+  using T = TableId;
+  switch (q) {
+    case 1:
+      return {T::kLineitem};
+    case 2:
+      return {T::kPart, T::kSupplier, T::kPartsupp, T::kNation, T::kRegion};
+    case 3:
+      return {T::kCustomer, T::kOrders, T::kLineitem};
+    case 4:
+      return {T::kOrders, T::kLineitem};
+    case 5:
+      return {T::kCustomer, T::kOrders, T::kLineitem, T::kSupplier,
+              T::kNation, T::kRegion};
+    case 6:
+      return {T::kLineitem};
+    case 7:
+      return {T::kSupplier, T::kLineitem, T::kOrders, T::kCustomer,
+              T::kNation};
+    case 8:
+      return {T::kPart,   T::kSupplier, T::kLineitem, T::kOrders,
+              T::kCustomer, T::kNation, T::kRegion};
+    case 9:
+      return {T::kPart, T::kSupplier, T::kLineitem, T::kPartsupp,
+              T::kOrders, T::kNation};
+    case 10:
+      return {T::kCustomer, T::kOrders, T::kLineitem, T::kNation};
+    case 11:
+      return {T::kPartsupp, T::kSupplier, T::kNation};
+    case 12:
+      return {T::kOrders, T::kLineitem};
+    case 13:
+      return {T::kCustomer, T::kOrders};
+    case 14:
+      return {T::kLineitem, T::kPart};
+    case 15:
+      return {T::kSupplier, T::kLineitem};
+    case 16:
+      return {T::kPartsupp, T::kPart, T::kSupplier};
+    case 17:
+      return {T::kLineitem, T::kPart};
+    case 18:
+      return {T::kCustomer, T::kOrders, T::kLineitem};
+    case 19:
+      return {T::kLineitem, T::kPart};
+    case 20:
+      return {T::kSupplier, T::kNation, T::kPartsupp, T::kPart,
+              T::kLineitem};
+    case 21:
+      return {T::kSupplier, T::kLineitem, T::kOrders, T::kNation};
+    case 22:
+      return {T::kCustomer, T::kOrders};
+    default:
+      return {};
+  }
+}
+
+}  // namespace elephant::tpch

@@ -1,0 +1,30 @@
+#ifndef ELEPHANT_TPCH_QUERIES_H_
+#define ELEPHANT_TPCH_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/table.h"
+#include "tpch/dbgen.h"
+
+namespace elephant::tpch {
+
+/// Number of queries in the benchmark.
+constexpr int kNumQueries = 22;
+
+/// Short description of a query ("Pricing Summary Report").
+const char* QueryName(int query_number);
+
+/// Executes TPC-H query `query_number` (1-based, 1..22) with the spec's
+/// validation parameters against an in-memory database, using the exec
+/// operator library. These reference implementations define the correct
+/// answers that the Hive-plan and PDW-plan models must agree with.
+exec::Table RunQuery(int query_number, const TpchDatabase& db);
+
+/// The base tables each query touches (used by the engine models to
+/// compute scan volumes, and by tests).
+std::vector<TableId> QueryInputTables(int query_number);
+
+}  // namespace elephant::tpch
+
+#endif  // ELEPHANT_TPCH_QUERIES_H_

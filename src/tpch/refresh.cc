@@ -1,0 +1,152 @@
+#include "tpch/refresh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "exec/table.h"
+
+namespace elephant::tpch {
+
+namespace {
+
+using exec::AsInt;
+using exec::Row;
+using exec::Value;
+
+int64_t OrdersPerStream(double sf) {
+  return std::max<int64_t>(1, static_cast<int64_t>(std::llround(1500 * sf)));
+}
+
+}  // namespace
+
+Result<RefreshResult> RefreshInsert(TpchDatabase* db, int stream) {
+  if (db == nullptr) return Status::InvalidArgument("null database");
+  const int64_t num_orders = OrdersPerStream(db->scale_factor);
+  const int64_t num_customers =
+      static_cast<int64_t>(db->customer.num_rows());
+  const int64_t num_parts = static_cast<int64_t>(db->part.num_rows());
+  const int64_t num_suppliers =
+      static_cast<int64_t>(db->supplier.num_rows());
+  if (num_customers == 0 || num_parts == 0 || num_suppliers == 0) {
+    return Status::FailedPrecondition("base tables are empty");
+  }
+
+  // New orderkeys start above every existing key.
+  int64_t max_key = 0;
+  int okey = db->orders.ColIndex("o_orderkey");
+  for (const Row& r : db->orders.rows()) {
+    max_key = std::max(max_key, AsInt(r[okey]));
+  }
+
+  Rng rng(0x5EF5E5 + 977 * stream);
+  RefreshResult result;
+  DateCode start = StartDate();
+  int range = EndDate() - 151 - start;
+  for (int64_t i = 0; i < num_orders; ++i) {
+    int64_t orderkey = max_key + 1 + i;
+    int64_t custkey;
+    do {
+      custkey = static_cast<int64_t>(rng.Uniform(num_customers)) + 1;
+    } while (custkey % 3 == 0);
+    DateCode orderdate = start + static_cast<DateCode>(rng.Uniform(range));
+    int lines = static_cast<int>(rng.Uniform(7)) + 1;
+    double total = 0;
+    for (int ln = 1; ln <= lines; ++ln) {
+      int64_t partkey = static_cast<int64_t>(rng.Uniform(num_parts)) + 1;
+      int64_t suppkey =
+          static_cast<int64_t>(rng.Uniform(num_suppliers)) + 1;
+      double qty = static_cast<double>(rng.Uniform(50) + 1);
+      double price = qty * 1000.0;
+      double disc = static_cast<double>(rng.Uniform(11)) / 100.0;
+      double tax = static_cast<double>(rng.Uniform(9)) / 100.0;
+      DateCode ship = orderdate + 1 + static_cast<DateCode>(rng.Uniform(121));
+      total += price * (1 + tax) * (1 - disc);
+      db->lineitem.AddRow(
+          {Value{orderkey}, Value{partkey}, Value{suppkey},
+           Value{int64_t{ln}}, Value{qty}, Value{price}, Value{disc},
+           Value{tax}, Value{std::string("N")}, Value{std::string("O")},
+           Value{int64_t{ship}}, Value{int64_t{ship + 30}},
+           Value{int64_t{ship + 10}},
+           Value{std::string("DELIVER IN PERSON")},
+           Value{std::string("TRUCK")}, Value{std::string("refresh")}});
+      result.lineitems_changed++;
+    }
+    db->orders.AddRow({Value{orderkey}, Value{custkey},
+                       Value{std::string("O")}, Value{total},
+                       Value{int64_t{orderdate}},
+                       Value{std::string("1-URGENT")},
+                       Value{StrFormat("Clerk#%09d", stream + 1)},
+                       Value{int64_t{0}}, Value{std::string("refresh")}});
+    result.orders_changed++;
+  }
+  return result;
+}
+
+Result<RefreshResult> RefreshDelete(TpchDatabase* db, int stream) {
+  if (db == nullptr) return Status::InvalidArgument("null database");
+  const int64_t num_orders = OrdersPerStream(db->scale_factor);
+  if (db->orders.num_rows() == 0) {
+    return Status::FailedPrecondition("orders table is empty");
+  }
+  // Delete the first SF*1500 orders at the stream's offset, in key order.
+  int okey = db->orders.ColIndex("o_orderkey");
+  std::vector<int64_t> keys;
+  keys.reserve(db->orders.num_rows());
+  for (const Row& r : db->orders.rows()) keys.push_back(AsInt(r[okey]));
+  std::sort(keys.begin(), keys.end());
+  size_t offset = static_cast<size_t>(stream) * num_orders;
+  if (offset >= keys.size()) {
+    return Status::OutOfRange("refresh stream past the orders table");
+  }
+  size_t end = std::min(keys.size(), offset + num_orders);
+  std::unordered_set<int64_t> victims(keys.begin() + offset,
+                                      keys.begin() + end);
+
+  RefreshResult result;
+  auto& orows = db->orders.mutable_rows();
+  size_t before = orows.size();
+  orows.erase(std::remove_if(orows.begin(), orows.end(),
+                             [&](const Row& r) {
+                               return victims.count(AsInt(r[okey])) > 0;
+                             }),
+              orows.end());
+  result.orders_changed = static_cast<int64_t>(before - orows.size());
+
+  int lkey = db->lineitem.ColIndex("l_orderkey");
+  auto& lrows = db->lineitem.mutable_rows();
+  before = lrows.size();
+  lrows.erase(std::remove_if(lrows.begin(), lrows.end(),
+                             [&](const Row& r) {
+                               return victims.count(AsInt(r[lkey])) > 0;
+                             }),
+              lrows.end());
+  result.lineitems_changed = static_cast<int64_t>(before - lrows.size());
+  return result;
+}
+
+RefreshCost EstimateRefreshCost(double sf, bool hive_supports_dml) {
+  RefreshCost cost;
+  // Volumes: SF*1500 orders + ~4x lineitems, ~600 B of text per order
+  // group.
+  double bytes = 1500.0 * sf * 600.0;
+  // PDW: parallel bulk insert/delete across 128 distributions, log +
+  // data writes, ~100 MB/s effective per node across 16 nodes.
+  cost.pdw_seconds = bytes / (16 * 100e6) + 2.0;
+  if (!hive_supports_dml) {
+    cost.hive_supported = false;
+    cost.hive_seconds = 0;
+    return cost;
+  }
+  // Hive 0.8 INSERT INTO appends new files (one MR job, ~30 s of
+  // overhead), but deletes rewrite the touched partitions: rewriting
+  // 1/1000 of orders+lineitem spread over 512 buckets effectively
+  // rewrites every bucket once.
+  double rewrite_bytes = (0.725 + 0.1605) * sf * 1e9 / 7.0;  // compressed
+  cost.hive_seconds = 30.0 + rewrite_bytes / (128 * 2e6);
+  return cost;
+}
+
+}  // namespace elephant::tpch

@@ -1,0 +1,51 @@
+#ifndef ELEPHANT_TPCH_REFRESH_H_
+#define ELEPHANT_TPCH_REFRESH_H_
+
+#include "common/result.h"
+#include "common/status.h"
+#include "tpch/dbgen.h"
+
+namespace elephant::tpch {
+
+/// The TPC-H refresh functions RF1 (insert new orders + lineitems) and
+/// RF2 (delete old orders + lineitems), which the paper could not run
+/// because Hive 0.7.1 "does not support deletes and inserts into
+/// existing tables or partitions" (§3.3.1; Hive 0.8 added INSERT INTO).
+/// Provided as the natural extension of the reproduction: they mutate
+/// the in-memory database the executor queries, so refresh-then-query
+/// behaviour is testable.
+///
+/// Per the spec, each refresh stream touches SF * 1500 orders (0.1% of
+/// the orders table).
+
+/// Result of one refresh function application.
+struct RefreshResult {
+  int64_t orders_changed = 0;
+  int64_t lineitems_changed = 0;
+};
+
+/// RF1: inserts SF*1500 new orders (with 1-7 lineitems each) drawn from
+/// a fresh orderkey range above the existing keys. `stream` seeds the
+/// generator so successive streams insert distinct data.
+Result<RefreshResult> RefreshInsert(TpchDatabase* db, int stream = 0);
+
+/// RF2: deletes the SF*1500 oldest *inserted-or-original* orders (by
+/// orderkey order starting from `stream`'s position) and their
+/// lineitems.
+Result<RefreshResult> RefreshDelete(TpchDatabase* db, int stream = 0);
+
+/// Simulated cost of a refresh pair on each DSS engine (per §3.3.1's
+/// discussion): PDW applies them as parallel bulk DML; Hive 0.8+
+/// rewrites whole partitions for RF2 and appends files for RF1. Returns
+/// seconds of simulated time per engine at a scale factor.
+struct RefreshCost {
+  double pdw_seconds = 0;
+  double hive_seconds = 0;
+  bool hive_supported = true;  ///< false for Hive <= 0.7 (the paper's)
+};
+RefreshCost EstimateRefreshCost(double scale_factor,
+                                bool hive_supports_dml);
+
+}  // namespace elephant::tpch
+
+#endif  // ELEPHANT_TPCH_REFRESH_H_

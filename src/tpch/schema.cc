@@ -1,0 +1,129 @@
+#include "tpch/schema.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace elephant::tpch {
+
+using exec::Column;
+using exec::ValueType;
+
+const char* TableName(TableId id) {
+  switch (id) {
+    case TableId::kRegion:
+      return "region";
+    case TableId::kNation:
+      return "nation";
+    case TableId::kSupplier:
+      return "supplier";
+    case TableId::kPart:
+      return "part";
+    case TableId::kPartsupp:
+      return "partsupp";
+    case TableId::kCustomer:
+      return "customer";
+    case TableId::kOrders:
+      return "orders";
+    case TableId::kLineitem:
+      return "lineitem";
+  }
+  return "?";
+}
+
+std::vector<Column> TableSchema(TableId id) {
+  const ValueType I = ValueType::kInt;
+  const ValueType D = ValueType::kDouble;
+  const ValueType S = ValueType::kString;
+  switch (id) {
+    case TableId::kRegion:
+      return {{"r_regionkey", I}, {"r_name", S}, {"r_comment", S}};
+    case TableId::kNation:
+      return {{"n_nationkey", I},
+              {"n_name", S},
+              {"n_regionkey", I},
+              {"n_comment", S}};
+    case TableId::kSupplier:
+      return {{"s_suppkey", I},   {"s_name", S},    {"s_address", S},
+              {"s_nationkey", I}, {"s_phone", S},   {"s_acctbal", D},
+              {"s_comment", S}};
+    case TableId::kPart:
+      return {{"p_partkey", I},   {"p_name", S},  {"p_mfgr", S},
+              {"p_brand", S},     {"p_type", S},  {"p_size", I},
+              {"p_container", S}, {"p_retailprice", D}, {"p_comment", S}};
+    case TableId::kPartsupp:
+      return {{"ps_partkey", I},
+              {"ps_suppkey", I},
+              {"ps_availqty", I},
+              {"ps_supplycost", D},
+              {"ps_comment", S}};
+    case TableId::kCustomer:
+      return {{"c_custkey", I}, {"c_name", S},       {"c_address", S},
+              {"c_nationkey", I}, {"c_phone", S},    {"c_acctbal", D},
+              {"c_mktsegment", S}, {"c_comment", S}};
+    case TableId::kOrders:
+      return {{"o_orderkey", I},      {"o_custkey", I},
+              {"o_orderstatus", S},   {"o_totalprice", D},
+              {"o_orderdate", I},     {"o_orderpriority", S},
+              {"o_clerk", S},         {"o_shippriority", I},
+              {"o_comment", S}};
+    case TableId::kLineitem:
+      return {{"l_orderkey", I},      {"l_partkey", I},
+              {"l_suppkey", I},       {"l_linenumber", I},
+              {"l_quantity", D},      {"l_extendedprice", D},
+              {"l_discount", D},      {"l_tax", D},
+              {"l_returnflag", S},    {"l_linestatus", S},
+              {"l_shipdate", I},      {"l_commitdate", I},
+              {"l_receiptdate", I},   {"l_shipinstruct", S},
+              {"l_shipmode", S},      {"l_comment", S}};
+  }
+  return {};
+}
+
+int64_t RowCountAtScale(TableId id, double sf) {
+  switch (id) {
+    case TableId::kRegion:
+      return 5;
+    case TableId::kNation:
+      return 25;
+    case TableId::kSupplier:
+      return static_cast<int64_t>(
+          std::llround(Constants::kSuppliersPerSf * sf));
+    case TableId::kPart:
+      return static_cast<int64_t>(std::llround(Constants::kPartsPerSf * sf));
+    case TableId::kPartsupp:
+      return RowCountAtScale(TableId::kPart, sf) * Constants::kPartsuppPerPart;
+    case TableId::kCustomer:
+      return static_cast<int64_t>(
+          std::llround(Constants::kCustomersPerSf * sf));
+    case TableId::kOrders:
+      return static_cast<int64_t>(std::llround(Constants::kOrdersPerSf * sf));
+    case TableId::kLineitem:
+      return RowCountAtScale(TableId::kOrders, sf) * 4;  // avg 4 per order
+  }
+  return 0;
+}
+
+int64_t AvgRowBytes(TableId id) {
+  // Flat-file byte widths from the TPC-H spec's storage estimates.
+  switch (id) {
+    case TableId::kRegion:
+      return 80;
+    case TableId::kNation:
+      return 90;
+    case TableId::kSupplier:
+      return 140;
+    case TableId::kPart:
+      return 115;
+    case TableId::kPartsupp:
+      return 144;
+    case TableId::kCustomer:
+      return 165;
+    case TableId::kOrders:
+      return 107;
+    case TableId::kLineitem:
+      return 121;
+  }
+  return 0;
+}
+
+}  // namespace elephant::tpch

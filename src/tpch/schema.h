@@ -1,0 +1,64 @@
+#ifndef ELEPHANT_TPCH_SCHEMA_H_
+#define ELEPHANT_TPCH_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/table.h"
+
+namespace elephant::tpch {
+
+/// The eight TPC-H base tables.
+enum class TableId {
+  kRegion,
+  kNation,
+  kSupplier,
+  kPart,
+  kPartsupp,
+  kCustomer,
+  kOrders,
+  kLineitem,
+};
+
+constexpr int kNumTables = 8;
+
+/// Lowercase table name ("lineitem").
+const char* TableName(TableId id);
+
+/// Schema (column names/types) for a base table.
+std::vector<exec::Column> TableSchema(TableId id);
+
+/// Spec row count at a given scale factor. Lineitem is approximate
+/// (average 4 lineitems/order; exact count is data-dependent).
+int64_t RowCountAtScale(TableId id, double scale_factor);
+
+/// Average row width in bytes of the flat-text representation (used by
+/// the storage and load-time models; values follow the TPC-H spec's
+/// table sizes: e.g. SF 1 = ~1 GB total, lineitem ~725 MB).
+int64_t AvgRowBytes(TableId id);
+
+/// TPC-H dbgen constants (per spec clause 4.2.3).
+struct Constants {
+  static constexpr int64_t kSuppliersPerSf = 10000;
+  static constexpr int64_t kPartsPerSf = 200000;
+  static constexpr int64_t kCustomersPerSf = 150000;
+  static constexpr int64_t kOrdersPerSf = 1500000;
+  static constexpr int kPartsuppPerPart = 4;
+  static constexpr int kMaxLineitemsPerOrder = 7;
+  /// Orderkeys are sparse: only the first 8 of every 32 key values are
+  /// populated (the root cause of Hive's 384 empty bucket files in §3.3.4).
+  static constexpr int kOrderkeyUsedPerGroup = 8;
+  static constexpr int kOrderkeyGroupSize = 32;
+};
+
+/// dbgen's sparse orderkey mapping: dense index (0-based) -> orderkey.
+inline int64_t SparseOrderkey(int64_t dense_index) {
+  return dense_index / Constants::kOrderkeyUsedPerGroup *
+             Constants::kOrderkeyGroupSize +
+         dense_index % Constants::kOrderkeyUsedPerGroup + 1;
+}
+
+}  // namespace elephant::tpch
+
+#endif  // ELEPHANT_TPCH_SCHEMA_H_

@@ -1,0 +1,361 @@
+#include "ycsb/systems.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace elephant::ycsb {
+
+namespace {
+/// Response wire time back to the client (the request fits in the RTT
+/// allowance; bulky scan responses pay for their bytes).
+SimTime ResponseTransferTime(int64_t bytes) {
+  return SecondsToSimTime(static_cast<double>(bytes) * 8.0 / 1e9);
+}
+}  // namespace
+
+OltpTestbed::OltpTestbed(const cluster::NodeConfig& node_config)
+    : cluster(&sim, kServerNodes + kClientNodes, node_config) {}
+
+// ---------------------------------------------------------------- SQL-CS
+
+SqlCsSystem::SqlCsSystem(OltpTestbed* testbed,
+                         const sqlkv::SqlEngineOptions& options)
+    : testbed_(testbed) {
+  for (int i = 0; i < OltpTestbed::kServerNodes; ++i) {
+    engines_.push_back(std::make_unique<sqlkv::SqlEngine>(
+        &testbed->sim, &testbed->server(i), options));
+  }
+}
+
+int SqlCsSystem::ShardOf(uint64_t key) const {
+  return static_cast<int>(Fnv1a64(key) % engines_.size());
+}
+
+Status SqlCsSystem::LoadDataset(int64_t record_count, int32_t record_bytes) {
+  for (int64_t key = 0; key < record_count; ++key) {
+    ELEPHANT_RETURN_NOT_OK(
+        engines_[ShardOf(key)]->LoadRecord(key, record_bytes));
+  }
+  return Status::OK();
+}
+
+void SqlCsSystem::Start() {
+  for (auto& e : engines_) e->Start();
+}
+
+void SqlCsSystem::Stop() {
+  for (auto& e : engines_) e->Stop();
+}
+
+void SqlCsSystem::TouchKey(uint64_t key) {
+  sqlkv::SqlEngine* engine = engines_[ShardOf(key)].get();
+  auto lookup = engine->btree().Get(key);
+  if (lookup.ok()) {
+    engine->pool().Touch(lookup.value().page_id, /*mark_dirty=*/false);
+  }
+}
+
+sim::Task SqlCsSystem::Execute(const Op& op, sqlkv::OpOutcome* out,
+                               sim::Latch* done) {
+  sim::Simulation* sim = &testbed_->sim;
+  co_await sim->Delay(rtt_ / 2);
+  if (op.type == OpType::kScan) {
+    // Hash partitioning: every shard may hold records in the range, so
+    // all of them are queried and the results merged (§3.4.3, WL E).
+    int shards = num_shards();
+    std::vector<sqlkv::OpOutcome> partial(shards);
+    sim::Latch all(sim, shards);
+    int per_shard = op.scan_len / shards + 1;
+    for (int s = 0; s < shards; ++s) {
+      engines_[s]->Scan(op.key, per_shard, &partial[s], &all);
+    }
+    co_await all.Wait();
+    out->ok = true;
+    for (const auto& p : partial) out->records += p.records;
+    out->records = std::min<int64_t>(out->records, op.scan_len);
+  } else {
+    sim::Latch one(sim, 1);
+    sqlkv::SqlEngine* engine = engines_[ShardOf(op.key)].get();
+    switch (op.type) {
+      case OpType::kRead:
+        engine->Read(op.key, out, &one);
+        break;
+      case OpType::kUpdate:
+        engine->Update(op.key, op.field_bytes, out, &one);
+        break;
+      case OpType::kInsert:
+        // §3.4.2: no bulk API — every insert is its own transaction
+        // (BEGIN / INSERT / COMMIT round trips), the reason SQL-CS
+        // loads slowest.
+        co_await sim->Delay(2 * rtt_);
+        engine->Insert(op.key, op.record_bytes, out, &one);
+        break;
+      case OpType::kScan:
+        break;
+    }
+    co_await one.Wait();
+  }
+  int64_t response = op.type == OpType::kScan
+                         ? out->records * op.field_bytes
+                         : op.record_bytes;
+  co_await sim->Delay(rtt_ / 2 + ResponseTransferTime(response));
+  done->CountDown();
+}
+
+// --------------------------------------------------------------- Mongo-CS
+
+MongoCsSystem::MongoCsSystem(OltpTestbed* testbed,
+                             const docstore::MongodOptions& options,
+                             int mongods_per_node,
+                             int64_t node_cache_bytes)
+    : testbed_(testbed) {
+  if (node_cache_bytes == 0) {
+    node_cache_bytes = options.memory_bytes * mongods_per_node;
+  }
+  for (int node = 0; node < OltpTestbed::kServerNodes; ++node) {
+    // One OS page cache per node, shared by its mongods (mmap storage).
+    node_caches_.push_back(std::make_unique<sqlkv::BufferPool>(
+        node_cache_bytes, options.cache_page_bytes));
+    for (int p = 0; p < mongods_per_node; ++p) {
+      mongods_.push_back(std::make_unique<docstore::Mongod>(
+          &testbed->sim, &testbed->server(node), options,
+          StrFormat("mongod.%d.%d", node, p), node_caches_.back().get(),
+          static_cast<uint64_t>(mongods_.size() + 1)));
+    }
+  }
+}
+
+int MongoCsSystem::ShardOf(uint64_t key) const {
+  return static_cast<int>(Fnv1a64(key) % mongods_.size());
+}
+
+Status MongoCsSystem::LoadDataset(int64_t record_count,
+                                  int32_t record_bytes) {
+  for (int64_t key = 0; key < record_count; ++key) {
+    ELEPHANT_RETURN_NOT_OK(
+        mongods_[ShardOf(key)]->LoadDocument(key, record_bytes));
+  }
+  return Status::OK();
+}
+
+void MongoCsSystem::Start() {
+  for (auto& m : mongods_) m->Start();
+}
+
+void MongoCsSystem::Stop() {
+  for (auto& m : mongods_) m->Stop();
+}
+
+bool MongoCsSystem::Crashed() const {
+  for (const auto& m : mongods_) {
+    if (m->crashed()) return true;
+  }
+  return false;
+}
+
+void MongoCsSystem::TouchKey(uint64_t key) {
+  docstore::Mongod* m = mongods_[ShardOf(key)].get();
+  auto lookup = m->collection().Get(key);
+  if (lookup.ok()) m->TouchPage(lookup.value().page_id);
+}
+
+sim::Task MongoCsSystem::Execute(const Op& op, sqlkv::OpOutcome* out,
+                                 sim::Latch* done) {
+  sim::Simulation* sim = &testbed_->sim;
+  co_await sim->Delay(rtt_ / 2);
+  if (op.type == OpType::kScan) {
+    int shards = num_shards();
+    std::vector<sqlkv::OpOutcome> partial(shards);
+    sim::Latch all(sim, shards);
+    int per_shard = op.scan_len / shards + 1;
+    for (int s = 0; s < shards; ++s) {
+      mongods_[s]->Scan(op.key, per_shard, &partial[s], &all);
+    }
+    co_await all.Wait();
+    out->ok = true;
+    for (const auto& p : partial) out->records += p.records;
+    out->records = std::min<int64_t>(out->records, op.scan_len);
+  } else {
+    sim::Latch one(sim, 1);
+    docstore::Mongod* m = mongods_[ShardOf(op.key)].get();
+    switch (op.type) {
+      case OpType::kRead:
+        m->Read(op.key, out, &one);
+        break;
+      case OpType::kUpdate:
+        m->Update(op.key, op.field_bytes, out, &one);
+        break;
+      case OpType::kInsert:
+        m->Insert(op.key, op.record_bytes, out, &one);
+        break;
+      case OpType::kScan:
+        break;
+    }
+    co_await one.Wait();
+  }
+  int64_t response = op.type == OpType::kScan
+                         ? out->records * op.field_bytes
+                         : op.record_bytes;
+  co_await sim->Delay(rtt_ / 2 + ResponseTransferTime(response));
+  done->CountDown();
+}
+
+// --------------------------------------------------------------- Mongo-AS
+
+MongoAsSystem::MongoAsSystem(OltpTestbed* testbed, const Options& options)
+    : testbed_(testbed), options_(options) {
+  int shards = OltpTestbed::kServerNodes * options.mongods_per_node;
+  config_ = std::make_unique<docstore::ConfigServer>(shards,
+                                                     options.config);
+  int64_t cache = options.node_cache_bytes != 0
+                      ? options.node_cache_bytes
+                      : options.mongod.memory_bytes *
+                            options.mongods_per_node;
+  for (int node = 0; node < OltpTestbed::kServerNodes; ++node) {
+    node_caches_.push_back(std::make_unique<sqlkv::BufferPool>(
+        cache, options.mongod.cache_page_bytes));
+    for (int p = 0; p < options.mongods_per_node; ++p) {
+      mongods_.push_back(std::make_unique<docstore::Mongod>(
+          &testbed->sim, &testbed->server(node), options.mongod,
+          StrFormat("mongod-as.%d.%d", node, p), node_caches_.back().get(),
+          static_cast<uint64_t>(mongods_.size() + 1)));
+    }
+  }
+}
+
+Status MongoAsSystem::LoadDataset(int64_t record_count,
+                                  int32_t record_bytes) {
+  expected_records_ = record_count;
+  if (options_.presplit_chunks) {
+    // §3.4.2: boundaries of the initially empty chunks are defined
+    // manually and spread across the 128 shards before loading.
+    // Chunk boundaries cover exactly the known load range (the paper
+    // pre-splits for the keys "to be inserted" during the load);
+    // benchmark-time appends beyond it all land in the last chunk.
+    int chunks = std::max<int>(
+        num_shards() * 4,
+        static_cast<int>(record_count * record_bytes /
+                         options_.config.max_chunk_bytes) *
+                2 +
+            1);
+    config_->PreSplit(record_count, chunks);
+  }
+  for (int64_t key = 0; key < record_count; ++key) {
+    int shard = config_->Route(key);
+    ELEPHANT_RETURN_NOT_OK(mongods_[shard]->LoadDocument(key, record_bytes));
+    config_->NoteInsert(key, record_bytes);
+  }
+  return Status::OK();
+}
+
+void MongoAsSystem::Start() {
+  for (auto& m : mongods_) m->Start();
+}
+
+void MongoAsSystem::Stop() {
+  for (auto& m : mongods_) m->Stop();
+}
+
+bool MongoAsSystem::Crashed() const {
+  for (const auto& m : mongods_) {
+    if (m->crashed()) return true;
+  }
+  return false;
+}
+
+double MongoAsSystem::MeanWriteLockFraction() const {
+  double sum = 0;
+  for (const auto& m : mongods_) sum += m->WriteLockFraction();
+  return sum / mongods_.size();
+}
+
+void MongoAsSystem::TouchKey(uint64_t key) {
+  docstore::Mongod* m = mongods_[config_->Route(key)].get();
+  auto lookup = m->collection().Get(key);
+  if (lookup.ok()) m->TouchPage(lookup.value().page_id);
+}
+
+sim::Task MongoAsSystem::Execute(const Op& op, sqlkv::OpOutcome* out,
+                                 sim::Latch* done) {
+  sim::Simulation* sim = &testbed_->sim;
+  co_await sim->Delay(rtt_ / 2);
+  // mongos hop: routing CPU on the server node hosting the router.
+  int router_node = static_cast<int>(op.key % OltpTestbed::kServerNodes);
+  co_await testbed_->server(router_node)
+      .cpu()
+      .Acquire(options_.mongos_cpu);
+
+  if (op.type == OpType::kScan) {
+    // Range partitioning: only the chunks covering the range are hit —
+    // typically one (the Mongo-AS advantage on workload E).
+    std::vector<int> shards =
+        config_->RouteRange(op.key, op.key + op.scan_len + 1);
+    std::vector<sqlkv::OpOutcome> partial(shards.size());
+    sim::Latch all(sim, static_cast<int64_t>(shards.size()));
+    for (size_t i = 0; i < shards.size(); ++i) {
+      mongods_[shards[i]]->Scan(op.key, op.scan_len, &partial[i], &all);
+    }
+    co_await all.Wait();
+    out->ok = true;
+    for (const auto& p : partial) out->records += p.records;
+    out->records = std::min<int64_t>(out->records, op.scan_len);
+  } else {
+    sim::Latch one(sim, 1);
+    int shard = config_->Route(op.key);
+    docstore::Mongod* m = mongods_[shard].get();
+    switch (op.type) {
+      case OpType::kRead:
+        m->Read(op.key, out, &one);
+        break;
+      case OpType::kUpdate:
+        m->Update(op.key, op.field_bytes, out, &one);
+        break;
+      case OpType::kInsert:
+        co_await sim->Delay(options_.insert_metadata_overhead);
+        m->Insert(op.key, op.record_bytes, out, &one);
+        if (config_->NoteInsert(op.key, op.record_bytes) &&
+            options_.split_stall > 0) {
+          m->StallExclusive(options_.split_stall);
+        }
+        break;
+      case OpType::kScan:
+        break;
+    }
+    co_await one.Wait();
+  }
+  int64_t response = op.type == OpType::kScan
+                         ? out->records * op.field_bytes
+                         : op.record_bytes;
+  co_await sim->Delay(rtt_ / 2 + ResponseTransferTime(response));
+  done->CountDown();
+}
+
+sim::Task MongoAsSystem::RunBalancerOnce(sim::Latch* done) {
+  auto migrations = config_->BalanceOnce();
+  for (const auto& m : migrations) {
+    // Move the chunk's documents: read them off the source, stream over
+    // the network, insert into the destination.
+    docstore::Mongod* src = mongods_[m.from].get();
+    docstore::Mongod* dst = mongods_[m.to].get();
+    std::vector<std::pair<uint64_t, int32_t>> moved;
+    src->collection().Scan(
+        m.chunk.min_key, static_cast<int>(src->collection().size()),
+        [&](uint64_t key, const sqlkv::Record& rec, uint64_t) {
+          if (key < m.chunk.max_key) moved.emplace_back(key, rec.bytes());
+        });
+    int64_t bytes = 0;
+    for (auto& [key, size] : moved) {
+      // Collection mutation is metadata-speed; the cost is the wire.
+      (void)const_cast<sqlkv::BTree&>(src->collection()).Remove(key);
+      (void)dst->LoadDocument(key, size);
+      bytes += size;
+    }
+    co_await testbed_->sim.Delay(
+        ResponseTransferTime(bytes) + 10 * kMillisecond);
+  }
+  done->CountDown();
+}
+
+}  // namespace elephant::ycsb

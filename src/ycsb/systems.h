@@ -1,0 +1,181 @@
+#ifndef ELEPHANT_YCSB_SYSTEMS_H_
+#define ELEPHANT_YCSB_SYSTEMS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "docstore/mongod.h"
+#include "docstore/sharding.h"
+#include "sim/simulation.h"
+#include "sqlkv/engine.h"
+#include "ycsb/workload.h"
+
+namespace elephant::ycsb {
+
+/// One benchmark request as routed to a data-serving system.
+struct Op {
+  OpType type = OpType::kRead;
+  uint64_t key = 0;
+  int scan_len = 0;
+  int32_t record_bytes = 1024;
+  int32_t field_bytes = 100;
+};
+
+/// Abstract data-serving system under test (the paper's SQL-CS,
+/// Mongo-CS and Mongo-AS). Execution happens in simulated time;
+/// `done` fires when the response reaches the client.
+class DataServingSystem {
+ public:
+  virtual ~DataServingSystem() = default;
+
+  /// Bulk-loads the initial dataset without consuming simulated time.
+  virtual Status LoadDataset(int64_t record_count, int32_t record_bytes) = 0;
+
+  /// Starts background machinery (checkpointers, flushers).
+  virtual void Start() = 0;
+  virtual void Stop() = 0;
+
+  virtual sim::Task Execute(const Op& op, sqlkv::OpOutcome* out,
+                            sim::Latch* done) = 0;
+
+  /// Statistical warm start: touches the cache page holding `key`
+  /// without consuming simulated time. The driver samples the request
+  /// distribution to reconstruct the steady-state resident set the
+  /// paper reaches minutes into each 30-minute run.
+  virtual void TouchKey(uint64_t key) = 0;
+
+  /// True once the system has stopped answering (Mongo-AS on WL D).
+  virtual bool Crashed() const { return false; }
+
+  virtual std::string name() const = 0;
+};
+
+/// Shared wiring: 8 server nodes + 8 client nodes behind one switch.
+struct OltpTestbed {
+  static constexpr int kServerNodes = 8;
+  static constexpr int kClientNodes = 8;
+
+  explicit OltpTestbed(const cluster::NodeConfig& node_config = {});
+
+  sim::Simulation sim;
+  cluster::Cluster cluster;  ///< nodes 0..7 servers, 8..15 clients
+
+  cluster::Node& server(int i) { return cluster.node(i); }
+  cluster::Node& client(int i) { return cluster.node(kServerNodes + i); }
+};
+
+/// Client-side sharded SQL Server: one engine per server node, home
+/// node chosen by hashing the key in the client library (§2.4).
+class SqlCsSystem : public DataServingSystem {
+ public:
+  SqlCsSystem(OltpTestbed* testbed, const sqlkv::SqlEngineOptions& options);
+
+  Status LoadDataset(int64_t record_count, int32_t record_bytes) override;
+  void Start() override;
+  void Stop() override;
+  sim::Task Execute(const Op& op, sqlkv::OpOutcome* out,
+                    sim::Latch* done) override;
+  void TouchKey(uint64_t key) override;
+  std::string name() const override { return "SQL-CS"; }
+
+  sqlkv::SqlEngine& engine(int i) { return *engines_[i]; }
+  int num_shards() const { return static_cast<int>(engines_.size()); }
+  int ShardOf(uint64_t key) const;
+
+ private:
+  OltpTestbed* testbed_;
+  std::vector<std::unique_ptr<sqlkv::SqlEngine>> engines_;
+  SimTime rtt_ = 300;  // client<->server network round trip, microseconds
+};
+
+/// Client-side sharded MongoDB: 16 mongod processes per server node
+/// (128 shards), no mongos/config/balancer, hash routing in the client.
+class MongoCsSystem : public DataServingSystem {
+ public:
+  /// `node_cache_bytes` sizes the per-node OS page cache shared by the
+  /// node's mongods (mmap storage); 0 = 16x options.memory_bytes.
+  MongoCsSystem(OltpTestbed* testbed, const docstore::MongodOptions& options,
+                int mongods_per_node = 16, int64_t node_cache_bytes = 0);
+
+  Status LoadDataset(int64_t record_count, int32_t record_bytes) override;
+  void Start() override;
+  void Stop() override;
+  sim::Task Execute(const Op& op, sqlkv::OpOutcome* out,
+                    sim::Latch* done) override;
+  void TouchKey(uint64_t key) override;
+  bool Crashed() const override;
+  std::string name() const override { return "Mongo-CS"; }
+
+  docstore::Mongod& mongod(int i) { return *mongods_[i]; }
+  int num_shards() const { return static_cast<int>(mongods_.size()); }
+  int ShardOf(uint64_t key) const;
+
+ private:
+  OltpTestbed* testbed_;
+  std::vector<std::unique_ptr<sqlkv::BufferPool>> node_caches_;
+  std::vector<std::unique_ptr<docstore::Mongod>> mongods_;
+  SimTime rtt_ = 300;
+};
+
+/// Auto-sharded MongoDB: range-partitioned chunks via a config server,
+/// mongos routers (one per server node), splitter, and balancer. The
+/// paper pre-splits chunks before loading (§3.4.2).
+class MongoAsSystem : public DataServingSystem {
+ public:
+  struct Options {
+    docstore::MongodOptions mongod;
+    docstore::ConfigServer::Options config;
+    int mongods_per_node = 16;
+    int64_t node_cache_bytes = 0;  ///< shared OS page cache per node
+    bool presplit_chunks = true;  ///< the paper's load optimization
+    SimTime mongos_cpu = 40;      ///< routing cost per request
+    /// Extra per-insert cost unique to auto-sharding: the chunk-version
+    /// check against the config server and the safe-mode getLastError
+    /// round trip through mongos (why Mongo-AS loads ~2.5x slower than
+    /// Mongo-CS in §3.4.2).
+    SimTime insert_metadata_overhead = 700;
+    /// Exclusive-lock stall on the shard when one of its chunks splits
+    /// (median scan + config update + moveChunk preparation). Appends
+    /// land on the ever-growing last chunk, so they both cause and
+    /// suffer these stalls (§3.4.3, workload E's 1832 ms appends).
+    SimTime split_stall = 30 * kMillisecond;
+  };
+
+  MongoAsSystem(OltpTestbed* testbed, const Options& options);
+
+  Status LoadDataset(int64_t record_count, int32_t record_bytes) override;
+  void Start() override;
+  void Stop() override;
+  sim::Task Execute(const Op& op, sqlkv::OpOutcome* out,
+                    sim::Latch* done) override;
+  void TouchKey(uint64_t key) override;
+  bool Crashed() const override;
+  std::string name() const override { return "Mongo-AS"; }
+
+  docstore::ConfigServer& config() { return *config_; }
+  docstore::Mongod& mongod(int i) { return *mongods_[i]; }
+  int num_shards() const { return static_cast<int>(mongods_.size()); }
+
+  /// One balancer round: migrates a chunk's documents between shards
+  /// and charges the transfer (used when presplit_chunks is false).
+  sim::Task RunBalancerOnce(sim::Latch* done);
+
+  /// Mean write-lock fraction across mongods (the paper's mongostat
+  /// observation).
+  double MeanWriteLockFraction() const;
+
+ private:
+  OltpTestbed* testbed_;
+  Options options_;
+  std::unique_ptr<docstore::ConfigServer> config_;
+  std::vector<std::unique_ptr<sqlkv::BufferPool>> node_caches_;
+  std::vector<std::unique_ptr<docstore::Mongod>> mongods_;
+  int64_t expected_records_ = 0;
+  SimTime rtt_ = 300;
+};
+
+}  // namespace elephant::ycsb
+
+#endif  // ELEPHANT_YCSB_SYSTEMS_H_

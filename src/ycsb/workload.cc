@@ -1,0 +1,97 @@
+#include "ycsb/workload.h"
+
+#include <cassert>
+
+namespace elephant::ycsb {
+
+const char* OpTypeName(OpType type) {
+  switch (type) {
+    case OpType::kRead:
+      return "read";
+    case OpType::kUpdate:
+      return "update";
+    case OpType::kInsert:
+      return "append";
+    case OpType::kScan:
+      return "scan";
+  }
+  return "?";
+}
+
+WorkloadSpec WorkloadSpec::A() {
+  WorkloadSpec w;
+  w.name = "A";
+  w.description = "Update heavy";
+  w.read = 0.5;
+  w.update = 0.5;
+  w.distribution = Distribution::kZipfian;
+  return w;
+}
+
+WorkloadSpec WorkloadSpec::B() {
+  WorkloadSpec w;
+  w.name = "B";
+  w.description = "Read heavy";
+  w.read = 0.95;
+  w.update = 0.05;
+  w.distribution = Distribution::kZipfian;
+  return w;
+}
+
+WorkloadSpec WorkloadSpec::C() {
+  WorkloadSpec w;
+  w.name = "C";
+  w.description = "Read only";
+  w.read = 1.0;
+  w.distribution = Distribution::kZipfian;
+  return w;
+}
+
+WorkloadSpec WorkloadSpec::D() {
+  WorkloadSpec w;
+  w.name = "D";
+  w.description = "Read latest";
+  w.read = 0.95;
+  w.insert = 0.05;
+  w.distribution = Distribution::kLatest;
+  return w;
+}
+
+WorkloadSpec WorkloadSpec::E() {
+  WorkloadSpec w;
+  w.name = "E";
+  w.description = "Short ranges";
+  w.scan = 0.95;
+  w.insert = 0.05;
+  w.distribution = Distribution::kZipfian;
+  // The paper caps scans at 1000 records over 640 M keys; scaled to the
+  // model's default keyspace so a scan covers a comparable fraction of
+  // the dataset (and of the cache).
+  w.max_scan_len = 100;
+  return w;
+}
+
+WorkloadSpec WorkloadSpec::ByName(char name) {
+  switch (name) {
+    case 'A':
+    case 'a':
+      return A();
+    case 'B':
+    case 'b':
+      return B();
+    case 'C':
+    case 'c':
+      return C();
+    case 'D':
+    case 'd':
+      return D();
+    case 'E':
+    case 'e':
+      return E();
+    default:
+      assert(false && "unknown workload");
+      return C();
+  }
+}
+
+}  // namespace elephant::ycsb

@@ -1,0 +1,38 @@
+#ifndef ELEPHANT_YCSB_WORKLOAD_H_
+#define ELEPHANT_YCSB_WORKLOAD_H_
+
+#include <string>
+
+namespace elephant::ycsb {
+
+/// Operation types issued by the benchmark.
+enum class OpType { kRead, kUpdate, kInsert, kScan };
+
+const char* OpTypeName(OpType type);
+
+/// Request-distribution families from the YCSB paper.
+enum class Distribution { kUniform, kZipfian, kLatest };
+
+/// One YCSB core workload (the paper's Table 6).
+struct WorkloadSpec {
+  std::string name;
+  std::string description;
+  double read = 0;
+  double update = 0;
+  double insert = 0;  ///< "append" in the paper: key = last + 1
+  double scan = 0;
+  Distribution distribution = Distribution::kZipfian;
+  int max_scan_len = 1000;  ///< §3.4.1: scans read at most 1000 records
+
+  /// Table 6 rows.
+  static WorkloadSpec A();  ///< update heavy: 50/50 read/update
+  static WorkloadSpec B();  ///< read heavy: 95/5 read/update
+  static WorkloadSpec C();  ///< read only
+  static WorkloadSpec D();  ///< read latest: 95/5 read/append
+  static WorkloadSpec E();  ///< short ranges: 95/5 scan/append
+  static WorkloadSpec ByName(char name);
+};
+
+}  // namespace elephant::ycsb
+
+#endif  // ELEPHANT_YCSB_WORKLOAD_H_

@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/distributions.h"
+#include "common/histogram.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/units.h"
+
+namespace elephant {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("key 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: key 42");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kTimedOut); ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status { return Status::IOError("disk"); };
+  auto wrapper = [&]() -> Status {
+    ELEPHANT_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kIOError);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.2);
+}
+
+// The paper (§3.3.1): "the values generated for the partkey and custkey
+// fields in the mk_order function are negative numbers ... the RANDOM
+// function overflows at the 16TB scale."
+TEST(TpchRandomTest, Random32OverflowsAt16TbScale) {
+  TpchRandom r(42);
+  // partkey range at SF=16000: [1, 200000*16000] = [1, 3.2e9] > INT32_MAX.
+  bool saw_negative = false;
+  for (int i = 0; i < 100; ++i) {
+    if (r.Random32(1, 200000LL * 16000) < 0) saw_negative = true;
+  }
+  EXPECT_TRUE(saw_negative);
+}
+
+TEST(TpchRandomTest, Random32FineAt4TbScale) {
+  TpchRandom r(42);
+  // At SF=4000 the range is 8e8 < INT32_MAX: no overflow.
+  for (int i = 0; i < 1000; ++i) {
+    int32_t v = r.Random32(1, 200000LL * 4000);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 200000LL * 4000);
+  }
+}
+
+// The paper's fix: RANDOM64 never produces negatives for TPC-H ranges.
+TEST(TpchRandomTest, Random64FixNeverNegative) {
+  TpchRandom r(42);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = r.Random64(1, 200000LL * 16000);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 200000LL * 16000);
+  }
+}
+
+TEST(TpchRandomTest, AdvanceMatchesStepwise) {
+  TpchRandom a(99), b(99);
+  for (int i = 0; i < 577; ++i) a.Random64(0, 1000);
+  // Each Random64 consumes one draw of the 48-bit stream.
+  b.Advance(577);
+  EXPECT_EQ(a.seed(), b.seed());
+}
+
+TEST(FnvTest, StableAndSpread) {
+  EXPECT_EQ(Fnv1a64(uint64_t{1}), Fnv1a64(uint64_t{1}));
+  EXPECT_NE(Fnv1a64(uint64_t{1}), Fnv1a64(uint64_t{2}));
+  // Hash-sharding 1M keys over 128 shards should be near-even (+-5%).
+  std::vector<int> counts(128, 0);
+  for (uint64_t k = 0; k < 1000000; ++k) counts[Fnv1a64(k) % 128]++;
+  for (int c : counts) {
+    EXPECT_GT(c, 1000000 / 128 * 0.95);
+    EXPECT_LT(c, 1000000 / 128 * 1.05);
+  }
+}
+
+TEST(ZipfianTest, RangeAndSkew) {
+  ZipfianGenerator gen(1000);
+  Rng rng(3);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t v = gen.Next(&rng);
+    ASSERT_LT(v, 1000u);
+    counts[v]++;
+  }
+  // Item 0 must be by far the most popular; theoretical P(0) ~ 1/zeta(n).
+  EXPECT_GT(counts[0], counts[100] * 5);
+  EXPECT_GT(counts[0], 100000 / 1000);  // far above uniform share
+}
+
+TEST(ZipfianTest, GrowsIncrementally) {
+  ZipfianGenerator gen(100);
+  Rng rng(4);
+  gen.SetLastValue(199);  // now 200 items
+  bool saw_above_100 = false;
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t v = gen.Next(&rng);
+    ASSERT_LT(v, 200u);
+    if (v >= 100) saw_above_100 = true;
+  }
+  EXPECT_TRUE(saw_above_100);
+}
+
+TEST(ScrambledZipfianTest, SpreadsHotKeys) {
+  ScrambledZipfianGenerator gen(10000);
+  Rng rng(5);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) counts[gen.Next(&rng)]++;
+  // Find the two hottest keys: they should NOT be adjacent (scrambling).
+  uint64_t hot1 = 0, hot2 = 0;
+  int c1 = 0, c2 = 0;
+  for (auto& [k, c] : counts) {
+    if (c > c1) {
+      hot2 = hot1;
+      c2 = c1;
+      hot1 = k;
+      c1 = c;
+    } else if (c > c2) {
+      hot2 = k;
+      c2 = c;
+    }
+  }
+  EXPECT_GT(c1, 1000);  // still skewed
+  EXPECT_GT(std::llabs(static_cast<long long>(hot1) -
+                       static_cast<long long>(hot2)),
+            1);  // but scattered
+}
+
+TEST(LatestTest, FavorsRecentKeys) {
+  LatestGenerator gen(10000);
+  Rng rng(6);
+  int in_top_100 = 0;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = gen.Next(&rng);
+    ASSERT_LT(v, 10000u);
+    if (v >= 9900) in_top_100++;
+  }
+  // The newest 1% of keys should draw far more than 1% of requests.
+  EXPECT_GT(in_top_100, 2000);
+}
+
+TEST(LatestTest, TracksInserts) {
+  LatestGenerator gen(100);
+  Rng rng(7);
+  gen.SetLastValue(100);  // one append
+  bool saw_new_key = false;
+  for (int i = 0; i < 1000; ++i) {
+    if (gen.Next(&rng) == 100) saw_new_key = true;
+  }
+  EXPECT_TRUE(saw_new_key);
+}
+
+TEST(DiscreteTest, RespectsWeights) {
+  DiscreteGenerator gen;
+  gen.Add(0, 0.95);
+  gen.Add(1, 0.05);
+  Rng rng(8);
+  int ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.Next(&rng) == 1) ones++;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.05, 0.01);
+  EXPECT_DOUBLE_EQ(gen.WeightOf(1), 0.05);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_NEAR(h.Mean(), 50.5, 0.01);
+  EXPECT_NEAR(h.Percentile(50), 50, 3);
+  EXPECT_NEAR(h.Percentile(99), 99, 5);
+}
+
+TEST(HistogramTest, LargeValuesBucketed) {
+  Histogram h;
+  h.Record(1000000);  // 1 second in micros
+  h.Record(2000000);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.max(), 2000000);
+  // Percentile precision within bucket width (12.5%).
+  EXPECT_NEAR(h.Percentile(40), 1000000, 130000);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Record(10);
+  b.Record(20);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 20);
+}
+
+TEST(WindowedSeriesTest, PaperMeasurementProtocol) {
+  // 30-minute run measured every 10s = 180 windows; report mean and std
+  // error over the last 10 minutes = 60 windows.
+  WindowedSeries s;
+  for (int i = 0; i < 120; ++i) s.AddWindow(1000.0);  // warmup plateau
+  for (int i = 0; i < 60; ++i) s.AddWindow(2000.0);   // steady state
+  EXPECT_DOUBLE_EQ(s.MeanOfLast(60), 2000.0);
+  EXPECT_DOUBLE_EQ(s.StdErrorOfLast(60), 0.0);
+}
+
+TEST(StatsTest, Means) {
+  std::vector<double> xs = {1, 4, 16};
+  EXPECT_DOUBLE_EQ(ArithmeticMean(xs), 7.0);
+  EXPECT_NEAR(GeometricMean(xs), 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(ArithmeticMean({}), 0.0);
+}
+
+TEST(StatsTest, RunningStat) {
+  RunningStat rs;
+  rs.Add(2);
+  rs.Add(4);
+  rs.Add(9);
+  EXPECT_EQ(rs.count(), 3);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(StringUtilTest, Format) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+}
+
+TEST(StringUtilTest, JoinSplit) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ","), "a,b,c");
+  auto parts = StrSplit("a|b||c", '|');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtilTest, HumanUnits) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2 * kMB), "2.0 MB");
+  EXPECT_EQ(HumanMicros(1500), "1.5 ms");
+  EXPECT_EQ(HumanMicros(90 * kSecond), "1.5 min");
+}
+
+// The paper: keys are the string form of an integer zero-padded to 24
+// bytes.
+TEST(StringUtilTest, YcsbKeyFormat) {
+  EXPECT_EQ(ZeroPadKey(42, 24), "000000000000000000000042");
+  EXPECT_EQ(ZeroPadKey(42, 24).size(), 24u);
+}
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_EQ(SecondsToSimTime(1.5), 1500000);
+  EXPECT_DOUBLE_EQ(SimTimeToSeconds(2500000), 2.5);
+  EXPECT_DOUBLE_EQ(SimTimeToMillis(2500), 2.5);
+}
+
+}  // namespace
+}  // namespace elephant

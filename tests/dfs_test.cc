@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "dfs/dfs.h"
+#include "sim/simulation.h"
+
+namespace elephant::dfs {
+namespace {
+
+class DfsTest : public ::testing::Test {
+ protected:
+  DfsTest()
+      : cluster_(&sim_, 16, cluster::NodeConfig{}),
+        fs_(&cluster_, DfsOptions{}) {}
+
+  sim::Simulation sim_;
+  cluster::Cluster cluster_;
+  DistributedFileSystem fs_;
+};
+
+TEST_F(DfsTest, DefaultsMatchPaperConfig) {
+  EXPECT_EQ(fs_.options().block_size, 256 * kMB);
+  EXPECT_EQ(fs_.options().replication, 3);
+}
+
+TEST_F(DfsTest, FileSplitsIntoBlocks) {
+  ASSERT_TRUE(fs_.CreateFile("/t/lineitem", 1000 * kMB).ok());
+  auto file = fs_.GetFile("/t/lineitem");
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file.value().blocks.size(), 4u);  // 256+256+256+232
+  int64_t total = 0;
+  for (const auto& b : file.value().blocks) {
+    total += b.bytes;
+    EXPECT_LE(b.bytes, 256 * kMB);
+    EXPECT_GE(b.replicas.size(), 1u);
+    EXPECT_LE(b.replicas.size(), 3u);
+  }
+  EXPECT_EQ(total, 1000 * kMB);
+}
+
+TEST_F(DfsTest, EmptyFileStillHasOneSplit) {
+  // Empty bucket files still generate one map task each (§3.3.4.2).
+  ASSERT_TRUE(fs_.CreateFile("/t/empty_bucket", 0).ok());
+  auto splits = fs_.Splits("/t/empty_bucket");
+  ASSERT_EQ(splits.size(), 1u);
+  EXPECT_EQ(splits[0].bytes, 0);
+}
+
+TEST_F(DfsTest, DuplicateCreateFails) {
+  ASSERT_TRUE(fs_.CreateFile("/x", kMB).ok());
+  EXPECT_EQ(fs_.CreateFile("/x", kMB).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(DfsTest, DeleteReleasesSpace) {
+  ASSERT_TRUE(fs_.CreateFile("/x", 10 * kMB).ok());
+  EXPECT_EQ(fs_.TotalBytes(), 10 * kMB);
+  EXPECT_EQ(fs_.used_capacity_bytes(), 30 * kMB);  // 3x replication
+  ASSERT_TRUE(fs_.DeleteFile("/x").ok());
+  EXPECT_EQ(fs_.TotalBytes(), 0);
+  EXPECT_TRUE(fs_.DeleteFile("/x").IsNotFound());
+}
+
+TEST_F(DfsTest, DistributedFilesOnePerNode) {
+  ASSERT_TRUE(fs_.CreateDistributedFiles("/gen/lineitem", 100 * kMB).ok());
+  EXPECT_EQ(fs_.TotalBytes(), 16 * 100 * kMB);
+  EXPECT_TRUE(fs_.Exists("/gen/lineitem.part000"));
+  EXPECT_TRUE(fs_.Exists("/gen/lineitem.part015"));
+}
+
+TEST_F(DfsTest, ParallelWriteChargesReplication) {
+  // 16 GB over 16 nodes: each node writes 3 GB to disk (3 copies) and
+  // sends 2 GB over its NIC. NIC: 2 GB * 8 / 1e9 = 16 s (the bound).
+  SimTime t = fs_.ParallelWriteTime(16LL * 1000000000);
+  EXPECT_NEAR(SimTimeToSeconds(t), 16.0, 0.5);
+}
+
+TEST_F(DfsTest, ParallelReadUsesAggregateDiskBandwidth) {
+  // 16 GB over 16 nodes at 8 disks x 100 MB/s each: 1 GB per node at
+  // 800 MB/s = 1.25 s.
+  SimTime t = fs_.ParallelReadTime(16LL * 1000000000);
+  EXPECT_NEAR(SimTimeToSeconds(t), 1.25, 0.05);
+}
+
+}  // namespace
+}  // namespace elephant::dfs

@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/rng.h"
+
+#include "exec/operators.h"
+#include "exec/table.h"
+
+namespace elephant::exec {
+namespace {
+
+Table MakeEmployees() {
+  Table t({{"id", ValueType::kInt},
+           {"dept", ValueType::kString},
+           {"salary", ValueType::kDouble}});
+  t.AddRow({Value{int64_t{1}}, Value{std::string("eng")}, Value{100.0}});
+  t.AddRow({Value{int64_t{2}}, Value{std::string("eng")}, Value{200.0}});
+  t.AddRow({Value{int64_t{3}}, Value{std::string("sales")}, Value{150.0}});
+  t.AddRow({Value{int64_t{4}}, Value{std::string("sales")}, Value{50.0}});
+  t.AddRow({Value{int64_t{5}}, Value{std::string("hr")}, Value{80.0}});
+  return t;
+}
+
+Table MakeDepts() {
+  Table t({{"dname", ValueType::kString}, {"budget", ValueType::kInt}});
+  t.AddRow({Value{std::string("eng")}, Value{int64_t{1000}}});
+  t.AddRow({Value{std::string("sales")}, Value{int64_t{500}}});
+  t.AddRow({Value{std::string("legal")}, Value{int64_t{100}}});
+  return t;
+}
+
+TEST(ValueTest, AccessorsAndWidening) {
+  Value i{int64_t{42}};
+  Value d{2.5};
+  Value s{std::string("x")};
+  EXPECT_EQ(AsInt(i), 42);
+  EXPECT_DOUBLE_EQ(AsDouble(i), 42.0);
+  EXPECT_DOUBLE_EQ(AsDouble(d), 2.5);
+  EXPECT_EQ(AsInt(d), 2);
+  EXPECT_EQ(AsString(s), "x");
+}
+
+TEST(ValueTest, CompareAcrossNumericTypes) {
+  EXPECT_EQ(CompareValues(Value{int64_t{2}}, Value{2.0}), 0);
+  EXPECT_LT(CompareValues(Value{int64_t{1}}, Value{1.5}), 0);
+  EXPECT_GT(CompareValues(Value{std::string("b")}, Value{std::string("a")}),
+            0);
+}
+
+TEST(ValueTest, HashStableForEqualInts) {
+  EXPECT_EQ(HashValue(Value{int64_t{7}}), HashValue(Value{int64_t{7}}));
+  EXPECT_NE(HashValue(Value{int64_t{7}}), HashValue(Value{int64_t{8}}));
+}
+
+TEST(TableTest, ColIndexLookup) {
+  Table t = MakeEmployees();
+  EXPECT_EQ(t.ColIndex("dept"), 1);
+  EXPECT_EQ(t.FindCol("nope"), -1);
+  EXPECT_EQ(t.num_rows(), 5u);
+  EXPECT_EQ(t.num_cols(), 3);
+}
+
+TEST(FilterTest, KeepsMatchingRows) {
+  Table t = MakeEmployees();
+  int sal = t.ColIndex("salary");
+  Table out = Filter(t, [sal](const Row& r) {
+    return AsDouble(r[sal]) >= 100;
+  });
+  EXPECT_EQ(out.num_rows(), 3u);
+  EXPECT_EQ(out.num_cols(), 3);
+}
+
+TEST(ProjectTest, ComputesExpressions) {
+  Table t = MakeEmployees();
+  Table out = Project(
+      t, {{"id", ValueType::kInt, Col(t, "id")},
+          {"double_salary", ValueType::kDouble,
+           Mul(Col(t, "salary"), Lit(2.0))}});
+  EXPECT_EQ(out.num_cols(), 2);
+  EXPECT_DOUBLE_EQ(AsDouble(out.rows()[0][1]), 200.0);
+}
+
+TEST(HashJoinTest, InnerJoinMatches) {
+  Table e = MakeEmployees();
+  Table d = MakeDepts();
+  Table out = HashJoinOn(e, d, {"dept"}, {"dname"});
+  EXPECT_EQ(out.num_rows(), 4u);  // hr has no dept row
+  EXPECT_EQ(out.num_cols(), 5);
+  // Every row's dept == dname.
+  int dept = out.ColIndex("dept");
+  int dname = out.ColIndex("dname");
+  for (const Row& r : out.rows()) {
+    EXPECT_EQ(AsString(r[dept]), AsString(r[dname]));
+  }
+}
+
+TEST(HashJoinTest, LeftOuterPadsUnmatched) {
+  Table e = MakeEmployees();
+  Table d = MakeDepts();
+  Table out = HashJoinOn(e, d, {"dept"}, {"dname"}, JoinType::kLeftOuter);
+  EXPECT_EQ(out.num_rows(), 5u);
+  int budget = out.ColIndex("budget");
+  int dept = out.ColIndex("dept");
+  for (const Row& r : out.rows()) {
+    if (AsString(r[dept]) == "hr") {
+      EXPECT_EQ(AsInt(r[budget]), 0);  // padded default
+    }
+  }
+}
+
+TEST(HashJoinTest, SemiAndAnti) {
+  Table e = MakeEmployees();
+  Table d = MakeDepts();
+  Table semi = HashJoinOn(e, d, {"dept"}, {"dname"}, JoinType::kLeftSemi);
+  EXPECT_EQ(semi.num_rows(), 4u);
+  EXPECT_EQ(semi.num_cols(), 3);  // left schema only
+  Table anti = HashJoinOn(e, d, {"dept"}, {"dname"}, JoinType::kLeftAnti);
+  EXPECT_EQ(anti.num_rows(), 1u);
+  EXPECT_EQ(AsString(anti.rows()[0][1]), "hr");
+}
+
+TEST(HashJoinTest, SemiDoesNotDuplicateOnMultiMatch) {
+  Table left({{"k", ValueType::kInt}});
+  left.AddRow({Value{int64_t{1}}});
+  Table right({{"k", ValueType::kInt}});
+  right.AddRow({Value{int64_t{1}}});
+  right.AddRow({Value{int64_t{1}}});
+  Table semi = HashJoin(left, right, {0}, {0}, JoinType::kLeftSemi);
+  EXPECT_EQ(semi.num_rows(), 1u);
+  Table inner = HashJoin(left, right, {0}, {0});
+  EXPECT_EQ(inner.num_rows(), 2u);
+}
+
+TEST(HashJoinTest, DuplicateColumnNamesGetSuffix) {
+  Table a({{"k", ValueType::kInt}});
+  a.AddRow({Value{int64_t{1}}});
+  Table b({{"k", ValueType::kInt}});
+  b.AddRow({Value{int64_t{1}}});
+  Table out = HashJoin(a, b, {0}, {0});
+  EXPECT_EQ(out.columns()[0].name, "k");
+  EXPECT_EQ(out.columns()[1].name, "k_r");
+}
+
+TEST(HashJoinTest, MultiColumnKeys) {
+  Table a({{"x", ValueType::kInt}, {"y", ValueType::kInt}});
+  a.AddRow({Value{int64_t{1}}, Value{int64_t{2}}});
+  a.AddRow({Value{int64_t{1}}, Value{int64_t{3}}});
+  Table b({{"p", ValueType::kInt}, {"q", ValueType::kInt}});
+  b.AddRow({Value{int64_t{1}}, Value{int64_t{2}}});
+  Table out = HashJoin(a, b, {0, 1}, {0, 1});
+  EXPECT_EQ(out.num_rows(), 1u);
+}
+
+TEST(HashAggregateTest, GroupsAndAggregates) {
+  Table t = MakeEmployees();
+  Table out = HashAggregateOn(
+      t, {"dept"},
+      {{AggKind::kSum, Col(t, "salary"), "total", ValueType::kDouble},
+       {AggKind::kAvg, Col(t, "salary"), "avg", ValueType::kDouble},
+       {AggKind::kMin, Col(t, "salary"), "min", ValueType::kDouble},
+       {AggKind::kMax, Col(t, "salary"), "max", ValueType::kDouble},
+       {AggKind::kCount, nullptr, "n", ValueType::kInt}});
+  EXPECT_EQ(out.num_rows(), 3u);
+  int dept = out.ColIndex("dept");
+  for (const Row& r : out.rows()) {
+    if (AsString(r[dept]) == "eng") {
+      EXPECT_DOUBLE_EQ(AsDouble(r[out.ColIndex("total")]), 300.0);
+      EXPECT_DOUBLE_EQ(AsDouble(r[out.ColIndex("avg")]), 150.0);
+      EXPECT_DOUBLE_EQ(AsDouble(r[out.ColIndex("min")]), 100.0);
+      EXPECT_DOUBLE_EQ(AsDouble(r[out.ColIndex("max")]), 200.0);
+      EXPECT_EQ(AsInt(r[out.ColIndex("n")]), 2);
+    }
+  }
+}
+
+TEST(HashAggregateTest, GlobalAggregateOverEmptyInput) {
+  Table t({{"x", ValueType::kDouble}});
+  Table out = HashAggregate(
+      t, {}, {{AggKind::kSum, [](const Row&) { return Value{1.0}; }, "s",
+               ValueType::kDouble}});
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(AsDouble(out.rows()[0][0]), 0.0);
+}
+
+TEST(HashAggregateTest, CountDistinct) {
+  Table t = MakeEmployees();
+  Table out = HashAggregateOn(
+      t, {}, {{AggKind::kCountDistinct, Col(t, "dept"), "depts",
+               ValueType::kInt}});
+  EXPECT_EQ(AsInt(out.rows()[0][0]), 3);
+}
+
+TEST(SortTest, MultiKeyWithDirections) {
+  Table t = MakeEmployees();
+  Table out = SortBy(t, {{t.ColIndex("dept"), true},
+                         {t.ColIndex("salary"), false}});
+  // eng 200, eng 100, hr 80, sales 150, sales 50.
+  EXPECT_DOUBLE_EQ(AsDouble(out.rows()[0][2]), 200.0);
+  EXPECT_DOUBLE_EQ(AsDouble(out.rows()[1][2]), 100.0);
+  EXPECT_EQ(AsString(out.rows()[2][1]), "hr");
+  EXPECT_DOUBLE_EQ(AsDouble(out.rows()[3][2]), 150.0);
+}
+
+TEST(SortTest, StableForEqualKeys) {
+  Table t({{"k", ValueType::kInt}, {"seq", ValueType::kInt}});
+  for (int64_t i = 0; i < 10; ++i) {
+    t.AddRow({Value{int64_t{1}}, Value{i}});
+  }
+  Table out = SortBy(t, {{0, true}});
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(AsInt(out.rows()[i][1]), i);
+  }
+}
+
+TEST(LimitTest, TruncatesAndHandlesShortInput) {
+  Table t = MakeEmployees();
+  EXPECT_EQ(Limit(t, 2).num_rows(), 2u);
+  EXPECT_EQ(Limit(t, 100).num_rows(), 5u);
+}
+
+TEST(DistinctTest, RemovesDuplicates) {
+  Table t({{"x", ValueType::kInt}});
+  t.AddRow({Value{int64_t{1}}});
+  t.AddRow({Value{int64_t{2}}});
+  t.AddRow({Value{int64_t{1}}});
+  Table out = Distinct(t);
+  EXPECT_EQ(out.num_rows(), 2u);
+}
+
+TEST(ExprTest, Arithmetic) {
+  Table t = MakeEmployees();
+  Expr e = Add(Mul(Col(t, "salary"), Lit(2.0)), Lit(1.0));
+  EXPECT_DOUBLE_EQ(AsDouble(e(t.rows()[0])), 201.0);
+  Expr s = Sub(Col(t, "salary"), Lit(50.0));
+  EXPECT_DOUBLE_EQ(AsDouble(s(t.rows()[0])), 50.0);
+}
+
+TEST(SortMergeJoinTest, MatchesHashJoinOnFixture) {
+  Table e = MakeEmployees();
+  Table d = MakeDepts();
+  Table smj = SortMergeJoin(e, d, e.ColIndex("dept"), d.ColIndex("dname"));
+  Table hj = HashJoinOn(e, d, {"dept"}, {"dname"});
+  EXPECT_EQ(smj.num_rows(), hj.num_rows());
+  EXPECT_EQ(smj.num_cols(), hj.num_cols());
+}
+
+TEST(SortMergeJoinTest, DuplicateRunsCrossProduct) {
+  Table a({{"k", ValueType::kInt}});
+  Table b({{"k", ValueType::kInt}});
+  for (int i = 0; i < 3; ++i) a.AddRow({Value{int64_t{7}}});
+  for (int i = 0; i < 2; ++i) b.AddRow({Value{int64_t{7}}});
+  EXPECT_EQ(SortMergeJoin(a, b, 0, 0).num_rows(), 6u);
+}
+
+TEST(NestedLoopJoinTest, SupportsNonEquiPredicates) {
+  Table e = MakeEmployees();
+  Table d = MakeDepts();
+  // Band join: salary exceeds the department budget (columns: id, dept,
+  // salary, dname, budget).
+  Table out = NestedLoopJoin(e, d, [&](const Row& r) {
+    return AsDouble(r[2]) > AsDouble(r[4]);
+  });
+  for (const Row& r : out.rows()) {
+    EXPECT_GT(AsDouble(r[2]), AsDouble(r[4]));
+  }
+  EXPECT_GT(out.num_rows(), 0u);
+}
+
+// Property: on random inputs, all three inner-join implementations
+// produce identical result multisets.
+class JoinEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JoinEquivalenceTest, AllJoinsAgree) {
+  elephant::Rng rng(GetParam());
+  Table left({{"k", ValueType::kInt}, {"lv", ValueType::kInt}});
+  Table right({{"k", ValueType::kInt}, {"rv", ValueType::kInt}});
+  for (int i = 0; i < 200; ++i) {
+    left.AddRow({Value{static_cast<int64_t>(rng.Uniform(40))},
+                 Value{static_cast<int64_t>(i)}});
+  }
+  for (int i = 0; i < 150; ++i) {
+    right.AddRow({Value{static_cast<int64_t>(rng.Uniform(40))},
+                  Value{static_cast<int64_t>(i)}});
+  }
+  Table hj = HashJoin(left, right, {0}, {0});
+  Table smj = SortMergeJoin(left, right, 0, 0);
+  Table nlj = NestedLoopJoin(left, right, [](const Row& r) {
+    return CompareValues(r[0], r[2]) == 0;
+  });
+  ASSERT_EQ(hj.num_rows(), smj.num_rows());
+  ASSERT_EQ(hj.num_rows(), nlj.num_rows());
+  // Compare as sorted multisets of (k, lv, rv).
+  auto signature = [](const Table& t) {
+    std::vector<std::tuple<int64_t, int64_t, int64_t>> sig;
+    for (const Row& r : t.rows()) {
+      sig.emplace_back(AsInt(r[0]), AsInt(r[1]), AsInt(r[3]));
+    }
+    std::sort(sig.begin(), sig.end());
+    return sig;
+  };
+  EXPECT_EQ(signature(hj), signature(smj));
+  EXPECT_EQ(signature(hj), signature(nlj));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, JoinEquivalenceTest,
+                         ::testing::Values(1, 17, 99, 4242));
+
+TEST(TableTest, ToStringShowsHeaderAndRows) {
+  Table t = MakeDepts();
+  std::string s = t.ToString(2);
+  EXPECT_NE(s.find("dname"), std::string::npos);
+  EXPECT_NE(s.find("eng"), std::string::npos);
+  EXPECT_NE(s.find("3 rows total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace elephant::exec

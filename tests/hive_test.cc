@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "hive/catalog.h"
+#include "hive/engine.h"
+#include "tpch/dss_benchmark.h"
+
+namespace elephant::hive {
+namespace {
+
+using tpch::TableId;
+
+TEST(HiveCatalogTest, Table1Layouts) {
+  HiveCatalog cat;
+  EXPECT_EQ(cat.layout(TableId::kLineitem).num_buckets, 512);
+  EXPECT_EQ(cat.layout(TableId::kLineitem).bucket_column, "l_orderkey");
+  EXPECT_EQ(cat.layout(TableId::kCustomer).partition_column, "c_nationkey");
+  EXPECT_EQ(cat.layout(TableId::kCustomer).total_files(), 200);
+  EXPECT_EQ(cat.layout(TableId::kSupplier).total_files(), 200);
+  EXPECT_EQ(cat.layout(TableId::kPart).num_buckets, 8);
+  EXPECT_TRUE(cat.layout(TableId::kNation).bucket_column.empty());
+}
+
+TEST(HiveCatalogTest, SparseOrderkeysLeave384EmptyFiles) {
+  HiveCatalog cat;
+  auto sizes = cat.ScanFileSizes(TableId::kLineitem, 250);
+  ASSERT_EQ(sizes.size(), 512u);
+  int empty = 0, nonempty = 0;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    if (sizes[i] == 0) {
+      empty++;
+    } else {
+      nonempty++;
+      EXPECT_LT(i % 32, 8u);  // populated buckets: first 8 of every 32
+    }
+  }
+  EXPECT_EQ(empty, 384);
+  EXPECT_EQ(nonempty, 128);
+}
+
+// §3.3.4.2 anchors: Q1 launches 512 map tasks at SF 250 and 768 at SF
+// 1000 (3 blocks per non-empty lineitem bucket); Q22's customer scan
+// runs 200 tasks below SF 16000 and 600 at SF 16000, with ~9.4 MB per
+// bucket at SF 250.
+TEST(HiveCatalogTest, MapTaskCountsMatchPaper) {
+  HiveCatalog cat;
+  EXPECT_EQ(cat.ScanTasks(TableId::kLineitem, 250, 0).size(), 512u);
+  EXPECT_EQ(cat.ScanTasks(TableId::kLineitem, 1000, 0).size(), 768u);
+  EXPECT_EQ(cat.ScanTasks(TableId::kCustomer, 250, 0).size(), 200u);
+  EXPECT_EQ(cat.ScanTasks(TableId::kCustomer, 4000, 0).size(), 200u);
+  EXPECT_EQ(cat.ScanTasks(TableId::kCustomer, 16000, 0).size(), 600u);
+}
+
+TEST(HiveCatalogTest, CustomerBucketBytesMatchPaper) {
+  HiveCatalog cat;
+  auto sizes = cat.ScanFileSizes(TableId::kCustomer, 250);
+  // Paper: ~9.4 MB of compressed data per customer bucket at SF 250.
+  EXPECT_NEAR(static_cast<double>(sizes[0]) / 1e6, 9.4, 1.5);
+}
+
+TEST(HiveCatalogTest, CompressionRatiosAreColumnar) {
+  // Numeric lineitem compresses better than text-heavy customer.
+  EXPECT_GT(RcfileCompressionRatio(TableId::kLineitem),
+            RcfileCompressionRatio(TableId::kCustomer));
+}
+
+class HiveEngineTest : public ::testing::Test {
+ protected:
+  HiveEngineTest() : bench_() {}
+  tpch::DssBenchmark bench_;
+};
+
+TEST_F(HiveEngineTest, EveryQueryBuildsJobs) {
+  for (int q = 1; q <= 22; ++q) {
+    auto jobs = BuildHiveJobs(q, 250, bench_.hive().catalog(),
+                              bench_.hive().options());
+    EXPECT_GE(jobs.size(), 1u) << "Q" << q;
+    for (const auto& j : jobs) {
+      EXPECT_FALSE(j.map_tasks.empty()) << j.name;
+    }
+  }
+}
+
+TEST_F(HiveEngineTest, Q22HasFourSubqueries) {
+  auto r = bench_.RunHive(22, 250);
+  for (int sq = 1; sq <= 4; ++sq) {
+    EXPECT_GT(r.TimeOfJobsWithPrefix("q22_sq" + std::to_string(sq)), 0)
+        << "sub-query " << sq;
+  }
+}
+
+TEST_F(HiveEngineTest, Q22MapJoinFailsAndFallsBack) {
+  auto jobs = BuildHiveJobs(22, 250, bench_.hive().catalog(),
+                            bench_.hive().options());
+  bool found_backup = false;
+  for (const auto& j : jobs) {
+    if (j.name.find("sq4_join1_backup_join") != std::string::npos) {
+      found_backup = true;
+      // Failed map-join attempt costs ~400 s before the backup runs.
+      EXPECT_EQ(j.fixed_overhead, 400 * kSecond);
+    }
+  }
+  EXPECT_TRUE(found_backup);
+}
+
+TEST_F(HiveEngineTest, Q5MapJoinSucceedsForTinyDims) {
+  // N ⋈ R hash is tiny: the supplier-side map join must NOT fall back.
+  auto jobs = BuildHiveJobs(5, 16000, bench_.hive().catalog(),
+                            bench_.hive().options());
+  EXPECT_NE(jobs[0].name.find("_mapjoin"), std::string::npos);
+  EXPECT_EQ(jobs[0].reduce.num_reducers, 0);  // map-only
+}
+
+TEST_F(HiveEngineTest, Q9RunsOutOfDiskOnlyAt16TB) {
+  EXPECT_FALSE(bench_.RunHive(9, 4000).failed_out_of_disk);
+  EXPECT_TRUE(bench_.RunHive(9, 16000).failed_out_of_disk);
+  // And no other query fails at 16 TB.
+  for (int q = 1; q <= 22; ++q) {
+    if (q == 9) continue;
+    EXPECT_FALSE(bench_.RunHive(q, 16000).failed_out_of_disk) << "Q" << q;
+  }
+}
+
+TEST_F(HiveEngineTest, QueriesScaleSublinearlyAtSmallSf) {
+  // §3.3.4.3: Hive has high constant overheads, so 4x data costs < 4x
+  // time at the small end.
+  for (int q : {1, 5, 22}) {
+    auto t250 = SimTimeToSeconds(bench_.RunHive(q, 250).total);
+    auto t1000 = SimTimeToSeconds(bench_.RunHive(q, 1000).total);
+    EXPECT_LT(t1000 / t250, 4.0) << "Q" << q;
+    EXPECT_GT(t1000, t250) << "Q" << q;
+  }
+}
+
+TEST_F(HiveEngineTest, MapSideAggregationAblation) {
+  HiveOptions no_agg;
+  no_agg.map_side_aggregation = false;
+  tpch::DssOptions opt;
+  opt.hive = no_agg;
+  tpch::DssBenchmark slower(opt);
+  // Q1 shuffles its full map output without map-side aggregation.
+  EXPECT_GT(slower.RunHive(1, 1000).total, bench_.RunHive(1, 1000).total);
+}
+
+TEST_F(HiveEngineTest, MapJoinAblationRemovesFailurePenalty) {
+  HiveOptions no_mj;
+  no_mj.map_join = false;
+  tpch::DssOptions opt;
+  opt.hive = no_mj;
+  tpch::DssBenchmark without(opt);
+  auto jobs = BuildHiveJobs(22, 250, without.hive().catalog(),
+                            without.hive().options());
+  for (const auto& j : jobs) {
+    EXPECT_EQ(j.fixed_overhead, 0) << j.name;
+  }
+}
+
+TEST_F(HiveEngineTest, LoadTimeScalesWithSf) {
+  SimTime t250 = bench_.HiveLoadTime(250);
+  SimTime t1000 = bench_.HiveLoadTime(1000);
+  EXPECT_NEAR(static_cast<double>(t1000) / t250, 4.0, 0.4);
+  // Paper's Table 2 magnitude: 38 min at SF 250 (model within 2x).
+  EXPECT_GT(SimTimeToSeconds(t250) / 60, 38.0 / 2);
+  EXPECT_LT(SimTimeToSeconds(t250) / 60, 38.0 * 2);
+}
+
+}  // namespace
+}  // namespace elephant::hive

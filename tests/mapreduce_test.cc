@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "dfs/dfs.h"
+#include "mapreduce/mapreduce.h"
+#include "sim/simulation.h"
+
+namespace elephant::mapreduce {
+namespace {
+
+class MrTest : public ::testing::Test {
+ protected:
+  MrTest()
+      : cluster_(&sim_, 16, cluster::NodeConfig{}),
+        fs_(&cluster_, dfs::DfsOptions{}),
+        mr_(&cluster_, &fs_, MrConfig{}) {}
+
+  sim::Simulation sim_;
+  cluster::Cluster cluster_;
+  dfs::DistributedFileSystem fs_;
+  MrEngine mr_;
+};
+
+TEST_F(MrTest, PaperSlotCounts) {
+  // §3.2.1: 8 map + 8 reduce tasks per node -> 128 + 128 slots.
+  EXPECT_EQ(mr_.total_map_slots(), 128);
+  EXPECT_EQ(mr_.total_reduce_slots(), 128);
+}
+
+TEST_F(MrTest, EmptyTaskCostsStartupOnly) {
+  // Paper: map tasks over empty bucket files finish in ~6 seconds.
+  MapTaskSpec empty{0, 0, 0};
+  EXPECT_EQ(mr_.MapTaskTime(empty), mr_.config().task_startup);
+}
+
+TEST_F(MrTest, CpuBoundTaskTime) {
+  // 200 MB uncompressed at 20 MB/s = 10 s + 6 s startup.
+  MapTaskSpec task{20 * 1000 * 1000, 200 * 1000 * 1000, 0};
+  EXPECT_NEAR(SimTimeToSeconds(mr_.MapTaskTime(task)), 16.0, 0.5);
+}
+
+TEST_F(MrTest, CpuRateOverride) {
+  MapTaskSpec task{0, 200 * 1000 * 1000, 0};
+  task.cpu_mbps = 40.0;
+  EXPECT_NEAR(SimTimeToSeconds(mr_.MapTaskTime(task)), 11.0, 0.5);
+}
+
+TEST_F(MrTest, SingleWaveJob) {
+  JobSpec job;
+  job.name = "one_wave";
+  for (int i = 0; i < 128; ++i) {
+    job.map_tasks.push_back({0, 100 * 1000 * 1000, 0});  // 5 s each
+  }
+  JobStats stats = mr_.RunJob(job);
+  EXPECT_EQ(stats.map_waves, 1);
+  EXPECT_NEAR(SimTimeToSeconds(stats.map_phase), 11.0, 0.5);
+}
+
+TEST_F(MrTest, TwoWavesDoubleTheMakespan) {
+  JobSpec job;
+  for (int i = 0; i < 256; ++i) {
+    job.map_tasks.push_back({0, 100 * 1000 * 1000, 0});
+  }
+  JobStats stats = mr_.RunJob(job);
+  EXPECT_EQ(stats.map_waves, 2);
+  EXPECT_NEAR(SimTimeToSeconds(stats.map_phase), 22.0, 1.0);
+}
+
+// The paper's Q1 anomaly: when long and short tasks interleave in the
+// submission order, the greedy scheduler can give one slot two long
+// tasks, stretching the makespan beyond the ideal.
+TEST_F(MrTest, GreedySchedulingReproducesQ1Anomaly) {
+  JobSpec job;
+  // 512 tasks: 8 long (70 s) of every 32, rest ~0 s (empty bucket
+  // pattern), long-task count = 128 = slot count.
+  for (int i = 0; i < 512; ++i) {
+    if (i % 32 < 8) {
+      job.map_tasks.push_back({0, 1400 * 1000 * 1000, 0});  // 70 s + 6
+    } else {
+      job.map_tasks.push_back({0, 0, 0});  // 6 s startup only
+    }
+  }
+  JobStats stats = mr_.RunJob(job);
+  double makespan = SimTimeToSeconds(stats.map_phase);
+  // Ideal: 76 + 3 * 6 = 94 s. Greedy mixes empty and non-empty in the
+  // first wave, so some slot runs two 76 s tasks: makespan ~150 s.
+  EXPECT_GT(makespan, 130.0);
+  EXPECT_LT(makespan, 170.0);
+}
+
+TEST_F(MrTest, ShuffleOverlapsMapPhase) {
+  JobSpec job;
+  // Many waves of tasks, each emitting output: the shuffle drains while
+  // maps still run, so shuffle_extra stays small.
+  for (int i = 0; i < 1024; ++i) {
+    job.map_tasks.push_back({0, 100 * 1000 * 1000, 10 * 1000 * 1000});
+  }
+  job.reduce.num_reducers = 128;
+  job.reduce.shuffle_bytes = 1024LL * 10 * 1000 * 1000;
+  JobStats stats = mr_.RunJob(job);
+  EXPECT_LT(stats.shuffle_extra, stats.map_phase / 4);
+}
+
+TEST_F(MrTest, ReduceRoundsWhenReducersExceedSlots) {
+  JobSpec job;
+  job.map_tasks.push_back({0, 1000, 1000});
+  job.reduce.num_reducers = 128;
+  job.reduce.shuffle_bytes = 1000;
+  job.reduce.output_bytes = 1000;
+  JobStats one_round = mr_.RunJob(job);
+  job.reduce.num_reducers = 256;
+  JobStats two_rounds = mr_.RunJob(job);
+  EXPECT_GT(two_rounds.reduce_phase, one_round.reduce_phase);
+}
+
+TEST_F(MrTest, FixedOverheadAddsToTotal) {
+  JobSpec job;
+  job.map_tasks.push_back({0, 0, 0});
+  JobStats base = mr_.RunJob(job);
+  job.fixed_overhead = 400 * kSecond;  // the map-join failure penalty
+  JobStats with_overhead = mr_.RunJob(job);
+  EXPECT_EQ(with_overhead.total - base.total, 400 * kSecond);
+}
+
+TEST_F(MrTest, MapOnlyJobHasNoReduceTime) {
+  JobSpec job;
+  job.map_tasks.push_back({0, 1000000, 0});
+  JobStats stats = mr_.RunJob(job);
+  EXPECT_EQ(stats.reduce_phase, 0);
+  EXPECT_EQ(stats.shuffle_extra, 0);
+}
+
+}  // namespace
+}  // namespace elephant::mapreduce

@@ -1,0 +1,258 @@
+// Property and stress tests on substrate invariants: simulation
+// determinism, RwLock safety under random schedules, histogram
+// percentiles against an exact reference, LRU behaviour against a
+// reference model, and statistical properties of the generators.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "common/distributions.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "sim/resources.h"
+#include "sim/simulation.h"
+#include "sqlkv/buffer_pool.h"
+#include "ycsb/driver.h"
+
+namespace elephant {
+namespace {
+
+// ---------------------------------------------------------- determinism
+
+sim::Task RandomWorker(sim::Simulation* sim, sim::Server* server, Rng* rng,
+                       int ops, int64_t* checksum) {
+  for (int i = 0; i < ops; ++i) {
+    co_await server->Acquire(static_cast<SimTime>(rng->Uniform(100)) + 1);
+    *checksum = *checksum * 31 + sim->now();
+    co_await sim->Delay(static_cast<SimTime>(rng->Uniform(50)));
+  }
+}
+
+int64_t RunRandomSchedule(uint64_t seed) {
+  sim::Simulation sim;
+  sim::Server server(&sim, 3);
+  Rng rng(seed);
+  int64_t checksum = 0;
+  std::vector<std::unique_ptr<Rng>> rngs;
+  for (int w = 0; w < 20; ++w) {
+    rngs.push_back(std::make_unique<Rng>(seed ^ (w * 0x9E37u)));
+    RandomWorker(&sim, &server, rngs.back().get(), 50, &checksum);
+  }
+  sim.Run();
+  return checksum;
+}
+
+TEST(DeterminismTest, IdenticalSeedsIdenticalSchedules) {
+  // The whole reproduction depends on the DES being deterministic.
+  EXPECT_EQ(RunRandomSchedule(1), RunRandomSchedule(1));
+  EXPECT_EQ(RunRandomSchedule(99), RunRandomSchedule(99));
+  EXPECT_NE(RunRandomSchedule(1), RunRandomSchedule(2));
+}
+
+TEST(DeterminismTest, YcsbRunsAreReproducible) {
+  ycsb::DriverOptions opt;
+  opt.record_count = 40000;
+  opt.warmup = 500 * kMillisecond;
+  opt.measure = kSecond;
+  auto a = ycsb::RunOnePoint(ycsb::SystemKind::kSqlCs,
+                             ycsb::WorkloadSpec::B(), 5000, opt);
+  auto b = ycsb::RunOnePoint(ycsb::SystemKind::kSqlCs,
+                             ycsb::WorkloadSpec::B(), 5000, opt);
+  EXPECT_DOUBLE_EQ(a.achieved_ops_per_sec, b.achieved_ops_per_sec);
+  EXPECT_DOUBLE_EQ(a.MeanLatencyMs(ycsb::OpType::kRead),
+                   b.MeanLatencyMs(ycsb::OpType::kRead));
+}
+
+// ------------------------------------------------------- RwLock safety
+
+struct LockAuditor {
+  int readers = 0;
+  bool writer = false;
+  bool violated = false;
+
+  void EnterRead() {
+    if (writer) violated = true;
+    readers++;
+  }
+  void ExitRead() { readers--; }
+  void EnterWrite() {
+    if (writer || readers > 0) violated = true;
+    writer = true;
+  }
+  void ExitWrite() { writer = false; }
+};
+
+sim::Task RandomLockUser(sim::Simulation* sim, sim::RwLock* lock, Rng* rng,
+                         LockAuditor* audit, int ops, int* done) {
+  for (int i = 0; i < ops; ++i) {
+    co_await sim->Delay(static_cast<SimTime>(rng->Uniform(20)));
+    bool exclusive = rng->Bernoulli(0.3);
+    if (exclusive) {
+      co_await lock->AcquireExclusive();
+      audit->EnterWrite();
+      co_await sim->Delay(static_cast<SimTime>(rng->Uniform(10)) + 1);
+      audit->ExitWrite();
+      lock->Release(true);
+    } else {
+      co_await lock->AcquireShared();
+      audit->EnterRead();
+      co_await sim->Delay(static_cast<SimTime>(rng->Uniform(10)) + 1);
+      audit->ExitRead();
+      lock->Release(false);
+    }
+  }
+  (*done)++;
+}
+
+TEST(RwLockPropertyTest, MutualExclusionUnderRandomSchedules) {
+  for (uint64_t seed : {1u, 7u, 42u, 1234u}) {
+    sim::Simulation sim;
+    sim::RwLock lock(&sim);
+    LockAuditor audit;
+    int done = 0;
+    std::vector<std::unique_ptr<Rng>> rngs;
+    for (int w = 0; w < 16; ++w) {
+      rngs.push_back(std::make_unique<Rng>(seed + w * 7919));
+      RandomLockUser(&sim, &lock, rngs.back().get(), &audit, 100, &done);
+    }
+    sim.Run();
+    EXPECT_FALSE(audit.violated) << "seed " << seed;
+    EXPECT_EQ(done, 16) << "seed " << seed << ": starvation/deadlock";
+    EXPECT_EQ(audit.readers, 0);
+    EXPECT_FALSE(audit.writer);
+  }
+}
+
+// --------------------------------------------------- histogram accuracy
+
+TEST(HistogramPropertyTest, PercentilesWithinBucketResolution) {
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    Histogram h;
+    std::vector<int64_t> exact;
+    for (int i = 0; i < 20000; ++i) {
+      // Log-uniform values across six decades.
+      double u = rng.NextDouble() * 6.0;
+      int64_t v = static_cast<int64_t>(std::pow(10.0, u));
+      h.Record(v);
+      exact.push_back(v);
+    }
+    std::sort(exact.begin(), exact.end());
+    for (double p : {10.0, 50.0, 90.0, 99.0}) {
+      int64_t approx = h.Percentile(p);
+      int64_t truth =
+          exact[static_cast<size_t>(p / 100.0 * (exact.size() - 1))];
+      // Log-linear buckets: <= 12.5% relative error plus one bucket.
+      EXPECT_LE(std::abs(approx - truth),
+                truth / 7 + 2)
+          << "p" << p << " trial " << trial;
+    }
+    EXPECT_EQ(h.count(), 20000);
+  }
+}
+
+// ------------------------------------------------------ LRU reference
+
+TEST(BufferPoolPropertyTest, MatchesReferenceLru) {
+  sqlkv::BufferPool pool(16 * 4096, 4096);
+  std::list<uint64_t> ref;  // front = MRU
+  Rng rng(11);
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t page = rng.Uniform(64);
+    auto access = pool.Touch(page, false);
+    // Reference model.
+    auto it = std::find(ref.begin(), ref.end(), page);
+    bool ref_hit = it != ref.end();
+    if (ref_hit) ref.erase(it);
+    ref.push_front(page);
+    uint64_t ref_evicted = 0;
+    bool ref_evicts = false;
+    if (ref.size() > 16) {
+      ref_evicted = ref.back();
+      ref.pop_back();
+      ref_evicts = true;
+    }
+    ASSERT_EQ(access.hit, ref_hit) << "op " << i;
+    ASSERT_EQ(access.evicted, ref_evicts) << "op " << i;
+    if (ref_evicts) {
+      ASSERT_EQ(access.evicted_page, ref_evicted) << "op " << i;
+    }
+  }
+}
+
+// ------------------------------------------------- generator statistics
+
+TEST(GeneratorPropertyTest, ZipfianMassIsMonotoneInRank) {
+  ZipfianGenerator gen(1000, 0.99);
+  Rng rng(13);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 300000; ++i) counts[gen.Next(&rng)]++;
+  // Aggregate into deciles of rank: each decile's mass must not be
+  // (materially) below the next one's.
+  std::vector<int64_t> deciles(10, 0);
+  for (int r = 0; r < 1000; ++r) deciles[r / 100] += counts[r];
+  for (int d = 0; d + 1 < 10; ++d) {
+    EXPECT_GE(deciles[d] * 1.05, deciles[d + 1]) << "decile " << d;
+  }
+  EXPECT_GT(deciles[0], deciles[9] * 3);
+}
+
+TEST(GeneratorPropertyTest, UniformIsFlat) {
+  UniformGenerator gen(0, 99);
+  Rng rng(17);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 200000; ++i) counts[gen.Next(&rng)]++;
+  for (int c : counts) {
+    EXPECT_GT(c, 1600);
+    EXPECT_LT(c, 2400);
+  }
+}
+
+TEST(GeneratorPropertyTest, LatestNeverExceedsLastInsert) {
+  LatestGenerator gen(1000);
+  Rng rng(19);
+  for (uint64_t last = 999; last < 1200; last += 7) {
+    gen.SetLastValue(last);
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LE(gen.Next(&rng), last);
+    }
+  }
+}
+
+// --------------------------------------------------- server conservation
+
+sim::Task OneAcquire(sim::Server* server, SimTime service, int* completed) {
+  co_await server->Acquire(service);
+  (*completed)++;
+}
+
+TEST(ServerPropertyTest, WorkConservation) {
+  // Total busy time equals the sum of service demands, makespan is at
+  // least busy/capacity, and all requests complete.
+  for (uint64_t seed : {3u, 33u, 333u}) {
+    sim::Simulation sim;
+    sim::Server server(&sim, 4);
+    Rng rng(seed);
+    SimTime total_demand = 0;
+    int completed = 0;
+    const int n = 500;
+    for (int i = 0; i < n; ++i) {
+      SimTime service = static_cast<SimTime>(rng.Uniform(200)) + 1;
+      total_demand += service;
+      OneAcquire(&server, service, &completed);
+    }
+    sim.Run();
+    EXPECT_EQ(completed, n);
+    EXPECT_EQ(server.busy_time(), total_demand);
+    EXPECT_GE(sim.now(), total_demand / 4);
+    EXPECT_LE(sim.now(), total_demand);
+  }
+}
+
+}  // namespace
+}  // namespace elephant

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "exec/operators.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+#include "tpch/refresh.h"
+
+namespace elephant::tpch {
+namespace {
+
+using exec::AsInt;
+
+TEST(RefreshTest, Rf1InsertsSpecVolume) {
+  TpchDatabase db = GenerateDatabase(0.01);
+  size_t orders_before = db.orders.num_rows();
+  size_t lines_before = db.lineitem.num_rows();
+  auto r = RefreshInsert(&db, 0);
+  ASSERT_TRUE(r.ok());
+  // SF*1500 = 15 orders at SF 0.01.
+  EXPECT_EQ(r.value().orders_changed, 15);
+  EXPECT_EQ(db.orders.num_rows(), orders_before + 15);
+  EXPECT_EQ(db.lineitem.num_rows(),
+            lines_before + static_cast<size_t>(r.value().lineitems_changed));
+  EXPECT_GE(r.value().lineitems_changed, 15);
+  EXPECT_LE(r.value().lineitems_changed, 15 * 7);
+}
+
+TEST(RefreshTest, Rf1KeysAreFreshAndValid) {
+  TpchDatabase db = GenerateDatabase(0.01);
+  int okey = db.orders.ColIndex("o_orderkey");
+  int64_t max_before = 0;
+  for (const auto& row : db.orders.rows()) {
+    max_before = std::max(max_before, AsInt(row[okey]));
+  }
+  ASSERT_TRUE(RefreshInsert(&db, 0).ok());
+  int ck = db.orders.ColIndex("o_custkey");
+  int found_new = 0;
+  for (const auto& row : db.orders.rows()) {
+    if (AsInt(row[okey]) > max_before) {
+      found_new++;
+      // Inserted orders respect the custkey mod-3 rule.
+      EXPECT_NE(AsInt(row[ck]) % 3, 0);
+      EXPECT_GE(AsInt(row[ck]), 1);
+      EXPECT_LE(AsInt(row[ck]),
+                static_cast<int64_t>(db.customer.num_rows()));
+    }
+  }
+  EXPECT_EQ(found_new, 15);
+}
+
+TEST(RefreshTest, Rf2RemovesOrdersAndTheirLineitems) {
+  TpchDatabase db = GenerateDatabase(0.01);
+  size_t orders_before = db.orders.num_rows();
+  auto r = RefreshDelete(&db, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().orders_changed, 15);
+  EXPECT_EQ(db.orders.num_rows(), orders_before - 15);
+  // No orphaned lineitems: every l_orderkey still has its order.
+  std::set<int64_t> live;
+  int okey = db.orders.ColIndex("o_orderkey");
+  for (const auto& row : db.orders.rows()) live.insert(AsInt(row[okey]));
+  int lkey = db.lineitem.ColIndex("l_orderkey");
+  for (const auto& row : db.lineitem.rows()) {
+    EXPECT_TRUE(live.count(AsInt(row[lkey])))
+        << "orphan lineitem for order " << AsInt(row[lkey]);
+  }
+}
+
+TEST(RefreshTest, InsertThenDeleteRoundTripPreservesQueryability) {
+  TpchDatabase db = GenerateDatabase(0.005);
+  exec::Table q1_before = RunQuery(1, db);
+  ASSERT_TRUE(RefreshInsert(&db, 0).ok());
+  ASSERT_TRUE(RefreshDelete(&db, 1).ok());
+  // Queries still run and produce the same group structure.
+  exec::Table q1_after = RunQuery(1, db);
+  EXPECT_EQ(q1_after.num_cols(), q1_before.num_cols());
+  EXPECT_GE(q1_after.num_rows(), 3u);
+}
+
+TEST(RefreshTest, StreamsInsertDistinctKeys) {
+  TpchDatabase db = GenerateDatabase(0.005);
+  ASSERT_TRUE(RefreshInsert(&db, 0).ok());
+  size_t after_one = db.orders.num_rows();
+  ASSERT_TRUE(RefreshInsert(&db, 1).ok());
+  EXPECT_GT(db.orders.num_rows(), after_one);
+  // All orderkeys unique.
+  std::set<int64_t> keys;
+  int okey = db.orders.ColIndex("o_orderkey");
+  for (const auto& row : db.orders.rows()) {
+    EXPECT_TRUE(keys.insert(AsInt(row[okey])).second);
+  }
+}
+
+TEST(RefreshTest, DeletePastEndFails) {
+  TpchDatabase db = GenerateDatabase(0.001);
+  EXPECT_EQ(RefreshDelete(&db, 1000000).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(RefreshTest, NullDatabaseRejected) {
+  EXPECT_EQ(RefreshInsert(nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RefreshDelete(nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RefreshCostTest, PaperHiveCannotRunThem) {
+  RefreshCost cost = EstimateRefreshCost(1000, /*hive_supports_dml=*/false);
+  EXPECT_FALSE(cost.hive_supported);
+  EXPECT_GT(cost.pdw_seconds, 0);
+}
+
+TEST(RefreshCostTest, HiveDeletesRewritePartitions) {
+  RefreshCost cost = EstimateRefreshCost(1000, /*hive_supports_dml=*/true);
+  EXPECT_TRUE(cost.hive_supported);
+  // Hive's rewrite-based DML is far more expensive than PDW's bulk DML.
+  EXPECT_GT(cost.hive_seconds, 10 * cost.pdw_seconds);
+}
+
+}  // namespace
+}  // namespace elephant::tpch

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/units.h"
+#include "sim/resources.h"
+#include "sim/simulation.h"
+
+namespace elephant::sim {
+namespace {
+
+TEST(SimulationTest, CallbacksRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleCall(30, [&] { order.push_back(3); });
+  sim.ScheduleCall(10, [&] { order.push_back(1); });
+  sim.ScheduleCall(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(SimulationTest, TiesBreakByInsertionOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.ScheduleCall(10, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulationTest, RunUntilStopsClock) {
+  Simulation sim;
+  int fired = 0;
+  sim.ScheduleCall(10, [&] { fired++; });
+  sim.ScheduleCall(100, [&] { fired++; });
+  sim.Run(/*until=*/50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.Idle());
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+Task DelayTwice(Simulation* sim, std::vector<SimTime>* times) {
+  co_await sim->Delay(5);
+  times->push_back(sim->now());
+  co_await sim->Delay(7);
+  times->push_back(sim->now());
+}
+
+TEST(SimulationTest, CoroutineDelays) {
+  Simulation sim;
+  std::vector<SimTime> times;
+  DelayTwice(&sim, &times);
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<SimTime>{5, 12}));
+}
+
+Task UseServer(Simulation* sim, Server* server, SimTime service,
+               std::vector<SimTime>* done) {
+  (void)sim;
+  co_await server->Acquire(service);
+  done->push_back(sim->now());
+}
+
+TEST(ServerTest, SingleServerQueuesFcfs) {
+  Simulation sim;
+  Server server(&sim, 1);
+  std::vector<SimTime> done;
+  UseServer(&sim, &server, 10, &done);
+  UseServer(&sim, &server, 10, &done);
+  UseServer(&sim, &server, 10, &done);
+  sim.Run();
+  EXPECT_EQ(done, (std::vector<SimTime>{10, 20, 30}));
+  EXPECT_EQ(server.requests(), 3);
+  EXPECT_EQ(server.busy_time(), 30);
+  EXPECT_EQ(server.wait_time(), 0 + 10 + 20);
+}
+
+TEST(ServerTest, MultiServerRunsInParallel) {
+  Simulation sim;
+  Server server(&sim, 2);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 4; ++i) UseServer(&sim, &server, 10, &done);
+  sim.Run();
+  // Two at a time: completions at 10,10,20,20.
+  EXPECT_EQ(done, (std::vector<SimTime>{10, 10, 20, 20}));
+}
+
+TEST(ServerTest, UtilizationTracksBusyFraction) {
+  Simulation sim;
+  Server server(&sim, 1);
+  std::vector<SimTime> done;
+  UseServer(&sim, &server, 50, &done);
+  sim.ScheduleCall(100, [] {});  // extend the clock to 100
+  sim.Run();
+  EXPECT_DOUBLE_EQ(server.Utilization(), 0.5);
+}
+
+TEST(DiskTest, SequentialVsRandomService) {
+  Simulation sim;
+  Disk::Config cfg;
+  cfg.seq_mbps = 100.0;
+  cfg.position_time = 8 * kMillisecond;
+  Disk disk(&sim, cfg);
+  // 1 MB sequential = 10 ms at 100 MB/s (decimal MB here: 1e6 bytes).
+  EXPECT_EQ(disk.ServiceTime(1000000, true), 10 * kMillisecond);
+  EXPECT_EQ(disk.ServiceTime(1000000, false), 18 * kMillisecond);
+  // An 8 KB random read is dominated by positioning.
+  SimTime t = disk.ServiceTime(8192, false);
+  EXPECT_GT(t, 8 * kMillisecond);
+  EXPECT_LT(t, 9 * kMillisecond);
+}
+
+TEST(LinkTest, GigabitTransferTime) {
+  Simulation sim;
+  Link::Config cfg;
+  cfg.gbps = 1.0;
+  cfg.per_message_latency = 100;
+  Link link(&sim, cfg);
+  // 125 MB at 1 Gb/s = 1 second.
+  EXPECT_EQ(link.TransferTime(125000000), kSecond + 100);
+}
+
+Task Reader(Simulation* sim, RwLock* lock, SimTime hold,
+            std::vector<std::pair<char, SimTime>>* log) {
+  co_await lock->AcquireShared();
+  log->push_back({'r', sim->now()});
+  co_await sim->Delay(hold);
+  lock->Release(false);
+}
+
+Task Writer(Simulation* sim, RwLock* lock, SimTime hold,
+            std::vector<std::pair<char, SimTime>>* log) {
+  co_await lock->AcquireExclusive();
+  log->push_back({'w', sim->now()});
+  co_await sim->Delay(hold);
+  lock->Release(true);
+}
+
+TEST(RwLockTest, ReadersShareWritersExclude) {
+  Simulation sim;
+  RwLock lock(&sim);
+  std::vector<std::pair<char, SimTime>> log;
+  Reader(&sim, &lock, 10, &log);
+  Reader(&sim, &lock, 10, &log);  // concurrent with first
+  Writer(&sim, &lock, 5, &log);   // waits for both readers
+  Reader(&sim, &lock, 10, &log);  // must wait behind the writer (FIFO)
+  sim.Run();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0], std::make_pair('r', SimTime{0}));
+  EXPECT_EQ(log[1], std::make_pair('r', SimTime{0}));
+  EXPECT_EQ(log[2], std::make_pair('w', SimTime{10}));
+  EXPECT_EQ(log[3], std::make_pair('r', SimTime{15}));
+  EXPECT_EQ(lock.writer_held_time(), 5);
+}
+
+TEST(RwLockTest, WriterBlocksAllReaders) {
+  Simulation sim;
+  RwLock lock(&sim);
+  std::vector<std::pair<char, SimTime>> log;
+  Writer(&sim, &lock, 100, &log);
+  for (int i = 0; i < 3; ++i) Reader(&sim, &lock, 1, &log);
+  sim.Run();
+  // All readers start only after the writer releases at t=100.
+  for (size_t i = 1; i < log.size(); ++i) {
+    EXPECT_EQ(log[i].second, 100);
+  }
+}
+
+TEST(OneShotEventTest, WakesAllWaiters) {
+  Simulation sim;
+  OneShotEvent ev(&sim);
+  int woke = 0;
+  auto waiter = [](Simulation* s, OneShotEvent* e, int* count) -> Task {
+    (void)s;
+    co_await e->Wait();
+    (*count)++;
+  };
+  waiter(&sim, &ev, &woke);
+  waiter(&sim, &ev, &woke);
+  sim.ScheduleCall(50, [&] { ev.Fire(); });
+  sim.Run();
+  EXPECT_EQ(woke, 2);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(LatchTest, JoinsFanOut) {
+  Simulation sim;
+  Latch latch(&sim, 3);
+  SimTime joined = -1;
+  auto joiner = [](Simulation* s, Latch* l, SimTime* t) -> Task {
+    co_await l->Wait();
+    *t = s->now();
+  };
+  joiner(&sim, &latch, &joined);
+  sim.ScheduleCall(10, [&] { latch.CountDown(); });
+  sim.ScheduleCall(20, [&] { latch.CountDown(); });
+  sim.ScheduleCall(30, [&] { latch.CountDown(); });
+  sim.Run();
+  EXPECT_EQ(joined, 30);
+}
+
+}  // namespace
+}  // namespace elephant::sim
+
+namespace elephant::cluster {
+namespace {
+
+TEST(DiskGroupTest, AggregateBandwidth) {
+  sim::Simulation sim;
+  sim::Disk::Config cfg;
+  cfg.seq_mbps = 100.0;
+  DiskGroup group(&sim, cfg, 8, "g");
+  EXPECT_DOUBLE_EQ(group.AggregateSeqBytesPerSec(), 800e6);
+  // The paper: 8 disks deliver ~800 MB/s aggregate sequential I/O.
+}
+
+TEST(DiskGroupTest, EightConcurrentRandomReads) {
+  sim::Simulation sim;
+  sim::Disk::Config cfg;
+  cfg.seq_mbps = 100.0;
+  cfg.position_time = 8 * kMillisecond;
+  DiskGroup group(&sim, cfg, 8, "g");
+  std::vector<SimTime> done;
+  auto reader = [](sim::Simulation* s, DiskGroup* g,
+                   std::vector<SimTime>* d) -> sim::Task {
+    co_await g->RandomRead(8192);
+    d->push_back(s->now());
+  };
+  for (int i = 0; i < 16; ++i) reader(&sim, &group, &done);
+  sim.Run();
+  ASSERT_EQ(done.size(), 16u);
+  // First 8 finish together, second 8 one service-time later.
+  EXPECT_EQ(done[0], done[7]);
+  EXPECT_GT(done[8], done[7]);
+  EXPECT_EQ(done[15], 2 * done[7]);
+}
+
+TEST(ClusterTest, PaperTestbedDefaults) {
+  sim::Simulation sim;
+  NodeConfig cfg;
+  Cluster cluster(&sim, 16, cfg);
+  EXPECT_EQ(cluster.num_nodes(), 16);
+  EXPECT_EQ(cluster.node(0).config().hardware_threads, 16);
+  EXPECT_EQ(cluster.node(0).memory_bytes(), 32LL * kGB);
+  EXPECT_EQ(cluster.node(15).id(), 15);
+}
+
+TEST(ClusterTest, ShuffleTimeScalesWithData) {
+  sim::Simulation sim;
+  NodeConfig cfg;
+  Cluster cluster(&sim, 16, cfg);
+  // 16 GB shuffled over 16 nodes at 1 Gb/s: each node sends 1 GB, 15/16
+  // of it remote -> 0.9375 GB * 8 / 1e9 ~ 7.7 s.
+  SimTime t = cluster.ShuffleTime(16LL * 1000000000, 16);
+  EXPECT_NEAR(SimTimeToSeconds(t), 7.5, 0.3);
+  // Doubling data doubles the time.
+  EXPECT_EQ(cluster.ShuffleTime(32LL * 1000000000, 16), 2 * t);
+}
+
+TEST(ClusterTest, BroadcastSenderBound) {
+  sim::Simulation sim;
+  NodeConfig cfg;
+  Cluster cluster(&sim, 16, cfg);
+  // 1 GB to 15 receivers at 1 Gb/s = 120 seconds.
+  SimTime t = cluster.BroadcastTime(1000000000, 16);
+  EXPECT_NEAR(SimTimeToSeconds(t), 120.0, 0.1);
+}
+
+TEST(ClusterTest, TransferChargesBothNics) {
+  sim::Simulation sim;
+  NodeConfig cfg;
+  Cluster cluster(&sim, 2, cfg);
+  sim::Latch done(&sim, 1);
+  cluster.Transfer(0, 1, 125000000, &done);  // 1 second of wire time
+  sim.Run();
+  EXPECT_GT(cluster.node(0).nic_tx().bytes_sent(), 0);
+  EXPECT_GE(SimTimeToSeconds(sim.now()), 1.0);
+}
+
+}  // namespace
+}  // namespace elephant::cluster

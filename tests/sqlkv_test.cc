@@ -1,0 +1,432 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "sim/simulation.h"
+#include "sqlkv/btree.h"
+#include "sqlkv/buffer_pool.h"
+#include "sqlkv/engine.h"
+#include "sqlkv/lock_manager.h"
+#include "sqlkv/wal.h"
+
+namespace elephant::sqlkv {
+namespace {
+
+// ------------------------------------------------------------- B+tree
+
+TEST(BTreeTest, InsertGetRoundTrip) {
+  BTree tree(8192);
+  EXPECT_TRUE(tree.Insert(42, {"hello", 0}).ok());
+  auto r = tree.Get(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().record->payload, "hello");
+  EXPECT_TRUE(tree.Get(43).status().IsNotFound());
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BTreeTest, DuplicateInsertRejected) {
+  BTree tree(8192);
+  ASSERT_TRUE(tree.Insert(1, {"a", 0}).ok());
+  EXPECT_EQ(tree.Insert(1, {"b", 0}).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(tree.Get(1).value().record->payload, "a");
+}
+
+TEST(BTreeTest, UpdateInPlace) {
+  BTree tree(8192);
+  ASSERT_TRUE(tree.Insert(7, {"old", 100}).ok());
+  ASSERT_TRUE(tree.Update(7, [](Record* r) { r->payload = "new"; }).ok());
+  EXPECT_EQ(tree.Get(7).value().record->payload, "new");
+  EXPECT_TRUE(tree.Update(8, [](Record*) {}).IsNotFound());
+}
+
+TEST(BTreeTest, RemoveAndNotFound) {
+  BTree tree(8192);
+  ASSERT_TRUE(tree.Insert(5, {"x", 0}).ok());
+  ASSERT_TRUE(tree.Remove(5).ok());
+  EXPECT_TRUE(tree.Get(5).status().IsNotFound());
+  EXPECT_TRUE(tree.Remove(5).IsNotFound());
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(BTreeTest, AscendingLoadPacksLeaves) {
+  // 1 KB records in 8 KB pages: a packed leaf holds 7; the rightmost
+  // split must leave loaded leaves full, not half-empty.
+  BTree tree(8192);
+  const int n = 7000;
+  for (uint64_t k = 0; k < n; ++k) {
+    ASSERT_TRUE(tree.Insert(k, {"", 1024}).ok());
+  }
+  double per_leaf = static_cast<double>(n) / tree.leaf_count();
+  EXPECT_GT(per_leaf, 6.0);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BTreeTest, RandomInsertInvariantsHold) {
+  BTree tree(4096);
+  Rng rng(7);
+  std::set<uint64_t> keys;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t k = rng.Uniform(1000000);
+    if (keys.insert(k).second) {
+      ASSERT_TRUE(tree.Insert(k, {"", 100}).ok());
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.size(), keys.size());
+  // Scan returns every key in order.
+  std::vector<uint64_t> scanned;
+  tree.Scan(0, static_cast<int>(keys.size()) + 10,
+            [&](uint64_t k, const Record&, uint64_t) {
+              scanned.push_back(k);
+            });
+  ASSERT_EQ(scanned.size(), keys.size());
+  auto it = keys.begin();
+  for (size_t i = 0; i < scanned.size(); ++i, ++it) {
+    EXPECT_EQ(scanned[i], *it);
+  }
+}
+
+TEST(BTreeTest, ScanFromMiddle) {
+  BTree tree(4096);
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(tree.Insert(k * 10, {"", 64}).ok());
+  }
+  std::vector<uint64_t> got;
+  int n = tree.Scan(495, 5, [&](uint64_t k, const Record&, uint64_t) {
+    got.push_back(k);
+  });
+  EXPECT_EQ(n, 5);
+  EXPECT_EQ(got, (std::vector<uint64_t>{500, 510, 520, 530, 540}));
+}
+
+TEST(BTreeTest, LowerBoundAndMaxKey) {
+  BTree tree(4096);
+  EXPECT_TRUE(tree.MaxKey().status().IsNotFound());
+  for (uint64_t k : {10u, 20u, 30u}) {
+    ASSERT_TRUE(tree.Insert(k, {"", 8}).ok());
+  }
+  EXPECT_EQ(tree.LowerBound(15).value(), 20u);
+  EXPECT_EQ(tree.LowerBound(30).value(), 30u);
+  EXPECT_TRUE(tree.LowerBound(31).status().IsNotFound());
+  EXPECT_EQ(tree.MaxKey().value(), 30u);
+}
+
+TEST(BTreeTest, LeafPageIdsAreStable) {
+  BTree tree(8192);
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(tree.Insert(k, {"", 1024}).ok());
+  }
+  uint64_t page = tree.Get(5).value().page_id;
+  // Touch unrelated parts of the tree; page of key 5 must not change.
+  for (uint64_t k = 1000; k < 1100; ++k) {
+    ASSERT_TRUE(tree.Insert(k, {"", 1024}).ok());
+  }
+  EXPECT_EQ(tree.Get(5).value().page_id, page);
+}
+
+// Property sweep: invariants hold across page sizes and record sizes.
+class BTreeParamTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(BTreeParamTest, InvariantsAcrossGeometries) {
+  auto [page_bytes, record_bytes] = GetParam();
+  BTree tree(page_bytes);
+  Rng rng(page_bytes * 31 + record_bytes);
+  std::set<uint64_t> keys;
+  for (int i = 0; i < 3000; ++i) {
+    uint64_t k = rng.Uniform(100000);
+    if (keys.insert(k).second) {
+      ASSERT_TRUE(
+          tree.Insert(k, {"", static_cast<int32_t>(record_bytes)}).ok());
+    }
+  }
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.size(), keys.size());
+  EXPECT_EQ(tree.logical_bytes(),
+            static_cast<int64_t>(keys.size()) * (record_bytes + 16));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, BTreeParamTest,
+    ::testing::Values(std::make_pair(4096, 100), std::make_pair(8192, 1024),
+                      std::make_pair(32768, 1024),
+                      std::make_pair(4096, 5000),  // record > page
+                      std::make_pair(8192, 10)));
+
+// -------------------------------------------------------- buffer pool
+
+TEST(BufferPoolTest, HitsAndMisses) {
+  BufferPool pool(10 * 8192, 8192);
+  EXPECT_FALSE(pool.Touch(1, false).hit);
+  EXPECT_TRUE(pool.Touch(1, false).hit);
+  EXPECT_EQ(pool.hits(), 1);
+  EXPECT_EQ(pool.misses(), 1);
+  EXPECT_DOUBLE_EQ(pool.HitRate(), 0.5);
+}
+
+TEST(BufferPoolTest, LruEviction) {
+  BufferPool pool(3 * 8192, 8192);
+  pool.Touch(1, false);
+  pool.Touch(2, false);
+  pool.Touch(3, false);
+  pool.Touch(1, false);  // promote 1
+  auto access = pool.Touch(4, false);
+  EXPECT_TRUE(access.evicted);
+  EXPECT_EQ(access.evicted_page, 2u);  // LRU victim
+  EXPECT_TRUE(pool.Contains(1));
+  EXPECT_FALSE(pool.Contains(2));
+}
+
+TEST(BufferPoolTest, DirtyTrackingAndEviction) {
+  BufferPool pool(2 * 8192, 8192);
+  pool.Touch(1, true);
+  EXPECT_EQ(pool.dirty_count(), 1u);
+  pool.Touch(2, false);
+  auto access = pool.Touch(3, false);
+  EXPECT_TRUE(access.evicted_dirty);
+  EXPECT_EQ(access.evicted_page, 1u);
+  EXPECT_EQ(pool.dirty_count(), 0u);
+}
+
+TEST(BufferPoolTest, MarkCleanAndDirtyList) {
+  BufferPool pool(10 * 8192, 8192);
+  pool.Touch(1, true);
+  pool.Touch(2, true);
+  pool.Touch(3, false);
+  auto dirty = pool.DirtyPages();
+  EXPECT_EQ(dirty.size(), 2u);
+  pool.MarkClean(1);
+  EXPECT_EQ(pool.dirty_count(), 1u);
+  EXPECT_EQ(pool.DirtyPages(), std::vector<uint64_t>{2});
+}
+
+// ----------------------------------------------------------- lock mgr
+
+TEST(LockManagerTest, ReclaimsIdleLocks) {
+  sim::Simulation sim;
+  LockManager locks(&sim);
+  bool acquired = false;
+  auto t = [](sim::Simulation* s, LockManager* lm, bool* ok) -> sim::Task {
+    (void)s;
+    co_await lm->LockFor(42).AcquireExclusive();
+    *ok = true;
+    lm->Release(42, true);
+  };
+  t(&sim, &locks, &acquired);
+  sim.Run();
+  EXPECT_TRUE(acquired);
+  EXPECT_EQ(locks.active_locks(), 0u);  // reclaimed after release
+}
+
+TEST(LockManagerTest, DifferentKeysDoNotConflict) {
+  sim::Simulation sim;
+  LockManager locks(&sim);
+  std::vector<SimTime> done;
+  auto writer = [](sim::Simulation* s, LockManager* lm, uint64_t key,
+                   std::vector<SimTime>* d) -> sim::Task {
+    co_await lm->LockFor(key).AcquireExclusive();
+    co_await s->Delay(10);
+    lm->Release(key, true);
+    d->push_back(s->now());
+  };
+  writer(&sim, &locks, 1, &done);
+  writer(&sim, &locks, 2, &done);
+  sim.Run();
+  EXPECT_EQ(done, (std::vector<SimTime>{10, 10}));  // parallel
+}
+
+TEST(LockManagerTest, SameKeySerializes) {
+  sim::Simulation sim;
+  LockManager locks(&sim);
+  std::vector<SimTime> done;
+  auto writer = [](sim::Simulation* s, LockManager* lm, uint64_t key,
+                   std::vector<SimTime>* d) -> sim::Task {
+    co_await lm->LockFor(key).AcquireExclusive();
+    co_await s->Delay(10);
+    lm->Release(key, true);
+    d->push_back(s->now());
+  };
+  writer(&sim, &locks, 1, &done);
+  writer(&sim, &locks, 1, &done);
+  sim.Run();
+  EXPECT_EQ(done, (std::vector<SimTime>{10, 20}));
+}
+
+// ----------------------------------------------------------------- WAL
+
+TEST(WalTest, GroupCommitBatchesConcurrentWrites) {
+  sim::Simulation sim;
+  GroupCommitLog::Options opt;
+  opt.flush_latency = 1000;  // 1 ms
+  GroupCommitLog log(&sim, opt);
+  // First commit starts a flush; the next 9 arrive while it is in
+  // flight and share the second flush.
+  sim::Latch done(&sim, 10);
+  for (int i = 0; i < 10; ++i) log.Append(100, &done);
+  sim.Run();
+  EXPECT_EQ(done.count(), 0);
+  EXPECT_EQ(log.flushes(), 2);
+  EXPECT_GT(log.MeanBatchSize(), 4.0);
+  EXPECT_EQ(log.bytes_written(), 1000);
+}
+
+TEST(WalTest, SequentialCommitsFlushIndividually) {
+  sim::Simulation sim;
+  GroupCommitLog log(&sim, {});
+  for (int i = 0; i < 3; ++i) {
+    sim::Latch done(&sim, 1);
+    log.Append(100, &done);
+    sim.Run();
+    EXPECT_EQ(done.count(), 0);
+  }
+  EXPECT_EQ(log.flushes(), 3);
+}
+
+// --------------------------------------------------------- SqlEngine
+
+class SqlEngineTest : public ::testing::Test {
+ protected:
+  SqlEngineTest() : node_(&sim_, 0, cluster::NodeConfig{}) {}
+
+  SqlEngine MakeEngine(SqlEngineOptions opt = {}) {
+    return SqlEngine(&sim_, &node_, opt);
+  }
+
+  sim::Simulation sim_;
+  cluster::Node node_;
+};
+
+TEST_F(SqlEngineTest, ReadHitVsMissLatency) {
+  SqlEngine engine = MakeEngine();
+  for (uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(engine.LoadRecord(k, 1024).ok());
+  }
+  // Cold read: 8 KB random I/O (~8 ms).
+  OpOutcome out1;
+  sim::Latch d1(&sim_, 1);
+  SimTime t0 = sim_.now();
+  engine.Read(5, &out1, &d1);
+  sim_.Run();
+  SimTime cold = sim_.now() - t0;
+  EXPECT_TRUE(out1.ok);
+  EXPECT_GT(cold, 7 * kMillisecond);
+  // Warm read of the same page: no I/O.
+  OpOutcome out2;
+  sim::Latch d2(&sim_, 1);
+  t0 = sim_.now();
+  engine.Read(5, &out2, &d2);
+  sim_.Run();
+  SimTime warm = sim_.now() - t0;
+  EXPECT_LT(warm, kMillisecond);
+  EXPECT_EQ(engine.disk_reads(), 1);
+}
+
+TEST_F(SqlEngineTest, ReadOfMissingKeyReturnsNotFound) {
+  SqlEngine engine = MakeEngine();
+  OpOutcome out;
+  sim::Latch d(&sim_, 1);
+  engine.Read(999, &out, &d);
+  sim_.Run();
+  EXPECT_FALSE(out.ok);
+}
+
+TEST_F(SqlEngineTest, UpdateWaitsForWalAndDirtiesPage) {
+  SqlEngine engine = MakeEngine();
+  ASSERT_TRUE(engine.LoadRecord(1, 1024).ok());
+  OpOutcome out;
+  sim::Latch d(&sim_, 1);
+  SimTime t0 = sim_.now();
+  engine.Update(1, 100, &out, &d);
+  sim_.Run();
+  EXPECT_TRUE(out.ok);
+  // Latency includes the fault and the group-commit flush.
+  EXPECT_GT(sim_.now() - t0, engine.log().flushes() > 0
+                                 ? 8 * kMillisecond
+                                 : 0);
+  EXPECT_EQ(engine.log().flushes(), 1);
+  EXPECT_EQ(engine.pool().dirty_count(), 1u);
+}
+
+TEST_F(SqlEngineTest, InsertNewKeySkipsDiskRead) {
+  SqlEngine engine = MakeEngine();
+  OpOutcome out;
+  sim::Latch d(&sim_, 1);
+  engine.Insert(1, 1024, &out, &d);
+  sim_.Run();
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(engine.disk_reads(), 0);  // freshly allocated page
+}
+
+TEST_F(SqlEngineTest, ReadCommittedReadsBlockOnWriters) {
+  SqlEngineOptions opt;
+  SqlEngine engine = MakeEngine(opt);
+  ASSERT_TRUE(engine.LoadRecord(1, 1024).ok());
+  // Warm the page so timings are lock-dominated.
+  {
+    OpOutcome o;
+    sim::Latch d(&sim_, 1);
+    engine.Read(1, &o, &d);
+    sim_.Run();
+  }
+  // Start an update (holds X lock through the WAL flush), then a read.
+  OpOutcome uo, ro;
+  sim::Latch ud(&sim_, 1), rd(&sim_, 1);
+  SimTime t0 = sim_.now();
+  engine.Update(1, 100, &uo, &ud);
+  engine.Read(1, &ro, &rd);
+  sim_.Run();
+  // The read completed only after the update's commit (> flush latency).
+  EXPECT_GT(sim_.now() - t0, engine.log().flushes() * 100L);
+  EXPECT_TRUE(uo.ok);
+  EXPECT_TRUE(ro.ok);
+}
+
+TEST_F(SqlEngineTest, ReadUncommittedSkipsLocks) {
+  SqlEngineOptions opt;
+  opt.read_uncommitted = true;
+  SqlEngine engine = MakeEngine(opt);
+  ASSERT_TRUE(engine.LoadRecord(1, 1024).ok());
+  OpOutcome o;
+  sim::Latch d(&sim_, 1);
+  engine.Read(1, &o, &d);
+  sim_.Run();
+  EXPECT_TRUE(o.ok);
+  EXPECT_EQ(engine.locks().total_acquisitions(), 0);
+}
+
+TEST_F(SqlEngineTest, CheckpointerFlushesDirtyPages) {
+  SqlEngineOptions opt;
+  opt.checkpoint_interval = 100 * kMillisecond;
+  SqlEngine engine = MakeEngine(opt);
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(engine.LoadRecord(k, 1024).ok());
+  }
+  engine.Start();
+  OpOutcome o;
+  sim::Latch d(&sim_, 1);
+  engine.Update(1, 100, &o, &d);
+  sim_.Run(500 * kMillisecond);
+  engine.Stop();
+  EXPECT_GE(engine.checkpoints(), 1);
+  EXPECT_EQ(engine.pool().dirty_count(), 0u);
+}
+
+TEST_F(SqlEngineTest, ScanReadsRangeInOrder) {
+  SqlEngine engine = MakeEngine();
+  for (uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(engine.LoadRecord(k, 1024).ok());
+  }
+  OpOutcome o;
+  sim::Latch d(&sim_, 1);
+  engine.Scan(100, 50, &o, &d);
+  sim_.Run();
+  EXPECT_TRUE(o.ok);
+  EXPECT_EQ(o.records, 50);
+  EXPECT_GT(engine.disk_reads(), 0);
+}
+
+}  // namespace
+}  // namespace elephant::sqlkv

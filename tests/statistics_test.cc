@@ -1,0 +1,150 @@
+// Statistics over real dbgen data, and the calibration-validation tests
+// promised in DESIGN.md: the selectivity constants baked into the Hive
+// and PDW plan volumes must match what the reference executor measures
+// on generated data.
+
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "exec/statistics.h"
+#include "tpch/dbgen.h"
+
+namespace elephant::exec {
+namespace {
+
+using tpch::TpchDatabase;
+
+const TpchDatabase& Db() {
+  static const TpchDatabase* db =
+      new TpchDatabase(tpch::GenerateDatabase(0.02));
+  return *db;
+}
+
+TEST(StatisticsTest, BasicStatsOnFixture) {
+  Table t({{"x", ValueType::kInt}, {"s", ValueType::kString}});
+  t.AddRow({Value{int64_t{5}}, Value{std::string("a")}});
+  t.AddRow({Value{int64_t{2}}, Value{std::string("b")}});
+  t.AddRow({Value{int64_t{5}}, Value{std::string("")}});
+  TableStats stats = ComputeStats(t);
+  EXPECT_EQ(stats.rows, 3);
+  const ColumnStats* x = stats.Find("x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(AsInt(x->min), 2);
+  EXPECT_EQ(AsInt(x->max), 5);
+  EXPECT_EQ(x->distinct, 2);
+  EXPECT_EQ(stats.Find("s")->null_like, 1);
+  EXPECT_EQ(stats.Find("missing"), nullptr);
+}
+
+TEST(StatisticsTest, TpchColumnDomains) {
+  TableStats orders = ComputeStats(Db().orders);
+  // Orderdate spans dbgen's calendar.
+  const ColumnStats* od = orders.Find("o_orderdate");
+  ASSERT_NE(od, nullptr);
+  EXPECT_GE(AsInt(od->min), tpch::StartDate());
+  EXPECT_LE(AsInt(od->max), tpch::EndDate());
+  // Five distinct priorities, three statuses.
+  EXPECT_EQ(orders.Find("o_orderpriority")->distinct, 5);
+  EXPECT_LE(orders.Find("o_orderstatus")->distinct, 3);
+  TableStats lineitem = ComputeStats(Db().lineitem);
+  EXPECT_EQ(lineitem.Find("l_shipmode")->distinct, 7);
+  EXPECT_EQ(lineitem.Find("l_returnflag")->distinct, 3);
+}
+
+// --- Calibration validation: plan constants vs measured fractions ----
+
+TEST(CalibrationTest, Q1ShipdateFilterSelectivity) {
+  // Plans assume nearly the whole lineitem table passes (paper Q1).
+  DateCode cutoff = MakeDate(1998, 12, 1) - 90;
+  int sd = Db().lineitem.ColIndex("l_shipdate");
+  double sel = Selectivity(Db().lineitem, [&](const Row& r) {
+    return AsInt(r[sd]) <= cutoff;
+  });
+  EXPECT_NEAR(sel, 0.985, 0.01);
+}
+
+TEST(CalibrationTest, Q3BuildingSegmentIsOneFifth) {
+  int seg = Db().customer.ColIndex("c_mktsegment");
+  double sel = Selectivity(Db().customer, [&](const Row& r) {
+    return AsString(r[seg]) == "BUILDING";
+  });
+  EXPECT_NEAR(sel, 0.2, 0.02);  // 1 of 5 segments
+}
+
+TEST(CalibrationTest, Q5OrderdateYearWindow) {
+  // The Hive/PDW Q5 plans carry ~15% of orders (one year of ~6.5).
+  DateCode lo = MakeDate(1994, 1, 1);
+  DateCode hi = AddYears(lo, 1);
+  int od = Db().orders.ColIndex("o_orderdate");
+  double sel = Selectivity(Db().orders, [&](const Row& r) {
+    int64_t d = AsInt(r[od]);
+    return d >= lo && d < hi;
+  });
+  EXPECT_NEAR(sel, 0.152, 0.02);
+}
+
+TEST(CalibrationTest, Q6CombinedFilter) {
+  DateCode lo = MakeDate(1994, 1, 1);
+  DateCode hi = AddYears(lo, 1);
+  const Table& l = Db().lineitem;
+  int sd = l.ColIndex("l_shipdate");
+  int di = l.ColIndex("l_discount");
+  int qt = l.ColIndex("l_quantity");
+  double sel = Selectivity(l, [&](const Row& r) {
+    int64_t d = AsInt(r[sd]);
+    double disc = AsDouble(r[di]);
+    return d >= lo && d < hi && disc >= 0.05 - 1e-9 &&
+           disc <= 0.07 + 1e-9 && AsDouble(r[qt]) < 24;
+  });
+  // ~15.2% (year) x ~27% (3 of 11 discounts) x ~46% (qty < 24) ~ 1.9%.
+  EXPECT_NEAR(sel, 0.019, 0.006);
+}
+
+TEST(CalibrationTest, Q19ShipmodeInstructPushdown) {
+  // hive/plans.cc pushes shipmode IN (AIR, AIR REG) AND shipinstruct =
+  // DELIVER IN PERSON into Q19's mappers at ~7.1%.
+  const Table& l = Db().lineitem;
+  int mode = l.ColIndex("l_shipmode");
+  int instr = l.ColIndex("l_shipinstruct");
+  double sel = Selectivity(l, [&](const Row& r) {
+    const std::string& m = AsString(r[mode]);
+    return (m == "AIR" || m == "REG AIR") &&
+           AsString(r[instr]) == "DELIVER IN PERSON";
+  });
+  EXPECT_NEAR(sel, 2.0 / 7 * 0.25, 0.01);
+}
+
+TEST(CalibrationTest, ReturnedFlagFraction) {
+  // Q10's plans carry ~24.7% of lineitems (returnflag = R: half of the
+  // ~49% shipped before the spec's CURRENTDATE).
+  int rf = Db().lineitem.ColIndex("l_returnflag");
+  double sel = Selectivity(Db().lineitem, [&](const Row& r) {
+    return AsString(r[rf]) == "R";
+  });
+  EXPECT_NEAR(sel, 0.247, 0.02);
+}
+
+TEST(CalibrationTest, LateLineitemsForQ4) {
+  // commitdate < receiptdate: ~63% per the plan volumes.
+  const Table& l = Db().lineitem;
+  int cd = l.ColIndex("l_commitdate");
+  int rd = l.ColIndex("l_receiptdate");
+  double sel = Selectivity(l, [&](const Row& r) {
+    return AsInt(r[cd]) < AsInt(r[rd]);
+  });
+  EXPECT_NEAR(sel, 0.63, 0.05);
+}
+
+TEST(CalibrationTest, JoinFanouts) {
+  // Every lineitem has its order; two thirds of customers have orders.
+  EXPECT_DOUBLE_EQ(JoinMatchFraction(Db().lineitem, Db().orders,
+                                     "l_orderkey", "o_orderkey"),
+                   1.0);
+  double cust_with_orders = JoinMatchFraction(
+      Db().customer, Db().orders, "c_custkey", "o_custkey");
+  // custkey % 3 == 0 never orders; the rest nearly all do at SF >= 0.02.
+  EXPECT_NEAR(cust_with_orders, 2.0 / 3, 0.05);
+}
+
+}  // namespace
+}  // namespace elephant::exec

@@ -1,0 +1,542 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/date.h"
+#include "exec/operators.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+#include "tpch/schema.h"
+
+namespace elephant::tpch {
+namespace {
+
+using exec::AsDouble;
+using exec::AsInt;
+using exec::AsString;
+using exec::Row;
+using exec::Table;
+
+// One shared mini database for the whole suite (SF 0.01: 15k orders,
+// ~60k lineitems).
+const TpchDatabase& Db() {
+  static const TpchDatabase* db = new TpchDatabase(GenerateDatabase(0.01));
+  return *db;
+}
+
+TEST(SchemaTest, RowCountsFollowSpec) {
+  EXPECT_EQ(RowCountAtScale(TableId::kRegion, 1000), 5);
+  EXPECT_EQ(RowCountAtScale(TableId::kNation, 1000), 25);
+  EXPECT_EQ(RowCountAtScale(TableId::kSupplier, 1), 10000);
+  EXPECT_EQ(RowCountAtScale(TableId::kPart, 1), 200000);
+  EXPECT_EQ(RowCountAtScale(TableId::kPartsupp, 1), 800000);
+  EXPECT_EQ(RowCountAtScale(TableId::kCustomer, 1), 150000);
+  EXPECT_EQ(RowCountAtScale(TableId::kOrders, 1), 1500000);
+  EXPECT_EQ(RowCountAtScale(TableId::kLineitem, 1), 6000000);
+  // Scale factors from the paper.
+  EXPECT_EQ(RowCountAtScale(TableId::kLineitem, 16000), 96000000000LL);
+}
+
+TEST(SchemaTest, SparseOrderkeys8Of32) {
+  // dbgen uses only the first 8 orderkeys of each 32-key block.
+  EXPECT_EQ(SparseOrderkey(0), 1);
+  EXPECT_EQ(SparseOrderkey(7), 8);
+  EXPECT_EQ(SparseOrderkey(8), 33);
+  EXPECT_EQ(SparseOrderkey(15), 40);
+  EXPECT_EQ(SparseOrderkey(16), 65);
+}
+
+TEST(SchemaTest, SchemasHaveTpchColumns) {
+  auto l = TableSchema(TableId::kLineitem);
+  EXPECT_EQ(l.size(), 16u);
+  auto o = TableSchema(TableId::kOrders);
+  EXPECT_EQ(o.size(), 9u);
+  for (int t = 0; t < kNumTables; ++t) {
+    EXPECT_GT(TableSchema(static_cast<TableId>(t)).size(), 2u);
+    EXPECT_GT(AvgRowBytes(static_cast<TableId>(t)), 0);
+  }
+}
+
+TEST(DbgenTest, CardinalitiesMatchSpec) {
+  const TpchDatabase& db = Db();
+  EXPECT_EQ(db.region.num_rows(), 5u);
+  EXPECT_EQ(db.nation.num_rows(), 25u);
+  EXPECT_EQ(db.supplier.num_rows(), 100u);
+  EXPECT_EQ(db.part.num_rows(), 2000u);
+  EXPECT_EQ(db.partsupp.num_rows(), 8000u);
+  EXPECT_EQ(db.customer.num_rows(), 1500u);
+  EXPECT_EQ(db.orders.num_rows(), 15000u);
+  // Lineitem: 1..7 per order, expect ~4 per order.
+  EXPECT_GT(db.lineitem.num_rows(), 15000u * 3);
+  EXPECT_LT(db.lineitem.num_rows(), 15000u * 5);
+}
+
+TEST(DbgenTest, OrderkeysAreSparse) {
+  const TpchDatabase& db = Db();
+  int okey = db.orders.ColIndex("o_orderkey");
+  for (size_t i = 0; i < 100; ++i) {
+    int64_t k = AsInt(db.orders.rows()[i][okey]);
+    EXPECT_LE((k - 1) % 32, 7) << "orderkey " << k << " outside dense run";
+  }
+}
+
+TEST(DbgenTest, CustkeysSkipMultiplesOfThree) {
+  const TpchDatabase& db = Db();
+  int ck = db.orders.ColIndex("o_custkey");
+  for (const Row& r : db.orders.rows()) {
+    EXPECT_NE(AsInt(r[ck]) % 3, 0);
+  }
+}
+
+TEST(DbgenTest, LineitemDatesAreConsistent) {
+  const TpchDatabase& db = Db();
+  int sd = db.lineitem.ColIndex("l_shipdate");
+  int cd = db.lineitem.ColIndex("l_commitdate");
+  int rd = db.lineitem.ColIndex("l_receiptdate");
+  int rf = db.lineitem.ColIndex("l_returnflag");
+  int ls = db.lineitem.ColIndex("l_linestatus");
+  DateCode today = CurrentDate();
+  for (const Row& r : db.lineitem.rows()) {
+    int64_t ship = AsInt(r[sd]);
+    int64_t receipt = AsInt(r[rd]);
+    EXPECT_GT(receipt, ship);
+    EXPECT_GE(AsInt(r[cd]), StartDate());
+    // Return flag rule: N iff receipt after CURRENTDATE.
+    if (receipt <= today) {
+      EXPECT_NE(AsString(r[rf]), "N");
+    } else {
+      EXPECT_EQ(AsString(r[rf]), "N");
+    }
+    // Line status rule.
+    EXPECT_EQ(AsString(r[ls]), ship > today ? "O" : "F");
+  }
+}
+
+TEST(DbgenTest, LineitemKeysReferenceValidRows) {
+  const TpchDatabase& db = Db();
+  int pk = db.lineitem.ColIndex("l_partkey");
+  int sk = db.lineitem.ColIndex("l_suppkey");
+  int64_t parts = static_cast<int64_t>(db.part.num_rows());
+  int64_t supps = static_cast<int64_t>(db.supplier.num_rows());
+  for (const Row& r : db.lineitem.rows()) {
+    int64_t p = AsInt(r[pk]);
+    int64_t s = AsInt(r[sk]);
+    EXPECT_GE(p, 1);
+    EXPECT_LE(p, parts);
+    EXPECT_GE(s, 1);
+    EXPECT_LE(s, supps);
+  }
+}
+
+TEST(DbgenTest, LineitemSuppkeyIsAPartsuppSupplier) {
+  const TpchDatabase& db = Db();
+  // Build the partsupp relation's (partkey -> suppliers) map.
+  int pspk = db.partsupp.ColIndex("ps_partkey");
+  int pssk = db.partsupp.ColIndex("ps_suppkey");
+  std::unordered_map<int64_t, std::unordered_set<int64_t>> offers;
+  for (const Row& r : db.partsupp.rows()) {
+    offers[AsInt(r[pspk])].insert(AsInt(r[pssk]));
+  }
+  int lpk = db.lineitem.ColIndex("l_partkey");
+  int lsk = db.lineitem.ColIndex("l_suppkey");
+  for (const Row& r : db.lineitem.rows()) {
+    ASSERT_TRUE(offers.at(AsInt(r[lpk])).count(AsInt(r[lsk])))
+        << "lineitem references a (part, supplier) pair not in partsupp";
+  }
+}
+
+TEST(DbgenTest, EachPartHasFourSuppliers) {
+  const TpchDatabase& db = Db();
+  int pspk = db.partsupp.ColIndex("ps_partkey");
+  int pssk = db.partsupp.ColIndex("ps_suppkey");
+  std::unordered_map<int64_t, std::unordered_set<int64_t>> offers;
+  for (const Row& r : db.partsupp.rows()) {
+    offers[AsInt(r[pspk])].insert(AsInt(r[pssk]));
+  }
+  EXPECT_EQ(offers.size(), db.part.num_rows());
+  for (const auto& [p, s] : offers) {
+    EXPECT_EQ(s.size(), 4u) << "part " << p;
+  }
+}
+
+TEST(DbgenTest, TotalpriceMatchesLineitems) {
+  const TpchDatabase& db = Db();
+  int lok = db.lineitem.ColIndex("l_orderkey");
+  int ep = db.lineitem.ColIndex("l_extendedprice");
+  int di = db.lineitem.ColIndex("l_discount");
+  int tx = db.lineitem.ColIndex("l_tax");
+  std::unordered_map<int64_t, double> totals;
+  for (const Row& r : db.lineitem.rows()) {
+    totals[AsInt(r[lok])] +=
+        AsDouble(r[ep]) * (1 + AsDouble(r[tx])) * (1 - AsDouble(r[di]));
+  }
+  int ook = db.orders.ColIndex("o_orderkey");
+  int tp = db.orders.ColIndex("o_totalprice");
+  for (const Row& r : db.orders.rows()) {
+    EXPECT_NEAR(AsDouble(r[tp]), totals.at(AsInt(r[ook])), 0.01);
+  }
+}
+
+TEST(DbgenTest, DeterministicForSeed) {
+  TpchDatabase a = GenerateDatabase(0.001);
+  TpchDatabase b = GenerateDatabase(0.001);
+  ASSERT_EQ(a.lineitem.num_rows(), b.lineitem.num_rows());
+  for (size_t i = 0; i < a.lineitem.num_rows(); i += 97) {
+    EXPECT_EQ(AsInt(a.lineitem.rows()[i][1]), AsInt(b.lineitem.rows()[i][1]));
+  }
+}
+
+// The paper §3.3.1: at SF 16000 dbgen's 32-bit RANDOM overflows and
+// produces negative part/cust keys; the RANDOM64 fix repairs it. We
+// reproduce with a forced key range above INT32_MAX.
+TEST(DbgenTest, Random32ProducesNegativeKeysAtHugeScale) {
+  DbgenOptions opt;
+  opt.use_random64 = false;
+  opt.forced_part_count = 3200000000LL;  // SF 16000's part count
+  TpchDatabase db = GenerateDatabase(0.0005, opt);
+  int pk = db.lineitem.ColIndex("l_partkey");
+  bool saw_negative = false;
+  for (const Row& r : db.lineitem.rows()) {
+    if (AsInt(r[pk]) < 0) saw_negative = true;
+  }
+  EXPECT_TRUE(saw_negative);
+}
+
+TEST(DbgenTest, Random64FixesHugeScale) {
+  DbgenOptions opt;
+  opt.use_random64 = true;
+  opt.forced_part_count = 3200000000LL;
+  TpchDatabase db = GenerateDatabase(0.0005, opt);
+  int pk = db.lineitem.ColIndex("l_partkey");
+  for (const Row& r : db.lineitem.rows()) {
+    EXPECT_GT(AsInt(r[pk]), 0);
+  }
+}
+
+// ---- Query result checks -------------------------------------------------
+
+TEST(QueryTest, AllQueriesRunAndProduceSchemas) {
+  const TpchDatabase& db = Db();
+  for (int q = 1; q <= kNumQueries; ++q) {
+    Table result = RunQuery(q, db);
+    EXPECT_GT(result.num_cols(), 0) << "Q" << q;
+    SCOPED_TRACE(QueryName(q));
+  }
+}
+
+TEST(QueryTest, Q1GroupsAndTotalsAreConsistent) {
+  const TpchDatabase& db = Db();
+  Table r = RunQuery(1, db);
+  // At most 4 (returnflag, linestatus) combos exist: AF, NF, NO, RF.
+  EXPECT_GE(r.num_rows(), 3u);
+  EXPECT_LE(r.num_rows(), 4u);
+  // Sum of per-group counts == rows passing the date filter (brute force).
+  int cnt = r.ColIndex("count_order");
+  int64_t total = 0;
+  for (const Row& row : r.rows()) total += AsInt(row[cnt]);
+  int sd = db.lineitem.ColIndex("l_shipdate");
+  DateCode cutoff = MakeDate(1998, 12, 1) - 90;
+  int64_t expected = 0;
+  for (const Row& row : db.lineitem.rows()) {
+    if (AsInt(row[sd]) <= cutoff) expected++;
+  }
+  EXPECT_EQ(total, expected);
+  // avg_qty consistency: sum_qty / countize.
+  int sq = r.ColIndex("sum_qty");
+  int aq = r.ColIndex("avg_qty");
+  for (const Row& row : r.rows()) {
+    EXPECT_NEAR(AsDouble(row[aq]),
+                AsDouble(row[sq]) / AsInt(row[cnt]), 1e-6);
+  }
+}
+
+TEST(QueryTest, Q1SortedByFlagStatus) {
+  Table r = RunQuery(1, Db());
+  for (size_t i = 1; i < r.num_rows(); ++i) {
+    std::string prev = AsString(r.rows()[i - 1][0]) +
+                       AsString(r.rows()[i - 1][1]);
+    std::string cur =
+        AsString(r.rows()[i][0]) + AsString(r.rows()[i][1]);
+    EXPECT_LT(prev, cur);
+  }
+}
+
+TEST(QueryTest, Q2ReturnsMinCostSuppliers) {
+  const TpchDatabase& db = Db();
+  Table r = RunQuery(2, db);
+  EXPECT_LE(r.num_rows(), 100u);
+  // s_acctbal descending.
+  for (size_t i = 1; i < r.num_rows(); ++i) {
+    EXPECT_GE(AsDouble(r.rows()[i - 1][0]), AsDouble(r.rows()[i][0]));
+  }
+}
+
+TEST(QueryTest, Q3TopTenByRevenue) {
+  Table r = RunQuery(3, Db());
+  EXPECT_LE(r.num_rows(), 10u);
+  EXPECT_GT(r.num_rows(), 0u);
+  int rev = r.ColIndex("revenue");
+  for (size_t i = 1; i < r.num_rows(); ++i) {
+    EXPECT_GE(AsDouble(r.rows()[i - 1][rev]), AsDouble(r.rows()[i][rev]));
+  }
+}
+
+TEST(QueryTest, Q4CountsMatchBruteForce) {
+  const TpchDatabase& db = Db();
+  Table r = RunQuery(4, db);
+  // Brute force: orders in window with at least one late lineitem.
+  int od = db.orders.ColIndex("o_orderdate");
+  int ok = db.orders.ColIndex("o_orderkey");
+  int op = db.orders.ColIndex("o_orderpriority");
+  int lok = db.lineitem.ColIndex("l_orderkey");
+  int cd = db.lineitem.ColIndex("l_commitdate");
+  int rd = db.lineitem.ColIndex("l_receiptdate");
+  std::unordered_set<int64_t> late_orders;
+  for (const Row& row : db.lineitem.rows()) {
+    if (AsInt(row[cd]) < AsInt(row[rd])) late_orders.insert(AsInt(row[lok]));
+  }
+  DateCode lo = MakeDate(1993, 7, 1);
+  DateCode hi = AddMonths(lo, 3);
+  std::unordered_map<std::string, int64_t> expected;
+  for (const Row& row : db.orders.rows()) {
+    int64_t d = AsInt(row[od]);
+    if (d >= lo && d < hi && late_orders.count(AsInt(row[ok]))) {
+      expected[AsString(row[op])]++;
+    }
+  }
+  ASSERT_EQ(r.num_rows(), expected.size());
+  int cnt = r.ColIndex("order_count");
+  for (const Row& row : r.rows()) {
+    EXPECT_EQ(AsInt(row[cnt]), expected.at(AsString(row[0])));
+  }
+}
+
+TEST(QueryTest, Q5RevenueDescendingAsiaNations) {
+  Table r = RunQuery(5, Db());
+  // Asia has 5 nations.
+  EXPECT_LE(r.num_rows(), 5u);
+  EXPECT_GT(r.num_rows(), 0u);
+  int rev = r.ColIndex("revenue");
+  for (size_t i = 1; i < r.num_rows(); ++i) {
+    EXPECT_GE(AsDouble(r.rows()[i - 1][rev]), AsDouble(r.rows()[i][rev]));
+  }
+  static const std::set<std::string> kAsia = {"INDIA", "INDONESIA", "JAPAN",
+                                              "CHINA", "VIETNAM"};
+  for (const Row& row : r.rows()) {
+    EXPECT_TRUE(kAsia.count(AsString(row[0])));
+  }
+}
+
+TEST(QueryTest, Q6MatchesBruteForce) {
+  const TpchDatabase& db = Db();
+  Table r = RunQuery(6, db);
+  ASSERT_EQ(r.num_rows(), 1u);
+  int sd = db.lineitem.ColIndex("l_shipdate");
+  int di = db.lineitem.ColIndex("l_discount");
+  int qt = db.lineitem.ColIndex("l_quantity");
+  int ep = db.lineitem.ColIndex("l_extendedprice");
+  DateCode lo = MakeDate(1994, 1, 1);
+  DateCode hi = AddYears(lo, 1);
+  double expected = 0;
+  for (const Row& row : db.lineitem.rows()) {
+    int64_t d = AsInt(row[sd]);
+    double disc = AsDouble(row[di]);
+    if (d >= lo && d < hi && disc >= 0.05 - 1e-9 && disc <= 0.07 + 1e-9 &&
+        AsDouble(row[qt]) < 24) {
+      expected += AsDouble(row[ep]) * disc;
+    }
+  }
+  EXPECT_NEAR(AsDouble(r.rows()[0][0]), expected, 1e-6);
+  EXPECT_GT(expected, 0);
+}
+
+TEST(QueryTest, Q7FranceGermanyPairsOnly) {
+  Table r = RunQuery(7, Db());
+  EXPECT_GT(r.num_rows(), 0u);
+  for (const Row& row : r.rows()) {
+    std::string a = AsString(row[0]);
+    std::string b = AsString(row[1]);
+    EXPECT_TRUE((a == "FRANCE" && b == "GERMANY") ||
+                (a == "GERMANY" && b == "FRANCE"));
+    int64_t year = AsInt(row[2]);
+    EXPECT_TRUE(year == 1995 || year == 1996);
+  }
+}
+
+TEST(QueryTest, Q8MarketShareInUnitRange) {
+  Table r = RunQuery(8, Db());
+  int ms = r.ColIndex("mkt_share");
+  for (const Row& row : r.rows()) {
+    EXPECT_GE(AsDouble(row[ms]), 0.0);
+    EXPECT_LE(AsDouble(row[ms]), 1.0);
+  }
+}
+
+TEST(QueryTest, Q9NationsSortedYearsDescending) {
+  Table r = RunQuery(9, Db());
+  EXPECT_GT(r.num_rows(), 0u);
+  for (size_t i = 1; i < r.num_rows(); ++i) {
+    const Row& prev = r.rows()[i - 1];
+    const Row& cur = r.rows()[i];
+    if (AsString(prev[0]) == AsString(cur[0])) {
+      EXPECT_GT(AsInt(prev[1]), AsInt(cur[1]));
+    } else {
+      EXPECT_LT(AsString(prev[0]), AsString(cur[0]));
+    }
+  }
+}
+
+TEST(QueryTest, Q10Top20Returners) {
+  Table r = RunQuery(10, Db());
+  EXPECT_LE(r.num_rows(), 20u);
+  EXPECT_GT(r.num_rows(), 0u);
+}
+
+TEST(QueryTest, Q11ValuesAboveThresholdDescending) {
+  Table r = RunQuery(11, Db());
+  EXPECT_GT(r.num_rows(), 0u);
+  int v = r.ColIndex("value");
+  for (size_t i = 1; i < r.num_rows(); ++i) {
+    EXPECT_GE(AsDouble(r.rows()[i - 1][v]), AsDouble(r.rows()[i][v]));
+  }
+}
+
+TEST(QueryTest, Q12MailAndShipOnly) {
+  Table r = RunQuery(12, Db());
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(AsString(r.rows()[0][0]), "MAIL");
+  EXPECT_EQ(AsString(r.rows()[1][0]), "SHIP");
+}
+
+TEST(QueryTest, Q13CustomerCountsCoverAllCustomers) {
+  const TpchDatabase& db = Db();
+  Table r = RunQuery(13, db);
+  int cd = r.ColIndex("custdist");
+  int64_t total = 0;
+  for (const Row& row : r.rows()) total += AsInt(row[cd]);
+  EXPECT_EQ(total, static_cast<int64_t>(db.customer.num_rows()));
+  // There must be a bucket for customers with zero orders (custkey%3==0).
+  int cc = r.ColIndex("c_count");
+  bool has_zero_bucket = false;
+  for (const Row& row : r.rows()) {
+    if (AsInt(row[cc]) == 0) {
+      has_zero_bucket = true;
+      EXPECT_GE(AsInt(row[cd]), static_cast<int64_t>(db.customer.num_rows()) / 4);
+    }
+  }
+  EXPECT_TRUE(has_zero_bucket);
+}
+
+TEST(QueryTest, Q14PromoFractionInRange) {
+  Table r = RunQuery(14, Db());
+  ASSERT_EQ(r.num_rows(), 1u);
+  double pct = AsDouble(r.rows()[0][0]);
+  EXPECT_GT(pct, 0.0);
+  EXPECT_LT(pct, 100.0);
+  // PROMO is 1 of 6 type prefixes: expect roughly 16%.
+  EXPECT_NEAR(pct, 100.0 / 6, 8.0);
+}
+
+TEST(QueryTest, Q15TopSupplierHasMaxRevenue) {
+  const TpchDatabase& db = Db();
+  Table r = RunQuery(15, db);
+  ASSERT_GE(r.num_rows(), 1u);
+  // Recompute the max revenue brute-force.
+  int sd = db.lineitem.ColIndex("l_shipdate");
+  int sk = db.lineitem.ColIndex("l_suppkey");
+  int ep = db.lineitem.ColIndex("l_extendedprice");
+  int di = db.lineitem.ColIndex("l_discount");
+  DateCode lo = MakeDate(1996, 1, 1);
+  DateCode hi = AddMonths(lo, 3);
+  std::unordered_map<int64_t, double> rev;
+  for (const Row& row : db.lineitem.rows()) {
+    int64_t d = AsInt(row[sd]);
+    if (d >= lo && d < hi) {
+      rev[AsInt(row[sk])] +=
+          AsDouble(row[ep]) * (1 - AsDouble(row[di]));
+    }
+  }
+  double max_rev = 0;
+  for (auto& [s, v] : rev) max_rev = std::max(max_rev, v);
+  EXPECT_NEAR(AsDouble(r.rows()[0][r.ColIndex("total_revenue")]), max_rev,
+              1e-6);
+}
+
+TEST(QueryTest, Q16ExcludesBrand45) {
+  const TpchDatabase& db = Db();
+  Table r = RunQuery(16, db);
+  EXPECT_GT(r.num_rows(), 0u);
+  for (const Row& row : r.rows()) {
+    EXPECT_NE(AsString(row[0]), "Brand#45");
+    // A (brand, type, size) group can span many parts, but never more
+    // suppliers than exist.
+    EXPECT_GT(AsInt(row[r.ColIndex("supplier_cnt")]), 0);
+    EXPECT_LE(AsInt(row[r.ColIndex("supplier_cnt")]),
+              static_cast<int64_t>(db.supplier.num_rows()));
+  }
+}
+
+TEST(QueryTest, Q17SingleValue) {
+  Table r = RunQuery(17, Db());
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_GE(AsDouble(r.rows()[0][0]), 0.0);
+}
+
+TEST(QueryTest, Q18AllRowsExceed300Quantity) {
+  Table r = RunQuery(18, Db());
+  int sq = r.ColIndex("sum_qty");
+  for (const Row& row : r.rows()) {
+    EXPECT_GT(AsDouble(row[sq]), 300.0);
+  }
+  EXPECT_LE(r.num_rows(), 100u);
+}
+
+TEST(QueryTest, Q19MatchesBruteForce) {
+  const TpchDatabase& db = Db();
+  Table r = RunQuery(19, db);
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_GE(AsDouble(r.rows()[0][0]), 0.0);
+}
+
+TEST(QueryTest, Q20SuppliersSorted) {
+  Table r = RunQuery(20, Db());
+  for (size_t i = 1; i < r.num_rows(); ++i) {
+    EXPECT_LE(AsString(r.rows()[i - 1][0]), AsString(r.rows()[i][0]));
+  }
+}
+
+TEST(QueryTest, Q21WaitCountsDescending) {
+  Table r = RunQuery(21, Db());
+  int nw = r.ColIndex("numwait");
+  for (size_t i = 1; i < r.num_rows(); ++i) {
+    EXPECT_GE(AsInt(r.rows()[i - 1][nw]), AsInt(r.rows()[i][nw]));
+  }
+}
+
+TEST(QueryTest, Q22OnlySelectedCountryCodes) {
+  Table r = RunQuery(22, Db());
+  EXPECT_GT(r.num_rows(), 0u);
+  static const std::set<std::string> kCodes = {"13", "31", "23", "29",
+                                               "30", "18", "17"};
+  int nc = r.ColIndex("numcust");
+  int tb = r.ColIndex("totacctbal");
+  for (const Row& row : r.rows()) {
+    EXPECT_TRUE(kCodes.count(AsString(row[0])));
+    EXPECT_GT(AsInt(row[nc]), 0);
+    // All selected customers have above-average (positive) balances.
+    EXPECT_GT(AsDouble(row[tb]), 0.0);
+  }
+}
+
+TEST(QueryTest, InputTablesDeclared) {
+  for (int q = 1; q <= kNumQueries; ++q) {
+    EXPECT_FALSE(QueryInputTables(q).empty()) << "Q" << q;
+  }
+  // Q9 touches 6 tables (the paper: it ran out of disk at 16 TB in Hive).
+  EXPECT_EQ(QueryInputTables(9).size(), 6u);
+}
+
+}  // namespace
+}  // namespace elephant::tpch

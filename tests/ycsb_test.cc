@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ycsb/driver.h"
+#include "ycsb/systems.h"
+#include "ycsb/workload.h"
+
+namespace elephant::ycsb {
+namespace {
+
+// Small, fast configuration for unit tests.
+DriverOptions TestOptions(int64_t target = 5000) {
+  DriverOptions opt;
+  opt.record_count = 80000;
+  opt.warmup = kSecond;
+  opt.measure = 2 * kSecond;
+  opt.target_throughput = target;
+  return opt;
+}
+
+TEST(WorkloadTest, Table6Definitions) {
+  WorkloadSpec a = WorkloadSpec::A();
+  EXPECT_DOUBLE_EQ(a.read, 0.5);
+  EXPECT_DOUBLE_EQ(a.update, 0.5);
+  WorkloadSpec b = WorkloadSpec::B();
+  EXPECT_DOUBLE_EQ(b.read, 0.95);
+  EXPECT_DOUBLE_EQ(b.update, 0.05);
+  WorkloadSpec c = WorkloadSpec::C();
+  EXPECT_DOUBLE_EQ(c.read, 1.0);
+  WorkloadSpec d = WorkloadSpec::D();
+  EXPECT_DOUBLE_EQ(d.insert, 0.05);
+  EXPECT_EQ(d.distribution, Distribution::kLatest);
+  WorkloadSpec e = WorkloadSpec::E();
+  EXPECT_DOUBLE_EQ(e.scan, 0.95);
+  EXPECT_EQ(WorkloadSpec::ByName('b').name, "B");
+}
+
+TEST(SystemsTest, SqlCsShardsByHashAcross8Nodes) {
+  OltpTestbed testbed;
+  SqlCsSystem sys(&testbed, {});
+  EXPECT_EQ(sys.num_shards(), 8);
+  ASSERT_TRUE(sys.LoadDataset(8000, 1024).ok());
+  int64_t total = 0;
+  for (int i = 0; i < 8; ++i) {
+    int64_t n = static_cast<int64_t>(sys.engine(i).btree().size());
+    total += n;
+    EXPECT_GT(n, 800);  // roughly even
+    EXPECT_LT(n, 1200);
+  }
+  EXPECT_EQ(total, 8000);
+}
+
+TEST(SystemsTest, MongoSystemsHave128Shards) {
+  OltpTestbed testbed;
+  MongoCsSystem cs(&testbed, {});
+  EXPECT_EQ(cs.num_shards(), 128);
+  OltpTestbed testbed2;
+  MongoAsSystem as(&testbed2, {});
+  EXPECT_EQ(as.num_shards(), 128);
+}
+
+TEST(SystemsTest, MongoAsLoadPreSplitsAndBalances) {
+  OltpTestbed testbed;
+  MongoAsSystem::Options opt;
+  MongoAsSystem sys(&testbed, opt);
+  ASSERT_TRUE(sys.LoadDataset(128000, 1024).ok());
+  // Pre-split chunks spread documents across every shard.
+  int64_t min_docs = INT64_MAX, max_docs = 0;
+  for (int i = 0; i < sys.num_shards(); ++i) {
+    min_docs = std::min(min_docs, sys.mongod(i).docs());
+    max_docs = std::max(max_docs, sys.mongod(i).docs());
+  }
+  EXPECT_GT(min_docs, 0);
+  EXPECT_LT(max_docs, 3 * min_docs);
+}
+
+TEST(DriverTest, AchievesLowTargets) {
+  RunResult r =
+      RunOnePoint(SystemKind::kSqlCs, WorkloadSpec::C(), 5000, TestOptions());
+  EXPECT_NEAR(r.achieved_ops_per_sec, 5000, 350);
+  EXPECT_FALSE(r.crashed);
+  EXPECT_GT(r.MeanLatencyMs(OpType::kRead), 0);
+}
+
+TEST(DriverTest, SaturationCapsThroughput) {
+  RunResult low = RunOnePoint(SystemKind::kMongoCs, WorkloadSpec::C(), 2000,
+                              TestOptions(2000));
+  RunResult high = RunOnePoint(SystemKind::kMongoCs, WorkloadSpec::C(),
+                               400000, TestOptions(400000));
+  // Saturated: achieved far below target, latency far above the
+  // unloaded level (the knee shape of Figures 2-6).
+  EXPECT_LT(high.achieved_ops_per_sec, 400000 * 0.8);
+  EXPECT_GT(high.MeanLatencyMs(OpType::kRead),
+            2 * low.MeanLatencyMs(OpType::kRead));
+}
+
+TEST(DriverTest, OpMixMatchesWorkload) {
+  RunResult r = RunOnePoint(SystemKind::kSqlCs, WorkloadSpec::B(), 10000,
+                            TestOptions(10000));
+  double reads = static_cast<double>(r.per_op[OpType::kRead].count);
+  double updates = static_cast<double>(r.per_op[OpType::kUpdate].count);
+  EXPECT_NEAR(updates / (reads + updates), 0.05, 0.01);
+}
+
+TEST(DriverTest, MeasurementProtocolReportsWindows) {
+  RunResult r = RunOnePoint(SystemKind::kSqlCs, WorkloadSpec::C(), 10000,
+                            TestOptions(10000));
+  EXPECT_GT(r.ops_measured, 0);
+  // Std error is defined and small relative to the mean at steady state.
+  const auto& stats = r.per_op[OpType::kRead];
+  EXPECT_GE(stats.latency_stderr_ms, 0);
+  EXPECT_LT(stats.latency_stderr_ms, stats.mean_latency_ms);
+}
+
+// ---- Paper shape tests ----------------------------------------------
+// These run at the calibrated dataset size (the tiny TestOptions scale
+// distorts cache geometry).
+
+DriverOptions ShapeOptions(int64_t target) {
+  DriverOptions opt;
+  opt.record_count = 800000;  // half the bench scale: same geometry
+  opt.warmup = 1500 * kMillisecond;
+  opt.measure = 2 * kSecond;
+  opt.target_throughput = target;
+  return opt;
+}
+
+TEST(ShapeTest, WorkloadC_SqlBeatsMongo) {
+  DriverOptions opt = ShapeOptions(200000);
+  RunResult sql =
+      RunOnePoint(SystemKind::kSqlCs, WorkloadSpec::C(), 200000, opt);
+  RunResult mongo =
+      RunOnePoint(SystemKind::kMongoAs, WorkloadSpec::C(), 200000, opt);
+  EXPECT_GT(sql.achieved_ops_per_sec, mongo.achieved_ops_per_sec * 1.5);
+  EXPECT_LT(sql.MeanLatencyMs(OpType::kRead),
+            mongo.MeanLatencyMs(OpType::kRead));
+}
+
+TEST(ShapeTest, WorkloadA_MongoLatenciesBlowUp) {
+  DriverOptions opt = ShapeOptions(20000);
+  RunResult sql =
+      RunOnePoint(SystemKind::kSqlCs, WorkloadSpec::A(), 20000, opt);
+  RunResult mongo =
+      RunOnePoint(SystemKind::kMongoAs, WorkloadSpec::A(), 20000, opt);
+  EXPECT_GT(mongo.MeanLatencyMs(OpType::kUpdate),
+            sql.MeanLatencyMs(OpType::kUpdate));
+  EXPECT_GE(sql.achieved_ops_per_sec, mongo.achieved_ops_per_sec * 0.95);
+}
+
+TEST(ShapeTest, WorkloadA_ReadUncommittedCutsReadLatency) {
+  DriverOptions opt = ShapeOptions(40000);
+  RunResult rc = RunOnePoint(SystemKind::kSqlCs, WorkloadSpec::A(), 40000,
+                             opt, /*read_uncommitted=*/false);
+  RunResult ru = RunOnePoint(SystemKind::kSqlCs, WorkloadSpec::A(), 40000,
+                             opt, /*read_uncommitted=*/true);
+  // §3.4.3: reads stop waiting behind writers.
+  EXPECT_LT(ru.MeanLatencyMs(OpType::kRead),
+            rc.MeanLatencyMs(OpType::kRead) + 0.01);
+}
+
+TEST(ShapeTest, WorkloadD_MongoAsCrashesAboveTwentyK) {
+  DriverOptions opt = ShapeOptions(40000);
+  RunResult as =
+      RunOnePoint(SystemKind::kMongoAs, WorkloadSpec::D(), 40000, opt);
+  EXPECT_TRUE(as.crashed);
+  // The hash-sharded systems spread the "latest" hotspot and survive.
+  RunResult cs =
+      RunOnePoint(SystemKind::kMongoCs, WorkloadSpec::D(), 40000, opt);
+  EXPECT_FALSE(cs.crashed);
+  RunResult sql =
+      RunOnePoint(SystemKind::kSqlCs, WorkloadSpec::D(), 40000, opt);
+  EXPECT_FALSE(sql.crashed);
+}
+
+TEST(ShapeTest, WorkloadE_RangePartitioningWinsScans) {
+  DriverOptions opt = ShapeOptions(4000);
+  opt.measure = 2 * kSecond;
+  RunResult as =
+      RunOnePoint(SystemKind::kMongoAs, WorkloadSpec::E(), 4000, opt);
+  RunResult sql =
+      RunOnePoint(SystemKind::kSqlCs, WorkloadSpec::E(), 4000, opt);
+  // Mongo-AS answers a scan from one shard; SQL-CS fans out to all.
+  EXPECT_GT(as.achieved_ops_per_sec, sql.achieved_ops_per_sec);
+  EXPECT_LT(as.MeanLatencyMs(OpType::kScan),
+            sql.MeanLatencyMs(OpType::kScan));
+  // But its appends (all to the last chunk + split stalls) are far
+  // worse than SQL-CS's.
+  EXPECT_GT(as.MeanLatencyMs(OpType::kInsert),
+            sql.MeanLatencyMs(OpType::kInsert) * 3);
+}
+
+TEST(LoadTest, TimedLoadOrdering) {
+  // §3.4.2: Mongo-CS loads fastest; SQL-CS pays per-row transactional
+  // inserts (WAL flushes); Mongo-AS sits between (mongos + config
+  // overhead on every insert).
+  DriverOptions opt;
+  opt.record_count = 40000;
+  auto load_time = [&](SystemKind kind) {
+    OltpTestbed testbed;
+    int64_t mem = opt.record_count * opt.record_bytes / 8 / 2;
+    std::unique_ptr<DataServingSystem> system;
+    if (kind == SystemKind::kSqlCs) {
+      sqlkv::SqlEngineOptions sql;
+      sql.memory_bytes = mem;
+      system = std::make_unique<SqlCsSystem>(&testbed, sql);
+    } else if (kind == SystemKind::kMongoCs) {
+      docstore::MongodOptions m;
+      m.memory_bytes = mem / 16;
+      system = std::make_unique<MongoCsSystem>(&testbed, m);
+    } else {
+      MongoAsSystem::Options m;
+      m.mongod.memory_bytes = mem / 16;
+      auto sys = std::make_unique<MongoAsSystem>(&testbed, m);
+      sys->config().PreSplit(opt.record_count * 2, 1024);
+      system = std::move(sys);
+    }
+    YcsbDriver driver(&testbed, system.get(), WorkloadSpec::C(), opt);
+    return driver.SimulateTimedLoad(128);
+  };
+  SimTime sql = load_time(SystemKind::kSqlCs);
+  SimTime mongo_cs = load_time(SystemKind::kMongoCs);
+  EXPECT_GT(sql, mongo_cs);
+}
+
+}  // namespace
+}  // namespace elephant::ycsb
