@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_mongo_lock.dir/bench_ablate_mongo_lock.cc.o"
+  "CMakeFiles/bench_ablate_mongo_lock.dir/bench_ablate_mongo_lock.cc.o.d"
+  "bench_ablate_mongo_lock"
+  "bench_ablate_mongo_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_mongo_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_pdw_optimizer.dir/bench_ablate_pdw_optimizer.cc.o"
+  "CMakeFiles/bench_ablate_pdw_optimizer.dir/bench_ablate_pdw_optimizer.cc.o.d"
+  "bench_ablate_pdw_optimizer"
+  "bench_ablate_pdw_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_pdw_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpch_load.dir/bench_tpch_load.cc.o"
+  "CMakeFiles/bench_tpch_load.dir/bench_tpch_load.cc.o.d"
+  "bench_tpch_load"
+  "bench_tpch_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpch_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpch_q1_mapphase.dir/bench_tpch_q1_mapphase.cc.o"
+  "CMakeFiles/bench_tpch_q1_mapphase.dir/bench_tpch_q1_mapphase.cc.o.d"
+  "bench_tpch_q1_mapphase"
+  "bench_tpch_q1_mapphase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpch_q1_mapphase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpch_q22_breakdown.dir/bench_tpch_q22_breakdown.cc.o"
+  "CMakeFiles/bench_tpch_q22_breakdown.dir/bench_tpch_q22_breakdown.cc.o.d"
+  "bench_tpch_q22_breakdown"
+  "bench_tpch_q22_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpch_q22_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpch_queries.dir/bench_tpch_queries.cc.o"
+  "CMakeFiles/bench_tpch_queries.dir/bench_tpch_queries.cc.o.d"
+  "bench_tpch_queries"
+  "bench_tpch_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpch_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

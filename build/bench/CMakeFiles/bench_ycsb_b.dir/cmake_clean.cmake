@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ycsb_b.dir/bench_ycsb_b.cc.o"
+  "CMakeFiles/bench_ycsb_b.dir/bench_ycsb_b.cc.o.d"
+  "bench_ycsb_b"
+  "bench_ycsb_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ycsb_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ycsb_c.dir/bench_ycsb_c.cc.o"
+  "CMakeFiles/bench_ycsb_c.dir/bench_ycsb_c.cc.o.d"
+  "bench_ycsb_c"
+  "bench_ycsb_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ycsb_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ycsb_d.dir/bench_ycsb_d.cc.o"
+  "CMakeFiles/bench_ycsb_d.dir/bench_ycsb_d.cc.o.d"
+  "bench_ycsb_d"
+  "bench_ycsb_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ycsb_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ycsb_e.dir/bench_ycsb_e.cc.o"
+  "CMakeFiles/bench_ycsb_e.dir/bench_ycsb_e.cc.o.d"
+  "bench_ycsb_e"
+  "bench_ycsb_e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ycsb_e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ycsb_load.dir/bench_ycsb_load.cc.o"
+  "CMakeFiles/bench_ycsb_load.dir/bench_ycsb_load.cc.o.d"
+  "bench_ycsb_load"
+  "bench_ycsb_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ycsb_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ycsb_workloads.dir/bench_ycsb_workloads.cc.o"
+  "CMakeFiles/bench_ycsb_workloads.dir/bench_ycsb_workloads.cc.o.d"
+  "bench_ycsb_workloads"
+  "bench_ycsb_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ycsb_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

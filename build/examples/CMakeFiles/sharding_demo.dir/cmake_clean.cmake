@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharding_demo.dir/sharding_demo.cpp.o"
+  "CMakeFiles/sharding_demo.dir/sharding_demo.cpp.o.d"
+  "sharding_demo"
+  "sharding_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharding_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_console.dir/tpch_console.cpp.o"
+  "CMakeFiles/tpch_console.dir/tpch_console.cpp.o.d"
+  "tpch_console"
+  "tpch_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/elephant.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/elephant.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/common/date.cc" "src/CMakeFiles/elephant.dir/common/date.cc.o" "gcc" "src/CMakeFiles/elephant.dir/common/date.cc.o.d"
+  "/root/repo/src/common/distributions.cc" "src/CMakeFiles/elephant.dir/common/distributions.cc.o" "gcc" "src/CMakeFiles/elephant.dir/common/distributions.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/elephant.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/elephant.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/elephant.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/elephant.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/elephant.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/elephant.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/elephant.dir/common/status.cc.o" "gcc" "src/CMakeFiles/elephant.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/elephant.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/elephant.dir/common/string_util.cc.o.d"
+  "/root/repo/src/dfs/dfs.cc" "src/CMakeFiles/elephant.dir/dfs/dfs.cc.o" "gcc" "src/CMakeFiles/elephant.dir/dfs/dfs.cc.o.d"
+  "/root/repo/src/docstore/document.cc" "src/CMakeFiles/elephant.dir/docstore/document.cc.o" "gcc" "src/CMakeFiles/elephant.dir/docstore/document.cc.o.d"
+  "/root/repo/src/docstore/mongod.cc" "src/CMakeFiles/elephant.dir/docstore/mongod.cc.o" "gcc" "src/CMakeFiles/elephant.dir/docstore/mongod.cc.o.d"
+  "/root/repo/src/docstore/sharding.cc" "src/CMakeFiles/elephant.dir/docstore/sharding.cc.o" "gcc" "src/CMakeFiles/elephant.dir/docstore/sharding.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/elephant.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/elephant.dir/exec/operators.cc.o.d"
+  "/root/repo/src/exec/statistics.cc" "src/CMakeFiles/elephant.dir/exec/statistics.cc.o" "gcc" "src/CMakeFiles/elephant.dir/exec/statistics.cc.o.d"
+  "/root/repo/src/exec/table.cc" "src/CMakeFiles/elephant.dir/exec/table.cc.o" "gcc" "src/CMakeFiles/elephant.dir/exec/table.cc.o.d"
+  "/root/repo/src/hive/catalog.cc" "src/CMakeFiles/elephant.dir/hive/catalog.cc.o" "gcc" "src/CMakeFiles/elephant.dir/hive/catalog.cc.o.d"
+  "/root/repo/src/hive/engine.cc" "src/CMakeFiles/elephant.dir/hive/engine.cc.o" "gcc" "src/CMakeFiles/elephant.dir/hive/engine.cc.o.d"
+  "/root/repo/src/hive/plans.cc" "src/CMakeFiles/elephant.dir/hive/plans.cc.o" "gcc" "src/CMakeFiles/elephant.dir/hive/plans.cc.o.d"
+  "/root/repo/src/hive/rcfile_format.cc" "src/CMakeFiles/elephant.dir/hive/rcfile_format.cc.o" "gcc" "src/CMakeFiles/elephant.dir/hive/rcfile_format.cc.o.d"
+  "/root/repo/src/mapreduce/mapreduce.cc" "src/CMakeFiles/elephant.dir/mapreduce/mapreduce.cc.o" "gcc" "src/CMakeFiles/elephant.dir/mapreduce/mapreduce.cc.o.d"
+  "/root/repo/src/pdw/catalog.cc" "src/CMakeFiles/elephant.dir/pdw/catalog.cc.o" "gcc" "src/CMakeFiles/elephant.dir/pdw/catalog.cc.o.d"
+  "/root/repo/src/pdw/engine.cc" "src/CMakeFiles/elephant.dir/pdw/engine.cc.o" "gcc" "src/CMakeFiles/elephant.dir/pdw/engine.cc.o.d"
+  "/root/repo/src/pdw/optimizer.cc" "src/CMakeFiles/elephant.dir/pdw/optimizer.cc.o" "gcc" "src/CMakeFiles/elephant.dir/pdw/optimizer.cc.o.d"
+  "/root/repo/src/pdw/plans.cc" "src/CMakeFiles/elephant.dir/pdw/plans.cc.o" "gcc" "src/CMakeFiles/elephant.dir/pdw/plans.cc.o.d"
+  "/root/repo/src/sim/resources.cc" "src/CMakeFiles/elephant.dir/sim/resources.cc.o" "gcc" "src/CMakeFiles/elephant.dir/sim/resources.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "src/CMakeFiles/elephant.dir/sim/simulation.cc.o" "gcc" "src/CMakeFiles/elephant.dir/sim/simulation.cc.o.d"
+  "/root/repo/src/sql/engine.cc" "src/CMakeFiles/elephant.dir/sql/engine.cc.o" "gcc" "src/CMakeFiles/elephant.dir/sql/engine.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/elephant.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/elephant.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sqlkv/btree.cc" "src/CMakeFiles/elephant.dir/sqlkv/btree.cc.o" "gcc" "src/CMakeFiles/elephant.dir/sqlkv/btree.cc.o.d"
+  "/root/repo/src/sqlkv/buffer_pool.cc" "src/CMakeFiles/elephant.dir/sqlkv/buffer_pool.cc.o" "gcc" "src/CMakeFiles/elephant.dir/sqlkv/buffer_pool.cc.o.d"
+  "/root/repo/src/sqlkv/engine.cc" "src/CMakeFiles/elephant.dir/sqlkv/engine.cc.o" "gcc" "src/CMakeFiles/elephant.dir/sqlkv/engine.cc.o.d"
+  "/root/repo/src/sqlkv/lock_manager.cc" "src/CMakeFiles/elephant.dir/sqlkv/lock_manager.cc.o" "gcc" "src/CMakeFiles/elephant.dir/sqlkv/lock_manager.cc.o.d"
+  "/root/repo/src/sqlkv/wal.cc" "src/CMakeFiles/elephant.dir/sqlkv/wal.cc.o" "gcc" "src/CMakeFiles/elephant.dir/sqlkv/wal.cc.o.d"
+  "/root/repo/src/tpch/dbgen.cc" "src/CMakeFiles/elephant.dir/tpch/dbgen.cc.o" "gcc" "src/CMakeFiles/elephant.dir/tpch/dbgen.cc.o.d"
+  "/root/repo/src/tpch/dss_benchmark.cc" "src/CMakeFiles/elephant.dir/tpch/dss_benchmark.cc.o" "gcc" "src/CMakeFiles/elephant.dir/tpch/dss_benchmark.cc.o.d"
+  "/root/repo/src/tpch/queries.cc" "src/CMakeFiles/elephant.dir/tpch/queries.cc.o" "gcc" "src/CMakeFiles/elephant.dir/tpch/queries.cc.o.d"
+  "/root/repo/src/tpch/refresh.cc" "src/CMakeFiles/elephant.dir/tpch/refresh.cc.o" "gcc" "src/CMakeFiles/elephant.dir/tpch/refresh.cc.o.d"
+  "/root/repo/src/tpch/schema.cc" "src/CMakeFiles/elephant.dir/tpch/schema.cc.o" "gcc" "src/CMakeFiles/elephant.dir/tpch/schema.cc.o.d"
+  "/root/repo/src/ycsb/driver.cc" "src/CMakeFiles/elephant.dir/ycsb/driver.cc.o" "gcc" "src/CMakeFiles/elephant.dir/ycsb/driver.cc.o.d"
+  "/root/repo/src/ycsb/systems.cc" "src/CMakeFiles/elephant.dir/ycsb/systems.cc.o" "gcc" "src/CMakeFiles/elephant.dir/ycsb/systems.cc.o.d"
+  "/root/repo/src/ycsb/workload.cc" "src/CMakeFiles/elephant.dir/ycsb/workload.cc.o" "gcc" "src/CMakeFiles/elephant.dir/ycsb/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dss_shape_test.dir/dss_shape_test.cc.o"
+  "CMakeFiles/dss_shape_test.dir/dss_shape_test.cc.o.d"
+  "dss_shape_test"
+  "dss_shape_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dss_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hive_test.dir/hive_test.cc.o"
+  "CMakeFiles/hive_test.dir/hive_test.cc.o.d"
+  "hive_test"
+  "hive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_test.dir/pdw_test.cc.o"
+  "CMakeFiles/pdw_test.dir/pdw_test.cc.o.d"
+  "pdw_test"
+  "pdw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

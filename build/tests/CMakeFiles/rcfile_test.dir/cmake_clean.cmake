@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcfile_test.dir/rcfile_test.cc.o"
+  "CMakeFiles/rcfile_test.dir/rcfile_test.cc.o.d"
+  "rcfile_test"
+  "rcfile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

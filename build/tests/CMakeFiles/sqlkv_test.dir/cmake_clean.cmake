@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlkv_test.dir/sqlkv_test.cc.o"
+  "CMakeFiles/sqlkv_test.dir/sqlkv_test.cc.o.d"
+  "sqlkv_test"
+  "sqlkv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlkv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
