@@ -1,0 +1,43 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#if defined(__GLIBC__)
+#include <execinfo.h>
+#endif
+
+namespace elephant::internal {
+
+namespace {
+
+/// Best-effort stack dump to stderr (glibc only; symbol quality depends
+/// on -rdynamic / frame pointers, which the sanitizer builds keep).
+void DumpStack() {
+#if defined(__GLIBC__)
+  void* frames[64];
+  int depth = backtrace(frames, 64);
+  // Skip the two innermost frames (DumpStack, ~CheckFailure).
+  int skip = depth > 2 ? 2 : 0;
+  backtrace_symbols_fd(frames + skip, depth - skip, /*fd=*/2);
+#endif
+}
+
+}  // namespace
+
+CheckFailure::CheckFailure(const char* file, int line,
+                           const char* condition) {
+  stream_ << "CHECK failed: " << condition << " (" << file << ":" << line
+          << ") ";
+}
+
+CheckFailure::~CheckFailure() {
+  std::string message = stream_.str();
+  std::fprintf(stderr, "%s\n", message.c_str());
+  DumpStack();
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace elephant::internal

@@ -1,0 +1,83 @@
+#ifndef ELEPHANT_COMMON_CHECK_H_
+#define ELEPHANT_COMMON_CHECK_H_
+
+#include <ostream>
+#include <sstream>
+
+#include "common/status.h"
+
+/// Runtime invariant checking for the elephant codebase.
+///
+/// Three macros, modeled on the glog/absl conventions:
+///
+///   ELEPHANT_CHECK(cond)    — always-on assertion. On failure prints
+///                             "CHECK failed: <cond> (file:line) <msg>"
+///                             plus a stack trace, then aborts. Streams:
+///                               ELEPHANT_CHECK(n > 0) << "got " << n;
+///   ELEPHANT_DCHECK(cond)   — same, but compiled out (condition not
+///                             evaluated) when NDEBUG is defined. Use on
+///                             hot paths where the check would cost.
+///   ELEPHANT_CHECK_OK(expr) — asserts a Status/Result-returning
+///                             expression is ok(); prints the status on
+///                             failure. Evaluates `expr` once.
+///
+/// Invariant validators (`ValidateInvariants()` on the storage
+/// structures) return Status so tests can assert on the failure message;
+/// the macros here are for conditions that indicate memory corruption or
+/// logic bugs where continuing would poison every later measurement.
+
+namespace elephant::internal {
+
+/// Accumulates the user-streamed message for a failed check and aborts
+/// (with a stack trace) in its destructor.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition);
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+  ~CheckFailure();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lowers the stream expression to void so the ternary in
+/// ELEPHANT_CHECK type-checks. operator& binds looser than operator<<.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace elephant::internal
+
+#define ELEPHANT_CHECK(cond)                                       \
+  (cond) ? (void)0                                                 \
+         : ::elephant::internal::Voidify() &                       \
+               ::elephant::internal::CheckFailure(__FILE__, __LINE__, #cond) \
+                   .stream()
+
+#ifdef NDEBUG
+// Compiled out: the condition and streamed operands still type-check but
+// are never evaluated.
+#define ELEPHANT_DCHECK(cond) \
+  while (false) ELEPHANT_CHECK(cond)
+#else
+#define ELEPHANT_DCHECK(cond) ELEPHANT_CHECK(cond)
+#endif
+
+#define ELEPHANT_CHECK_OK(expr)                                     \
+  do {                                                              \
+    const ::elephant::Status _elephant_check_st = (expr);           \
+    ELEPHANT_CHECK(_elephant_check_st.ok())                         \
+        << "status = " << _elephant_check_st.ToString();            \
+  } while (0)
+
+#ifdef NDEBUG
+#define ELEPHANT_DCHECK_OK(expr) \
+  while (false) ELEPHANT_CHECK_OK(expr)
+#else
+#define ELEPHANT_DCHECK_OK(expr) ELEPHANT_CHECK_OK(expr)
+#endif
+
+#endif  // ELEPHANT_COMMON_CHECK_H_

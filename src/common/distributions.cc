@@ -1,13 +1,14 @@
 #include "common/distributions.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace elephant {
 
 ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
     : n_(n), theta_(theta), computed_n_(0) {
-  assert(n > 0);
+  ELEPHANT_CHECK(n > 0) << "zipfian over an empty domain";
   Recompute();
 }
 
@@ -92,7 +93,8 @@ void DiscreteGenerator::Add(int value, double weight) {
 }
 
 int DiscreteGenerator::Next(Rng* rng) const {
-  assert(!entries_.empty());
+  ELEPHANT_CHECK(!entries_.empty())
+      << "DiscreteGenerator::Next with no entries";
   double u = rng->NextDouble() * total_;
   for (const auto& [value, weight] : entries_) {
     if (u < weight) return value;

@@ -1,0 +1,54 @@
+#ifndef ELEPHANT_COMMON_FINGERPRINT_H_
+#define ELEPHANT_COMMON_FINGERPRINT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace elephant {
+
+/// Order-sensitive 64-bit FNV-1a accumulator used to fingerprint
+/// simulation outcomes. Two runs of the same workload with the same seed
+/// must produce bit-identical fingerprints; the determinism checker
+/// (tests/determinism_test.cc) runs every path twice and compares.
+///
+/// Doubles are mixed by bit pattern, not value, so even an ULP of
+/// nondeterminism (e.g. an accidental iteration over pointer-keyed maps)
+/// changes the fingerprint.
+class Fingerprint {
+ public:
+  Fingerprint& Mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xFF;
+      hash_ *= kPrime;
+    }
+    return *this;
+  }
+  Fingerprint& Mix(int64_t v) { return Mix(static_cast<uint64_t>(v)); }
+  Fingerprint& Mix(int v) { return Mix(static_cast<uint64_t>(v)); }
+  Fingerprint& Mix(bool v) { return Mix(static_cast<uint64_t>(v)); }
+  Fingerprint& Mix(double v) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return Mix(bits);
+  }
+  Fingerprint& Mix(std::string_view s) {
+    for (char c : s) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= kPrime;
+    }
+    return Mix(static_cast<uint64_t>(s.size()));
+  }
+
+  uint64_t value() const { return hash_; }
+
+ private:
+  static constexpr uint64_t kOffset = 0xcbf29ce484222325ULL;
+  static constexpr uint64_t kPrime = 0x100000001b3ULL;
+  uint64_t hash_ = kOffset;
+};
+
+}  // namespace elephant
+
+#endif  // ELEPHANT_COMMON_FINGERPRINT_H_

@@ -1,21 +1,22 @@
 #ifndef ELEPHANT_COMMON_RESULT_H_
 #define ELEPHANT_COMMON_RESULT_H_
 
-#include <cassert>
 #include <utility>
 #include <variant>
 
+#include "common/check.h"
 #include "common/status.h"
 
 namespace elephant {
 
-/// Holds either a value of type T or a non-OK Status.
+/// Holds either a value of type T or a non-OK Status. [[nodiscard]] like
+/// Status: call sites must consume the Result.
 ///
 ///   Result<int> r = ParsePort(text);
 ///   if (!r.ok()) return r.status();
 ///   int port = r.value();
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit by design, mirroring
   /// arrow::Result).
@@ -24,7 +25,8 @@ class Result {
   /// Constructs from a non-OK status. Calling this with an OK status is a
   /// programming error.
   Result(Status status) : repr_(std::move(status)) {  // NOLINT
-    assert(!std::get<Status>(repr_).ok());
+    ELEPHANT_DCHECK(!std::get<Status>(repr_).ok())
+        << "Result constructed from an OK status";
   }
 
   bool ok() const { return std::holds_alternative<T>(repr_); }
@@ -35,16 +37,22 @@ class Result {
     return std::get<Status>(repr_);
   }
 
+  /// Accessors abort (always, even in Release) when no value is held:
+  /// silently reading a corrupt variant would skew every figure
+  /// downstream of it.
   const T& value() const& {
-    assert(ok());
+    ELEPHANT_CHECK(ok()) << "Result::value() on error: "
+                         << status().ToString();
     return std::get<T>(repr_);
   }
   T& value() & {
-    assert(ok());
+    ELEPHANT_CHECK(ok()) << "Result::value() on error: "
+                         << status().ToString();
     return std::get<T>(repr_);
   }
   T&& value() && {
-    assert(ok());
+    ELEPHANT_CHECK(ok()) << "Result::value() on error: "
+                         << status().ToString();
     return std::get<T>(std::move(repr_));
   }
 

@@ -31,11 +31,13 @@ const char* StatusCodeToString(StatusCode code);
 /// A cheap, copyable success-or-error value.
 ///
 /// The OK status carries no allocation; error statuses carry a code and a
-/// message. Usage:
+/// message. The type is [[nodiscard]]: every call site must consume the
+/// Status (propagate it, branch on it, or assert with ELEPHANT_CHECK_OK).
+/// Usage:
 ///
 ///   Status s = table.Insert(row);
 ///   if (!s.ok()) return s;
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/check.h"
+#include "common/string_util.h"
+
 namespace elephant::docstore {
 
 Mongod::Mongod(sim::Simulation* sim, cluster::Node* node,
@@ -108,6 +111,7 @@ sim::Task Mongod::Read(uint64_t key, sqlkv::OpOutcome* out,
   }
   global_lock_.Release(/*exclusive=*/false);
   inflight_--;
+  ELEPHANT_DCHECK(inflight_ >= 0) << name_ << ": in-flight went negative";
   ops_served_++;
   done->CountDown();
 }
@@ -147,6 +151,7 @@ sim::Task Mongod::Update(uint64_t key, int32_t field_bytes,
   }
   global_lock_.Release(/*exclusive=*/true);
   inflight_--;
+  ELEPHANT_DCHECK(inflight_ >= 0) << name_ << ": in-flight went negative";
   ops_served_++;
   done->CountDown();
 }
@@ -176,6 +181,7 @@ sim::Task Mongod::Insert(uint64_t key, int32_t logical_bytes,
   }
   global_lock_.Release(/*exclusive=*/true);
   inflight_--;
+  ELEPHANT_DCHECK(inflight_ >= 0) << name_ << ": in-flight went negative";
   ops_served_++;
   done->CountDown();
 }
@@ -242,6 +248,34 @@ sim::Task Mongod::Flusher() {
     }
     writes_since_flush_ = 0;
   }
+}
+
+Status Mongod::ValidateInvariants() const {
+  ELEPHANT_RETURN_NOT_OK(btree_.ValidateInvariants());
+  ELEPHANT_RETURN_NOT_OK(pool_->ValidateInvariants());
+  if (inflight_ < 0) {
+    return Status::Internal(StrFormat("%s: negative in-flight count %lld",
+                                      name_.c_str(),
+                                      (long long)inflight_));
+  }
+  return Status::OK();
+}
+
+Status Mongod::ValidateQuiesced() const {
+  ELEPHANT_RETURN_NOT_OK(ValidateInvariants());
+  if (global_lock_.readers() != 0 || global_lock_.writer_active() ||
+      global_lock_.queue_length() != 0) {
+    return Status::Internal(
+        name_ + ": global lock not quiesced: " +
+        global_lock_.DescribeWaiters());
+  }
+  // A crashed process abandons its in-flight operations by design.
+  if (!crashed_ && inflight_ != 0) {
+    return Status::Internal(StrFormat(
+        "%s: %lld operations still in flight after quiesce",
+        name_.c_str(), (long long)inflight_));
+  }
+  return Status::OK();
 }
 
 int64_t Mongod::SimulateCrashAndRecover() {

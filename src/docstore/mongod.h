@@ -111,6 +111,15 @@ class Mongod {
   /// were lost, and restarts with a cold cache.
   int64_t SimulateCrashAndRecover();
 
+  /// Cross-structure validation: collection B+tree + page-cache pool.
+  /// Safe at any simulated instant.
+  Status ValidateInvariants() const;
+
+  /// ValidateInvariants plus the quiesce condition: no holder or waiter
+  /// left on the global lock and no operation in flight. Call after the
+  /// event loop drains.
+  Status ValidateQuiesced() const;
+
   bool crashed() const { return crashed_; }
   const std::string& name() const { return name_; }
   const sqlkv::BTree& collection() const { return btree_; }

@@ -1,8 +1,9 @@
 #include "docstore/sharding.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
+
+#include "common/check.h"
 
 namespace elephant::docstore {
 
@@ -32,7 +33,8 @@ void ConfigServer::PreSplit(uint64_t max_key, int num_chunks) {
 
 std::map<uint64_t, Chunk>::iterator ConfigServer::FindChunk(uint64_t key) {
   auto it = chunks_.upper_bound(key);
-  assert(it != chunks_.begin());
+  ELEPHANT_DCHECK(it != chunks_.begin())
+      << "key " << key << " below the first chunk";
   --it;
   return it;
 }

@@ -4,6 +4,8 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/check.h"
+
 namespace elephant::exec {
 
 namespace {
@@ -87,6 +89,17 @@ Table Project(const Table& t, const std::vector<NamedExpr>& exprs) {
 Table HashJoin(const Table& left, const Table& right,
                const std::vector<int>& left_keys,
                const std::vector<int>& right_keys, JoinType type) {
+  ELEPHANT_CHECK(left_keys.size() == right_keys.size())
+      << "join key arity mismatch: " << left_keys.size() << " vs "
+      << right_keys.size();
+  for (int k : left_keys) {
+    ELEPHANT_CHECK(k >= 0 && k < left.num_cols())
+        << "left join key column " << k << " out of range";
+  }
+  for (int k : right_keys) {
+    ELEPHANT_CHECK(k >= 0 && k < right.num_cols())
+        << "right join key column " << k << " out of range";
+  }
   // Output schema.
   std::vector<Column> cols = left.columns();
   if (type == JoinType::kInner || type == JoinType::kLeftOuter) {
@@ -347,6 +360,10 @@ Table HashAggregateOn(const Table& t,
 }
 
 Table SortBy(const Table& t, const std::vector<SortKey>& keys) {
+  for (const SortKey& k : keys) {
+    ELEPHANT_CHECK(k.col >= 0 && k.col < t.num_cols())
+        << "sort key column " << k.col << " out of range";
+  }
   Table out = t;
   std::stable_sort(out.mutable_rows().begin(), out.mutable_rows().end(),
                    [&keys](const Row& a, const Row& b) {

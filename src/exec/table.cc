@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/check.h"
 #include "common/rng.h"
 
 namespace elephant::exec {
@@ -9,14 +10,16 @@ namespace elephant::exec {
 int64_t AsInt(const Value& v) {
   if (const auto* i = std::get_if<int64_t>(&v)) return *i;
   if (const auto* d = std::get_if<double>(&v)) return static_cast<int64_t>(*d);
-  assert(false && "string value used as int");
+  ELEPHANT_CHECK(false) << "string value '" << std::get<std::string>(v)
+                        << "' used as int";
   return 0;
 }
 
 double AsDouble(const Value& v) {
   if (const auto* d = std::get_if<double>(&v)) return *d;
   if (const auto* i = std::get_if<int64_t>(&v)) return static_cast<double>(*i);
-  assert(false && "string value used as double");
+  ELEPHANT_CHECK(false) << "string value '" << std::get<std::string>(v)
+                        << "' used as double";
   return 0;
 }
 
@@ -55,7 +58,7 @@ uint64_t HashValue(const Value& v) {
 
 int Table::ColIndex(const std::string& name) const {
   int idx = FindCol(name);
-  assert(idx >= 0 && "unknown column");
+  ELEPHANT_CHECK(idx >= 0) << "unknown column '" << name << "'";
   return idx;
 }
 

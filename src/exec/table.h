@@ -1,11 +1,12 @@
 #ifndef ELEPHANT_EXEC_TABLE_H_
 #define ELEPHANT_EXEC_TABLE_H_
 
-#include <cassert>
 #include <cstdint>
 #include <string>
 #include <variant>
 #include <vector>
+
+#include "common/check.h"
 
 namespace elephant::exec {
 
@@ -56,7 +57,9 @@ class Table {
   int num_cols() const { return static_cast<int>(columns_.size()); }
 
   void AddRow(Row row) {
-    assert(row.size() == columns_.size());
+    ELEPHANT_DCHECK(row.size() == columns_.size())
+        << "row has " << row.size() << " cells, schema has "
+        << columns_.size() << " columns";
     rows_.push_back(std::move(row));
   }
   void Reserve(size_t n) { rows_.reserve(n); }

@@ -1,7 +1,8 @@
 #include "hive/catalog.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace elephant::hive {
 
@@ -48,7 +49,7 @@ const HiveTableLayout& HiveCatalog::layout(TableId table) const {
   for (const auto& l : layouts_) {
     if (l.table == table) return l;
   }
-  assert(false && "unknown table");
+  ELEPHANT_CHECK(false) << "unknown table id " << static_cast<int>(table);
   return layouts_[0];
 }
 

@@ -10,11 +10,11 @@
 // key fractions against the real executor at mini scale.
 
 #include <algorithm>
-#include <cassert>
 #include <string>
 #include <vector>
 
 #include "hive/engine.h"
+#include "common/check.h"
 
 namespace elephant::hive {
 
@@ -472,7 +472,7 @@ std::vector<JobSpec> BuildHiveJobs(int q, double sf,
     }
 
     default:
-      assert(false && "query out of range");
+      ELEPHANT_CHECK(false) << "query " << q << " out of range";
   }
   return b.Take();
 }

@@ -1,6 +1,6 @@
 #include "pdw/catalog.h"
+#include "common/check.h"
 
-#include <cassert>
 
 namespace elephant::pdw {
 
@@ -23,7 +23,7 @@ const PdwTableLayout& PdwCatalog::layout(TableId table) const {
   for (const auto& l : layouts_) {
     if (l.table == table) return l;
   }
-  assert(false && "unknown table");
+  ELEPHANT_CHECK(false) << "unknown table id " << static_cast<int>(table);
   return layouts_[0];
 }
 

@@ -5,11 +5,11 @@
 // l_orderkey/o_orderkey. Volumes are GB (and millions of rows) per unit
 // scale factor, derived from TPC-H selectivities.
 
-#include <cassert>
 #include <vector>
 
 #include "pdw/engine.h"
 #include "tpch/queries.h"
+#include "common/check.h"
 
 namespace elephant::pdw {
 
@@ -287,7 +287,7 @@ std::vector<PdwStep> BuildPdwPlan(int q, const PdwCatalog& catalog,
               Join("anti_join", 1.54, 0.15, 0.012, 0.002),
               Agg("cntrycode_agg", 0.01)};
     default:
-      assert(false && "query out of range");
+      ELEPHANT_CHECK(false) << "query " << q << " out of range";
       return {};
   }
 }

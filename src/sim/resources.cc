@@ -2,11 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
+
+#include "common/check.h"
 
 namespace elephant::sim {
 
 Server::Server(Simulation* sim, int capacity, std::string name)
-    : sim_(sim), capacity_(capacity), name_(std::move(name)) {}
+    : sim_(sim), capacity_(capacity), name_(std::move(name)) {
+  ELEPHANT_CHECK(capacity > 0)
+      << "server '" << name_ << "' needs at least one server, got "
+      << capacity;
+}
 
 SimTime Server::Admit(SimTime service_time) {
   if (service_time < 0) service_time = 0;
@@ -89,12 +96,25 @@ bool RwLock::TryAcquire(bool exclusive) {
 
 void RwLock::Release(bool exclusive) {
   if (exclusive) {
+    ELEPHANT_CHECK(writer_) << "exclusive Release without an active writer";
+    ELEPHANT_DCHECK(readers_ == 0)
+        << "writer and " << readers_ << " readers held simultaneously";
     writer_ = false;
     writer_held_time_ += sim_->now() - writer_since_;
   } else {
+    ELEPHANT_CHECK(readers_ > 0) << "shared Release without active readers";
+    ELEPHANT_DCHECK(!writer_) << "reader release while a writer is active";
     readers_--;
   }
   GrantWaiters();
+}
+
+std::string RwLock::DescribeWaiters() const {
+  std::ostringstream os;
+  os << "RwLock(readers=" << readers_
+     << ", writer=" << (writer_ ? "true" : "false")
+     << ", parked=" << waiters_.size() << ")";
+  return os.str();
 }
 
 void RwLock::GrantWaiters() {

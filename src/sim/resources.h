@@ -136,9 +136,13 @@ class Link {
 /// past a waiting writer). This is the MongoDB 1.8 per-process global
 /// lock semantics the paper analyzes in workload A, and is also used by
 /// the sqlkv lock manager.
-class RwLock {
+class RwLock : public Waitable {
  public:
-  explicit RwLock(Simulation* sim) : sim_(sim) {}
+  explicit RwLock(Simulation* sim) : Waitable(sim, "RwLock"), sim_(sim) {}
+  /// Frees the frames of coroutines still parked here (see ~Simulation).
+  ~RwLock() override {
+    for (const Waiter& w : waiters_) w.handle.destroy();
+  }
 
   struct Awaiter {
     RwLock* lock;
@@ -160,6 +164,9 @@ class RwLock {
   int readers() const { return readers_; }
   bool writer_active() const { return writer_; }
   size_t queue_length() const { return waiters_.size(); }
+
+  size_t parked_waiters() const override { return waiters_.size(); }
+  std::string DescribeWaiters() const override;
 
   /// Cumulative time with a writer holding the lock (for the paper's
   /// "25%-45% of time spent at the global lock" analysis).

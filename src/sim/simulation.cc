@@ -1,13 +1,91 @@
 #include "sim/simulation.h"
 
+#include <sstream>
+
+#include "common/check.h"
+
 namespace elephant::sim {
 
+Waitable::Waitable(Simulation* sim, const char* kind)
+    : registry_sim_(sim), kind_(kind) {
+  ELEPHANT_DCHECK(sim != nullptr) << kind << " constructed without a sim";
+  if (registry_sim_ != nullptr) registry_sim_->RegisterWaitable(this);
+}
+
+Waitable::~Waitable() {
+  if (registry_sim_ != nullptr) registry_sim_->UnregisterWaitable(this);
+}
+
+Simulation::~Simulation() {
+  // Destroying a frame runs its locals' destructors, which may in turn
+  // unregister waitables or destroy further parked frames; loop until
+  // the queue is genuinely empty.
+  while (!events_.empty()) {
+    Event ev = events_.top();
+    events_.pop();
+    if (ev.handle) ev.handle.destroy();
+  }
+}
+
+void Simulation::RegisterWaitable(Waitable* w) {
+  w->registry_prev_ = nullptr;
+  w->registry_next_ = waitables_head_;
+  if (waitables_head_ != nullptr) waitables_head_->registry_prev_ = w;
+  waitables_head_ = w;
+}
+
+void Simulation::UnregisterWaitable(Waitable* w) {
+  if (w->registry_prev_ != nullptr) {
+    w->registry_prev_->registry_next_ = w->registry_next_;
+  } else {
+    ELEPHANT_DCHECK(waitables_head_ == w)
+        << "waitable registry corrupted for " << w->kind();
+    waitables_head_ = w->registry_next_;
+  }
+  if (w->registry_next_ != nullptr) {
+    w->registry_next_->registry_prev_ = w->registry_prev_;
+  }
+  w->registry_prev_ = w->registry_next_ = nullptr;
+}
+
+size_t Simulation::parked_coroutines() const {
+  size_t parked = 0;
+  for (const Waitable* w = waitables_head_; w != nullptr;
+       w = w->registry_next_) {
+    parked += w->parked_waiters();
+  }
+  return parked;
+}
+
+std::vector<std::string> Simulation::StuckWaiterReport() const {
+  std::vector<std::string> report;
+  for (const Waitable* w = waitables_head_; w != nullptr;
+       w = w->registry_next_) {
+    if (w->parked_waiters() > 0) report.push_back(w->DescribeWaiters());
+  }
+  return report;
+}
+
+void Simulation::CheckQuiescent() const {
+  if (!Idle() || parked_coroutines() == 0) return;
+  std::ostringstream os;
+  for (const std::string& line : StuckWaiterReport()) {
+    os << "\n  " << line;
+  }
+  ELEPHANT_CHECK(false) << "event loop drained with "
+                        << parked_coroutines()
+                        << " coroutine(s) still parked (simulated deadlock):"
+                        << os.str();
+}
+
 void Simulation::ScheduleResume(SimTime delay, std::coroutine_handle<> h) {
+  ELEPHANT_DCHECK(h) << "scheduling a null coroutine handle";
   if (delay < 0) delay = 0;
   events_.push(Event{now_ + delay, next_seq_++, h, nullptr});
 }
 
 void Simulation::ScheduleCall(SimTime delay, std::function<void()> fn) {
+  ELEPHANT_DCHECK(fn != nullptr) << "scheduling a null callback";
   if (delay < 0) delay = 0;
   events_.push(Event{now_ + delay, next_seq_++, nullptr, std::move(fn)});
 }
@@ -19,6 +97,8 @@ uint64_t Simulation::Run(SimTime until) {
     if (top.time > until) break;
     Event ev = top;
     events_.pop();
+    ELEPHANT_DCHECK(ev.time >= now_)
+        << "virtual clock moved backwards: " << ev.time << " < " << now_;
     now_ = ev.time;
     ++processed;
     if (ev.handle) {
@@ -27,6 +107,7 @@ uint64_t Simulation::Run(SimTime until) {
       ev.fn();
     }
   }
+  events_processed_ += processed;
   return processed;
 }
 
@@ -37,12 +118,26 @@ void OneShotEvent::Fire() {
   waiters_.clear();
 }
 
+std::string OneShotEvent::DescribeWaiters() const {
+  std::ostringstream os;
+  os << "OneShotEvent(fired=" << (fired_ ? "true" : "false")
+     << ", parked=" << waiters_.size() << ")";
+  return os.str();
+}
+
 void Latch::CountDown(int64_t n) {
+  ELEPHANT_DCHECK(n > 0) << "CountDown(" << n << ")";
   count_ -= n;
   if (count_ <= 0) {
     for (auto h : waiters_) sim_->ScheduleResume(0, h);
     waiters_.clear();
   }
+}
+
+std::string Latch::DescribeWaiters() const {
+  std::ostringstream os;
+  os << "Latch(count=" << count_ << ", parked=" << waiters_.size() << ")";
+  return os.str();
 }
 
 }  // namespace elephant::sim

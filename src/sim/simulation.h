@@ -7,11 +7,45 @@
 #include <functional>
 #include <limits>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "common/units.h"
 
 namespace elephant::sim {
+
+class Simulation;
+
+/// Base class for synchronization primitives that can park coroutines
+/// indefinitely (Latch, OneShotEvent, RwLock). Instances register with
+/// their Simulation via an intrusive list so that, when the event loop
+/// drains while coroutines are still parked, `StuckWaiterReport()` can
+/// name the primitives holding them — the deadlock detector for
+/// simulated concurrency. Registration is O(1) per construct/destruct
+/// and safe for the short-lived per-operation latches on hot paths.
+class Waitable {
+ public:
+  Waitable(const Waitable&) = delete;
+  Waitable& operator=(const Waitable&) = delete;
+
+  /// Number of coroutines currently parked on this primitive.
+  virtual size_t parked_waiters() const = 0;
+  /// One-line description, e.g. "Latch(count=2, parked=1)".
+  virtual std::string DescribeWaiters() const = 0;
+
+ protected:
+  Waitable(Simulation* sim, const char* kind);
+  virtual ~Waitable();
+
+  const char* kind() const { return kind_; }
+
+ private:
+  friend class Simulation;
+  Simulation* registry_sim_;
+  const char* kind_;
+  Waitable* registry_prev_ = nullptr;
+  Waitable* registry_next_ = nullptr;
+};
 
 /// Fire-and-forget coroutine type for simulated processes.
 ///
@@ -43,6 +77,12 @@ class Simulation {
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
+  /// Destroys the frames of coroutines still scheduled in the event
+  /// queue. Runs end mid-simulation (bounded Run(until), background
+  /// loops like checkpointers); their suspended frames would otherwise
+  /// never be freed (fire-and-forget Tasks only release on completion).
+  ~Simulation();
+
   /// Current virtual time.
   SimTime now() const { return now_; }
 
@@ -59,6 +99,24 @@ class Simulation {
   /// True if no events remain.
   bool Idle() const { return events_.empty(); }
 
+  /// Total events processed across all Run() calls — part of the
+  /// determinism fingerprint (two same-seed runs must match exactly).
+  uint64_t events_processed() const { return events_processed_; }
+
+  /// Coroutines currently parked on registered waitables (latches,
+  /// events, rwlocks). Nonzero while Idle() means deadlock: nothing can
+  /// ever wake them.
+  size_t parked_coroutines() const;
+
+  /// One line per waitable that still holds parked coroutines. Empty
+  /// when the simulation is quiescent.
+  std::vector<std::string> StuckWaiterReport() const;
+
+  /// Aborts (ELEPHANT_CHECK) with the stuck-waiter report if the event
+  /// loop has drained while coroutines are still parked. Call after a
+  /// Run() that is expected to complete all in-flight work.
+  void CheckQuiescent() const;
+
   /// Awaitable that suspends the current coroutine for `delay`.
   struct DelayAwaiter {
     Simulation* sim;
@@ -72,6 +130,10 @@ class Simulation {
   DelayAwaiter Delay(SimTime delay) { return {this, delay}; }
 
  private:
+  friend class Waitable;
+  void RegisterWaitable(Waitable* w);
+  void UnregisterWaitable(Waitable* w);
+
   struct Event {
     SimTime time;
     uint64_t seq;
@@ -87,17 +149,27 @@ class Simulation {
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  Waitable* waitables_head_ = nullptr;
 };
 
 /// One-shot event: processes co_await Wait() until someone calls Fire().
 /// Waiters registered after Fire() resume immediately.
-class OneShotEvent {
+class OneShotEvent : public Waitable {
  public:
-  explicit OneShotEvent(Simulation* sim) : sim_(sim) {}
+  explicit OneShotEvent(Simulation* sim)
+      : Waitable(sim, "OneShotEvent"), sim_(sim) {}
+  /// Frees the frames of coroutines still parked here (see ~Simulation).
+  ~OneShotEvent() override {
+    for (auto h : waiters_) h.destroy();
+  }
 
   bool fired() const { return fired_; }
   void Fire();
+
+  size_t parked_waiters() const override { return waiters_.size(); }
+  std::string DescribeWaiters() const override;
 
   struct Awaiter {
     OneShotEvent* ev;
@@ -117,12 +189,20 @@ class OneShotEvent {
 
 /// Countdown latch: Wait() suspends until the count reaches zero. Used to
 /// join fan-out (e.g. "wait for all map tasks of this wave").
-class Latch {
+class Latch : public Waitable {
  public:
-  Latch(Simulation* sim, int64_t count) : sim_(sim), count_(count) {}
+  Latch(Simulation* sim, int64_t count)
+      : Waitable(sim, "Latch"), sim_(sim), count_(count) {}
+  /// Frees the frames of coroutines still parked here (see ~Simulation).
+  ~Latch() override {
+    for (auto h : waiters_) h.destroy();
+  }
 
   void CountDown(int64_t n = 1);
   int64_t count() const { return count_; }
+
+  size_t parked_waiters() const override { return waiters_.size(); }
+  std::string DescribeWaiters() const override;
 
   struct Awaiter {
     Latch* latch;

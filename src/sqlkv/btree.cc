@@ -1,7 +1,9 @@
 #include "sqlkv/btree.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/check.h"
 #include "common/string_util.h"
 
 namespace elephant::sqlkv {
@@ -99,6 +101,12 @@ BTree::InsertResult BTree::InsertInto(Node* node, uint64_t key,
     right->next = node->next;
     node->next = right.get();
     leaf_count_++;
+    ELEPHANT_DCHECK(!node->keys.empty() && !right->keys.empty())
+        << "leaf split produced an empty side";
+    ELEPHANT_DCHECK(node->keys.back() < right->keys.front())
+        << "leaf split broke key ordering";
+    ELEPHANT_DCHECK(node->used_bytes >= 0)
+        << "leaf split drove used_bytes negative";
     uint64_t split_key = right->keys.front();
     return {Status::OK(), std::move(right), split_key};
   }
@@ -129,6 +137,9 @@ BTree::InsertResult BTree::InsertInto(Node* node, uint64_t key,
   }
   node->keys.resize(mid);
   node->children.resize(mid + 1);
+  ELEPHANT_DCHECK(right->children.size() == right->keys.size() + 1 &&
+                  node->children.size() == node->keys.size() + 1)
+      << "internal split broke the child/separator relationship";
   return {Status::OK(), std::move(right), up_key};
 }
 
@@ -189,6 +200,8 @@ Status BTree::Remove(uint64_t key) {
   node->used_bytes -= entry;
   logical_bytes_ -= entry;
   size_--;
+  ELEPHANT_DCHECK(node->used_bytes >= 0 && logical_bytes_ >= 0)
+      << "Remove drove byte accounting negative";
   return Status::OK();
 }
 
@@ -246,8 +259,17 @@ Status BTree::CheckNode(const Node* node, uint64_t lo, uint64_t hi,
   if (!std::is_sorted(node->keys.begin(), node->keys.end())) {
     return Status::Internal("keys not sorted");
   }
+  for (size_t i = 1; i < node->keys.size(); ++i) {
+    if (node->keys[i] == node->keys[i - 1]) {
+      return Status::Internal(StrFormat(
+          "duplicate key %llu", (unsigned long long)node->keys[i]));
+    }
+  }
   for (uint64_t k : node->keys) {
     if (k < lo || k >= hi) return Status::Internal("key out of range");
+  }
+  if (node->page_id == 0 || node->page_id >= next_page_id_) {
+    return Status::Internal("page id outside the allocated range");
   }
   if (node->leaf) {
     if (node->keys.size() != node->records.size()) {
@@ -256,7 +278,19 @@ Status BTree::CheckNode(const Node* node, uint64_t lo, uint64_t hi,
     int32_t bytes = 0;
     for (const Record& r : node->records) bytes += r.bytes() + kEntryOverhead;
     if (bytes != node->used_bytes) {
-      return Status::Internal("used_bytes accounting broken");
+      return Status::Internal(StrFormat(
+          "used_bytes accounting broken: stored %d, actual %d",
+          node->used_bytes, bytes));
+    }
+    // Occupancy: a leaf may exceed its byte budget only while holding a
+    // single (oversized) record — the split rule in InsertInto.
+    if (node->keys.size() > 1 && node->used_bytes > page_bytes_) {
+      return Status::Internal(StrFormat(
+          "leaf over byte budget: %d used of %d with %d records",
+          node->used_bytes, page_bytes_, (int)node->keys.size()));
+    }
+    if (!node->children.empty()) {
+      return Status::Internal("leaf with children");
     }
     if (depth != height_) return Status::Internal("leaves at mixed depth");
     return Status::OK();
@@ -264,7 +298,16 @@ Status BTree::CheckNode(const Node* node, uint64_t lo, uint64_t hi,
   if (node->children.size() != node->keys.size() + 1) {
     return Status::Internal("child count mismatch");
   }
+  if (node->children.size() > kMaxFanout + 1) {
+    return Status::Internal("internal node over fanout bound");
+  }
+  if (node != root_.get() && node->keys.empty()) {
+    return Status::Internal("non-root internal node with no separator");
+  }
   for (size_t i = 0; i < node->children.size(); ++i) {
+    if (node->children[i] == nullptr) {
+      return Status::Internal("null child pointer");
+    }
     uint64_t child_lo = i == 0 ? lo : node->keys[i - 1];
     uint64_t child_hi = i == node->keys.size() ? hi : node->keys[i];
     ELEPHANT_RETURN_NOT_OK(
@@ -273,8 +316,113 @@ Status BTree::CheckNode(const Node* node, uint64_t lo, uint64_t hi,
   return Status::OK();
 }
 
-Status BTree::CheckInvariants() const {
-  return CheckNode(root_.get(), 0, UINT64_MAX, 1);
+Status BTree::ValidateInvariants() const {
+  if (root_ == nullptr) return Status::Internal("null root");
+  ELEPHANT_RETURN_NOT_OK(CheckNode(root_.get(), 0, UINT64_MAX, 1));
+
+  // Leaf-chain integrity: the next-pointer chain must visit exactly the
+  // tree's leaves in left-to-right order, keys strictly increasing
+  // across the whole chain, and the aggregate counters must agree with
+  // what the chain sees.
+  std::vector<const Node*> leaves_in_tree;
+  CollectLeaves(root_.get(), &leaves_in_tree);
+  const Node* chain = root_.get();
+  while (!chain->leaf) chain = chain->children.front().get();
+  size_t chain_len = 0;
+  size_t chain_records = 0;
+  int64_t chain_bytes = 0;
+  bool have_prev = false;
+  uint64_t prev_key = 0;
+  for (const Node* leaf = chain; leaf != nullptr; leaf = leaf->next) {
+    if (chain_len >= leaves_in_tree.size() ||
+        leaves_in_tree[chain_len] != leaf) {
+      return Status::Internal(StrFormat(
+          "leaf chain diverges from the tree at position %d",
+          (int)chain_len));
+    }
+    chain_len++;
+    chain_records += leaf->keys.size();
+    chain_bytes += leaf->used_bytes;
+    for (uint64_t k : leaf->keys) {
+      if (have_prev && k <= prev_key) {
+        return Status::Internal(StrFormat(
+            "leaf chain keys not strictly increasing at %llu",
+            (unsigned long long)k));
+      }
+      prev_key = k;
+      have_prev = true;
+    }
+  }
+  if (chain_len != leaves_in_tree.size()) {
+    return Status::Internal(StrFormat(
+        "leaf chain visits %d leaves, tree has %d", (int)chain_len,
+        (int)leaves_in_tree.size()));
+  }
+  if (chain_len != leaf_count_) {
+    return Status::Internal(StrFormat(
+        "leaf_count %d != actual leaves %d", (int)leaf_count_,
+        (int)chain_len));
+  }
+  if (chain_records != size_) {
+    return Status::Internal(StrFormat("size %d != records in leaves %d",
+                                      (int)size_, (int)chain_records));
+  }
+  if (chain_bytes != logical_bytes_) {
+    return Status::Internal(StrFormat(
+        "logical_bytes %lld != sum of leaf used_bytes %lld",
+        (long long)logical_bytes_, (long long)chain_bytes));
+  }
+
+  // Page-id uniqueness across every node.
+  std::vector<uint64_t> page_ids;
+  CollectPageIds(root_.get(), &page_ids);
+  std::sort(page_ids.begin(), page_ids.end());
+  if (std::adjacent_find(page_ids.begin(), page_ids.end()) !=
+      page_ids.end()) {
+    return Status::Internal("duplicate page id (double-mapped node)");
+  }
+  return Status::OK();
+}
+
+void BTree::CollectLeaves(const Node* node,
+                          std::vector<const Node*>* out) const {
+  if (node->leaf) {
+    out->push_back(node);
+    return;
+  }
+  for (const auto& child : node->children) CollectLeaves(child.get(), out);
+}
+
+void BTree::CollectPageIds(const Node* node,
+                           std::vector<uint64_t>* out) const {
+  out->push_back(node->page_id);
+  for (const auto& child : node->children) CollectPageIds(child.get(), out);
+}
+
+bool BTreeTestCorruptor::SwapLeafKeys(BTree* tree) {
+  BTree::Node* node = tree->root_.get();
+  while (!node->leaf) node = node->children.front().get();
+  for (; node != nullptr; node = node->next) {
+    if (node->keys.size() >= 2) {
+      std::swap(node->keys[0], node->keys[1]);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool BTreeTestCorruptor::BreakLeafChain(BTree* tree) {
+  BTree::Node* node = tree->root_.get();
+  while (!node->leaf) node = node->children.front().get();
+  if (node->next == nullptr) return false;
+  node->next = node->next->next;  // drop one leaf from the chain
+  return true;
+}
+
+void BTreeTestCorruptor::SkewUsedBytes(BTree* tree, int32_t delta) {
+  BTree::Node* node = tree->root_.get();
+  while (!node->leaf) node = node->children.front().get();
+  node->used_bytes += delta;
 }
 
 }  // namespace elephant::sqlkv

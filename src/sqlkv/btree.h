@@ -76,11 +76,24 @@ class BTree {
   int32_t page_bytes() const { return page_bytes_; }
   int64_t logical_bytes() const { return logical_bytes_; }
 
-  /// Validates the B+tree invariants (ordering, separator correctness,
-  /// byte budgets); used by property tests.
-  Status CheckInvariants() const;
+  /// Validates the full set of B+tree structural invariants:
+  ///   - key ordering and separator correctness in every node,
+  ///   - node occupancy (leaf byte budgets, internal fanout bounds,
+  ///     non-root nodes non-empty) and per-leaf byte accounting,
+  ///   - leaf-chain integrity (the next-pointer chain visits exactly the
+  ///     tree's leaves, left to right, with strictly increasing keys),
+  ///   - aggregate counters (size(), leaf_count(), logical_bytes(),
+  ///     page-id uniqueness below next_page_id_).
+  /// Returns the first violation found; used by property tests and the
+  /// corruption fixtures in tests/invariants_test.cc.
+  Status ValidateInvariants() const;
+
+  /// Back-compat alias for ValidateInvariants().
+  Status CheckInvariants() const { return ValidateInvariants(); }
 
  private:
+  friend struct BTreeTestCorruptor;
+
   struct Node;
   struct InsertResult;
 
@@ -88,6 +101,9 @@ class BTree {
   const Node* FindLeaf(uint64_t key) const;
   Status CheckNode(const Node* node, uint64_t lo, uint64_t hi,
                    int depth) const;
+  void CollectLeaves(const Node* node,
+                     std::vector<const Node*>* out) const;
+  void CollectPageIds(const Node* node, std::vector<uint64_t>* out) const;
 
   int32_t page_bytes_;
   std::unique_ptr<Node> root_;
@@ -96,6 +112,20 @@ class BTree {
   int height_ = 1;
   int64_t logical_bytes_ = 0;
   uint64_t next_page_id_ = 1;
+};
+
+/// Test-only back door that deliberately damages a tree so the
+/// invariant tests can assert ValidateInvariants() catches each class of
+/// corruption. Never use outside tests.
+struct BTreeTestCorruptor {
+  /// Swaps the first two keys of the first multi-key leaf (breaks
+  /// ordering). Returns false if no such leaf exists.
+  static bool SwapLeafKeys(BTree* tree);
+  /// Severs the first leaf's next pointer (breaks chain integrity).
+  /// Returns false if the tree has a single leaf.
+  static bool BreakLeafChain(BTree* tree);
+  /// Skews the first leaf's used_bytes accounting by `delta`.
+  static void SkewUsedBytes(BTree* tree, int32_t delta);
 };
 
 }  // namespace elephant::sqlkv

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+#include "common/string_util.h"
+
 namespace elephant::sqlkv {
 
 BufferPool::BufferPool(int64_t capacity_bytes, int32_t page_bytes)
@@ -34,6 +37,11 @@ BufferPool::Access BufferPool::Touch(uint64_t page_id, bool mark_dirty) {
   lru_.push_front({page_id, mark_dirty});
   if (mark_dirty) dirty_count_++;
   index_[page_id] = lru_.begin();
+  ELEPHANT_DCHECK(lru_.size() <= capacity_pages_)
+      << "pool over capacity: " << lru_.size() << " resident, capacity "
+      << capacity_pages_;
+  ELEPHANT_DCHECK(index_.size() == lru_.size())
+      << "page index and LRU list diverged";
   return access;
 }
 
@@ -55,7 +63,44 @@ std::vector<uint64_t> BufferPool::DirtyPages() const {
   for (const Entry& e : lru_) {
     if (e.dirty) dirty.push_back(e.page_id);
   }
+  ELEPHANT_DCHECK(dirty.size() == dirty_count_)
+      << "dirty_count " << dirty_count_ << " != dirty entries "
+      << dirty.size();
   return dirty;
+}
+
+Status BufferPool::ValidateInvariants() const {
+  if (lru_.size() > capacity_pages_) {
+    return Status::Internal(StrFormat(
+        "pool over capacity: %d resident of %d", (int)lru_.size(),
+        (int)capacity_pages_));
+  }
+  if (index_.size() != lru_.size()) {
+    return Status::Internal(StrFormat(
+        "index size %d != LRU size %d (double-framed or dropped page)",
+        (int)index_.size(), (int)lru_.size()));
+  }
+  size_t dirty = 0;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    auto found = index_.find(it->page_id);
+    if (found == index_.end()) {
+      return Status::Internal(StrFormat(
+          "resident page %llu missing from the index",
+          (unsigned long long)it->page_id));
+    }
+    if (found->second != it) {
+      return Status::Internal(StrFormat(
+          "page %llu double-framed: index points at a different frame",
+          (unsigned long long)it->page_id));
+    }
+    if (it->dirty) dirty++;
+  }
+  if (dirty != dirty_count_) {
+    return Status::Internal(StrFormat(
+        "dirty_count %d != dirty entries %d", (int)dirty_count_,
+        (int)dirty));
+  }
+  return Status::OK();
 }
 
 }  // namespace elephant::sqlkv

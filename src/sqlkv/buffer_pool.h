@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
+
 namespace elephant::sqlkv {
 
 /// An LRU buffer pool over page ids. It tracks which pages are
@@ -48,6 +50,15 @@ class BufferPool {
     return total ? static_cast<double>(hits_) / total : 0.0;
   }
   void ResetStats() { hits_ = misses_ = 0; }
+
+  /// Validates the pool's structural invariants:
+  ///   - the LRU list and the page index describe the same set (every
+  ///     list node indexed under its own page id, no double-framed
+  ///     page, index size == list size),
+  ///   - residency never exceeds capacity,
+  ///   - dirty_count() equals the number of dirty entries in the list.
+  /// Returns the first violation found.
+  Status ValidateInvariants() const;
 
  private:
   struct Entry {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/check.h"
+
 namespace elephant::sqlkv {
 
 namespace {
@@ -184,6 +186,18 @@ sim::Task SqlEngine::Checkpointer() {
     }
     log_.NoteCheckpoint();
   }
+}
+
+Status SqlEngine::ValidateInvariants() const {
+  ELEPHANT_RETURN_NOT_OK(btree_.ValidateInvariants());
+  ELEPHANT_RETURN_NOT_OK(pool_.ValidateInvariants());
+  ELEPHANT_RETURN_NOT_OK(log_.ValidateInvariants());
+  return locks_.ValidateInvariants();
+}
+
+Status SqlEngine::ValidateQuiesced() const {
+  ELEPHANT_RETURN_NOT_OK(ValidateInvariants());
+  return locks_.ValidateQuiesced();
 }
 
 SqlEngine::RecoveryReport SqlEngine::SimulateCrashAndRecover() {

@@ -79,6 +79,16 @@ class SqlEngine {
   };
   RecoveryReport SimulateCrashAndRecover();
 
+  /// Cross-structure validation: B+tree, buffer pool, WAL and lock
+  /// table invariants. Safe to call at any simulated instant (in-flight
+  /// operations hold lock entries legitimately).
+  Status ValidateInvariants() const;
+
+  /// ValidateInvariants plus the quiesce condition: once every
+  /// operation has drained, the lock table must be empty — a leftover
+  /// entry is a leaked lock. Call after the event loop drains.
+  Status ValidateQuiesced() const;
+
   const BTree& btree() const { return btree_; }
   BufferPool& pool() { return pool_; }
   GroupCommitLog& log() { return log_; }

@@ -1,5 +1,8 @@
 #include "sqlkv/lock_manager.h"
 
+#include "common/check.h"
+#include "common/string_util.h"
+
 namespace elephant::sqlkv {
 
 sim::RwLock& LockManager::LockFor(uint64_t key) {
@@ -12,6 +15,8 @@ sim::RwLock& LockManager::LockFor(uint64_t key) {
 
 void LockManager::Release(uint64_t key, bool exclusive) {
   auto it = locks_.find(key);
+  ELEPHANT_DCHECK(it != locks_.end())
+      << "Release(" << key << ") for a key with no lock entry";
   if (it == locks_.end()) return;
   sim::RwLock& lock = *it->second;
   lock.Release(exclusive);
@@ -19,6 +24,29 @@ void LockManager::Release(uint64_t key, bool exclusive) {
       lock.queue_length() == 0) {
     locks_.erase(it);
   }
+}
+
+Status LockManager::ValidateInvariants() const {
+  for (const auto& [key, lock] : locks_) {
+    if (lock->readers() == 0 && !lock->writer_active() &&
+        lock->queue_length() == 0) {
+      return Status::Internal(StrFormat(
+          "idle lock entry retained for key %llu",
+          (unsigned long long)key));
+    }
+  }
+  return Status::OK();
+}
+
+Status LockManager::ValidateQuiesced() const {
+  ELEPHANT_RETURN_NOT_OK(ValidateInvariants());
+  if (!locks_.empty()) {
+    uint64_t sample = locks_.begin()->first;
+    return Status::Internal(StrFormat(
+        "%d lock entries leaked after quiesce (e.g. key %llu)",
+        (int)locks_.size(), (unsigned long long)sample));
+  }
+  return Status::OK();
 }
 
 }  // namespace elephant::sqlkv

@@ -5,6 +5,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/status.h"
 #include "sim/resources.h"
 #include "sim/simulation.h"
 
@@ -29,6 +30,16 @@ class LockManager {
   size_t active_locks() const { return locks_.size(); }
   int64_t total_acquisitions() const { return acquisitions_; }
   void NoteAcquisition() { acquisitions_++; }
+
+  /// Validates the lock table: every retained entry must be justified
+  /// (held or contended) — an idle entry means Release forgot to
+  /// reclaim it. Returns the first violation found.
+  Status ValidateInvariants() const;
+
+  /// After all operations have drained, the table must be empty
+  /// (active_locks() == 0): a leftover entry is a leaked lock. Call at
+  /// engine shutdown / end of run.
+  Status ValidateQuiesced() const;
 
  private:
   sim::Simulation* sim_;

@@ -1,5 +1,8 @@
 #include "sqlkv/wal.h"
 
+#include "common/check.h"
+#include "common/string_util.h"
+
 namespace elephant::sqlkv {
 
 void GroupCommitLog::Append(int64_t bytes, sim::Latch* done,
@@ -26,6 +29,7 @@ sim::Task GroupCommitLog::FlushLoop() {
   while (!pending_.empty()) {
     std::vector<Pending> batch = std::move(pending_);
     pending_.clear();
+    inflight_batch_ = static_cast<int64_t>(batch.size());
     int64_t batch_bytes = 0;
     for (const Pending& p : batch) batch_bytes += p.bytes;
     SimTime write_time = SecondsToSimTime(
@@ -33,13 +37,58 @@ sim::Task GroupCommitLog::FlushLoop() {
     co_await sim_->Delay(options_.flush_latency + write_time);
     flushes_++;
     bytes_written_ += batch_bytes;
+    inflight_batch_ = 0;
     for (const Pending& p : batch) {
+      ELEPHANT_DCHECK(durable_.empty() ||
+                      p.record.lsn > durable_.back().lsn)
+          << "durable LSN regressed: " << p.record.lsn << " after "
+          << durable_.back().lsn;
       durable_.push_back(p.record);
       p.done->CountDown();
     }
     // Commits that arrived during this flush form the next batch.
   }
   flushing_ = false;
+}
+
+Status GroupCommitLog::ValidateInvariants() const {
+  for (size_t i = 1; i < durable_.size(); ++i) {
+    if (durable_[i].lsn <= durable_[i - 1].lsn) {
+      return Status::Internal(StrFormat(
+          "durable LSNs not strictly monotone: %lld after %lld",
+          (long long)durable_[i].lsn, (long long)durable_[i - 1].lsn));
+    }
+  }
+  if (checkpoint_lsn_ > next_lsn_) {
+    return Status::Internal(StrFormat(
+        "checkpoint LSN %lld beyond next LSN %lld",
+        (long long)checkpoint_lsn_, (long long)next_lsn_));
+  }
+  if (next_lsn_ != appends_) {
+    return Status::Internal(StrFormat(
+        "next LSN %lld != appended records %lld", (long long)next_lsn_,
+        (long long)appends_));
+  }
+  if (static_cast<int64_t>(durable_.size() + pending_.size()) +
+          inflight_batch_ !=
+      appends_) {
+    return Status::Internal(StrFormat(
+        "lost log records: %lld durable + %lld pending + %lld in flight "
+        "!= %lld appended",
+        (long long)durable_.size(), (long long)pending_.size(),
+        (long long)inflight_batch_, (long long)appends_));
+  }
+  return Status::OK();
+}
+
+bool WalTestCorruptor::RegressLastDurableLsn(GroupCommitLog* log) {
+  if (log->durable_.size() < 2) return false;
+  log->durable_.back().lsn = log->durable_.front().lsn;
+  return true;
+}
+
+void WalTestCorruptor::OverrunCheckpoint(GroupCommitLog* log) {
+  log->checkpoint_lsn_ = log->next_lsn_ + 1;
 }
 
 }  // namespace elephant::sqlkv

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "sim/resources.h"
 #include "sim/simulation.h"
 
@@ -57,7 +58,17 @@ class GroupCommitLog {
     return flushes_ ? static_cast<double>(appends_) / flushes_ : 0.0;
   }
 
+  /// Validates the log's structural invariants:
+  ///   - durable LSNs strictly monotone (the redo stream replays in
+  ///     order, exactly once),
+  ///   - checkpoint_lsn() <= next_lsn(),
+  ///   - every assigned LSN is accounted for: durable + pending ==
+  ///     appended, and next_lsn() == total appends.
+  /// Returns the first violation found.
+  Status ValidateInvariants() const;
+
  private:
+  friend struct WalTestCorruptor;
   struct Pending {
     int64_t bytes;
     sim::Latch* done;
@@ -71,11 +82,23 @@ class GroupCommitLog {
   std::vector<Pending> pending_;
   std::vector<LogRecord> durable_;
   bool flushing_ = false;
+  int64_t inflight_batch_ = 0;  ///< records in the batch being flushed
   int64_t flushes_ = 0;
   int64_t appends_ = 0;
   int64_t bytes_written_ = 0;
   int64_t next_lsn_ = 0;
   int64_t checkpoint_lsn_ = 0;
+};
+
+/// Test-only back door that damages a log so the invariant tests can
+/// assert ValidateInvariants() catches each class of corruption. Never
+/// use outside tests.
+struct WalTestCorruptor {
+  /// Regresses the last durable record's LSN (breaks monotonicity).
+  /// Returns false when fewer than two records are durable.
+  static bool RegressLastDurableLsn(GroupCommitLog* log);
+  /// Advances checkpoint_lsn past next_lsn.
+  static void OverrunCheckpoint(GroupCommitLog* log);
 };
 
 }  // namespace elephant::sqlkv

@@ -1,6 +1,5 @@
 #include "tpch/dbgen.h"
 
-#include <cassert>
 #include <string>
 #include <vector>
 

@@ -1,12 +1,12 @@
 #include "tpch/queries.h"
 
 #include <algorithm>
-#include <cassert>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/date.h"
 #include "exec/operators.h"
+#include "common/check.h"
 
 namespace elephant::tpch {
 
@@ -819,7 +819,7 @@ const char* QueryName(int q) {
       "Potential Part Promotion",
       "Suppliers Who Kept Orders Waiting",
       "Global Sales Opportunity"};
-  assert(q >= 1 && q <= kNumQueries);
+  ELEPHANT_CHECK(q >= 1 && q <= kNumQueries) << "query " << q;
   return kNames[q - 1];
 }
 
@@ -870,7 +870,7 @@ exec::Table RunQuery(int q, const TpchDatabase& db) {
     case 22:
       return Q22(db);
     default:
-      assert(false && "query number out of range");
+      ELEPHANT_CHECK(false) << "query " << q << " out of range";
       return exec::Table();
   }
 }

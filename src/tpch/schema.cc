@@ -1,6 +1,5 @@
 #include "tpch/schema.h"
 
-#include <cassert>
 #include <cmath>
 
 namespace elephant::tpch {

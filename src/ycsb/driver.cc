@@ -3,7 +3,28 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
+#include "common/fingerprint.h"
+#include "common/string_util.h"
+
 namespace elephant::ycsb {
+
+uint64_t RunResult::Fingerprint() const {
+  elephant::Fingerprint fp;
+  fp.Mix(target)
+      .Mix(achieved_ops_per_sec)
+      .Mix(crashed)
+      .Mix(ops_measured)
+      .Mix(sim_events);
+  for (const auto& [type, stats] : per_op) {
+    fp.Mix(static_cast<int64_t>(type))
+        .Mix(stats.count)
+        .Mix(stats.mean_latency_ms)
+        .Mix(stats.latency_stderr_ms)
+        .Mix(stats.p99_latency_ms);
+  }
+  return fp.value();
+}
 
 YcsbDriver::YcsbDriver(OltpTestbed* testbed, DataServingSystem* system,
                        const WorkloadSpec& workload,
@@ -168,6 +189,13 @@ RunResult YcsbDriver::Run() {
     stats.latency_stderr_ms = series.StdErrorOfLast(series.size());
     result.per_op[type] = stats;
   }
+  result.sim_events = sim->events_processed();
+
+  // Online correctness gates: the engines' structural invariants must
+  // hold after every run, and a drained event loop must not strand
+  // parked coroutines (simulated deadlock).
+  ELEPHANT_CHECK_OK(system_->ValidateInvariants());
+  sim->CheckQuiescent();
   return result;
 }
 
@@ -296,9 +324,28 @@ RunResult RunOnePoint(SystemKind kind, const WorkloadSpec& workload,
   SystemFactory factory(kind, options, read_uncommitted);
   YcsbDriver driver(factory.testbed.get(), factory.system.get(), workload,
                     options);
-  Status st = driver.Prepare();
-  (void)st;
+  ELEPHANT_CHECK_OK(driver.Prepare());
   return driver.Run();
+}
+
+Status VerifyDeterminism(SystemKind kind, const WorkloadSpec& workload,
+                         int64_t target_throughput,
+                         const DriverOptions& base_options) {
+  RunResult first =
+      RunOnePoint(kind, workload, target_throughput, base_options);
+  RunResult second =
+      RunOnePoint(kind, workload, target_throughput, base_options);
+  if (first.Fingerprint() != second.Fingerprint()) {
+    return Status::Internal(StrFormat(
+        "nondeterministic simulation: fingerprints %llx vs %llx "
+        "(events %llu vs %llu, ops %lld vs %lld)",
+        (unsigned long long)first.Fingerprint(),
+        (unsigned long long)second.Fingerprint(),
+        (unsigned long long)first.sim_events,
+        (unsigned long long)second.sim_events, (long long)first.ops_measured,
+        (long long)second.ops_measured));
+  }
+  return Status::OK();
 }
 
 std::vector<SweepPoint> RunSweep(SystemKind kind,

@@ -49,6 +49,9 @@ struct RunResult {
   double achieved_ops_per_sec = 0;
   bool crashed = false;
   int64_t ops_measured = 0;
+  /// Events processed by the DES core over the whole run (load + warmup
+  /// + measurement); part of the determinism fingerprint.
+  uint64_t sim_events = 0;
 
   struct OpStats {
     int64_t count = 0;
@@ -62,6 +65,12 @@ struct RunResult {
     auto it = per_op.find(type);
     return it == per_op.end() ? 0.0 : it->second.mean_latency_ms;
   }
+
+  /// Bit-exact fingerprint of the run: event count plus every stat,
+  /// doubles mixed by bit pattern. Two same-seed runs of the same
+  /// configuration must produce identical fingerprints (the simulation
+  /// determinism contract; see tests/determinism_test.cc).
+  uint64_t Fingerprint() const;
 };
 
 /// Drives one system through one workload at one target throughput,
@@ -129,6 +138,14 @@ RunResult RunOnePoint(SystemKind kind, const WorkloadSpec& workload,
                       int64_t target_throughput,
                       const DriverOptions& base_options = {},
                       bool read_uncommitted = false);
+
+/// Simulation determinism checker: runs the same (system, workload,
+/// target, seed) point twice on fresh testbeds and verifies the two
+/// runs produced bit-identical fingerprints (event counts and every
+/// stat). Returns Internal with both fingerprints on divergence.
+Status VerifyDeterminism(SystemKind kind, const WorkloadSpec& workload,
+                         int64_t target_throughput,
+                         const DriverOptions& base_options = {});
 
 std::vector<SweepPoint> RunSweep(SystemKind kind,
                                  const WorkloadSpec& workload,

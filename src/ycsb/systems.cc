@@ -49,6 +49,13 @@ void SqlCsSystem::Stop() {
   for (auto& e : engines_) e->Stop();
 }
 
+Status SqlCsSystem::ValidateInvariants() const {
+  for (const auto& e : engines_) {
+    ELEPHANT_RETURN_NOT_OK(e->ValidateInvariants());
+  }
+  return Status::OK();
+}
+
 void SqlCsSystem::TouchKey(uint64_t key) {
   sqlkv::SqlEngine* engine = engines_[ShardOf(key)].get();
   auto lookup = engine->btree().Get(key);
@@ -146,6 +153,13 @@ void MongoCsSystem::Start() {
 
 void MongoCsSystem::Stop() {
   for (auto& m : mongods_) m->Stop();
+}
+
+Status MongoCsSystem::ValidateInvariants() const {
+  for (const auto& m : mongods_) {
+    ELEPHANT_RETURN_NOT_OK(m->ValidateInvariants());
+  }
+  return Status::OK();
 }
 
 bool MongoCsSystem::Crashed() const {
@@ -256,6 +270,13 @@ void MongoAsSystem::Start() {
 
 void MongoAsSystem::Stop() {
   for (auto& m : mongods_) m->Stop();
+}
+
+Status MongoAsSystem::ValidateInvariants() const {
+  for (const auto& m : mongods_) {
+    ELEPHANT_RETURN_NOT_OK(m->ValidateInvariants());
+  }
+  return Status::OK();
 }
 
 bool MongoAsSystem::Crashed() const {

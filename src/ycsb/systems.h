@@ -49,6 +49,11 @@ class DataServingSystem {
   /// True once the system has stopped answering (Mongo-AS on WL D).
   virtual bool Crashed() const { return false; }
 
+  /// Structural validation of every engine/process in the system
+  /// (B+trees, pools, logs, lock tables). The driver asserts this at
+  /// the end of each run; safe at any simulated instant.
+  virtual Status ValidateInvariants() const { return Status::OK(); }
+
   virtual std::string name() const = 0;
 };
 
@@ -78,6 +83,7 @@ class SqlCsSystem : public DataServingSystem {
   sim::Task Execute(const Op& op, sqlkv::OpOutcome* out,
                     sim::Latch* done) override;
   void TouchKey(uint64_t key) override;
+  Status ValidateInvariants() const override;
   std::string name() const override { return "SQL-CS"; }
 
   sqlkv::SqlEngine& engine(int i) { return *engines_[i]; }
@@ -106,6 +112,7 @@ class MongoCsSystem : public DataServingSystem {
                     sim::Latch* done) override;
   void TouchKey(uint64_t key) override;
   bool Crashed() const override;
+  Status ValidateInvariants() const override;
   std::string name() const override { return "Mongo-CS"; }
 
   docstore::Mongod& mongod(int i) { return *mongods_[i]; }
@@ -152,6 +159,7 @@ class MongoAsSystem : public DataServingSystem {
                     sim::Latch* done) override;
   void TouchKey(uint64_t key) override;
   bool Crashed() const override;
+  Status ValidateInvariants() const override;
   std::string name() const override { return "Mongo-AS"; }
 
   docstore::ConfigServer& config() { return *config_; }

@@ -1,6 +1,6 @@
 #include "ycsb/workload.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace elephant::ycsb {
 
@@ -89,7 +89,7 @@ WorkloadSpec WorkloadSpec::ByName(char name) {
     case 'e':
       return E();
     default:
-      assert(false && "unknown workload");
+      ELEPHANT_CHECK(false) << "unknown workload '" << name << "'";
       return C();
   }
 }

@@ -25,19 +25,20 @@ namespace {
 // ---------------------------------------------------------- determinism
 
 sim::Task RandomWorker(sim::Simulation* sim, sim::Server* server, Rng* rng,
-                       int ops, int64_t* checksum) {
+                       int ops, uint64_t* checksum) {
   for (int i = 0; i < ops; ++i) {
     co_await server->Acquire(static_cast<SimTime>(rng->Uniform(100)) + 1);
-    *checksum = *checksum * 31 + sim->now();
+    // Unsigned: the polynomial hash wraps by design.
+    *checksum = *checksum * 31 + static_cast<uint64_t>(sim->now());
     co_await sim->Delay(static_cast<SimTime>(rng->Uniform(50)));
   }
 }
 
-int64_t RunRandomSchedule(uint64_t seed) {
+uint64_t RunRandomSchedule(uint64_t seed) {
   sim::Simulation sim;
   sim::Server server(&sim, 3);
   Rng rng(seed);
-  int64_t checksum = 0;
+  uint64_t checksum = 0;
   std::vector<std::unique_ptr<Rng>> rngs;
   for (int w = 0; w < 20; ++w) {
     rngs.push_back(std::make_unique<Rng>(seed ^ (w * 0x9E37u)));
