@@ -1,0 +1,59 @@
+#ifndef ELEPHANT_BENCH_BENCH_JSON_H_
+#define ELEPHANT_BENCH_BENCH_JSON_H_
+
+// Minimal emitter for the machine-readable BENCH_*.json trajectory
+// files. Each bench binary renders its per-cell objects itself (they
+// differ per bench) and this header supplies the common envelope:
+//
+//   {"bench": "...", "git_sha": "...", "threads": N,
+//    "harness_wall_ms": W, "cells": [ ... ]}
+//
+// scripts/bench_diff.py consumes two such files and flags >10%
+// regressions between them.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace elephant::bench {
+
+/// Git revision baked in at configure time (CMake ELEPHANT_GIT_SHA).
+inline const char* BenchGitSha() {
+#ifdef ELEPHANT_GIT_SHA
+  return ELEPHANT_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+/// Writes the bench envelope with the given pre-rendered cell objects.
+/// Returns false (after printing a warning) when the file cannot be
+/// written; benches treat that as non-fatal.
+inline bool WriteBenchJson(const std::string& path,
+                           const std::string& bench_name, int threads,
+                           double harness_wall_ms,
+                           const std::vector<std::string>& cells) {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  fprintf(f,
+          "{\n  \"bench\": \"%s\",\n  \"git_sha\": \"%s\",\n"
+          "  \"threads\": %d,\n  \"harness_wall_ms\": %.1f,\n"
+          "  \"cells\": [\n",
+          bench_name.c_str(), BenchGitSha(), threads, harness_wall_ms);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    fprintf(f, "    %s%s\n", cells[i].c_str(),
+            i + 1 < cells.size() ? "," : "");
+  }
+  fprintf(f, "  ]\n}\n");
+  fclose(f);
+  printf("\nwrote %s (%zu cells, git %s, %d threads)\n", path.c_str(),
+         cells.size(), BenchGitSha(), threads);
+  return true;
+}
+
+}  // namespace elephant::bench
+
+#endif  // ELEPHANT_BENCH_BENCH_JSON_H_

@@ -2,20 +2,150 @@
 // four TPC-H scale factors, PDW-over-Hive speedups, per-4x scaling
 // factors, and the AM/GM summary rows. Prints the model's numbers next
 // to the paper's published values.
+//
+// Two lanes share the harness:
+//  - model lane: the 22 x 4 simulated (query, SF) cells, each run on
+//    its own DssBenchmark instance so cells are independent and can
+//    execute concurrently; the model seconds are thread-count
+//    invariant.
+//  - exec lane: the 22 reference queries actually executed by the exec
+//    operator library over a dbgen database at a mini scale factor,
+//    with a canonical-order checksum per query so parallel runs can be
+//    byte-compared against --threads=1.
+//
+// Flags: --threads=N (default ELEPHANT_THREADS, else 1), --sf=F (exec
+// lane scale factor, default 0.02), --out=PATH (default
+// BENCH_tpch.json). The JSON carries per-cell model seconds, exec
+// wall-clock ms and checksums, the thread count, and the git sha.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench_json.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/task_pool.h"
 #include "common/units.h"
+#include "exec/operators.h"
 #include "tpch/dss_benchmark.h"
 #include "tpch/paper_reference.h"
 #include "tpch/queries.h"
 
 using namespace elephant;
 
-int main() {
-  tpch::DssBenchmark bench;
-  std::vector<tpch::DssQueryRow> rows =
-      bench.RunAll(tpch::kPaperScaleFactors);
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+/// Order-insensitive, bit-exact digest of a query answer: every row is
+/// serialized (doubles by %.17g so equal bit patterns produce equal
+/// text), row strings are sorted (canonical order), and the
+/// concatenation is FNV-hashed. Identical answers => identical digest,
+/// regardless of row order.
+uint64_t CanonicalChecksum(const exec::Table& t) {
+  std::vector<std::string> lines;
+  lines.reserve(t.num_rows());
+  for (const exec::Row& row : t.rows()) {
+    std::string line;
+    for (const exec::Value& v : row) {
+      if (const auto* i = std::get_if<int64_t>(&v)) {
+        line += StrFormat("i%lld|", static_cast<long long>(*i));
+      } else if (const auto* d = std::get_if<double>(&v)) {
+        line += StrFormat("d%.17g|", *d);
+      } else {
+        line += "s" + std::get<std::string>(v) + "|";
+      }
+    }
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (const std::string& line : lines) {
+    h ^= Fnv1a64(line.data(), line.size());
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+struct ModelCell {
+  double hive_seconds = 0;
+  double pdw_seconds = 0;
+  bool hive_failed = false;
+};
+
+struct ExecCell {
+  double wall_ms = 0;
+  size_t rows = 0;
+  uint64_t checksum = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = DefaultThreadCount();
+  double exec_sf = 0.02;
+  std::string out_path = "BENCH_tpch.json";
+  for (int i = 1; i < argc; ++i) {
+    if (strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::max(1, atoi(argv[i] + 10));
+    } else if (strncmp(argv[i], "--sf=", 5) == 0) {
+      exec_sf = atof(argv[i] + 5);
+    } else if (strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      fprintf(stderr, "usage: %s [--threads=N] [--sf=F] [--out=PATH]\n",
+              argv[0]);
+      return 2;
+    }
+  }
+  exec::SetExecThreads(threads);
+  auto harness_start = std::chrono::steady_clock::now();
+
+  // --- model lane: independent (query, SF) cells, one DssBenchmark
+  // each (the simulation has no shared state across instances) ---
+  const std::vector<double>& sfs = tpch::kPaperScaleFactors;
+  const size_t num_cells = tpch::kNumQueries * sfs.size();
+  std::vector<ModelCell> cells(num_cells);
+  auto run_model_cell = [&](size_t idx) {
+    int q = static_cast<int>(idx / sfs.size()) + 1;
+    double sf = sfs[idx % sfs.size()];
+    tpch::DssBenchmark bench;
+    hive::HiveQueryResult h = bench.RunHive(q, sf);
+    pdw::PdwQueryResult p = bench.RunPdw(q, sf);
+    cells[idx] = {SimTimeToSeconds(h.total), SimTimeToSeconds(p.total),
+                  h.failed_out_of_disk};
+  };
+  if (threads > 1) {
+    TaskPool::Global(threads).ParallelFor(
+        0, num_cells, 1,
+        [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) run_model_cell(i);
+        },
+        threads);
+  } else {
+    for (size_t i = 0; i < num_cells; ++i) run_model_cell(i);
+  }
+  std::vector<tpch::DssQueryRow> rows;
+  for (int q = 1; q <= tpch::kNumQueries; ++q) {
+    tpch::DssQueryRow row;
+    row.query = q;
+    for (size_t si = 0; si < sfs.size(); ++si) {
+      const ModelCell& c = cells[(q - 1) * sfs.size() + si];
+      row.hive_seconds.push_back(c.hive_seconds);
+      row.pdw_seconds.push_back(c.pdw_seconds);
+      row.hive_failed.push_back(c.hive_failed);
+    }
+    rows.push_back(std::move(row));
+  }
 
   printf("Table 3: TPC-H on Hive and PDW at SF 250 / 1000 / 4000 / 16000\n");
   printf("(model seconds, with the paper's measurements in parentheses; "
@@ -98,5 +228,73 @@ int main() {
            n ? sum / n : 0.0);
   }
   printf("  (paper: 35.3x / 13.6x / 10.4x / 9.0x)\n");
+
+  // --- exec lane: the 22 reference queries actually executed over a
+  // dbgen database at a mini SF; query cells run concurrently and each
+  // query's operators additionally parallelize internally ---
+  printf("\nExec lane: reference queries at SF %.3g, %d thread(s)\n",
+         exec_sf, threads);
+  auto gen_start = std::chrono::steady_clock::now();
+  tpch::DbgenOptions dopt;
+  dopt.threads = threads;
+  tpch::TpchDatabase db = tpch::GenerateDatabase(exec_sf, dopt);
+  double dbgen_ms = ElapsedMs(gen_start);
+  printf("dbgen: %zu lineitem rows in %.0f ms\n", db.lineitem.num_rows(),
+         dbgen_ms);
+
+  std::vector<ExecCell> exec_cells(tpch::kNumQueries);
+  auto run_exec_cell = [&](size_t idx) {
+    int q = static_cast<int>(idx) + 1;
+    auto t0 = std::chrono::steady_clock::now();
+    exec::Table answer = tpch::RunQuery(q, db);
+    ExecCell& cell = exec_cells[idx];
+    cell.wall_ms = ElapsedMs(t0);
+    cell.rows = answer.num_rows();
+    cell.checksum = CanonicalChecksum(answer);
+  };
+  auto exec_start = std::chrono::steady_clock::now();
+  if (threads > 1) {
+    TaskPool::Global(threads).ParallelFor(
+        0, exec_cells.size(), 1,
+        [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) run_exec_cell(i);
+        },
+        threads);
+  } else {
+    for (size_t i = 0; i < exec_cells.size(); ++i) run_exec_cell(i);
+  }
+  double exec_ms = ElapsedMs(exec_start);
+  for (int q = 1; q <= tpch::kNumQueries; ++q) {
+    const ExecCell& c = exec_cells[q - 1];
+    printf("Q%-3d %8.1f ms  %6zu rows  checksum %016llx\n", q, c.wall_ms,
+           c.rows, static_cast<unsigned long long>(c.checksum));
+  }
+  printf("exec lane total: %.0f ms (dbgen %.0f ms + queries %.0f ms)\n",
+         dbgen_ms + exec_ms, dbgen_ms, exec_ms);
+
+  // --- machine-readable trajectory ---
+  std::vector<std::string> json_cells;
+  json_cells.reserve(num_cells + exec_cells.size());
+  for (int q = 1; q <= tpch::kNumQueries; ++q) {
+    for (size_t si = 0; si < sfs.size(); ++si) {
+      const ModelCell& c = cells[(q - 1) * sfs.size() + si];
+      json_cells.push_back(StrFormat(
+          "{\"lane\": \"model\", \"query\": %d, \"sf\": %.0f, "
+          "\"hive_seconds\": %.3f, \"pdw_seconds\": %.3f, "
+          "\"hive_failed\": %s}",
+          q, sfs[si], c.hive_seconds, c.pdw_seconds,
+          c.hive_failed ? "true" : "false"));
+    }
+  }
+  for (int q = 1; q <= tpch::kNumQueries; ++q) {
+    const ExecCell& c = exec_cells[q - 1];
+    json_cells.push_back(StrFormat(
+        "{\"lane\": \"exec\", \"query\": %d, \"sf\": %g, "
+        "\"wall_ms\": %.2f, \"rows\": %zu, \"checksum\": \"%016llx\"}",
+        q, exec_sf, c.wall_ms, c.rows,
+        static_cast<unsigned long long>(c.checksum)));
+  }
+  bench::WriteBenchJson(out_path, "tpch_queries", threads,
+                        ElapsedMs(harness_start), json_cells);
   return 0;
 }

@@ -1,12 +1,63 @@
 // Regenerates Table 6 of the paper: the YCSB workload definitions.
+// Also runs one simulated (system, workload) measurement cell per
+// combination of the three systems and workloads B/C — concurrently
+// when --threads / ELEPHANT_THREADS > 1, each on a fresh testbed — and
+// writes the machine-readable BENCH_ycsb.json trajectory (model
+// ops/sec + fingerprint per cell, harness wall-clock, thread count,
+// git sha). The model numbers and fingerprints are thread-count
+// invariant; only the harness wall-clock changes with --threads.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench_json.h"
+#include "common/string_util.h"
+#include "common/task_pool.h"
+#include "ycsb_bench_util.h"
 #include "ycsb/workload.h"
 
+using namespace elephant;
 using namespace elephant::ycsb;
 
-int main() {
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+struct YcsbCell {
+  SystemKind kind;
+  char workload;
+  int64_t target;
+  double achieved = 0;
+  uint64_t fingerprint = 0;
+  double wall_ms = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = DefaultThreadCount();
+  std::string out_path = "BENCH_ycsb.json";
+  for (int i = 1; i < argc; ++i) {
+    if (strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::max(1, atoi(argv[i] + 10));
+    } else if (strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      fprintf(stderr, "usage: %s [--threads=N] [--out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  auto harness_start = std::chrono::steady_clock::now();
+
   printf("Table 6: YCSB benchmark workloads\n\n");
   printf("%-22s | %-40s | %-12s\n", "Workload", "Operations",
          "Distribution");
@@ -31,5 +82,54 @@ int main() {
   printf("\nScans read at most %d records (the paper's 1000, scaled to the "
          "model keyspace).\n",
          WorkloadSpec::E().max_scan_len);
+
+  // --- measurement cells: 3 systems x workloads B/C, one fresh
+  // testbed per cell (RunOnePoint), fanned out on the TaskPool ---
+  std::vector<YcsbCell> cells;
+  for (SystemKind kind :
+       {SystemKind::kMongoAs, SystemKind::kMongoCs, SystemKind::kSqlCs}) {
+    for (char w : {'B', 'C'}) {
+      cells.push_back({kind, w, 10000, 0, 0, 0});
+    }
+  }
+  auto run_cell = [&](size_t idx) {
+    YcsbCell& cell = cells[idx];
+    auto t0 = std::chrono::steady_clock::now();
+    RunResult r = RunOnePoint(cell.kind, WorkloadSpec::ByName(cell.workload),
+                              cell.target, BenchOptions());
+    cell.achieved = r.achieved_ops_per_sec;
+    cell.fingerprint = r.Fingerprint();
+    cell.wall_ms = ElapsedMs(t0);
+  };
+  if (threads > 1) {
+    TaskPool::Global(threads).ParallelFor(
+        0, cells.size(), 1,
+        [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) run_cell(i);
+        },
+        threads);
+  } else {
+    for (size_t i = 0; i < cells.size(); ++i) run_cell(i);
+  }
+
+  printf("\nMeasurement cells (target 10000 ops/sec, %d thread(s)):\n",
+         threads);
+  std::vector<std::string> json_cells;
+  json_cells.reserve(cells.size());
+  for (const YcsbCell& cell : cells) {
+    printf("%-9s workload %c: %8.0f ops/sec  fingerprint %016llx  "
+           "(%.0f ms)\n",
+           SystemKindName(cell.kind), cell.workload, cell.achieved,
+           static_cast<unsigned long long>(cell.fingerprint), cell.wall_ms);
+    json_cells.push_back(StrFormat(
+        "{\"system\": \"%s\", \"workload\": \"%c\", \"target\": %lld, "
+        "\"achieved_ops_per_sec\": %.1f, \"fingerprint\": \"%016llx\", "
+        "\"wall_ms\": %.1f}",
+        SystemKindName(cell.kind), cell.workload,
+        static_cast<long long>(cell.target), cell.achieved,
+        static_cast<unsigned long long>(cell.fingerprint), cell.wall_ms));
+  }
+  bench::WriteBenchJson(out_path, "ycsb_workloads", threads,
+                        ElapsedMs(harness_start), json_cells);
   return 0;
 }

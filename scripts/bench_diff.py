@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Compares two BENCH_*.json files and flags >10% regressions.
+
+Usage: bench_diff.py BASELINE.json CURRENT.json [--threshold=0.10]
+
+Cells are matched by their identifying fields (everything except the
+metric fields below). For time-like metrics (seconds / ms) a regression
+is current > baseline * (1 + threshold); for throughput metrics it is
+current < baseline * (1 - threshold). Exits 1 when any regression is
+found, so CI can gate on it.
+"""
+
+import json
+import sys
+
+# metric name -> True when higher is better.
+METRICS = {
+    "hive_seconds": False,
+    "pdw_seconds": False,
+    "wall_ms": False,
+    "achieved_ops_per_sec": True,
+}
+
+
+def cell_key(cell):
+    return tuple(
+        sorted((k, str(v)) for k, v in cell.items() if k not in METRICS))
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    cells = {}
+    for cell in doc.get("cells", []):
+        cells[cell_key(cell)] = cell
+    return doc, cells
+
+
+def main(argv):
+    threshold = 0.10
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    base_doc, base_cells = load(paths[0])
+    cur_doc, cur_cells = load(paths[1])
+    print(f"baseline: {paths[0]} (git {base_doc.get('git_sha', '?')}, "
+          f"{base_doc.get('threads', '?')} threads)")
+    print(f"current:  {paths[1]} (git {cur_doc.get('git_sha', '?')}, "
+          f"{cur_doc.get('threads', '?')} threads)")
+
+    regressions = []
+    compared = 0
+    for key, base in base_cells.items():
+        cur = cur_cells.get(key)
+        if cur is None:
+            continue
+        for metric, higher_is_better in METRICS.items():
+            if metric not in base or metric not in cur:
+                continue
+            b, c = float(base[metric]), float(cur[metric])
+            if b <= 0:
+                continue
+            compared += 1
+            ratio = c / b
+            regressed = (ratio < 1 - threshold if higher_is_better
+                         else ratio > 1 + threshold)
+            if regressed:
+                ident = {k: v for k, v in base.items() if k not in METRICS}
+                regressions.append(
+                    f"  {ident}: {metric} {b:g} -> {c:g} "
+                    f"({(ratio - 1) * 100:+.1f}%)")
+
+    missing = len(base_cells.keys() - cur_cells.keys())
+    print(f"compared {compared} metrics across "
+          f"{len(base_cells.keys() & cur_cells.keys())} matched cells"
+          + (f" ({missing} baseline cells missing from current)"
+             if missing else ""))
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{threshold * 100:.0f}%:")
+        for line in regressions:
+            print(line)
+        return 1
+    print("no regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,230 @@
+#include "common/task_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+
+#include "common/check.h"
+
+namespace elephant {
+
+namespace {
+
+/// Identifies the pool/worker owning the current thread (nullptr/-1 on
+/// external threads), so RunOneTask can prefer the thread's own deque.
+thread_local TaskPool* tls_pool = nullptr;
+thread_local int tls_worker = -1;
+
+}  // namespace
+
+TaskPool::TaskPool(int num_threads) : workers_(kMaxWorkers) {
+  EnsureThreads(num_threads);
+}
+
+TaskPool::~TaskPool() {
+  stop_.store(true, std::memory_order_release);
+  idle_cv_.notify_all();
+  int n = num_workers_.load(std::memory_order_acquire);
+  for (int i = 0; i < n; ++i) {
+    if (workers_[i]->thread.joinable()) workers_[i]->thread.join();
+  }
+}
+
+void TaskPool::EnsureThreads(int n) {
+  n = std::clamp(n, 1, kMaxWorkers);
+  if (num_workers_.load(std::memory_order_acquire) >= n) return;
+  std::lock_guard<std::mutex> lock(grow_mu_);
+  int cur = num_workers_.load(std::memory_order_acquire);
+  for (int i = cur; i < n; ++i) {
+    workers_[i] = std::make_unique<Worker>();
+    workers_[i]->thread = std::thread([this, i] { WorkerLoop(i); });
+    // Publish the new worker only after its slot is fully constructed;
+    // stealers iterate indices below this count.
+    num_workers_.store(i + 1, std::memory_order_release);
+  }
+}
+
+void TaskPool::Submit(std::function<void()> fn) {
+  ELEPHANT_DCHECK(fn != nullptr) << "null task";
+  uint64_t slot = next_worker_.fetch_add(1, std::memory_order_relaxed);
+  int n = num_workers_.load(std::memory_order_acquire);
+  Worker& w = *workers_[slot % static_cast<uint64_t>(n)];
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    w.tasks.push_back(std::move(fn));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  idle_cv_.notify_all();
+}
+
+bool TaskPool::PopOwn(int worker_index, std::function<void()>* out) {
+  Worker& w = *workers_[worker_index];
+  std::lock_guard<std::mutex> lock(w.mu);
+  if (w.tasks.empty()) return false;
+  *out = std::move(w.tasks.back());
+  w.tasks.pop_back();
+  return true;
+}
+
+bool TaskPool::Steal(std::function<void()>* out) {
+  int n = num_workers_.load(std::memory_order_acquire);
+  // Start at a rotating offset so thieves spread across victims.
+  uint64_t start = next_worker_.fetch_add(1, std::memory_order_relaxed);
+  for (int k = 0; k < n; ++k) {
+    Worker& w = *workers_[(start + static_cast<uint64_t>(k)) %
+                          static_cast<uint64_t>(n)];
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (!w.tasks.empty()) {
+      *out = std::move(w.tasks.front());
+      w.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void TaskPool::Execute(std::function<void()> task) {
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  queued_.fetch_sub(1, std::memory_order_acq_rel);
+  task();
+  if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    idle_cv_.notify_all();
+  }
+}
+
+bool TaskPool::RunOneTask() {
+  std::function<void()> task;
+  if (tls_pool == this && tls_worker >= 0 && PopOwn(tls_worker, &task)) {
+    Execute(std::move(task));
+    return true;
+  }
+  if (Steal(&task)) {
+    Execute(std::move(task));
+    return true;
+  }
+  return false;
+}
+
+void TaskPool::WorkerLoop(int index) {
+  tls_pool = this;
+  tls_worker = index;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (RunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait_for(lock, std::chrono::milliseconds(50), [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+  }
+  tls_pool = nullptr;
+  tls_worker = -1;
+}
+
+void TaskPool::WaitIdle() {
+  while (queued_.load(std::memory_order_acquire) > 0 ||
+         inflight_.load(std::memory_order_acquire) > 0) {
+    if (RunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+namespace {
+
+/// Shared state of one ParallelFor: a chunk cursor claimed by all
+/// participants plus first-exception capture.
+struct ForJob {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t morsel = 1;
+  size_t nchunks = 0;
+  const std::function<void(size_t, size_t)>* body = nullptr;
+  std::atomic<size_t> next{0};
+  std::atomic<bool> cancelled{false};
+  std::atomic<int> outstanding{0};  ///< helper tasks not yet finished
+  std::mutex error_mu;
+  std::exception_ptr error;
+
+  void RunChunks() {
+    for (;;) {
+      if (cancelled.load(std::memory_order_acquire)) return;
+      size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= nchunks) return;
+      size_t lo = begin + c * morsel;
+      size_t hi = std::min(end, lo + morsel);
+      try {
+        (*body)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        cancelled.store(true, std::memory_order_release);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void TaskPool::ParallelFor(size_t begin, size_t end, size_t morsel,
+                           const std::function<void(size_t, size_t)>& body,
+                           int parallelism) {
+  if (end <= begin) return;
+  ELEPHANT_CHECK(morsel > 0) << "morsel size must be positive";
+  size_t nchunks = (end - begin + morsel - 1) / morsel;
+  int workers = num_threads();
+  int participants = parallelism > 0 ? std::min(parallelism, workers + 1)
+                                     : workers;
+  participants =
+      std::min<size_t>(static_cast<size_t>(participants), nchunks);
+  if (participants <= 1 || nchunks == 1) {
+    for (size_t c = 0; c < nchunks; ++c) {
+      size_t lo = begin + c * morsel;
+      body(lo, std::min(end, lo + morsel));
+    }
+    return;
+  }
+
+  auto job = std::make_shared<ForJob>();
+  job->begin = begin;
+  job->end = end;
+  job->morsel = morsel;
+  job->nchunks = nchunks;
+  job->body = &body;
+  int helpers = participants - 1;  // the caller is a participant too
+  job->outstanding.store(helpers, std::memory_order_release);
+  for (int i = 0; i < helpers; ++i) {
+    Submit([job] {
+      job->RunChunks();
+      job->outstanding.fetch_sub(1, std::memory_order_acq_rel);
+    });
+  }
+  job->RunChunks();
+  // Helpers may still be inside their last morsel (or still queued).
+  // Keep draining pool tasks while waiting so nested ParallelFor calls
+  // whose helper tasks sit behind us cannot deadlock.
+  while (job->outstanding.load(std::memory_order_acquire) > 0) {
+    if (RunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait_for(lock, std::chrono::microseconds(200));
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+TaskPool& TaskPool::Global(int min_threads) {
+  static TaskPool pool(std::max(DefaultThreadCount(), 1));
+  if (min_threads > 0) pool.EnsureThreads(min_threads);
+  return pool;
+}
+
+int DefaultThreadCount() {
+  static const int threads = [] {
+    const char* env = std::getenv("ELEPHANT_THREADS");
+    if (env == nullptr) return 1;
+    int n = std::atoi(env);
+    return n >= 1 ? n : 1;
+  }();
+  return threads;
+}
+
+}  // namespace elephant

@@ -1,0 +1,102 @@
+#ifndef ELEPHANT_COMMON_TASK_POOL_H_
+#define ELEPHANT_COMMON_TASK_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace elephant {
+
+/// Morsel-driven work-stealing task scheduler (Hyrise/HyPer style).
+///
+/// Fixed worker threads, one deque per worker: an owner pushes and pops
+/// at the back (LIFO, cache-friendly for nested spawns) while idle
+/// workers steal from the front (FIFO, oldest-first). `ParallelFor`
+/// splits an index range into fixed-size morsels that participants
+/// claim from a shared atomic cursor; the calling thread always
+/// participates and drains queued tasks while it waits, so a nested
+/// `ParallelFor` issued from inside a task makes progress even when
+/// every worker is busy (nested-submission safe, no deadlock). The
+/// first exception thrown by a morsel body is captured and rethrown on
+/// the calling thread after the loop drains.
+///
+/// Determinism contract: morsel decomposition depends only on
+/// (begin, end, morsel), never on the worker count or interleaving, so
+/// parallel code that writes per-morsel slots and concatenates them in
+/// morsel order produces output independent of the thread count.
+class TaskPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to [1, kMaxWorkers]).
+  explicit TaskPool(int num_threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Enqueues `fn` for asynchronous execution. `fn` must not throw.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every task submitted so far (including tasks those
+  /// tasks submitted) has finished; the caller helps run them.
+  void WaitIdle();
+
+  /// Runs `body(lo, hi)` over [begin, end) split into `morsel`-sized
+  /// chunks. The caller participates; up to `parallelism - 1` workers
+  /// help (0 = use every worker). Rethrows the first body exception.
+  void ParallelFor(size_t begin, size_t end, size_t morsel,
+                   const std::function<void(size_t, size_t)>& body,
+                   int parallelism = 0);
+
+  /// Grows the worker set to at least `n` threads (never shrinks).
+  void EnsureThreads(int n);
+
+  int num_threads() const {
+    return num_workers_.load(std::memory_order_acquire);
+  }
+
+  /// Process-wide pool, created on first use and grown (never shrunk)
+  /// to the largest requested size. Safe to call concurrently.
+  static TaskPool& Global(int min_threads = 0);
+
+  static constexpr int kMaxWorkers = 64;
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+    std::thread thread;
+  };
+
+  void WorkerLoop(int index);
+  /// Runs one queued task if any is available (own deque first when the
+  /// current thread is a worker of this pool, then steal). Returns
+  /// false when every deque was empty.
+  bool RunOneTask();
+  bool PopOwn(int worker_index, std::function<void()>* out);
+  bool Steal(std::function<void()>* out);
+  void Execute(std::function<void()> task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;  // kMaxWorkers slots
+  std::atomic<int> num_workers_{0};
+  std::mutex grow_mu_;
+  std::atomic<uint64_t> next_worker_{0};
+  std::atomic<size_t> queued_{0};
+  std::atomic<size_t> inflight_{0};
+  std::atomic<bool> stop_{false};
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+};
+
+/// Thread count requested via the ELEPHANT_THREADS environment
+/// variable; 1 (the serial oracle path) when unset or unparsable.
+int DefaultThreadCount();
+
+}  // namespace elephant
+
+#endif  // ELEPHANT_COMMON_TASK_POOL_H_

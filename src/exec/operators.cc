@@ -1,12 +1,56 @@
 #include "exec/operators.h"
 
 #include <algorithm>
+#include <atomic>
+#include <iterator>
 #include <set>
 #include <unordered_map>
+#include <utility>
 
 #include "common/check.h"
+#include "common/task_pool.h"
 
 namespace elephant::exec {
+
+namespace {
+
+std::atomic<int> g_exec_threads{0};        // 0 = ELEPHANT_THREADS default
+std::atomic<size_t> g_exec_morsel{2048};   // rows per morsel
+
+/// Number of hash partitions for parallel join builds and aggregates.
+/// Fixed (never derived from the thread count) so partition membership
+/// is deterministic; power of two for cheap masking.
+constexpr size_t kHashPartitions = 32;
+
+/// True when `num_rows` is large enough to amortize fan-out overhead at
+/// the current thread setting.
+bool UseParallel(size_t num_rows) {
+  return ExecThreads() > 1 && num_rows >= 2 * ExecMorselSize();
+}
+
+size_t NumChunks(size_t n, size_t morsel) {
+  return (n + morsel - 1) / morsel;
+}
+
+}  // namespace
+
+void SetExecThreads(int n) {
+  g_exec_threads.store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
+
+int ExecThreads() {
+  int n = g_exec_threads.load(std::memory_order_relaxed);
+  return n > 0 ? n : DefaultThreadCount();
+}
+
+void SetExecMorselSize(size_t rows) {
+  ELEPHANT_CHECK(rows > 0) << "morsel size must be positive";
+  g_exec_morsel.store(rows, std::memory_order_relaxed);
+}
+
+size_t ExecMorselSize() {
+  return g_exec_morsel.load(std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -61,14 +105,68 @@ std::vector<int> ResolveCols(const Table& t,
   return out;
 }
 
+/// Shared Filter body; `kMove` steals surviving rows from the input.
+/// The parallel path writes each morsel's survivors into its own slot
+/// and concatenates slots in morsel order, which reproduces the serial
+/// row order exactly (morsel boundaries depend only on the row count).
+template <bool kMove>
+Table FilterImpl(std::conditional_t<kMove, Table, const Table>& t,
+                 const Predicate& pred) {
+  Table out(t.columns());
+  size_t n = t.num_rows();
+  if (UseParallel(n)) {
+    const size_t morsel = ExecMorselSize();
+    std::vector<std::vector<Row>> slots(NumChunks(n, morsel));
+    auto& rows = [&]() -> auto& {
+      if constexpr (kMove) {
+        return t.mutable_rows();
+      } else {
+        return t.rows();
+      }
+    }();
+    TaskPool::Global(ExecThreads())
+        .ParallelFor(
+            0, n, morsel,
+            [&](size_t lo, size_t hi) {
+              std::vector<Row>& slot = slots[lo / morsel];
+              for (size_t i = lo; i < hi; ++i) {
+                if (!pred(rows[i])) continue;
+                if constexpr (kMove) {
+                  slot.push_back(std::move(rows[i]));
+                } else {
+                  slot.push_back(rows[i]);
+                }
+              }
+            },
+            ExecThreads());
+    size_t total = 0;
+    for (const auto& s : slots) total += s.size();
+    out.Reserve(total);
+    for (auto& s : slots) {
+      for (Row& r : s) out.AddRow(std::move(r));
+    }
+  } else {
+    if constexpr (kMove) {
+      for (Row& row : t.mutable_rows()) {
+        if (pred(row)) out.AddRow(std::move(row));
+      }
+    } else {
+      for (const Row& row : t.rows()) {
+        if (pred(row)) out.AddRow(row);
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Table Filter(const Table& t, const Predicate& pred) {
-  Table out(t.columns());
-  for (const Row& row : t.rows()) {
-    if (pred(row)) out.AddRow(row);
-  }
-  return out;
+  return FilterImpl<false>(t, pred);
+}
+
+Table Filter(Table&& t, const Predicate& pred) {
+  return FilterImpl<true>(t, pred);
 }
 
 Table Project(const Table& t, const std::vector<NamedExpr>& exprs) {
@@ -76,15 +174,96 @@ Table Project(const Table& t, const std::vector<NamedExpr>& exprs) {
   cols.reserve(exprs.size());
   for (const auto& e : exprs) cols.push_back({e.name, e.type});
   Table out(std::move(cols));
-  out.Reserve(t.num_rows());
-  for (const Row& row : t.rows()) {
-    Row projected;
-    projected.reserve(exprs.size());
-    for (const auto& e : exprs) projected.push_back(e.fn(row));
-    out.AddRow(std::move(projected));
+  size_t n = t.num_rows();
+  if (UseParallel(n)) {
+    // Projection is 1:1, so each morsel writes its own output range
+    // in place — no per-slot buffers or concatenation needed.
+    out.mutable_rows().resize(n);
+    auto& out_rows = out.mutable_rows();
+    TaskPool::Global(ExecThreads())
+        .ParallelFor(
+            0, n, ExecMorselSize(),
+            [&](size_t lo, size_t hi) {
+              for (size_t i = lo; i < hi; ++i) {
+                Row projected;
+                projected.reserve(exprs.size());
+                for (const auto& e : exprs) {
+                  projected.push_back(e.fn(t.rows()[i]));
+                }
+                out_rows[i] = std::move(projected);
+              }
+            },
+            ExecThreads());
+  } else {
+    out.Reserve(n);
+    for (const Row& row : t.rows()) {
+      Row projected;
+      projected.reserve(exprs.size());
+      for (const auto& e : exprs) projected.push_back(e.fn(row));
+      out.AddRow(std::move(projected));
+    }
   }
   return out;
 }
+
+namespace {
+
+/// Join build table: key -> right-row indices in global row order. The
+/// index vectors make the probe emission order fully deterministic
+/// (unlike unordered_multimap, whose equal_range order is unspecified).
+using BuildMap = std::unordered_map<RowKey, std::vector<uint32_t>, RowKeyHash>;
+
+/// Builds per-partition maps. The serial path uses one partition; the
+/// parallel path first bins row indices per (chunk, partition), then
+/// each partition's map is built by one task walking chunks in order,
+/// so every key's index vector is in global row order — identical to
+/// the serial build.
+std::vector<BuildMap> BuildJoinTable(const Table& right,
+                                     const std::vector<int>& right_keys,
+                                     size_t num_partitions) {
+  size_t n = right.num_rows();
+  std::vector<BuildMap> maps(num_partitions);
+  if (num_partitions == 1) {
+    maps[0].reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      maps[0][ExtractKey(right.rows()[i], right_keys)].push_back(
+          static_cast<uint32_t>(i));
+    }
+    return maps;
+  }
+  const size_t morsel = ExecMorselSize();
+  size_t nchunks = NumChunks(n, morsel);
+  std::vector<std::vector<std::vector<uint32_t>>> binned(
+      nchunks, std::vector<std::vector<uint32_t>>(num_partitions));
+  TaskPool& pool = TaskPool::Global(ExecThreads());
+  pool.ParallelFor(
+      0, n, morsel,
+      [&](size_t lo, size_t hi) {
+        auto& bins = binned[lo / morsel];
+        for (size_t i = lo; i < hi; ++i) {
+          RowKey key = ExtractKey(right.rows()[i], right_keys);
+          bins[RowKeyHash{}(key) & (num_partitions - 1)].push_back(
+              static_cast<uint32_t>(i));
+        }
+      },
+      ExecThreads());
+  pool.ParallelFor(
+      0, num_partitions, 1,
+      [&](size_t lo, size_t hi) {
+        for (size_t p = lo; p < hi; ++p) {
+          for (size_t c = 0; c < nchunks; ++c) {
+            for (uint32_t idx : binned[c][p]) {
+              maps[p][ExtractKey(right.rows()[idx], right_keys)].push_back(
+                  idx);
+            }
+          }
+        }
+      },
+      ExecThreads());
+  return maps;
+}
+
+}  // namespace
 
 Table HashJoin(const Table& left, const Table& right,
                const std::vector<int>& left_keys,
@@ -117,42 +296,74 @@ Table HashJoin(const Table& left, const Table& right,
   Table out(std::move(cols));
 
   // Build side: right.
-  std::unordered_multimap<RowKey, const Row*, RowKeyHash> build;
-  build.reserve(right.num_rows());
-  for (const Row& row : right.rows()) {
-    build.emplace(ExtractKey(row, right_keys), &row);
-  }
+  size_t partitions = UseParallel(right.num_rows()) ? kHashPartitions : 1;
+  std::vector<BuildMap> maps =
+      BuildJoinTable(right, right_keys, partitions);
+  auto lookup = [&](const RowKey& key) -> const std::vector<uint32_t>* {
+    const BuildMap& m =
+        maps[partitions == 1 ? 0 : (RowKeyHash{}(key) & (partitions - 1))];
+    auto it = m.find(key);
+    return it == m.end() ? nullptr : &it->second;
+  };
 
-  for (const Row& lrow : left.rows()) {
-    RowKey key = ExtractKey(lrow, left_keys);
-    auto [begin, end] = build.equal_range(key);
-    bool matched = begin != end;
-    switch (type) {
-      case JoinType::kLeftSemi:
-        if (matched) out.AddRow(lrow);
-        break;
-      case JoinType::kLeftAnti:
-        if (!matched) out.AddRow(lrow);
-        break;
-      case JoinType::kInner:
-      case JoinType::kLeftOuter: {
-        if (matched) {
-          for (auto it = begin; it != end; ++it) {
+  // Probe side: left. One morsel's matches go to one slot; slots
+  // concatenated in morsel order reproduce the serial emission order.
+  auto probe_range = [&](size_t lo, size_t hi, std::vector<Row>* slot) {
+    for (size_t i = lo; i < hi; ++i) {
+      const Row& lrow = left.rows()[i];
+      const std::vector<uint32_t>* matches =
+          lookup(ExtractKey(lrow, left_keys));
+      switch (type) {
+        case JoinType::kLeftSemi:
+          if (matches != nullptr) slot->push_back(lrow);
+          break;
+        case JoinType::kLeftAnti:
+          if (matches == nullptr) slot->push_back(lrow);
+          break;
+        case JoinType::kInner:
+        case JoinType::kLeftOuter: {
+          if (matches != nullptr) {
+            for (uint32_t r : *matches) {
+              Row combined = lrow;
+              const Row& rrow = right.rows()[r];
+              combined.insert(combined.end(), rrow.begin(), rrow.end());
+              slot->push_back(std::move(combined));
+            }
+          } else if (type == JoinType::kLeftOuter) {
             Row combined = lrow;
-            combined.insert(combined.end(), it->second->begin(),
-                            it->second->end());
-            out.AddRow(std::move(combined));
+            for (const Column& rc : right.columns()) {
+              combined.push_back(DefaultValue(rc.type));
+            }
+            slot->push_back(std::move(combined));
           }
-        } else if (type == JoinType::kLeftOuter) {
-          Row combined = lrow;
-          for (const Column& rc : right.columns()) {
-            combined.push_back(DefaultValue(rc.type));
-          }
-          out.AddRow(std::move(combined));
+          break;
         }
-        break;
       }
     }
+  };
+
+  size_t n = left.num_rows();
+  if (UseParallel(n)) {
+    const size_t morsel = ExecMorselSize();
+    std::vector<std::vector<Row>> slots(NumChunks(n, morsel));
+    TaskPool::Global(ExecThreads())
+        .ParallelFor(
+            0, n, morsel,
+            [&](size_t lo, size_t hi) {
+              probe_range(lo, hi, &slots[lo / morsel]);
+            },
+            ExecThreads());
+    size_t total = 0;
+    for (const auto& s : slots) total += s.size();
+    out.Reserve(total);
+    for (auto& s : slots) {
+      for (Row& r : s) out.AddRow(std::move(r));
+    }
+  } else {
+    std::vector<Row> slot;
+    probe_range(0, n, &slot);
+    out.Reserve(slot.size());
+    for (Row& r : slot) out.AddRow(std::move(r));
   }
   return out;
 }
@@ -261,6 +472,83 @@ std::string SerializeValue(const Value& v) {
   return "s" + std::get<std::string>(v);
 }
 
+/// Folds one input row into a group's aggregate states. Both the serial
+/// and the parallel aggregate call this in global row order per group,
+/// so floating-point accumulation rounds identically on every path.
+void UpdateAggStates(std::vector<AggState>* states,
+                     const std::vector<AggExpr>& aggs, const Row& row) {
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    AggState& st = (*states)[i];
+    const AggExpr& a = aggs[i];
+    if (a.kind == AggKind::kCount) {
+      st.count++;
+      continue;
+    }
+    Value v = a.arg(row);
+    switch (a.kind) {
+      case AggKind::kSum:
+      case AggKind::kAvg:
+        st.sum += AsDouble(v);
+        st.count++;
+        break;
+      case AggKind::kMin:
+        if (!st.has_value || CompareValues(v, st.min_v) < 0) st.min_v = v;
+        st.has_value = true;
+        break;
+      case AggKind::kMax:
+        if (!st.has_value || CompareValues(v, st.max_v) > 0) st.max_v = v;
+        st.has_value = true;
+        break;
+      case AggKind::kCountDistinct:
+        st.distinct.insert(SerializeValue(v));
+        break;
+      case AggKind::kCount:
+        break;
+    }
+  }
+}
+
+Row FinalizeAggRow(const RowKey& key, const std::vector<AggState>& states,
+                   const std::vector<AggExpr>& aggs, size_t num_group_cols) {
+  Row row;
+  row.reserve(num_group_cols + aggs.size());
+  for (const Value& v : key.parts) row.push_back(v);
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    const AggState& st = states[i];
+    const AggExpr& a = aggs[i];
+    switch (a.kind) {
+      case AggKind::kSum:
+        row.push_back(a.type == ValueType::kInt
+                          ? Value{static_cast<int64_t>(st.sum)}
+                          : Value{st.sum});
+        break;
+      case AggKind::kAvg:
+        row.push_back(Value{st.count ? st.sum / st.count : 0.0});
+        break;
+      case AggKind::kCount:
+        row.push_back(Value{st.count});
+        break;
+      case AggKind::kCountDistinct:
+        row.push_back(Value{static_cast<int64_t>(st.distinct.size())});
+        break;
+      case AggKind::kMin:
+        row.push_back(st.has_value ? st.min_v : DefaultValue(a.type));
+        break;
+      case AggKind::kMax:
+        row.push_back(st.has_value ? st.max_v : DefaultValue(a.type));
+        break;
+    }
+  }
+  return row;
+}
+
+/// Per-partition aggregation state for the parallel path.
+struct AggPartition {
+  std::unordered_map<RowKey, std::vector<AggState>, RowKeyHash> groups;
+  /// (first global row index, key) per group, for serial-order output.
+  std::vector<std::pair<size_t, RowKey>> order;
+};
+
 }  // namespace
 
 Table HashAggregate(const Table& t, const std::vector<int>& group_cols,
@@ -269,6 +557,73 @@ Table HashAggregate(const Table& t, const std::vector<int>& group_cols,
   for (int g : group_cols) cols.push_back(t.columns()[g]);
   for (const auto& a : aggs) cols.push_back({a.name, a.type});
   Table out(std::move(cols));
+
+  size_t n = t.num_rows();
+  if (UseParallel(n) && !group_cols.empty()) {
+    // Partition rows by key hash: every group lives in exactly one
+    // partition, and each partition folds its rows in global row order
+    // (chunks walked in order, indices ascending within a chunk), so
+    // each group's states — including double rounding — are identical
+    // to the serial fold. Groups are then emitted sorted by first
+    // global row index, reproducing the serial first-seen order.
+    const size_t morsel = ExecMorselSize();
+    size_t nchunks = NumChunks(n, morsel);
+    std::vector<std::vector<std::vector<uint32_t>>> binned(
+        nchunks, std::vector<std::vector<uint32_t>>(kHashPartitions));
+    TaskPool& pool = TaskPool::Global(ExecThreads());
+    pool.ParallelFor(
+        0, n, morsel,
+        [&](size_t lo, size_t hi) {
+          auto& bins = binned[lo / morsel];
+          for (size_t i = lo; i < hi; ++i) {
+            RowKey key = ExtractKey(t.rows()[i], group_cols);
+            bins[RowKeyHash{}(key) & (kHashPartitions - 1)].push_back(
+                static_cast<uint32_t>(i));
+          }
+        },
+        ExecThreads());
+    std::vector<AggPartition> parts(kHashPartitions);
+    pool.ParallelFor(
+        0, kHashPartitions, 1,
+        [&](size_t lo, size_t hi) {
+          for (size_t p = lo; p < hi; ++p) {
+            AggPartition& part = parts[p];
+            for (size_t c = 0; c < nchunks; ++c) {
+              for (uint32_t idx : binned[c][p]) {
+                const Row& row = t.rows()[idx];
+                RowKey key = ExtractKey(row, group_cols);
+                auto it = part.groups.find(key);
+                if (it == part.groups.end()) {
+                  it = part.groups
+                           .emplace(key, std::vector<AggState>(aggs.size()))
+                           .first;
+                  part.order.emplace_back(idx, key);
+                }
+                UpdateAggStates(&it->second, aggs, row);
+              }
+            }
+          }
+        },
+        ExecThreads());
+    // Flatten (first_row, key) pairs across partitions and emit in
+    // ascending first-row order == serial first-seen order.
+    std::vector<std::pair<size_t, const RowKey*>> all_groups;
+    for (const AggPartition& part : parts) {
+      for (const auto& [first_row, key] : part.order) {
+        all_groups.emplace_back(first_row, &key);
+      }
+    }
+    std::sort(all_groups.begin(), all_groups.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    out.Reserve(all_groups.size());
+    for (const auto& [first_row, key] : all_groups) {
+      const AggPartition& part =
+          parts[RowKeyHash{}(*key) & (kHashPartitions - 1)];
+      out.AddRow(FinalizeAggRow(*key, part.groups.at(*key), aggs,
+                                group_cols.size()));
+    }
+    return out;
+  }
 
   std::unordered_map<RowKey, std::vector<AggState>, RowKeyHash> groups;
   std::vector<RowKey> order;  // first-seen order for determinism
@@ -279,35 +634,7 @@ Table HashAggregate(const Table& t, const std::vector<int>& group_cols,
       it = groups.emplace(key, std::vector<AggState>(aggs.size())).first;
       order.push_back(key);
     }
-    for (size_t i = 0; i < aggs.size(); ++i) {
-      AggState& st = it->second[i];
-      const AggExpr& a = aggs[i];
-      if (a.kind == AggKind::kCount) {
-        st.count++;
-        continue;
-      }
-      Value v = a.arg(row);
-      switch (a.kind) {
-        case AggKind::kSum:
-        case AggKind::kAvg:
-          st.sum += AsDouble(v);
-          st.count++;
-          break;
-        case AggKind::kMin:
-          if (!st.has_value || CompareValues(v, st.min_v) < 0) st.min_v = v;
-          st.has_value = true;
-          break;
-        case AggKind::kMax:
-          if (!st.has_value || CompareValues(v, st.max_v) > 0) st.max_v = v;
-          st.has_value = true;
-          break;
-        case AggKind::kCountDistinct:
-          st.distinct.insert(SerializeValue(v));
-          break;
-        case AggKind::kCount:
-          break;
-      }
-    }
+    UpdateAggStates(&it->second, aggs, row);
   }
 
   // Global aggregate over empty input still yields one row of zeros.
@@ -317,38 +644,10 @@ Table HashAggregate(const Table& t, const std::vector<int>& group_cols,
     order.push_back(empty);
   }
 
+  out.Reserve(order.size());
   for (const RowKey& key : order) {
-    const std::vector<AggState>& states = groups.at(key);
-    Row row;
-    row.reserve(group_cols.size() + aggs.size());
-    for (const Value& v : key.parts) row.push_back(v);
-    for (size_t i = 0; i < aggs.size(); ++i) {
-      const AggState& st = states[i];
-      const AggExpr& a = aggs[i];
-      switch (a.kind) {
-        case AggKind::kSum:
-          row.push_back(a.type == ValueType::kInt
-                            ? Value{static_cast<int64_t>(st.sum)}
-                            : Value{st.sum});
-          break;
-        case AggKind::kAvg:
-          row.push_back(Value{st.count ? st.sum / st.count : 0.0});
-          break;
-        case AggKind::kCount:
-          row.push_back(Value{st.count});
-          break;
-        case AggKind::kCountDistinct:
-          row.push_back(Value{static_cast<int64_t>(st.distinct.size())});
-          break;
-        case AggKind::kMin:
-          row.push_back(st.has_value ? st.min_v : DefaultValue(a.type));
-          break;
-        case AggKind::kMax:
-          row.push_back(st.has_value ? st.max_v : DefaultValue(a.type));
-          break;
-      }
-    }
-    out.AddRow(std::move(row));
+    out.AddRow(
+        FinalizeAggRow(key, groups.at(key), aggs, group_cols.size()));
   }
   return out;
 }
@@ -359,27 +658,112 @@ Table HashAggregateOn(const Table& t,
   return HashAggregate(t, ResolveCols(t, group_cols), aggs);
 }
 
-Table SortBy(const Table& t, const std::vector<SortKey>& keys) {
+namespace {
+
+/// Sorts `rows` stably in place. The parallel path stable-sorts fixed
+/// morsel chunks, then merges adjacent chunk pairs per round with
+/// std::merge (stable: ties taken from the earlier chunk), which yields
+/// exactly the serial std::stable_sort result.
+void StableSortRows(std::vector<Row>* rows,
+                    const std::function<bool(const Row&, const Row&)>& less) {
+  size_t n = rows->size();
+  if (!UseParallel(n)) {
+    std::stable_sort(rows->begin(), rows->end(), less);
+    return;
+  }
+  const size_t morsel = ExecMorselSize();
+  size_t nchunks = NumChunks(n, morsel);
+  TaskPool& pool = TaskPool::Global(ExecThreads());
+  pool.ParallelFor(
+      0, n, morsel,
+      [&](size_t lo, size_t hi) {
+        std::stable_sort(rows->begin() + static_cast<ptrdiff_t>(lo),
+                         rows->begin() + static_cast<ptrdiff_t>(hi), less);
+      },
+      ExecThreads());
+  if (nchunks == 1) return;
+  std::vector<Row> scratch(n);
+  std::vector<Row>* src = rows;
+  std::vector<Row>* dst = &scratch;
+  for (size_t width = morsel; width < n; width *= 2) {
+    size_t npairs = NumChunks(n, 2 * width);
+    pool.ParallelFor(
+        0, npairs, 1,
+        [&](size_t plo, size_t phi) {
+          for (size_t p = plo; p < phi; ++p) {
+            size_t lo = p * 2 * width;
+            size_t mid = std::min(lo + width, n);
+            size_t hi = std::min(lo + 2 * width, n);
+            auto s = src->begin() + static_cast<ptrdiff_t>(lo);
+            auto m = src->begin() + static_cast<ptrdiff_t>(mid);
+            auto e = src->begin() + static_cast<ptrdiff_t>(hi);
+            auto d = dst->begin() + static_cast<ptrdiff_t>(lo);
+            if (mid >= hi) {
+              std::move(s, e, d);
+            } else {
+              std::merge(std::make_move_iterator(s),
+                         std::make_move_iterator(m),
+                         std::make_move_iterator(m),
+                         std::make_move_iterator(e), d, less);
+            }
+          }
+        },
+        ExecThreads());
+    std::swap(src, dst);
+  }
+  if (src != rows) *rows = std::move(*src);
+}
+
+std::function<bool(const Row&, const Row&)> MakeLess(
+    const std::vector<SortKey>& keys) {
+  return [&keys](const Row& a, const Row& b) {
+    for (const SortKey& k : keys) {
+      int c = CompareValues(a[k.col], b[k.col]);
+      if (c != 0) return k.ascending ? c < 0 : c > 0;
+    }
+    return false;
+  };
+}
+
+void CheckSortKeys(const Table& t, const std::vector<SortKey>& keys) {
   for (const SortKey& k : keys) {
     ELEPHANT_CHECK(k.col >= 0 && k.col < t.num_cols())
         << "sort key column " << k.col << " out of range";
   }
+}
+
+}  // namespace
+
+Table SortBy(const Table& t, const std::vector<SortKey>& keys) {
+  CheckSortKeys(t, keys);
   Table out = t;
-  std::stable_sort(out.mutable_rows().begin(), out.mutable_rows().end(),
-                   [&keys](const Row& a, const Row& b) {
-                     for (const SortKey& k : keys) {
-                       int c = CompareValues(a[k.col], b[k.col]);
-                       if (c != 0) return k.ascending ? c < 0 : c > 0;
-                     }
-                     return false;
-                   });
+  StableSortRows(&out.mutable_rows(), MakeLess(keys));
+  return out;
+}
+
+Table SortBy(Table&& t, const std::vector<SortKey>& keys) {
+  CheckSortKeys(t, keys);
+  Table out = std::move(t);
+  StableSortRows(&out.mutable_rows(), MakeLess(keys));
   return out;
 }
 
 Table Limit(const Table& t, size_t n) {
   Table out(t.columns());
-  for (size_t i = 0; i < std::min(n, t.num_rows()); ++i) {
+  size_t take = std::min(n, t.num_rows());
+  out.Reserve(take);
+  for (size_t i = 0; i < take; ++i) {
     out.AddRow(t.rows()[i]);
+  }
+  return out;
+}
+
+Table Limit(Table&& t, size_t n) {
+  Table out(t.columns());
+  size_t take = std::min(n, t.num_rows());
+  out.Reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    out.AddRow(std::move(t.mutable_rows()[i]));
   }
   return out;
 }
@@ -389,6 +773,7 @@ Table Distinct(const Table& t) {
   for (int i = 0; i < t.num_cols(); ++i) all_cols[i] = i;
   Table out(t.columns());
   std::unordered_map<RowKey, bool, RowKeyHash> seen;
+  seen.reserve(t.num_rows());
   for (const Row& row : t.rows()) {
     RowKey key = ExtractKey(row, all_cols);
     if (seen.emplace(std::move(key), true).second) out.AddRow(row);

@@ -9,6 +9,26 @@
 
 namespace elephant::exec {
 
+// ---- Parallelism knobs --------------------------------------------------
+//
+// Operators run serially by default (threads == 1, the oracle path).
+// With more threads they fan morsels of rows out to the process-wide
+// TaskPool, but every parallel path is bit-identical to the serial one:
+// morsel decomposition never depends on the thread count, per-morsel
+// outputs are concatenated in morsel order, and aggregate groups are
+// owned by exactly one hash partition and accumulated in global row
+// order (so floating-point rounding matches serial exactly).
+
+/// Sets the operator thread count. `n <= 0` resets to the
+/// ELEPHANT_THREADS environment default; `1` forces the serial path.
+void SetExecThreads(int n);
+/// Current operator thread count (>= 1).
+int ExecThreads();
+
+/// Sets the morsel (row-chunk) size used by parallel operators.
+void SetExecMorselSize(size_t rows);
+size_t ExecMorselSize();
+
 /// Row predicate.
 using Predicate = std::function<bool(const Row&)>;
 /// Scalar expression over a row.
@@ -23,6 +43,9 @@ struct NamedExpr {
 
 /// Returns the rows of `t` satisfying `pred`. Schema unchanged.
 Table Filter(const Table& t, const Predicate& pred);
+/// Destructive overload: moves surviving rows out of `t` instead of
+/// copying them. Use when the caller discards the input.
+Table Filter(Table&& t, const Predicate& pred);
 
 /// Evaluates `exprs` per row; output schema is exactly the expr list.
 Table Project(const Table& t, const std::vector<NamedExpr>& exprs);
@@ -87,9 +110,13 @@ struct SortKey {
 
 /// Stable sort by the given keys.
 Table SortBy(const Table& t, const std::vector<SortKey>& keys);
+/// Destructive overload: sorts `t`'s rows in place (no table copy).
+Table SortBy(Table&& t, const std::vector<SortKey>& keys);
 
 /// First n rows.
 Table Limit(const Table& t, size_t n);
+/// Destructive overload: moves the first n rows out of `t`.
+Table Limit(Table&& t, size_t n);
 
 /// Removes duplicate rows (all columns).
 Table Distinct(const Table& t);

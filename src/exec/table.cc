@@ -63,10 +63,8 @@ int Table::ColIndex(const std::string& name) const {
 }
 
 int Table::FindCol(const std::string& name) const {
-  for (size_t i = 0; i < columns_.size(); ++i) {
-    if (columns_[i].name == name) return static_cast<int>(i);
-  }
-  return -1;
+  auto it = col_index_.find(name);
+  return it == col_index_.end() ? -1 : it->second;
 }
 
 std::string Table::ToString(size_t max_rows) const {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
@@ -44,11 +45,16 @@ using Row = std::vector<Value>;
 class Table {
  public:
   Table() = default;
-  explicit Table(std::vector<Column> columns)
-      : columns_(std::move(columns)) {}
+  explicit Table(std::vector<Column> columns) : columns_(std::move(columns)) {
+    col_index_.reserve(columns_.size());
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      col_index_.emplace(columns_[i].name, static_cast<int>(i));
+    }
+  }
 
   /// Index of a column by name; asserts that it exists (TPC-H column
-  /// names are globally unique, e.g. l_orderkey, o_orderkey).
+  /// names are globally unique, e.g. l_orderkey, o_orderkey). O(1) via
+  /// a name -> index map built at construction.
   int ColIndex(const std::string& name) const;
   /// Like ColIndex but returns -1 when missing.
   int FindCol(const std::string& name) const;
@@ -73,6 +79,7 @@ class Table {
 
  private:
   std::vector<Column> columns_;
+  std::unordered_map<std::string, int> col_index_;
   std::vector<Row> rows_;
 };
 

@@ -1,10 +1,14 @@
 #include "tpch/dbgen.h"
 
+#include <algorithm>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "common/task_pool.h"
 
 namespace elephant::tpch {
 
@@ -125,6 +129,78 @@ int64_t SupplierFor(int64_t partkey, int j, int64_t supplier_count) {
          1;
 }
 
+// ---- Chunked generation -------------------------------------------------
+//
+// Every table is generated in fixed-size row-range chunks, and each
+// chunk draws from its own counter-seeded RNG stream. Chunk boundaries
+// depend only on the table's row count — never on the thread count — so
+// the generated database is bit-identical whether chunks run in order
+// on one thread or interleaved across many; per-chunk row buffers are
+// concatenated in chunk order.
+
+/// Rows per generation chunk (orders count their lineitems implicitly).
+constexpr int64_t kChunkRows = 2048;
+
+/// Per-table stream tags keeping chunk streams disjoint across tables.
+enum : uint64_t {
+  kTagRegion = 1,
+  kTagNation,
+  kTagSupplier,
+  kTagPart,
+  kTagPartsupp,
+  kTagCustomer,
+  kTagOrders,
+};
+
+/// Counter-based seed for chunk `chunk` of the table tagged `tag`:
+/// SplitMix64 over (seed, tag, chunk), so streams are well separated
+/// even for adjacent counters.
+uint64_t ChunkSeed(uint64_t seed, uint64_t tag, uint64_t chunk) {
+  uint64_t state = seed + tag * 0x9E3779B97F4A7C15ULL;
+  state = SplitMix64(&state) ^ chunk;
+  return SplitMix64(&state);
+}
+
+size_t NumChunks(int64_t total) {
+  return total <= 0 ? 0
+                    : static_cast<size_t>((total + kChunkRows - 1) /
+                                          kChunkRows);
+}
+
+/// Runs body(chunk_index, lo, hi) over [0, total) split into kChunkRows
+/// chunks: in chunk order on the calling thread when threads <= 1, else
+/// fanned out on the global TaskPool.
+void ForEachChunk(int threads, int64_t total,
+                  const std::function<void(size_t, int64_t, int64_t)>& body) {
+  if (total <= 0) return;
+  if (threads > 1) {
+    TaskPool::Global(threads).ParallelFor(
+        0, static_cast<size_t>(total), static_cast<size_t>(kChunkRows),
+        [&](size_t lo, size_t hi) {
+          body(lo / static_cast<size_t>(kChunkRows),
+               static_cast<int64_t>(lo), static_cast<int64_t>(hi));
+        },
+        threads);
+  } else {
+    for (int64_t lo = 0; lo < total; lo += kChunkRows) {
+      body(static_cast<size_t>(lo / kChunkRows), lo,
+           std::min(lo + kChunkRows, total));
+    }
+  }
+}
+
+/// Moves per-chunk row buffers into `out` in chunk order.
+void AppendSlots(std::vector<std::vector<Row>>* slots, Table* out) {
+  size_t total = 0;
+  for (const auto& s : *slots) total += s.size();
+  out->Reserve(out->num_rows() + total);
+  for (auto& s : *slots) {
+    for (Row& r : s) out->AddRow(std::move(r));
+    s.clear();
+    s.shrink_to_fit();
+  }
+}
+
 }  // namespace
 
 const Table& TpchDatabase::table(TableId id) const {
@@ -152,8 +228,9 @@ const Table& TpchDatabase::table(TableId id) const {
 TpchDatabase GenerateDatabase(double sf, const DbgenOptions& options) {
   TpchDatabase db;
   db.scale_factor = sf;
-  Rng rng(options.seed);
-  TpchRandom key_rng(options.seed ^ 0x7C0FFEEULL);
+  const uint64_t seed = options.seed;
+  const int threads =
+      options.threads > 0 ? options.threads : DefaultThreadCount();
 
   const int64_t num_suppliers = RowCountAtScale(TableId::kSupplier, sf);
   const int64_t num_parts = RowCountAtScale(TableId::kPart, sf);
@@ -168,179 +245,243 @@ TpchDatabase GenerateDatabase(double sf, const DbgenOptions& options) {
 
   // --- region ---
   db.region = Table(TableSchema(TableId::kRegion));
-  for (int64_t i = 0; i < 5; ++i) {
-    db.region.AddRow({Value{i}, Value{std::string(kRegions[i])},
-                      Value{RandomText(&rng, 6)}});
+  {
+    Rng rng(ChunkSeed(seed, kTagRegion, 0));
+    for (int64_t i = 0; i < 5; ++i) {
+      db.region.AddRow({Value{i}, Value{std::string(kRegions[i])},
+                        Value{RandomText(&rng, 6)}});
+    }
   }
 
   // --- nation ---
   db.nation = Table(TableSchema(TableId::kNation));
-  for (int64_t i = 0; i < 25; ++i) {
-    db.nation.AddRow({Value{i}, Value{std::string(kNations[i].name)},
-                      Value{int64_t{kNations[i].region}},
-                      Value{RandomText(&rng, 6)}});
+  {
+    Rng rng(ChunkSeed(seed, kTagNation, 0));
+    for (int64_t i = 0; i < 25; ++i) {
+      db.nation.AddRow({Value{i}, Value{std::string(kNations[i].name)},
+                        Value{int64_t{kNations[i].region}},
+                        Value{RandomText(&rng, 6)}});
+    }
   }
 
   // --- supplier ---
   db.supplier = Table(TableSchema(TableId::kSupplier));
-  db.supplier.Reserve(num_suppliers);
-  for (int64_t k = 1; k <= num_suppliers; ++k) {
-    int nationkey = static_cast<int>(rng.Uniform(25));
-    // Per spec, ~5 per 10000 supplier comments embed the Q16 trigger
-    // phrase "Customer ... Complaints".
-    std::string comment = RandomText(&rng, 8);
-    if (rng.Uniform(2000) == 0) {
-      comment = "Customer " + RandomText(&rng, 2) + " Complaints " + comment;
-    }
-    db.supplier.AddRow({Value{k},
-                        Value{StrFormat("Supplier#%09lld",
-                                        static_cast<long long>(k))},
-                        Value{RandomAddress(&rng)},
-                        Value{int64_t{nationkey}},
-                        Value{PhoneFor(nationkey, &rng)},
-                        Value{-999.99 + rng.NextDouble() * (9999.99 + 999.99)},
-                        Value{std::move(comment)}});
+  {
+    std::vector<std::vector<Row>> slots(NumChunks(num_suppliers));
+    ForEachChunk(threads, num_suppliers,
+                 [&](size_t c, int64_t lo, int64_t hi) {
+                   Rng rng(ChunkSeed(seed, kTagSupplier, c));
+                   std::vector<Row>& rows = slots[c];
+                   rows.reserve(static_cast<size_t>(hi - lo));
+                   for (int64_t k = lo + 1; k <= hi; ++k) {
+                     int nationkey = static_cast<int>(rng.Uniform(25));
+                     // Per spec, ~5 per 10000 supplier comments embed the
+                     // Q16 trigger phrase "Customer ... Complaints".
+                     std::string comment = RandomText(&rng, 8);
+                     if (rng.Uniform(2000) == 0) {
+                       comment = "Customer " + RandomText(&rng, 2) +
+                                 " Complaints " + comment;
+                     }
+                     rows.push_back(
+                         {Value{k},
+                          Value{StrFormat("Supplier#%09lld",
+                                          static_cast<long long>(k))},
+                          Value{RandomAddress(&rng)},
+                          Value{int64_t{nationkey}},
+                          Value{PhoneFor(nationkey, &rng)},
+                          Value{-999.99 +
+                                rng.NextDouble() * (9999.99 + 999.99)},
+                          Value{std::move(comment)}});
+                   }
+                 });
+    AppendSlots(&slots, &db.supplier);
   }
 
   // --- part ---
   db.part = Table(TableSchema(TableId::kPart));
-  db.part.Reserve(num_parts);
-  for (int64_t k = 1; k <= num_parts; ++k) {
-    int m = static_cast<int>(rng.Uniform(5)) + 1;
-    int n = static_cast<int>(rng.Uniform(5)) + 1;
-    std::string name;
-    for (int w = 0; w < 5; ++w) {
-      if (w) name += ' ';
-      name += kColors[rng.Uniform(std::size(kColors))];
-    }
-    std::string type = std::string(kTypes1[rng.Uniform(6)]) + " " +
-                       kTypes2[rng.Uniform(5)] + " " + kTypes3[rng.Uniform(5)];
-    std::string container = std::string(kContainers1[rng.Uniform(5)]) + " " +
-                            kContainers2[rng.Uniform(8)];
-    db.part.AddRow({Value{k}, Value{std::move(name)},
-                    Value{StrFormat("Manufacturer#%d", m)},
-                    Value{StrFormat("Brand#%d%d", m, n)},
-                    Value{std::move(type)},
-                    Value{static_cast<int64_t>(rng.Uniform(50)) + 1},
-                    Value{std::move(container)}, Value{RetailPrice(k)},
-                    Value{RandomText(&rng, 4)}});
+  {
+    std::vector<std::vector<Row>> slots(NumChunks(num_parts));
+    ForEachChunk(
+        threads, num_parts, [&](size_t c, int64_t lo, int64_t hi) {
+          Rng rng(ChunkSeed(seed, kTagPart, c));
+          std::vector<Row>& rows = slots[c];
+          rows.reserve(static_cast<size_t>(hi - lo));
+          for (int64_t k = lo + 1; k <= hi; ++k) {
+            int m = static_cast<int>(rng.Uniform(5)) + 1;
+            int n = static_cast<int>(rng.Uniform(5)) + 1;
+            std::string name;
+            for (int w = 0; w < 5; ++w) {
+              if (w) name += ' ';
+              name += kColors[rng.Uniform(std::size(kColors))];
+            }
+            std::string type = std::string(kTypes1[rng.Uniform(6)]) + " " +
+                               kTypes2[rng.Uniform(5)] + " " +
+                               kTypes3[rng.Uniform(5)];
+            std::string container =
+                std::string(kContainers1[rng.Uniform(5)]) + " " +
+                kContainers2[rng.Uniform(8)];
+            rows.push_back({Value{k}, Value{std::move(name)},
+                            Value{StrFormat("Manufacturer#%d", m)},
+                            Value{StrFormat("Brand#%d%d", m, n)},
+                            Value{std::move(type)},
+                            Value{static_cast<int64_t>(rng.Uniform(50)) + 1},
+                            Value{std::move(container)},
+                            Value{RetailPrice(k)},
+                            Value{RandomText(&rng, 4)}});
+          }
+        });
+    AppendSlots(&slots, &db.part);
   }
 
-  // --- partsupp ---
+  // --- partsupp --- (chunked over partkeys; 4 rows per part)
   db.partsupp = Table(TableSchema(TableId::kPartsupp));
-  db.partsupp.Reserve(num_parts * Constants::kPartsuppPerPart);
-  for (int64_t pk = 1; pk <= num_parts; ++pk) {
-    for (int j = 0; j < Constants::kPartsuppPerPart; ++j) {
-      db.partsupp.AddRow({Value{pk},
-                          Value{SupplierFor(pk, j, num_suppliers)},
-                          Value{static_cast<int64_t>(rng.Uniform(9999)) + 1},
-                          Value{1.0 + rng.NextDouble() * 999.0},
-                          Value{RandomText(&rng, 10)}});
-    }
+  {
+    std::vector<std::vector<Row>> slots(NumChunks(num_parts));
+    ForEachChunk(
+        threads, num_parts, [&](size_t c, int64_t lo, int64_t hi) {
+          Rng rng(ChunkSeed(seed, kTagPartsupp, c));
+          std::vector<Row>& rows = slots[c];
+          rows.reserve(static_cast<size_t>(hi - lo) *
+                       Constants::kPartsuppPerPart);
+          for (int64_t pk = lo + 1; pk <= hi; ++pk) {
+            for (int j = 0; j < Constants::kPartsuppPerPart; ++j) {
+              rows.push_back(
+                  {Value{pk}, Value{SupplierFor(pk, j, num_suppliers)},
+                   Value{static_cast<int64_t>(rng.Uniform(9999)) + 1},
+                   Value{1.0 + rng.NextDouble() * 999.0},
+                   Value{RandomText(&rng, 10)}});
+            }
+          }
+        });
+    AppendSlots(&slots, &db.partsupp);
   }
 
   // --- customer ---
   db.customer = Table(TableSchema(TableId::kCustomer));
-  db.customer.Reserve(num_customers);
-  for (int64_t k = 1; k <= num_customers; ++k) {
-    int nationkey = static_cast<int>(rng.Uniform(25));
-    db.customer.AddRow(
-        {Value{k},
-         Value{StrFormat("Customer#%09lld", static_cast<long long>(k))},
-         Value{RandomAddress(&rng)}, Value{int64_t{nationkey}},
-         Value{PhoneFor(nationkey, &rng)},
-         Value{-999.99 + rng.NextDouble() * (9999.99 + 999.99)},
-         Value{std::string(kSegments[rng.Uniform(5)])},
-         Value{RandomText(&rng, 12)}});
+  {
+    std::vector<std::vector<Row>> slots(NumChunks(num_customers));
+    ForEachChunk(
+        threads, num_customers, [&](size_t c, int64_t lo, int64_t hi) {
+          Rng rng(ChunkSeed(seed, kTagCustomer, c));
+          std::vector<Row>& rows = slots[c];
+          rows.reserve(static_cast<size_t>(hi - lo));
+          for (int64_t k = lo + 1; k <= hi; ++k) {
+            int nationkey = static_cast<int>(rng.Uniform(25));
+            rows.push_back(
+                {Value{k},
+                 Value{StrFormat("Customer#%09lld",
+                                 static_cast<long long>(k))},
+                 Value{RandomAddress(&rng)}, Value{int64_t{nationkey}},
+                 Value{PhoneFor(nationkey, &rng)},
+                 Value{-999.99 + rng.NextDouble() * (9999.99 + 999.99)},
+                 Value{std::string(kSegments[rng.Uniform(5)])},
+                 Value{RandomText(&rng, 12)}});
+          }
+        });
+    AppendSlots(&slots, &db.customer);
   }
 
-  // --- orders + lineitem ---
+  // --- orders + lineitem --- (chunked over order index; each chunk
+  // carries an Rng stream plus a TpchRandom key stream of its own)
   db.orders = Table(TableSchema(TableId::kOrders));
-  db.orders.Reserve(num_orders);
   db.lineitem = Table(TableSchema(TableId::kLineitem));
-  db.lineitem.Reserve(num_orders * 4);
 
   const DateCode start = StartDate();
   // Latest orderdate leaves room for the longest ship+receipt window.
   const int order_date_range = EndDate() - 151 - start;
   const DateCode today = CurrentDate();
 
-  for (int64_t i = 0; i < num_orders; ++i) {
-    int64_t orderkey = SparseOrderkey(i);
-    // Customers with custkey % 3 == 0 never place orders (spec 4.2.3),
-    // which is why Q13 finds customers with zero orders.
-    int64_t custkey;
-    if (options.use_random64) {
-      do {
-        custkey = key_rng.Random64(1, num_customers);
-      } while (custkey % 3 == 0);
-    } else {
-      do {
-        custkey = key_rng.Random32(1, num_customers);
-      } while (custkey > 0 && custkey % 3 == 0);
-    }
-    DateCode orderdate =
-        start + static_cast<DateCode>(rng.Uniform(order_date_range + 1));
+  {
+    std::vector<std::vector<Row>> order_slots(NumChunks(num_orders));
+    std::vector<std::vector<Row>> line_slots(NumChunks(num_orders));
+    ForEachChunk(threads, num_orders, [&](size_t c, int64_t clo,
+                                          int64_t chi) {
+      Rng rng(ChunkSeed(seed, kTagOrders, c));
+      TpchRandom key_rng(ChunkSeed(seed ^ 0x7C0FFEEULL, kTagOrders, c));
+      std::vector<Row>& orders = order_slots[c];
+      std::vector<Row>& lines = line_slots[c];
+      orders.reserve(static_cast<size_t>(chi - clo));
+      lines.reserve(static_cast<size_t>(chi - clo) * 4);
+      for (int64_t i = clo; i < chi; ++i) {
+        int64_t orderkey = SparseOrderkey(i);
+        // Customers with custkey % 3 == 0 never place orders (spec
+        // 4.2.3), which is why Q13 finds customers with zero orders.
+        int64_t custkey;
+        if (options.use_random64) {
+          do {
+            custkey = key_rng.Random64(1, num_customers);
+          } while (custkey % 3 == 0);
+        } else {
+          do {
+            custkey = key_rng.Random32(1, num_customers);
+          } while (custkey > 0 && custkey % 3 == 0);
+        }
+        DateCode orderdate =
+            start + static_cast<DateCode>(rng.Uniform(order_date_range + 1));
 
-    int num_lines = static_cast<int>(rng.Uniform(7)) + 1;
-    double totalprice = 0;
-    int open_lines = 0;
-    for (int ln = 1; ln <= num_lines; ++ln) {
-      int64_t partkey = options.use_random64
-                            ? key_rng.Random64(1, partkey_range)
-                            : key_rng.Random32(1, partkey_range);
-      int64_t suppkey =
-          partkey >= 1
-              ? SupplierFor(partkey, static_cast<int>(rng.Uniform(4)),
-                            num_suppliers)
-              : 1;
-      double quantity = static_cast<double>(rng.Uniform(50) + 1);
-      double extprice =
-          quantity * (partkey >= 1 ? RetailPrice(partkey) : 0.0);
-      double discount = static_cast<double>(rng.Uniform(11)) / 100.0;
-      double tax = static_cast<double>(rng.Uniform(9)) / 100.0;
-      DateCode shipdate =
-          orderdate + 1 + static_cast<DateCode>(rng.Uniform(121));
-      DateCode commitdate =
-          orderdate + 30 + static_cast<DateCode>(rng.Uniform(61));
-      DateCode receiptdate =
-          shipdate + 1 + static_cast<DateCode>(rng.Uniform(30));
-      std::string returnflag =
-          receiptdate <= today ? (rng.Bernoulli(0.5) ? "R" : "A") : "N";
-      std::string linestatus = shipdate > today ? "O" : "F";
-      if (linestatus == "O") open_lines++;
-      totalprice += extprice * (1.0 + tax) * (1.0 - discount);
+        int num_lines = static_cast<int>(rng.Uniform(7)) + 1;
+        double totalprice = 0;
+        int open_lines = 0;
+        for (int ln = 1; ln <= num_lines; ++ln) {
+          int64_t partkey = options.use_random64
+                                ? key_rng.Random64(1, partkey_range)
+                                : key_rng.Random32(1, partkey_range);
+          int64_t suppkey =
+              partkey >= 1
+                  ? SupplierFor(partkey, static_cast<int>(rng.Uniform(4)),
+                                num_suppliers)
+                  : 1;
+          double quantity = static_cast<double>(rng.Uniform(50) + 1);
+          double extprice =
+              quantity * (partkey >= 1 ? RetailPrice(partkey) : 0.0);
+          double discount = static_cast<double>(rng.Uniform(11)) / 100.0;
+          double tax = static_cast<double>(rng.Uniform(9)) / 100.0;
+          DateCode shipdate =
+              orderdate + 1 + static_cast<DateCode>(rng.Uniform(121));
+          DateCode commitdate =
+              orderdate + 30 + static_cast<DateCode>(rng.Uniform(61));
+          DateCode receiptdate =
+              shipdate + 1 + static_cast<DateCode>(rng.Uniform(30));
+          std::string returnflag =
+              receiptdate <= today ? (rng.Bernoulli(0.5) ? "R" : "A") : "N";
+          std::string linestatus = shipdate > today ? "O" : "F";
+          if (linestatus == "O") open_lines++;
+          totalprice += extprice * (1.0 + tax) * (1.0 - discount);
 
-      db.lineitem.AddRow(
-          {Value{orderkey}, Value{partkey}, Value{suppkey},
-           Value{int64_t{ln}}, Value{quantity}, Value{extprice},
-           Value{discount}, Value{tax}, Value{std::move(returnflag)},
-           Value{std::move(linestatus)}, Value{int64_t{shipdate}},
-           Value{int64_t{commitdate}}, Value{int64_t{receiptdate}},
-           Value{std::string(kInstructions[rng.Uniform(4)])},
-           Value{std::string(kModes[rng.Uniform(7)])},
-           Value{RandomText(&rng, 4)}});
-    }
+          lines.push_back(
+              {Value{orderkey}, Value{partkey}, Value{suppkey},
+               Value{int64_t{ln}}, Value{quantity}, Value{extprice},
+               Value{discount}, Value{tax}, Value{std::move(returnflag)},
+               Value{std::move(linestatus)}, Value{int64_t{shipdate}},
+               Value{int64_t{commitdate}}, Value{int64_t{receiptdate}},
+               Value{std::string(kInstructions[rng.Uniform(4)])},
+               Value{std::string(kModes[rng.Uniform(7)])},
+               Value{RandomText(&rng, 4)}});
+        }
 
-    std::string status = open_lines == 0
-                             ? "F"
-                             : (open_lines == num_lines ? "O" : "P");
-    // ~1.5% of order comments carry the Q13 exclusion phrase
-    // "special ... requests".
-    std::string comment = RandomText(&rng, 6);
-    if (rng.Uniform(64) == 0) {
-      comment = "special " + RandomText(&rng, 1) + " requests " + comment;
-    }
-    db.orders.AddRow(
-        {Value{orderkey}, Value{custkey}, Value{std::move(status)},
-         Value{totalprice}, Value{int64_t{orderdate}},
-         Value{std::string(kPriorities[rng.Uniform(5)])},
-         Value{StrFormat("Clerk#%09llu",
-                         static_cast<unsigned long long>(
-                             rng.Uniform(std::max<int64_t>(
-                                 1, static_cast<int64_t>(1000 * sf))) +
-                             1))},
-         Value{int64_t{0}}, Value{std::move(comment)}});
+        std::string status = open_lines == 0
+                                 ? "F"
+                                 : (open_lines == num_lines ? "O" : "P");
+        // ~1.5% of order comments carry the Q13 exclusion phrase
+        // "special ... requests".
+        std::string comment = RandomText(&rng, 6);
+        if (rng.Uniform(64) == 0) {
+          comment = "special " + RandomText(&rng, 1) + " requests " + comment;
+        }
+        orders.push_back(
+            {Value{orderkey}, Value{custkey}, Value{std::move(status)},
+             Value{totalprice}, Value{int64_t{orderdate}},
+             Value{std::string(kPriorities[rng.Uniform(5)])},
+             Value{StrFormat("Clerk#%09llu",
+                             static_cast<unsigned long long>(
+                                 rng.Uniform(std::max<int64_t>(
+                                     1, static_cast<int64_t>(1000 * sf))) +
+                                 1))},
+             Value{int64_t{0}}, Value{std::move(comment)}});
+      }
+    });
+    AppendSlots(&order_slots, &db.orders);
+    AppendSlots(&line_slots, &db.lineitem);
   }
 
   return db;

@@ -26,6 +26,12 @@ struct DbgenOptions {
   /// 32-bit overflow without materializing 16 TB. 0 = derive from the
   /// scale factor.
   int64_t forced_part_count = 0;
+  /// Worker threads for generation; 0 = the ELEPHANT_THREADS default.
+  /// Generation is chunked into fixed row ranges, each seeded from a
+  /// counter-based per-chunk RNG stream, so the generated database is
+  /// bit-identical at any thread count (threads == 1 simply runs the
+  /// chunks in order on the calling thread).
+  int threads = 0;
 };
 
 /// A fully generated TPC-H database held as executor tables.

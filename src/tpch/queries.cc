@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "common/date.h"
 #include "exec/operators.h"
@@ -74,8 +75,9 @@ Table Q1(const TpchDatabase& db) {
        {AggKind::kAvg, price, "avg_price", D},
        {AggKind::kAvg, disc, "avg_disc", D},
        {AggKind::kCount, nullptr, "count_order", I}});
-  return SortBy(agg, {{agg.ColIndex("l_returnflag"), true},
-                      {agg.ColIndex("l_linestatus"), true}});
+  int rf = agg.ColIndex("l_returnflag");
+  int ls = agg.ColIndex("l_linestatus");
+  return SortBy(std::move(agg), {{rf, true}, {ls, true}});
 }
 
 // Q2: Minimum Cost Supplier.
@@ -116,9 +118,9 @@ Table Q2(const TpchDatabase& db) {
                {"s_address", S, Col(joined, "s_address")},
                {"s_phone", S, Col(joined, "s_phone")},
                {"s_comment", S, Col(joined, "s_comment")}});
-  Table sorted = SortBy(projected, {{0, false}, {2, true}, {1, true},
-                                    {3, true}});
-  return Limit(sorted, 100);
+  Table sorted = SortBy(std::move(projected), {{0, false}, {2, true},
+                                               {1, true}, {3, true}});
+  return Limit(std::move(sorted), 100);
 }
 
 // Q3: Shipping Priority.
@@ -141,9 +143,10 @@ Table Q3(const TpchDatabase& db) {
   Table agg = HashAggregateOn(
       col, {"l_orderkey", "o_orderdate", "o_shippriority"},
       {{AggKind::kSum, exec::Revenue(col), "revenue", D}});
-  Table sorted = SortBy(agg, {{agg.ColIndex("revenue"), false},
-                              {agg.ColIndex("o_orderdate"), true}});
-  return Limit(sorted, 10);
+  int rev = agg.ColIndex("revenue");
+  int od = agg.ColIndex("o_orderdate");
+  Table sorted = SortBy(std::move(agg), {{rev, false}, {od, true}});
+  return Limit(std::move(sorted), 10);
 }
 
 // Q4: Order Priority Checking.
@@ -166,7 +169,8 @@ Table Q4(const TpchDatabase& db) {
   Table agg =
       HashAggregateOn(semi, {"o_orderpriority"},
                       {{AggKind::kCount, nullptr, "order_count", I}});
-  return SortBy(agg, {{agg.ColIndex("o_orderpriority"), true}});
+  int prio = agg.ColIndex("o_orderpriority");
+  return SortBy(std::move(agg), {{prio, true}});
 }
 
 // Q5: Local Supplier Volume.
@@ -191,7 +195,8 @@ Table Q5(const TpchDatabase& db) {
                           {"s_suppkey", "s_nationkey"});
   Table agg = HashAggregateOn(
       full, {"n_name"}, {{AggKind::kSum, exec::Revenue(full), "revenue", D}});
-  return SortBy(agg, {{agg.ColIndex("revenue"), false}});
+  int rev = agg.ColIndex("revenue");
+  return SortBy(std::move(agg), {{rev, false}});
 }
 
 // Q6: Forecasting Revenue Change.
@@ -259,7 +264,7 @@ Table Q7(const TpchDatabase& db) {
   Table agg = HashAggregateOn(
       projected, {"supp_nation", "cust_nation", "l_year"},
       {{AggKind::kSum, Col(projected, "volume"), "revenue", D}});
-  return SortBy(agg, {{0, true}, {1, true}, {2, true}});
+  return SortBy(std::move(agg), {{0, true}, {1, true}, {2, true}});
 }
 
 // Q8: National Market Share.
@@ -318,7 +323,7 @@ Table Q8(const TpchDatabase& db) {
                double t = AsDouble(r[tv]);
                return Value{t > 0 ? AsDouble(r[bv]) / t : 0.0};
              }}});
-  return SortBy(share, {{0, true}});
+  return SortBy(std::move(share), {{0, true}});
 }
 
 // Q9: Product Type Profit Measure.
@@ -354,7 +359,7 @@ Table Q9(const TpchDatabase& db) {
   Table agg = HashAggregateOn(
       profit, {"nation", "o_year"},
       {{AggKind::kSum, Col(profit, "amount"), "sum_profit", D}});
-  return SortBy(agg, {{0, true}, {1, false}});
+  return SortBy(std::move(agg), {{0, true}, {1, false}});
 }
 
 // Q10: Returned Item Reporting.
@@ -378,9 +383,10 @@ Table Q10(const TpchDatabase& db) {
       {"c_custkey", "c_name", "c_acctbal", "c_phone", "n_name", "c_address",
        "c_comment"},
       {{AggKind::kSum, exec::Revenue(coln), "revenue", D}});
-  Table sorted = SortBy(agg, {{agg.ColIndex("revenue"), false},
-                              {agg.ColIndex("c_custkey"), true}});
-  return Limit(sorted, 20);
+  int rev = agg.ColIndex("revenue");
+  int ck = agg.ColIndex("c_custkey");
+  Table sorted = SortBy(std::move(agg), {{rev, false}, {ck, true}});
+  return Limit(std::move(sorted), 20);
 }
 
 // Q11: Important Stock Identification.
@@ -407,10 +413,10 @@ Table Q11(const TpchDatabase& db) {
   Table agg = HashAggregateOn(ps, {"ps_partkey"},
                               {{AggKind::kSum, value, "value", D}});
   int v = agg.ColIndex("value");
-  Table filtered = Filter(agg, [v, threshold](const Row& r) {
+  Table filtered = Filter(std::move(agg), [v, threshold](const Row& r) {
     return AsDouble(r[v]) > threshold;
   });
-  return SortBy(filtered, {{v, false}});
+  return SortBy(std::move(filtered), {{v, false}});
 }
 
 // Q12: Shipping Modes and Order Priority.
@@ -442,7 +448,7 @@ Table Q12(const TpchDatabase& db) {
       lo_join, {"l_shipmode"},
       {{AggKind::kSum, high, "high_line_count", I},
        {AggKind::kSum, low, "low_line_count", I}});
-  return SortBy(agg, {{0, true}});
+  return SortBy(std::move(agg), {{0, true}});
 }
 
 // Q13: Customer Distribution.
@@ -465,8 +471,9 @@ Table Q13(const TpchDatabase& db) {
       co, {"c_custkey"}, {{AggKind::kSum, matched, "c_count", I}});
   Table dist = HashAggregateOn(
       per_cust, {"c_count"}, {{AggKind::kCount, nullptr, "custdist", I}});
-  return SortBy(dist, {{dist.ColIndex("custdist"), false},
-                       {dist.ColIndex("c_count"), false}});
+  int cd = dist.ColIndex("custdist");
+  int cc = dist.ColIndex("c_count");
+  return SortBy(std::move(dist), {{cd, false}, {cc, false}});
 }
 
 // Q14: Promotion Effect.
@@ -518,7 +525,7 @@ Table Q15(const TpchDatabase& db) {
                            ? AsDouble(maxrev.rows()[0][0])
                            : 0.0;
   int tr = revenue.ColIndex("total_revenue");
-  Table top = Filter(revenue, [tr, max_revenue](const Row& r) {
+  Table top = Filter(std::move(revenue), [tr, max_revenue](const Row& r) {
     return AsDouble(r[tr]) >= max_revenue - 1e-6;
   });
   Table joined = HashJoinOn(top, db.supplier, {"l_suppkey"}, {"s_suppkey"});
@@ -528,7 +535,7 @@ Table Q15(const TpchDatabase& db) {
                                      {"s_phone", S, Col(joined, "s_phone")},
                                      {"total_revenue", D,
                                       Col(joined, "total_revenue")}});
-  return SortBy(projected, {{0, true}});
+  return SortBy(std::move(projected), {{0, true}});
 }
 
 // Q16: Parts/Supplier Relationship.
@@ -560,10 +567,9 @@ Table Q16(const TpchDatabase& db) {
       good, {"p_brand", "p_type", "p_size"},
       {{AggKind::kCountDistinct, Col(good, "ps_suppkey"), "supplier_cnt",
         I}});
-  return SortBy(agg, {{agg.ColIndex("supplier_cnt"), false},
-                      {0, true},
-                      {1, true},
-                      {2, true}});
+  int cnt = agg.ColIndex("supplier_cnt");
+  return SortBy(std::move(agg), {{cnt, false}, {0, true}, {1, true},
+                                 {2, true}});
 }
 
 // Q17: Small-Quantity-Order Revenue.
@@ -581,7 +587,7 @@ Table Q17(const TpchDatabase& db) {
   Table lpa = HashJoinOn(lp, avg_qty, {"l_partkey"}, {"l_partkey"});
   int qty = lpa.ColIndex("l_quantity");
   int avg = lpa.ColIndex("avg_qty");
-  Table small = Filter(lpa, [qty, avg](const Row& r) {
+  Table small = Filter(std::move(lpa), [qty, avg](const Row& r) {
     return AsDouble(r[qty]) < 0.2 * AsDouble(r[avg]);
   });
   Table sum = HashAggregateOn(
@@ -599,7 +605,7 @@ Table Q18(const TpchDatabase& db) {
       db.lineitem, {"l_orderkey"},
       {{AggKind::kSum, Col(db.lineitem, "l_quantity"), "sum_qty", D}});
   int sq = qty_per_order.ColIndex("sum_qty");
-  Table big = Filter(qty_per_order, [sq](const Row& r) {
+  Table big = Filter(std::move(qty_per_order), [sq](const Row& r) {
     return AsDouble(r[sq]) > 300.0;
   });
   Table ob = HashJoinOn(db.orders, big, {"o_orderkey"}, {"l_orderkey"});
@@ -611,8 +617,8 @@ Table Q18(const TpchDatabase& db) {
             {"o_orderdate", I, Col(obc, "o_orderdate")},
             {"o_totalprice", D, Col(obc, "o_totalprice")},
             {"sum_qty", D, Col(obc, "sum_qty")}});
-  Table sorted = SortBy(projected, {{4, false}, {3, true}});
-  return Limit(sorted, 100);
+  Table sorted = SortBy(std::move(projected), {{4, false}, {3, true}});
+  return Limit(std::move(sorted), 100);
 }
 
 // Q19: Discounted Revenue.
@@ -631,7 +637,7 @@ Table Q19(const TpchDatabase& db) {
     }
     return false;
   };
-  Table matched = Filter(lp, [=](const Row& r) {
+  Table matched = Filter(std::move(lp), [=](const Row& r) {
     const std::string& m = AsString(r[mode]);
     if (m != "AIR" && m != "REG AIR") return false;
     if (AsString(r[instr]) != "DELIVER IN PERSON") return false;
@@ -680,7 +686,7 @@ Table Q20(const TpchDatabase& db) {
                              {"l_partkey", "l_suppkey"});
   int avail = ps_ship.ColIndex("ps_availqty");
   int sqty = ps_ship.ColIndex("shipped_qty");
-  Table surplus = Filter(ps_ship, [avail, sqty](const Row& r) {
+  Table surplus = Filter(std::move(ps_ship), [avail, sqty](const Row& r) {
     return AsDouble(r[avail]) > 0.5 * AsDouble(r[sqty]);
   });
   int nname = db.nation.ColIndex("n_name");
@@ -694,7 +700,7 @@ Table Q20(const TpchDatabase& db) {
   Table projected = Project(qualified,
                             {{"s_name", S, Col(qualified, "s_name")},
                              {"s_address", S, Col(qualified, "s_address")}});
-  return SortBy(projected, {{0, true}});
+  return SortBy(std::move(projected), {{0, true}});
 }
 
 // Q21: Suppliers Who Kept Orders Waiting.
@@ -747,9 +753,9 @@ Table Q21(const TpchDatabase& db) {
   Table named = HashJoinOn(pairs, sn, {"l_suppkey"}, {"s_suppkey"});
   Table agg = HashAggregateOn(
       named, {"s_name"}, {{AggKind::kCount, nullptr, "numwait", I}});
-  Table sorted =
-      SortBy(agg, {{agg.ColIndex("numwait"), false}, {0, true}});
-  return Limit(sorted, 100);
+  int nw = agg.ColIndex("numwait");
+  Table sorted = SortBy(std::move(agg), {{nw, false}, {0, true}});
+  return Limit(std::move(sorted), 100);
 }
 
 // Q22: Global Sales Opportunity.
@@ -775,7 +781,7 @@ Table Q22(const TpchDatabase& db) {
   Table avg_t = HashAggregateOn(
       positive, {}, {{AggKind::kAvg, Col(positive, "c_acctbal"), "a", D}});
   double avg_bal = AsDouble(avg_t.rows()[0][0]);
-  Table rich = Filter(candidates, [bal, avg_bal](const Row& r) {
+  Table rich = Filter(std::move(candidates), [bal, avg_bal](const Row& r) {
     return AsDouble(r[bal]) > avg_bal;
   });
   Table no_orders = HashJoinOn(rich, db.orders, {"c_custkey"}, {"o_custkey"},
@@ -790,7 +796,7 @@ Table Q22(const TpchDatabase& db) {
       coded, {"cntrycode"},
       {{AggKind::kCount, nullptr, "numcust", I},
        {AggKind::kSum, Col(coded, "c_acctbal"), "totacctbal", D}});
-  return SortBy(agg, {{0, true}});
+  return SortBy(std::move(agg), {{0, true}});
 }
 
 }  // namespace

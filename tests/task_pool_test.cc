@@ -1,0 +1,157 @@
+#include "common/task_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace elephant {
+namespace {
+
+TEST(TaskPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  TaskPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(0, kN, 64, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(TaskPoolTest, ParallelForEmptyRangeRunsNothing) {
+  TaskPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, 16, [&](size_t, size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(TaskPoolTest, MorselBoundariesIndependentOfThreadCount) {
+  // The determinism contract: chunk boundaries depend only on
+  // (begin, end, morsel), never on how many workers participate.
+  auto boundaries = [](int threads) {
+    TaskPool pool(threads);
+    std::mutex mu;
+    std::set<std::pair<size_t, size_t>> seen;
+    pool.ParallelFor(3, 1003, 37, [&](size_t lo, size_t hi) {
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert({lo, hi});
+    });
+    return seen;
+  };
+  std::set<std::pair<size_t, size_t>> serial = boundaries(1);
+  EXPECT_EQ(boundaries(2), serial);
+  EXPECT_EQ(boundaries(8), serial);
+  // Every morsel starts at begin + k * morsel and they tile the range.
+  size_t expect_lo = 3;
+  for (const auto& [lo, hi] : serial) {
+    EXPECT_EQ(lo, expect_lo);
+    EXPECT_LE(hi, 1003u);
+    expect_lo = hi;
+  }
+  EXPECT_EQ(expect_lo, 1003u);
+}
+
+TEST(TaskPoolTest, SubmitAndWaitIdleRunsEverything) {
+  TaskPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 500; ++i) {
+    pool.Submit([&] { done.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(done.load(), 500);
+}
+
+TEST(TaskPoolTest, TasksMaySubmitMoreTasks) {
+  TaskPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&pool, &done] {
+      for (int j = 0; j < 10; ++j) {
+        pool.Submit([&done] { done.fetch_add(1); });
+      }
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(done.load(), 200);
+}
+
+TEST(TaskPoolTest, NestedParallelForDoesNotDeadlock) {
+  // A ParallelFor body issuing another ParallelFor on the same pool must
+  // make progress even when every worker is busy: the waiting caller
+  // drains queued tasks itself.
+  TaskPool pool(4);
+  constexpr size_t kOuter = 16;
+  constexpr size_t kInner = 64;
+  std::atomic<size_t> total{0};
+  pool.ParallelFor(0, kOuter, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      pool.ParallelFor(0, kInner, 8, [&](size_t ilo, size_t ihi) {
+        total.fetch_add(ihi - ilo);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), kOuter * kInner);
+}
+
+TEST(TaskPoolTest, ParallelForRethrowsFirstBodyException) {
+  TaskPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 1000, 10,
+                       [&](size_t lo, size_t) {
+                         if (lo == 500) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool stays usable after an exception.
+  std::atomic<int> ok{0};
+  pool.ParallelFor(0, 100, 10, [&](size_t lo, size_t hi) {
+    ok.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(ok.load(), 100);
+}
+
+TEST(TaskPoolTest, ParallelismOneRunsInline) {
+  TaskPool pool(4);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(
+      0, 100, 7, [&](size_t lo, size_t hi) {
+        sum.fetch_add(static_cast<int>(hi - lo));
+      },
+      /*parallelism=*/1);
+  EXPECT_EQ(sum.load(), 100);
+}
+
+TEST(TaskPoolTest, StressInterleavedSubmitAndParallelFor) {
+  TaskPool pool(4);
+  std::atomic<size_t> work{0};
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&work] { work.fetch_add(1); });
+    }
+    pool.ParallelFor(0, 200, 9, [&](size_t lo, size_t hi) {
+      work.fetch_add(hi - lo);
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(work.load(), 20u * (50 + 200));
+}
+
+TEST(TaskPoolTest, GlobalPoolGrowsButNeverShrinks) {
+  int before = TaskPool::Global(2).num_threads();
+  EXPECT_GE(before, 2);
+  EXPECT_GE(TaskPool::Global(4).num_threads(), 4);
+  EXPECT_GE(TaskPool::Global(1).num_threads(), 4);  // no shrink
+}
+
+TEST(TaskPoolTest, ThreadCountClampedToMaxWorkers) {
+  TaskPool pool(TaskPool::kMaxWorkers + 10);
+  EXPECT_EQ(pool.num_threads(), TaskPool::kMaxWorkers);
+}
+
+}  // namespace
+}  // namespace elephant
