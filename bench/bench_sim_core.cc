@@ -1,0 +1,205 @@
+// Events/sec microbenchmark for the discrete-event simulation core —
+// the substrate every modeled number in BENCH_tpch.json and
+// BENCH_ycsb.json sits on. Three scenarios exercise the event-loop hot
+// paths in isolation:
+//
+//   storm    — ScheduleCall/fire storm: plain callbacks at scattered
+//              virtual times, drained in one Run() (heap push/pop +
+//              callback dispatch cost).
+//   pingpong — coroutine ping-pong: long-lived coroutines bouncing on
+//              Delay() (ScheduleResume + resume dispatch cost).
+//   opchurn  — per-operation churn: short-lived coroutines that
+//              acquire a contended Server and join through a
+//              per-operation latch, the sqlkv/mongod op shape (frame
+//              allocation + latch lifecycle + resource-queue cost).
+//
+// Each scenario reports virtual events processed per wall second and
+// appends a cell to BENCH_sim.json (same envelope as the other bench
+// JSONs) so scripts/bench_diff.py tracks the speedup in-repo.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/string_util.h"
+#include "common/units.h"
+#include "sim/resources.h"
+#include "sim/simulation.h"
+
+using namespace elephant;
+
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+struct Cell {
+  const char* scenario;
+  uint64_t events = 0;
+  double wall_ms = 0;
+  double events_per_sec = 0;
+};
+
+// --- storm: N plain callbacks at scattered times, one drain ---------
+
+Cell RunStorm(int64_t n) {
+  sim::Simulation sim;
+  int64_t fired = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int64_t i = 0; i < n; ++i) {
+    sim.ScheduleCall((i * 7919) % 100000, [&fired] { fired++; });
+  }
+  sim.Run();
+  Cell cell{"storm"};
+  cell.wall_ms = ElapsedMs(t0);
+  cell.events = sim.events_processed();
+  if (fired != n) {
+    fprintf(stderr, "storm: fired %lld of %lld\n", (long long)fired,
+            (long long)n);
+    exit(1);
+  }
+  return cell;
+}
+
+// --- pingpong: K coroutines x M delays ------------------------------
+
+sim::Task Bouncer(sim::Simulation* sim, int64_t rounds, SimTime stride,
+                  int64_t* done) {
+  for (int64_t i = 0; i < rounds; ++i) {
+    co_await sim->Delay(stride);
+  }
+  (*done)++;
+}
+
+Cell RunPingPong(int64_t coroutines, int64_t rounds) {
+  sim::Simulation sim;
+  int64_t done = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int64_t c = 0; c < coroutines; ++c) {
+    Bouncer(&sim, rounds, 1 + (c % 7), &done);
+  }
+  sim.Run();
+  Cell cell{"pingpong"};
+  cell.wall_ms = ElapsedMs(t0);
+  cell.events = sim.events_processed();
+  if (done != coroutines) {
+    fprintf(stderr, "pingpong: joined %lld of %lld\n", (long long)done,
+            (long long)coroutines);
+    exit(1);
+  }
+  return cell;
+}
+
+// --- opchurn: short-lived ops through a Server + per-op latch -------
+
+sim::Task ServiceLeg(sim::Simulation* sim, sim::Server* server,
+                     sim::Latch* done) {
+  (void)sim;
+  co_await server->Acquire(3);
+  done->CountDown();
+}
+
+sim::Task OneOp(sim::Simulation* sim, sim::Server* server, int64_t* completed) {
+  sim::PooledLatch done(&sim->latch_pool(), 1);
+  ServiceLeg(sim, server, done.get());
+  co_await done->Wait();
+  (*completed)++;
+}
+
+sim::Task OpIssuer(sim::Simulation* sim, sim::Server* server, int64_t ops,
+                   int64_t* completed) {
+  for (int64_t i = 0; i < ops; ++i) {
+    co_await sim->Delay(2);
+    OneOp(sim, server, completed);
+  }
+}
+
+Cell RunOpChurn(int64_t issuers, int64_t ops_per_issuer) {
+  sim::Simulation sim;
+  sim::Server server(&sim, 4, "dev");
+  int64_t completed = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int64_t c = 0; c < issuers; ++c) {
+    OpIssuer(&sim, &server, ops_per_issuer, &completed);
+  }
+  sim.Run();
+  sim.CheckQuiescent();
+  Cell cell{"opchurn"};
+  cell.wall_ms = ElapsedMs(t0);
+  cell.events = sim.events_processed();
+  if (completed != issuers * ops_per_issuer) {
+    fprintf(stderr, "opchurn: completed %lld of %lld\n", (long long)completed,
+            (long long)(issuers * ops_per_issuer));
+    exit(1);
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool small = false;
+  int repeats = 3;
+  std::string out_path = "BENCH_sim.json";
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--small") == 0) {
+      small = true;
+    } else if (strncmp(argv[i], "--repeats=", 10) == 0) {
+      repeats = std::max(1, atoi(argv[i] + 10));
+    } else if (strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      fprintf(stderr, "usage: %s [--small] [--repeats=N] [--out=PATH]\n",
+              argv[0]);
+      return 2;
+    }
+  }
+  auto harness_start = std::chrono::steady_clock::now();
+  // Sizes chosen so each scenario drains >1M events at full scale; the
+  // --small preset (CI) keeps the whole binary under a few seconds.
+  int64_t scale = small ? 1 : 8;
+  if (small) repeats = std::min(repeats, 2);
+
+  printf("DES core events/sec (%s preset, best of %d):\n\n",
+         small ? "small" : "full", repeats);
+  printf("%-10s | %12s | %10s | %14s\n", "scenario", "events", "wall ms",
+         "events/sec");
+  printf("-----------+--------------+------------+---------------\n");
+
+  std::vector<Cell> cells;
+  auto run = [&](auto&& fn) {
+    Cell best{};
+    for (int r = 0; r < repeats; ++r) {
+      Cell c = fn();
+      c.events_per_sec = 1000.0 * static_cast<double>(c.events) / c.wall_ms;
+      if (r == 0 || c.events_per_sec > best.events_per_sec) best = c;
+    }
+    printf("%-10s | %12llu | %10.1f | %14.0f\n", best.scenario,
+           (unsigned long long)best.events, best.wall_ms,
+           best.events_per_sec);
+    cells.push_back(best);
+  };
+  run([&] { return RunStorm(scale * 250000); });
+  run([&] { return RunPingPong(/*coroutines=*/64, scale * 2500); });
+  run([&] { return RunOpChurn(/*issuers=*/256, scale * 125); });
+
+  std::vector<std::string> json_cells;
+  json_cells.reserve(cells.size());
+  for (const Cell& c : cells) {
+    json_cells.push_back(StrFormat(
+        "{\"scenario\": \"%s\", \"events\": %llu, \"wall_ms\": %.1f, "
+        "\"events_per_sec\": %.0f}",
+        c.scenario, (unsigned long long)c.events, c.wall_ms,
+        c.events_per_sec));
+  }
+  bench::WriteBenchJson(out_path, "sim_core", /*threads=*/1,
+                        ElapsedMs(harness_start), json_cells);
+  return 0;
+}

@@ -19,6 +19,7 @@ METRICS = {
     "pdw_seconds": False,
     "wall_ms": False,
     "achieved_ops_per_sec": True,
+    "events_per_sec": True,
 }
 
 
@@ -36,6 +37,22 @@ def load(path):
     return doc, cells
 
 
+def load_baseline(path):
+    """Loads the baseline, returning None when there is nothing usable.
+
+    The first CI run of a new benchmark has no baseline artifact yet;
+    a missing, unparsable, or cell-less baseline is not a regression —
+    the current run simply becomes the first recording.
+    """
+    try:
+        doc, cells = load(path)
+    except (OSError, ValueError):
+        return None
+    if not cells:
+        return None
+    return doc, cells
+
+
 def main(argv):
     threshold = 0.10
     paths = []
@@ -48,7 +65,12 @@ def main(argv):
         print(__doc__.strip(), file=sys.stderr)
         return 2
 
-    base_doc, base_cells = load(paths[0])
+    baseline = load_baseline(paths[0])
+    if baseline is None:
+        print(f"no baseline at {paths[0]}: recording first run, "
+              "nothing to compare")
+        return 0
+    base_doc, base_cells = baseline
     cur_doc, cur_cells = load(paths[1])
     print(f"baseline: {paths[0]} (git {base_doc.get('git_sha', '?')}, "
           f"{base_doc.get('threads', '?')} threads)")

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_diff.py, focused on the baseline-bootstrap path.
+
+Run directly (python3 scripts/bench_diff_test.py) or via ctest.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_diff  # noqa: E402
+
+
+def write_json(dirname, name, doc):
+    path = os.path.join(dirname, name)
+    with open(path, "w") as f:
+        json.dump(doc, f)
+    return path
+
+
+def doc(cells):
+    return {"bench": "sim_core", "git_sha": "abc", "threads": 1,
+            "harness_wall_ms": 1.0, "cells": cells}
+
+
+CELL = {"scenario": "storm", "events": 1000, "wall_ms": 10.0,
+        "events_per_sec": 100000.0}
+
+
+class BaselineBootstrapTest(unittest.TestCase):
+    """A missing/empty/corrupt baseline records a first run: exit 0."""
+
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.current = write_json(self.dir.name, "current.json", doc([CELL]))
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def run_main(self, baseline_path):
+        return bench_diff.main(["bench_diff.py", baseline_path, self.current])
+
+    def test_missing_baseline_exits_zero(self):
+        missing = os.path.join(self.dir.name, "nonexistent.json")
+        self.assertEqual(self.run_main(missing), 0)
+
+    def test_empty_file_baseline_exits_zero(self):
+        path = os.path.join(self.dir.name, "empty.json")
+        open(path, "w").close()  # zero bytes: not valid JSON
+        self.assertEqual(self.run_main(path), 0)
+
+    def test_no_cells_baseline_exits_zero(self):
+        path = write_json(self.dir.name, "nocells.json", doc([]))
+        self.assertEqual(self.run_main(path), 0)
+
+    def test_corrupt_baseline_exits_zero(self):
+        path = os.path.join(self.dir.name, "corrupt.json")
+        with open(path, "w") as f:
+            f.write("{not json")
+        self.assertEqual(self.run_main(path), 0)
+
+    def test_missing_current_is_still_an_error(self):
+        base = write_json(self.dir.name, "base.json", doc([CELL]))
+        missing = os.path.join(self.dir.name, "nonexistent.json")
+        with self.assertRaises(OSError):
+            bench_diff.main(["bench_diff.py", base, missing])
+
+
+class ComparisonTest(unittest.TestCase):
+    """The regression gate still works once a baseline exists."""
+
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def run_main(self, base_cells, cur_cells, *extra):
+        base = write_json(self.dir.name, "base.json", doc(base_cells))
+        cur = write_json(self.dir.name, "cur.json", doc(cur_cells))
+        return bench_diff.main(["bench_diff.py", base, cur, *extra])
+
+    def test_identical_runs_pass(self):
+        self.assertEqual(self.run_main([CELL], [dict(CELL)]), 0)
+
+    def test_throughput_drop_is_a_regression(self):
+        slow = dict(CELL, events_per_sec=50000.0)
+        self.assertEqual(self.run_main([CELL], [slow]), 1)
+
+    def test_throughput_gain_passes(self):
+        fast = dict(CELL, events_per_sec=250000.0)
+        self.assertEqual(self.run_main([CELL], [fast]), 0)
+
+    def test_wall_ms_increase_is_a_regression(self):
+        slow = dict(CELL, wall_ms=20.0)
+        self.assertEqual(self.run_main([CELL], [slow]), 1)
+
+    def test_threshold_flag_loosens_the_gate(self):
+        slow = dict(CELL, wall_ms=11.0)  # +10%: beyond 0.05, within 0.5
+        self.assertEqual(self.run_main([CELL], [slow], "--threshold=0.5"), 0)
+        self.assertEqual(self.run_main([CELL], [slow], "--threshold=0.05"), 1)
+
+    def test_bad_usage_exits_two(self):
+        self.assertEqual(bench_diff.main(["bench_diff.py", "only-one"]), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -94,17 +94,17 @@ sim::Task Mongod::Read(uint64_t key, sqlkv::OpOutcome* out,
   co_await global_lock_.AcquireShared();
   auto lookup = btree_.Get(key);
   if (lookup.ok()) {
-    sim::Latch faulted(sim_, 1);
+    sim::PooledLatch faulted(&sim_->latch_pool(), 1);
     if (options_.yield_on_fault) {
       // v2.0 semantics: drop the lock across the fault.
       global_lock_.Release(/*exclusive=*/false);
-      Fault(lookup.value().page_id, false, false, &faulted);
-      co_await faulted.Wait();
+      Fault(lookup.value().page_id, false, false, faulted.get());
+      co_await faulted->Wait();
       co_await global_lock_.AcquireShared();
     } else {
       // v1.8: the fault happens while the lock is held.
-      Fault(lookup.value().page_id, false, false, &faulted);
-      co_await faulted.Wait();
+      Fault(lookup.value().page_id, false, false, faulted.get());
+      co_await faulted->Wait();
     }
     out->ok = true;
     out->records = 1;
@@ -129,16 +129,16 @@ sim::Task Mongod::Update(uint64_t key, int32_t field_bytes,
   co_await global_lock_.AcquireExclusive();
   auto lookup = btree_.Get(key);
   if (lookup.ok()) {
-    sim::Latch faulted(sim_, 1);
+    sim::PooledLatch faulted(&sim_->latch_pool(), 1);
     if (options_.yield_on_fault) {
       global_lock_.Release(/*exclusive=*/true);
-      Fault(lookup.value().page_id, true, false, &faulted);
-      co_await faulted.Wait();
+      Fault(lookup.value().page_id, true, false, faulted.get());
+      co_await faulted->Wait();
       co_await global_lock_.AcquireExclusive();
     } else {
       Fault(lookup.value().page_id, /*dirty=*/true,
-            /*newly_allocated=*/false, &faulted);
-      co_await faulted.Wait();
+            /*newly_allocated=*/false, faulted.get());
+      co_await faulted->Wait();
     }
     if (rng_.Bernoulli(options_.update_move_fraction)) {
       // Document outgrew its slot: relocate to a new extent (random
@@ -171,10 +171,10 @@ sim::Task Mongod::Insert(uint64_t key, int32_t logical_bytes,
   Status st = btree_.Insert(key, std::move(record));
   if (st.ok()) {
     auto lookup = btree_.Get(key);
-    sim::Latch faulted(sim_, 1);
+    sim::PooledLatch faulted(&sim_->latch_pool(), 1);
     Fault(lookup.value().page_id, /*dirty=*/true,
-          /*newly_allocated=*/true, &faulted);
-    co_await faulted.Wait();
+          /*newly_allocated=*/true, faulted.get());
+    co_await faulted->Wait();
     writes_since_flush_++;
     out->ok = true;
     out->records = 1;

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <iterator>
-#include <set>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "common/check.h"
@@ -463,7 +463,10 @@ struct AggState {
   bool has_value = false;
   Value min_v;
   Value max_v;
-  std::set<std::string> distinct;  // serialized values for CountDistinct
+  // Serialized values for CountDistinct. Only the cardinality is ever
+  // read (never iteration order), so a hash set's O(1) insert beats the
+  // tree set's O(log n) with no observable difference in results.
+  std::unordered_set<std::string> distinct;
 };
 
 std::string SerializeValue(const Value& v) {

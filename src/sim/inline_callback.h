@@ -1,0 +1,98 @@
+#ifndef ELEPHANT_SIM_INLINE_CALLBACK_H_
+#define ELEPHANT_SIM_INLINE_CALLBACK_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace elephant::sim {
+
+/// Fixed-size, small-buffer-optimized callable for event payloads.
+///
+/// The event loop schedules millions of tiny callbacks per simulated
+/// run; `std::function` pays type-erasure overhead on every move the
+/// heap makes while sifting. InlineCallback stores callables of up to
+/// kInlineBytes *inline* when they are trivially copyable (every
+/// lambda capturing pointers/integers/references qualifies), so the
+/// common case costs zero heap allocations and moves are a plain
+/// memcpy — which keeps the 4-ary event heap's sift loops branch- and
+/// allocation-free. Oversized or non-trivially-copyable callables
+/// still work: they are boxed behind a single heap pointer (the same
+/// cost `std::function` would pay).
+///
+/// Contract: move-only; a moved-from callback is empty; invoking an
+/// empty callback is undefined (callers check `operator bool`).
+class InlineCallback {
+ public:
+  static constexpr size_t kInlineBytes = 48;
+
+  InlineCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_trivially_copyable_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* s) { (*static_cast<Fn*>(s))(); };
+      destroy_ = nullptr;  // trivially copyable => trivially relocatable
+    } else {
+      auto* boxed = new Fn(std::forward<F>(f));
+      std::memcpy(storage_, &boxed, sizeof(boxed));
+      invoke_ = [](void* s) {
+        Fn* p;
+        std::memcpy(&p, s, sizeof(p));
+        (*p)();
+      };
+      destroy_ = [](void* s) {
+        Fn* p;
+        std::memcpy(&p, s, sizeof(p));
+        delete p;
+      };
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { MoveFrom(other); }
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      Clear();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { Clear(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(storage_); }
+
+ private:
+  void MoveFrom(InlineCallback& other) noexcept {
+    invoke_ = other.invoke_;
+    destroy_ = other.destroy_;
+    std::memcpy(storage_, other.storage_, kInlineBytes);
+    other.invoke_ = nullptr;
+    other.destroy_ = nullptr;
+  }
+  void Clear() {
+    if (destroy_ != nullptr) destroy_(storage_);
+    invoke_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+  void (*invoke_)(void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+};
+
+}  // namespace elephant::sim
+
+#endif  // ELEPHANT_SIM_INLINE_CALLBACK_H_

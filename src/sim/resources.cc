@@ -21,10 +21,10 @@ SimTime Server::Admit(SimTime service_time) {
   SimTime start = now;
   if (static_cast<int>(free_at_.size()) >= capacity_) {
     start = std::max(now, free_at_.top());
-    free_at_.pop();
+    free_at_.Pop();
   }
   SimTime done = start + service_time;
-  free_at_.push(done);
+  free_at_.Push(done);
   requests_++;
   busy_time_ += service_time;
   wait_time_ += start - now;

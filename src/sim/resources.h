@@ -4,11 +4,11 @@
 #include <coroutine>
 #include <cstdint>
 #include <deque>
-#include <queue>
 #include <string>
 #include <vector>
 
 #include "common/units.h"
+#include "sim/event_heap.h"
 #include "sim/simulation.h"
 
 namespace elephant::sim {
@@ -54,9 +54,10 @@ class Server {
   int capacity_;
   std::string name_;
   /// Min-heap of times at which each busy server frees up; size <=
-  /// capacity. A request takes the earliest-free server.
-  std::priority_queue<SimTime, std::vector<SimTime>, std::greater<SimTime>>
-      free_at_;
+  /// capacity. A request takes the earliest-free server. Same 4-ary
+  /// layout as the event queue (disk/NIC queues under load churn this
+  /// heap once per request).
+  FourAryMinHeap<SimTime> free_at_;
 
   int64_t requests_ = 0;
   SimTime busy_time_ = 0;

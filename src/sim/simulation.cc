@@ -21,10 +21,21 @@ Simulation::~Simulation() {
   // unregister waitables or destroy further parked frames; loop until
   // the queue is genuinely empty.
   while (!events_.empty()) {
-    Event ev = events_.top();
-    events_.pop();
-    if (ev.handle) ev.handle.destroy();
+    uintptr_t p = reinterpret_cast<uintptr_t>(events_.Pop().value);
+    if (p & kCallbackTag) {
+      callback_slab_.Delete(
+          reinterpret_cast<InlineCallback*>(p & ~kCallbackTag));
+    } else if (p != 0) {
+      std::coroutine_handle<>::from_address(
+          reinterpret_cast<void*>(p))
+          .destroy();
+    }
   }
+  // Frames parked on pooled primitives (stuck operations) are destroyed
+  // while both pools are still alive, so the Pooled<> handles inside
+  // those frames release into live pools.
+  latch_pool_.DestroyParkedWaiters();
+  one_shot_pool_.DestroyParkedWaiters();
 }
 
 void Simulation::RegisterWaitable(Waitable* w) {
@@ -80,31 +91,40 @@ void Simulation::CheckQuiescent() const {
 
 void Simulation::ScheduleResume(SimTime delay, std::coroutine_handle<> h) {
   ELEPHANT_DCHECK(h) << "scheduling a null coroutine handle";
+  ELEPHANT_DCHECK(
+      (reinterpret_cast<uintptr_t>(h.address()) & kCallbackTag) == 0)
+      << "coroutine frame address not pointer-aligned";
   if (delay < 0) delay = 0;
-  events_.push(Event{now_ + delay, next_seq_++, h, nullptr});
+  events_.Push(now_ + delay, h.address());
 }
 
-void Simulation::ScheduleCall(SimTime delay, std::function<void()> fn) {
-  ELEPHANT_DCHECK(fn != nullptr) << "scheduling a null callback";
+void Simulation::ScheduleCall(SimTime delay, InlineCallback fn) {
+  static_assert(alignof(InlineCallback) > 1,
+                "low-bit tag needs aligned callback slots");
+  ELEPHANT_DCHECK(static_cast<bool>(fn)) << "scheduling a null callback";
   if (delay < 0) delay = 0;
-  events_.push(Event{now_ + delay, next_seq_++, nullptr, std::move(fn)});
+  InlineCallback* cb = callback_slab_.New(std::move(fn));
+  events_.Push(now_ + delay,
+               reinterpret_cast<void*>(reinterpret_cast<uintptr_t>(cb) |
+                                       kCallbackTag));
 }
 
 uint64_t Simulation::Run(SimTime until) {
   uint64_t processed = 0;
   while (!events_.empty()) {
-    const Event& top = events_.top();
-    if (top.time > until) break;
-    Event ev = top;
-    events_.pop();
-    ELEPHANT_DCHECK(ev.time >= now_)
-        << "virtual clock moved backwards: " << ev.time << " < " << now_;
-    now_ = ev.time;
+    if (events_.top().time > until) break;
+    TimedQueue<void*>::Entry entry = events_.Pop();
+    ELEPHANT_DCHECK(entry.time >= now_)
+        << "virtual clock moved backwards: " << entry.time << " < " << now_;
+    now_ = entry.time;
     ++processed;
-    if (ev.handle) {
-      ev.handle.resume();
-    } else if (ev.fn) {
-      ev.fn();
+    uintptr_t p = reinterpret_cast<uintptr_t>(entry.value);
+    if (p & kCallbackTag) {
+      auto* cb = reinterpret_cast<InlineCallback*>(p & ~kCallbackTag);
+      (*cb)();
+      callback_slab_.Delete(cb);
+    } else {
+      std::coroutine_handle<>::from_address(entry.value).resume();
     }
   }
   events_processed_ += processed;

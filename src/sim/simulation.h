@@ -4,13 +4,14 @@
 #include <coroutine>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <limits>
-#include <queue>
 #include <string>
 #include <vector>
 
 #include "common/units.h"
+#include "sim/event_heap.h"
+#include "sim/inline_callback.h"
+#include "sim/slab.h"
 
 namespace elephant::sim {
 
@@ -65,12 +66,203 @@ struct Task {
     std::suspend_never final_suspend() noexcept { return {}; }
     void return_void() {}
     void unhandled_exception() { std::terminate(); }
+
+    // Coroutine frames are the per-operation allocation unit of the
+    // simulator; route them through the calling thread's size-class
+    // slab instead of the global allocator (see FrameArena for the
+    // same-thread lifetime rule, which sim::Task frames satisfy).
+    static void* operator new(size_t bytes) {
+      return FrameArena::ThreadLocal().Allocate(bytes);
+    }
+    static void operator delete(void* p, size_t bytes) noexcept {
+      FrameArena::ThreadLocal().Free(p, bytes);
+    }
   };
 };
 
+/// Countdown latch: Wait() suspends until the count reaches zero. Used to
+/// join fan-out (e.g. "wait for all map tasks of this wave").
+class Latch : public Waitable {
+ public:
+  Latch(Simulation* sim, int64_t count)
+      : Waitable(sim, "Latch"), sim_(sim), count_(count) {}
+  /// Frees the frames of coroutines still parked here (see ~Simulation).
+  ~Latch() override { DestroyParkedWaiters(); }
+
+  void CountDown(int64_t n = 1);
+  int64_t count() const { return count_; }
+
+  /// Re-arms a quiescent latch for reuse (pooled per-op fast path).
+  /// Caller guarantees no waiter is parked.
+  void Reset(int64_t count) { count_ = count; }
+
+  /// Destroys the frames of coroutines parked here. The waiter list is
+  /// detached first so re-entrant pool releases (a destroyed frame's
+  /// PooledLatch handle releasing this very latch) see no waiters.
+  void DestroyParkedWaiters() {
+    std::vector<std::coroutine_handle<>> parked;
+    parked.swap(waiters_);
+    for (auto h : parked) h.destroy();
+  }
+
+  size_t parked_waiters() const override { return waiters_.size(); }
+  std::string DescribeWaiters() const override;
+
+  struct Awaiter {
+    Latch* latch;
+    bool await_ready() const noexcept { return latch->count_ <= 0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      latch->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  Awaiter Wait() { return {this}; }
+
+ private:
+  Simulation* sim_;
+  int64_t count_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// One-shot event: parks co_await Wait() until someone calls Fire().
+/// Waiters registered after Fire() resume immediately.
+class OneShotEvent : public Waitable {
+ public:
+  explicit OneShotEvent(Simulation* sim)
+      : Waitable(sim, "OneShotEvent"), sim_(sim) {}
+  /// Frees the frames of coroutines still parked here (see ~Simulation).
+  ~OneShotEvent() override { DestroyParkedWaiters(); }
+
+  bool fired() const { return fired_; }
+  void Fire();
+
+  /// Re-arms a quiescent event for reuse (pooled per-op fast path).
+  /// Caller guarantees no waiter is parked.
+  void Reset() { fired_ = false; }
+
+  /// See Latch::DestroyParkedWaiters.
+  void DestroyParkedWaiters() {
+    std::vector<std::coroutine_handle<>> parked;
+    parked.swap(waiters_);
+    for (auto h : parked) h.destroy();
+  }
+
+  size_t parked_waiters() const override { return waiters_.size(); }
+  std::string DescribeWaiters() const override;
+
+  struct Awaiter {
+    OneShotEvent* ev;
+    bool await_ready() const noexcept { return ev->fired_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      ev->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  Awaiter Wait() { return {this}; }
+
+ private:
+  Simulation* sim_;
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Object pool for short-lived per-operation waitables (Latch,
+/// OneShotEvent). A pooled primitive is constructed — and registered
+/// with the Waitable registry — once, then recycled across operations:
+/// Acquire() re-arms a free instance via Reset(), Release() returns it.
+/// Steady state performs zero allocations and zero registry churn per
+/// operation, which matters when a modeled run executes hundreds of
+/// millions of ops. Idle pooled primitives report zero parked waiters,
+/// so CheckQuiescent/StuckWaiterReport still name exactly the pooled
+/// latches holding stuck coroutines.
+///
+/// Storage comes from a Slab<W>; the pool owns every instance it ever
+/// created and destroys them (parked frames first) on destruction.
+template <typename W>
+class WaitablePool {
+ public:
+  explicit WaitablePool(Simulation* sim) : sim_(sim) {}
+  WaitablePool(const WaitablePool&) = delete;
+  WaitablePool& operator=(const WaitablePool&) = delete;
+
+  ~WaitablePool() {
+    tearing_down_ = true;
+    for (W* w : all_) slab_.Delete(w);
+  }
+
+  template <typename... Args>
+  W* Acquire(Args&&... args) {
+    if (!free_.empty()) {
+      W* w = free_.back();
+      free_.pop_back();
+      w->Reset(std::forward<Args>(args)...);
+      return w;
+    }
+    W* w = slab_.New(sim_, std::forward<Args>(args)...);
+    all_.push_back(w);
+    return w;
+  }
+
+  void Release(W* w) {
+    // During teardown the pool owns destruction; a released pointer may
+    // already be gone, so do not touch it.
+    if (tearing_down_) return;
+    free_.push_back(w);
+  }
+
+  /// Destroys frames parked on any pooled instance (stuck operations at
+  /// simulation teardown). Runs while the pool — and its sibling pools —
+  /// are still alive, so handles inside destroyed frames release safely.
+  void DestroyParkedWaiters() {
+    for (W* w : all_) w->DestroyParkedWaiters();
+  }
+
+  size_t created() const { return all_.size(); }
+  size_t idle() const { return free_.size(); }
+
+ private:
+  Simulation* sim_;
+  Slab<W> slab_;
+  std::vector<W*> all_;
+  std::vector<W*> free_;
+  bool tearing_down_ = false;
+};
+
+/// RAII handle for one operation's pooled waitable: acquires on
+/// construction, releases when the operation completes (or when its
+/// suspended frame is destroyed at teardown). Lives inside coroutine
+/// frames; not copyable or movable.
+template <typename W>
+class Pooled {
+ public:
+  template <typename... Args>
+  explicit Pooled(WaitablePool<W>* pool, Args&&... args)
+      : pool_(pool), obj_(pool->Acquire(std::forward<Args>(args)...)) {}
+  ~Pooled() { pool_->Release(obj_); }
+  Pooled(const Pooled&) = delete;
+  Pooled& operator=(const Pooled&) = delete;
+
+  W* get() const { return obj_; }
+  W* operator->() const { return obj_; }
+  W& operator*() const { return *obj_; }
+
+ private:
+  WaitablePool<W>* pool_;
+  W* obj_;
+};
+
+using PooledLatch = Pooled<Latch>;
+using PooledOneShot = Pooled<OneShotEvent>;
+
 /// Discrete-event simulation core: a virtual clock and a time-ordered
 /// event queue. Events are either coroutine resumptions or plain
-/// callbacks. Deterministic: ties in time break by insertion order.
+/// callbacks. Each heap entry is (time, seq, tagged pointer) — 24
+/// trivially-copyable bytes, so the 4-ary min-heap sifts by plain
+/// memcpy. A resume stores the coroutine frame address directly (zero
+/// allocation); a callback's InlineCallback payload lives in a slab
+/// and is tagged with the pointer's low bit. Deterministic: ties in
+/// time break by schedule order (an invariant of TimedQueue's internal
+/// sequence counter).
 class Simulation {
  public:
   Simulation() = default;
@@ -78,9 +270,10 @@ class Simulation {
   Simulation& operator=(const Simulation&) = delete;
 
   /// Destroys the frames of coroutines still scheduled in the event
-  /// queue. Runs end mid-simulation (bounded Run(until), background
-  /// loops like checkpointers); their suspended frames would otherwise
-  /// never be freed (fire-and-forget Tasks only release on completion).
+  /// queue or parked on pooled primitives. Runs end mid-simulation
+  /// (bounded Run(until), background loops like checkpointers); their
+  /// suspended frames would otherwise never be freed (fire-and-forget
+  /// Tasks only release on completion).
   ~Simulation();
 
   /// Current virtual time.
@@ -89,8 +282,10 @@ class Simulation {
   /// Schedules `handle.resume()` at now + delay.
   void ScheduleResume(SimTime delay, std::coroutine_handle<> handle);
 
-  /// Schedules a plain callback at now + delay.
-  void ScheduleCall(SimTime delay, std::function<void()> fn);
+  /// Schedules a plain callback at now + delay. Callables up to
+  /// InlineCallback::kInlineBytes that are trivially copyable are
+  /// stored inline (no allocation).
+  void ScheduleCall(SimTime delay, InlineCallback fn);
 
   /// Runs events until the queue is empty or the clock would pass
   /// `until`. Returns the number of events processed.
@@ -117,6 +312,12 @@ class Simulation {
   /// Run() that is expected to complete all in-flight work.
   void CheckQuiescent() const;
 
+  /// Shared pools for the short-lived per-operation primitives on the
+  /// sqlkv/mongod/ycsb hot paths. Owned by the Simulation so pooled
+  /// objects outlive every coroutine frame that can reference them.
+  WaitablePool<Latch>& latch_pool() { return latch_pool_; }
+  WaitablePool<OneShotEvent>& one_shot_pool() { return one_shot_pool_; }
+
   /// Awaitable that suspends the current coroutine for `delay`.
   struct DelayAwaiter {
     Simulation* sim;
@@ -134,90 +335,19 @@ class Simulation {
   void RegisterWaitable(Waitable* w);
   void UnregisterWaitable(Waitable* w);
 
-  struct Event {
-    SimTime time;
-    uint64_t seq;
-    std::coroutine_handle<> handle;  // either handle...
-    std::function<void()> fn;        // ...or callback
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  /// Event payload: one machine word. Low bit clear — the address of a
+  /// coroutine frame to resume; low bit set — a slab-allocated
+  /// InlineCallback (both are at least pointer-aligned, so the bit is
+  /// free). Time and tie-break sequence live in the TimedQueue entry.
+  static constexpr uintptr_t kCallbackTag = 1;
 
   SimTime now_ = 0;
-  uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  TimedQueue<void*> events_;
+  Slab<InlineCallback> callback_slab_;
   Waitable* waitables_head_ = nullptr;
-};
-
-/// One-shot event: processes co_await Wait() until someone calls Fire().
-/// Waiters registered after Fire() resume immediately.
-class OneShotEvent : public Waitable {
- public:
-  explicit OneShotEvent(Simulation* sim)
-      : Waitable(sim, "OneShotEvent"), sim_(sim) {}
-  /// Frees the frames of coroutines still parked here (see ~Simulation).
-  ~OneShotEvent() override {
-    for (auto h : waiters_) h.destroy();
-  }
-
-  bool fired() const { return fired_; }
-  void Fire();
-
-  size_t parked_waiters() const override { return waiters_.size(); }
-  std::string DescribeWaiters() const override;
-
-  struct Awaiter {
-    OneShotEvent* ev;
-    bool await_ready() const noexcept { return ev->fired_; }
-    void await_suspend(std::coroutine_handle<> h) {
-      ev->waiters_.push_back(h);
-    }
-    void await_resume() const noexcept {}
-  };
-  Awaiter Wait() { return {this}; }
-
- private:
-  Simulation* sim_;
-  bool fired_ = false;
-  std::vector<std::coroutine_handle<>> waiters_;
-};
-
-/// Countdown latch: Wait() suspends until the count reaches zero. Used to
-/// join fan-out (e.g. "wait for all map tasks of this wave").
-class Latch : public Waitable {
- public:
-  Latch(Simulation* sim, int64_t count)
-      : Waitable(sim, "Latch"), sim_(sim), count_(count) {}
-  /// Frees the frames of coroutines still parked here (see ~Simulation).
-  ~Latch() override {
-    for (auto h : waiters_) h.destroy();
-  }
-
-  void CountDown(int64_t n = 1);
-  int64_t count() const { return count_; }
-
-  size_t parked_waiters() const override { return waiters_.size(); }
-  std::string DescribeWaiters() const override;
-
-  struct Awaiter {
-    Latch* latch;
-    bool await_ready() const noexcept { return latch->count_ <= 0; }
-    void await_suspend(std::coroutine_handle<> h) {
-      latch->waiters_.push_back(h);
-    }
-    void await_resume() const noexcept {}
-  };
-  Awaiter Wait() { return {this}; }
-
- private:
-  Simulation* sim_;
-  int64_t count_;
-  std::vector<std::coroutine_handle<>> waiters_;
+  WaitablePool<Latch> latch_pool_{this};
+  WaitablePool<OneShotEvent> one_shot_pool_{this};
 };
 
 }  // namespace elephant::sim

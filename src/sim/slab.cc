@@ -1,0 +1,56 @@
+#include "sim/slab.h"
+
+#include "common/check.h"
+
+namespace elephant::sim {
+
+FrameArena& FrameArena::ThreadLocal() {
+  static thread_local FrameArena arena;
+  return arena;
+}
+
+void* FrameArena::Allocate(size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  if (bytes > kMaxSlabBytes) {
+    oversized_++;
+    outstanding_++;
+    return ::operator new(bytes);
+  }
+  size_t cls = (bytes - 1) / kGranule;
+  outstanding_++;
+  if (free_[cls] != nullptr) {
+    FreeNode* node = free_[cls];
+    free_[cls] = node->next;
+    recycled_++;
+    return node;
+  }
+  // Carve a fresh chunk of this class's slot size; chunk starts are
+  // max-aligned (operator new) and slot sizes are multiples of the
+  // 64-byte granule, so every slot keeps fundamental alignment.
+  size_t slot_bytes = (cls + 1) * kGranule;
+  chunks_.push_back(std::make_unique<unsigned char[]>(slot_bytes *
+                                                      kSlotsPerChunk));
+  unsigned char* chunk = chunks_.back().get();
+  for (size_t i = kSlotsPerChunk; i-- > 1;) {
+    auto* node = reinterpret_cast<FreeNode*>(chunk + i * slot_bytes);
+    node->next = free_[cls];
+    free_[cls] = node;
+  }
+  carved_++;
+  return chunk;
+}
+
+void FrameArena::Free(void* p, size_t bytes) noexcept {
+  if (bytes == 0) bytes = 1;
+  outstanding_--;
+  if (bytes > kMaxSlabBytes) {
+    ::operator delete(p);
+    return;
+  }
+  size_t cls = (bytes - 1) / kGranule;
+  auto* node = static_cast<FreeNode*>(p);
+  node->next = free_[cls];
+  free_[cls] = node;
+}
+
+}  // namespace elephant::sim

@@ -1,0 +1,128 @@
+#ifndef ELEPHANT_SIM_SLAB_H_
+#define ELEPHANT_SIM_SLAB_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace elephant::sim {
+
+/// Typed slab/freelist allocator: carves fixed-size slots out of
+/// chunked blocks and recycles freed slots LIFO, so steady-state
+/// New/Delete never touches the global allocator. Single-threaded by
+/// design — a Slab belongs to one Simulation, and a Simulation runs on
+/// one thread (the bench harnesses run *different* simulations on
+/// different TaskPool workers, each with its own slabs).
+///
+/// Lifetime rule: every New'd object must be Delete'd before the slab
+/// is destroyed; the destructor reclaims raw chunk memory only and
+/// does not run destructors of live objects.
+template <typename T>
+class Slab {
+ public:
+  static constexpr size_t kSlotsPerChunk = 64;
+
+  Slab() = default;
+  Slab(const Slab&) = delete;
+  Slab& operator=(const Slab&) = delete;
+
+  template <typename... Args>
+  T* New(Args&&... args) {
+    if (free_ == nullptr) Grow();
+    Slot* slot = free_;
+    free_ = slot->next;
+    live_++;
+    return ::new (static_cast<void*>(slot->bytes)) T(
+        std::forward<Args>(args)...);
+  }
+
+  void Delete(T* p) {
+    p->~T();
+    Slot* slot = reinterpret_cast<Slot*>(p);
+    slot->next = free_;
+    free_ = slot;
+    live_--;
+  }
+
+  /// Objects currently live (New'd, not yet Delete'd).
+  size_t live() const { return live_; }
+  /// Total slots ever carved (live + recyclable).
+  size_t capacity() const { return chunks_.size() * kSlotsPerChunk; }
+
+ private:
+  union Slot {
+    Slot* next;
+    alignas(T) unsigned char bytes[sizeof(T)];
+  };
+
+  void Grow() {
+    chunks_.push_back(std::make_unique<Slot[]>(kSlotsPerChunk));
+    Slot* chunk = chunks_.back().get();
+    // Thread the fresh chunk onto the freelist in address order.
+    for (size_t i = kSlotsPerChunk; i-- > 0;) {
+      chunk[i].next = free_;
+      free_ = &chunk[i];
+    }
+  }
+
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  Slot* free_ = nullptr;
+  size_t live_ = 0;
+};
+
+/// Per-thread size-class slab for coroutine frames. `sim::Task`
+/// coroutines are the per-operation unit of the simulator: a modeled
+/// 640M-op run creates that many frames, and the default
+/// `operator new` per frame dominates the event loop's profile.
+/// Frames round up to 64-byte classes; each class keeps a LIFO
+/// freelist backed by chunked block allocations, so a steady-state op
+/// mix reuses the same few hot frames. Frames larger than
+/// kMaxSlabBytes (rare: big coroutines with many locals) fall through
+/// to the global allocator.
+///
+/// Lifetime rule: a frame must be freed on the thread that allocated
+/// it. sim::Task frames satisfy this because a Simulation — and every
+/// coroutine it drives — runs on a single thread from construction to
+/// drain; the TaskPool never migrates a running cell between workers.
+class FrameArena {
+ public:
+  static constexpr size_t kGranule = 64;
+  static constexpr size_t kMaxSlabBytes = 2048;
+
+  /// The calling thread's arena (thread_local singleton).
+  static FrameArena& ThreadLocal();
+
+  void* Allocate(size_t bytes);
+  void Free(void* p, size_t bytes) noexcept;
+
+  /// Allocations served from a recycled slot (steady-state hit rate).
+  uint64_t recycled() const { return recycled_; }
+  /// Allocations that had to carve fresh slab space.
+  uint64_t carved() const { return carved_; }
+  /// Allocations larger than kMaxSlabBytes (global allocator path).
+  uint64_t oversized() const { return oversized_; }
+  /// Slots currently outstanding (allocated, not yet freed).
+  int64_t outstanding() const { return outstanding_; }
+
+ private:
+  static constexpr size_t kClasses = kMaxSlabBytes / kGranule;
+  static constexpr size_t kSlotsPerChunk = 32;
+
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  FreeNode* free_[kClasses] = {};
+  std::vector<std::unique_ptr<unsigned char[]>> chunks_;
+  uint64_t recycled_ = 0;
+  uint64_t carved_ = 0;
+  uint64_t oversized_ = 0;
+  int64_t outstanding_ = 0;
+};
+
+}  // namespace elephant::sim
+
+#endif  // ELEPHANT_SIM_SLAB_H_

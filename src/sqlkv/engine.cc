@@ -61,10 +61,10 @@ sim::Task SqlEngine::Read(uint64_t key, OpOutcome* out, sim::Latch* done) {
   }
   auto lookup = btree_.Get(key);
   if (lookup.ok()) {
-    sim::Latch faulted(sim_, 1);
+    sim::PooledLatch faulted(&sim_->latch_pool(), 1);
     FaultPage(lookup.value().page_id, /*dirty=*/false,
-              /*newly_allocated=*/false, &faulted);
-    co_await faulted.Wait();
+              /*newly_allocated=*/false, faulted.get());
+    co_await faulted->Wait();
     out->ok = true;
     out->records = 1;
   }
@@ -80,19 +80,19 @@ sim::Task SqlEngine::Update(uint64_t key, int32_t field_bytes,
   co_await locks_.LockFor(key).AcquireExclusive();
   auto lookup = btree_.Get(key);
   if (lookup.ok()) {
-    sim::Latch faulted(sim_, 1);
+    sim::PooledLatch faulted(&sim_->latch_pool(), 1);
     FaultPage(lookup.value().page_id, /*dirty=*/true,
-              /*newly_allocated=*/false, &faulted);
-    co_await faulted.Wait();
+              /*newly_allocated=*/false, faulted.get());
+    co_await faulted->Wait();
     // WAL: the transaction commits when its log batch is durable.
-    sim::Latch committed(sim_, 1);
+    sim::PooledLatch committed(&sim_->latch_pool(), 1);
     LogRecord record;
     record.kind = LogRecord::Kind::kUpdate;
     record.key = key;
     record.bytes = field_bytes;
-    log_.Append(options_.log_record_bytes + field_bytes, &committed,
+    log_.Append(options_.log_record_bytes + field_bytes, committed.get(),
                 record);
-    co_await committed.Wait();
+    co_await committed->Wait();
     acked_writes_++;
     out->ok = true;
     out->records = 1;
@@ -112,18 +112,18 @@ sim::Task SqlEngine::Insert(uint64_t key, int32_t logical_bytes,
   Status st = btree_.Insert(key, std::move(record));
   if (st.ok()) {
     auto lookup = btree_.Get(key);
-    sim::Latch faulted(sim_, 1);
+    sim::PooledLatch faulted(&sim_->latch_pool(), 1);
     FaultPage(lookup.value().page_id, /*dirty=*/true,
-              /*newly_allocated=*/true, &faulted);
-    co_await faulted.Wait();
-    sim::Latch committed(sim_, 1);
+              /*newly_allocated=*/true, faulted.get());
+    co_await faulted->Wait();
+    sim::PooledLatch committed(&sim_->latch_pool(), 1);
     LogRecord record;
     record.kind = LogRecord::Kind::kInsert;
     record.key = key;
     record.bytes = logical_bytes;
-    log_.Append(options_.log_record_bytes + logical_bytes, &committed,
+    log_.Append(options_.log_record_bytes + logical_bytes, committed.get(),
                 record);
-    co_await committed.Wait();
+    co_await committed->Wait();
     acked_writes_++;
     out->ok = true;
     out->records = 1;

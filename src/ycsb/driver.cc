@@ -111,15 +111,18 @@ sim::Task YcsbDriver::ClientThread(int thread_id, SimTime start,
   SimTime next = start + static_cast<SimTime>(
                              rng.Uniform(static_cast<uint64_t>(interval)));
 
+  // One pooled latch per client thread, re-armed for every operation:
+  // no allocation or Waitable-registry churn on the per-op path.
+  sim::PooledLatch done(&sim->latch_pool(), 0);
   while (sim->now() < end && !system_->Crashed()) {
     if (sim->now() < next) co_await sim->Delay(next - sim->now());
     if (sim->now() >= end) break;
     Op op = NextOp(&rng);
     SimTime t0 = sim->now();
     sqlkv::OpOutcome outcome;
-    sim::Latch done(sim, 1);
-    system_->Execute(op, &outcome, &done);
-    co_await done.Wait();
+    done->Reset(1);
+    system_->Execute(op, &outcome, done.get());
+    co_await done->Wait();
     SimTime completed = sim->now();
     if (op.type == OpType::kInsert && outcome.ok) {
       key_chooser_->SetLastValue(op.key);
@@ -202,6 +205,7 @@ RunResult YcsbDriver::Run() {
 sim::Task YcsbDriver::LoaderThread(int thread_id, int loader_threads,
                                    sim::Latch* done) {
   Rng rng(options_.seed ^ (0x51ED2700u + thread_id));
+  sim::PooledLatch op_done(&testbed_->sim.latch_pool(), 0);
   for (int64_t key = thread_id; key < options_.record_count;
        key += loader_threads) {
     Op op;
@@ -210,9 +214,9 @@ sim::Task YcsbDriver::LoaderThread(int thread_id, int loader_threads,
     op.record_bytes = options_.record_bytes;
     op.field_bytes = options_.field_bytes;
     sqlkv::OpOutcome outcome;
-    sim::Latch op_done(&testbed_->sim, 1);
-    system_->Execute(op, &outcome, &op_done);
-    co_await op_done.Wait();
+    op_done->Reset(1);
+    system_->Execute(op, &outcome, op_done.get());
+    co_await op_done->Wait();
   }
   done->CountDown();
 }

@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/fingerprint.h"
+#include "common/task_pool.h"
 #include "tpch/dss_benchmark.h"
 #include "ycsb/driver.h"
 #include "ycsb/workload.h"
@@ -38,6 +41,32 @@ TEST(DeterminismTest, YcsbMongoPathIsDeterministicToo) {
                                       /*target_throughput=*/4000,
                                       SmallOptions());
   EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(DeterminismTest, FingerprintIndependentOfHostThreadCount) {
+  // Each simulation cell runs on exactly one worker thread; which
+  // thread (and how many siblings run concurrently) must not leak into
+  // the modeled numbers. Run the same point serially and fanned out on
+  // an 8-worker pool: every fingerprint must match the serial one.
+  // This also exercises the per-thread coroutine FrameArena from
+  // multiple threads at once.
+  ycsb::RunResult serial = ycsb::RunOnePoint(
+      ycsb::SystemKind::kSqlCs, ycsb::WorkloadSpec::B(), 4000,
+      SmallOptions());
+  TaskPool pool(8);
+  std::vector<ycsb::RunResult> parallel(8);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&parallel, i] {
+      parallel[i] = ycsb::RunOnePoint(ycsb::SystemKind::kSqlCs,
+                                      ycsb::WorkloadSpec::B(), 4000,
+                                      SmallOptions());
+    });
+  }
+  pool.WaitIdle();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(parallel[i].Fingerprint(), serial.Fingerprint())
+        << "cell " << i;
+  }
 }
 
 TEST(DeterminismTest, DifferentSeedsDiverge) {

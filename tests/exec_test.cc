@@ -192,6 +192,53 @@ TEST(HashAggregateTest, CountDistinct) {
   EXPECT_EQ(AsInt(out.rows()[0][0]), 3);
 }
 
+TEST(HashAggregateTest, CountDistinctPerGroup) {
+  // Pins exact per-group cardinalities: heavy duplication in one group,
+  // all-unique in another, a singleton in a third.
+  Table t({{"g", ValueType::kString}, {"v", ValueType::kInt}});
+  for (int64_t i = 0; i < 12; ++i) {
+    t.AddRow({Value{std::string("dup")}, Value{i % 3}});
+  }
+  for (int64_t i = 0; i < 5; ++i) {
+    t.AddRow({Value{std::string("uniq")}, Value{100 + i}});
+  }
+  t.AddRow({Value{std::string("one")}, Value{int64_t{7}}});
+  Table out = HashAggregateOn(
+      t, {"g"},
+      {{AggKind::kCountDistinct, Col(t, "v"), "nv", ValueType::kInt},
+       {AggKind::kCount, nullptr, "n", ValueType::kInt}});
+  ASSERT_EQ(out.num_rows(), 3u);
+  int g = out.ColIndex("g");
+  int nv = out.ColIndex("nv");
+  int n = out.ColIndex("n");
+  for (const Row& r : out.rows()) {
+    if (AsString(r[g]) == "dup") {
+      EXPECT_EQ(AsInt(r[nv]), 3);
+      EXPECT_EQ(AsInt(r[n]), 12);
+    } else if (AsString(r[g]) == "uniq") {
+      EXPECT_EQ(AsInt(r[nv]), 5);
+      EXPECT_EQ(AsInt(r[n]), 5);
+    } else {
+      EXPECT_EQ(AsString(r[g]), "one");
+      EXPECT_EQ(AsInt(r[nv]), 1);
+      EXPECT_EQ(AsInt(r[n]), 1);
+    }
+  }
+}
+
+TEST(HashAggregateTest, CountDistinctDoesNotCollideAcrossTypes) {
+  // int 1, double 1.0, and string "1" serialize with distinct type tags
+  // and must count as three different values.
+  Table t({{"v", ValueType::kInt}});
+  t.AddRow({Value{int64_t{1}}});
+  t.AddRow({Value{1.0}});
+  t.AddRow({Value{std::string("1")}});
+  t.AddRow({Value{int64_t{1}}});  // duplicate of the first row
+  Table out = HashAggregateOn(
+      t, {}, {{AggKind::kCountDistinct, Col(t, "v"), "nv", ValueType::kInt}});
+  EXPECT_EQ(AsInt(out.rows()[0][0]), 3);
+}
+
 TEST(SortTest, MultiKeyWithDirections) {
   Table t = MakeEmployees();
   Table out = SortBy(t, {{t.ColIndex("dept"), true},

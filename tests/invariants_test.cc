@@ -214,6 +214,55 @@ TEST(CheckQuiescentDeathTest, DrainedLoopWithParkedWaiterAborts) {
   EXPECT_DEATH(DrainWithParkedCoroutine(), "still parked");
 }
 
+sim::Task ParkOnPooledLatch(sim::Simulation* sim) {
+  sim::PooledLatch latch(&sim->latch_pool(), 1);  // never counted down
+  co_await latch->Wait();
+}
+
+TEST(CheckQuiescentTest, PooledLatchReportsStuckWaiter) {
+  // Pooled primitives register with the Waitable registry once at
+  // creation; a waiter stuck on one must still be named in the report.
+  sim::Simulation sim;
+  ParkOnPooledLatch(&sim);
+  sim.Run();
+  EXPECT_EQ(sim.parked_coroutines(), 1u);
+  std::vector<std::string> report = sim.StuckWaiterReport();
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_NE(report[0].find("Latch"), std::string::npos) << report[0];
+}
+
+TEST(CheckQuiescentTest, IdlePooledLatchesReportNoWaiters) {
+  // Recycled (idle) pooled latches must not produce false positives.
+  sim::Simulation sim;
+  auto op = [](sim::Simulation* s) -> sim::Task {
+    sim::PooledLatch latch(&s->latch_pool(), 1);
+    auto firer = [](sim::Simulation* s2, sim::Latch* l) -> sim::Task {
+      co_await s2->Delay(5);
+      l->CountDown();
+    };
+    firer(s, latch.get());
+    co_await latch->Wait();
+  };
+  op(&sim);
+  op(&sim);
+  sim.Run();
+  EXPECT_GE(sim.latch_pool().created(), 1u);
+  EXPECT_EQ(sim.parked_coroutines(), 0u);
+  EXPECT_TRUE(sim.StuckWaiterReport().empty());
+  sim.CheckQuiescent();  // must not abort
+}
+
+void DrainWithParkedPooledWaiter() {
+  sim::Simulation sim;
+  ParkOnPooledLatch(&sim);
+  sim.Run();
+  sim.CheckQuiescent();
+}
+
+TEST(CheckQuiescentDeathTest, ParkedPooledWaiterAborts) {
+  EXPECT_DEATH(DrainWithParkedPooledWaiter(), "still parked");
+}
+
 // --------------------------------------------------- check framework
 
 TEST(CheckTest, PassingChecksAreSilent) {
