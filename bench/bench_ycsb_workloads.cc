@@ -39,6 +39,10 @@ struct YcsbCell {
   double achieved = 0;
   uint64_t fingerprint = 0;
   double wall_ms = 0;
+  // Fault-tolerance counters: always zero on this no-fault bench, but
+  // the fields keep BENCH_ycsb.json schema-compatible with chaos runs.
+  int64_t retries = 0;
+  int64_t errors = 0;
 };
 
 }  // namespace
@@ -100,6 +104,8 @@ int main(int argc, char** argv) {
     cell.achieved = r.achieved_ops_per_sec;
     cell.fingerprint = r.Fingerprint();
     cell.wall_ms = ElapsedMs(t0);
+    cell.retries = r.retries;
+    cell.errors = r.transient_errors;
   };
   if (threads > 1) {
     TaskPool::Global(threads).ParallelFor(
@@ -124,10 +130,12 @@ int main(int argc, char** argv) {
     json_cells.push_back(StrFormat(
         "{\"system\": \"%s\", \"workload\": \"%c\", \"target\": %lld, "
         "\"achieved_ops_per_sec\": %.1f, \"fingerprint\": \"%016llx\", "
-        "\"wall_ms\": %.1f}",
+        "\"wall_ms\": %.1f, \"retries\": %lld, \"errors\": %lld}",
         SystemKindName(cell.kind), cell.workload,
         static_cast<long long>(cell.target), cell.achieved,
-        static_cast<unsigned long long>(cell.fingerprint), cell.wall_ms));
+        static_cast<unsigned long long>(cell.fingerprint), cell.wall_ms,
+        static_cast<long long>(cell.retries),
+        static_cast<long long>(cell.errors)));
   }
   bench::WriteBenchJson(out_path, "ycsb_workloads", threads,
                         ElapsedMs(harness_start), json_cells);

@@ -37,6 +37,16 @@ sim::Server::Awaiter DiskGroup::SeqWrite(int64_t bytes) {
   return server_.Acquire(ServiceTime(bytes, /*sequential=*/true));
 }
 
+sim::Server::CheckedAwaiter DiskGroup::RandomReadChecked(int64_t bytes) {
+  bytes_read_ += bytes;
+  return server_.AcquireChecked(ServiceTime(bytes, /*sequential=*/false));
+}
+
+sim::Server::CheckedAwaiter DiskGroup::SeqReadChecked(int64_t bytes) {
+  bytes_read_ += bytes;
+  return server_.AcquireChecked(ServiceTime(bytes, /*sequential=*/true));
+}
+
 double DiskGroup::AggregateSeqBytesPerSec() const {
   return config_.seq_mbps * 1e6 * num_disks_;
 }
@@ -92,6 +102,21 @@ SimTime Cluster::BroadcastTime(int64_t bytes, int participants) const {
   double seconds = static_cast<double>(bytes) * (participants - 1) * 8.0 /
                    (config_.nic.gbps * 1e9);
   return SecondsToSimTime(seconds);
+}
+
+std::vector<sim::NodeFaultSurface> FaultSurfaces(Cluster* cluster) {
+  std::vector<sim::NodeFaultSurface> surfaces;
+  surfaces.reserve(cluster->num_nodes());
+  for (int i = 0; i < cluster->num_nodes(); ++i) {
+    Node& node = cluster->node(i);
+    sim::NodeFaultSurface s;
+    s.data_disk = &node.data_disks().server();
+    s.log_disk = &node.log_disk().server();
+    s.nic_tx = &node.nic_tx().server();
+    s.nic_rx = &node.nic_rx().server();
+    surfaces.push_back(s);
+  }
+  return surfaces;
 }
 
 }  // namespace elephant::cluster

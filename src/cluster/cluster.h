@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "sim/fault.h"
 #include "sim/resources.h"
 #include "sim/simulation.h"
 
@@ -43,6 +44,13 @@ class DiskGroup {
   /// Streaming read/write of `bytes` as one request (no positioning).
   sim::Server::Awaiter SeqRead(int64_t bytes);
   sim::Server::Awaiter SeqWrite(int64_t bytes);
+
+  /// Checked variants: the completion carries a Status that is IOError
+  /// when the volume's injected transient-error budget fired (see
+  /// sim::Server::AcquireChecked). Timing is identical to the unchecked
+  /// calls.
+  sim::Server::CheckedAwaiter RandomReadChecked(int64_t bytes);
+  sim::Server::CheckedAwaiter SeqReadChecked(int64_t bytes);
 
   /// Aggregate sequential bandwidth in bytes/sec.
   double AggregateSeqBytesPerSec() const;
@@ -129,6 +137,10 @@ class Cluster {
   NodeConfig config_;
   std::vector<std::unique_ptr<Node>> nodes_;
 };
+
+/// One fault surface per node of the cluster, for sim::FaultInjector:
+/// the data volume, the log spindle, and both NIC directions.
+std::vector<sim::NodeFaultSurface> FaultSurfaces(Cluster* cluster);
 
 }  // namespace elephant::cluster
 

@@ -1,6 +1,7 @@
 #include "docstore/mongod.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -44,7 +45,7 @@ double Mongod::WriteLockFraction() const {
 bool Mongod::CheckOverload() {
   if (crashed_) return true;
   if (inflight_ > options_.crash_inflight_limit) {
-    crashed_ = true;  // socket errors; clients stop getting responses
+    Crash();  // socket errors; clients stop getting responses
   }
   return crashed_;
 }
@@ -58,7 +59,7 @@ sim::Task AsyncWriteback(cluster::Node* node, int64_t bytes) {
 }  // namespace
 
 sim::Task Mongod::Fault(uint64_t page_id, bool dirty, bool newly_allocated,
-                        sim::Latch* faulted) {
+                        Status* io_status, sim::Latch* faulted) {
   sqlkv::BufferPool::Access access = pool_->Touch(pool_ns_ | page_id, dirty);
   if (!access.hit) {
     // Dirty mmap victims are written back asynchronously by the OS.
@@ -68,7 +69,8 @@ sim::Task Mongod::Fault(uint64_t page_id, bool dirty, bool newly_allocated,
     if (!newly_allocated) {
       faults_++;
       int64_t bytes = options_.fault_bytes;
-      co_await node_->data_disks().RandomRead(bytes);
+      Status read = co_await node_->data_disks().RandomReadChecked(bytes);
+      if (!read.ok() && io_status != nullptr) *io_status = std::move(read);
       if (options_.fault_position_penalty > 0) {
         // Stripe-crossing + readahead: a fraction of one extra
         // positioning delay of disk occupancy.
@@ -85,6 +87,7 @@ sim::Task Mongod::Fault(uint64_t page_id, bool dirty, bool newly_allocated,
 sim::Task Mongod::Read(uint64_t key, sqlkv::OpOutcome* out,
                        sim::Latch* done) {
   if (CheckOverload()) {
+    out->transient_error = true;
     done->CountDown();
     co_return;
   }
@@ -94,20 +97,25 @@ sim::Task Mongod::Read(uint64_t key, sqlkv::OpOutcome* out,
   co_await global_lock_.AcquireShared();
   auto lookup = btree_.Get(key);
   if (lookup.ok()) {
+    Status io;
     sim::PooledLatch faulted(&sim_->latch_pool(), 1);
     if (options_.yield_on_fault) {
       // v2.0 semantics: drop the lock across the fault.
       global_lock_.Release(/*exclusive=*/false);
-      Fault(lookup.value().page_id, false, false, faulted.get());
+      Fault(lookup.value().page_id, false, false, &io, faulted.get());
       co_await faulted->Wait();
       co_await global_lock_.AcquireShared();
     } else {
       // v1.8: the fault happens while the lock is held.
-      Fault(lookup.value().page_id, false, false, faulted.get());
+      Fault(lookup.value().page_id, false, false, &io, faulted.get());
       co_await faulted->Wait();
     }
-    out->ok = true;
-    out->records = 1;
+    if (io.ok()) {
+      out->ok = true;
+      out->records = 1;
+    } else {
+      out->transient_error = true;
+    }
   }
   global_lock_.Release(/*exclusive=*/false);
   inflight_--;
@@ -120,6 +128,7 @@ sim::Task Mongod::Update(uint64_t key, int32_t field_bytes,
                          sqlkv::OpOutcome* out, sim::Latch* done) {
   (void)field_bytes;
   if (CheckOverload()) {
+    out->transient_error = true;
     done->CountDown();
     co_return;
   }
@@ -129,25 +138,31 @@ sim::Task Mongod::Update(uint64_t key, int32_t field_bytes,
   co_await global_lock_.AcquireExclusive();
   auto lookup = btree_.Get(key);
   if (lookup.ok()) {
+    Status io;
     sim::PooledLatch faulted(&sim_->latch_pool(), 1);
     if (options_.yield_on_fault) {
       global_lock_.Release(/*exclusive=*/true);
-      Fault(lookup.value().page_id, true, false, faulted.get());
+      Fault(lookup.value().page_id, true, false, &io, faulted.get());
       co_await faulted->Wait();
       co_await global_lock_.AcquireExclusive();
     } else {
       Fault(lookup.value().page_id, /*dirty=*/true,
-            /*newly_allocated=*/false, faulted.get());
+            /*newly_allocated=*/false, &io, faulted.get());
       co_await faulted->Wait();
     }
-    if (rng_.Bernoulli(options_.update_move_fraction)) {
-      // Document outgrew its slot: relocate to a new extent (random
-      // write) while still holding the exclusive lock.
-      co_await node_->data_disks().RandomWrite(options_.fault_bytes);
+    if (io.ok()) {
+      if (rng_.Bernoulli(options_.update_move_fraction)) {
+        // Document outgrew its slot: relocate to a new extent (random
+        // write) while still holding the exclusive lock.
+        co_await node_->data_disks().RandomWrite(options_.fault_bytes);
+      }
+      writes_since_flush_++;
+      acked_writes_++;
+      out->ok = true;
+      out->records = 1;
+    } else {
+      out->transient_error = true;
     }
-    writes_since_flush_++;
-    out->ok = true;
-    out->records = 1;
   }
   global_lock_.Release(/*exclusive=*/true);
   inflight_--;
@@ -159,6 +174,7 @@ sim::Task Mongod::Update(uint64_t key, int32_t field_bytes,
 sim::Task Mongod::Insert(uint64_t key, int32_t logical_bytes,
                          sqlkv::OpOutcome* out, sim::Latch* done) {
   if (CheckOverload()) {
+    out->transient_error = true;
     done->CountDown();
     co_return;
   }
@@ -171,13 +187,22 @@ sim::Task Mongod::Insert(uint64_t key, int32_t logical_bytes,
   Status st = btree_.Insert(key, std::move(record));
   if (st.ok()) {
     auto lookup = btree_.Get(key);
+    Status io;
     sim::PooledLatch faulted(&sim_->latch_pool(), 1);
     Fault(lookup.value().page_id, /*dirty=*/true,
-          /*newly_allocated=*/true, faulted.get());
+          /*newly_allocated=*/true, &io, faulted.get());
     co_await faulted->Wait();
-    writes_since_flush_++;
-    out->ok = true;
-    out->records = 1;
+    if (io.ok()) {
+      writes_since_flush_++;
+      acked_writes_++;
+      out->ok = true;
+      out->records = 1;
+    } else {
+      // The document never reached its extent; take it back out of the
+      // in-memory image so a retry can insert cleanly.
+      (void)btree_.Remove(key);
+      out->transient_error = true;
+    }
   }
   global_lock_.Release(/*exclusive=*/true);
   inflight_--;
@@ -189,6 +214,7 @@ sim::Task Mongod::Insert(uint64_t key, int32_t logical_bytes,
 sim::Task Mongod::Scan(uint64_t start_key, int max_records,
                        sqlkv::OpOutcome* out, sim::Latch* done) {
   if (crashed_) {
+    out->transient_error = true;
     done->CountDown();
     co_return;
   }
@@ -205,6 +231,7 @@ sim::Task Mongod::Scan(uint64_t start_key, int max_records,
                             }
                           });
   bool first_miss = true;
+  Status io;
   for (uint64_t page : pages) {
     sqlkv::BufferPool::Access access = pool_->Touch(pool_ns_ | page, false);
     if (!access.hit) {
@@ -213,16 +240,22 @@ sim::Task Mongod::Scan(uint64_t start_key, int max_records,
         AsyncWriteback(node_, options_.fault_bytes);
       }
       if (first_miss) {
-        co_await node_->data_disks().RandomRead(options_.fault_bytes);
+        io = co_await node_->data_disks().RandomReadChecked(
+            options_.fault_bytes);
         first_miss = false;
       } else {
-        co_await node_->data_disks().SeqRead(options_.fault_bytes);
+        io = co_await node_->data_disks().SeqReadChecked(options_.fault_bytes);
       }
+      if (!io.ok()) break;
     }
   }
   global_lock_.Release(/*exclusive=*/false);
-  out->ok = true;
-  out->records = found;
+  if (io.ok()) {
+    out->ok = true;
+    out->records = found;
+  } else {
+    out->transient_error = true;
+  }
   ops_served_++;
   done->CountDown();
 }
@@ -237,6 +270,7 @@ sim::Task Mongod::Flusher() {
   while (running_) {
     co_await sim_->Delay(options_.flush_interval);
     if (!running_) break;
+    if (crashed_) continue;  // a downed process flushes nothing
     std::vector<uint64_t> dirty = pool_->DirtyPages();
     for (size_t i = 0; i < dirty.size(); i += 32) {
       int64_t batch =
@@ -247,6 +281,7 @@ sim::Task Mongod::Flusher() {
       }
     }
     writes_since_flush_ = 0;
+    last_flush_end_ = sim_->now();
   }
 }
 
@@ -278,13 +313,30 @@ Status Mongod::ValidateQuiesced() const {
   return Status::OK();
 }
 
-int64_t Mongod::SimulateCrashAndRecover() {
-  // No journal: everything acknowledged since the last mmap flush is
-  // gone. (MongoDB 1.8's optional journaling flushed every 100 ms and
-  // the paper disabled even that.)
-  int64_t lost = writes_since_flush_;
+void Mongod::Crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  crashes_++;
+  // No journal: everything acknowledged since the last completed mmap
+  // flush is gone. (MongoDB 1.8's optional journaling flushed every
+  // 100 ms and the paper disabled even that.)
+  lost_acked_total_ += writes_since_flush_;
+  max_loss_window_ =
+      std::max(max_loss_window_, sim_->now() - last_flush_end_);
   writes_since_flush_ = 0;
-  return lost;
+}
+
+void Mongod::Restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  restarts_++;
+}
+
+int64_t Mongod::SimulateCrashAndRecover() {
+  int64_t before = lost_acked_total_;
+  Crash();
+  Restart();
+  return lost_acked_total_ - before;
 }
 
 }  // namespace elephant::docstore

@@ -111,6 +111,28 @@ class Mongod {
   /// were lost, and restarts with a cold cache.
   int64_t SimulateCrashAndRecover();
 
+  /// Mid-run node crash (fault injection): everything acknowledged
+  /// since the last completed mmap flush is lost — there is no journal
+  /// to replay. New operations fail fast with a transient error until
+  /// Restart(). Idempotent while already crashed (an overload-crashed
+  /// process records no additional loss).
+  void Crash();
+  /// Brings a crashed process back: the collection reopens from the
+  /// last flushed image. (The shared per-node page cache models the OS
+  /// cache, which survives a process restart.)
+  void Restart();
+
+  // --- durability ledger (chaos assertions) ---
+  int64_t acked_writes() const { return acked_writes_; }
+  /// Acked writes lost across every crash so far.
+  int64_t lost_acked_total() const { return lost_acked_total_; }
+  int64_t crashes() const { return crashes_; }
+  int64_t restarts() const { return restarts_; }
+  /// Longest observed gap between a crash and the preceding completed
+  /// flush: the paper's loss window, bounded by flush_interval plus the
+  /// duration of one flush pass.
+  SimTime max_loss_window() const { return max_loss_window_; }
+
   /// Cross-structure validation: collection B+tree + page-cache pool.
   /// Safe at any simulated instant.
   Status ValidateInvariants() const;
@@ -135,7 +157,7 @@ class Mongod {
   /// Loads the mmap unit holding a document, charging disk time. Called
   /// WITH the global lock held (1.8 semantics).
   sim::Task Fault(uint64_t page_id, bool dirty, bool newly_allocated,
-                  sim::Latch* faulted);
+                  Status* io_status, sim::Latch* faulted);
   sim::Task Flusher();
   bool CheckOverload();
 
@@ -156,6 +178,12 @@ class Mongod {
   int64_t faults_ = 0;
   int64_t inflight_ = 0;
   int64_t writes_since_flush_ = 0;
+  int64_t acked_writes_ = 0;
+  int64_t lost_acked_total_ = 0;
+  int64_t crashes_ = 0;
+  int64_t restarts_ = 0;
+  SimTime last_flush_end_ = 0;
+  SimTime max_loss_window_ = 0;
 };
 
 }  // namespace elephant::docstore

@@ -1,0 +1,232 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace elephant::sim {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDiskStall:
+      return "disk-stall";
+    case FaultKind::kDiskError:
+      return "disk-error";
+    case FaultKind::kNicOutage:
+      return "nic-outage";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kNodeCrash:
+      return "node-crash";
+  }
+  return "?";
+}
+
+namespace {
+
+SimTime UniformTime(Rng* rng, SimTime lo, SimTime hi) {
+  if (hi <= lo) return lo;
+  return lo + static_cast<SimTime>(
+                  rng->Uniform(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::FromSeed(uint64_t seed,
+                              const FaultPlanOptions& options) {
+  FaultPlan plan;
+  plan.seed = seed;
+  // Independent stream per seed; the constant keeps plan generation
+  // decoupled from every other consumer of the same seed.
+  Rng rng(seed ^ 0xFA17B10C5EEDULL);
+  std::vector<FaultKind> kinds;
+  if (options.disk_stalls) kinds.push_back(FaultKind::kDiskStall);
+  if (options.disk_errors) kinds.push_back(FaultKind::kDiskError);
+  if (options.nic_outages) kinds.push_back(FaultKind::kNicOutage);
+  if (options.partitions) kinds.push_back(FaultKind::kPartition);
+  if (options.crashes) kinds.push_back(FaultKind::kNodeCrash);
+  if (kinds.empty() || options.max_events <= 0) return plan;
+
+  int span = std::max(0, options.max_events - options.min_events);
+  int n = options.min_events +
+          static_cast<int>(span > 0 ? rng.Uniform(span + 1) : 0);
+  for (int i = 0; i < n; ++i) {
+    FaultEvent ev;
+    ev.kind = kinds[rng.Uniform(kinds.size())];
+    ev.at = UniformTime(&rng, options.horizon_start, options.horizon);
+    switch (ev.kind) {
+      case FaultKind::kDiskStall:
+        ev.node = static_cast<int>(rng.Uniform(options.num_nodes));
+        ev.duration = UniformTime(&rng, options.min_stall,
+                                  options.max_stall);
+        break;
+      case FaultKind::kDiskError:
+        ev.node = static_cast<int>(rng.Uniform(options.num_nodes));
+        ev.count = 1 + static_cast<int64_t>(
+                           rng.Uniform(options.max_error_burst));
+        break;
+      case FaultKind::kNicOutage:
+        ev.node = static_cast<int>(rng.Uniform(options.num_nodes));
+        ev.duration = UniformTime(&rng, options.min_outage,
+                                  options.max_outage);
+        break;
+      case FaultKind::kPartition:
+        ev.node = static_cast<int>(rng.Uniform(options.num_nodes));
+        ev.peer = static_cast<int>(rng.Uniform(options.num_nodes - 1));
+        if (ev.peer >= ev.node) ev.peer++;
+        ev.duration = UniformTime(&rng, options.min_outage,
+                                  options.max_outage);
+        break;
+      case FaultKind::kNodeCrash:
+        ev.node = static_cast<int>(rng.Uniform(options.num_server_nodes));
+        ev.duration = UniformTime(&rng, options.min_crash_gap,
+                                  options.max_crash_gap);
+        break;
+    }
+    plan.events.push_back(ev);
+  }
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+std::string FaultPlan::Describe() const {
+  std::string out = StrFormat("FaultPlan(seed=%llx, %zu events)\n",
+                              (unsigned long long)seed, events.size());
+  for (const FaultEvent& ev : events) {
+    out += StrFormat("  t=%.3fs %-10s node=%d", SimTimeToSeconds(ev.at),
+                     FaultKindName(ev.kind), ev.node);
+    if (ev.kind == FaultKind::kPartition) {
+      out += StrFormat(" peer=%d", ev.peer);
+    }
+    if (ev.kind == FaultKind::kDiskError) {
+      out += StrFormat(" count=%lld", (long long)ev.count);
+    } else {
+      out += StrFormat(" duration=%.3fs", SimTimeToSeconds(ev.duration));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+uint64_t FaultPlan::Fingerprint() const {
+  elephant::Fingerprint fp;
+  fp.Mix(seed).Mix(static_cast<int64_t>(events.size()));
+  for (const FaultEvent& ev : events) {
+    fp.Mix(static_cast<int64_t>(ev.kind))
+        .Mix(ev.at)
+        .Mix(ev.duration)
+        .Mix(ev.node)
+        .Mix(ev.peer)
+        .Mix(ev.count);
+  }
+  return fp.value();
+}
+
+FaultInjector::FaultInjector(Simulation* sim,
+                             std::vector<NodeFaultSurface> surfaces,
+                             FaultPlan plan, Hooks hooks)
+    : sim_(sim),
+      surfaces_(std::move(surfaces)),
+      plan_(std::move(plan)),
+      hooks_(std::move(hooks)),
+      outage_until_(surfaces_.size(), 0),
+      crashed_(surfaces_.size(), 0) {
+  for (const FaultEvent& ev : plan_.events) {
+    ELEPHANT_CHECK(ev.node >= 0 &&
+                   ev.node < static_cast<int>(surfaces_.size()))
+        << "fault event targets node " << ev.node << " but only "
+        << surfaces_.size() << " surfaces were provided";
+  }
+}
+
+void FaultInjector::Arm() {
+  SimTime now = sim_->now();
+  for (const FaultEvent& ev : plan_.events) {
+    SimTime delay = ev.at > now ? ev.at - now : 0;
+    sim_->ScheduleCall(delay, [this, ev] { Apply(ev); });
+  }
+}
+
+void FaultInjector::Apply(const FaultEvent& event) {
+  SimTime now = sim_->now();
+  NodeFaultSurface& surface = surfaces_[event.node];
+  switch (event.kind) {
+    case FaultKind::kDiskStall:
+      if (surface.data_disk != nullptr) {
+        surface.data_disk->StallUntil(now + event.duration);
+      }
+      break;
+    case FaultKind::kDiskError:
+      if (surface.data_disk != nullptr) {
+        surface.data_disk->InjectTransientErrors(event.count);
+      }
+      break;
+    case FaultKind::kNicOutage:
+      outage_until_[event.node] =
+          std::max(outage_until_[event.node], now + event.duration);
+      if (surface.nic_tx != nullptr) {
+        surface.nic_tx->StallUntil(now + event.duration);
+      }
+      if (surface.nic_rx != nullptr) {
+        surface.nic_rx->StallUntil(now + event.duration);
+      }
+      break;
+    case FaultKind::kPartition:
+      partitions_.push_back({event.node, event.peer, now + event.duration});
+      break;
+    case FaultKind::kNodeCrash: {
+      // Overlapping crash windows collapse into the first one: a node
+      // that is already down cannot crash again, and only the original
+      // event's restart revives it.
+      if (crashed_[event.node]) return;
+      crashed_[event.node] = 1;
+      crashes_applied_++;
+      if (hooks_.crash_node) hooks_.crash_node(event.node);
+      int node = event.node;
+      sim_->ScheduleCall(event.duration, [this, node] {
+        crashed_[node] = 0;
+        restarts_applied_++;
+        applied_fp_.Mix(std::string_view("restart"))
+            .Mix(sim_->now())
+            .Mix(node);
+        if (hooks_.restart_node) hooks_.restart_node(node);
+      });
+      break;
+    }
+  }
+  injected_++;
+  applied_fp_.Mix(static_cast<int64_t>(event.kind))
+      .Mix(now)
+      .Mix(event.node)
+      .Mix(event.duration)
+      .Mix(event.count);
+}
+
+bool FaultInjector::MessageBlocked(int from, int to) const {
+  SimTime now = sim_->now();
+  auto in_range = [this](int n) {
+    return n >= 0 && n < static_cast<int>(outage_until_.size());
+  };
+  if (in_range(from) && outage_until_[from] > now) return true;
+  if (in_range(to) && outage_until_[to] > now) return true;
+  for (const Partition& p : partitions_) {
+    if (p.until <= now) continue;
+    if ((p.a == from && p.b == to) || (p.a == to && p.b == from)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::NodeCrashed(int node) const {
+  return node >= 0 && node < static_cast<int>(crashed_.size()) &&
+         crashed_[node] != 0;
+}
+
+}  // namespace elephant::sim

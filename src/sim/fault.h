@@ -1,0 +1,153 @@
+#ifndef ELEPHANT_SIM_FAULT_H_
+#define ELEPHANT_SIM_FAULT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/fingerprint.h"
+#include "common/units.h"
+#include "sim/resources.h"
+#include "sim/simulation.h"
+
+namespace elephant::sim {
+
+/// The fault classes the injector can schedule. Everything is a
+/// virtual-time event: applying a fault never consumes wall-clock
+/// randomness, so a plan replays bit-identically from its seed.
+enum class FaultKind : uint8_t {
+  kDiskStall,   ///< data volume admits nothing until at + duration
+  kDiskError,   ///< next `count` checked I/Os on the data volume fail
+  kNicOutage,   ///< NIC stalled; messages to/from the node time out
+  kPartition,   ///< pairwise partition between node and peer
+  kNodeCrash,   ///< process crash at `at`, restart at `at + duration`
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// One scheduled fault.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDiskStall;
+  SimTime at = 0;        ///< virtual time the fault fires
+  SimTime duration = 0;  ///< stall/outage/partition length, crash gap
+  int node = 0;
+  int peer = 0;     ///< kPartition only: the other endpoint
+  int64_t count = 0;  ///< kDiskError only: number of failing I/Os
+};
+
+/// Bounds for seed-derived plan generation.
+struct FaultPlanOptions {
+  SimTime horizon_start = 0;          ///< no fault fires before this
+  SimTime horizon = 10 * kSecond;     ///< no fault fires after this
+  int num_nodes = 16;                 ///< partition/NIC/disk targets
+  int num_server_nodes = 8;           ///< crash targets (nodes 0..n-1)
+  int min_events = 1;
+  int max_events = 6;
+  SimTime min_stall = 10 * kMillisecond;
+  SimTime max_stall = 400 * kMillisecond;
+  SimTime min_outage = 20 * kMillisecond;
+  SimTime max_outage = 300 * kMillisecond;
+  SimTime min_crash_gap = 100 * kMillisecond;
+  SimTime max_crash_gap = 800 * kMillisecond;
+  int64_t max_error_burst = 48;
+  bool disk_stalls = true;
+  bool disk_errors = true;
+  bool nic_outages = true;
+  bool partitions = true;
+  bool crashes = true;
+};
+
+/// A deterministic schedule of fault events. Either built by hand (unit
+/// tests pin exact scenarios) or derived from a single seed — the chaos
+/// harness's replay contract: FromSeed(s, opt) is a pure function, so
+/// ELEPHANT_CHAOS_SEED=s reconstructs the identical plan anywhere.
+class FaultPlan {
+ public:
+  static FaultPlan FromSeed(uint64_t seed, const FaultPlanOptions& options);
+
+  uint64_t seed = 0;
+  std::vector<FaultEvent> events;  ///< sorted by `at`, stable on ties
+
+  bool empty() const { return events.empty(); }
+  /// Human-readable schedule, one line per event (seed-replay triage).
+  std::string Describe() const;
+  /// Bit-exact digest of the schedule (replay verification).
+  uint64_t Fingerprint() const;
+};
+
+/// The devices of one node a fault can touch. Null members are simply
+/// skipped — a surface does not need every device.
+struct NodeFaultSurface {
+  Server* data_disk = nullptr;
+  Server* log_disk = nullptr;
+  Server* nic_tx = nullptr;
+  Server* nic_rx = nullptr;
+};
+
+/// Applies a FaultPlan to a set of node surfaces in virtual time.
+/// Arm() schedules one callback per event; with an empty plan it
+/// schedules nothing at all, so a no-fault run's event count — and
+/// therefore its determinism fingerprint — is bit-identical to a build
+/// without the injector. State queries (MessageBlocked, NodeCrashed)
+/// are pure reads against the virtual clock.
+class FaultInjector {
+ public:
+  struct Hooks {
+    /// Process crash / restart on a node (wired to the engines by the
+    /// system under test). May be empty.
+    std::function<void(int node)> crash_node;
+    std::function<void(int node)> restart_node;
+  };
+
+  FaultInjector(Simulation* sim, std::vector<NodeFaultSurface> surfaces,
+                FaultPlan plan, Hooks hooks = {});
+
+  /// Schedules every event of the plan. Call once, before the run.
+  void Arm();
+
+  /// True while a partition between the two nodes, or a NIC outage on
+  /// either of them, is active: a message between them would time out.
+  bool MessageBlocked(int from, int to) const;
+  /// True between a node's crash event and its restart.
+  bool NodeCrashed(int node) const;
+  /// How long a client waits before declaring a blocked message dead
+  /// (charged to ops failed by MessageBlocked).
+  SimTime blocked_op_delay() const { return blocked_op_delay_; }
+  void set_blocked_op_delay(SimTime d) { blocked_op_delay_ = d; }
+
+  // --- applied-fault ledger ---
+  int64_t injected() const { return injected_; }
+  int64_t crashes_applied() const { return crashes_applied_; }
+  int64_t restarts_applied() const { return restarts_applied_; }
+  /// Digest of every fault actually applied, in application order with
+  /// its virtual timestamp. Two replays of one seed must match exactly.
+  uint64_t InjectionFingerprint() const { return applied_fp_.value(); }
+
+ private:
+  void Apply(const FaultEvent& event);
+
+  Simulation* sim_;
+  std::vector<NodeFaultSurface> surfaces_;
+  FaultPlan plan_;
+  Hooks hooks_;
+  SimTime blocked_op_delay_ = 50 * kMillisecond;
+
+  struct Partition {
+    int a = 0;
+    int b = 0;
+    SimTime until = 0;
+  };
+  std::vector<Partition> partitions_;   ///< includes expired entries
+  std::vector<SimTime> outage_until_;   ///< per node
+  std::vector<uint8_t> crashed_;        ///< per node
+
+  int64_t injected_ = 0;
+  int64_t crashes_applied_ = 0;
+  int64_t restarts_applied_ = 0;
+  elephant::Fingerprint applied_fp_;
+};
+
+}  // namespace elephant::sim
+
+#endif  // ELEPHANT_SIM_FAULT_H_

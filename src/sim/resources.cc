@@ -18,9 +18,9 @@ Server::Server(Simulation* sim, int capacity, std::string name)
 SimTime Server::Admit(SimTime service_time) {
   if (service_time < 0) service_time = 0;
   SimTime now = sim_->now();
-  SimTime start = now;
+  SimTime start = std::max(now, stall_until_);
   if (static_cast<int>(free_at_.size()) >= capacity_) {
-    start = std::max(now, free_at_.top());
+    start = std::max(start, free_at_.top());
     free_at_.Pop();
   }
   SimTime done = start + service_time;
@@ -36,11 +36,26 @@ void Server::Awaiter::await_suspend(std::coroutine_handle<> h) {
   server->sim_->ScheduleResume(done - server->sim_->now(), h);
 }
 
+void Server::CheckedAwaiter::await_suspend(std::coroutine_handle<> h) {
+  if (server->error_budget_ > 0) {
+    server->error_budget_--;
+    server->errors_delivered_++;
+    failed = true;
+  }
+  SimTime done = server->Admit(service_time);
+  server->sim_->ScheduleResume(done - server->sim_->now(), h);
+}
+
+Status Server::CheckedAwaiter::await_resume() const {
+  if (!failed) return Status::OK();
+  return Status::IOError(server->name_ + ": injected transient I/O error");
+}
+
 SimTime Server::PeekCompletion(SimTime service_time) const {
   SimTime now = sim_->now();
-  SimTime start = now;
+  SimTime start = std::max(now, stall_until_);
   if (static_cast<int>(free_at_.size()) >= capacity_) {
-    start = std::max(now, free_at_.top());
+    start = std::max(start, free_at_.top());
   }
   return start + service_time;
 }

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/units.h"
 #include "sim/event_heap.h"
 #include "sim/simulation.h"
@@ -32,9 +33,42 @@ class Server {
   };
   Awaiter Acquire(SimTime service_time) { return {this, service_time}; }
 
+  /// Awaitable variant whose completion reports a Status: OK normally,
+  /// IOError when this admission consumed an injected transient-error
+  /// token (see InjectTransientErrors). The failed request still
+  /// occupies the device for its full service time — a failed I/O is
+  /// not a fast I/O. Plain Acquire() ignores the error budget, so
+  /// existing call sites are byte-for-byte unaffected.
+  struct CheckedAwaiter {
+    Server* server;
+    SimTime service_time;
+    bool failed = false;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    Status await_resume() const;
+  };
+  CheckedAwaiter AcquireChecked(SimTime service_time) {
+    return {this, service_time, false};
+  }
+
   /// The virtual time at which a request arriving now would complete,
   /// without enqueueing it (used by analytical models).
   SimTime PeekCompletion(SimTime service_time) const;
+
+  // --- fault injection (driven by sim::FaultInjector) ---
+  /// Device stall: admissions at or after now start no earlier than
+  /// `until`. FCFS admission order is preserved — a stall delays
+  /// completions but never reorders same-priority requests. Idempotent
+  /// for earlier deadlines; with no stall armed this is branch-free on
+  /// the admission path (stall_until_ stays 0).
+  void StallUntil(SimTime until) {
+    stall_until_ = std::max(stall_until_, until);
+  }
+  /// Arms the next `n` AcquireChecked admissions to fail with IOError.
+  void InjectTransientErrors(int64_t n) { error_budget_ += n; }
+  SimTime stalled_until() const { return stall_until_; }
+  int64_t error_budget() const { return error_budget_; }
+  int64_t errors_delivered() const { return errors_delivered_; }
 
   // --- statistics ---
   int64_t requests() const { return requests_; }
@@ -62,6 +96,9 @@ class Server {
   int64_t requests_ = 0;
   SimTime busy_time_ = 0;
   SimTime wait_time_ = 0;
+  SimTime stall_until_ = 0;
+  int64_t error_budget_ = 0;
+  int64_t errors_delivered_ = 0;
 };
 
 /// Rotating-disk model: sequential streaming at `seq_mbps`, random access

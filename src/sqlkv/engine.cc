@@ -1,6 +1,7 @@
 #include "sqlkv/engine.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -38,7 +39,8 @@ void SqlEngine::Start() {
 }
 
 sim::Task SqlEngine::FaultPage(uint64_t page_id, bool dirty,
-                               bool newly_allocated, sim::Latch* faulted) {
+                               bool newly_allocated, Status* io_status,
+                               sim::Latch* faulted) {
   BufferPool::Access access = pool_.Touch(page_id, dirty);
   if (!access.hit) {
     if (access.evicted_dirty) {
@@ -46,13 +48,20 @@ sim::Task SqlEngine::FaultPage(uint64_t page_id, bool dirty,
     }
     if (!newly_allocated) {
       disk_reads_++;
-      co_await node_->data_disks().RandomRead(options_.page_bytes);
+      Status read = co_await node_->data_disks().RandomReadChecked(
+          options_.page_bytes);
+      if (!read.ok() && io_status != nullptr) *io_status = std::move(read);
     }
   }
   faulted->CountDown();
 }
 
 sim::Task SqlEngine::Read(uint64_t key, OpOutcome* out, sim::Latch* done) {
+  if (crashed_) {
+    out->transient_error = true;
+    done->CountDown();
+    co_return;
+  }
   co_await node_->cpu().Acquire(node_->CpuWork(options_.read_cpu));
   bool locked = !options_.read_uncommitted;
   if (locked) {
@@ -61,12 +70,17 @@ sim::Task SqlEngine::Read(uint64_t key, OpOutcome* out, sim::Latch* done) {
   }
   auto lookup = btree_.Get(key);
   if (lookup.ok()) {
+    Status io;
     sim::PooledLatch faulted(&sim_->latch_pool(), 1);
     FaultPage(lookup.value().page_id, /*dirty=*/false,
-              /*newly_allocated=*/false, faulted.get());
+              /*newly_allocated=*/false, &io, faulted.get());
     co_await faulted->Wait();
-    out->ok = true;
-    out->records = 1;
+    if (io.ok()) {
+      out->ok = true;
+      out->records = 1;
+    } else {
+      out->transient_error = true;
+    }
   }
   if (locked) locks_.Release(key, /*exclusive=*/false);
   ops_served_++;
@@ -75,27 +89,39 @@ sim::Task SqlEngine::Read(uint64_t key, OpOutcome* out, sim::Latch* done) {
 
 sim::Task SqlEngine::Update(uint64_t key, int32_t field_bytes,
                             OpOutcome* out, sim::Latch* done) {
+  if (crashed_) {
+    out->transient_error = true;
+    done->CountDown();
+    co_return;
+  }
   co_await node_->cpu().Acquire(node_->CpuWork(options_.update_cpu));
   locks_.NoteAcquisition();
   co_await locks_.LockFor(key).AcquireExclusive();
   auto lookup = btree_.Get(key);
   if (lookup.ok()) {
+    Status io;
     sim::PooledLatch faulted(&sim_->latch_pool(), 1);
     FaultPage(lookup.value().page_id, /*dirty=*/true,
-              /*newly_allocated=*/false, faulted.get());
+              /*newly_allocated=*/false, &io, faulted.get());
     co_await faulted->Wait();
-    // WAL: the transaction commits when its log batch is durable.
-    sim::PooledLatch committed(&sim_->latch_pool(), 1);
-    LogRecord record;
-    record.kind = LogRecord::Kind::kUpdate;
-    record.key = key;
-    record.bytes = field_bytes;
-    log_.Append(options_.log_record_bytes + field_bytes, committed.get(),
-                record);
-    co_await committed->Wait();
-    acked_writes_++;
-    out->ok = true;
-    out->records = 1;
+    if (!io.ok()) {
+      // The page never made it into memory; nothing was modified and
+      // nothing is logged or acknowledged.
+      out->transient_error = true;
+    } else {
+      // WAL: the transaction commits when its log batch is durable.
+      sim::PooledLatch committed(&sim_->latch_pool(), 1);
+      LogRecord record;
+      record.kind = LogRecord::Kind::kUpdate;
+      record.key = key;
+      record.bytes = field_bytes;
+      log_.Append(options_.log_record_bytes + field_bytes, committed.get(),
+                  record);
+      co_await committed->Wait();
+      acked_writes_++;
+      out->ok = true;
+      out->records = 1;
+    }
   }
   locks_.Release(key, /*exclusive=*/true);
   ops_served_++;
@@ -104,6 +130,11 @@ sim::Task SqlEngine::Update(uint64_t key, int32_t field_bytes,
 
 sim::Task SqlEngine::Insert(uint64_t key, int32_t logical_bytes,
                             OpOutcome* out, sim::Latch* done) {
+  if (crashed_) {
+    out->transient_error = true;
+    done->CountDown();
+    co_return;
+  }
   co_await node_->cpu().Acquire(node_->CpuWork(options_.insert_cpu));
   locks_.NoteAcquisition();
   co_await locks_.LockFor(key).AcquireExclusive();
@@ -112,21 +143,29 @@ sim::Task SqlEngine::Insert(uint64_t key, int32_t logical_bytes,
   Status st = btree_.Insert(key, std::move(record));
   if (st.ok()) {
     auto lookup = btree_.Get(key);
+    Status io;
     sim::PooledLatch faulted(&sim_->latch_pool(), 1);
     FaultPage(lookup.value().page_id, /*dirty=*/true,
-              /*newly_allocated=*/true, faulted.get());
+              /*newly_allocated=*/true, &io, faulted.get());
     co_await faulted->Wait();
-    sim::PooledLatch committed(&sim_->latch_pool(), 1);
-    LogRecord record;
-    record.kind = LogRecord::Kind::kInsert;
-    record.key = key;
-    record.bytes = logical_bytes;
-    log_.Append(options_.log_record_bytes + logical_bytes, committed.get(),
-                record);
-    co_await committed->Wait();
-    acked_writes_++;
-    out->ok = true;
-    out->records = 1;
+    if (!io.ok()) {
+      // Roll the unacknowledged insert back out of the in-memory image
+      // so a retry can succeed cleanly.
+      (void)btree_.Remove(key);
+      out->transient_error = true;
+    } else {
+      sim::PooledLatch committed(&sim_->latch_pool(), 1);
+      LogRecord record;
+      record.kind = LogRecord::Kind::kInsert;
+      record.key = key;
+      record.bytes = logical_bytes;
+      log_.Append(options_.log_record_bytes + logical_bytes, committed.get(),
+                  record);
+      co_await committed->Wait();
+      acked_writes_++;
+      out->ok = true;
+      out->records = 1;
+    }
   }
   locks_.Release(key, /*exclusive=*/true);
   ops_served_++;
@@ -135,6 +174,11 @@ sim::Task SqlEngine::Insert(uint64_t key, int32_t logical_bytes,
 
 sim::Task SqlEngine::Scan(uint64_t start_key, int max_records,
                           OpOutcome* out, sim::Latch* done) {
+  if (crashed_) {
+    out->transient_error = true;
+    done->CountDown();
+    co_return;
+  }
   co_await node_->cpu().Acquire(
       node_->CpuWork(options_.scan_cpu_per_record * std::max(1, max_records)));
   // Collect the leaf pages holding the range.
@@ -146,6 +190,7 @@ sim::Task SqlEngine::Scan(uint64_t start_key, int max_records,
                             }
                           });
   bool first_miss = true;
+  Status io;
   for (uint64_t page : pages) {
     BufferPool::Access access = pool_.Touch(page, false);
     if (!access.hit) {
@@ -155,15 +200,22 @@ sim::Task SqlEngine::Scan(uint64_t start_key, int max_records,
       disk_reads_++;
       if (first_miss) {
         // Position once, then stream: clustered leaves are contiguous.
-        co_await node_->data_disks().RandomRead(options_.page_bytes);
+        io = co_await node_->data_disks().RandomReadChecked(
+            options_.page_bytes);
         first_miss = false;
       } else {
-        co_await node_->data_disks().SeqRead(options_.page_bytes);
+        io = co_await node_->data_disks().SeqReadChecked(
+            options_.page_bytes);
       }
+      if (!io.ok()) break;
     }
   }
-  out->ok = true;
-  out->records = found;
+  if (io.ok()) {
+    out->ok = true;
+    out->records = found;
+  } else {
+    out->transient_error = true;
+  }
   ops_served_++;
   done->CountDown();
 }
@@ -172,6 +224,7 @@ sim::Task SqlEngine::Checkpointer() {
   while (running_) {
     co_await sim_->Delay(options_.checkpoint_interval);
     if (!running_) break;
+    if (crashed_) continue;  // no checkpoints while the process is down
     std::vector<uint64_t> dirty = pool_.DirtyPages();
     if (dirty.empty()) continue;
     checkpoints_++;
@@ -200,19 +253,65 @@ Status SqlEngine::ValidateQuiesced() const {
   return locks_.ValidateQuiesced();
 }
 
-SqlEngine::RecoveryReport SqlEngine::SimulateCrashAndRecover() {
+SqlEngine::RecoveryReport SqlEngine::ReplayRedo() {
   // Crash: every memory-resident page is gone. Recovery = the disk
   // image as of the last checkpoint + redo of the durable log suffix.
   // Because commits are acknowledged only after their batch flushes,
   // every acknowledged write is in the durable log: nothing is lost.
   RecoveryReport report;
   report.acknowledged_writes = acked_writes_;
-  report.redo_records =
-      static_cast<int64_t>(log_.DurableRecords(log_.checkpoint_lsn()).size());
-  report.lost_acknowledged_writes = 0;
-  // The pool restarts cold (as after the paper's pre-run memory flush).
+  std::vector<LogRecord> redo = log_.DurableRecords(log_.checkpoint_lsn());
+  report.redo_records = static_cast<int64_t>(redo.size());
+  // The pool restarts cold (as after the paper's pre-run memory flush);
+  // redo replay re-faults and re-dirties the pages it touches.
   pool_ = BufferPool(options_.memory_bytes, options_.page_bytes);
+  for (const LogRecord& r : redo) {
+    if (r.kind == LogRecord::Kind::kCheckpoint) continue;
+    auto lookup = btree_.Get(r.key);
+    if (!lookup.ok()) {
+      // A durable redo record whose key is gone from the image: an
+      // acknowledged write recovery cannot re-apply.
+      report.lost_acknowledged_writes++;
+      continue;
+    }
+    pool_.Touch(lookup.value().page_id, /*mark_dirty=*/true);
+  }
+  recoveries_++;
+  lost_acked_total_ += report.lost_acknowledged_writes;
   return report;
+}
+
+SqlEngine::RecoveryReport SqlEngine::SimulateCrashAndRecover() {
+  return ReplayRedo();
+}
+
+void SqlEngine::Crash() {
+  if (crashed_) return;
+  crashed_ = true;
+}
+
+sim::Task SqlEngine::Restart(RecoveryReport* report, sim::Latch* done) {
+  ELEPHANT_CHECK(crashed_) << "Restart on an engine that never crashed";
+  // Read the redo suffix sequentially off the dedicated log spindle.
+  int64_t redo_bytes =
+      static_cast<int64_t>(log_.DurableRecords(log_.checkpoint_lsn()).size()) *
+      options_.log_record_bytes;
+  if (redo_bytes > 0) {
+    co_await node_->log_disk().Read(redo_bytes, /*sequential=*/true);
+  }
+  RecoveryReport local = ReplayRedo();
+  // Redo replay is CPU-light but not free.
+  if (local.redo_records > 0) {
+    co_await node_->cpu().Acquire(
+        node_->CpuWork(local.redo_records * kMicrosecond));
+  }
+  // Recovery must hand back a structurally sound engine.
+  ELEPHANT_CHECK_OK(btree_.ValidateInvariants());
+  ELEPHANT_CHECK_OK(pool_.ValidateInvariants());
+  ELEPHANT_CHECK_OK(log_.ValidateInvariants());
+  crashed_ = false;
+  if (report != nullptr) *report = local;
+  if (done != nullptr) done->CountDown();
 }
 
 }  // namespace elephant::sqlkv

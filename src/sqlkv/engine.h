@@ -79,6 +79,28 @@ class SqlEngine {
   };
   RecoveryReport SimulateCrashAndRecover();
 
+  /// Mid-run process crash (fault injection): memory-resident pages are
+  /// gone and new operations fail fast with a transient error until
+  /// Restart() completes recovery. Operations already past their entry
+  /// check drain normally — their commits were, or will be, durable in
+  /// the log before acknowledgement, so the acked-writes contract is
+  /// unaffected. Idempotent while already crashed.
+  void Crash();
+
+  /// Timed recovery coroutine: reads the redo stream off the log
+  /// spindle, replays it into a cold buffer pool, re-validates the
+  /// BTree/BufferPool/WAL invariants, then reopens for business.
+  /// `report` (optional) receives the recovery ledger; `done`
+  /// (optional) fires when the engine is serving again.
+  sim::Task Restart(RecoveryReport* report, sim::Latch* done);
+
+  bool crashed() const { return crashed_; }
+  int64_t recoveries() const { return recoveries_; }
+  int64_t acked_writes() const { return acked_writes_; }
+  /// Acked writes the redo replay could not re-apply, summed over every
+  /// Restart(). Any nonzero value is a durability bug.
+  int64_t lost_acked_total() const { return lost_acked_total_; }
+
   /// Cross-structure validation: B+tree, buffer pool, WAL and lock
   /// table invariants. Safe to call at any simulated instant (in-flight
   /// operations hold lock entries legitimately).
@@ -103,8 +125,11 @@ class SqlEngine {
   /// Newly allocated pages (inserts) skip the read — there is nothing
   /// on disk yet.
   sim::Task FaultPage(uint64_t page_id, bool dirty, bool newly_allocated,
-                      sim::Latch* faulted);
+                      Status* io_status, sim::Latch* faulted);
   sim::Task Checkpointer();
+  /// Replays the durable redo suffix into a fresh (cold) pool; returns
+  /// the ledger. Shared by Restart() and SimulateCrashAndRecover().
+  RecoveryReport ReplayRedo();
 
   sim::Simulation* sim_;
   cluster::Node* node_;
@@ -114,10 +139,13 @@ class SqlEngine {
   LockManager locks_;
   GroupCommitLog log_;
   bool running_ = false;
+  bool crashed_ = false;
   int64_t checkpoints_ = 0;
   int64_t disk_reads_ = 0;
   int64_t ops_served_ = 0;
   int64_t acked_writes_ = 0;
+  int64_t recoveries_ = 0;
+  int64_t lost_acked_total_ = 0;
 };
 
 }  // namespace elephant::sqlkv

@@ -10,6 +10,10 @@ namespace elephant::sqlkv {
 struct OpOutcome {
   bool ok = false;
   int64_t records = 0;  ///< records returned (scans)
+  /// The failure is fault-induced and safe to retry: the target was
+  /// crashed/partitioned, or an injected I/O error hit the operation.
+  /// Never set on logical failures (key not found, duplicate insert).
+  bool transient_error = false;
 };
 
 }  // namespace elephant::sqlkv

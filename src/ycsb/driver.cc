@@ -2,12 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "common/fingerprint.h"
 #include "common/string_util.h"
 
 namespace elephant::ycsb {
+
+SimTime RetryPolicy::BackoffFor(int attempt, Rng* rng) const {
+  double backoff = static_cast<double>(initial_backoff);
+  for (int i = 1; i < attempt; ++i) backoff *= multiplier;
+  backoff = std::min(backoff, static_cast<double>(max_backoff));
+  if (jitter > 0) {
+    backoff *= 1.0 + jitter * (2.0 * rng->NextDouble() - 1.0);
+  }
+  SimTime t = static_cast<SimTime>(backoff);
+  return t < 1 ? 1 : t;
+}
 
 uint64_t RunResult::Fingerprint() const {
   elephant::Fingerprint fp;
@@ -16,6 +28,11 @@ uint64_t RunResult::Fingerprint() const {
       .Mix(crashed)
       .Mix(ops_measured)
       .Mix(sim_events);
+  // Mixed only when nonzero so every fault-free fingerprint matches the
+  // values recorded before the fault-tolerance counters existed.
+  if (transient_errors != 0 || retries != 0 || timeouts != 0) {
+    fp.Mix(transient_errors).Mix(retries).Mix(timeouts);
+  }
   for (const auto& [type, stats] : per_op) {
     fp.Mix(static_cast<int64_t>(type))
         .Mix(stats.count)
@@ -24,6 +41,23 @@ uint64_t RunResult::Fingerprint() const {
         .Mix(stats.p99_latency_ms);
   }
   return fp.value();
+}
+
+uint64_t ChaosOutcome::Fingerprint() const {
+  return elephant::Fingerprint()
+      .Mix(result.Fingerprint())
+      .Mix(plan_fingerprint)
+      .Mix(injection_fingerprint)
+      .Mix(faults_injected)
+      .Mix(crashes_applied)
+      .Mix(restarts_applied)
+      .Mix(ledger.acknowledged)
+      .Mix(ledger.lost_acknowledged)
+      .Mix(ledger.unflushed)
+      .Mix(ledger.crashes)
+      .Mix(ledger.restarts)
+      .Mix(ledger.max_loss_window)
+      .value();
 }
 
 YcsbDriver::YcsbDriver(OltpTestbed* testbed, DataServingSystem* system,
@@ -114,20 +148,47 @@ sim::Task YcsbDriver::ClientThread(int thread_id, SimTime start,
   // One pooled latch per client thread, re-armed for every operation:
   // no allocation or Waitable-registry churn on the per-op path.
   sim::PooledLatch done(&sim->latch_pool(), 0);
-  while (sim->now() < end && !system_->Crashed()) {
+  // With retries off (every benchmark run), this loop is event-for-event
+  // the historical client: a crashed system stops the thread, the retry
+  // branch is dead, and no extra random draws happen.
+  const bool chaos = options_.retry.enabled();
+  const int origin_node = OltpTestbed::kServerNodes +
+                          thread_id / options_.threads_per_client_node;
+  while (sim->now() < end && (chaos || !system_->Crashed())) {
     if (sim->now() < next) co_await sim->Delay(next - sim->now());
     if (sim->now() >= end) break;
     Op op = NextOp(&rng);
+    op.origin_node = origin_node;
     SimTime t0 = sim->now();
     sqlkv::OpOutcome outcome;
-    done->Reset(1);
-    system_->Execute(op, &outcome, done.get());
-    co_await done->Wait();
+    int attempt = 0;
+    for (;;) {
+      outcome = sqlkv::OpOutcome();
+      SimTime attempt_start = sim->now();
+      done->Reset(1);
+      system_->Execute(op, &outcome, done.get());
+      co_await done->Wait();
+      if (chaos && sim->now() - attempt_start > options_.retry.op_timeout) {
+        // At-least-once: the server may have applied the op anyway;
+        // loss accounting stays server-side.
+        timeouts_++;
+        outcome.ok = false;
+        outcome.transient_error = true;
+      }
+      if (outcome.ok || !chaos || !outcome.transient_error ||
+          attempt >= options_.retry.max_retries) {
+        break;
+      }
+      attempt++;
+      retries_++;
+      co_await sim->Delay(options_.retry.BackoffFor(attempt, &rng));
+    }
     SimTime completed = sim->now();
     if (op.type == OpType::kInsert && outcome.ok) {
       key_chooser_->SetLastValue(op.key);
     }
-    if (outcome.ok || !system_->Crashed()) {
+    bool record = chaos ? outcome.ok : (outcome.ok || !system_->Crashed());
+    if (record) {
       ops_completed_++;
       if (completed >= measure_start_ && completed < end) {
         double ms = SimTimeToMillis(completed - t0);
@@ -143,6 +204,7 @@ sim::Task YcsbDriver::ClientThread(int thread_id, SimTime start,
       }
     } else {
       ops_failed_++;
+      if (outcome.transient_error) transient_errors_++;
     }
     next += interval;
     if (next < sim->now()) next = sim->now();  // fell behind: catch up
@@ -193,6 +255,9 @@ RunResult YcsbDriver::Run() {
     result.per_op[type] = stats;
   }
   result.sim_events = sim->events_processed();
+  result.transient_errors = transient_errors_;
+  result.retries = retries_;
+  result.timeouts = timeouts_;
 
   // Online correctness gates: the engines' structural invariants must
   // hold after every run, and a drained event loop must not strand
@@ -294,6 +359,9 @@ struct SystemFactory {
       case SystemKind::kMongoCs: {
         docstore::MongodOptions m;
         m.memory_bytes = memory_per_node / 16;
+        if (options.mongo_flush_interval > 0) {
+          m.flush_interval = options.mongo_flush_interval;
+        }
         // mmap double-caching, per-connection buffers (800 clients) and
         // 16 process heaps shrink the memory left for data pages.
         system = std::make_unique<MongoCsSystem>(
@@ -305,6 +373,9 @@ struct SystemFactory {
       case SystemKind::kMongoAs: {
         MongoAsSystem::Options m;
         m.mongod.memory_bytes = memory_per_node / 16;
+        if (options.mongo_flush_interval > 0) {
+          m.mongod.flush_interval = options.mongo_flush_interval;
+        }
         m.node_cache_bytes = static_cast<int64_t>(
             memory_per_node * options.mongo_cache_fraction_as);
         // Chunk size scaled with the dataset (64 MB over 640 GB in the
@@ -350,6 +421,54 @@ Status VerifyDeterminism(SystemKind kind, const WorkloadSpec& workload,
         (long long)second.ops_measured));
   }
   return Status::OK();
+}
+
+ChaosOutcome RunChaosPoint(SystemKind kind, const WorkloadSpec& workload,
+                           int64_t target_throughput,
+                           const DriverOptions& base_options,
+                           const sim::FaultPlan& plan) {
+  DriverOptions options = base_options;
+  options.target_throughput = target_throughput;
+  // Chaos clients must ride through faults rather than halt on the
+  // first crashed process.
+  if (!options.retry.enabled()) options.retry.max_retries = 4;
+  SystemFactory factory(kind, options, /*read_uncommitted=*/false);
+  YcsbDriver driver(factory.testbed.get(), factory.system.get(), workload,
+                    options);
+  ELEPHANT_CHECK_OK(driver.Prepare());
+
+  DataServingSystem* system = factory.system.get();
+  sim::FaultInjector::Hooks hooks;
+  hooks.crash_node = [system](int node) { system->CrashServerNode(node); };
+  hooks.restart_node = [system](int node) {
+    system->RestartServerNode(node);
+  };
+  sim::FaultInjector injector(
+      &factory.testbed->sim,
+      cluster::FaultSurfaces(&factory.testbed->cluster), plan,
+      std::move(hooks));
+  system->set_fault_injector(&injector);
+  injector.Arm();
+
+  ChaosOutcome out;
+  out.result = driver.Run();
+  // Drain everything the measured window left behind — pending
+  // restarts, background loops noticing Stop(), async writebacks — then
+  // hold the harness to its own rules: nothing stuck, every engine
+  // structurally sound and quiesced.
+  system->Stop();
+  factory.testbed->sim.Run();
+  factory.testbed->sim.CheckQuiescent();
+  ELEPHANT_CHECK_OK(system->ValidateQuiesced());
+
+  out.ledger = system->Durability();
+  out.plan_fingerprint = plan.Fingerprint();
+  out.injection_fingerprint = injector.InjectionFingerprint();
+  out.faults_injected = injector.injected();
+  out.crashes_applied = injector.crashes_applied();
+  out.restarts_applied = injector.restarts_applied();
+  out.plan_description = plan.Describe();
+  return out;
 }
 
 std::vector<SweepPoint> RunSweep(SystemKind kind,

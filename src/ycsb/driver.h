@@ -13,6 +13,32 @@
 
 namespace elephant::ycsb {
 
+/// Client-side fault tolerance: bounded retry with exponential backoff
+/// plus a per-operation timeout. Disabled by default (max_retries = 0),
+/// in which case the driver's hot path is byte-for-byte the historical
+/// one — no extra events, no extra random draws — and every modeled
+/// fingerprint is unchanged.
+struct RetryPolicy {
+  /// Retries after the first attempt; 0 disables the whole machinery.
+  int max_retries = 0;
+  SimTime initial_backoff = 1 * kMillisecond;
+  double multiplier = 2.0;
+  SimTime max_backoff = 64 * kMillisecond;
+  /// Uniform +/- fraction applied to each backoff (decorrelates client
+  /// herds). Drawn from the client thread's own seeded stream, so the
+  /// whole schedule is deterministic per (seed, thread).
+  double jitter = 0.25;
+  /// An attempt whose completion took longer than this is treated as a
+  /// retryable failure (at-least-once semantics: the server may still
+  /// have applied it; durability accounting is server-side).
+  SimTime op_timeout = 2 * kSecond;
+
+  bool enabled() const { return max_retries > 0; }
+  /// Backoff before retry `attempt` (1-based): exponential with cap and
+  /// jitter. Pure function of (policy, attempt, rng state).
+  SimTime BackoffFor(int attempt, Rng* rng) const;
+};
+
 /// Benchmark run configuration. Defaults are the paper's protocol
 /// scaled down time- and size-wise while preserving its governing
 /// ratios: 8 client nodes x 100 threads, dataset 2.5x the server
@@ -41,6 +67,13 @@ struct DriverOptions {
   double mongo_cache_fraction_as = 0.85;
   double mongo_cache_fraction_cs = 0.7;
   uint64_t seed = 0xE1EFA47;
+  /// Client retry/timeout policy (chaos runs enable it; benchmarks
+  /// leave it disabled).
+  RetryPolicy retry;
+  /// Overrides the mongod mmap flush cadence when > 0 (chaos runs
+  /// shrink it so the loss-window bound is exercised inside a short
+  /// run); 0 keeps the model default.
+  SimTime mongo_flush_interval = 0;
 };
 
 /// Result of one benchmark run at one target throughput.
@@ -52,6 +85,11 @@ struct RunResult {
   /// Events processed by the DES core over the whole run (load + warmup
   /// + measurement); part of the determinism fingerprint.
   uint64_t sim_events = 0;
+  /// Fault-tolerance counters (all zero on a fault-free run; they enter
+  /// the fingerprint only when nonzero, preserving historical values).
+  int64_t transient_errors = 0;  ///< ops that exhausted their retries
+  int64_t retries = 0;           ///< re-attempts issued
+  int64_t timeouts = 0;          ///< attempts past RetryPolicy::op_timeout
 
   struct OpStats {
     int64_t count = 0;
@@ -119,6 +157,9 @@ class YcsbDriver {
   std::map<OpType, Histogram> latency_;
   int64_t ops_completed_ = 0;
   int64_t ops_failed_ = 0;
+  int64_t transient_errors_ = 0;
+  int64_t retries_ = 0;
+  int64_t timeouts_ = 0;
 };
 
 /// Sweeps a workload across target throughputs (one fresh testbed per
@@ -146,6 +187,37 @@ RunResult RunOnePoint(SystemKind kind, const WorkloadSpec& workload,
 Status VerifyDeterminism(SystemKind kind, const WorkloadSpec& workload,
                          int64_t target_throughput,
                          const DriverOptions& base_options = {});
+
+/// Result of one chaos run: the benchmark measurements plus everything
+/// the harness asserts on — what the plan scheduled, what the injector
+/// actually applied, and the acknowledged-write ledger.
+struct ChaosOutcome {
+  RunResult result;
+  DataServingSystem::DurabilityLedger ledger;
+  uint64_t plan_fingerprint = 0;
+  uint64_t injection_fingerprint = 0;
+  int64_t faults_injected = 0;
+  int64_t crashes_applied = 0;
+  int64_t restarts_applied = 0;
+  std::string plan_description;
+
+  /// Digest of the whole outcome. The seed-replay contract: two runs of
+  /// one (kind, workload, target, options, plan) must match bit-exactly
+  /// at any host thread count.
+  uint64_t Fingerprint() const;
+};
+
+/// Runs one (system, workload, target) point on a fresh testbed with
+/// `plan` armed over it: faults fire in virtual time, crashed nodes
+/// recover through their engines' recovery paths, clients ride through
+/// via the retry policy (enabled with 4 retries if the caller left it
+/// off). After the measured window the system is stopped, the event
+/// loop drained to idle (pending restarts included), quiescence and
+/// per-engine invariants asserted, and the durability ledger collected.
+ChaosOutcome RunChaosPoint(SystemKind kind, const WorkloadSpec& workload,
+                           int64_t target_throughput,
+                           const DriverOptions& base_options,
+                           const sim::FaultPlan& plan);
 
 std::vector<SweepPoint> RunSweep(SystemKind kind,
                                  const WorkloadSpec& workload,

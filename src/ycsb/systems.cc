@@ -56,6 +56,34 @@ Status SqlCsSystem::ValidateInvariants() const {
   return Status::OK();
 }
 
+Status SqlCsSystem::ValidateQuiesced() const {
+  for (const auto& e : engines_) {
+    ELEPHANT_RETURN_NOT_OK(e->ValidateQuiesced());
+  }
+  return Status::OK();
+}
+
+void SqlCsSystem::CrashServerNode(int node) {
+  if (node < 0 || node >= num_shards()) return;
+  engines_[node]->Crash();
+}
+
+void SqlCsSystem::RestartServerNode(int node) {
+  if (node < 0 || node >= num_shards()) return;
+  engines_[node]->Restart(nullptr, nullptr);
+}
+
+DataServingSystem::DurabilityLedger SqlCsSystem::Durability() const {
+  DurabilityLedger ledger;
+  for (const auto& e : engines_) {
+    ledger.acknowledged += e->acked_writes();
+    ledger.lost_acknowledged += e->lost_acked_total();
+    ledger.crashes += e->recoveries();
+    ledger.restarts += e->recoveries();
+  }
+  return ledger;
+}
+
 void SqlCsSystem::TouchKey(uint64_t key) {
   sqlkv::SqlEngine* engine = engines_[ShardOf(key)].get();
   auto lookup = engine->btree().Get(key);
@@ -67,6 +95,15 @@ void SqlCsSystem::TouchKey(uint64_t key) {
 sim::Task SqlCsSystem::Execute(const Op& op, sqlkv::OpOutcome* out,
                                sim::Latch* done) {
   sim::Simulation* sim = &testbed_->sim;
+  // Shards map 1:1 onto server nodes; scans are coordinated by the home
+  // shard of the start key.
+  if (injector_ != nullptr &&
+      injector_->MessageBlocked(op.origin_node, ShardOf(op.key))) {
+    co_await sim->Delay(injector_->blocked_op_delay());
+    out->transient_error = true;
+    done->CountDown();
+    co_return;
+  }
   co_await sim->Delay(rtt_ / 2);
   if (op.type == OpType::kScan) {
     // Hash partitioning: every shard may hold records in the range, so
@@ -117,7 +154,7 @@ MongoCsSystem::MongoCsSystem(OltpTestbed* testbed,
                              const docstore::MongodOptions& options,
                              int mongods_per_node,
                              int64_t node_cache_bytes)
-    : testbed_(testbed) {
+    : testbed_(testbed), mongods_per_node_(mongods_per_node) {
   if (node_cache_bytes == 0) {
     node_cache_bytes = options.memory_bytes * mongods_per_node;
   }
@@ -169,6 +206,41 @@ bool MongoCsSystem::Crashed() const {
   return false;
 }
 
+Status MongoCsSystem::ValidateQuiesced() const {
+  for (const auto& m : mongods_) {
+    ELEPHANT_RETURN_NOT_OK(m->ValidateQuiesced());
+  }
+  return Status::OK();
+}
+
+void MongoCsSystem::CrashServerNode(int node) {
+  if (node < 0 || node >= OltpTestbed::kServerNodes) return;
+  for (int p = 0; p < mongods_per_node_; ++p) {
+    mongods_[node * mongods_per_node_ + p]->Crash();
+  }
+}
+
+void MongoCsSystem::RestartServerNode(int node) {
+  if (node < 0 || node >= OltpTestbed::kServerNodes) return;
+  for (int p = 0; p < mongods_per_node_; ++p) {
+    mongods_[node * mongods_per_node_ + p]->Restart();
+  }
+}
+
+DataServingSystem::DurabilityLedger MongoCsSystem::Durability() const {
+  DurabilityLedger ledger;
+  for (const auto& m : mongods_) {
+    ledger.acknowledged += m->acked_writes();
+    ledger.lost_acknowledged += m->lost_acked_total();
+    ledger.unflushed += m->UnflushedAcknowledgedWrites();
+    ledger.crashes += m->crashes();
+    ledger.restarts += m->restarts();
+    ledger.max_loss_window =
+        std::max(ledger.max_loss_window, m->max_loss_window());
+  }
+  return ledger;
+}
+
 void MongoCsSystem::TouchKey(uint64_t key) {
   docstore::Mongod* m = mongods_[ShardOf(key)].get();
   auto lookup = m->collection().Get(key);
@@ -178,6 +250,14 @@ void MongoCsSystem::TouchKey(uint64_t key) {
 sim::Task MongoCsSystem::Execute(const Op& op, sqlkv::OpOutcome* out,
                                  sim::Latch* done) {
   sim::Simulation* sim = &testbed_->sim;
+  if (injector_ != nullptr &&
+      injector_->MessageBlocked(op.origin_node,
+                                ShardOf(op.key) / mongods_per_node_)) {
+    co_await sim->Delay(injector_->blocked_op_delay());
+    out->transient_error = true;
+    done->CountDown();
+    co_return;
+  }
   co_await sim->Delay(rtt_ / 2);
   if (op.type == OpType::kScan) {
     int shards = num_shards();
@@ -286,6 +366,41 @@ bool MongoAsSystem::Crashed() const {
   return false;
 }
 
+Status MongoAsSystem::ValidateQuiesced() const {
+  for (const auto& m : mongods_) {
+    ELEPHANT_RETURN_NOT_OK(m->ValidateQuiesced());
+  }
+  return Status::OK();
+}
+
+void MongoAsSystem::CrashServerNode(int node) {
+  if (node < 0 || node >= OltpTestbed::kServerNodes) return;
+  for (int p = 0; p < options_.mongods_per_node; ++p) {
+    mongods_[node * options_.mongods_per_node + p]->Crash();
+  }
+}
+
+void MongoAsSystem::RestartServerNode(int node) {
+  if (node < 0 || node >= OltpTestbed::kServerNodes) return;
+  for (int p = 0; p < options_.mongods_per_node; ++p) {
+    mongods_[node * options_.mongods_per_node + p]->Restart();
+  }
+}
+
+DataServingSystem::DurabilityLedger MongoAsSystem::Durability() const {
+  DurabilityLedger ledger;
+  for (const auto& m : mongods_) {
+    ledger.acknowledged += m->acked_writes();
+    ledger.lost_acknowledged += m->lost_acked_total();
+    ledger.unflushed += m->UnflushedAcknowledgedWrites();
+    ledger.crashes += m->crashes();
+    ledger.restarts += m->restarts();
+    ledger.max_loss_window =
+        std::max(ledger.max_loss_window, m->max_loss_window());
+  }
+  return ledger;
+}
+
 double MongoAsSystem::MeanWriteLockFraction() const {
   double sum = 0;
   for (const auto& m : mongods_) sum += m->WriteLockFraction();
@@ -301,6 +416,14 @@ void MongoAsSystem::TouchKey(uint64_t key) {
 sim::Task MongoAsSystem::Execute(const Op& op, sqlkv::OpOutcome* out,
                                  sim::Latch* done) {
   sim::Simulation* sim = &testbed_->sim;
+  if (injector_ != nullptr &&
+      injector_->MessageBlocked(
+          op.origin_node, config_->Route(op.key) / options_.mongods_per_node)) {
+    co_await sim->Delay(injector_->blocked_op_delay());
+    out->transient_error = true;
+    done->CountDown();
+    co_return;
+  }
   co_await sim->Delay(rtt_ / 2);
   // mongos hop: routing CPU on the server node hosting the router.
   int router_node = static_cast<int>(op.key % OltpTestbed::kServerNodes);

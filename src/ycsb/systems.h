@@ -8,6 +8,7 @@
 #include "cluster/cluster.h"
 #include "docstore/mongod.h"
 #include "docstore/sharding.h"
+#include "sim/fault.h"
 #include "sim/simulation.h"
 #include "sqlkv/engine.h"
 #include "ycsb/workload.h"
@@ -21,6 +22,9 @@ struct Op {
   int scan_len = 0;
   int32_t record_bytes = 1024;
   int32_t field_bytes = 100;
+  /// Cluster node the request originates from (client nodes are 8..15);
+  /// -1 = unknown, which skips partition/outage checks.
+  int origin_node = -1;
 };
 
 /// Abstract data-serving system under test (the paper's SQL-CS,
@@ -54,7 +58,41 @@ class DataServingSystem {
   /// the end of each run; safe at any simulated instant.
   virtual Status ValidateInvariants() const { return Status::OK(); }
 
+  /// ValidateInvariants plus per-engine quiesce conditions (empty lock
+  /// tables, no in-flight operations). Call after the event loop
+  /// drains.
+  virtual Status ValidateQuiesced() const { return ValidateInvariants(); }
+
+  /// Installs the fault injector consulted on every Execute() for
+  /// client<->server reachability. Pass nullptr (the default state) to
+  /// run fault-free; the no-injector path is branch-only and adds zero
+  /// simulation events.
+  void set_fault_injector(sim::FaultInjector* injector) {
+    injector_ = injector;
+  }
+
+  /// Crashes / restarts every process hosted on server node `node`
+  /// (fault-injector hooks). Default: the system has no crash model.
+  virtual void CrashServerNode(int node) { (void)node; }
+  virtual void RestartServerNode(int node) { (void)node; }
+
+  /// The acknowledged-write ledger the chaos harness asserts on: SQL
+  /// must never lose an acknowledged write; Mongo's loss is bounded by
+  /// the mmap flush interval.
+  struct DurabilityLedger {
+    int64_t acknowledged = 0;
+    int64_t lost_acknowledged = 0;
+    int64_t unflushed = 0;  ///< acked writes currently at risk (Mongo)
+    int64_t crashes = 0;
+    int64_t restarts = 0;
+    SimTime max_loss_window = 0;
+  };
+  virtual DurabilityLedger Durability() const { return {}; }
+
   virtual std::string name() const = 0;
+
+ protected:
+  sim::FaultInjector* injector_ = nullptr;
 };
 
 /// Shared wiring: 8 server nodes + 8 client nodes behind one switch.
@@ -84,6 +122,10 @@ class SqlCsSystem : public DataServingSystem {
                     sim::Latch* done) override;
   void TouchKey(uint64_t key) override;
   Status ValidateInvariants() const override;
+  Status ValidateQuiesced() const override;
+  void CrashServerNode(int node) override;
+  void RestartServerNode(int node) override;
+  DurabilityLedger Durability() const override;
   std::string name() const override { return "SQL-CS"; }
 
   sqlkv::SqlEngine& engine(int i) { return *engines_[i]; }
@@ -113,6 +155,10 @@ class MongoCsSystem : public DataServingSystem {
   void TouchKey(uint64_t key) override;
   bool Crashed() const override;
   Status ValidateInvariants() const override;
+  Status ValidateQuiesced() const override;
+  void CrashServerNode(int node) override;
+  void RestartServerNode(int node) override;
+  DurabilityLedger Durability() const override;
   std::string name() const override { return "Mongo-CS"; }
 
   docstore::Mongod& mongod(int i) { return *mongods_[i]; }
@@ -121,6 +167,7 @@ class MongoCsSystem : public DataServingSystem {
 
  private:
   OltpTestbed* testbed_;
+  int mongods_per_node_;
   std::vector<std::unique_ptr<sqlkv::BufferPool>> node_caches_;
   std::vector<std::unique_ptr<docstore::Mongod>> mongods_;
   SimTime rtt_ = 300;
@@ -160,6 +207,10 @@ class MongoAsSystem : public DataServingSystem {
   void TouchKey(uint64_t key) override;
   bool Crashed() const override;
   Status ValidateInvariants() const override;
+  Status ValidateQuiesced() const override;
+  void CrashServerNode(int node) override;
+  void RestartServerNode(int node) override;
+  DurabilityLedger Durability() const override;
   std::string name() const override { return "Mongo-AS"; }
 
   docstore::ConfigServer& config() { return *config_; }

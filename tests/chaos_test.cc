@@ -1,0 +1,277 @@
+// Chaos harness: swarms of seed-derived fault plans run against the
+// YCSB systems, asserting the durability contracts the paper contrasts
+// (§3.4.1) — SQL Server must never lose an acknowledged write across a
+// crash/recovery cycle, MongoDB's loss is bounded by its mmap flush
+// cadence — plus the harness's own rules: no stuck waiter after the
+// event loop drains, and any seed replays bit-identically.
+//
+// Triage protocol: a failing swarm seed is printed with its plan.
+// Re-run exactly that scenario (verbosely, twice, with a fingerprint
+// comparison) via
+//   ELEPHANT_CHAOS_SEED=0x<seed> ./chaos_test --gtest_filter='*ReplayEnvSeed*'
+// then add the seed to tests/chaos_seeds.txt so the corpus pins it.
+// Knobs: ELEPHANT_CHAOS_SWARM sizes the swarm (default 100);
+// ELEPHANT_CHAOS_REPORT=<file> writes failing seeds there (CI artifact).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/task_pool.h"
+#include "sim/fault.h"
+#include "ycsb/driver.h"
+#include "ycsb/workload.h"
+
+namespace elephant {
+namespace {
+
+using ycsb::ChaosOutcome;
+using ycsb::SystemKind;
+
+// Flush cadence the chaos runs pin the Mongo loss-window bound to.
+constexpr SimTime kChaosFlushInterval = 400 * kMillisecond;
+
+ycsb::DriverOptions ChaosOptions() {
+  ycsb::DriverOptions opt;
+  opt.record_count = 20000;
+  opt.warmup = 500 * kMillisecond;
+  opt.measure = 2500 * kMillisecond;
+  opt.mongo_flush_interval = kChaosFlushInterval;
+  opt.retry.max_retries = 4;
+  opt.retry.op_timeout = 1 * kSecond;
+  return opt;
+}
+
+sim::FaultPlanOptions ChaosPlanOptions() {
+  sim::FaultPlanOptions p;
+  p.horizon_start = 200 * kMillisecond;
+  p.horizon = 2800 * kMillisecond;  // inside warmup + measure
+  p.max_events = 5;
+  p.max_stall = 300 * kMillisecond;
+  p.max_crash_gap = 500 * kMillisecond;
+  return p;
+}
+
+SystemKind KindForSeed(uint64_t seed) {
+  switch (seed % 3) {
+    case 0:
+      return SystemKind::kSqlCs;
+    case 1:
+      return SystemKind::kMongoCs;
+    default:
+      return SystemKind::kMongoAs;
+  }
+}
+
+/// The whole scenario — system, workload, traffic and fault plan — is a
+/// pure function of one seed: the replay contract.
+ChaosOutcome RunSeed(uint64_t seed) {
+  ycsb::WorkloadSpec workload = (seed / 3) % 2 == 0
+                                    ? ycsb::WorkloadSpec::A()
+                                    : ycsb::WorkloadSpec::B();
+  ycsb::DriverOptions options = ChaosOptions();
+  options.seed ^= seed * 0x9E3779B97F4A7C15ULL;
+  sim::FaultPlan plan = sim::FaultPlan::FromSeed(seed, ChaosPlanOptions());
+  return ycsb::RunChaosPoint(KindForSeed(seed), workload,
+                             /*target_throughput=*/4000, options, plan);
+}
+
+/// Chaos invariants for one completed run; empty string = clean.
+std::string CheckOutcome(uint64_t seed, const ChaosOutcome& out) {
+  std::string err;
+  if (KindForSeed(seed) == SystemKind::kSqlCs) {
+    // (a) WAL + acked-only commits: no acknowledged write is ever lost.
+    if (out.ledger.lost_acknowledged != 0) {
+      err += StrFormat("SQL lost %lld acknowledged writes\n",
+                       (long long)out.ledger.lost_acknowledged);
+    }
+  } else {
+    // (b) No journal, but the loss window is bounded by the flush
+    // cadence plus one in-flight flush pass (generous 5x allowance).
+    if (out.ledger.max_loss_window > 5 * kChaosFlushInterval) {
+      err += StrFormat("Mongo loss window %.3fs exceeds 5x flush %.3fs\n",
+                       SimTimeToSeconds(out.ledger.max_loss_window),
+                       SimTimeToSeconds(5 * kChaosFlushInterval));
+    }
+    if (out.ledger.lost_acknowledged > out.ledger.acknowledged) {
+      err += StrFormat("Mongo lost %lld > acked %lld\n",
+                       (long long)out.ledger.lost_acknowledged,
+                       (long long)out.ledger.acknowledged);
+    }
+  }
+  // After the drain every injected crash has completed its restart.
+  if (out.crashes_applied != out.restarts_applied) {
+    err += StrFormat("crashes %lld != restarts %lld after drain\n",
+                     (long long)out.crashes_applied,
+                     (long long)out.restarts_applied);
+  }
+  return err;
+}
+
+std::vector<uint64_t> LoadSeedCorpus() {
+  std::vector<uint64_t> seeds;
+  std::ifstream in(std::string(ELEPHANT_SOURCE_DIR) +
+                   "/tests/chaos_seeds.txt");
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    seeds.push_back(std::strtoull(line.c_str() + begin, nullptr, 0));
+  }
+  return seeds;
+}
+
+// Runs before the random swarm: seeds that once failed (or that pin
+// interesting scenarios) stay covered forever.
+TEST(ChaosTest, RegressionCorpus) {
+  std::vector<uint64_t> seeds = LoadSeedCorpus();
+  ASSERT_FALSE(seeds.empty()) << "tests/chaos_seeds.txt missing or empty";
+  for (uint64_t seed : seeds) {
+    ChaosOutcome out = RunSeed(seed);
+    std::string err = CheckOutcome(seed, out);
+    EXPECT_TRUE(err.empty()) << StrFormat("corpus seed 0x%llx:\n",
+                                          (unsigned long long)seed)
+                             << err << out.plan_description;
+  }
+}
+
+TEST(ChaosTest, SeedSwarm) {
+  int swarm = 100;
+  if (const char* env = std::getenv("ELEPHANT_CHAOS_SWARM")) {
+    swarm = std::atoi(env);
+  }
+  ASSERT_GT(swarm, 0);
+  const uint64_t base = 0xC4405EEDULL;
+
+  std::vector<ChaosOutcome> outcomes(swarm);
+  std::vector<std::string> errors(swarm);
+  TaskPool pool(8);
+  for (int i = 0; i < swarm; ++i) {
+    pool.Submit([&outcomes, &errors, base, i] {
+      uint64_t seed = base + static_cast<uint64_t>(i);
+      outcomes[i] = RunSeed(seed);
+      errors[i] = CheckOutcome(seed, outcomes[i]);
+    });
+  }
+  pool.WaitIdle();
+
+  std::vector<uint64_t> failing;
+  int64_t faults = 0, crashes = 0;
+  for (int i = 0; i < swarm; ++i) {
+    uint64_t seed = base + static_cast<uint64_t>(i);
+    faults += outcomes[i].faults_injected;
+    crashes += outcomes[i].crashes_applied;
+    if (!errors[i].empty()) {
+      failing.push_back(seed);
+      ADD_FAILURE() << StrFormat(
+                           "seed 0x%llx (replay with "
+                           "ELEPHANT_CHAOS_SEED=0x%llx):\n",
+                           (unsigned long long)seed,
+                           (unsigned long long)seed)
+                    << errors[i] << outcomes[i].plan_description;
+    }
+  }
+  // The swarm must actually have exercised the machinery.
+  EXPECT_GT(faults, swarm / 2) << "suspiciously few faults injected";
+  if (swarm >= 50) {
+    EXPECT_GT(crashes, 0);
+  }
+
+  if (const char* report = std::getenv("ELEPHANT_CHAOS_REPORT")) {
+    std::ofstream out(report);
+    out << "# chaos swarm: " << swarm << " seeds, " << failing.size()
+        << " failing\n";
+    for (uint64_t seed : failing) {
+      out << StrFormat("0x%llx\n", (unsigned long long)seed);
+    }
+  }
+
+  // Seed replay at a different host-thread count: the swarm ran on pool
+  // workers; re-running the first faulted seeds on this thread must be
+  // bit-identical, down to the injection timestamps and the ledger.
+  int replayed = 0;
+  for (int i = 0; i < swarm && replayed < 3; ++i) {
+    if (outcomes[i].faults_injected == 0) continue;
+    uint64_t seed = base + static_cast<uint64_t>(i);
+    ChaosOutcome replay = RunSeed(seed);
+    EXPECT_EQ(replay.Fingerprint(), outcomes[i].Fingerprint())
+        << StrFormat("seed 0x%llx replay diverged\n",
+                     (unsigned long long)seed)
+        << replay.plan_description;
+    replayed++;
+  }
+  EXPECT_GT(replayed, 0);
+}
+
+// A run under an empty plan is the plain benchmark, bit for bit: the
+// injector schedules nothing and the retry machinery adds no events.
+TEST(ChaosTest, EmptyPlanIsBitIdenticalToPlainRun) {
+  ycsb::DriverOptions opt = ChaosOptions();
+  ycsb::RunResult plain = ycsb::RunOnePoint(
+      SystemKind::kSqlCs, ycsb::WorkloadSpec::B(), 4000, opt);
+  ChaosOutcome chaos =
+      ycsb::RunChaosPoint(SystemKind::kSqlCs, ycsb::WorkloadSpec::B(), 4000,
+                          opt, sim::FaultPlan());
+  EXPECT_EQ(chaos.result.Fingerprint(), plain.Fingerprint());
+  EXPECT_EQ(chaos.faults_injected, 0);
+  EXPECT_EQ(chaos.result.retries, 0);
+  EXPECT_EQ(chaos.result.transient_errors, 0);
+  EXPECT_EQ(chaos.ledger.lost_acknowledged, 0);
+}
+
+// Enabling the retry policy must not perturb a fault-free run either —
+// the historical fingerprints are the contract.
+TEST(ChaosTest, RetryMachineryAddsNothingWithoutFaults) {
+  ycsb::DriverOptions off = ChaosOptions();
+  off.retry = ycsb::RetryPolicy();  // disabled
+  ycsb::DriverOptions on = ChaosOptions();
+  ycsb::RunResult without = ycsb::RunOnePoint(
+      SystemKind::kSqlCs, ycsb::WorkloadSpec::A(), 4000, off);
+  ycsb::RunResult with = ycsb::RunOnePoint(
+      SystemKind::kSqlCs, ycsb::WorkloadSpec::A(), 4000, on);
+  EXPECT_EQ(with.Fingerprint(), without.Fingerprint());
+  EXPECT_EQ(with.retries, 0);
+  EXPECT_EQ(with.timeouts, 0);
+}
+
+// ELEPHANT_CHAOS_SEED=<seed>: verbose double-run replay of one
+// scenario. Skipped unless the variable is set.
+TEST(ChaosTest, ReplayEnvSeed) {
+  const char* env = std::getenv("ELEPHANT_CHAOS_SEED");
+  if (env == nullptr) {
+    GTEST_SKIP() << "set ELEPHANT_CHAOS_SEED=<seed> to replay a scenario";
+  }
+  uint64_t seed = std::strtoull(env, nullptr, 0);
+  ChaosOutcome first = RunSeed(seed);
+  std::fprintf(stderr, "%s", first.plan_description.c_str());
+  std::fprintf(stderr,
+               "system=%s faults=%lld crashes=%lld restarts=%lld\n"
+               "ledger: acked=%lld lost=%lld unflushed=%lld "
+               "loss_window=%.3fs\n"
+               "fingerprint=%llx\n",
+               ycsb::SystemKindName(KindForSeed(seed)),
+               (long long)first.faults_injected,
+               (long long)first.crashes_applied,
+               (long long)first.restarts_applied,
+               (long long)first.ledger.acknowledged,
+               (long long)first.ledger.lost_acknowledged,
+               (long long)first.ledger.unflushed,
+               SimTimeToSeconds(first.ledger.max_loss_window),
+               (unsigned long long)first.Fingerprint());
+  ChaosOutcome second = RunSeed(seed);
+  EXPECT_EQ(first.Fingerprint(), second.Fingerprint())
+      << "replay of the same seed diverged";
+  std::string err = CheckOutcome(seed, first);
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+}  // namespace
+}  // namespace elephant

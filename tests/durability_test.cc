@@ -65,6 +65,128 @@ TEST(DurabilityTest, SqlCheckpointTruncatesRedoWork) {
   EXPECT_EQ(report.lost_acknowledged_writes, 0);
 }
 
+TEST(DurabilityTest, SqlCrashExactlyAtCheckpointBoundary) {
+  // A crash landing exactly on a checkpoint boundary has an empty redo
+  // suffix; writes after the boundary are exactly the suffix.
+  sim::Simulation sim;
+  cluster::Node node(&sim, 0, cluster::NodeConfig{});
+  sqlkv::SqlEngine engine(&sim, &node, sqlkv::SqlEngineOptions{});
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(engine.LoadRecord(k, 1024).ok());
+  }
+  {
+    sim::Latch done(&sim, 50);
+    std::vector<sqlkv::OpOutcome> outs(50);
+    for (int i = 0; i < 50; ++i) {
+      engine.Update(static_cast<uint64_t>(i), 100, &outs[i], &done);
+    }
+    sim.Run();
+    ASSERT_EQ(done.count(), 0);
+  }
+  engine.log().NoteCheckpoint();  // the boundary
+  auto at_boundary = engine.SimulateCrashAndRecover();
+  EXPECT_EQ(at_boundary.redo_records, 0);
+  EXPECT_EQ(at_boundary.lost_acknowledged_writes, 0);
+
+  {
+    sim::Latch done(&sim, 20);
+    std::vector<sqlkv::OpOutcome> outs(20);
+    for (int i = 0; i < 20; ++i) {
+      engine.Update(static_cast<uint64_t>(i), 100, &outs[i], &done);
+    }
+    sim.Run();
+    ASSERT_EQ(done.count(), 0);
+  }
+  auto after_boundary = engine.SimulateCrashAndRecover();
+  EXPECT_EQ(after_boundary.redo_records, 20);
+  EXPECT_EQ(after_boundary.lost_acknowledged_writes, 0);
+}
+
+TEST(DurabilityTest, SqlCrashWithEmptyRedoStreamRecoversCleanly) {
+  // Crash before any write: recovery replays nothing, re-validates the
+  // structures, and reopens for business.
+  sim::Simulation sim;
+  cluster::Node node(&sim, 0, cluster::NodeConfig{});
+  sqlkv::SqlEngine engine(&sim, &node, sqlkv::SqlEngineOptions{});
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(engine.LoadRecord(k, 1024).ok());
+  }
+  engine.Crash();
+  EXPECT_TRUE(engine.crashed());
+
+  // A crashed engine fails fast with a retryable error.
+  sqlkv::OpOutcome rejected;
+  {
+    sim::Latch done(&sim, 1);
+    engine.Read(5, &rejected, &done);
+    sim.Run();
+    EXPECT_EQ(done.count(), 0);
+  }
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_TRUE(rejected.transient_error);
+
+  sqlkv::SqlEngine::RecoveryReport report;
+  sim::Latch recovered(&sim, 1);
+  engine.Restart(&report, &recovered);
+  sim.Run();
+  ASSERT_EQ(recovered.count(), 0);
+  EXPECT_EQ(report.redo_records, 0);
+  EXPECT_EQ(report.lost_acknowledged_writes, 0);
+  EXPECT_FALSE(engine.crashed());
+  EXPECT_EQ(engine.recoveries(), 1);
+
+  sqlkv::OpOutcome served;
+  {
+    sim::Latch done(&sim, 1);
+    engine.Read(5, &served, &done);
+    sim.Run();
+  }
+  EXPECT_TRUE(served.ok);
+  EXPECT_FALSE(served.transient_error);
+}
+
+TEST(DurabilityTest, SqlCrashDuringGroupCommitWindowIsAckedOnly) {
+  // Crash while a batch of commits is inside the group-commit window:
+  // in-flight transactions drain (their log batch still reaches the
+  // disk before they acknowledge), new work is refused, and recovery
+  // covers every acknowledged write — the acked-only contract.
+  sim::Simulation sim;
+  cluster::Node node(&sim, 0, cluster::NodeConfig{});
+  sqlkv::SqlEngine engine(&sim, &node, sqlkv::SqlEngineOptions{});
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(engine.LoadRecord(k, 1024).ok());
+  }
+  sim::Latch done(&sim, 30);
+  std::vector<sqlkv::OpOutcome> outs(30);
+  for (int i = 0; i < 30; ++i) {
+    engine.Update(static_cast<uint64_t>(i), 100, &outs[i], &done);
+  }
+  sim.Run(sim.now() + 300);  // mid-window: nothing acknowledged yet
+  engine.Crash();
+
+  sqlkv::OpOutcome rejected;
+  sim::Latch rejected_done(&sim, 1);
+  engine.Update(1, 100, &rejected, &rejected_done);
+  sim.Run();  // drain: outstanding batches flush, in-flight ops ack
+  ASSERT_EQ(done.count(), 0);
+  EXPECT_TRUE(rejected.transient_error);
+
+  int64_t acked = 0;
+  for (const auto& o : outs) {
+    if (o.ok) acked++;
+  }
+  EXPECT_EQ(acked, 30);  // already-admitted work drains normally
+
+  sqlkv::SqlEngine::RecoveryReport report;
+  sim::Latch recovered(&sim, 1);
+  engine.Restart(&report, &recovered);
+  sim.Run();
+  ASSERT_EQ(recovered.count(), 0);
+  EXPECT_EQ(report.acknowledged_writes, acked);
+  EXPECT_GE(report.redo_records, acked);
+  EXPECT_EQ(report.lost_acknowledged_writes, 0);
+}
+
 TEST(DurabilityTest, MongoAcknowledgedWritesAreLostOnCrash) {
   sim::Simulation sim;
   cluster::Node node(&sim, 0, cluster::NodeConfig{});
@@ -108,6 +230,57 @@ TEST(DurabilityTest, MongoFlusherShrinksTheLossWindow) {
   mongod.Stop();
   EXPECT_EQ(mongod.UnflushedAcknowledgedWrites(), 0);
   EXPECT_EQ(mongod.SimulateCrashAndRecover(), 0);
+}
+
+TEST(DurabilityTest, MongoCrashRestartLedgerBoundsTheLossWindow) {
+  sim::Simulation sim;
+  cluster::Node node(&sim, 0, cluster::NodeConfig{});
+  docstore::MongodOptions opt;
+  opt.flush_interval = 200 * kMillisecond;
+  docstore::Mongod mongod(&sim, &node, opt, "m");
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(mongod.LoadDocument(k, 1024).ok());
+  }
+  mongod.Start();
+  {
+    sim::Latch done(&sim, 10);
+    std::vector<sqlkv::OpOutcome> outs(10);
+    for (int i = 0; i < 10; ++i) {
+      mongod.Update(static_cast<uint64_t>(i), 100, &outs[i], &done);
+    }
+    sim.Run(kSecond);  // several flush cycles pass
+    ASSERT_EQ(done.count(), 0);
+  }
+  // Crash after the flusher caught up: nothing lost, and the window is
+  // bounded by the flush cadence plus one in-flight pass.
+  mongod.Crash();
+  EXPECT_TRUE(mongod.crashed());
+  EXPECT_EQ(mongod.lost_acked_total(), 0);
+  EXPECT_LE(mongod.max_loss_window(), opt.flush_interval * 2);
+  mongod.Restart();
+  EXPECT_FALSE(mongod.crashed());
+  EXPECT_EQ(mongod.crashes(), 1);
+  EXPECT_EQ(mongod.restarts(), 1);
+
+  // With the flusher stopped, every new acknowledged write is at risk
+  // and a second crash loses exactly those.
+  mongod.Stop();
+  sim.Run(sim.now() + 2 * opt.flush_interval);  // let the flusher exit
+  {
+    sim::Latch done(&sim, 10);
+    std::vector<sqlkv::OpOutcome> outs(10);
+    for (int i = 0; i < 10; ++i) {
+      mongod.Update(100 - 1 - static_cast<uint64_t>(i), 100, &outs[i],
+                    &done);
+    }
+    sim.Run();
+    ASSERT_EQ(done.count(), 0);
+  }
+  EXPECT_EQ(mongod.UnflushedAcknowledgedWrites(), 10);
+  mongod.Crash();
+  EXPECT_EQ(mongod.lost_acked_total(), 10);
+  EXPECT_EQ(mongod.crashes(), 2);
+  EXPECT_GT(mongod.max_loss_window(), 0);
 }
 
 TEST(DurabilityTest, LogRecordsCarryRedoInformation) {

@@ -8,6 +8,7 @@
 #include "cluster/cluster.h"
 #include "common/units.h"
 #include "sim/event_heap.h"
+#include "sim/fault.h"
 #include "sim/inline_callback.h"
 #include "sim/resources.h"
 #include "sim/simulation.h"
@@ -102,6 +103,174 @@ TEST(ServerTest, UtilizationTracksBusyFraction) {
   sim.ScheduleCall(100, [] {});  // extend the clock to 100
   sim.Run();
   EXPECT_DOUBLE_EQ(server.Utilization(), 0.5);
+}
+
+TEST(ServerTest, StallDelaysButNeverReordersCompletions) {
+  Simulation sim;
+  Server server(&sim, 1);
+  std::vector<SimTime> done;
+  server.StallUntil(25);
+  UseServer(&sim, &server, 10, &done);
+  UseServer(&sim, &server, 10, &done);
+  UseServer(&sim, &server, 10, &done);
+  sim.Run();
+  // Every admission shifts past the stall deadline; FCFS order intact.
+  EXPECT_EQ(done, (std::vector<SimTime>{35, 45, 55}));
+  EXPECT_EQ(server.stalled_until(), 25);
+}
+
+Task UseServerChecked(Simulation* sim, Server* server, SimTime service,
+                      std::vector<std::pair<SimTime, bool>>* done) {
+  Status s = co_await server->AcquireChecked(service);
+  done->emplace_back(sim->now(), s.ok());
+}
+
+TEST(ServerTest, CheckedAcquirePropagatesInjectedErrors) {
+  Simulation sim;
+  Server server(&sim, 1);
+  server.InjectTransientErrors(2);
+  std::vector<std::pair<SimTime, bool>> done;
+  UseServerChecked(&sim, &server, 10, &done);
+  UseServerChecked(&sim, &server, 10, &done);
+  UseServerChecked(&sim, &server, 10, &done);
+  sim.Run();
+  ASSERT_EQ(done.size(), 3u);
+  // The armed budget fails the first two I/Os as a Status, not an
+  // abort; a failed I/O still occupies the device full service time.
+  EXPECT_EQ(done[0], (std::pair<SimTime, bool>{10, false}));
+  EXPECT_EQ(done[1], (std::pair<SimTime, bool>{20, false}));
+  EXPECT_EQ(done[2], (std::pair<SimTime, bool>{30, true}));
+  EXPECT_EQ(server.errors_delivered(), 2);
+  EXPECT_EQ(server.error_budget(), 0);
+}
+
+TEST(ServerTest, PlainAcquireIgnoresErrorBudget) {
+  Simulation sim;
+  Server server(&sim, 1);
+  server.InjectTransientErrors(1);
+  std::vector<SimTime> done;
+  UseServer(&sim, &server, 10, &done);
+  sim.Run();
+  EXPECT_EQ(done, (std::vector<SimTime>{10}));
+  EXPECT_EQ(server.errors_delivered(), 0);
+  EXPECT_EQ(server.error_budget(), 1);  // unconsumed by unchecked path
+}
+
+TEST(FaultPlanTest, FromSeedIsAPureFunction) {
+  FaultPlanOptions opt;
+  FaultPlan a = FaultPlan::FromSeed(0xDEADBEEF, opt);
+  FaultPlan b = FaultPlan::FromSeed(0xDEADBEEF, opt);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  EXPECT_FALSE(a.empty());
+  bool diverged = false;
+  for (uint64_t seed = 1; seed <= 8 && !diverged; ++seed) {
+    diverged =
+        FaultPlan::FromSeed(seed, opt).Fingerprint() != a.Fingerprint();
+  }
+  EXPECT_TRUE(diverged);
+  // With every fault class disabled the plan is empty.
+  FaultPlanOptions none;
+  none.disk_stalls = none.disk_errors = none.nic_outages = false;
+  none.partitions = none.crashes = false;
+  EXPECT_TRUE(FaultPlan::FromSeed(0xDEADBEEF, none).empty());
+}
+
+TEST(FaultPlanTest, EventsRespectBoundsAndOrdering) {
+  FaultPlanOptions opt;
+  opt.horizon_start = 100 * kMillisecond;
+  opt.horizon = 900 * kMillisecond;
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    FaultPlan plan = FaultPlan::FromSeed(seed, opt);
+    SimTime prev = 0;
+    for (const FaultEvent& ev : plan.events) {
+      EXPECT_GE(ev.at, opt.horizon_start);
+      EXPECT_LE(ev.at, opt.horizon);
+      EXPECT_GE(ev.at, prev);  // sorted, stable on ties
+      prev = ev.at;
+      EXPECT_GE(ev.node, 0);
+      EXPECT_LT(ev.node, ev.kind == FaultKind::kNodeCrash
+                             ? opt.num_server_nodes
+                             : opt.num_nodes);
+      if (ev.kind == FaultKind::kPartition) {
+        EXPECT_NE(ev.peer, ev.node);
+        EXPECT_GE(ev.peer, 0);
+        EXPECT_LT(ev.peer, opt.num_nodes);
+      }
+    }
+  }
+}
+
+TEST(FaultInjectorTest, PartitionAndOutageWindowsExpire) {
+  Simulation sim;
+  FaultPlan plan;
+  FaultEvent part;
+  part.kind = FaultKind::kPartition;
+  part.at = 100;
+  part.duration = 50;
+  part.node = 1;
+  part.peer = 2;
+  FaultEvent outage;
+  outage.kind = FaultKind::kNicOutage;
+  outage.at = 200;
+  outage.duration = 50;
+  outage.node = 3;
+  plan.events = {part, outage};
+  FaultInjector injector(&sim, std::vector<NodeFaultSurface>(4), plan);
+  injector.Arm();
+  FaultInjector* inj = &injector;
+  sim.ScheduleCall(120, [inj] {
+    EXPECT_TRUE(inj->MessageBlocked(1, 2));
+    EXPECT_TRUE(inj->MessageBlocked(2, 1));  // symmetric
+    EXPECT_FALSE(inj->MessageBlocked(0, 3));
+  });
+  sim.ScheduleCall(160, [inj] {
+    EXPECT_FALSE(inj->MessageBlocked(1, 2));  // partition expired
+  });
+  sim.ScheduleCall(220, [inj] {
+    EXPECT_TRUE(inj->MessageBlocked(0, 3));  // outage on either endpoint
+    EXPECT_TRUE(inj->MessageBlocked(3, 0));
+    EXPECT_FALSE(inj->MessageBlocked(1, 2));
+  });
+  sim.ScheduleCall(260, [inj] { EXPECT_FALSE(inj->MessageBlocked(0, 3)); });
+  sim.Run();
+  EXPECT_EQ(injector.injected(), 2);
+  EXPECT_EQ(injector.crashes_applied(), 0);
+}
+
+TEST(FaultInjectorTest, OverlappingCrashWindowsCollapse) {
+  Simulation sim;
+  FaultPlan plan;
+  FaultEvent first;
+  first.kind = FaultKind::kNodeCrash;
+  first.at = 100;
+  first.duration = 200;  // restart at 300
+  first.node = 0;
+  FaultEvent second = first;
+  second.at = 150;  // node already down: skipped, restart included
+  second.duration = 500;
+  plan.events = {first, second};
+  std::vector<std::pair<SimTime, int>> crash_calls, restart_calls;
+  FaultInjector::Hooks hooks;
+  hooks.crash_node = [&](int node) {
+    crash_calls.emplace_back(sim.now(), node);
+  };
+  hooks.restart_node = [&](int node) {
+    restart_calls.emplace_back(sim.now(), node);
+  };
+  FaultInjector injector(&sim, std::vector<NodeFaultSurface>(1), plan,
+                         hooks);
+  injector.Arm();
+  FaultInjector* inj = &injector;
+  sim.ScheduleCall(250, [inj] { EXPECT_TRUE(inj->NodeCrashed(0)); });
+  sim.ScheduleCall(350, [inj] { EXPECT_FALSE(inj->NodeCrashed(0)); });
+  sim.Run();
+  ASSERT_EQ(crash_calls.size(), 1u);
+  EXPECT_EQ(crash_calls[0], (std::pair<SimTime, int>{100, 0}));
+  ASSERT_EQ(restart_calls.size(), 1u);
+  EXPECT_EQ(restart_calls[0], (std::pair<SimTime, int>{300, 0}));
+  EXPECT_EQ(injector.crashes_applied(), 1);
+  EXPECT_EQ(injector.restarts_applied(), 1);
+  EXPECT_EQ(injector.injected(), 1);  // the collapsed crash never applied
 }
 
 TEST(DiskTest, SequentialVsRandomService) {

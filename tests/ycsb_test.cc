@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
+#include "common/rng.h"
+#include "sim/fault.h"
 #include "ycsb/driver.h"
 #include "ycsb/systems.h"
 #include "ycsb/workload.h"
@@ -111,6 +114,86 @@ TEST(DriverTest, MeasurementProtocolReportsWindows) {
   const auto& stats = r.per_op[OpType::kRead];
   EXPECT_GE(stats.latency_stderr_ms, 0);
   EXPECT_LT(stats.latency_stderr_ms, stats.mean_latency_ms);
+}
+
+// ---- Retry policy ----------------------------------------------------
+
+TEST(RetryTest, BackoffScheduleIsDeterministicPerSeed) {
+  RetryPolicy policy;
+  policy.max_retries = 6;
+  // Two streams from the same seed produce the same jittered schedule.
+  Rng a(42), b(42);
+  std::vector<SimTime> schedule;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    SimTime delay = policy.BackoffFor(attempt, &a);
+    schedule.push_back(delay);
+    EXPECT_EQ(delay, policy.BackoffFor(attempt, &b));
+    EXPECT_GE(delay, 1);  // never a zero-delay busy retry
+  }
+  // A different seed diverges somewhere in the schedule.
+  Rng c(43);
+  bool diverged = false;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    diverged |= policy.BackoffFor(attempt, &c) != schedule[attempt - 1];
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(RetryTest, ZeroJitterGivesCappedExponential) {
+  RetryPolicy policy;
+  policy.max_retries = 8;
+  policy.jitter = 0.0;
+  Rng rng(7);
+  EXPECT_EQ(policy.BackoffFor(1, &rng), 1 * kMillisecond);
+  EXPECT_EQ(policy.BackoffFor(2, &rng), 2 * kMillisecond);
+  EXPECT_EQ(policy.BackoffFor(3, &rng), 4 * kMillisecond);
+  EXPECT_EQ(policy.BackoffFor(7, &rng), 64 * kMillisecond);
+  EXPECT_EQ(policy.BackoffFor(8, &rng), 64 * kMillisecond);  // capped
+}
+
+TEST(RetryTest, BudgetExhaustionSurfacesAsErrorOutcome) {
+  // One long partition between server node 0 and client node 8: ops from
+  // node 8's threads aimed at shard 0 fail fast, burn their whole retry
+  // budget, and must surface as transient errors — not hangs, not lost
+  // acknowledged writes.
+  sim::FaultPlan plan;
+  plan.seed = 1;
+  sim::FaultEvent ev;
+  ev.kind = sim::FaultKind::kPartition;
+  ev.at = 600 * kMillisecond;
+  ev.duration = 1500 * kMillisecond;
+  ev.node = 0;
+  ev.peer = OltpTestbed::kServerNodes;  // first client node
+  plan.events.push_back(ev);
+
+  DriverOptions opt = TestOptions();
+  opt.record_count = 20000;
+  opt.warmup = 500 * kMillisecond;
+  opt.measure = 1500 * kMillisecond;
+  opt.retry.max_retries = 2;  // small budget so it actually exhausts
+  ChaosOutcome out = ycsb::RunChaosPoint(SystemKind::kSqlCs,
+                                         WorkloadSpec::A(), 4000, opt, plan);
+  EXPECT_EQ(out.faults_injected, 1);
+  EXPECT_GT(out.result.retries, 0);
+  EXPECT_GT(out.result.transient_errors, 0);
+  // Partitioned ops were never acknowledged, so nothing durable is lost.
+  EXPECT_EQ(out.ledger.lost_acknowledged, 0);
+}
+
+TEST(RetryTest, NoRetriesWhenNoFaultsInjected) {
+  DriverOptions opt = TestOptions();
+  opt.record_count = 20000;
+  opt.warmup = 500 * kMillisecond;
+  opt.measure = kSecond;
+  opt.retry.max_retries = 4;
+  ChaosOutcome out =
+      ycsb::RunChaosPoint(SystemKind::kSqlCs, WorkloadSpec::A(), 4000, opt,
+                          sim::FaultPlan());
+  EXPECT_EQ(out.faults_injected, 0);
+  EXPECT_EQ(out.result.retries, 0);
+  EXPECT_EQ(out.result.timeouts, 0);
+  EXPECT_EQ(out.result.transient_errors, 0);
+  EXPECT_EQ(out.ledger.lost_acknowledged, 0);
 }
 
 // ---- Paper shape tests ----------------------------------------------
