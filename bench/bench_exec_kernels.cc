@@ -1,0 +1,258 @@
+// Operator-kernel throughput: columnar vectorized kernels vs the
+// row-at-a-time baseline, on TPC-H shaped data.
+//
+// For each kernel (scan_filter, project, join_probe, aggregate, and the
+// combined scan_filter_agg pipeline) the harness runs the same logical
+// operation twice: once through the columnar fast paths (the default)
+// and once with SetExecForceRowPath(true), which drives every operator
+// onto its legacy Row-vector twin. Outputs are checked bit-identical
+// via TableFingerprint before any timing is reported, so the speedup is
+// never bought with a behavior change.
+//
+// Flags: --sf=F (default 0.1), --small (= --sf=0.02, for CI),
+// --threads=N (default 1: single-core kernel throughput),
+// --reps=R (default 3, best-of), --out=PATH (default BENCH_exec.json).
+//
+// Each JSON cell carries rows (input rows driven through the kernel),
+// wall_ms (best rep) and rows_per_sec; scripts/bench_diff.py treats
+// rows_per_sec as higher-is-better.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/check.h"
+#include "common/date.h"
+#include "common/string_util.h"
+#include "exec/operators.h"
+#include "exec/table.h"
+#include "tpch/dbgen.h"
+
+namespace {
+
+using elephant::DateCode;
+using elephant::MakeDate;
+using elephant::StrFormat;
+using elephant::exec::AggKind;
+using elephant::exec::AsDouble;
+using elephant::exec::AsInt;
+using elephant::exec::ColAgg;
+using elephant::exec::CopyCol;
+using elephant::exec::CountAgg;
+using elephant::exec::DoubleExprCol;
+using elephant::exec::Filter;
+using elephant::exec::HashAggregateOn;
+using elephant::exec::HashJoinOn;
+using elephant::exec::IndexPredicate;
+using elephant::exec::Predicate;
+using elephant::exec::ProjectColumns;
+using elephant::exec::Row;
+using elephant::exec::SetExecForceRowPath;
+using elephant::exec::SetExecThreads;
+using elephant::exec::Table;
+using elephant::exec::TableFingerprint;
+using elephant::exec::ValueType;
+
+double ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+struct KernelResult {
+  std::string kernel;
+  std::string layout;  // "columnar" | "row"
+  size_t rows = 0;     // input rows driven through the kernel
+  double wall_ms = 0;  // best of reps
+  uint64_t fingerprint = 0;
+};
+
+/// Runs `body` `reps` times, returns best wall ms and the fingerprint
+/// of the last output (all reps produce the same table).
+template <typename Body>
+KernelResult RunKernel(const std::string& kernel, const std::string& layout,
+                       size_t rows, int reps, Body body) {
+  KernelResult res;
+  res.kernel = kernel;
+  res.layout = layout;
+  res.rows = rows;
+  res.wall_ms = 0;
+  for (int r = 0; r < reps; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    Table out = body();
+    double ms = ElapsedMs(start);
+    if (r == 0 || ms < res.wall_ms) res.wall_ms = ms;
+    if (r == 0) res.fingerprint = TableFingerprint(out);
+  }
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double sf = 0.1;
+  int threads = 1;
+  int reps = 3;
+  std::string out_path = "BENCH_exec.json";
+  for (int i = 1; i < argc; ++i) {
+    if (strncmp(argv[i], "--sf=", 5) == 0) {
+      sf = atof(argv[i] + 5);
+    } else if (strcmp(argv[i], "--small") == 0) {
+      sf = 0.02;
+    } else if (strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = atoi(argv[i] + 10);
+    } else if (strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = atoi(argv[i] + 7);
+    } else if (strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      fprintf(stderr,
+              "usage: %s [--sf=F] [--small] [--threads=N] [--reps=R] "
+              "[--out=PATH]\n",
+              argv[0]);
+      return 2;
+    }
+  }
+
+  auto harness_start = std::chrono::steady_clock::now();
+  elephant::tpch::DbgenOptions opt;
+  elephant::tpch::TpchDatabase db =
+      elephant::tpch::GenerateDatabase(sf, opt);
+  const Table& l = db.lineitem;
+  const Table& o = db.orders;
+  const size_t n = l.num_rows();
+  printf("exec kernel bench: sf %g (%zu lineitem rows), %d thread(s), "
+         "best of %d\n\n",
+         sf, n, threads, reps);
+  SetExecThreads(threads);
+
+  const DateCode lo = MakeDate(1994, 1, 1);
+  const DateCode hi = MakeDate(1995, 1, 1);
+  const int c_ship = l.ColIndex("l_shipdate");
+  const int c_disc = l.ColIndex("l_discount");
+  const int c_qty = l.ColIndex("l_quantity");
+
+  std::vector<std::pair<std::string, std::function<Table()>>> columnar;
+  std::vector<std::pair<std::string, std::function<Table()>>> rowwise;
+
+  // -- scan_filter: Q6-shaped range scan -----------------------------------
+  columnar.emplace_back("scan_filter", [&]() {
+    const int64_t* ship = l.IntData(c_ship).data();
+    const double* disc = l.DoubleData(c_disc).data();
+    const double* qty = l.DoubleData(c_qty).data();
+    return Filter(l, IndexPredicate([=](size_t i) {
+                    return ship[i] >= lo && ship[i] < hi &&
+                           disc[i] >= 0.05 - 1e-9 && disc[i] <= 0.07 + 1e-9 &&
+                           qty[i] < 24;
+                  }));
+  });
+  rowwise.emplace_back("scan_filter", [&]() {
+    return Filter(l, Predicate([=](const Row& r) {
+                    int64_t d = AsInt(r[c_ship]);
+                    double dc = AsDouble(r[c_disc]);
+                    return d >= lo && d < hi && dc >= 0.05 - 1e-9 &&
+                           dc <= 0.07 + 1e-9 && AsDouble(r[c_qty]) < 24;
+                  }));
+  });
+
+  // -- project: copy + computed revenue ------------------------------------
+  columnar.emplace_back("project", [&]() {
+    const double* price = l.DoubleData(l.ColIndex("l_extendedprice")).data();
+    const double* disc = l.DoubleData(c_disc).data();
+    return ProjectColumns(
+        l, {CopyCol(l, "l_orderkey"), CopyCol(l, "l_shipmode"),
+            DoubleExprCol("revenue", [price, disc](size_t i) {
+              return price[i] * (1.0 - disc[i]);
+            })});
+  });
+  rowwise.emplace_back("project", [&]() {
+    return Project(
+        l, {{"l_orderkey", ValueType::kInt,
+             elephant::exec::Col(l, "l_orderkey")},
+            {"l_shipmode", ValueType::kString,
+             elephant::exec::Col(l, "l_shipmode")},
+            {"revenue", ValueType::kDouble, elephant::exec::Revenue(l)}});
+  });
+
+  // -- join_probe: lineitem probing the orders build side ------------------
+  auto join_body = [&]() {
+    return HashJoinOn(l, o, {"l_orderkey"}, {"o_orderkey"});
+  };
+  columnar.emplace_back("join_probe", join_body);
+  rowwise.emplace_back("join_probe", join_body);
+
+  // -- aggregate: Q1-shaped grouped sums (ColAgg carries both paths) -------
+  auto agg_body = [&]() {
+    return HashAggregateOn(
+        l, {"l_returnflag", "l_linestatus"},
+        {ColAgg(AggKind::kSum, l, "l_quantity", "sum_qty", ValueType::kDouble),
+         ColAgg(AggKind::kSum, l, "l_extendedprice", "sum_price",
+                ValueType::kDouble),
+         ColAgg(AggKind::kAvg, l, "l_discount", "avg_disc",
+                ValueType::kDouble),
+         CountAgg("count_order")});
+  };
+  columnar.emplace_back("aggregate", agg_body);
+  rowwise.emplace_back("aggregate", agg_body);
+
+  // -- scan_filter_agg: the acceptance pipeline ----------------------------
+  columnar.emplace_back("scan_filter_agg", [&]() {
+    const int64_t* ship = l.IntData(c_ship).data();
+    const double* disc = l.DoubleData(c_disc).data();
+    Table f = Filter(l, IndexPredicate([=](size_t i) {
+                       return ship[i] >= lo && ship[i] < hi &&
+                              disc[i] >= 0.05 - 1e-9;
+                     }));
+    return HashAggregateOn(
+        f, {},
+        {ColAgg(AggKind::kSum, f, "l_extendedprice", "sum_price",
+                ValueType::kDouble),
+         CountAgg("matched")});
+  });
+  rowwise.emplace_back("scan_filter_agg", [&]() {
+    Table f = Filter(l, Predicate([=](const Row& r) {
+                       int64_t d = AsInt(r[c_ship]);
+                       return d >= lo && d < hi &&
+                              AsDouble(r[c_disc]) >= 0.05 - 1e-9;
+                     }));
+    return HashAggregateOn(
+        f, {},
+        {ColAgg(AggKind::kSum, f, "l_extendedprice", "sum_price",
+                ValueType::kDouble),
+         CountAgg("matched")});
+  });
+
+  printf("%-18s %14s %14s %9s\n", "kernel", "row rows/s", "col rows/s",
+         "speedup");
+  std::vector<std::string> cells;
+  for (size_t k = 0; k < columnar.size(); ++k) {
+    const std::string& name = columnar[k].first;
+    SetExecForceRowPath(false);
+    KernelResult col =
+        RunKernel(name, "columnar", n, reps, columnar[k].second);
+    SetExecForceRowPath(true);
+    KernelResult row = RunKernel(name, "row", n, reps, rowwise[k].second);
+    SetExecForceRowPath(false);
+    ELEPHANT_CHECK(col.fingerprint == row.fingerprint)
+        << "kernel '" << name << "' diverges between layouts";
+    for (const KernelResult* r : {&row, &col}) {
+      double rps = r->rows / (r->wall_ms / 1000.0);
+      cells.push_back(StrFormat(
+          "{\"kernel\": \"%s\", \"layout\": \"%s\", \"sf\": %g, "
+          "\"rows\": %zu, \"wall_ms\": %.3f, \"rows_per_sec\": %.0f, "
+          "\"fingerprint\": \"%016llx\"}",
+          r->kernel.c_str(), r->layout.c_str(), sf, r->rows, r->wall_ms,
+          rps, static_cast<unsigned long long>(r->fingerprint)));
+    }
+    printf("%-18s %14.0f %14.0f %8.2fx\n", name.c_str(),
+           row.rows / (row.wall_ms / 1000.0),
+           col.rows / (col.wall_ms / 1000.0), row.wall_ms / col.wall_ms);
+  }
+
+  elephant::bench::WriteBenchJson(out_path, "exec_kernels", threads,
+                                  ElapsedMs(harness_start), cells);
+  return 0;
+}

@@ -54,9 +54,12 @@ double ElapsedMs(std::chrono::steady_clock::time_point since) {
 uint64_t CanonicalChecksum(const exec::Table& t) {
   std::vector<std::string> lines;
   lines.reserve(t.num_rows());
-  for (const exec::Row& row : t.rows()) {
+  for (size_t r = 0; r < t.num_rows(); ++r) {
     std::string line;
-    for (const exec::Value& v : row) {
+    for (int c = 0; c < t.num_cols(); ++c) {
+      // ValueAt reads straight from the column vectors — no Row-cache
+      // materialization of the whole answer table.
+      exec::Value v = t.ValueAt(r, c);
       if (const auto* i = std::get_if<int64_t>(&v)) {
         line += StrFormat("i%lld|", static_cast<long long>(*i));
       } else if (const auto* d = std::get_if<double>(&v)) {

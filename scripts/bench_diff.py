@@ -20,6 +20,8 @@ METRICS = {
     "wall_ms": False,
     "achieved_ops_per_sec": True,
     "events_per_sec": True,
+    # Operator-kernel throughput (bench_exec_kernels).
+    "rows_per_sec": True,
     # Fault-tolerance counters (zero on no-fault runs; the b <= 0 guard
     # below skips them there, so adding the fields is not a cell-identity
     # or comparison change for historical baselines).

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <iterator>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -14,8 +16,9 @@ namespace elephant::exec {
 
 namespace {
 
-std::atomic<int> g_exec_threads{0};        // 0 = ELEPHANT_THREADS default
-std::atomic<size_t> g_exec_morsel{2048};   // rows per morsel
+std::atomic<int> g_exec_threads{0};       // 0 = ELEPHANT_THREADS default
+std::atomic<size_t> g_exec_morsel{2048};  // rows per morsel
+std::atomic<bool> g_force_row_path{false};
 
 /// Number of hash partitions for parallel join builds and aggregates.
 /// Fixed (never derived from the thread count) so partition membership
@@ -50,6 +53,14 @@ void SetExecMorselSize(size_t rows) {
 
 size_t ExecMorselSize() {
   return g_exec_morsel.load(std::memory_order_relaxed);
+}
+
+void SetExecForceRowPath(bool force) {
+  g_force_row_path.store(force, std::memory_order_relaxed);
+}
+
+bool ExecForceRowPath() {
+  return g_force_row_path.load(std::memory_order_relaxed);
 }
 
 namespace {
@@ -103,6 +114,208 @@ std::vector<int> ResolveCols(const Table& t,
   out.reserve(names.size());
   for (const auto& n : names) out.push_back(t.ColIndex(n));
   return out;
+}
+
+// ---- Columnar kernel infrastructure -------------------------------------
+
+/// True when `t` should take the columnar kernel: the force-row-path
+/// knob is off and the table has a columnar form (i.e. it is not
+/// heterogeneous). Operators with both paths branch on this; both
+/// branches produce bit-identical tables.
+bool ColumnarPath(const Table& t) {
+  return !ExecForceRowPath() && t.EnsureColumnar();
+}
+
+/// Runs fn(lo, hi) over [0, n), fanned out in morsels when profitable.
+/// Only safe for bodies whose writes are positional (disjoint ranges).
+template <typename Fn>
+void ForRows(size_t n, Fn&& fn) {
+  if (UseParallel(n)) {
+    TaskPool::Global(ExecThreads())
+        .ParallelFor(0, n, ExecMorselSize(), fn, ExecThreads());
+  } else {
+    fn(0, n);
+  }
+}
+
+/// Evaluates an index predicate into an ascending selection vector. The
+/// parallel path fills per-morsel slots and concatenates them in morsel
+/// order, which reproduces the serial scan order exactly.
+std::vector<uint32_t> BuildSelection(size_t n, const IndexPredicate& pred) {
+  if (UseParallel(n)) {
+    const size_t morsel = ExecMorselSize();
+    std::vector<std::vector<uint32_t>> slots(NumChunks(n, morsel));
+    TaskPool::Global(ExecThreads())
+        .ParallelFor(
+            0, n, morsel,
+            [&](size_t lo, size_t hi) {
+              std::vector<uint32_t>& slot = slots[lo / morsel];
+              for (size_t i = lo; i < hi; ++i) {
+                if (pred(i)) slot.push_back(static_cast<uint32_t>(i));
+              }
+            },
+            ExecThreads());
+    size_t total = 0;
+    for (const auto& s : slots) total += s.size();
+    std::vector<uint32_t> sel;
+    sel.reserve(total);
+    for (const auto& s : slots) sel.insert(sel.end(), s.begin(), s.end());
+    return sel;
+  }
+  std::vector<uint32_t> sel;
+  for (size_t i = 0; i < n; ++i) {
+    if (pred(i)) sel.push_back(static_cast<uint32_t>(i));
+  }
+  return sel;
+}
+
+/// Materializes the selected rows of `src` as a new table in one typed
+/// compaction pass per column. The output shares `src`'s string pool:
+/// dictionary codes are copied, never re-interned, so derivation chains
+/// (filter -> sort -> limit) touch string payloads zero times.
+Table GatherRows(const Table& src, const std::vector<uint32_t>& sel) {
+  ELEPHANT_CHECK(src.EnsureColumnar()) << "GatherRows needs columnar input";
+  Table out(src.columns(), src.pool_ptr());
+  size_t n = sel.size();
+  out.ResizeColumnar(n);
+  const uint32_t* s = sel.data();
+  for (int c = 0; c < src.num_cols(); ++c) {
+    ColumnVector& dst = out.MutableCol(c);
+    switch (src.columns()[c].type) {
+      case ValueType::kInt: {
+        const int64_t* in = src.IntData(c).data();
+        int64_t* d = dst.ints().data();
+        ForRows(n, [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) d[i] = in[s[i]];
+        });
+        break;
+      }
+      case ValueType::kDouble: {
+        const double* in = src.DoubleData(c).data();
+        double* d = dst.doubles().data();
+        ForRows(n, [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) d[i] = in[s[i]];
+        });
+        break;
+      }
+      case ValueType::kString: {
+        const uint32_t* in = src.StrCodes(c).data();
+        uint32_t* d = dst.codes().data();
+        ForRows(n, [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) d[i] = in[s[i]];
+        });
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+/// Lazily translates dictionary codes from one pool into another
+/// (identity when they are the same pool). Serial use only: Translate
+/// may intern into the destination pool.
+class CodeXlat {
+ public:
+  CodeXlat(const StringPool* src, StringPool* dst) : src_(src), dst_(dst) {}
+
+  uint32_t Translate(uint32_t code) {
+    if (src_ == dst_) return code;
+    if (map_.empty()) map_.assign(src_->size(), StringPool::kNoCode);
+    uint32_t& m = map_[code];
+    if (m == StringPool::kNoCode) m = dst_->Intern(src_->Get(code));
+    return m;
+  }
+
+ private:
+  const StringPool* src_;
+  StringPool* dst_;
+  std::vector<uint32_t> map_;
+};
+
+/// One component of a composite join/group key, reading raw typed
+/// column storage. Hash and equality mirror HashValue/CompareValues:
+/// numerics go through their widened-double image, strings through
+/// their pool's cached byte hashes.
+struct KeyPart {
+  ValueType type = ValueType::kInt;
+  const int64_t* ints = nullptr;
+  const double* dbls = nullptr;
+  const uint32_t* codes = nullptr;
+  const StringPool* pool = nullptr;
+};
+
+std::vector<KeyPart> MakeKeyParts(const Table& t,
+                                  const std::vector<int>& cols) {
+  std::vector<KeyPart> parts;
+  parts.reserve(cols.size());
+  for (int c : cols) {
+    KeyPart p;
+    p.type = t.columns()[c].type;
+    switch (p.type) {
+      case ValueType::kInt:
+        p.ints = t.IntData(c).data();
+        break;
+      case ValueType::kDouble:
+        p.dbls = t.DoubleData(c).data();
+        break;
+      case ValueType::kString:
+        p.codes = t.StrCodes(c).data();
+        p.pool = &t.pool();
+        break;
+    }
+    parts.push_back(p);
+  }
+  return parts;
+}
+
+double NumAt(const KeyPart& p, size_t i) {
+  return p.type == ValueType::kInt ? static_cast<double>(p.ints[i])
+                                   : p.dbls[i];
+}
+
+/// Same folding as RowKeyHash over HashValue — a columnar key hashes
+/// identically to its row-path twin, so both paths bucket alike.
+uint64_t KeyHashAt(const std::vector<KeyPart>& parts, size_t i) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (const KeyPart& p : parts) {
+    uint64_t hv = p.type == ValueType::kString ? p.pool->HashOf(p.codes[i])
+                                               : HashNumeric(NumAt(p, i));
+    h ^= hv;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Key equality matching CompareValues: numerics compare as widened
+/// doubles, strings by bytes (a single code compare when both sides
+/// share a pool).
+bool KeysEqualAt(const std::vector<KeyPart>& a, size_t ia,
+                 const std::vector<KeyPart>& b, size_t ib) {
+  for (size_t k = 0; k < a.size(); ++k) {
+    const KeyPart& pa = a[k];
+    const KeyPart& pb = b[k];
+    if (pa.type == ValueType::kString) {
+      uint32_t ca = pa.codes[ia];
+      uint32_t cb = pb.codes[ib];
+      if (pa.pool == pb.pool) {
+        if (ca != cb) return false;
+      } else if (pa.pool->Get(ca) != pb.pool->Get(cb)) {
+        return false;
+      }
+    } else {
+      double da = NumAt(pa, ia);
+      double db = NumAt(pb, ib);
+      if (da < db || db < da) return false;
+    }
+  }
+  return true;
+}
+
+bool HasStringColumn(const Table& t) {
+  for (const Column& c : t.columns()) {
+    if (c.type == ValueType::kString) return true;
+  }
+  return false;
 }
 
 /// Shared Filter body; `kMove` steals surviving rows from the input.
@@ -162,11 +375,32 @@ Table FilterImpl(std::conditional_t<kMove, Table, const Table>& t,
 }  // namespace
 
 Table Filter(const Table& t, const Predicate& pred) {
+  if (ColumnarPath(t)) {
+    // Row predicates still see Rows (the adapter cache), but the output
+    // is compacted column-at-a-time and shares the input's string pool.
+    const std::vector<Row>& rows = t.rows();
+    return GatherRows(
+        t, BuildSelection(t.num_rows(),
+                          [&](size_t i) { return pred(rows[i]); }));
+  }
   return FilterImpl<false>(t, pred);
 }
 
 Table Filter(Table&& t, const Predicate& pred) {
+  if (ColumnarPath(t)) {
+    return Filter(static_cast<const Table&>(t), pred);
+  }
   return FilterImpl<true>(t, pred);
+}
+
+Table Filter(const Table& t, const IndexPredicate& pred) {
+  ELEPHANT_CHECK(t.EnsureColumnar())
+      << "index-predicate Filter needs a columnar table";
+  return GatherRows(t, BuildSelection(t.num_rows(), pred));
+}
+
+Table Filter(Table&& t, const IndexPredicate& pred) {
+  return Filter(static_cast<const Table&>(t), pred);
 }
 
 Table Project(const Table& t, const std::vector<NamedExpr>& exprs) {
@@ -204,6 +438,124 @@ Table Project(const Table& t, const std::vector<NamedExpr>& exprs) {
     }
   }
   return out;
+}
+
+Table ProjectColumns(const Table& t, const std::vector<ColumnExpr>& exprs) {
+  ELEPHANT_CHECK(t.EnsureColumnar()) << "ProjectColumns needs a columnar table";
+  std::vector<Column> cols;
+  cols.reserve(exprs.size());
+  bool any_string = false;
+  bool fresh_strings = false;  // computed string columns need a new pool
+  for (const auto& e : exprs) {
+    cols.push_back({e.name, e.type});
+    if (e.type == ValueType::kString) {
+      any_string = true;
+      if (e.source < 0) fresh_strings = true;
+    }
+  }
+  size_t n = t.num_rows();
+  // Copied-only string columns keep the input pool (codes splice over);
+  // any computed string column forces a fresh pool, filled serially in
+  // row order so its codes are deterministic.
+  std::shared_ptr<StringPool> pool;
+  if (any_string && !fresh_strings) pool = t.pool_ptr();
+  Table out(std::move(cols), std::move(pool));
+  out.ResizeColumnar(n);
+  for (size_t k = 0; k < exprs.size(); ++k) {
+    const ColumnExpr& e = exprs[k];
+    ColumnVector& dst = out.MutableCol(static_cast<int>(k));
+    if (e.source >= 0) {
+      ELEPHANT_CHECK(t.columns()[e.source].type == e.type)
+          << "copied column '" << e.name << "' changes type";
+      switch (e.type) {
+        case ValueType::kInt:
+          dst.ints() = t.IntData(e.source);
+          break;
+        case ValueType::kDouble:
+          dst.doubles() = t.DoubleData(e.source);
+          break;
+        case ValueType::kString: {
+          if (out.pool_ptr() == t.pool_ptr()) {
+            dst.codes() = t.StrCodes(e.source);
+          } else {
+            const uint32_t* s = t.StrCodes(e.source).data();
+            uint32_t* d = dst.codes().data();
+            CodeXlat xlat(&t.pool(), out.mutable_pool());
+            for (size_t i = 0; i < n; ++i) d[i] = xlat.Translate(s[i]);
+          }
+          break;
+        }
+      }
+      continue;
+    }
+    switch (e.type) {
+      case ValueType::kInt: {
+        ELEPHANT_CHECK(e.int_fn != nullptr)
+            << "int column '" << e.name << "' has no generator";
+        int64_t* d = dst.ints().data();
+        ForRows(n, [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) d[i] = e.int_fn(i);
+        });
+        break;
+      }
+      case ValueType::kDouble: {
+        ELEPHANT_CHECK(e.double_fn != nullptr)
+            << "double column '" << e.name << "' has no generator";
+        double* d = dst.doubles().data();
+        ForRows(n, [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) d[i] = e.double_fn(i);
+        });
+        break;
+      }
+      case ValueType::kString: {
+        ELEPHANT_CHECK(e.str_fn != nullptr)
+            << "string column '" << e.name << "' has no generator";
+        uint32_t* d = dst.codes().data();
+        StringPool* p = out.mutable_pool();
+        for (size_t i = 0; i < n; ++i) d[i] = p->Intern(e.str_fn(i));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+ColumnExpr CopyCol(const Table& t, const std::string& name) {
+  return CopyColAs(t, name, name);
+}
+
+ColumnExpr CopyColAs(const Table& t, const std::string& name,
+                     std::string out_name) {
+  ColumnExpr e;
+  int c = t.ColIndex(name);
+  e.name = std::move(out_name);
+  e.type = t.columns()[c].type;
+  e.source = c;
+  return e;
+}
+
+ColumnExpr IntExprCol(std::string name, std::function<int64_t(size_t)> fn) {
+  ColumnExpr e;
+  e.name = std::move(name);
+  e.type = ValueType::kInt;
+  e.int_fn = std::move(fn);
+  return e;
+}
+
+ColumnExpr DoubleExprCol(std::string name, std::function<double(size_t)> fn) {
+  ColumnExpr e;
+  e.name = std::move(name);
+  e.type = ValueType::kDouble;
+  e.double_fn = std::move(fn);
+  return e;
+}
+
+ColumnExpr StrExprCol(std::string name, std::function<std::string(size_t)> fn) {
+  ColumnExpr e;
+  e.name = std::move(name);
+  e.type = ValueType::kString;
+  e.str_fn = std::move(fn);
+  return e;
 }
 
 namespace {
@@ -263,6 +615,244 @@ std::vector<BuildMap> BuildJoinTable(const Table& right,
   return maps;
 }
 
+std::vector<Column> ConcatSchemas(const Table& left, const Table& right) {
+  std::vector<Column> cols = left.columns();
+  for (const Column& rc : right.columns()) {
+    Column c = rc;
+    for (const Column& lc : left.columns()) {
+      if (lc.name == c.name) {
+        c.name += "_r";
+        break;
+      }
+    }
+    cols.push_back(std::move(c));
+  }
+  return cols;
+}
+
+// ---- Columnar hash join --------------------------------------------------
+
+/// One distinct key within a hash bucket: a representative row on the
+/// build side plus all build rows carrying the key, in global row order.
+struct KeyGroup {
+  uint32_t repr;
+  std::vector<uint32_t> rows;
+};
+
+/// hash -> distinct keys with that hash. Grouping by the full 64-bit
+/// hash first means equality runs only on (rare) colliding candidates.
+using ColBuildMap = std::unordered_map<uint64_t, std::vector<KeyGroup>>;
+
+void ColBuildInsert(ColBuildMap* m, const std::vector<KeyPart>& rparts,
+                    uint64_t h, uint32_t idx) {
+  std::vector<KeyGroup>& groups = (*m)[h];
+  for (KeyGroup& g : groups) {
+    if (KeysEqualAt(rparts, g.repr, rparts, idx)) {
+      g.rows.push_back(idx);
+      return;
+    }
+  }
+  groups.push_back(KeyGroup{idx, {idx}});
+}
+
+/// Columnar build: same (chunk, partition) binning and chunk-order
+/// partition builds as the row path, so each key's row vector is in
+/// global row order on every path.
+std::vector<ColBuildMap> BuildJoinTableColumnar(
+    const Table& right, const std::vector<KeyPart>& rparts,
+    size_t num_partitions) {
+  size_t n = right.num_rows();
+  std::vector<ColBuildMap> maps(num_partitions);
+  if (num_partitions == 1) {
+    maps[0].reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      ColBuildInsert(&maps[0], rparts, KeyHashAt(rparts, i),
+                     static_cast<uint32_t>(i));
+    }
+    return maps;
+  }
+  const size_t morsel = ExecMorselSize();
+  size_t nchunks = NumChunks(n, morsel);
+  std::vector<std::vector<std::vector<uint32_t>>> binned(
+      nchunks, std::vector<std::vector<uint32_t>>(num_partitions));
+  TaskPool& pool = TaskPool::Global(ExecThreads());
+  pool.ParallelFor(
+      0, n, morsel,
+      [&](size_t lo, size_t hi) {
+        auto& bins = binned[lo / morsel];
+        for (size_t i = lo; i < hi; ++i) {
+          bins[KeyHashAt(rparts, i) & (num_partitions - 1)].push_back(
+              static_cast<uint32_t>(i));
+        }
+      },
+      ExecThreads());
+  pool.ParallelFor(
+      0, num_partitions, 1,
+      [&](size_t lo, size_t hi) {
+        for (size_t p = lo; p < hi; ++p) {
+          for (size_t c = 0; c < nchunks; ++c) {
+            for (uint32_t idx : binned[c][p]) {
+              ColBuildInsert(&maps[p], rparts, KeyHashAt(rparts, idx), idx);
+            }
+          }
+        }
+      },
+      ExecThreads());
+  return maps;
+}
+
+const std::vector<uint32_t>* ColLookup(const std::vector<ColBuildMap>& maps,
+                                       size_t num_partitions,
+                                       const std::vector<KeyPart>& lparts,
+                                       const std::vector<KeyPart>& rparts,
+                                       size_t i) {
+  uint64_t h = KeyHashAt(lparts, i);
+  const ColBuildMap& m =
+      maps[num_partitions == 1 ? 0 : (h & (num_partitions - 1))];
+  auto it = m.find(h);
+  if (it == m.end()) return nullptr;
+  for (const KeyGroup& g : it->second) {
+    if (KeysEqualAt(lparts, i, rparts, g.repr)) return &g.rows;
+  }
+  return nullptr;
+}
+
+/// Sentinel right index for unmatched left-outer rows.
+constexpr uint32_t kPadRow = 0xFFFFFFFFu;
+
+Table HashJoinColumnar(const Table& left, const Table& right,
+                       const std::vector<int>& left_keys,
+                       const std::vector<int>& right_keys, JoinType type) {
+  std::vector<KeyPart> lparts = MakeKeyParts(left, left_keys);
+  std::vector<KeyPart> rparts = MakeKeyParts(right, right_keys);
+  size_t partitions = UseParallel(right.num_rows()) ? kHashPartitions : 1;
+  std::vector<ColBuildMap> maps =
+      BuildJoinTableColumnar(right, rparts, partitions);
+  size_t n = left.num_rows();
+
+  if (type == JoinType::kLeftSemi || type == JoinType::kLeftAnti) {
+    bool want = type == JoinType::kLeftSemi;
+    return GatherRows(
+        left, BuildSelection(n, [&](size_t i) {
+          return (ColLookup(maps, partitions, lparts, rparts, i) != nullptr) ==
+                 want;
+        }));
+  }
+
+  // Inner/outer: collect (left, right) row pairs per morsel slot and
+  // concatenate in morsel order — the serial emission order.
+  using JoinPair = std::pair<uint32_t, uint32_t>;
+  auto probe_range = [&](size_t lo, size_t hi, std::vector<JoinPair>* slot) {
+    for (size_t i = lo; i < hi; ++i) {
+      const std::vector<uint32_t>* matches =
+          ColLookup(maps, partitions, lparts, rparts, i);
+      if (matches != nullptr) {
+        for (uint32_t r : *matches) {
+          slot->emplace_back(static_cast<uint32_t>(i), r);
+        }
+      } else if (type == JoinType::kLeftOuter) {
+        slot->emplace_back(static_cast<uint32_t>(i), kPadRow);
+      }
+    }
+  };
+  std::vector<JoinPair> pairs;
+  if (UseParallel(n)) {
+    const size_t morsel = ExecMorselSize();
+    std::vector<std::vector<JoinPair>> slots(NumChunks(n, morsel));
+    TaskPool::Global(ExecThreads())
+        .ParallelFor(
+            0, n, morsel,
+            [&](size_t lo, size_t hi) {
+              probe_range(lo, hi, &slots[lo / morsel]);
+            },
+            ExecThreads());
+    size_t total = 0;
+    for (const auto& s : slots) total += s.size();
+    pairs.reserve(total);
+    for (const auto& s : slots) pairs.insert(pairs.end(), s.begin(), s.end());
+  } else {
+    probe_range(0, n, &pairs);
+  }
+
+  // Output pool: share a side's pool when all string columns come from
+  // it and no pad strings are needed; otherwise intern into a fresh
+  // pool, serially in output order (deterministic codes).
+  bool lstr = HasStringColumn(left);
+  bool rstr = HasStringColumn(right);
+  std::shared_ptr<StringPool> pool;
+  if (lstr && !rstr) {
+    pool = left.pool_ptr();
+  } else if (rstr && !lstr && type == JoinType::kInner) {
+    pool = right.pool_ptr();
+  }
+  Table out(ConcatSchemas(left, right), std::move(pool));
+  size_t total = pairs.size();
+  out.ResizeColumnar(total);
+  const JoinPair* pr = pairs.data();
+  int lcols = left.num_cols();
+  for (int c = 0; c < out.num_cols(); ++c) {
+    bool from_left = c < lcols;
+    const Table& src = from_left ? left : right;
+    int sc = from_left ? c : c - lcols;
+    ColumnVector& dst = out.MutableCol(c);
+    switch (out.columns()[c].type) {
+      case ValueType::kInt: {
+        const int64_t* in = src.IntData(sc).data();
+        int64_t* d = dst.ints().data();
+        ForRows(total, [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            uint32_t idx = from_left ? pr[i].first : pr[i].second;
+            d[i] = idx == kPadRow ? 0 : in[idx];
+          }
+        });
+        break;
+      }
+      case ValueType::kDouble: {
+        const double* in = src.DoubleData(sc).data();
+        double* d = dst.doubles().data();
+        ForRows(total, [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            uint32_t idx = from_left ? pr[i].first : pr[i].second;
+            d[i] = idx == kPadRow ? 0.0 : in[idx];
+          }
+        });
+        break;
+      }
+      case ValueType::kString: {
+        const uint32_t* in = src.StrCodes(sc).data();
+        uint32_t* d = dst.codes().data();
+        if (src.pool_ptr() == out.pool_ptr()) {
+          // Shared pool: plain code gather (pads cannot reach here —
+          // left rows never pad, and the right pool is only shared for
+          // inner joins).
+          ForRows(total, [&](size_t lo, size_t hi) {
+            for (size_t i = lo; i < hi; ++i) {
+              uint32_t idx = from_left ? pr[i].first : pr[i].second;
+              d[i] = in[idx];
+            }
+          });
+        } else {
+          CodeXlat xlat(&src.pool(), out.mutable_pool());
+          uint32_t pad_code = StringPool::kNoCode;
+          for (size_t i = 0; i < total; ++i) {
+            uint32_t idx = from_left ? pr[i].first : pr[i].second;
+            if (idx == kPadRow) {
+              if (pad_code == StringPool::kNoCode) {
+                pad_code = out.mutable_pool()->Intern(std::string());
+              }
+              d[i] = pad_code;
+            } else {
+              d[i] = xlat.Translate(in[idx]);
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Table HashJoin(const Table& left, const Table& right,
@@ -279,6 +869,24 @@ Table HashJoin(const Table& left, const Table& right,
     ELEPHANT_CHECK(k >= 0 && k < right.num_cols())
         << "right join key column " << k << " out of range";
   }
+  bool columnar = !ExecForceRowPath() && left.EnsureColumnar() &&
+                  right.EnsureColumnar();
+  if (columnar) {
+    // String keys may only meet string keys (numerics widen to double
+    // on both paths); a mixed pair would be a plan bug either way.
+    for (size_t k = 0; k < left_keys.size(); ++k) {
+      bool ls = left.columns()[left_keys[k]].type == ValueType::kString;
+      bool rs = right.columns()[right_keys[k]].type == ValueType::kString;
+      if (ls != rs) {
+        columnar = false;
+        break;
+      }
+    }
+  }
+  if (columnar) {
+    return HashJoinColumnar(left, right, left_keys, right_keys, type);
+  }
+
   // Output schema.
   std::vector<Column> cols = left.columns();
   if (type == JoinType::kInner || type == JoinType::kLeftOuter) {
@@ -297,8 +905,7 @@ Table HashJoin(const Table& left, const Table& right,
 
   // Build side: right.
   size_t partitions = UseParallel(right.num_rows()) ? kHashPartitions : 1;
-  std::vector<BuildMap> maps =
-      BuildJoinTable(right, right_keys, partitions);
+  std::vector<BuildMap> maps = BuildJoinTable(right, right_keys, partitions);
   auto lookup = [&](const RowKey& key) -> const std::vector<uint32_t>* {
     const BuildMap& m =
         maps[partitions == 1 ? 0 : (RowKeyHash{}(key) & (partitions - 1))];
@@ -374,25 +981,6 @@ Table HashJoinOn(const Table& left, const Table& right,
   return HashJoin(left, right, ResolveCols(left, left_keys),
                   ResolveCols(right, right_keys), type);
 }
-
-namespace {
-
-std::vector<Column> ConcatSchemas(const Table& left, const Table& right) {
-  std::vector<Column> cols = left.columns();
-  for (const Column& rc : right.columns()) {
-    Column c = rc;
-    for (const Column& lc : left.columns()) {
-      if (lc.name == c.name) {
-        c.name += "_r";
-        break;
-      }
-    }
-    cols.push_back(std::move(c));
-  }
-  return cols;
-}
-
-}  // namespace
 
 Table SortMergeJoin(const Table& left, const Table& right, int left_key,
                     int right_key) {
@@ -552,6 +1140,352 @@ struct AggPartition {
   std::vector<std::pair<size_t, RowKey>> order;
 };
 
+// ---- Columnar hash aggregate --------------------------------------------
+
+/// Typed access to one aggregate's input: a raw column (`source`), a
+/// computed per-row value (`vec`), or nothing (kCount).
+struct AggInput {
+  AggKind kind;
+  const int64_t* ints = nullptr;
+  const double* dbls = nullptr;
+  const uint32_t* codes = nullptr;
+  const StringPool* pool = nullptr;
+  const std::function<double(size_t)>* vec = nullptr;
+};
+
+/// Columnar aggregate state. min/max keep the first value that wins
+/// under CompareValues ordering; count-distinct keys the set exactly as
+/// the row path serializes (ints exactly, doubles via std::to_string —
+/// 6 fractional digits — and strings by dictionary code).
+struct VecAggState {
+  double sum = 0;
+  int64_t count = 0;
+  bool has_value = false;
+  int64_t best_i = 0;
+  double best_d = 0;
+  uint32_t best_code = 0;
+  std::unordered_set<int64_t> d_i;
+  std::unordered_set<std::string> d_s;
+  std::unordered_set<uint32_t> d_c;
+};
+
+/// True when the columnar fold reproduces the row path bit-exactly for
+/// this aggregate — including the variant alternative the row path
+/// would emit (e.g. kCount always emits int64, so the declared type
+/// must be kInt). Anything else falls back to the row path.
+bool AggVectorizable(const Table& t, const AggExpr& a) {
+  bool src_ok = a.source >= 0 && a.source < t.num_cols();
+  switch (a.kind) {
+    case AggKind::kCount:
+      return a.type == ValueType::kInt;
+    case AggKind::kSum:
+      return a.type != ValueType::kString &&
+             (a.vec != nullptr ||
+              (src_ok && t.columns()[a.source].type != ValueType::kString));
+    case AggKind::kAvg:
+      return a.type == ValueType::kDouble &&
+             (a.vec != nullptr ||
+              (src_ok && t.columns()[a.source].type != ValueType::kString));
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return src_ok && a.type == t.columns()[a.source].type;
+    case AggKind::kCountDistinct:
+      return src_ok && a.type == ValueType::kInt;
+  }
+  return false;
+}
+
+std::vector<AggInput> MakeAggInputs(const Table& t,
+                                    const std::vector<AggExpr>& aggs) {
+  std::vector<AggInput> ins;
+  ins.reserve(aggs.size());
+  for (const AggExpr& a : aggs) {
+    AggInput in;
+    in.kind = a.kind;
+    if (a.vec != nullptr && a.kind != AggKind::kCount) {
+      in.vec = &a.vec;
+    } else if (a.source >= 0 && a.kind != AggKind::kCount) {
+      switch (t.columns()[a.source].type) {
+        case ValueType::kInt:
+          in.ints = t.IntData(a.source).data();
+          break;
+        case ValueType::kDouble:
+          in.dbls = t.DoubleData(a.source).data();
+          break;
+        case ValueType::kString:
+          in.codes = t.StrCodes(a.source).data();
+          in.pool = &t.pool();
+          break;
+      }
+    }
+    ins.push_back(std::move(in));
+  }
+  return ins;
+}
+
+/// Folds row `i` into `states`, arithmetic identical to UpdateAggStates:
+/// sums accumulate the same doubles in the same order, min/max compare
+/// through CompareValues semantics (numerics as widened doubles, ties
+/// keep the incumbent), distinct sets collapse exactly alike.
+void FoldRowColumnar(std::vector<VecAggState>* states,
+                     const std::vector<AggInput>& ins, size_t i) {
+  for (size_t k = 0; k < ins.size(); ++k) {
+    VecAggState& st = (*states)[k];
+    const AggInput& in = ins[k];
+    switch (in.kind) {
+      case AggKind::kCount:
+        st.count++;
+        break;
+      case AggKind::kSum:
+      case AggKind::kAvg: {
+        double v = in.vec != nullptr
+                       ? (*in.vec)(i)
+                       : (in.ints != nullptr ? static_cast<double>(in.ints[i])
+                                             : in.dbls[i]);
+        st.sum += v;
+        st.count++;
+        break;
+      }
+      case AggKind::kMin:
+        if (in.codes != nullptr) {
+          uint32_t c = in.codes[i];
+          if (!st.has_value || (c != st.best_code &&
+                                in.pool->Get(c) < in.pool->Get(st.best_code))) {
+            st.best_code = c;
+          }
+        } else if (in.ints != nullptr) {
+          int64_t v = in.ints[i];
+          if (!st.has_value ||
+              static_cast<double>(v) < static_cast<double>(st.best_i)) {
+            st.best_i = v;
+          }
+        } else {
+          double v = in.dbls[i];
+          if (!st.has_value || v < st.best_d) st.best_d = v;
+        }
+        st.has_value = true;
+        break;
+      case AggKind::kMax:
+        if (in.codes != nullptr) {
+          uint32_t c = in.codes[i];
+          if (!st.has_value || (c != st.best_code &&
+                                in.pool->Get(st.best_code) < in.pool->Get(c))) {
+            st.best_code = c;
+          }
+        } else if (in.ints != nullptr) {
+          int64_t v = in.ints[i];
+          if (!st.has_value ||
+              static_cast<double>(st.best_i) < static_cast<double>(v)) {
+            st.best_i = v;
+          }
+        } else {
+          double v = in.dbls[i];
+          if (!st.has_value || st.best_d < v) st.best_d = v;
+        }
+        st.has_value = true;
+        break;
+      case AggKind::kCountDistinct:
+        if (in.codes != nullptr) {
+          st.d_c.insert(in.codes[i]);
+        } else if (in.ints != nullptr) {
+          st.d_i.insert(in.ints[i]);
+        } else {
+          st.d_s.insert(std::to_string(in.dbls[i]));
+        }
+        break;
+    }
+  }
+}
+
+Table HashAggregateColumnar(const Table& t, const std::vector<int>& group_cols,
+                            const std::vector<AggExpr>& aggs,
+                            std::vector<Column> cols) {
+  size_t n = t.num_rows();
+  std::vector<KeyPart> gparts = MakeKeyParts(t, group_cols);
+  std::vector<AggInput> ins = MakeAggInputs(t, aggs);
+
+  // Groups in emission order (serial first-seen == ascending first row).
+  std::vector<uint32_t> first_rows;
+  std::vector<std::vector<VecAggState>> states;
+
+  if (UseParallel(n) && !group_cols.empty()) {
+    // Same partitioned shape as the row path: every group lives in
+    // exactly one partition, each partition folds its rows in global
+    // row order (chunks in order, ascending within a chunk), and groups
+    // are emitted sorted by first global row index.
+    const size_t morsel = ExecMorselSize();
+    size_t nchunks = NumChunks(n, morsel);
+    std::vector<std::vector<std::vector<uint32_t>>> binned(
+        nchunks, std::vector<std::vector<uint32_t>>(kHashPartitions));
+    TaskPool& pool = TaskPool::Global(ExecThreads());
+    pool.ParallelFor(
+        0, n, morsel,
+        [&](size_t lo, size_t hi) {
+          auto& bins = binned[lo / morsel];
+          for (size_t i = lo; i < hi; ++i) {
+            bins[KeyHashAt(gparts, i) & (kHashPartitions - 1)].push_back(
+                static_cast<uint32_t>(i));
+          }
+        },
+        ExecThreads());
+    struct ColAggPartition {
+      std::unordered_map<uint64_t, std::vector<uint32_t>> index;
+      std::vector<uint32_t> first;
+      std::vector<std::vector<VecAggState>> states;
+    };
+    std::vector<ColAggPartition> parts(kHashPartitions);
+    pool.ParallelFor(
+        0, kHashPartitions, 1,
+        [&](size_t lo, size_t hi) {
+          for (size_t p = lo; p < hi; ++p) {
+            ColAggPartition& part = parts[p];
+            for (size_t c = 0; c < nchunks; ++c) {
+              for (uint32_t idx : binned[c][p]) {
+                uint64_t h = KeyHashAt(gparts, idx);
+                std::vector<uint32_t>& cands = part.index[h];
+                uint32_t gid = StringPool::kNoCode;
+                for (uint32_t g : cands) {
+                  if (KeysEqualAt(gparts, part.first[g], gparts, idx)) {
+                    gid = g;
+                    break;
+                  }
+                }
+                if (gid == StringPool::kNoCode) {
+                  gid = static_cast<uint32_t>(part.first.size());
+                  cands.push_back(gid);
+                  part.first.push_back(idx);
+                  part.states.emplace_back(aggs.size());
+                }
+                FoldRowColumnar(&part.states[gid], ins, idx);
+              }
+            }
+          }
+        },
+        ExecThreads());
+    std::vector<std::pair<uint32_t, std::pair<uint32_t, uint32_t>>> all;
+    for (uint32_t p = 0; p < kHashPartitions; ++p) {
+      for (uint32_t g = 0; g < parts[p].first.size(); ++g) {
+        all.emplace_back(parts[p].first[g], std::make_pair(p, g));
+      }
+    }
+    std::sort(all.begin(), all.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    first_rows.reserve(all.size());
+    states.reserve(all.size());
+    for (const auto& [fr, pg] : all) {
+      first_rows.push_back(fr);
+      states.push_back(std::move(parts[pg.first].states[pg.second]));
+    }
+  } else {
+    // Serial fold in row order (also the global-aggregate path, which
+    // is always serial so its double rounding matches the oracle).
+    std::unordered_map<uint64_t, std::vector<uint32_t>> index;
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t h = KeyHashAt(gparts, i);
+      std::vector<uint32_t>& cands = index[h];
+      uint32_t gid = StringPool::kNoCode;
+      for (uint32_t g : cands) {
+        if (KeysEqualAt(gparts, first_rows[g], gparts, i)) {
+          gid = g;
+          break;
+        }
+      }
+      if (gid == StringPool::kNoCode) {
+        gid = static_cast<uint32_t>(first_rows.size());
+        cands.push_back(gid);
+        first_rows.push_back(static_cast<uint32_t>(i));
+        states.emplace_back(aggs.size());
+      }
+      FoldRowColumnar(&states[gid], ins, i);
+    }
+  }
+
+  // Global aggregate over empty input still yields one row of zeros
+  // (fresh states finalize to 0 / 0.0; min/max never reach this path
+  // empty — see the n == 0 guard in HashAggregate).
+  if (group_cols.empty() && states.empty()) {
+    first_rows.push_back(0);
+    states.emplace_back(aggs.size());
+  }
+
+  size_t ngroups = first_rows.size();
+  bool out_strings = false;
+  for (const Column& c : cols) {
+    if (c.type == ValueType::kString) out_strings = true;
+  }
+  // Every output string (group values, string min/max) already lives in
+  // t's pool, so the output shares it.
+  Table out(std::move(cols), out_strings ? t.pool_ptr() : nullptr);
+  out.ResizeColumnar(ngroups);
+  for (size_t j = 0; j < group_cols.size(); ++j) {
+    int g = group_cols[j];
+    ColumnVector& dst = out.MutableCol(static_cast<int>(j));
+    switch (t.columns()[g].type) {
+      case ValueType::kInt: {
+        const int64_t* in = t.IntData(g).data();
+        int64_t* d = dst.ints().data();
+        for (size_t i = 0; i < ngroups; ++i) d[i] = in[first_rows[i]];
+        break;
+      }
+      case ValueType::kDouble: {
+        const double* in = t.DoubleData(g).data();
+        double* d = dst.doubles().data();
+        for (size_t i = 0; i < ngroups; ++i) d[i] = in[first_rows[i]];
+        break;
+      }
+      case ValueType::kString: {
+        const uint32_t* in = t.StrCodes(g).data();
+        uint32_t* d = dst.codes().data();
+        for (size_t i = 0; i < ngroups; ++i) d[i] = in[first_rows[i]];
+        break;
+      }
+    }
+  }
+  for (size_t k = 0; k < aggs.size(); ++k) {
+    const AggExpr& a = aggs[k];
+    ColumnVector& dst = out.MutableCol(static_cast<int>(group_cols.size() + k));
+    for (size_t i = 0; i < ngroups; ++i) {
+      const VecAggState& st = states[i][k];
+      switch (a.kind) {
+        case AggKind::kSum:
+          if (a.type == ValueType::kInt) {
+            dst.ints()[i] = static_cast<int64_t>(st.sum);
+          } else {
+            dst.doubles()[i] = st.sum;
+          }
+          break;
+        case AggKind::kAvg:
+          dst.doubles()[i] = st.count ? st.sum / st.count : 0.0;
+          break;
+        case AggKind::kCount:
+          dst.ints()[i] = st.count;
+          break;
+        case AggKind::kCountDistinct:
+          dst.ints()[i] = static_cast<int64_t>(st.d_i.size() + st.d_s.size() +
+                                               st.d_c.size());
+          break;
+        case AggKind::kMin:
+        case AggKind::kMax:
+          // Grouped min/max always saw at least one row (has_value); the
+          // empty global aggregate takes the row path instead.
+          switch (a.type) {
+            case ValueType::kInt:
+              dst.ints()[i] = st.best_i;
+              break;
+            case ValueType::kDouble:
+              dst.doubles()[i] = st.best_d;
+              break;
+            case ValueType::kString:
+              dst.codes()[i] = st.best_code;
+              break;
+          }
+          break;
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Table HashAggregate(const Table& t, const std::vector<int>& group_cols,
@@ -559,9 +1493,33 @@ Table HashAggregate(const Table& t, const std::vector<int>& group_cols,
   std::vector<Column> cols;
   for (int g : group_cols) cols.push_back(t.columns()[g]);
   for (const auto& a : aggs) cols.push_back({a.name, a.type});
-  Table out(std::move(cols));
 
   size_t n = t.num_rows();
+  bool columnar = !ExecForceRowPath() && t.EnsureColumnar();
+  if (columnar) {
+    for (const AggExpr& a : aggs) {
+      if (!AggVectorizable(t, a)) {
+        columnar = false;
+        break;
+      }
+      // An empty global min/max finalizes to DefaultValue; only the row
+      // path models that (and ColAgg always carries a row expression).
+      if (n == 0 && (a.kind == AggKind::kMin || a.kind == AggKind::kMax)) {
+        columnar = false;
+        break;
+      }
+    }
+  }
+  if (columnar) {
+    return HashAggregateColumnar(t, group_cols, aggs, std::move(cols));
+  }
+  for (const AggExpr& a : aggs) {
+    ELEPHANT_CHECK(a.kind == AggKind::kCount || a.arg != nullptr)
+        << "aggregate '" << a.name
+        << "' has no row expression (VecAgg is columnar-only)";
+  }
+  Table out(std::move(cols));
+
   if (UseParallel(n) && !group_cols.empty()) {
     // Partition rows by key hash: every group lives in exactly one
     // partition, and each partition folds its rows in global row order
@@ -661,6 +1619,37 @@ Table HashAggregateOn(const Table& t,
   return HashAggregate(t, ResolveCols(t, group_cols), aggs);
 }
 
+AggExpr ColAgg(AggKind kind, const Table& t, const std::string& col,
+               std::string name, ValueType type) {
+  AggExpr a;
+  a.kind = kind;
+  a.arg = Col(t, col);
+  a.name = std::move(name);
+  a.type = type;
+  a.source = t.ColIndex(col);
+  return a;
+}
+
+AggExpr VecAgg(AggKind kind, std::string name, ValueType type,
+               std::function<double(size_t)> vec) {
+  ELEPHANT_CHECK(kind == AggKind::kSum || kind == AggKind::kAvg)
+      << "VecAgg supports kSum/kAvg only";
+  AggExpr a;
+  a.kind = kind;
+  a.name = std::move(name);
+  a.type = type;
+  a.vec = std::move(vec);
+  return a;
+}
+
+AggExpr CountAgg(std::string name) {
+  AggExpr a;
+  a.kind = AggKind::kCount;
+  a.name = std::move(name);
+  a.type = ValueType::kInt;
+  return a;
+}
+
 namespace {
 
 /// Sorts `rows` stably in place. The parallel path stable-sorts fixed
@@ -735,10 +1724,112 @@ void CheckSortKeys(const Table& t, const std::vector<SortKey>& keys) {
   }
 }
 
+/// Columnar sort: stable-sorts a permutation of row indices with typed
+/// comparators (CompareValues semantics: numerics as widened doubles,
+/// strings by bytes with an equal-code shortcut), then gathers once.
+/// The parallel path mirrors StableSortRows on the index vector.
+Table SortByColumnar(const Table& t, const std::vector<SortKey>& keys) {
+  size_t n = t.num_rows();
+  struct SortPart {
+    const int64_t* ints = nullptr;
+    const double* dbls = nullptr;
+    const uint32_t* codes = nullptr;
+    const StringPool* pool = nullptr;
+    bool asc = true;
+  };
+  std::vector<SortPart> parts;
+  parts.reserve(keys.size());
+  for (const SortKey& k : keys) {
+    SortPart p;
+    p.asc = k.ascending;
+    switch (t.columns()[k.col].type) {
+      case ValueType::kInt:
+        p.ints = t.IntData(k.col).data();
+        break;
+      case ValueType::kDouble:
+        p.dbls = t.DoubleData(k.col).data();
+        break;
+      case ValueType::kString:
+        p.codes = t.StrCodes(k.col).data();
+        p.pool = &t.pool();
+        break;
+    }
+    parts.push_back(p);
+  }
+  auto less = [&parts](uint32_t a, uint32_t b) {
+    for (const SortPart& p : parts) {
+      int c = 0;
+      if (p.codes != nullptr) {
+        uint32_t ca = p.codes[a];
+        uint32_t cb = p.codes[b];
+        if (ca == cb) continue;
+        const std::string& sa = p.pool->Get(ca);
+        const std::string& sb = p.pool->Get(cb);
+        c = sa < sb ? -1 : (sb < sa ? 1 : 0);
+      } else {
+        double da = p.ints != nullptr ? static_cast<double>(p.ints[a])
+                                      : p.dbls[a];
+        double db = p.ints != nullptr ? static_cast<double>(p.ints[b])
+                                      : p.dbls[b];
+        c = da < db ? -1 : (db < da ? 1 : 0);
+      }
+      if (c != 0) return p.asc ? c < 0 : c > 0;
+    }
+    return false;
+  };
+  std::vector<uint32_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = static_cast<uint32_t>(i);
+  if (!UseParallel(n)) {
+    std::stable_sort(perm.begin(), perm.end(), less);
+    return GatherRows(t, perm);
+  }
+  const size_t morsel = ExecMorselSize();
+  size_t nchunks = NumChunks(n, morsel);
+  TaskPool& pool = TaskPool::Global(ExecThreads());
+  pool.ParallelFor(
+      0, n, morsel,
+      [&](size_t lo, size_t hi) {
+        std::stable_sort(perm.begin() + static_cast<ptrdiff_t>(lo),
+                         perm.begin() + static_cast<ptrdiff_t>(hi), less);
+      },
+      ExecThreads());
+  if (nchunks > 1) {
+    std::vector<uint32_t> scratch(n);
+    std::vector<uint32_t>* src = &perm;
+    std::vector<uint32_t>* dst = &scratch;
+    for (size_t width = morsel; width < n; width *= 2) {
+      size_t npairs = NumChunks(n, 2 * width);
+      pool.ParallelFor(
+          0, npairs, 1,
+          [&](size_t plo, size_t phi) {
+            for (size_t p = plo; p < phi; ++p) {
+              size_t lo = p * 2 * width;
+              size_t mid = std::min(lo + width, n);
+              size_t hi = std::min(lo + 2 * width, n);
+              auto s = src->begin() + static_cast<ptrdiff_t>(lo);
+              auto m = src->begin() + static_cast<ptrdiff_t>(mid);
+              auto e = src->begin() + static_cast<ptrdiff_t>(hi);
+              auto d = dst->begin() + static_cast<ptrdiff_t>(lo);
+              if (mid >= hi) {
+                std::copy(s, e, d);
+              } else {
+                std::merge(s, m, m, e, d, less);
+              }
+            }
+          },
+          ExecThreads());
+      std::swap(src, dst);
+    }
+    if (src != &perm) perm = std::move(*src);
+  }
+  return GatherRows(t, perm);
+}
+
 }  // namespace
 
 Table SortBy(const Table& t, const std::vector<SortKey>& keys) {
   CheckSortKeys(t, keys);
+  if (ColumnarPath(t)) return SortByColumnar(t, keys);
   Table out = t;
   StableSortRows(&out.mutable_rows(), MakeLess(keys));
   return out;
@@ -746,14 +1837,20 @@ Table SortBy(const Table& t, const std::vector<SortKey>& keys) {
 
 Table SortBy(Table&& t, const std::vector<SortKey>& keys) {
   CheckSortKeys(t, keys);
+  if (ColumnarPath(t)) return SortByColumnar(t, keys);
   Table out = std::move(t);
   StableSortRows(&out.mutable_rows(), MakeLess(keys));
   return out;
 }
 
 Table Limit(const Table& t, size_t n) {
-  Table out(t.columns());
   size_t take = std::min(n, t.num_rows());
+  if (ColumnarPath(t)) {
+    std::vector<uint32_t> sel(take);
+    for (size_t i = 0; i < take; ++i) sel[i] = static_cast<uint32_t>(i);
+    return GatherRows(t, sel);
+  }
+  Table out(t.columns());
   out.Reserve(take);
   for (size_t i = 0; i < take; ++i) {
     out.AddRow(t.rows()[i]);
@@ -762,8 +1859,13 @@ Table Limit(const Table& t, size_t n) {
 }
 
 Table Limit(Table&& t, size_t n) {
-  Table out(t.columns());
   size_t take = std::min(n, t.num_rows());
+  if (ColumnarPath(t)) {
+    std::vector<uint32_t> sel(take);
+    for (size_t i = 0; i < take; ++i) sel[i] = static_cast<uint32_t>(i);
+    return GatherRows(t, sel);
+  }
+  Table out(t.columns());
   out.Reserve(take);
   for (size_t i = 0; i < take; ++i) {
     out.AddRow(std::move(t.mutable_rows()[i]));
@@ -774,6 +1876,30 @@ Table Limit(Table&& t, size_t n) {
 Table Distinct(const Table& t) {
   std::vector<int> all_cols(t.num_cols());
   for (int i = 0; i < t.num_cols(); ++i) all_cols[i] = i;
+  if (ColumnarPath(t)) {
+    // Dedup on raw typed values; emission order is first-seen, same as
+    // the row path (selection indices are ascending by construction).
+    std::vector<KeyPart> parts = MakeKeyParts(t, all_cols);
+    std::unordered_map<uint64_t, std::vector<uint32_t>> seen;
+    seen.reserve(t.num_rows());
+    std::vector<uint32_t> sel;
+    size_t n = t.num_rows();
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t h = KeyHashAt(parts, i);
+      std::vector<uint32_t>& cands = seen[h];
+      bool dup = false;
+      for (uint32_t c : cands) {
+        if (KeysEqualAt(parts, c, parts, i)) {
+          dup = true;
+          break;
+        }
+      }
+      if (dup) continue;
+      cands.push_back(static_cast<uint32_t>(i));
+      sel.push_back(static_cast<uint32_t>(i));
+    }
+    return GatherRows(t, sel);
+  }
   Table out(t.columns());
   std::unordered_map<RowKey, bool, RowKeyHash> seen;
   seen.reserve(t.num_rows());

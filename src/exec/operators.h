@@ -29,8 +29,18 @@ int ExecThreads();
 void SetExecMorselSize(size_t rows);
 size_t ExecMorselSize();
 
+/// Forces every operator that has both a columnar kernel and a row-path
+/// twin onto the row path. For tests (columnar-vs-row equality) and for
+/// benchmarking the row-major baseline; never needed in normal use.
+void SetExecForceRowPath(bool force);
+bool ExecForceRowPath();
+
 /// Row predicate.
 using Predicate = std::function<bool(const Row&)>;
+/// Row-index predicate for the columnar kernels: the callable captures
+/// typed column spans (IntData/DoubleData/StrCodes) and answers for the
+/// row index, so filtering never materializes a Row.
+using IndexPredicate = std::function<bool(size_t)>;
 /// Scalar expression over a row.
 using Expr = std::function<Value(const Row&)>;
 
@@ -41,14 +51,44 @@ struct NamedExpr {
   Expr fn;
 };
 
+/// One output column of ProjectColumns: either a copy of an input column
+/// (`source >= 0`, possibly renamed) or a computed column filled by the
+/// typed generator matching `type`. Build with the factory helpers.
+struct ColumnExpr {
+  std::string name;
+  ValueType type = ValueType::kInt;
+  int source = -1;
+  std::function<int64_t(size_t)> int_fn;
+  std::function<double(size_t)> double_fn;
+  std::function<std::string(size_t)> str_fn;
+};
+
+/// Copy of input column `name` (same name / renamed to `out_name`).
+ColumnExpr CopyCol(const Table& t, const std::string& name);
+ColumnExpr CopyColAs(const Table& t, const std::string& name,
+                     std::string out_name);
+/// Computed columns (typed generators over the row index).
+ColumnExpr IntExprCol(std::string name, std::function<int64_t(size_t)> fn);
+ColumnExpr DoubleExprCol(std::string name, std::function<double(size_t)> fn);
+ColumnExpr StrExprCol(std::string name, std::function<std::string(size_t)> fn);
+
 /// Returns the rows of `t` satisfying `pred`. Schema unchanged.
 Table Filter(const Table& t, const Predicate& pred);
-/// Destructive overload: moves surviving rows out of `t` instead of
-/// copying them. Use when the caller discards the input.
+/// Destructive overload: may steal from `t` instead of copying.
 Table Filter(Table&& t, const Predicate& pred);
+/// Columnar filter: evaluates the index predicate into a selection
+/// vector and compacts every column in one typed gather pass. Output
+/// shares the input's string pool (codes are copied, never re-interned).
+Table Filter(const Table& t, const IndexPredicate& pred);
+Table Filter(Table&& t, const IndexPredicate& pred);
 
 /// Evaluates `exprs` per row; output schema is exactly the expr list.
 Table Project(const Table& t, const std::vector<NamedExpr>& exprs);
+
+/// Columnar projection: copied columns are spliced wholesale (string
+/// columns by dictionary code), computed columns are filled by tight
+/// typed loops.
+Table ProjectColumns(const Table& t, const std::vector<ColumnExpr>& exprs);
 
 enum class JoinType {
   kInner,
@@ -86,12 +126,28 @@ Table NestedLoopJoin(const Table& left, const Table& right,
 enum class AggKind { kSum, kAvg, kMin, kMax, kCount, kCountDistinct };
 
 /// One aggregate output: `kind` applied to `arg` (ignored for kCount).
+/// The columnar aggregate reads `vec` (a typed numeric generator) or
+/// `source` (a plain input column) instead of the Row-based `arg`;
+/// ColAgg fills both so the row fallback stays available, VecAgg is
+/// columnar-only. Brace initialization with the first four members keeps
+/// working and implies the row path.
 struct AggExpr {
   AggKind kind;
   Expr arg;  ///< may be nullptr for kCount
   std::string name;
   ValueType type = ValueType::kDouble;
+  int source = -1;
+  std::function<double(size_t)> vec;
 };
+
+/// Aggregate over input column `col` of `t` (any kind).
+AggExpr ColAgg(AggKind kind, const Table& t, const std::string& col,
+               std::string name, ValueType type);
+/// Numeric aggregate (kSum/kAvg) over a computed per-row value.
+AggExpr VecAgg(AggKind kind, std::string name, ValueType type,
+               std::function<double(size_t)> vec);
+/// Row count.
+AggExpr CountAgg(std::string name);
 
 /// Group-by + aggregate. Output schema: the group columns (names
 /// preserved) followed by the aggregates. With no group columns produces

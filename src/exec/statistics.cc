@@ -4,32 +4,122 @@
 
 namespace elephant::exec {
 
+namespace {
+
+/// Row-at-a-time fallback for tables with no columnar form
+/// (heterogeneous variant mixes).
+ColumnStats ColumnStatsFromRows(const Table& table, int c) {
+  ColumnStats cs;
+  cs.type = table.columns()[c].type;
+  std::unordered_set<uint64_t> distinct;
+  bool first = true;
+  for (const Row& row : table.rows()) {
+    const Value& v = row[c];
+    distinct.insert(HashValue(v));
+    if (first) {
+      cs.min = v;
+      cs.max = v;
+      first = false;
+    } else {
+      if (CompareValues(v, cs.min) < 0) cs.min = v;
+      if (CompareValues(v, cs.max) > 0) cs.max = v;
+    }
+    if (const auto* s = std::get_if<std::string>(&v)) {
+      if (s->empty()) cs.null_like++;
+    }
+  }
+  cs.distinct = static_cast<int64_t>(distinct.size());
+  return cs;
+}
+
+/// Typed scan over one column vector; identical results to the row
+/// fallback (same hashes, same CompareValues ordering) without Value
+/// materialization. String distinct/min/max work on dictionary codes,
+/// so each distinct string is hashed and compared O(1) times per code
+/// transition instead of per row.
+ColumnStats ColumnStatsColumnar(const Table& table, int c) {
+  ColumnStats cs;
+  cs.type = table.columns()[c].type;
+  std::unordered_set<uint64_t> distinct;
+  size_t n = table.num_rows();
+  switch (cs.type) {
+    case ValueType::kInt: {
+      const int64_t* v = table.IntData(c).data();
+      int64_t mn = 0, mx = 0;
+      for (size_t i = 0; i < n; ++i) {
+        distinct.insert(HashNumeric(static_cast<double>(v[i])));
+        if (i == 0) {
+          mn = mx = v[i];
+        } else {
+          // CompareValues orders all numerics by their double image.
+          if (static_cast<double>(v[i]) < static_cast<double>(mn)) mn = v[i];
+          if (static_cast<double>(v[i]) > static_cast<double>(mx)) mx = v[i];
+        }
+      }
+      if (n > 0) {
+        cs.min = Value{mn};
+        cs.max = Value{mx};
+      }
+      break;
+    }
+    case ValueType::kDouble: {
+      const double* v = table.DoubleData(c).data();
+      double mn = 0, mx = 0;
+      for (size_t i = 0; i < n; ++i) {
+        distinct.insert(HashNumeric(v[i]));
+        if (i == 0) {
+          mn = mx = v[i];
+        } else {
+          if (v[i] < mn) mn = v[i];
+          if (v[i] > mx) mx = v[i];
+        }
+      }
+      if (n > 0) {
+        cs.min = Value{mn};
+        cs.max = Value{mx};
+      }
+      break;
+    }
+    case ValueType::kString: {
+      const uint32_t* codes = table.StrCodes(c).data();
+      const StringPool& pool = table.pool();
+      uint32_t mn_code = 0, mx_code = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t code = codes[i];
+        distinct.insert(pool.HashOf(code));
+        if (pool.Get(code).empty()) cs.null_like++;
+        if (i == 0) {
+          mn_code = mx_code = code;
+        } else {
+          if (code != mn_code && pool.Get(code) < pool.Get(mn_code)) {
+            mn_code = code;
+          }
+          if (code != mx_code && pool.Get(code) > pool.Get(mx_code)) {
+            mx_code = code;
+          }
+        }
+      }
+      if (n > 0) {
+        cs.min = Value{pool.Get(mn_code)};
+        cs.max = Value{pool.Get(mx_code)};
+      }
+      break;
+    }
+  }
+  cs.distinct = static_cast<int64_t>(distinct.size());
+  return cs;
+}
+
+}  // namespace
+
 TableStats ComputeStats(const Table& table) {
   TableStats stats;
   stats.rows = static_cast<int64_t>(table.num_rows());
+  bool columnar = table.EnsureColumnar();
   for (int c = 0; c < table.num_cols(); ++c) {
-    const Column& col = table.columns()[c];
-    ColumnStats cs;
-    cs.type = col.type;
-    std::unordered_set<uint64_t> distinct;
-    bool first = true;
-    for (const Row& row : table.rows()) {
-      const Value& v = row[c];
-      distinct.insert(HashValue(v));
-      if (first) {
-        cs.min = v;
-        cs.max = v;
-        first = false;
-      } else {
-        if (CompareValues(v, cs.min) < 0) cs.min = v;
-        if (CompareValues(v, cs.max) > 0) cs.max = v;
-      }
-      if (const auto* s = std::get_if<std::string>(&v)) {
-        if (s->empty()) cs.null_like++;
-      }
-    }
-    cs.distinct = static_cast<int64_t>(distinct.size());
-    stats.columns.emplace(col.name, std::move(cs));
+    stats.columns.emplace(table.columns()[c].name,
+                          columnar ? ColumnStatsColumnar(table, c)
+                                   : ColumnStatsFromRows(table, c));
   }
   return stats;
 }
@@ -43,19 +133,53 @@ double Selectivity(const Table& table, const Predicate& pred) {
   return static_cast<double>(hits) / static_cast<double>(table.num_rows());
 }
 
+namespace {
+
+/// Hashes every cell of one column into `out` (same hashes HashValue
+/// would produce for the materialized Value).
+void HashColumn(const Table& t, int col,
+                const std::function<void(uint64_t)>& sink) {
+  size_t n = t.num_rows();
+  if (!t.EnsureColumnar()) {
+    for (const Row& row : t.rows()) sink(HashValue(row[col]));
+    return;
+  }
+  switch (t.columns()[col].type) {
+    case ValueType::kInt: {
+      const int64_t* v = t.IntData(col).data();
+      for (size_t i = 0; i < n; ++i) {
+        sink(HashNumeric(static_cast<double>(v[i])));
+      }
+      break;
+    }
+    case ValueType::kDouble: {
+      const double* v = t.DoubleData(col).data();
+      for (size_t i = 0; i < n; ++i) sink(HashNumeric(v[i]));
+      break;
+    }
+    case ValueType::kString: {
+      const uint32_t* codes = t.StrCodes(col).data();
+      const StringPool& pool = t.pool();
+      for (size_t i = 0; i < n; ++i) sink(pool.HashOf(codes[i]));
+      break;
+    }
+  }
+}
+
+}  // namespace
+
 double JoinMatchFraction(const Table& left, const Table& right,
                          const std::string& left_key,
                          const std::string& right_key) {
   if (left.num_rows() == 0) return 0.0;
-  int rk = right.ColIndex(right_key);
   std::unordered_set<uint64_t> keys;
   keys.reserve(right.num_rows());
-  for (const Row& row : right.rows()) keys.insert(HashValue(row[rk]));
-  int lk = left.ColIndex(left_key);
+  HashColumn(right, right.ColIndex(right_key),
+             [&keys](uint64_t h) { keys.insert(h); });
   int64_t hits = 0;
-  for (const Row& row : left.rows()) {
-    if (keys.count(HashValue(row[lk]))) hits++;
-  }
+  HashColumn(left, left.ColIndex(left_key), [&keys, &hits](uint64_t h) {
+    if (keys.count(h)) hits++;
+  });
   return static_cast<double>(hits) / static_cast<double>(left.num_rows());
 }
 

@@ -1,8 +1,11 @@
 #include "exec/table.h"
 
+#include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "common/check.h"
+#include "common/fingerprint.h"
 #include "common/rng.h"
 
 namespace elephant::exec {
@@ -42,18 +45,188 @@ int CompareValues(const Value& a, const Value& b) {
   return 0;
 }
 
+uint64_t HashNumeric(double d) {
+  if (d == 0.0) d = 0.0;  // -0.0 == 0.0, so they must hash alike
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return Fnv1a64(bits);
+}
+
 uint64_t HashValue(const Value& v) {
+  // Numerics hash through their double image so that HashValue agrees
+  // with CompareValues, which widens int vs double (RowKey{1} ==
+  // RowKey{1.0} must land in one bucket). Beyond 2^53 the cast folds
+  // distinct int64s together — exactly the values CompareValues already
+  // calls equal, so hash and equality stay consistent there too.
   if (const auto* i = std::get_if<int64_t>(&v)) {
-    return Fnv1a64(static_cast<uint64_t>(*i));
+    return HashNumeric(static_cast<double>(*i));
   }
   if (const auto* d = std::get_if<double>(&v)) {
-    uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(*d));
-    __builtin_memcpy(&bits, d, sizeof(bits));
-    return Fnv1a64(bits);
+    return HashNumeric(*d);
   }
   const std::string& s = std::get<std::string>(v);
   return Fnv1a64(s.data(), s.size());
+}
+
+// ---- StringPool ---------------------------------------------------------
+
+uint32_t StringPool::Intern(std::string s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  uint32_t code = static_cast<uint32_t>(by_code_.size());
+  ELEPHANT_CHECK(code != kNoCode) << "string pool exhausted";
+  uint64_t hash = Fnv1a64(s.data(), s.size());
+  auto inserted = index_.emplace(std::move(s), code).first;
+  by_code_.push_back(&inserted->first);
+  hashes_.push_back(hash);
+  return code;
+}
+
+uint32_t StringPool::Find(std::string_view s) const {
+  // std::string construction here is the price of C++17 unordered_map
+  // lookup; Find is called per literal, not per row.
+  auto it = index_.find(std::string(s));
+  return it == index_.end() ? kNoCode : it->second;
+}
+
+// ---- ColumnVector -------------------------------------------------------
+
+void ColumnVector::Reserve(size_t n) {
+  switch (type_) {
+    case ValueType::kInt:
+      ints_.reserve(n);
+      break;
+    case ValueType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case ValueType::kString:
+      codes_.reserve(n);
+      break;
+  }
+}
+
+void ColumnVector::Resize(size_t n) {
+  switch (type_) {
+    case ValueType::kInt:
+      ints_.resize(n);
+      break;
+    case ValueType::kDouble:
+      doubles_.resize(n);
+      break;
+    case ValueType::kString:
+      codes_.resize(n);
+      break;
+  }
+}
+
+void ColumnVector::Clear() {
+  ints_.clear();
+  ints_.shrink_to_fit();
+  doubles_.clear();
+  doubles_.shrink_to_fit();
+  codes_.clear();
+  codes_.shrink_to_fit();
+}
+
+// ---- RowBatch -----------------------------------------------------------
+
+RowBatch::RowBatch(const std::vector<Column>& schema) {
+  cols_.resize(schema.size());
+  for (size_t i = 0; i < schema.size(); ++i) cols_[i].type = schema[i].type;
+}
+
+void RowBatch::ReserveRows(size_t n) {
+  for (BatchColumn& c : cols_) {
+    switch (c.type) {
+      case ValueType::kInt:
+        c.ints.reserve(n);
+        break;
+      case ValueType::kDouble:
+        c.doubles.reserve(n);
+        break;
+      case ValueType::kString:
+        c.strs.reserve(n);
+        break;
+    }
+  }
+}
+
+size_t RowBatch::num_rows() const {
+  return cols_.empty() ? 0 : cols_[0].size();
+}
+
+// ---- Table --------------------------------------------------------------
+
+Table::Table(std::vector<Column> columns, std::shared_ptr<StringPool> pool)
+    : columns_(std::move(columns)), pool_(std::move(pool)) {
+  col_index_.reserve(columns_.size());
+  data_.reserve(columns_.size());
+  bool has_string = false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    col_index_.emplace(columns_[i].name, static_cast<int>(i));
+    data_.emplace_back(columns_[i].type);
+    has_string |= columns_[i].type == ValueType::kString;
+  }
+  if (has_string && pool_ == nullptr) {
+    pool_ = std::make_shared<StringPool>();
+  }
+}
+
+void Table::CopyFrom(const Table& other) {
+  // The lock serializes against a concurrent lazy materialization in
+  // `other` (reads are otherwise lock-free once a representation is
+  // built).
+  std::lock_guard<std::mutex> lock(other.lazy_mu_);
+  columns_ = other.columns_;
+  col_index_ = other.col_index_;
+  data_ = other.data_;
+  pool_ = other.pool_;  // shared: derived tables reuse the dictionary
+  num_rows_ = other.num_rows_;
+  row_cache_ = other.row_cache_;
+  rows_valid_.store(other.rows_valid_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  columnar_valid_.store(other.columnar_valid_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  heterogeneous_.store(other.heterogeneous_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+}
+
+void Table::MoveFrom(Table&& other) noexcept {
+  columns_ = std::move(other.columns_);
+  col_index_ = std::move(other.col_index_);
+  data_ = std::move(other.data_);
+  pool_ = std::move(other.pool_);
+  num_rows_ = other.num_rows_;
+  row_cache_ = std::move(other.row_cache_);
+  rows_valid_.store(other.rows_valid_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  columnar_valid_.store(other.columnar_valid_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  heterogeneous_.store(other.heterogeneous_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  other.columns_.clear();
+  other.col_index_.clear();
+  other.data_.clear();
+  other.row_cache_.clear();
+  other.num_rows_ = 0;
+  other.rows_valid_.store(false, std::memory_order_relaxed);
+  other.columnar_valid_.store(true, std::memory_order_relaxed);
+  other.heterogeneous_.store(false, std::memory_order_relaxed);
+}
+
+Table::Table(const Table& other) { CopyFrom(other); }
+
+Table& Table::operator=(const Table& other) {
+  if (this != &other) CopyFrom(other);
+  return *this;
+}
+
+Table::Table(Table&& other) noexcept { MoveFrom(std::move(other)); }
+
+Table& Table::operator=(Table&& other) noexcept {
+  if (this != &other) MoveFrom(std::move(other));
+  return *this;
 }
 
 int Table::ColIndex(const std::string& name) const {
@@ -67,6 +240,230 @@ int Table::FindCol(const std::string& name) const {
   return it == col_index_.end() ? -1 : it->second;
 }
 
+void Table::AddRow(Row row) {
+  ELEPHANT_DCHECK(row.size() == columns_.size())
+      << "row has " << row.size() << " cells, schema has "
+      << columns_.size() << " columns";
+  if (columnar_valid_.load(std::memory_order_relaxed)) {
+    bool match = true;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].index() != static_cast<size_t>(columns_[c].type)) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        switch (columns_[c].type) {
+          case ValueType::kInt:
+            data_[c].ints().push_back(std::get<int64_t>(row[c]));
+            break;
+          case ValueType::kDouble:
+            data_[c].doubles().push_back(std::get<double>(row[c]));
+            break;
+          case ValueType::kString:
+            data_[c].codes().push_back(
+                pool_->Intern(std::move(std::get<std::string>(row[c]))));
+            break;
+        }
+      }
+      ++num_rows_;
+      InvalidateRows();
+      return;
+    }
+    // A cell's alternative disagrees with the schema (tests mix types on
+    // purpose): this table has no columnar form — degrade to rows.
+    EnsureRows();
+    columnar_valid_.store(false, std::memory_order_release);
+    heterogeneous_.store(true, std::memory_order_relaxed);
+    for (ColumnVector& cv : data_) cv.Clear();
+  }
+  row_cache_.push_back(std::move(row));
+}
+
+void Table::AppendBatch(RowBatch&& batch) {
+  ELEPHANT_CHECK(batch.cols_.size() == columns_.size())
+      << "batch has " << batch.cols_.size() << " columns, schema has "
+      << columns_.size();
+  size_t n = batch.num_rows();
+  for (size_t c = 0; c < batch.cols_.size(); ++c) {
+    ELEPHANT_CHECK(batch.cols_[c].type == columns_[c].type &&
+                   batch.cols_[c].size() == n)
+        << "uneven or mistyped batch column " << c;
+  }
+  ELEPHANT_CHECK(EnsureColumnar()) << "cannot batch-append to a "
+                                      "heterogeneous table";
+  for (size_t c = 0; c < batch.cols_.size(); ++c) {
+    RowBatch::BatchColumn& bc = batch.cols_[c];
+    switch (columns_[c].type) {
+      case ValueType::kInt:
+        data_[c].ints().insert(data_[c].ints().end(), bc.ints.begin(),
+                               bc.ints.end());
+        break;
+      case ValueType::kDouble:
+        data_[c].doubles().insert(data_[c].doubles().end(),
+                                  bc.doubles.begin(), bc.doubles.end());
+        break;
+      case ValueType::kString: {
+        std::vector<uint32_t>& codes = data_[c].codes();
+        codes.reserve(codes.size() + bc.strs.size());
+        for (std::string& s : bc.strs) {
+          codes.push_back(pool_->Intern(std::move(s)));
+        }
+        break;
+      }
+    }
+  }
+  num_rows_ += n;
+  InvalidateRows();
+}
+
+void Table::Reserve(size_t n) {
+  if (columnar_valid_.load(std::memory_order_relaxed)) {
+    for (ColumnVector& cv : data_) cv.Reserve(n);
+  } else {
+    row_cache_.reserve(n);
+  }
+}
+
+std::vector<Row>& Table::mutable_rows() {
+  EnsureRows();
+  columnar_valid_.store(false, std::memory_order_release);
+  for (ColumnVector& cv : data_) cv.Clear();
+  return row_cache_;
+}
+
+void Table::EnsureRows() const {
+  if (rows_valid_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  if (rows_valid_.load(std::memory_order_relaxed)) return;
+  ELEPHANT_CHECK(columnar_valid_.load(std::memory_order_relaxed))
+      << "table has neither rows nor columns";
+  row_cache_.clear();
+  row_cache_.reserve(num_rows_);
+  for (size_t i = 0; i < num_rows_; ++i) {
+    Row r;
+    r.reserve(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      switch (columns_[c].type) {
+        case ValueType::kInt:
+          r.emplace_back(data_[c].ints()[i]);
+          break;
+        case ValueType::kDouble:
+          r.emplace_back(data_[c].doubles()[i]);
+          break;
+        case ValueType::kString:
+          r.emplace_back(pool_->Get(data_[c].codes()[i]));
+          break;
+      }
+    }
+    row_cache_.push_back(std::move(r));
+  }
+  rows_valid_.store(true, std::memory_order_release);
+}
+
+void Table::InvalidateRows() {
+  if (rows_valid_.load(std::memory_order_relaxed)) {
+    rows_valid_.store(false, std::memory_order_relaxed);
+    row_cache_.clear();
+    row_cache_.shrink_to_fit();
+  }
+}
+
+bool Table::EnsureColumnar() const {
+  if (columnar_valid_.load(std::memory_order_acquire)) return true;
+  if (heterogeneous_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  if (columnar_valid_.load(std::memory_order_relaxed)) return true;
+  if (!heterogeneous_.load(std::memory_order_relaxed)) {
+    RebuildColumnsLocked();
+  }
+  return !heterogeneous_.load(std::memory_order_relaxed);
+}
+
+void Table::RebuildColumnsLocked() const {
+  ELEPHANT_CHECK(rows_valid_.load(std::memory_order_relaxed))
+      << "table has neither rows nor columns";
+  for (const Row& r : row_cache_) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (r[c].index() != static_cast<size_t>(columns_[c].type)) {
+        heterogeneous_.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    data_[c].Clear();
+    data_[c].Reserve(row_cache_.size());
+    if (columns_[c].type == ValueType::kString && pool_ == nullptr) {
+      pool_ = std::make_shared<StringPool>();
+    }
+  }
+  for (const Row& r : row_cache_) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      switch (columns_[c].type) {
+        case ValueType::kInt:
+          data_[c].ints().push_back(std::get<int64_t>(r[c]));
+          break;
+        case ValueType::kDouble:
+          data_[c].doubles().push_back(std::get<double>(r[c]));
+          break;
+        case ValueType::kString:
+          data_[c].codes().push_back(
+              pool_->Intern(std::get<std::string>(r[c])));
+          break;
+      }
+    }
+  }
+  num_rows_ = row_cache_.size();
+  columnar_valid_.store(true, std::memory_order_release);
+}
+
+Value Table::ValueAt(size_t row, int col) const {
+  if (!columnar_valid_.load(std::memory_order_acquire)) {
+    return row_cache_[row][col];
+  }
+  switch (columns_[col].type) {
+    case ValueType::kInt:
+      return Value{data_[col].ints()[row]};
+    case ValueType::kDouble:
+      return Value{data_[col].doubles()[row]};
+    case ValueType::kString:
+      return Value{pool_->Get(data_[col].codes()[row])};
+  }
+  return Value{int64_t{0}};
+}
+
+void Table::ResizeColumnar(size_t n) {
+  ELEPHANT_CHECK(!heterogeneous_.load(std::memory_order_relaxed));
+  for (ColumnVector& cv : data_) cv.Resize(n);
+  num_rows_ = n;
+  columnar_valid_.store(true, std::memory_order_relaxed);
+  InvalidateRows();
+}
+
+ColumnVector& Table::MutableCol(int col) {
+  ELEPHANT_CHECK(columnar_valid_.load(std::memory_order_relaxed))
+      << "MutableCol on a row-authoritative table";
+  InvalidateRows();
+  return data_[col];
+}
+
+void Table::SetRowCount(size_t n) {
+  for (size_t c = 0; c < data_.size(); ++c) {
+    ELEPHANT_DCHECK(data_[c].size() == n)
+        << "column " << c << " has " << data_[c].size() << " rows, not "
+        << n;
+  }
+  num_rows_ = n;
+  InvalidateRows();
+}
+
+StringPool* Table::mutable_pool() {
+  if (pool_ == nullptr) pool_ = std::make_shared<StringPool>();
+  return pool_.get();
+}
+
 std::string Table::ToString(size_t max_rows) const {
   std::ostringstream os;
   for (size_t i = 0; i < columns_.size(); ++i) {
@@ -74,25 +471,84 @@ std::string Table::ToString(size_t max_rows) const {
     os << columns_[i].name;
   }
   os << "\n";
-  size_t n = std::min(max_rows, rows_.size());
+  size_t total = num_rows();
+  size_t n = std::min(max_rows, total);
+  bool columnar = EnsureColumnar();
   for (size_t r = 0; r < n; ++r) {
     for (size_t c = 0; c < columns_.size(); ++c) {
       if (c) os << " | ";
-      const Value& v = rows_[r][c];
-      if (const auto* i = std::get_if<int64_t>(&v)) {
-        os << *i;
-      } else if (const auto* d = std::get_if<double>(&v)) {
-        os << *d;
+      if (columnar) {
+        switch (columns_[c].type) {
+          case ValueType::kInt:
+            os << data_[c].ints()[r];
+            break;
+          case ValueType::kDouble:
+            os << data_[c].doubles()[r];
+            break;
+          case ValueType::kString:
+            os << pool_->Get(data_[c].codes()[r]);
+            break;
+        }
       } else {
-        os << std::get<std::string>(v);
+        const Value& v = row_cache_[r][c];
+        if (const auto* i = std::get_if<int64_t>(&v)) {
+          os << *i;
+        } else if (const auto* d = std::get_if<double>(&v)) {
+          os << *d;
+        } else {
+          os << std::get<std::string>(v);
+        }
       }
     }
     os << "\n";
   }
-  if (rows_.size() > n) {
-    os << "... (" << rows_.size() << " rows total)\n";
+  if (total > n) {
+    os << "... (" << total << " rows total)\n";
   }
   return os.str();
+}
+
+uint64_t TableFingerprint(const Table& t) {
+  Fingerprint fp;
+  fp.Mix(static_cast<uint64_t>(t.num_cols()));
+  for (const Column& c : t.columns()) {
+    fp.Mix(std::string_view(c.name));
+    fp.Mix(static_cast<int>(c.type));
+  }
+  fp.Mix(static_cast<uint64_t>(t.num_rows()));
+  if (t.EnsureColumnar()) {
+    for (size_t i = 0; i < t.num_rows(); ++i) {
+      for (int c = 0; c < t.num_cols(); ++c) {
+        fp.Mix(static_cast<int>(t.columns()[c].type));
+        switch (t.columns()[c].type) {
+          case ValueType::kInt:
+            fp.Mix(t.IntData(c)[i]);
+            break;
+          case ValueType::kDouble:
+            fp.Mix(t.DoubleData(c)[i]);
+            break;
+          case ValueType::kString:
+            fp.Mix(std::string_view(t.pool().Get(t.StrCodes(c)[i])));
+            break;
+        }
+      }
+    }
+    return fp.value();
+  }
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    for (int c = 0; c < t.num_cols(); ++c) {
+      const Value& v = t.rows()[i][c];
+      fp.Mix(static_cast<int>(v.index()));
+      if (const auto* iv = std::get_if<int64_t>(&v)) {
+        fp.Mix(*iv);
+      } else if (const auto* d = std::get_if<double>(&v)) {
+        fp.Mix(*d);
+      } else {
+        fp.Mix(std::string_view(std::get<std::string>(v)));
+      }
+    }
+  }
+  return fp.value();
 }
 
 }  // namespace elephant::exec

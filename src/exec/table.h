@@ -1,8 +1,12 @@
 #ifndef ELEPHANT_EXEC_TABLE_H_
 #define ELEPHANT_EXEC_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <variant>
 #include <vector>
@@ -27,7 +31,14 @@ const std::string& AsString(const Value& v);
 /// Three-way comparison consistent across numeric types.
 int CompareValues(const Value& a, const Value& b);
 
-/// Hash for joining/grouping.
+/// Hash of a numeric value by its widened-double bit pattern (with -0.0
+/// canonicalized onto +0.0). Hashing through the double image keeps
+/// HashValue consistent with CompareValues, which compares all numerics
+/// as doubles: two values that CompareValues calls equal always hash
+/// equal, including int64 vs double of the same magnitude.
+uint64_t HashNumeric(double d);
+
+/// Hash for joining/grouping. Consistent with CompareValues equality.
 uint64_t HashValue(const Value& v);
 
 struct Column {
@@ -37,20 +48,168 @@ struct Column {
 
 using Row = std::vector<Value>;
 
-/// An in-memory relation: a schema plus a row vector. This is the
+/// Interning pool for a table's string columns. Each distinct string is
+/// stored once and addressed by a dense uint32 code; column vectors hold
+/// codes, so equality within one pool is a code compare and the byte
+/// hash of each distinct string is computed exactly once. Pools are
+/// shared (via shared_ptr) between a table and tables derived from it by
+/// code-preserving operators (filter, sort, limit), so derivation never
+/// re-interns. Interning is append-only: existing codes stay valid
+/// forever, but Intern itself is not safe to run concurrently with
+/// readers of the same pool.
+class StringPool {
+ public:
+  static constexpr uint32_t kNoCode = 0xFFFFFFFFu;
+
+  /// Returns the code of `s`, interning it first if new.
+  uint32_t Intern(std::string s);
+  /// Returns the code of `s`, or kNoCode when it was never interned.
+  uint32_t Find(std::string_view s) const;
+
+  const std::string& Get(uint32_t code) const {
+    ELEPHANT_DCHECK(code < by_code_.size());
+    return *by_code_[code];
+  }
+  /// Byte hash (Fnv1a64) of the string behind `code`, cached at intern
+  /// time so kernels never rehash string payloads per row.
+  uint64_t HashOf(uint32_t code) const {
+    ELEPHANT_DCHECK(code < hashes_.size());
+    return hashes_[code];
+  }
+  size_t size() const { return by_code_.size(); }
+
+ private:
+  // Keyed by std::string (not string_view): heterogeneous unordered
+  // lookup is C++20. The by_code_ pointers alias the map's keys, which
+  // are stable across rehashing (node-based map).
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<const std::string*> by_code_;
+  std::vector<uint64_t> hashes_;
+};
+
+/// One column's values in struct-of-arrays form: exactly one of the
+/// typed vectors is active, selected by type(). String columns store
+/// dictionary codes into the owning table's StringPool.
+class ColumnVector {
+ public:
+  explicit ColumnVector(ValueType type = ValueType::kInt) : type_(type) {}
+
+  ValueType type() const { return type_; }
+  size_t size() const {
+    switch (type_) {
+      case ValueType::kInt:
+        return ints_.size();
+      case ValueType::kDouble:
+        return doubles_.size();
+      case ValueType::kString:
+        return codes_.size();
+    }
+    return 0;
+  }
+  void Reserve(size_t n);
+  void Resize(size_t n);
+  void Clear();
+
+  std::vector<int64_t>& ints() {
+    ELEPHANT_DCHECK(type_ == ValueType::kInt);
+    return ints_;
+  }
+  const std::vector<int64_t>& ints() const {
+    ELEPHANT_DCHECK(type_ == ValueType::kInt);
+    return ints_;
+  }
+  std::vector<double>& doubles() {
+    ELEPHANT_DCHECK(type_ == ValueType::kDouble);
+    return doubles_;
+  }
+  const std::vector<double>& doubles() const {
+    ELEPHANT_DCHECK(type_ == ValueType::kDouble);
+    return doubles_;
+  }
+  std::vector<uint32_t>& codes() {
+    ELEPHANT_DCHECK(type_ == ValueType::kString);
+    return codes_;
+  }
+  const std::vector<uint32_t>& codes() const {
+    ELEPHANT_DCHECK(type_ == ValueType::kString);
+    return codes_;
+  }
+
+ private:
+  ValueType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<uint32_t> codes_;
+};
+
+/// A columnar batch of rows matching a schema, with strings held as
+/// plain std::string (no pool). Parallel producers (dbgen chunks) each
+/// fill a private RowBatch; Table::AppendBatch then interns and appends
+/// serially, in batch order, so dictionary codes are deterministic.
+class RowBatch {
+ public:
+  explicit RowBatch(const std::vector<Column>& schema);
+
+  void AddInt(int col, int64_t v) { cols_[col].ints.push_back(v); }
+  void AddDouble(int col, double v) { cols_[col].doubles.push_back(v); }
+  void AddString(int col, std::string s) {
+    cols_[col].strs.push_back(std::move(s));
+  }
+  void ReserveRows(size_t n);
+  /// Row count (columns must be filled evenly; checked on append).
+  size_t num_rows() const;
+
+ private:
+  friend class Table;
+  struct BatchColumn {
+    ValueType type;
+    std::vector<int64_t> ints;
+    std::vector<double> doubles;
+    std::vector<std::string> strs;
+    size_t size() const {
+      return type == ValueType::kInt
+                 ? ints.size()
+                 : type == ValueType::kDouble ? doubles.size() : strs.size();
+    }
+  };
+  std::vector<BatchColumn> cols_;
+};
+
+/// An in-memory relation: a schema plus columnar data. This is the
 /// currency of the executor — every operator consumes and produces
-/// Tables. Row storage is row-major; the executor favours clarity over
-/// vectorized speed since its role is validating plans and answers at
-/// mini scale.
+/// Tables. Storage is struct-of-arrays (one typed ColumnVector per
+/// column, strings dictionary-encoded against a shared StringPool) so
+/// kernels run tight typed loops; the historical row-level API (rows(),
+/// mutable_rows(), Row-based AddRow) is kept working through a lazily
+/// materialized row cache.
+///
+/// Representation states:
+///  - columnar (the normal state): data_ is authoritative; rows() lazily
+///    materializes a cache from it.
+///  - row-authoritative: after mutable_rows() hands out the cache for
+///    mutation, or after AddRow receives a cell whose variant alternative
+///    does not match the column type ("heterogeneous" tables, used by
+///    type-mixing tests). Columnar access transparently rebuilds from
+///    the rows — except for heterogeneous tables, which cannot be
+///    encoded; operators fall back to their row paths for those.
+///
+/// Thread-safety: concurrent reads (including the first lazy
+/// materialization in either direction) are safe; any mutation requires
+/// exclusive access to the table AND to tables sharing its pool.
 class Table {
  public:
   Table() = default;
-  explicit Table(std::vector<Column> columns) : columns_(std::move(columns)) {
-    col_index_.reserve(columns_.size());
-    for (size_t i = 0; i < columns_.size(); ++i) {
-      col_index_.emplace(columns_[i].name, static_cast<int>(i));
-    }
-  }
+  explicit Table(std::vector<Column> columns)
+      : Table(std::move(columns), nullptr) {}
+  /// Adopts an existing pool so the new table shares dictionary codes
+  /// with the tables the pool came from. `pool` may be null when the
+  /// schema has no string column (or to get a fresh pool).
+  Table(std::vector<Column> columns, std::shared_ptr<StringPool> pool);
+
+  Table(const Table& other);
+  Table& operator=(const Table& other);
+  Table(Table&& other) noexcept;
+  Table& operator=(Table&& other) noexcept;
 
   /// Index of a column by name; asserts that it exists (TPC-H column
   /// names are globally unique, e.g. l_orderkey, o_orderkey). O(1) via
@@ -62,26 +221,112 @@ class Table {
   const std::vector<Column>& columns() const { return columns_; }
   int num_cols() const { return static_cast<int>(columns_.size()); }
 
-  void AddRow(Row row) {
-    ELEPHANT_DCHECK(row.size() == columns_.size())
-        << "row has " << row.size() << " cells, schema has "
-        << columns_.size() << " columns";
-    rows_.push_back(std::move(row));
-  }
-  void Reserve(size_t n) { rows_.reserve(n); }
+  void AddRow(Row row);
+  /// Bulk-appends a columnar batch (strings are interned here, in batch
+  /// order). Much cheaper than per-Row AddRow: no variants, one splice
+  /// per column.
+  void AppendBatch(RowBatch&& batch);
+  void Reserve(size_t n);
 
-  const std::vector<Row>& rows() const { return rows_; }
-  std::vector<Row>& mutable_rows() { return rows_; }
-  size_t num_rows() const { return rows_.size(); }
+  const std::vector<Row>& rows() const {
+    EnsureRows();
+    return row_cache_;
+  }
+  /// Hands out the row cache for in-place mutation (erase/remove_if);
+  /// the table becomes row-authoritative until the next columnar access
+  /// rebuilds the column vectors.
+  std::vector<Row>& mutable_rows();
+  size_t num_rows() const {
+    return columnar_valid_.load(std::memory_order_acquire)
+               ? num_rows_
+               : row_cache_.size();
+  }
+
+  // ---- Columnar access (the kernel-facing API) --------------------------
+
+  /// Ensures the column vectors are up to date. Returns false only for
+  /// heterogeneous tables (see class comment), which have no columnar
+  /// form; callers then use the row API instead.
+  bool EnsureColumnar() const;
+  bool is_columnar() const {
+    return columnar_valid_.load(std::memory_order_acquire);
+  }
+
+  const std::vector<int64_t>& IntData(int col) const {
+    ELEPHANT_CHECK(EnsureColumnar()) << "no columnar form";
+    return data_[col].ints();
+  }
+  const std::vector<double>& DoubleData(int col) const {
+    ELEPHANT_CHECK(EnsureColumnar()) << "no columnar form";
+    return data_[col].doubles();
+  }
+  const std::vector<uint32_t>& StrCodes(int col) const {
+    ELEPHANT_CHECK(EnsureColumnar()) << "no columnar form";
+    return data_[col].codes();
+  }
+  const std::string& StrAt(int col, size_t row) const {
+    return pool_->Get(StrCodes(col)[row]);
+  }
+  /// Dictionary code of `s` in this table's pool, or StringPool::kNoCode
+  /// when the string never occurs — compare codes instead of bytes.
+  uint32_t CodeFor(std::string_view s) const {
+    return pool_ == nullptr ? StringPool::kNoCode : pool_->Find(s);
+  }
+
+  /// Materializes a single cell (no full-row cache needed).
+  Value ValueAt(size_t row, int col) const;
+
+  const std::shared_ptr<StringPool>& pool_ptr() const { return pool_; }
+  const StringPool& pool() const {
+    ELEPHANT_DCHECK(pool_ != nullptr);
+    return *pool_;
+  }
+
+  // ---- Columnar construction (operator kernels) -------------------------
+
+  /// Resizes every column vector to `n` rows so parallel kernels can
+  /// write disjoint ranges positionally. Invalidates the row cache.
+  void ResizeColumnar(size_t n);
+  /// Direct write access to one column vector. The caller keeps all
+  /// columns the same length; row count is whatever ResizeColumnar (or
+  /// SetRowCount) established. Invalidates the row cache.
+  ColumnVector& MutableCol(int col);
+  /// Declares the row count after direct column writes.
+  void SetRowCount(size_t n);
+  /// Pool for interning newly produced strings. Creates one if absent.
+  StringPool* mutable_pool();
 
   /// Pretty-prints up to `max_rows` rows (for examples/debugging).
+  /// Reads straight from the column vectors — no Row materialization.
   std::string ToString(size_t max_rows = 20) const;
 
  private:
+  void EnsureRows() const;
+  void InvalidateRows();
+  /// Rebuilds data_ from row_cache_; flips heterogeneous_ instead when
+  /// some cell's alternative does not match its column type.
+  void RebuildColumnsLocked() const;
+  void CopyFrom(const Table& other);
+  void MoveFrom(Table&& other) noexcept;
+
   std::vector<Column> columns_;
   std::unordered_map<std::string, int> col_index_;
-  std::vector<Row> rows_;
+  mutable std::vector<ColumnVector> data_;
+  mutable std::shared_ptr<StringPool> pool_;
+  mutable size_t num_rows_ = 0;
+
+  mutable std::vector<Row> row_cache_;
+  mutable std::atomic<bool> rows_valid_{false};
+  mutable std::atomic<bool> columnar_valid_{true};
+  mutable std::atomic<bool> heterogeneous_{false};
+  mutable std::mutex lazy_mu_;
 };
+
+/// Order-sensitive 64-bit fingerprint of a table: schema, row count, and
+/// every cell (tagged by variant alternative, doubles by bit pattern).
+/// Used to pin query answers bit-exactly across layouts and thread
+/// counts.
+uint64_t TableFingerprint(const Table& t);
 
 }  // namespace elephant::exec
 

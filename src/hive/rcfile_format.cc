@@ -12,6 +12,7 @@ namespace elephant::hive {
 namespace {
 
 using exec::Row;
+using exec::StringPool;
 using exec::Table;
 using exec::Value;
 using exec::ValueType;
@@ -112,9 +113,10 @@ Result<std::string> RleUnpack(const std::string& in, size_t* pos,
 std::string EncodeIntColumn(const Table& t, int col, size_t begin,
                             size_t end) {
   std::string out;
+  const int64_t* data = t.IntData(col).data();
   int64_t prev = 0;
   for (size_t r = begin; r < end; ++r) {
-    int64_t v = std::get<int64_t>(t.rows()[r][col]);
+    int64_t v = data[r];
     PutVarint(&out, ZigZag(v - prev));
     prev = v;
   }
@@ -126,10 +128,10 @@ std::string EncodeDoubleColumn(const Table& t, int col, size_t begin,
   // TPC-H money/decimal columns are hundredths: when every value in the
   // group is an integral number of cents, store zigzag-delta varints of
   // the scaled value (flag 1); otherwise raw 8-byte doubles (flag 0).
+  const double* data = t.DoubleData(col).data();
   bool all_cents = true;
   for (size_t r = begin; r < end; ++r) {
-    double v = std::get<double>(t.rows()[r][col]);
-    double cents = v * 100.0;
+    double cents = data[r] * 100.0;
     if (std::abs(cents - std::llround(cents)) > 1e-6 ||
         std::abs(cents) > 9e15) {
       all_cents = false;
@@ -141,15 +143,14 @@ std::string EncodeDoubleColumn(const Table& t, int col, size_t begin,
   if (all_cents) {
     int64_t prev = 0;
     for (size_t r = begin; r < end; ++r) {
-      int64_t cents =
-          std::llround(std::get<double>(t.rows()[r][col]) * 100.0);
+      int64_t cents = std::llround(data[r] * 100.0);
       PutVarint(&out, ZigZag(cents - prev));
       prev = cents;
     }
   } else {
     out.reserve(1 + (end - begin) * 8);
     for (size_t r = begin; r < end; ++r) {
-      double v = std::get<double>(t.rows()[r][col]);
+      double v = data[r];
       char buf[8];
       std::memcpy(buf, &v, 8);
       out.append(buf, 8);
@@ -183,19 +184,25 @@ void PackBits(std::string* out, const std::vector<uint64_t>& values,
 std::string EncodeStringColumn(const Table& t, int col, size_t begin,
                                size_t end) {
   // Per group: dictionary + bit-packed indexes when the column repeats
-  // (flag 1), plain length-prefixed strings otherwise (flag 0).
-  std::unordered_map<std::string, uint64_t> dict;
-  std::vector<const std::string*> order;
+  // (flag 1), plain length-prefixed strings otherwise (flag 0). The
+  // group dictionary is built over the table's interned codes, so
+  // first-seen order (and thus the encoded bytes) matches the old
+  // string-keyed build while deduplication is an O(1) code lookup.
+  const uint32_t* codes = t.StrCodes(col).data();
+  const StringPool& pool = t.pool();
+  std::unordered_map<uint32_t, uint64_t> dict;
+  std::vector<uint32_t> order;
   for (size_t r = begin; r < end; ++r) {
-    const std::string& s = std::get<std::string>(t.rows()[r][col]);
-    if (dict.emplace(s, dict.size()).second) order.push_back(&s);
+    if (dict.emplace(codes[r], dict.size()).second) {
+      order.push_back(codes[r]);
+    }
   }
   std::string out;
   size_t rows = end - begin;
   if (dict.size() > rows / 2) {
     out.push_back(0);
     for (size_t r = begin; r < end; ++r) {
-      const std::string& s = std::get<std::string>(t.rows()[r][col]);
+      const std::string& s = pool.Get(codes[r]);
       PutVarint(&out, s.size());
       out += s;
     }
@@ -203,16 +210,17 @@ std::string EncodeStringColumn(const Table& t, int col, size_t begin,
   }
   out.push_back(1);
   PutVarint(&out, dict.size());
-  for (const std::string* s : order) {
-    PutVarint(&out, s->size());
-    out += *s;
+  for (uint32_t code : order) {
+    const std::string& s = pool.Get(code);
+    PutVarint(&out, s.size());
+    out += s;
   }
   int bits = BitsFor(dict.size());
   out.push_back(static_cast<char>(bits));
   std::vector<uint64_t> indexes;
   indexes.reserve(rows);
   for (size_t r = begin; r < end; ++r) {
-    indexes.push_back(dict[std::get<std::string>(t.rows()[r][col])]);
+    indexes.push_back(dict[codes[r]]);
   }
   PackBits(&out, indexes, bits);
   return out;
@@ -222,17 +230,46 @@ std::string EncodeStringColumn(const Table& t, int col, size_t begin,
 
 int64_t FlatTextBytes(const Table& table) {
   int64_t bytes = 0;
-  for (const Row& row : table.rows()) {
-    for (const Value& v : row) {
-      if (const auto* i = std::get_if<int64_t>(&v)) {
-        bytes += static_cast<int64_t>(std::to_string(*i).size());
-      } else if (const auto* d = std::get_if<double>(&v)) {
-        bytes += static_cast<int64_t>(StrFormat("%.2f", *d).size());
-      } else {
-        bytes += static_cast<int64_t>(std::get<std::string>(v).size());
+  if (!table.EnsureColumnar()) {
+    // Heterogeneous fallback: walk the rows.
+    for (const Row& row : table.rows()) {
+      for (const Value& v : row) {
+        if (const auto* i = std::get_if<int64_t>(&v)) {
+          bytes += static_cast<int64_t>(std::to_string(*i).size());
+        } else if (const auto* d = std::get_if<double>(&v)) {
+          bytes += static_cast<int64_t>(StrFormat("%.2f", *d).size());
+        } else {
+          bytes += static_cast<int64_t>(std::get<std::string>(v).size());
+        }
+        bytes += 1;  // '|' separator / row terminator
       }
-      bytes += 1;  // '|' separator / row terminator
     }
+    return bytes;
+  }
+  size_t n = table.num_rows();
+  for (int c = 0; c < table.num_cols(); ++c) {
+    switch (table.columns()[c].type) {
+      case exec::ValueType::kInt:
+        for (int64_t v : table.IntData(c)) {
+          bytes += static_cast<int64_t>(std::to_string(v).size());
+        }
+        break;
+      case exec::ValueType::kDouble:
+        for (double v : table.DoubleData(c)) {
+          bytes += static_cast<int64_t>(StrFormat("%.2f", v).size());
+        }
+        break;
+      case exec::ValueType::kString: {
+        // Each distinct string's length is needed once; rows just sum
+        // their code's length.
+        const StringPool& pool = table.pool();
+        for (uint32_t code : table.StrCodes(c)) {
+          bytes += static_cast<int64_t>(pool.Get(code).size());
+        }
+        break;
+      }
+    }
+    bytes += static_cast<int64_t>(n);  // '|' separator / row terminator
   }
   return bytes;
 }

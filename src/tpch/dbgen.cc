@@ -14,7 +14,7 @@ namespace elephant::tpch {
 
 namespace {
 
-using exec::Row;
+using exec::RowBatch;
 using exec::Table;
 using exec::Value;
 
@@ -189,16 +189,14 @@ void ForEachChunk(int threads, int64_t total,
   }
 }
 
-/// Moves per-chunk row buffers into `out` in chunk order.
-void AppendSlots(std::vector<std::vector<Row>>* slots, Table* out) {
+/// Moves per-chunk column batches into `out` in chunk order. String
+/// interning happens here, serially, so dictionary codes are assigned
+/// in global row order regardless of how chunks were scheduled.
+void AppendBatches(std::vector<RowBatch>* slots, Table* out) {
   size_t total = 0;
-  for (const auto& s : *slots) total += s.size();
+  for (const RowBatch& b : *slots) total += b.num_rows();
   out->Reserve(out->num_rows() + total);
-  for (auto& s : *slots) {
-    for (Row& r : s) out->AddRow(std::move(r));
-    s.clear();
-    s.shrink_to_fit();
-  }
+  for (RowBatch& b : *slots) out->AppendBatch(std::move(b));
 }
 
 }  // namespace
@@ -267,12 +265,13 @@ TpchDatabase GenerateDatabase(double sf, const DbgenOptions& options) {
   // --- supplier ---
   db.supplier = Table(TableSchema(TableId::kSupplier));
   {
-    std::vector<std::vector<Row>> slots(NumChunks(num_suppliers));
+    std::vector<RowBatch> slots(NumChunks(num_suppliers),
+                                RowBatch(TableSchema(TableId::kSupplier)));
     ForEachChunk(threads, num_suppliers,
                  [&](size_t c, int64_t lo, int64_t hi) {
                    Rng rng(ChunkSeed(seed, kTagSupplier, c));
-                   std::vector<Row>& rows = slots[c];
-                   rows.reserve(static_cast<size_t>(hi - lo));
+                   RowBatch& rows = slots[c];
+                   rows.ReserveRows(static_cast<size_t>(hi - lo));
                    for (int64_t k = lo + 1; k <= hi; ++k) {
                      int nationkey = static_cast<int>(rng.Uniform(25));
                      // Per spec, ~5 per 10000 supplier comments embed the
@@ -282,30 +281,30 @@ TpchDatabase GenerateDatabase(double sf, const DbgenOptions& options) {
                        comment = "Customer " + RandomText(&rng, 2) +
                                  " Complaints " + comment;
                      }
-                     rows.push_back(
-                         {Value{k},
-                          Value{StrFormat("Supplier#%09lld",
-                                          static_cast<long long>(k))},
-                          Value{RandomAddress(&rng)},
-                          Value{int64_t{nationkey}},
-                          Value{PhoneFor(nationkey, &rng)},
-                          Value{-999.99 +
-                                rng.NextDouble() * (9999.99 + 999.99)},
-                          Value{std::move(comment)}});
+                     rows.AddInt(0, k);
+                     rows.AddString(1, StrFormat("Supplier#%09lld",
+                                                 static_cast<long long>(k)));
+                     rows.AddString(2, RandomAddress(&rng));
+                     rows.AddInt(3, nationkey);
+                     rows.AddString(4, PhoneFor(nationkey, &rng));
+                     rows.AddDouble(
+                         5, -999.99 + rng.NextDouble() * (9999.99 + 999.99));
+                     rows.AddString(6, std::move(comment));
                    }
                  });
-    AppendSlots(&slots, &db.supplier);
+    AppendBatches(&slots, &db.supplier);
   }
 
   // --- part ---
   db.part = Table(TableSchema(TableId::kPart));
   {
-    std::vector<std::vector<Row>> slots(NumChunks(num_parts));
+    std::vector<RowBatch> slots(NumChunks(num_parts),
+                                RowBatch(TableSchema(TableId::kPart)));
     ForEachChunk(
         threads, num_parts, [&](size_t c, int64_t lo, int64_t hi) {
           Rng rng(ChunkSeed(seed, kTagPart, c));
-          std::vector<Row>& rows = slots[c];
-          rows.reserve(static_cast<size_t>(hi - lo));
+          RowBatch& rows = slots[c];
+          rows.ReserveRows(static_cast<size_t>(hi - lo));
           for (int64_t k = lo + 1; k <= hi; ++k) {
             int m = static_cast<int>(rng.Uniform(5)) + 1;
             int n = static_cast<int>(rng.Uniform(5)) + 1;
@@ -320,65 +319,69 @@ TpchDatabase GenerateDatabase(double sf, const DbgenOptions& options) {
             std::string container =
                 std::string(kContainers1[rng.Uniform(5)]) + " " +
                 kContainers2[rng.Uniform(8)];
-            rows.push_back({Value{k}, Value{std::move(name)},
-                            Value{StrFormat("Manufacturer#%d", m)},
-                            Value{StrFormat("Brand#%d%d", m, n)},
-                            Value{std::move(type)},
-                            Value{static_cast<int64_t>(rng.Uniform(50)) + 1},
-                            Value{std::move(container)},
-                            Value{RetailPrice(k)},
-                            Value{RandomText(&rng, 4)}});
+            rows.AddInt(0, k);
+            rows.AddString(1, std::move(name));
+            rows.AddString(2, StrFormat("Manufacturer#%d", m));
+            rows.AddString(3, StrFormat("Brand#%d%d", m, n));
+            rows.AddString(4, std::move(type));
+            rows.AddInt(5, static_cast<int64_t>(rng.Uniform(50)) + 1);
+            rows.AddString(6, std::move(container));
+            rows.AddDouble(7, RetailPrice(k));
+            rows.AddString(8, RandomText(&rng, 4));
           }
         });
-    AppendSlots(&slots, &db.part);
+    AppendBatches(&slots, &db.part);
   }
 
   // --- partsupp --- (chunked over partkeys; 4 rows per part)
   db.partsupp = Table(TableSchema(TableId::kPartsupp));
   {
-    std::vector<std::vector<Row>> slots(NumChunks(num_parts));
+    std::vector<RowBatch> slots(NumChunks(num_parts),
+                                RowBatch(TableSchema(TableId::kPartsupp)));
     ForEachChunk(
         threads, num_parts, [&](size_t c, int64_t lo, int64_t hi) {
           Rng rng(ChunkSeed(seed, kTagPartsupp, c));
-          std::vector<Row>& rows = slots[c];
-          rows.reserve(static_cast<size_t>(hi - lo) *
-                       Constants::kPartsuppPerPart);
+          RowBatch& rows = slots[c];
+          rows.ReserveRows(static_cast<size_t>(hi - lo) *
+                           Constants::kPartsuppPerPart);
           for (int64_t pk = lo + 1; pk <= hi; ++pk) {
             for (int j = 0; j < Constants::kPartsuppPerPart; ++j) {
-              rows.push_back(
-                  {Value{pk}, Value{SupplierFor(pk, j, num_suppliers)},
-                   Value{static_cast<int64_t>(rng.Uniform(9999)) + 1},
-                   Value{1.0 + rng.NextDouble() * 999.0},
-                   Value{RandomText(&rng, 10)}});
+              rows.AddInt(0, pk);
+              rows.AddInt(1, SupplierFor(pk, j, num_suppliers));
+              rows.AddInt(2, static_cast<int64_t>(rng.Uniform(9999)) + 1);
+              rows.AddDouble(3, 1.0 + rng.NextDouble() * 999.0);
+              rows.AddString(4, RandomText(&rng, 10));
             }
           }
         });
-    AppendSlots(&slots, &db.partsupp);
+    AppendBatches(&slots, &db.partsupp);
   }
 
   // --- customer ---
   db.customer = Table(TableSchema(TableId::kCustomer));
   {
-    std::vector<std::vector<Row>> slots(NumChunks(num_customers));
+    std::vector<RowBatch> slots(NumChunks(num_customers),
+                                RowBatch(TableSchema(TableId::kCustomer)));
     ForEachChunk(
         threads, num_customers, [&](size_t c, int64_t lo, int64_t hi) {
           Rng rng(ChunkSeed(seed, kTagCustomer, c));
-          std::vector<Row>& rows = slots[c];
-          rows.reserve(static_cast<size_t>(hi - lo));
+          RowBatch& rows = slots[c];
+          rows.ReserveRows(static_cast<size_t>(hi - lo));
           for (int64_t k = lo + 1; k <= hi; ++k) {
             int nationkey = static_cast<int>(rng.Uniform(25));
-            rows.push_back(
-                {Value{k},
-                 Value{StrFormat("Customer#%09lld",
-                                 static_cast<long long>(k))},
-                 Value{RandomAddress(&rng)}, Value{int64_t{nationkey}},
-                 Value{PhoneFor(nationkey, &rng)},
-                 Value{-999.99 + rng.NextDouble() * (9999.99 + 999.99)},
-                 Value{std::string(kSegments[rng.Uniform(5)])},
-                 Value{RandomText(&rng, 12)}});
+            rows.AddInt(0, k);
+            rows.AddString(
+                1, StrFormat("Customer#%09lld", static_cast<long long>(k)));
+            rows.AddString(2, RandomAddress(&rng));
+            rows.AddInt(3, nationkey);
+            rows.AddString(4, PhoneFor(nationkey, &rng));
+            rows.AddDouble(5,
+                           -999.99 + rng.NextDouble() * (9999.99 + 999.99));
+            rows.AddString(6, kSegments[rng.Uniform(5)]);
+            rows.AddString(7, RandomText(&rng, 12));
           }
         });
-    AppendSlots(&slots, &db.customer);
+    AppendBatches(&slots, &db.customer);
   }
 
   // --- orders + lineitem --- (chunked over order index; each chunk
@@ -392,16 +395,18 @@ TpchDatabase GenerateDatabase(double sf, const DbgenOptions& options) {
   const DateCode today = CurrentDate();
 
   {
-    std::vector<std::vector<Row>> order_slots(NumChunks(num_orders));
-    std::vector<std::vector<Row>> line_slots(NumChunks(num_orders));
+    std::vector<RowBatch> order_slots(NumChunks(num_orders),
+                                      RowBatch(TableSchema(TableId::kOrders)));
+    std::vector<RowBatch> line_slots(
+        NumChunks(num_orders), RowBatch(TableSchema(TableId::kLineitem)));
     ForEachChunk(threads, num_orders, [&](size_t c, int64_t clo,
                                           int64_t chi) {
       Rng rng(ChunkSeed(seed, kTagOrders, c));
       TpchRandom key_rng(ChunkSeed(seed ^ 0x7C0FFEEULL, kTagOrders, c));
-      std::vector<Row>& orders = order_slots[c];
-      std::vector<Row>& lines = line_slots[c];
-      orders.reserve(static_cast<size_t>(chi - clo));
-      lines.reserve(static_cast<size_t>(chi - clo) * 4);
+      RowBatch& orders = order_slots[c];
+      RowBatch& lines = line_slots[c];
+      orders.ReserveRows(static_cast<size_t>(chi - clo));
+      lines.ReserveRows(static_cast<size_t>(chi - clo) * 4);
       for (int64_t i = clo; i < chi; ++i) {
         int64_t orderkey = SparseOrderkey(i);
         // Customers with custkey % 3 == 0 never place orders (spec
@@ -448,15 +453,22 @@ TpchDatabase GenerateDatabase(double sf, const DbgenOptions& options) {
           if (linestatus == "O") open_lines++;
           totalprice += extprice * (1.0 + tax) * (1.0 - discount);
 
-          lines.push_back(
-              {Value{orderkey}, Value{partkey}, Value{suppkey},
-               Value{int64_t{ln}}, Value{quantity}, Value{extprice},
-               Value{discount}, Value{tax}, Value{std::move(returnflag)},
-               Value{std::move(linestatus)}, Value{int64_t{shipdate}},
-               Value{int64_t{commitdate}}, Value{int64_t{receiptdate}},
-               Value{std::string(kInstructions[rng.Uniform(4)])},
-               Value{std::string(kModes[rng.Uniform(7)])},
-               Value{RandomText(&rng, 4)}});
+          lines.AddInt(0, orderkey);
+          lines.AddInt(1, partkey);
+          lines.AddInt(2, suppkey);
+          lines.AddInt(3, ln);
+          lines.AddDouble(4, quantity);
+          lines.AddDouble(5, extprice);
+          lines.AddDouble(6, discount);
+          lines.AddDouble(7, tax);
+          lines.AddString(8, std::move(returnflag));
+          lines.AddString(9, std::move(linestatus));
+          lines.AddInt(10, shipdate);
+          lines.AddInt(11, commitdate);
+          lines.AddInt(12, receiptdate);
+          lines.AddString(13, kInstructions[rng.Uniform(4)]);
+          lines.AddString(14, kModes[rng.Uniform(7)]);
+          lines.AddString(15, RandomText(&rng, 4));
         }
 
         std::string status = open_lines == 0
@@ -468,20 +480,24 @@ TpchDatabase GenerateDatabase(double sf, const DbgenOptions& options) {
         if (rng.Uniform(64) == 0) {
           comment = "special " + RandomText(&rng, 1) + " requests " + comment;
         }
-        orders.push_back(
-            {Value{orderkey}, Value{custkey}, Value{std::move(status)},
-             Value{totalprice}, Value{int64_t{orderdate}},
-             Value{std::string(kPriorities[rng.Uniform(5)])},
-             Value{StrFormat("Clerk#%09llu",
-                             static_cast<unsigned long long>(
-                                 rng.Uniform(std::max<int64_t>(
-                                     1, static_cast<int64_t>(1000 * sf))) +
-                                 1))},
-             Value{int64_t{0}}, Value{std::move(comment)}});
+        orders.AddInt(0, orderkey);
+        orders.AddInt(1, custkey);
+        orders.AddString(2, std::move(status));
+        orders.AddDouble(3, totalprice);
+        orders.AddInt(4, orderdate);
+        orders.AddString(5, kPriorities[rng.Uniform(5)]);
+        orders.AddString(
+            6, StrFormat("Clerk#%09llu",
+                         static_cast<unsigned long long>(
+                             rng.Uniform(std::max<int64_t>(
+                                 1, static_cast<int64_t>(1000 * sf))) +
+                             1)));
+        orders.AddInt(7, 0);
+        orders.AddString(8, std::move(comment));
       }
     });
-    AppendSlots(&order_slots, &db.orders);
-    AppendSlots(&line_slots, &db.lineitem);
+    AppendBatches(&order_slots, &db.orders);
+    AppendBatches(&line_slots, &db.lineitem);
   }
 
   return db;

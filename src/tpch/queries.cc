@@ -1,6 +1,7 @@
 #include "tpch/queries.h"
 
 #include <algorithm>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -19,20 +20,31 @@ using exec::AsDouble;
 using exec::AsInt;
 using exec::AsString;
 using exec::Col;
+using exec::ColAgg;
+using exec::CopyCol;
+using exec::CopyColAs;
+using exec::CountAgg;
+using exec::DoubleExprCol;
 using exec::Expr;
 using exec::Filter;
 using exec::HashAggregateOn;
 using exec::HashJoinOn;
+using exec::IndexPredicate;
+using exec::IntExprCol;
 using exec::JoinType;
 using exec::Limit;
 using exec::NamedExpr;
 using exec::Project;
+using exec::ProjectColumns;
 using exec::Row;
 using exec::SortBy;
 using exec::SortKey;
+using exec::StrExprCol;
+using exec::StringPool;
 using exec::Table;
 using exec::Value;
 using exec::ValueType;
+using exec::VecAgg;
 
 constexpr ValueType I = ValueType::kInt;
 constexpr ValueType D = ValueType::kDouble;
@@ -51,30 +63,75 @@ bool StrEndsWith(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+// ---- Typed column access helpers ----------------------------------------
+//
+// The plans below read raw column storage (ints/doubles/dictionary
+// codes) and filter through index predicates, so the hot loops never
+// materialize Row vectors or dispatch on Value variants. String
+// predicates are evaluated once per distinct dictionary entry
+// (MatchCodes) or collapsed to a code comparison (CodeFor).
+
+const std::vector<int64_t>& Ints(const Table& t, const char* col) {
+  return t.IntData(t.ColIndex(col));
+}
+
+const std::vector<double>& Dbls(const Table& t, const char* col) {
+  return t.DoubleData(t.ColIndex(col));
+}
+
+const std::vector<uint32_t>& Codes(const Table& t, const char* col) {
+  return t.StrCodes(t.ColIndex(col));
+}
+
+/// Per-dictionary-code match table: evaluates `pred` once per distinct
+/// string in `t`'s pool instead of once per row.
+template <typename Pred>
+std::vector<char> MatchCodes(const Table& t, Pred pred) {
+  const StringPool& pool = t.pool();
+  std::vector<char> m(pool.size());
+  for (uint32_t c = 0; c < m.size(); ++c) {
+    m[c] = pred(pool.Get(c)) ? 1 : 0;
+  }
+  return m;
+}
+
+/// Typed revenue generator: l_extendedprice * (1 - l_discount), the
+/// same arithmetic (and rounding) as exec::Revenue's row expression.
+std::function<double(size_t)> RevenueAt(const Table& t) {
+  const double* price = Dbls(t, "l_extendedprice").data();
+  const double* disc = Dbls(t, "l_discount").data();
+  return [price, disc](size_t i) { return price[i] * (1.0 - disc[i]); };
+}
+
 // Q1: Pricing Summary Report.
 Table Q1(const TpchDatabase& db) {
   DateCode cutoff = MakeDate(1998, 12, 1) - 90;
   const Table& l = db.lineitem;
-  int shipdate = l.ColIndex("l_shipdate");
-  Table filtered = Filter(l, [shipdate, cutoff](const Row& r) {
-    return AsInt(r[shipdate]) <= cutoff;
-  });
-  Expr qty = Col(filtered, "l_quantity");
-  Expr price = Col(filtered, "l_extendedprice");
-  Expr disc = Col(filtered, "l_discount");
-  Expr tax = Col(filtered, "l_tax");
-  Expr disc_price = exec::Mul(price, exec::Sub(exec::Lit(1.0), disc));
-  Expr charge = exec::Mul(disc_price, exec::Add(exec::Lit(1.0), tax));
+  const int64_t* shipdate = Ints(l, "l_shipdate").data();
+  Table filtered = Filter(
+      l, IndexPredicate([shipdate, cutoff](size_t i) {
+        return shipdate[i] <= cutoff;
+      }));
+  const double* price = Dbls(filtered, "l_extendedprice").data();
+  const double* disc = Dbls(filtered, "l_discount").data();
+  const double* tax = Dbls(filtered, "l_tax").data();
   Table agg = HashAggregateOn(
       filtered, {"l_returnflag", "l_linestatus"},
-      {{AggKind::kSum, qty, "sum_qty", D},
-       {AggKind::kSum, price, "sum_base_price", D},
-       {AggKind::kSum, disc_price, "sum_disc_price", D},
-       {AggKind::kSum, charge, "sum_charge", D},
-       {AggKind::kAvg, qty, "avg_qty", D},
-       {AggKind::kAvg, price, "avg_price", D},
-       {AggKind::kAvg, disc, "avg_disc", D},
-       {AggKind::kCount, nullptr, "count_order", I}});
+      {ColAgg(AggKind::kSum, filtered, "l_quantity", "sum_qty", D),
+       ColAgg(AggKind::kSum, filtered, "l_extendedprice", "sum_base_price",
+              D),
+       VecAgg(AggKind::kSum, "sum_disc_price", D,
+              [price, disc](size_t i) {
+                return price[i] * (1.0 - disc[i]);
+              }),
+       VecAgg(AggKind::kSum, "sum_charge", D,
+              [price, disc, tax](size_t i) {
+                return (price[i] * (1.0 - disc[i])) * (1.0 + tax[i]);
+              }),
+       ColAgg(AggKind::kAvg, filtered, "l_quantity", "avg_qty", D),
+       ColAgg(AggKind::kAvg, filtered, "l_extendedprice", "avg_price", D),
+       ColAgg(AggKind::kAvg, filtered, "l_discount", "avg_disc", D),
+       CountAgg("count_order")});
   int rf = agg.ColIndex("l_returnflag");
   int ls = agg.ColIndex("l_linestatus");
   return SortBy(std::move(agg), {{rf, true}, {ls, true}});
@@ -82,42 +139,44 @@ Table Q1(const TpchDatabase& db) {
 
 // Q2: Minimum Cost Supplier.
 Table Q2(const TpchDatabase& db) {
-  int psize = db.part.ColIndex("p_size");
-  int ptype = db.part.ColIndex("p_type");
-  Table part = Filter(db.part, [psize, ptype](const Row& r) {
-    return AsInt(r[psize]) == 15 && StrEndsWith(AsString(r[ptype]), "BRASS");
+  const int64_t* psize = Ints(db.part, "p_size").data();
+  const uint32_t* ptype = Codes(db.part, "p_type").data();
+  std::vector<char> brass = MatchCodes(db.part, [](const std::string& s) {
+    return StrEndsWith(s, "BRASS");
   });
-  int rname = db.region.ColIndex("r_name");
-  Table region = Filter(db.region, [rname](const Row& r) {
-    return AsString(r[rname]) == "EUROPE";
-  });
+  Table part = Filter(db.part, IndexPredicate([&](size_t i) {
+                        return psize[i] == 15 && brass[ptype[i]];
+                      }));
+  const uint32_t* rname = Codes(db.region, "r_name").data();
+  uint32_t europe = db.region.CodeFor("EUROPE");
+  Table region = Filter(db.region, IndexPredicate([rname, europe](size_t i) {
+                          return rname[i] == europe;
+                        }));
   // Suppliers in EUROPE with nation info.
   Table nr = HashJoinOn(db.nation, region, {"n_regionkey"}, {"r_regionkey"});
   Table snr = HashJoinOn(db.supplier, nr, {"s_nationkey"}, {"n_nationkey"});
   // All (part, europe-supplier) offers.
   Table offers = HashJoinOn(db.partsupp, snr, {"ps_suppkey"}, {"s_suppkey"});
   // Min supply cost per part over European suppliers.
-  Table mincost = HashAggregateOn(
-      offers, {"ps_partkey"},
-      {{AggKind::kMin, Col(offers, "ps_supplycost"), "min_cost", D}});
+  Table mincost =
+      HashAggregateOn(offers, {"ps_partkey"},
+                      {ColAgg(AggKind::kMin, offers, "ps_supplycost",
+                              "min_cost", D)});
   // Offers matching the min cost, restricted to the selected parts.
   Table with_min =
       HashJoinOn(offers, mincost, {"ps_partkey"}, {"ps_partkey"});
-  int cost = with_min.ColIndex("ps_supplycost");
-  int minc = with_min.ColIndex("min_cost");
-  Table best = Filter(with_min, [cost, minc](const Row& r) {
-    return AsDouble(r[cost]) == AsDouble(r[minc]);
-  });
+  const double* cost = Dbls(with_min, "ps_supplycost").data();
+  const double* minc = Dbls(with_min, "min_cost").data();
+  Table best = Filter(with_min, IndexPredicate([cost, minc](size_t i) {
+                        return cost[i] == minc[i];
+                      }));
   Table joined = HashJoinOn(best, part, {"ps_partkey"}, {"p_partkey"});
-  Table projected = Project(
-      joined, {{"s_acctbal", D, Col(joined, "s_acctbal")},
-               {"s_name", S, Col(joined, "s_name")},
-               {"n_name", S, Col(joined, "n_name")},
-               {"p_partkey", I, Col(joined, "p_partkey")},
-               {"p_mfgr", S, Col(joined, "p_mfgr")},
-               {"s_address", S, Col(joined, "s_address")},
-               {"s_phone", S, Col(joined, "s_phone")},
-               {"s_comment", S, Col(joined, "s_comment")}});
+  Table projected = ProjectColumns(
+      joined,
+      {CopyCol(joined, "s_acctbal"), CopyCol(joined, "s_name"),
+       CopyCol(joined, "n_name"), CopyCol(joined, "p_partkey"),
+       CopyCol(joined, "p_mfgr"), CopyCol(joined, "s_address"),
+       CopyCol(joined, "s_phone"), CopyCol(joined, "s_comment")});
   Table sorted = SortBy(std::move(projected), {{0, false}, {2, true},
                                                {1, true}, {3, true}});
   return Limit(std::move(sorted), 100);
@@ -126,23 +185,24 @@ Table Q2(const TpchDatabase& db) {
 // Q3: Shipping Priority.
 Table Q3(const TpchDatabase& db) {
   DateCode pivot = MakeDate(1995, 3, 15);
-  int seg = db.customer.ColIndex("c_mktsegment");
-  Table cust = Filter(db.customer, [seg](const Row& r) {
-    return AsString(r[seg]) == "BUILDING";
-  });
-  int odate = db.orders.ColIndex("o_orderdate");
-  Table orders = Filter(db.orders, [odate, pivot](const Row& r) {
-    return AsInt(r[odate]) < pivot;
-  });
-  int sdate = db.lineitem.ColIndex("l_shipdate");
-  Table line = Filter(db.lineitem, [sdate, pivot](const Row& r) {
-    return AsInt(r[sdate]) > pivot;
-  });
+  const uint32_t* seg = Codes(db.customer, "c_mktsegment").data();
+  uint32_t building = db.customer.CodeFor("BUILDING");
+  Table cust = Filter(db.customer, IndexPredicate([seg, building](size_t i) {
+                        return seg[i] == building;
+                      }));
+  const int64_t* odate = Ints(db.orders, "o_orderdate").data();
+  Table orders = Filter(db.orders, IndexPredicate([odate, pivot](size_t i) {
+                          return odate[i] < pivot;
+                        }));
+  const int64_t* sdate = Ints(db.lineitem, "l_shipdate").data();
+  Table line = Filter(db.lineitem, IndexPredicate([sdate, pivot](size_t i) {
+                        return sdate[i] > pivot;
+                      }));
   Table co = HashJoinOn(cust, orders, {"c_custkey"}, {"o_custkey"});
   Table col = HashJoinOn(co, line, {"o_orderkey"}, {"l_orderkey"});
   Table agg = HashAggregateOn(
       col, {"l_orderkey", "o_orderdate", "o_shippriority"},
-      {{AggKind::kSum, exec::Revenue(col), "revenue", D}});
+      {VecAgg(AggKind::kSum, "revenue", D, RevenueAt(col))});
   int rev = agg.ColIndex("revenue");
   int od = agg.ColIndex("o_orderdate");
   Table sorted = SortBy(std::move(agg), {{rev, false}, {od, true}});
@@ -153,22 +213,20 @@ Table Q3(const TpchDatabase& db) {
 Table Q4(const TpchDatabase& db) {
   DateCode lo = MakeDate(1993, 7, 1);
   DateCode hi = AddMonths(lo, 3);
-  int odate = db.orders.ColIndex("o_orderdate");
-  Table orders = Filter(db.orders, [odate, lo, hi](const Row& r) {
-    int64_t d = AsInt(r[odate]);
-    return d >= lo && d < hi;
-  });
-  int cdate = db.lineitem.ColIndex("l_commitdate");
-  int rdate = db.lineitem.ColIndex("l_receiptdate");
-  Table late = Filter(db.lineitem, [cdate, rdate](const Row& r) {
-    return AsInt(r[cdate]) < AsInt(r[rdate]);
-  });
+  const int64_t* odate = Ints(db.orders, "o_orderdate").data();
+  Table orders = Filter(db.orders, IndexPredicate([odate, lo, hi](size_t i) {
+                          return odate[i] >= lo && odate[i] < hi;
+                        }));
+  const int64_t* cdate = Ints(db.lineitem, "l_commitdate").data();
+  const int64_t* rdate = Ints(db.lineitem, "l_receiptdate").data();
+  Table late = Filter(db.lineitem, IndexPredicate([cdate, rdate](size_t i) {
+                        return cdate[i] < rdate[i];
+                      }));
   Table semi =
       HashJoinOn(orders, late, {"o_orderkey"}, {"l_orderkey"},
                  JoinType::kLeftSemi);
-  Table agg =
-      HashAggregateOn(semi, {"o_orderpriority"},
-                      {{AggKind::kCount, nullptr, "order_count", I}});
+  Table agg = HashAggregateOn(semi, {"o_orderpriority"},
+                              {CountAgg("order_count")});
   int prio = agg.ColIndex("o_orderpriority");
   return SortBy(std::move(agg), {{prio, true}});
 }
@@ -177,15 +235,15 @@ Table Q4(const TpchDatabase& db) {
 Table Q5(const TpchDatabase& db) {
   DateCode lo = MakeDate(1994, 1, 1);
   DateCode hi = AddYears(lo, 1);
-  int rname = db.region.ColIndex("r_name");
-  Table region = Filter(db.region, [rname](const Row& r) {
-    return AsString(r[rname]) == "ASIA";
-  });
-  int odate = db.orders.ColIndex("o_orderdate");
-  Table orders = Filter(db.orders, [odate, lo, hi](const Row& r) {
-    int64_t d = AsInt(r[odate]);
-    return d >= lo && d < hi;
-  });
+  const uint32_t* rname = Codes(db.region, "r_name").data();
+  uint32_t asia = db.region.CodeFor("ASIA");
+  Table region = Filter(db.region, IndexPredicate([rname, asia](size_t i) {
+                          return rname[i] == asia;
+                        }));
+  const int64_t* odate = Ints(db.orders, "o_orderdate").data();
+  Table orders = Filter(db.orders, IndexPredicate([odate, lo, hi](size_t i) {
+                          return odate[i] >= lo && odate[i] < hi;
+                        }));
   Table nr = HashJoinOn(db.nation, region, {"n_regionkey"}, {"r_regionkey"});
   Table snr = HashJoinOn(db.supplier, nr, {"s_nationkey"}, {"n_nationkey"});
   Table co = HashJoinOn(db.customer, orders, {"c_custkey"}, {"o_custkey"});
@@ -194,7 +252,7 @@ Table Q5(const TpchDatabase& db) {
   Table full = HashJoinOn(col, snr, {"l_suppkey", "c_nationkey"},
                           {"s_suppkey", "s_nationkey"});
   Table agg = HashAggregateOn(
-      full, {"n_name"}, {{AggKind::kSum, exec::Revenue(full), "revenue", D}});
+      full, {"n_name"}, {VecAgg(AggKind::kSum, "revenue", D, RevenueAt(full))});
   int rev = agg.ColIndex("revenue");
   return SortBy(std::move(agg), {{rev, false}});
 }
@@ -204,66 +262,69 @@ Table Q6(const TpchDatabase& db) {
   DateCode lo = MakeDate(1994, 1, 1);
   DateCode hi = AddYears(lo, 1);
   const Table& l = db.lineitem;
-  int sdate = l.ColIndex("l_shipdate");
-  int disc = l.ColIndex("l_discount");
-  int qty = l.ColIndex("l_quantity");
-  Table filtered = Filter(l, [=](const Row& r) {
-    int64_t d = AsInt(r[sdate]);
-    double dc = AsDouble(r[disc]);
+  const int64_t* sdate = Ints(l, "l_shipdate").data();
+  const double* disc = Dbls(l, "l_discount").data();
+  const double* qty = Dbls(l, "l_quantity").data();
+  Table filtered = Filter(l, IndexPredicate([=](size_t i) {
+    int64_t d = sdate[i];
+    double dc = disc[i];
     return d >= lo && d < hi && dc >= 0.05 - 1e-9 && dc <= 0.07 + 1e-9 &&
-           AsDouble(r[qty]) < 24;
-  });
-  Expr rev = exec::Mul(Col(filtered, "l_extendedprice"),
-                       Col(filtered, "l_discount"));
-  return HashAggregateOn(filtered, {},
-                         {{AggKind::kSum, rev, "revenue", D}});
+           qty[i] < 24;
+  }));
+  const double* price = Dbls(filtered, "l_extendedprice").data();
+  const double* fdisc = Dbls(filtered, "l_discount").data();
+  return HashAggregateOn(
+      filtered, {},
+      {VecAgg(AggKind::kSum, "revenue", D, [price, fdisc](size_t i) {
+        return price[i] * fdisc[i];
+      })});
 }
 
 // Q7: Volume Shipping.
 Table Q7(const TpchDatabase& db) {
   DateCode lo = MakeDate(1995, 1, 1);
   DateCode hi = MakeDate(1996, 12, 31);
-  int nname = db.nation.ColIndex("n_name");
-  Table nations = Filter(db.nation, [nname](const Row& r) {
-    const std::string& n = AsString(r[nname]);
-    return n == "FRANCE" || n == "GERMANY";
-  });
+  const uint32_t* nname = Codes(db.nation, "n_name").data();
+  uint32_t france = db.nation.CodeFor("FRANCE");
+  uint32_t germany = db.nation.CodeFor("GERMANY");
+  Table nations = Filter(db.nation, IndexPredicate([=](size_t i) {
+                           return nname[i] == france || nname[i] == germany;
+                         }));
   // supplier with supp_nation, customer with cust_nation.
   Table sn = HashJoinOn(db.supplier, nations, {"s_nationkey"},
                         {"n_nationkey"});
   Table cn = HashJoinOn(db.customer, nations, {"c_nationkey"},
                         {"n_nationkey"});
-  int sdate = db.lineitem.ColIndex("l_shipdate");
-  Table line = Filter(db.lineitem, [sdate, lo, hi](const Row& r) {
-    int64_t d = AsInt(r[sdate]);
-    return d >= lo && d <= hi;
-  });
+  const int64_t* sdate = Ints(db.lineitem, "l_shipdate").data();
+  Table line = Filter(db.lineitem, IndexPredicate([sdate, lo, hi](size_t i) {
+                        return sdate[i] >= lo && sdate[i] <= hi;
+                      }));
   Table ls = HashJoinOn(line, sn, {"l_suppkey"}, {"s_suppkey"});
   Table lso = HashJoinOn(ls, db.orders, {"l_orderkey"}, {"o_orderkey"});
   Table lsoc = HashJoinOn(lso, cn, {"o_custkey"}, {"c_custkey"});
   // n_name from supplier side; the customer's nation arrives as n_name_r.
-  int supp_n = lsoc.ColIndex("n_name");
-  int cust_n = lsoc.ColIndex("n_name_r");
-  Table pairs = Filter(lsoc, [supp_n, cust_n](const Row& r) {
-    const std::string& a = AsString(r[supp_n]);
-    const std::string& b = AsString(r[cust_n]);
-    return (a == "FRANCE" && b == "GERMANY") ||
-           (a == "GERMANY" && b == "FRANCE");
-  });
-  int sd = pairs.ColIndex("l_shipdate");
-  Table projected = Project(
+  const uint32_t* supp_n = Codes(lsoc, "n_name").data();
+  const uint32_t* cust_n = Codes(lsoc, "n_name_r").data();
+  uint32_t fr = lsoc.CodeFor("FRANCE");
+  uint32_t de = lsoc.CodeFor("GERMANY");
+  Table pairs = Filter(lsoc, IndexPredicate([=](size_t i) {
+                         return (supp_n[i] == fr && cust_n[i] == de) ||
+                                (supp_n[i] == de && cust_n[i] == fr);
+                       }));
+  const int64_t* sd = Ints(pairs, "l_shipdate").data();
+  Table projected = ProjectColumns(
       pairs,
-      {{"supp_nation", S, Col(pairs, "n_name")},
-       {"cust_nation", S, Col(pairs, "n_name_r")},
-       {"l_year", I,
-        [sd](const Row& r) {
-          return Value{static_cast<int64_t>(
-              YearOf(static_cast<DateCode>(AsInt(r[sd]))))};
-        }},
-       {"volume", D, exec::Revenue(pairs)}});
+      {CopyColAs(pairs, "n_name", "supp_nation"),
+       CopyColAs(pairs, "n_name_r", "cust_nation"),
+       IntExprCol("l_year",
+                  [sd](size_t i) {
+                    return static_cast<int64_t>(
+                        YearOf(static_cast<DateCode>(sd[i])));
+                  }),
+       DoubleExprCol("volume", RevenueAt(pairs))});
   Table agg = HashAggregateOn(
       projected, {"supp_nation", "cust_nation", "l_year"},
-      {{AggKind::kSum, Col(projected, "volume"), "revenue", D}});
+      {ColAgg(AggKind::kSum, projected, "volume", "revenue", D)});
   return SortBy(std::move(agg), {{0, true}, {1, true}, {2, true}});
 }
 
@@ -271,19 +332,20 @@ Table Q7(const TpchDatabase& db) {
 Table Q8(const TpchDatabase& db) {
   DateCode lo = MakeDate(1995, 1, 1);
   DateCode hi = MakeDate(1996, 12, 31);
-  int ptype = db.part.ColIndex("p_type");
-  Table part = Filter(db.part, [ptype](const Row& r) {
-    return AsString(r[ptype]) == "ECONOMY ANODIZED STEEL";
-  });
-  int rname = db.region.ColIndex("r_name");
-  Table region = Filter(db.region, [rname](const Row& r) {
-    return AsString(r[rname]) == "AMERICA";
-  });
-  int odate = db.orders.ColIndex("o_orderdate");
-  Table orders = Filter(db.orders, [odate, lo, hi](const Row& r) {
-    int64_t d = AsInt(r[odate]);
-    return d >= lo && d <= hi;
-  });
+  const uint32_t* ptype = Codes(db.part, "p_type").data();
+  uint32_t steel = db.part.CodeFor("ECONOMY ANODIZED STEEL");
+  Table part = Filter(db.part, IndexPredicate([ptype, steel](size_t i) {
+                        return ptype[i] == steel;
+                      }));
+  const uint32_t* rname = Codes(db.region, "r_name").data();
+  uint32_t america = db.region.CodeFor("AMERICA");
+  Table region = Filter(db.region, IndexPredicate([rname, america](size_t i) {
+                          return rname[i] == america;
+                        }));
+  const int64_t* odate = Ints(db.orders, "o_orderdate").data();
+  Table orders = Filter(db.orders, IndexPredicate([odate, lo, hi](size_t i) {
+                          return odate[i] >= lo && odate[i] <= hi;
+                        }));
   Table lp = HashJoinOn(db.lineitem, part, {"l_partkey"}, {"p_partkey"});
   Table lpo = HashJoinOn(lp, orders, {"l_orderkey"}, {"o_orderkey"});
   // Customer must be in an AMERICA nation.
@@ -294,44 +356,48 @@ Table Q8(const TpchDatabase& db) {
   Table sn = HashJoinOn(db.supplier, db.nation, {"s_nationkey"},
                         {"n_nationkey"});
   Table full = HashJoinOn(lpoc, sn, {"l_suppkey"}, {"s_suppkey"});
-  int od = full.ColIndex("o_orderdate");
+  const int64_t* od = Ints(full, "o_orderdate").data();
   // After joining nation twice, the supplier's nation name is the later
   // duplicate: n_name from cnr is "n_name", from sn it is "n_name_r".
-  Table vol = Project(
+  Table vol = ProjectColumns(
       full,
-      {{"o_year", I,
-        [od](const Row& r) {
-          return Value{static_cast<int64_t>(
-              YearOf(static_cast<DateCode>(AsInt(r[od]))))};
-        }},
-       {"volume", D, exec::Revenue(full)},
-       {"nation", S, Col(full, "n_name_r")}});
-  int nat = vol.ColIndex("nation");
-  int volume = vol.ColIndex("volume");
-  Expr brazil_vol = [nat, volume](const Row& r) {
-    return Value{AsString(r[nat]) == "BRAZIL" ? AsDouble(r[volume]) : 0.0};
-  };
+      {IntExprCol("o_year",
+                  [od](size_t i) {
+                    return static_cast<int64_t>(
+                        YearOf(static_cast<DateCode>(od[i])));
+                  }),
+       DoubleExprCol("volume", RevenueAt(full)),
+       CopyColAs(full, "n_name_r", "nation")});
+  const uint32_t* nat = Codes(vol, "nation").data();
+  const double* volume = Dbls(vol, "volume").data();
+  uint32_t brazil = vol.CodeFor("BRAZIL");
   Table agg = HashAggregateOn(
       vol, {"o_year"},
-      {{AggKind::kSum, brazil_vol, "brazil_volume", D},
-       {AggKind::kSum, Col(vol, "volume"), "total_volume", D}});
-  int bv = agg.ColIndex("brazil_volume");
-  int tv = agg.ColIndex("total_volume");
-  Table share = Project(
-      agg, {{"o_year", I, Col(agg, "o_year")},
-            {"mkt_share", D, [bv, tv](const Row& r) {
-               double t = AsDouble(r[tv]);
-               return Value{t > 0 ? AsDouble(r[bv]) / t : 0.0};
-             }}});
+      {VecAgg(AggKind::kSum, "brazil_volume", D,
+              [nat, volume, brazil](size_t i) {
+                return nat[i] == brazil ? volume[i] : 0.0;
+              }),
+       ColAgg(AggKind::kSum, vol, "volume", "total_volume", D)});
+  const double* bv = Dbls(agg, "brazil_volume").data();
+  const double* tv = Dbls(agg, "total_volume").data();
+  Table share = ProjectColumns(
+      agg, {CopyCol(agg, "o_year"),
+            DoubleExprCol("mkt_share", [bv, tv](size_t i) {
+              double t = tv[i];
+              return t > 0 ? bv[i] / t : 0.0;
+            })});
   return SortBy(std::move(share), {{0, true}});
 }
 
 // Q9: Product Type Profit Measure.
 Table Q9(const TpchDatabase& db) {
-  int pname = db.part.ColIndex("p_name");
-  Table part = Filter(db.part, [pname](const Row& r) {
-    return StrContains(AsString(r[pname]), "green");
+  const uint32_t* pname = Codes(db.part, "p_name").data();
+  std::vector<char> green = MatchCodes(db.part, [](const std::string& s) {
+    return StrContains(s, "green");
   });
+  Table part = Filter(db.part, IndexPredicate([&](size_t i) {
+                        return green[pname[i]] != 0;
+                      }));
   Table lp = HashJoinOn(db.lineitem, part, {"l_partkey"}, {"p_partkey"});
   Table lps = HashJoinOn(lp, db.partsupp, {"l_partkey", "l_suppkey"},
                          {"ps_partkey", "ps_suppkey"});
@@ -339,26 +405,25 @@ Table Q9(const TpchDatabase& db) {
   Table lpssn =
       HashJoinOn(lpss, db.nation, {"s_nationkey"}, {"n_nationkey"});
   Table full = HashJoinOn(lpssn, db.orders, {"l_orderkey"}, {"o_orderkey"});
-  int od = full.ColIndex("o_orderdate");
-  int price = full.ColIndex("l_extendedprice");
-  int disc = full.ColIndex("l_discount");
-  int scost = full.ColIndex("ps_supplycost");
-  int qty = full.ColIndex("l_quantity");
-  Table profit = Project(
+  const int64_t* od = Ints(full, "o_orderdate").data();
+  const double* price = Dbls(full, "l_extendedprice").data();
+  const double* disc = Dbls(full, "l_discount").data();
+  const double* scost = Dbls(full, "ps_supplycost").data();
+  const double* qty = Dbls(full, "l_quantity").data();
+  Table profit = ProjectColumns(
       full,
-      {{"nation", S, Col(full, "n_name")},
-       {"o_year", I,
-        [od](const Row& r) {
-          return Value{static_cast<int64_t>(
-              YearOf(static_cast<DateCode>(AsInt(r[od]))))};
-        }},
-       {"amount", D, [price, disc, scost, qty](const Row& r) {
-          return Value{AsDouble(r[price]) * (1.0 - AsDouble(r[disc])) -
-                       AsDouble(r[scost]) * AsDouble(r[qty])};
-        }}});
+      {CopyColAs(full, "n_name", "nation"),
+       IntExprCol("o_year",
+                  [od](size_t i) {
+                    return static_cast<int64_t>(
+                        YearOf(static_cast<DateCode>(od[i])));
+                  }),
+       DoubleExprCol("amount", [price, disc, scost, qty](size_t i) {
+         return price[i] * (1.0 - disc[i]) - scost[i] * qty[i];
+       })});
   Table agg = HashAggregateOn(
       profit, {"nation", "o_year"},
-      {{AggKind::kSum, Col(profit, "amount"), "sum_profit", D}});
+      {ColAgg(AggKind::kSum, profit, "amount", "sum_profit", D)});
   return SortBy(std::move(agg), {{0, true}, {1, false}});
 }
 
@@ -366,15 +431,15 @@ Table Q9(const TpchDatabase& db) {
 Table Q10(const TpchDatabase& db) {
   DateCode lo = MakeDate(1993, 10, 1);
   DateCode hi = AddMonths(lo, 3);
-  int odate = db.orders.ColIndex("o_orderdate");
-  Table orders = Filter(db.orders, [odate, lo, hi](const Row& r) {
-    int64_t d = AsInt(r[odate]);
-    return d >= lo && d < hi;
-  });
-  int rf = db.lineitem.ColIndex("l_returnflag");
-  Table returned = Filter(db.lineitem, [rf](const Row& r) {
-    return AsString(r[rf]) == "R";
-  });
+  const int64_t* odate = Ints(db.orders, "o_orderdate").data();
+  Table orders = Filter(db.orders, IndexPredicate([odate, lo, hi](size_t i) {
+                          return odate[i] >= lo && odate[i] < hi;
+                        }));
+  const uint32_t* rf = Codes(db.lineitem, "l_returnflag").data();
+  uint32_t r_code = db.lineitem.CodeFor("R");
+  Table returned = Filter(db.lineitem, IndexPredicate([rf, r_code](size_t i) {
+                            return rf[i] == r_code;
+                          }));
   Table co = HashJoinOn(db.customer, orders, {"c_custkey"}, {"o_custkey"});
   Table col = HashJoinOn(co, returned, {"o_orderkey"}, {"l_orderkey"});
   Table coln = HashJoinOn(col, db.nation, {"c_nationkey"}, {"n_nationkey"});
@@ -382,7 +447,7 @@ Table Q10(const TpchDatabase& db) {
       coln,
       {"c_custkey", "c_name", "c_acctbal", "c_phone", "n_name", "c_address",
        "c_comment"},
-      {{AggKind::kSum, exec::Revenue(coln), "revenue", D}});
+      {VecAgg(AggKind::kSum, "revenue", D, RevenueAt(coln))});
   int rev = agg.ColIndex("revenue");
   int ck = agg.ColIndex("c_custkey");
   Table sorted = SortBy(std::move(agg), {{rev, false}, {ck, true}});
@@ -391,31 +456,34 @@ Table Q10(const TpchDatabase& db) {
 
 // Q11: Important Stock Identification.
 Table Q11(const TpchDatabase& db) {
-  int nname = db.nation.ColIndex("n_name");
-  Table nation = Filter(db.nation, [nname](const Row& r) {
-    return AsString(r[nname]) == "GERMANY";
-  });
+  const uint32_t* nname = Codes(db.nation, "n_name").data();
+  uint32_t germany = db.nation.CodeFor("GERMANY");
+  Table nation = Filter(db.nation, IndexPredicate([nname, germany](size_t i) {
+                          return nname[i] == germany;
+                        }));
   Table sn = HashJoinOn(db.supplier, nation, {"s_nationkey"},
                         {"n_nationkey"});
   Table ps = HashJoinOn(db.partsupp, sn, {"ps_suppkey"}, {"s_suppkey"});
-  int cost = ps.ColIndex("ps_supplycost");
-  int qty = ps.ColIndex("ps_availqty");
-  Expr value = [cost, qty](const Row& r) {
-    return Value{AsDouble(r[cost]) * AsDouble(r[qty])};
+  const double* cost = Dbls(ps, "ps_supplycost").data();
+  const int64_t* qty = Ints(ps, "ps_availqty").data();
+  auto value = [cost, qty](size_t i) {
+    return cost[i] * static_cast<double>(qty[i]);
   };
   Table total =
-      HashAggregateOn(ps, {}, {{AggKind::kSum, value, "total", D}});
-  double threshold = AsDouble(total.rows()[0][0]) * 0.0001 /
+      HashAggregateOn(ps, {}, {VecAgg(AggKind::kSum, "total", D, value)});
+  double threshold = total.DoubleData(0)[0] * 0.0001 /
                      std::max(db.scale_factor, 1e-9) *
                      std::min(db.scale_factor, 1.0);
   // The spec fraction is 0.0001/SF; for mini scale factors (<1) we keep
   // the fraction at 0.0001 to avoid empty results.
   Table agg = HashAggregateOn(ps, {"ps_partkey"},
-                              {{AggKind::kSum, value, "value", D}});
+                              {VecAgg(AggKind::kSum, "value", D, value)});
   int v = agg.ColIndex("value");
-  Table filtered = Filter(std::move(agg), [v, threshold](const Row& r) {
-    return AsDouble(r[v]) > threshold;
-  });
+  const double* vals = Dbls(agg, "value").data();
+  Table filtered =
+      Filter(std::move(agg), IndexPredicate([vals, threshold](size_t i) {
+               return vals[i] > threshold;
+             }));
   return SortBy(std::move(filtered), {{v, false}});
 }
 
@@ -424,53 +492,57 @@ Table Q12(const TpchDatabase& db) {
   DateCode lo = MakeDate(1994, 1, 1);
   DateCode hi = AddYears(lo, 1);
   const Table& l = db.lineitem;
-  int mode = l.ColIndex("l_shipmode");
-  int cdate = l.ColIndex("l_commitdate");
-  int rdate = l.ColIndex("l_receiptdate");
-  int sdate = l.ColIndex("l_shipdate");
-  Table line = Filter(l, [=](const Row& r) {
-    const std::string& m = AsString(r[mode]);
-    int64_t rd = AsInt(r[rdate]);
-    return (m == "MAIL" || m == "SHIP") && AsInt(r[cdate]) < rd &&
-           AsInt(r[sdate]) < AsInt(r[cdate]) && rd >= lo && rd < hi;
-  });
+  const uint32_t* mode = Codes(l, "l_shipmode").data();
+  const int64_t* cdate = Ints(l, "l_commitdate").data();
+  const int64_t* rdate = Ints(l, "l_receiptdate").data();
+  const int64_t* sdate = Ints(l, "l_shipdate").data();
+  uint32_t mail = l.CodeFor("MAIL");
+  uint32_t ship = l.CodeFor("SHIP");
+  Table line = Filter(l, IndexPredicate([=](size_t i) {
+    int64_t rd = rdate[i];
+    return (mode[i] == mail || mode[i] == ship) && cdate[i] < rd &&
+           sdate[i] < cdate[i] && rd >= lo && rd < hi;
+  }));
   Table lo_join = HashJoinOn(line, db.orders, {"l_orderkey"}, {"o_orderkey"});
-  int prio = lo_join.ColIndex("o_orderpriority");
-  Expr high = [prio](const Row& r) {
-    const std::string& p = AsString(r[prio]);
-    return Value{p == "1-URGENT" || p == "2-HIGH" ? 1.0 : 0.0};
-  };
-  Expr low = [prio](const Row& r) {
-    const std::string& p = AsString(r[prio]);
-    return Value{p != "1-URGENT" && p != "2-HIGH" ? 1.0 : 0.0};
-  };
+  const uint32_t* prio = Codes(lo_join, "o_orderpriority").data();
+  uint32_t urgent = lo_join.CodeFor("1-URGENT");
+  uint32_t high_p = lo_join.CodeFor("2-HIGH");
   Table agg = HashAggregateOn(
       lo_join, {"l_shipmode"},
-      {{AggKind::kSum, high, "high_line_count", I},
-       {AggKind::kSum, low, "low_line_count", I}});
+      {VecAgg(AggKind::kSum, "high_line_count", I,
+              [prio, urgent, high_p](size_t i) {
+                return prio[i] == urgent || prio[i] == high_p ? 1.0 : 0.0;
+              }),
+       VecAgg(AggKind::kSum, "low_line_count", I,
+              [prio, urgent, high_p](size_t i) {
+                return prio[i] != urgent && prio[i] != high_p ? 1.0 : 0.0;
+              })});
   return SortBy(std::move(agg), {{0, true}});
 }
 
 // Q13: Customer Distribution.
 Table Q13(const TpchDatabase& db) {
-  int comment = db.orders.ColIndex("o_comment");
-  Table orders = Filter(db.orders, [comment](const Row& r) {
-    const std::string& c = AsString(r[comment]);
-    size_t pos = c.find("special");
-    return pos == std::string::npos ||
-           c.find("requests", pos) == std::string::npos;
-  });
+  const uint32_t* comment = Codes(db.orders, "o_comment").data();
+  std::vector<char> excluded =
+      MatchCodes(db.orders, [](const std::string& c) {
+        size_t pos = c.find("special");
+        return pos != std::string::npos &&
+               c.find("requests", pos) != std::string::npos;
+      });
+  Table orders = Filter(db.orders, IndexPredicate([&](size_t i) {
+                          return excluded[comment[i]] == 0;
+                        }));
   Table co = HashJoinOn(db.customer, orders, {"c_custkey"}, {"o_custkey"},
                         JoinType::kLeftOuter);
-  int okey = co.ColIndex("o_orderkey");
+  const int64_t* okey = Ints(co, "o_orderkey").data();
   // Outer-join padding gives o_orderkey = 0; real orderkeys start at 1.
-  Expr matched = [okey](const Row& r) {
-    return Value{AsInt(r[okey]) > 0 ? 1.0 : 0.0};
-  };
   Table per_cust = HashAggregateOn(
-      co, {"c_custkey"}, {{AggKind::kSum, matched, "c_count", I}});
-  Table dist = HashAggregateOn(
-      per_cust, {"c_count"}, {{AggKind::kCount, nullptr, "custdist", I}});
+      co, {"c_custkey"},
+      {VecAgg(AggKind::kSum, "c_count", I, [okey](size_t i) {
+        return okey[i] > 0 ? 1.0 : 0.0;
+      })});
+  Table dist = HashAggregateOn(per_cust, {"c_count"},
+                               {CountAgg("custdist")});
   int cd = dist.ColIndex("custdist");
   int cc = dist.ColIndex("c_count");
   return SortBy(std::move(dist), {{cd, false}, {cc, false}});
@@ -480,93 +552,96 @@ Table Q13(const TpchDatabase& db) {
 Table Q14(const TpchDatabase& db) {
   DateCode lo = MakeDate(1995, 9, 1);
   DateCode hi = AddMonths(lo, 1);
-  int sdate = db.lineitem.ColIndex("l_shipdate");
-  Table line = Filter(db.lineitem, [sdate, lo, hi](const Row& r) {
-    int64_t d = AsInt(r[sdate]);
-    return d >= lo && d < hi;
-  });
+  const int64_t* sdate = Ints(db.lineitem, "l_shipdate").data();
+  Table line = Filter(db.lineitem, IndexPredicate([sdate, lo, hi](size_t i) {
+                        return sdate[i] >= lo && sdate[i] < hi;
+                      }));
   Table lp = HashJoinOn(line, db.part, {"l_partkey"}, {"p_partkey"});
-  int ptype = lp.ColIndex("p_type");
-  Expr rev = exec::Revenue(lp);
-  Expr promo_rev = [ptype, rev](const Row& r) {
-    return Value{StrStartsWith(AsString(r[ptype]), "PROMO")
-                     ? AsDouble(rev(r))
-                     : 0.0};
-  };
-  Table agg = HashAggregateOn(lp, {},
-                              {{AggKind::kSum, promo_rev, "promo", D},
-                               {AggKind::kSum, rev, "total", D}});
-  int promo = agg.ColIndex("promo");
-  int total = agg.ColIndex("total");
-  return Project(agg, {{"promo_revenue", D, [promo, total](const Row& r) {
-                          double t = AsDouble(r[total]);
-                          return Value{t > 0
-                                           ? 100.0 * AsDouble(r[promo]) / t
-                                           : 0.0};
-                        }}});
+  const uint32_t* ptype = Codes(lp, "p_type").data();
+  std::vector<char> promo = MatchCodes(lp, [](const std::string& s) {
+    return StrStartsWith(s, "PROMO");
+  });
+  auto rev = RevenueAt(lp);
+  Table agg = HashAggregateOn(
+      lp, {},
+      {VecAgg(AggKind::kSum, "promo", D,
+              [&promo, ptype, rev](size_t i) {
+                return promo[ptype[i]] ? rev(i) : 0.0;
+              }),
+       VecAgg(AggKind::kSum, "total", D, rev)});
+  const double* pr = Dbls(agg, "promo").data();
+  const double* tot = Dbls(agg, "total").data();
+  return ProjectColumns(
+      agg, {DoubleExprCol("promo_revenue", [pr, tot](size_t i) {
+        double t = tot[i];
+        return t > 0 ? 100.0 * pr[i] / t : 0.0;
+      })});
 }
 
 // Q15: Top Supplier.
 Table Q15(const TpchDatabase& db) {
   DateCode lo = MakeDate(1996, 1, 1);
   DateCode hi = AddMonths(lo, 3);
-  int sdate = db.lineitem.ColIndex("l_shipdate");
-  Table line = Filter(db.lineitem, [sdate, lo, hi](const Row& r) {
-    int64_t d = AsInt(r[sdate]);
-    return d >= lo && d < hi;
-  });
+  const int64_t* sdate = Ints(db.lineitem, "l_shipdate").data();
+  Table line = Filter(db.lineitem, IndexPredicate([sdate, lo, hi](size_t i) {
+                        return sdate[i] >= lo && sdate[i] < hi;
+                      }));
   Table revenue = HashAggregateOn(
       line, {"l_suppkey"},
-      {{AggKind::kSum, exec::Revenue(line), "total_revenue", D}});
+      {VecAgg(AggKind::kSum, "total_revenue", D, RevenueAt(line))});
   Table maxrev = HashAggregateOn(
       revenue, {},
-      {{AggKind::kMax, Col(revenue, "total_revenue"), "max_revenue", D}});
-  double max_revenue = maxrev.num_rows()
-                           ? AsDouble(maxrev.rows()[0][0])
-                           : 0.0;
-  int tr = revenue.ColIndex("total_revenue");
-  Table top = Filter(std::move(revenue), [tr, max_revenue](const Row& r) {
-    return AsDouble(r[tr]) >= max_revenue - 1e-6;
-  });
+      {ColAgg(AggKind::kMax, revenue, "total_revenue", "max_revenue", D)});
+  double max_revenue = maxrev.num_rows() ? maxrev.DoubleData(0)[0] : 0.0;
+  const double* tr = Dbls(revenue, "total_revenue").data();
+  Table top =
+      Filter(std::move(revenue), IndexPredicate([tr, max_revenue](size_t i) {
+               return tr[i] >= max_revenue - 1e-6;
+             }));
   Table joined = HashJoinOn(top, db.supplier, {"l_suppkey"}, {"s_suppkey"});
-  Table projected = Project(joined, {{"s_suppkey", I, Col(joined, "s_suppkey")},
-                                     {"s_name", S, Col(joined, "s_name")},
-                                     {"s_address", S, Col(joined, "s_address")},
-                                     {"s_phone", S, Col(joined, "s_phone")},
-                                     {"total_revenue", D,
-                                      Col(joined, "total_revenue")}});
+  Table projected = ProjectColumns(
+      joined, {CopyCol(joined, "s_suppkey"), CopyCol(joined, "s_name"),
+               CopyCol(joined, "s_address"), CopyCol(joined, "s_phone"),
+               CopyCol(joined, "total_revenue")});
   return SortBy(std::move(projected), {{0, true}});
 }
 
 // Q16: Parts/Supplier Relationship.
 Table Q16(const TpchDatabase& db) {
-  int brand = db.part.ColIndex("p_brand");
-  int ptype = db.part.ColIndex("p_type");
-  int psize = db.part.ColIndex("p_size");
   static const int kSizes[] = {49, 14, 23, 45, 19, 3, 36, 9};
-  Table part = Filter(db.part, [brand, ptype, psize](const Row& r) {
-    if (AsString(r[brand]) == "Brand#45") return false;
-    if (StrStartsWith(AsString(r[ptype]), "MEDIUM POLISHED")) return false;
-    int64_t s = AsInt(r[psize]);
+  const uint32_t* brand = Codes(db.part, "p_brand").data();
+  const uint32_t* ptype = Codes(db.part, "p_type").data();
+  const int64_t* psize = Ints(db.part, "p_size").data();
+  uint32_t brand45 = db.part.CodeFor("Brand#45");
+  std::vector<char> medpol = MatchCodes(db.part, [](const std::string& s) {
+    return StrStartsWith(s, "MEDIUM POLISHED");
+  });
+  Table part = Filter(db.part, IndexPredicate([&](size_t i) {
+    if (brand[i] == brand45) return false;
+    if (medpol[ptype[i]]) return false;
+    int64_t s = psize[i];
     for (int k : kSizes) {
       if (s == k) return true;
     }
     return false;
-  });
-  int comment = db.supplier.ColIndex("s_comment");
-  Table bad_suppliers = Filter(db.supplier, [comment](const Row& r) {
-    const std::string& c = AsString(r[comment]);
-    size_t pos = c.find("Customer");
-    return pos != std::string::npos &&
-           c.find("Complaints", pos) != std::string::npos;
-  });
+  }));
+  const uint32_t* comment = Codes(db.supplier, "s_comment").data();
+  std::vector<char> complaints =
+      MatchCodes(db.supplier, [](const std::string& c) {
+        size_t pos = c.find("Customer");
+        return pos != std::string::npos &&
+               c.find("Complaints", pos) != std::string::npos;
+      });
+  Table bad_suppliers = Filter(db.supplier, IndexPredicate([&](size_t i) {
+                                 return complaints[comment[i]] != 0;
+                               }));
   Table ps = HashJoinOn(db.partsupp, part, {"ps_partkey"}, {"p_partkey"});
   Table good = HashJoinOn(ps, bad_suppliers, {"ps_suppkey"}, {"s_suppkey"},
                           JoinType::kLeftAnti);
   Table agg = HashAggregateOn(
       good, {"p_brand", "p_type", "p_size"},
-      {{AggKind::kCountDistinct, Col(good, "ps_suppkey"), "supplier_cnt",
-        I}});
+      {ColAgg(AggKind::kCountDistinct, good, "ps_suppkey", "supplier_cnt",
+              I)});
   int cnt = agg.ColIndex("supplier_cnt");
   return SortBy(std::move(agg), {{cnt, false}, {0, true}, {1, true},
                                  {2, true}});
@@ -574,49 +649,48 @@ Table Q16(const TpchDatabase& db) {
 
 // Q17: Small-Quantity-Order Revenue.
 Table Q17(const TpchDatabase& db) {
-  int brand = db.part.ColIndex("p_brand");
-  int cont = db.part.ColIndex("p_container");
-  Table part = Filter(db.part, [brand, cont](const Row& r) {
-    return AsString(r[brand]) == "Brand#23" &&
-           AsString(r[cont]) == "MED BOX";
-  });
+  const uint32_t* brand = Codes(db.part, "p_brand").data();
+  const uint32_t* cont = Codes(db.part, "p_container").data();
+  uint32_t brand23 = db.part.CodeFor("Brand#23");
+  uint32_t medbox = db.part.CodeFor("MED BOX");
+  Table part = Filter(db.part, IndexPredicate([=](size_t i) {
+                        return brand[i] == brand23 && cont[i] == medbox;
+                      }));
   Table avg_qty = HashAggregateOn(
       db.lineitem, {"l_partkey"},
-      {{AggKind::kAvg, Col(db.lineitem, "l_quantity"), "avg_qty", D}});
+      {ColAgg(AggKind::kAvg, db.lineitem, "l_quantity", "avg_qty", D)});
   Table lp = HashJoinOn(db.lineitem, part, {"l_partkey"}, {"p_partkey"});
   Table lpa = HashJoinOn(lp, avg_qty, {"l_partkey"}, {"l_partkey"});
-  int qty = lpa.ColIndex("l_quantity");
-  int avg = lpa.ColIndex("avg_qty");
-  Table small = Filter(std::move(lpa), [qty, avg](const Row& r) {
-    return AsDouble(r[qty]) < 0.2 * AsDouble(r[avg]);
-  });
+  const double* qty = Dbls(lpa, "l_quantity").data();
+  const double* avg = Dbls(lpa, "avg_qty").data();
+  Table small = Filter(std::move(lpa), IndexPredicate([qty, avg](size_t i) {
+                         return qty[i] < 0.2 * avg[i];
+                       }));
   Table sum = HashAggregateOn(
       small, {},
-      {{AggKind::kSum, Col(small, "l_extendedprice"), "sum_price", D}});
-  int sp = sum.ColIndex("sum_price");
-  return Project(sum, {{"avg_yearly", D, [sp](const Row& r) {
-                          return Value{AsDouble(r[sp]) / 7.0};
-                        }}});
+      {ColAgg(AggKind::kSum, small, "l_extendedprice", "sum_price", D)});
+  const double* sp = Dbls(sum, "sum_price").data();
+  return ProjectColumns(sum, {DoubleExprCol("avg_yearly", [sp](size_t i) {
+                          return sp[i] / 7.0;
+                        })});
 }
 
 // Q18: Large Volume Customer.
 Table Q18(const TpchDatabase& db) {
   Table qty_per_order = HashAggregateOn(
       db.lineitem, {"l_orderkey"},
-      {{AggKind::kSum, Col(db.lineitem, "l_quantity"), "sum_qty", D}});
-  int sq = qty_per_order.ColIndex("sum_qty");
-  Table big = Filter(std::move(qty_per_order), [sq](const Row& r) {
-    return AsDouble(r[sq]) > 300.0;
-  });
+      {ColAgg(AggKind::kSum, db.lineitem, "l_quantity", "sum_qty", D)});
+  const double* sq = Dbls(qty_per_order, "sum_qty").data();
+  Table big =
+      Filter(std::move(qty_per_order), IndexPredicate([sq](size_t i) {
+               return sq[i] > 300.0;
+             }));
   Table ob = HashJoinOn(db.orders, big, {"o_orderkey"}, {"l_orderkey"});
   Table obc = HashJoinOn(ob, db.customer, {"o_custkey"}, {"c_custkey"});
-  Table projected = Project(
-      obc, {{"c_name", S, Col(obc, "c_name")},
-            {"c_custkey", I, Col(obc, "c_custkey")},
-            {"o_orderkey", I, Col(obc, "o_orderkey")},
-            {"o_orderdate", I, Col(obc, "o_orderdate")},
-            {"o_totalprice", D, Col(obc, "o_totalprice")},
-            {"sum_qty", D, Col(obc, "sum_qty")}});
+  Table projected = ProjectColumns(
+      obc, {CopyCol(obc, "c_name"), CopyCol(obc, "c_custkey"),
+            CopyCol(obc, "o_orderkey"), CopyCol(obc, "o_orderdate"),
+            CopyCol(obc, "o_totalprice"), CopyCol(obc, "sum_qty")});
   Table sorted = SortBy(std::move(projected), {{4, false}, {3, true}});
   return Limit(std::move(sorted), 100);
 }
@@ -624,82 +698,92 @@ Table Q18(const TpchDatabase& db) {
 // Q19: Discounted Revenue.
 Table Q19(const TpchDatabase& db) {
   Table lp = HashJoinOn(db.lineitem, db.part, {"l_partkey"}, {"p_partkey"});
-  int brand = lp.ColIndex("p_brand");
-  int cont = lp.ColIndex("p_container");
-  int size = lp.ColIndex("p_size");
-  int qty = lp.ColIndex("l_quantity");
-  int mode = lp.ColIndex("l_shipmode");
-  int instr = lp.ColIndex("l_shipinstruct");
-  auto in = [](const std::string& s,
-               std::initializer_list<const char*> set) {
-    for (const char* x : set) {
-      if (s == x) return true;
-    }
-    return false;
-  };
-  Table matched = Filter(std::move(lp), [=](const Row& r) {
-    const std::string& m = AsString(r[mode]);
-    if (m != "AIR" && m != "REG AIR") return false;
-    if (AsString(r[instr]) != "DELIVER IN PERSON") return false;
-    const std::string& b = AsString(r[brand]);
-    const std::string& c = AsString(r[cont]);
-    double q = AsDouble(r[qty]);
-    int64_t s = AsInt(r[size]);
-    if (b == "Brand#12" && in(c, {"SM CASE", "SM BOX", "SM PACK", "SM PKG"}) &&
-        q >= 1 && q <= 11 && s >= 1 && s <= 5) {
-      return true;
-    }
-    if (b == "Brand#23" &&
-        in(c, {"MED BAG", "MED BOX", "MED PKG", "MED PACK"}) && q >= 10 &&
-        q <= 20 && s >= 1 && s <= 10) {
-      return true;
-    }
-    if (b == "Brand#34" && in(c, {"LG CASE", "LG BOX", "LG PACK", "LG PKG"}) &&
-        q >= 20 && q <= 30 && s >= 1 && s <= 15) {
-      return true;
-    }
-    return false;
+  const uint32_t* brand = Codes(lp, "p_brand").data();
+  const uint32_t* cont = Codes(lp, "p_container").data();
+  const int64_t* size = Ints(lp, "p_size").data();
+  const double* qty = Dbls(lp, "l_quantity").data();
+  const uint32_t* mode = Codes(lp, "l_shipmode").data();
+  const uint32_t* instr = Codes(lp, "l_shipinstruct").data();
+  uint32_t air = lp.CodeFor("AIR");
+  uint32_t regair = lp.CodeFor("REG AIR");
+  uint32_t deliver = lp.CodeFor("DELIVER IN PERSON");
+  uint32_t b12 = lp.CodeFor("Brand#12");
+  uint32_t b23 = lp.CodeFor("Brand#23");
+  uint32_t b34 = lp.CodeFor("Brand#34");
+  std::vector<char> sm = MatchCodes(lp, [](const std::string& s) {
+    return s == "SM CASE" || s == "SM BOX" || s == "SM PACK" || s == "SM PKG";
   });
+  std::vector<char> med = MatchCodes(lp, [](const std::string& s) {
+    return s == "MED BAG" || s == "MED BOX" || s == "MED PKG" ||
+           s == "MED PACK";
+  });
+  std::vector<char> lg = MatchCodes(lp, [](const std::string& s) {
+    return s == "LG CASE" || s == "LG BOX" || s == "LG PACK" || s == "LG PKG";
+  });
+  Table matched = Filter(std::move(lp), IndexPredicate([=, &sm, &med,
+                                                        &lg](size_t i) {
+    if (mode[i] != air && mode[i] != regair) return false;
+    if (instr[i] != deliver) return false;
+    uint32_t b = brand[i];
+    uint32_t c = cont[i];
+    double q = qty[i];
+    int64_t s = size[i];
+    if (b == b12 && sm[c] && q >= 1 && q <= 11 && s >= 1 && s <= 5) {
+      return true;
+    }
+    if (b == b23 && med[c] && q >= 10 && q <= 20 && s >= 1 && s <= 10) {
+      return true;
+    }
+    if (b == b34 && lg[c] && q >= 20 && q <= 30 && s >= 1 && s <= 15) {
+      return true;
+    }
+    return false;
+  }));
   return HashAggregateOn(
-      matched, {}, {{AggKind::kSum, exec::Revenue(matched), "revenue", D}});
+      matched, {},
+      {VecAgg(AggKind::kSum, "revenue", D, RevenueAt(matched))});
 }
 
 // Q20: Potential Part Promotion.
 Table Q20(const TpchDatabase& db) {
   DateCode lo = MakeDate(1994, 1, 1);
   DateCode hi = AddYears(lo, 1);
-  int pname = db.part.ColIndex("p_name");
-  Table part = Filter(db.part, [pname](const Row& r) {
-    return StrStartsWith(AsString(r[pname]), "forest");
+  const uint32_t* pname = Codes(db.part, "p_name").data();
+  std::vector<char> forest = MatchCodes(db.part, [](const std::string& s) {
+    return StrStartsWith(s, "forest");
   });
-  int sdate = db.lineitem.ColIndex("l_shipdate");
-  Table line = Filter(db.lineitem, [sdate, lo, hi](const Row& r) {
-    int64_t d = AsInt(r[sdate]);
-    return d >= lo && d < hi;
-  });
+  Table part = Filter(db.part, IndexPredicate([&](size_t i) {
+                        return forest[pname[i]] != 0;
+                      }));
+  const int64_t* sdate = Ints(db.lineitem, "l_shipdate").data();
+  Table line = Filter(db.lineitem, IndexPredicate([sdate, lo, hi](size_t i) {
+                        return sdate[i] >= lo && sdate[i] < hi;
+                      }));
   Table shipped = HashAggregateOn(
       line, {"l_partkey", "l_suppkey"},
-      {{AggKind::kSum, Col(line, "l_quantity"), "shipped_qty", D}});
+      {ColAgg(AggKind::kSum, line, "l_quantity", "shipped_qty", D)});
   Table ps_part =
       HashJoinOn(db.partsupp, part, {"ps_partkey"}, {"p_partkey"});
   Table ps_ship = HashJoinOn(ps_part, shipped, {"ps_partkey", "ps_suppkey"},
                              {"l_partkey", "l_suppkey"});
-  int avail = ps_ship.ColIndex("ps_availqty");
-  int sqty = ps_ship.ColIndex("shipped_qty");
-  Table surplus = Filter(std::move(ps_ship), [avail, sqty](const Row& r) {
-    return AsDouble(r[avail]) > 0.5 * AsDouble(r[sqty]);
-  });
-  int nname = db.nation.ColIndex("n_name");
-  Table canada = Filter(db.nation, [nname](const Row& r) {
-    return AsString(r[nname]) == "CANADA";
-  });
-  Table sn = HashJoinOn(db.supplier, canada, {"s_nationkey"},
+  const int64_t* avail = Ints(ps_ship, "ps_availqty").data();
+  const double* sqty = Dbls(ps_ship, "shipped_qty").data();
+  Table surplus =
+      Filter(std::move(ps_ship), IndexPredicate([avail, sqty](size_t i) {
+               return static_cast<double>(avail[i]) > 0.5 * sqty[i];
+             }));
+  const uint32_t* nname = Codes(db.nation, "n_name").data();
+  uint32_t canada = db.nation.CodeFor("CANADA");
+  Table canada_t = Filter(db.nation, IndexPredicate([nname, canada](size_t i) {
+                            return nname[i] == canada;
+                          }));
+  Table sn = HashJoinOn(db.supplier, canada_t, {"s_nationkey"},
                         {"n_nationkey"});
   Table qualified = HashJoinOn(sn, surplus, {"s_suppkey"}, {"ps_suppkey"},
                                JoinType::kLeftSemi);
-  Table projected = Project(qualified,
-                            {{"s_name", S, Col(qualified, "s_name")},
-                             {"s_address", S, Col(qualified, "s_address")}});
+  Table projected = ProjectColumns(qualified,
+                                   {CopyCol(qualified, "s_name"),
+                                    CopyCol(qualified, "s_address")});
   return SortBy(std::move(projected), {{0, true}});
 }
 
@@ -707,36 +791,40 @@ Table Q20(const TpchDatabase& db) {
 Table Q21(const TpchDatabase& db) {
   // For each multi-supplier order with status 'F': find lineitems whose
   // supplier was the ONLY late supplier on the order.
-  int nname = db.nation.ColIndex("n_name");
-  Table saudi = Filter(db.nation, [nname](const Row& r) {
-    return AsString(r[nname]) == "SAUDI ARABIA";
-  });
-  Table sn = HashJoinOn(db.supplier, saudi, {"s_nationkey"},
+  const uint32_t* nname = Codes(db.nation, "n_name").data();
+  uint32_t saudi = db.nation.CodeFor("SAUDI ARABIA");
+  Table saudi_t = Filter(db.nation, IndexPredicate([nname, saudi](size_t i) {
+                           return nname[i] == saudi;
+                         }));
+  Table sn = HashJoinOn(db.supplier, saudi_t, {"s_nationkey"},
                         {"n_nationkey"});
 
-  int ostatus = db.orders.ColIndex("o_orderstatus");
-  Table forders = Filter(db.orders, [ostatus](const Row& r) {
-    return AsString(r[ostatus]) == "F";
-  });
+  const uint32_t* ostatus = Codes(db.orders, "o_orderstatus").data();
+  uint32_t f_code = db.orders.CodeFor("F");
+  Table forders = Filter(db.orders, IndexPredicate([ostatus, f_code](size_t i) {
+                           return ostatus[i] == f_code;
+                         }));
 
-  // Build per-order supplier sets and late-supplier sets.
+  // Build per-order supplier sets and late-supplier sets over the raw
+  // key/date columns (insertion order == row order, as before).
   const Table& l = db.lineitem;
-  int okey = l.ColIndex("l_orderkey");
-  int skey = l.ColIndex("l_suppkey");
-  int cdate = l.ColIndex("l_commitdate");
-  int rdate = l.ColIndex("l_receiptdate");
+  const int64_t* okey = Ints(l, "l_orderkey").data();
+  const int64_t* skey = Ints(l, "l_suppkey").data();
+  const int64_t* cdate = Ints(l, "l_commitdate").data();
+  const int64_t* rdate = Ints(l, "l_receiptdate").data();
   std::unordered_map<int64_t, std::unordered_set<int64_t>> suppliers;
   std::unordered_map<int64_t, std::unordered_set<int64_t>> late;
-  for (const Row& r : l.rows()) {
-    int64_t o = AsInt(r[okey]);
-    int64_t s = AsInt(r[skey]);
+  size_t n = l.num_rows();
+  for (size_t i = 0; i < n; ++i) {
+    int64_t o = okey[i];
+    int64_t s = skey[i];
     suppliers[o].insert(s);
-    if (AsInt(r[rdate]) > AsInt(r[cdate])) late[o].insert(s);
+    if (rdate[i] > cdate[i]) late[o].insert(s);
   }
 
   std::unordered_set<int64_t> f_orders;
-  int fokey = forders.ColIndex("o_orderkey");
-  for (const Row& r : forders.rows()) f_orders.insert(AsInt(r[fokey]));
+  const std::vector<int64_t>& fokey = Ints(forders, "o_orderkey");
+  f_orders.insert(fokey.begin(), fokey.end());
 
   // Qualifying (orderkey, suppkey) pairs.
   Table pairs(
@@ -751,8 +839,7 @@ Table Q21(const TpchDatabase& db) {
   }
 
   Table named = HashJoinOn(pairs, sn, {"l_suppkey"}, {"s_suppkey"});
-  Table agg = HashAggregateOn(
-      named, {"s_name"}, {{AggKind::kCount, nullptr, "numwait", I}});
+  Table agg = HashAggregateOn(named, {"s_name"}, {CountAgg("numwait")});
   int nw = agg.ColIndex("numwait");
   Table sorted = SortBy(std::move(agg), {{nw, false}, {0, true}});
   return Limit(std::move(sorted), 100);
@@ -761,41 +848,46 @@ Table Q21(const TpchDatabase& db) {
 // Q22: Global Sales Opportunity.
 Table Q22(const TpchDatabase& db) {
   static const char* kCodes[] = {"13", "31", "23", "29", "30", "18", "17"};
-  int phone = db.customer.ColIndex("c_phone");
-  int bal = db.customer.ColIndex("c_acctbal");
-  auto code_of = [phone](const Row& r) {
-    return AsString(r[phone]).substr(0, 2);
-  };
-  auto in_codes = [&code_of](const Row& r) {
-    std::string c = code_of(r);
-    for (const char* k : kCodes) {
-      if (c == k) return true;
-    }
-    return false;
-  };
-  Table candidates = Filter(db.customer, in_codes);
+  const uint32_t* phone = Codes(db.customer, "c_phone").data();
+  std::vector<char> in_codes = MatchCodes(db.customer,
+                                          [](const std::string& s) {
+                                            std::string c = s.substr(0, 2);
+                                            for (const char* k : kCodes) {
+                                              if (c == k) return true;
+                                            }
+                                            return false;
+                                          });
+  Table candidates = Filter(db.customer, IndexPredicate([&](size_t i) {
+                              return in_codes[phone[i]] != 0;
+                            }));
   // Average positive balance among candidates.
-  Table positive = Filter(candidates, [bal](const Row& r) {
-    return AsDouble(r[bal]) > 0.0;
-  });
+  const double* cbal = Dbls(candidates, "c_acctbal").data();
+  Table positive = Filter(candidates, IndexPredicate([cbal](size_t i) {
+                            return cbal[i] > 0.0;
+                          }));
   Table avg_t = HashAggregateOn(
-      positive, {}, {{AggKind::kAvg, Col(positive, "c_acctbal"), "a", D}});
-  double avg_bal = AsDouble(avg_t.rows()[0][0]);
-  Table rich = Filter(std::move(candidates), [bal, avg_bal](const Row& r) {
-    return AsDouble(r[bal]) > avg_bal;
-  });
+      positive, {},
+      {ColAgg(AggKind::kAvg, positive, "c_acctbal", "a", D)});
+  double avg_bal = avg_t.DoubleData(0)[0];
+  Table rich =
+      Filter(std::move(candidates), IndexPredicate([cbal, avg_bal](size_t i) {
+               return cbal[i] > avg_bal;
+             }));
   Table no_orders = HashJoinOn(rich, db.orders, {"c_custkey"}, {"o_custkey"},
                                JoinType::kLeftAnti);
-  Table coded = Project(
-      no_orders, {{"cntrycode", S,
-                   [phone](const Row& r) {
-                     return Value{AsString(r[phone]).substr(0, 2)};
-                   }},
-                  {"c_acctbal", D, Col(no_orders, "c_acctbal")}});
+  const uint32_t* nphone = Codes(no_orders, "c_phone").data();
+  const StringPool* npool = &no_orders.pool();
+  Table coded = ProjectColumns(
+      no_orders,
+      {StrExprCol("cntrycode",
+                  [nphone, npool](size_t i) {
+                    return npool->Get(nphone[i]).substr(0, 2);
+                  }),
+       CopyCol(no_orders, "c_acctbal")});
   Table agg = HashAggregateOn(
       coded, {"cntrycode"},
-      {{AggKind::kCount, nullptr, "numcust", I},
-       {AggKind::kSum, Col(coded, "c_acctbal"), "totacctbal", D}});
+      {CountAgg("numcust"),
+       ColAgg(AggKind::kSum, coded, "c_acctbal", "totacctbal", D)});
   return SortBy(std::move(agg), {{0, true}});
 }
 

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "common/rng.h"
 
@@ -360,6 +363,297 @@ TEST(TableTest, ToStringShowsHeaderAndRows) {
   EXPECT_NE(s.find("dname"), std::string::npos);
   EXPECT_NE(s.find("eng"), std::string::npos);
   EXPECT_NE(s.find("3 rows total"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Columnar storage & vectorized kernels (DESIGN.md §12). Every operator
+// must produce a bit-identical Table on the columnar fast path and on
+// the legacy row path (SetExecForceRowPath).
+
+class ColumnarTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetExecForceRowPath(false); }
+};
+
+Table RandomMixedTable(uint64_t seed, size_t rows) {
+  Table t({{"k", ValueType::kInt},
+           {"v", ValueType::kDouble},
+           {"s", ValueType::kString}});
+  elephant::Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    t.AddRow({Value{static_cast<int64_t>(rng.UniformRange(1, 40))},
+              Value{rng.NextDouble() * 100.0 - 50.0},
+              Value{"s" + std::to_string(rng.UniformRange(1, 12))}});
+  }
+  return t;
+}
+
+void ExpectExactlyEqual(const Table& a, const Table& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.num_cols(), b.num_cols()) << what;
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << what;
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    for (int c = 0; c < a.num_cols(); ++c) {
+      // Variant equality: exact alternative and exact bits.
+      ASSERT_TRUE(a.rows()[i][c] == b.rows()[i][c])
+          << what << " differs at row " << i << " col " << c;
+    }
+  }
+  EXPECT_EQ(TableFingerprint(a), TableFingerprint(b)) << what;
+}
+
+// Runs `op` on the columnar fast path and on the forced row path and
+// requires bit-identical outputs.
+template <typename Op>
+void ExpectLayoutsAgree(const Op& op, const std::string& what) {
+  SetExecForceRowPath(false);
+  Table columnar = op();
+  SetExecForceRowPath(true);
+  Table row = op();
+  SetExecForceRowPath(false);
+  ExpectExactlyEqual(columnar, row, what);
+}
+
+TEST_F(ColumnarTest, FilterAgreesWithRowPath) {
+  Table t = RandomMixedTable(11, 500);
+  ExpectLayoutsAgree(
+      [&] {
+        return Filter(t, [](const Row& r) { return AsInt(r[0]) % 3 == 0; });
+      },
+      "Filter");
+}
+
+TEST_F(ColumnarTest, IndexPredicateAgreesWithRowPredicate) {
+  Table t = RandomMixedTable(12, 500);
+  const int64_t* k = t.IntData(0).data();
+  const double* v = t.DoubleData(1).data();
+  Table by_index = Filter(t, IndexPredicate([k, v](size_t i) {
+                            return k[i] % 3 == 0 && v[i] > 0.0;
+                          }));
+  Table by_row = Filter(t, [](const Row& r) {
+    return AsInt(r[0]) % 3 == 0 && AsDouble(r[1]) > 0.0;
+  });
+  ExpectExactlyEqual(by_index, by_row, "IndexPredicate vs Row predicate");
+}
+
+TEST_F(ColumnarTest, ProjectColumnsAgreesWithProject) {
+  Table t = RandomMixedTable(13, 400);
+  const int64_t* k = t.IntData(0).data();
+  const double* v = t.DoubleData(1).data();
+  Table pc = ProjectColumns(
+      t, {CopyCol(t, "s"), CopyColAs(t, "k", "key"),
+          DoubleExprCol("v2", [v](size_t i) { return v[i] * 1.5; }),
+          IntExprCol("k2", [k](size_t i) { return k[i] + 1; }),
+          StrExprCol("tag", [k](size_t i) {
+            return std::string(k[i] % 2 ? "odd" : "even");
+          })});
+  int ck = t.ColIndex("k");
+  int cv = t.ColIndex("v");
+  Table pr = Project(
+      t, {{"s", ValueType::kString, Col(t, "s")},
+          {"key", ValueType::kInt, Col(t, "k")},
+          {"v2", ValueType::kDouble,
+           [cv](const Row& r) { return Value{AsDouble(r[cv]) * 1.5}; }},
+          {"k2", ValueType::kInt,
+           [ck](const Row& r) { return Value{AsInt(r[ck]) + 1}; }},
+          {"tag", ValueType::kString, [ck](const Row& r) {
+             return Value{std::string(AsInt(r[ck]) % 2 ? "odd" : "even")};
+           }}});
+  ExpectExactlyEqual(pc, pr, "ProjectColumns vs Project");
+}
+
+TEST_F(ColumnarTest, HashJoinAgreesWithRowPathAllTypes) {
+  Table left = RandomMixedTable(14, 400);
+  Table right = RandomMixedTable(15, 300);
+  for (JoinType type : {JoinType::kInner, JoinType::kLeftOuter,
+                        JoinType::kLeftSemi, JoinType::kLeftAnti}) {
+    ExpectLayoutsAgree(
+        [&] { return HashJoin(left, right, {0, 2}, {0, 2}, type); },
+        "HashJoin type " + std::to_string(static_cast<int>(type)));
+  }
+}
+
+TEST_F(ColumnarTest, HashAggregateAgreesWithRowPath) {
+  Table t = RandomMixedTable(16, 600);
+  ExpectLayoutsAgree(
+      [&] {
+        return HashAggregateOn(
+            t, {"s"},
+            {ColAgg(AggKind::kSum, t, "v", "sum_v", ValueType::kDouble),
+             ColAgg(AggKind::kAvg, t, "v", "avg_v", ValueType::kDouble),
+             ColAgg(AggKind::kMin, t, "k", "min_k", ValueType::kInt),
+             ColAgg(AggKind::kMax, t, "k", "max_k", ValueType::kInt),
+             ColAgg(AggKind::kCountDistinct, t, "k", "dk", ValueType::kInt),
+             CountAgg("n")});
+      },
+      "HashAggregate");
+}
+
+TEST_F(ColumnarTest, VecAggMatchesEquivalentRowExpression) {
+  Table t = RandomMixedTable(17, 500);
+  const int64_t* k = t.IntData(0).data();
+  const double* v = t.DoubleData(1).data();
+  Table vec = HashAggregateOn(
+      t, {"s"},
+      {VecAgg(AggKind::kSum, "kv", ValueType::kDouble,
+              [k, v](size_t i) { return v[i] * static_cast<double>(k[i]); }),
+       CountAgg("n")});
+  // The row twin spells out the same FP expression per row.
+  int ck = t.ColIndex("k");
+  int cv = t.ColIndex("v");
+  SetExecForceRowPath(true);
+  Table row = HashAggregateOn(
+      t, {"s"},
+      {{AggKind::kSum,
+        [ck, cv](const Row& r) {
+          return Value{AsDouble(r[cv]) * static_cast<double>(AsInt(r[ck]))};
+        },
+        "kv", ValueType::kDouble},
+       {AggKind::kCount, nullptr, "n", ValueType::kInt}});
+  SetExecForceRowPath(false);
+  ExpectExactlyEqual(vec, row, "VecAgg vs row expression");
+}
+
+TEST_F(ColumnarTest, SortDistinctLimitAgreeWithRowPath) {
+  Table t = RandomMixedTable(18, 500);
+  ExpectLayoutsAgree([&] { return SortBy(t, {{2, true}, {1, false}}); },
+                     "SortBy");
+  ExpectLayoutsAgree([&] { return Distinct(t); }, "Distinct");
+  ExpectLayoutsAgree([&] { return Limit(t, 17); }, "Limit");
+}
+
+TEST(StringDictionaryTest, RoundTripAndPoolSharing) {
+  Table t({{"s", ValueType::kString}});
+  t.AddRow({Value{std::string("alpha")}});
+  t.AddRow({Value{std::string("beta")}});
+  t.AddRow({Value{std::string("alpha")}});
+  ASSERT_TRUE(t.EnsureColumnar());
+  const std::vector<uint32_t>& codes = t.StrCodes(0);
+  EXPECT_EQ(codes[0], codes[2]);  // duplicates share one code
+  EXPECT_NE(codes[0], codes[1]);
+  EXPECT_EQ(t.StrAt(0, 0), "alpha");
+  EXPECT_EQ(t.pool().Get(codes[1]), "beta");
+  EXPECT_EQ(t.pool().HashOf(codes[0]), t.pool().HashOf(codes[2]));
+  EXPECT_EQ(t.CodeFor("beta"), codes[1]);
+  EXPECT_EQ(t.CodeFor("gamma"), StringPool::kNoCode);
+  // ValueAt materializes single cells without the row cache.
+  EXPECT_EQ(AsString(t.ValueAt(2, 0)), "alpha");
+
+  // Code-preserving derivation shares the pool; codes survive unchanged.
+  uint32_t alpha = codes[0];
+  Table f = Filter(t, IndexPredicate([&codes, alpha](size_t i) {
+                     return codes[i] == alpha;
+                   }));
+  EXPECT_EQ(f.num_rows(), 2u);
+  EXPECT_EQ(f.pool_ptr().get(), t.pool_ptr().get());
+  EXPECT_EQ(f.StrCodes(0)[0], alpha);
+
+  // Equality filter on a never-interned string: kNoCode matches nothing.
+  uint32_t none = t.CodeFor("gamma");
+  Table empty = Filter(
+      t, IndexPredicate([&codes, none](size_t i) { return codes[i] == none; }));
+  EXPECT_EQ(empty.num_rows(), 0u);
+}
+
+TEST_F(ColumnarTest, EmptyAndAllFilteredEdges) {
+  Table t = RandomMixedTable(19, 300);
+  Table none = Filter(t, IndexPredicate([](size_t) { return false; }));
+  ASSERT_EQ(none.num_rows(), 0u);
+
+  // Empty input flows through every kernel on both layouts.
+  ExpectLayoutsAgree(
+      [&] {
+        return HashAggregateOn(
+            none, {"s"},
+            {ColAgg(AggKind::kSum, none, "v", "sum_v", ValueType::kDouble),
+             CountAgg("n")});
+      },
+      "grouped agg over all-filtered input");
+  ExpectLayoutsAgree(
+      [&] {
+        return HashAggregateOn(
+            none, {},
+            {ColAgg(AggKind::kSum, none, "v", "sum_v", ValueType::kDouble),
+             CountAgg("n")});
+      },
+      "global agg over empty input");
+  EXPECT_EQ(ProjectColumns(none, {CopyCol(none, "k")}).num_rows(), 0u);
+  EXPECT_EQ(SortBy(none, {{0, true}}).num_rows(), 0u);
+  EXPECT_EQ(HashJoinOn(none, t, {"k"}, {"k"}).num_rows(), 0u);
+  EXPECT_EQ(Distinct(none).num_rows(), 0u);
+  EXPECT_EQ(Limit(none, 5).num_rows(), 0u);
+
+  // A columnar-only VecAgg over empty input still produces the one
+  // zero-initialized global row (the row path cannot evaluate VecAgg).
+  const double* v = none.DoubleData(1).data();
+  Table g = HashAggregateOn(none, {},
+                            {VecAgg(AggKind::kSum, "s", ValueType::kDouble,
+                                    [v](size_t i) { return v[i]; })});
+  ASSERT_EQ(g.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(AsDouble(g.rows()[0][0]), 0.0);
+}
+
+TEST_F(ColumnarTest, MixedIntDoubleJoinKeysMatch) {
+  // Regression for the HashValue/CompareValues consistency fix: an int64
+  // key must hash equal to a double carrying the same magnitude, so a
+  // typed int column joins a double column wherever the double images
+  // agree — on the columnar path and the row path alike.
+  Table li({{"ik", ValueType::kInt}});
+  li.AddRow({Value{int64_t{1}}});
+  li.AddRow({Value{int64_t{2}}});
+  li.AddRow({Value{int64_t{3}}});
+  Table rd({{"dk", ValueType::kDouble}});
+  rd.AddRow({Value{1.0}});
+  rd.AddRow({Value{2.5}});
+  rd.AddRow({Value{3.0}});
+  ExpectLayoutsAgree([&] { return HashJoinOn(li, rd, {"ik"}, {"dk"}); },
+                     "mixed int/double join keys");
+  Table out = HashJoinOn(li, rd, {"ik"}, {"dk"});
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(AsInt(out.rows()[0][0]), 1);
+  EXPECT_EQ(AsInt(out.rows()[1][0]), 3);
+}
+
+TEST(RowBatchTest, AppendBatchMatchesAddRow) {
+  std::vector<Column> schema = {{"k", ValueType::kInt},
+                                {"v", ValueType::kDouble},
+                                {"s", ValueType::kString}};
+  Table by_row(schema);
+  Table by_batch(schema);
+  RowBatch b1(schema);
+  RowBatch b2(schema);
+  b1.ReserveRows(3);
+  auto add = [&](RowBatch& b, int64_t k, double v, const char* s) {
+    b.AddInt(0, k);
+    b.AddDouble(1, v);
+    b.AddString(2, s);
+    by_row.AddRow({Value{k}, Value{v}, Value{std::string(s)}});
+  };
+  add(b1, 1, 1.5, "x");
+  add(b1, 2, -2.5, "y");
+  add(b1, 3, 0.0, "x");
+  add(b2, 4, 7.0, "z");
+  add(b2, 5, 8.0, "y");
+  EXPECT_EQ(b1.num_rows(), 3u);
+  by_batch.Reserve(5);
+  by_batch.AppendBatch(std::move(b1));
+  by_batch.AppendBatch(std::move(b2));
+  ASSERT_EQ(by_batch.num_rows(), 5u);
+  ExpectExactlyEqual(by_batch, by_row, "AppendBatch vs AddRow");
+  // Interning happened in batch order, so dictionary codes agree too.
+  ASSERT_TRUE(by_batch.EnsureColumnar());
+  ASSERT_TRUE(by_row.EnsureColumnar());
+  EXPECT_EQ(by_batch.StrCodes(2), by_row.StrCodes(2));
+}
+
+TEST(TableTest, ReserveForwardsToColumnVectors) {
+  Table t({{"k", ValueType::kInt}, {"s", ValueType::kString}});
+  t.Reserve(100);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({Value{int64_t{1}}, Value{std::string("a")}});
+  EXPECT_GE(t.IntData(0).capacity(), 100u);
+  EXPECT_GE(t.StrCodes(1).capacity(), 100u);
+  EXPECT_EQ(t.num_rows(), 1u);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "exec/operators.h"
 #include "exec/table.h"
 #include "tpch/dbgen.h"
+#include "tpch/queries.h"
 
 namespace elephant::exec {
 namespace {
@@ -24,6 +25,7 @@ class ParallelExecTest : public ::testing::Test {
   void TearDown() override {
     SetExecThreads(0);
     SetExecMorselSize(2048);
+    SetExecForceRowPath(false);
   }
 };
 
@@ -181,6 +183,71 @@ TEST_F(ParallelExecTest, DbgenBitIdenticalAcrossThreadCounts) {
     ExpectTablesIdentical(serial.orders, par.orders, "orders " + tag);
     ExpectTablesIdentical(serial.lineitem, par.lineitem, "lineitem " + tag);
   }
+}
+
+// Golden TableFingerprint of each TPC-H query answer at sf 0.01 with the
+// default dbgen seed. These pin the answers bit-exactly: any change to
+// the columnar kernels, the dictionary encoding, the query plans, or the
+// parallel decomposition that perturbs a single bit of a single cell
+// flips the corresponding fingerprint.
+constexpr uint64_t kQueryGold[tpch::kNumQueries] = {
+    0x06c756d861d28424ULL,  // Q1
+    0x8503b0e1100361e3ULL,  // Q2
+    0x668e41e144b0c355ULL,  // Q3
+    0x7cb2f66b9f7daf5eULL,  // Q4
+    0xd9b345f6674ae597ULL,  // Q5
+    0x110386a8ec164705ULL,  // Q6
+    0x559d391726100e77ULL,  // Q7
+    0xc63f666fe61ca74dULL,  // Q8
+    0x85fbc4a74e1b7cd6ULL,  // Q9
+    0x371d3e981208bd30ULL,  // Q10
+    0x36982b460826152fULL,  // Q11
+    0xbc501f6bc4a58e4cULL,  // Q12
+    0xb2340b672991c5b2ULL,  // Q13
+    0xce3b5ecae1976a1fULL,  // Q14
+    0x48d47d15c7a81a34ULL,  // Q15
+    0x70ffaede9393d601ULL,  // Q16
+    0xb362a1df8c63c3fcULL,  // Q17
+    0xede7ac76fd296b53ULL,  // Q18
+    0xa42c77f74ff7cadaULL,  // Q19
+    0xc718635815426952ULL,  // Q20
+    0x64a41e3f1e34a38bULL,  // Q21
+    0x50e5b781f95e9170ULL,  // Q22
+};
+
+TEST_F(ParallelExecTest, QueryFingerprintsPinnedAt1And8Threads) {
+  tpch::DbgenOptions opt;
+  tpch::TpchDatabase db = tpch::GenerateDatabase(0.01, opt);
+  for (int threads : {1, 8}) {
+    SetExecThreads(threads);
+    SetExecMorselSize(threads > 1 ? kTestMorsel : size_t{2048});
+    for (int q = 1; q <= tpch::kNumQueries; ++q) {
+      Table ans = tpch::RunQuery(q, db);
+      EXPECT_EQ(TableFingerprint(ans), kQueryGold[q - 1])
+          << "Q" << q << " answer drifted @" << threads << " thread(s)";
+    }
+  }
+}
+
+TEST_F(ParallelExecTest, RowPathMatchesColumnarUnderParallelism) {
+  // The forced row path and the columnar fast path must agree even when
+  // both run morsel-parallel.
+  Table t = RandomTable(9, 4000);
+  SetExecThreads(8);
+  SetExecMorselSize(kTestMorsel);
+  auto pipeline = [&] {
+    Table f = Filter(t, [](const Row& r) { return AsInt(r[0]) % 2 == 0; });
+    return HashAggregateOn(
+        f, {"s"},
+        {ColAgg(AggKind::kSum, f, "v", "sum_v", ValueType::kDouble),
+         ColAgg(AggKind::kMin, f, "v", "min_v", ValueType::kDouble),
+         CountAgg("n")});
+  };
+  Table columnar = pipeline();
+  SetExecForceRowPath(true);
+  Table row = pipeline();
+  SetExecForceRowPath(false);
+  ExpectTablesIdentical(columnar, row, "parallel columnar vs row path");
 }
 
 TEST_F(ParallelExecTest, DbgenSeedStillMatters) {
