@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <memory>
+#include "common/check.h"
 
 #include "ycsb/driver.h"
 
@@ -30,7 +31,7 @@ void RunVariant(bool yield_on_fault, int64_t target) {
   m.mongod.yield_on_fault = yield_on_fault;
   MongoAsSystem system(&testbed, m);
   YcsbDriver driver(&testbed, &system, WorkloadSpec::A(), opt);
-  (void)driver.Prepare();
+  ELEPHANT_CHECK_OK(driver.Prepare());
   RunResult r = driver.Run();
   printf("  %-22s target=%6lld achieved=%8.0f read=%6.2f ms "
          "update=%6.2f ms write-lock=%4.1f%%\n",

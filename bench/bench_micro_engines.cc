@@ -7,6 +7,7 @@
 
 #include "cluster/cluster.h"
 #include "common/rng.h"
+#include "common/check.h"
 #include "hive/engine.h"
 #include "pdw/optimizer.h"
 #include "sim/simulation.h"
@@ -21,7 +22,7 @@ static void BM_SqlEngineReadOp(benchmark::State& state) {
   cluster::Node node(&sim, 0, cluster::NodeConfig{});
   sqlkv::SqlEngine engine(&sim, &node, sqlkv::SqlEngineOptions{});
   for (uint64_t k = 0; k < 100000; ++k) {
-    (void)engine.LoadRecord(k, 1024);
+    ELEPHANT_CHECK_OK(engine.LoadRecord(k, 1024));
   }
   Rng rng(1);
   for (auto _ : state) {
@@ -40,7 +41,7 @@ static void BM_SqlEngineUpdateOp(benchmark::State& state) {
   cluster::Node node(&sim, 0, cluster::NodeConfig{});
   sqlkv::SqlEngine engine(&sim, &node, sqlkv::SqlEngineOptions{});
   for (uint64_t k = 0; k < 100000; ++k) {
-    (void)engine.LoadRecord(k, 1024);
+    ELEPHANT_CHECK_OK(engine.LoadRecord(k, 1024));
   }
   Rng rng(2);
   for (auto _ : state) {

@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/check.h"
 #include "common/distributions.h"
 #include "common/histogram.h"
 #include "common/rng.h"
@@ -39,7 +40,8 @@ BENCHMARK(BM_BTreeInsertAscending);
 
 static void BM_BTreeGet(benchmark::State& state) {
   sqlkv::BTree tree(8192);
-  for (uint64_t k = 0; k < 100000; ++k) (void)tree.Insert(k, {"", 1024});
+  for (uint64_t k = 0; k < 100000; ++k)
+    ELEPHANT_CHECK_OK(tree.Insert(k, {"", 1024}));
   Rng rng(1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(tree.Get(rng.Uniform(100000)));

@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Fast repo-idiom linter for the elephant codebase (DESIGN.md §13).
+
+The simulator's contract is bit-identical determinism: every modeled
+result must be a pure function of its seed. These rules ban the C++
+idioms that historically break that contract, plus silent Status
+discards. Pure-regex and dependency-free, it runs in milliseconds as a
+blocking ctest/CI step (unlike clang-tidy, which needs a compile
+database and a toolchain CI installs separately).
+
+Rules
+-----
+wall-clock            Wall-clock time sources (std::chrono::system_clock,
+                      high_resolution_clock, gettimeofday, clock_gettime,
+                      localtime) anywhere; steady_clock additionally
+                      banned under src/ (harness timing in bench/tests
+                      is fine, modeled code must use sim time).
+raw-rand              rand()/srand()/std::random_device/std::mt19937:
+                      all randomness goes through common/rng.h so seeds
+                      replay.
+unordered-iteration   Range-for over a container declared
+                      std::unordered_{map,set} in the same file:
+                      iteration order is hash-dependent and must not
+                      feed fingerprints, reports, or event schedules.
+                      Sort first, or allow-mark a provably
+                      order-insensitive loop.
+pointer-keyed         std::map/std::set keyed on a pointer type:
+                      ordering depends on the allocator, which varies
+                      run to run.
+std-function-in-sim   std::function in src/sim/ (except
+                      inline_callback.h, which exists to replace it):
+                      type-erasure allocations on the hot event path.
+discarded-status      A call result cast away with (void): Status and
+                      Result must flow through ELEPHANT_CHECK_OK /
+                      ELEPHANT_RETURN_NOT_OK or be allow-marked.
+                      ((void)identifier; for unused parameters is fine.)
+
+Suppression: append  // elephant-lint: allow(<rule>)  to the offending
+line or the line directly above it. Every marker should say why in the
+surrounding comment.
+
+Usage: elephant_lint.py [file...]   (no args: lints the whole repo)
+Exit status 1 when any finding survives suppression.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+CXX_EXTENSIONS = (".cc", ".h", ".cpp", ".hpp")
+LINT_DIRS = ("src/", "bench/", "tests/", "examples/")
+
+ALLOW_RE = re.compile(r"//\s*elephant-lint:\s*allow\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)")
+
+WALL_CLOCK_RE = re.compile(
+    r"std::chrono::system_clock|std::chrono::high_resolution_clock"
+    r"|\bgettimeofday\s*\(|\bclock_gettime\s*\(|\blocaltime(_r)?\s*\("
+)
+STEADY_CLOCK_RE = re.compile(r"std::chrono::steady_clock")
+RAW_RAND_RE = re.compile(
+    r"\bstd::rand\b|\bsrand\s*\(|std::random_device|std::mt19937"
+)
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)<.*?>\s+(\w+)\s*[;={(]"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*?:\s*\*?(?:\w+(?:\.|->|::))*(\w+)\s*\)")
+POINTER_KEYED_RE = re.compile(r"std::(?:map|set)<\s*[\w:]+\s*\*")
+STD_FUNCTION_RE = re.compile(r"std::function\s*<")
+# (void)Foo(...), (void)obj.Method(...), (void)ns::fn(...) — but not
+# (void)identifier; which is the idiomatic unused-parameter silencer.
+DISCARDED_STATUS_RE = re.compile(
+    r"\(void\)\s*[A-Za-z_][\w.:\->]*[\w>]\s*\("
+)
+
+
+def strip_strings_and_comments(line):
+    """Removes string/char literals and // comments so patterns inside
+    them (e.g. in lint rule docs or log messages) do not fire."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    break
+                i += 1
+            out.append(quote + quote)
+        else:
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def allowed_rules(lines, idx):
+    """Rules suppressed on line idx (0-based): markers on the line
+    itself or the line directly above."""
+    rules = set()
+    for probe in (idx, idx - 1):
+        if probe < 0:
+            continue
+        m = ALLOW_RE.search(lines[probe])
+        if m:
+            rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+def lint_file(path, rel):
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw_lines = f.read().splitlines()
+    except OSError as e:
+        return [(rel, 0, "io", str(e))]
+
+    in_src = rel.startswith("src/")
+    in_sim = rel.startswith("src/sim/")
+    sim_exempt = rel.endswith("inline_callback.h")
+
+    lines = [strip_strings_and_comments(l) for l in raw_lines]
+
+    # Pass 1: names of unordered containers declared in this file.
+    unordered_names = set()
+    for line in lines:
+        for m in UNORDERED_DECL_RE.finditer(line):
+            unordered_names.add(m.group(1))
+
+    findings = []
+
+    def report(idx, rule, message):
+        if rule in allowed_rules(raw_lines, idx):
+            return
+        findings.append((rel, idx + 1, rule, message))
+
+    for idx, line in enumerate(lines):
+        if WALL_CLOCK_RE.search(line):
+            report(idx, "wall-clock",
+                   "wall-clock time source; modeled code uses sim time, "
+                   "harness timing uses steady_clock outside src/")
+        elif in_src and STEADY_CLOCK_RE.search(line):
+            report(idx, "wall-clock",
+                   "steady_clock under src/; modeled code must use "
+                   "virtual time (sim->now())")
+        if RAW_RAND_RE.search(line):
+            report(idx, "raw-rand",
+                   "raw randomness; use common/rng.h so seeds replay")
+        if POINTER_KEYED_RE.search(line):
+            report(idx, "pointer-keyed",
+                   "pointer-keyed ordered container; iteration order "
+                   "depends on the allocator")
+        if in_sim and not sim_exempt and STD_FUNCTION_RE.search(line):
+            report(idx, "std-function-in-sim",
+                   "std::function in the simulator core; use "
+                   "InlineCallback (sim/inline_callback.h)")
+        if DISCARDED_STATUS_RE.search(line):
+            report(idx, "discarded-status",
+                   "call result discarded with (void); route Status "
+                   "through ELEPHANT_CHECK_OK or allow-mark it")
+        for m in RANGE_FOR_RE.finditer(line):
+            if m.group(1) in unordered_names:
+                report(idx, "unordered-iteration",
+                       "range-for over unordered container '%s'; "
+                       "hash order is nondeterministic — sort first"
+                       % m.group(1))
+    return findings
+
+
+def default_files():
+    try:
+        out = subprocess.run(
+            ["git", "ls-files"] +
+            ["*" + e for e in CXX_EXTENSIONS],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True)
+        files = out.stdout.splitlines()
+    except (subprocess.CalledProcessError, OSError):
+        files = []
+        for lint_dir in LINT_DIRS:
+            for root, _, names in os.walk(os.path.join(REPO_ROOT,
+                                                       lint_dir)):
+                for name in names:
+                    if name.endswith(CXX_EXTENSIONS):
+                        files.append(os.path.relpath(
+                            os.path.join(root, name), REPO_ROOT))
+    return [f for f in files if f.startswith(LINT_DIRS)]
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("-")]
+    if args:
+        targets = []
+        for a in args:
+            rel = os.path.relpath(os.path.abspath(a), REPO_ROOT)
+            targets.append(rel.replace(os.sep, "/"))
+    else:
+        targets = default_files()
+
+    findings = []
+    for rel in targets:
+        if not rel.endswith(CXX_EXTENSIONS):
+            continue
+        findings.extend(lint_file(os.path.join(REPO_ROOT, rel), rel))
+
+    for rel, lineno, rule, message in findings:
+        print("%s:%d: [%s] %s" % (rel, lineno, rule, message))
+    if findings:
+        print("elephant_lint: %d finding(s) in %d file(s) checked"
+              % (len(findings), len(targets)), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/elephant_lint.py.
+
+Each rule gets a firing case and a non-firing case, plus coverage of
+the allow-marker escape hatch (same line and line above), the
+string/comment stripping, and the real-repo smoke check (the tree this
+test ships with must lint clean — the linter is a blocking CI step).
+
+Run directly or via ctest (registered in tests/CMakeLists.txt).
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(SCRIPT_DIR)
+sys.path.insert(0, SCRIPT_DIR)
+
+import elephant_lint  # noqa: E402
+
+
+def lint_source(source, rel="src/sample.cc"):
+    """Lints a source snippet as if it lived at `rel` in the repo.
+    Returns the list of rule names that fired."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "sample.cc")
+        with open(path, "w") as f:
+            f.write(source)
+        findings = elephant_lint.lint_file(path, rel)
+    return [rule for (_, _, rule, _) in findings]
+
+
+class WallClockRule(unittest.TestCase):
+    def test_system_clock_fires_everywhere(self):
+        src = "auto t = std::chrono::system_clock::now();\n"
+        self.assertEqual(lint_source(src, "src/a.cc"), ["wall-clock"])
+        self.assertEqual(lint_source(src, "bench/a.cc"), ["wall-clock"])
+
+    def test_gettimeofday_fires(self):
+        self.assertEqual(
+            lint_source("gettimeofday(&tv, nullptr);\n"), ["wall-clock"])
+
+    def test_steady_clock_fires_only_under_src(self):
+        src = "auto t = std::chrono::steady_clock::now();\n"
+        self.assertEqual(lint_source(src, "src/sim/a.cc"), ["wall-clock"])
+        self.assertEqual(lint_source(src, "bench/a.cc"), [])
+        self.assertEqual(lint_source(src, "tests/a.cc"), [])
+
+    def test_sim_time_is_fine(self):
+        self.assertEqual(lint_source("SimTime t = sim->now();\n"), [])
+
+
+class RawRandRule(unittest.TestCase):
+    def test_mt19937_fires(self):
+        self.assertEqual(
+            lint_source("std::mt19937 gen(42);\n"), ["raw-rand"])
+
+    def test_random_device_fires(self):
+        self.assertEqual(
+            lint_source("std::random_device rd;\n"), ["raw-rand"])
+
+    def test_repo_rng_is_fine(self):
+        self.assertEqual(lint_source("Rng rng(42);\n"), [])
+
+    def test_operand_named_rand_is_fine(self):
+        # \b guards: 'operand(' and 'brand' must not match.
+        self.assertEqual(lint_source("int x = operand(1);\n"), [])
+
+
+class UnorderedIterationRule(unittest.TestCase):
+    def test_range_for_over_unordered_map_fires(self):
+        src = ("std::unordered_map<int, int> m;\n"
+               "for (const auto& [k, v] : m) {\n")
+        self.assertEqual(lint_source(src), ["unordered-iteration"])
+
+    def test_member_access_iteration_fires(self):
+        src = ("std::unordered_set<int> keys_;\n"
+               "for (int k : state->keys_) {\n")
+        self.assertEqual(lint_source(src), ["unordered-iteration"])
+
+    def test_ordered_map_is_fine(self):
+        src = ("std::map<int, int> m;\n"
+               "for (const auto& [k, v] : m) {\n")
+        self.assertEqual(lint_source(src), [])
+
+    def test_vector_with_same_name_elsewhere_not_declared_unordered(self):
+        src = ("std::vector<int> rows;\n"
+               "for (int r : rows) {\n")
+        self.assertEqual(lint_source(src), [])
+
+
+class PointerKeyedRule(unittest.TestCase):
+    def test_pointer_keyed_map_fires(self):
+        self.assertEqual(
+            lint_source("std::map<Node*, int> owners;\n"),
+            ["pointer-keyed"])
+
+    def test_pointer_keyed_set_fires(self):
+        self.assertEqual(
+            lint_source("std::set<sim::Task*> live;\n"), ["pointer-keyed"])
+
+    def test_value_keyed_is_fine(self):
+        self.assertEqual(
+            lint_source("std::map<uint64_t, Node*> by_id;\n"), [])
+
+
+class StdFunctionInSimRule(unittest.TestCase):
+    def test_fires_only_in_src_sim(self):
+        src = "std::function<void()> cb;\n"
+        self.assertEqual(
+            lint_source(src, "src/sim/event.h"), ["std-function-in-sim"])
+        self.assertEqual(lint_source(src, "src/ycsb/driver.h"), [])
+
+    def test_inline_callback_header_exempt(self):
+        src = "std::function<void()> cb;\n"
+        self.assertEqual(
+            lint_source(src, "src/sim/inline_callback.h"), [])
+
+
+class DiscardedStatusRule(unittest.TestCase):
+    def test_void_cast_call_fires(self):
+        self.assertEqual(
+            lint_source("(void)driver.Prepare();\n"), ["discarded-status"])
+
+    def test_void_cast_free_function_fires(self):
+        self.assertEqual(
+            lint_source("(void)ns::DoThing(x);\n"), ["discarded-status"])
+
+    def test_unused_parameter_silencer_is_fine(self):
+        self.assertEqual(lint_source("(void)argc;\n"), [])
+
+    def test_check_ok_is_fine(self):
+        self.assertEqual(
+            lint_source("ELEPHANT_CHECK_OK(driver.Prepare());\n"), [])
+
+
+class AllowMarkers(unittest.TestCase):
+    SRC = "std::mt19937 gen(42);"
+
+    def test_same_line_marker_suppresses(self):
+        src = self.SRC + "  // elephant-lint: allow(raw-rand)\n"
+        self.assertEqual(lint_source(src), [])
+
+    def test_line_above_marker_suppresses(self):
+        src = "// elephant-lint: allow(raw-rand)\n" + self.SRC + "\n"
+        self.assertEqual(lint_source(src), [])
+
+    def test_marker_two_lines_above_does_not_suppress(self):
+        src = ("// elephant-lint: allow(raw-rand)\n\n" + self.SRC + "\n")
+        self.assertEqual(lint_source(src), ["raw-rand"])
+
+    def test_marker_for_other_rule_does_not_suppress(self):
+        src = self.SRC + "  // elephant-lint: allow(wall-clock)\n"
+        self.assertEqual(lint_source(src), ["raw-rand"])
+
+    def test_comma_separated_rules(self):
+        src = ("std::mt19937 gen(std::chrono::system_clock::now()"
+               ".time_since_epoch().count());"
+               "  // elephant-lint: allow(raw-rand, wall-clock)\n")
+        self.assertEqual(lint_source(src), [])
+
+
+class StringAndCommentStripping(unittest.TestCase):
+    def test_pattern_inside_string_literal_ignored(self):
+        self.assertEqual(
+            lint_source('printf("never call std::rand()\\n");\n'), [])
+
+    def test_pattern_inside_comment_ignored(self):
+        self.assertEqual(
+            lint_source("// std::mt19937 would break replay here\n"), [])
+
+    def test_code_before_comment_still_checked(self):
+        self.assertEqual(
+            lint_source("std::mt19937 g;  // legacy\n"), ["raw-rand"])
+
+
+class CommandLine(unittest.TestCase):
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable,
+             os.path.join(SCRIPT_DIR, "elephant_lint.py")] + list(args),
+            capture_output=True, text=True)
+
+    def test_whole_repo_is_clean(self):
+        proc = self._run()
+        self.assertEqual(proc.returncode, 0,
+                         "repo must lint clean (blocking CI step):\n"
+                         + proc.stdout + proc.stderr)
+
+    def test_dirty_file_exits_nonzero_and_reports_location(self):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".cc", dir=REPO_ROOT, delete=False) as f:
+            f.write("int main() {\n  std::srand(42);\n  return 0;\n}\n")
+            path = f.name
+        try:
+            proc = self._run(path)
+            self.assertEqual(proc.returncode, 1)
+            self.assertIn(":2: [raw-rand]", proc.stdout)
+        finally:
+            os.unlink(path)
+
+    def test_non_cxx_arguments_are_skipped(self):
+        proc = self._run(os.path.join(SCRIPT_DIR, "elephant_lint.py"))
+        self.assertEqual(proc.returncode, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -6,6 +6,7 @@
 #include <exception>
 
 #include "common/check.h"
+#include "common/thread_annotations.h"
 
 namespace elephant {
 
@@ -24,7 +25,7 @@ TaskPool::TaskPool(int num_threads) : workers_(kMaxWorkers) {
 
 TaskPool::~TaskPool() {
   stop_.store(true, std::memory_order_release);
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
   int n = num_workers_.load(std::memory_order_acquire);
   for (int i = 0; i < n; ++i) {
     if (workers_[i]->thread.joinable()) workers_[i]->thread.join();
@@ -34,7 +35,7 @@ TaskPool::~TaskPool() {
 void TaskPool::EnsureThreads(int n) {
   n = std::clamp(n, 1, kMaxWorkers);
   if (num_workers_.load(std::memory_order_acquire) >= n) return;
-  std::lock_guard<std::mutex> lock(grow_mu_);
+  MutexLock lock(&grow_mu_);
   int cur = num_workers_.load(std::memory_order_acquire);
   for (int i = cur; i < n; ++i) {
     workers_[i] = std::make_unique<Worker>();
@@ -51,16 +52,16 @@ void TaskPool::Submit(std::function<void()> fn) {
   int n = num_workers_.load(std::memory_order_acquire);
   Worker& w = *workers_[slot % static_cast<uint64_t>(n)];
   {
-    std::lock_guard<std::mutex> lock(w.mu);
+    MutexLock lock(&w.mu);
     w.tasks.push_back(std::move(fn));
   }
   queued_.fetch_add(1, std::memory_order_release);
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
 }
 
 bool TaskPool::PopOwn(int worker_index, std::function<void()>* out) {
   Worker& w = *workers_[worker_index];
-  std::lock_guard<std::mutex> lock(w.mu);
+  MutexLock lock(&w.mu);
   if (w.tasks.empty()) return false;
   *out = std::move(w.tasks.back());
   w.tasks.pop_back();
@@ -74,7 +75,7 @@ bool TaskPool::Steal(std::function<void()>* out) {
   for (int k = 0; k < n; ++k) {
     Worker& w = *workers_[(start + static_cast<uint64_t>(k)) %
                           static_cast<uint64_t>(n)];
-    std::lock_guard<std::mutex> lock(w.mu);
+    MutexLock lock(&w.mu);
     if (!w.tasks.empty()) {
       *out = std::move(w.tasks.front());
       w.tasks.pop_front();
@@ -89,7 +90,7 @@ void TaskPool::Execute(std::function<void()> task) {
   queued_.fetch_sub(1, std::memory_order_acq_rel);
   task();
   if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
   }
 }
 
@@ -111,8 +112,8 @@ void TaskPool::WorkerLoop(int index) {
   tls_worker = index;
   while (!stop_.load(std::memory_order_acquire)) {
     if (RunOneTask()) continue;
-    std::unique_lock<std::mutex> lock(idle_mu_);
-    idle_cv_.wait_for(lock, std::chrono::milliseconds(50), [this] {
+    MutexLock lock(&idle_mu_);
+    idle_cv_.WaitFor(lock, std::chrono::milliseconds(50), [this] {
       return stop_.load(std::memory_order_acquire) ||
              queued_.load(std::memory_order_acquire) > 0;
     });
@@ -125,8 +126,8 @@ void TaskPool::WaitIdle() {
   while (queued_.load(std::memory_order_acquire) > 0 ||
          inflight_.load(std::memory_order_acquire) > 0) {
     if (RunOneTask()) continue;
-    std::unique_lock<std::mutex> lock(idle_mu_);
-    idle_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    MutexLock lock(&idle_mu_);
+    idle_cv_.WaitFor(lock, std::chrono::milliseconds(1));
   }
 }
 
@@ -143,8 +144,8 @@ struct ForJob {
   std::atomic<size_t> next{0};
   std::atomic<bool> cancelled{false};
   std::atomic<int> outstanding{0};  ///< helper tasks not yet finished
-  std::mutex error_mu;
-  std::exception_ptr error;
+  Mutex error_mu;
+  std::exception_ptr error ELEPHANT_GUARDED_BY(error_mu);
 
   void RunChunks() {
     for (;;) {
@@ -156,7 +157,7 @@ struct ForJob {
       try {
         (*body)(lo, hi);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
+        MutexLock lock(&error_mu);
         if (!error) error = std::current_exception();
         cancelled.store(true, std::memory_order_release);
       }
@@ -205,9 +206,12 @@ void TaskPool::ParallelFor(size_t begin, size_t end, size_t morsel,
   // whose helper tasks sit behind us cannot deadlock.
   while (job->outstanding.load(std::memory_order_acquire) > 0) {
     if (RunOneTask()) continue;
-    std::unique_lock<std::mutex> lock(idle_mu_);
-    idle_cv_.wait_for(lock, std::chrono::microseconds(200));
+    MutexLock lock(&idle_mu_);
+    idle_cv_.WaitFor(lock, std::chrono::microseconds(200));
   }
+  // Helpers are drained: no thread can touch job->error any more, and
+  // the outstanding-counter acquire pairs with their final release.
+  MutexLock lock(&job->error_mu);
   if (job->error) std::rethrow_exception(job->error);
 }
 

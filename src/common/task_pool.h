@@ -2,14 +2,14 @@
 #define ELEPHANT_COMMON_TASK_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace elephant {
 
@@ -68,9 +68,9 @@ class TaskPool {
 
  private:
   struct Worker {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
-    std::thread thread;
+    Mutex mu;
+    std::deque<std::function<void()>> tasks ELEPHANT_GUARDED_BY(mu);
+    std::thread thread;  // set once under grow_mu_, joined in ~TaskPool
   };
 
   void WorkerLoop(int index);
@@ -82,15 +82,21 @@ class TaskPool {
   bool Steal(std::function<void()>* out);
   void Execute(std::function<void()> task);
 
+  /// Worker slots. The vector itself is sized once in the constructor
+  /// and never reallocated; slot i is written under grow_mu_ and
+  /// published through the num_workers_ release store, so readers that
+  /// loaded num_workers_ (acquire) > i may touch workers_[i] without a
+  /// lock. TSA cannot express this publish-once protocol, so the field
+  /// is not GUARDED_BY — EnsureThreads is the only writer.
   std::vector<std::unique_ptr<Worker>> workers_;  // kMaxWorkers slots
   std::atomic<int> num_workers_{0};
-  std::mutex grow_mu_;
+  Mutex grow_mu_;
   std::atomic<uint64_t> next_worker_{0};
   std::atomic<size_t> queued_{0};
   std::atomic<size_t> inflight_{0};
   std::atomic<bool> stop_{false};
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
+  Mutex idle_mu_;
+  CondVar idle_cv_;
 };
 
 /// Thread count requested via the ELEPHANT_THREADS environment

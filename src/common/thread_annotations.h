@@ -1,0 +1,151 @@
+#ifndef ELEPHANT_COMMON_THREAD_ANNOTATIONS_H_
+#define ELEPHANT_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+/// Clang Thread Safety Analysis adoption (DESIGN.md §13).
+///
+/// These macros wrap Clang's capability attributes so that every field
+/// shared between *real* threads (TaskPool deques, Table's lazy
+/// row/column caches, bench/test accumulators) names the mutex that
+/// guards it, and `-Werror=thread-safety` proves at compile time that
+/// no access happens without that mutex held. The attributes compile
+/// away to nothing on GCC (and on Clangs without the attribute), so the
+/// default build is unchanged; the dedicated CI job builds with
+///   cmake -DELEPHANT_THREAD_SAFETY=ON -DCMAKE_CXX_COMPILER=clang++
+/// which adds -Werror=thread-safety.
+///
+/// This layer covers host-thread mutexes only. The *modeled* locks the
+/// simulation coroutines take (sqlkv row locks, mongod's global lock)
+/// are invisible to TSA and TSan alike; those are checked in virtual
+/// time by sim::LocksetChecker (sim/lockset.h).
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define ELEPHANT_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ELEPHANT_THREAD_ANNOTATION
+#define ELEPHANT_THREAD_ANNOTATION(x)  // not Clang: attributes vanish
+#endif
+
+/// Declares a class to be a lockable capability ("mutex").
+#define ELEPHANT_CAPABILITY(x) ELEPHANT_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define ELEPHANT_SCOPED_CAPABILITY ELEPHANT_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field annotation: reads and writes require holding `x`.
+#define ELEPHANT_GUARDED_BY(x) ELEPHANT_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field annotation: the pointed-to data requires holding `x`.
+#define ELEPHANT_PT_GUARDED_BY(x) ELEPHANT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function annotations: the function acquires/releases the capability.
+#define ELEPHANT_ACQUIRE(...) \
+  ELEPHANT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ELEPHANT_ACQUIRE_SHARED(...) \
+  ELEPHANT_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define ELEPHANT_RELEASE(...) \
+  ELEPHANT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define ELEPHANT_RELEASE_SHARED(...) \
+  ELEPHANT_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define ELEPHANT_TRY_ACQUIRE(...) \
+  ELEPHANT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must hold the capability (exclusively / at least shared).
+#define ELEPHANT_REQUIRES(...) \
+  ELEPHANT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ELEPHANT_REQUIRES_SHARED(...) \
+  ELEPHANT_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the capability (deadlock prevention).
+#define ELEPHANT_EXCLUDES(...) \
+  ELEPHANT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the given capability.
+#define ELEPHANT_RETURN_CAPABILITY(x) \
+  ELEPHANT_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for functions the analysis cannot model (publish-once
+/// double-checked paths, condition-variable internals). Every use must
+/// carry a comment explaining why the access is safe.
+#define ELEPHANT_NO_THREAD_SAFETY_ANALYSIS \
+  ELEPHANT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace elephant {
+
+class CondVar;
+
+/// Annotated std::mutex wrapper: the capability the analysis tracks.
+/// Use with MutexLock; prefer this over raw std::mutex for any state
+/// shared between host threads so GUARDED_BY fields are enforceable.
+class ELEPHANT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ELEPHANT_ACQUIRE() { mu_.lock(); }
+  void Unlock() ELEPHANT_RELEASE() { mu_.unlock(); }
+  bool TryLock() ELEPHANT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII scoped acquisition of a Mutex (std::lock_guard with capability
+/// tracking). Not copyable or movable; lives on the stack.
+class ELEPHANT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ELEPHANT_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~MutexLock() ELEPHANT_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex* mu_;
+};
+
+/// Condition variable paired with Mutex. WaitFor releases the mutex for
+/// the duration of the wait and reacquires before returning, exactly
+/// like std::condition_variable — the analysis is told nothing changes
+/// because the capability is held again by the time control returns.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  /// Waits until `pred()` or the timeout. The caller holds `lock`'s
+  /// mutex on entry and on return (the wait itself unlocks/relocks, an
+  /// exchange the analysis cannot see — hence the annotation opt-out).
+  template <typename Rep, typename Period, typename Pred>
+  void WaitFor(MutexLock& lock, std::chrono::duration<Rep, Period> timeout,
+               Pred pred) ELEPHANT_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait_for(lock.mu_->mu_, timeout, std::move(pred));
+  }
+  template <typename Rep, typename Period>
+  void WaitFor(MutexLock& lock, std::chrono::duration<Rep, Period> timeout)
+      ELEPHANT_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait_for(lock.mu_->mu_, timeout);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace elephant
+
+#endif  // ELEPHANT_COMMON_THREAD_ANNOTATIONS_H_

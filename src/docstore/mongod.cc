@@ -6,8 +6,12 @@
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "sim/lockset.h"
 
 namespace elephant::docstore {
+
+using LockMode = sim::LocksetChecker::Mode;
+using LockAccess = sim::LocksetChecker::Access;
 
 Mongod::Mongod(sim::Simulation* sim, cluster::Node* node,
                const MongodOptions& options, std::string name,
@@ -22,7 +26,9 @@ Mongod::Mongod(sim::Simulation* sim, cluster::Node* node,
       pool_ns_(pool_namespace << 40),
       global_lock_(sim),
       dispatcher_(sim, 1, name_ + ".dispatch"),
-      rng_(Fnv1a64(name_.data(), name_.size())) {}
+      rng_(Fnv1a64(name_.data(), name_.size())) {
+  lockset_domain_ = sim->lockset_checker().NewDomain();
+}
 
 Status Mongod::LoadDocument(uint64_t key, int32_t logical_bytes) {
   sqlkv::Record record;
@@ -94,7 +100,11 @@ sim::Task Mongod::Read(uint64_t key, sqlkv::OpOutcome* out,
   inflight_++;
   co_await dispatcher_.Acquire(options_.dispatch_cpu);
   co_await node_->cpu().Acquire(node_->CpuWork(options_.read_cpu));
+  sim::LocksetScope lockset(&sim_->lockset_checker(), "mongod.read");
   co_await global_lock_.AcquireShared();
+  lockset.NoteAcquired({lockset_domain_, 0}, LockMode::kShared);
+  lockset.CheckAccess({lockset_domain_, 0}, key, LockAccess::kRead,
+                      LockMode::kShared);
   auto lookup = btree_.Get(key);
   if (lookup.ok()) {
     Status io;
@@ -102,9 +112,11 @@ sim::Task Mongod::Read(uint64_t key, sqlkv::OpOutcome* out,
     if (options_.yield_on_fault) {
       // v2.0 semantics: drop the lock across the fault.
       global_lock_.Release(/*exclusive=*/false);
+      lockset.NoteReleased({lockset_domain_, 0}, LockMode::kShared);
       Fault(lookup.value().page_id, false, false, &io, faulted.get());
       co_await faulted->Wait();
       co_await global_lock_.AcquireShared();
+      lockset.NoteAcquired({lockset_domain_, 0}, LockMode::kShared);
     } else {
       // v1.8: the fault happens while the lock is held.
       Fault(lookup.value().page_id, false, false, &io, faulted.get());
@@ -118,6 +130,7 @@ sim::Task Mongod::Read(uint64_t key, sqlkv::OpOutcome* out,
     }
   }
   global_lock_.Release(/*exclusive=*/false);
+  lockset.NoteReleased({lockset_domain_, 0}, LockMode::kShared);
   inflight_--;
   ELEPHANT_DCHECK(inflight_ >= 0) << name_ << ": in-flight went negative";
   ops_served_++;
@@ -135,16 +148,22 @@ sim::Task Mongod::Update(uint64_t key, int32_t field_bytes,
   inflight_++;
   co_await dispatcher_.Acquire(options_.dispatch_cpu);
   co_await node_->cpu().Acquire(node_->CpuWork(options_.write_cpu));
+  sim::LocksetScope lockset(&sim_->lockset_checker(), "mongod.update");
   co_await global_lock_.AcquireExclusive();
+  lockset.NoteAcquired({lockset_domain_, 0}, LockMode::kExclusive);
+  lockset.CheckAccess({lockset_domain_, 0}, key, LockAccess::kWrite,
+                      LockMode::kExclusive);
   auto lookup = btree_.Get(key);
   if (lookup.ok()) {
     Status io;
     sim::PooledLatch faulted(&sim_->latch_pool(), 1);
     if (options_.yield_on_fault) {
       global_lock_.Release(/*exclusive=*/true);
+      lockset.NoteReleased({lockset_domain_, 0}, LockMode::kExclusive);
       Fault(lookup.value().page_id, true, false, &io, faulted.get());
       co_await faulted->Wait();
       co_await global_lock_.AcquireExclusive();
+      lockset.NoteAcquired({lockset_domain_, 0}, LockMode::kExclusive);
     } else {
       Fault(lookup.value().page_id, /*dirty=*/true,
             /*newly_allocated=*/false, &io, faulted.get());
@@ -165,6 +184,7 @@ sim::Task Mongod::Update(uint64_t key, int32_t field_bytes,
     }
   }
   global_lock_.Release(/*exclusive=*/true);
+  lockset.NoteReleased({lockset_domain_, 0}, LockMode::kExclusive);
   inflight_--;
   ELEPHANT_DCHECK(inflight_ >= 0) << name_ << ": in-flight went negative";
   ops_served_++;
@@ -181,7 +201,11 @@ sim::Task Mongod::Insert(uint64_t key, int32_t logical_bytes,
   inflight_++;
   co_await dispatcher_.Acquire(options_.dispatch_cpu);
   co_await node_->cpu().Acquire(node_->CpuWork(options_.insert_cpu));
+  sim::LocksetScope lockset(&sim_->lockset_checker(), "mongod.insert");
   co_await global_lock_.AcquireExclusive();
+  lockset.NoteAcquired({lockset_domain_, 0}, LockMode::kExclusive);
+  lockset.CheckAccess({lockset_domain_, 0}, key, LockAccess::kWrite,
+                      LockMode::kExclusive);
   sqlkv::Record record;
   record.logical_bytes = logical_bytes;
   Status st = btree_.Insert(key, std::move(record));
@@ -199,12 +223,14 @@ sim::Task Mongod::Insert(uint64_t key, int32_t logical_bytes,
       out->records = 1;
     } else {
       // The document never reached its extent; take it back out of the
-      // in-memory image so a retry can insert cleanly.
-      (void)btree_.Remove(key);
+      // in-memory image so a retry can insert cleanly. The key was just
+      // inserted, so the removal must succeed.
+      ELEPHANT_CHECK_OK(btree_.Remove(key));
       out->transient_error = true;
     }
   }
   global_lock_.Release(/*exclusive=*/true);
+  lockset.NoteReleased({lockset_domain_, 0}, LockMode::kExclusive);
   inflight_--;
   ELEPHANT_DCHECK(inflight_ >= 0) << name_ << ": in-flight went negative";
   ops_served_++;
@@ -221,7 +247,11 @@ sim::Task Mongod::Scan(uint64_t start_key, int max_records,
   co_await dispatcher_.Acquire(options_.dispatch_cpu);
   co_await node_->cpu().Acquire(node_->CpuWork(
       options_.scan_cpu_per_record * std::max(1, max_records)));
+  sim::LocksetScope lockset(&sim_->lockset_checker(), "mongod.scan");
   co_await global_lock_.AcquireShared();
+  lockset.NoteAcquired({lockset_domain_, 0}, LockMode::kShared);
+  lockset.CheckAccess({lockset_domain_, 0}, start_key, LockAccess::kRead,
+                      LockMode::kShared);
   std::vector<uint64_t> pages;
   int found = btree_.Scan(start_key, max_records,
                           [&pages](uint64_t, const sqlkv::Record&,
@@ -250,6 +280,7 @@ sim::Task Mongod::Scan(uint64_t start_key, int max_records,
     }
   }
   global_lock_.Release(/*exclusive=*/false);
+  lockset.NoteReleased({lockset_domain_, 0}, LockMode::kShared);
   if (io.ok()) {
     out->ok = true;
     out->records = found;

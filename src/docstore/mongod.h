@@ -144,6 +144,11 @@ class Mongod {
 
   bool crashed() const { return crashed_; }
   const std::string& name() const { return name_; }
+  /// The process-global lock (migration critical sections take both
+  /// endpoints' locks; see MongoAsSystem::RunBalancerOnce).
+  sim::RwLock& global_lock() { return global_lock_; }
+  /// Lock domain of global_lock_ in the lockset checker.
+  uint64_t lockset_domain() const { return lockset_domain_; }
   const sqlkv::BTree& collection() const { return btree_; }
   sqlkv::BufferPool& pool() { return *pool_; }
   /// Fraction of elapsed time the global lock was write-held — the
@@ -169,6 +174,7 @@ class Mongod {
   sqlkv::BufferPool own_pool_;
   sqlkv::BufferPool* pool_;
   uint64_t pool_ns_;
+  uint64_t lockset_domain_ = 0;
   sim::RwLock global_lock_;
   sim::Server dispatcher_;
   Rng rng_;

@@ -646,7 +646,9 @@ using ColBuildMap = std::unordered_map<uint64_t, std::vector<KeyGroup>>;
 void ColBuildInsert(ColBuildMap* m, const std::vector<KeyPart>& rparts,
                     uint64_t h, uint32_t idx) {
   std::vector<KeyGroup>& groups = (*m)[h];
-  for (KeyGroup& g : groups) {
+  // One hash bucket's collision chain (a vector in insertion order),
+  // not the unordered map itself.
+  for (KeyGroup& g : groups) {  // elephant-lint: allow(unordered-iteration)
     if (KeysEqualAt(rparts, g.repr, rparts, idx)) {
       g.rows.push_back(idx);
       return;

@@ -177,7 +177,7 @@ void Table::CopyFrom(const Table& other) {
   // The lock serializes against a concurrent lazy materialization in
   // `other` (reads are otherwise lock-free once a representation is
   // built).
-  std::lock_guard<std::mutex> lock(other.lazy_mu_);
+  MutexLock lock(&other.lazy_mu_);
   columns_ = other.columns_;
   col_index_ = other.col_index_;
   data_ = other.data_;
@@ -335,7 +335,7 @@ std::vector<Row>& Table::mutable_rows() {
 
 void Table::EnsureRows() const {
   if (rows_valid_.load(std::memory_order_acquire)) return;
-  std::lock_guard<std::mutex> lock(lazy_mu_);
+  MutexLock lock(&lazy_mu_);
   if (rows_valid_.load(std::memory_order_relaxed)) return;
   ELEPHANT_CHECK(columnar_valid_.load(std::memory_order_relaxed))
       << "table has neither rows nor columns";
@@ -373,7 +373,7 @@ void Table::InvalidateRows() {
 bool Table::EnsureColumnar() const {
   if (columnar_valid_.load(std::memory_order_acquire)) return true;
   if (heterogeneous_.load(std::memory_order_relaxed)) return false;
-  std::lock_guard<std::mutex> lock(lazy_mu_);
+  MutexLock lock(&lazy_mu_);
   if (columnar_valid_.load(std::memory_order_relaxed)) return true;
   if (!heterogeneous_.load(std::memory_order_relaxed)) {
     RebuildColumnsLocked();

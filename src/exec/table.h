@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -12,6 +11,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/thread_annotations.h"
 
 namespace elephant::exec {
 
@@ -301,16 +301,25 @@ class Table {
   std::string ToString(size_t max_rows = 20) const;
 
  private:
-  void EnsureRows() const;
+  void EnsureRows() const ELEPHANT_EXCLUDES(lazy_mu_);
   void InvalidateRows();
   /// Rebuilds data_ from row_cache_; flips heterogeneous_ instead when
   /// some cell's alternative does not match its column type.
-  void RebuildColumnsLocked() const;
+  void RebuildColumnsLocked() const ELEPHANT_REQUIRES(lazy_mu_);
   void CopyFrom(const Table& other);
   void MoveFrom(Table&& other) noexcept;
 
   std::vector<Column> columns_;
   std::unordered_map<std::string, int> col_index_;
+  // The lazily materialized representations (data_, row_cache_) follow
+  // a publish-once protocol: the first builder runs under lazy_mu_ and
+  // publishes via the release store on rows_valid_/columnar_valid_;
+  // readers that observed the acquire load touch them lock-free. TSA
+  // cannot express "guarded until published", so these fields are not
+  // GUARDED_BY — every *build* path must hold lazy_mu_ (enforced by
+  // the REQUIRES on RebuildColumnsLocked and the MutexLock in
+  // EnsureRows/EnsureColumnar), and every mutation path requires
+  // exclusive access to the whole table (class contract above).
   mutable std::vector<ColumnVector> data_;
   mutable std::shared_ptr<StringPool> pool_;
   mutable size_t num_rows_ = 0;
@@ -319,7 +328,7 @@ class Table {
   mutable std::atomic<bool> rows_valid_{false};
   mutable std::atomic<bool> columnar_valid_{true};
   mutable std::atomic<bool> heterogeneous_{false};
-  mutable std::mutex lazy_mu_;
+  mutable Mutex lazy_mu_;
 };
 
 /// Order-sensitive 64-bit fingerprint of a table: schema, row count, and

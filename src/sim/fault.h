@@ -96,8 +96,11 @@ class FaultInjector {
   struct Hooks {
     /// Process crash / restart on a node (wired to the engines by the
     /// system under test). May be empty.
+    // Cold path: invoked once per injected fault event, never on the
+    // per-op hot path InlineCallback exists for.
+    // elephant-lint: allow(std-function-in-sim)
     std::function<void(int node)> crash_node;
-    std::function<void(int node)> restart_node;
+    std::function<void(int node)> restart_node;  // elephant-lint: allow(std-function-in-sim)
   };
 
   FaultInjector(Simulation* sim, std::vector<NodeFaultSurface> surfaces,

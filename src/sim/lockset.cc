@@ -1,0 +1,78 @@
+#include "sim/lockset.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace elephant::sim {
+
+const char* LocksetModeName(LocksetChecker::Mode mode) {
+  switch (mode) {
+    case LocksetChecker::Mode::kNone:
+      return "none";
+    case LocksetChecker::Mode::kShared:
+      return "shared";
+    case LocksetChecker::Mode::kExclusive:
+      return "exclusive";
+  }
+  return "?";
+}
+
+const char* LocksetAccessName(LocksetChecker::Access access) {
+  switch (access) {
+    case LocksetChecker::Access::kRead:
+      return "read";
+    case LocksetChecker::Access::kWrite:
+      return "write";
+  }
+  return "?";
+}
+
+bool LocksetChecker::EnvEnabled() {
+  const char* env = std::getenv("ELEPHANT_LOCKSET_CHECK");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+std::string LocksetChecker::Report() const {
+  std::string out;
+  for (const Violation& v : violations_) {
+    out += StrFormat(
+        "lockset violation: op=%s key=%llu %s requires %s lock "
+        "(domain=%llu lock_key=%llu), held %s\n",
+        v.op, (unsigned long long)v.data_key, LocksetAccessName(v.access),
+        LocksetModeName(v.required), (unsigned long long)v.lock.domain,
+        (unsigned long long)v.lock.key, LocksetModeName(v.held));
+  }
+  if (total_violations_ > static_cast<int64_t>(violations_.size())) {
+    out += StrFormat("... and %lld more violations\n",
+                     (long long)(total_violations_ -
+                                 static_cast<int64_t>(violations_.size())));
+  }
+  return out;
+}
+
+void LocksetScope::CheckAccessSlow(LockId lock, uint64_t data_key,
+                                   Access access, Mode required) {
+  checker_->accesses_checked_++;
+  Mode held = Mode::kNone;
+  for (int i = 0; i < num_held_; ++i) {
+    if (held_[i].lock == lock &&
+        static_cast<uint8_t>(held_[i].mode) > static_cast<uint8_t>(held)) {
+      held = held_[i].mode;
+    }
+  }
+  // kShared requirements are satisfied by either mode; kExclusive only
+  // by kExclusive; kNone always (the access is declared lock-free).
+  bool ok = required == Mode::kNone ||
+            (required == Mode::kShared && held != Mode::kNone) ||
+            held == Mode::kExclusive;
+  if (ok) return;
+  checker_->total_violations_++;
+  if (checker_->violations_.size() < LocksetChecker::kMaxStored) {
+    checker_->violations_.push_back(
+        {op_, lock, data_key, access, required, held});
+  }
+}
+
+}  // namespace elephant::sim

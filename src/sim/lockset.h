@@ -1,0 +1,158 @@
+#ifndef ELEPHANT_SIM_LOCKSET_H_
+#define ELEPHANT_SIM_LOCKSET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elephant::sim {
+
+/// Virtual-time lockset race detector (DESIGN.md §13).
+///
+/// The locks the simulation coroutines take — sqlkv's per-row
+/// RwLocks, mongod's process-global lock — are *modeled*: pure
+/// bookkeeping on one host thread, invisible to TSan and ASan. A
+/// data access performed without the isolation-mandated modeled lock
+/// is therefore a bug no sanitizer can ever see; it surfaces (if at
+/// all) as a wrong benchmark number. This checker is the
+/// Eraser-style answer adapted to discrete-event simulation: each
+/// simulated operation carries its held-lockset in a LocksetScope
+/// living in the coroutine frame, and every data touch declares the
+/// lock mode its isolation level mandates. A touch whose scope does
+/// not hold the lock in (at least) that mode is recorded as a
+/// violation naming the op, the data key, and the missing mode.
+///
+/// Determinism contract: the checker performs no simulation work —
+/// it never schedules events, consumes virtual time, or draws random
+/// numbers — so enabling it cannot perturb any modeled result. Run
+/// fingerprints are bit-identical with the checker on or off, by
+/// construction. Off by default; enabled per-Simulation via the
+/// ELEPHANT_LOCKSET_CHECK environment variable (any value but "0")
+/// or set_enabled(). Disabled, every hook is a tag-pointer test.
+class LocksetChecker {
+ public:
+  /// Lock mode an op holds, or that an access requires. kNone as a
+  /// requirement means the access is legitimately lock-free (READ
+  /// UNCOMMITTED reads).
+  enum class Mode : uint8_t { kNone = 0, kShared = 1, kExclusive = 2 };
+  enum class Access : uint8_t { kRead = 0, kWrite = 1 };
+
+  /// Identity of one modeled lock: a checker-issued domain (one per
+  /// lock table or process-global lock, in construction order —
+  /// deterministic) plus the row key, or 0 for a global lock. Never a
+  /// pointer: reports must not depend on the allocator.
+  struct LockId {
+    uint64_t domain = 0;
+    uint64_t key = 0;
+    bool operator==(const LockId& other) const {
+      return domain == other.domain && key == other.key;
+    }
+  };
+
+  struct Violation {
+    const char* op;     ///< e.g. "sqlkv.read" (static string)
+    LockId lock;        ///< the lock that should have been held
+    uint64_t data_key;  ///< the record/document touched
+    Access access;
+    Mode required;
+    Mode held;
+  };
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Issues the next lock domain. Called once per lock table /
+  /// global lock at engine construction; construction order is
+  /// deterministic, so domains are too.
+  uint64_t NewDomain() { return next_domain_++; }
+
+  /// Accesses checked while enabled — tests assert this is nonzero
+  /// so the instrumentation cannot silently rot.
+  int64_t accesses_checked() const { return accesses_checked_; }
+  int64_t total_violations() const { return total_violations_; }
+  /// Stored violations (the first kMaxStored; total_violations()
+  /// counts all of them).
+  const std::vector<Violation>& violations() const { return violations_; }
+  /// Human-readable report, one line per stored violation; empty
+  /// string when clean.
+  std::string Report() const;
+
+  /// True when ELEPHANT_LOCKSET_CHECK is set to anything but "0".
+  static bool EnvEnabled();
+
+  static constexpr size_t kMaxStored = 64;
+
+ private:
+  friend class LocksetScope;
+
+  bool enabled_ = false;
+  uint64_t next_domain_ = 1;
+  int64_t accesses_checked_ = 0;
+  int64_t total_violations_ = 0;
+  std::vector<Violation> violations_;
+};
+
+const char* LocksetModeName(LocksetChecker::Mode mode);
+const char* LocksetAccessName(LocksetChecker::Access access);
+
+/// One simulated operation's held-lockset. Lives in the coroutine
+/// frame of the op (Read/Update/Insert/migration); the op tells it
+/// about every modeled acquire/release, and declares the required
+/// mode at every data touch. All methods are no-ops when the checker
+/// is disabled (the constructor stores nullptr).
+class LocksetScope {
+ public:
+  using Mode = LocksetChecker::Mode;
+  using Access = LocksetChecker::Access;
+  using LockId = LocksetChecker::LockId;
+
+  LocksetScope(LocksetChecker* checker, const char* op)
+      : checker_(checker != nullptr && checker->enabled() ? checker
+                                                          : nullptr),
+        op_(op) {}
+  LocksetScope(const LocksetScope&) = delete;
+  LocksetScope& operator=(const LocksetScope&) = delete;
+
+  void NoteAcquired(LockId lock, Mode mode) {
+    if (checker_ == nullptr) return;
+    if (num_held_ < kMaxHeld) held_[num_held_++] = {lock, mode};
+  }
+
+  void NoteReleased(LockId lock, Mode mode) {
+    if (checker_ == nullptr) return;
+    for (int i = num_held_ - 1; i >= 0; --i) {
+      if (held_[i].lock == lock && held_[i].mode == mode) {
+        held_[i] = held_[--num_held_];
+        return;
+      }
+    }
+  }
+
+  /// Declares a data touch: the op is reading/writing `data_key`
+  /// and its isolation level mandates holding `lock` in at least
+  /// `required` mode. Records a violation when the scope does not.
+  void CheckAccess(LockId lock, uint64_t data_key, Access access,
+                   Mode required) {
+    if (checker_ == nullptr) return;
+    CheckAccessSlow(lock, data_key, access, required);
+  }
+
+ private:
+  static constexpr int kMaxHeld = 4;
+  struct Held {
+    LockId lock;
+    Mode mode;
+  };
+
+  void CheckAccessSlow(LockId lock, uint64_t data_key, Access access,
+                       Mode required);
+
+  LocksetChecker* checker_;
+  const char* op_;
+  int num_held_ = 0;
+  Held held_[kMaxHeld];
+};
+
+}  // namespace elephant::sim
+
+#endif  // ELEPHANT_SIM_LOCKSET_H_

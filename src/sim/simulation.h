@@ -11,6 +11,7 @@
 #include "common/units.h"
 #include "sim/event_heap.h"
 #include "sim/inline_callback.h"
+#include "sim/lockset.h"
 #include "sim/slab.h"
 
 namespace elephant::sim {
@@ -265,7 +266,9 @@ using PooledOneShot = Pooled<OneShotEvent>;
 /// sequence counter).
 class Simulation {
  public:
-  Simulation() = default;
+  /// Reads ELEPHANT_LOCKSET_CHECK to arm the lockset checker (off by
+  /// default; tests also toggle it via lockset_checker()).
+  Simulation() { lockset_.set_enabled(LocksetChecker::EnvEnabled()); }
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
@@ -318,6 +321,12 @@ class Simulation {
   WaitablePool<Latch>& latch_pool() { return latch_pool_; }
   WaitablePool<OneShotEvent>& one_shot_pool() { return one_shot_pool_; }
 
+  /// Virtual-time lockset race detector for the *modeled* locks
+  /// (sim/lockset.h). Pure bookkeeping — enabling it cannot change
+  /// any modeled result.
+  LocksetChecker& lockset_checker() { return lockset_; }
+  const LocksetChecker& lockset_checker() const { return lockset_; }
+
   /// Awaitable that suspends the current coroutine for `delay`.
   struct DelayAwaiter {
     Simulation* sim;
@@ -348,6 +357,7 @@ class Simulation {
   Waitable* waitables_head_ = nullptr;
   WaitablePool<Latch> latch_pool_{this};
   WaitablePool<OneShotEvent> one_shot_pool_{this};
+  LocksetChecker lockset_;
 };
 
 }  // namespace elephant::sim

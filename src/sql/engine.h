@@ -4,6 +4,7 @@
 #include <map>
 #include <string>
 
+#include "common/check.h"
 #include "common/result.h"
 #include "exec/table.h"
 #include "sql/ast.h"
@@ -27,16 +28,18 @@ class Database {
 
   /// Registers all eight tables of a TPC-H database under their
   /// standard names. `db` must outlive this Database.
+  /// The eight standard names are distinct, so registration cannot
+  /// fail; a duplicate would mean a corrupted caller and aborts.
   template <typename TpchDatabaseT>
   void RegisterTpch(const TpchDatabaseT& db) {
-    (void)Register("region", &db.region);
-    (void)Register("nation", &db.nation);
-    (void)Register("supplier", &db.supplier);
-    (void)Register("part", &db.part);
-    (void)Register("partsupp", &db.partsupp);
-    (void)Register("customer", &db.customer);
-    (void)Register("orders", &db.orders);
-    (void)Register("lineitem", &db.lineitem);
+    ELEPHANT_CHECK_OK(Register("region", &db.region));
+    ELEPHANT_CHECK_OK(Register("nation", &db.nation));
+    ELEPHANT_CHECK_OK(Register("supplier", &db.supplier));
+    ELEPHANT_CHECK_OK(Register("part", &db.part));
+    ELEPHANT_CHECK_OK(Register("partsupp", &db.partsupp));
+    ELEPHANT_CHECK_OK(Register("customer", &db.customer));
+    ELEPHANT_CHECK_OK(Register("orders", &db.orders));
+    ELEPHANT_CHECK_OK(Register("lineitem", &db.lineitem));
   }
 
   /// Parses and executes a SELECT statement.

@@ -5,8 +5,12 @@
 #include <vector>
 
 #include "common/check.h"
+#include "sim/lockset.h"
 
 namespace elephant::sqlkv {
+
+using LockMode = sim::LocksetChecker::Mode;
+using LockAccess = sim::LocksetChecker::Access;
 
 namespace {
 /// Lazy-writer flush of an evicted dirty page: occupies the disk but the
@@ -24,7 +28,9 @@ SqlEngine::SqlEngine(sim::Simulation* sim, cluster::Node* node,
       btree_(options.page_bytes),
       pool_(options.memory_bytes, options.page_bytes),
       locks_(sim),
-      log_(sim, options.log) {}
+      log_(sim, options.log) {
+  lockset_domain_ = sim->lockset_checker().NewDomain();
+}
 
 Status SqlEngine::LoadRecord(uint64_t key, int32_t logical_bytes) {
   Record record;
@@ -63,11 +69,23 @@ sim::Task SqlEngine::Read(uint64_t key, OpOutcome* out, sim::Latch* done) {
     co_return;
   }
   co_await node_->cpu().Acquire(node_->CpuWork(options_.read_cpu));
+  // READ COMMITTED mandates a shared row lock around the record touch;
+  // READ UNCOMMITTED reads are legitimately lock-free (§3.4.3).
+  const LockMode required =
+      options_.read_uncommitted ? LockMode::kNone : LockMode::kShared;
+  sim::LocksetScope lockset(&sim_->lockset_checker(), "sqlkv.read");
   bool locked = !options_.read_uncommitted;
+  if (locked && test_skip_next_read_lock_) {
+    test_skip_next_read_lock_ = false;
+    locked = false;  // planted race: the checker must flag this access
+  }
   if (locked) {
     locks_.NoteAcquisition();
     co_await locks_.LockFor(key).AcquireShared();
+    lockset.NoteAcquired({lockset_domain_, key}, LockMode::kShared);
   }
+  lockset.CheckAccess({lockset_domain_, key}, key, LockAccess::kRead,
+                      required);
   auto lookup = btree_.Get(key);
   if (lookup.ok()) {
     Status io;
@@ -82,7 +100,10 @@ sim::Task SqlEngine::Read(uint64_t key, OpOutcome* out, sim::Latch* done) {
       out->transient_error = true;
     }
   }
-  if (locked) locks_.Release(key, /*exclusive=*/false);
+  if (locked) {
+    locks_.Release(key, /*exclusive=*/false);
+    lockset.NoteReleased({lockset_domain_, key}, LockMode::kShared);
+  }
   ops_served_++;
   done->CountDown();
 }
@@ -95,8 +116,12 @@ sim::Task SqlEngine::Update(uint64_t key, int32_t field_bytes,
     co_return;
   }
   co_await node_->cpu().Acquire(node_->CpuWork(options_.update_cpu));
+  sim::LocksetScope lockset(&sim_->lockset_checker(), "sqlkv.update");
   locks_.NoteAcquisition();
   co_await locks_.LockFor(key).AcquireExclusive();
+  lockset.NoteAcquired({lockset_domain_, key}, LockMode::kExclusive);
+  lockset.CheckAccess({lockset_domain_, key}, key, LockAccess::kWrite,
+                      LockMode::kExclusive);
   auto lookup = btree_.Get(key);
   if (lookup.ok()) {
     Status io;
@@ -124,6 +149,7 @@ sim::Task SqlEngine::Update(uint64_t key, int32_t field_bytes,
     }
   }
   locks_.Release(key, /*exclusive=*/true);
+  lockset.NoteReleased({lockset_domain_, key}, LockMode::kExclusive);
   ops_served_++;
   done->CountDown();
 }
@@ -136,8 +162,12 @@ sim::Task SqlEngine::Insert(uint64_t key, int32_t logical_bytes,
     co_return;
   }
   co_await node_->cpu().Acquire(node_->CpuWork(options_.insert_cpu));
+  sim::LocksetScope lockset(&sim_->lockset_checker(), "sqlkv.insert");
   locks_.NoteAcquisition();
   co_await locks_.LockFor(key).AcquireExclusive();
+  lockset.NoteAcquired({lockset_domain_, key}, LockMode::kExclusive);
+  lockset.CheckAccess({lockset_domain_, key}, key, LockAccess::kWrite,
+                      LockMode::kExclusive);
   Record record;
   record.logical_bytes = logical_bytes;
   Status st = btree_.Insert(key, std::move(record));
@@ -150,8 +180,9 @@ sim::Task SqlEngine::Insert(uint64_t key, int32_t logical_bytes,
     co_await faulted->Wait();
     if (!io.ok()) {
       // Roll the unacknowledged insert back out of the in-memory image
-      // so a retry can succeed cleanly.
-      (void)btree_.Remove(key);
+      // so a retry can succeed cleanly. The key was just inserted, so
+      // the removal must succeed.
+      ELEPHANT_CHECK_OK(btree_.Remove(key));
       out->transient_error = true;
     } else {
       sim::PooledLatch committed(&sim_->latch_pool(), 1);
@@ -168,6 +199,7 @@ sim::Task SqlEngine::Insert(uint64_t key, int32_t logical_bytes,
     }
   }
   locks_.Release(key, /*exclusive=*/true);
+  lockset.NoteReleased({lockset_domain_, key}, LockMode::kExclusive);
   ops_served_++;
   done->CountDown();
 }
@@ -181,6 +213,10 @@ sim::Task SqlEngine::Scan(uint64_t start_key, int max_records,
   }
   co_await node_->cpu().Acquire(
       node_->CpuWork(options_.scan_cpu_per_record * std::max(1, max_records)));
+  // Deliberately uninstrumented for the lockset checker: the model's
+  // range scans read clustered leaves lock-free by design (no range
+  // locks are modeled), so there is no mandated lock to check. See
+  // DESIGN.md §13.
   // Collect the leaf pages holding the range.
   std::vector<uint64_t> pages;
   int found = btree_.Scan(start_key, max_records,

@@ -115,6 +115,13 @@ class SqlEngine {
   BufferPool& pool() { return pool_; }
   GroupCommitLog& log() { return log_; }
   LockManager& locks() { return locks_; }
+
+  /// Planted-race hook (tests/lockset_test.cc only): the next Read
+  /// skips its shared row-lock acquisition while the lockset checker
+  /// still demands it — the checker must flag exactly that access.
+  void TestSkipNextReadLock() { test_skip_next_read_lock_ = true; }
+  /// Lock domain this engine's row locks occupy in the lockset checker.
+  uint64_t lockset_domain() const { return lockset_domain_; }
   int64_t checkpoints() const { return checkpoints_; }
   int64_t disk_reads() const { return disk_reads_; }
   int64_t ops_served() const { return ops_served_; }
@@ -138,6 +145,8 @@ class SqlEngine {
   BufferPool pool_;
   LockManager locks_;
   GroupCommitLog log_;
+  uint64_t lockset_domain_ = 0;
+  bool test_skip_next_read_lock_ = false;
   bool running_ = false;
   bool crashed_ = false;
   int64_t checkpoints_ = 0;

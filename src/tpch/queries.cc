@@ -830,10 +830,19 @@ Table Q21(const TpchDatabase& db) {
   Table pairs(
       {{"l_orderkey", exec::ValueType::kInt},
        {"l_suppkey", exec::ValueType::kInt}});
-  for (const auto& [o, late_set] : late) {
+  // Iterate orders in sorted key order, not hash order: AddRow order
+  // feeds the downstream joins/aggregation, and the repo contract is
+  // bit-identical results run to run.
+  std::vector<int64_t> late_orders;
+  late_orders.reserve(late.size());
+  // elephant-lint: allow(unordered-iteration) — keys sorted next line.
+  for (const auto& entry : late) late_orders.push_back(entry.first);
+  std::sort(late_orders.begin(), late_orders.end());
+  for (int64_t o : late_orders) {
     if (!f_orders.count(o)) continue;
     const auto& supp_set = suppliers.at(o);
     if (supp_set.size() < 2) continue;  // needs another supplier
+    const auto& late_set = late.at(o);
     if (late_set.size() != 1) continue;  // no OTHER late supplier
     pairs.AddRow({Value{o}, Value{*late_set.begin()}});
   }

@@ -264,6 +264,13 @@ RunResult YcsbDriver::Run() {
   // parked coroutines (simulated deadlock).
   ELEPHANT_CHECK_OK(system_->ValidateInvariants());
   sim->CheckQuiescent();
+  // When the lockset checker is armed, any data touch without its
+  // isolation-mandated modeled lock fails the run outright.
+  if (sim->lockset_checker().enabled()) {
+    ELEPHANT_CHECK(sim->lockset_checker().total_violations() == 0)
+        << "modeled-lock discipline violated:\n"
+        << sim->lockset_checker().Report();
+  }
   return result;
 }
 
@@ -308,8 +315,10 @@ SimTime YcsbDriver::SimulateTimedLoad(int loader_threads) {
   while (loaded_at < 0) {
     sim->Run(sim->now() + kSecond);
     if (mongo_as != nullptr && loaded_at < 0) {
-      sim::Latch balanced(sim, 1);
-      mongo_as->RunBalancerOnce(&balanced);
+      // No completion latch: the balancer can park on a contended
+      // global lock and outlive this loop iteration, so a stack latch
+      // here would dangle. The surrounding Run() loop drains it.
+      mongo_as->RunBalancerOnce(nullptr);
       sim->Run(sim->now() + 100 * kMillisecond);
     }
     if (sim->Idle()) break;
@@ -460,6 +469,14 @@ ChaosOutcome RunChaosPoint(SystemKind kind, const WorkloadSpec& workload,
   factory.testbed->sim.Run();
   factory.testbed->sim.CheckQuiescent();
   ELEPHANT_CHECK_OK(system->ValidateQuiesced());
+  // Chaos shards run with ELEPHANT_LOCKSET_CHECK=1: the post-measure
+  // drain (restarts, balancer rounds) must obey lock discipline too.
+  const sim::LocksetChecker& lockset =
+      factory.testbed->sim.lockset_checker();
+  if (lockset.enabled()) {
+    ELEPHANT_CHECK(lockset.total_violations() == 0)
+        << "modeled-lock discipline violated:\n" << lockset.Report();
+  }
 
   out.ledger = system->Durability();
   out.plan_fingerprint = plan.Fingerprint();

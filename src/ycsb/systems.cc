@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "sim/lockset.h"
 
 namespace elephant::ycsb {
 
@@ -477,13 +479,30 @@ sim::Task MongoAsSystem::Execute(const Op& op, sqlkv::OpOutcome* out,
 }
 
 sim::Task MongoAsSystem::RunBalancerOnce(sim::Latch* done) {
+  using LockMode = sim::LocksetChecker::Mode;
+  using LockAccess = sim::LocksetChecker::Access;
   auto migrations = config_->BalanceOnce();
   for (const auto& m : migrations) {
     // Move the chunk's documents: read them off the source, stream over
     // the network, insert into the destination.
     docstore::Mongod* src = mongods_[m.from].get();
     docstore::Mongod* dst = mongods_[m.to].get();
+    // The migration critical section takes both endpoints' global
+    // locks exclusively (in shard order — there is a single balancer
+    // coroutine, so ordering is belt-and-braces, not a deadlock fix).
+    // The lockset checker caught the original version mutating both
+    // collections with no lock at all, racing live traffic.
+    docstore::Mongod* first = m.from < m.to ? src : dst;
+    docstore::Mongod* second = m.from < m.to ? dst : src;
+    co_await first->global_lock().AcquireExclusive();
+    co_await second->global_lock().AcquireExclusive();
+    sim::LocksetScope lockset(&testbed_->sim.lockset_checker(),
+                              "mongo-as.migrate");
+    lockset.NoteAcquired({src->lockset_domain(), 0}, LockMode::kExclusive);
+    lockset.NoteAcquired({dst->lockset_domain(), 0}, LockMode::kExclusive);
     std::vector<std::pair<uint64_t, int32_t>> moved;
+    lockset.CheckAccess({src->lockset_domain(), 0}, m.chunk.min_key,
+                        LockAccess::kRead, LockMode::kShared);
     src->collection().Scan(
         m.chunk.min_key, static_cast<int>(src->collection().size()),
         [&](uint64_t key, const sqlkv::Record& rec, uint64_t) {
@@ -492,14 +511,21 @@ sim::Task MongoAsSystem::RunBalancerOnce(sim::Latch* done) {
     int64_t bytes = 0;
     for (auto& [key, size] : moved) {
       // Collection mutation is metadata-speed; the cost is the wire.
-      (void)const_cast<sqlkv::BTree&>(src->collection()).Remove(key);
-      (void)dst->LoadDocument(key, size);
+      lockset.CheckAccess({src->lockset_domain(), 0}, key,
+                          LockAccess::kWrite, LockMode::kExclusive);
+      ELEPHANT_CHECK_OK(
+          const_cast<sqlkv::BTree&>(src->collection()).Remove(key));
+      lockset.CheckAccess({dst->lockset_domain(), 0}, key,
+                          LockAccess::kWrite, LockMode::kExclusive);
+      ELEPHANT_CHECK_OK(dst->LoadDocument(key, size));
       bytes += size;
     }
+    second->global_lock().Release(/*exclusive=*/true);
+    first->global_lock().Release(/*exclusive=*/true);
     co_await testbed_->sim.Delay(
         ResponseTransferTime(bytes) + 10 * kMillisecond);
   }
-  done->CountDown();
+  if (done != nullptr) done->CountDown();
 }
 
 }  // namespace elephant::ycsb

@@ -218,8 +218,12 @@ class MongoAsSystem : public DataServingSystem {
   int num_shards() const { return static_cast<int>(mongods_.size()); }
 
   /// One balancer round: migrates a chunk's documents between shards
-  /// and charges the transfer (used when presplit_chunks is false).
-  sim::Task RunBalancerOnce(sim::Latch* done);
+  /// under both endpoints' global locks and charges the transfer (used
+  /// when presplit_chunks is false). `done` (optional) fires when the
+  /// round completes — pass nullptr when the caller drains the event
+  /// loop instead of waiting (a stack latch a coroutine outlives is a
+  /// dangling pointer).
+  sim::Task RunBalancerOnce(sim::Latch* done = nullptr);
 
   /// Mean write-lock fraction across mongods (the paper's mongostat
   /// observation).

@@ -1,0 +1,281 @@
+// Virtual-time lockset race detector (sim/lockset.h): the planted
+// race must trip it, clean engines must not, and arming it must leave
+// every modeled result bit-identical — the checker is bookkeeping,
+// never simulation.
+
+#include "sim/lockset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "docstore/mongod.h"
+#include "sim/fault.h"
+#include "sim/simulation.h"
+#include "sqlkv/engine.h"
+#include "ycsb/driver.h"
+#include "ycsb/systems.h"
+#include "ycsb/workload.h"
+
+namespace elephant {
+namespace {
+
+using sim::LocksetChecker;
+using Mode = LocksetChecker::Mode;
+using Access = LocksetChecker::Access;
+
+// RAII guard for the ELEPHANT_LOCKSET_CHECK environment knob: the
+// fingerprint tests construct their Simulations deep inside
+// RunOnePoint/RunChaosPoint, so the env var is the only way in.
+class ScopedLocksetEnv {
+ public:
+  explicit ScopedLocksetEnv(const char* value) {
+    const char* old = std::getenv("ELEPHANT_LOCKSET_CHECK");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    setenv("ELEPHANT_LOCKSET_CHECK", value, 1);
+  }
+  ~ScopedLocksetEnv() {
+    if (had_old_) {
+      setenv("ELEPHANT_LOCKSET_CHECK", old_.c_str(), 1);
+    } else {
+      unsetenv("ELEPHANT_LOCKSET_CHECK");
+    }
+  }
+
+ private:
+  bool had_old_;
+  std::string old_;
+};
+
+class LocksetSqlTest : public ::testing::Test {
+ protected:
+  LocksetSqlTest() : node_(&sim_, 0, cluster::NodeConfig{}) {}
+
+  sim::Simulation sim_;
+  cluster::Node node_;
+};
+
+TEST(LocksetDefaultTest, OffByDefaultChecksNothing) {
+  // Neutralize the env knob first: this test asserts the no-env
+  // default, and CI runs the whole binary with ELEPHANT_LOCKSET_CHECK=1
+  // (the Simulation must be constructed under the scoped "0").
+  ScopedLocksetEnv env("0");
+  sim::Simulation sim;
+  cluster::Node node(&sim, 0, cluster::NodeConfig{});
+  ASSERT_FALSE(sim.lockset_checker().enabled());
+  sqlkv::SqlEngine engine(&sim, &node, {});
+  ASSERT_TRUE(engine.LoadRecord(1, 1024).ok());
+  sqlkv::OpOutcome out;
+  sim::Latch done(&sim, 1);
+  engine.Read(1, &out, &done);
+  sim.Run();
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(sim.lockset_checker().accesses_checked(), 0);
+  EXPECT_EQ(sim.lockset_checker().total_violations(), 0);
+}
+
+TEST_F(LocksetSqlTest, CleanEngineOpsProduceNoViolations) {
+  sim_.lockset_checker().set_enabled(true);
+  sqlkv::SqlEngine engine(&sim_, &node_, {});
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(engine.LoadRecord(k, 1024).ok());
+  }
+  sqlkv::OpOutcome out[3];
+  sim::Latch done(&sim_, 3);
+  engine.Read(5, &out[0], &done);
+  engine.Update(6, 100, &out[1], &done);
+  engine.Insert(200, 1024, &out[2], &done);
+  sim_.Run();
+  EXPECT_TRUE(out[0].ok && out[1].ok && out[2].ok);
+  // The instrumentation must actually be live, and clean.
+  EXPECT_GE(sim_.lockset_checker().accesses_checked(), 3);
+  EXPECT_EQ(sim_.lockset_checker().total_violations(), 0);
+  EXPECT_EQ(sim_.lockset_checker().Report(), "");
+}
+
+TEST_F(LocksetSqlTest, PlantedRaceTripsChecker) {
+  sim_.lockset_checker().set_enabled(true);
+  sqlkv::SqlEngine engine(&sim_, &node_, {});
+  ASSERT_TRUE(engine.LoadRecord(42, 1024).ok());
+
+  // Skip exactly one shared acquisition: the very bug class the
+  // checker exists for — invisible to TSan (the lock is modeled) and
+  // to the runtime validators (no lock entry leaks).
+  engine.TestSkipNextReadLock();
+  sqlkv::OpOutcome out;
+  sim::Latch done(&sim_, 1);
+  engine.Read(42, &out, &done);
+  sim_.Run();
+  EXPECT_TRUE(out.ok);  // the read still "works" — that is the danger
+
+  const LocksetChecker& checker = sim_.lockset_checker();
+  ASSERT_EQ(checker.total_violations(), 1);
+  ASSERT_EQ(checker.violations().size(), 1u);
+  const LocksetChecker::Violation& v = checker.violations()[0];
+  EXPECT_STREQ(v.op, "sqlkv.read");
+  EXPECT_EQ(v.data_key, 42u);
+  EXPECT_EQ(v.access, Access::kRead);
+  EXPECT_EQ(v.required, Mode::kShared);
+  EXPECT_EQ(v.held, Mode::kNone);
+  // The report names the op, the key, and the missing mode.
+  std::string report = checker.Report();
+  EXPECT_NE(report.find("sqlkv.read"), std::string::npos);
+  EXPECT_NE(report.find("key=42"), std::string::npos);
+  EXPECT_NE(report.find("shared"), std::string::npos);
+
+  // With the lock restored, the same access is clean again.
+  sim::Latch done2(&sim_, 1);
+  sqlkv::OpOutcome out2;
+  engine.Read(42, &out2, &done2);
+  sim_.Run();
+  EXPECT_TRUE(out2.ok);
+  EXPECT_EQ(checker.total_violations(), 1);  // no new violation
+}
+
+TEST_F(LocksetSqlTest, ReadUncommittedIsLegitimatelyLockFree) {
+  sim_.lockset_checker().set_enabled(true);
+  sqlkv::SqlEngineOptions opt;
+  opt.read_uncommitted = true;
+  sqlkv::SqlEngine engine(&sim_, &node_, opt);
+  ASSERT_TRUE(engine.LoadRecord(7, 1024).ok());
+  sqlkv::OpOutcome out;
+  sim::Latch done(&sim_, 1);
+  engine.Read(7, &out, &done);
+  sim_.Run();
+  EXPECT_TRUE(out.ok);
+  // The access is checked, and the kNone mandate makes it clean.
+  EXPECT_GE(sim_.lockset_checker().accesses_checked(), 1);
+  EXPECT_EQ(sim_.lockset_checker().total_violations(), 0);
+}
+
+TEST(LocksetMongodTest, CleanOpsUnderGlobalLock) {
+  sim::Simulation sim;
+  sim.lockset_checker().set_enabled(true);
+  cluster::Node node(&sim, 0, cluster::NodeConfig{});
+  docstore::Mongod mongod(&sim, &node, {}, "shard0");
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(mongod.LoadDocument(k, 1024).ok());
+  }
+  sqlkv::OpOutcome out[4];
+  sim::Latch done(&sim, 4);
+  mongod.Read(1, &out[0], &done);
+  mongod.Update(2, 100, &out[1], &done);
+  mongod.Insert(500, 1024, &out[2], &done);
+  mongod.Scan(10, 5, &out[3], &done);
+  sim.Run();
+  EXPECT_TRUE(out[0].ok && out[1].ok && out[2].ok && out[3].ok);
+  EXPECT_GE(sim.lockset_checker().accesses_checked(), 4);
+  EXPECT_EQ(sim.lockset_checker().total_violations(), 0)
+      << sim.lockset_checker().Report();
+}
+
+TEST(LocksetMongodTest, YieldOnFaultReacquiresCleanly) {
+  sim::Simulation sim;
+  sim.lockset_checker().set_enabled(true);
+  cluster::Node node(&sim, 0, cluster::NodeConfig{});
+  docstore::MongodOptions opt;
+  opt.yield_on_fault = true;
+  docstore::Mongod mongod(&sim, &node, opt, "shard0");
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(mongod.LoadDocument(k, 1024).ok());
+  }
+  sqlkv::OpOutcome out[2];
+  sim::Latch done(&sim, 2);
+  mongod.Read(1, &out[0], &done);
+  mongod.Update(2, 100, &out[1], &done);
+  sim.Run();
+  EXPECT_TRUE(out[0].ok && out[1].ok);
+  EXPECT_EQ(sim.lockset_checker().total_violations(), 0)
+      << sim.lockset_checker().Report();
+}
+
+// Regression pin for the migration fix: the balancer used to mutate
+// both collections with no lock at all while loaders were in flight.
+// Under the checker, a full Mongo-AS timed load (no pre-split, so the
+// balancer runs) must be violation-free.
+TEST(LocksetBalancerTest, TimedLoadMigrationsHoldGlobalLocks) {
+  ScopedLocksetEnv env("1");
+  ycsb::OltpTestbed testbed;
+  ASSERT_TRUE(testbed.sim.lockset_checker().enabled());
+  ycsb::MongoAsSystem::Options opt;
+  opt.mongod.memory_bytes = 4 * kMB;
+  opt.config.max_chunk_bytes = 64 * 1024;  // force splits + migrations
+  ycsb::MongoAsSystem system(&testbed, opt);
+  ycsb::DriverOptions dopt;
+  dopt.record_count = 4000;
+  ycsb::YcsbDriver driver(&testbed, &system, ycsb::WorkloadSpec::C(), dopt);
+  driver.SimulateTimedLoad(32);
+  // One more explicit balancer round after the load drains, so the
+  // migration path is exercised even if the load finished between
+  // balancing ticks.
+  sim::Latch balanced(&testbed.sim, 1);
+  system.RunBalancerOnce(&balanced);
+  // Bounded drain: the background flushers tick forever, so an
+  // unbounded Run() would never return.
+  while (balanced.count() > 0) {
+    testbed.sim.Run(testbed.sim.now() + kSecond);
+  }
+  const LocksetChecker& checker = testbed.sim.lockset_checker();
+  // The load inserts through the mongods and the balancer migrates
+  // chunks: both paths must have been checked, cleanly.
+  EXPECT_GT(checker.accesses_checked(), 4000);
+  EXPECT_EQ(checker.total_violations(), 0) << checker.Report();
+  // Migrations demonstrably happened: without them every document
+  // would still sit on the initial chunk's shard (splits alone move
+  // no data).
+  int shards_with_docs = 0;
+  for (int i = 0; i < system.num_shards(); ++i) {
+    if (system.mongod(i).docs() > 0) shards_with_docs++;
+  }
+  EXPECT_GT(shards_with_docs, 1) << "balancer never migrated a chunk";
+}
+
+// The determinism contract: arming the checker changes no modeled
+// result — fingerprints are bit-identical with it on and off.
+TEST(LocksetFingerprintTest, ModeledCellUnchangedByChecker) {
+  ycsb::DriverOptions opt;
+  opt.record_count = 20000;
+  opt.warmup = 500 * kMillisecond;
+  opt.measure = 2 * kSecond;
+  ycsb::RunResult off = ycsb::RunOnePoint(
+      ycsb::SystemKind::kSqlCs, ycsb::WorkloadSpec::A(), 4000, opt);
+  uint64_t on_fp = 0;
+  {
+    ScopedLocksetEnv env("1");
+    ycsb::RunResult on = ycsb::RunOnePoint(
+        ycsb::SystemKind::kSqlCs, ycsb::WorkloadSpec::A(), 4000, opt);
+    on_fp = on.Fingerprint();
+  }
+  EXPECT_EQ(off.Fingerprint(), on_fp);
+}
+
+TEST(LocksetFingerprintTest, ChaosSeedUnchangedByChecker) {
+  ycsb::DriverOptions opt;
+  opt.record_count = 20000;
+  opt.warmup = 500 * kMillisecond;
+  opt.measure = 2 * kSecond;
+  opt.retry.max_retries = 4;
+  opt.retry.op_timeout = 1 * kSecond;
+  sim::FaultPlanOptions popt;
+  popt.horizon_start = 200 * kMillisecond;
+  popt.horizon = 2 * kSecond;
+  popt.max_events = 4;
+  sim::FaultPlan plan = sim::FaultPlan::FromSeed(0xE1EFA47, popt);
+  ycsb::ChaosOutcome off = ycsb::RunChaosPoint(
+      ycsb::SystemKind::kMongoCs, ycsb::WorkloadSpec::A(), 4000, opt, plan);
+  uint64_t on_fp = 0;
+  {
+    ScopedLocksetEnv env("1");
+    ycsb::ChaosOutcome on = ycsb::RunChaosPoint(
+        ycsb::SystemKind::kMongoCs, ycsb::WorkloadSpec::A(), 4000, opt,
+        plan);
+    on_fp = on.Fingerprint();
+  }
+  EXPECT_EQ(off.Fingerprint(), on_fp);
+}
+
+}  // namespace
+}  // namespace elephant

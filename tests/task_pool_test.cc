@@ -2,8 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_annotations.h"
+
 #include <atomic>
-#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <utility>
@@ -36,10 +37,10 @@ TEST(TaskPoolTest, MorselBoundariesIndependentOfThreadCount) {
   // (begin, end, morsel), never on how many workers participate.
   auto boundaries = [](int threads) {
     TaskPool pool(threads);
-    std::mutex mu;
+    Mutex mu;
     std::set<std::pair<size_t, size_t>> seen;
     pool.ParallelFor(3, 1003, 37, [&](size_t lo, size_t hi) {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       seen.insert({lo, hi});
     });
     return seen;

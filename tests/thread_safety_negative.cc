@@ -1,0 +1,57 @@
+// Deliberately mis-annotated TU: every access below violates the lock
+// discipline its annotations declare, so a clang build with
+// -Werror=thread-safety MUST refuse to compile it. Registered with
+// WILL_FAIL TRUE in tests/CMakeLists.txt — if this file ever compiles,
+// the thread-safety gate is dead (wrong flags, wrong compiler, or the
+// annotation macros expanded to nothing) and ctest fails loudly.
+//
+// See thread_safety_positive.cc for the clean mirror image. Never
+// linked; syntax-checked only when ELEPHANT_THREAD_SAFETY=ON under
+// clang.
+
+#include <cstdint>
+
+#include "common/thread_annotations.h"
+
+namespace elephant {
+namespace {
+
+class Broken {
+ public:
+  // Violation 1: writes a guarded field without taking the lock.
+  void UnlockedWrite() { value_ = 1; }
+
+  // Violation 2: reads a guarded field without the lock.
+  int64_t UnlockedRead() const { return value_; }
+
+  // Violation 3: calls a REQUIRES(mu_) helper without holding mu_.
+  void MissingRequires() { AddLocked(1); }
+
+  // Violation 4: returns while still holding the lock it acquired.
+  void LeakedLock() {
+    mu_.Lock();
+    value_ = 2;
+  }
+
+  void AddLocked(int64_t delta) ELEPHANT_REQUIRES(mu_) { value_ += delta; }
+
+ private:
+  mutable Mutex mu_;
+  int64_t value_ ELEPHANT_GUARDED_BY(mu_) = 0;
+};
+
+void Drive() {
+  Broken b;
+  b.UnlockedWrite();
+  (void)b.UnlockedRead(); // elephant-lint: allow(discarded-status)
+  b.MissingRequires();
+  b.LeakedLock();
+}
+
+}  // namespace
+}  // namespace elephant
+
+int main() {
+  elephant::Drive();
+  return 0;
+}

@@ -156,6 +156,8 @@ TEST(DbgenTest, EachPartHasFourSuppliers) {
     offers[AsInt(r[pspk])].insert(AsInt(r[pssk]));
   }
   EXPECT_EQ(offers.size(), db.part.num_rows());
+  // Order-insensitive: one independent EXPECT per entry.
+  // elephant-lint: allow(unordered-iteration)
   for (const auto& [p, s] : offers) {
     EXPECT_EQ(s.size(), 4u) << "part " << p;
   }
@@ -459,6 +461,8 @@ TEST(QueryTest, Q15TopSupplierHasMaxRevenue) {
     }
   }
   double max_rev = 0;
+  // Max is commutative — iteration order cannot change the result.
+  // elephant-lint: allow(unordered-iteration)
   for (auto& [s, v] : rev) max_rev = std::max(max_rev, v);
   EXPECT_NEAR(AsDouble(r.rows()[0][r.ColIndex("total_revenue")]), max_rev,
               1e-6);
