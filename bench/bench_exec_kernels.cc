@@ -27,6 +27,7 @@
 #include "common/check.h"
 #include "common/date.h"
 #include "common/string_util.h"
+#include "exec/fused.h"
 #include "exec/operators.h"
 #include "exec/table.h"
 #include "tpch/dbgen.h"
@@ -39,11 +40,23 @@ using elephant::StrFormat;
 using elephant::exec::AggKind;
 using elephant::exec::AsDouble;
 using elephant::exec::AsInt;
+using elephant::exec::AggExpr;
+using elephant::exec::AggFactory;
 using elephant::exec::ColAgg;
+using elephant::exec::ColAtLeast;
+using elephant::exec::ColLess;
+using elephant::exec::ColRange;
 using elephant::exec::CopyCol;
 using elephant::exec::CountAgg;
 using elephant::exec::DoubleExprCol;
 using elephant::exec::Filter;
+using elephant::exec::FusedAggregate;
+using elephant::exec::FusedCounters;
+using elephant::exec::FusedCountersSnapshot;
+using elephant::exec::FusedFilter;
+using elephant::exec::ResetFusedCounters;
+using elephant::exec::ScanSpec;
+using elephant::exec::SpecOf;
 using elephant::exec::HashAggregateOn;
 using elephant::exec::HashJoinOn;
 using elephant::exec::IndexPredicate;
@@ -243,13 +256,141 @@ int main(int argc, char** argv) {
       cells.push_back(StrFormat(
           "{\"kernel\": \"%s\", \"layout\": \"%s\", \"sf\": %g, "
           "\"rows\": %zu, \"wall_ms\": %.3f, \"rows_per_sec\": %.0f, "
-          "\"fingerprint\": \"%016llx\"}",
+          "\"fingerprint\": \"%016llx\", \"peak_rss_bytes\": %lld}",
           r->kernel.c_str(), r->layout.c_str(), sf, r->rows, r->wall_ms,
-          rps, static_cast<unsigned long long>(r->fingerprint)));
+          rps, static_cast<unsigned long long>(r->fingerprint),
+          elephant::bench::PeakRssBytes()));
     }
     printf("%-18s %14.0f %14.0f %8.2fx\n", name.c_str(),
            row.rows / (row.wall_ms / 1000.0),
            col.rows / (col.wall_ms / 1000.0), row.wall_ms / col.wall_ms);
+  }
+
+  // -- fused pipelines vs their materializing baselines --------------------
+  //
+  // Each case runs the materializing columnar baseline and the fused
+  // twin, checks the outputs bit-identical, and reports both cells with
+  // the fused planner's chunk counters (informational in bench_diff.py:
+  // they describe how the speedup was obtained, they are not gated).
+  // scan_sorted sweeps selectivity on the verified-sorted l_orderkey —
+  // the binary-search path — while scan_filter/scan_filter_agg carry
+  // the Q6 shape whose filter columns are unclustered (zone maps cannot
+  // prune; the win there is fusion, not skipping).
+  struct FusedCase {
+    std::string kernel;
+    int selectivity;  // percent of rows; -1 when not a sweep cell
+    std::function<Table()> baseline;
+    std::function<Table()> fused;
+  };
+  std::vector<FusedCase> fused_cases;
+
+  ScanSpec q6;
+  q6.ranges.push_back(ColRange(l, "l_shipdate", lo, hi, false, true));
+  q6.ranges.push_back(ColRange(l, "l_discount", 0.05 - 1e-9, 0.07 + 1e-9));
+  q6.ranges.push_back(ColLess(l, "l_quantity", 24.0));
+  fused_cases.push_back(
+      {"scan_filter", -1, columnar.front().second,
+       [&l, q6]() { return FusedFilter(l, q6); }});
+
+  AggFactory q6_aggs = [](const Table& in) {
+    return std::vector<AggExpr>{
+        ColAgg(AggKind::kSum, in, "l_extendedprice", "sum_price",
+               ValueType::kDouble),
+        CountAgg("matched")};
+  };
+  ScanSpec q6_agg_spec;
+  q6_agg_spec.ranges.push_back(ColRange(l, "l_shipdate", lo, hi, false,
+                                        true));
+  q6_agg_spec.ranges.push_back(ColAtLeast(l, "l_discount", 0.05 - 1e-9));
+  fused_cases.push_back(
+      {"scan_filter_agg", -1, columnar.back().second,
+       [&l, q6_agg_spec, q6_aggs]() {
+         return FusedAggregate(l, q6_agg_spec, {}, q6_aggs);
+       }});
+
+  const int c_okey = l.ColIndex("l_orderkey");
+  const std::vector<int64_t>& okv = l.IntData(c_okey);
+  int64_t ok_min = okv.front();
+  int64_t ok_max = okv.front();
+  for (int64_t v : okv) {
+    if (v < ok_min) ok_min = v;
+    if (v > ok_max) ok_max = v;
+  }
+  for (int pct : {0, 1, 50, 100}) {
+    double cut = static_cast<double>(ok_min) +
+                 (static_cast<double>(ok_max - ok_min) + 1.0) *
+                     (static_cast<double>(pct) / 100.0);
+    fused_cases.push_back(
+        {"scan_sorted", pct,
+         [&l, c_okey, cut]() {
+           const int64_t* ok = l.IntData(c_okey).data();
+           return Filter(l, IndexPredicate([ok, cut](size_t i) {
+                           return static_cast<double>(ok[i]) < cut;
+                         }));
+         },
+         [&l, cut]() {
+           return FusedFilter(l, SpecOf(ColLess(l, "l_orderkey", cut)));
+         }});
+  }
+
+  printf("\n%-18s %5s %14s %14s %9s %22s\n", "fused pipeline", "sel%",
+         "base rows/s", "fused rows/s", "speedup", "pruned/full/scanned");
+  for (const FusedCase& fc : fused_cases) {
+    SetExecForceRowPath(false);
+    KernelResult base =
+        RunKernel(fc.kernel, "columnar", n, reps, fc.baseline);
+    ResetFusedCounters();
+    KernelResult fus = RunKernel(fc.kernel, "fused", n, reps, fc.fused);
+    FusedCounters fcnt = FusedCountersSnapshot();
+    ELEPHANT_CHECK(base.fingerprint == fus.fingerprint)
+        << "fused pipeline '" << fc.kernel << "' diverges from baseline";
+    // Counters are deterministic per run; divide the rep total back out.
+    uint64_t ureps = static_cast<uint64_t>(reps);
+    uint64_t pruned = fcnt.chunks_pruned / ureps;
+    uint64_t full = fcnt.chunks_full_match / ureps;
+    uint64_t scanned = fcnt.chunks_scanned / ureps;
+    uint64_t rows_scanned = fcnt.rows_scanned / ureps;
+    std::string sel_field =
+        fc.selectivity >= 0
+            ? StrFormat("\"selectivity\": %d, ", fc.selectivity)
+            : std::string();
+    for (const KernelResult* r : {&base, &fus}) {
+      // The main loop already emitted the columnar cells for the
+      // non-sweep kernels; re-emitting would duplicate their identity.
+      if (r == &base && fc.selectivity < 0) continue;
+      double rps = r->rows / (r->wall_ms / 1000.0);
+      std::string counters =
+          r == &fus ? StrFormat(", \"chunks_pruned\": %llu, "
+                                "\"chunks_full_match\": %llu, "
+                                "\"chunks_scanned\": %llu, "
+                                "\"rows_scanned\": %llu",
+                                static_cast<unsigned long long>(pruned),
+                                static_cast<unsigned long long>(full),
+                                static_cast<unsigned long long>(scanned),
+                                static_cast<unsigned long long>(rows_scanned))
+                    : std::string();
+      cells.push_back(StrFormat(
+          "{\"kernel\": \"%s\", \"layout\": \"%s\", \"sf\": %g, %s"
+          "\"rows\": %zu, \"wall_ms\": %.3f, \"rows_per_sec\": %.0f, "
+          "\"fingerprint\": \"%016llx\", \"peak_rss_bytes\": %lld%s}",
+          r->kernel.c_str(), r->layout.c_str(), sf, sel_field.c_str(),
+          r->rows, r->wall_ms, rps,
+          static_cast<unsigned long long>(r->fingerprint),
+          elephant::bench::PeakRssBytes(), counters.c_str()));
+    }
+    char sel_str[8];
+    if (fc.selectivity >= 0) {
+      snprintf(sel_str, sizeof sel_str, "%d", fc.selectivity);
+    } else {
+      snprintf(sel_str, sizeof sel_str, "-");
+    }
+    printf("%-18s %5s %14.0f %14.0f %8.2fx %8llu/%llu/%llu\n",
+           fc.kernel.c_str(), sel_str,
+           base.rows / (base.wall_ms / 1000.0),
+           fus.rows / (fus.wall_ms / 1000.0), base.wall_ms / fus.wall_ms,
+           static_cast<unsigned long long>(pruned),
+           static_cast<unsigned long long>(full),
+           static_cast<unsigned long long>(scanned));
   }
 
   elephant::bench::WriteBenchJson(out_path, "exec_kernels", threads,

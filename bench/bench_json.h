@@ -15,7 +15,30 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace elephant::bench {
+
+/// Peak resident set size of this process in bytes (0 when the
+/// platform cannot report it). The kernel's high-water mark is
+/// monotone, so per-cell readings record the largest footprint of any
+/// cell run so far — cheap to sample and still catches a pipeline that
+/// starts materializing intermediates it previously fused away.
+inline long long PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<long long>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<long long>(ru.ru_maxrss) * 1024LL;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 /// Git revision baked in at configure time (CMake ELEPHANT_GIT_SHA).
 inline const char* BenchGitSha() {

@@ -1,32 +1,53 @@
 #!/usr/bin/env python3
-"""Compares two BENCH_*.json files and flags >10% regressions.
+"""Compares two BENCH_*.json files and flags regressions.
 
 Usage: bench_diff.py BASELINE.json CURRENT.json [--threshold=0.10]
 
 Cells are matched by their identifying fields (everything except the
 metric fields below). For time-like metrics (seconds / ms) a regression
 is current > baseline * (1 + threshold); for throughput metrics it is
-current < baseline * (1 - threshold). Exits 1 when any regression is
-found, so CI can gate on it.
+current < baseline * (1 - threshold). Each metric may carry its own
+threshold (overriding the global/--threshold one) and may be marked
+non-gating: informational metrics (the fused planner's chunk counters)
+are reported when they shift but never fail the run. Exits 1 when any
+gating regression is found, so CI can gate on it.
 """
 
 import json
 import sys
 
-# metric name -> True when higher is better.
+
+def metric(higher_is_better, gating=True, threshold=None):
+    return {"higher": higher_is_better, "gating": gating,
+            "threshold": threshold}
+
+
+# metric name -> comparison config.
 METRICS = {
-    "hive_seconds": False,
-    "pdw_seconds": False,
-    "wall_ms": False,
-    "achieved_ops_per_sec": True,
-    "events_per_sec": True,
+    "hive_seconds": metric(False),
+    "pdw_seconds": metric(False),
+    "wall_ms": metric(False),
+    "achieved_ops_per_sec": metric(True),
+    "events_per_sec": metric(True),
     # Operator-kernel throughput (bench_exec_kernels).
-    "rows_per_sec": True,
+    "rows_per_sec": metric(True),
     # Fault-tolerance counters (zero on no-fault runs; the b <= 0 guard
     # below skips them there, so adding the fields is not a cell-identity
     # or comparison change for historical baselines).
-    "retries": False,
-    "errors": False,
+    "retries": metric(False),
+    "errors": metric(False),
+    # Fused-scan planner counters: deterministic descriptions of how a
+    # scan was executed (chunks skipped, emitted whole, or scanned).
+    # Informational — a plan-shape change shows up here first, but the
+    # gate is the throughput it produces, not the counter itself.
+    "chunks_pruned": metric(True, gating=False),
+    "chunks_full_match": metric(True, gating=False),
+    "chunks_scanned": metric(False, gating=False),
+    "rows_scanned": metric(False, gating=False),
+    "sorted_bounded": metric(True, gating=False),
+    # Peak RSS is a process-wide high-water mark: noisier than wall
+    # time, so it gates at a looser per-metric threshold.
+    "peak_rss_bytes": metric(False, threshold=0.30),
 }
 
 
@@ -85,32 +106,39 @@ def main(argv):
           f"{cur_doc.get('threads', '?')} threads)")
 
     regressions = []
+    infos = []
     compared = 0
     for key, base in base_cells.items():
         cur = cur_cells.get(key)
         if cur is None:
             continue
-        for metric, higher_is_better in METRICS.items():
-            if metric not in base or metric not in cur:
+        for name, cfg in METRICS.items():
+            if name not in base or name not in cur:
                 continue
-            b, c = float(base[metric]), float(cur[metric])
+            b, c = float(base[name]), float(cur[name])
             if b <= 0:
                 continue
             compared += 1
             ratio = c / b
-            regressed = (ratio < 1 - threshold if higher_is_better
-                         else ratio > 1 + threshold)
+            gate = (cfg["threshold"] if cfg["threshold"] is not None
+                    else threshold)
+            regressed = (ratio < 1 - gate if cfg["higher"]
+                         else ratio > 1 + gate)
             if regressed:
                 ident = {k: v for k, v in base.items() if k not in METRICS}
-                regressions.append(
-                    f"  {ident}: {metric} {b:g} -> {c:g} "
-                    f"({(ratio - 1) * 100:+.1f}%)")
+                line = (f"  {ident}: {name} {b:g} -> {c:g} "
+                        f"({(ratio - 1) * 100:+.1f}%)")
+                (regressions if cfg["gating"] else infos).append(line)
 
     missing = len(base_cells.keys() - cur_cells.keys())
     print(f"compared {compared} metrics across "
           f"{len(base_cells.keys() & cur_cells.keys())} matched cells"
           + (f" ({missing} baseline cells missing from current)"
              if missing else ""))
+    if infos:
+        print(f"\n{len(infos)} informational shift(s), not gated:")
+        for line in infos:
+            print(line)
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond "
               f"{threshold * 100:.0f}%:")

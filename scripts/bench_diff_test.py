@@ -107,5 +107,54 @@ class ComparisonTest(unittest.TestCase):
         self.assertEqual(bench_diff.main(["bench_diff.py", "only-one"]), 2)
 
 
+FUSED_CELL = {"kernel": "scan_sorted", "layout": "fused",
+              "selectivity": 1, "rows": 100000, "wall_ms": 2.0,
+              "rows_per_sec": 50000000.0, "chunks_pruned": 140,
+              "chunks_full_match": 5, "chunks_scanned": 2,
+              "rows_scanned": 8000, "peak_rss_bytes": 100000000}
+
+
+class PerMetricConfigTest(unittest.TestCase):
+    """Informational counters never gate; peak RSS gates at its own
+    looser threshold; old baselines without the new fields still
+    match and compare on the metrics they do carry."""
+
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def run_main(self, base_cells, cur_cells, *extra):
+        base = write_json(self.dir.name, "base.json", doc(base_cells))
+        cur = write_json(self.dir.name, "cur.json", doc(cur_cells))
+        return bench_diff.main(["bench_diff.py", base, cur, *extra])
+
+    def test_counter_shift_alone_does_not_gate(self):
+        worse = dict(FUSED_CELL, chunks_pruned=0, chunks_scanned=147,
+                     rows_scanned=600000)
+        self.assertEqual(self.run_main([FUSED_CELL], [worse]), 0)
+
+    def test_throughput_drop_still_gates_on_fused_cells(self):
+        slow = dict(FUSED_CELL, rows_per_sec=10000000.0)
+        self.assertEqual(self.run_main([FUSED_CELL], [slow]), 1)
+
+    def test_peak_rss_uses_its_own_threshold(self):
+        # +20% RSS: within the 30% per-metric gate even when the global
+        # threshold is tighter; +50% trips it.
+        mild = dict(FUSED_CELL, peak_rss_bytes=120000000)
+        self.assertEqual(self.run_main([FUSED_CELL], [mild]), 0)
+        heavy = dict(FUSED_CELL, peak_rss_bytes=150000000)
+        self.assertEqual(self.run_main([FUSED_CELL], [heavy]), 1)
+
+    def test_old_baseline_without_new_fields_still_compares(self):
+        old = {k: v for k, v in FUSED_CELL.items()
+               if k in ("kernel", "layout", "selectivity", "rows",
+                        "wall_ms", "rows_per_sec")}
+        slow = dict(FUSED_CELL, wall_ms=5.0)
+        self.assertEqual(self.run_main([old], [FUSED_CELL]), 0)
+        self.assertEqual(self.run_main([old], [slow]), 1)
+
+
 if __name__ == "__main__":
     unittest.main()

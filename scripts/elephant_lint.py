@@ -34,6 +34,13 @@ discarded-status      A call result cast away with (void): Status and
                       Result must flow through ELEPHANT_CHECK_OK /
                       ELEPHANT_RETURN_NOT_OK or be allow-marked.
                       ((void)identifier; for unused parameters is fine.)
+fused-materialize     A materializing operator (GatherRows, Filter,
+                      Project, HashAggregate, ...) called inside
+                      src/exec/fused.cc: fused pipelines must not
+                      build intermediate Tables. The two legitimate
+                      materialization points (the pipeline's final
+                      gather and the oracle path behind the fused
+                      knob) carry allow markers.
 
 Suppression: append  // elephant-lint: allow(<rule>)  to the offending
 line or the line directly above it. Every marker should say why in the
@@ -73,6 +80,13 @@ STD_FUNCTION_RE = re.compile(r"std::function\s*<")
 # (void)identifier; which is the idiomatic unused-parameter silencer.
 DISCARDED_STATUS_RE = re.compile(
     r"\(void\)\s*[A-Za-z_][\w.:\->]*[\w>]\s*\("
+)
+# Materializing operators banned inside the fused-pipeline translation
+# unit. Word-bounded and suffix-anchored on '(' so FusedFilter( and
+# HashAggregateSelected( (the selection-aware kernel) do not fire.
+FUSED_MATERIALIZE_RE = re.compile(
+    r"\b(?:GatherRows|GatherSelection|ProjectColumns|Project|Filter"
+    r"|HashAggregateOn|HashAggregate)\s*\("
 )
 
 
@@ -125,6 +139,7 @@ def lint_file(path, rel):
     in_src = rel.startswith("src/")
     in_sim = rel.startswith("src/sim/")
     sim_exempt = rel.endswith("inline_callback.h")
+    in_fused = rel == "src/exec/fused.cc"
 
     lines = [strip_strings_and_comments(l) for l in raw_lines]
 
@@ -165,6 +180,11 @@ def lint_file(path, rel):
             report(idx, "discarded-status",
                    "call result discarded with (void); route Status "
                    "through ELEPHANT_CHECK_OK or allow-mark it")
+        if in_fused and FUSED_MATERIALIZE_RE.search(line):
+            report(idx, "fused-materialize",
+                   "materializing operator inside a fused pipeline; "
+                   "fuse it or allow-mark a deliberate "
+                   "materialization point")
         for m in RANGE_FOR_RE.finditer(line):
             if m.group(1) in unordered_names:
                 report(idx, "unordered-iteration",

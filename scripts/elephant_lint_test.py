@@ -137,6 +137,44 @@ class DiscardedStatusRule(unittest.TestCase):
             lint_source("ELEPHANT_CHECK_OK(driver.Prepare());\n"), [])
 
 
+class FusedMaterializeRule(unittest.TestCase):
+    FUSED = "src/exec/fused.cc"
+
+    def test_materializing_call_fires_only_in_fused_cc(self):
+        src = "Table f = Filter(t, pred);\n"
+        self.assertEqual(lint_source(src, self.FUSED),
+                         ["fused-materialize"])
+        self.assertEqual(lint_source(src, "src/exec/operators.cc"), [])
+        self.assertEqual(lint_source(src, "src/tpch/queries.cc"), [])
+
+    def test_each_banned_operator_fires(self):
+        for call in ("GatherRows(t, sel)", "GatherSelection(t, sel)",
+                     "Project(t, exprs)", "ProjectColumns(t, cols)",
+                     "HashAggregateOn(t, g, aggs)",
+                     "HashAggregate(t, g, aggs)"):
+            self.assertEqual(
+                lint_source("auto out = %s;\n" % call, self.FUSED),
+                ["fused-materialize"], call)
+
+    def test_fused_twins_do_not_fire(self):
+        # FusedFilter is not Filter; HashAggregateSelected feeds the
+        # selection straight into the kernel without materializing.
+        src = ("Table a = FusedFilter(t, spec);\n"
+               "Table b = HashAggregateSelected(t, sel, g, aggs);\n"
+               "auto s = FusedSelect(t, spec);\n")
+        self.assertEqual(lint_source(src, self.FUSED), [])
+
+    def test_allow_marker_suppresses(self):
+        src = ("// elephant-lint: allow(fused-materialize)\n"
+               "return HashAggregateOn(filtered, group_cols, aggs);\n")
+        self.assertEqual(lint_source(src, self.FUSED), [])
+
+    def test_mention_in_comment_does_not_fire(self):
+        self.assertEqual(
+            lint_source("// same table Filter(t, pred) builds\n",
+                        self.FUSED), [])
+
+
 class AllowMarkers(unittest.TestCase):
     SRC = "std::mt19937 gen(42);"
 

@@ -1,0 +1,434 @@
+#include "exec/fused.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/task_pool.h"
+#include "exec/segment.h"
+#include "exec/zonemap.h"
+
+namespace elephant::exec {
+
+namespace {
+
+bool FusedDefault() {
+  const char* env = std::getenv("ELEPHANT_FUSED");
+  return env == nullptr || std::string(env) != "0";
+}
+
+std::atomic<bool> g_fused_path{FusedDefault()};
+
+std::atomic<uint64_t> g_chunks_scanned{0};
+std::atomic<uint64_t> g_chunks_pruned{0};
+std::atomic<uint64_t> g_chunks_full_match{0};
+std::atomic<uint64_t> g_rows_scanned{0};
+std::atomic<uint64_t> g_sorted_bounded{0};
+
+/// Same fan-out threshold the materializing operators use, so fused
+/// and oracle runs flip to parallel at the same input sizes.
+bool UseParallelRows(size_t rows) {
+  return ExecThreads() > 1 && rows >= 2 * ExecMorselSize();
+}
+
+/// Typed view of one range constraint: raw column pointer plus the
+/// bounds, evaluated through the widened-double image (identical to
+/// the segments and to CompareValues).
+struct RangeEval {
+  NumRange r;
+  const int64_t* ints = nullptr;
+  const double* dbls = nullptr;
+  const ColumnZones* zones = nullptr;
+  double est = 1.0;  ///< histogram selectivity, for evaluation order
+
+  double At(size_t i) const {
+    return ints != nullptr ? static_cast<double>(ints[i]) : dbls[i];
+  }
+};
+
+/// Typed view of one code-set constraint, with prefix sums of the
+/// match table so chunk classification counts matching codes inside a
+/// [code_min, code_max] interval in O(1).
+struct CodeEval {
+  const uint32_t* codes = nullptr;
+  const char* match = nullptr;
+  std::vector<uint32_t> psum;
+  const ColumnZones* zones = nullptr;
+};
+
+std::vector<uint32_t> MatchPrefixSum(const std::vector<char>& match) {
+  std::vector<uint32_t> psum(match.size() + 1, 0);
+  for (size_t k = 0; k < match.size(); ++k) {
+    psum[k + 1] = psum[k] + (match[k] != 0 ? 1u : 0u);
+  }
+  return psum;
+}
+
+enum class ChunkClass { kPruned, kFullMatch, kScan };
+
+/// Classifies one chunk against every planned constraint using only
+/// zone bounds. Pruning and full-match are exact, never heuristic: a
+/// pruned chunk provably contains no matching row, a full-match chunk
+/// provably contains only matching rows (residuals disable full-match
+/// before this is called). NaN-poisoned bounds fail every comparison
+/// and land on kScan.
+ChunkClass ClassifyChunk(const std::vector<RangeEval>& ranges,
+                         const std::vector<CodeEval>& codes,
+                         bool can_full_match, size_t chunk) {
+  bool full = can_full_match;
+  for (const RangeEval& re : ranges) {
+    double cmin = re.zones->min[chunk];
+    double cmax = re.zones->max[chunk];
+    const NumRange& r = re.r;
+    bool above = r.hi_strict ? cmin >= r.hi : cmin > r.hi;
+    bool below = r.lo_strict ? cmax <= r.lo : cmax < r.lo;
+    if (above || below) return ChunkClass::kPruned;
+    // The chunk's values fill [cmin, cmax]; if both endpoints match an
+    // interval constraint, everything between them does too.
+    if (full && !(r.Matches(cmin) && r.Matches(cmax))) full = false;
+  }
+  for (const CodeEval& ce : codes) {
+    uint32_t cmin = ce.zones->code_min[chunk];
+    uint32_t cmax = ce.zones->code_max[chunk];
+    uint32_t hits = ce.psum[cmax + 1] - ce.psum[cmin];
+    if (hits == 0) return ChunkClass::kPruned;
+    // Full only when every code in the interval matches: the chunk may
+    // not contain all of them, but containing only matching codes is
+    // then guaranteed.
+    if (full && hits != cmax - cmin + 1) full = false;
+  }
+  return full ? ChunkClass::kFullMatch : ChunkClass::kScan;
+}
+
+}  // namespace
+
+bool ExecFusedPath() {
+  return g_fused_path.load(std::memory_order_relaxed);
+}
+
+void SetExecFusedPath(bool on) {
+  g_fused_path.store(on, std::memory_order_relaxed);
+}
+
+FusedCounters FusedCountersSnapshot() {
+  FusedCounters c;
+  c.chunks_scanned = g_chunks_scanned.load(std::memory_order_relaxed);
+  c.chunks_pruned = g_chunks_pruned.load(std::memory_order_relaxed);
+  c.chunks_full_match = g_chunks_full_match.load(std::memory_order_relaxed);
+  c.rows_scanned = g_rows_scanned.load(std::memory_order_relaxed);
+  c.sorted_bounded = g_sorted_bounded.load(std::memory_order_relaxed);
+  return c;
+}
+
+void ResetFusedCounters() {
+  g_chunks_scanned.store(0, std::memory_order_relaxed);
+  g_chunks_pruned.store(0, std::memory_order_relaxed);
+  g_chunks_full_match.store(0, std::memory_order_relaxed);
+  g_rows_scanned.store(0, std::memory_order_relaxed);
+  g_sorted_bounded.store(0, std::memory_order_relaxed);
+}
+
+NumRange ColRange(const Table& t, const std::string& col, double lo,
+                  double hi, bool lo_strict, bool hi_strict) {
+  NumRange r;
+  r.col = t.ColIndex(col);
+  r.lo = lo;
+  r.hi = hi;
+  r.lo_strict = lo_strict;
+  r.hi_strict = hi_strict;
+  return r;
+}
+
+NumRange ColLess(const Table& t, const std::string& col, double hi,
+                 bool strict) {
+  NumRange r;
+  r.col = t.ColIndex(col);
+  r.hi = hi;
+  r.hi_strict = strict;
+  return r;
+}
+
+NumRange ColAtLeast(const Table& t, const std::string& col, double lo,
+                    bool strict) {
+  NumRange r;
+  r.col = t.ColIndex(col);
+  r.lo = lo;
+  r.lo_strict = strict;
+  return r;
+}
+
+NumRange ColEquals(const Table& t, const std::string& col, double v) {
+  return ColRange(t, col, v, v);
+}
+
+CodeSet CodeMatch(const Table& t, const std::string& col,
+                  const std::function<bool(const std::string&)>& pred) {
+  CodeSet cs;
+  cs.col = t.ColIndex(col);
+  const StringPool& pool = t.pool();
+  cs.match.resize(pool.size());
+  for (uint32_t code = 0; code < pool.size(); ++code) {
+    cs.match[code] = pred(pool.Get(code)) ? 1 : 0;
+  }
+  return cs;
+}
+
+CodeSet CodeEquals(const Table& t, const std::string& col,
+                   const std::string& value) {
+  return CodeMatch(t, col,
+                   [&value](const std::string& s) { return s == value; });
+}
+
+ScanSpec SpecOf(NumRange r) {
+  ScanSpec spec;
+  spec.ranges.push_back(r);
+  return spec;
+}
+
+ScanSpec SpecOf(CodeSet c) {
+  ScanSpec spec;
+  spec.codes.push_back(std::move(c));
+  return spec;
+}
+
+IndexPredicate SpecPredicate(const Table& t, const ScanSpec& spec) {
+  ELEPHANT_CHECK(t.EnsureColumnar()) << "ScanSpec needs a columnar table";
+  // Self-contained closure state: typed pointers for the ranges, owned
+  // copies of the match tables (the spec may not outlive the
+  // predicate), the residual by value.
+  struct State {
+    std::vector<RangeEval> ranges;
+    std::vector<std::pair<const uint32_t*, std::vector<char>>> codes;
+    IndexPredicate residual;
+  };
+  auto state = std::make_shared<State>();
+  for (const NumRange& r : spec.ranges) {
+    RangeEval re;
+    re.r = r;
+    switch (t.columns()[r.col].type) {
+      case ValueType::kInt:
+        re.ints = t.IntData(r.col).data();
+        break;
+      case ValueType::kDouble:
+        re.dbls = t.DoubleData(r.col).data();
+        break;
+      case ValueType::kString:
+        ELEPHANT_CHECK(false) << "NumRange on string column '"
+                              << t.columns()[r.col].name << "'";
+        break;
+    }
+    state->ranges.push_back(re);
+  }
+  for (const CodeSet& cs : spec.codes) {
+    ELEPHANT_CHECK(t.columns()[cs.col].type == ValueType::kString)
+        << "CodeSet on non-string column '" << t.columns()[cs.col].name
+        << "'";
+    ELEPHANT_CHECK(cs.match.size() >= t.pool().size())
+        << "CodeSet match table does not cover the pool";
+    state->codes.emplace_back(t.StrCodes(cs.col).data(), cs.match);
+  }
+  state->residual = spec.residual;
+  return [state](size_t i) {
+    for (const RangeEval& re : state->ranges) {
+      if (!re.r.Matches(re.At(i))) return false;
+    }
+    for (const auto& [codes, match] : state->codes) {
+      if (match[codes[i]] == 0) return false;
+    }
+    return state->residual == nullptr || state->residual(i);
+  };
+}
+
+std::vector<uint32_t> FusedSelect(const Table& t, const ScanSpec& spec) {
+  size_t n = t.num_rows();
+  if (n == 0) return {};
+  ELEPHANT_CHECK(t.EnsureColumnar()) << "ScanSpec needs a columnar table";
+  std::shared_ptr<const ZoneMaps> zm =
+      ExecFusedPath() ? GetZoneMaps(t) : nullptr;
+  if (zm == nullptr || zm->num_chunks == 0) {
+    // Oracle path (knob off): same selection, computed row by row.
+    return EvalSelection(n, SpecPredicate(t, spec));
+  }
+
+  // Plan. Ranges on verified-sorted columns collapse into one global
+  // row interval by binary search; once a row is inside the interval
+  // its range constraint provably holds, so the constraint drops out
+  // of both chunk classification and per-row evaluation. The rest are
+  // ordered most-selective-first by the zone-map histograms — an
+  // evaluation-order decision only, never a semantic one.
+  size_t row_lo = 0;
+  size_t row_hi = n;
+  bool bounded = false;
+  std::vector<RangeEval> ranges;
+  for (const NumRange& r : spec.ranges) {
+    const ColumnZones& cz = zm->cols[r.col];
+    ELEPHANT_CHECK(cz.type != ValueType::kString)
+        << "NumRange on string column '" << t.columns()[r.col].name << "'";
+    if (cz.sorted_asc) {
+      WithNumericSegment(t, r.col, [&](auto seg) {
+        row_lo = std::max(row_lo,
+                          SegmentLowerBound(seg, 0, n, r.lo, r.lo_strict));
+        row_hi = std::min(row_hi,
+                          SegmentUpperBound(seg, 0, n, r.hi, r.hi_strict));
+        return 0;
+      });
+      bounded = true;
+      continue;
+    }
+    RangeEval re;
+    re.r = r;
+    re.zones = &cz;
+    re.est = EstimateRangeSelectivity(cz.hist, r.lo, r.hi);
+    if (cz.type == ValueType::kInt) {
+      re.ints = t.IntData(r.col).data();
+    } else {
+      re.dbls = t.DoubleData(r.col).data();
+    }
+    ranges.push_back(re);
+  }
+  std::stable_sort(ranges.begin(), ranges.end(),
+                   [](const RangeEval& a, const RangeEval& b) {
+                     return a.est < b.est;
+                   });
+  std::vector<CodeEval> codes;
+  for (const CodeSet& cs : spec.codes) {
+    ELEPHANT_CHECK(t.columns()[cs.col].type == ValueType::kString)
+        << "CodeSet on non-string column '" << t.columns()[cs.col].name
+        << "'";
+    ELEPHANT_CHECK(cs.match.size() >= t.pool().size())
+        << "CodeSet match table does not cover the pool";
+    CodeEval ce;
+    ce.codes = t.StrCodes(cs.col).data();
+    ce.match = cs.match.data();
+    ce.psum = MatchPrefixSum(cs.match);
+    ce.zones = &zm->cols[cs.col];
+    codes.push_back(std::move(ce));
+  }
+
+  if (bounded) g_sorted_bounded.fetch_add(1, std::memory_order_relaxed);
+  if (row_lo >= row_hi) {
+    // The sorted intervals alone exclude every row.
+    g_chunks_pruned.fetch_add(zm->num_chunks, std::memory_order_relaxed);
+    return {};
+  }
+  size_t first_chunk = row_lo / zm->chunk_rows;
+  size_t last_chunk = (row_hi - 1) / zm->chunk_rows;
+  size_t nchunks = last_chunk - first_chunk + 1;
+  g_chunks_pruned.fetch_add(zm->num_chunks - nchunks,
+                            std::memory_order_relaxed);
+
+  const bool can_full_match = spec.residual == nullptr;
+  const IndexPredicate& residual = spec.residual;
+  // One chunk, one slot: slots are filled independently (possibly in
+  // parallel) and concatenated in chunk order, which reproduces the
+  // serial ascending scan exactly at any thread count.
+  std::vector<std::vector<uint32_t>> slots(nchunks);
+  auto scan_chunk = [&](size_t chunk) {
+    size_t lo = std::max(row_lo, chunk * zm->chunk_rows);
+    size_t hi = std::min(row_hi, std::min(n, (chunk + 1) * zm->chunk_rows));
+    ChunkClass cls = ClassifyChunk(ranges, codes, can_full_match, chunk);
+    std::vector<uint32_t>& out = slots[chunk - first_chunk];
+    if (cls == ChunkClass::kPruned) {
+      g_chunks_pruned.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (cls == ChunkClass::kFullMatch) {
+      g_chunks_full_match.fetch_add(1, std::memory_order_relaxed);
+      out.resize(hi - lo);
+      for (size_t i = lo; i < hi; ++i) {
+        out[i - lo] = static_cast<uint32_t>(i);
+      }
+      return;
+    }
+    g_chunks_scanned.fetch_add(1, std::memory_order_relaxed);
+    g_rows_scanned.fetch_add(hi - lo, std::memory_order_relaxed);
+    for (size_t i = lo; i < hi; ++i) {
+      bool ok = true;
+      for (const RangeEval& re : ranges) {
+        if (!re.r.Matches(re.At(i))) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        for (const CodeEval& ce : codes) {
+          if (ce.match[ce.codes[i]] == 0) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok && residual != nullptr && !residual(i)) ok = false;
+      if (ok) out.push_back(static_cast<uint32_t>(i));
+    }
+  };
+  if (UseParallelRows(row_hi - row_lo) && nchunks > 1) {
+    TaskPool::Global(ExecThreads())
+        .ParallelFor(
+            0, nchunks, 1,
+            [&](size_t clo, size_t chi) {
+              for (size_t c = clo; c < chi; ++c) scan_chunk(first_chunk + c);
+            },
+            ExecThreads());
+  } else {
+    for (size_t c = 0; c < nchunks; ++c) scan_chunk(first_chunk + c);
+  }
+
+  size_t total = 0;
+  for (const auto& s : slots) total += s.size();
+  std::vector<uint32_t> sel;
+  sel.reserve(total);
+  for (const auto& s : slots) sel.insert(sel.end(), s.begin(), s.end());
+  return sel;
+}
+
+Table FusedFilter(const Table& t, const ScanSpec& spec) {
+  // This IS the pipeline's materialization point — one gather of the
+  // final selection, no intermediate Table along the way.
+  // elephant-lint: allow(fused-materialize)
+  return GatherSelection(t, FusedSelect(t, spec));
+}
+
+Table FusedAggregate(const Table& t, const ScanSpec& spec,
+                     const std::vector<std::string>& group_cols,
+                     const AggFactory& aggs) {
+  if (ExecFusedPath() && t.EnsureColumnar()) {
+    std::vector<AggExpr> fused_aggs = aggs(t);
+    if (AggsVectorizable(t, fused_aggs)) {
+      std::vector<uint32_t> sel = FusedSelect(t, spec);
+      bool empty_minmax = false;
+      if (sel.empty()) {
+        for (const AggExpr& a : fused_aggs) {
+          if (a.kind == AggKind::kMin || a.kind == AggKind::kMax) {
+            // Empty-input min/max finalizes to DefaultValue, which
+            // only the materialized row path models.
+            empty_minmax = true;
+          }
+        }
+      }
+      if (!empty_minmax) {
+        std::vector<int> gcols;
+        gcols.reserve(group_cols.size());
+        for (const std::string& g : group_cols) {
+          gcols.push_back(t.ColIndex(g));
+        }
+        return HashAggregateSelected(t, sel, gcols, fused_aggs);
+      }
+    }
+  }
+  // Oracle twin: materialize the filtered table and rebuild the
+  // aggregates against it (VecAgg closures capture column pointers
+  // into whichever table they will read).
+  Table filtered = FusedFilter(t, spec);
+  std::vector<AggExpr> oracle_aggs = aggs(filtered);
+  // The oracle path behind the fused knob materializes on purpose.
+  // elephant-lint: allow(fused-materialize)
+  return HashAggregateOn(filtered, group_cols, oracle_aggs);
+}
+
+}  // namespace elephant::exec

@@ -1,0 +1,158 @@
+#ifndef ELEPHANT_EXEC_FUSED_H_
+#define ELEPHANT_EXEC_FUSED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "exec/operators.h"
+#include "exec/table.h"
+
+namespace elephant::exec {
+
+// ---- Fused morsel pipelines (DESIGN.md §14) -----------------------------
+//
+// A ScanSpec is a declarative leaf filter: conjunctive numeric range
+// constraints, dictionary-code set memberships, and an optional opaque
+// residual predicate. Declaring the filter (instead of handing the
+// executor a closure) is what lets the fused path plan: zone-map chunk
+// pruning, whole-chunk emission when the bounds prove every row
+// matches, binary-search row intervals on verified-sorted columns, and
+// most-selective-first evaluation order for the scanned remainder.
+//
+// Every fused entry point is bit-identical to its materializing oracle
+// twin: FusedSelect(t, spec) == EvalSelection(n, SpecPredicate(t, spec))
+// as a vector, FusedFilter matches Filter, and FusedAggregate matches
+// Filter-then-HashAggregateOn — at any thread count, because both paths
+// share the same double-image comparison semantics and the same
+// deterministic morsel decomposition. The oracle stays reachable behind
+// SetExecFusedPath(false) (env ELEPHANT_FUSED=0).
+
+/// Conjunctive range constraint on a numeric column, bounds in the
+/// widened-double image: (lo_strict ? v > lo : v >= lo) &&
+/// (hi_strict ? v < hi : v <= hi). Defaults are the full line, so a
+/// one-sided range leaves the other bound alone.
+struct NumRange {
+  int col = -1;
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  bool lo_strict = false;
+  bool hi_strict = false;
+
+  bool Matches(double v) const {
+    return (lo_strict ? v > lo : v >= lo) && (hi_strict ? v < hi : v <= hi);
+  }
+};
+
+/// Set-membership constraint on a dictionary column: row matches when
+/// match[code] != 0. The table is indexed by dictionary code and must
+/// cover the column's pool (size() >= pool.size()).
+struct CodeSet {
+  int col = -1;
+  std::vector<char> match;
+
+  bool Matches(uint32_t code) const { return match[code] != 0; }
+};
+
+/// Declarative leaf-scan filter: the conjunction of every range, every
+/// code set, and (if present) the residual predicate. The residual is
+/// opaque to the planner: it never prunes a chunk and disables
+/// whole-chunk emission, but pruning by the declared constraints still
+/// applies (a chunk no declared constraint can match needs no residual
+/// evaluation either).
+struct ScanSpec {
+  std::vector<NumRange> ranges;
+  std::vector<CodeSet> codes;
+  IndexPredicate residual;
+};
+
+// ---- Spec factories -----------------------------------------------------
+
+/// Range constraint on a named column. Convenience wrappers cover the
+/// common one-sided shapes.
+NumRange ColRange(const Table& t, const std::string& col, double lo,
+                  double hi, bool lo_strict = false, bool hi_strict = false);
+NumRange ColLess(const Table& t, const std::string& col, double hi,
+                 bool strict = true);
+NumRange ColAtLeast(const Table& t, const std::string& col, double lo,
+                    bool strict = false);
+NumRange ColEquals(const Table& t, const std::string& col, double v);
+
+/// Code-set constraint on a named string column, one flag per pool
+/// code: match = pred over the interned string.
+CodeSet CodeMatch(const Table& t, const std::string& col,
+                  const std::function<bool(const std::string&)>& pred);
+/// Code-set constraint matching exactly one string value.
+CodeSet CodeEquals(const Table& t, const std::string& col,
+                   const std::string& value);
+
+/// Single-constraint spec conveniences for the common one-predicate
+/// leaf scans.
+ScanSpec SpecOf(NumRange r);
+ScanSpec SpecOf(CodeSet c);
+
+// ---- Oracle twin --------------------------------------------------------
+
+/// Row-index predicate evaluating exactly the spec's match semantics —
+/// same double image, same conjunction — one row at a time. This is
+/// the materializing oracle the fused path is validated against, and
+/// the fallback when the fused knob is off.
+IndexPredicate SpecPredicate(const Table& t, const ScanSpec& spec);
+
+// ---- Fused entry points -------------------------------------------------
+
+/// Fused scan -> filter: evaluates the spec into an ascending selection
+/// vector with zone-map chunk pruning, whole-chunk match runs, and
+/// binary-search intervals on sorted columns. Bit-identical to
+/// EvalSelection(t.num_rows(), SpecPredicate(t, spec)).
+std::vector<uint32_t> FusedSelect(const Table& t, const ScanSpec& spec);
+
+/// Fused scan -> filter -> materialize: FusedSelect plus one gather.
+/// Same table Filter(t, SpecPredicate(t, spec)) builds.
+Table FusedFilter(const Table& t, const ScanSpec& spec);
+
+/// Builds the aggregate list against the table the aggregation will
+/// actually read. A factory (not a plain list) because VecAgg closures
+/// capture raw column pointers: the fused path binds them to the base
+/// table, the oracle path to the filtered copy.
+using AggFactory = std::function<std::vector<AggExpr>(const Table&)>;
+
+/// Fused scan -> filter -> aggregate: feeds the FusedSelect selection
+/// straight into the grouped hash aggregate without materializing the
+/// filtered table. Bit-identical to HashAggregateOn(FusedFilter(...))
+/// at any thread count. Falls back to the materializing pipeline when
+/// the fused path is off, the table has no columnar form, an aggregate
+/// is not vectorizable, or the selection comes back empty with min/max
+/// aggregates (whose empty-input semantics only the row path models).
+Table FusedAggregate(const Table& t, const ScanSpec& spec,
+                     const std::vector<std::string>& group_cols,
+                     const AggFactory& aggs);
+
+// ---- Knob + counters ----------------------------------------------------
+
+/// Fused-path knob: on by default, ELEPHANT_FUSED=0 in the environment
+/// flips the default off, and the setter overrides either way (the
+/// PR 5-style oracle switch for tests and benchmarks).
+bool ExecFusedPath();
+void SetExecFusedPath(bool on);
+
+/// Monotonic counters describing fused-scan work since the last reset.
+/// Values are deterministic for a given table/spec sequence (chunk
+/// classification never depends on the thread count).
+struct FusedCounters {
+  uint64_t chunks_scanned = 0;     ///< chunks evaluated row by row
+  uint64_t chunks_pruned = 0;      ///< chunks skipped via zone bounds
+  uint64_t chunks_full_match = 0;  ///< chunks emitted without row eval
+  uint64_t rows_scanned = 0;       ///< rows that ran per-row evaluation
+  uint64_t sorted_bounded = 0;     ///< scans narrowed by binary search
+};
+
+FusedCounters FusedCountersSnapshot();
+void ResetFusedCounters();
+
+}  // namespace elephant::exec
+
+#endif  // ELEPHANT_EXEC_FUSED_H_

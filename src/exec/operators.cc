@@ -1299,10 +1299,18 @@ void FoldRowColumnar(std::vector<VecAggState>* states,
   }
 }
 
+/// When `sel` is non-null it must be an ascending list of row indices
+/// into `t`; the aggregate then runs over exactly those rows, and the
+/// result is bit-identical to HashAggregateColumnar over the gathered
+/// table Filter would have built: position k here maps to global row
+/// sel[k], so fold order, morsel boundaries, partition assignment, and
+/// first-seen group order all coincide with the materialized run.
 Table HashAggregateColumnar(const Table& t, const std::vector<int>& group_cols,
                             const std::vector<AggExpr>& aggs,
-                            std::vector<Column> cols) {
-  size_t n = t.num_rows();
+                            std::vector<Column> cols,
+                            const std::vector<uint32_t>* sel = nullptr) {
+  size_t n = sel != nullptr ? sel->size() : t.num_rows();
+  const uint32_t* sm = sel != nullptr ? sel->data() : nullptr;
   std::vector<KeyPart> gparts = MakeKeyParts(t, group_cols);
   std::vector<AggInput> ins = MakeAggInputs(t, aggs);
 
@@ -1324,9 +1332,11 @@ Table HashAggregateColumnar(const Table& t, const std::vector<int>& group_cols,
         0, n, morsel,
         [&](size_t lo, size_t hi) {
           auto& bins = binned[lo / morsel];
-          for (size_t i = lo; i < hi; ++i) {
-            bins[KeyHashAt(gparts, i) & (kHashPartitions - 1)].push_back(
-                static_cast<uint32_t>(i));
+          for (size_t k = lo; k < hi; ++k) {
+            // Positions are morsel-chunked; bins hold GLOBAL indices
+            // (ascending per bin, since sel is ascending).
+            uint32_t i = sm != nullptr ? sm[k] : static_cast<uint32_t>(k);
+            bins[KeyHashAt(gparts, i) & (kHashPartitions - 1)].push_back(i);
           }
         },
         ExecThreads());
@@ -1382,7 +1392,8 @@ Table HashAggregateColumnar(const Table& t, const std::vector<int>& group_cols,
     // Serial fold in row order (also the global-aggregate path, which
     // is always serial so its double rounding matches the oracle).
     std::unordered_map<uint64_t, std::vector<uint32_t>> index;
-    for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < n; ++k) {
+      uint32_t i = sm != nullptr ? sm[k] : static_cast<uint32_t>(k);
       uint64_t h = KeyHashAt(gparts, i);
       std::vector<uint32_t>& cands = index[h];
       uint32_t gid = StringPool::kNoCode;
@@ -1395,7 +1406,7 @@ Table HashAggregateColumnar(const Table& t, const std::vector<int>& group_cols,
       if (gid == StringPool::kNoCode) {
         gid = static_cast<uint32_t>(first_rows.size());
         cands.push_back(gid);
-        first_rows.push_back(static_cast<uint32_t>(i));
+        first_rows.push_back(i);
         states.emplace_back(aggs.size());
       }
       FoldRowColumnar(&states[gid], ins, i);
@@ -1613,6 +1624,44 @@ Table HashAggregate(const Table& t, const std::vector<int>& group_cols,
         FinalizeAggRow(key, groups.at(key), aggs, group_cols.size()));
   }
   return out;
+}
+
+std::vector<uint32_t> EvalSelection(size_t n, const IndexPredicate& pred) {
+  return BuildSelection(n, pred);
+}
+
+Table GatherSelection(const Table& t, const std::vector<uint32_t>& sel) {
+  return GatherRows(t, sel);
+}
+
+bool AggsVectorizable(const Table& t, const std::vector<AggExpr>& aggs) {
+  if (ExecForceRowPath() || !t.EnsureColumnar()) return false;
+  for (const AggExpr& a : aggs) {
+    if (!AggVectorizable(t, a)) return false;
+  }
+  return true;
+}
+
+Table HashAggregateSelected(const Table& t, const std::vector<uint32_t>& sel,
+                            const std::vector<int>& group_cols,
+                            const std::vector<AggExpr>& aggs) {
+  ELEPHANT_CHECK(AggsVectorizable(t, aggs))
+      << "HashAggregateSelected requires vectorizable aggregates "
+         "(callers gate on AggsVectorizable and fall back to "
+         "Filter + HashAggregate)";
+  if (sel.empty()) {
+    for (const AggExpr& a : aggs) {
+      // Same guard as HashAggregate's n == 0 case: an empty global
+      // min/max finalizes to DefaultValue, which only the row path
+      // models. Callers must not route that shape here.
+      ELEPHANT_CHECK(a.kind != AggKind::kMin && a.kind != AggKind::kMax)
+          << "empty-selection min/max must take the materialized path";
+    }
+  }
+  std::vector<Column> cols;
+  for (int g : group_cols) cols.push_back(t.columns()[g]);
+  for (const auto& a : aggs) cols.push_back({a.name, a.type});
+  return HashAggregateColumnar(t, group_cols, aggs, std::move(cols), &sel);
 }
 
 Table HashAggregateOn(const Table& t,

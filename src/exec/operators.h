@@ -82,6 +82,18 @@ Table Filter(Table&& t, const Predicate& pred);
 Table Filter(const Table& t, const IndexPredicate& pred);
 Table Filter(Table&& t, const IndexPredicate& pred);
 
+/// Evaluates an index predicate into an ascending selection vector
+/// (the parallel path fills per-morsel slots and concatenates them in
+/// morsel order, reproducing the serial scan order exactly). The
+/// building block the fused scan layer shares with Filter.
+std::vector<uint32_t> EvalSelection(size_t n, const IndexPredicate& pred);
+
+/// Materializes the rows of `t` named by the ascending selection
+/// vector as a new table, one typed compaction pass per column. Output
+/// shares the input's string pool. Bridge from a fused selection back
+/// to a materialized Table when a downstream operator needs one.
+Table GatherSelection(const Table& t, const std::vector<uint32_t>& sel);
+
 /// Evaluates `exprs` per row; output schema is exactly the expr list.
 Table Project(const Table& t, const std::vector<NamedExpr>& exprs);
 
@@ -157,6 +169,23 @@ Table HashAggregate(const Table& t, const std::vector<int>& group_cols,
 Table HashAggregateOn(const Table& t,
                       const std::vector<std::string>& group_cols,
                       const std::vector<AggExpr>& aggs);
+
+/// True when every aggregate in `aggs` takes the columnar fold on `t`
+/// (and the row-path override knob is off). Gate for the fused
+/// aggregate path below.
+bool AggsVectorizable(const Table& t, const std::vector<AggExpr>& aggs);
+
+/// Group-by + aggregate over the rows of `t` named by the ascending
+/// selection vector `sel`, without materializing the filtered table.
+/// Bit-identical to HashAggregate(Filter(t, sel), ...): position k of
+/// the virtual input is global row sel[k], so fold order, morsel
+/// decomposition, hash partitioning, and group emission order all match
+/// the materialized run exactly. Requires AggsVectorizable(t, aggs);
+/// empty selections must not carry min/max (see HashAggregate's empty
+/// guard).
+Table HashAggregateSelected(const Table& t, const std::vector<uint32_t>& sel,
+                            const std::vector<int>& group_cols,
+                            const std::vector<AggExpr>& aggs);
 
 /// Sort specification: column index + direction.
 struct SortKey {

@@ -1,6 +1,9 @@
 #include "exec/statistics.h"
 
+#include <algorithm>
 #include <unordered_set>
+
+#include "exec/segment.h"
 
 namespace elephant::exec {
 
@@ -122,6 +125,59 @@ TableStats ComputeStats(const Table& table) {
                                    : ColumnStatsFromRows(table, c));
   }
   return stats;
+}
+
+ColumnHistogram BuildHistogram(const Table& table, int col, int buckets) {
+  ColumnHistogram h;
+  size_t n = table.num_rows();
+  if (n == 0 || buckets <= 0 || !table.EnsureColumnar()) return h;
+  ELEPHANT_CHECK(table.columns()[col].type != ValueType::kString)
+      << "histograms are numeric-only";
+  WithNumericSegment(table, col, [&](auto seg) {
+    double lo = seg(0), hi = seg(0);
+    for (size_t i = 1; i < n; ++i) {
+      double v = seg(i);
+      if (v < lo) lo = v;
+      if (v > hi) hi = v;
+    }
+    h.lo = lo;
+    h.hi = hi;
+    h.rows = n;
+    h.counts.assign(static_cast<size_t>(buckets), 0);
+    double width = (hi - lo) / static_cast<double>(buckets);
+    for (size_t i = 0; i < n; ++i) {
+      double v = seg(i);
+      if (v != v) continue;  // NaN: advisory structure only, skip
+      size_t b = 0;
+      if (width > 0) {
+        b = static_cast<size_t>((v - lo) / width);
+        if (b >= h.counts.size()) b = h.counts.size() - 1;  // v == hi
+      }
+      h.counts[b]++;
+    }
+  });
+  return h;
+}
+
+double EstimateRangeSelectivity(const ColumnHistogram& h, double lo,
+                                double hi) {
+  if (h.rows == 0 || h.counts.empty()) return 1.0;
+  if (hi < lo || hi < h.lo || lo > h.hi) return 0.0;
+  if (h.hi <= h.lo) return 1.0;  // single-point column: range covers it
+  lo = std::max(lo, h.lo);
+  hi = std::min(hi, h.hi);
+  double width = (h.hi - h.lo) / static_cast<double>(h.counts.size());
+  double est = 0.0;
+  for (size_t b = 0; b < h.counts.size(); ++b) {
+    double blo = h.lo + width * static_cast<double>(b);
+    double bhi = b + 1 == h.counts.size() ? h.hi : blo + width;
+    double olo = std::max(lo, blo);
+    double ohi = std::min(hi, bhi);
+    if (ohi <= olo) continue;
+    double frac = bhi > blo ? (ohi - olo) / (bhi - blo) : 1.0;
+    est += frac * static_cast<double>(h.counts[b]);
+  }
+  return std::min(1.0, est / static_cast<double>(h.rows));
 }
 
 double Selectivity(const Table& table, const Predicate& pred) {

@@ -1,8 +1,10 @@
 #ifndef ELEPHANT_EXEC_STATISTICS_H_
 #define ELEPHANT_EXEC_STATISTICS_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "exec/operators.h"
 #include "exec/table.h"
@@ -33,6 +35,29 @@ struct TableStats {
 
 /// Scans the table once and computes rows / min / max / distinct counts.
 TableStats ComputeStats(const Table& table);
+
+/// Equal-width histogram of one numeric column over its [lo, hi] value
+/// range. Built once per base-table column during zone-map construction
+/// and consumed by the fused scan planner to order conjunctive range
+/// constraints most-selective-first (an ordering decision only — it can
+/// never change which rows match).
+struct ColumnHistogram {
+  double lo = 0.0;        ///< min value (double image)
+  double hi = 0.0;        ///< max value (double image)
+  uint64_t rows = 0;      ///< total rows counted
+  std::vector<uint64_t> counts;  ///< per-bucket row counts
+};
+
+/// Builds an equal-width histogram of numeric column `col` (int columns
+/// are counted through their double image). Returns an empty histogram
+/// (rows == 0) for empty tables.
+ColumnHistogram BuildHistogram(const Table& table, int col, int buckets = 64);
+
+/// Estimated fraction of rows with value in [lo, hi] (inclusive),
+/// interpolating fractionally inside boundary buckets. Returns 1.0 for
+/// an empty histogram (no information: assume nothing is filtered).
+double EstimateRangeSelectivity(const ColumnHistogram& h, double lo,
+                                double hi);
 
 /// Fraction of rows satisfying the predicate (0 for an empty table).
 double Selectivity(const Table& table, const Predicate& pred);

@@ -174,25 +174,43 @@ Table::Table(std::vector<Column> columns, std::shared_ptr<StringPool> pool)
 }
 
 void Table::CopyFrom(const Table& other) {
-  // The lock serializes against a concurrent lazy materialization in
-  // `other` (reads are otherwise lock-free once a representation is
-  // built).
-  MutexLock lock(&other.lazy_mu_);
-  columns_ = other.columns_;
-  col_index_ = other.col_index_;
-  data_ = other.data_;
-  pool_ = other.pool_;  // shared: derived tables reuse the dictionary
-  num_rows_ = other.num_rows_;
-  row_cache_ = other.row_cache_;
-  rows_valid_.store(other.rows_valid_.load(std::memory_order_relaxed),
-                    std::memory_order_relaxed);
-  columnar_valid_.store(other.columnar_valid_.load(std::memory_order_relaxed),
-                        std::memory_order_relaxed);
-  heterogeneous_.store(other.heterogeneous_.load(std::memory_order_relaxed),
-                       std::memory_order_relaxed);
+  std::shared_ptr<const ZoneMaps> zm;
+  {
+    // The lock serializes against a concurrent lazy materialization in
+    // `other` (reads are otherwise lock-free once a representation is
+    // built).
+    MutexLock lock(&other.lazy_mu_);
+    columns_ = other.columns_;
+    col_index_ = other.col_index_;
+    data_ = other.data_;
+    pool_ = other.pool_;  // shared: derived tables reuse the dictionary
+    num_rows_ = other.num_rows_;
+    row_cache_ = other.row_cache_;
+    rows_valid_.store(other.rows_valid_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    columnar_valid_.store(
+        other.columnar_valid_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    heterogeneous_.store(other.heterogeneous_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    zm = other.zone_maps_;  // same data, same bounds: the maps transfer
+  }
+  // Taken after the other lock is released — never nested, no ordering.
+  MutexLock lock(&lazy_mu_);
+  zone_maps_ = std::move(zm);
 }
 
 void Table::MoveFrom(Table&& other) noexcept {
+  std::shared_ptr<const ZoneMaps> zm;
+  {
+    MutexLock lock(&other.lazy_mu_);
+    zm = std::move(other.zone_maps_);
+    other.zone_maps_.reset();
+  }
+  {
+    MutexLock lock(&lazy_mu_);
+    zone_maps_ = std::move(zm);
+  }
   columns_ = std::move(other.columns_);
   col_index_ = std::move(other.col_index_);
   data_ = std::move(other.data_);
@@ -241,6 +259,7 @@ int Table::FindCol(const std::string& name) const {
 }
 
 void Table::AddRow(Row row) {
+  InvalidateZoneMaps();
   ELEPHANT_DCHECK(row.size() == columns_.size())
       << "row has " << row.size() << " cells, schema has "
       << columns_.size() << " columns";
@@ -282,6 +301,7 @@ void Table::AddRow(Row row) {
 }
 
 void Table::AppendBatch(RowBatch&& batch) {
+  InvalidateZoneMaps();
   ELEPHANT_CHECK(batch.cols_.size() == columns_.size())
       << "batch has " << batch.cols_.size() << " columns, schema has "
       << columns_.size();
@@ -327,6 +347,7 @@ void Table::Reserve(size_t n) {
 }
 
 std::vector<Row>& Table::mutable_rows() {
+  InvalidateZoneMaps();
   EnsureRows();
   columnar_valid_.store(false, std::memory_order_release);
   for (ColumnVector& cv : data_) cv.Clear();
@@ -435,6 +456,7 @@ Value Table::ValueAt(size_t row, int col) const {
 }
 
 void Table::ResizeColumnar(size_t n) {
+  InvalidateZoneMaps();
   ELEPHANT_CHECK(!heterogeneous_.load(std::memory_order_relaxed));
   for (ColumnVector& cv : data_) cv.Resize(n);
   num_rows_ = n;
@@ -443,6 +465,7 @@ void Table::ResizeColumnar(size_t n) {
 }
 
 ColumnVector& Table::MutableCol(int col) {
+  InvalidateZoneMaps();
   ELEPHANT_CHECK(columnar_valid_.load(std::memory_order_relaxed))
       << "MutableCol on a row-authoritative table";
   InvalidateRows();
@@ -450,6 +473,7 @@ ColumnVector& Table::MutableCol(int col) {
 }
 
 void Table::SetRowCount(size_t n) {
+  InvalidateZoneMaps();
   for (size_t c = 0; c < data_.size(); ++c) {
     ELEPHANT_DCHECK(data_[c].size() == n)
         << "column " << c << " has " << data_[c].size() << " rows, not "
@@ -462,6 +486,21 @@ void Table::SetRowCount(size_t n) {
 StringPool* Table::mutable_pool() {
   if (pool_ == nullptr) pool_ = std::make_shared<StringPool>();
   return pool_.get();
+}
+
+std::shared_ptr<const ZoneMaps> Table::zone_maps() const {
+  MutexLock lock(&lazy_mu_);
+  return zone_maps_;
+}
+
+void Table::set_zone_maps(std::shared_ptr<const ZoneMaps> zm) const {
+  MutexLock lock(&lazy_mu_);
+  zone_maps_ = std::move(zm);
+}
+
+void Table::InvalidateZoneMaps() {
+  MutexLock lock(&lazy_mu_);
+  zone_maps_.reset();
 }
 
 std::string Table::ToString(size_t max_rows) const {

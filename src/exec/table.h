@@ -46,6 +46,11 @@ struct Column {
   ValueType type;
 };
 
+/// Per-chunk min/max zone maps + sorted flags (exec/zonemap.h). Tables
+/// cache one instance, built on demand by GetZoneMaps and dropped on any
+/// mutation.
+struct ZoneMaps;
+
 using Row = std::vector<Value>;
 
 /// Interning pool for a table's string columns. Each distinct string is
@@ -300,9 +305,23 @@ class Table {
   /// Reads straight from the column vectors — no Row materialization.
   std::string ToString(size_t max_rows = 20) const;
 
+  // ---- Zone-map cache (exec/zonemap.h builds and consumes) --------------
+
+  /// The cached zone maps, or null when never built / invalidated by a
+  /// mutation. Returned as shared_ptr-to-const: a reader's snapshot
+  /// stays valid even if the table mutates afterwards.
+  std::shared_ptr<const ZoneMaps> zone_maps() const ELEPHANT_EXCLUDES(lazy_mu_);
+  /// Publishes freshly built zone maps (GetZoneMaps only; the maps must
+  /// describe the table's current columnar contents).
+  void set_zone_maps(std::shared_ptr<const ZoneMaps> zm) const
+      ELEPHANT_EXCLUDES(lazy_mu_);
+
  private:
   void EnsureRows() const ELEPHANT_EXCLUDES(lazy_mu_);
   void InvalidateRows();
+  /// Drops the cached zone maps; called from every mutating entry point
+  /// (stale min/max bounds would make chunk pruning silently wrong).
+  void InvalidateZoneMaps() ELEPHANT_EXCLUDES(lazy_mu_);
   /// Rebuilds data_ from row_cache_; flips heterogeneous_ instead when
   /// some cell's alternative does not match its column type.
   void RebuildColumnsLocked() const ELEPHANT_REQUIRES(lazy_mu_);
@@ -328,6 +347,8 @@ class Table {
   mutable std::atomic<bool> rows_valid_{false};
   mutable std::atomic<bool> columnar_valid_{true};
   mutable std::atomic<bool> heterogeneous_{false};
+  mutable std::shared_ptr<const ZoneMaps> zone_maps_
+      ELEPHANT_GUARDED_BY(lazy_mu_);
   mutable Mutex lazy_mu_;
 };
 

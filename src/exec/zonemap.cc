@@ -1,0 +1,238 @@
+#include "exec/zonemap.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <type_traits>
+
+#include "common/string_util.h"
+#include "exec/segment.h"
+
+namespace elephant::exec {
+
+namespace {
+
+constexpr size_t kDefaultChunkRows = 4096;
+
+std::atomic<size_t> g_zone_chunk_rows{kDefaultChunkRows};
+
+size_t NumZoneChunks(size_t rows, size_t chunk_rows) {
+  return rows == 0 ? 0 : (rows + chunk_rows - 1) / chunk_rows;
+}
+
+}  // namespace
+
+size_t ZoneMapChunkRows() {
+  return g_zone_chunk_rows.load(std::memory_order_relaxed);
+}
+
+void SetZoneMapChunkRows(size_t rows) {
+  g_zone_chunk_rows.store(rows == 0 ? kDefaultChunkRows : rows,
+                          std::memory_order_relaxed);
+}
+
+std::shared_ptr<const ZoneMaps> BuildZoneMaps(const Table& t) {
+  if (!t.EnsureColumnar()) return nullptr;  // heterogeneous: no chunks
+  auto zm = std::make_shared<ZoneMaps>();
+  size_t n = t.num_rows();
+  zm->rows = n;
+  zm->chunk_rows = ZoneMapChunkRows();
+  zm->num_chunks = NumZoneChunks(n, zm->chunk_rows);
+  zm->cols.resize(t.num_cols());
+  for (int c = 0; c < t.num_cols(); ++c) {
+    ColumnZones& cz = zm->cols[c];
+    cz.type = t.columns()[c].type;
+    // One kernel over every encoding: chunk bounds + the ascending
+    // check fall out of the same segment loop. Codes get interval
+    // bounds but never a sorted flag (intern order is not collation).
+    WithSegment(t, c, [&](auto seg) {
+      using Raw = decltype(seg.Raw(0));
+      constexpr bool kIsCode = std::is_same_v<Raw, uint32_t>;
+      bool ascending = n > 0 && !kIsCode;
+      for (size_t chunk = 0; chunk < zm->num_chunks; ++chunk) {
+        size_t lo = chunk * zm->chunk_rows;
+        size_t hi = std::min(n, lo + zm->chunk_rows);
+        if constexpr (kIsCode) {
+          uint32_t mn = seg(lo);
+          uint32_t mx = seg(lo);
+          for (size_t i = lo + 1; i < hi; ++i) {
+            uint32_t v = seg(i);
+            if (v < mn) mn = v;
+            if (v > mx) mx = v;
+          }
+          cz.code_min.push_back(mn);
+          cz.code_max.push_back(mx);
+        } else {
+          // A NaN anywhere poisons the chunk to [NaN, NaN]: NaN fails
+          // every comparison, so a poisoned chunk never prunes, never
+          // full-matches, and always takes the per-row scan.
+          double mn = seg(lo);
+          double mx = seg(lo);
+          bool has_nan = mn != mn;
+          for (size_t i = lo + 1; i < hi && !has_nan; ++i) {
+            double v = seg(i);
+            if (v != v) has_nan = true;
+            if (v < mn) mn = v;
+            if (v > mx) mx = v;
+          }
+          if (has_nan) {
+            mn = mx = std::numeric_limits<double>::quiet_NaN();
+          }
+          cz.min.push_back(mn);
+          cz.max.push_back(mx);
+        }
+      }
+      if (ascending) {
+        for (size_t i = 1; i < n && ascending; ++i) {
+          // NaN compares false both ways and correctly kills the flag.
+          if (!(seg(i - 1) <= seg(i))) ascending = false;
+        }
+      }
+      cz.sorted_asc = ascending;
+    });
+    if (cz.type != ValueType::kString) {
+      cz.hist = BuildHistogram(t, c);
+    }
+  }
+  return zm;
+}
+
+namespace {
+
+bool ZoneMapsFresh(const Table& t,
+                   const std::shared_ptr<const ZoneMaps>& zm) {
+  return zm != nullptr && zm->rows == t.num_rows() &&
+         zm->chunk_rows == ZoneMapChunkRows();
+}
+
+// Single-flight guard for first-touch builds. Concurrent queries over a
+// shared table (the TPC-H bench runs 22 cells at once) would otherwise
+// each rebuild the same maps — wasted full-table scans, not a data race
+// (the Table cache itself is lock-protected). Sharded by table address
+// so unrelated tables rarely serialize against each other.
+std::mutex& ZoneBuildMutex(const Table& t) {
+  static std::array<std::mutex, 16> mus;
+  return mus[std::hash<const Table*>{}(&t) % mus.size()];
+}
+
+}  // namespace
+
+std::shared_ptr<const ZoneMaps> GetZoneMaps(const Table& t) {
+  std::shared_ptr<const ZoneMaps> zm = t.zone_maps();
+  if (ZoneMapsFresh(t, zm)) return zm;
+  std::lock_guard<std::mutex> lock(ZoneBuildMutex(t));
+  zm = t.zone_maps();  // another thread may have finished the build
+  if (ZoneMapsFresh(t, zm)) return zm;
+  zm = BuildZoneMaps(t);
+  if (zm != nullptr) t.set_zone_maps(zm);
+  return zm;
+}
+
+Status ValidateZoneMaps(const Table& t, const ZoneMaps& zm) {
+  if (!t.EnsureColumnar()) {
+    return Status::FailedPrecondition(
+        "zone maps attached to a table with no columnar form");
+  }
+  size_t n = t.num_rows();
+  if (zm.chunk_rows == 0) {
+    return Status::Internal("zone-map chunk_rows is zero");
+  }
+  if (zm.rows != n) {
+    return Status::Internal(StrFormat(
+        "zone-map row count %zu != table row count %zu", zm.rows, n));
+  }
+  size_t want_chunks = NumZoneChunks(n, zm.chunk_rows);
+  if (zm.num_chunks != want_chunks) {
+    return Status::Internal(StrFormat("zone-map chunk count %zu != %zu",
+                                      zm.num_chunks, want_chunks));
+  }
+  if (zm.cols.size() != static_cast<size_t>(t.num_cols())) {
+    return Status::Internal(StrFormat("zone-map column count %zu != %d",
+                                      zm.cols.size(), t.num_cols()));
+  }
+  for (int c = 0; c < t.num_cols(); ++c) {
+    const ColumnZones& cz = zm.cols[c];
+    const std::string& name = t.columns()[c].name;
+    if (cz.type != t.columns()[c].type) {
+      return Status::Internal("zone-map type mismatch on column " + name);
+    }
+    bool is_code = cz.type == ValueType::kString;
+    size_t bounds = is_code ? cz.code_min.size() : cz.min.size();
+    size_t bounds_hi = is_code ? cz.code_max.size() : cz.max.size();
+    if (bounds != zm.num_chunks || bounds_hi != zm.num_chunks) {
+      return Status::Internal(
+          "zone-map bounds size mismatch on column " + name);
+    }
+    if (is_code && cz.sorted_asc) {
+      return Status::Internal(
+          "sorted flag set on dictionary column " + name +
+          " (code order is not a collation)");
+    }
+    Status st = WithSegment(t, c, [&](auto seg) {
+      using Raw = decltype(seg.Raw(0));
+      constexpr bool kIsCode = std::is_same_v<Raw, uint32_t>;
+      if constexpr (kIsCode) {
+        if (!is_code) {
+          return Status::Internal("segment/zone encoding disagreement");
+        }
+      }
+      for (size_t chunk = 0; chunk < zm.num_chunks; ++chunk) {
+        size_t lo = chunk * zm.chunk_rows;
+        size_t hi = std::min(n, lo + zm.chunk_rows);
+        if constexpr (!kIsCode) {
+          // NaN-poisoned bounds are legal exactly when the chunk holds
+          // a NaN (the builder marks such chunks unbounded).
+          bool chunk_nan = false;
+          for (size_t i = lo; i < hi; ++i) {
+            double v = seg(i);
+            if (v != v) chunk_nan = true;
+          }
+          double bmin = cz.min[chunk];
+          double bmax = cz.max[chunk];
+          bool bounds_nan = bmin != bmin || bmax != bmax;
+          if (chunk_nan != bounds_nan) {
+            return Status::Internal(
+                StrFormat("NaN poisoning mismatch on column %s chunk %zu",
+                          name.c_str(), chunk));
+          }
+          if (bounds_nan) continue;
+        }
+        for (size_t i = lo; i < hi; ++i) {
+          auto v = seg(i);
+          bool in_bounds;
+          if constexpr (kIsCode) {
+            in_bounds = v >= cz.code_min[chunk] && v <= cz.code_max[chunk];
+          } else {
+            in_bounds = v >= cz.min[chunk] && v <= cz.max[chunk];
+          }
+          if (!in_bounds) {
+            return Status::Internal(StrFormat(
+                "zone bound violated: column %s chunk %zu row %zu "
+                "outside its min/max",
+                name.c_str(), chunk, i));
+          }
+        }
+      }
+      if (!kIsCode) {
+        bool ascending = n > 0;
+        for (size_t i = 1; i < n && ascending; ++i) {
+          if (!(seg(i - 1) <= seg(i))) ascending = false;
+        }
+        if (cz.sorted_asc != ascending) {
+          return Status::Internal(StrFormat(
+              "sorted flag on column %s is %d but data says %d",
+              name.c_str(), cz.sorted_asc ? 1 : 0, ascending ? 1 : 0));
+        }
+      }
+      return Status::OK();
+    });
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+}  // namespace elephant::exec

@@ -1,0 +1,81 @@
+#ifndef ELEPHANT_EXEC_ZONEMAP_H_
+#define ELEPHANT_EXEC_ZONEMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/statistics.h"
+#include "exec/table.h"
+
+namespace elephant::exec {
+
+/// Zone maps (DESIGN.md §14): the columnar Table is viewed as a run of
+/// fixed-size chunks, and every chunk carries per-column min/max bounds
+/// — numeric columns through their widened-double image, string columns
+/// as dictionary-code intervals. The fused scan planner consults the
+/// bounds to skip chunks that cannot match (pruning), to emit whole
+/// chunks without per-row evaluation when the bounds prove every row
+/// matches, and to replace scans with binary searches on columns whose
+/// ascending order was verified at build time (dbgen's clustered
+/// primary keys). Maps are derived state: built on demand, cached on
+/// the Table, and dropped by any mutation.
+
+/// Per-column zone data across all chunks of a table.
+struct ColumnZones {
+  ValueType type = ValueType::kInt;
+  /// Verified (never declared): the whole column is non-decreasing in
+  /// its double image. Random-looking columns (l_shipdate!) stay false;
+  /// clustered keys like l_orderkey come out true.
+  bool sorted_asc = false;
+  /// Per-chunk [min, max] of the double image (numeric columns only).
+  std::vector<double> min;
+  std::vector<double> max;
+  /// Per-chunk [min, max] dictionary code (string columns only). Codes
+  /// have no collation meaning, but the interval still bounds set
+  /// membership: a chunk whose code interval misses every matching
+  /// code cannot produce a row.
+  std::vector<uint32_t> code_min;
+  std::vector<uint32_t> code_max;
+  /// Equal-width value histogram (numeric columns only): feeds the
+  /// fused planner's selectivity ordering via EstimateRangeSelectivity.
+  ColumnHistogram hist;
+};
+
+/// Zone maps for one table: shape plus per-column zones.
+struct ZoneMaps {
+  size_t rows = 0;
+  size_t chunk_rows = 0;
+  size_t num_chunks = 0;
+  std::vector<ColumnZones> cols;
+};
+
+/// Chunk granularity for newly built zone maps. Default 4096 rows; the
+/// setter exists so tests can force chunk-boundary edge cases
+/// (single-row chunks, chunk == table, chunk > table). 0 restores the
+/// default.
+size_t ZoneMapChunkRows();
+void SetZoneMapChunkRows(size_t rows);
+
+/// Builds zone maps for `t` without touching the table's cache.
+/// Returns nullptr for heterogeneous tables (no columnar form).
+std::shared_ptr<const ZoneMaps> BuildZoneMaps(const Table& t);
+
+/// Cached build: returns the table's zone maps, building and caching
+/// them on first use. A cached instance is reused only while it still
+/// describes the table (row count and chunk-size knob unchanged);
+/// mutations invalidate it through Table's mutator hooks. Returns
+/// nullptr for heterogeneous tables.
+std::shared_ptr<const ZoneMaps> GetZoneMaps(const Table& t);
+
+/// Consistency validator (wired into invariants_test): every chunk's
+/// min/max must actually bound the chunk's contents, sorted flags must
+/// match the data, and the shape fields must agree with the table.
+/// Returns the first violation found, or OK.
+Status ValidateZoneMaps(const Table& t, const ZoneMaps& zm);
+
+}  // namespace elephant::exec
+
+#endif  // ELEPHANT_EXEC_ZONEMAP_H_

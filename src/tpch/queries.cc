@@ -7,8 +7,9 @@
 #include <utility>
 
 #include "common/date.h"
-#include "exec/operators.h"
 #include "common/check.h"
+#include "exec/fused.h"
+#include "exec/operators.h"
 
 namespace elephant::tpch {
 
@@ -19,18 +20,28 @@ using exec::AggKind;
 using exec::AsDouble;
 using exec::AsInt;
 using exec::AsString;
+using exec::CodeEquals;
+using exec::CodeMatch;
 using exec::Col;
 using exec::ColAgg;
+using exec::ColAtLeast;
+using exec::ColEquals;
+using exec::ColLess;
+using exec::ColRange;
 using exec::CopyCol;
 using exec::CopyColAs;
 using exec::CountAgg;
 using exec::DoubleExprCol;
 using exec::Expr;
 using exec::Filter;
+using exec::FusedAggregate;
+using exec::FusedFilter;
 using exec::HashAggregateOn;
 using exec::HashJoinOn;
 using exec::IndexPredicate;
 using exec::IntExprCol;
+using exec::ScanSpec;
+using exec::SpecOf;
 using exec::JoinType;
 using exec::Limit;
 using exec::NamedExpr;
@@ -107,31 +118,32 @@ std::function<double(size_t)> RevenueAt(const Table& t) {
 Table Q1(const TpchDatabase& db) {
   DateCode cutoff = MakeDate(1998, 12, 1) - 90;
   const Table& l = db.lineitem;
-  const int64_t* shipdate = Ints(l, "l_shipdate").data();
-  Table filtered = Filter(
-      l, IndexPredicate([shipdate, cutoff](size_t i) {
-        return shipdate[i] <= cutoff;
-      }));
-  const double* price = Dbls(filtered, "l_extendedprice").data();
-  const double* disc = Dbls(filtered, "l_discount").data();
-  const double* tax = Dbls(filtered, "l_tax").data();
-  Table agg = HashAggregateOn(
-      filtered, {"l_returnflag", "l_linestatus"},
-      {ColAgg(AggKind::kSum, filtered, "l_quantity", "sum_qty", D),
-       ColAgg(AggKind::kSum, filtered, "l_extendedprice", "sum_base_price",
-              D),
-       VecAgg(AggKind::kSum, "sum_disc_price", D,
-              [price, disc](size_t i) {
-                return price[i] * (1.0 - disc[i]);
-              }),
-       VecAgg(AggKind::kSum, "sum_charge", D,
-              [price, disc, tax](size_t i) {
-                return (price[i] * (1.0 - disc[i])) * (1.0 + tax[i]);
-              }),
-       ColAgg(AggKind::kAvg, filtered, "l_quantity", "avg_qty", D),
-       ColAgg(AggKind::kAvg, filtered, "l_extendedprice", "avg_price", D),
-       ColAgg(AggKind::kAvg, filtered, "l_discount", "avg_disc", D),
-       CountAgg("count_order")});
+  // Fused scan -> filter -> aggregate: the aggregate factory binds its
+  // column pointers to whichever table the pipeline actually reads
+  // (the base table on the fused path, the filtered copy on the
+  // oracle path).
+  Table agg = FusedAggregate(
+      l, SpecOf(ColLess(l, "l_shipdate", cutoff, /*strict=*/false)),
+      {"l_returnflag", "l_linestatus"}, [](const Table& t) {
+        const double* price = Dbls(t, "l_extendedprice").data();
+        const double* disc = Dbls(t, "l_discount").data();
+        const double* tax = Dbls(t, "l_tax").data();
+        return std::vector<AggExpr>{
+            ColAgg(AggKind::kSum, t, "l_quantity", "sum_qty", D),
+            ColAgg(AggKind::kSum, t, "l_extendedprice", "sum_base_price", D),
+            VecAgg(AggKind::kSum, "sum_disc_price", D,
+                   [price, disc](size_t i) {
+                     return price[i] * (1.0 - disc[i]);
+                   }),
+            VecAgg(AggKind::kSum, "sum_charge", D,
+                   [price, disc, tax](size_t i) {
+                     return (price[i] * (1.0 - disc[i])) * (1.0 + tax[i]);
+                   }),
+            ColAgg(AggKind::kAvg, t, "l_quantity", "avg_qty", D),
+            ColAgg(AggKind::kAvg, t, "l_extendedprice", "avg_price", D),
+            ColAgg(AggKind::kAvg, t, "l_discount", "avg_disc", D),
+            CountAgg("count_order")};
+      });
   int rf = agg.ColIndex("l_returnflag");
   int ls = agg.ColIndex("l_linestatus");
   return SortBy(std::move(agg), {{rf, true}, {ls, true}});
@@ -139,19 +151,14 @@ Table Q1(const TpchDatabase& db) {
 
 // Q2: Minimum Cost Supplier.
 Table Q2(const TpchDatabase& db) {
-  const int64_t* psize = Ints(db.part, "p_size").data();
-  const uint32_t* ptype = Codes(db.part, "p_type").data();
-  std::vector<char> brass = MatchCodes(db.part, [](const std::string& s) {
-    return StrEndsWith(s, "BRASS");
-  });
-  Table part = Filter(db.part, IndexPredicate([&](size_t i) {
-                        return psize[i] == 15 && brass[ptype[i]];
-                      }));
-  const uint32_t* rname = Codes(db.region, "r_name").data();
-  uint32_t europe = db.region.CodeFor("EUROPE");
-  Table region = Filter(db.region, IndexPredicate([rname, europe](size_t i) {
-                          return rname[i] == europe;
-                        }));
+  ScanSpec part_spec = SpecOf(ColEquals(db.part, "p_size", 15));
+  part_spec.codes.push_back(CodeMatch(
+      db.part, "p_type",
+      [](const std::string& s) { return StrEndsWith(s, "BRASS"); }));
+  Table part = FusedFilter(db.part, part_spec);
+  Table region =
+      FusedFilter(db.region, SpecOf(CodeEquals(db.region, "r_name",
+                                               "EUROPE")));
   // Suppliers in EUROPE with nation info.
   Table nr = HashJoinOn(db.nation, region, {"n_regionkey"}, {"r_regionkey"});
   Table snr = HashJoinOn(db.supplier, nr, {"s_nationkey"}, {"n_nationkey"});
@@ -185,19 +192,14 @@ Table Q2(const TpchDatabase& db) {
 // Q3: Shipping Priority.
 Table Q3(const TpchDatabase& db) {
   DateCode pivot = MakeDate(1995, 3, 15);
-  const uint32_t* seg = Codes(db.customer, "c_mktsegment").data();
-  uint32_t building = db.customer.CodeFor("BUILDING");
-  Table cust = Filter(db.customer, IndexPredicate([seg, building](size_t i) {
-                        return seg[i] == building;
-                      }));
-  const int64_t* odate = Ints(db.orders, "o_orderdate").data();
-  Table orders = Filter(db.orders, IndexPredicate([odate, pivot](size_t i) {
-                          return odate[i] < pivot;
-                        }));
-  const int64_t* sdate = Ints(db.lineitem, "l_shipdate").data();
-  Table line = Filter(db.lineitem, IndexPredicate([sdate, pivot](size_t i) {
-                        return sdate[i] > pivot;
-                      }));
+  Table cust = FusedFilter(
+      db.customer,
+      SpecOf(CodeEquals(db.customer, "c_mktsegment", "BUILDING")));
+  Table orders = FusedFilter(
+      db.orders, SpecOf(ColLess(db.orders, "o_orderdate", pivot)));
+  Table line = FusedFilter(
+      db.lineitem,
+      SpecOf(ColAtLeast(db.lineitem, "l_shipdate", pivot, /*strict=*/true)));
   Table co = HashJoinOn(cust, orders, {"c_custkey"}, {"o_custkey"});
   Table col = HashJoinOn(co, line, {"o_orderkey"}, {"l_orderkey"});
   Table agg = HashAggregateOn(
@@ -213,10 +215,11 @@ Table Q3(const TpchDatabase& db) {
 Table Q4(const TpchDatabase& db) {
   DateCode lo = MakeDate(1993, 7, 1);
   DateCode hi = AddMonths(lo, 3);
-  const int64_t* odate = Ints(db.orders, "o_orderdate").data();
-  Table orders = Filter(db.orders, IndexPredicate([odate, lo, hi](size_t i) {
-                          return odate[i] >= lo && odate[i] < hi;
-                        }));
+  Table orders = FusedFilter(
+      db.orders, SpecOf(ColRange(db.orders, "o_orderdate", lo, hi,
+                                 /*lo_strict=*/false, /*hi_strict=*/true)));
+  // Cross-column predicate: nothing for zone maps to prune on, so the
+  // plain columnar filter stays.
   const int64_t* cdate = Ints(db.lineitem, "l_commitdate").data();
   const int64_t* rdate = Ints(db.lineitem, "l_receiptdate").data();
   Table late = Filter(db.lineitem, IndexPredicate([cdate, rdate](size_t i) {
@@ -235,15 +238,11 @@ Table Q4(const TpchDatabase& db) {
 Table Q5(const TpchDatabase& db) {
   DateCode lo = MakeDate(1994, 1, 1);
   DateCode hi = AddYears(lo, 1);
-  const uint32_t* rname = Codes(db.region, "r_name").data();
-  uint32_t asia = db.region.CodeFor("ASIA");
-  Table region = Filter(db.region, IndexPredicate([rname, asia](size_t i) {
-                          return rname[i] == asia;
-                        }));
-  const int64_t* odate = Ints(db.orders, "o_orderdate").data();
-  Table orders = Filter(db.orders, IndexPredicate([odate, lo, hi](size_t i) {
-                          return odate[i] >= lo && odate[i] < hi;
-                        }));
+  Table region = FusedFilter(
+      db.region, SpecOf(CodeEquals(db.region, "r_name", "ASIA")));
+  Table orders = FusedFilter(
+      db.orders, SpecOf(ColRange(db.orders, "o_orderdate", lo, hi,
+                                 /*lo_strict=*/false, /*hi_strict=*/true)));
   Table nr = HashJoinOn(db.nation, region, {"n_regionkey"}, {"r_regionkey"});
   Table snr = HashJoinOn(db.supplier, nr, {"s_nationkey"}, {"n_nationkey"});
   Table co = HashJoinOn(db.customer, orders, {"c_custkey"}, {"o_custkey"});
@@ -262,43 +261,38 @@ Table Q6(const TpchDatabase& db) {
   DateCode lo = MakeDate(1994, 1, 1);
   DateCode hi = AddYears(lo, 1);
   const Table& l = db.lineitem;
-  const int64_t* sdate = Ints(l, "l_shipdate").data();
-  const double* disc = Dbls(l, "l_discount").data();
-  const double* qty = Dbls(l, "l_quantity").data();
-  Table filtered = Filter(l, IndexPredicate([=](size_t i) {
-    int64_t d = sdate[i];
-    double dc = disc[i];
-    return d >= lo && d < hi && dc >= 0.05 - 1e-9 && dc <= 0.07 + 1e-9 &&
-           qty[i] < 24;
-  }));
-  const double* price = Dbls(filtered, "l_extendedprice").data();
-  const double* fdisc = Dbls(filtered, "l_discount").data();
-  return HashAggregateOn(
-      filtered, {},
-      {VecAgg(AggKind::kSum, "revenue", D, [price, fdisc](size_t i) {
-        return price[i] * fdisc[i];
-      })});
+  ScanSpec spec;
+  spec.ranges.push_back(ColRange(l, "l_shipdate", lo, hi,
+                                 /*lo_strict=*/false, /*hi_strict=*/true));
+  spec.ranges.push_back(
+      ColRange(l, "l_discount", 0.05 - 1e-9, 0.07 + 1e-9));
+  spec.ranges.push_back(ColLess(l, "l_quantity", 24.0, /*strict=*/true));
+  return FusedAggregate(l, spec, {}, [](const Table& t) {
+    const double* price = Dbls(t, "l_extendedprice").data();
+    const double* disc = Dbls(t, "l_discount").data();
+    return std::vector<AggExpr>{
+        VecAgg(AggKind::kSum, "revenue", D, [price, disc](size_t i) {
+          return price[i] * disc[i];
+        })};
+  });
 }
 
 // Q7: Volume Shipping.
 Table Q7(const TpchDatabase& db) {
   DateCode lo = MakeDate(1995, 1, 1);
   DateCode hi = MakeDate(1996, 12, 31);
-  const uint32_t* nname = Codes(db.nation, "n_name").data();
-  uint32_t france = db.nation.CodeFor("FRANCE");
-  uint32_t germany = db.nation.CodeFor("GERMANY");
-  Table nations = Filter(db.nation, IndexPredicate([=](size_t i) {
-                           return nname[i] == france || nname[i] == germany;
-                         }));
+  Table nations = FusedFilter(
+      db.nation, SpecOf(CodeMatch(db.nation, "n_name",
+                                  [](const std::string& s) {
+                                    return s == "FRANCE" || s == "GERMANY";
+                                  })));
   // supplier with supp_nation, customer with cust_nation.
   Table sn = HashJoinOn(db.supplier, nations, {"s_nationkey"},
                         {"n_nationkey"});
   Table cn = HashJoinOn(db.customer, nations, {"c_nationkey"},
                         {"n_nationkey"});
-  const int64_t* sdate = Ints(db.lineitem, "l_shipdate").data();
-  Table line = Filter(db.lineitem, IndexPredicate([sdate, lo, hi](size_t i) {
-                        return sdate[i] >= lo && sdate[i] <= hi;
-                      }));
+  Table line = FusedFilter(
+      db.lineitem, SpecOf(ColRange(db.lineitem, "l_shipdate", lo, hi)));
   Table ls = HashJoinOn(line, sn, {"l_suppkey"}, {"s_suppkey"});
   Table lso = HashJoinOn(ls, db.orders, {"l_orderkey"}, {"o_orderkey"});
   Table lsoc = HashJoinOn(lso, cn, {"o_custkey"}, {"c_custkey"});
@@ -332,20 +326,13 @@ Table Q7(const TpchDatabase& db) {
 Table Q8(const TpchDatabase& db) {
   DateCode lo = MakeDate(1995, 1, 1);
   DateCode hi = MakeDate(1996, 12, 31);
-  const uint32_t* ptype = Codes(db.part, "p_type").data();
-  uint32_t steel = db.part.CodeFor("ECONOMY ANODIZED STEEL");
-  Table part = Filter(db.part, IndexPredicate([ptype, steel](size_t i) {
-                        return ptype[i] == steel;
-                      }));
-  const uint32_t* rname = Codes(db.region, "r_name").data();
-  uint32_t america = db.region.CodeFor("AMERICA");
-  Table region = Filter(db.region, IndexPredicate([rname, america](size_t i) {
-                          return rname[i] == america;
-                        }));
-  const int64_t* odate = Ints(db.orders, "o_orderdate").data();
-  Table orders = Filter(db.orders, IndexPredicate([odate, lo, hi](size_t i) {
-                          return odate[i] >= lo && odate[i] <= hi;
-                        }));
+  Table part = FusedFilter(
+      db.part,
+      SpecOf(CodeEquals(db.part, "p_type", "ECONOMY ANODIZED STEEL")));
+  Table region = FusedFilter(
+      db.region, SpecOf(CodeEquals(db.region, "r_name", "AMERICA")));
+  Table orders = FusedFilter(
+      db.orders, SpecOf(ColRange(db.orders, "o_orderdate", lo, hi)));
   Table lp = HashJoinOn(db.lineitem, part, {"l_partkey"}, {"p_partkey"});
   Table lpo = HashJoinOn(lp, orders, {"l_orderkey"}, {"o_orderkey"});
   // Customer must be in an AMERICA nation.
@@ -391,13 +378,10 @@ Table Q8(const TpchDatabase& db) {
 
 // Q9: Product Type Profit Measure.
 Table Q9(const TpchDatabase& db) {
-  const uint32_t* pname = Codes(db.part, "p_name").data();
-  std::vector<char> green = MatchCodes(db.part, [](const std::string& s) {
-    return StrContains(s, "green");
-  });
-  Table part = Filter(db.part, IndexPredicate([&](size_t i) {
-                        return green[pname[i]] != 0;
-                      }));
+  Table part = FusedFilter(
+      db.part, SpecOf(CodeMatch(db.part, "p_name", [](const std::string& s) {
+        return StrContains(s, "green");
+      })));
   Table lp = HashJoinOn(db.lineitem, part, {"l_partkey"}, {"p_partkey"});
   Table lps = HashJoinOn(lp, db.partsupp, {"l_partkey", "l_suppkey"},
                          {"ps_partkey", "ps_suppkey"});
@@ -431,15 +415,11 @@ Table Q9(const TpchDatabase& db) {
 Table Q10(const TpchDatabase& db) {
   DateCode lo = MakeDate(1993, 10, 1);
   DateCode hi = AddMonths(lo, 3);
-  const int64_t* odate = Ints(db.orders, "o_orderdate").data();
-  Table orders = Filter(db.orders, IndexPredicate([odate, lo, hi](size_t i) {
-                          return odate[i] >= lo && odate[i] < hi;
-                        }));
-  const uint32_t* rf = Codes(db.lineitem, "l_returnflag").data();
-  uint32_t r_code = db.lineitem.CodeFor("R");
-  Table returned = Filter(db.lineitem, IndexPredicate([rf, r_code](size_t i) {
-                            return rf[i] == r_code;
-                          }));
+  Table orders = FusedFilter(
+      db.orders, SpecOf(ColRange(db.orders, "o_orderdate", lo, hi,
+                                 /*lo_strict=*/false, /*hi_strict=*/true)));
+  Table returned = FusedFilter(
+      db.lineitem, SpecOf(CodeEquals(db.lineitem, "l_returnflag", "R")));
   Table co = HashJoinOn(db.customer, orders, {"c_custkey"}, {"o_custkey"});
   Table col = HashJoinOn(co, returned, {"o_orderkey"}, {"l_orderkey"});
   Table coln = HashJoinOn(col, db.nation, {"c_nationkey"}, {"n_nationkey"});
@@ -456,11 +436,8 @@ Table Q10(const TpchDatabase& db) {
 
 // Q11: Important Stock Identification.
 Table Q11(const TpchDatabase& db) {
-  const uint32_t* nname = Codes(db.nation, "n_name").data();
-  uint32_t germany = db.nation.CodeFor("GERMANY");
-  Table nation = Filter(db.nation, IndexPredicate([nname, germany](size_t i) {
-                          return nname[i] == germany;
-                        }));
+  Table nation = FusedFilter(
+      db.nation, SpecOf(CodeEquals(db.nation, "n_name", "GERMANY")));
   Table sn = HashJoinOn(db.supplier, nation, {"s_nationkey"},
                         {"n_nationkey"});
   Table ps = HashJoinOn(db.partsupp, sn, {"ps_suppkey"}, {"s_suppkey"});
@@ -492,17 +469,21 @@ Table Q12(const TpchDatabase& db) {
   DateCode lo = MakeDate(1994, 1, 1);
   DateCode hi = AddYears(lo, 1);
   const Table& l = db.lineitem;
-  const uint32_t* mode = Codes(l, "l_shipmode").data();
   const int64_t* cdate = Ints(l, "l_commitdate").data();
-  const int64_t* rdate = Ints(l, "l_receiptdate").data();
   const int64_t* sdate = Ints(l, "l_shipdate").data();
-  uint32_t mail = l.CodeFor("MAIL");
-  uint32_t ship = l.CodeFor("SHIP");
-  Table line = Filter(l, IndexPredicate([=](size_t i) {
-    int64_t rd = rdate[i];
-    return (mode[i] == mail || mode[i] == ship) && cdate[i] < rd &&
-           sdate[i] < cdate[i] && rd >= lo && rd < hi;
-  }));
+  // Declared constraints (ship mode set, receipt-date window) prune and
+  // order; the cross-column date comparisons ride along as a residual.
+  ScanSpec spec = SpecOf(ColRange(l, "l_receiptdate", lo, hi,
+                                  /*lo_strict=*/false, /*hi_strict=*/true));
+  spec.codes.push_back(
+      CodeMatch(l, "l_shipmode", [](const std::string& s) {
+        return s == "MAIL" || s == "SHIP";
+      }));
+  const int64_t* rdate = Ints(l, "l_receiptdate").data();
+  spec.residual = [cdate, rdate, sdate](size_t i) {
+    return cdate[i] < rdate[i] && sdate[i] < cdate[i];
+  };
+  Table line = FusedFilter(l, spec);
   Table lo_join = HashJoinOn(line, db.orders, {"l_orderkey"}, {"o_orderkey"});
   const uint32_t* prio = Codes(lo_join, "o_orderpriority").data();
   uint32_t urgent = lo_join.CodeFor("1-URGENT");
@@ -522,16 +503,13 @@ Table Q12(const TpchDatabase& db) {
 
 // Q13: Customer Distribution.
 Table Q13(const TpchDatabase& db) {
-  const uint32_t* comment = Codes(db.orders, "o_comment").data();
-  std::vector<char> excluded =
-      MatchCodes(db.orders, [](const std::string& c) {
+  Table orders = FusedFilter(
+      db.orders,
+      SpecOf(CodeMatch(db.orders, "o_comment", [](const std::string& c) {
         size_t pos = c.find("special");
-        return pos != std::string::npos &&
-               c.find("requests", pos) != std::string::npos;
-      });
-  Table orders = Filter(db.orders, IndexPredicate([&](size_t i) {
-                          return excluded[comment[i]] == 0;
-                        }));
+        return pos == std::string::npos ||
+               c.find("requests", pos) == std::string::npos;
+      })));
   Table co = HashJoinOn(db.customer, orders, {"c_custkey"}, {"o_custkey"},
                         JoinType::kLeftOuter);
   const int64_t* okey = Ints(co, "o_orderkey").data();
@@ -552,10 +530,9 @@ Table Q13(const TpchDatabase& db) {
 Table Q14(const TpchDatabase& db) {
   DateCode lo = MakeDate(1995, 9, 1);
   DateCode hi = AddMonths(lo, 1);
-  const int64_t* sdate = Ints(db.lineitem, "l_shipdate").data();
-  Table line = Filter(db.lineitem, IndexPredicate([sdate, lo, hi](size_t i) {
-                        return sdate[i] >= lo && sdate[i] < hi;
-                      }));
+  Table line = FusedFilter(
+      db.lineitem, SpecOf(ColRange(db.lineitem, "l_shipdate", lo, hi,
+                                   /*lo_strict=*/false, /*hi_strict=*/true)));
   Table lp = HashJoinOn(line, db.part, {"l_partkey"}, {"p_partkey"});
   const uint32_t* ptype = Codes(lp, "p_type").data();
   std::vector<char> promo = MatchCodes(lp, [](const std::string& s) {
@@ -582,13 +559,16 @@ Table Q14(const TpchDatabase& db) {
 Table Q15(const TpchDatabase& db) {
   DateCode lo = MakeDate(1996, 1, 1);
   DateCode hi = AddMonths(lo, 3);
-  const int64_t* sdate = Ints(db.lineitem, "l_shipdate").data();
-  Table line = Filter(db.lineitem, IndexPredicate([sdate, lo, hi](size_t i) {
-                        return sdate[i] >= lo && sdate[i] < hi;
-                      }));
-  Table revenue = HashAggregateOn(
-      line, {"l_suppkey"},
-      {VecAgg(AggKind::kSum, "total_revenue", D, RevenueAt(line))});
+  // Fused filter -> aggregate chain: the filtered lineitem never
+  // materializes on the fused path.
+  Table revenue = FusedAggregate(
+      db.lineitem,
+      SpecOf(ColRange(db.lineitem, "l_shipdate", lo, hi,
+                      /*lo_strict=*/false, /*hi_strict=*/true)),
+      {"l_suppkey"}, [](const Table& t) {
+        return std::vector<AggExpr>{
+            VecAgg(AggKind::kSum, "total_revenue", D, RevenueAt(t))};
+      });
   Table maxrev = HashAggregateOn(
       revenue, {},
       {ColAgg(AggKind::kMax, revenue, "total_revenue", "max_revenue", D)});
@@ -609,32 +589,32 @@ Table Q15(const TpchDatabase& db) {
 // Q16: Parts/Supplier Relationship.
 Table Q16(const TpchDatabase& db) {
   static const int kSizes[] = {49, 14, 23, 45, 19, 3, 36, 9};
-  const uint32_t* brand = Codes(db.part, "p_brand").data();
-  const uint32_t* ptype = Codes(db.part, "p_type").data();
   const int64_t* psize = Ints(db.part, "p_size").data();
-  uint32_t brand45 = db.part.CodeFor("Brand#45");
-  std::vector<char> medpol = MatchCodes(db.part, [](const std::string& s) {
-    return StrStartsWith(s, "MEDIUM POLISHED");
-  });
-  Table part = Filter(db.part, IndexPredicate([&](size_t i) {
-    if (brand[i] == brand45) return false;
-    if (medpol[ptype[i]]) return false;
+  // Brand and type exclusions are declared code sets (prunable); the
+  // size IN-list rides along as a residual.
+  ScanSpec part_spec;
+  part_spec.codes.push_back(CodeMatch(
+      db.part, "p_brand",
+      [](const std::string& s) { return s != "Brand#45"; }));
+  part_spec.codes.push_back(
+      CodeMatch(db.part, "p_type", [](const std::string& s) {
+        return !StrStartsWith(s, "MEDIUM POLISHED");
+      }));
+  part_spec.residual = [psize](size_t i) {
     int64_t s = psize[i];
     for (int k : kSizes) {
       if (s == k) return true;
     }
     return false;
-  }));
-  const uint32_t* comment = Codes(db.supplier, "s_comment").data();
-  std::vector<char> complaints =
-      MatchCodes(db.supplier, [](const std::string& c) {
+  };
+  Table part = FusedFilter(db.part, part_spec);
+  Table bad_suppliers = FusedFilter(
+      db.supplier,
+      SpecOf(CodeMatch(db.supplier, "s_comment", [](const std::string& c) {
         size_t pos = c.find("Customer");
         return pos != std::string::npos &&
                c.find("Complaints", pos) != std::string::npos;
-      });
-  Table bad_suppliers = Filter(db.supplier, IndexPredicate([&](size_t i) {
-                                 return complaints[comment[i]] != 0;
-                               }));
+      })));
   Table ps = HashJoinOn(db.partsupp, part, {"ps_partkey"}, {"p_partkey"});
   Table good = HashJoinOn(ps, bad_suppliers, {"ps_suppkey"}, {"s_suppkey"},
                           JoinType::kLeftAnti);
@@ -649,13 +629,9 @@ Table Q16(const TpchDatabase& db) {
 
 // Q17: Small-Quantity-Order Revenue.
 Table Q17(const TpchDatabase& db) {
-  const uint32_t* brand = Codes(db.part, "p_brand").data();
-  const uint32_t* cont = Codes(db.part, "p_container").data();
-  uint32_t brand23 = db.part.CodeFor("Brand#23");
-  uint32_t medbox = db.part.CodeFor("MED BOX");
-  Table part = Filter(db.part, IndexPredicate([=](size_t i) {
-                        return brand[i] == brand23 && cont[i] == medbox;
-                      }));
+  ScanSpec part_spec = SpecOf(CodeEquals(db.part, "p_brand", "Brand#23"));
+  part_spec.codes.push_back(CodeEquals(db.part, "p_container", "MED BOX"));
+  Table part = FusedFilter(db.part, part_spec);
   Table avg_qty = HashAggregateOn(
       db.lineitem, {"l_partkey"},
       {ColAgg(AggKind::kAvg, db.lineitem, "l_quantity", "avg_qty", D)});
@@ -748,20 +724,18 @@ Table Q19(const TpchDatabase& db) {
 Table Q20(const TpchDatabase& db) {
   DateCode lo = MakeDate(1994, 1, 1);
   DateCode hi = AddYears(lo, 1);
-  const uint32_t* pname = Codes(db.part, "p_name").data();
-  std::vector<char> forest = MatchCodes(db.part, [](const std::string& s) {
-    return StrStartsWith(s, "forest");
-  });
-  Table part = Filter(db.part, IndexPredicate([&](size_t i) {
-                        return forest[pname[i]] != 0;
-                      }));
-  const int64_t* sdate = Ints(db.lineitem, "l_shipdate").data();
-  Table line = Filter(db.lineitem, IndexPredicate([sdate, lo, hi](size_t i) {
-                        return sdate[i] >= lo && sdate[i] < hi;
-                      }));
-  Table shipped = HashAggregateOn(
-      line, {"l_partkey", "l_suppkey"},
-      {ColAgg(AggKind::kSum, line, "l_quantity", "shipped_qty", D)});
+  Table part = FusedFilter(
+      db.part, SpecOf(CodeMatch(db.part, "p_name", [](const std::string& s) {
+        return StrStartsWith(s, "forest");
+      })));
+  Table shipped = FusedAggregate(
+      db.lineitem,
+      SpecOf(ColRange(db.lineitem, "l_shipdate", lo, hi,
+                      /*lo_strict=*/false, /*hi_strict=*/true)),
+      {"l_partkey", "l_suppkey"}, [](const Table& t) {
+        return std::vector<AggExpr>{
+            ColAgg(AggKind::kSum, t, "l_quantity", "shipped_qty", D)};
+      });
   Table ps_part =
       HashJoinOn(db.partsupp, part, {"ps_partkey"}, {"p_partkey"});
   Table ps_ship = HashJoinOn(ps_part, shipped, {"ps_partkey", "ps_suppkey"},
@@ -772,11 +746,8 @@ Table Q20(const TpchDatabase& db) {
       Filter(std::move(ps_ship), IndexPredicate([avail, sqty](size_t i) {
                return static_cast<double>(avail[i]) > 0.5 * sqty[i];
              }));
-  const uint32_t* nname = Codes(db.nation, "n_name").data();
-  uint32_t canada = db.nation.CodeFor("CANADA");
-  Table canada_t = Filter(db.nation, IndexPredicate([nname, canada](size_t i) {
-                            return nname[i] == canada;
-                          }));
+  Table canada_t = FusedFilter(
+      db.nation, SpecOf(CodeEquals(db.nation, "n_name", "CANADA")));
   Table sn = HashJoinOn(db.supplier, canada_t, {"s_nationkey"},
                         {"n_nationkey"});
   Table qualified = HashJoinOn(sn, surplus, {"s_suppkey"}, {"ps_suppkey"},
@@ -791,19 +762,13 @@ Table Q20(const TpchDatabase& db) {
 Table Q21(const TpchDatabase& db) {
   // For each multi-supplier order with status 'F': find lineitems whose
   // supplier was the ONLY late supplier on the order.
-  const uint32_t* nname = Codes(db.nation, "n_name").data();
-  uint32_t saudi = db.nation.CodeFor("SAUDI ARABIA");
-  Table saudi_t = Filter(db.nation, IndexPredicate([nname, saudi](size_t i) {
-                           return nname[i] == saudi;
-                         }));
+  Table saudi_t = FusedFilter(
+      db.nation, SpecOf(CodeEquals(db.nation, "n_name", "SAUDI ARABIA")));
   Table sn = HashJoinOn(db.supplier, saudi_t, {"s_nationkey"},
                         {"n_nationkey"});
 
-  const uint32_t* ostatus = Codes(db.orders, "o_orderstatus").data();
-  uint32_t f_code = db.orders.CodeFor("F");
-  Table forders = Filter(db.orders, IndexPredicate([ostatus, f_code](size_t i) {
-                           return ostatus[i] == f_code;
-                         }));
+  Table forders = FusedFilter(
+      db.orders, SpecOf(CodeEquals(db.orders, "o_orderstatus", "F")));
 
   // Build per-order supplier sets and late-supplier sets over the raw
   // key/date columns (insertion order == row order, as before).
@@ -857,18 +822,15 @@ Table Q21(const TpchDatabase& db) {
 // Q22: Global Sales Opportunity.
 Table Q22(const TpchDatabase& db) {
   static const char* kCodes[] = {"13", "31", "23", "29", "30", "18", "17"};
-  const uint32_t* phone = Codes(db.customer, "c_phone").data();
-  std::vector<char> in_codes = MatchCodes(db.customer,
-                                          [](const std::string& s) {
-                                            std::string c = s.substr(0, 2);
-                                            for (const char* k : kCodes) {
-                                              if (c == k) return true;
-                                            }
-                                            return false;
-                                          });
-  Table candidates = Filter(db.customer, IndexPredicate([&](size_t i) {
-                              return in_codes[phone[i]] != 0;
-                            }));
+  Table candidates = FusedFilter(
+      db.customer,
+      SpecOf(CodeMatch(db.customer, "c_phone", [](const std::string& s) {
+        std::string c = s.substr(0, 2);
+        for (const char* k : kCodes) {
+          if (c == k) return true;
+        }
+        return false;
+      })));
   // Average positive balance among candidates.
   const double* cbal = Dbls(candidates, "c_acctbal").data();
   Table positive = Filter(candidates, IndexPredicate([cbal](size_t i) {

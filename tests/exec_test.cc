@@ -8,8 +8,10 @@
 
 #include "common/rng.h"
 
+#include "exec/fused.h"
 #include "exec/operators.h"
 #include "exec/table.h"
+#include "exec/zonemap.h"
 
 namespace elephant::exec {
 namespace {
@@ -644,6 +646,231 @@ TEST(RowBatchTest, AppendBatchMatchesAddRow) {
   ASSERT_TRUE(by_batch.EnsureColumnar());
   ASSERT_TRUE(by_row.EnsureColumnar());
   EXPECT_EQ(by_batch.StrCodes(2), by_row.StrCodes(2));
+}
+
+// ---------------------------------------------------------------------------
+// Fused morsel pipelines (DESIGN.md §14): FusedSelect / FusedFilter /
+// FusedAggregate must be bit-identical to their materializing oracle
+// twins at every selectivity and across every chunk-boundary shape.
+
+class FusedTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fused_was_ = ExecFusedPath(); }
+  void TearDown() override {
+    SetExecFusedPath(fused_was_);
+    SetZoneMapChunkRows(0);
+    SetExecForceRowPath(false);
+    ResetFusedCounters();
+  }
+
+ private:
+  bool fused_was_ = true;
+};
+
+// "x" ascends (sorted, binary-searchable), "y" is uniform noise (zone
+// bounds overlap everywhere), "v" is a payload, "s" is block-clustered
+// so dictionary-code intervals actually prune.
+Table FusedFixture(size_t rows) {
+  Table t({{"x", ValueType::kInt},
+           {"y", ValueType::kInt},
+           {"v", ValueType::kDouble},
+           {"s", ValueType::kString}});
+  elephant::Rng rng(29);
+  for (size_t i = 0; i < rows; ++i) {
+    t.AddRow({Value{static_cast<int64_t>(i)},
+              Value{static_cast<int64_t>(rng.Uniform(1000))},
+              Value{rng.NextDouble() * 100.0 - 50.0},
+              Value{"g" + std::to_string(i / 250)}});
+  }
+  return t;
+}
+
+// The oracle: evaluate the same spec one row at a time and gather.
+Table OracleFilter(const Table& t, const ScanSpec& spec) {
+  return Filter(t, SpecPredicate(t, spec));
+}
+
+TEST_F(FusedTest, SelectMatchesOracleAcrossSelectivities) {
+  SetExecFusedPath(true);  // pin: this test compares fused vs oracle
+  Table t = FusedFixture(1000);
+  SetZoneMapChunkRows(64);
+  // Cut points hitting ~0%, ~1%, 50%, and 100% of rows, applied to the
+  // sorted column (binary-search path) and the noise column (zone
+  // bounds cannot prune: every chunk scans).
+  for (const char* col : {"x", "y"}) {
+    for (double cut : {0.0, 10.0, 500.0, 1000.0}) {
+      ScanSpec spec = SpecOf(ColLess(t, col, cut));
+      std::vector<uint32_t> fused = FusedSelect(t, spec);
+      std::vector<uint32_t> oracle =
+          EvalSelection(t.num_rows(), SpecPredicate(t, spec));
+      EXPECT_EQ(fused, oracle) << col << " < " << cut;
+    }
+  }
+}
+
+TEST_F(FusedTest, FilterMatchesOracleAtChunkBoundaryShapes) {
+  SetExecFusedPath(true);
+  Table t = FusedFixture(1000);
+  ScanSpec spec;
+  spec.ranges.push_back(ColRange(t, "v", -20.0, 35.0));
+  spec.codes.push_back(CodeEquals(t, "s", "g1"));
+  // Single-row chunks, misaligned chunks, chunk == table, chunk >
+  // table: all must gather the identical relation.
+  for (size_t chunk : {size_t{1}, size_t{64}, size_t{333}, size_t{1000},
+                       size_t{5000}}) {
+    SetZoneMapChunkRows(chunk);
+    ExpectExactlyEqual(FusedFilter(t, spec), OracleFilter(t, spec),
+                       "chunk_rows=" + std::to_string(chunk));
+  }
+}
+
+TEST_F(FusedTest, EmptyTableAndAllPrunedScans) {
+  SetExecFusedPath(true);
+  SetZoneMapChunkRows(64);
+  Table empty({{"x", ValueType::kInt}, {"v", ValueType::kDouble}});
+  EXPECT_TRUE(FusedSelect(empty, SpecOf(ColLess(empty, "x", 10.0))).empty());
+  EXPECT_EQ(FusedFilter(empty, SpecOf(ColLess(empty, "x", 10.0))).num_rows(),
+            0u);
+
+  Table t = FusedFixture(1000);
+  ResetFusedCounters();
+  // No row satisfies y < 0: every chunk's zone bounds refute the range
+  // before any row is touched.
+  ScanSpec none = SpecOf(ColLess(t, "y", 0.0));
+  EXPECT_TRUE(FusedSelect(t, none).empty());
+  FusedCounters c = FusedCountersSnapshot();
+  EXPECT_EQ(c.chunks_pruned, 16u);  // ceil(1000 / 64)
+  EXPECT_EQ(c.chunks_scanned, 0u);
+  EXPECT_EQ(c.rows_scanned, 0u);
+  ExpectExactlyEqual(FusedFilter(t, none), OracleFilter(t, none),
+                     "all-pruned");
+}
+
+TEST_F(FusedTest, FullMatchEmitsChunksWithoutRowEvaluation) {
+  SetExecFusedPath(true);
+  Table t = FusedFixture(1000);
+  SetZoneMapChunkRows(64);
+  ResetFusedCounters();
+  // Every row satisfies y >= 0, provable from the bounds alone.
+  ScanSpec all = SpecOf(ColAtLeast(t, "y", 0.0));
+  std::vector<uint32_t> sel = FusedSelect(t, all);
+  EXPECT_EQ(sel.size(), t.num_rows());
+  FusedCounters c = FusedCountersSnapshot();
+  EXPECT_EQ(c.chunks_full_match, 16u);
+  EXPECT_EQ(c.rows_scanned, 0u);
+  // A residual makes full-match emission unsound; rows must be
+  // evaluated again even though the declared bounds match everything.
+  ResetFusedCounters();
+  ScanSpec residual = all;
+  residual.residual = IndexPredicate([](size_t i) { return i % 2 == 0; });
+  std::vector<uint32_t> half = FusedSelect(t, residual);
+  EXPECT_EQ(half.size(), t.num_rows() / 2);
+  c = FusedCountersSnapshot();
+  EXPECT_EQ(c.chunks_full_match, 0u);
+  EXPECT_EQ(c.rows_scanned, t.num_rows());
+  ExpectExactlyEqual(FusedFilter(t, residual), OracleFilter(t, residual),
+                     "residual");
+}
+
+TEST_F(FusedTest, SortedColumnCollapsesToBinarySearchInterval) {
+  SetExecFusedPath(true);
+  Table t = FusedFixture(1000);
+  SetZoneMapChunkRows(64);
+  ResetFusedCounters();
+  ScanSpec mid = SpecOf(ColRange(t, "x", 250.0, 749.0));
+  std::vector<uint32_t> sel = FusedSelect(t, mid);
+  ASSERT_EQ(sel.size(), 500u);
+  EXPECT_EQ(sel.front(), 250u);
+  EXPECT_EQ(sel.back(), 749u);
+  FusedCounters c = FusedCountersSnapshot();
+  EXPECT_EQ(c.sorted_bounded, 1u);
+  // The interval [250, 750) covers chunks 3..11; the rest never reach
+  // classification row-by-row, and the covered chunks need no per-row
+  // range checks (the constraint was consumed by the binary search).
+  EXPECT_EQ(c.chunks_pruned, 7u);
+  EXPECT_EQ(c.rows_scanned, 0u);
+  EXPECT_EQ(c.chunks_full_match, 9u);
+  ExpectExactlyEqual(FusedFilter(t, mid), OracleFilter(t, mid),
+                     "sorted interval");
+}
+
+TEST_F(FusedTest, DictionaryCodeIntervalsPrune) {
+  SetExecFusedPath(true);
+  Table t = FusedFixture(1000);
+  SetZoneMapChunkRows(64);
+  ResetFusedCounters();
+  // "s" is g0/g1/g2/g3 in 250-row blocks: chunks wholly outside g1's
+  // block have code intervals that cannot contain its code.
+  ScanSpec spec = SpecOf(CodeEquals(t, "s", "g1"));
+  Table fused = FusedFilter(t, spec);
+  EXPECT_EQ(fused.num_rows(), 250u);
+  FusedCounters c = FusedCountersSnapshot();
+  EXPECT_GT(c.chunks_pruned, 0u);
+  EXPECT_GT(c.chunks_full_match, 0u);
+  ExpectExactlyEqual(fused, OracleFilter(t, spec), "code interval");
+}
+
+TEST_F(FusedTest, AggregateMatchesMaterializedPipeline) {
+  SetExecFusedPath(true);
+  Table t = FusedFixture(1000);
+  SetZoneMapChunkRows(64);
+  ScanSpec spec;
+  spec.ranges.push_back(ColLess(t, "y", 600.0));
+  AggFactory aggs = [](const Table& in) {
+    return std::vector<AggExpr>{
+        ColAgg(AggKind::kSum, in, "v", "sum_v", ValueType::kDouble),
+        ColAgg(AggKind::kAvg, in, "v", "avg_v", ValueType::kDouble),
+        ColAgg(AggKind::kMin, in, "x", "min_x", ValueType::kInt),
+        ColAgg(AggKind::kMax, in, "x", "max_x", ValueType::kInt),
+        ColAgg(AggKind::kCountDistinct, in, "y", "dy", ValueType::kInt),
+        CountAgg("n")};
+  };
+  Table filtered = OracleFilter(t, spec);
+  for (const std::vector<std::string>& groups :
+       {std::vector<std::string>{"s"}, std::vector<std::string>{}}) {
+    Table fused = FusedAggregate(t, spec, groups, aggs);
+    Table oracle = HashAggregateOn(filtered, groups, aggs(filtered));
+    ExpectExactlyEqual(fused, oracle,
+                       groups.empty() ? "global agg" : "grouped agg");
+  }
+  // Empty selection with min/max aggregates: the fused path must fall
+  // back to the materialized pipeline (DefaultValue finalization) and
+  // still agree.
+  ScanSpec none = SpecOf(ColLess(t, "y", 0.0));
+  Table none_filtered = OracleFilter(t, none);
+  Table fused_empty = FusedAggregate(t, none, {}, aggs);
+  Table oracle_empty = HashAggregateOn(none_filtered, {}, aggs(none_filtered));
+  ExpectExactlyEqual(fused_empty, oracle_empty, "empty-selection min/max");
+}
+
+TEST_F(FusedTest, KnobOffTakesOraclePathBitIdentically) {
+  Table t = FusedFixture(1000);
+  SetZoneMapChunkRows(64);
+  ScanSpec spec;
+  spec.ranges.push_back(ColRange(t, "v", -30.0, 10.0));
+  spec.codes.push_back(CodeMatch(t, "s", [](const std::string& s) {
+    return s == "g0" || s == "g2";
+  }));
+  SetExecFusedPath(true);
+  Table on = FusedFilter(t, spec);
+  ResetFusedCounters();
+  SetExecFusedPath(false);
+  Table off = FusedFilter(t, spec);
+  // The oracle path plans nothing: no chunks classified, no zone maps
+  // consulted.
+  FusedCounters c = FusedCountersSnapshot();
+  EXPECT_EQ(c.chunks_scanned + c.chunks_pruned + c.chunks_full_match, 0u);
+  ExpectExactlyEqual(on, off, "fused knob on vs off");
+  AggFactory aggs = [](const Table& in) {
+    return std::vector<AggExpr>{
+        ColAgg(AggKind::kSum, in, "v", "sum_v", ValueType::kDouble),
+        CountAgg("n")};
+  };
+  SetExecFusedPath(true);
+  Table agg_on = FusedAggregate(t, spec, {"s"}, aggs);
+  SetExecFusedPath(false);
+  Table agg_off = FusedAggregate(t, spec, {"s"}, aggs);
+  ExpectExactlyEqual(agg_on, agg_off, "fused agg knob on vs off");
 }
 
 TEST(TableTest, ReserveForwardsToColumnVectors) {

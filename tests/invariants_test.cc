@@ -5,10 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "common/check.h"
+#include "exec/table.h"
+#include "exec/zonemap.h"
 #include "sim/simulation.h"
 #include "sqlkv/btree.h"
 #include "sqlkv/buffer_pool.h"
@@ -297,3 +301,147 @@ TEST(CheckDeathTest, CheckOkPrintsStatus) {
 
 }  // namespace
 }  // namespace elephant::sqlkv
+
+// ----------------------------------------------- zone-map consistency
+// Same corruption discipline as above: damage one invariant of a
+// copied ZoneMaps struct and assert ValidateZoneMaps names it.
+
+namespace elephant::exec {
+namespace {
+
+class ZoneMapInvariantsTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetZoneMapChunkRows(0); }
+};
+
+// "k" ascends (sorted flag must verify true), "v" wanders (must verify
+// false), "s" is a dictionary column (codes carry no collation).
+Table MakeZonedTable(size_t rows) {
+  Table t({{"k", ValueType::kInt},
+           {"v", ValueType::kDouble},
+           {"s", ValueType::kString}});
+  for (size_t i = 0; i < rows; ++i) {
+    t.AddRow({Value{static_cast<int64_t>(i)},
+              Value{static_cast<double>((i * 37) % 101) - 50.0},
+              Value{std::string(i % 2 ? "odd" : "even")}});
+  }
+  return t;
+}
+
+TEST_F(ZoneMapInvariantsTest, CleanTableValidates) {
+  SetZoneMapChunkRows(16);
+  Table t = MakeZonedTable(100);
+  auto zm = GetZoneMaps(t);
+  ASSERT_NE(zm, nullptr);
+  EXPECT_EQ(zm->num_chunks, 7u);  // ceil(100 / 16)
+  EXPECT_TRUE(zm->cols[0].sorted_asc);   // verified, not declared
+  EXPECT_FALSE(zm->cols[1].sorted_asc);
+  EXPECT_FALSE(zm->cols[2].sorted_asc);
+  ELEPHANT_CHECK_OK(ValidateZoneMaps(t, *zm));
+}
+
+TEST_F(ZoneMapInvariantsTest, CatchesBoundViolation) {
+  SetZoneMapChunkRows(16);
+  Table t = MakeZonedTable(100);
+  auto zm = GetZoneMaps(t);
+  ASSERT_NE(zm, nullptr);
+  ZoneMaps bad = *zm;
+  bad.cols[0].max[0] = -1.0;  // chunk 0 holds k in [0, 15]
+  Status st = ValidateZoneMaps(t, bad);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("zone bound violated"), std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(ZoneMapInvariantsTest, CatchesSortedFlagLies) {
+  SetZoneMapChunkRows(16);
+  Table t = MakeZonedTable(100);
+  auto zm = GetZoneMaps(t);
+  ASSERT_NE(zm, nullptr);
+  // Claiming order on an unsorted column and denying it on a sorted
+  // one must both be reported.
+  ZoneMaps claims = *zm;
+  claims.cols[1].sorted_asc = true;
+  Status st = ValidateZoneMaps(t, claims);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("sorted flag"), std::string::npos)
+      << st.ToString();
+  ZoneMaps denies = *zm;
+  denies.cols[0].sorted_asc = false;
+  st = ValidateZoneMaps(t, denies);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("sorted flag"), std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(ZoneMapInvariantsTest, CatchesSortedFlagOnDictionaryColumn) {
+  SetZoneMapChunkRows(16);
+  Table t = MakeZonedTable(100);
+  auto zm = GetZoneMaps(t);
+  ASSERT_NE(zm, nullptr);
+  ZoneMaps bad = *zm;
+  bad.cols[2].sorted_asc = true;
+  Status st = ValidateZoneMaps(t, bad);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("sorted flag set on dictionary column"),
+            std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(ZoneMapInvariantsTest, CatchesShapeSkew) {
+  SetZoneMapChunkRows(16);
+  Table t = MakeZonedTable(100);
+  auto zm = GetZoneMaps(t);
+  ASSERT_NE(zm, nullptr);
+  ZoneMaps chunks = *zm;
+  chunks.num_chunks += 1;
+  Status st = ValidateZoneMaps(t, chunks);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("chunk count"), std::string::npos)
+      << st.ToString();
+  ZoneMaps rows = *zm;
+  rows.rows += 5;
+  st = ValidateZoneMaps(t, rows);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("row count"), std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(ZoneMapInvariantsTest, NaNChunksArePoisonedAndVerified) {
+  SetZoneMapChunkRows(16);
+  Table t = MakeZonedTable(100);
+  ASSERT_TRUE(t.EnsureColumnar());
+  t.MutableCol(1).doubles()[3] = std::numeric_limits<double>::quiet_NaN();
+  auto zm = GetZoneMaps(t);
+  ASSERT_NE(zm, nullptr);
+  // The NaN chunk's bounds are poisoned (never prune, never
+  // full-match) and the builder's output validates clean.
+  EXPECT_TRUE(std::isnan(zm->cols[1].min[0]));
+  EXPECT_TRUE(std::isnan(zm->cols[1].max[0]));
+  ELEPHANT_CHECK_OK(ValidateZoneMaps(t, *zm));
+  // Claiming poison on a NaN-free chunk is a reported mismatch.
+  ZoneMaps bad = *zm;
+  bad.cols[1].min[1] = std::numeric_limits<double>::quiet_NaN();
+  bad.cols[1].max[1] = std::numeric_limits<double>::quiet_NaN();
+  Status st = ValidateZoneMaps(t, bad);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("NaN poisoning mismatch"), std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(ZoneMapInvariantsTest, CacheDroppedByMutation) {
+  SetZoneMapChunkRows(16);
+  Table t = MakeZonedTable(100);
+  auto before = GetZoneMaps(t);
+  ASSERT_NE(before, nullptr);
+  EXPECT_EQ(GetZoneMaps(t).get(), before.get());  // cached while valid
+  t.AddRow({Value{int64_t{100}}, Value{0.0}, Value{std::string("odd")}});
+  auto after = GetZoneMaps(t);
+  ASSERT_NE(after, nullptr);
+  EXPECT_NE(after.get(), before.get());
+  EXPECT_EQ(after->rows, 101u);
+  ELEPHANT_CHECK_OK(ValidateZoneMaps(t, *after));
+}
+
+}  // namespace
+}  // namespace elephant::exec

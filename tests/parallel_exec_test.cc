@@ -11,22 +11,32 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "exec/fused.h"
 #include "exec/operators.h"
 #include "exec/table.h"
+#include "exec/zonemap.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
 
 namespace elephant::exec {
 namespace {
 
-// Restores the process-wide parallelism knobs after each test.
+// Restores the process-wide parallelism knobs after each test. The
+// fused knob is restored to its ambient value (the TSan job re-runs
+// this binary under ELEPHANT_FUSED=0 to sweep the oracle path).
 class ParallelExecTest : public ::testing::Test {
  protected:
+  void SetUp() override { fused_was_ = ExecFusedPath(); }
   void TearDown() override {
     SetExecThreads(0);
     SetExecMorselSize(2048);
     SetExecForceRowPath(false);
+    SetExecFusedPath(fused_was_);
+    SetZoneMapChunkRows(0);
   }
+
+ private:
+  bool fused_was_ = true;
 };
 
 // A small morsel size forces the parallel paths even on test-sized
@@ -248,6 +258,69 @@ TEST_F(ParallelExecTest, RowPathMatchesColumnarUnderParallelism) {
   Table row = pipeline();
   SetExecForceRowPath(false);
   ExpectTablesIdentical(columnar, row, "parallel columnar vs row path");
+}
+
+TEST_F(ParallelExecTest, FusedPipelineMatchesSerial) {
+  Table t = RandomTable(10, 4000);
+  SetZoneMapChunkRows(128);
+  ScanSpec spec;
+  spec.ranges.push_back(ColRange(t, "v", -350.0, 200.0));
+  spec.codes.push_back(CodeMatch(
+      t, "s", [](const std::string& s) { return s.size() == 2; }));
+  ExpectParallelMatchesSerial([&] { return FusedFilter(t, spec); },
+                              "FusedFilter");
+  AggFactory aggs = [](const Table& in) {
+    return std::vector<AggExpr>{
+        ColAgg(AggKind::kSum, in, "v", "sum_v", ValueType::kDouble),
+        ColAgg(AggKind::kCountDistinct, in, "k", "dk", ValueType::kInt),
+        CountAgg("n")};
+  };
+  ExpectParallelMatchesSerial(
+      [&] { return FusedAggregate(t, spec, {"s"}, aggs); }, "FusedAggregate");
+}
+
+TEST_F(ParallelExecTest, FusedMatchesOracleUnderParallelism) {
+  // The fused path and the materializing oracle must agree bit-exactly
+  // while both run morsel-parallel.
+  Table t = RandomTable(11, 4000);
+  SetZoneMapChunkRows(128);
+  SetExecThreads(8);
+  SetExecMorselSize(kTestMorsel);
+  ScanSpec spec;
+  spec.ranges.push_back(ColRange(t, "k", 5.0, 44.0));
+  AggFactory aggs = [](const Table& in) {
+    return std::vector<AggExpr>{
+        ColAgg(AggKind::kSum, in, "v", "sum_v", ValueType::kDouble),
+        CountAgg("n")};
+  };
+  SetExecFusedPath(true);
+  Table filter_fused = FusedFilter(t, spec);
+  Table agg_fused = FusedAggregate(t, spec, {"s"}, aggs);
+  SetExecFusedPath(false);
+  Table filter_oracle = FusedFilter(t, spec);
+  Table agg_oracle = FusedAggregate(t, spec, {"s"}, aggs);
+  ExpectTablesIdentical(filter_fused, filter_oracle,
+                        "fused vs oracle filter @8t");
+  ExpectTablesIdentical(agg_fused, agg_oracle, "fused vs oracle agg @8t");
+}
+
+TEST_F(ParallelExecTest, QueryFingerprintsPinnedOnOraclePath) {
+  // The same 22 golds must hold with the fused knob off: the
+  // materializing oracle path is a supported configuration, not a
+  // vestige, and it must stay bit-identical at 1 and 8 threads.
+  tpch::DbgenOptions opt;
+  tpch::TpchDatabase db = tpch::GenerateDatabase(0.01, opt);
+  SetExecFusedPath(false);
+  for (int threads : {1, 8}) {
+    SetExecThreads(threads);
+    SetExecMorselSize(threads > 1 ? kTestMorsel : size_t{2048});
+    for (int q = 1; q <= tpch::kNumQueries; ++q) {
+      Table ans = tpch::RunQuery(q, db);
+      EXPECT_EQ(TableFingerprint(ans), kQueryGold[q - 1])
+          << "Q" << q << " oracle-path answer drifted @" << threads
+          << " thread(s)";
+    }
+  }
 }
 
 TEST_F(ParallelExecTest, DbgenSeedStillMatters) {
