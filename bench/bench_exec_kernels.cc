@@ -27,8 +27,11 @@
 #include "common/check.h"
 #include "common/date.h"
 #include "common/string_util.h"
+#include "exec/compress.h"
 #include "exec/fused.h"
 #include "exec/operators.h"
+#include "exec/segcache.h"
+#include "exec/spill.h"
 #include "exec/table.h"
 #include "tpch/dbgen.h"
 
@@ -172,8 +175,9 @@ int main(int argc, char** argv) {
   });
 
   // -- project: copy + computed revenue ------------------------------------
-  columnar.emplace_back("project", [&]() {
-    const double* price = l.DoubleData(l.ColIndex("l_extendedprice")).data();
+  const int c_price = l.ColIndex("l_extendedprice");
+  columnar.emplace_back("project", [&, c_price]() {
+    const double* price = l.DoubleData(c_price).data();
     const double* disc = l.DoubleData(c_disc).data();
     return ProjectColumns(
         l, {CopyCol(l, "l_orderkey"), CopyCol(l, "l_shipmode"),
@@ -391,6 +395,222 @@ int main(int argc, char** argv) {
            static_cast<unsigned long long>(pruned),
            static_cast<unsigned long long>(full),
            static_cast<unsigned long long>(scanned));
+  }
+
+  // -- compression: forced-codec encode/decode throughput ------------------
+  //
+  // Each codec is driven over data shaped to fit it (so every cell
+  // measures the codec's real code path, not its plain fallback):
+  // l_shipdate for RLE/FOR/bitpack (dense non-negative dates with
+  // runs), l_extendedprice for the double codecs. Throughput is over
+  // the plain (decoded) bytes — "GB/s of logical column data".
+  {
+    using elephant::exec::Codec;
+    using elephant::exec::CodecName;
+    using elephant::exec::DecodeDoubleChunk;
+    using elephant::exec::DecodeInt64Chunk;
+    using elephant::exec::EncodedChunk;
+    using elephant::exec::EncodeDoubleChunk;
+    using elephant::exec::EncodeInt64Chunk;
+    constexpr size_t kChunk = 4096;
+    const std::vector<int64_t>& dates = l.IntData(c_ship);
+    const std::vector<double>& prices = l.DoubleData(c_price);
+    printf("\n%-12s %6s %12s %12s %8s\n", "codec", "type", "encode GB/s",
+           "decode GB/s", "ratio");
+    struct CodecCase {
+      Codec codec;
+      bool is_double;
+    };
+    for (const CodecCase& cc :
+         {CodecCase{Codec::kPlain, false}, CodecCase{Codec::kRle, false},
+          CodecCase{Codec::kBitPack, false}, CodecCase{Codec::kFor, false},
+          CodecCase{Codec::kPlain, true}, CodecCase{Codec::kRle, true}}) {
+      size_t rows = cc.is_double ? prices.size() : dates.size();
+      size_t plain_bytes = rows * 8;
+      double enc_ms = 0;
+      double dec_ms = 0;
+      size_t enc_bytes = 0;
+      std::vector<EncodedChunk> chunks;
+      for (int r = 0; r < reps; ++r) {
+        chunks.clear();
+        auto start = std::chrono::steady_clock::now();
+        for (size_t i = 0; i < rows; i += kChunk) {
+          size_t m = std::min(kChunk, rows - i);
+          chunks.push_back(cc.is_double
+                               ? EncodeDoubleChunk(&prices[i], m, cc.codec)
+                               : EncodeInt64Chunk(&dates[i], m, cc.codec));
+        }
+        double ms = ElapsedMs(start);
+        if (r == 0 || ms < enc_ms) enc_ms = ms;
+      }
+      for (const EncodedChunk& c : chunks) enc_bytes += c.EncodedBytes();
+      std::vector<int64_t> iout(kChunk);
+      std::vector<double> dout(kChunk);
+      for (int r = 0; r < reps; ++r) {
+        auto start = std::chrono::steady_clock::now();
+        for (const EncodedChunk& c : chunks) {
+          if (cc.is_double) {
+            DecodeDoubleChunk(c, dout.data());
+          } else {
+            DecodeInt64Chunk(c, iout.data());
+          }
+        }
+        double ms = ElapsedMs(start);
+        if (r == 0 || ms < dec_ms) dec_ms = ms;
+      }
+      double enc_gbps = plain_bytes / 1e9 / (enc_ms / 1000.0);
+      double dec_gbps = plain_bytes / 1e9 / (dec_ms / 1000.0);
+      double ratio = static_cast<double>(plain_bytes) /
+                     static_cast<double>(enc_bytes);
+      printf("%-12s %6s %12.2f %12.2f %7.2fx\n", CodecName(cc.codec),
+             cc.is_double ? "f64" : "i64", enc_gbps, dec_gbps, ratio);
+      cells.push_back(StrFormat(
+          "{\"kernel\": \"codec\", \"layout\": \"%s\", \"codec\": \"%s\", "
+          "\"sf\": %g, \"rows\": %zu, \"encode_gbps\": %.3f, "
+          "\"decode_gbps\": %.3f, \"compressed_ratio\": %.3f}",
+          cc.is_double ? "f64" : "i64", CodecName(cc.codec), sf, rows,
+          enc_gbps, dec_gbps, ratio));
+    }
+  }
+
+  // -- compression: auto-chosen ratio per TPC-H column ---------------------
+  {
+    using elephant::exec::DecodeColumn;
+    using elephant::exec::EncodeColumn;
+    using elephant::exec::EncodedColumn;
+    struct ColCase {
+      const Table* t;
+      const char* table;
+      const char* column;
+    };
+    printf("\n%-26s %8s %12s %12s\n", "column", "ratio", "encode GB/s",
+           "decode GB/s");
+    for (const ColCase& cs : {ColCase{&l, "lineitem", "l_orderkey"},
+                              ColCase{&l, "lineitem", "l_shipdate"},
+                              ColCase{&l, "lineitem", "l_quantity"},
+                              ColCase{&l, "lineitem", "l_extendedprice"},
+                              ColCase{&l, "lineitem", "l_returnflag"},
+                              ColCase{&l, "lineitem", "l_shipmode"},
+                              ColCase{&o, "orders", "o_orderdate"},
+                              ColCase{&o, "orders", "o_orderstatus"}}) {
+      int col = cs.t->ColIndex(cs.column);
+      double enc_ms = 0;
+      double dec_ms = 0;
+      EncodedColumn enc;
+      for (int r = 0; r < reps; ++r) {
+        auto start = std::chrono::steady_clock::now();
+        enc = EncodeColumn(*cs.t, col);
+        double ms = ElapsedMs(start);
+        if (r == 0 || ms < enc_ms) enc_ms = ms;
+      }
+      std::vector<int64_t> iout;
+      std::vector<double> dout;
+      std::vector<uint32_t> cout_;
+      for (int r = 0; r < reps; ++r) {
+        auto start = std::chrono::steady_clock::now();
+        if (enc.type == ValueType::kInt) {
+          DecodeColumn(enc, &iout);
+        } else if (enc.type == ValueType::kDouble) {
+          DecodeColumn(enc, &dout);
+        } else {
+          DecodeColumn(enc, &cout_);
+        }
+        double ms = ElapsedMs(start);
+        if (r == 0 || ms < dec_ms) dec_ms = ms;
+      }
+      double ratio = static_cast<double>(enc.PlainBytes()) /
+                     static_cast<double>(enc.EncodedBytes());
+      double enc_gbps = enc.PlainBytes() / 1e9 / (enc_ms / 1000.0);
+      double dec_gbps = enc.PlainBytes() / 1e9 / (dec_ms / 1000.0);
+      std::string label =
+          StrFormat("%s.%s", cs.table, cs.column);
+      printf("%-26s %7.2fx %12.2f %12.2f\n", label.c_str(), ratio,
+             enc_gbps, dec_gbps);
+      cells.push_back(StrFormat(
+          "{\"kernel\": \"compress_column\", \"layout\": \"auto\", "
+          "\"column\": \"%s\", \"sf\": %g, \"rows\": %zu, "
+          "\"compressed_ratio\": %.3f, \"encode_gbps\": %.3f, "
+          "\"decode_gbps\": %.3f}",
+          label.c_str(), sf, enc.rows, ratio, enc_gbps, dec_gbps));
+    }
+  }
+
+  // -- spill sweep: out-of-core pipeline at shrinking memory budgets -------
+  //
+  // One join + grouped-aggregate + sort pipeline runs at budgets of
+  // 100% / 50% / 10% of the database's columnar working set; the
+  // unlimited run is the fingerprint oracle. spill_bytes and
+  // segcache_evictions describe how the budget was met (informational
+  // in bench_diff.py); wall_ms carries the gate.
+  {
+    using elephant::exec::GetSpillCounters;
+    using elephant::exec::ResetSpillCounters;
+    using elephant::exec::SegmentCache;
+    using elephant::exec::SetExecMemoryBudget;
+    using elephant::exec::SortKey;
+    using elephant::exec::SpillCounters;
+    using elephant::exec::TableByteSize;
+    size_t working_set = 0;
+    for (int t = 0; t < elephant::tpch::kNumTables; ++t) {
+      working_set += TableByteSize(
+          db.table(static_cast<elephant::tpch::TableId>(t)));
+    }
+    std::vector<SortKey> sort_keys = {{c_price, false}, {c_okey, true}};
+    auto pipeline = [&]() {
+      Table joined = HashJoinOn(l, o, {"l_orderkey"}, {"o_orderkey"});
+      Table agged = HashAggregateOn(
+          l, {"l_returnflag", "l_linestatus"},
+          {ColAgg(AggKind::kSum, l, "l_extendedprice", "sum_price",
+                  ValueType::kDouble),
+           CountAgg("n")});
+      Table sorted = elephant::exec::SortBy(l, sort_keys);
+      return TableFingerprint(joined) ^ TableFingerprint(agged) ^
+             TableFingerprint(sorted);
+    };
+    size_t ambient_budget = elephant::exec::ExecMemoryBudget();
+    SetExecMemoryBudget(0);
+    uint64_t oracle = pipeline();
+    printf("\n%-12s %12s %12s %14s %12s\n", "budget", "wall_ms",
+           "spills", "spill_bytes", "evictions");
+    for (int pct : {100, 50, 10}) {
+      SetExecMemoryBudget(working_set * static_cast<size_t>(pct) / 100);
+      double wall = 0;
+      ResetSpillCounters();
+      SegmentCache::Stats cache_before = SegmentCache::Global().GetStats();
+      for (int r = 0; r < reps; ++r) {
+        auto start = std::chrono::steady_clock::now();
+        uint64_t fp = pipeline();
+        double ms = ElapsedMs(start);
+        if (r == 0 || ms < wall) wall = ms;
+        ELEPHANT_CHECK(fp == oracle)
+            << "spill sweep diverged from the in-memory oracle at "
+            << pct << "% budget";
+      }
+      SpillCounters sc = GetSpillCounters();
+      SegmentCache::Stats cache_after = SegmentCache::Global().GetStats();
+      uint64_t ureps = static_cast<uint64_t>(reps);
+      uint64_t spills =
+          (sc.join_spills + sc.agg_spills + sc.sort_spills) / ureps;
+      uint64_t spill_bytes = (cache_after.spill_bytes_written -
+                              cache_before.spill_bytes_written) /
+                             ureps;
+      uint64_t evictions =
+          (cache_after.evictions - cache_before.evictions) / ureps;
+      printf("%11d%% %12.1f %12llu %14llu %12llu\n", pct, wall,
+             static_cast<unsigned long long>(spills),
+             static_cast<unsigned long long>(spill_bytes),
+             static_cast<unsigned long long>(evictions));
+      cells.push_back(StrFormat(
+          "{\"kernel\": \"spill_sweep\", \"layout\": \"columnar\", "
+          "\"budget_pct\": %d, \"sf\": %g, \"rows\": %zu, "
+          "\"wall_ms\": %.3f, \"spills\": %llu, \"spill_bytes\": %llu, "
+          "\"segcache_evictions\": %llu, \"peak_rss_bytes\": %lld}",
+          pct, sf, n, wall, static_cast<unsigned long long>(spills),
+          static_cast<unsigned long long>(spill_bytes),
+          static_cast<unsigned long long>(evictions),
+          elephant::bench::PeakRssBytes()));
+    }
+    SetExecMemoryBudget(ambient_budget);
   }
 
   elephant::bench::WriteBenchJson(out_path, "exec_kernels", threads,

@@ -48,6 +48,19 @@ METRICS = {
     # Peak RSS is a process-wide high-water mark: noisier than wall
     # time, so it gates at a looser per-metric threshold.
     "peak_rss_bytes": metric(False, threshold=0.30),
+    # Compression (bench_exec_kernels): the ratio gates — a codec-choice
+    # regression surfaces as less compression on the same column — while
+    # the encode/decode throughputs ride along informationally (they are
+    # already covered by the wall-time gates where they matter).
+    "compressed_ratio": metric(True, threshold=0.10),
+    "encode_gbps": metric(True, gating=False),
+    "decode_gbps": metric(True, gating=False),
+    # Out-of-core accounting (the spill sweep): deterministic
+    # descriptions of how a memory budget was met. A plan change shows
+    # up here first, but the gate is the wall time it produces.
+    "spills": metric(False, gating=False),
+    "spill_bytes": metric(False, gating=False),
+    "segcache_evictions": metric(False, gating=False),
 }
 
 

@@ -156,5 +156,59 @@ class PerMetricConfigTest(unittest.TestCase):
         self.assertEqual(self.run_main([old], [slow]), 1)
 
 
+COMPRESS_CELL = {"kernel": "compress_column", "layout": "auto",
+                 "column": "lineitem.l_shipdate", "rows": 120000,
+                 "compressed_ratio": 5.0, "encode_gbps": 2.5,
+                 "decode_gbps": 4.0}
+
+SPILL_CELL = {"kernel": "spill_sweep", "layout": "columnar",
+              "budget_pct": 10, "rows": 120000, "wall_ms": 250.0,
+              "spills": 3, "spill_bytes": 2000000,
+              "segcache_evictions": 20, "peak_rss_bytes": 100000000}
+
+
+class OutOfCoreMetricsTest(unittest.TestCase):
+    """compressed_ratio gates at 10%; codec throughputs and the spill
+    accounting are informational and never fail the run."""
+
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def run_main(self, base_cells, cur_cells, *extra):
+        base = write_json(self.dir.name, "base.json", doc(base_cells))
+        cur = write_json(self.dir.name, "cur.json", doc(cur_cells))
+        return bench_diff.main(["bench_diff.py", base, cur, *extra])
+
+    def test_ratio_drop_is_a_regression(self):
+        worse = dict(COMPRESS_CELL, compressed_ratio=4.0)
+        self.assertEqual(self.run_main([COMPRESS_CELL], [worse]), 1)
+
+    def test_small_ratio_drift_passes(self):
+        drift = dict(COMPRESS_CELL, compressed_ratio=4.8)
+        self.assertEqual(self.run_main([COMPRESS_CELL], [drift]), 0)
+
+    def test_ratio_gate_ignores_a_looser_global_threshold(self):
+        # The per-metric 10% gate holds even when --threshold is loose.
+        worse = dict(COMPRESS_CELL, compressed_ratio=4.0)
+        self.assertEqual(self.run_main([COMPRESS_CELL], [worse],
+                                       "--threshold=0.50"), 1)
+
+    def test_codec_throughput_drop_does_not_gate(self):
+        slower = dict(COMPRESS_CELL, encode_gbps=0.5, decode_gbps=0.5)
+        self.assertEqual(self.run_main([COMPRESS_CELL], [slower]), 0)
+
+    def test_spill_accounting_shift_does_not_gate(self):
+        churny = dict(SPILL_CELL, spills=9, spill_bytes=9000000,
+                      segcache_evictions=400)
+        self.assertEqual(self.run_main([SPILL_CELL], [churny]), 0)
+
+    def test_spill_sweep_wall_time_still_gates(self):
+        slow = dict(SPILL_CELL, wall_ms=400.0)
+        self.assertEqual(self.run_main([SPILL_CELL], [slow]), 1)
+
+
 if __name__ == "__main__":
     unittest.main()

@@ -1,0 +1,890 @@
+#include "exec/compress.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace elephant::exec {
+
+namespace {
+
+// ---- Bit-granular packing ------------------------------------------------
+//
+// Little-endian bit stream: value bits are appended lowest-first, bytes
+// are emitted as they fill. Widths up to 64 are split into two <= 32
+// bit halves so the 64-bit accumulator never overflows (nbits stays
+// below 8 between calls, 8 + 32 < 64).
+
+struct BitWriter {
+  std::vector<uint8_t>* out;
+  uint64_t acc = 0;
+  unsigned nbits = 0;
+
+  void Put32(uint32_t v, unsigned w) {
+    if (w == 0) return;
+    uint64_t masked = w >= 32 ? v : (v & ((1u << w) - 1u));
+    acc |= masked << nbits;
+    nbits += w;
+    while (nbits >= 8) {
+      out->push_back(static_cast<uint8_t>(acc));
+      acc >>= 8;
+      nbits -= 8;
+    }
+  }
+  void Put(uint64_t v, unsigned w) {
+    if (w > 32) {
+      Put32(static_cast<uint32_t>(v), 32);
+      Put32(static_cast<uint32_t>(v >> 32), w - 32);
+    } else {
+      Put32(static_cast<uint32_t>(v), w);
+    }
+  }
+  void Flush() {
+    if (nbits > 0) {
+      out->push_back(static_cast<uint8_t>(acc));
+      acc = 0;
+      nbits = 0;
+    }
+  }
+};
+
+struct BitReader {
+  const uint8_t* p;
+
+  uint64_t acc = 0;
+  unsigned nbits = 0;
+
+  uint32_t Get32(unsigned w) {
+    if (w == 0) return 0;
+    while (nbits < w) {
+      acc |= static_cast<uint64_t>(*p++) << nbits;
+      nbits += 8;
+    }
+    uint32_t v = static_cast<uint32_t>(
+        acc & (w >= 32 ? 0xFFFFFFFFull : ((1ull << w) - 1)));
+    acc >>= w;
+    nbits -= w;
+    return v;
+  }
+  uint64_t Get(unsigned w) {
+    if (w > 32) {
+      uint64_t lo = Get32(32);
+      uint64_t hi = Get32(w - 32);
+      return lo | (hi << 32);
+    }
+    return Get32(w);
+  }
+};
+
+unsigned BitWidth(uint64_t x) {
+  unsigned w = 0;
+  while (x != 0) {
+    ++w;
+    x >>= 1;
+  }
+  return w;
+}
+
+size_t PackedBytes(size_t n, unsigned width) {
+  return (n * width + 7) / 8;
+}
+
+// Fixed-size little-endian scalar append/read; the format is process-
+// local so native byte order is assumed (the whole repo targets one
+// architecture per run).
+template <typename T>
+void AppendRaw(std::vector<uint8_t>* out, T v) {
+  const auto* b = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), b, b + sizeof(T));
+}
+
+template <typename T>
+T ReadRaw(const uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+/// Counts maximal equal-value runs; doubles are compared by bit
+/// pattern at the call sites (via uint64 images), so NaNs form runs
+/// and round-trip exactly.
+template <typename T>
+size_t CountRuns(const T* v, size_t n) {
+  size_t runs = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (i == 0 || !(v[i] == v[i - 1])) ++runs;
+  }
+  return runs;
+}
+
+// ---- int64 ---------------------------------------------------------------
+
+struct Int64Stats {
+  int64_t min = 0;
+  int64_t max = 0;
+  size_t runs = 0;
+};
+
+Int64Stats ScanInt64(const int64_t* v, size_t n, const int64_t* hint_min,
+                     const int64_t* hint_max) {
+  Int64Stats s;
+  s.runs = CountRuns(v, n);
+  if (n == 0) return s;
+  if (hint_min != nullptr && hint_max != nullptr) {
+    s.min = *hint_min;
+    s.max = *hint_max;
+    return s;
+  }
+  s.min = s.max = v[0];
+  for (size_t i = 1; i < n; ++i) {
+    s.min = std::min(s.min, v[i]);
+    s.max = std::max(s.max, v[i]);
+  }
+  return s;
+}
+
+EncodedChunk EncodeInt64With(const int64_t* v, size_t n, Codec codec,
+                             const Int64Stats& s) {
+  EncodedChunk c;
+  c.codec = codec;
+  c.type = ValueType::kInt;
+  c.rows = static_cast<uint32_t>(n);
+  switch (codec) {
+    case Codec::kPlain:
+      c.bytes.resize(n * sizeof(int64_t));
+      std::memcpy(c.bytes.data(), v, c.bytes.size());
+      break;
+    case Codec::kRle:
+      for (size_t i = 0; i < n;) {
+        size_t j = i + 1;
+        while (j < n && v[j] == v[i]) ++j;
+        AppendRaw(&c.bytes, v[i]);
+        AppendRaw(&c.bytes, static_cast<uint32_t>(j - i));
+        i = j;
+      }
+      break;
+    case Codec::kBitPack: {
+      ELEPHANT_CHECK(n == 0 || s.min >= 0)
+          << "bit packing stores raw magnitudes; negative values need kFor";
+      unsigned w = n == 0 ? 0 : BitWidth(static_cast<uint64_t>(s.max));
+      c.bytes.push_back(static_cast<uint8_t>(w));
+      AppendRaw(&c.bytes, s.min);
+      AppendRaw(&c.bytes, s.max);
+      BitWriter bw{&c.bytes};
+      for (size_t i = 0; i < n; ++i) {
+        bw.Put(static_cast<uint64_t>(v[i]), w);
+      }
+      bw.Flush();
+      break;
+    }
+    case Codec::kFor: {
+      // Deltas in uint64 space: two's-complement subtraction makes
+      // (max - min) well defined even across the int64 sign boundary.
+      uint64_t range = n == 0 ? 0
+                             : static_cast<uint64_t>(s.max) -
+                                   static_cast<uint64_t>(s.min);
+      unsigned w = BitWidth(range);
+      c.bytes.push_back(static_cast<uint8_t>(w));
+      AppendRaw(&c.bytes, s.min);
+      AppendRaw(&c.bytes, s.max);
+      BitWriter bw{&c.bytes};
+      for (size_t i = 0; i < n; ++i) {
+        bw.Put(static_cast<uint64_t>(v[i]) - static_cast<uint64_t>(s.min), w);
+      }
+      bw.Flush();
+      break;
+    }
+  }
+  return c;
+}
+
+// ---- uint32 (dictionary codes) -------------------------------------------
+
+struct CodeStats {
+  uint32_t min = 0;
+  uint32_t max = 0;
+  size_t runs = 0;
+};
+
+CodeStats ScanCodes(const uint32_t* v, size_t n, const uint32_t* hint_min,
+                    const uint32_t* hint_max) {
+  CodeStats s;
+  s.runs = CountRuns(v, n);
+  if (n == 0) return s;
+  if (hint_min != nullptr && hint_max != nullptr) {
+    s.min = *hint_min;
+    s.max = *hint_max;
+    return s;
+  }
+  s.min = s.max = v[0];
+  for (size_t i = 1; i < n; ++i) {
+    s.min = std::min(s.min, v[i]);
+    s.max = std::max(s.max, v[i]);
+  }
+  return s;
+}
+
+EncodedChunk EncodeCodeWith(const uint32_t* v, size_t n, Codec codec,
+                            const CodeStats& s) {
+  EncodedChunk c;
+  c.codec = codec;
+  c.type = ValueType::kString;
+  c.rows = static_cast<uint32_t>(n);
+  switch (codec) {
+    case Codec::kPlain:
+      c.bytes.resize(n * sizeof(uint32_t));
+      std::memcpy(c.bytes.data(), v, c.bytes.size());
+      break;
+    case Codec::kRle:
+      for (size_t i = 0; i < n;) {
+        size_t j = i + 1;
+        while (j < n && v[j] == v[i]) ++j;
+        AppendRaw(&c.bytes, v[i]);
+        AppendRaw(&c.bytes, static_cast<uint32_t>(j - i));
+        i = j;
+      }
+      break;
+    case Codec::kBitPack: {
+      unsigned w = n == 0 ? 0 : BitWidth(s.max);
+      c.bytes.push_back(static_cast<uint8_t>(w));
+      AppendRaw(&c.bytes, s.min);
+      AppendRaw(&c.bytes, s.max);
+      BitWriter bw{&c.bytes};
+      for (size_t i = 0; i < n; ++i) bw.Put32(v[i], w);
+      bw.Flush();
+      break;
+    }
+    case Codec::kFor: {
+      unsigned w = n == 0 ? 0 : BitWidth(s.max - s.min);
+      c.bytes.push_back(static_cast<uint8_t>(w));
+      AppendRaw(&c.bytes, s.min);
+      AppendRaw(&c.bytes, s.max);
+      BitWriter bw{&c.bytes};
+      for (size_t i = 0; i < n; ++i) bw.Put32(v[i] - s.min, w);
+      bw.Flush();
+      break;
+    }
+  }
+  return c;
+}
+
+constexpr size_t kWidthHeaderI64 = 1 + 2 * sizeof(int64_t);
+constexpr size_t kWidthHeaderU32 = 1 + 2 * sizeof(uint32_t);
+
+}  // namespace
+
+const char* CodecName(Codec c) {
+  switch (c) {
+    case Codec::kPlain:
+      return "plain";
+    case Codec::kRle:
+      return "rle";
+    case Codec::kBitPack:
+      return "bitpack";
+    case Codec::kFor:
+      return "for";
+  }
+  return "?";
+}
+
+EncodedChunk EncodeInt64Chunk(const int64_t* v, size_t n, Codec codec) {
+  return EncodeInt64With(v, n, codec, ScanInt64(v, n, nullptr, nullptr));
+}
+
+EncodedChunk EncodeInt64ChunkAuto(const int64_t* v, size_t n,
+                                  const int64_t* hint_min,
+                                  const int64_t* hint_max) {
+  if (n == 0) return EncodeInt64With(v, n, Codec::kPlain, {});
+  Int64Stats s = ScanInt64(v, n, hint_min, hint_max);
+  uint64_t range =
+      static_cast<uint64_t>(s.max) - static_cast<uint64_t>(s.min);
+  size_t plain = n * sizeof(int64_t);
+  size_t rle = s.runs * (sizeof(int64_t) + sizeof(uint32_t));
+  size_t forb = kWidthHeaderI64 + PackedBytes(n, BitWidth(range));
+  size_t best = plain;
+  Codec codec = Codec::kPlain;
+  if (rle < best) {
+    best = rle;
+    codec = Codec::kRle;
+  }
+  if (s.min >= 0) {
+    size_t packed = kWidthHeaderI64 +
+                    PackedBytes(n, BitWidth(static_cast<uint64_t>(s.max)));
+    if (packed < best) {
+      best = packed;
+      codec = Codec::kBitPack;
+    }
+  }
+  if (forb < best) {
+    codec = Codec::kFor;
+  }
+  return EncodeInt64With(v, n, codec, s);
+}
+
+void DecodeInt64Chunk(const EncodedChunk& c, int64_t* out) {
+  ELEPHANT_CHECK(c.type == ValueType::kInt) << "not an int64 chunk";
+  size_t n = c.rows;
+  switch (c.codec) {
+    case Codec::kPlain:
+      std::memcpy(out, c.bytes.data(), n * sizeof(int64_t));
+      break;
+    case Codec::kRle: {
+      const uint8_t* p = c.bytes.data();
+      size_t i = 0;
+      while (i < n) {
+        int64_t v = ReadRaw<int64_t>(p);
+        uint32_t run = ReadRaw<uint32_t>(p + sizeof(int64_t));
+        p += sizeof(int64_t) + sizeof(uint32_t);
+        for (uint32_t k = 0; k < run; ++k) out[i++] = v;
+      }
+      break;
+    }
+    case Codec::kBitPack: {
+      unsigned w = c.bytes[0];
+      BitReader br{c.bytes.data() + kWidthHeaderI64};
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = static_cast<int64_t>(br.Get(w));
+      }
+      break;
+    }
+    case Codec::kFor: {
+      unsigned w = c.bytes[0];
+      int64_t ref = ReadRaw<int64_t>(c.bytes.data() + 1);
+      BitReader br{c.bytes.data() + kWidthHeaderI64};
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = static_cast<int64_t>(static_cast<uint64_t>(ref) + br.Get(w));
+      }
+      break;
+    }
+  }
+}
+
+EncodedChunk EncodeDoubleChunk(const double* v, size_t n, Codec codec) {
+  ELEPHANT_CHECK(codec == Codec::kPlain || codec == Codec::kRle)
+      << "doubles support plain and RLE only";
+  EncodedChunk c;
+  c.codec = codec;
+  c.type = ValueType::kDouble;
+  c.rows = static_cast<uint32_t>(n);
+  if (codec == Codec::kPlain) {
+    c.bytes.resize(n * sizeof(double));
+    std::memcpy(c.bytes.data(), v, c.bytes.size());
+    return c;
+  }
+  // Runs by bit pattern: NaN == NaN under memcmp semantics, so NaN
+  // stretches compress and every payload bit round-trips.
+  for (size_t i = 0; i < n;) {
+    uint64_t bits;
+    std::memcpy(&bits, &v[i], sizeof(bits));
+    size_t j = i + 1;
+    while (j < n) {
+      uint64_t jb;
+      std::memcpy(&jb, &v[j], sizeof(jb));
+      if (jb != bits) break;
+      ++j;
+    }
+    AppendRaw(&c.bytes, bits);
+    AppendRaw(&c.bytes, static_cast<uint32_t>(j - i));
+    i = j;
+  }
+  return c;
+}
+
+EncodedChunk EncodeDoubleChunkAuto(const double* v, size_t n) {
+  if (n == 0) return EncodeDoubleChunk(v, n, Codec::kPlain);
+  size_t runs = 0;
+  uint64_t prev = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t bits;
+    std::memcpy(&bits, &v[i], sizeof(bits));
+    if (i == 0 || bits != prev) ++runs;
+    prev = bits;
+  }
+  size_t plain = n * sizeof(double);
+  size_t rle = runs * (sizeof(uint64_t) + sizeof(uint32_t));
+  return EncodeDoubleChunk(v, n, rle < plain ? Codec::kRle : Codec::kPlain);
+}
+
+void DecodeDoubleChunk(const EncodedChunk& c, double* out) {
+  ELEPHANT_CHECK(c.type == ValueType::kDouble) << "not a double chunk";
+  size_t n = c.rows;
+  if (c.codec == Codec::kPlain) {
+    std::memcpy(out, c.bytes.data(), n * sizeof(double));
+    return;
+  }
+  ELEPHANT_CHECK(c.codec == Codec::kRle) << "bad double codec";
+  const uint8_t* p = c.bytes.data();
+  size_t i = 0;
+  while (i < n) {
+    uint64_t bits = ReadRaw<uint64_t>(p);
+    uint32_t run = ReadRaw<uint32_t>(p + sizeof(uint64_t));
+    p += sizeof(uint64_t) + sizeof(uint32_t);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    for (uint32_t k = 0; k < run; ++k) out[i++] = v;
+  }
+}
+
+EncodedChunk EncodeCodeChunk(const uint32_t* v, size_t n, Codec codec) {
+  return EncodeCodeWith(v, n, codec, ScanCodes(v, n, nullptr, nullptr));
+}
+
+EncodedChunk EncodeCodeChunkAuto(const uint32_t* v, size_t n,
+                                 const uint32_t* hint_min,
+                                 const uint32_t* hint_max) {
+  if (n == 0) return EncodeCodeWith(v, n, Codec::kPlain, {});
+  CodeStats s = ScanCodes(v, n, hint_min, hint_max);
+  size_t plain = n * sizeof(uint32_t);
+  size_t rle = s.runs * 2 * sizeof(uint32_t);
+  size_t packed = kWidthHeaderU32 + PackedBytes(n, BitWidth(s.max));
+  size_t forb = kWidthHeaderU32 + PackedBytes(n, BitWidth(s.max - s.min));
+  size_t best = plain;
+  Codec codec = Codec::kPlain;
+  if (rle < best) {
+    best = rle;
+    codec = Codec::kRle;
+  }
+  if (packed < best) {
+    best = packed;
+    codec = Codec::kBitPack;
+  }
+  if (forb < best) {
+    codec = Codec::kFor;
+  }
+  return EncodeCodeWith(v, n, codec, s);
+}
+
+void DecodeCodeChunk(const EncodedChunk& c, uint32_t* out) {
+  ELEPHANT_CHECK(c.type == ValueType::kString) << "not a code chunk";
+  size_t n = c.rows;
+  switch (c.codec) {
+    case Codec::kPlain:
+      std::memcpy(out, c.bytes.data(), n * sizeof(uint32_t));
+      break;
+    case Codec::kRle: {
+      const uint8_t* p = c.bytes.data();
+      size_t i = 0;
+      while (i < n) {
+        uint32_t v = ReadRaw<uint32_t>(p);
+        uint32_t run = ReadRaw<uint32_t>(p + sizeof(uint32_t));
+        p += 2 * sizeof(uint32_t);
+        for (uint32_t k = 0; k < run; ++k) out[i++] = v;
+      }
+      break;
+    }
+    case Codec::kBitPack: {
+      unsigned w = c.bytes[0];
+      BitReader br{c.bytes.data() + kWidthHeaderU32};
+      for (size_t i = 0; i < n; ++i) out[i] = br.Get32(w);
+      break;
+    }
+    case Codec::kFor: {
+      unsigned w = c.bytes[0];
+      uint32_t ref = ReadRaw<uint32_t>(c.bytes.data() + 1);
+      BitReader br{c.bytes.data() + kWidthHeaderU32};
+      for (size_t i = 0; i < n; ++i) out[i] = ref + br.Get32(w);
+      break;
+    }
+  }
+}
+
+EncodedBounds EncodedChunkBounds(const EncodedChunk& c) {
+  EncodedBounds b;
+  size_t n = c.rows;
+  switch (c.type) {
+    case ValueType::kInt: {
+      if (c.codec == Codec::kBitPack || c.codec == Codec::kFor) {
+        b.min = static_cast<double>(ReadRaw<int64_t>(c.bytes.data() + 1));
+        b.max = static_cast<double>(
+            ReadRaw<int64_t>(c.bytes.data() + 1 + sizeof(int64_t)));
+        return b;
+      }
+      // Plain scans every value; RLE scans one value per run.
+      int64_t mn = 0;
+      int64_t mx = 0;
+      bool first = true;
+      auto fold = [&](int64_t v) {
+        if (first) {
+          mn = mx = v;
+          first = false;
+        } else {
+          mn = std::min(mn, v);
+          mx = std::max(mx, v);
+        }
+      };
+      if (c.codec == Codec::kPlain) {
+        const uint8_t* p = c.bytes.data();
+        for (size_t i = 0; i < n; ++i) {
+          fold(ReadRaw<int64_t>(p + i * sizeof(int64_t)));
+        }
+      } else {
+        const uint8_t* p = c.bytes.data();
+        size_t seen = 0;
+        while (seen < n) {
+          fold(ReadRaw<int64_t>(p));
+          seen += ReadRaw<uint32_t>(p + sizeof(int64_t));
+          p += sizeof(int64_t) + sizeof(uint32_t);
+        }
+      }
+      b.min = static_cast<double>(mn);
+      b.max = static_cast<double>(mx);
+      return b;
+    }
+    case ValueType::kDouble: {
+      // Mirrors the zone-map builder: any NaN poisons the chunk.
+      double mn = 0;
+      double mx = 0;
+      bool first = true;
+      bool has_nan = false;
+      auto fold = [&](double v) {
+        if (v != v) has_nan = true;
+        if (first) {
+          mn = mx = v;
+          first = false;
+        } else {
+          if (v < mn) mn = v;
+          if (v > mx) mx = v;
+        }
+      };
+      const uint8_t* p = c.bytes.data();
+      if (c.codec == Codec::kPlain) {
+        for (size_t i = 0; i < n; ++i) {
+          fold(ReadRaw<double>(p + i * sizeof(double)));
+        }
+      } else {
+        size_t seen = 0;
+        while (seen < n) {
+          uint64_t bits = ReadRaw<uint64_t>(p);
+          double v;
+          std::memcpy(&v, &bits, sizeof(v));
+          fold(v);
+          seen += ReadRaw<uint32_t>(p + sizeof(uint64_t));
+          p += sizeof(uint64_t) + sizeof(uint32_t);
+        }
+      }
+      if (has_nan) {
+        mn = mx = std::numeric_limits<double>::quiet_NaN();
+      }
+      b.min = mn;
+      b.max = mx;
+      return b;
+    }
+    case ValueType::kString: {
+      b.is_code = true;
+      if (c.codec == Codec::kBitPack || c.codec == Codec::kFor) {
+        b.code_min = ReadRaw<uint32_t>(c.bytes.data() + 1);
+        b.code_max =
+            ReadRaw<uint32_t>(c.bytes.data() + 1 + sizeof(uint32_t));
+        return b;
+      }
+      uint32_t mn = 0;
+      uint32_t mx = 0;
+      bool first = true;
+      auto fold = [&](uint32_t v) {
+        if (first) {
+          mn = mx = v;
+          first = false;
+        } else {
+          mn = std::min(mn, v);
+          mx = std::max(mx, v);
+        }
+      };
+      const uint8_t* p = c.bytes.data();
+      if (c.codec == Codec::kPlain) {
+        for (size_t i = 0; i < n; ++i) {
+          fold(ReadRaw<uint32_t>(p + i * sizeof(uint32_t)));
+        }
+      } else {
+        size_t seen = 0;
+        while (seen < n) {
+          fold(ReadRaw<uint32_t>(p));
+          seen += ReadRaw<uint32_t>(p + sizeof(uint32_t));
+          p += 2 * sizeof(uint32_t);
+        }
+      }
+      b.code_min = mn;
+      b.code_max = mx;
+      return b;
+    }
+  }
+  ELEPHANT_CHECK(false) << "unreachable chunk type";
+  return b;
+}
+
+size_t EncodedColumn::EncodedBytes() const {
+  size_t total = 0;
+  for (const EncodedChunk& c : chunks) total += c.bytes.size();
+  return total;
+}
+
+size_t EncodedColumn::PlainBytes() const {
+  size_t width = type == ValueType::kString ? sizeof(uint32_t)
+                                            : sizeof(int64_t);
+  return rows * width;
+}
+
+EncodedColumn EncodeColumn(const Table& t, int col) {
+  ELEPHANT_CHECK(t.EnsureColumnar()) << "EncodeColumn needs columnar input";
+  std::shared_ptr<const ZoneMaps> zm = GetZoneMaps(t);
+  EncodedColumn out;
+  out.type = t.columns()[col].type;
+  out.rows = t.num_rows();
+  out.chunk_rows = zm != nullptr ? zm->chunk_rows : ZoneMapChunkRows();
+  const ColumnZones* cz =
+      zm != nullptr ? &zm->cols[static_cast<size_t>(col)] : nullptr;
+  if (cz != nullptr) {
+    out.sorted_asc = cz->sorted_asc;
+    out.hist = cz->hist;
+  }
+  size_t n = out.rows;
+  size_t nchunks = n == 0 ? 0 : (n + out.chunk_rows - 1) / out.chunk_rows;
+  out.chunks.reserve(nchunks);
+  for (size_t chunk = 0; chunk < nchunks; ++chunk) {
+    size_t lo = chunk * out.chunk_rows;
+    size_t rows = std::min(n, lo + out.chunk_rows) - lo;
+    switch (out.type) {
+      case ValueType::kInt: {
+        const int64_t* v = t.IntData(col).data() + lo;
+        // Zone bounds are the exact integer min/max through the double
+        // image (|int64| < 2^53 for every modeled column), so the
+        // encoder skips its own bounds scan; NaN-free by construction.
+        if (cz != nullptr && cz->min[chunk] == cz->min[chunk]) {
+          int64_t mn = static_cast<int64_t>(cz->min[chunk]);
+          int64_t mx = static_cast<int64_t>(cz->max[chunk]);
+          out.chunks.push_back(EncodeInt64ChunkAuto(v, rows, &mn, &mx));
+        } else {
+          out.chunks.push_back(EncodeInt64ChunkAuto(v, rows));
+        }
+        break;
+      }
+      case ValueType::kDouble:
+        out.chunks.push_back(
+            EncodeDoubleChunkAuto(t.DoubleData(col).data() + lo, rows));
+        break;
+      case ValueType::kString: {
+        const uint32_t* v = t.StrCodes(col).data() + lo;
+        if (cz != nullptr) {
+          out.chunks.push_back(EncodeCodeChunkAuto(
+              v, rows, &cz->code_min[chunk], &cz->code_max[chunk]));
+        } else {
+          out.chunks.push_back(EncodeCodeChunkAuto(v, rows));
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+template <typename T>
+void DecodeColumnInto(const EncodedColumn& col, std::vector<T>* out,
+                      void (*decode)(const EncodedChunk&, T*)) {
+  out->clear();
+  out->resize(col.rows);
+  size_t off = 0;
+  for (const EncodedChunk& c : col.chunks) {
+    decode(c, out->data() + off);
+    off += c.rows;
+  }
+  ELEPHANT_CHECK(off == col.rows) << "encoded chunk rows disagree with column";
+}
+
+}  // namespace
+
+void DecodeColumn(const EncodedColumn& col, std::vector<int64_t>* out) {
+  ELEPHANT_CHECK(col.type == ValueType::kInt) << "type mismatch";
+  DecodeColumnInto(col, out, &DecodeInt64Chunk);
+}
+
+void DecodeColumn(const EncodedColumn& col, std::vector<double>* out) {
+  ELEPHANT_CHECK(col.type == ValueType::kDouble) << "type mismatch";
+  DecodeColumnInto(col, out, &DecodeDoubleChunk);
+}
+
+void DecodeColumn(const EncodedColumn& col, std::vector<uint32_t>* out) {
+  ELEPHANT_CHECK(col.type == ValueType::kString) << "type mismatch";
+  DecodeColumnInto(col, out, &DecodeCodeChunk);
+}
+
+size_t CompressedTable::EncodedBytes() const {
+  size_t total = 0;
+  for (const EncodedColumn& c : cols) total += c.EncodedBytes();
+  return total;
+}
+
+size_t CompressedTable::PlainBytes() const {
+  size_t total = 0;
+  for (const EncodedColumn& c : cols) total += c.PlainBytes();
+  return total;
+}
+
+CompressedTable CompressTable(const Table& t) {
+  ELEPHANT_CHECK(t.EnsureColumnar()) << "CompressTable needs columnar input";
+  CompressedTable ct;
+  ct.schema = t.columns();
+  ct.pool = t.pool_ptr();
+  ct.rows = t.num_rows();
+  ct.cols.reserve(ct.schema.size());
+  for (int c = 0; c < t.num_cols(); ++c) {
+    ct.cols.push_back(EncodeColumn(t, c));
+  }
+  return ct;
+}
+
+Table DecompressTable(const CompressedTable& ct) {
+  // The pool is shared, not copied: codes decode to the same strings.
+  Table out(ct.schema, ct.pool);
+  out.ResizeColumnar(ct.rows);
+  for (int c = 0; c < static_cast<int>(ct.cols.size()); ++c) {
+    const EncodedColumn& col = ct.cols[static_cast<size_t>(c)];
+    size_t off = 0;
+    switch (col.type) {
+      case ValueType::kInt:
+        for (const EncodedChunk& chunk : col.chunks) {
+          DecodeInt64Chunk(chunk, out.MutableCol(c).ints().data() + off);
+          off += chunk.rows;
+        }
+        break;
+      case ValueType::kDouble:
+        for (const EncodedChunk& chunk : col.chunks) {
+          DecodeDoubleChunk(chunk, out.MutableCol(c).doubles().data() + off);
+          off += chunk.rows;
+        }
+        break;
+      case ValueType::kString:
+        for (const EncodedChunk& chunk : col.chunks) {
+          DecodeCodeChunk(chunk, out.MutableCol(c).codes().data() + off);
+          off += chunk.rows;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::shared_ptr<const ZoneMaps> BuildZoneMapsCompressed(
+    const CompressedTable& ct) {
+  auto zm = std::make_shared<ZoneMaps>();
+  zm->rows = ct.rows;
+  zm->chunk_rows =
+      ct.cols.empty() ? ZoneMapChunkRows() : ct.cols[0].chunk_rows;
+  zm->num_chunks =
+      ct.rows == 0 ? 0 : (ct.rows + zm->chunk_rows - 1) / zm->chunk_rows;
+  zm->cols.resize(ct.cols.size());
+  for (size_t c = 0; c < ct.cols.size(); ++c) {
+    const EncodedColumn& col = ct.cols[c];
+    ColumnZones& cz = zm->cols[c];
+    cz.type = col.type;
+    cz.sorted_asc = col.sorted_asc;
+    cz.hist = col.hist;
+    for (const EncodedChunk& chunk : col.chunks) {
+      EncodedBounds b = EncodedChunkBounds(chunk);
+      if (b.is_code) {
+        cz.code_min.push_back(b.code_min);
+        cz.code_max.push_back(b.code_max);
+      } else {
+        cz.min.push_back(b.min);
+        cz.max.push_back(b.max);
+      }
+    }
+  }
+  return zm;
+}
+
+std::vector<uint8_t> SerializeChunk(const EncodedChunk& c) {
+  std::vector<uint8_t> out;
+  out.reserve(2 + sizeof(uint32_t) + c.bytes.size());
+  out.push_back(static_cast<uint8_t>(c.codec));
+  out.push_back(static_cast<uint8_t>(c.type));
+  AppendRaw(&out, c.rows);
+  out.insert(out.end(), c.bytes.begin(), c.bytes.end());
+  return out;
+}
+
+Result<EncodedChunk> ParseChunk(const uint8_t* data, size_t size) {
+  constexpr size_t kHeader = 2 + sizeof(uint32_t);
+  if (size < kHeader) {
+    return Status::IOError(
+        StrFormat("encoded chunk truncated: %zu bytes", size));
+  }
+  if (data[0] > static_cast<uint8_t>(Codec::kFor)) {
+    return Status::IOError(
+        StrFormat("unknown codec byte %u", unsigned{data[0]}));
+  }
+  if (data[1] > static_cast<uint8_t>(ValueType::kString)) {
+    return Status::IOError(
+        StrFormat("unknown chunk type byte %u", unsigned{data[1]}));
+  }
+  EncodedChunk c;
+  c.codec = static_cast<Codec>(data[0]);
+  c.type = static_cast<ValueType>(data[1]);
+  c.rows = ReadRaw<uint32_t>(data + 2);
+  c.bytes.assign(data + kHeader, data + size);
+
+  // The payload length is fully determined by (codec, type, rows) —
+  // plus the width byte for packed codecs and the run lengths for RLE —
+  // so a truncated or padded buffer is detectable without decoding.
+  size_t elem = c.type == ValueType::kString ? sizeof(uint32_t)
+                                             : sizeof(int64_t);
+  size_t expect = 0;
+  bool sized = true;
+  switch (c.codec) {
+    case Codec::kPlain:
+      expect = c.rows * elem;
+      break;
+    case Codec::kRle: {
+      size_t pair = elem + sizeof(uint32_t);
+      if (c.bytes.size() % pair != 0) {
+        return Status::IOError(
+            StrFormat("RLE payload of %zu bytes is not a whole number of "
+                      "%zu-byte runs",
+                      c.bytes.size(), pair));
+      }
+      uint64_t total = 0;
+      for (size_t off = 0; off < c.bytes.size(); off += pair) {
+        total += ReadRaw<uint32_t>(c.bytes.data() + off + elem);
+      }
+      if (total != c.rows) {
+        return Status::IOError(
+            StrFormat("RLE run lengths cover %llu rows, header says %u",
+                      static_cast<unsigned long long>(total), c.rows));
+      }
+      expect = c.bytes.size();
+      break;
+    }
+    case Codec::kBitPack:
+    case Codec::kFor: {
+      size_t header = c.type == ValueType::kString ? kWidthHeaderU32
+                                                   : kWidthHeaderI64;
+      if (c.bytes.size() < header) {
+        return Status::IOError(
+            StrFormat("packed chunk header truncated: %zu bytes",
+                      c.bytes.size()));
+      }
+      unsigned width = c.bytes[0];
+      unsigned max_width = c.type == ValueType::kString ? 32 : 64;
+      if (width > max_width) {
+        return Status::IOError(StrFormat("packed width %u exceeds %u bits",
+                                         width, max_width));
+      }
+      expect = header + PackedBytes(c.rows, width);
+      break;
+    }
+    default:
+      sized = false;
+      break;
+  }
+  if (sized && c.bytes.size() != expect) {
+    return Status::IOError(
+        StrFormat("encoded chunk payload is %zu bytes, expected %zu",
+                  c.bytes.size(), expect));
+  }
+  return c;
+}
+
+}  // namespace elephant::exec

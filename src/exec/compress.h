@@ -1,0 +1,208 @@
+#ifndef ELEPHANT_EXEC_COMPRESS_H_
+#define ELEPHANT_EXEC_COMPRESS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "exec/segment.h"
+#include "exec/table.h"
+#include "exec/zonemap.h"
+
+namespace elephant::exec {
+
+/// Compressed column segments (DESIGN.md §15): each zone-map chunk of a
+/// column is stored under one of four codecs, chosen per chunk by
+/// encoded size. The layouts are an in-memory/spill format for this
+/// process, not a portable file format (native endianness, no
+/// versioning). Three invariants shape the design:
+///
+///  1. Round trips are bit-exact for every type — doubles are run-length
+///     matched and restored by bit pattern, so NaN payloads and -0.0
+///     survive compression unchanged and fingerprints cannot drift.
+///  2. Chunk bounds are readable from the compressed form: FOR and
+///     bit-packed chunks carry [min, max] in their header (O(1)),
+///     RLE scans only its run values, and only uncompressed plain
+///     chunks pay a full scan. BuildZoneMapsCompressed builds the same
+///     bounds BuildZoneMaps would, without decompressing FOR/bit-packed
+///     data.
+///  3. Decoded chunks present themselves through the PR-7 segment
+///     iterators (WithEncodedSegment), so every kernel written against
+///     Int64Segment/DoubleSegment/CodeSegment runs unchanged over
+///     compressed storage.
+enum class Codec : uint8_t {
+  kPlain = 0,    ///< raw typed array (memcpy)
+  kRle = 1,      ///< [value][uint32 run-length] pairs
+  kBitPack = 2,  ///< [width][min][max] header + raw values at `width` bits
+  kFor = 3,      ///< [width][ref=min][max] header + (v - ref) at `width` bits
+};
+
+const char* CodecName(Codec c);
+
+/// One encoded chunk of one column. `type` selects the decoded shape:
+/// kInt -> int64, kDouble -> double (bit patterns), kString -> uint32
+/// dictionary codes.
+struct EncodedChunk {
+  Codec codec = Codec::kPlain;
+  ValueType type = ValueType::kInt;
+  uint32_t rows = 0;
+  std::vector<uint8_t> bytes;
+
+  size_t EncodedBytes() const { return bytes.size(); }
+};
+
+// ---- Per-type encode/decode ----------------------------------------------
+//
+// The forced-codec entry points exist for the property tests and the
+// codec benchmarks; EncodeWith CHECKs applicability (kBitPack/kFor need
+// non-negative int64 values resp. any uint32; doubles support only
+// kPlain/kRle). The *Auto variants pick the smallest encoding with a
+// deterministic tie order (plain < rle < bitpack < for). Optional
+// bounds hints (from zone maps) let the encoder skip its min/max scan.
+
+EncodedChunk EncodeInt64Chunk(const int64_t* v, size_t n, Codec codec);
+EncodedChunk EncodeInt64ChunkAuto(const int64_t* v, size_t n,
+                                  const int64_t* hint_min = nullptr,
+                                  const int64_t* hint_max = nullptr);
+void DecodeInt64Chunk(const EncodedChunk& c, int64_t* out);
+
+EncodedChunk EncodeDoubleChunk(const double* v, size_t n, Codec codec);
+EncodedChunk EncodeDoubleChunkAuto(const double* v, size_t n);
+void DecodeDoubleChunk(const EncodedChunk& c, double* out);
+
+EncodedChunk EncodeCodeChunk(const uint32_t* v, size_t n, Codec codec);
+EncodedChunk EncodeCodeChunkAuto(const uint32_t* v, size_t n,
+                                 const uint32_t* hint_min = nullptr,
+                                 const uint32_t* hint_max = nullptr);
+void DecodeCodeChunk(const EncodedChunk& c, uint32_t* out);
+
+// ---- Bounds from the compressed form -------------------------------------
+
+/// Chunk bounds read from the encoded representation, mirroring the
+/// zone-map builder exactly: numeric bounds are the widened-double
+/// image and a chunk containing any NaN is poisoned to [NaN, NaN];
+/// string chunks report dictionary-code intervals.
+struct EncodedBounds {
+  bool is_code = false;
+  double min = 0;
+  double max = 0;
+  uint32_t code_min = 0;
+  uint32_t code_max = 0;
+};
+
+EncodedBounds EncodedChunkBounds(const EncodedChunk& c);
+
+// ---- Whole-column / whole-table compression ------------------------------
+
+/// One column as a run of encoded chunks, chunked at the zone-map
+/// granularity so chunk index k here is chunk index k in the table's
+/// zone maps. `sorted_asc` and `hist` are carried over from the source
+/// table's verified zone maps at compression time (the data is
+/// immutable once encoded, so the verification stays valid).
+struct EncodedColumn {
+  ValueType type = ValueType::kInt;
+  size_t rows = 0;
+  size_t chunk_rows = 0;
+  bool sorted_asc = false;
+  ColumnHistogram hist;
+  std::vector<EncodedChunk> chunks;
+
+  size_t EncodedBytes() const;
+  /// Size of the plain (uncompressed) typed array.
+  size_t PlainBytes() const;
+};
+
+/// Encodes column `col` of a columnar table. Per-chunk codec choice is
+/// driven by the table's zone-map statistics: the cached per-chunk
+/// bounds feed the encoders as hints (no second min/max scan) and the
+/// sorted flag plus histogram ride along for BuildZoneMapsCompressed.
+EncodedColumn EncodeColumn(const Table& t, int col);
+
+/// Decodes all chunks back into a plain typed vector (appended to
+/// `*out`, which is cleared first).
+void DecodeColumn(const EncodedColumn& col, std::vector<int64_t>* out);
+void DecodeColumn(const EncodedColumn& col, std::vector<double>* out);
+void DecodeColumn(const EncodedColumn& col, std::vector<uint32_t>* out);
+
+/// A fully compressed table: schema + shared string pool + one encoded
+/// column per schema column. Row data lives only in the encoded chunks.
+struct CompressedTable {
+  std::vector<Column> schema;
+  std::shared_ptr<StringPool> pool;
+  size_t rows = 0;
+  std::vector<EncodedColumn> cols;
+
+  size_t EncodedBytes() const;
+  size_t PlainBytes() const;
+};
+
+/// Compresses / restores a columnar table. DecompressTable round-trips
+/// bit-exactly: TableFingerprint(DecompressTable(CompressTable(t))) ==
+/// TableFingerprint(t). CHECKs that `t` has a columnar form.
+CompressedTable CompressTable(const Table& t);
+Table DecompressTable(const CompressedTable& ct);
+
+/// Builds zone maps from the compressed form alone — bounds come from
+/// EncodedChunkBounds (headers / run values, never a FOR or bit-packed
+/// payload decode), sorted flags and histograms from the metadata the
+/// compressor carried over. The result is interchangeable with
+/// BuildZoneMaps over the decompressed table and passes
+/// ValidateZoneMaps against it.
+std::shared_ptr<const ZoneMaps> BuildZoneMapsCompressed(
+    const CompressedTable& ct);
+
+// ---- Segment dispatch over encoded chunks --------------------------------
+
+/// Reusable decode buffer; hoist one of these out of a per-chunk loop
+/// so repeated WithEncodedSegment calls reuse one allocation.
+struct ChunkScratch {
+  std::vector<int64_t> ints;
+  std::vector<double> dbls;
+  std::vector<uint32_t> codes;
+};
+
+/// Decodes chunk `chunk` of `col` into `scratch` and invokes `fn` with
+/// the matching plain segment (Int64Segment / DoubleSegment /
+/// CodeSegment), so kernels keep a single body across plain and
+/// compressed storage. `fn` receives the segment and the chunk's row
+/// count; indices passed to the segment are chunk-local.
+template <typename Fn>
+auto WithEncodedSegment(const EncodedColumn& col, size_t chunk,
+                        ChunkScratch* scratch, Fn&& fn) {
+  const EncodedChunk& c = col.chunks[chunk];
+  switch (c.type) {
+    case ValueType::kInt:
+      scratch->ints.resize(c.rows);
+      DecodeInt64Chunk(c, scratch->ints.data());
+      return fn(Int64Segment{scratch->ints.data()},
+                static_cast<size_t>(c.rows));
+    case ValueType::kDouble:
+      scratch->dbls.resize(c.rows);
+      DecodeDoubleChunk(c, scratch->dbls.data());
+      return fn(DoubleSegment{scratch->dbls.data()},
+                static_cast<size_t>(c.rows));
+    case ValueType::kString:
+      scratch->codes.resize(c.rows);
+      DecodeCodeChunk(c, scratch->codes.data());
+      return fn(CodeSegment{scratch->codes.data()},
+                static_cast<size_t>(c.rows));
+  }
+  ELEPHANT_CHECK(false) << "unreachable chunk type";
+  return fn(DoubleSegment{nullptr}, size_t{0});
+}
+
+// ---- Spill (de)serialization ---------------------------------------------
+
+/// Flattens a chunk into one byte buffer ([codec][type][rows][payload])
+/// for the segment cache; ParseChunk reverses it. Parse failures
+/// (truncated or corrupt buffers) surface as Status, never as partial
+/// chunks.
+std::vector<uint8_t> SerializeChunk(const EncodedChunk& c);
+Result<EncodedChunk> ParseChunk(const uint8_t* data, size_t size);
+
+}  // namespace elephant::exec
+
+#endif  // ELEPHANT_EXEC_COMPRESS_H_

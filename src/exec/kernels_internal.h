@@ -1,0 +1,272 @@
+#ifndef ELEPHANT_EXEC_KERNELS_INTERNAL_H_
+#define ELEPHANT_EXEC_KERNELS_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "exec/operators.h"
+#include "exec/table.h"
+
+namespace elephant::exec::internal {
+
+/// Shared kernel internals: the key/hash/fold machinery the in-memory
+/// columnar operators and the spilling operators (spill.cc) must agree
+/// on bit-for-bit. Everything here takes pre-resolved column indices —
+/// names are resolved once per plan by the caller, never re-hashed
+/// inside a kernel (ISSUE 8 satellite). The determinism contracts
+/// (hashing identical to the row path's RowKeyHash, equality matching
+/// CompareValues, fold arithmetic matching UpdateAggStates) are
+/// documented on the originals in operators.cc; moving them here does
+/// not change a single instruction.
+
+/// One component of a composite join/group key, reading raw typed
+/// column storage. Hash and equality mirror HashValue/CompareValues:
+/// numerics go through their widened-double image, strings through
+/// their pool's cached byte hashes.
+struct KeyPart {
+  ValueType type = ValueType::kInt;
+  const int64_t* ints = nullptr;
+  const double* dbls = nullptr;
+  const uint32_t* codes = nullptr;
+  const StringPool* pool = nullptr;
+};
+
+inline std::vector<KeyPart> MakeKeyParts(const Table& t,
+                                         const std::vector<int>& cols) {
+  std::vector<KeyPart> parts;
+  parts.reserve(cols.size());
+  for (int c : cols) {
+    KeyPart p;
+    p.type = t.columns()[c].type;
+    switch (p.type) {
+      case ValueType::kInt:
+        p.ints = t.IntData(c).data();
+        break;
+      case ValueType::kDouble:
+        p.dbls = t.DoubleData(c).data();
+        break;
+      case ValueType::kString:
+        p.codes = t.StrCodes(c).data();
+        p.pool = &t.pool();
+        break;
+    }
+    parts.push_back(p);
+  }
+  return parts;
+}
+
+inline double NumAt(const KeyPart& p, size_t i) {
+  return p.type == ValueType::kInt ? static_cast<double>(p.ints[i])
+                                   : p.dbls[i];
+}
+
+/// Same folding as RowKeyHash over HashValue — a columnar key hashes
+/// identically to its row-path twin, so both paths bucket alike.
+inline uint64_t KeyHashAt(const std::vector<KeyPart>& parts, size_t i) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (const KeyPart& p : parts) {
+    uint64_t hv = p.type == ValueType::kString ? p.pool->HashOf(p.codes[i])
+                                               : HashNumeric(NumAt(p, i));
+    h ^= hv;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Key equality matching CompareValues: numerics compare as widened
+/// doubles, strings by bytes (a single code compare when both sides
+/// share a pool).
+inline bool KeysEqualAt(const std::vector<KeyPart>& a, size_t ia,
+                        const std::vector<KeyPart>& b, size_t ib) {
+  for (size_t k = 0; k < a.size(); ++k) {
+    const KeyPart& pa = a[k];
+    const KeyPart& pb = b[k];
+    if (pa.type == ValueType::kString) {
+      uint32_t ca = pa.codes[ia];
+      uint32_t cb = pb.codes[ib];
+      if (pa.pool == pb.pool) {
+        if (ca != cb) return false;
+      } else if (pa.pool->Get(ca) != pb.pool->Get(cb)) {
+        return false;
+      }
+    } else {
+      double da = NumAt(pa, ia);
+      double db = NumAt(pb, ib);
+      if (da < db || db < da) return false;
+    }
+  }
+  return true;
+}
+
+// ---- Columnar hash-join build map ----------------------------------------
+
+/// One distinct key within a hash bucket: a representative row on the
+/// build side plus all build rows carrying the key, in global row order.
+struct KeyGroup {
+  uint32_t repr;
+  std::vector<uint32_t> rows;
+};
+
+/// hash -> distinct keys with that hash. Grouping by the full 64-bit
+/// hash first means equality runs only on (rare) colliding candidates.
+using ColBuildMap = std::unordered_map<uint64_t, std::vector<KeyGroup>>;
+
+inline void ColBuildInsert(ColBuildMap* m, const std::vector<KeyPart>& rparts,
+                           uint64_t h, uint32_t idx) {
+  std::vector<KeyGroup>& groups = (*m)[h];
+  // One hash bucket's collision chain (a vector in insertion order),
+  // not the unordered map itself.
+  for (KeyGroup& g : groups) {  // elephant-lint: allow(unordered-iteration)
+    if (KeysEqualAt(rparts, g.repr, rparts, idx)) {
+      g.rows.push_back(idx);
+      return;
+    }
+  }
+  groups.push_back(KeyGroup{idx, {idx}});
+}
+
+/// Probe of a single-partition build map (the grace-join leaf shape).
+inline const std::vector<uint32_t>* ColLookupOne(
+    const ColBuildMap& m, const std::vector<KeyPart>& lparts,
+    const std::vector<KeyPart>& rparts, size_t i) {
+  auto it = m.find(KeyHashAt(lparts, i));
+  if (it == m.end()) return nullptr;
+  for (const KeyGroup& g : it->second) {
+    if (KeysEqualAt(lparts, i, rparts, g.repr)) return &g.rows;
+  }
+  return nullptr;
+}
+
+/// Sentinel right index for unmatched left-outer rows.
+constexpr uint32_t kPadRow = 0xFFFFFFFFu;
+
+/// (left row, right row) output pair; kPadRow pads left-outer misses.
+using JoinPair = std::pair<uint32_t, uint32_t>;
+
+/// Materializes join output from an ordered pair list — the shared tail
+/// of HashJoinColumnar and the grace join. Pool sharing, pad handling
+/// and gather order are identical on both paths; defined in
+/// operators.cc next to the helpers it reuses.
+Table MaterializeJoinPairs(const Table& left, const Table& right,
+                           const std::vector<JoinPair>& pairs, JoinType type);
+
+// ---- Columnar aggregate fold ---------------------------------------------
+
+/// Typed access to one aggregate's input: a raw column (`source`), a
+/// computed per-row value (`vec`), or nothing (kCount).
+struct AggInput {
+  AggKind kind;
+  const int64_t* ints = nullptr;
+  const double* dbls = nullptr;
+  const uint32_t* codes = nullptr;
+  const StringPool* pool = nullptr;
+  const std::function<double(size_t)>* vec = nullptr;
+};
+
+/// Columnar aggregate state. min/max keep the first value that wins
+/// under CompareValues ordering; count-distinct keys the set exactly as
+/// the row path serializes (ints exactly, doubles via std::to_string —
+/// 6 fractional digits — and strings by dictionary code).
+struct VecAggState {
+  double sum = 0;
+  int64_t count = 0;
+  bool has_value = false;
+  int64_t best_i = 0;
+  double best_d = 0;
+  uint32_t best_code = 0;
+  std::unordered_set<int64_t> d_i;
+  std::unordered_set<std::string> d_s;
+  std::unordered_set<uint32_t> d_c;
+};
+
+std::vector<AggInput> MakeAggInputs(const Table& t,
+                                    const std::vector<AggExpr>& aggs);
+
+/// Folds row `i` into `states`, arithmetic identical to UpdateAggStates;
+/// see the definition in operators.cc for the full contract.
+void FoldRowColumnar(std::vector<VecAggState>* states,
+                     const std::vector<AggInput>& ins, size_t i);
+
+/// Materializes aggregate output from groups in emission order: group
+/// key columns gathered from each group's first row, aggregate columns
+/// finalized from the folded states. Shared by HashAggregateColumnar
+/// and the spilling aggregate.
+Table FinalizeGroups(const Table& t, const std::vector<int>& group_cols,
+                     const std::vector<AggExpr>& aggs,
+                     std::vector<Column> cols,
+                     const std::vector<uint32_t>& first_rows,
+                     const std::vector<std::vector<VecAggState>>& states);
+
+// ---- Columnar sort comparator --------------------------------------------
+
+/// One sort key reading raw typed storage, CompareValues semantics.
+struct SortPart {
+  const int64_t* ints = nullptr;
+  const double* dbls = nullptr;
+  const uint32_t* codes = nullptr;
+  const StringPool* pool = nullptr;
+  bool asc = true;
+};
+
+inline std::vector<SortPart> MakeSortParts(const Table& t,
+                                           const std::vector<SortKey>& keys) {
+  std::vector<SortPart> parts;
+  parts.reserve(keys.size());
+  for (const SortKey& k : keys) {
+    SortPart p;
+    p.asc = k.ascending;
+    switch (t.columns()[k.col].type) {
+      case ValueType::kInt:
+        p.ints = t.IntData(k.col).data();
+        break;
+      case ValueType::kDouble:
+        p.dbls = t.DoubleData(k.col).data();
+        break;
+      case ValueType::kString:
+        p.codes = t.StrCodes(k.col).data();
+        p.pool = &t.pool();
+        break;
+    }
+    parts.push_back(p);
+  }
+  return parts;
+}
+
+/// Strict-weak "row a sorts before row b" over the key list: numerics
+/// through the widened-double image, strings by bytes with an
+/// equal-code shortcut. Exactly the comparator SortByColumnar always
+/// used; the external merge must order identically or ties would land
+/// in different runs than the in-memory stable sort.
+inline bool SortIndexLess(const std::vector<SortPart>& parts, uint32_t a,
+                          uint32_t b) {
+  for (const SortPart& p : parts) {
+    int c = 0;
+    if (p.codes != nullptr) {
+      uint32_t ca = p.codes[a];
+      uint32_t cb = p.codes[b];
+      if (ca == cb) continue;
+      const std::string& sa = p.pool->Get(ca);
+      const std::string& sb = p.pool->Get(cb);
+      c = sa < sb ? -1 : (sb < sa ? 1 : 0);
+    } else {
+      double da =
+          p.ints != nullptr ? static_cast<double>(p.ints[a]) : p.dbls[a];
+      double db =
+          p.ints != nullptr ? static_cast<double>(p.ints[b]) : p.dbls[b];
+      c = da < db ? -1 : (db < da ? 1 : 0);
+    }
+    if (c != 0) return p.asc ? c < 0 : c > 0;
+  }
+  return false;
+}
+
+}  // namespace elephant::exec::internal
+
+#endif  // ELEPHANT_EXEC_KERNELS_INTERNAL_H_

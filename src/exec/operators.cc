@@ -11,8 +11,27 @@
 
 #include "common/check.h"
 #include "common/task_pool.h"
+#include "exec/kernels_internal.h"
+#include "exec/spill.h"
 
 namespace elephant::exec {
+
+// Shared kernel machinery now lives in kernels_internal.h so the
+// spilling operators (spill.cc) fold, hash, and compare exactly like
+// the in-memory paths below.
+using internal::AggInput;
+using internal::ColBuildInsert;
+using internal::ColBuildMap;
+using internal::FoldRowColumnar;
+using internal::JoinPair;
+using internal::KeyGroup;
+using internal::KeyHashAt;
+using internal::KeyPart;
+using internal::KeysEqualAt;
+using internal::kPadRow;
+using internal::MakeAggInputs;
+using internal::MakeKeyParts;
+using internal::VecAggState;
 
 namespace {
 
@@ -231,85 +250,6 @@ class CodeXlat {
   StringPool* dst_;
   std::vector<uint32_t> map_;
 };
-
-/// One component of a composite join/group key, reading raw typed
-/// column storage. Hash and equality mirror HashValue/CompareValues:
-/// numerics go through their widened-double image, strings through
-/// their pool's cached byte hashes.
-struct KeyPart {
-  ValueType type = ValueType::kInt;
-  const int64_t* ints = nullptr;
-  const double* dbls = nullptr;
-  const uint32_t* codes = nullptr;
-  const StringPool* pool = nullptr;
-};
-
-std::vector<KeyPart> MakeKeyParts(const Table& t,
-                                  const std::vector<int>& cols) {
-  std::vector<KeyPart> parts;
-  parts.reserve(cols.size());
-  for (int c : cols) {
-    KeyPart p;
-    p.type = t.columns()[c].type;
-    switch (p.type) {
-      case ValueType::kInt:
-        p.ints = t.IntData(c).data();
-        break;
-      case ValueType::kDouble:
-        p.dbls = t.DoubleData(c).data();
-        break;
-      case ValueType::kString:
-        p.codes = t.StrCodes(c).data();
-        p.pool = &t.pool();
-        break;
-    }
-    parts.push_back(p);
-  }
-  return parts;
-}
-
-double NumAt(const KeyPart& p, size_t i) {
-  return p.type == ValueType::kInt ? static_cast<double>(p.ints[i])
-                                   : p.dbls[i];
-}
-
-/// Same folding as RowKeyHash over HashValue — a columnar key hashes
-/// identically to its row-path twin, so both paths bucket alike.
-uint64_t KeyHashAt(const std::vector<KeyPart>& parts, size_t i) {
-  uint64_t h = 0xCBF29CE484222325ULL;
-  for (const KeyPart& p : parts) {
-    uint64_t hv = p.type == ValueType::kString ? p.pool->HashOf(p.codes[i])
-                                               : HashNumeric(NumAt(p, i));
-    h ^= hv;
-    h *= 0x100000001B3ULL;
-  }
-  return h;
-}
-
-/// Key equality matching CompareValues: numerics compare as widened
-/// doubles, strings by bytes (a single code compare when both sides
-/// share a pool).
-bool KeysEqualAt(const std::vector<KeyPart>& a, size_t ia,
-                 const std::vector<KeyPart>& b, size_t ib) {
-  for (size_t k = 0; k < a.size(); ++k) {
-    const KeyPart& pa = a[k];
-    const KeyPart& pb = b[k];
-    if (pa.type == ValueType::kString) {
-      uint32_t ca = pa.codes[ia];
-      uint32_t cb = pb.codes[ib];
-      if (pa.pool == pb.pool) {
-        if (ca != cb) return false;
-      } else if (pa.pool->Get(ca) != pb.pool->Get(cb)) {
-        return false;
-      }
-    } else {
-      double da = NumAt(pa, ia);
-      double db = NumAt(pb, ib);
-      if (da < db || db < da) return false;
-    }
-  }
-  return true;
-}
 
 bool HasStringColumn(const Table& t) {
   for (const Column& c : t.columns()) {
@@ -632,31 +572,6 @@ std::vector<Column> ConcatSchemas(const Table& left, const Table& right) {
 
 // ---- Columnar hash join --------------------------------------------------
 
-/// One distinct key within a hash bucket: a representative row on the
-/// build side plus all build rows carrying the key, in global row order.
-struct KeyGroup {
-  uint32_t repr;
-  std::vector<uint32_t> rows;
-};
-
-/// hash -> distinct keys with that hash. Grouping by the full 64-bit
-/// hash first means equality runs only on (rare) colliding candidates.
-using ColBuildMap = std::unordered_map<uint64_t, std::vector<KeyGroup>>;
-
-void ColBuildInsert(ColBuildMap* m, const std::vector<KeyPart>& rparts,
-                    uint64_t h, uint32_t idx) {
-  std::vector<KeyGroup>& groups = (*m)[h];
-  // One hash bucket's collision chain (a vector in insertion order),
-  // not the unordered map itself.
-  for (KeyGroup& g : groups) {  // elephant-lint: allow(unordered-iteration)
-    if (KeysEqualAt(rparts, g.repr, rparts, idx)) {
-      g.rows.push_back(idx);
-      return;
-    }
-  }
-  groups.push_back(KeyGroup{idx, {idx}});
-}
-
 /// Columnar build: same (chunk, partition) binning and chunk-order
 /// partition builds as the row path, so each key's row vector is in
 /// global row order on every path.
@@ -719,9 +634,6 @@ const std::vector<uint32_t>* ColLookup(const std::vector<ColBuildMap>& maps,
   return nullptr;
 }
 
-/// Sentinel right index for unmatched left-outer rows.
-constexpr uint32_t kPadRow = 0xFFFFFFFFu;
-
 Table HashJoinColumnar(const Table& left, const Table& right,
                        const std::vector<int>& left_keys,
                        const std::vector<int>& right_keys, JoinType type) {
@@ -743,7 +655,6 @@ Table HashJoinColumnar(const Table& left, const Table& right,
 
   // Inner/outer: collect (left, right) row pairs per morsel slot and
   // concatenate in morsel order — the serial emission order.
-  using JoinPair = std::pair<uint32_t, uint32_t>;
   auto probe_range = [&](size_t lo, size_t hi, std::vector<JoinPair>* slot) {
     for (size_t i = lo; i < hi; ++i) {
       const std::vector<uint32_t>* matches =
@@ -775,7 +686,16 @@ Table HashJoinColumnar(const Table& left, const Table& right,
   } else {
     probe_range(0, n, &pairs);
   }
+  return internal::MaterializeJoinPairs(left, right, pairs, type);
+}
 
+}  // namespace
+
+namespace internal {
+
+Table MaterializeJoinPairs(const Table& left, const Table& right,
+                           const std::vector<JoinPair>& pairs,
+                           JoinType type) {
   // Output pool: share a side's pool when all string columns come from
   // it and no pad strings are needed; otherwise intern into a fresh
   // pool, serially in output order (deterministic codes).
@@ -855,7 +775,7 @@ Table HashJoinColumnar(const Table& left, const Table& right,
   return out;
 }
 
-}  // namespace
+}  // namespace internal
 
 Table HashJoin(const Table& left, const Table& right,
                const std::vector<int>& left_keys,
@@ -886,6 +806,13 @@ Table HashJoin(const Table& left, const Table& right,
     }
   }
   if (columnar) {
+    if (SpillJoinPlanned(right)) {
+      Result<Table> spilled =
+          TryGraceHashJoin(left, right, left_keys, right_keys, type);
+      if (spilled.ok()) return std::move(spilled).value();
+      // Spill I/O failed: the in-memory path is still correct (just
+      // unbounded); TryGraceHashJoin counted the fallback.
+    }
     return HashJoinColumnar(left, right, left_keys, right_keys, type);
   }
 
@@ -1144,33 +1071,6 @@ struct AggPartition {
 
 // ---- Columnar hash aggregate --------------------------------------------
 
-/// Typed access to one aggregate's input: a raw column (`source`), a
-/// computed per-row value (`vec`), or nothing (kCount).
-struct AggInput {
-  AggKind kind;
-  const int64_t* ints = nullptr;
-  const double* dbls = nullptr;
-  const uint32_t* codes = nullptr;
-  const StringPool* pool = nullptr;
-  const std::function<double(size_t)>* vec = nullptr;
-};
-
-/// Columnar aggregate state. min/max keep the first value that wins
-/// under CompareValues ordering; count-distinct keys the set exactly as
-/// the row path serializes (ints exactly, doubles via std::to_string —
-/// 6 fractional digits — and strings by dictionary code).
-struct VecAggState {
-  double sum = 0;
-  int64_t count = 0;
-  bool has_value = false;
-  int64_t best_i = 0;
-  double best_d = 0;
-  uint32_t best_code = 0;
-  std::unordered_set<int64_t> d_i;
-  std::unordered_set<std::string> d_s;
-  std::unordered_set<uint32_t> d_c;
-};
-
 /// True when the columnar fold reproduces the row path bit-exactly for
 /// this aggregate — including the variant alternative the row path
 /// would emit (e.g. kCount always emits int64, so the declared type
@@ -1195,108 +1095,6 @@ bool AggVectorizable(const Table& t, const AggExpr& a) {
       return src_ok && a.type == ValueType::kInt;
   }
   return false;
-}
-
-std::vector<AggInput> MakeAggInputs(const Table& t,
-                                    const std::vector<AggExpr>& aggs) {
-  std::vector<AggInput> ins;
-  ins.reserve(aggs.size());
-  for (const AggExpr& a : aggs) {
-    AggInput in;
-    in.kind = a.kind;
-    if (a.vec != nullptr && a.kind != AggKind::kCount) {
-      in.vec = &a.vec;
-    } else if (a.source >= 0 && a.kind != AggKind::kCount) {
-      switch (t.columns()[a.source].type) {
-        case ValueType::kInt:
-          in.ints = t.IntData(a.source).data();
-          break;
-        case ValueType::kDouble:
-          in.dbls = t.DoubleData(a.source).data();
-          break;
-        case ValueType::kString:
-          in.codes = t.StrCodes(a.source).data();
-          in.pool = &t.pool();
-          break;
-      }
-    }
-    ins.push_back(std::move(in));
-  }
-  return ins;
-}
-
-/// Folds row `i` into `states`, arithmetic identical to UpdateAggStates:
-/// sums accumulate the same doubles in the same order, min/max compare
-/// through CompareValues semantics (numerics as widened doubles, ties
-/// keep the incumbent), distinct sets collapse exactly alike.
-void FoldRowColumnar(std::vector<VecAggState>* states,
-                     const std::vector<AggInput>& ins, size_t i) {
-  for (size_t k = 0; k < ins.size(); ++k) {
-    VecAggState& st = (*states)[k];
-    const AggInput& in = ins[k];
-    switch (in.kind) {
-      case AggKind::kCount:
-        st.count++;
-        break;
-      case AggKind::kSum:
-      case AggKind::kAvg: {
-        double v = in.vec != nullptr
-                       ? (*in.vec)(i)
-                       : (in.ints != nullptr ? static_cast<double>(in.ints[i])
-                                             : in.dbls[i]);
-        st.sum += v;
-        st.count++;
-        break;
-      }
-      case AggKind::kMin:
-        if (in.codes != nullptr) {
-          uint32_t c = in.codes[i];
-          if (!st.has_value || (c != st.best_code &&
-                                in.pool->Get(c) < in.pool->Get(st.best_code))) {
-            st.best_code = c;
-          }
-        } else if (in.ints != nullptr) {
-          int64_t v = in.ints[i];
-          if (!st.has_value ||
-              static_cast<double>(v) < static_cast<double>(st.best_i)) {
-            st.best_i = v;
-          }
-        } else {
-          double v = in.dbls[i];
-          if (!st.has_value || v < st.best_d) st.best_d = v;
-        }
-        st.has_value = true;
-        break;
-      case AggKind::kMax:
-        if (in.codes != nullptr) {
-          uint32_t c = in.codes[i];
-          if (!st.has_value || (c != st.best_code &&
-                                in.pool->Get(st.best_code) < in.pool->Get(c))) {
-            st.best_code = c;
-          }
-        } else if (in.ints != nullptr) {
-          int64_t v = in.ints[i];
-          if (!st.has_value ||
-              static_cast<double>(st.best_i) < static_cast<double>(v)) {
-            st.best_i = v;
-          }
-        } else {
-          double v = in.dbls[i];
-          if (!st.has_value || st.best_d < v) st.best_d = v;
-        }
-        st.has_value = true;
-        break;
-      case AggKind::kCountDistinct:
-        if (in.codes != nullptr) {
-          st.d_c.insert(in.codes[i]);
-        } else if (in.ints != nullptr) {
-          st.d_i.insert(in.ints[i]);
-        } else {
-          st.d_s.insert(std::to_string(in.dbls[i]));
-        }
-        break;
-    }
-  }
 }
 
 /// When `sel` is non-null it must be an ascending list of row indices
@@ -1421,6 +1219,122 @@ Table HashAggregateColumnar(const Table& t, const std::vector<int>& group_cols,
     states.emplace_back(aggs.size());
   }
 
+  return internal::FinalizeGroups(t, group_cols, aggs, std::move(cols),
+                                  first_rows, states);
+}
+
+}  // namespace
+
+namespace internal {
+
+std::vector<AggInput> MakeAggInputs(const Table& t,
+                                    const std::vector<AggExpr>& aggs) {
+  std::vector<AggInput> ins;
+  ins.reserve(aggs.size());
+  for (const AggExpr& a : aggs) {
+    AggInput in;
+    in.kind = a.kind;
+    if (a.vec != nullptr && a.kind != AggKind::kCount) {
+      in.vec = &a.vec;
+    } else if (a.source >= 0 && a.kind != AggKind::kCount) {
+      switch (t.columns()[a.source].type) {
+        case ValueType::kInt:
+          in.ints = t.IntData(a.source).data();
+          break;
+        case ValueType::kDouble:
+          in.dbls = t.DoubleData(a.source).data();
+          break;
+        case ValueType::kString:
+          in.codes = t.StrCodes(a.source).data();
+          in.pool = &t.pool();
+          break;
+      }
+    }
+    ins.push_back(std::move(in));
+  }
+  return ins;
+}
+
+/// Folds row `i` into `states`, arithmetic identical to UpdateAggStates:
+/// sums accumulate the same doubles in the same order, min/max compare
+/// through CompareValues semantics (numerics as widened doubles, ties
+/// keep the incumbent), distinct sets collapse exactly alike.
+void FoldRowColumnar(std::vector<VecAggState>* states,
+                     const std::vector<AggInput>& ins, size_t i) {
+  for (size_t k = 0; k < ins.size(); ++k) {
+    VecAggState& st = (*states)[k];
+    const AggInput& in = ins[k];
+    switch (in.kind) {
+      case AggKind::kCount:
+        st.count++;
+        break;
+      case AggKind::kSum:
+      case AggKind::kAvg: {
+        double v = in.vec != nullptr
+                       ? (*in.vec)(i)
+                       : (in.ints != nullptr ? static_cast<double>(in.ints[i])
+                                             : in.dbls[i]);
+        st.sum += v;
+        st.count++;
+        break;
+      }
+      case AggKind::kMin:
+        if (in.codes != nullptr) {
+          uint32_t c = in.codes[i];
+          if (!st.has_value || (c != st.best_code &&
+                                in.pool->Get(c) < in.pool->Get(st.best_code))) {
+            st.best_code = c;
+          }
+        } else if (in.ints != nullptr) {
+          int64_t v = in.ints[i];
+          if (!st.has_value ||
+              static_cast<double>(v) < static_cast<double>(st.best_i)) {
+            st.best_i = v;
+          }
+        } else {
+          double v = in.dbls[i];
+          if (!st.has_value || v < st.best_d) st.best_d = v;
+        }
+        st.has_value = true;
+        break;
+      case AggKind::kMax:
+        if (in.codes != nullptr) {
+          uint32_t c = in.codes[i];
+          if (!st.has_value || (c != st.best_code &&
+                                in.pool->Get(st.best_code) < in.pool->Get(c))) {
+            st.best_code = c;
+          }
+        } else if (in.ints != nullptr) {
+          int64_t v = in.ints[i];
+          if (!st.has_value ||
+              static_cast<double>(st.best_i) < static_cast<double>(v)) {
+            st.best_i = v;
+          }
+        } else {
+          double v = in.dbls[i];
+          if (!st.has_value || st.best_d < v) st.best_d = v;
+        }
+        st.has_value = true;
+        break;
+      case AggKind::kCountDistinct:
+        if (in.codes != nullptr) {
+          st.d_c.insert(in.codes[i]);
+        } else if (in.ints != nullptr) {
+          st.d_i.insert(in.ints[i]);
+        } else {
+          st.d_s.insert(std::to_string(in.dbls[i]));
+        }
+        break;
+    }
+  }
+}
+
+
+Table FinalizeGroups(const Table& t, const std::vector<int>& group_cols,
+                     const std::vector<AggExpr>& aggs,
+                     std::vector<Column> cols,
+                     const std::vector<uint32_t>& first_rows,
+                     const std::vector<std::vector<VecAggState>>& states) {
   size_t ngroups = first_rows.size();
   bool out_strings = false;
   for (const Column& c : cols) {
@@ -1499,7 +1413,8 @@ Table HashAggregateColumnar(const Table& t, const std::vector<int>& group_cols,
   return out;
 }
 
-}  // namespace
+}  // namespace internal
+
 
 Table HashAggregate(const Table& t, const std::vector<int>& group_cols,
                     const std::vector<AggExpr>& aggs) {
@@ -1524,6 +1439,12 @@ Table HashAggregate(const Table& t, const std::vector<int>& group_cols,
     }
   }
   if (columnar) {
+    if (!group_cols.empty() && SpillAggPlanned(t, n)) {
+      Result<Table> spilled =
+          TrySpillingHashAggregate(t, group_cols, aggs, nullptr);
+      if (spilled.ok()) return std::move(spilled).value();
+      // Spill I/O failed: fall through to the unbounded in-memory path.
+    }
     return HashAggregateColumnar(t, group_cols, aggs, std::move(cols));
   }
   for (const AggExpr& a : aggs) {
@@ -1658,6 +1579,11 @@ Table HashAggregateSelected(const Table& t, const std::vector<uint32_t>& sel,
           << "empty-selection min/max must take the materialized path";
     }
   }
+  if (!group_cols.empty() && SpillAggPlanned(t, sel.size())) {
+    Result<Table> spilled = TrySpillingHashAggregate(t, group_cols, aggs, &sel);
+    if (spilled.ok()) return std::move(spilled).value();
+    // Spill I/O failed: fall through to the unbounded in-memory path.
+  }
   std::vector<Column> cols;
   for (int g : group_cols) cols.push_back(t.columns()[g]);
   for (const auto& a : aggs) cols.push_back({a.name, a.type});
@@ -1674,10 +1600,13 @@ AggExpr ColAgg(AggKind kind, const Table& t, const std::string& col,
                std::string name, ValueType type) {
   AggExpr a;
   a.kind = kind;
-  a.arg = Col(t, col);
+  // One name lookup serves both paths: the row expression captures the
+  // resolved index instead of re-hashing the name via Col().
+  int src = t.ColIndex(col);
+  a.arg = [src](const Row& row) { return row[src]; };
   a.name = std::move(name);
   a.type = type;
-  a.source = t.ColIndex(col);
+  a.source = src;
   return a;
 }
 
@@ -1781,52 +1710,9 @@ void CheckSortKeys(const Table& t, const std::vector<SortKey>& keys) {
 /// The parallel path mirrors StableSortRows on the index vector.
 Table SortByColumnar(const Table& t, const std::vector<SortKey>& keys) {
   size_t n = t.num_rows();
-  struct SortPart {
-    const int64_t* ints = nullptr;
-    const double* dbls = nullptr;
-    const uint32_t* codes = nullptr;
-    const StringPool* pool = nullptr;
-    bool asc = true;
-  };
-  std::vector<SortPart> parts;
-  parts.reserve(keys.size());
-  for (const SortKey& k : keys) {
-    SortPart p;
-    p.asc = k.ascending;
-    switch (t.columns()[k.col].type) {
-      case ValueType::kInt:
-        p.ints = t.IntData(k.col).data();
-        break;
-      case ValueType::kDouble:
-        p.dbls = t.DoubleData(k.col).data();
-        break;
-      case ValueType::kString:
-        p.codes = t.StrCodes(k.col).data();
-        p.pool = &t.pool();
-        break;
-    }
-    parts.push_back(p);
-  }
+  std::vector<internal::SortPart> parts = internal::MakeSortParts(t, keys);
   auto less = [&parts](uint32_t a, uint32_t b) {
-    for (const SortPart& p : parts) {
-      int c = 0;
-      if (p.codes != nullptr) {
-        uint32_t ca = p.codes[a];
-        uint32_t cb = p.codes[b];
-        if (ca == cb) continue;
-        const std::string& sa = p.pool->Get(ca);
-        const std::string& sb = p.pool->Get(cb);
-        c = sa < sb ? -1 : (sb < sa ? 1 : 0);
-      } else {
-        double da = p.ints != nullptr ? static_cast<double>(p.ints[a])
-                                      : p.dbls[a];
-        double db = p.ints != nullptr ? static_cast<double>(p.ints[b])
-                                      : p.dbls[b];
-        c = da < db ? -1 : (db < da ? 1 : 0);
-      }
-      if (c != 0) return p.asc ? c < 0 : c > 0;
-    }
-    return false;
+    return internal::SortIndexLess(parts, a, b);
   };
   std::vector<uint32_t> perm(n);
   for (size_t i = 0; i < n; ++i) perm[i] = static_cast<uint32_t>(i);
@@ -1880,7 +1766,14 @@ Table SortByColumnar(const Table& t, const std::vector<SortKey>& keys) {
 
 Table SortBy(const Table& t, const std::vector<SortKey>& keys) {
   CheckSortKeys(t, keys);
-  if (ColumnarPath(t)) return SortByColumnar(t, keys);
+  if (ColumnarPath(t)) {
+    if (SpillSortPlanned(t, keys)) {
+      Result<Table> spilled = TryExternalSortBy(t, keys);
+      if (spilled.ok()) return std::move(spilled).value();
+      // Spill I/O failed: fall through to the unbounded in-memory sort.
+    }
+    return SortByColumnar(t, keys);
+  }
   Table out = t;
   StableSortRows(&out.mutable_rows(), MakeLess(keys));
   return out;
@@ -1888,7 +1781,13 @@ Table SortBy(const Table& t, const std::vector<SortKey>& keys) {
 
 Table SortBy(Table&& t, const std::vector<SortKey>& keys) {
   CheckSortKeys(t, keys);
-  if (ColumnarPath(t)) return SortByColumnar(t, keys);
+  if (ColumnarPath(t)) {
+    if (SpillSortPlanned(t, keys)) {
+      Result<Table> spilled = TryExternalSortBy(t, keys);
+      if (spilled.ok()) return std::move(spilled).value();
+    }
+    return SortByColumnar(t, keys);
+  }
   Table out = std::move(t);
   StableSortRows(&out.mutable_rows(), MakeLess(keys));
   return out;

@@ -1,0 +1,328 @@
+#include "exec/segcache.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <utility>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace elephant::exec {
+
+namespace {
+
+size_t InitialBudget() {
+  const char* env = std::getenv("ELEPHANT_MEM_BUDGET");
+  if (env == nullptr || env[0] == '\0') return 0;
+  Result<size_t> parsed = ParseByteSize(env);
+  ELEPHANT_CHECK(parsed.ok()) << "bad ELEPHANT_MEM_BUDGET '" << env
+                              << "': " << parsed.status().ToString();
+  return parsed.value();
+}
+
+std::atomic<size_t>& BudgetCell() {
+  static std::atomic<size_t> budget{InitialBudget()};
+  return budget;
+}
+
+}  // namespace
+
+size_t ExecMemoryBudget() {
+  return BudgetCell().load(std::memory_order_relaxed);
+}
+
+void SetExecMemoryBudget(size_t bytes) {
+  BudgetCell().store(bytes, std::memory_order_relaxed);
+  SegmentCache::Global().SetBudget(bytes / 2);
+}
+
+Result<size_t> ParseByteSize(const std::string& text) {
+  size_t i = 0;
+  while (i < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[i])) != 0)) {
+    ++i;
+  }
+  if (i == 0) {
+    return Status::InvalidArgument("byte size '" + text +
+                                   "' has no leading digits");
+  }
+  unsigned long long num = 0;
+  for (size_t k = 0; k < i; ++k) {
+    num = num * 10 + static_cast<unsigned long long>(text[k] - '0');
+  }
+  std::string unit;
+  for (size_t k = i; k < text.size(); ++k) {
+    char c = text[k];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) continue;
+    unit.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  size_t shift = 0;
+  if (unit.empty() || unit == "b") {
+    shift = 0;
+  } else if (unit == "k" || unit == "kb") {
+    shift = 10;
+  } else if (unit == "m" || unit == "mb") {
+    shift = 20;
+  } else if (unit == "g" || unit == "gb") {
+    shift = 30;
+  } else {
+    return Status::InvalidArgument("unknown byte-size unit '" + unit + "'");
+  }
+  return static_cast<size_t>(num) << shift;
+}
+
+SegmentCache::~SegmentCache() {
+  MutexLock lock(&mu_);
+  if (spill_ != nullptr) {
+    std::fclose(spill_);
+    spill_ = nullptr;
+  }
+}
+
+SegmentCache& SegmentCache::Global() {
+  static SegmentCache* cache = [] {
+    auto* c = new SegmentCache();
+    c->SetBudget(ExecMemoryBudget() / 2);
+    return c;
+  }();
+  return *cache;
+}
+
+bool SegmentCache::TakeInjectedFaultLocked() {
+  if (inject_faults_ <= 0) return false;
+  --inject_faults_;
+  return true;
+}
+
+Status SegmentCache::SpillLocked(Id id, Entry* e) {
+  if (e->file_off < 0) {
+    if (spill_ == nullptr) {
+      if (TakeInjectedFaultLocked()) {
+        return Status::IOError("injected fault: spill file create");
+      }
+      spill_ = std::tmpfile();
+      if (spill_ == nullptr) {
+        return Status::IOError("tmpfile() failed for segment spill");
+      }
+    }
+    long off;
+    auto slot = free_slots_.find(e->size);
+    if (slot != free_slots_.end() && !slot->second.empty()) {
+      off = slot->second.back();
+      slot->second.pop_back();
+    } else {
+      off = spill_end_;
+      spill_end_ += static_cast<long>(e->size);
+    }
+    if (TakeInjectedFaultLocked()) {
+      free_slots_[e->size].push_back(off);
+      return Status::IOError(
+          StrFormat("injected fault: spill write of segment %llu",
+                    static_cast<unsigned long long>(id)));
+    }
+    if (std::fseek(spill_, off, SEEK_SET) != 0 ||
+        std::fwrite(e->data->data(), 1, e->size, spill_) != e->size) {
+      free_slots_[e->size].push_back(off);
+      return Status::IOError(
+          StrFormat("spill write failed for segment %llu (%zu bytes)",
+                    static_cast<unsigned long long>(id), e->size));
+    }
+    e->file_off = off;
+    stats_.spill_bytes_written += e->size;
+  }
+  // Payloads are immutable: once a clean copy is on disk, eviction is
+  // just dropping the resident bytes.
+  e->data.reset();
+  resident_ -= e->size;
+  stats_.resident_bytes = resident_;
+  ++stats_.evictions;
+  return Status::OK();
+}
+
+Status SegmentCache::LoadLocked(Entry* e) {
+  ELEPHANT_CHECK(e->file_off >= 0 && spill_ != nullptr)
+      << "loading a segment that was never spilled";
+  if (TakeInjectedFaultLocked()) {
+    return Status::IOError("injected fault: spill read");
+  }
+  auto bytes = std::make_shared<std::vector<uint8_t>>(e->size);
+  if (std::fseek(spill_, e->file_off, SEEK_SET) != 0 ||
+      std::fread(bytes->data(), 1, e->size, spill_) != e->size) {
+    return Status::IOError(
+        StrFormat("spill read failed (%zu bytes at offset %ld)", e->size,
+                  e->file_off));
+  }
+  e->data = std::move(bytes);
+  resident_ += e->size;
+  stats_.spill_bytes_read += e->size;
+  stats_.resident_bytes = resident_;
+  return Status::OK();
+}
+
+Status SegmentCache::EvictToBudgetLocked() {
+  if (budget_ == 0) return Status::OK();
+  // Clock sweep over the ordered id map starting at the hand: resident
+  // unpinned entries get one second chance (ref bit), then spill. Two
+  // full laps with no progress means everything left is pinned.
+  size_t laps = 0;
+  auto it = entries_.lower_bound(hand_);
+  while (resident_ > budget_ && laps < 2 * entries_.size() + 2) {
+    if (it == entries_.end()) {
+      it = entries_.begin();
+      if (it == entries_.end()) break;
+    }
+    Entry& e = it->second;
+    if (e.data != nullptr && e.pins == 0) {
+      if (e.ref) {
+        e.ref = false;
+      } else {
+        Id id = it->first;
+        ELEPHANT_RETURN_NOT_OK(SpillLocked(id, &e));
+        ++it;
+        hand_ = it == entries_.end() ? 0 : it->first;
+        ++laps;
+        continue;
+      }
+    }
+    ++it;
+    ++laps;
+  }
+  return Status::OK();
+}
+
+Result<SegmentCache::Id> SegmentCache::Insert(std::vector<uint8_t> bytes) {
+  MutexLock lock(&mu_);
+  Id id = next_id_++;
+  Entry e;
+  e.size = bytes.size();
+  e.ref = true;
+  e.data = std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
+  resident_ += e.size;
+  entries_.emplace(id, std::move(e));
+  ++stats_.inserts;
+  stats_.entries = entries_.size();
+  stats_.resident_bytes = resident_;
+  Status st = EvictToBudgetLocked();
+  if (!st.ok()) {
+    // Failed spill mid-eviction: drop the segment being inserted (the
+    // caller never learns its id) and surface the error so the
+    // operator abandons its spill plan.
+    auto self = entries_.find(id);
+    Entry& se = self->second;
+    if (se.data != nullptr) resident_ -= se.size;
+    if (se.file_off >= 0) free_slots_[se.size].push_back(se.file_off);
+    if (hand_ == id) hand_ = 0;
+    entries_.erase(self);
+    stats_.entries = entries_.size();
+    stats_.resident_bytes = resident_;
+    return st;
+  }
+  return id;
+}
+
+Result<std::shared_ptr<const std::vector<uint8_t>>> SegmentCache::Pin(Id id) {
+  MutexLock lock(&mu_);
+  auto it = entries_.find(id);
+  ELEPHANT_CHECK(it != entries_.end())
+      << "pin of unknown segment " << id;
+  Entry& e = it->second;
+  if (e.data == nullptr) {
+    ELEPHANT_RETURN_NOT_OK(LoadLocked(&e));
+    // The reload may push residency over budget; evict others (this
+    // entry is about to be pinned and is skipped once pins > 0 —
+    // pin before sweeping).
+    e.pins++;
+    e.ref = true;
+    Status st = EvictToBudgetLocked();
+    if (!st.ok()) {
+      e.pins--;
+      return st;
+    }
+    if (e.pins == 1) ++stats_.pinned;
+    return e.data;
+  }
+  e.ref = true;
+  e.pins++;
+  if (e.pins == 1) ++stats_.pinned;
+  return e.data;
+}
+
+void SegmentCache::Unpin(Id id) {
+  MutexLock lock(&mu_);
+  auto it = entries_.find(id);
+  ELEPHANT_CHECK(it != entries_.end()) << "unpin of unknown segment " << id;
+  ELEPHANT_CHECK(it->second.pins > 0) << "unpin without pin on " << id;
+  if (--it->second.pins == 0) --stats_.pinned;
+}
+
+void SegmentCache::Remove(Id id) {
+  MutexLock lock(&mu_);
+  auto it = entries_.find(id);
+  ELEPHANT_CHECK(it != entries_.end()) << "remove of unknown segment " << id;
+  Entry& e = it->second;
+  ELEPHANT_CHECK(e.pins == 0) << "remove of pinned segment " << id;
+  if (e.data != nullptr) {
+    resident_ -= e.size;
+  }
+  if (e.file_off >= 0) {
+    free_slots_[e.size].push_back(e.file_off);
+  }
+  if (hand_ == id) hand_ = 0;
+  entries_.erase(it);
+  stats_.entries = entries_.size();
+  stats_.resident_bytes = resident_;
+}
+
+void SegmentCache::Clear() {
+  MutexLock lock(&mu_);
+  for (const auto& [id, e] : entries_) {
+    ELEPHANT_CHECK(e.pins == 0) << "Clear with segment " << id
+                                << " still pinned";
+  }
+  entries_.clear();
+  free_slots_.clear();
+  resident_ = 0;
+  hand_ = 0;
+  spill_end_ = 0;
+  if (spill_ != nullptr) {
+    std::fclose(spill_);
+    spill_ = nullptr;
+  }
+  stats_ = Stats{};
+}
+
+void SegmentCache::SetBudget(size_t bytes) {
+  MutexLock lock(&mu_);
+  budget_ = bytes;
+  // Shrinking the budget evicts immediately; errors here would have no
+  // operator to land on, so a failed background spill aborts the sweep
+  // and the next Insert/Pin surfaces it.
+  Status st = EvictToBudgetLocked();
+  (void)st;  // elephant-lint: allow(discarded-status)
+}
+
+size_t SegmentCache::Budget() const {
+  MutexLock lock(&mu_);
+  return budget_;
+}
+
+SegmentCache::Stats SegmentCache::GetStats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+void SegmentCache::InjectSpillErrors(int n) {
+  MutexLock lock(&mu_);
+  inject_faults_ = n;
+}
+
+Result<PinnedSegment> PinSegment(SegmentCache::Id id) {
+  SegmentCache& cache = SegmentCache::Global();
+  auto data = cache.Pin(id);
+  if (!data.ok()) return data.status();
+  return PinnedSegment(&cache, id, std::move(data).value());
+}
+
+}  // namespace elephant::exec

@@ -1,0 +1,182 @@
+#ifndef ELEPHANT_EXEC_SEGCACHE_H_
+#define ELEPHANT_EXEC_SEGCACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace elephant::exec {
+
+/// Execution memory budget (DESIGN.md §15). 0 means unlimited: every
+/// operator keeps its fully in-memory shape, which is also the oracle
+/// the spilling paths are tested against. A non-zero budget bounds
+/// operator working state: half of it backs the segment cache (encoded
+/// chunks at rest), the other half is the planning target for hash
+/// tables, sort runs, and partition fan-outs.
+///
+/// The budget is read once per operator invocation and every spill
+/// decision is a pure function of (input byte sizes, budget) — never of
+/// live allocation counters — so a given (plan, budget) pair takes the
+/// same code path on every run and at every thread count.
+size_t ExecMemoryBudget();
+
+/// Sets the budget in bytes (0 = unlimited) and resizes the global
+/// segment cache to half of it. Test/bench knob; the environment
+/// variable ELEPHANT_MEM_BUDGET ("64MB", "1GB", plain bytes) seeds the
+/// initial value.
+void SetExecMemoryBudget(size_t bytes);
+
+/// Parses "64MB" / "1gb" / "4096" style sizes (B/KB/MB/GB suffixes,
+/// case-insensitive, power-of-two units). Returns an error Status on
+/// malformed input.
+Result<size_t> ParseByteSize(const std::string& text);
+
+/// A paged cache of immutable byte segments (encoded column chunks).
+/// Segments are inserted resident; once the resident total exceeds the
+/// cache budget, a clock sweep over ids in insertion order evicts
+/// unpinned segments to an anonymous spill file (created lazily,
+/// deleted on process exit). Pinning a spilled segment reads it back;
+/// payloads are immutable, so a clean on-disk copy is written at most
+/// once and re-eviction after that is free.
+///
+/// Determinism: ids are assigned from a counter and the clock hand
+/// walks the ordered id map, so for a fixed sequence of cache
+/// operations the eviction order — and every stats counter — is fully
+/// reproducible. Query answers never depend on eviction at all: a pin
+/// returns the same bytes whether the segment was resident or on disk.
+///
+/// Thread safety: every member is guarded by one mutex; pins are
+/// counted so concurrent morsels can hold overlapping segments.
+class SegmentCache {
+ public:
+  using Id = uint64_t;
+
+  struct Stats {
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+    uint64_t spill_bytes_written = 0;
+    uint64_t spill_bytes_read = 0;
+    uint64_t resident_bytes = 0;
+    uint64_t entries = 0;
+    uint64_t pinned = 0;
+  };
+
+  SegmentCache() = default;
+  ~SegmentCache();
+  SegmentCache(const SegmentCache&) = delete;
+  SegmentCache& operator=(const SegmentCache&) = delete;
+
+  /// The process-wide cache used by the spilling operators.
+  static SegmentCache& Global();
+
+  /// Takes ownership of `bytes`, returns its id. May evict other
+  /// unpinned segments (and surfaces their spill-write errors here).
+  Result<Id> Insert(std::vector<uint8_t> bytes);
+
+  /// Pins a segment and returns its bytes, reading them back from the
+  /// spill file when evicted. Unpin exactly once per successful Pin.
+  Result<std::shared_ptr<const std::vector<uint8_t>>> Pin(Id id);
+  void Unpin(Id id);
+
+  /// Drops a segment and recycles its spill-file slot. Removing a
+  /// pinned or unknown id is a programming error (CHECK).
+  void Remove(Id id);
+
+  /// Drops everything (CHECKs nothing is pinned) and closes the spill
+  /// file. Budget and injected faults are preserved; stats reset.
+  void Clear();
+
+  /// Cache budget in bytes; 0 = never evict.
+  void SetBudget(size_t bytes);
+  size_t Budget() const;
+
+  Stats GetStats() const;
+
+  /// Fault injection for the chaos suite: the next `n` spill-file I/O
+  /// operations (writes on eviction, reads on pin) fail with an
+  /// IOError Status. 0 disarms.
+  void InjectSpillErrors(int n);
+
+ private:
+  struct Entry {
+    std::shared_ptr<const std::vector<uint8_t>> data;  // null when on disk only
+    size_t size = 0;
+    int pins = 0;
+    bool ref = false;     // clock second-chance bit
+    long file_off = -1;   // byte offset in the spill file, -1 = never spilled
+  };
+
+  Status EvictToBudgetLocked() ELEPHANT_REQUIRES(mu_);
+  Status SpillLocked(Id id, Entry* e) ELEPHANT_REQUIRES(mu_);
+  Status LoadLocked(Entry* e) ELEPHANT_REQUIRES(mu_);
+  bool TakeInjectedFaultLocked() ELEPHANT_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::map<Id, Entry> entries_ ELEPHANT_GUARDED_BY(mu_);
+  Id next_id_ ELEPHANT_GUARDED_BY(mu_) = 1;
+  Id hand_ ELEPHANT_GUARDED_BY(mu_) = 0;
+  size_t budget_ ELEPHANT_GUARDED_BY(mu_) = 0;
+  size_t resident_ ELEPHANT_GUARDED_BY(mu_) = 0;
+  std::FILE* spill_ ELEPHANT_GUARDED_BY(mu_) = nullptr;
+  long spill_end_ ELEPHANT_GUARDED_BY(mu_) = 0;
+  /// Exact-size free lists of recycled spill-file slots, ordered so
+  /// slot reuse is deterministic.
+  std::map<size_t, std::vector<long>> free_slots_ ELEPHANT_GUARDED_BY(mu_);
+  int inject_faults_ ELEPHANT_GUARDED_BY(mu_) = 0;
+  Stats stats_ ELEPHANT_GUARDED_BY(mu_);
+};
+
+/// RAII pin: holds the bytes of one cached segment for the scope.
+class PinnedSegment {
+ public:
+  PinnedSegment() = default;
+  PinnedSegment(SegmentCache* cache, SegmentCache::Id id,
+                std::shared_ptr<const std::vector<uint8_t>> data)
+      : cache_(cache), id_(id), data_(std::move(data)) {}
+  PinnedSegment(PinnedSegment&& o) noexcept
+      : cache_(o.cache_), id_(o.id_), data_(std::move(o.data_)) {
+    o.cache_ = nullptr;
+  }
+  PinnedSegment& operator=(PinnedSegment&& o) noexcept {
+    if (this != &o) {
+      Release();
+      cache_ = o.cache_;
+      id_ = o.id_;
+      data_ = std::move(o.data_);
+      o.cache_ = nullptr;
+    }
+    return *this;
+  }
+  PinnedSegment(const PinnedSegment&) = delete;
+  PinnedSegment& operator=(const PinnedSegment&) = delete;
+  ~PinnedSegment() { Release(); }
+
+  const std::vector<uint8_t>& bytes() const { return *data_; }
+
+ private:
+  void Release() {
+    if (cache_ != nullptr) {
+      cache_->Unpin(id_);
+      cache_ = nullptr;
+    }
+  }
+
+  SegmentCache* cache_ = nullptr;
+  SegmentCache::Id id_ = 0;
+  std::shared_ptr<const std::vector<uint8_t>> data_;
+};
+
+/// Pins `id` in the global cache, propagating Pin errors.
+Result<PinnedSegment> PinSegment(SegmentCache::Id id);
+
+}  // namespace elephant::exec
+
+#endif  // ELEPHANT_EXEC_SEGCACHE_H_

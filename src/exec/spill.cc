@@ -1,0 +1,801 @@
+#include "exec/spill.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/task_pool.h"
+#include "exec/compress.h"
+#include "exec/kernels_internal.h"
+#include "exec/segcache.h"
+
+namespace elephant::exec {
+
+namespace {
+
+using internal::ColBuildInsert;
+using internal::ColBuildMap;
+using internal::ColLookupOne;
+using internal::JoinPair;
+using internal::KeyHashAt;
+using internal::KeyPart;
+using internal::kPadRow;
+using internal::MakeKeyParts;
+using internal::VecAggState;
+
+std::atomic<uint64_t> g_join_spills{0};
+std::atomic<uint64_t> g_agg_spills{0};
+std::atomic<uint64_t> g_sort_spills{0};
+std::atomic<uint64_t> g_partitions{0};
+std::atomic<uint64_t> g_recursions{0};
+std::atomic<uint64_t> g_fallbacks{0};
+
+/// Rows per spilled chunk. Segment payloads are encoded chunks of this
+/// many values, so the sort-merge cursors can map a run position to a
+/// chunk index with one division.
+constexpr size_t kSpillChunkRows = 65536;
+
+/// A build partition recursing more than this many times joins in
+/// place regardless of size (pathological key skew: every key equal).
+constexpr int kMaxRecursion = 3;
+
+/// Recursion level d re-partitions on hash bits [38 + 6d, 41 + 6d);
+/// the top level owns bits [32, 38) (at most 64 partitions), so no
+/// level ever reuses a parent's bits.
+constexpr int kRecursionShiftBase = 38;
+constexpr size_t kRecursionFan = 8;
+
+/// Estimated per-row bytes of `t`'s columnar payload.
+size_t RowWidth(const Table& t) {
+  size_t w = 0;
+  for (const Column& c : t.columns()) {
+    w += c.type == ValueType::kString ? 4 : 8;
+  }
+  return w;
+}
+
+/// Per-row hash-table overhead on top of the payload (bucket, group
+/// vector, chain slack). A planning constant, not a measurement — it
+/// only has to make the spill decision a pure function of the input.
+constexpr size_t kHashRowOverhead = 48;
+constexpr size_t kAggRowOverhead = 32;
+constexpr size_t kSortRowBytes = 12;  // 8B key image + 4B index per key
+
+/// Smallest power-of-two partition count (>= 2, <= 64) whose per-
+/// partition share of `bytes` fits the operator half of the budget.
+size_t ChoosePartitions(size_t bytes, size_t budget) {
+  size_t p = 2;
+  while (p < 64 && bytes / p > budget / 2) p *= 2;
+  return p;
+}
+
+bool FanOutProfitable(size_t n) {
+  return ExecThreads() > 1 && n >= 2 * ExecMorselSize();
+}
+
+// ---- Segment-cache plumbing ----------------------------------------------
+
+/// Owns the cache ids of one spill scope; removing them on destruction
+/// keeps the failure contract (no leaked segments) with no manual
+/// cleanup on any error path. Loads pin-and-unpin, so nothing tracked
+/// here is ever pinned when the scope unwinds.
+class SpillSet {
+ public:
+  SpillSet() = default;
+  SpillSet(const SpillSet&) = delete;
+  SpillSet& operator=(const SpillSet&) = delete;
+  ~SpillSet() {
+    for (SegmentCache::Id id : ids_) SegmentCache::Global().Remove(id);
+  }
+
+  void Track(SegmentCache::Id id) { ids_.push_back(id); }
+
+ private:
+  std::vector<SegmentCache::Id> ids_;
+};
+
+Result<SegmentCache::Id> InsertChunk(const EncodedChunk& c, SpillSet* set) {
+  Result<SegmentCache::Id> id = SegmentCache::Global().Insert(SerializeChunk(c));
+  if (id.ok()) set->Track(id.value());
+  return id;
+}
+
+/// Spills `v[0, n)` as encoded chunks of kSpillChunkRows values each;
+/// returns the chunk ids in order. Empty inputs spill zero chunks.
+Result<std::vector<SegmentCache::Id>> SpillU32(const uint32_t* v, size_t n,
+                                               SpillSet* set) {
+  std::vector<SegmentCache::Id> ids;
+  for (size_t off = 0; off < n; off += kSpillChunkRows) {
+    size_t rows = std::min(kSpillChunkRows, n - off);
+    ELEPHANT_ASSIGN_OR_RETURN(
+        SegmentCache::Id id,
+        InsertChunk(EncodeCodeChunkAuto(v + off, rows), set));
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+Result<std::vector<SegmentCache::Id>> SpillF64(const double* v, size_t n,
+                                               SpillSet* set) {
+  std::vector<SegmentCache::Id> ids;
+  for (size_t off = 0; off < n; off += kSpillChunkRows) {
+    size_t rows = std::min(kSpillChunkRows, n - off);
+    ELEPHANT_ASSIGN_OR_RETURN(
+        SegmentCache::Id id,
+        InsertChunk(EncodeDoubleChunkAuto(v + off, rows), set));
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+Status LoadU32Chunk(SegmentCache::Id id, std::vector<uint32_t>* out) {
+  ELEPHANT_ASSIGN_OR_RETURN(PinnedSegment seg, PinSegment(id));
+  ELEPHANT_ASSIGN_OR_RETURN(
+      EncodedChunk c, ParseChunk(seg.bytes().data(), seg.bytes().size()));
+  out->resize(c.rows);
+  DecodeCodeChunk(c, out->data());
+  return Status::OK();
+}
+
+Status LoadF64Chunk(SegmentCache::Id id, std::vector<double>* out) {
+  ELEPHANT_ASSIGN_OR_RETURN(PinnedSegment seg, PinSegment(id));
+  ELEPHANT_ASSIGN_OR_RETURN(
+      EncodedChunk c, ParseChunk(seg.bytes().data(), seg.bytes().size()));
+  out->resize(c.rows);
+  DecodeDoubleChunk(c, out->data());
+  return Status::OK();
+}
+
+/// Reassembles a full spilled u32 sequence (concatenated chunks).
+Status LoadU32(const std::vector<SegmentCache::Id>& ids,
+               std::vector<uint32_t>* out) {
+  out->clear();
+  std::vector<uint32_t> chunk;
+  for (SegmentCache::Id id : ids) {
+    ELEPHANT_RETURN_NOT_OK(LoadU32Chunk(id, &chunk));
+    out->insert(out->end(), chunk.begin(), chunk.end());
+  }
+  return Status::OK();
+}
+
+// ---- Deterministic index binning -----------------------------------------
+
+/// Bins row indices into `buckets` by `bucket_of(i)`. Position k of the
+/// virtual input is global row sel[k] (or k when sel is null). The
+/// parallel path bins per-morsel slots and concatenates them in morsel
+/// order, so every bucket's index list is ascending — the property all
+/// three bit-identity proofs lean on — at any thread count.
+template <typename BucketFn>
+std::vector<std::vector<uint32_t>> BinIndices(size_t n, const uint32_t* sel,
+                                              size_t buckets,
+                                              BucketFn bucket_of) {
+  std::vector<std::vector<uint32_t>> out(buckets);
+  if (FanOutProfitable(n)) {
+    const size_t morsel = ExecMorselSize();
+    size_t nchunks = (n + morsel - 1) / morsel;
+    std::vector<std::vector<std::vector<uint32_t>>> slots(
+        nchunks, std::vector<std::vector<uint32_t>>(buckets));
+    TaskPool::Global(ExecThreads())
+        .ParallelFor(
+            0, n, morsel,
+            [&](size_t lo, size_t hi) {
+              auto& bins = slots[lo / morsel];
+              for (size_t k = lo; k < hi; ++k) {
+                uint32_t i = sel != nullptr ? sel[k] : static_cast<uint32_t>(k);
+                bins[bucket_of(i)].push_back(i);
+              }
+            },
+            ExecThreads());
+    for (size_t c = 0; c < nchunks; ++c) {
+      for (size_t b = 0; b < buckets; ++b) {
+        out[b].insert(out[b].end(), slots[c][b].begin(), slots[c][b].end());
+      }
+    }
+  } else {
+    for (size_t k = 0; k < n; ++k) {
+      uint32_t i = sel != nullptr ? sel[k] : static_cast<uint32_t>(k);
+      out[bucket_of(i)].push_back(i);
+    }
+  }
+  return out;
+}
+
+// ---- Grace hash join -----------------------------------------------------
+
+/// Pairs for inner/outer, selected left rows for semi/anti; one of the
+/// two is populated per join.
+struct JoinEmit {
+  std::vector<JoinPair> pairs;
+  std::vector<uint32_t> sel;
+};
+
+size_t JoinBuildBytes(size_t right_rows, size_t right_width) {
+  return right_rows * (right_width + kHashRowOverhead);
+}
+
+/// Joins one leaf partition in memory: builds over `ridx` in ascending
+/// global order (so each key group's row list is ascending, exactly as
+/// the in-memory build), probes `lidx` in ascending order with morsel
+/// fan-out, and appends matches to `out`.
+void JoinLeaf(const std::vector<KeyPart>& lparts,
+              const std::vector<KeyPart>& rparts,
+              const std::vector<uint32_t>& lidx,
+              const std::vector<uint32_t>& ridx, JoinType type,
+              JoinEmit* out) {
+  g_partitions.fetch_add(1, std::memory_order_relaxed);
+  ColBuildMap map;
+  for (uint32_t r : ridx) {
+    ColBuildInsert(&map, rparts, KeyHashAt(rparts, r), r);
+  }
+  size_t n = lidx.size();
+  bool pairs_mode = type == JoinType::kInner || type == JoinType::kLeftOuter;
+  bool want = type == JoinType::kLeftSemi;
+  auto probe_range = [&](size_t lo, size_t hi, std::vector<JoinPair>* pslot,
+                         std::vector<uint32_t>* sslot) {
+    for (size_t k = lo; k < hi; ++k) {
+      uint32_t l = lidx[k];
+      const std::vector<uint32_t>* matches =
+          ColLookupOne(map, lparts, rparts, l);
+      if (pairs_mode) {
+        if (matches != nullptr) {
+          for (uint32_t r : *matches) pslot->emplace_back(l, r);
+        } else if (type == JoinType::kLeftOuter) {
+          pslot->emplace_back(l, kPadRow);
+        }
+      } else if ((matches != nullptr) == want) {
+        sslot->push_back(l);
+      }
+    }
+  };
+  if (FanOutProfitable(n)) {
+    const size_t morsel = ExecMorselSize();
+    size_t nchunks = (n + morsel - 1) / morsel;
+    std::vector<std::vector<JoinPair>> pslots(nchunks);
+    std::vector<std::vector<uint32_t>> sslots(nchunks);
+    TaskPool::Global(ExecThreads())
+        .ParallelFor(
+            0, n, morsel,
+            [&](size_t lo, size_t hi) {
+              probe_range(lo, hi, &pslots[lo / morsel], &sslots[lo / morsel]);
+            },
+            ExecThreads());
+    for (size_t c = 0; c < nchunks; ++c) {
+      out->pairs.insert(out->pairs.end(), pslots[c].begin(), pslots[c].end());
+      out->sel.insert(out->sel.end(), sslots[c].begin(), sslots[c].end());
+    }
+  } else {
+    probe_range(0, n, &out->pairs, &out->sel);
+  }
+}
+
+/// Joins one partition, re-partitioning on deeper hash bits while the
+/// build side still exceeds its budget share. The fan-out index sets
+/// are parked in the segment cache (scoped SpillSet) and reloaded one
+/// child at a time.
+Status JoinPartition(const std::vector<KeyPart>& lparts,
+                     const std::vector<KeyPart>& rparts,
+                     std::vector<uint32_t> lidx, std::vector<uint32_t> ridx,
+                     size_t right_width, size_t budget, int depth,
+                     JoinType type, JoinEmit* out) {
+  if (depth >= kMaxRecursion ||
+      JoinBuildBytes(ridx.size(), right_width) <= budget / 2) {
+    JoinLeaf(lparts, rparts, lidx, ridx, type, out);
+    return Status::OK();
+  }
+  g_recursions.fetch_add(1, std::memory_order_relaxed);
+  int shift = kRecursionShiftBase + 6 * depth;
+  auto bucket_l = [&](uint32_t i) {
+    return (KeyHashAt(lparts, i) >> shift) & (kRecursionFan - 1);
+  };
+  auto bucket_r = [&](uint32_t i) {
+    return (KeyHashAt(rparts, i) >> shift) & (kRecursionFan - 1);
+  };
+  std::vector<std::vector<uint32_t>> lb(kRecursionFan);
+  std::vector<std::vector<uint32_t>> rb(kRecursionFan);
+  for (uint32_t i : lidx) lb[bucket_l(i)].push_back(i);
+  for (uint32_t i : ridx) rb[bucket_r(i)].push_back(i);
+  lidx = {};
+  ridx = {};
+  SpillSet set;
+  std::vector<std::vector<SegmentCache::Id>> lids(kRecursionFan);
+  std::vector<std::vector<SegmentCache::Id>> rids(kRecursionFan);
+  for (size_t f = 0; f < kRecursionFan; ++f) {
+    ELEPHANT_ASSIGN_OR_RETURN(lids[f], SpillU32(lb[f].data(), lb[f].size(),
+                                                &set));
+    lb[f] = {};
+    ELEPHANT_ASSIGN_OR_RETURN(rids[f], SpillU32(rb[f].data(), rb[f].size(),
+                                                &set));
+    rb[f] = {};
+  }
+  for (size_t f = 0; f < kRecursionFan; ++f) {
+    std::vector<uint32_t> l2;
+    std::vector<uint32_t> r2;
+    ELEPHANT_RETURN_NOT_OK(LoadU32(lids[f], &l2));
+    ELEPHANT_RETURN_NOT_OK(LoadU32(rids[f], &r2));
+    ELEPHANT_RETURN_NOT_OK(JoinPartition(lparts, rparts, std::move(l2),
+                                         std::move(r2), right_width, budget,
+                                         depth + 1, type, out));
+  }
+  return Status::OK();
+}
+
+Result<Table> GraceHashJoinImpl(const Table& left, const Table& right,
+                                const std::vector<int>& left_keys,
+                                const std::vector<int>& right_keys,
+                                JoinType type) {
+  g_join_spills.fetch_add(1, std::memory_order_relaxed);
+  size_t budget = ExecMemoryBudget();
+  std::vector<KeyPart> lparts = MakeKeyParts(left, left_keys);
+  std::vector<KeyPart> rparts = MakeKeyParts(right, right_keys);
+  size_t right_width = RowWidth(right);
+  size_t parts =
+      ChoosePartitions(JoinBuildBytes(right.num_rows(), right_width), budget);
+
+  // Top-level split on hash bits [32, 32 + log2(parts)): disjoint from
+  // both the in-memory partition mask (low 5 bits) and the recursion
+  // bits. A left row and its matching build rows share the full hash,
+  // so every match pair meets in exactly one partition.
+  auto bucket_l = [&](uint32_t i) {
+    return (KeyHashAt(lparts, i) >> 32) & (parts - 1);
+  };
+  auto bucket_r = [&](uint32_t i) {
+    return (KeyHashAt(rparts, i) >> 32) & (parts - 1);
+  };
+  std::vector<std::vector<uint32_t>> lb =
+      BinIndices(left.num_rows(), nullptr, parts, bucket_l);
+  std::vector<std::vector<uint32_t>> rb =
+      BinIndices(right.num_rows(), nullptr, parts, bucket_r);
+
+  SpillSet set;
+  std::vector<std::vector<SegmentCache::Id>> lids(parts);
+  std::vector<std::vector<SegmentCache::Id>> rids(parts);
+  for (size_t p = 0; p < parts; ++p) {
+    ELEPHANT_ASSIGN_OR_RETURN(lids[p], SpillU32(lb[p].data(), lb[p].size(),
+                                                &set));
+    lb[p] = {};
+    ELEPHANT_ASSIGN_OR_RETURN(rids[p], SpillU32(rb[p].data(), rb[p].size(),
+                                                &set));
+    rb[p] = {};
+  }
+
+  JoinEmit emit;
+  for (size_t p = 0; p < parts; ++p) {
+    std::vector<uint32_t> lidx;
+    std::vector<uint32_t> ridx;
+    ELEPHANT_RETURN_NOT_OK(LoadU32(lids[p], &lidx));
+    ELEPHANT_RETURN_NOT_OK(LoadU32(rids[p], &ridx));
+    ELEPHANT_RETURN_NOT_OK(JoinPartition(lparts, rparts, std::move(lidx),
+                                         std::move(ridx), right_width, budget,
+                                         0, type, &emit));
+  }
+
+  if (type == JoinType::kLeftSemi || type == JoinType::kLeftAnti) {
+    // Each left row was probed in exactly one partition, so the
+    // selected indices are distinct; ascending order is the order
+    // BuildSelection emits in-memory.
+    std::sort(emit.sel.begin(), emit.sel.end());
+    return GatherSelection(left, emit.sel);
+  }
+  // Within a partition left rows were probed ascending and each row's
+  // matches are its full ascending build-order match list, so a stable
+  // sort by left row interleaves the partitions back into the exact
+  // in-memory emission order.
+  std::stable_sort(
+      emit.pairs.begin(), emit.pairs.end(),
+      [](const JoinPair& a, const JoinPair& b) { return a.first < b.first; });
+  return internal::MaterializeJoinPairs(left, right, emit.pairs, type);
+}
+
+// ---- Spilling hash aggregate ---------------------------------------------
+
+/// Groups found while folding one partition: first global row and the
+/// folded states, parallel vectors.
+struct AggPartOut {
+  std::vector<uint32_t> first;
+  std::vector<std::vector<VecAggState>> states;
+};
+
+/// Folds one partition's row indices (ascending global order). A
+/// partition whose estimated state still exceeds its budget share
+/// re-partitions on deeper hash bits; sub-partitions hold disjoint
+/// group sets, so their outputs simply append (the caller's global
+/// sort by first row restores emission order).
+Status FoldPartition(const std::vector<KeyPart>& gparts,
+                     const std::vector<internal::AggInput>& ins, size_t naggs,
+                     std::vector<uint32_t> idx, size_t row_bytes,
+                     size_t budget, int depth, AggPartOut* out) {
+  if (depth < kMaxRecursion && idx.size() * row_bytes > budget / 2) {
+    g_recursions.fetch_add(1, std::memory_order_relaxed);
+    int shift = kRecursionShiftBase + 6 * depth;
+    std::vector<std::vector<uint32_t>> bins(kRecursionFan);
+    for (uint32_t i : idx) {
+      bins[(KeyHashAt(gparts, i) >> shift) & (kRecursionFan - 1)].push_back(i);
+    }
+    idx = {};
+    SpillSet set;
+    std::vector<std::vector<SegmentCache::Id>> ids(kRecursionFan);
+    for (size_t f = 0; f < kRecursionFan; ++f) {
+      ELEPHANT_ASSIGN_OR_RETURN(ids[f], SpillU32(bins[f].data(),
+                                                 bins[f].size(), &set));
+      bins[f] = {};
+    }
+    for (size_t f = 0; f < kRecursionFan; ++f) {
+      std::vector<uint32_t> sub;
+      ELEPHANT_RETURN_NOT_OK(LoadU32(ids[f], &sub));
+      ELEPHANT_RETURN_NOT_OK(FoldPartition(gparts, ins, naggs, std::move(sub),
+                                           row_bytes, budget, depth + 1, out));
+    }
+    return Status::OK();
+  }
+  g_partitions.fetch_add(1, std::memory_order_relaxed);
+  // Serial fold in ascending global row order — every group lives
+  // entirely in this partition, so its fold sequence (and double
+  // rounding) is exactly the serial oracle's.
+  size_t base = out->first.size();
+  std::unordered_map<uint64_t, std::vector<uint32_t>> index;
+  for (uint32_t i : idx) {
+    uint64_t h = KeyHashAt(gparts, i);
+    std::vector<uint32_t>& cands = index[h];
+    uint32_t gid = StringPool::kNoCode;
+    for (uint32_t g : cands) {
+      if (internal::KeysEqualAt(gparts, out->first[base + g], gparts, i)) {
+        gid = g;
+        break;
+      }
+    }
+    if (gid == StringPool::kNoCode) {
+      gid = static_cast<uint32_t>(out->first.size() - base);
+      cands.push_back(gid);
+      out->first.push_back(i);
+      out->states.emplace_back(naggs);
+    }
+    internal::FoldRowColumnar(&out->states[base + gid], ins, i);
+  }
+  return Status::OK();
+}
+
+Result<Table> SpillingHashAggregateImpl(const Table& t,
+                                        const std::vector<int>& group_cols,
+                                        const std::vector<AggExpr>& aggs,
+                                        const std::vector<uint32_t>* sel) {
+  ELEPHANT_CHECK(!group_cols.empty())
+      << "global aggregates never spill (one row of state)";
+  g_agg_spills.fetch_add(1, std::memory_order_relaxed);
+  size_t budget = ExecMemoryBudget();
+  size_t n = sel != nullptr ? sel->size() : t.num_rows();
+  std::vector<KeyPart> gparts = MakeKeyParts(t, group_cols);
+  std::vector<internal::AggInput> ins = internal::MakeAggInputs(t, aggs);
+  size_t row_bytes = RowWidth(t) + kAggRowOverhead;
+  size_t parts = ChoosePartitions(n * row_bytes, budget);
+
+  auto bucket = [&](uint32_t i) {
+    return (KeyHashAt(gparts, i) >> 32) & (parts - 1);
+  };
+  std::vector<std::vector<uint32_t>> bins =
+      BinIndices(n, sel != nullptr ? sel->data() : nullptr, parts, bucket);
+
+  SpillSet set;
+  std::vector<std::vector<SegmentCache::Id>> ids(parts);
+  for (size_t p = 0; p < parts; ++p) {
+    ELEPHANT_ASSIGN_OR_RETURN(ids[p], SpillU32(bins[p].data(), bins[p].size(),
+                                               &set));
+    bins[p] = {};
+  }
+
+  // Partition folds are independent (disjoint groups) and run through
+  // the TaskPool; each one reloads its index set and folds serially,
+  // so in-flight working state is one partition share per thread.
+  std::vector<AggPartOut> parts_out(parts);
+  std::vector<Status> parts_st(parts);
+  auto fold_range = [&](size_t lo, size_t hi) {
+    for (size_t p = lo; p < hi; ++p) {
+      std::vector<uint32_t> idx;
+      Status st = LoadU32(ids[p], &idx);
+      if (!st.ok()) {
+        parts_st[p] = st;
+        continue;
+      }
+      parts_st[p] = FoldPartition(gparts, ins, aggs.size(), std::move(idx),
+                                  row_bytes, budget, 0, &parts_out[p]);
+    }
+  };
+  if (ExecThreads() > 1 && parts > 1) {
+    TaskPool::Global(ExecThreads())
+        .ParallelFor(0, parts, 1, fold_range, ExecThreads());
+  } else {
+    fold_range(0, parts);
+  }
+  for (const Status& st : parts_st) ELEPHANT_RETURN_NOT_OK(st);
+
+  // Merge partitions sorted by first global row — the same emission
+  // rule the in-memory parallel aggregate uses, which equals the serial
+  // first-seen order.
+  std::vector<std::pair<uint32_t, std::pair<uint32_t, uint32_t>>> all;
+  for (uint32_t p = 0; p < parts; ++p) {
+    for (uint32_t g = 0; g < parts_out[p].first.size(); ++g) {
+      all.emplace_back(parts_out[p].first[g], std::make_pair(p, g));
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<uint32_t> first_rows;
+  std::vector<std::vector<VecAggState>> states;
+  first_rows.reserve(all.size());
+  states.reserve(all.size());
+  for (const auto& [fr, pg] : all) {
+    first_rows.push_back(fr);
+    states.push_back(std::move(parts_out[pg.first].states[pg.second]));
+  }
+
+  std::vector<Column> cols;
+  for (int g : group_cols) cols.push_back(t.columns()[g]);
+  for (const auto& a : aggs) cols.push_back({a.name, a.type});
+  return internal::FinalizeGroups(t, group_cols, aggs, std::move(cols),
+                                  first_rows, states);
+}
+
+// ---- External merge sort -------------------------------------------------
+
+/// One spilled sorted run: per-key image chunk ids plus the sorted
+/// global-index chunk ids.
+struct RunData {
+  size_t rows = 0;
+  /// Per sort key: chunk ids of the key image in sorted run order.
+  /// Numeric keys store the widened-double image (the comparator's
+  /// exact operand); string keys store dictionary codes.
+  std::vector<std::vector<SegmentCache::Id>> key_ids;
+  std::vector<SegmentCache::Id> idx_ids;
+};
+
+/// Streaming read cursor over one run: holds one decoded chunk per key
+/// plus the matching index chunk, advancing chunk-at-a-time.
+struct RunCursor {
+  const RunData* run = nullptr;
+  size_t pos = 0;          // next row within the run
+  size_t chunk_begin = 0;  // run row of the loaded chunk's first value
+  size_t chunk_end = 0;
+  std::vector<std::vector<double>> dbl;    // per key; empty for code keys
+  std::vector<std::vector<uint32_t>> code;  // per key; empty for numeric
+  std::vector<uint32_t> idx;
+
+  Status LoadChunk(const std::vector<char>& is_code) {
+    size_t c = pos / kSpillChunkRows;
+    for (size_t k = 0; k < run->key_ids.size(); ++k) {
+      if (is_code[k] != 0) {
+        ELEPHANT_RETURN_NOT_OK(LoadU32Chunk(run->key_ids[k][c], &code[k]));
+      } else {
+        ELEPHANT_RETURN_NOT_OK(LoadF64Chunk(run->key_ids[k][c], &dbl[k]));
+      }
+    }
+    ELEPHANT_RETURN_NOT_OK(LoadU32Chunk(run->idx_ids[c], &idx));
+    chunk_begin = c * kSpillChunkRows;
+    chunk_end = chunk_begin + idx.size();
+    return Status::OK();
+  }
+};
+
+Result<Table> ExternalSortByImpl(const Table& t,
+                                 const std::vector<SortKey>& keys) {
+  ELEPHANT_CHECK(!keys.empty()) << "external sort needs at least one key";
+  g_sort_spills.fetch_add(1, std::memory_order_relaxed);
+  size_t n = t.num_rows();
+  if (n == 0) return GatherSelection(t, {});
+  size_t budget = ExecMemoryBudget();
+  std::vector<internal::SortPart> parts = internal::MakeSortParts(t, keys);
+
+  // Run length from the budget: each resident run costs roughly the
+  // permutation slice plus one key image per key.
+  size_t per_row = 4 + kSortRowBytes * keys.size();
+  size_t run_rows = budget == 0 ? n : (budget / 2) / per_row;
+  run_rows = std::min(n, std::max<size_t>(1024, run_rows));
+  size_t nruns = (n + run_rows - 1) / run_rows;
+
+  // Phase 1: stable-sort each contiguous run of the identity
+  // permutation with the shared comparator. Runs are disjoint slices,
+  // so sorting them through the TaskPool is order-independent.
+  std::vector<uint32_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = static_cast<uint32_t>(i);
+  auto sort_runs = [&](size_t lo, size_t hi) {
+    for (size_t r = lo; r < hi; ++r) {
+      size_t b = r * run_rows;
+      size_t e = std::min(n, b + run_rows);
+      std::stable_sort(perm.begin() + static_cast<ptrdiff_t>(b),
+                       perm.begin() + static_cast<ptrdiff_t>(e),
+                       [&parts](uint32_t a, uint32_t bb) {
+                         return internal::SortIndexLess(parts, a, bb);
+                       });
+    }
+  };
+  if (ExecThreads() > 1 && nruns > 1) {
+    TaskPool::Global(ExecThreads())
+        .ParallelFor(0, nruns, 1, sort_runs, ExecThreads());
+  } else {
+    sort_runs(0, nruns);
+  }
+  g_partitions.fetch_add(nruns, std::memory_order_relaxed);
+
+  // Phase 2: spill each run's key images (in sorted run order) and its
+  // sorted index slice. Serial, so cache ids and stats are a pure
+  // function of the input.
+  std::vector<char> is_code(keys.size());
+  for (size_t k = 0; k < keys.size(); ++k) {
+    is_code[k] = parts[k].codes != nullptr ? 1 : 0;
+  }
+  SpillSet set;
+  std::vector<RunData> runs(nruns);
+  {
+    std::vector<double> dimg;
+    std::vector<uint32_t> cimg;
+    for (size_t r = 0; r < nruns; ++r) {
+      size_t b = r * run_rows;
+      size_t e = std::min(n, b + run_rows);
+      runs[r].rows = e - b;
+      runs[r].key_ids.resize(keys.size());
+      for (size_t k = 0; k < keys.size(); ++k) {
+        const internal::SortPart& p = parts[k];
+        if (is_code[k] != 0) {
+          cimg.resize(e - b);
+          for (size_t j = b; j < e; ++j) cimg[j - b] = p.codes[perm[j]];
+          ELEPHANT_ASSIGN_OR_RETURN(runs[r].key_ids[k],
+                                    SpillU32(cimg.data(), cimg.size(), &set));
+        } else {
+          dimg.resize(e - b);
+          for (size_t j = b; j < e; ++j) {
+            uint32_t i = perm[j];
+            dimg[j - b] = p.ints != nullptr ? static_cast<double>(p.ints[i])
+                                            : p.dbls[i];
+          }
+          ELEPHANT_ASSIGN_OR_RETURN(runs[r].key_ids[k],
+                                    SpillF64(dimg.data(), dimg.size(), &set));
+        }
+      }
+      ELEPHANT_ASSIGN_OR_RETURN(runs[r].idx_ids,
+                                SpillU32(perm.data() + b, e - b, &set));
+    }
+  }
+  perm = {};
+
+  // Phase 3: serial k-way merge over streaming cursors. The comparator
+  // reads the spilled images — numerics were stored as the widened
+  // doubles the in-memory comparator compares, strings as codes
+  // resolved through the shared pool — so ordering is exactly
+  // SortIndexLess; ties break by run index, which equals original-index
+  // order across contiguous runs.
+  std::vector<RunCursor> cur(nruns);
+  for (size_t r = 0; r < nruns; ++r) {
+    cur[r].run = &runs[r];
+    cur[r].dbl.resize(keys.size());
+    cur[r].code.resize(keys.size());
+    ELEPHANT_RETURN_NOT_OK(cur[r].LoadChunk(is_code));
+  }
+  auto head_less = [&](size_t a, size_t b) {
+    const RunCursor& A = cur[a];
+    const RunCursor& B = cur[b];
+    size_t ia = A.pos - A.chunk_begin;
+    size_t ib = B.pos - B.chunk_begin;
+    for (size_t k = 0; k < keys.size(); ++k) {
+      int c = 0;
+      if (is_code[k] != 0) {
+        uint32_t ca = A.code[k][ia];
+        uint32_t cb = B.code[k][ib];
+        if (ca == cb) continue;
+        const std::string& sa = t.pool().Get(ca);
+        const std::string& sb = t.pool().Get(cb);
+        c = sa < sb ? -1 : (sb < sa ? 1 : 0);
+      } else {
+        double da = A.dbl[k][ia];
+        double db = B.dbl[k][ib];
+        c = da < db ? -1 : (db < da ? 1 : 0);
+      }
+      if (c != 0) return parts[k].asc ? c < 0 : c > 0;
+    }
+    return false;
+  };
+  // Min-heap of run indices: by head key, then by run index (stability).
+  auto heap_after = [&](size_t a, size_t b) {
+    if (head_less(a, b)) return false;
+    if (head_less(b, a)) return true;
+    return a > b;
+  };
+  std::priority_queue<size_t, std::vector<size_t>, decltype(heap_after)> heap(
+      heap_after);
+  for (size_t r = 0; r < nruns; ++r) {
+    if (runs[r].rows > 0) heap.push(r);
+  }
+  std::vector<uint32_t> out_sel;
+  out_sel.reserve(n);
+  while (!heap.empty()) {
+    size_t r = heap.top();
+    heap.pop();
+    RunCursor& c = cur[r];
+    out_sel.push_back(c.idx[c.pos - c.chunk_begin]);
+    ++c.pos;
+    if (c.pos < c.run->rows) {
+      if (c.pos >= c.chunk_end) {
+        ELEPHANT_RETURN_NOT_OK(c.LoadChunk(is_code));
+      }
+      heap.push(r);
+    }
+  }
+  return GatherSelection(t, out_sel);
+}
+
+}  // namespace
+
+SpillCounters GetSpillCounters() {
+  SpillCounters c;
+  c.join_spills = g_join_spills.load(std::memory_order_relaxed);
+  c.agg_spills = g_agg_spills.load(std::memory_order_relaxed);
+  c.sort_spills = g_sort_spills.load(std::memory_order_relaxed);
+  c.partitions = g_partitions.load(std::memory_order_relaxed);
+  c.recursions = g_recursions.load(std::memory_order_relaxed);
+  c.fallbacks = g_fallbacks.load(std::memory_order_relaxed);
+  return c;
+}
+
+void ResetSpillCounters() {
+  g_join_spills.store(0, std::memory_order_relaxed);
+  g_agg_spills.store(0, std::memory_order_relaxed);
+  g_sort_spills.store(0, std::memory_order_relaxed);
+  g_partitions.store(0, std::memory_order_relaxed);
+  g_recursions.store(0, std::memory_order_relaxed);
+  g_fallbacks.store(0, std::memory_order_relaxed);
+}
+
+size_t TableByteSize(const Table& t) {
+  return t.num_rows() * RowWidth(t);
+}
+
+bool SpillJoinPlanned(const Table& right) {
+  size_t budget = ExecMemoryBudget();
+  if (budget == 0 || !right.EnsureColumnar()) return false;
+  return JoinBuildBytes(right.num_rows(), RowWidth(right)) > budget / 2;
+}
+
+bool SpillAggPlanned(const Table& t, size_t input_rows) {
+  size_t budget = ExecMemoryBudget();
+  if (budget == 0 || !t.EnsureColumnar()) return false;
+  return input_rows * (RowWidth(t) + kAggRowOverhead) > budget / 2;
+}
+
+bool SpillSortPlanned(const Table& t, const std::vector<SortKey>& keys) {
+  size_t budget = ExecMemoryBudget();
+  if (budget == 0 || keys.empty() || !t.EnsureColumnar()) return false;
+  return t.num_rows() * (4 + kSortRowBytes * keys.size()) > budget / 2;
+}
+
+Result<Table> TryGraceHashJoin(const Table& left, const Table& right,
+                               const std::vector<int>& left_keys,
+                               const std::vector<int>& right_keys,
+                               JoinType type) {
+  Result<Table> r = GraceHashJoinImpl(left, right, left_keys, right_keys,
+                                      type);
+  if (!r.ok()) g_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  return r;
+}
+
+Result<Table> TrySpillingHashAggregate(const Table& t,
+                                       const std::vector<int>& group_cols,
+                                       const std::vector<AggExpr>& aggs,
+                                       const std::vector<uint32_t>* sel) {
+  Result<Table> r = SpillingHashAggregateImpl(t, group_cols, aggs, sel);
+  if (!r.ok()) g_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  return r;
+}
+
+Result<Table> TryExternalSortBy(const Table& t,
+                                const std::vector<SortKey>& keys) {
+  Result<Table> r = ExternalSortByImpl(t, keys);
+  if (!r.ok()) g_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  return r;
+}
+
+}  // namespace elephant::exec

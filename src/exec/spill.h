@@ -1,0 +1,101 @@
+#ifndef ELEPHANT_EXEC_SPILL_H_
+#define ELEPHANT_EXEC_SPILL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/operators.h"
+#include "exec/table.h"
+
+namespace elephant::exec {
+
+/// Grace-degrading pipeline breakers (DESIGN.md §15). When a non-zero
+/// execution memory budget (segcache.h) says an operator's working
+/// state would not fit, HashJoin / HashAggregate / SortBy route here:
+/// inputs are hash-partitioned (join, aggregate) or cut into sorted
+/// runs (sort), the partition index sets / run keys are compressed into
+/// encoded chunks and parked in the global SegmentCache — which pages
+/// them to the spill file under pressure — and the pieces are processed
+/// partition-at-a-time through the TaskPool.
+///
+/// Every Try* operator is bit-identical to its in-memory twin, at any
+/// thread count:
+///  - grace join: each left row's key lives in exactly one partition
+///    and build order within a partition is global row order, so a
+///    final stable sort of the emitted (left, right) pairs by left row
+///    reproduces the in-memory probe order exactly;
+///  - spilling aggregate: partitions fold their rows in ascending
+///    global row order (same double rounding as the serial fold) and
+///    groups are emitted sorted by first global row index — the same
+///    merge rule the in-memory parallel path already uses;
+///  - external sort: runs are contiguous index ranges stable-sorted
+///    with the shared comparator, and the loser-select merge breaks
+///    ties by run index, which equals original-index order.
+///
+/// Failure contract: any spill-file I/O error surfaces as a Status from
+/// the Try* entry point with no partial results and no segments leaked
+/// in the cache; the public operators then fall back to the in-memory
+/// path (correct, merely unbounded) and count the fallback.
+
+struct SpillCounters {
+  uint64_t join_spills = 0;
+  uint64_t agg_spills = 0;
+  uint64_t sort_spills = 0;
+  /// Leaf partitions / sort runs processed across all spilling ops.
+  uint64_t partitions = 0;
+  /// Partitions that had to re-partition on deeper hash bits.
+  uint64_t recursions = 0;
+  /// Spill attempts abandoned on I/O error (in-memory fallback taken).
+  uint64_t fallbacks = 0;
+};
+
+SpillCounters GetSpillCounters();
+void ResetSpillCounters();
+
+/// Columnar payload bytes of a table: 8 bytes per numeric cell, 4 per
+/// dictionary code (pool bytes excluded — the pool is shared, not
+/// per-operator state). Spill planning is a pure function of this and
+/// the budget.
+size_t TableByteSize(const Table& t);
+
+/// Deterministic spill decisions, true when the operator's estimated
+/// working state exceeds half the budget (the other half belongs to the
+/// segment cache). Always false when the budget is unlimited or the
+/// input has no columnar form.
+bool SpillJoinPlanned(const Table& right);
+bool SpillAggPlanned(const Table& t, size_t input_rows);
+bool SpillSortPlanned(const Table& t, const std::vector<SortKey>& keys);
+
+/// Grace hash join: partitions both sides by high key-hash bits,
+/// parks the partition index sets in the segment cache, joins
+/// partition-at-a-time (recursing on deeper hash bits when a build
+/// partition still exceeds its share), and restores the in-memory
+/// emission order with one stable sort by left row. Inputs must be
+/// columnar with vectorizable key pairs (the caller gates on the same
+/// conditions as HashJoinColumnar).
+Result<Table> TryGraceHashJoin(const Table& left, const Table& right,
+                               const std::vector<int>& left_keys,
+                               const std::vector<int>& right_keys,
+                               JoinType type);
+
+/// Spilling hash aggregate over `t` (or over the ascending selection
+/// `sel` when non-null — the HashAggregateSelected shape). group_cols
+/// must be non-empty; global aggregates never spill (their working
+/// state is one row).
+Result<Table> TrySpillingHashAggregate(const Table& t,
+                                       const std::vector<int>& group_cols,
+                                       const std::vector<AggExpr>& aggs,
+                                       const std::vector<uint32_t>* sel);
+
+/// External merge sort: fixed-size contiguous runs are stable-sorted in
+/// parallel, each run's key images and index slices are compressed into
+/// the segment cache, then a serial k-way merge (ties broken by run
+/// index) streams the final permutation.
+Result<Table> TryExternalSortBy(const Table& t,
+                                const std::vector<SortKey>& keys);
+
+}  // namespace elephant::exec
+
+#endif  // ELEPHANT_EXEC_SPILL_H_

@@ -24,6 +24,10 @@
 
 #include "common/string_util.h"
 #include "common/task_pool.h"
+#include "exec/operators.h"
+#include "exec/segcache.h"
+#include "exec/spill.h"
+#include "exec/table.h"
 #include "sim/fault.h"
 #include "ycsb/driver.h"
 #include "ycsb/workload.h"
@@ -271,6 +275,125 @@ TEST(ChaosTest, ReplayEnvSeed) {
       << "replay of the same seed diverged";
   std::string err = CheckOutcome(seed, first);
   EXPECT_TRUE(err.empty()) << err;
+}
+
+// ---------------------------------------------------------------------------
+// Mid-spill fault injection (DESIGN.md §15). A spill-file I/O error in
+// the middle of an out-of-core operator must surface as a Status from
+// the Try* entry point with no partial results and no segments leaked
+// in the global cache, and the public operator must fall back to the
+// in-memory path with a bit-identical answer.
+
+exec::Table SpillChaosTable(size_t rows) {
+  exec::Table t({{"k", exec::ValueType::kInt},
+                 {"v", exec::ValueType::kDouble}});
+  for (size_t i = 0; i < rows; ++i) {
+    // Deterministic multiplicative scramble: no RNG state to manage.
+    int64_t k = static_cast<int64_t>((i * 2654435761u) % 509);
+    t.AddRow({exec::Value{k},
+              exec::Value{static_cast<double>(i % 1024) * 0.25}});
+  }
+  return t;
+}
+
+class SpillChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ambient_budget_ = exec::ExecMemoryBudget();
+    exec::SetExecMemoryBudget(0);
+    exec::ResetSpillCounters();
+    base_entries_ = exec::SegmentCache::Global().GetStats().entries;
+  }
+  void TearDown() override {
+    EXPECT_EQ(exec::SegmentCache::Global().GetStats().entries,
+              base_entries_)
+        << "a failed spill leaked segments in the global cache";
+    exec::SegmentCache::Global().InjectSpillErrors(0);
+    exec::SetExecMemoryBudget(ambient_budget_);
+  }
+
+ private:
+  size_t ambient_budget_ = 0;
+  uint64_t base_entries_ = 0;
+};
+
+TEST_F(SpillChaosTest, MidSpillWriteFaultSurfacesWithNoPartialResults) {
+  exec::Table t = SpillChaosTable(20000);
+  std::vector<exec::SortKey> keys = {{t.ColIndex("k"), true},
+                                     {t.ColIndex("v"), false}};
+  exec::SetExecMemoryBudget(64 << 10);
+  ASSERT_TRUE(exec::SpillSortPlanned(t, keys));
+  uint64_t entries = exec::SegmentCache::Global().GetStats().entries;
+  exec::SegmentCache::Global().InjectSpillErrors(1);
+  Result<exec::Table> r = exec::TryExternalSortBy(t, keys);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  // Scoped cleanup removed every segment the aborted sort had parked.
+  EXPECT_EQ(exec::SegmentCache::Global().GetStats().entries, entries);
+  // Faults exhausted: the identical call now succeeds end to end.
+  Result<exec::Table> retry = exec::TryExternalSortBy(t, keys);
+  ASSERT_TRUE(retry.ok()) << retry.status().message();
+  exec::SetExecMemoryBudget(0);
+  exec::Table oracle = exec::SortBy(t, keys);
+  EXPECT_EQ(exec::TableFingerprint(retry.value()),
+            exec::TableFingerprint(oracle));
+}
+
+TEST_F(SpillChaosTest, JoinAndAggFaultsSurfaceFromTryEntryPoints) {
+  exec::Table left = SpillChaosTable(9000);
+  exec::Table right = SpillChaosTable(8000);
+  std::vector<int> lk = {left.ColIndex("k")};
+  std::vector<int> rk = {right.ColIndex("k")};
+  std::vector<int> groups = {left.ColIndex("k")};
+  std::vector<exec::AggExpr> aggs = {
+      exec::ColAgg(exec::AggKind::kSum, left, "v", "sum_v",
+                   exec::ValueType::kDouble),
+      exec::CountAgg("n")};
+  exec::SetExecMemoryBudget(64 << 10);
+  uint64_t entries = exec::SegmentCache::Global().GetStats().entries;
+  exec::SegmentCache::Global().InjectSpillErrors(1);
+  Result<exec::Table> j = exec::TryGraceHashJoin(
+      left, right, lk, rk, exec::JoinType::kLeftSemi);
+  EXPECT_FALSE(j.ok());
+  EXPECT_EQ(exec::SegmentCache::Global().GetStats().entries, entries);
+  // The aggregate needs a tighter cache budget before its partition
+  // chunks overflow residency and touch the spill file at all.
+  exec::Table big = SpillChaosTable(40000);
+  std::vector<int> big_groups = {big.ColIndex("k")};
+  std::vector<exec::AggExpr> big_aggs = {
+      exec::ColAgg(exec::AggKind::kSum, big, "v", "sum_v",
+                   exec::ValueType::kDouble),
+      exec::CountAgg("n")};
+  exec::SetExecMemoryBudget(16 << 10);
+  exec::SegmentCache::Global().InjectSpillErrors(1);
+  Result<exec::Table> a =
+      exec::TrySpillingHashAggregate(big, big_groups, big_aggs, nullptr);
+  EXPECT_FALSE(a.ok());
+  EXPECT_EQ(exec::SegmentCache::Global().GetStats().entries, entries);
+}
+
+TEST_F(SpillChaosTest, PublicOperatorsFallBackBitIdenticalUnderFaults) {
+  exec::Table t = SpillChaosTable(20000);
+  std::vector<exec::SortKey> keys = {{t.ColIndex("k"), true}};
+  std::vector<int> groups = {t.ColIndex("k")};
+  std::vector<exec::AggExpr> aggs = {
+      exec::ColAgg(exec::AggKind::kSum, t, "v", "sum_v",
+                   exec::ValueType::kDouble),
+      exec::CountAgg("n")};
+  exec::SetExecMemoryBudget(0);
+  exec::Table sort_oracle = exec::SortBy(t, keys);
+  exec::Table agg_oracle = exec::HashAggregate(t, groups, aggs);
+  exec::SetExecMemoryBudget(64 << 10);
+  uint64_t fallbacks = exec::GetSpillCounters().fallbacks;
+  exec::SegmentCache::Global().InjectSpillErrors(1);
+  exec::Table sorted = exec::SortBy(t, keys);
+  exec::SegmentCache::Global().InjectSpillErrors(1);
+  exec::Table agged = exec::HashAggregate(t, groups, aggs);
+  EXPECT_EQ(exec::GetSpillCounters().fallbacks, fallbacks + 2);
+  EXPECT_EQ(exec::TableFingerprint(sorted),
+            exec::TableFingerprint(sort_oracle));
+  EXPECT_EQ(exec::TableFingerprint(agged),
+            exec::TableFingerprint(agg_oracle));
 }
 
 }  // namespace

@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/compress.h"
+#include "exec/fused.h"
+#include "exec/operators.h"
+#include "exec/table.h"
+#include "exec/zonemap.h"
+#include "tpch/dbgen.h"
+
+namespace elephant::exec {
+namespace {
+
+// ---- Chunk shapes shared across the codec property tests -----------------
+
+std::vector<int64_t> IntShape(const std::string& shape, size_t n) {
+  Rng rng(0xC0DEC5);
+  std::vector<int64_t> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (shape == "constant") {
+      v.push_back(42);
+    } else if (shape == "single_run_tail") {
+      v.push_back(i < n / 2 ? 7 : 8);
+    } else if (shape == "alternating") {
+      v.push_back(i % 2 == 0 ? -3 : 1000);
+    } else if (shape == "ascending") {
+      v.push_back(static_cast<int64_t>(i) + 1000000);
+    } else if (shape == "negatives") {
+      v.push_back(-static_cast<int64_t>(rng.Uniform(1 << 20)) - 1);
+    } else if (shape == "extremes") {
+      v.push_back(i % 3 == 0 ? std::numeric_limits<int64_t>::min()
+                             : (i % 3 == 1 ? std::numeric_limits<int64_t>::max()
+                                           : 0));
+    } else {  // random
+      v.push_back(static_cast<int64_t>(rng.Next()));
+    }
+  }
+  return v;
+}
+
+std::vector<double> DoubleShape(const std::string& shape, size_t n) {
+  Rng rng(0xD0B1E5);
+  std::vector<double> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (shape == "constant") {
+      v.push_back(2.5);
+    } else if (shape == "nan_poisoned") {
+      v.push_back(i == n / 2 ? std::numeric_limits<double>::quiet_NaN()
+                             : static_cast<double>(i));
+    } else if (shape == "signed_zero") {
+      v.push_back(i % 2 == 0 ? 0.0 : -0.0);
+    } else if (shape == "runs") {
+      v.push_back(static_cast<double>(i / 16));
+    } else {  // random
+      v.push_back(rng.NextDouble() * 1e6 - 5e5);
+    }
+  }
+  return v;
+}
+
+std::vector<uint32_t> CodeShape(const std::string& shape, size_t n) {
+  Rng rng(0x5EED);
+  std::vector<uint32_t> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (shape == "constant") {
+      v.push_back(3);
+    } else if (shape == "alternating") {
+      v.push_back(i % 2 == 0 ? 0 : StringPool::kNoCode - 1);
+    } else if (shape == "small_domain") {
+      v.push_back(static_cast<uint32_t>(rng.Uniform(7)));
+    } else {  // random
+      v.push_back(static_cast<uint32_t>(rng.Next()));
+    }
+  }
+  return v;
+}
+
+bool IntCodecApplies(Codec c, const std::vector<int64_t>& v) {
+  if (c != Codec::kBitPack) return true;
+  for (int64_t x : v) {
+    if (x < 0) return false;
+  }
+  return true;
+}
+
+// ---- Round-trip property tests: codec x type x shape ---------------------
+
+TEST(CompressTest, Int64RoundTripEveryCodecAndShape) {
+  const std::vector<std::string> shapes = {
+      "constant", "single_run_tail", "alternating", "ascending",
+      "negatives", "extremes",        "random"};
+  const std::vector<size_t> sizes = {0, 1, 2, 100, 4096};
+  for (const std::string& shape : shapes) {
+    for (size_t n : sizes) {
+      std::vector<int64_t> v = IntShape(shape, n);
+      for (Codec c : {Codec::kPlain, Codec::kRle, Codec::kBitPack,
+                      Codec::kFor}) {
+        if (!IntCodecApplies(c, v)) continue;
+        EncodedChunk e = EncodeInt64Chunk(v.data(), n, c);
+        EXPECT_EQ(e.rows, n);
+        std::vector<int64_t> out(n);
+        DecodeInt64Chunk(e, out.data());
+        EXPECT_EQ(out, v) << shape << " n=" << n << " codec="
+                          << CodecName(c);
+      }
+      EncodedChunk a = EncodeInt64ChunkAuto(v.data(), n);
+      std::vector<int64_t> out(n);
+      DecodeInt64Chunk(a, out.data());
+      EXPECT_EQ(out, v) << shape << " n=" << n << " auto";
+    }
+  }
+}
+
+TEST(CompressTest, DoubleRoundTripBitExact) {
+  const std::vector<std::string> shapes = {"constant", "nan_poisoned",
+                                           "signed_zero", "runs", "random"};
+  for (const std::string& shape : shapes) {
+    for (size_t n : {size_t{0}, size_t{1}, size_t{777}, size_t{4096}}) {
+      std::vector<double> v = DoubleShape(shape, n);
+      for (Codec c : {Codec::kPlain, Codec::kRle}) {
+        EncodedChunk e = EncodeDoubleChunk(v.data(), n, c);
+        std::vector<double> out(n);
+        DecodeDoubleChunk(e, out.data());
+        for (size_t i = 0; i < n; ++i) {
+          // Bit-pattern equality: NaN payloads and -0.0 must survive.
+          uint64_t a, b;
+          std::memcpy(&a, &v[i], 8);
+          std::memcpy(&b, &out[i], 8);
+          EXPECT_EQ(a, b) << shape << " n=" << n << " i=" << i
+                          << " codec=" << CodecName(c);
+        }
+      }
+    }
+  }
+}
+
+TEST(CompressTest, CodeRoundTripEveryCodecAndShape) {
+  const std::vector<std::string> shapes = {"constant", "alternating",
+                                           "small_domain", "random"};
+  for (const std::string& shape : shapes) {
+    for (size_t n : {size_t{0}, size_t{1}, size_t{33}, size_t{4096}}) {
+      std::vector<uint32_t> v = CodeShape(shape, n);
+      for (Codec c : {Codec::kPlain, Codec::kRle, Codec::kBitPack,
+                      Codec::kFor}) {
+        EncodedChunk e = EncodeCodeChunk(v.data(), n, c);
+        std::vector<uint32_t> out(n);
+        DecodeCodeChunk(e, out.data());
+        EXPECT_EQ(out, v) << shape << " n=" << n << " codec="
+                          << CodecName(c);
+      }
+      EncodedChunk a = EncodeCodeChunkAuto(v.data(), n);
+      std::vector<uint32_t> out(n);
+      DecodeCodeChunk(a, out.data());
+      EXPECT_EQ(out, v) << shape << " n=" << n << " auto";
+    }
+  }
+}
+
+TEST(CompressTest, AutoChooserPicksCompactCodecs) {
+  // Constant run: RLE wins by a mile.
+  std::vector<int64_t> runs(4096, 42);
+  EXPECT_EQ(EncodeInt64ChunkAuto(runs.data(), runs.size()).codec, Codec::kRle);
+  // Small dense domain with distinct neighbors: packing beats RLE.
+  std::vector<int64_t> dense(4096);
+  for (size_t i = 0; i < dense.size(); ++i) {
+    dense[i] = static_cast<int64_t>(i % 13);
+  }
+  EncodedChunk d = EncodeInt64ChunkAuto(dense.data(), dense.size());
+  EXPECT_TRUE(d.codec == Codec::kBitPack || d.codec == Codec::kFor);
+  EXPECT_LT(d.EncodedBytes(), dense.size() * 8 / 4);
+  // Large offset, small spread: FOR packs far tighter than bit-packing
+  // from zero (which is not even applicable pre-shift for negatives).
+  std::vector<int64_t> offset(4096);
+  for (size_t i = 0; i < offset.size(); ++i) {
+    offset[i] = -5000000000LL + static_cast<int64_t>(i % 17);
+  }
+  EXPECT_EQ(EncodeInt64ChunkAuto(offset.data(), offset.size()).codec,
+            Codec::kFor);
+  // Full-range random data: nothing beats plain.
+  std::vector<int64_t> rnd = IntShape("random", 4096);
+  EXPECT_EQ(EncodeInt64ChunkAuto(rnd.data(), rnd.size()).codec, Codec::kPlain);
+}
+
+TEST(CompressTest, EncodedBoundsMatchZoneSemantics) {
+  // Numeric bounds come back as the widened-double image; a NaN
+  // anywhere poisons the chunk exactly like the zone-map builder.
+  std::vector<int64_t> ints = {5, -2, 100, 3};
+  for (Codec c : {Codec::kPlain, Codec::kRle, Codec::kFor}) {
+    EncodedBounds b =
+        EncodedChunkBounds(EncodeInt64Chunk(ints.data(), ints.size(), c));
+    EXPECT_FALSE(b.is_code);
+    EXPECT_DOUBLE_EQ(b.min, -2.0);
+    EXPECT_DOUBLE_EQ(b.max, 100.0);
+  }
+  std::vector<double> poisoned =
+      DoubleShape("nan_poisoned", 64);
+  for (Codec c : {Codec::kPlain, Codec::kRle}) {
+    EncodedBounds b = EncodedChunkBounds(
+        EncodeDoubleChunk(poisoned.data(), poisoned.size(), c));
+    EXPECT_TRUE(std::isnan(b.min));
+    EXPECT_TRUE(std::isnan(b.max));
+  }
+  std::vector<uint32_t> codes = {9, 2, 7};
+  for (Codec c : {Codec::kPlain, Codec::kRle, Codec::kBitPack, Codec::kFor}) {
+    EncodedBounds b =
+        EncodedChunkBounds(EncodeCodeChunk(codes.data(), codes.size(), c));
+    EXPECT_TRUE(b.is_code);
+    EXPECT_EQ(b.code_min, 2u);
+    EXPECT_EQ(b.code_max, 9u);
+  }
+}
+
+TEST(CompressTest, SerializeParseRoundTripAndCorruption) {
+  std::vector<int64_t> v = IntShape("ascending", 1000);
+  EncodedChunk e = EncodeInt64ChunkAuto(v.data(), v.size());
+  std::vector<uint8_t> bytes = SerializeChunk(e);
+  Result<EncodedChunk> parsed = ParseChunk(bytes.data(), bytes.size());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::vector<int64_t> out(v.size());
+  DecodeInt64Chunk(parsed.value(), out.data());
+  EXPECT_EQ(out, v);
+
+  // Truncation and garbage surface as Status, never partial chunks.
+  EXPECT_FALSE(ParseChunk(bytes.data(), 3).ok());
+  EXPECT_FALSE(ParseChunk(bytes.data(), bytes.size() - 1).ok());
+  std::vector<uint8_t> garbage = bytes;
+  garbage[0] = 0xEE;  // unknown codec tag
+  EXPECT_FALSE(ParseChunk(garbage.data(), garbage.size()).ok());
+}
+
+// ---- Whole-table compression against dbgen data --------------------------
+
+TEST(CompressTest, TpchTableRoundTripBitExact) {
+  tpch::TpchDatabase db = tpch::GenerateDatabase(0.01);
+  for (const Table* t : {&db.lineitem, &db.orders, &db.part}) {
+    CompressedTable ct = CompressTable(*t);
+    EXPECT_EQ(ct.rows, t->num_rows());
+    Table back = DecompressTable(ct);
+    EXPECT_EQ(TableFingerprint(back), TableFingerprint(*t));
+    // Zone-map-driven codec choice should actually compress dbgen data.
+    EXPECT_LT(ct.EncodedBytes(), ct.PlainBytes());
+  }
+}
+
+TEST(CompressTest, CompressedZoneMapsMatchPlainOnes) {
+  tpch::TpchDatabase db = tpch::GenerateDatabase(0.01);
+  const Table& l = db.lineitem;
+  CompressedTable ct = CompressTable(l);
+  std::shared_ptr<const ZoneMaps> zc = BuildZoneMapsCompressed(ct);
+  ASSERT_NE(zc, nullptr);
+  std::shared_ptr<const ZoneMaps> zm = GetZoneMaps(l);
+  ASSERT_NE(zm, nullptr);
+  ASSERT_EQ(zc->num_chunks, zm->num_chunks);
+  ASSERT_EQ(zc->cols.size(), zm->cols.size());
+  for (size_t c = 0; c < zm->cols.size(); ++c) {
+    const ColumnZones& a = zc->cols[c];
+    const ColumnZones& b = zm->cols[c];
+    EXPECT_EQ(a.sorted_asc, b.sorted_asc) << "col " << c;
+    ASSERT_EQ(a.min.size(), b.min.size());
+    for (size_t k = 0; k < b.min.size(); ++k) {
+      // Bit-compare so NaN-poisoned chunks count as equal too.
+      uint64_t amin, bmin, amax, bmax;
+      std::memcpy(&amin, &a.min[k], 8);
+      std::memcpy(&bmin, &b.min[k], 8);
+      std::memcpy(&amax, &a.max[k], 8);
+      std::memcpy(&bmax, &b.max[k], 8);
+      EXPECT_EQ(amin, bmin) << "col " << c << " chunk " << k;
+      EXPECT_EQ(amax, bmax) << "col " << c << " chunk " << k;
+    }
+    EXPECT_EQ(a.code_min, b.code_min) << "col " << c;
+    EXPECT_EQ(a.code_max, b.code_max) << "col " << c;
+  }
+  // The compressed-built maps validate against the decompressed table:
+  // bounds, NaN poisoning, and sorted flags all hold.
+  Table back = DecompressTable(ct);
+  Status st = ValidateZoneMaps(back, *zc);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(CompressTest, FusedSelectPrunesOnRoundTrippedTable) {
+  tpch::TpchDatabase db = tpch::GenerateDatabase(0.02);
+  Table back = DecompressTable(CompressTable(db.lineitem));
+  ScanSpec spec;
+  spec.ranges.push_back(ColLess(back, "l_orderkey", 100.0, true));
+  ResetFusedCounters();
+  std::vector<uint32_t> fused = FusedSelect(back, spec);
+  FusedCounters fc = FusedCountersSnapshot();
+  std::vector<uint32_t> oracle =
+      EvalSelection(back.num_rows(), SpecPredicate(back, spec));
+  EXPECT_EQ(fused, oracle);
+  // l_orderkey is clustered ascending, so the selective scan must have
+  // skipped work (pruned chunks or a sorted-column binary search).
+  EXPECT_TRUE(fc.chunks_pruned > 0 || fc.sorted_bounded > 0)
+      << "pruned=" << fc.chunks_pruned << " bounded=" << fc.sorted_bounded;
+}
+
+TEST(CompressTest, WithEncodedSegmentSumsMatchPlainScan) {
+  tpch::TpchDatabase db = tpch::GenerateDatabase(0.01);
+  const Table& l = db.lineitem;
+  int qty = l.ColIndex("l_quantity");
+  EncodedColumn ec = EncodeColumn(l, qty);
+  const std::vector<double>& plain = l.DoubleData(qty);
+  double expect = 0;
+  for (double d : plain) expect += d;
+  double got = 0;
+  ChunkScratch scratch;
+  for (size_t c = 0; c < ec.chunks.size(); ++c) {
+    got += WithEncodedSegment(ec, c, &scratch, [](auto seg, size_t rows) {
+      double s = 0;
+      for (size_t i = 0; i < rows; ++i) s += static_cast<double>(seg(i));
+      return s;
+    });
+  }
+  EXPECT_DOUBLE_EQ(got, expect);
+}
+
+}  // namespace
+}  // namespace elephant::exec

@@ -10,6 +10,8 @@
 
 #include "exec/fused.h"
 #include "exec/operators.h"
+#include "exec/segcache.h"
+#include "exec/spill.h"
 #include "exec/table.h"
 #include "exec/zonemap.h"
 
@@ -871,6 +873,241 @@ TEST_F(FusedTest, KnobOffTakesOraclePathBitIdentically) {
   SetExecFusedPath(false);
   Table agg_off = FusedAggregate(t, spec, {"s"}, aggs);
   ExpectExactlyEqual(agg_on, agg_off, "fused agg knob on vs off");
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-core execution (DESIGN.md §15). Under a finite memory budget
+// the pipeline breakers partition and spill through the segment cache;
+// every spilled answer must be bit-identical to the unlimited
+// in-memory run (same rows, same order, same floating-point bits), at
+// any thread count. The in-memory path (budget 0) is the oracle.
+
+class SpillTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ambient_budget_ = ExecMemoryBudget();
+    SetExecMemoryBudget(0);
+    ResetSpillCounters();
+    base_entries_ = SegmentCache::Global().GetStats().entries;
+  }
+  void TearDown() override {
+    EXPECT_EQ(SegmentCache::Global().GetStats().entries, base_entries_)
+        << "a spilling operator leaked segments in the global cache";
+    SetExecMemoryBudget(ambient_budget_);
+    SetExecThreads(0);
+    SetExecMorselSize(2048);
+  }
+
+ private:
+  size_t ambient_budget_ = 0;
+  uint64_t base_entries_ = 0;
+};
+
+Table SpillFacts(uint64_t seed, size_t rows, int64_t key_domain) {
+  Table t({{"k", ValueType::kInt},
+           {"v", ValueType::kDouble},
+           {"s", ValueType::kString}});
+  elephant::Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    t.AddRow({Value{rng.UniformRange(1, key_domain)},
+              Value{rng.NextDouble() * 1000.0 - 500.0},
+              Value{"g" + std::to_string(rng.UniformRange(1, 64))}});
+  }
+  return t;
+}
+
+// 70% of the rows share one hot key; the rest spread over ~1000 keys.
+Table SkewedFacts(size_t rows, int64_t hot_key) {
+  Table t({{"k", ValueType::kInt}, {"v", ValueType::kDouble}});
+  for (size_t i = 0; i < rows; ++i) {
+    int64_t k = (i % 10 < 7) ? hot_key : static_cast<int64_t>(i % 997);
+    t.AddRow({Value{k}, Value{static_cast<double>(i) * 0.5}});
+  }
+  return t;
+}
+
+TEST_F(SpillTest, GraceJoinBitIdenticalForEveryJoinType) {
+  Table left = SpillFacts(101, 6000, 300);
+  Table right = SpillFacts(102, 5000, 300);
+  for (JoinType type : {JoinType::kInner, JoinType::kLeftOuter,
+                        JoinType::kLeftSemi, JoinType::kLeftAnti}) {
+    SetExecMemoryBudget(0);
+    Table oracle = HashJoinOn(left, right, {"k"}, {"k"}, type);
+    SetExecMemoryBudget(256 << 10);
+    ASSERT_TRUE(SpillJoinPlanned(right));
+    uint64_t spills_before = GetSpillCounters().join_spills;
+    Table spilled = HashJoinOn(left, right, {"k"}, {"k"}, type);
+    EXPECT_GT(GetSpillCounters().join_spills, spills_before);
+    ExpectExactlyEqual(spilled, oracle,
+                       "grace join type " +
+                           std::to_string(static_cast<int>(type)));
+  }
+}
+
+TEST_F(SpillTest, GraceJoinBitIdenticalAcrossThreads) {
+  Table left = SpillFacts(103, 8000, 200);
+  Table right = SpillFacts(104, 6000, 200);
+  SetExecMemoryBudget(0);
+  Table oracle = HashJoinOn(left, right, {"k"}, {"k"}, JoinType::kInner);
+  SetExecMemoryBudget(256 << 10);
+  for (int threads : {1, 8}) {
+    SetExecThreads(threads);
+    SetExecMorselSize(256);
+    Table spilled = HashJoinOn(left, right, {"k"}, {"k"}, JoinType::kInner);
+    ExpectExactlyEqual(spilled, oracle,
+                       "grace join @" + std::to_string(threads) + " threads");
+  }
+}
+
+TEST_F(SpillTest, GraceJoinRecursesOnSkewedKeys) {
+  // The partition holding the hot key cannot fit in its memory share
+  // and must re-partition on deeper hash bits. Semi/anti keep the
+  // output linear in |left| while still stressing the skewed build.
+  Table left = SkewedFacts(8000, 7);
+  Table right = SkewedFacts(6000, 7);
+  for (JoinType type : {JoinType::kLeftSemi, JoinType::kLeftAnti}) {
+    SetExecMemoryBudget(0);
+    Table oracle = HashJoinOn(left, right, {"k"}, {"k"}, type);
+    SetExecMemoryBudget(64 << 10);
+    uint64_t rec_before = GetSpillCounters().recursions;
+    Table spilled = HashJoinOn(left, right, {"k"}, {"k"}, type);
+    EXPECT_GT(GetSpillCounters().recursions, rec_before);
+    ExpectExactlyEqual(spilled, oracle, "skewed grace join");
+  }
+}
+
+std::vector<AggExpr> SpillAggs(const Table& t) {
+  return {ColAgg(AggKind::kSum, t, "v", "sum_v", ValueType::kDouble),
+          ColAgg(AggKind::kMin, t, "v", "min_v", ValueType::kDouble),
+          ColAgg(AggKind::kMax, t, "v", "max_v", ValueType::kDouble),
+          CountAgg("n")};
+}
+
+TEST_F(SpillTest, SpillingAggregateBitIdentical) {
+  Table t = SpillFacts(105, 20000, 500);
+  std::vector<int> groups = {t.ColIndex("s"), t.ColIndex("k")};
+  SetExecMemoryBudget(0);
+  Table oracle = HashAggregate(t, groups, SpillAggs(t));
+  SetExecMemoryBudget(512 << 10);
+  ASSERT_TRUE(SpillAggPlanned(t, t.num_rows()));
+  uint64_t spills_before = GetSpillCounters().agg_spills;
+  for (int threads : {1, 8}) {
+    SetExecThreads(threads);
+    SetExecMorselSize(256);
+    Table spilled = HashAggregate(t, groups, SpillAggs(t));
+    ExpectExactlyEqual(spilled, oracle,
+                       "spilling agg @" + std::to_string(threads) +
+                           " threads");
+  }
+  EXPECT_GT(GetSpillCounters().agg_spills, spills_before);
+}
+
+TEST_F(SpillTest, SpillingAggregateSelectedBitIdentical) {
+  Table t = SpillFacts(106, 18000, 400);
+  std::vector<uint32_t> sel;
+  for (uint32_t i = 0; i < t.num_rows(); ++i) {
+    if (i % 7 != 0) sel.push_back(i);
+  }
+  std::vector<int> groups = {t.ColIndex("k")};
+  SetExecMemoryBudget(0);
+  Table oracle = HashAggregateSelected(t, sel, groups, SpillAggs(t));
+  SetExecMemoryBudget(256 << 10);
+  ASSERT_TRUE(SpillAggPlanned(t, sel.size()));
+  Table spilled = HashAggregateSelected(t, sel, groups, SpillAggs(t));
+  ExpectExactlyEqual(spilled, oracle, "spilling agg over selection");
+}
+
+TEST_F(SpillTest, SpillingAggregateRecursesUnderTinyBudget) {
+  Table t = SpillFacts(107, 20000, 2000);
+  std::vector<int> groups = {t.ColIndex("k"), t.ColIndex("s")};
+  SetExecMemoryBudget(0);
+  Table oracle = HashAggregate(t, groups, SpillAggs(t));
+  SetExecMemoryBudget(16 << 10);
+  uint64_t rec_before = GetSpillCounters().recursions;
+  Table spilled = HashAggregate(t, groups, SpillAggs(t));
+  EXPECT_GT(GetSpillCounters().recursions, rec_before);
+  ExpectExactlyEqual(spilled, oracle, "recursive spilling agg");
+}
+
+TEST_F(SpillTest, ExternalSortBitIdenticalMultiKey) {
+  Table t = SpillFacts(108, 20000, 50);
+  std::vector<SortKey> keys = {{t.ColIndex("s"), true},
+                               {t.ColIndex("v"), false},
+                               {t.ColIndex("k"), true}};
+  SetExecMemoryBudget(0);
+  Table oracle = SortBy(t, keys);
+  SetExecMemoryBudget(128 << 10);
+  ASSERT_TRUE(SpillSortPlanned(t, keys));
+  uint64_t spills_before = GetSpillCounters().sort_spills;
+  for (int threads : {1, 8}) {
+    SetExecThreads(threads);
+    SetExecMorselSize(256);
+    Table spilled = SortBy(t, keys);
+    ExpectExactlyEqual(spilled, oracle,
+                       "external sort @" + std::to_string(threads) +
+                           " threads");
+  }
+  EXPECT_GT(GetSpillCounters().sort_spills, spills_before);
+}
+
+TEST_F(SpillTest, ExternalSortIsStableOnHeavyTies) {
+  // A single low-cardinality key: ~300 rows per tie class. Stability
+  // requires the merged permutation to preserve original row order
+  // within every class, exactly like the in-memory stable sort.
+  Table t = SpillFacts(109, 20000, 50);
+  std::vector<SortKey> keys = {{t.ColIndex("s"), true}};
+  SetExecMemoryBudget(0);
+  Table oracle = SortBy(t, keys);
+  SetExecMemoryBudget(128 << 10);
+  ASSERT_TRUE(SpillSortPlanned(t, keys));
+  Table spilled = SortBy(t, keys);
+  ExpectExactlyEqual(spilled, oracle, "external sort heavy ties");
+}
+
+TEST_F(SpillTest, TryOperatorsMatchInMemoryTwinsDirectly) {
+  Table left = SpillFacts(110, 5000, 150);
+  Table right = SpillFacts(111, 4000, 150);
+  Table t = SpillFacts(112, 12000, 300);
+  std::vector<int> groups = {t.ColIndex("s")};
+  std::vector<SortKey> keys = {{t.ColIndex("v"), true},
+                               {t.ColIndex("k"), false}};
+  SetExecMemoryBudget(0);
+  Table j_oracle = HashJoinOn(left, right, {"k"}, {"k"}, JoinType::kInner);
+  Table a_oracle = HashAggregate(t, groups, SpillAggs(t));
+  Table s_oracle = SortBy(t, keys);
+  SetExecMemoryBudget(96 << 10);
+  std::vector<int> lk = {left.ColIndex("k")};
+  std::vector<int> rk = {right.ColIndex("k")};
+  Result<Table> j = TryGraceHashJoin(left, right, lk, rk, JoinType::kInner);
+  ASSERT_TRUE(j.ok()) << j.status().message();
+  ExpectExactlyEqual(j.value(), j_oracle, "TryGraceHashJoin direct");
+  Result<Table> a = TrySpillingHashAggregate(t, groups, SpillAggs(t), nullptr);
+  ASSERT_TRUE(a.ok()) << a.status().message();
+  ExpectExactlyEqual(a.value(), a_oracle, "TrySpillingHashAggregate direct");
+  Result<Table> s = TryExternalSortBy(t, keys);
+  ASSERT_TRUE(s.ok()) << s.status().message();
+  ExpectExactlyEqual(s.value(), s_oracle, "TryExternalSortBy direct");
+}
+
+TEST_F(SpillTest, PlanningPredicatesAreDeterministic) {
+  Table t = SpillFacts(113, 4000, 100);
+  std::vector<SortKey> keys = {{t.ColIndex("k"), true}};
+  // Unlimited budget: nothing ever spills.
+  SetExecMemoryBudget(0);
+  EXPECT_FALSE(SpillJoinPlanned(t));
+  EXPECT_FALSE(SpillAggPlanned(t, t.num_rows()));
+  EXPECT_FALSE(SpillSortPlanned(t, keys));
+  // A budget comfortably above the working state: still in memory.
+  SetExecMemoryBudget(size_t{1} << 30);
+  EXPECT_FALSE(SpillJoinPlanned(t));
+  EXPECT_FALSE(SpillAggPlanned(t, t.num_rows()));
+  EXPECT_FALSE(SpillSortPlanned(t, keys));
+  // A budget below it: all three plan to spill. Empty keys never spill.
+  SetExecMemoryBudget(32 << 10);
+  EXPECT_TRUE(SpillJoinPlanned(t));
+  EXPECT_TRUE(SpillAggPlanned(t, t.num_rows()));
+  EXPECT_TRUE(SpillSortPlanned(t, keys));
+  EXPECT_FALSE(SpillSortPlanned(t, {}));
 }
 
 TEST(TableTest, ReserveForwardsToColumnVectors) {

@@ -13,6 +13,8 @@
 #include "common/rng.h"
 #include "exec/fused.h"
 #include "exec/operators.h"
+#include "exec/segcache.h"
+#include "exec/spill.h"
 #include "exec/table.h"
 #include "exec/zonemap.h"
 #include "tpch/dbgen.h"
@@ -237,6 +239,41 @@ TEST_F(ParallelExecTest, QueryFingerprintsPinnedAt1And8Threads) {
           << "Q" << q << " answer drifted @" << threads << " thread(s)";
     }
   }
+}
+
+// Out-of-core sweep (DESIGN.md §15): every TPC-H answer must stay
+// pinned to its golden fingerprint when the execution memory budget
+// forces the pipeline breakers to spill — at roughly half and a tenth
+// of the database's columnar working set, serial and at 8 threads.
+TEST_F(ParallelExecTest, QueryFingerprintsPinnedUnderMemoryBudgets) {
+  tpch::TpchDatabase db = tpch::GenerateDatabase(0.01);
+  size_t working_set = 0;
+  for (int id = 0; id < tpch::kNumTables; ++id) {
+    working_set += TableByteSize(db.table(static_cast<tpch::TableId>(id)));
+  }
+  ASSERT_GT(working_set, 0u);
+  size_t ambient = ExecMemoryBudget();
+  ResetSpillCounters();
+  for (size_t budget : {working_set / 2, working_set / 10}) {
+    SetExecMemoryBudget(budget);
+    for (int threads : {1, 8}) {
+      SetExecThreads(threads);
+      SetExecMorselSize(threads > 1 ? kTestMorsel : size_t{2048});
+      for (int q = 1; q <= tpch::kNumQueries; ++q) {
+        Table ans = tpch::RunQuery(q, db);
+        EXPECT_EQ(TableFingerprint(ans), kQueryGold[q - 1])
+            << "Q" << q << " answer drifted @" << threads
+            << " thread(s), budget " << budget << " bytes";
+      }
+    }
+  }
+  // The sweep must actually have exercised the out-of-core paths.
+  SpillCounters c = GetSpillCounters();
+  EXPECT_GT(c.join_spills + c.agg_spills + c.sort_spills, 0u);
+  EXPECT_EQ(c.fallbacks, 0u);
+  EXPECT_EQ(SegmentCache::Global().GetStats().entries, 0u)
+      << "spilled segments leaked across queries";
+  SetExecMemoryBudget(ambient);
 }
 
 TEST_F(ParallelExecTest, RowPathMatchesColumnarUnderParallelism) {

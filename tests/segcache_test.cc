@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/segcache.h"
+
+namespace elephant::exec {
+namespace {
+
+std::vector<uint8_t> Payload(uint8_t fill, size_t n) {
+  return std::vector<uint8_t>(n, fill);
+}
+
+/// Every test drives its own cache instance; the Global() cache belongs
+/// to the spilling operators.
+class SegmentCacheTest : public ::testing::Test {
+ protected:
+  SegmentCache cache_;
+};
+
+TEST(ParseByteSizeTest, UnitsAndErrors) {
+  EXPECT_EQ(ParseByteSize("4096").value(), 4096u);
+  EXPECT_EQ(ParseByteSize("4096B").value(), 4096u);
+  EXPECT_EQ(ParseByteSize("64K").value(), 64u << 10);
+  EXPECT_EQ(ParseByteSize("64kb").value(), 64u << 10);
+  EXPECT_EQ(ParseByteSize("64MB").value(), 64u << 20);
+  EXPECT_EQ(ParseByteSize("1gb").value(), 1u << 30);
+  EXPECT_EQ(ParseByteSize("2 GB").value(), size_t{2} << 30);
+  EXPECT_FALSE(ParseByteSize("").ok());
+  EXPECT_FALSE(ParseByteSize("MB").ok());
+  EXPECT_FALSE(ParseByteSize("12XB").ok());
+}
+
+TEST_F(SegmentCacheTest, InsertPinRoundTrip) {
+  cache_.SetBudget(0);  // unlimited: nothing ever evicts
+  Result<SegmentCache::Id> id = cache_.Insert(Payload(0xAB, 100));
+  ASSERT_TRUE(id.ok());
+  auto data = cache_.Pin(id.value());
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value()->size(), 100u);
+  EXPECT_EQ((*data.value())[0], 0xAB);
+  cache_.Unpin(id.value());
+  SegmentCache::Stats s = cache_.GetStats();
+  EXPECT_EQ(s.inserts, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.resident_bytes, 100u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST_F(SegmentCacheTest, EvictsToBudgetAndReloads) {
+  cache_.SetBudget(256);
+  std::vector<SegmentCache::Id> ids;
+  for (int i = 0; i < 4; ++i) {
+    Result<SegmentCache::Id> id = cache_.Insert(Payload(uint8_t(i), 100));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  SegmentCache::Stats s = cache_.GetStats();
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_LE(s.resident_bytes, 256u);
+  EXPECT_EQ(s.entries, 4u);
+  EXPECT_GT(s.spill_bytes_written, 0u);
+  // Pinning any segment returns its exact bytes whether it was resident
+  // or spilled.
+  for (int i = 0; i < 4; ++i) {
+    auto data = cache_.Pin(ids[i]);
+    ASSERT_TRUE(data.ok()) << i;
+    EXPECT_EQ(data.value()->size(), 100u);
+    EXPECT_EQ((*data.value())[7], uint8_t(i));
+    cache_.Unpin(ids[i]);
+  }
+  EXPECT_GT(cache_.GetStats().spill_bytes_read, 0u);
+}
+
+TEST_F(SegmentCacheTest, PinnedSegmentsAreNeverEvicted) {
+  cache_.SetBudget(150);
+  Result<SegmentCache::Id> a = cache_.Insert(Payload(1, 100));
+  ASSERT_TRUE(a.ok());
+  auto pinned = cache_.Pin(a.value());
+  ASSERT_TRUE(pinned.ok());
+  // Inserting b pushes residency to 200 > 150; only b is evictable.
+  Result<SegmentCache::Id> b = cache_.Insert(Payload(2, 100));
+  ASSERT_TRUE(b.ok());
+  auto again = cache_.Pin(a.value());
+  ASSERT_TRUE(again.ok());
+  SegmentCache::Stats s = cache_.GetStats();
+  // a's bytes never went to disk: every eviction hit b.
+  EXPECT_EQ(s.spill_bytes_read, 0u);
+  cache_.Unpin(a.value());
+  cache_.Unpin(a.value());
+}
+
+TEST_F(SegmentCacheTest, CleanOnDiskCopyIsWrittenOnce) {
+  cache_.SetBudget(100);
+  Result<SegmentCache::Id> a = cache_.Insert(Payload(1, 80));
+  ASSERT_TRUE(a.ok());
+  Result<SegmentCache::Id> b = cache_.Insert(Payload(2, 80));
+  ASSERT_TRUE(b.ok());
+  uint64_t written_once = cache_.GetStats().spill_bytes_written;
+  EXPECT_EQ(written_once, 80u);  // a spilled to make room for b
+  // Reload a (evicting b), then reload b (re-evicting a). a's payload
+  // is immutable and already on disk, so no second write of a happens.
+  ASSERT_TRUE(cache_.Pin(a.value()).ok());
+  cache_.Unpin(a.value());
+  ASSERT_TRUE(cache_.Pin(b.value()).ok());
+  cache_.Unpin(b.value());
+  SegmentCache::Stats s = cache_.GetStats();
+  EXPECT_EQ(s.spill_bytes_written, 160u);  // a once + b once, never again
+  EXPECT_GE(s.evictions, 3u);
+}
+
+TEST_F(SegmentCacheTest, RemoveRecyclesSlotsDeterministically) {
+  cache_.SetBudget(100);
+  Result<SegmentCache::Id> a = cache_.Insert(Payload(1, 80));
+  Result<SegmentCache::Id> b = cache_.Insert(Payload(2, 80));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  cache_.Remove(a.value());
+  cache_.Remove(b.value());
+  // The freed file slot is reused for an equal-sized segment: total
+  // spill writes grow, entries stay bounded.
+  Result<SegmentCache::Id> c = cache_.Insert(Payload(3, 80));
+  Result<SegmentCache::Id> d = cache_.Insert(Payload(4, 80));
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(cache_.GetStats().entries, 2u);
+  auto data = cache_.Pin(c.value());
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ((*data.value())[0], 3u);
+  cache_.Unpin(c.value());
+}
+
+TEST_F(SegmentCacheTest, StatsAreDeterministicAcrossRepeats) {
+  auto run = [this]() {
+    cache_.Clear();
+    cache_.SetBudget(300);
+    std::vector<SegmentCache::Id> ids;
+    for (int i = 0; i < 8; ++i) {
+      Result<SegmentCache::Id> id =
+          cache_.Insert(Payload(uint8_t(i), 64 + 8 * (i % 3)));
+      ASSERT_TRUE(id.ok());
+      ids.push_back(id.value());
+    }
+    for (int i = 7; i >= 0; --i) {
+      auto d = cache_.Pin(ids[i]);
+      ASSERT_TRUE(d.ok());
+      cache_.Unpin(ids[i]);
+    }
+  };
+  run();
+  SegmentCache::Stats first = cache_.GetStats();
+  run();
+  SegmentCache::Stats second = cache_.GetStats();
+  EXPECT_EQ(first.inserts, second.inserts);
+  EXPECT_EQ(first.evictions, second.evictions);
+  EXPECT_EQ(first.spill_bytes_written, second.spill_bytes_written);
+  EXPECT_EQ(first.spill_bytes_read, second.spill_bytes_read);
+  EXPECT_EQ(first.resident_bytes, second.resident_bytes);
+}
+
+TEST_F(SegmentCacheTest, InjectedWriteFaultSurfacesOnInsert) {
+  cache_.SetBudget(100);
+  Result<SegmentCache::Id> a = cache_.Insert(Payload(1, 80));
+  ASSERT_TRUE(a.ok());
+  cache_.InjectSpillErrors(1);
+  // Inserting b forces a's eviction, whose spill write fails; the
+  // insert surfaces the error and b is not retained.
+  uint64_t entries_before = cache_.GetStats().entries;
+  Result<SegmentCache::Id> b = cache_.Insert(Payload(2, 80));
+  EXPECT_FALSE(b.ok());
+  EXPECT_EQ(cache_.GetStats().entries, entries_before);
+  // Disarmed after consuming the fault: the next insert succeeds.
+  Result<SegmentCache::Id> c = cache_.Insert(Payload(3, 80));
+  EXPECT_TRUE(c.ok());
+}
+
+TEST_F(SegmentCacheTest, InjectedReadFaultSurfacesOnPin) {
+  cache_.SetBudget(100);
+  Result<SegmentCache::Id> a = cache_.Insert(Payload(1, 80));
+  Result<SegmentCache::Id> b = cache_.Insert(Payload(2, 80));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());  // a is now on disk
+  cache_.InjectSpillErrors(1);
+  Result<std::shared_ptr<const std::vector<uint8_t>>> pin =
+      cache_.Pin(a.value());
+  EXPECT_FALSE(pin.ok());
+  EXPECT_EQ(cache_.GetStats().pinned, 0u);
+  // The segment is still intact on disk once faults are exhausted.
+  auto retry = cache_.Pin(a.value());
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ((*retry.value())[0], 1u);
+  cache_.Unpin(a.value());
+}
+
+TEST_F(SegmentCacheTest, ZeroBudgetNeverEvicts) {
+  cache_.SetBudget(0);
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(cache_.Insert(Payload(uint8_t(i), 1024)).ok());
+  }
+  SegmentCache::Stats s = cache_.GetStats();
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.resident_bytes, 16u * 1024u);
+}
+
+TEST(ExecMemoryBudgetTest, SetterResizesGlobalCacheToHalf) {
+  size_t before = ExecMemoryBudget();
+  SetExecMemoryBudget(128 << 20);
+  EXPECT_EQ(ExecMemoryBudget(), size_t{128} << 20);
+  EXPECT_EQ(SegmentCache::Global().Budget(), size_t{64} << 20);
+  SetExecMemoryBudget(0);
+  EXPECT_EQ(ExecMemoryBudget(), 0u);
+  EXPECT_EQ(SegmentCache::Global().Budget(), 0u);
+  SetExecMemoryBudget(before);
+}
+
+}  // namespace
+}  // namespace elephant::exec
