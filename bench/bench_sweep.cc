@@ -1,0 +1,128 @@
+// Saturation sweep: drives each OLTP system (SQL-CS, Mongo-CS,
+// Mongo-AS) from idle to saturation with an open-loop Poisson arrival
+// process and writes the latency/utilization curve plus the detected
+// knee to BENCH_sweep.json. The model numbers and fingerprints are
+// thread-count invariant and replayable via ELEPHANT_SWEEP_SEED; only
+// the harness wall-clock changes with --threads.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/string_util.h"
+#include "common/task_pool.h"
+#include "ycsb_bench_util.h"
+#include "ycsb/sweep.h"
+
+using namespace elephant;
+using namespace elephant::ycsb;
+
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = DefaultThreadCount();
+  std::string out_path = "BENCH_sweep.json";
+  bool small = false;
+  for (int i = 1; i < argc; ++i) {
+    if (strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::max(1, atoi(argv[i] + 10));
+    } else if (strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (strcmp(argv[i], "--small") == 0) {
+      small = true;
+    } else {
+      fprintf(stderr, "usage: %s [--threads=N] [--out=PATH] [--small]\n",
+              argv[0]);
+      return 2;
+    }
+  }
+  auto harness_start = std::chrono::steady_clock::now();
+
+  SweepOptions options = small ? SweepOptions::Small() : SweepOptions();
+  if (!small) {
+    // Full mode reuses the figure benches' trimmed windows; --small is
+    // the CI preset (see SweepOptions::Small).
+    DriverOptions trimmed = BenchOptions();
+    trimmed.seed = options.driver.seed;
+    options.driver = trimmed;
+  }
+  options.driver.seed = SweepSeedFromEnv(options.driver.seed);
+  options.parallelism = threads;
+
+  printf("Saturation sweep: workload %s, %zu offered rates, seed 0x%llx, "
+         "%d thread(s)\n\n",
+         options.workload.name.c_str(), options.offered_rates.size(),
+         static_cast<unsigned long long>(options.driver.seed), threads);
+
+  std::vector<std::string> json_cells;
+  for (SystemKind kind :
+       {SystemKind::kSqlCs, SystemKind::kMongoCs, SystemKind::kMongoAs}) {
+    auto t0 = std::chrono::steady_clock::now();
+    SweepCurve curve = RunSaturationSweep(kind, options);
+    double wall_ms = ElapsedMs(t0);
+
+    printf("-- %s --\n", curve.system.c_str());
+    printf("%10s %10s %9s %9s %9s %9s %6s %5s %5s %5s\n", "offered",
+           "achieved", "p50_ms", "p99_ms", "p999_ms", "queue_ms", "shed",
+           "cpu", "disk", "lock");
+    for (size_t i = 0; i < curve.steps.size(); ++i) {
+      const SweepStepResult& s = curve.steps[i];
+      printf("%10.0f %10.0f %9.2f %9.2f %9.2f %9.1f %6lld %5.2f %5.2f "
+             "%5.2f%s\n",
+             s.offered_rate, s.achieved_rate, SimTimeToMillis(s.p50_us),
+             SimTimeToMillis(s.p99_us), SimTimeToMillis(s.p999_us),
+             s.queue_wait_ms, static_cast<long long>(s.shed), s.util.cpu,
+             s.util.disk, s.util.lock_wait,
+             static_cast<int>(i) == curve.knee_step ? "   <-- knee" : "");
+      json_cells.push_back(StrFormat(
+          "{\"system\": \"%s\", \"workload\": \"%s\", \"step\": %d, "
+          "\"offered_rate\": %.0f, \"achieved_ops_per_sec\": %.1f, "
+          "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+          "\"p999_ms\": %.3f, \"util_cpu\": %.4f, \"util_disk\": %.4f, "
+          "\"util_log_disk\": %.4f, \"util_nic_tx\": %.4f, "
+          "\"util_nic_rx\": %.4f, \"lock_wait\": %.4f, \"shed\": %lld, "
+          "\"peak_inflight\": %lld, \"queue_wait_ms\": %.1f, "
+          "\"fingerprint\": \"%016llx\", \"wall_ms\": %.1f}",
+          curve.system.c_str(), options.workload.name.c_str(),
+          static_cast<int>(i), s.offered_rate, s.achieved_rate,
+          SimTimeToMillis(s.p50_us), SimTimeToMillis(s.p95_us),
+          SimTimeToMillis(s.p99_us), SimTimeToMillis(s.p999_us), s.util.cpu,
+          s.util.disk, s.util.log_disk, s.util.nic_tx, s.util.nic_rx,
+          s.util.lock_wait, static_cast<long long>(s.shed),
+          static_cast<long long>(s.peak_inflight), s.queue_wait_ms,
+          static_cast<unsigned long long>(s.Fingerprint()), wall_ms));
+    }
+    printf("knee: %s\n\n",
+           curve.knee_step < 0
+               ? "not reached"
+               : StrFormat("step %d (offered %.0f ops/sec, p99 %.2f ms)",
+                           curve.knee_step, curve.knee_offered_rate,
+                           curve.p99_at_knee_ms)
+                     .c_str());
+    json_cells.push_back(StrFormat(
+        "{\"system\": \"%s\", \"workload\": \"%s\", \"cell\": \"knee\", "
+        "\"knee_step\": %d, \"knee_offered_rate\": %.0f, "
+        "\"p99_at_knee_ms\": %.3f, \"idle_p99_ms\": %.3f, "
+        "\"fingerprint\": \"%016llx\", \"wall_ms\": %.1f}",
+        curve.system.c_str(), options.workload.name.c_str(), curve.knee_step,
+        curve.knee_offered_rate, curve.p99_at_knee_ms, curve.idle_p99_ms,
+        static_cast<unsigned long long>(curve.Fingerprint()), wall_ms));
+  }
+
+  bench::WriteBenchJson(out_path, "sweep", threads, ElapsedMs(harness_start),
+                        json_cells);
+  return 0;
+}

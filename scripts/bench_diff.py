@@ -61,12 +61,39 @@ METRICS = {
     "spills": metric(False, gating=False),
     "spill_bytes": metric(False, gating=False),
     "segcache_evictions": metric(False, gating=False),
+    # Saturation sweep (bench_sweep): the knee location and the tail at
+    # the knee gate; per-step percentiles and utilizations ride along
+    # informationally (the knee summary is the stable signal — a step's
+    # raw p99 right at the knee is bimodal by nature).
+    "knee_offered_rate": metric(True),
+    "p99_at_knee_ms": metric(False, threshold=0.25),
+    "knee_step": metric(True, gating=False),
+    "idle_p99_ms": metric(False, gating=False),
+    "p50_ms": metric(False, gating=False),
+    "p95_ms": metric(False, gating=False),
+    "p99_ms": metric(False, gating=False),
+    "p999_ms": metric(False, gating=False),
+    "util_cpu": metric(False, gating=False),
+    "util_disk": metric(False, gating=False),
+    "util_log_disk": metric(False, gating=False),
+    "util_nic_tx": metric(False, gating=False),
+    "util_nic_rx": metric(False, gating=False),
+    "lock_wait": metric(False, gating=False),
+    "shed": metric(False, gating=False),
+    "queue_wait_ms": metric(False, gating=False),
+    "peak_inflight": metric(False, gating=False),
 }
+
+# Fields that are neither metrics nor identity: a fingerprint names the
+# exact bits a cell produced, so treating it as identity would silently
+# unmatch every cell (and skip every gate) whenever the model changes.
+NON_IDENTITY = {"fingerprint"}
 
 
 def cell_key(cell):
     return tuple(
-        sorted((k, str(v)) for k, v in cell.items() if k not in METRICS))
+        sorted((k, str(v)) for k, v in cell.items()
+               if k not in METRICS and k not in NON_IDENTITY))
 
 
 def load(path):
@@ -138,7 +165,8 @@ def main(argv):
             regressed = (ratio < 1 - gate if cfg["higher"]
                          else ratio > 1 + gate)
             if regressed:
-                ident = {k: v for k, v in base.items() if k not in METRICS}
+                ident = {k: v for k, v in base.items()
+                         if k not in METRICS and k not in NON_IDENTITY}
                 line = (f"  {ident}: {name} {b:g} -> {c:g} "
                         f"({(ratio - 1) * 100:+.1f}%)")
                 (regressions if cfg["gating"] else infos).append(line)

@@ -210,5 +210,77 @@ class OutOfCoreMetricsTest(unittest.TestCase):
         self.assertEqual(self.run_main([SPILL_CELL], [slow]), 1)
 
 
+KNEE_CELL = {"system": "SQL-CS", "workload": "B", "cell": "knee",
+             "knee_step": 3, "knee_offered_rate": 40000.0,
+             "p99_at_knee_ms": 60.0, "idle_p99_ms": 8.0,
+             "fingerprint": "00d1c5a9e3b70f42"}
+
+STEP_CELL = {"system": "SQL-CS", "workload": "B", "step": 2,
+             "offered_rate": 16000.0, "achieved_ops_per_sec": 15800.0,
+             "p50_ms": 2.0, "p95_ms": 6.0, "p99_ms": 11.0,
+             "p999_ms": 25.0, "util_cpu": 0.4, "util_disk": 0.7,
+             "util_log_disk": 0.2, "util_nic_tx": 0.1,
+             "util_nic_rx": 0.1, "lock_wait": 0.5, "shed": 0,
+             "peak_inflight": 120, "queue_wait_ms": 40.0,
+             "fingerprint": "5ce0f7a1b2938d64"}
+
+
+class SweepMetricsTest(unittest.TestCase):
+    """The knee location and its p99 gate; per-step percentiles and
+    utilizations ride along informationally; fingerprints are neither
+    identity nor metrics, so a model change (new fingerprint) still
+    matches cells and the gates still fire."""
+
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def run_main(self, base_cells, cur_cells, *extra):
+        base = write_json(self.dir.name, "base.json", doc(base_cells))
+        cur = write_json(self.dir.name, "cur.json", doc(cur_cells))
+        return bench_diff.main(["bench_diff.py", base, cur, *extra])
+
+    def test_knee_moving_earlier_is_a_regression(self):
+        earlier = dict(KNEE_CELL, knee_step=2, knee_offered_rate=16000.0)
+        self.assertEqual(self.run_main([KNEE_CELL], [earlier]), 1)
+
+    def test_knee_moving_later_passes(self):
+        later = dict(KNEE_CELL, knee_step=4, knee_offered_rate=80000.0)
+        self.assertEqual(self.run_main([KNEE_CELL], [later]), 0)
+
+    def test_p99_at_knee_gates_at_its_own_threshold(self):
+        # +20% tail at the knee: inside the 25% per-metric gate; +50%
+        # trips it even when the global threshold is looser.
+        mild = dict(KNEE_CELL, p99_at_knee_ms=72.0)
+        self.assertEqual(self.run_main([KNEE_CELL], [mild]), 0)
+        heavy = dict(KNEE_CELL, p99_at_knee_ms=90.0)
+        self.assertEqual(self.run_main([KNEE_CELL], [heavy],
+                                       "--threshold=0.50"), 1)
+
+    def test_step_tail_shift_alone_does_not_gate(self):
+        worse = dict(STEP_CELL, p99_ms=30.0, p999_ms=80.0, util_disk=0.95,
+                     lock_wait=3.0, queue_wait_ms=400.0, peak_inflight=512)
+        self.assertEqual(self.run_main([STEP_CELL], [worse]), 0)
+
+    def test_step_throughput_drop_still_gates(self):
+        slow = dict(STEP_CELL, achieved_ops_per_sec=9000.0)
+        self.assertEqual(self.run_main([STEP_CELL], [slow]), 1)
+
+    def test_fingerprint_change_does_not_unmatch_cells(self):
+        # A model change rewrites every fingerprint; the cells must
+        # still match on their real identity so the gates keep firing.
+        slow = dict(STEP_CELL, achieved_ops_per_sec=9000.0,
+                    fingerprint="ffffffffffffffff")
+        self.assertEqual(self.run_main([STEP_CELL], [slow]), 1)
+
+    def test_missing_sweep_baseline_records_first_run(self):
+        missing = os.path.join(self.dir.name, "nonexistent.json")
+        cur = write_json(self.dir.name, "cur.json", doc([KNEE_CELL]))
+        self.assertEqual(
+            bench_diff.main(["bench_diff.py", missing, cur]), 0)
+
+
 if __name__ == "__main__":
     unittest.main()

@@ -81,6 +81,28 @@ int64_t Histogram::Percentile(double p) const {
   return max_;
 }
 
+Histogram::Quantiles Histogram::SummaryQuantiles() const {
+  Quantiles q;
+  if (count_ == 0) return q;
+  // One pass: each quantile resolves at the first bucket whose running
+  // count reaches its target, so results match Percentile() bit-exactly.
+  const double targets[4] = {50.0, 95.0, 99.0, 99.9};
+  int64_t* out[4] = {&q.p50, &q.p95, &q.p99, &q.p999};
+  int next = 0;
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets && next < 4; ++i) {
+    seen += buckets_[i];
+    while (next < 4 &&
+           static_cast<double>(seen) >=
+               targets[next] / 100.0 * static_cast<double>(count_)) {
+      *out[next] = std::min(BucketUpperBound(i), max_);
+      next++;
+    }
+  }
+  for (; next < 4; ++next) *out[next] = max_;
+  return q;
+}
+
 std::string Histogram::ToString() const {
   std::ostringstream os;
   os << "count=" << count_ << " mean=" << Mean() << " min=" << min()

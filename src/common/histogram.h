@@ -27,6 +27,16 @@ class Histogram {
   int64_t Percentile(double p) const;
   int64_t Median() const { return Percentile(50.0); }
 
+  /// The tail quantiles the serving sweep reports per step, computed in
+  /// one bucket walk instead of four.
+  struct Quantiles {
+    int64_t p50 = 0;
+    int64_t p95 = 0;
+    int64_t p99 = 0;
+    int64_t p999 = 0;
+  };
+  Quantiles SummaryQuantiles() const;
+
   /// Multi-line summary ("count=... mean=... p50=... p99=...").
   std::string ToString() const;
 

@@ -142,6 +142,7 @@ void RwLock::GrantWaiters() {
       writer_ = true;
       writer_since_ = sim_->now();
       auto h = head.handle;
+      total_wait_time_ += sim_->now() - head.enqueued_at;
       waiters_.pop_front();
       sim_->ScheduleResume(0, h);
       return;
@@ -149,6 +150,7 @@ void RwLock::GrantWaiters() {
     if (writer_) return;
     readers_++;
     auto h = head.handle;
+    total_wait_time_ += sim_->now() - head.enqueued_at;
     waiters_.pop_front();
     sim_->ScheduleResume(0, h);
   }

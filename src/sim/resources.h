@@ -72,6 +72,7 @@ class Server {
 
   // --- statistics ---
   int64_t requests() const { return requests_; }
+  int capacity() const { return capacity_; }
   SimTime busy_time() const { return busy_time_; }
   SimTime wait_time() const { return wait_time_; }
   /// Utilization in [0,1] over the window [0, now].
@@ -187,7 +188,7 @@ class RwLock : public Waitable {
     bool exclusive;
     bool await_ready() const noexcept { return lock->TryAcquire(exclusive); }
     void await_suspend(std::coroutine_handle<> h) {
-      lock->waiters_.push_back({h, exclusive});
+      lock->waiters_.push_back({h, exclusive, lock->sim_->now()});
     }
     void await_resume() const noexcept {}
   };
@@ -210,10 +211,16 @@ class RwLock : public Waitable {
   /// "25%-45% of time spent at the global lock" analysis).
   SimTime writer_held_time() const { return writer_held_time_; }
 
+  /// Cumulative time coroutines spent parked on this lock before being
+  /// granted (both modes). The sweep harness reads this as its
+  /// lock-manager wait probe; pure accounting, no modeled effect.
+  SimTime total_wait_time() const { return total_wait_time_; }
+
  private:
   struct Waiter {
     std::coroutine_handle<> handle;
     bool exclusive;
+    SimTime enqueued_at;
   };
 
   bool TryAcquire(bool exclusive);
@@ -225,6 +232,7 @@ class RwLock : public Waitable {
   std::deque<Waiter> waiters_;
   SimTime writer_since_ = 0;
   SimTime writer_held_time_ = 0;
+  SimTime total_wait_time_ = 0;
 };
 
 }  // namespace elephant::sim

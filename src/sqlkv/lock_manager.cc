@@ -22,8 +22,18 @@ void LockManager::Release(uint64_t key, bool exclusive) {
   lock.Release(exclusive);
   if (lock.readers() == 0 && !lock.writer_active() &&
       lock.queue_length() == 0) {
+    retired_wait_time_ += lock.total_wait_time();
     locks_.erase(it);
   }
+}
+
+SimTime LockManager::TotalWaitTime() const {
+  SimTime total = retired_wait_time_;
+  // Hash-order iteration is safe here: summation is order-independent.
+  for (const auto& [key, lock] : locks_) {
+    total += lock->total_wait_time();
+  }
+  return total;
 }
 
 Status LockManager::ValidateInvariants() const {

@@ -31,6 +31,12 @@ class LockManager {
   int64_t total_acquisitions() const { return acquisitions_; }
   void NoteAcquisition() { acquisitions_++; }
 
+  /// Cumulative virtual time operations have spent blocked in this lock
+  /// table: live entries' wait clocks plus everything accumulated by
+  /// entries already reclaimed. The sweep harness differentiates this
+  /// across a measurement window for its lock-wait utilization probe.
+  SimTime TotalWaitTime() const;
+
   /// Validates the lock table: every retained entry must be justified
   /// (held or contended) — an idle entry means Release forgot to
   /// reclaim it. Returns the first violation found.
@@ -45,6 +51,9 @@ class LockManager {
   sim::Simulation* sim_;
   std::unordered_map<uint64_t, std::unique_ptr<sim::RwLock>> locks_;
   int64_t acquisitions_ = 0;
+  /// Wait time carried by reclaimed lock entries (entries are erased
+  /// the moment they go idle, so their clocks must survive them).
+  SimTime retired_wait_time_ = 0;
 };
 
 }  // namespace elephant::sqlkv

@@ -14,6 +14,11 @@ struct OpOutcome {
   /// crashed/partitioned, or an injected I/O error hit the operation.
   /// Never set on logical failures (key not found, duplicate insert).
   bool transient_error = false;
+  /// The operation was rejected by admission control before reaching
+  /// the engine (open-loop overload; see ycsb::AdmissionGate). Shed
+  /// operations did no engine work and are counted separately from
+  /// failures by the sweep harness.
+  bool shed = false;
 };
 
 }  // namespace elephant::sqlkv

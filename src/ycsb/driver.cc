@@ -60,13 +60,9 @@ uint64_t ChaosOutcome::Fingerprint() const {
       .value();
 }
 
-YcsbDriver::YcsbDriver(OltpTestbed* testbed, DataServingSystem* system,
-                       const WorkloadSpec& workload,
-                       const DriverOptions& options)
-    : testbed_(testbed),
-      system_(system),
-      workload_(workload),
-      options_(options) {
+OpGenerator::OpGenerator(const WorkloadSpec& workload,
+                         const DriverOptions& options)
+    : workload_(workload), options_(options) {
   uint64_t n = static_cast<uint64_t>(options.record_count);
   switch (workload.distribution) {
     case Distribution::kUniform:
@@ -84,32 +80,7 @@ YcsbDriver::YcsbDriver(OltpTestbed* testbed, DataServingSystem* system,
   next_insert_key_ = n;
 }
 
-Status YcsbDriver::Prepare() {
-  ELEPHANT_RETURN_NOT_OK(
-      system_->LoadDataset(options_.record_count, options_.record_bytes));
-  // Statistical warm start: the paper's runs last 30 minutes and are
-  // measured over the final 10, long after the caches converge. Sample
-  // the request distribution to reconstruct that steady-state resident
-  // set (the short simulated warmup then only settles queues).
-  Rng warm_rng(options_.seed ^ 0xCAFEF00D);
-  bool scans = workload_.scan > 0;
-  int64_t samples =
-      std::min<int64_t>(options_.record_count * 2, scans ? 200000 : 800000);
-  for (int64_t i = 0; i < samples; ++i) {
-    uint64_t key = key_chooser_->Next(&warm_rng);
-    if (scans) {
-      for (int j = 0; j < workload_.max_scan_len / 2; j += 5) {
-        system_->TouchKey(key + j);
-      }
-    } else {
-      system_->TouchKey(key);
-    }
-  }
-  system_->Start();
-  return Status::OK();
-}
-
-Op YcsbDriver::NextOp(Rng* rng) {
+Op OpGenerator::Next(Rng* rng) {
   Op op;
   op.record_bytes = options_.record_bytes;
   op.field_bytes = options_.field_bytes;
@@ -130,6 +101,44 @@ Op YcsbDriver::NextOp(Rng* rng) {
         1 + static_cast<int>(rng->Uniform(workload_.max_scan_len));
   }
   return op;
+}
+
+void OpGenerator::WarmCaches(DataServingSystem* system) {
+  // The paper's runs last 30 minutes and are measured over the final
+  // 10, long after the caches converge. Sample the request
+  // distribution to reconstruct that steady-state resident set (the
+  // short simulated warmup then only settles queues).
+  Rng warm_rng(options_.seed ^ 0xCAFEF00D);
+  bool scans = workload_.scan > 0;
+  int64_t samples =
+      std::min<int64_t>(options_.record_count * 2, scans ? 200000 : 800000);
+  for (int64_t i = 0; i < samples; ++i) {
+    uint64_t key = key_chooser_->Next(&warm_rng);
+    if (scans) {
+      for (int j = 0; j < workload_.max_scan_len / 2; j += 5) {
+        system->TouchKey(key + j);
+      }
+    } else {
+      system->TouchKey(key);
+    }
+  }
+}
+
+YcsbDriver::YcsbDriver(OltpTestbed* testbed, DataServingSystem* system,
+                       const WorkloadSpec& workload,
+                       const DriverOptions& options)
+    : testbed_(testbed),
+      system_(system),
+      workload_(workload),
+      options_(options),
+      opgen_(workload, options) {}
+
+Status YcsbDriver::Prepare() {
+  ELEPHANT_RETURN_NOT_OK(
+      system_->LoadDataset(options_.record_count, options_.record_bytes));
+  opgen_.WarmCaches(system_);
+  system_->Start();
+  return Status::OK();
 }
 
 sim::Task YcsbDriver::ClientThread(int thread_id, SimTime start,
@@ -157,7 +166,7 @@ sim::Task YcsbDriver::ClientThread(int thread_id, SimTime start,
   while (sim->now() < end && (chaos || !system_->Crashed())) {
     if (sim->now() < next) co_await sim->Delay(next - sim->now());
     if (sim->now() >= end) break;
-    Op op = NextOp(&rng);
+    Op op = opgen_.Next(&rng);
     op.origin_node = origin_node;
     SimTime t0 = sim->now();
     sqlkv::OpOutcome outcome;
@@ -185,7 +194,7 @@ sim::Task YcsbDriver::ClientThread(int thread_id, SimTime start,
     }
     SimTime completed = sim->now();
     if (op.type == OpType::kInsert && outcome.ok) {
-      key_chooser_->SetLastValue(op.key);
+      opgen_.NoteInsert(op.key);
     }
     bool record = chaos ? outcome.ok : (outcome.ok || !system_->Crashed());
     if (record) {
@@ -338,66 +347,60 @@ const char* SystemKindName(SystemKind kind) {
   return "?";
 }
 
-namespace {
-
-/// Builds engine options preserving the paper's data:memory ratio of
-/// 2.5:1 at the configured dataset size.
-struct SystemFactory {
-  std::unique_ptr<OltpTestbed> testbed;
-  std::unique_ptr<DataServingSystem> system;
-
-  SystemFactory(SystemKind kind, const DriverOptions& options,
-                bool read_uncommitted) {
-    testbed = std::make_unique<OltpTestbed>();
-    int64_t data_per_node = options.record_count * options.record_bytes /
-                            OltpTestbed::kServerNodes;
-    int64_t memory_per_node = static_cast<int64_t>(
-        static_cast<double>(data_per_node) / options.data_to_memory_ratio);
-    switch (kind) {
-      case SystemKind::kSqlCs: {
-        sqlkv::SqlEngineOptions sql;
-        sql.memory_bytes = memory_per_node;
-        sql.read_uncommitted = read_uncommitted;
-        // Scaled checkpoint cadence so the WL B dips land inside the
-        // shortened runs (the paper's SQL Server checkpoints minutes
-        // apart in 30-minute runs).
-        sql.checkpoint_interval = 5 * kSecond;
-        system = std::make_unique<SqlCsSystem>(testbed.get(), sql);
-        break;
+SystemUnderTest MakeSystem(SystemKind kind, const DriverOptions& options,
+                           bool read_uncommitted) {
+  // Engine options preserve the paper's data:memory ratio of 2.5:1 at
+  // the configured dataset size.
+  SystemUnderTest sut;
+  sut.testbed = std::make_unique<OltpTestbed>();
+  OltpTestbed* testbed = sut.testbed.get();
+  int64_t data_per_node = options.record_count * options.record_bytes /
+                          OltpTestbed::kServerNodes;
+  int64_t memory_per_node = static_cast<int64_t>(
+      static_cast<double>(data_per_node) / options.data_to_memory_ratio);
+  switch (kind) {
+    case SystemKind::kSqlCs: {
+      sqlkv::SqlEngineOptions sql;
+      sql.memory_bytes = memory_per_node;
+      sql.read_uncommitted = read_uncommitted;
+      // Scaled checkpoint cadence so the WL B dips land inside the
+      // shortened runs (the paper's SQL Server checkpoints minutes
+      // apart in 30-minute runs).
+      sql.checkpoint_interval = 5 * kSecond;
+      sut.system = std::make_unique<SqlCsSystem>(testbed, sql);
+      break;
+    }
+    case SystemKind::kMongoCs: {
+      docstore::MongodOptions m;
+      m.memory_bytes = memory_per_node / 16;
+      if (options.mongo_flush_interval > 0) {
+        m.flush_interval = options.mongo_flush_interval;
       }
-      case SystemKind::kMongoCs: {
-        docstore::MongodOptions m;
-        m.memory_bytes = memory_per_node / 16;
-        if (options.mongo_flush_interval > 0) {
-          m.flush_interval = options.mongo_flush_interval;
-        }
-        // mmap double-caching, per-connection buffers (800 clients) and
-        // 16 process heaps shrink the memory left for data pages.
-        system = std::make_unique<MongoCsSystem>(
-            testbed.get(), m, 16,
-            static_cast<int64_t>(memory_per_node *
-                                 options.mongo_cache_fraction_cs));
-        break;
+      // mmap double-caching, per-connection buffers (800 clients) and
+      // 16 process heaps shrink the memory left for data pages.
+      sut.system = std::make_unique<MongoCsSystem>(
+          testbed, m, 16,
+          static_cast<int64_t>(memory_per_node *
+                               options.mongo_cache_fraction_cs));
+      break;
+    }
+    case SystemKind::kMongoAs: {
+      MongoAsSystem::Options m;
+      m.mongod.memory_bytes = memory_per_node / 16;
+      if (options.mongo_flush_interval > 0) {
+        m.mongod.flush_interval = options.mongo_flush_interval;
       }
-      case SystemKind::kMongoAs: {
-        MongoAsSystem::Options m;
-        m.mongod.memory_bytes = memory_per_node / 16;
-        if (options.mongo_flush_interval > 0) {
-          m.mongod.flush_interval = options.mongo_flush_interval;
-        }
-        m.node_cache_bytes = static_cast<int64_t>(
-            memory_per_node * options.mongo_cache_fraction_as);
-        // Chunk size scaled with the dataset (64 MB over 640 GB in the
-        // paper) so splits occur at a comparable per-run rate.
-        m.config.max_chunk_bytes = 256 * 1024;
-        system = std::make_unique<MongoAsSystem>(testbed.get(), m);
-        break;
-      }
+      m.node_cache_bytes = static_cast<int64_t>(
+          memory_per_node * options.mongo_cache_fraction_as);
+      // Chunk size scaled with the dataset (64 MB over 640 GB in the
+      // paper) so splits occur at a comparable per-run rate.
+      m.config.max_chunk_bytes = 256 * 1024;
+      sut.system = std::make_unique<MongoAsSystem>(testbed, m);
+      break;
     }
   }
-};
-
-}  // namespace
+  return sut;
+}
 
 RunResult RunOnePoint(SystemKind kind, const WorkloadSpec& workload,
                       int64_t target_throughput,
@@ -405,9 +408,8 @@ RunResult RunOnePoint(SystemKind kind, const WorkloadSpec& workload,
                       bool read_uncommitted) {
   DriverOptions options = base_options;
   options.target_throughput = target_throughput;
-  SystemFactory factory(kind, options, read_uncommitted);
-  YcsbDriver driver(factory.testbed.get(), factory.system.get(), workload,
-                    options);
+  SystemUnderTest sut = MakeSystem(kind, options, read_uncommitted);
+  YcsbDriver driver(sut.testbed.get(), sut.system.get(), workload, options);
   ELEPHANT_CHECK_OK(driver.Prepare());
   return driver.Run();
 }
@@ -441,20 +443,18 @@ ChaosOutcome RunChaosPoint(SystemKind kind, const WorkloadSpec& workload,
   // Chaos clients must ride through faults rather than halt on the
   // first crashed process.
   if (!options.retry.enabled()) options.retry.max_retries = 4;
-  SystemFactory factory(kind, options, /*read_uncommitted=*/false);
-  YcsbDriver driver(factory.testbed.get(), factory.system.get(), workload,
-                    options);
+  SystemUnderTest sut = MakeSystem(kind, options, /*read_uncommitted=*/false);
+  YcsbDriver driver(sut.testbed.get(), sut.system.get(), workload, options);
   ELEPHANT_CHECK_OK(driver.Prepare());
 
-  DataServingSystem* system = factory.system.get();
+  DataServingSystem* system = sut.system.get();
   sim::FaultInjector::Hooks hooks;
   hooks.crash_node = [system](int node) { system->CrashServerNode(node); };
   hooks.restart_node = [system](int node) {
     system->RestartServerNode(node);
   };
   sim::FaultInjector injector(
-      &factory.testbed->sim,
-      cluster::FaultSurfaces(&factory.testbed->cluster), plan,
+      &sut.testbed->sim, cluster::FaultSurfaces(&sut.testbed->cluster), plan,
       std::move(hooks));
   system->set_fault_injector(&injector);
   injector.Arm();
@@ -466,13 +466,12 @@ ChaosOutcome RunChaosPoint(SystemKind kind, const WorkloadSpec& workload,
   // hold the harness to its own rules: nothing stuck, every engine
   // structurally sound and quiesced.
   system->Stop();
-  factory.testbed->sim.Run();
-  factory.testbed->sim.CheckQuiescent();
+  sut.testbed->sim.Run();
+  sut.testbed->sim.CheckQuiescent();
   ELEPHANT_CHECK_OK(system->ValidateQuiesced());
   // Chaos shards run with ELEPHANT_LOCKSET_CHECK=1: the post-measure
   // drain (restarts, balancer rounds) must obey lock discipline too.
-  const sim::LocksetChecker& lockset =
-      factory.testbed->sim.lockset_checker();
+  const sim::LocksetChecker& lockset = sut.testbed->sim.lockset_checker();
   if (lockset.enabled()) {
     ELEPHANT_CHECK(lockset.total_violations() == 0)
         << "modeled-lock discipline violated:\n" << lockset.Report();

@@ -111,6 +111,35 @@ struct RunResult {
   uint64_t Fingerprint() const;
 };
 
+/// Deterministic YCSB request generator: the key-distribution chooser
+/// plus the append-key counter, shared by the closed-loop driver and
+/// the open-loop saturation sweep. All randomness flows through the
+/// caller-supplied Rng, so the sequence of operations is a pure
+/// function of (workload, options, rng draws) — the draw order is
+/// byte-identical to the historical YcsbDriver::NextOp.
+class OpGenerator {
+ public:
+  OpGenerator(const WorkloadSpec& workload, const DriverOptions& options);
+
+  /// The next operation; consumes 1-3 draws from `rng`.
+  Op Next(Rng* rng);
+
+  /// Note a successful append so kLatest/scan choosers may pick it.
+  void NoteInsert(uint64_t key) { key_chooser_->SetLastValue(key); }
+
+  /// Statistical warm start: samples the request distribution (from a
+  /// seed-derived private stream) and touches the sampled keys'
+  /// cache pages, reconstructing the steady-state resident set the
+  /// paper reaches minutes into each 30-minute run.
+  void WarmCaches(DataServingSystem* system);
+
+ private:
+  WorkloadSpec workload_;
+  DriverOptions options_;
+  std::unique_ptr<IntegerGenerator> key_chooser_;
+  uint64_t next_insert_key_ = 0;
+};
+
 /// Drives one system through one workload at one target throughput,
 /// reproducing the YCSB measurement protocol: closed-loop client
 /// threads with fixed-rate pacing (a thread that falls behind issues
@@ -143,15 +172,13 @@ class YcsbDriver {
   sim::Task ClientThread(int thread_id, SimTime start, SimTime end);
   sim::Task LoaderThread(int thread_id, int loader_threads,
                          sim::Latch* done);
-  Op NextOp(Rng* rng);
 
   OltpTestbed* testbed_;
   DataServingSystem* system_;
   WorkloadSpec workload_;
   DriverOptions options_;
 
-  std::unique_ptr<IntegerGenerator> key_chooser_;
-  uint64_t next_insert_key_ = 0;
+  OpGenerator opgen_;
   SimTime measure_start_ = 0;
   std::vector<WindowStats> windows_;
   std::map<OpType, Histogram> latency_;
@@ -168,6 +195,22 @@ class YcsbDriver {
 enum class SystemKind { kSqlCs, kMongoCs, kMongoAs };
 
 const char* SystemKindName(SystemKind kind);
+
+/// A freshly wired testbed plus the system under test built on it.
+/// The testbed owns the simulation; destroy the system first (it holds
+/// pointers into the testbed), i.e. keep this struct together.
+struct SystemUnderTest {
+  std::unique_ptr<OltpTestbed> testbed;
+  std::unique_ptr<DataServingSystem> system;
+};
+
+/// Builds one of the paper's three OLTP systems on a fresh testbed,
+/// sized to `options` (dataset bytes / data_to_memory_ratio per node,
+/// the calibrated Mongo cache fractions, scaled checkpoint and chunk
+/// cadences). Shared by RunOnePoint, the chaos harness, and the
+/// saturation sweep.
+SystemUnderTest MakeSystem(SystemKind kind, const DriverOptions& options,
+                           bool read_uncommitted = false);
 
 struct SweepPoint {
   double target;

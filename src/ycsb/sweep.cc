@@ -1,0 +1,338 @@
+#include "ycsb/sweep.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string_view>
+#include <utility>
+
+#include "common/check.h"
+#include "common/fingerprint.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "sim/simulation.h"
+
+namespace elephant::ycsb {
+
+SweepOptions SweepOptions::Small() {
+  SweepOptions o;
+  // Small enough for a CI shard, sized so the top rate is well past
+  // what 8 nodes of mostly-disk-bound service can absorb.
+  o.driver.record_count = 160000;
+  o.driver.warmup = 1 * kSecond;
+  o.driver.measure = 2 * kSecond;
+  o.offered_rates = {1000, 4000, 16000, 64000};
+  o.arrival_streams = 32;
+  return o;
+}
+
+uint64_t SweepStepResult::Fingerprint() const {
+  return elephant::Fingerprint()
+      .Mix(offered_rate)
+      .Mix(achieved_rate)
+      .Mix(arrivals)
+      .Mix(completed)
+      .Mix(shed)
+      .Mix(failed)
+      .Mix(crashed)
+      .Mix(sim_events)
+      .Mix(p50_us)
+      .Mix(p95_us)
+      .Mix(p99_us)
+      .Mix(p999_us)
+      .Mix(util.cpu)
+      .Mix(util.disk)
+      .Mix(util.log_disk)
+      .Mix(util.nic_tx)
+      .Mix(util.nic_rx)
+      .Mix(util.lock_wait)
+      .Mix(peak_inflight)
+      .Mix(peak_queued)
+      .Mix(queue_wait_ms)
+      .value();
+}
+
+uint64_t SweepCurve::Fingerprint() const {
+  elephant::Fingerprint fp;
+  fp.Mix(std::string_view(system));
+  for (const SweepStepResult& step : steps) fp.Mix(step.Fingerprint());
+  fp.Mix(idle_p99_ms).Mix(knee_step).Mix(knee_offered_rate).Mix(
+      p99_at_knee_ms);
+  return fp.value();
+}
+
+namespace {
+
+/// Per-(seed, rate, stream) RNG seed: successive SplitMix64 rounds fold
+/// each coordinate into a fully mixed state, so adjacent streams are
+/// decorrelated yet the whole arrival schedule replays from one root
+/// seed (ELEPHANT_SWEEP_SEED).
+uint64_t StreamSeed(uint64_t seed, int64_t offered_rate, int stream) {
+  uint64_t state = seed;
+  state = SplitMix64(&state) ^ static_cast<uint64_t>(offered_rate);
+  state = SplitMix64(&state) ^ static_cast<uint64_t>(stream);
+  return SplitMix64(&state);
+}
+
+/// Mutable state of one running step, shared by the arrival streams and
+/// the in-flight operation coroutines (all on the step's single
+/// simulation; no host-thread sharing).
+struct StepState {
+  sim::Simulation* sim = nullptr;
+  DataServingSystem* system = nullptr;
+  OpGenerator* gen = nullptr;
+  SimTime measure_start = 0;
+  SimTime end = 0;
+  double mean_gap_us = 0;
+  int64_t arrivals = 0;
+  int64_t completed = 0;
+  int64_t shed = 0;
+  int64_t failed = 0;
+  Histogram latency;
+};
+
+/// One in-flight operation. Open-loop: it owns its completion latch and
+/// rides independently of the arrival stream that spawned it, so a slow
+/// response never throttles the arrival process.
+sim::Task OneOp(StepState* st, Op op) {
+  sim::Simulation* sim = st->sim;
+  SimTime t0 = sim->now();
+  bool measured = t0 >= st->measure_start && t0 < st->end;
+  sqlkv::OpOutcome outcome;
+  sim::PooledLatch done(&sim->latch_pool(), 1);
+  st->system->Execute(op, &outcome, done.get());
+  co_await done->Wait();
+  if (outcome.ok && op.type == OpType::kInsert) st->gen->NoteInsert(op.key);
+  if (!measured) co_return;
+  if (outcome.ok) {
+    st->completed++;
+    st->latency.Record(sim->now() - t0);
+  } else if (outcome.shed) {
+    st->shed++;
+  } else {
+    st->failed++;
+  }
+}
+
+/// One Poisson arrival stream: exponential gaps around the stream's
+/// share of the offered rate, arrivals fired regardless of completions.
+sim::Task ArrivalStream(StepState* st, uint64_t seed, int stream) {
+  sim::Simulation* sim = st->sim;
+  Rng rng(seed);
+  const int origin_node =
+      OltpTestbed::kServerNodes + stream % OltpTestbed::kClientNodes;
+  SimTime next = sim->now();
+  for (;;) {
+    SimTime gap = static_cast<SimTime>(rng.Exponential(st->mean_gap_us));
+    next += gap < 1 ? 1 : gap;
+    if (next >= st->end) break;
+    co_await sim->Delay(next - sim->now());
+    if (st->system->Crashed()) break;
+    if (sim->now() >= st->measure_start) st->arrivals++;
+    Op op = st->gen->Next(&rng);
+    op.origin_node = origin_node;
+    OneOp(st, op);
+  }
+}
+
+/// Cumulative busy/wait clocks across the server nodes; differenced at
+/// the measure-window edges to get per-window utilization.
+struct ResourceTotals {
+  SimTime cpu = 0;
+  SimTime disk = 0;
+  SimTime log_disk = 0;
+  SimTime nic_tx = 0;
+  SimTime nic_rx = 0;
+  SimTime lock_wait = 0;
+  SimTime gate_queue_wait = 0;
+};
+
+ResourceTotals SnapshotResources(OltpTestbed* testbed,
+                                 DataServingSystem* system,
+                                 AdmissionGate* gate) {
+  ResourceTotals t;
+  for (int n = 0; n < OltpTestbed::kServerNodes; ++n) {
+    cluster::Node& node = testbed->server(n);
+    t.cpu += node.cpu().busy_time();
+    t.disk += node.data_disks().server().busy_time();
+    t.log_disk += node.log_disk().server().busy_time();
+    t.nic_tx += node.nic_tx().server().busy_time();
+    t.nic_rx += node.nic_rx().server().busy_time();
+  }
+  t.lock_wait = system->TotalLockWait();
+  t.gate_queue_wait = gate->queue_wait_time();
+  return t;
+}
+
+}  // namespace
+
+SweepStepResult RunSweepStep(SystemKind kind, int64_t offered_rate,
+                             const SweepOptions& options,
+                             const sim::FaultPlan* plan) {
+  ELEPHANT_CHECK(offered_rate > 0) << "offered_rate must be positive";
+  DriverOptions driver = options.driver;
+  driver.target_throughput = offered_rate;
+  SystemUnderTest sut = MakeSystem(kind, driver, /*read_uncommitted=*/false);
+  sim::Simulation* sim = &sut.testbed->sim;
+  DataServingSystem* system = sut.system.get();
+
+  ELEPHANT_CHECK_OK(
+      system->LoadDataset(driver.record_count, driver.record_bytes));
+  OpGenerator gen(options.workload, driver);
+  gen.WarmCaches(system);
+  system->Start();
+
+  AdmissionGate gate(sim, options.gate);
+  system->set_admission_gate(&gate);
+
+  std::unique_ptr<sim::FaultInjector> injector;
+  if (plan != nullptr) {
+    sim::FaultInjector::Hooks hooks;
+    hooks.crash_node = [system](int node) { system->CrashServerNode(node); };
+    hooks.restart_node = [system](int node) {
+      system->RestartServerNode(node);
+    };
+    injector = std::make_unique<sim::FaultInjector>(
+        sim, cluster::FaultSurfaces(&sut.testbed->cluster), *plan,
+        std::move(hooks));
+    system->set_fault_injector(injector.get());
+    injector->Arm();
+  }
+
+  StepState st;
+  st.sim = sim;
+  st.system = system;
+  st.gen = &gen;
+  SimTime start = sim->now();
+  st.measure_start = start + driver.warmup;
+  st.end = st.measure_start + driver.measure;
+  st.mean_gap_us = static_cast<double>(options.arrival_streams) *
+                   static_cast<double>(kSecond) /
+                   static_cast<double>(offered_rate);
+  for (int s = 0; s < options.arrival_streams; ++s) {
+    ArrivalStream(&st, StreamSeed(driver.seed, offered_rate, s), s);
+  }
+
+  // Run to the window edges and difference the resource clocks there.
+  sim->Run(st.measure_start);
+  ResourceTotals r0 = SnapshotResources(sut.testbed.get(), system, &gate);
+  sim->Run(st.end);
+  ResourceTotals r1 = SnapshotResources(sut.testbed.get(), system, &gate);
+
+  // Drain: give in-flight operations (including gate-queued ones) time
+  // to finish, stop background machinery, then hold the step to the
+  // harness's own rules — nothing stuck, every engine quiesced.
+  sim->Run(st.end + kSecond);
+  system->Stop();
+  sim->Run();
+  sim->CheckQuiescent();
+  ELEPHANT_CHECK_OK(system->ValidateQuiesced());
+
+  SweepStepResult result;
+  result.offered_rate = static_cast<double>(offered_rate);
+  result.arrivals = st.arrivals;
+  result.completed = st.completed;
+  result.shed = st.shed;
+  result.failed = st.failed;
+  result.crashed = system->Crashed();
+  result.sim_events = sim->events_processed();
+  result.achieved_rate =
+      static_cast<double>(st.completed) / SimTimeToSeconds(driver.measure);
+  Histogram::Quantiles q = st.latency.SummaryQuantiles();
+  result.p50_us = q.p50;
+  result.p95_us = q.p95;
+  result.p99_us = q.p99;
+  result.p999_us = q.p999;
+
+  double window = static_cast<double>(driver.measure);
+  cluster::Node& node0 = sut.testbed->server(0);  // homogeneous nodes
+  const double nodes = OltpTestbed::kServerNodes;
+  auto util = [&](SimTime delta, int capacity) {
+    return static_cast<double>(delta) /
+           (window * nodes * static_cast<double>(capacity));
+  };
+  result.util.cpu = util(r1.cpu - r0.cpu, node0.cpu().capacity());
+  result.util.disk =
+      util(r1.disk - r0.disk, node0.data_disks().server().capacity());
+  result.util.log_disk =
+      util(r1.log_disk - r0.log_disk, node0.log_disk().server().capacity());
+  result.util.nic_tx =
+      util(r1.nic_tx - r0.nic_tx, node0.nic_tx().server().capacity());
+  result.util.nic_rx =
+      util(r1.nic_rx - r0.nic_rx, node0.nic_rx().server().capacity());
+  // Mean concurrent lock waiters, not a fraction of capacity.
+  result.util.lock_wait =
+      static_cast<double>(r1.lock_wait - r0.lock_wait) / window;
+
+  result.peak_inflight = gate.peak_inflight();
+  result.peak_queued = gate.peak_queued();
+  result.queue_wait_ms =
+      SimTimeToMillis(r1.gate_queue_wait - r0.gate_queue_wait);
+  return result;
+}
+
+int DetectKnee(const std::vector<SweepStepResult>& steps,
+               double knee_factor) {
+  if (steps.empty()) return -1;
+  double idle_p99 = static_cast<double>(steps[0].p99_us);
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (steps[i].crashed || steps[i].shed > 0) return static_cast<int>(i);
+    if (i > 0 && static_cast<double>(steps[i].p99_us) >
+                     knee_factor * idle_p99) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+SweepCurve RunSaturationSweep(SystemKind kind, const SweepOptions& options) {
+  SweepCurve curve;
+  curve.system = SystemKindName(kind);
+  size_t n = options.offered_rates.size();
+  curve.steps.resize(n);
+  // Steps are independent simulations written to per-step slots, so the
+  // fan-out is thread-count invariant by construction.
+  TaskPool::Global(std::max(DefaultThreadCount(), options.parallelism))
+      .ParallelFor(
+          0, n, 1,
+          [&](size_t lo, size_t hi) {
+            for (size_t i = lo; i < hi; ++i) {
+              curve.steps[i] =
+                  RunSweepStep(kind, options.offered_rates[i], options);
+            }
+          },
+          options.parallelism);
+  if (!curve.steps.empty()) {
+    curve.idle_p99_ms = SimTimeToMillis(curve.steps[0].p99_us);
+  }
+  curve.knee_step = DetectKnee(curve.steps, options.knee_factor);
+  if (curve.knee_step >= 0) {
+    const SweepStepResult& knee =
+        curve.steps[static_cast<size_t>(curve.knee_step)];
+    curve.knee_offered_rate = knee.offered_rate;
+    curve.p99_at_knee_ms = SimTimeToMillis(knee.p99_us);
+  }
+  return curve;
+}
+
+Status VerifySweepDeterminism(SystemKind kind, const SweepOptions& options) {
+  SweepCurve first = RunSaturationSweep(kind, options);
+  SweepCurve second = RunSaturationSweep(kind, options);
+  if (first.Fingerprint() != second.Fingerprint()) {
+    return Status::Internal(StrFormat(
+        "nondeterministic sweep: fingerprints %llx vs %llx (knee %d vs %d)",
+        (unsigned long long)first.Fingerprint(),
+        (unsigned long long)second.Fingerprint(), first.knee_step,
+        second.knee_step));
+  }
+  return Status::OK();
+}
+
+uint64_t SweepSeedFromEnv(uint64_t fallback) {
+  const char* env = std::getenv("ELEPHANT_SWEEP_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  return std::strtoull(env, nullptr, 0);
+}
+
+}  // namespace elephant::ycsb

@@ -1,0 +1,143 @@
+#ifndef ELEPHANT_YCSB_SWEEP_H_
+#define ELEPHANT_YCSB_SWEEP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/task_pool.h"
+#include "sim/fault.h"
+#include "ycsb/driver.h"
+#include "ycsb/systems.h"
+#include "ycsb/workload.h"
+
+namespace elephant::ycsb {
+
+/// Saturation-sweep serving harness: drives one OLTP substrate from
+/// idle to saturation with an open-loop Poisson arrival process and
+/// maps the latency-vs-load curve the closed-loop YCSB driver cannot
+/// see. A closed-loop client self-throttles — each thread waits for
+/// its previous response, so offered load collapses exactly when the
+/// system degrades. The sweep keeps arriving at the configured rate
+/// regardless of completions, which is what exposes the knee: the
+/// first offered rate where the tail detaches from the idle floor, or
+/// where admission control must shed work.
+///
+/// Determinism contract: every step runs on a fresh testbed with
+/// per-stream counter-derived RNG seeds, so the whole curve is a pure
+/// function of (kind, options) and bit-identical at any host thread
+/// count; steps are farmed out to the TaskPool into per-step slots.
+struct SweepOptions {
+  /// Dataset sizing, seed, warmup and measure windows. The sweep
+  /// reuses the driver's sizing logic (MakeSystem) so each step's
+  /// testbed matches the closed-loop benchmarks exactly.
+  DriverOptions driver;
+  WorkloadSpec workload = WorkloadSpec::B();
+  /// Offered rates (ops/sec across the cluster), ascending. One fresh
+  /// testbed per step, as the paper reloads between runs.
+  std::vector<int64_t> offered_rates = {2000, 5000, 10000,
+                                        20000, 40000, 80000};
+  /// Independent Poisson arrival streams (the open-loop analogue of
+  /// client threads); each owns a counter-derived RNG stream.
+  int arrival_streams = 64;
+  /// Front-door admission control applied at each engine (see
+  /// AdmissionGate: mongod crashes at ~620 in-flight ops per process,
+  /// so open-loop overload must be bounded somewhere).
+  AdmissionGate::Limits gate;
+  /// Knee rule: first step whose p99 exceeds this multiple of the
+  /// idle-floor p99 (step 0), or any step that sheds or crashes.
+  double knee_factor = 4.0;
+  /// Host threads the step fan-out may use (0 = every pool worker).
+  /// Results are identical either way — the determinism tests pin this
+  /// to 1 and 8 and compare fingerprints.
+  int parallelism = 0;
+
+  /// CI preset: small dataset, short windows, four rates spanning
+  /// idle to well past saturation.
+  static SweepOptions Small();
+};
+
+/// One step of the sweep: everything measured inside the step's
+/// [warmup, warmup+measure) virtual-time window.
+struct SweepStepResult {
+  double offered_rate = 0;   ///< ops/sec the arrival process targeted
+  double achieved_rate = 0;  ///< completed ops/sec inside the window
+  int64_t arrivals = 0;      ///< arrivals inside the window
+  int64_t completed = 0;     ///< ok completions of measured arrivals
+  int64_t shed = 0;          ///< measured arrivals rejected at the gate
+  int64_t failed = 0;        ///< measured arrivals that failed
+  bool crashed = false;
+  uint64_t sim_events = 0;   ///< DES events over the whole step
+
+  /// Virtual-time latency tail (arrival to response), microseconds.
+  int64_t p50_us = 0;
+  int64_t p95_us = 0;
+  int64_t p99_us = 0;
+  int64_t p999_us = 0;
+
+  /// Mean utilization over the measure window, aggregated across the
+  /// server nodes. Busy time is accounted at admission, so values may
+  /// exceed 1.0 under overload (work admitted faster than real-time
+  /// capacity); reported unclamped on purpose. `lock_wait` is the mean
+  /// number of operations blocked on row/global locks (wait time per
+  /// wall second, also unbounded above).
+  struct Utilization {
+    double cpu = 0;
+    double disk = 0;       ///< data volumes
+    double log_disk = 0;   ///< dedicated log spindles
+    double nic_tx = 0;
+    double nic_rx = 0;
+    double lock_wait = 0;
+  };
+  Utilization util;
+
+  /// Admission-gate occupancy over the whole step.
+  int64_t peak_inflight = 0;
+  int64_t peak_queued = 0;
+  double queue_wait_ms = 0;  ///< total gate queue wait in the window
+
+  uint64_t Fingerprint() const;
+};
+
+/// The full curve for one system, with the detected knee.
+struct SweepCurve {
+  std::string system;
+  std::vector<SweepStepResult> steps;
+  double idle_p99_ms = 0;        ///< step 0's p99 (the idle floor)
+  int knee_step = -1;            ///< index of the knee; -1 = none found
+  double knee_offered_rate = 0;  ///< offered rate at the knee
+  double p99_at_knee_ms = 0;
+
+  uint64_t Fingerprint() const;
+};
+
+/// Runs one offered-rate step on a fresh testbed. `plan` (optional)
+/// arms fault injection over the step, chaos-harness style: faults
+/// fire in virtual time and the post-run drain asserts quiescence and
+/// invariants either way.
+SweepStepResult RunSweepStep(SystemKind kind, int64_t offered_rate,
+                             const SweepOptions& options,
+                             const sim::FaultPlan* plan = nullptr);
+
+/// Knee rule (see SweepOptions::knee_factor): first step that crashed
+/// or shed, or — past step 0 — whose p99 exceeds knee_factor times the
+/// step-0 p99. Returns -1 if the curve never leaves the floor.
+int DetectKnee(const std::vector<SweepStepResult>& steps,
+               double knee_factor);
+
+/// Sweeps all configured offered rates for one system, steps in
+/// parallel on the global TaskPool (bit-identical at any thread
+/// count), and locates the knee.
+SweepCurve RunSaturationSweep(SystemKind kind, const SweepOptions& options);
+
+/// Runs the same sweep twice and verifies bit-identical fingerprints
+/// (the determinism contract). Returns Internal on divergence.
+Status VerifySweepDeterminism(SystemKind kind, const SweepOptions& options);
+
+/// Seed override for replaying a sweep: ELEPHANT_SWEEP_SEED (decimal
+/// or 0x-hex), or `fallback` when unset/empty.
+uint64_t SweepSeedFromEnv(uint64_t fallback);
+
+}  // namespace elephant::ycsb
+
+#endif  // ELEPHANT_YCSB_SWEEP_H_

@@ -17,6 +17,13 @@ SimTime ResponseTransferTime(int64_t bytes) {
 }
 }  // namespace
 
+std::string AdmissionGate::DescribeWaiters() const {
+  return StrFormat("AdmissionGate(inflight=%lld, parked=%d, shed=%lld)",
+                   static_cast<long long>(inflight_),
+                   static_cast<int>(waiters_.size()),
+                   static_cast<long long>(shed_));
+}
+
 OltpTestbed::OltpTestbed(const cluster::NodeConfig& node_config)
     : cluster(&sim, kServerNodes + kClientNodes, node_config) {}
 
@@ -86,6 +93,12 @@ DataServingSystem::DurabilityLedger SqlCsSystem::Durability() const {
   return ledger;
 }
 
+SimTime SqlCsSystem::TotalLockWait() const {
+  SimTime total = 0;
+  for (const auto& e : engines_) total += e->locks().TotalWaitTime();
+  return total;
+}
+
 void SqlCsSystem::TouchKey(uint64_t key) {
   sqlkv::SqlEngine* engine = engines_[ShardOf(key)].get();
   auto lookup = engine->btree().Get(key);
@@ -107,6 +120,18 @@ sim::Task SqlCsSystem::Execute(const Op& op, sqlkv::OpOutcome* out,
     co_return;
   }
   co_await sim->Delay(rtt_ / 2);
+  // Admission control (open-loop sweeps): reject or queue before any
+  // engine work. A shed response still pays the return wire time.
+  if (gate_ != nullptr) {
+    if (gate_->MustShed()) {
+      gate_->NoteShed();
+      out->shed = true;
+      co_await sim->Delay(rtt_ / 2);
+      done->CountDown();
+      co_return;
+    }
+    co_await gate_->Admit();
+  }
   if (op.type == OpType::kScan) {
     // Hash partitioning: every shard may hold records in the range, so
     // all of them are queried and the results merged (§3.4.3, WL E).
@@ -143,6 +168,7 @@ sim::Task SqlCsSystem::Execute(const Op& op, sqlkv::OpOutcome* out,
     }
     co_await one.Wait();
   }
+  if (gate_ != nullptr) gate_->Depart();
   int64_t response = op.type == OpType::kScan
                          ? out->records * op.field_bytes
                          : op.record_bytes;
@@ -243,6 +269,12 @@ DataServingSystem::DurabilityLedger MongoCsSystem::Durability() const {
   return ledger;
 }
 
+SimTime MongoCsSystem::TotalLockWait() const {
+  SimTime total = 0;
+  for (const auto& m : mongods_) total += m->global_lock().total_wait_time();
+  return total;
+}
+
 void MongoCsSystem::TouchKey(uint64_t key) {
   docstore::Mongod* m = mongods_[ShardOf(key)].get();
   auto lookup = m->collection().Get(key);
@@ -261,6 +293,16 @@ sim::Task MongoCsSystem::Execute(const Op& op, sqlkv::OpOutcome* out,
     co_return;
   }
   co_await sim->Delay(rtt_ / 2);
+  if (gate_ != nullptr) {
+    if (gate_->MustShed()) {
+      gate_->NoteShed();
+      out->shed = true;
+      co_await sim->Delay(rtt_ / 2);
+      done->CountDown();
+      co_return;
+    }
+    co_await gate_->Admit();
+  }
   if (op.type == OpType::kScan) {
     int shards = num_shards();
     std::vector<sqlkv::OpOutcome> partial(shards);
@@ -291,6 +333,7 @@ sim::Task MongoCsSystem::Execute(const Op& op, sqlkv::OpOutcome* out,
     }
     co_await one.Wait();
   }
+  if (gate_ != nullptr) gate_->Depart();
   int64_t response = op.type == OpType::kScan
                          ? out->records * op.field_bytes
                          : op.record_bytes;
@@ -409,6 +452,12 @@ double MongoAsSystem::MeanWriteLockFraction() const {
   return sum / mongods_.size();
 }
 
+SimTime MongoAsSystem::TotalLockWait() const {
+  SimTime total = 0;
+  for (const auto& m : mongods_) total += m->global_lock().total_wait_time();
+  return total;
+}
+
 void MongoAsSystem::TouchKey(uint64_t key) {
   docstore::Mongod* m = mongods_[config_->Route(key)].get();
   auto lookup = m->collection().Get(key);
@@ -427,6 +476,17 @@ sim::Task MongoAsSystem::Execute(const Op& op, sqlkv::OpOutcome* out,
     co_return;
   }
   co_await sim->Delay(rtt_ / 2);
+  // The gate fronts the whole server side, mongos router included.
+  if (gate_ != nullptr) {
+    if (gate_->MustShed()) {
+      gate_->NoteShed();
+      out->shed = true;
+      co_await sim->Delay(rtt_ / 2);
+      done->CountDown();
+      co_return;
+    }
+    co_await gate_->Admit();
+  }
   // mongos hop: routing CPU on the server node hosting the router.
   int router_node = static_cast<int>(op.key % OltpTestbed::kServerNodes);
   co_await testbed_->server(router_node)
@@ -471,6 +531,7 @@ sim::Task MongoAsSystem::Execute(const Op& op, sqlkv::OpOutcome* out,
     }
     co_await one.Wait();
   }
+  if (gate_ != nullptr) gate_->Depart();
   int64_t response = op.type == OpType::kScan
                          ? out->records * op.field_bytes
                          : op.record_bytes;

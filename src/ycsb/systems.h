@@ -1,6 +1,10 @@
 #ifndef ELEPHANT_YCSB_SYSTEMS_H_
 #define ELEPHANT_YCSB_SYSTEMS_H_
 
+#include <algorithm>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,6 +18,104 @@
 #include "ycsb/workload.h"
 
 namespace elephant::ycsb {
+
+/// Admission control at a data-serving system's front door: a FIFO
+/// counting semaphore with a bounded wait queue. Open-loop load (the
+/// saturation sweep) keeps arriving past the knee; the gate bounds the
+/// in-flight population (protecting the engines from the unbounded
+/// pile-up a closed-loop driver never produces — mongod's socket-error
+/// crash fires at ~620 in-flight ops per process) and sheds arrivals
+/// once the queue is full. Admission with a free slot and an empty
+/// queue completes inline — no extra simulation events — and a system
+/// with no gate installed is branch-only, so every historical
+/// fingerprint is preserved.
+class AdmissionGate : public sim::Waitable {
+ public:
+  struct Limits {
+    int64_t max_inflight = 512;  ///< ops admitted past the front door
+    int64_t max_queued = 512;    ///< ops parked waiting for a slot
+  };
+
+  AdmissionGate(sim::Simulation* sim, const Limits& limits)
+      : sim::Waitable(sim, "AdmissionGate"), sim_(sim), limits_(limits) {}
+  /// Frees the frames of coroutines still parked here (see ~Simulation).
+  ~AdmissionGate() override {
+    for (const QueuedOp& w : waiters_) w.handle.destroy();
+  }
+
+  /// True when both the in-flight population and the wait queue are at
+  /// their limits: the next arrival must be rejected, not queued.
+  bool MustShed() const {
+    return inflight_ >= limits_.max_inflight &&
+           static_cast<int64_t>(waiters_.size()) >= limits_.max_queued;
+  }
+  void NoteShed() { shed_++; }
+
+  /// Awaitable: completes when the operation holds an admission slot.
+  /// Callers must check MustShed() first and must pair every completed
+  /// Admit() with exactly one Depart().
+  struct Awaiter {
+    AdmissionGate* gate;
+    bool await_ready() const noexcept { return gate->TryAdmit(); }
+    void await_suspend(std::coroutine_handle<> h) {
+      gate->waiters_.push_back({h, gate->sim_->now()});
+      gate->peak_queued_ = std::max(
+          gate->peak_queued_, static_cast<int64_t>(gate->waiters_.size()));
+    }
+    void await_resume() const noexcept {}
+  };
+  Awaiter Admit() { return {this}; }
+
+  /// Releases the slot and grants the oldest queued arrival, if any.
+  void Depart() {
+    inflight_--;
+    if (waiters_.empty() || inflight_ >= limits_.max_inflight) return;
+    QueuedOp next = waiters_.front();
+    waiters_.pop_front();
+    inflight_++;
+    admitted_++;
+    queue_wait_time_ += sim_->now() - next.enqueued_at;
+    sim_->ScheduleResume(0, next.handle);
+  }
+
+  int64_t inflight() const { return inflight_; }
+  int64_t admitted() const { return admitted_; }
+  int64_t shed() const { return shed_; }
+  int64_t peak_inflight() const { return peak_inflight_; }
+  int64_t peak_queued() const { return peak_queued_; }
+  /// Cumulative virtual time admitted ops spent queued at the gate.
+  SimTime queue_wait_time() const { return queue_wait_time_; }
+
+  size_t parked_waiters() const override { return waiters_.size(); }
+  std::string DescribeWaiters() const override;
+
+ private:
+  struct QueuedOp {
+    std::coroutine_handle<> handle;
+    SimTime enqueued_at;
+  };
+
+  bool TryAdmit() {
+    // No barging past queued arrivals: FIFO even for the fast path.
+    if (inflight_ >= limits_.max_inflight || !waiters_.empty()) {
+      return false;
+    }
+    inflight_++;
+    admitted_++;
+    peak_inflight_ = std::max(peak_inflight_, inflight_);
+    return true;
+  }
+
+  sim::Simulation* sim_;
+  Limits limits_;
+  int64_t inflight_ = 0;
+  int64_t admitted_ = 0;
+  int64_t shed_ = 0;
+  int64_t peak_inflight_ = 0;
+  int64_t peak_queued_ = 0;
+  SimTime queue_wait_time_ = 0;
+  std::deque<QueuedOp> waiters_;
+};
 
 /// One benchmark request as routed to a data-serving system.
 struct Op {
@@ -71,6 +173,20 @@ class DataServingSystem {
     injector_ = injector;
   }
 
+  /// Installs admission control at the front door: every Execute()
+  /// consults the gate after the request reaches the system and before
+  /// any engine work. Pass nullptr (the default state) to run ungated;
+  /// like the injector, the no-gate path is branch-only with zero extra
+  /// simulation events, preserving historical fingerprints.
+  void set_admission_gate(AdmissionGate* gate) { gate_ = gate; }
+  AdmissionGate* admission_gate() const { return gate_; }
+
+  /// Cumulative virtual time operations have spent blocked at this
+  /// system's contention points (sqlkv row locks / mongod global
+  /// locks). The sweep harness differentiates this across its
+  /// measurement window for the lock-wait utilization probe.
+  virtual SimTime TotalLockWait() const { return 0; }
+
   /// Crashes / restarts every process hosted on server node `node`
   /// (fault-injector hooks). Default: the system has no crash model.
   virtual void CrashServerNode(int node) { (void)node; }
@@ -93,6 +209,7 @@ class DataServingSystem {
 
  protected:
   sim::FaultInjector* injector_ = nullptr;
+  AdmissionGate* gate_ = nullptr;
 };
 
 /// Shared wiring: 8 server nodes + 8 client nodes behind one switch.
@@ -126,6 +243,7 @@ class SqlCsSystem : public DataServingSystem {
   void CrashServerNode(int node) override;
   void RestartServerNode(int node) override;
   DurabilityLedger Durability() const override;
+  SimTime TotalLockWait() const override;
   std::string name() const override { return "SQL-CS"; }
 
   sqlkv::SqlEngine& engine(int i) { return *engines_[i]; }
@@ -159,6 +277,7 @@ class MongoCsSystem : public DataServingSystem {
   void CrashServerNode(int node) override;
   void RestartServerNode(int node) override;
   DurabilityLedger Durability() const override;
+  SimTime TotalLockWait() const override;
   std::string name() const override { return "Mongo-CS"; }
 
   docstore::Mongod& mongod(int i) { return *mongods_[i]; }
@@ -211,6 +330,7 @@ class MongoAsSystem : public DataServingSystem {
   void CrashServerNode(int node) override;
   void RestartServerNode(int node) override;
   DurabilityLedger Durability() const override;
+  SimTime TotalLockWait() const override;
   std::string name() const override { return "Mongo-AS"; }
 
   docstore::ConfigServer& config() { return *config_; }

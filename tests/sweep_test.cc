@@ -1,0 +1,166 @@
+// Saturation-sweep harness tests: the open-loop curve has a sane
+// shape and a detected knee for every system, the whole sweep is
+// bit-identical at any host thread count and replayable from
+// ELEPHANT_SWEEP_SEED, the admission gate bounds the in-flight
+// population and sheds under overload, and a fault plan armed over a
+// mid-curve step degrades the tail without deadlock or fingerprint
+// drift.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/task_pool.h"
+#include "sim/fault.h"
+#include "ycsb/sweep.h"
+
+namespace elephant::ycsb {
+namespace {
+
+SweepOptions TinySweep() {
+  SweepOptions o;
+  o.driver.record_count = 40000;
+  o.driver.warmup = kSecond;
+  o.driver.measure = 2 * kSecond;
+  o.offered_rates = {1000, 8000, 64000};
+  o.arrival_streams = 16;
+  return o;
+}
+
+// Every measured arrival ends exactly one way: completed, shed at the
+// gate, or failed. The drain guarantees all of them are accounted.
+void ExpectArrivalsAccounted(const SweepStepResult& step) {
+  EXPECT_EQ(step.completed + step.shed + step.failed, step.arrivals);
+}
+
+TEST(SweepTest, CurveShapeAndKneePerSystem) {
+  for (SystemKind kind :
+       {SystemKind::kSqlCs, SystemKind::kMongoCs, SystemKind::kMongoAs}) {
+    SweepOptions options = TinySweep();
+    SweepCurve curve = RunSaturationSweep(kind, options);
+    ASSERT_EQ(curve.steps.size(), options.offered_rates.size())
+        << curve.system;
+    for (size_t i = 0; i < curve.steps.size(); ++i) {
+      const SweepStepResult& step = curve.steps[i];
+      EXPECT_GT(step.arrivals, 0) << curve.system << " step " << i;
+      ExpectArrivalsAccounted(step);
+      // Percentiles are monotone in p at every step.
+      EXPECT_LE(step.p50_us, step.p95_us) << curve.system << " step " << i;
+      EXPECT_LE(step.p95_us, step.p99_us) << curve.system << " step " << i;
+      EXPECT_LE(step.p99_us, step.p999_us) << curve.system << " step " << i;
+      EXPECT_GE(step.util.cpu, 0.0);
+      EXPECT_GE(step.util.disk, 0.0);
+      if (i > 0) {
+        // Offered load only rises across the sweep; utilization must
+        // not fall (tiny tolerance: shed ops do no engine work).
+        EXPECT_GE(curve.steps[i].util.disk,
+                  curve.steps[i - 1].util.disk - 0.05)
+            << curve.system << " step " << i;
+      }
+    }
+    // The idle step keeps up with its offered rate...
+    EXPECT_GT(curve.steps[0].completed, 0) << curve.system;
+    EXPECT_GE(curve.steps[0].achieved_rate,
+              0.5 * curve.steps[0].offered_rate)
+        << curve.system;
+    EXPECT_GT(curve.steps[0].p99_us, 0) << curve.system;
+    // ...and the top rate is far past what 8 nodes can absorb, so a
+    // knee must exist and sit above the idle floor.
+    EXPECT_GE(curve.knee_step, 1) << curve.system;
+    EXPECT_GT(curve.knee_offered_rate, curve.steps[0].offered_rate)
+        << curve.system;
+    EXPECT_GT(curve.p99_at_knee_ms, 0) << curve.system;
+  }
+}
+
+TEST(SweepTest, BitIdenticalAcrossHostThreadCounts) {
+  SweepOptions options = TinySweep();
+  options.parallelism = 1;
+  SweepCurve serial = RunSaturationSweep(SystemKind::kSqlCs, options);
+  TaskPool::Global(8);  // grow the shared pool to 8 workers
+  options.parallelism = 8;
+  SweepCurve parallel = RunSaturationSweep(SystemKind::kSqlCs, options);
+  EXPECT_EQ(serial.Fingerprint(), parallel.Fingerprint());
+  EXPECT_EQ(serial.knee_step, parallel.knee_step);
+  ASSERT_EQ(serial.steps.size(), parallel.steps.size());
+  for (size_t i = 0; i < serial.steps.size(); ++i) {
+    EXPECT_EQ(serial.steps[i].Fingerprint(), parallel.steps[i].Fingerprint())
+        << "step " << i;
+  }
+}
+
+TEST(SweepTest, MongoSweepIsDeterministic) {
+  SweepOptions options = TinySweep();
+  options.offered_rates = {1000, 32000};
+  Status st = VerifySweepDeterminism(SystemKind::kMongoAs, options);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(SweepTest, SeedChangesTheScheduleAndReplaysExactly) {
+  SweepOptions options = TinySweep();
+  SweepStepResult first = RunSweepStep(SystemKind::kSqlCs, 8000, options);
+  SweepStepResult replay = RunSweepStep(SystemKind::kSqlCs, 8000, options);
+  EXPECT_EQ(first.Fingerprint(), replay.Fingerprint());
+  options.driver.seed ^= 0x12345;
+  SweepStepResult reseeded = RunSweepStep(SystemKind::kSqlCs, 8000, options);
+  EXPECT_NE(reseeded.Fingerprint(), first.Fingerprint());
+  ExpectArrivalsAccounted(reseeded);
+}
+
+TEST(SweepTest, SweepSeedFromEnvParsesAndFallsBack) {
+  setenv("ELEPHANT_SWEEP_SEED", "0xABCDE", 1);
+  EXPECT_EQ(SweepSeedFromEnv(7), 0xABCDEu);
+  setenv("ELEPHANT_SWEEP_SEED", "12345", 1);
+  EXPECT_EQ(SweepSeedFromEnv(7), 12345u);
+  setenv("ELEPHANT_SWEEP_SEED", "", 1);
+  EXPECT_EQ(SweepSeedFromEnv(7), 7u);
+  unsetenv("ELEPHANT_SWEEP_SEED");
+  EXPECT_EQ(SweepSeedFromEnv(7), 7u);
+}
+
+TEST(SweepTest, AdmissionGateBoundsInflightAndSheds) {
+  SweepOptions options = TinySweep();
+  options.gate.max_inflight = 32;
+  options.gate.max_queued = 32;
+  SweepStepResult step = RunSweepStep(SystemKind::kMongoCs, 64000, options);
+  ExpectArrivalsAccounted(step);
+  EXPECT_GT(step.shed, 0);
+  EXPECT_LE(step.peak_inflight, options.gate.max_inflight);
+  EXPECT_LE(step.peak_queued, options.gate.max_queued);
+  EXPECT_GT(step.completed, 0);  // admitted work still completes
+  EXPECT_GT(step.queue_wait_ms, 0.0);
+}
+
+TEST(SweepTest, ChaosStepDegradesWithoutDeadlockOrDrift) {
+  SweepOptions options = TinySweep();
+  SweepStepResult clean = RunSweepStep(SystemKind::kSqlCs, 8000, options);
+
+  // A mid-window disk stall plus a NIC outage: the tail must absorb
+  // the stall and blocked ops must fail, while the drain still reaches
+  // quiescence (RunSweepStep asserts that internally).
+  sim::FaultPlan plan;
+  plan.seed = 0xFA117;
+  SimTime warmup = options.driver.warmup;
+  plan.events.push_back({sim::FaultKind::kDiskStall,
+                         warmup + 200 * kMillisecond, 500 * kMillisecond,
+                         /*node=*/0, /*peer=*/0, /*count=*/0});
+  plan.events.push_back({sim::FaultKind::kNicOutage,
+                         warmup + 400 * kMillisecond, 300 * kMillisecond,
+                         /*node=*/2, /*peer=*/0, /*count=*/0});
+  SweepStepResult faulted =
+      RunSweepStep(SystemKind::kSqlCs, 8000, options, &plan);
+  SweepStepResult replay =
+      RunSweepStep(SystemKind::kSqlCs, 8000, options, &plan);
+
+  // Seed-replay contract: bit-identical under the same plan.
+  EXPECT_EQ(faulted.Fingerprint(), replay.Fingerprint());
+  ExpectArrivalsAccounted(faulted);
+  // The outage fails blocked ops; the stall stretches the tail.
+  EXPECT_GT(faulted.failed, clean.failed);
+  EXPECT_GE(faulted.p999_us, clean.p999_us);
+  // And the fault plan must actually have changed the run.
+  EXPECT_NE(faulted.Fingerprint(), clean.Fingerprint());
+}
+
+}  // namespace
+}  // namespace elephant::ycsb
