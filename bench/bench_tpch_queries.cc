@@ -14,10 +14,19 @@
 //    byte-compared against --threads=1.
 //
 // Flags: --threads=N (default ELEPHANT_THREADS, else 1), --sf=F (exec
-// lane scale factor, default 0.02), --out=PATH (default
-// BENCH_tpch.json). The JSON carries per-cell model seconds, exec
-// wall-clock ms and checksums, the thread count, and the git sha.
+// lane scale factor, default 0.02), --budget=BYTES (memory budget for
+// the exec lane, e.g. 256MB; default ELEPHANT_MEM_BUDGET), --out=PATH
+// (default BENCH_tpch.json). The JSON carries per-cell model seconds,
+// exec wall-clock ms, checksums, peak RSS, the thread count, and the
+// git sha.
+//
+// With a nonzero budget the exec lane runs budget-shaped: dbgen
+// streams the base tables into compressed segment-cache chunks
+// (frozen), query cells run serially, and thawed columns are released
+// between queries so the recorded peak RSS reflects one query's
+// working set over the encoded base data, not 22 concurrent thaws.
 
+#include <algorithm>
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -31,7 +40,9 @@
 #include "common/string_util.h"
 #include "common/task_pool.h"
 #include "common/units.h"
+#include "exec/frozen.h"
 #include "exec/operators.h"
+#include "exec/segcache.h"
 #include "tpch/dss_benchmark.h"
 #include "tpch/paper_reference.h"
 #include "tpch/queries.h"
@@ -89,6 +100,7 @@ struct ExecCell {
   double wall_ms = 0;
   size_t rows = 0;
   uint64_t checksum = 0;
+  long long peak_rss = 0;
 };
 
 }  // namespace
@@ -96,21 +108,50 @@ struct ExecCell {
 int main(int argc, char** argv) {
   int threads = DefaultThreadCount();
   double exec_sf = 0.02;
+  std::vector<int> query_filter;
   std::string out_path = "BENCH_tpch.json";
   for (int i = 1; i < argc; ++i) {
     if (strncmp(argv[i], "--threads=", 10) == 0) {
       threads = std::max(1, atoi(argv[i] + 10));
     } else if (strncmp(argv[i], "--sf=", 5) == 0) {
       exec_sf = atof(argv[i] + 5);
+    } else if (strncmp(argv[i], "--budget=", 9) == 0) {
+      Result<size_t> parsed = exec::ParseByteSize(argv[i] + 9);
+      if (!parsed.ok()) {
+        fprintf(stderr, "bad --budget: %s\n", argv[i] + 9);
+        return 2;
+      }
+      exec::SetExecMemoryBudget(parsed.value());
+    } else if (strncmp(argv[i], "--queries=", 10) == 0) {
+      // Comma-separated exec-lane query filter (e.g. --queries=1,6,14);
+      // the model lane always runs all 22 (it is cheap simulation).
+      for (const char* p = argv[i] + 10; *p != '\0';) {
+        char* end = nullptr;
+        long q = strtol(p, &end, 10);
+        if (end == p || q < 1 || q > tpch::kNumQueries) {
+          fprintf(stderr, "bad --queries entry: %s\n", p);
+          return 2;
+        }
+        query_filter.push_back(static_cast<int>(q));
+        p = *end == ',' ? end + 1 : end;
+      }
     } else if (strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
     } else {
-      fprintf(stderr, "usage: %s [--threads=N] [--sf=F] [--out=PATH]\n",
+      fprintf(stderr,
+              "usage: %s [--threads=N] [--sf=F] [--budget=BYTES] "
+              "[--queries=1,6,14] [--out=PATH]\n",
               argv[0]);
       return 2;
     }
   }
+  auto query_selected = [&query_filter](int q) {
+    return query_filter.empty() ||
+           std::find(query_filter.begin(), query_filter.end(), q) !=
+               query_filter.end();
+  };
   exec::SetExecThreads(threads);
+  const size_t budget = exec::ExecMemoryBudget();
   auto harness_start = std::chrono::steady_clock::now();
 
   // --- model lane: independent (query, SF) cells, one DssBenchmark
@@ -235,28 +276,55 @@ int main(int argc, char** argv) {
   // --- exec lane: the 22 reference queries actually executed over a
   // dbgen database at a mini SF; query cells run concurrently and each
   // query's operators additionally parallelize internally ---
-  printf("\nExec lane: reference queries at SF %.3g, %d thread(s)\n",
+  printf("\nExec lane: reference queries at SF %.3g, %d thread(s)",
          exec_sf, threads);
+  if (budget != 0) {
+    printf(", budget %.0f MB", static_cast<double>(budget) / (1 << 20));
+  }
+  printf("\n");
   auto gen_start = std::chrono::steady_clock::now();
   tpch::DbgenOptions dopt;
   dopt.threads = threads;
   tpch::TpchDatabase db = tpch::GenerateDatabase(exec_sf, dopt);
   double dbgen_ms = ElapsedMs(gen_start);
-  printf("dbgen: %zu lineitem rows in %.0f ms\n", db.lineitem.num_rows(),
-         dbgen_ms);
+  printf("dbgen: %zu lineitem rows in %.0f ms%s\n", db.lineitem.num_rows(),
+         dbgen_ms,
+         db.lineitem.is_frozen() ? " (frozen: segment-backed)" : "");
+  if (db.lineitem.is_frozen()) {
+    size_t encoded = 0;
+    for (const exec::Table* t :
+         {&db.supplier, &db.part, &db.partsupp, &db.customer, &db.orders,
+          &db.lineitem}) {
+      encoded += t->frozen_data()->EncodedBytes();
+    }
+    printf("encoded base tables: %.1f MB\n",
+           static_cast<double>(encoded) / (1 << 20));
+  }
+  auto release_residents = [&db]() {
+    for (exec::Table* t :
+         {&db.supplier, &db.part, &db.partsupp, &db.customer, &db.orders,
+          &db.lineitem}) {
+      t->ReleaseResident();
+    }
+  };
 
   std::vector<ExecCell> exec_cells(tpch::kNumQueries);
   auto run_exec_cell = [&](size_t idx) {
     int q = static_cast<int>(idx) + 1;
+    if (!query_selected(q)) return;
     auto t0 = std::chrono::steady_clock::now();
     exec::Table answer = tpch::RunQuery(q, db);
     ExecCell& cell = exec_cells[idx];
     cell.wall_ms = ElapsedMs(t0);
     cell.rows = answer.num_rows();
     cell.checksum = CanonicalChecksum(answer);
+    cell.peak_rss = bench::PeakRssBytes();
   };
   auto exec_start = std::chrono::steady_clock::now();
-  if (threads > 1) {
+  // Budget-shaped runs go serial with residency released between
+  // queries: peak RSS then measures one query at a time over the
+  // encoded base tables (the operators still parallelize internally).
+  if (threads > 1 && budget == 0) {
     TaskPool::Global(threads).ParallelFor(
         0, exec_cells.size(), 1,
         [&](size_t lo, size_t hi) {
@@ -264,16 +332,22 @@ int main(int argc, char** argv) {
         },
         threads);
   } else {
-    for (size_t i = 0; i < exec_cells.size(); ++i) run_exec_cell(i);
+    for (size_t i = 0; i < exec_cells.size(); ++i) {
+      run_exec_cell(i);
+      if (budget != 0) release_residents();
+    }
   }
   double exec_ms = ElapsedMs(exec_start);
   for (int q = 1; q <= tpch::kNumQueries; ++q) {
+    if (!query_selected(q)) continue;
     const ExecCell& c = exec_cells[q - 1];
     printf("Q%-3d %8.1f ms  %6zu rows  checksum %016llx\n", q, c.wall_ms,
            c.rows, static_cast<unsigned long long>(c.checksum));
   }
-  printf("exec lane total: %.0f ms (dbgen %.0f ms + queries %.0f ms)\n",
-         dbgen_ms + exec_ms, dbgen_ms, exec_ms);
+  printf("exec lane total: %.0f ms (dbgen %.0f ms + queries %.0f ms), "
+         "peak RSS %.1f MB\n",
+         dbgen_ms + exec_ms, dbgen_ms, exec_ms,
+         static_cast<double>(bench::PeakRssBytes()) / (1 << 20));
 
   // --- machine-readable trajectory ---
   std::vector<std::string> json_cells;
@@ -290,12 +364,14 @@ int main(int argc, char** argv) {
     }
   }
   for (int q = 1; q <= tpch::kNumQueries; ++q) {
+    if (!query_selected(q)) continue;
     const ExecCell& c = exec_cells[q - 1];
     json_cells.push_back(StrFormat(
         "{\"lane\": \"exec\", \"query\": %d, \"sf\": %g, "
-        "\"wall_ms\": %.2f, \"rows\": %zu, \"checksum\": \"%016llx\"}",
+        "\"wall_ms\": %.2f, \"rows\": %zu, \"checksum\": \"%016llx\", "
+        "\"budget_bytes\": %zu, \"peak_rss_bytes\": %lld}",
         q, exec_sf, c.wall_ms, c.rows,
-        static_cast<unsigned long long>(c.checksum)));
+        static_cast<unsigned long long>(c.checksum), budget, c.peak_rss));
   }
   bench::WriteBenchJson(out_path, "tpch_queries", threads,
                         ElapsedMs(harness_start), json_cells);

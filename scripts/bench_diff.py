@@ -9,8 +9,11 @@ is current > baseline * (1 + threshold); for throughput metrics it is
 current < baseline * (1 - threshold). Each metric may carry its own
 threshold (overriding the global/--threshold one) and may be marked
 non-gating: informational metrics (the fused planner's chunk counters)
-are reported when they shift but never fail the run. Exits 1 when any
-gating regression is found, so CI can gate on it.
+are reported when they shift but never fail the run. A metric present
+in the current run but absent from a matched baseline cell is a
+per-metric first run — reported and recorded, never a failure — so a
+benchmark can grow new metrics without invalidating its baseline.
+Exits 1 when any gating regression is found, so CI can gate on it.
 """
 
 import json
@@ -45,6 +48,15 @@ METRICS = {
     "chunks_scanned": metric(False, gating=False),
     "rows_scanned": metric(False, gating=False),
     "sorted_bounded": metric(True, gating=False),
+    # Direct-on-encoded scan counters (bench_exec_kernels): how many
+    # chunks were evaluated on their encoded bytes vs decoded first,
+    # and the work shape inside them (RLE runs judged once, packed
+    # 64-bit words swept). Plan descriptions, not gates — the gate is
+    # the rows_per_sec they produce.
+    "chunks_direct": metric(True, gating=False),
+    "chunks_decoded": metric(False, gating=False),
+    "runs_evaluated": metric(False, gating=False),
+    "words_scanned": metric(False, gating=False),
     # Peak RSS is a process-wide high-water mark: noisier than wall
     # time, so it gates at a looser per-metric threshold.
     "peak_rss_bytes": metric(False, threshold=0.30),
@@ -147,13 +159,25 @@ def main(argv):
 
     regressions = []
     infos = []
+    first_runs = []
     compared = 0
     for key, base in base_cells.items():
         cur = cur_cells.get(key)
         if cur is None:
             continue
         for name, cfg in METRICS.items():
-            if name not in base or name not in cur:
+            if name not in cur:
+                continue
+            if name not in base:
+                # A metric the baseline predates (the cell matched, so
+                # the benchmark itself is not new — only this metric
+                # is). Its first value is a recording, not a
+                # regression; the next baseline refresh picks it up.
+                ident = {k: v for k, v in cur.items()
+                         if k not in METRICS and k not in NON_IDENTITY}
+                first_runs.append(
+                    f"  {ident}: {name} = {float(cur[name]):g} "
+                    "(absent from baseline, recording first run)")
                 continue
             b, c = float(base[name]), float(cur[name])
             if b <= 0:
@@ -176,6 +200,11 @@ def main(argv):
           f"{len(base_cells.keys() & cur_cells.keys())} matched cells"
           + (f" ({missing} baseline cells missing from current)"
              if missing else ""))
+    if first_runs:
+        print(f"\n{len(first_runs)} metric(s) recording a first run "
+              "(absent from baseline), not gated:")
+        for line in first_runs:
+            print(line)
     if infos:
         print(f"\n{len(infos)} informational shift(s), not gated:")
         for line in infos:

@@ -210,6 +210,63 @@ class OutOfCoreMetricsTest(unittest.TestCase):
         self.assertEqual(self.run_main([SPILL_CELL], [slow]), 1)
 
 
+ENCODED_CELL = {"kernel": "encoded_scan", "layout": "direct",
+                "case": "q6_range", "sf": 0.1, "rows": 600000,
+                "wall_ms": 12.0, "rows_per_sec": 50000000.0,
+                "chunks_direct": 441, "runs_evaluated": 0,
+                "words_scanned": 18000, "peak_rss_bytes": 100000000,
+                "fingerprint": "00d1c5a9e3b70f42"}
+
+
+class PerMetricFirstRunTest(unittest.TestCase):
+    """A metric the baseline predates is a first run for that metric:
+    reported, recorded, never a failure — and never identity, so
+    counter drift cannot unmatch the cell and skip the real gates."""
+
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def run_main(self, base_cells, cur_cells, *extra):
+        base = write_json(self.dir.name, "base.json", doc(base_cells))
+        cur = write_json(self.dir.name, "cur.json", doc(cur_cells))
+        return bench_diff.main(["bench_diff.py", base, cur, *extra])
+
+    def test_metric_absent_from_baseline_records_first_run(self):
+        old = {k: v for k, v in ENCODED_CELL.items()
+               if k not in ("chunks_direct", "runs_evaluated",
+                            "words_scanned", "peak_rss_bytes")}
+        self.assertEqual(self.run_main([old], [ENCODED_CELL]), 0)
+
+    def test_shared_metrics_still_gate_alongside_first_runs(self):
+        old = {k: v for k, v in ENCODED_CELL.items()
+               if k not in ("chunks_direct", "runs_evaluated",
+                            "words_scanned")}
+        slow = dict(ENCODED_CELL, wall_ms=30.0)
+        self.assertEqual(self.run_main([old], [slow]), 1)
+
+    def test_encoded_counters_are_metrics_not_identity(self):
+        # If the counters leaked into the cell key, this drifted run
+        # would silently unmatch and the wall_ms regression would never
+        # fire.
+        drifted = dict(ENCODED_CELL, wall_ms=30.0, chunks_direct=12,
+                       runs_evaluated=900, words_scanned=0)
+        self.assertEqual(self.run_main([ENCODED_CELL], [drifted]), 1)
+
+    def test_encoded_counter_shift_alone_does_not_gate(self):
+        drifted = dict(ENCODED_CELL, chunks_direct=12, runs_evaluated=900,
+                       words_scanned=0)
+        self.assertEqual(self.run_main([ENCODED_CELL], [drifted]), 0)
+
+    def test_whole_new_cell_in_current_records_first_run(self):
+        # A brand-new benchmark cell has no baseline twin at all; the
+        # run records it and passes.
+        self.assertEqual(self.run_main([CELL], [dict(CELL), ENCODED_CELL]),
+                         0)
+
+
 KNEE_CELL = {"system": "SQL-CS", "workload": "B", "cell": "knee",
              "knee_step": 3, "knee_offered_rate": 40000.0,
              "p99_at_knee_ms": 60.0, "idle_p99_ms": 8.0,

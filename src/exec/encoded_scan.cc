@@ -1,0 +1,386 @@
+#include "exec/encoded_scan.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace elephant::exec {
+
+namespace {
+
+bool EncodedScanDefault() {
+  const char* env = std::getenv("ELEPHANT_ENCODED_SCAN");
+  return env == nullptr || std::string(env) != "0";
+}
+
+std::atomic<bool> g_encoded_scan{EncodedScanDefault()};
+
+std::atomic<uint64_t> g_chunks_direct{0};
+std::atomic<uint64_t> g_chunks_decoded{0};
+std::atomic<uint64_t> g_runs_evaluated{0};
+std::atomic<uint64_t> g_words_scanned{0};
+
+template <typename T>
+T ReadRaw(const uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// LSB-first little-endian bit stream, field-for-field identical to the
+/// codec's BitReader (widths above 32 split into two <= 32-bit halves).
+struct BitStream {
+  const uint8_t* p;
+  uint64_t acc = 0;
+  unsigned nbits = 0;
+
+  uint32_t Get32(unsigned w) {
+    if (w == 0) return 0;
+    while (nbits < w) {
+      acc |= static_cast<uint64_t>(*p++) << nbits;
+      nbits += 8;
+    }
+    uint32_t v = static_cast<uint32_t>(
+        acc & (w >= 32 ? 0xFFFFFFFFull : ((1ull << w) - 1)));
+    acc >>= w;
+    nbits -= w;
+    return v;
+  }
+  uint64_t Get(unsigned w) {
+    if (w > 32) {
+      uint64_t lo = Get32(32);
+      uint64_t hi = Get32(w - 32);
+      return lo | (hi << 32);
+    }
+    return Get32(w);
+  }
+};
+
+constexpr size_t kWidthHeaderI64 = 1 + 2 * sizeof(int64_t);
+constexpr size_t kWidthHeaderU32 = 1 + 2 * sizeof(uint32_t);
+
+/// Word-at-a-time sweep over a packed payload: when the field width
+/// divides 64, every 64-bit word holds a whole number of fields, loaded
+/// once and peeled LSB-first (the BitWriter emission order). `eval` is
+/// called with each field value in row order; rows beyond the full
+/// words fall back to the bit stream. Returns false when the width does
+/// not divide a word, leaving the caller on the generic path.
+template <typename Eval>
+bool PackedWords(const uint8_t* payload, size_t n, unsigned w, Eval&& eval) {
+  if (w == 0 || w > 32 || 64 % w != 0) return false;
+  const unsigned per_word = 64 / w;
+  const uint64_t mask = w >= 64 ? ~0ull : ((1ull << w) - 1);
+  size_t full_words = (n * w) / 64;
+  size_t i = 0;
+  for (size_t wd = 0; wd < full_words; ++wd) {
+    uint64_t word = ReadRaw<uint64_t>(payload + wd * 8);
+    for (unsigned k = 0; k < per_word; ++k) {
+      eval(i++, word & mask);
+      word >>= w;
+    }
+  }
+  g_words_scanned.fetch_add(full_words, std::memory_order_relaxed);
+  if (i < n) {
+    BitStream bs{payload + full_words * 8};
+    for (; i < n; ++i) eval(i, bs.Get(w));
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ExecEncodedScanPath() {
+  return g_encoded_scan.load(std::memory_order_relaxed);
+}
+
+void SetExecEncodedScanPath(bool on) {
+  g_encoded_scan.store(on, std::memory_order_relaxed);
+}
+
+EncodedScanCounters EncodedScanCountersSnapshot() {
+  EncodedScanCounters c;
+  c.chunks_direct = g_chunks_direct.load(std::memory_order_relaxed);
+  c.chunks_decoded = g_chunks_decoded.load(std::memory_order_relaxed);
+  c.runs_evaluated = g_runs_evaluated.load(std::memory_order_relaxed);
+  c.words_scanned = g_words_scanned.load(std::memory_order_relaxed);
+  return c;
+}
+
+void ResetEncodedScanCounters() {
+  g_chunks_direct.store(0, std::memory_order_relaxed);
+  g_chunks_decoded.store(0, std::memory_order_relaxed);
+  g_runs_evaluated.store(0, std::memory_order_relaxed);
+  g_words_scanned.store(0, std::memory_order_relaxed);
+}
+
+Result<ChunkView> ParseChunkView(const uint8_t* data, size_t size) {
+  constexpr size_t kHeader = 2 + sizeof(uint32_t);
+  if (size < kHeader) {
+    return Status::IOError(
+        StrFormat("encoded chunk truncated: %zu bytes", size));
+  }
+  if (data[0] > static_cast<uint8_t>(Codec::kFor)) {
+    return Status::IOError(
+        StrFormat("unknown codec byte %u", unsigned{data[0]}));
+  }
+  if (data[1] > static_cast<uint8_t>(ValueType::kString)) {
+    return Status::IOError(
+        StrFormat("unknown chunk type byte %u", unsigned{data[1]}));
+  }
+  ChunkView v;
+  v.codec = static_cast<Codec>(data[0]);
+  v.type = static_cast<ValueType>(data[1]);
+  v.rows = ReadRaw<uint32_t>(data + 2);
+  v.payload = data + kHeader;
+  v.payload_size = size - kHeader;
+  size_t elem = v.type == ValueType::kString ? sizeof(uint32_t)
+                                             : sizeof(int64_t);
+  switch (v.codec) {
+    case Codec::kPlain:
+      if (v.payload_size != v.rows * elem) {
+        return Status::IOError(
+            StrFormat("plain payload %zu bytes for %u rows",
+                      v.payload_size, v.rows));
+      }
+      break;
+    case Codec::kRle:
+      break;  // run lengths are validated by the decoder when needed
+    case Codec::kBitPack:
+    case Codec::kFor: {
+      size_t header = v.type == ValueType::kString ? kWidthHeaderU32
+                                                   : kWidthHeaderI64;
+      if (v.payload_size < header) {
+        return Status::IOError(
+            StrFormat("packed chunk header truncated: %zu bytes",
+                      v.payload_size));
+      }
+      unsigned width = v.payload[0];
+      unsigned max_w = v.type == ValueType::kString ? 32 : 64;
+      if (width > max_w) {
+        return Status::IOError(StrFormat("packed width %u too wide", width));
+      }
+      size_t need = header + (v.rows * static_cast<size_t>(width) + 7) / 8;
+      if (v.payload_size < need) {
+        return Status::IOError(
+            StrFormat("packed payload %zu bytes, need %zu", v.payload_size,
+                      need));
+      }
+      break;
+    }
+  }
+  return v;
+}
+
+ChunkView MakeChunkView(const EncodedChunk& c) {
+  ChunkView v;
+  v.codec = c.codec;
+  v.type = c.type;
+  v.rows = c.rows;
+  v.payload = c.bytes.data();
+  v.payload_size = c.bytes.size();
+  return v;
+}
+
+void EncodedRangeAnd(const ChunkView& view, const NumRange& r,
+                     uint8_t* bits) {
+  size_t n = view.rows;
+  g_chunks_direct.fetch_add(1, std::memory_order_relaxed);
+  if (view.type == ValueType::kDouble) {
+    if (view.codec == Codec::kPlain) {
+      for (size_t i = 0; i < n; ++i) {
+        double v = ReadRaw<double>(view.payload + i * sizeof(double));
+        if (!r.Matches(v)) bits[i] = 0;
+      }
+      return;
+    }
+    ELEPHANT_CHECK(view.codec == Codec::kRle) << "bad double codec";
+    // Evaluate once per run, by the exact bit pattern the encoder saw —
+    // NaN runs fail Matches once and zero the whole run; -0.0 compares
+    // as 0.0, exactly like the decoded path.
+    const uint8_t* p = view.payload;
+    size_t i = 0;
+    uint64_t runs = 0;
+    while (i < n) {
+      uint64_t pattern = ReadRaw<uint64_t>(p);
+      uint32_t run = ReadRaw<uint32_t>(p + sizeof(uint64_t));
+      p += sizeof(uint64_t) + sizeof(uint32_t);
+      double v;
+      std::memcpy(&v, &pattern, sizeof(v));
+      if (!r.Matches(v)) std::memset(bits + i, 0, run);
+      i += run;
+      ++runs;
+    }
+    g_runs_evaluated.fetch_add(runs, std::memory_order_relaxed);
+    return;
+  }
+  ELEPHANT_CHECK(view.type == ValueType::kInt)
+      << "EncodedRangeAnd on a string chunk";
+  switch (view.codec) {
+    case Codec::kPlain: {
+      for (size_t i = 0; i < n; ++i) {
+        double v = static_cast<double>(
+            ReadRaw<int64_t>(view.payload + i * sizeof(int64_t)));
+        if (!r.Matches(v)) bits[i] = 0;
+      }
+      return;
+    }
+    case Codec::kRle: {
+      const uint8_t* p = view.payload;
+      size_t i = 0;
+      uint64_t runs = 0;
+      while (i < n) {
+        int64_t v = ReadRaw<int64_t>(p);
+        uint32_t run = ReadRaw<uint32_t>(p + sizeof(int64_t));
+        p += sizeof(int64_t) + sizeof(uint32_t);
+        if (!r.Matches(static_cast<double>(v))) {
+          std::memset(bits + i, 0, run);
+        }
+        i += run;
+        ++runs;
+      }
+      g_runs_evaluated.fetch_add(runs, std::memory_order_relaxed);
+      return;
+    }
+    case Codec::kBitPack:
+    case Codec::kFor: {
+      if (n == 0) return;
+      unsigned w = view.payload[0];
+      int64_t mn = ReadRaw<int64_t>(view.payload + 1);
+      int64_t mx = ReadRaw<int64_t>(view.payload + 1 + sizeof(int64_t));
+      double dmn = static_cast<double>(mn);
+      double dmx = static_cast<double>(mx);
+      // Header shortcuts, with exactly the zone-map interval logic: the
+      // chunk's values fill [min, max], so matching both endpoints
+      // matches everything, and a disjoint interval matches nothing.
+      bool above = r.hi_strict ? dmn >= r.hi : dmn > r.hi;
+      bool below = r.lo_strict ? dmx <= r.lo : dmx < r.lo;
+      if (above || below) {
+        std::memset(bits, 0, n);
+        return;
+      }
+      if (r.Matches(dmn) && r.Matches(dmx)) return;  // all rows match
+      const uint8_t* packed = view.payload + kWidthHeaderI64;
+      uint64_t ref =
+          view.codec == Codec::kFor ? static_cast<uint64_t>(mn) : 0;
+      // The comparison always goes through the widened-double image of
+      // the reconstructed int64 — never an integer-domain compare — so
+      // it agrees with the decoded path even beyond 2^53.
+      auto eval = [&](size_t i, uint64_t field) {
+        double v =
+            static_cast<double>(static_cast<int64_t>(ref + field));
+        if (!r.Matches(v)) bits[i] = 0;
+      };
+      if (PackedWords(packed, n, w, eval)) return;
+      BitStream bs{packed};
+      for (size_t i = 0; i < n; ++i) eval(i, bs.Get(w));
+      return;
+    }
+  }
+}
+
+void EncodedCodeAnd(const ChunkView& view, const char* match,
+                    uint8_t* bits) {
+  ELEPHANT_CHECK(view.type == ValueType::kString)
+      << "EncodedCodeAnd on a numeric chunk";
+  size_t n = view.rows;
+  g_chunks_direct.fetch_add(1, std::memory_order_relaxed);
+  switch (view.codec) {
+    case Codec::kPlain: {
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t code =
+            ReadRaw<uint32_t>(view.payload + i * sizeof(uint32_t));
+        if (match[code] == 0) bits[i] = 0;
+      }
+      return;
+    }
+    case Codec::kRle: {
+      const uint8_t* p = view.payload;
+      size_t i = 0;
+      uint64_t runs = 0;
+      while (i < n) {
+        uint32_t code = ReadRaw<uint32_t>(p);
+        uint32_t run = ReadRaw<uint32_t>(p + sizeof(uint32_t));
+        p += 2 * sizeof(uint32_t);
+        if (match[code] == 0) std::memset(bits + i, 0, run);
+        i += run;
+        ++runs;
+      }
+      g_runs_evaluated.fetch_add(runs, std::memory_order_relaxed);
+      return;
+    }
+    case Codec::kBitPack:
+    case Codec::kFor: {
+      if (n == 0) return;
+      unsigned w = view.payload[0];
+      uint32_t ref = view.codec == Codec::kFor
+                         ? ReadRaw<uint32_t>(view.payload + 1)
+                         : 0;
+      const uint8_t* packed = view.payload + kWidthHeaderU32;
+      auto eval = [&](size_t i, uint64_t field) {
+        uint32_t code = ref + static_cast<uint32_t>(field);
+        if (match[code] == 0) bits[i] = 0;
+      };
+      if (PackedWords(packed, n, w, eval)) return;
+      BitStream bs{packed};
+      for (size_t i = 0; i < n; ++i) eval(i, bs.Get32(w));
+      return;
+    }
+  }
+}
+
+namespace {
+
+/// Rebuilds the owning EncodedChunk a view describes (the decode-first
+/// oracle pays this copy on purpose; the direct kernels never do).
+EncodedChunk ChunkFromView(const ChunkView& view) {
+  EncodedChunk c;
+  c.codec = view.codec;
+  c.type = view.type;
+  c.rows = view.rows;
+  c.bytes.assign(view.payload, view.payload + view.payload_size);
+  return c;
+}
+
+}  // namespace
+
+void DecodedRangeAnd(const ChunkView& view, const NumRange& r,
+                     uint8_t* bits, ChunkScratch* scratch) {
+  size_t n = view.rows;
+  g_chunks_decoded.fetch_add(1, std::memory_order_relaxed);
+  EncodedChunk c = ChunkFromView(view);
+  if (view.type == ValueType::kInt) {
+    scratch->ints.resize(n);
+    DecodeInt64Chunk(c, scratch->ints.data());
+    for (size_t i = 0; i < n; ++i) {
+      if (!r.Matches(static_cast<double>(scratch->ints[i]))) bits[i] = 0;
+    }
+    return;
+  }
+  ELEPHANT_CHECK(view.type == ValueType::kDouble)
+      << "DecodedRangeAnd on a string chunk";
+  scratch->dbls.resize(n);
+  DecodeDoubleChunk(c, scratch->dbls.data());
+  for (size_t i = 0; i < n; ++i) {
+    if (!r.Matches(scratch->dbls[i])) bits[i] = 0;
+  }
+}
+
+void DecodedCodeAnd(const ChunkView& view, const char* match,
+                    uint8_t* bits, ChunkScratch* scratch) {
+  ELEPHANT_CHECK(view.type == ValueType::kString)
+      << "DecodedCodeAnd on a numeric chunk";
+  size_t n = view.rows;
+  g_chunks_decoded.fetch_add(1, std::memory_order_relaxed);
+  EncodedChunk c = ChunkFromView(view);
+  scratch->codes.resize(n);
+  DecodeCodeChunk(c, scratch->codes.data());
+  for (size_t i = 0; i < n; ++i) {
+    if (match[scratch->codes[i]] == 0) bits[i] = 0;
+  }
+}
+
+}  // namespace elephant::exec

@@ -1,0 +1,94 @@
+#ifndef ELEPHANT_EXEC_ENCODED_SCAN_H_
+#define ELEPHANT_EXEC_ENCODED_SCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/result.h"
+#include "exec/compress.h"
+#include "exec/fused.h"
+
+namespace elephant::exec {
+
+// ---- Direct-on-encoded scan kernels (DESIGN.md §17) ----------------------
+//
+// Predicate evaluation straight on the serialized chunk bytes of a
+// frozen column — no decode buffer, no per-row branch on the codec:
+//
+//  - RLE chunks evaluate each run's value once and apply the verdict to
+//    the whole run (evaluate-once-apply-to-run).
+//  - Bit-packed / FOR chunks run word-at-a-time: 64-bit words of the
+//    packed payload are loaded whole and their fields extracted
+//    LSB-first, with the header's [min, max] shortcutting all-match and
+//    no-match chunks before any word is touched.
+//  - Dictionary chunks compare codes against the ScanSpec's match
+//    table (the literal was translated to codes once, at plan time).
+//
+// Every kernel ANDs into a byte-per-row selection buffer
+// (bits[i] &= matches), so conjunctions stack without an intermediate
+// row materialization, and every comparison goes through the same
+// widened-double image as the resident path — answers are bit-identical
+// by construction, which the property tests pin against the
+// decode-first oracles below across codec x type x selectivity
+// (NaN and signed-zero doubles included).
+
+/// Encoded-scan knob: on by default; ELEPHANT_ENCODED_SCAN=0 flips the
+/// default to the decode-first oracle, and the setter overrides either
+/// way (same pattern as ELEPHANT_FUSED).
+bool ExecEncodedScanPath();
+void SetExecEncodedScanPath(bool on);
+
+/// Monotonic counters since the last reset; deterministic for a fixed
+/// chunk/predicate sequence.
+struct EncodedScanCounters {
+  uint64_t chunks_direct = 0;    ///< chunks evaluated on encoded bytes
+  uint64_t chunks_decoded = 0;   ///< chunks through the decode-first oracle
+  uint64_t runs_evaluated = 0;   ///< RLE runs judged once for all rows
+  uint64_t words_scanned = 0;    ///< 64-bit words in packed fast paths
+};
+
+EncodedScanCounters EncodedScanCountersSnapshot();
+void ResetEncodedScanCounters();
+
+/// Zero-copy view of one serialized chunk ([codec][type][rows] header
+/// plus payload, the SerializeChunk layout). The payload pointer
+/// aliases the caller's buffer — typically a pinned segment, which must
+/// stay pinned while the view is in use.
+struct ChunkView {
+  Codec codec = Codec::kPlain;
+  ValueType type = ValueType::kInt;
+  uint32_t rows = 0;
+  const uint8_t* payload = nullptr;
+  size_t payload_size = 0;
+};
+
+/// Parses the 6-byte header and validates the payload shape (packed
+/// headers present, plain sizes exact) without copying anything.
+Result<ChunkView> ParseChunkView(const uint8_t* data, size_t size);
+
+/// View of an in-memory EncodedChunk (tests and benches).
+ChunkView MakeChunkView(const EncodedChunk& c);
+
+/// ANDs a numeric range constraint into `bits` (one byte per row,
+/// bits[i] &= matches), evaluating directly on the encoded payload.
+/// The view must be a kInt or kDouble chunk.
+void EncodedRangeAnd(const ChunkView& view, const NumRange& r,
+                     uint8_t* bits);
+
+/// ANDs a dictionary-code set constraint into `bits`. `match` is the
+/// ScanSpec table indexed by code (match[code] != 0 selects the row).
+/// The view must be a kString chunk.
+void EncodedCodeAnd(const ChunkView& view, const char* match,
+                    uint8_t* bits);
+
+/// Decode-first oracles: same AND semantics, but the chunk is fully
+/// decoded into `scratch` and compared row by row. These are the
+/// ELEPHANT_ENCODED_SCAN=0 fallback and the property-test referee.
+void DecodedRangeAnd(const ChunkView& view, const NumRange& r,
+                     uint8_t* bits, ChunkScratch* scratch);
+void DecodedCodeAnd(const ChunkView& view, const char* match,
+                    uint8_t* bits, ChunkScratch* scratch);
+
+}  // namespace elephant::exec
+
+#endif  // ELEPHANT_EXEC_ENCODED_SCAN_H_

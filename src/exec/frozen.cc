@@ -1,0 +1,361 @@
+#include "exec/frozen.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace elephant::exec {
+
+// ---- FrozenTableData -----------------------------------------------------
+
+FrozenTableData::~FrozenTableData() {
+  // Discard, not Remove: a test may Clear() the global cache while a
+  // frozen table is still alive; its ids are simply gone by then.
+  SegmentCache& cache = SegmentCache::Global();
+  for (const FrozenColumn& fc : cols) {
+    for (const FrozenChunk& ch : fc.chunks) cache.Discard(ch.id);
+  }
+}
+
+size_t FrozenTableData::EncodedBytes() const {
+  size_t total = 0;
+  for (const FrozenColumn& fc : cols) total += fc.encoded_bytes;
+  return total;
+}
+
+// ---- Zone maps from frozen metadata --------------------------------------
+
+std::shared_ptr<const ZoneMaps> ZoneMapsFromFrozen(
+    const std::vector<Column>& schema, const FrozenTableData& fz) {
+  ELEPHANT_CHECK(fz.cols.size() == schema.size());
+  auto zm = std::make_shared<ZoneMaps>();
+  zm->rows = fz.rows;
+  zm->chunk_rows = fz.chunk_rows;
+  zm->num_chunks =
+      fz.rows == 0 ? 0 : (fz.rows + fz.chunk_rows - 1) / fz.chunk_rows;
+  zm->cols.resize(schema.size());
+  for (size_t c = 0; c < schema.size(); ++c) {
+    const FrozenColumn& fc = fz.cols[c];
+    ELEPHANT_CHECK(fc.bounds.size() == zm->num_chunks)
+        << "frozen column " << schema[c].name << " has " << fc.bounds.size()
+        << " chunks, zone maps expect " << zm->num_chunks;
+    ColumnZones& cz = zm->cols[c];
+    cz.type = fc.type;
+    cz.sorted_asc = fc.sorted_asc;
+    cz.hist = fc.hist;
+    for (const EncodedBounds& b : fc.bounds) {
+      if (b.is_code) {
+        cz.code_min.push_back(b.code_min);
+        cz.code_max.push_back(b.code_max);
+      } else {
+        cz.min.push_back(b.min);
+        cz.max.push_back(b.max);
+      }
+    }
+  }
+  return zm;
+}
+
+// ---- Table: thaw / freeze ------------------------------------------------
+
+namespace {
+
+/// Pins, parses, and decodes one frozen chunk into `out` (which must
+/// have room for `ch.rows` values of the column's type).
+void DecodeFrozenChunk(const FrozenChunk& ch, ValueType type, void* out) {
+  Result<PinnedSegment> pinned = PinSegment(ch.id);
+  ELEPHANT_CHECK(pinned.ok())
+      << "thaw failed pinning segment " << ch.id << ": "
+      << pinned.status().ToString();
+  PinnedSegment pin = std::move(pinned).value();
+  Result<EncodedChunk> parsed =
+      ParseChunk(pin.bytes().data(), pin.bytes().size());
+  ELEPHANT_CHECK(parsed.ok())
+      << "thaw failed parsing segment " << ch.id << ": "
+      << parsed.status().ToString();
+  const EncodedChunk& ec = parsed.value();
+  ELEPHANT_CHECK(ec.rows == ch.rows && ec.type == type)
+      << "frozen chunk shape drifted for segment " << ch.id;
+  switch (type) {
+    case ValueType::kInt:
+      DecodeInt64Chunk(ec, static_cast<int64_t*>(out));
+      break;
+    case ValueType::kDouble:
+      DecodeDoubleChunk(ec, static_cast<double*>(out));
+      break;
+    case ValueType::kString:
+      DecodeCodeChunk(ec, static_cast<uint32_t*>(out));
+      break;
+  }
+}
+
+}  // namespace
+
+void Table::EnsureColResident(int col) const {
+  if (thawed_[col].load(std::memory_order_acquire) != 0) return;
+  MutexLock lock(&lazy_mu_);
+  if (thawed_[col].load(std::memory_order_relaxed) != 0) return;
+  const FrozenColumn& fc = frozen_->cols[col];
+  ColumnVector& cv = data_[col];
+  cv.Resize(frozen_->rows);
+  size_t off = 0;
+  for (const FrozenChunk& ch : fc.chunks) {
+    void* out = nullptr;
+    switch (fc.type) {
+      case ValueType::kInt:
+        out = cv.ints().data() + off;
+        break;
+      case ValueType::kDouble:
+        out = cv.doubles().data() + off;
+        break;
+      case ValueType::kString:
+        out = cv.codes().data() + off;
+        break;
+    }
+    DecodeFrozenChunk(ch, fc.type, out);
+    off += ch.rows;
+  }
+  ELEPHANT_CHECK(off == frozen_->rows)
+      << "frozen column " << col << " decodes to " << off << " rows, not "
+      << frozen_->rows;
+  thawed_[col].store(1, std::memory_order_release);
+}
+
+void Table::ThawAllResident() const {
+  if (frozen_ == nullptr) return;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    EnsureColResident(static_cast<int>(c));
+  }
+}
+
+void Table::ReleaseResident() {
+  if (frozen_ == nullptr) return;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (thawed_[c].load(std::memory_order_relaxed) == 0) continue;
+    data_[c].Clear();
+    thawed_[c].store(0, std::memory_order_relaxed);
+  }
+  InvalidateRows();
+  // Zone maps stay: logical content is unchanged by residency.
+}
+
+Table Table::FromFrozen(std::vector<Column> columns,
+                        std::shared_ptr<StringPool> pool,
+                        std::shared_ptr<const FrozenTableData> fz) {
+  ELEPHANT_CHECK(fz != nullptr);
+  Table t(std::move(columns), std::move(pool));
+  ELEPHANT_CHECK(fz->cols.size() == t.columns_.size())
+      << "frozen data has " << fz->cols.size() << " columns, schema has "
+      << t.columns_.size();
+  t.num_rows_ = fz->rows;
+  t.thawed_ = std::make_unique<std::atomic<uint32_t>[]>(t.columns_.size());
+  for (size_t c = 0; c < t.columns_.size(); ++c) {
+    t.thawed_[c].store(0, std::memory_order_relaxed);
+  }
+  t.frozen_ = std::move(fz);
+  return t;
+}
+
+void Table::Freeze() {
+  if (frozen_ != nullptr) return;
+  if (!EnsureColumnar()) return;  // heterogeneous: no encoded form
+  std::shared_ptr<const ZoneMaps> zm = GetZoneMaps(*this);
+  ELEPHANT_CHECK(zm != nullptr);
+  auto fz = std::make_shared<FrozenTableData>();
+  fz->rows = num_rows_;
+  fz->chunk_rows = zm->chunk_rows;
+  fz->cols.reserve(columns_.size());
+  SegmentCache& cache = SegmentCache::Global();
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    EncodedColumn enc = EncodeColumn(*this, static_cast<int>(c));
+    ELEPHANT_CHECK(enc.chunk_rows == fz->chunk_rows);
+    FrozenColumn fc;
+    fc.type = enc.type;
+    fc.sorted_asc = enc.sorted_asc;
+    fc.hist = std::move(enc.hist);
+    fc.chunks.reserve(enc.chunks.size());
+    fc.bounds.reserve(enc.chunks.size());
+    for (EncodedChunk& ec : enc.chunks) {
+      fc.bounds.push_back(EncodedChunkBounds(ec));
+      std::vector<uint8_t> bytes = SerializeChunk(ec);
+      fc.encoded_bytes += bytes.size();
+      Result<SegmentCache::Id> id = cache.Insert(std::move(bytes));
+      ELEPHANT_CHECK(id.ok())
+          << "freeze failed inserting a chunk: " << id.status().ToString();
+      fc.chunks.push_back(FrozenChunk{id.value(), ec.rows});
+    }
+    fz->cols.push_back(std::move(fc));
+  }
+  frozen_ = std::move(fz);
+  thawed_ = std::make_unique<std::atomic<uint32_t>[]>(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    thawed_[c].store(0, std::memory_order_relaxed);
+  }
+  for (ColumnVector& cv : data_) cv.Clear();
+  InvalidateRows();  // a live row cache would keep the plain bytes resident
+}
+
+// ---- FrozenTableBuilder --------------------------------------------------
+
+FrozenTableBuilder::FrozenTableBuilder(std::vector<Column> schema,
+                                       std::shared_ptr<StringPool> pool)
+    : schema_(std::move(schema)),
+      pool_(std::move(pool)),
+      fz_(std::make_shared<FrozenTableData>()) {
+  bool has_string = false;
+  for (const Column& c : schema_) has_string |= c.type == ValueType::kString;
+  if (has_string && pool_ == nullptr) pool_ = std::make_shared<StringPool>();
+  fz_->chunk_rows = ZoneMapChunkRows();
+  ELEPHANT_CHECK(fz_->chunk_rows > 0);
+  fz_->cols.resize(schema_.size());
+  tail_.reserve(schema_.size());
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    fz_->cols[c].type = schema_[c].type;
+    // Numeric columns start sorted and the seal loop falsifies; string
+    // columns never carry the flag (intern order is not collation) —
+    // both exactly as BuildZoneMaps decides.
+    fz_->cols[c].sorted_asc = schema_[c].type != ValueType::kString;
+    tail_.emplace_back(schema_[c].type);
+  }
+  last_val_.assign(schema_.size(), 0.0);
+}
+
+void FrozenTableBuilder::Append(RowBatch&& batch) {
+  ELEPHANT_CHECK(batch.cols_.size() == schema_.size())
+      << "batch has " << batch.cols_.size() << " columns, schema has "
+      << schema_.size();
+  size_t n = batch.num_rows();
+  for (size_t c = 0; c < batch.cols_.size(); ++c) {
+    ELEPHANT_CHECK(batch.cols_[c].type == schema_[c].type &&
+                   batch.cols_[c].size() == n)
+        << "uneven or mistyped batch column " << c;
+  }
+  // Mirrors Table::AppendBatch: serial interning in batch order keeps
+  // dictionary codes identical to the resident build.
+  for (size_t c = 0; c < batch.cols_.size(); ++c) {
+    RowBatch::BatchColumn& bc = batch.cols_[c];
+    switch (schema_[c].type) {
+      case ValueType::kInt:
+        tail_[c].ints().insert(tail_[c].ints().end(), bc.ints.begin(),
+                               bc.ints.end());
+        break;
+      case ValueType::kDouble:
+        tail_[c].doubles().insert(tail_[c].doubles().end(),
+                                  bc.doubles.begin(), bc.doubles.end());
+        break;
+      case ValueType::kString: {
+        std::vector<uint32_t>& codes = tail_[c].codes();
+        codes.reserve(codes.size() + bc.strs.size());
+        for (std::string& s : bc.strs) {
+          codes.push_back(pool_->Intern(std::move(s)));
+        }
+        break;
+      }
+    }
+  }
+  rows_ += n;
+  SealFullChunks();
+}
+
+void FrozenTableBuilder::SealChunk(size_t lo, size_t hi) {
+  size_t n = hi - lo;
+  if (n == 0) return;
+  SegmentCache& cache = SegmentCache::Global();
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    FrozenColumn& fc = fz_->cols[c];
+    EncodedChunk ec;
+    switch (schema_[c].type) {
+      case ValueType::kInt: {
+        const int64_t* v = tail_[c].ints().data() + lo;
+        ec = EncodeInt64ChunkAuto(v, n);
+        if (fc.sorted_asc) {
+          // Same pairwise test BuildZoneMaps runs over the whole
+          // column, carried across seal boundaries by last_val_ (the
+          // double image of the previous sealed value). NaN-free here,
+          // but `!(a <= b)` keeps the forms literally identical.
+          double prev = has_last_ ? last_val_[c] : static_cast<double>(v[0]);
+          for (size_t i = 0; i < n && fc.sorted_asc; ++i) {
+            double d = static_cast<double>(v[i]);
+            if (!(prev <= d)) fc.sorted_asc = false;
+            prev = d;
+          }
+        }
+        last_val_[c] = static_cast<double>(v[n - 1]);
+        break;
+      }
+      case ValueType::kDouble: {
+        const double* v = tail_[c].doubles().data() + lo;
+        ec = EncodeDoubleChunkAuto(v, n);
+        if (fc.sorted_asc) {
+          double prev = has_last_ ? last_val_[c] : v[0];
+          for (size_t i = 0; i < n && fc.sorted_asc; ++i) {
+            if (!(prev <= v[i])) fc.sorted_asc = false;
+            prev = v[i];
+          }
+        }
+        last_val_[c] = v[n - 1];
+        break;
+      }
+      case ValueType::kString: {
+        const uint32_t* v = tail_[c].codes().data() + lo;
+        ec = EncodeCodeChunkAuto(v, n);
+        break;
+      }
+    }
+    fc.bounds.push_back(EncodedChunkBounds(ec));
+    std::vector<uint8_t> bytes = SerializeChunk(ec);
+    fc.encoded_bytes += bytes.size();
+    Result<SegmentCache::Id> id = cache.Insert(std::move(bytes));
+    ELEPHANT_CHECK(id.ok())
+        << "seal failed inserting a chunk: " << id.status().ToString();
+    fc.chunks.push_back(FrozenChunk{id.value(), static_cast<uint32_t>(n)});
+  }
+  has_last_ = true;
+}
+
+void FrozenTableBuilder::SealFullChunks() {
+  size_t tail_rows = tail_.empty() ? 0 : tail_[0].size();
+  size_t lo = 0;
+  while (tail_rows - lo >= fz_->chunk_rows) {
+    SealChunk(lo, lo + fz_->chunk_rows);
+    lo += fz_->chunk_rows;
+  }
+  if (lo == 0) return;
+  for (size_t c = 0; c < tail_.size(); ++c) {
+    switch (schema_[c].type) {
+      case ValueType::kInt: {
+        std::vector<int64_t>& v = tail_[c].ints();
+        v.erase(v.begin(), v.begin() + static_cast<ptrdiff_t>(lo));
+        break;
+      }
+      case ValueType::kDouble: {
+        std::vector<double>& v = tail_[c].doubles();
+        v.erase(v.begin(), v.begin() + static_cast<ptrdiff_t>(lo));
+        break;
+      }
+      case ValueType::kString: {
+        std::vector<uint32_t>& v = tail_[c].codes();
+        v.erase(v.begin(), v.begin() + static_cast<ptrdiff_t>(lo));
+        break;
+      }
+    }
+  }
+}
+
+Table FrozenTableBuilder::Finish() {
+  ELEPHANT_CHECK(fz_ != nullptr) << "Finish() called twice";
+  size_t tail_rows = tail_.empty() ? 0 : tail_[0].size();
+  SealChunk(0, tail_rows);  // the ragged tail (no-op when empty)
+  for (ColumnVector& cv : tail_) cv.Clear();
+  fz_->rows = rows_;
+  if (rows_ == 0) {
+    // BuildZoneMaps calls an empty column unsorted; match it.
+    for (FrozenColumn& fc : fz_->cols) fc.sorted_asc = false;
+  }
+  std::shared_ptr<const FrozenTableData> fz = std::move(fz_);
+  Table t = Table::FromFrozen(schema_, pool_, fz);
+  t.set_zone_maps(ZoneMapsFromFrozen(schema_, *fz));
+  return t;
+}
+
+}  // namespace elephant::exec

@@ -1,0 +1,120 @@
+#ifndef ELEPHANT_EXEC_FROZEN_H_
+#define ELEPHANT_EXEC_FROZEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "exec/compress.h"
+#include "exec/segcache.h"
+#include "exec/statistics.h"
+#include "exec/table.h"
+#include "exec/zonemap.h"
+
+namespace elephant::exec {
+
+// ---- Segment-backed (frozen) base tables (DESIGN.md §17) -----------------
+//
+// A frozen table keeps its row data as per-column runs of compressed
+// chunks living in the global SegmentCache instead of resident
+// ColumnVectors: at rest the table costs its encoded bytes (bounded by
+// the cache budget, spilling beyond it), not its plain bytes. Reads go
+// one of two ways:
+//
+//  - Accessor reads (IntData/DoubleData/StrCodes) transparently thaw
+//    the touched column — decode every chunk back into the ColumnVector
+//    once, publish-once under the table's lazy lock — so every existing
+//    kernel keeps working unchanged and pays only for the columns it
+//    actually reads. Table::ReleaseResident() drops thawed columns
+//    back to frozen-only storage between queries.
+//  - The fused scan path (exec/fused.cc) recognizes frozen columns and
+//    never thaws them: zone maps classify chunks from the per-chunk
+//    bounds stored here, pruned/full-match chunks are never pinned, and
+//    scan chunks are evaluated directly on the encoded bytes
+//    (exec/encoded_scan.h) under a pin-per-chunk discipline.
+//
+// Mutation detaches: any mutating entry point thaws every column and
+// drops the frozen state (the encoded chunks would go stale). Logical
+// content is unchanged by Freeze/thaw/Release, so fingerprints are
+// bit-identical to the resident path at any budget and thread count.
+
+/// One encoded chunk of a frozen column: its segment-cache id plus the
+/// decoded row count (all chunks span chunk_rows rows except the last).
+struct FrozenChunk {
+  SegmentCache::Id id = 0;
+  uint32_t rows = 0;
+};
+
+/// One frozen column: chunk ids in row order plus the zone-map image of
+/// each chunk (bounds read off the encoded form at seal time), the
+/// verified ascending flag, and the histogram when the column was
+/// frozen from a resident table (streamed builds leave it empty, which
+/// degrades selectivity ordering, never results).
+struct FrozenColumn {
+  ValueType type = ValueType::kInt;
+  bool sorted_asc = false;
+  std::vector<FrozenChunk> chunks;
+  std::vector<EncodedBounds> bounds;
+  ColumnHistogram hist;
+  size_t encoded_bytes = 0;
+};
+
+/// Immutable frozen-table metadata, shared by every copy of the table.
+/// Owns the segment-cache entries: the last owner removes them.
+struct FrozenTableData {
+  size_t rows = 0;
+  size_t chunk_rows = 0;
+  std::vector<FrozenColumn> cols;
+
+  FrozenTableData() = default;
+  FrozenTableData(const FrozenTableData&) = delete;
+  FrozenTableData& operator=(const FrozenTableData&) = delete;
+  ~FrozenTableData();
+
+  size_t EncodedBytes() const;
+};
+
+/// Zone maps reconstructed from the frozen metadata alone — same
+/// bounds, sorted flags, and chunk grid BuildZoneMaps would produce
+/// over the thawed table, without decoding anything.
+std::shared_ptr<const ZoneMaps> ZoneMapsFromFrozen(
+    const std::vector<Column>& schema, const FrozenTableData& fz);
+
+/// Streaming builder: append RowBatches in chunk order (interning is
+/// serial here, so dictionary codes match Table::AppendBatch exactly)
+/// and full chunks are sealed — encoded with the auto codec chooser and
+/// inserted into the segment cache — as soon as they fill. Peak
+/// residency is one unsealed chunk per column, never the whole table.
+/// Finish() seals the ragged tail and returns the frozen Table with its
+/// zone maps pre-attached.
+class FrozenTableBuilder {
+ public:
+  /// `pool` may be null: a pool is created when the schema needs one.
+  explicit FrozenTableBuilder(std::vector<Column> schema,
+                              std::shared_ptr<StringPool> pool = nullptr);
+
+  void Append(RowBatch&& batch);
+  Table Finish();
+
+  size_t rows_appended() const { return rows_; }
+
+ private:
+  void SealChunk(size_t lo, size_t hi);
+  void SealFullChunks();
+
+  std::vector<Column> schema_;
+  std::shared_ptr<StringPool> pool_;
+  std::shared_ptr<FrozenTableData> fz_;
+  /// Resident unsealed tail, one typed vector per column.
+  std::vector<ColumnVector> tail_;
+  size_t rows_ = 0;
+  /// Incremental ascending verification across seal boundaries: the
+  /// double image of the last sealed value per column.
+  std::vector<double> last_val_;
+  bool has_last_ = false;
+};
+
+}  // namespace elephant::exec
+
+#endif  // ELEPHANT_EXEC_FROZEN_H_

@@ -10,6 +10,8 @@
 
 #include "common/check.h"
 #include "common/task_pool.h"
+#include "exec/encoded_scan.h"
+#include "exec/frozen.h"
 #include "exec/segment.h"
 #include "exec/zonemap.h"
 
@@ -44,6 +46,10 @@ struct RangeEval {
   const int64_t* ints = nullptr;
   const double* dbls = nullptr;
   const ColumnZones* zones = nullptr;
+  /// Non-null when the column is frozen and not thawed: the per-row
+  /// loop skips this constraint; scan chunks evaluate it through the
+  /// encoded kernels instead (chunk classification still uses `zones`).
+  const FrozenColumn* fcol = nullptr;
   double est = 1.0;  ///< histogram selectivity, for evaluation order
 
   double At(size_t i) const {
@@ -59,6 +65,55 @@ struct CodeEval {
   const char* match = nullptr;
   std::vector<uint32_t> psum;
   const ColumnZones* zones = nullptr;
+  const FrozenColumn* fcol = nullptr;  ///< see RangeEval::fcol
+};
+
+/// Ascending reader over one frozen column for the sorted binary
+/// searches: pins and decodes a chunk only when a probe lands in it,
+/// memoizing the last chunk (a binary search revisits neighbors).
+/// Presents the widened-double image, like the plain segments.
+class FrozenColReader {
+ public:
+  FrozenColReader(const FrozenColumn* fc, size_t chunk_rows)
+      : fc_(fc), chunk_rows_(chunk_rows) {}
+
+  double operator()(size_t i) const {
+    size_t chunk = i / chunk_rows_;
+    if (!loaded_ || chunk != cur_) Load(chunk);
+    size_t off = i - chunk * chunk_rows_;
+    return fc_->type == ValueType::kInt
+               ? static_cast<double>(scratch_.ints[off])
+               : scratch_.dbls[off];
+  }
+
+ private:
+  void Load(size_t chunk) const {
+    const FrozenChunk& ch = fc_->chunks[chunk];
+    Result<PinnedSegment> pinned = PinSegment(ch.id);
+    ELEPHANT_CHECK(pinned.ok())
+        << "sorted-scan pin failed: " << pinned.status().ToString();
+    PinnedSegment pin = std::move(pinned).value();
+    Result<EncodedChunk> parsed =
+        ParseChunk(pin.bytes().data(), pin.bytes().size());
+    ELEPHANT_CHECK(parsed.ok())
+        << "sorted-scan parse failed: " << parsed.status().ToString();
+    const EncodedChunk& ec = parsed.value();
+    if (fc_->type == ValueType::kInt) {
+      scratch_.ints.resize(ec.rows);
+      DecodeInt64Chunk(ec, scratch_.ints.data());
+    } else {
+      scratch_.dbls.resize(ec.rows);
+      DecodeDoubleChunk(ec, scratch_.dbls.data());
+    }
+    cur_ = chunk;
+    loaded_ = true;
+  }
+
+  const FrozenColumn* fc_;
+  size_t chunk_rows_;
+  mutable ChunkScratch scratch_;
+  mutable size_t cur_ = 0;
+  mutable bool loaded_ = false;
 };
 
 std::vector<uint32_t> MatchPrefixSum(const std::vector<char>& match) {
@@ -264,19 +319,41 @@ std::vector<uint32_t> FusedSelect(const Table& t, const ScanSpec& spec) {
   size_t row_lo = 0;
   size_t row_hi = n;
   bool bounded = false;
+  // Frozen columns are read through the encoded kernels only when the
+  // frozen chunk grid and the zone-map grid agree (they always do for
+  // tables frozen at the current knob; a knob change falls back to the
+  // thaw-on-read accessors).
+  std::shared_ptr<const FrozenTableData> fz = t.frozen_data();
+  const bool fz_aligned =
+      fz != nullptr && fz->chunk_rows == zm->chunk_rows;
+  auto frozen_col = [&](int col) -> const FrozenColumn* {
+    return fz_aligned && !t.ColumnResident(col) ? &fz->cols[col] : nullptr;
+  };
   std::vector<RangeEval> ranges;
   for (const NumRange& r : spec.ranges) {
     const ColumnZones& cz = zm->cols[r.col];
     ELEPHANT_CHECK(cz.type != ValueType::kString)
         << "NumRange on string column '" << t.columns()[r.col].name << "'";
+    const FrozenColumn* fcol = frozen_col(r.col);
     if (cz.sorted_asc) {
-      WithNumericSegment(t, r.col, [&](auto seg) {
-        row_lo = std::max(row_lo,
-                          SegmentLowerBound(seg, 0, n, r.lo, r.lo_strict));
-        row_hi = std::min(row_hi,
-                          SegmentUpperBound(seg, 0, n, r.hi, r.hi_strict));
-        return 0;
-      });
+      if (fcol != nullptr) {
+        // Same binary search, probing through pinned chunks instead of
+        // a resident array — O(log n) probes touch O(log n) chunks and
+        // the column never thaws.
+        FrozenColReader reader(fcol, fz->chunk_rows);
+        row_lo = std::max(
+            row_lo, SegmentLowerBound(reader, 0, n, r.lo, r.lo_strict));
+        row_hi = std::min(
+            row_hi, SegmentUpperBound(reader, 0, n, r.hi, r.hi_strict));
+      } else {
+        WithNumericSegment(t, r.col, [&](auto seg) {
+          row_lo = std::max(row_lo,
+                            SegmentLowerBound(seg, 0, n, r.lo, r.lo_strict));
+          row_hi = std::min(row_hi,
+                            SegmentUpperBound(seg, 0, n, r.hi, r.hi_strict));
+          return 0;
+        });
+      }
       bounded = true;
       continue;
     }
@@ -284,7 +361,9 @@ std::vector<uint32_t> FusedSelect(const Table& t, const ScanSpec& spec) {
     re.r = r;
     re.zones = &cz;
     re.est = EstimateRangeSelectivity(cz.hist, r.lo, r.hi);
-    if (cz.type == ValueType::kInt) {
+    if (fcol != nullptr) {
+      re.fcol = fcol;
+    } else if (cz.type == ValueType::kInt) {
       re.ints = t.IntData(r.col).data();
     } else {
       re.dbls = t.DoubleData(r.col).data();
@@ -303,12 +382,16 @@ std::vector<uint32_t> FusedSelect(const Table& t, const ScanSpec& spec) {
     ELEPHANT_CHECK(cs.match.size() >= t.pool().size())
         << "CodeSet match table does not cover the pool";
     CodeEval ce;
-    ce.codes = t.StrCodes(cs.col).data();
+    ce.fcol = frozen_col(cs.col);
+    if (ce.fcol == nullptr) ce.codes = t.StrCodes(cs.col).data();
     ce.match = cs.match.data();
     ce.psum = MatchPrefixSum(cs.match);
     ce.zones = &zm->cols[cs.col];
     codes.push_back(std::move(ce));
   }
+  bool any_frozen = false;
+  for (const RangeEval& re : ranges) any_frozen |= re.fcol != nullptr;
+  for (const CodeEval& ce : codes) any_frozen |= ce.fcol != nullptr;
 
   if (bounded) g_sorted_bounded.fetch_add(1, std::memory_order_relaxed);
   if (row_lo >= row_hi) {
@@ -347,16 +430,66 @@ std::vector<uint32_t> FusedSelect(const Table& t, const ScanSpec& spec) {
     }
     g_chunks_scanned.fetch_add(1, std::memory_order_relaxed);
     g_rows_scanned.fetch_add(hi - lo, std::memory_order_relaxed);
-    for (size_t i = lo; i < hi; ++i) {
-      bool ok = true;
+    // Frozen constraints run first, chunk-granular, straight on the
+    // pinned encoded bytes (pin-per-chunk: released before the next
+    // constraint). Evaluation order within the conjunction is
+    // semantics-free, so splitting frozen from resident constraints
+    // cannot change the selection.
+    size_t chunk_base = chunk * zm->chunk_rows;
+    std::vector<uint8_t> bits;
+    if (any_frozen) {
+      size_t cend = std::min(n, chunk_base + zm->chunk_rows);
+      bits.assign(cend - chunk_base, 1);
+      const bool direct = ExecEncodedScanPath();
+      ChunkScratch scratch;
+      auto with_chunk_view = [&](const FrozenColumn* fcol, auto&& apply) {
+        const FrozenChunk& ch = fcol->chunks[chunk];
+        Result<PinnedSegment> pinned = PinSegment(ch.id);
+        ELEPHANT_CHECK(pinned.ok())
+            << "fused scan pin failed: " << pinned.status().ToString();
+        PinnedSegment pin = std::move(pinned).value();
+        Result<ChunkView> view =
+            ParseChunkView(pin.bytes().data(), pin.bytes().size());
+        ELEPHANT_CHECK(view.ok())
+            << "fused scan parse failed: " << view.status().ToString();
+        ELEPHANT_CHECK(view.value().rows == ch.rows);
+        apply(view.value());
+      };
       for (const RangeEval& re : ranges) {
-        if (!re.r.Matches(re.At(i))) {
-          ok = false;
-          break;
+        if (re.fcol == nullptr) continue;
+        with_chunk_view(re.fcol, [&](const ChunkView& v) {
+          if (direct) {
+            EncodedRangeAnd(v, re.r, bits.data());
+          } else {
+            DecodedRangeAnd(v, re.r, bits.data(), &scratch);
+          }
+        });
+      }
+      for (const CodeEval& ce : codes) {
+        if (ce.fcol == nullptr) continue;
+        with_chunk_view(ce.fcol, [&](const ChunkView& v) {
+          if (direct) {
+            EncodedCodeAnd(v, ce.match, bits.data());
+          } else {
+            DecodedCodeAnd(v, ce.match, bits.data(), &scratch);
+          }
+        });
+      }
+    }
+    for (size_t i = lo; i < hi; ++i) {
+      bool ok = bits.empty() || bits[i - chunk_base] != 0;
+      if (ok) {
+        for (const RangeEval& re : ranges) {
+          if (re.fcol != nullptr) continue;
+          if (!re.r.Matches(re.At(i))) {
+            ok = false;
+            break;
+          }
         }
       }
       if (ok) {
         for (const CodeEval& ce : codes) {
+          if (ce.fcol != nullptr) continue;
           if (ce.match[ce.codes[i]] == 0) {
             ok = false;
             break;

@@ -5,12 +5,39 @@
 #include <cstdlib>
 #include <utility>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "common/check.h"
 #include "common/string_util.h"
 
 namespace elephant::exec {
 
 namespace {
+
+/// Opens the spill file unlinked-on-create: the descriptor keeps the
+/// bytes alive, but no directory entry survives the process, so an
+/// aborted run (ASan crash, chaos kill) can never leak spill files in
+/// $TMPDIR. std::tmpfile() promises deletion only at normal exit and,
+/// on some libcs, leaves a visible name until then.
+std::FILE* OpenUnlinkedSpillFile() {
+#if defined(__unix__) || defined(__APPLE__)
+  const char* dir = std::getenv("TMPDIR");
+  if (dir == nullptr || dir[0] == '\0') dir = "/tmp";
+  std::string tmpl = std::string(dir) + "/elephant-spill-XXXXXX";
+  std::vector<char> path(tmpl.begin(), tmpl.end());
+  path.push_back('\0');
+  int fd = ::mkstemp(path.data());
+  if (fd < 0) return nullptr;
+  ::unlink(path.data());
+  std::FILE* f = ::fdopen(fd, "w+b");
+  if (f == nullptr) ::close(fd);
+  return f;
+#else
+  return std::tmpfile();
+#endif
+}
 
 size_t InitialBudget() {
   const char* env = std::getenv("ELEPHANT_MEM_BUDGET");
@@ -102,9 +129,9 @@ Status SegmentCache::SpillLocked(Id id, Entry* e) {
       if (TakeInjectedFaultLocked()) {
         return Status::IOError("injected fault: spill file create");
       }
-      spill_ = std::tmpfile();
+      spill_ = OpenUnlinkedSpillFile();
       if (spill_ == nullptr) {
-        return Status::IOError("tmpfile() failed for segment spill");
+        return Status::IOError("could not create segment spill file");
       }
     }
     long off;
@@ -261,6 +288,19 @@ void SegmentCache::Remove(Id id) {
   MutexLock lock(&mu_);
   auto it = entries_.find(id);
   ELEPHANT_CHECK(it != entries_.end()) << "remove of unknown segment " << id;
+  RemoveLocked(it);
+}
+
+bool SegmentCache::Discard(Id id) {
+  MutexLock lock(&mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  RemoveLocked(it);
+  return true;
+}
+
+void SegmentCache::RemoveLocked(std::map<Id, Entry>::iterator it) {
+  Id id = it->first;
   Entry& e = it->second;
   ELEPHANT_CHECK(e.pins == 0) << "remove of pinned segment " << id;
   if (e.data != nullptr) {

@@ -90,6 +90,12 @@ class SegmentCache {
   /// pinned or unknown id is a programming error (CHECK).
   void Remove(Id id);
 
+  /// Like Remove but tolerates ids the cache no longer knows (a test's
+  /// Clear() may run before the last frozen-table owner is destroyed).
+  /// Discarding a *pinned* segment is still a CHECK. Returns whether
+  /// the segment was found and dropped.
+  bool Discard(Id id);
+
   /// Drops everything (CHECKs nothing is pinned) and closes the spill
   /// file. Budget and injected faults are preserved; stats reset.
   void Clear();
@@ -114,6 +120,7 @@ class SegmentCache {
     long file_off = -1;   // byte offset in the spill file, -1 = never spilled
   };
 
+  void RemoveLocked(std::map<Id, Entry>::iterator it) ELEPHANT_REQUIRES(mu_);
   Status EvictToBudgetLocked() ELEPHANT_REQUIRES(mu_);
   Status SpillLocked(Id id, Entry* e) ELEPHANT_REQUIRES(mu_);
   Status LoadLocked(Entry* e) ELEPHANT_REQUIRES(mu_);

@@ -193,6 +193,18 @@ void Table::CopyFrom(const Table& other) {
         std::memory_order_relaxed);
     heterogeneous_.store(other.heterogeneous_.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
+    // Frozen chunks are immutable and shared; the thaw flags copy so
+    // already-decoded columns (copied with data_ above) stay resident.
+    frozen_ = other.frozen_;
+    if (frozen_ != nullptr) {
+      thawed_ = std::make_unique<std::atomic<uint32_t>[]>(columns_.size());
+      for (size_t c = 0; c < columns_.size(); ++c) {
+        thawed_[c].store(other.thawed_[c].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+      }
+    } else {
+      thawed_.reset();
+    }
     zm = other.zone_maps_;  // same data, same bounds: the maps transfer
   }
   // Taken after the other lock is released — never nested, no ordering.
@@ -223,6 +235,9 @@ void Table::MoveFrom(Table&& other) noexcept {
                         std::memory_order_relaxed);
   heterogeneous_.store(other.heterogeneous_.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
+  frozen_ = std::move(other.frozen_);
+  thawed_ = std::move(other.thawed_);
+  other.frozen_.reset();
   other.columns_.clear();
   other.col_index_.clear();
   other.data_.clear();
@@ -259,6 +274,7 @@ int Table::FindCol(const std::string& name) const {
 }
 
 void Table::AddRow(Row row) {
+  DetachFrozen();
   InvalidateZoneMaps();
   ELEPHANT_DCHECK(row.size() == columns_.size())
       << "row has " << row.size() << " cells, schema has "
@@ -301,6 +317,7 @@ void Table::AddRow(Row row) {
 }
 
 void Table::AppendBatch(RowBatch&& batch) {
+  DetachFrozen();
   InvalidateZoneMaps();
   ELEPHANT_CHECK(batch.cols_.size() == columns_.size())
       << "batch has " << batch.cols_.size() << " columns, schema has "
@@ -347,6 +364,7 @@ void Table::Reserve(size_t n) {
 }
 
 std::vector<Row>& Table::mutable_rows() {
+  DetachFrozen();
   InvalidateZoneMaps();
   EnsureRows();
   columnar_valid_.store(false, std::memory_order_release);
@@ -356,6 +374,7 @@ std::vector<Row>& Table::mutable_rows() {
 
 void Table::EnsureRows() const {
   if (rows_valid_.load(std::memory_order_acquire)) return;
+  ThawAllResident();  // the row build below reads every column of data_
   MutexLock lock(&lazy_mu_);
   if (rows_valid_.load(std::memory_order_relaxed)) return;
   ELEPHANT_CHECK(columnar_valid_.load(std::memory_order_relaxed))
@@ -444,6 +463,7 @@ Value Table::ValueAt(size_t row, int col) const {
   if (!columnar_valid_.load(std::memory_order_acquire)) {
     return row_cache_[row][col];
   }
+  if (frozen_ != nullptr) EnsureColResident(col);
   switch (columns_[col].type) {
     case ValueType::kInt:
       return Value{data_[col].ints()[row]};
@@ -456,6 +476,7 @@ Value Table::ValueAt(size_t row, int col) const {
 }
 
 void Table::ResizeColumnar(size_t n) {
+  DetachFrozen();
   InvalidateZoneMaps();
   ELEPHANT_CHECK(!heterogeneous_.load(std::memory_order_relaxed));
   for (ColumnVector& cv : data_) cv.Resize(n);
@@ -465,6 +486,7 @@ void Table::ResizeColumnar(size_t n) {
 }
 
 ColumnVector& Table::MutableCol(int col) {
+  DetachFrozen();
   InvalidateZoneMaps();
   ELEPHANT_CHECK(columnar_valid_.load(std::memory_order_relaxed))
       << "MutableCol on a row-authoritative table";
@@ -473,6 +495,7 @@ ColumnVector& Table::MutableCol(int col) {
 }
 
 void Table::SetRowCount(size_t n) {
+  DetachFrozen();
   InvalidateZoneMaps();
   for (size_t c = 0; c < data_.size(); ++c) {
     ELEPHANT_DCHECK(data_[c].size() == n)
@@ -503,6 +526,15 @@ void Table::InvalidateZoneMaps() {
   zone_maps_.reset();
 }
 
+void Table::DetachFrozen() {
+  if (frozen_ == nullptr) return;
+  // Thaw first: the table must stay readable after the frozen chunks
+  // are let go (the last owner removes them from the segment cache).
+  ThawAllResident();
+  frozen_.reset();
+  thawed_.reset();
+}
+
 std::string Table::ToString(size_t max_rows) const {
   std::ostringstream os;
   for (size_t i = 0; i < columns_.size(); ++i) {
@@ -513,6 +545,7 @@ std::string Table::ToString(size_t max_rows) const {
   size_t total = num_rows();
   size_t n = std::min(max_rows, total);
   bool columnar = EnsureColumnar();
+  if (columnar) ThawAllResident();
   for (size_t r = 0; r < n; ++r) {
     for (size_t c = 0; c < columns_.size(); ++c) {
       if (c) os << " | ";

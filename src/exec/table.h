@@ -51,6 +51,10 @@ struct Column {
 /// mutation.
 struct ZoneMaps;
 
+/// Segment-backed storage for frozen tables (exec/frozen.h): per-column
+/// compressed chunks living in the global segment cache.
+struct FrozenTableData;
+
 using Row = std::vector<Value>;
 
 /// Interning pool for a table's string columns. Each distinct string is
@@ -166,6 +170,7 @@ class RowBatch {
 
  private:
   friend class Table;
+  friend class FrozenTableBuilder;  // streams batches into sealed chunks
   struct BatchColumn {
     ValueType type;
     std::vector<int64_t> ints;
@@ -197,6 +202,13 @@ class RowBatch {
 ///    type-mixing tests). Columnar access transparently rebuilds from
 ///    the rows — except for heterogeneous tables, which cannot be
 ///    encoded; operators fall back to their row paths for those.
+///  - frozen (exec/frozen.h): row data lives as compressed chunks in
+///    the global segment cache; the ColumnVectors start empty and
+///    columnar accessors thaw columns on demand (decode once,
+///    publish-once). Mutators thaw everything and detach the frozen
+///    state. ReleaseResident() drops thawed columns back to
+///    frozen-only storage. Logical content is identical in every
+///    state, so fingerprints never depend on residency.
 ///
 /// Thread-safety: concurrent reads (including the first lazy
 /// materialization in either direction) are safe; any mutation requires
@@ -259,14 +271,17 @@ class Table {
 
   const std::vector<int64_t>& IntData(int col) const {
     ELEPHANT_CHECK(EnsureColumnar()) << "no columnar form";
+    if (frozen_ != nullptr) EnsureColResident(col);
     return data_[col].ints();
   }
   const std::vector<double>& DoubleData(int col) const {
     ELEPHANT_CHECK(EnsureColumnar()) << "no columnar form";
+    if (frozen_ != nullptr) EnsureColResident(col);
     return data_[col].doubles();
   }
   const std::vector<uint32_t>& StrCodes(int col) const {
     ELEPHANT_CHECK(EnsureColumnar()) << "no columnar form";
+    if (frozen_ != nullptr) EnsureColResident(col);
     return data_[col].codes();
   }
   const std::string& StrAt(int col, size_t row) const {
@@ -305,6 +320,33 @@ class Table {
   /// Reads straight from the column vectors — no Row materialization.
   std::string ToString(size_t max_rows = 20) const;
 
+  // ---- Frozen (segment-backed) storage (exec/frozen.h) ------------------
+
+  /// Adopts pre-built frozen storage: the table starts with every
+  /// column frozen (ColumnVectors empty) and thaws on demand.
+  static Table FromFrozen(std::vector<Column> columns,
+                          std::shared_ptr<StringPool> pool,
+                          std::shared_ptr<const FrozenTableData> fz);
+
+  /// Encodes every column into segment-cache chunks and drops the
+  /// resident vectors (in place; logical content unchanged). No-op on
+  /// heterogeneous tables. Requires exclusive access, like a mutation.
+  void Freeze();
+
+  bool is_frozen() const { return frozen_ != nullptr; }
+  const std::shared_ptr<const FrozenTableData>& frozen_data() const {
+    return frozen_;
+  }
+  /// True when column `col` can be read from data_ without decoding
+  /// (always true for non-frozen tables).
+  bool ColumnResident(int col) const {
+    return frozen_ == nullptr ||
+           thawed_[col].load(std::memory_order_acquire) != 0;
+  }
+  /// Drops every thawed column (and the row cache) back to frozen-only
+  /// storage. Requires exclusive access; no-op when not frozen.
+  void ReleaseResident();
+
   // ---- Zone-map cache (exec/zonemap.h builds and consumes) --------------
 
   /// The cached zone maps, or null when never built / invalidated by a
@@ -327,6 +369,14 @@ class Table {
   void RebuildColumnsLocked() const ELEPHANT_REQUIRES(lazy_mu_);
   void CopyFrom(const Table& other);
   void MoveFrom(Table&& other) noexcept;
+  /// Decodes every chunk of `col` into data_[col] (publish-once under
+  /// lazy_mu_). Defined in exec/frozen.cc.
+  void EnsureColResident(int col) const ELEPHANT_EXCLUDES(lazy_mu_);
+  /// Thaws every column (no-op when not frozen).
+  void ThawAllResident() const ELEPHANT_EXCLUDES(lazy_mu_);
+  /// Thaws everything and drops the frozen state; called from every
+  /// mutating entry point (the encoded chunks would go stale).
+  void DetachFrozen();
 
   std::vector<Column> columns_;
   std::unordered_map<std::string, int> col_index_;
@@ -349,6 +399,13 @@ class Table {
   mutable std::atomic<bool> heterogeneous_{false};
   mutable std::shared_ptr<const ZoneMaps> zone_maps_
       ELEPHANT_GUARDED_BY(lazy_mu_);
+  // Frozen storage (exec/frozen.h). frozen_ is immutable shared state;
+  // thawed_[col] is the per-column publish-once flag for data_[col]
+  // holding decoded content (release-stored by EnsureColResident under
+  // lazy_mu_, acquire-loaded by ColumnResident). Both are only
+  // reassigned under the exclusive-access mutation contract.
+  mutable std::shared_ptr<const FrozenTableData> frozen_;
+  mutable std::unique_ptr<std::atomic<uint32_t>[]> thawed_;
   mutable Mutex lazy_mu_;
 };
 

@@ -1,7 +1,10 @@
 #include "tpch/dbgen.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <functional>
+#include <limits>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -9,6 +12,8 @@
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "common/task_pool.h"
+#include "exec/frozen.h"
+#include "exec/segcache.h"
 #include "exec/zonemap.h"
 
 namespace elephant::tpch {
@@ -168,36 +173,120 @@ size_t NumChunks(int64_t total) {
                                           kChunkRows);
 }
 
-/// Runs body(chunk_index, lo, hi) over [0, total) split into kChunkRows
-/// chunks: in chunk order on the calling thread when threads <= 1, else
-/// fanned out on the global TaskPool.
-void ForEachChunk(int threads, int64_t total,
-                  const std::function<void(size_t, int64_t, int64_t)>& body) {
-  if (total <= 0) return;
+/// Runs body(chunk_index, lo, hi) over [begin, end) split at kChunkRows
+/// boundaries (`begin` must sit on one so chunk seeds stay aligned): in
+/// chunk order on the calling thread when threads <= 1, else fanned out
+/// on the global TaskPool.
+void ForEachChunkRange(int threads, int64_t begin, int64_t end,
+                       const std::function<void(size_t, int64_t, int64_t)>&
+                           body) {
+  if (begin >= end) return;
   if (threads > 1) {
     TaskPool::Global(threads).ParallelFor(
-        0, static_cast<size_t>(total), static_cast<size_t>(kChunkRows),
+        static_cast<size_t>(begin), static_cast<size_t>(end),
+        static_cast<size_t>(kChunkRows),
         [&](size_t lo, size_t hi) {
           body(lo / static_cast<size_t>(kChunkRows),
                static_cast<int64_t>(lo), static_cast<int64_t>(hi));
         },
         threads);
   } else {
-    for (int64_t lo = 0; lo < total; lo += kChunkRows) {
+    for (int64_t lo = begin; lo < end; lo += kChunkRows) {
       body(static_cast<size_t>(lo / kChunkRows), lo,
-           std::min(lo + kChunkRows, total));
+           std::min(lo + kChunkRows, end));
     }
   }
 }
 
-/// Moves per-chunk column batches into `out` in chunk order. String
-/// interning happens here, serially, so dictionary codes are assigned
-/// in global row order regardless of how chunks were scheduled.
-void AppendBatches(std::vector<RowBatch>* slots, Table* out) {
-  size_t total = 0;
-  for (const RowBatch& b : *slots) total += b.num_rows();
-  out->Reserve(out->num_rows() + total);
-  for (RowBatch& b : *slots) out->AppendBatch(std::move(b));
+/// Destination for generated batches: a resident Table by default, a
+/// FrozenTableBuilder when dbgen freezes as it generates. Batches must
+/// arrive serially in chunk order either way — string interning is
+/// serial here, so dictionary codes are assigned in global row order
+/// (and match bit-for-bit across the two modes) regardless of how the
+/// generation chunks were scheduled.
+class TableSink {
+ public:
+  TableSink(std::vector<exec::Column> schema, bool freeze) : table_(schema) {
+    if (freeze) builder_.emplace(std::move(schema));
+  }
+
+  void AppendWindow(std::vector<RowBatch>* slots) {
+    if (builder_.has_value()) {
+      for (RowBatch& b : *slots) builder_->Append(std::move(b));
+      return;
+    }
+    size_t total = 0;
+    for (const RowBatch& b : *slots) total += b.num_rows();
+    table_.Reserve(table_.num_rows() + total);
+    for (RowBatch& b : *slots) table_.AppendBatch(std::move(b));
+  }
+
+  Table Take() {
+    return builder_.has_value() ? builder_->Finish() : std::move(table_);
+  }
+
+ private:
+  Table table_;
+  std::optional<exec::FrozenTableBuilder> builder_;
+};
+
+/// Chunks per streaming window: sized so every worker stays fed while
+/// resident generation state is bounded by the window, not the table.
+/// The no-freeze path uses one all-covering window, which reproduces
+/// the historical generate-everything-then-append behavior exactly.
+size_t WindowChunks(bool freeze, int threads) {
+  if (!freeze) return std::numeric_limits<size_t>::max();
+  return std::max<size_t>(16, 4 * static_cast<size_t>(std::max(threads, 1)));
+}
+
+/// Runs body(chunk, lo, hi, &batch) over [0, total) in windows of
+/// `window` chunks: generation fans out across threads inside each
+/// window, then the window's batches drain into `sink` in chunk order
+/// before the next window starts.
+void GenerateChunked(
+    int threads, int64_t total, const std::vector<exec::Column>& schema,
+    size_t window,
+    const std::function<void(size_t, int64_t, int64_t, RowBatch*)>& body,
+    TableSink* sink) {
+  const size_t chunks = NumChunks(total);
+  for (size_t wlo = 0; wlo < chunks; wlo += window) {
+    const size_t whi = window >= chunks - wlo ? chunks : wlo + window;
+    std::vector<RowBatch> slots(whi - wlo, RowBatch(schema));
+    const int64_t row_lo = static_cast<int64_t>(wlo) * kChunkRows;
+    const int64_t row_hi =
+        std::min(total, static_cast<int64_t>(whi) * kChunkRows);
+    ForEachChunkRange(threads, row_lo, row_hi,
+                      [&](size_t c, int64_t lo, int64_t hi) {
+                        body(c, lo, hi, &slots[c - wlo]);
+                      });
+    sink->AppendWindow(&slots);
+  }
+}
+
+/// GenerateChunked for two tables fed by one chunk loop (orders +
+/// lineitem, which share their per-order RNG streams).
+void GenerateChunkedPair(
+    int threads, int64_t total, const std::vector<exec::Column>& a_schema,
+    const std::vector<exec::Column>& b_schema, size_t window,
+    const std::function<void(size_t, int64_t, int64_t, RowBatch*, RowBatch*)>&
+        body,
+    TableSink* a_sink, TableSink* b_sink) {
+  const size_t chunks = NumChunks(total);
+  for (size_t wlo = 0; wlo < chunks; wlo += window) {
+    const size_t whi = window >= chunks - wlo ? chunks : wlo + window;
+    std::vector<RowBatch> a_slots(whi - wlo, RowBatch(a_schema));
+    std::vector<RowBatch> b_slots(whi - wlo, RowBatch(b_schema));
+    const int64_t row_lo = static_cast<int64_t>(wlo) * kChunkRows;
+    const int64_t row_hi =
+        std::min(total, static_cast<int64_t>(whi) * kChunkRows);
+    ForEachChunkRange(threads, row_lo, row_hi,
+                      [&](size_t c, int64_t lo, int64_t hi) {
+                        body(c, lo, hi, &a_slots[c - wlo],
+                             &b_slots[c - wlo]);
+                      });
+    a_sink->AppendWindow(&a_slots);
+    b_sink->AppendWindow(&b_slots);
+  }
 }
 
 }  // namespace
@@ -242,6 +331,14 @@ TpchDatabase GenerateDatabase(double sf, const DbgenOptions& options) {
   const int64_t partkey_range =
       options.forced_part_count ? options.forced_part_count : num_parts;
 
+  // Frozen (segment-backed) generation: on by request, or automatically
+  // whenever a memory budget is in force. region/nation are a few
+  // hundred bytes — always resident.
+  const bool freeze =
+      options.freeze > 0 ||
+      (options.freeze < 0 && exec::ExecMemoryBudget() != 0);
+  const size_t window = WindowChunks(freeze, threads);
+
   // --- region ---
   db.region = Table(TableSchema(TableId::kRegion));
   {
@@ -264,15 +361,14 @@ TpchDatabase GenerateDatabase(double sf, const DbgenOptions& options) {
   }
 
   // --- supplier ---
-  db.supplier = Table(TableSchema(TableId::kSupplier));
   {
-    std::vector<RowBatch> slots(NumChunks(num_suppliers),
-                                RowBatch(TableSchema(TableId::kSupplier)));
-    ForEachChunk(threads, num_suppliers,
-                 [&](size_t c, int64_t lo, int64_t hi) {
-                   Rng rng(ChunkSeed(seed, kTagSupplier, c));
-                   RowBatch& rows = slots[c];
-                   rows.ReserveRows(static_cast<size_t>(hi - lo));
+    TableSink sink(TableSchema(TableId::kSupplier), freeze);
+    GenerateChunked(threads, num_suppliers, TableSchema(TableId::kSupplier),
+                    window,
+                    [&](size_t c, int64_t lo, int64_t hi, RowBatch* out) {
+                      Rng rng(ChunkSeed(seed, kTagSupplier, c));
+                      RowBatch& rows = *out;
+                      rows.ReserveRows(static_cast<size_t>(hi - lo));
                    for (int64_t k = lo + 1; k <= hi; ++k) {
                      int nationkey = static_cast<int>(rng.Uniform(25));
                      // Per spec, ~5 per 10000 supplier comments embed the
@@ -290,21 +386,21 @@ TpchDatabase GenerateDatabase(double sf, const DbgenOptions& options) {
                      rows.AddString(4, PhoneFor(nationkey, &rng));
                      rows.AddDouble(
                          5, -999.99 + rng.NextDouble() * (9999.99 + 999.99));
-                     rows.AddString(6, std::move(comment));
-                   }
-                 });
-    AppendBatches(&slots, &db.supplier);
+                        rows.AddString(6, std::move(comment));
+                      }
+                    },
+                    &sink);
+    db.supplier = sink.Take();
   }
 
   // --- part ---
-  db.part = Table(TableSchema(TableId::kPart));
   {
-    std::vector<RowBatch> slots(NumChunks(num_parts),
-                                RowBatch(TableSchema(TableId::kPart)));
-    ForEachChunk(
-        threads, num_parts, [&](size_t c, int64_t lo, int64_t hi) {
+    TableSink sink(TableSchema(TableId::kPart), freeze);
+    GenerateChunked(
+        threads, num_parts, TableSchema(TableId::kPart), window,
+        [&](size_t c, int64_t lo, int64_t hi, RowBatch* out) {
           Rng rng(ChunkSeed(seed, kTagPart, c));
-          RowBatch& rows = slots[c];
+          RowBatch& rows = *out;
           rows.ReserveRows(static_cast<size_t>(hi - lo));
           for (int64_t k = lo + 1; k <= hi; ++k) {
             int m = static_cast<int>(rng.Uniform(5)) + 1;
@@ -330,19 +426,19 @@ TpchDatabase GenerateDatabase(double sf, const DbgenOptions& options) {
             rows.AddDouble(7, RetailPrice(k));
             rows.AddString(8, RandomText(&rng, 4));
           }
-        });
-    AppendBatches(&slots, &db.part);
+        },
+        &sink);
+    db.part = sink.Take();
   }
 
   // --- partsupp --- (chunked over partkeys; 4 rows per part)
-  db.partsupp = Table(TableSchema(TableId::kPartsupp));
   {
-    std::vector<RowBatch> slots(NumChunks(num_parts),
-                                RowBatch(TableSchema(TableId::kPartsupp)));
-    ForEachChunk(
-        threads, num_parts, [&](size_t c, int64_t lo, int64_t hi) {
+    TableSink sink(TableSchema(TableId::kPartsupp), freeze);
+    GenerateChunked(
+        threads, num_parts, TableSchema(TableId::kPartsupp), window,
+        [&](size_t c, int64_t lo, int64_t hi, RowBatch* out) {
           Rng rng(ChunkSeed(seed, kTagPartsupp, c));
-          RowBatch& rows = slots[c];
+          RowBatch& rows = *out;
           rows.ReserveRows(static_cast<size_t>(hi - lo) *
                            Constants::kPartsuppPerPart);
           for (int64_t pk = lo + 1; pk <= hi; ++pk) {
@@ -354,19 +450,19 @@ TpchDatabase GenerateDatabase(double sf, const DbgenOptions& options) {
               rows.AddString(4, RandomText(&rng, 10));
             }
           }
-        });
-    AppendBatches(&slots, &db.partsupp);
+        },
+        &sink);
+    db.partsupp = sink.Take();
   }
 
   // --- customer ---
-  db.customer = Table(TableSchema(TableId::kCustomer));
   {
-    std::vector<RowBatch> slots(NumChunks(num_customers),
-                                RowBatch(TableSchema(TableId::kCustomer)));
-    ForEachChunk(
-        threads, num_customers, [&](size_t c, int64_t lo, int64_t hi) {
+    TableSink sink(TableSchema(TableId::kCustomer), freeze);
+    GenerateChunked(
+        threads, num_customers, TableSchema(TableId::kCustomer), window,
+        [&](size_t c, int64_t lo, int64_t hi, RowBatch* out) {
           Rng rng(ChunkSeed(seed, kTagCustomer, c));
-          RowBatch& rows = slots[c];
+          RowBatch& rows = *out;
           rows.ReserveRows(static_cast<size_t>(hi - lo));
           for (int64_t k = lo + 1; k <= hi; ++k) {
             int nationkey = static_cast<int>(rng.Uniform(25));
@@ -381,31 +477,30 @@ TpchDatabase GenerateDatabase(double sf, const DbgenOptions& options) {
             rows.AddString(6, kSegments[rng.Uniform(5)]);
             rows.AddString(7, RandomText(&rng, 12));
           }
-        });
-    AppendBatches(&slots, &db.customer);
+        },
+        &sink);
+    db.customer = sink.Take();
   }
 
   // --- orders + lineitem --- (chunked over order index; each chunk
   // carries an Rng stream plus a TpchRandom key stream of its own)
-  db.orders = Table(TableSchema(TableId::kOrders));
-  db.lineitem = Table(TableSchema(TableId::kLineitem));
-
   const DateCode start = StartDate();
   // Latest orderdate leaves room for the longest ship+receipt window.
   const int order_date_range = EndDate() - 151 - start;
   const DateCode today = CurrentDate();
 
   {
-    std::vector<RowBatch> order_slots(NumChunks(num_orders),
-                                      RowBatch(TableSchema(TableId::kOrders)));
-    std::vector<RowBatch> line_slots(
-        NumChunks(num_orders), RowBatch(TableSchema(TableId::kLineitem)));
-    ForEachChunk(threads, num_orders, [&](size_t c, int64_t clo,
-                                          int64_t chi) {
+    TableSink order_sink(TableSchema(TableId::kOrders), freeze);
+    TableSink line_sink(TableSchema(TableId::kLineitem), freeze);
+    GenerateChunkedPair(
+        threads, num_orders, TableSchema(TableId::kOrders),
+        TableSchema(TableId::kLineitem), window,
+        [&](size_t c, int64_t clo, int64_t chi, RowBatch* order_out,
+            RowBatch* line_out) {
       Rng rng(ChunkSeed(seed, kTagOrders, c));
       TpchRandom key_rng(ChunkSeed(seed ^ 0x7C0FFEEULL, kTagOrders, c));
-      RowBatch& orders = order_slots[c];
-      RowBatch& lines = line_slots[c];
+      RowBatch& orders = *order_out;
+      RowBatch& lines = *line_out;
       orders.ReserveRows(static_cast<size_t>(chi - clo));
       lines.ReserveRows(static_cast<size_t>(chi - clo) * 4);
       for (int64_t i = clo; i < chi; ++i) {
@@ -496,9 +591,10 @@ TpchDatabase GenerateDatabase(double sf, const DbgenOptions& options) {
         orders.AddInt(7, 0);
         orders.AddString(8, std::move(comment));
       }
-    });
-    AppendBatches(&order_slots, &db.orders);
-    AppendBatches(&line_slots, &db.lineitem);
+        },
+        &order_sink, &line_sink);
+    db.orders = order_sink.Take();
+    db.lineitem = line_sink.Take();
   }
 
   // Pre-build zone maps for the base tables at load time: they are

@@ -32,6 +32,13 @@ struct DbgenOptions {
   /// bit-identical at any thread count (threads == 1 simply runs the
   /// chunks in order on the calling thread).
   int threads = 0;
+  /// Segment-backed (frozen) base tables: 1 = the six big tables stream
+  /// straight into compressed segment-cache chunks (peak residency is a
+  /// bounded window of generation chunks, never a whole table), 0 =
+  /// resident ColumnVectors, -1 = freeze exactly when a memory budget
+  /// is set (ELEPHANT_MEM_BUDGET != 0). region/nation stay resident
+  /// either way. Logical content is bit-identical in both modes.
+  int freeze = -1;
 };
 
 /// A fully generated TPC-H database held as executor tables.

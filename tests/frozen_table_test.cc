@@ -1,0 +1,570 @@
+// Tests for segment-backed (frozen) base tables and the
+// direct-on-encoded scan kernels (DESIGN.md §17): freeze/thaw
+// round-trips, streaming builder equivalence, fused-scan bit-identity
+// across the frozen / resident / decode-first paths, kernel property
+// tests against the decode-first oracle, and dbgen's freeze mode.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <limits>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/compress.h"
+#include "exec/encoded_scan.h"
+#include "exec/frozen.h"
+#include "exec/fused.h"
+#include "exec/operators.h"
+#include "exec/segcache.h"
+#include "exec/table.h"
+#include "exec/zonemap.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace elephant::exec {
+namespace {
+
+/// Restores every global knob the suite twiddles.
+class FrozenTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_budget_ = ExecMemoryBudget();
+    saved_threads_ = ExecThreads();
+  }
+  void TearDown() override {
+    SetExecMemoryBudget(saved_budget_);
+    SetExecThreads(saved_threads_);
+    SetExecFusedPath(true);
+    SetExecEncodedScanPath(true);
+  }
+
+ private:
+  size_t saved_budget_ = 0;
+  int saved_threads_ = 0;
+};
+
+/// Mixed-type table: ascending int key, adversarial doubles (NaN
+/// payloads and signed zeros sprinkled in), small-domain strings.
+Table MakeMixedTable(size_t n, uint64_t seed = 0xF7E12) {
+  Table t({{"k", ValueType::kInt},
+           {"v", ValueType::kDouble},
+           {"s", ValueType::kString}});
+  Rng rng(seed);
+  const char* tags[] = {"alpha", "beta", "gamma", "delta"};
+  for (size_t i = 0; i < n; ++i) {
+    double v;
+    if (i % 97 == 13) {
+      v = std::numeric_limits<double>::quiet_NaN();
+    } else if (i % 31 == 7) {
+      v = (i % 2 == 0) ? 0.0 : -0.0;
+    } else {
+      v = rng.NextDouble() * 1e6 - 5e5;
+    }
+    t.AddRow({Value{static_cast<int64_t>(i)}, Value{v},
+              Value{std::string(tags[rng.Uniform(4)])}});
+  }
+  return t;
+}
+
+TEST_F(FrozenTableTest, FreezeRoundTripIsBitExact) {
+  Table t = MakeMixedTable(10000);
+  const uint64_t fp = TableFingerprint(t);
+
+  Table f = t;
+  f.Freeze();
+  ASSERT_TRUE(f.is_frozen());
+  ASSERT_NE(f.frozen_data(), nullptr);
+  EXPECT_GT(f.frozen_data()->EncodedBytes(), 0u);
+  // Fingerprinting reads every column (thawing them); content and
+  // interned codes must be untouched by the encode/decode round trip.
+  EXPECT_EQ(TableFingerprint(f), fp);
+  EXPECT_TRUE(f.is_frozen());
+
+  // Dropping residency and re-reading decodes again — same bytes.
+  f.ReleaseResident();
+  EXPECT_EQ(TableFingerprint(f), fp);
+
+  // Copies share the frozen chunks and stay independent.
+  Table g = f;
+  f.ReleaseResident();
+  EXPECT_EQ(TableFingerprint(g), fp);
+  EXPECT_EQ(TableFingerprint(f), fp);
+}
+
+TEST_F(FrozenTableTest, FreezeSurvivesTightBudgetSpill) {
+  SetExecMemoryBudget(1 << 16);  // 64 KB: forces segment-cache spilling
+  Table t = MakeMixedTable(20000);
+  const uint64_t fp = TableFingerprint(t);
+  Table f = t;
+  f.Freeze();
+  f.ReleaseResident();
+  EXPECT_EQ(TableFingerprint(f), fp);
+}
+
+std::vector<RowBatch> MixedBatches(const std::vector<Column>& schema,
+                                   size_t rows, size_t batch_rows) {
+  Rng rng(0xBA7C4);
+  const char* tags[] = {"red", "green", "blue"};
+  std::vector<RowBatch> out;
+  for (size_t lo = 0; lo < rows; lo += batch_rows) {
+    const size_t hi = std::min(rows, lo + batch_rows);
+    RowBatch b(schema);
+    b.ReserveRows(hi - lo);
+    for (size_t i = lo; i < hi; ++i) {
+      b.AddInt(0, static_cast<int64_t>(i * 3));  // ascending
+      b.AddDouble(1, i % 89 == 5 ? std::numeric_limits<double>::quiet_NaN()
+                                 : rng.NextDouble() * 100.0);
+      b.AddString(2, tags[rng.Uniform(3)]);
+    }
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+TEST_F(FrozenTableTest, BuilderMatchesResidentAppendBatch) {
+  const std::vector<Column> schema = {{"k", ValueType::kInt},
+                                      {"v", ValueType::kDouble},
+                                      {"s", ValueType::kString}};
+  // Ragged batches that straddle seal boundaries in every alignment.
+  for (size_t rows : {size_t{0}, size_t{1}, size_t{333}, size_t{9000}}) {
+    Table resident(schema);
+    for (RowBatch& b : MixedBatches(schema, rows, 777)) {
+      resident.AppendBatch(std::move(b));
+    }
+
+    FrozenTableBuilder builder(schema);
+    for (RowBatch& b : MixedBatches(schema, rows, 777)) {
+      builder.Append(std::move(b));
+    }
+    Table frozen = builder.Finish();
+    ASSERT_TRUE(frozen.is_frozen());
+    EXPECT_EQ(frozen.num_rows(), rows);
+
+    // Same logical content, same dictionary codes (serial interning in
+    // batch order on both paths).
+    EXPECT_EQ(TableFingerprint(frozen), TableFingerprint(resident))
+        << rows << " rows";
+
+    // The pre-attached zone maps validate against the thawed data and
+    // agree with the resident build on the verified sorted flags.
+    std::shared_ptr<const ZoneMaps> zm = GetZoneMaps(frozen);
+    ASSERT_NE(zm, nullptr);
+    EXPECT_TRUE(ValidateZoneMaps(frozen, *zm).ok()) << rows << " rows";
+    std::shared_ptr<const ZoneMaps> rzm = GetZoneMaps(resident);
+    ASSERT_NE(rzm, nullptr);
+    for (size_t c = 0; c < zm->cols.size(); ++c) {
+      EXPECT_EQ(zm->cols[c].sorted_asc, rzm->cols[c].sorted_asc)
+          << rows << " rows, col " << c;
+    }
+  }
+}
+
+TEST_F(FrozenTableTest, MutationDetachesFrozenState) {
+  Table f = MakeMixedTable(5000);
+  Table r = f;
+  f.Freeze();
+  f.ReleaseResident();
+  ASSERT_TRUE(f.is_frozen());
+
+  const std::vector<Value> row = {Value{int64_t{123456}}, Value{7.5},
+                                  Value{std::string("beta")}};
+  f.AddRow(row);
+  EXPECT_FALSE(f.is_frozen());
+  r.AddRow(row);
+  EXPECT_EQ(TableFingerprint(f), TableFingerprint(r));
+}
+
+TEST_F(FrozenTableTest, ConcurrentThawIsSafeAndExact) {
+  Table t = MakeMixedTable(20000);
+  Table f = t;
+  f.Freeze();
+  f.ReleaseResident();
+
+  // 8 readers hammer all three accessors at once: publish-once thawing
+  // must hand every reader the same fully decoded columns.
+  std::atomic<uint64_t> key_sum{0};
+  std::atomic<uint64_t> code_sum{0};
+  std::atomic<int> bad{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 8; ++w) {
+    workers.emplace_back([&]() {
+      const std::vector<int64_t>& ks = f.IntData(0);
+      const std::vector<double>& vs = f.DoubleData(1);
+      const std::vector<uint32_t>& cs = f.StrCodes(2);
+      if (ks.size() != 20000 || vs.size() != 20000 || cs.size() != 20000) {
+        bad.fetch_add(1);
+        return;
+      }
+      uint64_t k = 0, c = 0;
+      for (size_t i = 0; i < ks.size(); ++i) {
+        k += static_cast<uint64_t>(ks[i]);
+        c += cs[i];
+      }
+      key_sum.fetch_add(k);
+      code_sum.fetch_add(c);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  ASSERT_EQ(bad.load(), 0);
+
+  uint64_t want_k = 0, want_c = 0;
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    want_k += static_cast<uint64_t>(t.IntData(0)[i]);
+    want_c += t.StrCodes(2)[i];
+  }
+  EXPECT_EQ(key_sum.load(), want_k * 8);
+  EXPECT_EQ(code_sum.load(), want_c * 8);
+}
+
+// ---- Fused scans over frozen tables --------------------------------------
+
+std::vector<ScanSpec> SpecsFor(const Table& t) {
+  std::vector<ScanSpec> specs;
+  specs.push_back(SpecOf(ColRange(t, "k", 1000, 5000)));
+  specs.push_back(SpecOf(ColRange(t, "k", 1000, 5000, true, true)));
+  specs.push_back(SpecOf(ColLess(t, "v", 0.0)));
+  specs.push_back(SpecOf(ColAtLeast(t, "v", 499000.0)));
+  specs.push_back(SpecOf(ColEquals(t, "v", 0.0)));  // hits +/-0.0
+  specs.push_back(SpecOf(CodeEquals(t, "s", "beta")));
+  specs.push_back(SpecOf(ColRange(t, "k", 20001, 30000)));  // empty
+  ScanSpec conj;
+  conj.ranges.push_back(ColRange(t, "k", 500, 15000));
+  conj.ranges.push_back(ColAtLeast(t, "v", 0.0));
+  conj.codes.push_back(CodeMatch(t, "s", [](const std::string& s) {
+    return s == "alpha" || s == "delta";
+  }));
+  specs.push_back(std::move(conj));
+  return specs;
+}
+
+TEST_F(FrozenTableTest, FusedSelectFrozenMatchesResidentAndOracle) {
+  Table t = MakeMixedTable(20000);
+  const std::vector<ScanSpec> specs = SpecsFor(t);
+  for (int threads : {1, 8}) {
+    SetExecThreads(threads);
+    for (size_t i = 0; i < specs.size(); ++i) {
+      const std::vector<uint32_t> expect = FusedSelect(t, specs[i]);
+
+      Table f = t;
+      f.Freeze();
+      f.ReleaseResident();
+      SetExecEncodedScanPath(true);
+      const std::vector<uint32_t> enc = FusedSelect(f, specs[i]);
+      EXPECT_EQ(enc, expect) << "spec " << i << " threads " << threads
+                             << " (encoded)";
+
+      f.ReleaseResident();
+      SetExecEncodedScanPath(false);
+      const std::vector<uint32_t> dec = FusedSelect(f, specs[i]);
+      EXPECT_EQ(dec, expect) << "spec " << i << " threads " << threads
+                             << " (decode-first)";
+      SetExecEncodedScanPath(true);
+
+      // Row-at-a-time oracle on the frozen table (thaws).
+      f.ReleaseResident();
+      SetExecFusedPath(false);
+      const std::vector<uint32_t> oracle = FusedSelect(f, specs[i]);
+      SetExecFusedPath(true);
+      EXPECT_EQ(oracle, expect) << "spec " << i << " threads " << threads
+                                << " (oracle)";
+    }
+  }
+}
+
+TEST_F(FrozenTableTest, FrozenScanPinsOnlySurvivingChunks) {
+  Table t = MakeMixedTable(20000);
+  Table f = t;
+  f.Freeze();
+  f.ReleaseResident();
+
+  // k is verified-sorted and ascending: a narrow range prunes almost
+  // every chunk, and pruned chunks must never touch the encoded bytes.
+  ResetEncodedScanCounters();
+  ResetFusedCounters();
+  const std::vector<uint32_t> sel =
+      FusedSelect(f, SpecOf(ColRange(t, "k", 100, 200)));
+  EXPECT_EQ(sel.size(), 101u);
+  const FusedCounters fc = FusedCountersSnapshot();
+  const EncodedScanCounters ec = EncodedScanCountersSnapshot();
+  EXPECT_GT(fc.sorted_bounded, 0u);
+  // Direct path on; nothing should have gone through the decode oracle,
+  // and at most the chunks overlapping [100, 200] were evaluated.
+  EXPECT_EQ(ec.chunks_decoded, 0u);
+  EXPECT_LE(ec.chunks_direct, 2u);
+  // The scan never thawed anything.
+  EXPECT_TRUE(f.is_frozen());
+  EXPECT_FALSE(f.ColumnResident(0));
+}
+
+// ---- Direct-on-encoded kernels vs the decode-first oracle ----------------
+
+std::vector<int64_t> IntShape(const std::string& shape, size_t n) {
+  Rng rng(0xC0DE7);
+  std::vector<int64_t> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (shape == "constant") {
+      v.push_back(42);
+    } else if (shape == "runs") {
+      v.push_back(static_cast<int64_t>(i / 16));
+    } else if (shape == "ascending") {
+      v.push_back(static_cast<int64_t>(i) + 1000000);
+    } else if (shape == "negatives") {
+      v.push_back(-static_cast<int64_t>(rng.Uniform(1 << 20)) - 1);
+    } else if (shape == "wide") {
+      v.push_back(static_cast<int64_t>(rng.Next()));  // forces w > 32
+    } else {  // small_random
+      v.push_back(static_cast<int64_t>(rng.Uniform(1 << 10)));
+    }
+  }
+  return v;
+}
+
+std::vector<double> DoubleShape(const std::string& shape, size_t n) {
+  Rng rng(0xD0B1E);
+  std::vector<double> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (shape == "nan_runs") {
+      v.push_back(i % 8 < 4 ? std::numeric_limits<double>::quiet_NaN()
+                            : 1.5);
+    } else if (shape == "signed_zero") {
+      v.push_back(i % 2 == 0 ? 0.0 : -0.0);
+    } else if (shape == "runs") {
+      v.push_back(static_cast<double>(i / 16));
+    } else {  // random
+      v.push_back(rng.NextDouble() * 1e6 - 5e5);
+    }
+  }
+  return v;
+}
+
+std::vector<NumRange> RangesFor(double lo, double hi) {
+  const double mid = lo + (hi - lo) / 2;
+  std::vector<NumRange> rs;
+  NumRange all;
+  rs.push_back(all);  // full line
+  NumRange below;
+  below.hi = lo;
+  below.hi_strict = true;
+  rs.push_back(below);  // matches nothing (except NaN never matches)
+  NumRange half;
+  half.lo = mid;
+  rs.push_back(half);
+  NumRange strict;
+  strict.lo = mid;
+  strict.lo_strict = true;
+  strict.hi = hi;
+  strict.hi_strict = true;
+  rs.push_back(strict);
+  NumRange point;
+  point.lo = mid;
+  point.hi = mid;
+  rs.push_back(point);
+  NumRange zero;  // +/-0.0 probe
+  zero.lo = 0.0;
+  zero.hi = 0.0;
+  rs.push_back(zero);
+  return rs;
+}
+
+/// Primes bits with an alternating pattern so the AND semantics (not
+/// just the match computation) are exercised.
+std::vector<uint8_t> PrimedBits(size_t n) {
+  std::vector<uint8_t> bits(n);
+  for (size_t i = 0; i < n; ++i) bits[i] = i % 3 == 0 ? 0 : 1;
+  return bits;
+}
+
+TEST(EncodedScanKernelTest, IntRangeMatchesOracleAcrossCodecs) {
+  for (const std::string& shape :
+       {std::string("constant"), std::string("runs"),
+        std::string("ascending"), std::string("negatives"),
+        std::string("wide"), std::string("small_random")}) {
+    for (size_t n : {size_t{1}, size_t{2}, size_t{63}, size_t{64},
+                     size_t{100}, size_t{1000}, size_t{4096}}) {
+      std::vector<int64_t> v = IntShape(shape, n);
+      const int64_t mn = *std::min_element(v.begin(), v.end());
+      const int64_t mx = *std::max_element(v.begin(), v.end());
+      for (Codec c : {Codec::kPlain, Codec::kRle, Codec::kBitPack,
+                      Codec::kFor}) {
+        if (c == Codec::kBitPack && mn < 0) continue;
+        EncodedChunk e = EncodeInt64Chunk(v.data(), n, c);
+        ChunkView view = MakeChunkView(e);
+        const std::vector<uint8_t> primed = PrimedBits(n);
+        std::vector<int64_t> plain(n);
+        DecodeInt64Chunk(e, plain.data());
+        for (const NumRange& r :
+             RangesFor(static_cast<double>(mn), static_cast<double>(mx))) {
+          std::vector<uint8_t> direct = primed;
+          EncodedRangeAnd(view, r, direct.data());
+          std::vector<uint8_t> oracle = primed;
+          ChunkScratch scratch;
+          DecodedRangeAnd(view, r, oracle.data(), &scratch);
+          ASSERT_EQ(direct, oracle)
+              << shape << " n=" << n << " codec=" << CodecName(c);
+          // Third opinion: scalar loop over the decoded values.
+          for (size_t i = 0; i < n; ++i) {
+            const uint8_t want =
+                primed[i] &
+                static_cast<uint8_t>(
+                    r.Matches(static_cast<double>(plain[i])) ? 1 : 0);
+            ASSERT_EQ(direct[i], want)
+                << shape << " n=" << n << " codec=" << CodecName(c)
+                << " row " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(EncodedScanKernelTest, DoubleRangeMatchesOracleWithNaNAndSignedZero) {
+  for (const std::string& shape :
+       {std::string("nan_runs"), std::string("signed_zero"),
+        std::string("runs"), std::string("random")}) {
+    for (size_t n : {size_t{1}, size_t{100}, size_t{4096}}) {
+      std::vector<double> v = DoubleShape(shape, n);
+      for (Codec c : {Codec::kPlain, Codec::kRle}) {
+        EncodedChunk e = EncodeDoubleChunk(v.data(), n, c);
+        ChunkView view = MakeChunkView(e);
+        const std::vector<uint8_t> primed = PrimedBits(n);
+        for (const NumRange& r : RangesFor(-5e5, 5e5)) {
+          std::vector<uint8_t> direct = primed;
+          EncodedRangeAnd(view, r, direct.data());
+          std::vector<uint8_t> oracle = primed;
+          ChunkScratch scratch;
+          DecodedRangeAnd(view, r, oracle.data(), &scratch);
+          ASSERT_EQ(direct, oracle)
+              << shape << " n=" << n << " codec=" << CodecName(c);
+          for (size_t i = 0; i < n; ++i) {
+            const uint8_t want =
+                primed[i] & static_cast<uint8_t>(r.Matches(v[i]) ? 1 : 0);
+            ASSERT_EQ(direct[i], want) << shape << " row " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(EncodedScanKernelTest, CodeSetMatchesOracleAcrossCodecs) {
+  Rng rng(0x5EED);
+  for (size_t domain : {size_t{1}, size_t{3}, size_t{200}}) {
+    for (size_t n : {size_t{1}, size_t{100}, size_t{4096}}) {
+      std::vector<uint32_t> v;
+      v.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        v.push_back(static_cast<uint32_t>(rng.Uniform(domain)));
+      }
+      for (Codec c : {Codec::kPlain, Codec::kRle, Codec::kBitPack,
+                      Codec::kFor}) {
+        EncodedChunk e = EncodeCodeChunk(v.data(), n, c);
+        ChunkView view = MakeChunkView(e);
+        // Every-other-code match table plus the all-off edge.
+        const std::vector<uint8_t> primed = PrimedBits(n);
+        for (int mode = 0; mode < 2; ++mode) {
+          std::vector<char> match(domain, 0);
+          if (mode == 0) {
+            for (size_t k = 0; k < domain; k += 2) match[k] = 1;
+          }
+          std::vector<uint8_t> direct = primed;
+          EncodedCodeAnd(view, match.data(), direct.data());
+          std::vector<uint8_t> oracle = primed;
+          ChunkScratch scratch;
+          DecodedCodeAnd(view, match.data(), oracle.data(), &scratch);
+          ASSERT_EQ(direct, oracle) << "domain=" << domain << " n=" << n
+                                    << " codec=" << CodecName(c);
+          for (size_t i = 0; i < n; ++i) {
+            const uint8_t want =
+                primed[i] & static_cast<uint8_t>(match[v[i]]);
+            ASSERT_EQ(direct[i], want) << "row " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---- dbgen freeze mode ---------------------------------------------------
+
+uint64_t DbFingerprint(const tpch::TpchDatabase& db) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const Table* t :
+       {&db.region, &db.nation, &db.supplier, &db.part, &db.partsupp,
+        &db.customer, &db.orders, &db.lineitem}) {
+    h = (h ^ TableFingerprint(*t)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+TEST_F(FrozenTableTest, DbgenFreezeMatchesResidentBitForBit) {
+  tpch::DbgenOptions resident;
+  resident.freeze = 0;
+  resident.threads = 2;
+  const tpch::TpchDatabase dbr = tpch::GenerateDatabase(0.01, resident);
+
+  tpch::DbgenOptions frozen = resident;
+  frozen.freeze = 1;
+  tpch::TpchDatabase dbf = tpch::GenerateDatabase(0.01, frozen);
+  EXPECT_TRUE(dbf.lineitem.is_frozen());
+  EXPECT_TRUE(dbf.orders.is_frozen());
+  EXPECT_TRUE(dbf.customer.is_frozen());
+  EXPECT_FALSE(dbf.region.is_frozen());
+  // Zone maps were pre-attached by the streaming builder, with the
+  // clustered primary keys verified sorted.
+  std::shared_ptr<const ZoneMaps> zm = GetZoneMaps(dbf.lineitem);
+  ASSERT_NE(zm, nullptr);
+  EXPECT_TRUE(zm->cols[0].sorted_asc);  // l_orderkey
+
+  // Same logical database, including dictionary code assignment.
+  EXPECT_EQ(DbFingerprint(dbf), DbFingerprint(dbr));
+
+  // Frozen generation is thread-count invariant too.
+  tpch::DbgenOptions frozen1 = frozen;
+  frozen1.threads = 1;
+  const tpch::TpchDatabase dbf1 = tpch::GenerateDatabase(0.01, frozen1);
+  EXPECT_EQ(DbFingerprint(dbf1), DbFingerprint(dbr));
+}
+
+TEST_F(FrozenTableTest, QueriesBitIdenticalAcrossBudgetThreadsAndPaths) {
+  tpch::DbgenOptions resident;
+  resident.freeze = 0;
+  const tpch::TpchDatabase dbr = tpch::GenerateDatabase(0.01, resident);
+
+  tpch::DbgenOptions frozen;
+  frozen.freeze = 1;
+  tpch::TpchDatabase dbf = tpch::GenerateDatabase(0.01, frozen);
+
+  auto release_all = [&dbf]() {
+    for (Table* t : {&dbf.supplier, &dbf.part, &dbf.partsupp, &dbf.customer,
+                     &dbf.orders, &dbf.lineitem}) {
+      t->ReleaseResident();
+    }
+  };
+
+  for (int q : {1, 6, 12, 14}) {
+    const uint64_t want = TableFingerprint(tpch::RunQuery(q, dbr));
+    for (int threads : {1, 8}) {
+      for (size_t budget : {size_t{0}, size_t{32} << 20}) {
+        SetExecThreads(threads);
+        SetExecMemoryBudget(budget);
+        release_all();
+        const Table got = tpch::RunQuery(q, dbf);
+        EXPECT_EQ(TableFingerprint(got), want)
+            << "Q" << q << " threads=" << threads << " budget=" << budget;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace elephant::exec

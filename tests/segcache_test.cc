@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "exec/segcache.h"
 
 namespace elephant::exec {
@@ -201,6 +204,66 @@ TEST_F(SegmentCacheTest, ZeroBudgetNeverEvicts) {
   SegmentCache::Stats s = cache_.GetStats();
   EXPECT_EQ(s.evictions, 0u);
   EXPECT_EQ(s.resident_bytes, 16u * 1024u);
+}
+
+TEST_F(SegmentCacheTest, ConcurrentPinUnpinChurnStaysCoherent) {
+  // Budget sized well below the working set: every thread's pins race
+  // with the others' eviction sweeps and spill reloads. Run under TSan
+  // this doubles as the pin/unpin/evict interleaving check.
+  cache_.SetBudget(512);
+  constexpr int kSegments = 24;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 400;
+  std::vector<SegmentCache::Id> ids;
+  for (int i = 0; i < kSegments; ++i) {
+    Result<SegmentCache::Id> id = cache_.Insert(Payload(uint8_t(i), 64));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([this, &ids, &failures, t]() {
+      Rng rng(0xC0C0A + uint64_t(t));
+      for (int i = 0; i < kIters; ++i) {
+        const int pick = static_cast<int>(rng.Uniform(kSegments));
+        auto pin = cache_.Pin(ids[pick]);
+        if (!pin.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (pin.value()->size() != 64 ||
+            (*pin.value())[0] != uint8_t(pick)) {
+          failures.fetch_add(1);
+        }
+        cache_.Unpin(ids[pick]);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  SegmentCache::Stats s = cache_.GetStats();
+  EXPECT_EQ(s.pinned, 0u);
+  EXPECT_EQ(s.entries, size_t{kSegments});
+  EXPECT_GT(s.spill_bytes_read, 0u);
+  // Every segment still round-trips exactly after the churn.
+  for (int i = 0; i < kSegments; ++i) {
+    auto data = cache_.Pin(ids[i]);
+    ASSERT_TRUE(data.ok()) << i;
+    EXPECT_EQ((*data.value())[0], uint8_t(i));
+    cache_.Unpin(ids[i]);
+  }
+}
+
+TEST_F(SegmentCacheTest, DiscardToleratesUnknownIds) {
+  cache_.SetBudget(0);
+  Result<SegmentCache::Id> a = cache_.Insert(Payload(1, 32));
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(cache_.Discard(a.value()));
+  EXPECT_FALSE(cache_.Discard(a.value()));  // second discard: no-op
+  EXPECT_FALSE(cache_.Discard(SegmentCache::Id{987654}));
+  EXPECT_EQ(cache_.GetStats().entries, 0u);
 }
 
 TEST(ExecMemoryBudgetTest, SetterResizesGlobalCacheToHalf) {
